@@ -1,0 +1,78 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   1. filter threshold sweep (§4's 0.85 is machine-specific);
+//   2. renaming mode: MVE vs scalar expansion vs none;
+//   3. MVE unroll cap (register-pressure guard).
+// Metric: geometric-mean weak-compiler speedup over all suites.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "driver/pipeline.hpp"
+
+namespace {
+using namespace slc;
+
+double geomean_speedup(const driver::CompareOptions& options) {
+  double geo = 1.0;
+  int n = 0;
+  for (const char* suite : {"livermore", "linpack", "stone", "nas"}) {
+    for (const driver::ComparisonRow& row : driver::compare_suite(
+             suite, driver::weak_compiler_o3(), options)) {
+      if (!row.ok) continue;
+      geo *= row.speedup();
+      ++n;
+    }
+  }
+  return n ? std::pow(geo, 1.0 / n) : 0.0;
+}
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation: SLMS design choices (weak compiler, all "
+               "suites, geomean speedup) ==\n\n";
+
+  std::cout << "-- filter threshold sweep (paper: 0.85) --\n";
+  for (double threshold : {0.5, 0.7, 0.85, 0.95, 1.01}) {
+    driver::CompareOptions opts;
+    opts.slms.filter.memory_ratio_threshold = threshold;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  threshold %.2f: geomean %.4f\n",
+                  threshold, geomean_speedup(opts));
+    std::cout << buf;
+  }
+
+  std::cout << "\n-- §11 refinement: require AO/ref >= R --\n";
+  for (double min_ref : {0.0, 1.0, 2.0, 6.0}) {
+    driver::CompareOptions opts;
+    opts.slms.filter.min_arith_per_ref = min_ref;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  min AO/ref %.1f: geomean %.4f\n",
+                  min_ref, geomean_speedup(opts));
+    std::cout << buf;
+  }
+
+  std::cout << "\n-- renaming mode --\n";
+  for (auto [mode, label] :
+       {std::pair{slms::RenamingChoice::Mve, "MVE"},
+        std::pair{slms::RenamingChoice::ScalarExpansion, "scalar-expansion"},
+        std::pair{slms::RenamingChoice::None, "none"}}) {
+    driver::CompareOptions opts;
+    opts.slms.renaming = mode;
+    char buf[80];
+    std::snprintf(buf, sizeof buf, "  %-17s geomean %.4f\n", label,
+                  geomean_speedup(opts));
+    std::cout << buf;
+  }
+
+  std::cout << "\n-- MVE unroll cap --\n";
+  for (int cap : {1, 2, 4, 8}) {
+    driver::CompareOptions opts;
+    opts.slms.max_unroll = cap;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  max unroll %d: geomean %.4f\n", cap,
+                  geomean_speedup(opts));
+    std::cout << buf;
+  }
+  std::cout << "\n";
+  return 0;
+}

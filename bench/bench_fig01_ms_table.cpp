@@ -1,0 +1,48 @@
+// Figure 1: the MS table — a 6-statement loop pipelined at II=2,
+// showing prologue, repeating kernel and epilogue at source level.
+#include <iostream>
+
+#include "ast/printer.hpp"
+#include "frontend/parser.hpp"
+#include "slms/slms.hpp"
+#include "support/diagnostics.hpp"
+
+int main() {
+  using namespace slc;
+  // Six MIs forming three dependent pairs; a scalar chain forces II=2
+  // like the figure's schematic.
+  const char* src = R"(
+    double A[260]; double B[260]; double C[260];
+    double t0; double t1; double t2;
+    int i;
+    for (i = 1; i < 250; i++) {
+      t0 = A[i - 1] * 2.0;
+      A[i] = t0 + 1.0;
+      t1 = B[i - 1] * 3.0;
+      B[i] = t1 + t0;
+      t2 = C[i - 1] + t1;
+      C[i] = t2 * 0.5;
+    }
+  )";
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(src, diags);
+  std::cout << "== Fig 1: MS table construction (prologue/kernel/epilogue) "
+               "==\n\n--- original loop ---\n"
+            << ast::to_source(p);
+
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  auto reports = slms::apply_slms(p, opts);
+  std::cout << "\n--- after SLMS ---\n" << ast::to_source(p);
+  if (!reports.empty() && reports[0].applied) {
+    std::cout << "\nII = " << reports[0].ii
+              << ", stages = " << reports[0].stages
+              << ", MIs = " << reports[0].num_mis
+              << " (kernel repeats " << reports[0].ii
+              << " rows per iteration; offsets shift by stage as in the "
+                 "figure)\n";
+  } else if (!reports.empty()) {
+    std::cout << "\nSLMS skipped: " << reports[0].skip_reason << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 5: the SLC improving the final compiler's register allocation —
+// statements re-arranged so scalar life-times shrink. Measured as the
+// max-live drop plus the cycle effect on the register-starved superscalar
+// (Pentium, 8 architectural registers), where fewer live values mean
+// fewer spills.
+#include <iostream>
+
+#include "ast/build.hpp"
+#include "ast/printer.hpp"
+#include "driver/pipeline.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "xform/xform.hpp"
+
+namespace {
+using namespace slc;
+ast::ForStmt* first_loop(ast::Program& p) {
+  for (ast::StmtPtr& s : p.stmts)
+    if (auto* f = ast::dyn_cast<ast::ForStmt>(s.get())) return f;
+  return nullptr;
+}
+}  // namespace
+
+int main() {
+  const char* src = R"(
+    double A[300]; double B[300]; double C[300]; double D[300];
+    double X[300]; double Y[300]; double Z[300];
+    double a; double b; double c; double d;
+    int i;
+    for (i = 0; i < 290; i++) {
+      a = A[i];
+      b = B[i];
+      c = C[i];
+      d = D[i];
+      X[i] = X[i] * 2.0;
+      Y[i] = Y[i] + 1.0;
+      Z[i] = Z[i] - 3.0;
+      A[i] = a + 1.0;
+      B[i] = b * 2.0;
+      C[i] = c - 1.0;
+      D[i] = d * 0.5;
+    }
+  )";
+  std::cout << "== Fig 5: SLC life-time compaction for register "
+               "allocation ==\n\n";
+  DiagnosticEngine diags;
+  ast::Program original = frontend::parse_program(src, diags);
+  int before = xform::scalar_max_live(*first_loop(original));
+
+  ast::Program work = original.clone();
+  auto outcome = xform::compact_lifetimes(*first_loop(work));
+  if (!outcome.applied()) {
+    std::cout << "pass not applied: " << outcome.reason << "\n";
+    return 1;
+  }
+  int after = xform::scalar_max_live(
+      *ast::dyn_cast<ast::ForStmt>(outcome.replacement[0].get()));
+  for (ast::StmtPtr& s : work.stmts)
+    if (s->kind() == ast::StmtKind::For) {
+      s = ast::build::block(std::move(outcome.replacement));
+      break;
+    }
+
+  std::cout << "--- rearranged loop ---\n" << ast::to_source(work) << "\n";
+  std::cout << "max simultaneously-live scalars: " << before << " -> "
+            << after << "\n";
+  std::cout << "oracle: "
+            << (interp::check_equivalent(original, work).empty()
+                    ? "EQUIVALENT"
+                    : "MISMATCH")
+            << "\n";
+
+  for (auto backend : {driver::superscalar_gcc(), driver::arm_gcc()}) {
+    auto m0 = driver::measure_program(original, backend);
+    auto m1 = driver::measure_program(work, backend);
+    std::cout << backend.label << " cycles: " << m0.cycles << " -> "
+              << m1.cycles << "\n";
+  }
+  std::cout << "\nthe paper's Fig-5 claim: shorter life-times give the "
+               "final compiler's register allocator room (here: fewer "
+               "spills on the 8-register superscalar).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 7: the worked SLMS example — decomposition creates a second
+// loop variant and MVE generates two registers per variant.
+#include <iostream>
+
+#include "ast/printer.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "slms/slms.hpp"
+
+int main() {
+  using namespace slc;
+  const char* src = R"(
+    double A[260]; double B[260]; double C[260];
+    double reg; double scal;
+    int i;
+    for (i = 1; i < 250; i++) {
+      reg = A[i + 1];
+      A[i] = A[i - 1] + reg;
+      scal = B[i] / 2.0;
+      C[i] = scal * 3.0;
+    }
+  )";
+  DiagnosticEngine diags;
+  ast::Program original = frontend::parse_program(src, diags);
+  ast::Program transformed = original.clone();
+
+  std::cout << "== Fig 7: SLMS decomposition + MVE ==\n\n--- original ---\n"
+            << ast::to_source(original);
+
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  auto reports = slms::apply_slms(transformed, opts);
+  std::cout << "\n--- after SLMS + MVE ---\n" << ast::to_source(transformed);
+  if (!reports.empty() && reports[0].applied) {
+    std::cout << "\nII = " << reports[0].ii << ", unroll = "
+              << reports[0].unroll
+              << ", renamed loop variants = " << reports[0].renamed_scalars
+              << " (paper: two registers per variant)\n";
+  }
+  std::string diff = interp::check_equivalent(original, transformed);
+  std::cout << "oracle: " << (diff.empty() ? "EQUIVALENT" : diff) << "\n";
+  return 0;
+}

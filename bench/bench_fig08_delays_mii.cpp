@@ -1,0 +1,65 @@
+// Figure 8 / §3.5-3.6: the delay model and the two-cycle MII example —
+// C1 = c->d->e->f->c gives MII 1, C2 = c->d->f->c gives MII 2 (the
+// forward edge d->f carries delay 2, the longest path through e); the
+// iterative shortest-path solver must settle on II = 2.
+#include <iostream>
+
+#include "analysis/ddg.hpp"
+#include "slms/mii.hpp"
+
+int main() {
+  using namespace slc;
+  using analysis::DepDist;
+  using analysis::DepEdge;
+  using analysis::DepKind;
+
+  analysis::Ddg g;
+  g.num_nodes = 6;  // a..f = 0..5
+  auto edge = [](int s, int d, std::int64_t dist, DepKind k) {
+    DepEdge e;
+    e.src = s;
+    e.dst = d;
+    e.kind = k;
+    e.var = "A";
+    e.distances = {DepDist{dist, true}};
+    return e;
+  };
+  g.edges.push_back(edge(2, 3, 1, DepKind::Flow));  // c->d
+  g.edges.push_back(edge(3, 4, 1, DepKind::Flow));  // d->e
+  g.edges.push_back(edge(4, 5, 1, DepKind::Flow));  // e->f
+  g.edges.push_back(edge(3, 5, 0, DepKind::Flow));  // d->f
+  g.edges.push_back(edge(5, 2, 1, DepKind::Anti));  // f->c (back edge)
+
+  std::cout << "== Fig 8: delays and the MII over two cycles ==\n\n";
+  std::cout << "dependence graph:\n" << g.dump() << "\n";
+
+  auto delays = slms::compute_delays(g);
+  std::cout << "computed delays (paper rules 1-4):\n";
+  const char* names = "abcdef";
+  for (std::size_t k = 0; k < g.edges.size(); ++k) {
+    std::cout << "  " << names[g.edges[k].src] << " -> "
+              << names[g.edges[k].dst] << " : delay " << delays[k] << "\n";
+  }
+
+  std::cout << "\ncycle C1 (c->d->e->f->c): delays 1+1+1+1 = 4, distances "
+               "4  => MII 1\n";
+  std::cout << "cycle C2 (c->d->f->c):    delays 1+2+1 = 4, distances 2  "
+               "=> MII 2\n\n";
+
+  slms::MiiSolver solver(g, delays);
+  std::cout << "II=1 feasible: "
+            << (solver.schedule_for(1) ? "yes" : "no (back edge f->c "
+                                                 "violated, as the paper "
+                                                 "notes)")
+            << "\n";
+  auto s = solver.solve();
+  if (s) {
+    std::cout << "solver result: II = " << s->ii << " with slots sigma = [";
+    for (std::size_t k = 0; k < s->sigma.size(); ++k)
+      std::cout << (k ? ", " : "") << s->sigma[k];
+    std::cout << "]\n";
+  }
+  std::cout << "analytic recurrence bound: " << solver.recurrence_bound_hint()
+            << "\n";
+  return 0;
+}

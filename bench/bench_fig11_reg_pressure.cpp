@@ -1,0 +1,71 @@
+// Figure 11 / §7: IMS failure due to register pressure. A long-latency
+// producer feeding a slow recurrence makes kernel lifetimes span many
+// stages; with a small register file, machine-level MS must refuse (or
+// spill), while SLMS + plain list scheduling still delivers a schedule.
+#include <iostream>
+
+#include "ast/printer.hpp"
+#include "driver/pipeline.hpp"
+#include "frontend/parser.hpp"
+#include "machine/ims.hpp"
+#include "machine/lower.hpp"
+#include "slms/slms.hpp"
+
+int main() {
+  using namespace slc;
+  const char* src = R"(
+    double A[260]; double Z[260]; double B[260];
+    int i;
+    for (i = 1; i < 250; i++) {
+      Z[i] = Z[i - 1] + A[i] * A[i] + A[i + 1] * A[i + 2] + B[i] * B[i + 1];
+    }
+  )";
+  std::cout << "== Fig 11: IMS register-pressure failure vs SLMS ==\n\n";
+
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(src, diags);
+  machine::MirProgram mir = machine::lower(p, diags);
+
+  machine::MachineModel tiny = machine::itanium2_model();
+  tiny.fp_regs = 4;
+  tiny.name = "itanium2-tiny-regfile";
+
+  for (const machine::Region& r : mir.regions) {
+    if (r.kind != machine::Region::Kind::Loop) continue;
+    const auto& body = r.loop->body[0].insts;
+    machine::ImsResult small =
+        machine::modulo_schedule(body, tiny, r.loop->step_value);
+    machine::ImsResult big = machine::modulo_schedule(
+        body, machine::itanium2_model(), r.loop->step_value);
+    std::cout << "IMS on " << tiny.name << ": "
+              << (small.ok ? "ok (unexpected)" : "FAILED — " +
+                                                     small.fail_reason)
+              << " (needs fp regs: " << small.max_live_fp << ", available: "
+              << tiny.fp_regs << ")\n";
+    std::cout << "IMS on full itanium2:  "
+              << (big.ok ? "ok, II = " + std::to_string(big.ii)
+                         : big.fail_reason)
+              << "\n";
+  }
+
+  // SLMS path on the same tiny machine: pipelining happens at source
+  // level; the backend only list-schedules (no kernel-spanning
+  // lifetimes), so the tiny register file suffices.
+  ast::Program transformed = p.clone();
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  auto reports = slms::apply_slms(transformed, opts);
+  driver::Backend weak{tiny, sim::CompilerPreset::ListSched,
+                       "list-sched/tiny"};
+  auto m0 = driver::measure_source(src, weak);
+  auto m1 = driver::measure_program(transformed, weak);
+  std::cout << "\nSLMS applied: "
+            << (reports.empty() ? false : reports[0].applied)
+            << ", weak-backend cycles: original " << m0.cycles
+            << " vs SLMS " << m1.cycles << " (speedup "
+            << (m1.cycles ? double(m0.cycles) / double(m1.cycles) : 0.0)
+            << ")\n";
+  std::cout << "\npaper's conclusion: SLMS exposes the [z||x] parallelism "
+               "without kernel-lifetime register pressure.\n";
+  return 0;
+}

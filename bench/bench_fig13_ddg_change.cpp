@@ -1,0 +1,61 @@
+// Figure 13 / §7: SLMS changes the loop's data-dependence graph, giving
+// the underlying scheduler options the original code does not have.
+// Loop: a[i] = a[i-2] + a[i+2]  =>  a[i] = a[i-2] + reg; reg = a[i+3];
+#include <iostream>
+
+#include "analysis/ddg.hpp"
+#include "ast/printer.hpp"
+#include "ast/walk.hpp"
+#include "frontend/parser.hpp"
+#include "sema/loop_info.hpp"
+#include "slms/mii.hpp"
+#include "slms/slms.hpp"
+
+namespace {
+using namespace slc;
+
+void dump_loop_ddg(const char* label, ast::Program& p) {
+  for (ast::StmtPtr& s : p.stmts) {
+    ast::walk_stmts(*s, [&](ast::Stmt& st) {
+      auto* f = ast::dyn_cast<ast::ForStmt>(&st);
+      if (f == nullptr) return;
+      auto info = sema::analyze_loop(*f, nullptr);
+      if (!info) return;
+      std::vector<const ast::Stmt*> mis;
+      for (ast::Stmt* b : sema::body_statements(*f)) mis.push_back(b);
+      analysis::Ddg g = analysis::build_ddg(mis, info->iv, info->step);
+      std::cout << label << " (" << mis.size() << " MIs):\n" << g.dump()
+                << "\n";
+    });
+  }
+}
+}  // namespace
+
+int main() {
+  const char* src = R"(
+    double a[260];
+    int i;
+    for (i = 2; i < 250; i++) {
+      a[i] = a[i - 2] + a[i + 2];
+    }
+  )";
+  std::cout << "== Fig 13: SLMS changes the DD graph ==\n\n";
+
+  DiagnosticEngine diags;
+  ast::Program before = frontend::parse_program(src, diags);
+  dump_loop_ddg("DDG before SLMS", before);
+
+  ast::Program after = before.clone();
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  auto reports = slms::apply_slms(after, opts);
+  std::cout << "--- SLMSed source ---\n" << ast::to_source(after) << "\n";
+  dump_loop_ddg("DDG after SLMS", after);
+
+  if (!reports.empty() && reports[0].applied) {
+    std::cout << "SLMS II = " << reports[0].ii
+              << "; the kernel's DDG exposes the load on a separate node, "
+                 "exactly the paper's point: more scheduling options.\n";
+  }
+  return 0;
+}

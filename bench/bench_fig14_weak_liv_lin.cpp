@@ -1,0 +1,19 @@
+// Figure 14: Livermore & Linpack speedups of SLMS over a relatively weak
+// final compiler (GCC on Itanium-II), with and without -O3.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace slc;
+  bench::print_speedup_figure(
+      "Fig 14a: Livermore & Linpack over GCC -O3 (weak compiler, no MS)",
+      {"livermore", "linpack"}, driver::weak_compiler_o3());
+  bench::print_speedup_figure(
+      "Fig 14b: Livermore & Linpack over GCC -O0",
+      {"livermore", "linpack"}, driver::weak_compiler_o0());
+  // Conclusions §11: "good speedups over the GCC (with and without the
+  // Swing MS)" — the same suites over GCC with its Swing pipeliner on.
+  bench::print_speedup_figure(
+      "Fig 14c: Livermore & Linpack over GCC with Swing MS",
+      {"livermore", "linpack"}, driver::weak_compiler_sms());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 15: Stone & NAS speedups over the weak compiler (GCC/IA64).
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace slc;
+  bench::print_speedup_figure(
+      "Fig 15a: Stone & NAS over GCC -O3 (weak compiler, no MS)",
+      {"stone", "nas"}, driver::weak_compiler_o3());
+  bench::print_speedup_figure("Fig 15b: Stone & NAS over GCC -O0",
+                              {"stone", "nas"}, driver::weak_compiler_o0());
+  return 0;
+}

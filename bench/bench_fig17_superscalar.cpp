@@ -1,0 +1,17 @@
+// Figure 17: SLMS on a superscalar processor (Pentium-like model, GCC),
+// where all parallelism is extracted by the hardware window. The paper's
+// kernel-10 regression (MVE register pressure vs 8 architectural
+// registers) is expected to reappear as a weak or negative result.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace slc;
+  bench::print_speedup_figure(
+      "Fig 17a: all suites over GCC -O3 on a superscalar (Pentium)",
+      {"livermore", "linpack", "stone", "nas"}, driver::superscalar_gcc());
+  bench::print_speedup_figure(
+      "Fig 17b: all suites over GCC -O0 on a superscalar (Pentium)",
+      {"livermore", "linpack", "stone", "nas"},
+      driver::superscalar_gcc_o0());
+  return 0;
+}

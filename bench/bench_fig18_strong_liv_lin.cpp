@@ -1,0 +1,13 @@
+// Figure 18: Livermore & Linpack over a strong final compiler (ICC-like:
+// machine-level iterative modulo scheduling + list scheduling on the
+// Itanium-II model). Positive speedups here support the paper's claim
+// that SLMS and machine-level MS can co-exist.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace slc;
+  bench::print_speedup_figure(
+      "Fig 18: Livermore & Linpack over ICC (machine-level MS enabled)",
+      {"livermore", "linpack"}, driver::strong_compiler_icc());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 19: Stone & NAS over the strong (ICC-like) final compiler.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace slc;
+  bench::print_speedup_figure(
+      "Fig 19: Stone & NAS over ICC (machine-level MS enabled)",
+      {"stone", "nas"}, driver::strong_compiler_icc());
+  return 0;
+}

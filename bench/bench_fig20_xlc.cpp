@@ -1,0 +1,11 @@
+// Figure 20: Livermore & Linpack + NAS over an XLC-like strong compiler
+// on the Power4 model.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace slc;
+  bench::print_speedup_figure(
+      "Fig 20: Livermore, Linpack & NAS over XLC/Power4 (machine MS)",
+      {"livermore", "linpack", "nas"}, driver::strong_compiler_xlc());
+  return 0;
+}

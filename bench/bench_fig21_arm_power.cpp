@@ -1,0 +1,37 @@
+// Figure 21: power dissipation improvement of SLMS on the ARM7 model
+// (Sim-Panalyzer stand-in: activity-based energy accounting including
+// caches/memory). Ratio > 1 means SLMS reduced total energy.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace slc;
+  driver::Backend arm = driver::arm_gcc();
+  std::cout << "== Fig 21: ARM7 power dissipation (energy ratio, "
+               "orig/slms) ==\n";
+  std::cout << "backend: " << arm.label << "\n\n";
+  driver::TablePrinter table(
+      {"kernel", "suite", "energy(orig)", "energy(slms)", "ratio", "note"});
+  for (const char* suite : {"livermore", "linpack", "stone", "nas"}) {
+    for (const driver::ComparisonRow& row :
+         driver::compare_suite(suite, arm)) {
+      std::string note;
+      if (!row.ok) {
+        note = row.error;
+      } else if (!row.slms_applied) {
+        note = "slms skipped: " + row.slms_skip_reason;
+      }
+      char e0[32], e1[32], rt[32];
+      std::snprintf(e0, sizeof e0, "%.0f", row.energy_base);
+      std::snprintf(e1, sizeof e1, "%.0f", row.energy_slms);
+      std::snprintf(rt, sizeof rt, "%.3f", row.energy_ratio());
+      table.row({row.kernel, row.suite, e0, e1, row.ok ? rt : "-", note});
+    }
+  }
+  std::cout << table.str();
+  std::cout << "\nratio > 1.0: SLMS reduces power; the paper reports gains "
+               "on some kernels and losses on others (apply selectively).\n\n";
+  return 0;
+}

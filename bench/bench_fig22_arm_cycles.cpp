@@ -1,0 +1,44 @@
+// Figure 22: total cycle count on the ARM7 model — the paper notes a
+// clear correlation between the power (Fig 21) and cycle results; this
+// bench prints both ratios side by side to expose that correlation.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace slc;
+  driver::Backend arm = driver::arm_gcc();
+  std::cout << "== Fig 22: ARM7 cycle counts (ratio orig/slms) ==\n";
+  std::cout << "backend: " << arm.label << "\n\n";
+  driver::TablePrinter table({"kernel", "suite", "cycles(orig)",
+                              "cycles(slms)", "cycle ratio", "energy ratio",
+                              "note"});
+  int correlated = 0, total = 0;
+  for (const char* suite : {"livermore", "linpack", "stone", "nas"}) {
+    for (const driver::ComparisonRow& row :
+         driver::compare_suite(suite, arm)) {
+      std::string note;
+      if (!row.ok) {
+        note = row.error;
+      } else if (!row.slms_applied) {
+        note = "slms skipped: " + row.slms_skip_reason;
+      }
+      char cr[32], er[32];
+      std::snprintf(cr, sizeof cr, "%.3f", row.speedup());
+      std::snprintf(er, sizeof er, "%.3f", row.energy_ratio());
+      if (row.ok && row.slms_applied) {
+        ++total;
+        if ((row.speedup() >= 1.0) == (row.energy_ratio() >= 1.0))
+          ++correlated;
+      }
+      table.row({row.kernel, row.suite, std::to_string(row.cycles_base),
+                 std::to_string(row.cycles_slms), row.ok ? cr : "-",
+                 row.ok ? er : "-", note});
+    }
+  }
+  std::cout << table.str();
+  std::cout << "\ncycle/power direction agreement: " << correlated << "/"
+            << total << " kernels (paper: 'clear correlation')\n\n";
+  return 0;
+}

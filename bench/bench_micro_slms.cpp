@@ -1,0 +1,116 @@
+// Algorithm-cost microbenchmarks (google-benchmark): the SLMS compile
+// passes themselves — dependence analysis, the MII solver, the full
+// transformation, lowering + IMS — measured over the kernel suite, so
+// regressions in compile-time complexity show up.
+#include <benchmark/benchmark.h>
+
+#include "analysis/ddg.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/ims.hpp"
+#include "machine/lower.hpp"
+#include "sema/loop_info.hpp"
+#include "slms/mii.hpp"
+#include "slms/slms.hpp"
+
+namespace {
+
+using namespace slc;
+
+const kernels::Kernel& k8() { return *kernels::find("kernel8"); }
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    ast::Program p = frontend::parse_program(k8().source, diags);
+    benchmark::DoNotOptimize(p.stmts.size());
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_BuildDdg(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(k8().source, diags);
+  ast::ForStmt* loop = nullptr;
+  for (ast::StmtPtr& s : p.stmts)
+    if (auto* f = ast::dyn_cast<ast::ForStmt>(s.get())) loop = f;
+  auto info = sema::analyze_loop(*loop, nullptr);
+  std::vector<const ast::Stmt*> mis;
+  for (ast::Stmt* b : sema::body_statements(*loop)) mis.push_back(b);
+  for (auto _ : state) {
+    analysis::Ddg g = analysis::build_ddg(mis, info->iv, info->step);
+    benchmark::DoNotOptimize(g.edges.size());
+  }
+}
+BENCHMARK(BM_BuildDdg);
+
+void BM_MiiSolve(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(k8().source, diags);
+  ast::ForStmt* loop = nullptr;
+  for (ast::StmtPtr& s : p.stmts)
+    if (auto* f = ast::dyn_cast<ast::ForStmt>(s.get())) loop = f;
+  auto info = sema::analyze_loop(*loop, nullptr);
+  std::vector<const ast::Stmt*> mis;
+  for (ast::Stmt* b : sema::body_statements(*loop)) mis.push_back(b);
+  analysis::Ddg g = analysis::build_ddg(mis, info->iv, info->step);
+  auto delays = slms::compute_delays(g);
+  for (auto _ : state) {
+    slms::MiiSolver solver(g, delays);
+    auto s = solver.solve();
+    benchmark::DoNotOptimize(s.has_value());
+  }
+}
+BENCHMARK(BM_MiiSolve);
+
+void BM_FullSlms(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(k8().source, diags);
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  for (auto _ : state) {
+    ast::Program copy = p.clone();
+    auto reports = slms::apply_slms(copy, opts);
+    benchmark::DoNotOptimize(reports.size());
+  }
+}
+BENCHMARK(BM_FullSlms);
+
+void BM_SlmsWholeSuite(benchmark::State& state) {
+  slms::SlmsOptions opts;
+  for (auto _ : state) {
+    int applied = 0;
+    for (const kernels::Kernel& k : kernels::all_kernels()) {
+      DiagnosticEngine diags;
+      ast::Program p = frontend::parse_program(k.source, diags);
+      for (const auto& r : slms::apply_slms(p, opts))
+        applied += r.applied ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(applied);
+  }
+}
+BENCHMARK(BM_SlmsWholeSuite);
+
+void BM_LowerAndIms(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(k8().source, diags);
+  machine::MachineModel model = machine::itanium2_model();
+  for (auto _ : state) {
+    DiagnosticEngine d2;
+    machine::MirProgram mir = machine::lower(p, d2);
+    for (const machine::Region& r : mir.regions) {
+      if (r.kind != machine::Region::Kind::Loop) continue;
+      if (r.loop->body.empty() ||
+          r.loop->body[0].kind != machine::Region::Kind::Block)
+        continue;
+      auto ims = machine::modulo_schedule(r.loop->body[0].insts, model,
+                                          r.loop->step_value);
+      benchmark::DoNotOptimize(ims.ok);
+    }
+  }
+}
+BENCHMARK(BM_LowerAndIms);
+
+}  // namespace
+
+BENCHMARK_MAIN();

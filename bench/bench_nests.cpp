@@ -1,0 +1,94 @@
+// Loop nests through the combined SLC pass: interchange/SLMS on the §6
+// nest, SLMS on the innermost matmul loop, and tiling on the transposed
+// access — the 2-D face of the source-level compiler.
+#include <iostream>
+
+#include "ast/build.hpp"
+#include "ast/printer.hpp"
+#include "driver/pipeline.hpp"
+#include "driver/slc_pass.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "xform/xform.hpp"
+
+namespace {
+using namespace slc;
+
+ast::ForStmt* first_loop(ast::Program& p) {
+  for (ast::StmtPtr& s : p.stmts)
+    if (auto* f = ast::dyn_cast<ast::ForStmt>(s.get())) return f;
+  return nullptr;
+}
+}  // namespace
+
+int main() {
+  std::cout << "== Loop nests: SLC pass + tiling ==\n\n";
+  driver::TablePrinter table({"nest", "transform", "cycles(orig)",
+                              "cycles(after)", "speedup", "oracle"});
+
+  for (const kernels::Kernel& k : kernels::nest_kernels()) {
+    DiagnosticEngine diags;
+    ast::Program original = frontend::parse_program(k.source, diags);
+
+    ast::Program work = original.clone();
+    driver::SlcOptions opts;
+    opts.slms.enable_filter = false;
+    driver::SlcReport report = driver::apply_slc(work, opts);
+
+    std::string what;
+    if (report.interchanges > 0) what += "interchange ";
+    if (report.fusions > 0) what += "fusion ";
+    if (report.loops_pipelined > 0)
+      what += "slms x" + std::to_string(report.loops_pipelined);
+    if (what.empty()) what = "(none)";
+
+    auto backend = driver::weak_compiler_o3();
+    auto m0 = driver::measure_program(original, backend);
+    auto m1 = driver::measure_program(work, backend);
+    bool ok = interp::check_equivalent(original, work).empty();
+    char sp[32];
+    std::snprintf(sp, sizeof sp, "%.3f",
+                  m1.cycles ? double(m0.cycles) / double(m1.cycles) : 0.0);
+    table.row({k.name, what, std::to_string(m0.cycles),
+               std::to_string(m1.cycles), sp,
+               ok ? "EQUIVALENT" : "MISMATCH"});
+  }
+
+  // Tiling on the transposed-access nest, measured on the small-cache ARM.
+  {
+    const kernels::Kernel* k = kernels::find("nest_transpose_sum");
+    const kernels::Kernel* from_nests = nullptr;
+    for (const auto& n : kernels::nest_kernels())
+      if (n.name == "nest_transpose_sum") from_nests = &n;
+    (void)k;
+    DiagnosticEngine diags;
+    ast::Program original =
+        frontend::parse_program(from_nests->source, diags);
+    ast::Program work = original.clone();
+    auto outcome = xform::tile(*first_loop(work), 8, 8);
+    if (outcome.applied()) {
+      for (ast::StmtPtr& s : work.stmts)
+        if (s->kind() == ast::StmtKind::For) {
+          s = ast::build::block(std::move(outcome.replacement));
+          break;
+        }
+      auto backend = driver::arm_gcc();
+      auto m0 = driver::measure_program(original, backend);
+      auto m1 = driver::measure_program(work, backend);
+      bool ok = interp::check_equivalent(original, work).empty();
+      char sp[32];
+      std::snprintf(sp, sizeof sp, "%.3f",
+                    m1.cycles ? double(m0.cycles) / double(m1.cycles) : 0.0);
+      table.row({"nest_transpose_sum", "tile 8x8 (arm7 cache)",
+                 std::to_string(m0.cycles), std::to_string(m1.cycles), sp,
+                 ok ? "EQUIVALENT" : "MISMATCH"});
+      std::cout << "tiling locality: L1 misses " << m0.mem_misses << " -> "
+                << m1.mem_misses
+                << " (loop overhead can still dominate on a 1-issue core; "
+                   "the miss reduction is the tiling effect)\n\n";
+    }
+  }
+
+  std::cout << table.str() << "\n";
+  return 0;
+}

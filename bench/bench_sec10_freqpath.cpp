@@ -1,0 +1,102 @@
+// §10 second extension: SLMS of loops with conditionals via the
+// most-frequent-path kernel (Fig. 23). Like the paper, the transformed
+// form is constructed explicitly (the paper: "full implementation of
+// these extensions is beyond the scope of this work") and validated:
+//
+//   for (i) { if (A_i) B_i; else C_i; D_i; }
+//
+// with A_i mostly true becomes a pipelined kernel over the frequent path
+// (D_i overlapped with B_{i+1} while A_{i+1} holds) plus rarely-executed
+// fix-up code — contrasted against plain if-conversion, which pays for
+// both arms every iteration.
+#include <iostream>
+
+#include "driver/pipeline.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "slms/slms.hpp"
+
+int main() {
+  using namespace slc;
+  // p[] is ~87% positive: the then-branch is the frequent path.
+  const char* header = R"(
+    double p[320]; double x[320]; double y[320];
+    int i;
+    for (i = 0; i < 320; i++) {
+      p[i] = fabs(p[i]) + 0.125;
+      if (i % 8 == 0) p[i] = 0.0 - p[i];
+    }
+    x[0] = 1.0;
+  )";
+  std::string original = std::string(header) + R"(
+    for (i = 1; i < 300; i++) {
+      if (p[i] > 0.0) x[i] = x[i - 1] * 0.5 + p[i];
+      else x[i] = 0.0 - p[i];
+      y[i] = x[i] + 1.0;
+    }
+  )";
+  // Most-frequent-path pipelined form: the inner while is the kernel
+  // KPf = [D_i || B_{i+1}]; the else arm and the drain are fix-up code.
+  std::string freqpath = std::string(header) + R"(
+    i = 1;
+    while (i < 300) {
+      if (p[i] > 0.0) {
+        x[i] = x[i - 1] * 0.5 + p[i];
+        while (i + 1 < 300 && p[i + 1] > 0.0) {
+          y[i] = x[i] + 1.0;
+          x[i + 1] = x[i] * 0.5 + p[i + 1];
+          i++;
+        }
+        y[i] = x[i] + 1.0;
+        i++;
+      } else {
+        x[i] = 0.0 - p[i];
+        y[i] = x[i] + 1.0;
+        i++;
+      }
+    }
+  )";
+
+  std::cout << "== §10 / Fig 23: most-frequent-path SLMS for conditional "
+               "loops ==\n\n";
+  DiagnosticEngine diags;
+  ast::Program p0 = frontend::parse_program(original, diags);
+  ast::Program p1 = frontend::parse_program(freqpath, diags);
+  if (diags.has_errors()) {
+    std::cout << diags.str();
+    return 1;
+  }
+
+  std::string eq = interp::check_equivalent(p0, p1);
+  std::cout << "frequent-path form oracle: "
+            << (eq.empty() ? "EQUIVALENT" : eq) << "\n";
+
+  // If-converted SLMS for contrast (executes both arms predicated).
+  ast::Program p2 = p0.clone();
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  auto reports = slms::apply_slms(p2, opts);
+  bool ic_applied = false;
+  for (const auto& r : reports) ic_applied |= r.applied;
+  std::cout << "if-converted SLMS: "
+            << (ic_applied ? "applied" : "skipped") << ", oracle: "
+            << (interp::check_equivalent(p0, p2).empty() ? "EQUIVALENT"
+                                                         : "MISMATCH")
+            << "\n\n";
+
+  for (auto backend : {driver::weak_compiler_o3(), driver::arm_gcc()}) {
+    auto m0 = driver::measure_program(p0, backend);
+    auto m1 = driver::measure_program(p1, backend);
+    auto m2 = driver::measure_program(p2, backend);
+    std::cout << backend.label << " cycles: original " << m0.cycles
+              << ", frequent-path kernel " << m1.cycles
+              << ", if-converted SLMS " << m2.cycles << "\n";
+  }
+  std::cout << "\nthe frequent-path kernel beats the branchy original by "
+               "overlapping D_i with B_{i+1} and runs fix-up code only "
+               "~1/8 of iterations. (In this simulator's cheap-predication "
+               "model, fully if-converted SLMS is cheaper still; the "
+               "paper's Fig-23 argument targets machines where executing "
+               "both predicated arms is expensive.)\n";
+  return eq.empty() ? 0 : 1;
+}

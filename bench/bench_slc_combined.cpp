@@ -1,0 +1,98 @@
+// §6 as a system: the combined SLC pass (fusion + interchange + SLMS)
+// against SLMS alone on programs that need the interactions — the
+// paper's argument that SLMS belongs in a source-level compiler's
+// transformation arsenal rather than standing alone.
+#include <iostream>
+
+#include "driver/pipeline.hpp"
+#include "driver/slc_pass.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "slms/slms.hpp"
+
+namespace {
+using namespace slc;
+
+struct Scenario {
+  const char* name;
+  const char* source;
+};
+
+const Scenario kScenarios[] = {
+    {"fusable pair (§6)", R"(
+      double A[260]; double B[260]; double C[260];
+      double t; double q;
+      int i;
+      for (i = 1; i < 250; i++) {
+        t = A[i - 1];
+        B[i] = B[i] + t;
+        A[i] = t + B[i];
+      }
+      for (i = 1; i < 250; i++) {
+        q = C[i - 1];
+        B[i] = B[i] + q;
+        C[i] = q * B[i];
+      }
+    )"},
+    {"interchange nest (§6)", R"(
+      double a[40][41];
+      double t;
+      int i; int j;
+      for (i = 0; i < 36; i++) {
+        for (j = 0; j < 36; j++) {
+          t = a[i][j];
+          a[i][j + 1] = t;
+        }
+      }
+    )"},
+    {"three parallel loops", R"(
+      double a[300]; double b[300]; double c[300];
+      int i;
+      for (i = 1; i < 290; i++) a[i] = a[i - 1] + 1.0;
+      for (i = 1; i < 290; i++) b[i] = b[i - 1] * 1.01;
+      for (i = 1; i < 290; i++) c[i] = c[i - 1] - 0.5;
+    )"},
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "== SLC combined pass vs SLMS alone (weak compiler) ==\n\n";
+  driver::TablePrinter table({"scenario", "cycles(orig)", "cycles(slms)",
+                              "cycles(slc)", "slc speedup", "fusions",
+                              "interchanges", "oracle"});
+  for (const Scenario& s : kScenarios) {
+    DiagnosticEngine diags;
+    ast::Program original = frontend::parse_program(s.source, diags);
+
+    ast::Program slms_only = original.clone();
+    slms::SlmsOptions sopts;
+    sopts.enable_filter = false;
+    (void)slms::apply_slms(slms_only, sopts);
+
+    ast::Program slc_full = original.clone();
+    driver::SlcOptions copts;
+    copts.slms = sopts;
+    driver::SlcReport report = driver::apply_slc(slc_full, copts);
+
+    auto backend = driver::weak_compiler_o3();
+    auto m0 = driver::measure_program(original, backend);
+    auto m1 = driver::measure_program(slms_only, backend);
+    auto m2 = driver::measure_program(slc_full, backend);
+
+    bool ok = interp::check_equivalent(original, slc_full).empty() &&
+              interp::check_equivalent(original, slms_only).empty();
+    char sp[32];
+    std::snprintf(sp, sizeof sp, "%.3f",
+                  m2.cycles ? double(m0.cycles) / double(m2.cycles) : 0.0);
+    table.row({s.name, std::to_string(m0.cycles), std::to_string(m1.cycles),
+               std::to_string(m2.cycles), sp,
+               std::to_string(report.fusions),
+               std::to_string(report.interchanges),
+               ok ? "EQUIVALENT" : "MISMATCH"});
+  }
+  std::cout << table.str()
+            << "\nthe combined pass wins where transformations must "
+               "compose (the paper's §6 interactions).\n";
+  return 0;
+}

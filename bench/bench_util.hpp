@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+
+namespace slc::bench {
+
+/// Prints one suite's speedup series for a backend — the bar charts of
+/// the paper's Figures 14-20 as a table plus an ASCII bar per kernel.
+inline void print_speedup_figure(const std::string& title,
+                                 const std::vector<std::string>& suites,
+                                 const driver::Backend& backend,
+                                 const driver::CompareOptions& options = {}) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "backend: " << backend.label << "\n\n";
+  driver::TablePrinter table({"kernel", "suite", "speedup", "bar",
+                              "II", "unroll", "note"});
+  double geo = 1.0;
+  int counted = 0;
+  for (const std::string& suite : suites) {
+    for (const driver::ComparisonRow& row :
+         driver::compare_suite(suite, backend, options)) {
+      std::string note;
+      std::string bar;
+      double s = row.speedup();
+      if (!row.ok) {
+        note = row.error;
+      } else {
+        if (!row.slms_applied) note = "slms skipped: " + row.slms_skip_reason;
+        int len = int(s * 20.0);
+        bar = std::string(std::size_t(std::max(0, std::min(len, 60))), '#');
+        geo *= s;
+        ++counted;
+      }
+      char sbuf[32];
+      std::snprintf(sbuf, sizeof sbuf, "%.3f", s);
+      table.row({row.kernel, row.suite, row.ok ? sbuf : "-", bar,
+                 row.slms_applied ? std::to_string(row.report.ii) : "-",
+                 row.slms_applied ? std::to_string(row.report.unroll) : "-",
+                 note});
+    }
+  }
+  std::cout << table.str();
+  if (counted > 0) {
+    char gbuf[32];
+    std::snprintf(gbuf, sizeof gbuf, "%.3f",
+                  std::pow(geo, 1.0 / double(counted)));
+    std::cout << "\ngeometric-mean speedup: " << gbuf << "  ( > 1.0 means "
+              << "SLMS wins; bar shows speedup, '#' = 0.05 )\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace slc::bench

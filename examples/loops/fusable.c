@@ -1,0 +1,14 @@
+// Two conformable loops: the --slc combined pass fuses then pipelines.
+double A[256]; double B[256]; double C[256];
+double t; double q;
+int i;
+for (i = 1; i < 250; i++) {
+  t = A[i - 1];
+  B[i] = B[i] + t;
+  A[i] = t + B[i];
+}
+for (i = 1; i < 250; i++) {
+  q = C[i - 1];
+  B[i] = B[i] + q;
+  C[i] = q * B[i];
+}

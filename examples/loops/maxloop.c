@@ -1,0 +1,8 @@
+// The paper's §5 max-reduction loop: if-conversion + decomposition.
+double arr[256];
+double max;
+int i;
+max = arr[0];
+for (i = 1; i < 250; i++) {
+  if (max < arr[i]) max = arr[i];
+}

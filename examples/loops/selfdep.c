@@ -1,0 +1,6 @@
+// The paper's §3.2 self-dependent loop: needs decomposition.
+double A[128];
+int i;
+for (i = 2; i < 120; i++) {
+  A[i] = A[i - 1] + A[i - 2] + A[i + 1] + A[i + 2];
+}

@@ -1,0 +1,9 @@
+// Three-point stencil with a carried chain: SLMS pipelines at II=1.
+double A[256];
+double B[256];
+double t;
+int i;
+for (i = 1; i < 250; i++) {
+  t = B[i] * 2.0;
+  A[i] = A[i - 1] + t;
+}

@@ -1,0 +1,9 @@
+// The paper's §4 bad case: memory-ref ratio 1.0 — the filter skips it.
+double X[256]; double Y[256];
+double CT;
+int k;
+for (k = 0; k < 250; k++) {
+  CT = X[k];
+  X[k] = Y[k];
+  Y[k] = CT;
+}

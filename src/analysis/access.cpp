@@ -1,0 +1,174 @@
+#include "analysis/access.hpp"
+
+#include <set>
+
+#include "ast/walk.hpp"
+
+namespace slc::analysis {
+
+using namespace ast;
+
+bool AccessSet::writes_scalar(const std::string& n) const {
+  for (const ScalarAccess& s : scalars)
+    if (s.is_write && s.name == n) return true;
+  return false;
+}
+
+bool AccessSet::reads_scalar(const std::string& n) const {
+  for (const ScalarAccess& s : scalars)
+    if (!s.is_write && s.name == n) return true;
+  return false;
+}
+
+namespace {
+
+const std::set<std::string>& pure_intrinsics() {
+  static const std::set<std::string> fns = {
+      "fabs", "sqrt", "exp", "log", "sin", "cos", "min", "max", "abs",
+      "pow",  "floor", "ceil"};
+  return fns;
+}
+
+void collect_expr(const Expr& e, bool as_write, AccessSet& out) {
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::BoolLit:
+      return;
+    case ExprKind::VarRef:
+      out.scalars.push_back({dyn_cast<VarRef>(&e)->name, as_write});
+      return;
+    case ExprKind::ArrayRef: {
+      const auto* a = dyn_cast<ArrayRef>(&e);
+      ArrayAccess acc;
+      acc.array = a->name;
+      acc.is_write = as_write;
+      acc.ref = a;
+      for (const ExprPtr& s : a->subscripts) {
+        acc.subscripts.push_back(linearize(*s));
+        collect_expr(*s, /*as_write=*/false, out);  // subscripts are reads
+      }
+      out.arrays.push_back(std::move(acc));
+      ++out.load_store_count;
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto* b = dyn_cast<Binary>(&e);
+      // Comparisons count as ALU work too (the paper's loops with
+      // conditionals — e.g. Livermore kernel 24 — are not memory-bound).
+      if (is_arithmetic(b->op) || is_comparison(b->op))
+        ++out.arith_op_count;
+      collect_expr(*b->lhs, false, out);
+      collect_expr(*b->rhs, false, out);
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto* u = dyn_cast<Unary>(&e);
+      if (u->op == UnaryOp::Neg) ++out.arith_op_count;
+      collect_expr(*u->operand, false, out);
+      return;
+    }
+    case ExprKind::Call: {
+      const auto* c = dyn_cast<Call>(&e);
+      if (!pure_intrinsics().contains(c->callee)) out.has_opaque_call = true;
+      ++out.arith_op_count;  // a call costs at least one operation
+      for (const ExprPtr& a : c->args) collect_expr(*a, false, out);
+      return;
+    }
+    case ExprKind::Conditional: {
+      const auto* c = dyn_cast<Conditional>(&e);
+      collect_expr(*c->cond, false, out);
+      collect_expr(*c->then_expr, false, out);
+      collect_expr(*c->else_expr, false, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+AccessSet collect_accesses(const Stmt& stmt) {
+  AccessSet out;
+  switch (stmt.kind()) {
+    case StmtKind::Assign: {
+      const auto* a = dyn_cast<AssignStmt>(&stmt);
+      if (a->guard) collect_expr(*a->guard, false, out);
+      collect_expr(*a->rhs, false, out);
+      // Compound assignment reads the target before writing it.
+      if (a->op != AssignOp::Set) {
+        collect_expr(*a->lhs, false, out);
+        ++out.arith_op_count;
+      }
+      collect_expr(*a->lhs, true, out);
+      break;
+    }
+    case StmtKind::ExprStmt: {
+      const auto* x = dyn_cast<ExprStmt>(&stmt);
+      if (x->guard) collect_expr(*x->guard, false, out);
+      collect_expr(*x->expr, false, out);
+      break;
+    }
+    case StmtKind::Decl: {
+      const auto* d = dyn_cast<DeclStmt>(&stmt);
+      if (d->init) collect_expr(*d->init, false, out);
+      out.scalars.push_back({d->name, /*is_write=*/true});
+      break;
+    }
+    case StmtKind::If: {
+      // Elementary if (paper §3: an if-statement can itself be an MI).
+      const auto* i = dyn_cast<IfStmt>(&stmt);
+      collect_expr(*i->cond, false, out);
+      walk_stmts(*i->then_stmt, [&](const Stmt& s) {
+        if (s.kind() == StmtKind::Assign || s.kind() == StmtKind::ExprStmt ||
+            s.kind() == StmtKind::Decl) {
+          AccessSet inner = collect_accesses(s);
+          for (auto& x : inner.arrays) out.arrays.push_back(std::move(x));
+          for (auto& x : inner.scalars) out.scalars.push_back(std::move(x));
+          out.load_store_count += inner.load_store_count;
+          out.arith_op_count += inner.arith_op_count;
+          out.has_opaque_call |= inner.has_opaque_call;
+        }
+      });
+      if (i->else_stmt) {
+        AccessSet inner = collect_accesses(*i->else_stmt);
+        for (auto& x : inner.arrays) out.arrays.push_back(std::move(x));
+        for (auto& x : inner.scalars) out.scalars.push_back(std::move(x));
+        out.load_store_count += inner.load_store_count;
+        out.arith_op_count += inner.arith_op_count;
+        out.has_opaque_call |= inner.has_opaque_call;
+      }
+      break;
+    }
+    case StmtKind::Block:
+    case StmtKind::Parallel: {
+      const auto& stmts = stmt.kind() == StmtKind::Block
+                              ? dyn_cast<BlockStmt>(&stmt)->stmts
+                              : dyn_cast<ParallelStmt>(&stmt)->stmts;
+      for (const StmtPtr& s : stmts) {
+        AccessSet inner = collect_accesses(*s);
+        for (auto& x : inner.arrays) out.arrays.push_back(std::move(x));
+        for (auto& x : inner.scalars) out.scalars.push_back(std::move(x));
+        out.load_store_count += inner.load_store_count;
+        out.arith_op_count += inner.arith_op_count;
+        out.has_opaque_call |= inner.has_opaque_call;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+double memory_ref_ratio(const std::vector<const Stmt*>& body) {
+  int ls = 0, ao = 0;
+  for (const Stmt* s : body) {
+    AccessSet a = collect_accesses(*s);
+    ls += a.load_store_count;
+    ao += a.arith_op_count;
+  }
+  if (ls + ao == 0) return 0.0;
+  return double(ls) / double(ls + ao);
+}
+
+}  // namespace slc::analysis

@@ -1,0 +1,51 @@
+// Memory-access collection: the read/write sets of one multi-instruction
+// (a simple statement). Feeds the dependence tester and the bad-case
+// filter's LS / AO counts (paper §4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/linear_form.hpp"
+#include "ast/ast.hpp"
+
+namespace slc::analysis {
+
+/// One array reference occurrence inside a statement.
+struct ArrayAccess {
+  std::string array;
+  bool is_write = false;
+  std::vector<LinearForm> subscripts;     // one per dimension
+  const ast::ArrayRef* ref = nullptr;     // original node (non-owning)
+};
+
+/// One scalar occurrence.
+struct ScalarAccess {
+  std::string name;
+  bool is_write = false;
+};
+
+/// All reads/writes of one statement, plus the operation counts used by
+/// the memory-ref-ratio filter.
+struct AccessSet {
+  std::vector<ArrayAccess> arrays;
+  std::vector<ScalarAccess> scalars;
+  int load_store_count = 0;   // LS: array loads + stores
+  int arith_op_count = 0;     // AO: arithmetic operators in the statement
+  bool has_opaque_call = false;  // unknown callee => barrier
+
+  [[nodiscard]] bool writes_scalar(const std::string& n) const;
+  [[nodiscard]] bool reads_scalar(const std::string& n) const;
+};
+
+/// Collects the access set of a simple statement (assignment, guarded
+/// assignment, call statement). Compound assignments (`A[i] += x`)
+/// record the lhs as both read and write.
+[[nodiscard]] AccessSet collect_accesses(const ast::Stmt& stmt);
+
+/// Memory-ref ratio LS/(LS+AO) over a whole loop body (paper §4). Returns
+/// 0 when there are no operations at all.
+[[nodiscard]] double memory_ref_ratio(const std::vector<const ast::Stmt*>&
+                                          body);
+
+}  // namespace slc::analysis

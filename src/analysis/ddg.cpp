@@ -1,0 +1,314 @@
+#include "analysis/ddg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/int_math.hpp"
+
+namespace slc::analysis {
+
+const char* to_string(DepKind k) {
+  switch (k) {
+    case DepKind::Flow:
+      return "flow";
+    case DepKind::Anti:
+      return "anti";
+    case DepKind::Output:
+      return "output";
+  }
+  return "?";
+}
+
+std::int64_t DepEdge::min_distance() const {
+  std::int64_t best = INT64_MAX;
+  for (const DepDist& d : distances) {
+    std::int64_t v = d.known ? d.distance : 0;
+    best = std::min(best, v);
+  }
+  return best == INT64_MAX ? 0 : best;
+}
+
+std::vector<const DepEdge*> Ddg::edges_from(int node) const {
+  std::vector<const DepEdge*> out;
+  for (const DepEdge& e : edges)
+    if (e.src == node) out.push_back(&e);
+  return out;
+}
+
+std::vector<const DepEdge*> Ddg::edges_between(int src, int dst) const {
+  std::vector<const DepEdge*> out;
+  for (const DepEdge& e : edges)
+    if (e.src == src && e.dst == dst) out.push_back(&e);
+  return out;
+}
+
+std::string Ddg::dump() const {
+  std::ostringstream os;
+  for (const DepEdge& e : edges) {
+    os << "MI" << e.src << " -> MI" << e.dst << " [" << to_string(e.kind)
+       << " via " << e.var << ", dist={";
+    for (std::size_t i = 0; i < e.distances.size(); ++i) {
+      if (i) os << ",";
+      if (e.distances[i].known) {
+        os << e.distances[i].distance;
+      } else {
+        os << "*";
+      }
+    }
+    os << "}]\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// pairwise dependence test
+// ---------------------------------------------------------------------------
+
+DepTestResult test_dependence(const ArrayAccess& a, const ArrayAccess& b,
+                              const std::string& iv, std::int64_t step) {
+  if (a.array != b.array) return {DepTestResult::Kind::Independent, 0};
+  if (a.subscripts.size() != b.subscripts.size())
+    return {DepTestResult::Kind::Unknown, 0};
+
+  bool have_distance = false;
+  std::int64_t distance = 0;
+
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    const LinearForm& f1 = a.subscripts[d];
+    const LinearForm& f2 = b.subscripts[d];
+
+    if (!f1.exact || !f2.exact) return {DepTestResult::Kind::Unknown, 0};
+
+    std::int64_t c1 = f1.coeff_of(iv);
+    std::int64_t c2 = f2.coeff_of(iv);
+
+    if (!f1.same_residue(f2, iv)) {
+      // Different symbolic residues (A[i+j] vs A[i+k]): may or may not
+      // alias — conservative.
+      return {DepTestResult::Kind::Unknown, 0};
+    }
+
+    std::int64_t k1 = f1.constant;
+    std::int64_t k2 = f2.constant;
+
+    if (c1 == 0 && c2 == 0) {
+      // Loop-invariant subscript in this dimension.
+      if (k1 != k2) return {DepTestResult::Kind::Independent, 0};
+      continue;  // imposes no distance constraint
+    }
+
+    if (c1 == c2) {
+      // Effective per-iteration stride is c*step; addresses coincide at
+      // iteration delta = (k1-k2)/(c*step).
+      std::int64_t stride = c1 * step;
+      std::int64_t diff = k1 - k2;
+      if (!divides(stride, diff))
+        return {DepTestResult::Kind::Independent, 0};
+      std::int64_t delta = diff / stride;
+      if (have_distance && delta != distance)
+        return {DepTestResult::Kind::Independent, 0};
+      distance = delta;
+      have_distance = true;
+      continue;
+    }
+
+    // Different coefficients: GCD test for existence, distance unknown.
+    std::int64_t g = gcd64(c1 * step, c2 * step);
+    if (g != 0 && !divides(g, k2 - k1))
+      return {DepTestResult::Kind::Independent, 0};
+    return {DepTestResult::Kind::Unknown, 0};
+  }
+
+  if (!have_distance) {
+    // All dimensions loop-invariant and equal: the same cell is touched
+    // every iteration — distances are unbounded.
+    return {DepTestResult::Kind::Unknown, 0};
+  }
+  return {DepTestResult::Kind::Distance, distance};
+}
+
+// ---------------------------------------------------------------------------
+// graph construction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct EdgeKey {
+  int src, dst;
+  DepKind kind;
+  std::string var;
+  auto operator<=>(const EdgeKey&) const = default;
+};
+
+class EdgeAccumulator {
+ public:
+  void add(int src, int dst, DepKind kind, const std::string& var,
+           DepDist dist) {
+    auto& dists = map_[EdgeKey{src, dst, kind, var}];
+    if (std::find(dists.begin(), dists.end(), dist) == dists.end())
+      dists.push_back(dist);
+  }
+
+  [[nodiscard]] std::vector<DepEdge> take() {
+    std::vector<DepEdge> out;
+    out.reserve(map_.size());
+    for (auto& [key, dists] : map_) {
+      DepEdge e;
+      e.src = key.src;
+      e.dst = key.dst;
+      e.kind = key.kind;
+      e.var = key.var;
+      std::sort(dists.begin(), dists.end(),
+                [](const DepDist& a, const DepDist& b) {
+                  if (a.known != b.known) return a.known;
+                  return a.distance < b.distance;
+                });
+      e.distances = std::move(dists);
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+ private:
+  std::map<EdgeKey, std::vector<DepDist>> map_;
+};
+
+DepKind classify(bool src_writes, bool dst_writes) {
+  if (src_writes && dst_writes) return DepKind::Output;
+  if (src_writes) return DepKind::Flow;
+  return DepKind::Anti;
+}
+
+}  // namespace
+
+Ddg build_ddg(const std::vector<const ast::Stmt*>& mis, const std::string& iv,
+              std::int64_t step) {
+  Ddg g;
+  g.num_nodes = int(mis.size());
+  EdgeAccumulator acc;
+
+  std::vector<AccessSet> access;
+  access.reserve(mis.size());
+  for (const ast::Stmt* s : mis) access.push_back(collect_accesses(*s));
+
+  // ---- array dependences ----
+  for (int i = 0; i < g.num_nodes; ++i) {
+    for (int j = i; j < g.num_nodes; ++j) {
+      for (const ArrayAccess& ra : access[std::size_t(i)].arrays) {
+        for (const ArrayAccess& rb : access[std::size_t(j)].arrays) {
+          if (!ra.is_write && !rb.is_write) continue;
+          if (i == j && &ra == &rb) continue;
+          DepTestResult r = test_dependence(ra, rb, iv, step);
+          switch (r.kind) {
+            case DepTestResult::Kind::Independent:
+              break;
+            case DepTestResult::Kind::Unknown:
+              // Conservative both ways: same-iteration ordering plus a
+              // loop-carried star distance.
+              if (i != j) {
+                acc.add(i, j, classify(ra.is_write, rb.is_write), ra.array,
+                        {0, true});
+              }
+              acc.add(j, i, classify(rb.is_write, ra.is_write), ra.array,
+                      {0, false});
+              if (i != j)
+                acc.add(i, j, classify(ra.is_write, rb.is_write), ra.array,
+                        {0, false});
+              break;
+            case DepTestResult::Kind::Distance: {
+              std::int64_t delta = r.distance;
+              // delta = iteration(rb) - iteration(ra) at the collision.
+              if (delta > 0) {
+                acc.add(i, j, classify(ra.is_write, rb.is_write), ra.array,
+                        {delta, true});
+              } else if (delta < 0) {
+                acc.add(j, i, classify(rb.is_write, ra.is_write), ra.array,
+                        {-delta, true});
+              } else {
+                if (i < j) {
+                  acc.add(i, j, classify(ra.is_write, rb.is_write), ra.array,
+                          {0, true});
+                } else if (j < i) {
+                  acc.add(j, i, classify(rb.is_write, ra.is_write), ra.array,
+                          {0, true});
+                }
+                // i == j, delta == 0: within one MI instance — no
+                // scheduling constraint between MIs.
+              }
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- scalar dependences ----
+  std::set<std::string> scalar_names;
+  for (const AccessSet& a : access)
+    for (const ScalarAccess& s : a.scalars)
+      if (s.name != iv) scalar_names.insert(s.name);
+
+  for (const std::string& name : scalar_names) {
+    std::vector<int> defs, uses;
+    for (int k = 0; k < g.num_nodes; ++k) {
+      if (access[std::size_t(k)].writes_scalar(name)) defs.push_back(k);
+      if (access[std::size_t(k)].reads_scalar(name)) uses.push_back(k);
+    }
+    if (defs.empty()) continue;  // loop-invariant scalar: no dependence
+
+    for (int d : defs) {
+      for (int u : uses) {
+        // flow: def reaches a use in the same iteration (d < u) or the
+        // next one (u <= d).
+        if (d < u) {
+          acc.add(d, u, DepKind::Flow, name, {0, true});
+        } else {
+          acc.add(d, u, DepKind::Flow, name, {1, true});
+        }
+        // anti: use precedes the next def.
+        if (u < d) {
+          acc.add(u, d, DepKind::Anti, name, {0, true});
+        } else if (u > d) {
+          acc.add(u, d, DepKind::Anti, name, {1, true});
+        }
+        // u == d: read-then-write inside one MI — no inter-MI constraint.
+      }
+      for (int d2 : defs) {
+        if (d < d2) {
+          acc.add(d, d2, DepKind::Output, name, {0, true});
+        } else if (d2 < d) {
+          acc.add(d2, d, DepKind::Output, name, {0, true});
+          acc.add(d, d2, DepKind::Output, name, {1, true});
+        } else {
+          acc.add(d, d, DepKind::Output, name, {1, true});
+        }
+      }
+    }
+  }
+
+  // ---- opaque calls: scheduling barriers ----
+  for (int i = 0; i < g.num_nodes; ++i) {
+    if (!access[std::size_t(i)].has_opaque_call) continue;
+    for (int k = 0; k < g.num_nodes; ++k) {
+      if (k == i) {
+        acc.add(i, i, DepKind::Flow, "<call>", {1, true});
+        continue;
+      }
+      if (k < i) {
+        acc.add(k, i, DepKind::Flow, "<call>", {0, true});
+        acc.add(i, k, DepKind::Flow, "<call>", {1, true});
+      } else {
+        acc.add(i, k, DepKind::Flow, "<call>", {0, true});
+        acc.add(k, i, DepKind::Flow, "<call>", {1, true});
+      }
+    }
+  }
+
+  g.edges = acc.take();
+  return g;
+}
+
+}  // namespace slc::analysis

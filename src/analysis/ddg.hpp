@@ -1,0 +1,92 @@
+// Data-dependence graph over the multi-instructions (MIs) of a loop body.
+//
+// Nodes are MI indices in source order; edges carry one or more
+// <iteration-distance> labels (paper §3.6 notes an edge frequently has
+// several pairs, e.g. A[i-2] and A[i-3] both feeding A[i]). Distances can
+// be "unknown" (star) when the tester must be conservative; the MII
+// solver rejects pipelining across unknown loop-carried distances.
+//
+// Edges whose endpoints are array-reference nodes are "raised" to the MI
+// root as required by the SLMS algorithm (paper §5, step 4a) — i.e. this
+// graph is already the raised form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "ast/ast.hpp"
+
+namespace slc::analysis {
+
+enum class DepKind : std::uint8_t { Flow, Anti, Output };
+
+[[nodiscard]] const char* to_string(DepKind k);
+
+struct DepDist {
+  std::int64_t distance = 0;
+  bool known = true;  // false => distance is "*" (any value >= 0)
+
+  friend bool operator==(const DepDist&, const DepDist&) = default;
+};
+
+struct DepEdge {
+  int src = 0;
+  int dst = 0;
+  DepKind kind = DepKind::Flow;
+  std::string var;  // array or scalar the dependence flows through
+  std::vector<DepDist> distances;
+
+  [[nodiscard]] bool loop_carried() const {
+    for (const DepDist& d : distances)
+      if (!d.known || d.distance > 0) return true;
+    return false;
+  }
+  /// Minimal known distance (used where one number is wanted); unknown
+  /// distances report 0 (the most constraining assumption).
+  [[nodiscard]] std::int64_t min_distance() const;
+};
+
+struct Ddg {
+  int num_nodes = 0;
+  std::vector<DepEdge> edges;
+
+  [[nodiscard]] bool has_unknown_distance() const {
+    for (const DepEdge& e : edges)
+      for (const DepDist& d : e.distances)
+        if (!d.known) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::vector<const DepEdge*> edges_from(int node) const;
+  [[nodiscard]] std::vector<const DepEdge*> edges_between(int src,
+                                                          int dst) const;
+
+  /// Human-readable dump for the interactive driver and tests.
+  [[nodiscard]] std::string dump() const;
+};
+
+/// Result of one pairwise dependence test.
+struct DepTestResult {
+  enum class Kind { Independent, Distance, Unknown } kind = Kind::Independent;
+  std::int64_t distance = 0;  // valid when kind == Distance; signed:
+                              // >0 means ref2's iteration is later
+};
+
+/// Tests two accesses to the same array inside a loop with induction
+/// variable `iv` advancing by `step` per iteration. Exposed for unit
+/// testing; build_ddg drives it.
+[[nodiscard]] DepTestResult test_dependence(const ArrayAccess& a,
+                                            const ArrayAccess& b,
+                                            const std::string& iv,
+                                            std::int64_t step);
+
+/// Builds the raised MI-level DDG for a loop body. `mis[k]` is the k-th
+/// multi-instruction in source order. `iv` is excluded from scalar
+/// dependence analysis (the loop counter is handled by the loop
+/// structure).
+[[nodiscard]] Ddg build_ddg(const std::vector<const ast::Stmt*>& mis,
+                            const std::string& iv, std::int64_t step = 1);
+
+}  // namespace slc::analysis

@@ -1,0 +1,68 @@
+#include "analysis/direction.hpp"
+
+namespace slc::analysis {
+
+std::optional<DirVector> direction_vector(
+    const ArrayAccess& a, const ArrayAccess& b, const std::string& iv_outer,
+    const std::string& iv_inner, std::int64_t step_outer,
+    std::int64_t step_inner) {
+  if (a.array != b.array) return std::nullopt;
+  auto unknown = [] {
+    return std::optional<DirVector>(
+        {DirComponent::unknown(), DirComponent::unknown()});
+  };
+  if (a.subscripts.size() != b.subscripts.size()) return unknown();
+
+  DirComponent d_out = DirComponent::any();
+  DirComponent d_in = DirComponent::any();
+
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    const LinearForm& f1 = a.subscripts[d];
+    const LinearForm& f2 = b.subscripts[d];
+    if (!f1.exact || !f2.exact) return unknown();
+
+    std::int64_t ao1 = f1.coeff_of(iv_outer), ao2 = f2.coeff_of(iv_outer);
+    std::int64_t ai1 = f1.coeff_of(iv_inner), ai2 = f2.coeff_of(iv_inner);
+    LinearForm r1 = f1.without(iv_outer).without(iv_inner);
+    LinearForm r2 = f2.without(iv_outer).without(iv_inner);
+    if (r1.coeffs != r2.coeffs) return unknown();
+    if (ao1 != ao2 || ai1 != ai2) return unknown();
+    if (ao1 != 0 && ai1 != 0) return unknown();  // coupled subscript
+
+    std::int64_t diff = f1.constant - f2.constant;
+    if (ao1 != 0) {
+      std::int64_t stride = ao1 * step_outer;
+      if (diff % stride != 0) return std::nullopt;  // independent
+      std::int64_t v = diff / stride;
+      if (d_out.kind == DirComponent::Kind::Exact && d_out.value != v)
+        return std::nullopt;
+      d_out = DirComponent::exact(v);
+    } else if (ai1 != 0) {
+      std::int64_t stride = ai1 * step_inner;
+      if (diff % stride != 0) return std::nullopt;
+      std::int64_t v = diff / stride;
+      if (d_in.kind == DirComponent::Kind::Exact && d_in.value != v)
+        return std::nullopt;
+      d_in = DirComponent::exact(v);
+    } else if (diff != 0) {
+      return std::nullopt;  // invariant dimension, different cells
+    }
+  }
+  return DirVector{d_out, d_in};
+}
+
+bool blocks_interchange(const DirVector& v) {
+  const auto& [d_out, d_in] = v;
+  if (d_out.exactly_zero()) return false;  // (0, *) survives interchange
+  // Both orientations of the unordered pair are dependences; the
+  // lexicographically-positive one is real. Block when either
+  // orientation can be (+, -).
+  bool forward = d_out.possibly_positive() && d_in.possibly_negative();
+  DirComponent n_out = d_out, n_in = d_in;
+  if (n_out.kind == DirComponent::Kind::Exact) n_out.value = -n_out.value;
+  if (n_in.kind == DirComponent::Kind::Exact) n_in.value = -n_in.value;
+  bool backward = n_out.possibly_positive() && n_in.possibly_negative();
+  return forward || backward;
+}
+
+}  // namespace slc::analysis

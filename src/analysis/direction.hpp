@@ -1,0 +1,58 @@
+// Two-level distance/direction vectors for perfect loop nests — the
+// legality machinery behind interchange and tiling (paper §6, Bacon et
+// al. [4]). One component per nest level:
+//   Exact(v)  — the dependence distance at that level is exactly v;
+//   Any       — unconstrained (the subscripts ignore that level);
+//   Unknown   — not analyzable; treat as both signs possible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "analysis/access.hpp"
+
+namespace slc::analysis {
+
+struct DirComponent {
+  enum class Kind : std::uint8_t { Exact, Any, Unknown };
+  Kind kind = Kind::Any;
+  std::int64_t value = 0;
+
+  [[nodiscard]] static DirComponent exact(std::int64_t v) {
+    return {Kind::Exact, v};
+  }
+  [[nodiscard]] static DirComponent any() { return {Kind::Any, 0}; }
+  [[nodiscard]] static DirComponent unknown() { return {Kind::Unknown, 0}; }
+
+  [[nodiscard]] bool possibly_positive() const {
+    return kind != Kind::Exact || value > 0;
+  }
+  [[nodiscard]] bool possibly_negative() const {
+    return kind != Kind::Exact || value < 0;
+  }
+  [[nodiscard]] bool exactly_zero() const {
+    return kind == Kind::Exact && value == 0;
+  }
+};
+
+using DirVector = std::pair<DirComponent, DirComponent>;
+
+/// Solves the (outer, inner) distance vector between two accesses of the
+/// same array inside a rectangular 2-nest. Returns nullopt when the
+/// accesses provably never collide. Supported shape: every array
+/// dimension's subscript constrains at most one of the two ivs (the
+/// common case in the paper's loops); anything else yields Unknown
+/// components.
+[[nodiscard]] std::optional<DirVector> direction_vector(
+    const ArrayAccess& a, const ArrayAccess& b, const std::string& iv_outer,
+    const std::string& iv_inner, std::int64_t step_outer,
+    std::int64_t step_inner);
+
+/// True when the (possibly flipped to lexicographic-positive) vector has
+/// shape (>0, <0) — the direction that forbids interchange and
+/// rectangular tiling.
+[[nodiscard]] bool blocks_interchange(const DirVector& v);
+
+}  // namespace slc::analysis

@@ -1,0 +1,80 @@
+#include "analysis/linear_form.hpp"
+
+#include "ast/fold.hpp"
+
+namespace slc::analysis {
+
+using namespace ast;
+
+namespace {
+
+void accumulate(const Expr& e, std::int64_t scale, LinearForm& out) {
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+      out.constant += scale * dyn_cast<IntLit>(&e)->value;
+      return;
+    case ExprKind::VarRef:
+      out.coeffs[dyn_cast<VarRef>(&e)->name] += scale;
+      return;
+    case ExprKind::Unary: {
+      const auto* u = dyn_cast<Unary>(&e);
+      if (u->op == UnaryOp::Neg) {
+        accumulate(*u->operand, -scale, out);
+        return;
+      }
+      out.exact = false;
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto* b = dyn_cast<Binary>(&e);
+      switch (b->op) {
+        case BinaryOp::Add:
+          accumulate(*b->lhs, scale, out);
+          accumulate(*b->rhs, scale, out);
+          return;
+        case BinaryOp::Sub:
+          accumulate(*b->lhs, scale, out);
+          accumulate(*b->rhs, -scale, out);
+          return;
+        case BinaryOp::Mul: {
+          auto lc = const_int(*b->lhs);
+          auto rc = const_int(*b->rhs);
+          if (lc) {
+            accumulate(*b->rhs, scale * *lc, out);
+            return;
+          }
+          if (rc) {
+            accumulate(*b->lhs, scale * *rc, out);
+            return;
+          }
+          out.exact = false;
+          return;
+        }
+        default:
+          out.exact = false;
+          return;
+      }
+    }
+    default:
+      out.exact = false;
+      return;
+  }
+}
+
+}  // namespace
+
+LinearForm linearize(const Expr& e) {
+  LinearForm out;
+  accumulate(e, 1, out);
+  // Canonical form: drop zero coefficients.
+  for (auto it = out.coeffs.begin(); it != out.coeffs.end();) {
+    if (it->second == 0) {
+      it = out.coeffs.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace slc::analysis

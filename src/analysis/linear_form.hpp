@@ -1,0 +1,54 @@
+// Linear (affine) decomposition of subscript expressions.
+//
+// A subscript like `2*i + j - 3` inside a loop over `i` decomposes into
+//   coef(iv) = 2, symbolic residue {j: +1}, constant = -3.
+// Two references can be dependence-tested exactly when their residues
+// match term-for-term (the residue then cancels); otherwise the tester
+// falls back to conservative answers. This covers everything the paper's
+// loops need (the Omega test in Tiny covers more generality than SLMS
+// actually exercises).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace slc::analysis {
+
+/// sum(coeffs[v] * v) + constant; `exact` is false when the expression
+/// contains a non-linear term (then the form is only a may-alias hint).
+struct LinearForm {
+  std::map<std::string, std::int64_t> coeffs;
+  std::int64_t constant = 0;
+  bool exact = true;
+
+  [[nodiscard]] std::int64_t coeff_of(const std::string& var) const {
+    auto it = coeffs.find(var);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+
+  /// The form with `var` removed — the residue two refs must share.
+  [[nodiscard]] LinearForm without(const std::string& var) const {
+    LinearForm f = *this;
+    f.coeffs.erase(var);
+    return f;
+  }
+
+  [[nodiscard]] bool same_residue(const LinearForm& other,
+                                  const std::string& var) const {
+    LinearForm a = without(var);
+    LinearForm b = other.without(var);
+    return a.coeffs == b.coeffs;
+  }
+
+  friend bool operator==(const LinearForm&, const LinearForm&) = default;
+};
+
+/// Decomposes `e` into a LinearForm. Never fails; non-linear parts set
+/// exact=false and contribute nothing to the coefficients.
+[[nodiscard]] LinearForm linearize(const ast::Expr& e);
+
+}  // namespace slc::analysis

@@ -1,0 +1,323 @@
+#include "ast/ast.hpp"
+
+namespace slc::ast {
+
+const char* to_string(ScalarType t) {
+  switch (t) {
+    case ScalarType::Int:
+      return "int";
+    case ScalarType::Float:
+      return "float";
+    case ScalarType::Double:
+      return "double";
+    case ScalarType::Bool:
+      return "bool";
+  }
+  return "?";
+}
+
+const char* to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add:
+      return "+";
+    case BinaryOp::Sub:
+      return "-";
+    case BinaryOp::Mul:
+      return "*";
+    case BinaryOp::Div:
+      return "/";
+    case BinaryOp::Mod:
+      return "%";
+    case BinaryOp::Lt:
+      return "<";
+    case BinaryOp::Le:
+      return "<=";
+    case BinaryOp::Gt:
+      return ">";
+    case BinaryOp::Ge:
+      return ">=";
+    case BinaryOp::Eq:
+      return "==";
+    case BinaryOp::Ne:
+      return "!=";
+    case BinaryOp::And:
+      return "&&";
+    case BinaryOp::Or:
+      return "||";
+  }
+  return "?";
+}
+
+bool is_comparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_logical(BinaryOp op) {
+  return op == BinaryOp::And || op == BinaryOp::Or;
+}
+
+bool is_arithmetic(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Neg:
+      return "-";
+    case UnaryOp::Not:
+      return "!";
+  }
+  return "?";
+}
+
+const char* to_string(AssignOp op) {
+  switch (op) {
+    case AssignOp::Set:
+      return "=";
+    case AssignOp::Add:
+      return "+=";
+    case AssignOp::Sub:
+      return "-=";
+    case AssignOp::Mul:
+      return "*=";
+    case AssignOp::Div:
+      return "/=";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// clone
+// ---------------------------------------------------------------------------
+
+namespace {
+ExprPtr clone_or_null(const ExprPtr& e) { return e ? e->clone() : nullptr; }
+StmtPtr clone_or_null(const StmtPtr& s) { return s ? s->clone() : nullptr; }
+
+std::vector<ExprPtr> clone_all(const std::vector<ExprPtr>& es) {
+  std::vector<ExprPtr> out;
+  out.reserve(es.size());
+  for (const ExprPtr& e : es) out.push_back(e->clone());
+  return out;
+}
+
+std::vector<StmtPtr> clone_all(const std::vector<StmtPtr>& ss) {
+  std::vector<StmtPtr> out;
+  out.reserve(ss.size());
+  for (const StmtPtr& s : ss) out.push_back(s->clone());
+  return out;
+}
+}  // namespace
+
+ExprPtr IntLit::clone() const { return std::make_unique<IntLit>(value, loc); }
+ExprPtr FloatLit::clone() const {
+  return std::make_unique<FloatLit>(value, loc);
+}
+ExprPtr BoolLit::clone() const {
+  return std::make_unique<BoolLit>(value, loc);
+}
+ExprPtr VarRef::clone() const { return std::make_unique<VarRef>(name, loc); }
+ExprPtr ArrayRef::clone() const {
+  return std::make_unique<ArrayRef>(name, clone_all(subscripts), loc);
+}
+ExprPtr Binary::clone() const {
+  return std::make_unique<Binary>(op, lhs->clone(), rhs->clone(), loc);
+}
+ExprPtr Unary::clone() const {
+  return std::make_unique<Unary>(op, operand->clone(), loc);
+}
+ExprPtr Call::clone() const {
+  return std::make_unique<Call>(callee, clone_all(args), loc);
+}
+ExprPtr Conditional::clone() const {
+  return std::make_unique<Conditional>(cond->clone(), then_expr->clone(),
+                                       else_expr->clone(), loc);
+}
+
+StmtPtr DeclStmt::clone() const {
+  return std::make_unique<DeclStmt>(type, name, dims, clone_or_null(init),
+                                    loc);
+}
+StmtPtr AssignStmt::clone() const {
+  auto s = std::make_unique<AssignStmt>(lhs->clone(), op, rhs->clone(), loc);
+  s->guard = clone_or_null(guard);
+  return s;
+}
+StmtPtr ExprStmt::clone() const {
+  auto s = std::make_unique<ExprStmt>(expr->clone(), loc);
+  s->guard = clone_or_null(guard);
+  return s;
+}
+StmtPtr BlockStmt::clone() const {
+  return std::make_unique<BlockStmt>(clone_all(stmts), loc);
+}
+StmtPtr IfStmt::clone() const {
+  return std::make_unique<IfStmt>(cond->clone(), then_stmt->clone(),
+                                  clone_or_null(else_stmt), loc);
+}
+StmtPtr ForStmt::clone() const {
+  return std::make_unique<ForStmt>(clone_or_null(init), clone_or_null(cond),
+                                   clone_or_null(step), body->clone(), loc);
+}
+StmtPtr WhileStmt::clone() const {
+  return std::make_unique<WhileStmt>(cond->clone(), body->clone(), loc);
+}
+StmtPtr ParallelStmt::clone() const {
+  return std::make_unique<ParallelStmt>(clone_all(stmts), loc);
+}
+StmtPtr BreakStmt::clone() const { return std::make_unique<BreakStmt>(loc); }
+
+Program Program::clone() const {
+  Program p;
+  p.stmts = clone_all(stmts);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// structural equality
+// ---------------------------------------------------------------------------
+
+namespace {
+bool equal_or_both_null(const Expr* a, const Expr* b) {
+  if ((a == nullptr) != (b == nullptr)) return false;
+  return a == nullptr || equal(*a, *b);
+}
+bool equal_or_both_null(const Stmt* a, const Stmt* b) {
+  if ((a == nullptr) != (b == nullptr)) return false;
+  return a == nullptr || equal(*a, *b);
+}
+bool equal_all(const std::vector<ExprPtr>& a, const std::vector<ExprPtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!equal(*a[i], *b[i])) return false;
+  return true;
+}
+bool equal_all(const std::vector<StmtPtr>& a, const std::vector<StmtPtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!equal(*a[i], *b[i])) return false;
+  return true;
+}
+}  // namespace
+
+bool equal(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case ExprKind::IntLit:
+      return dyn_cast<IntLit>(&a)->value == dyn_cast<IntLit>(&b)->value;
+    case ExprKind::FloatLit:
+      return dyn_cast<FloatLit>(&a)->value == dyn_cast<FloatLit>(&b)->value;
+    case ExprKind::BoolLit:
+      return dyn_cast<BoolLit>(&a)->value == dyn_cast<BoolLit>(&b)->value;
+    case ExprKind::VarRef:
+      return dyn_cast<VarRef>(&a)->name == dyn_cast<VarRef>(&b)->name;
+    case ExprKind::ArrayRef: {
+      const auto* x = dyn_cast<ArrayRef>(&a);
+      const auto* y = dyn_cast<ArrayRef>(&b);
+      return x->name == y->name && equal_all(x->subscripts, y->subscripts);
+    }
+    case ExprKind::Binary: {
+      const auto* x = dyn_cast<Binary>(&a);
+      const auto* y = dyn_cast<Binary>(&b);
+      return x->op == y->op && equal(*x->lhs, *y->lhs) &&
+             equal(*x->rhs, *y->rhs);
+    }
+    case ExprKind::Unary: {
+      const auto* x = dyn_cast<Unary>(&a);
+      const auto* y = dyn_cast<Unary>(&b);
+      return x->op == y->op && equal(*x->operand, *y->operand);
+    }
+    case ExprKind::Call: {
+      const auto* x = dyn_cast<Call>(&a);
+      const auto* y = dyn_cast<Call>(&b);
+      return x->callee == y->callee && equal_all(x->args, y->args);
+    }
+    case ExprKind::Conditional: {
+      const auto* x = dyn_cast<Conditional>(&a);
+      const auto* y = dyn_cast<Conditional>(&b);
+      return equal(*x->cond, *y->cond) &&
+             equal(*x->then_expr, *y->then_expr) &&
+             equal(*x->else_expr, *y->else_expr);
+    }
+  }
+  return false;
+}
+
+bool equal(const Stmt& a, const Stmt& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case StmtKind::Decl: {
+      const auto* x = dyn_cast<DeclStmt>(&a);
+      const auto* y = dyn_cast<DeclStmt>(&b);
+      return x->type == y->type && x->name == y->name && x->dims == y->dims &&
+             equal_or_both_null(x->init.get(), y->init.get());
+    }
+    case StmtKind::Assign: {
+      const auto* x = dyn_cast<AssignStmt>(&a);
+      const auto* y = dyn_cast<AssignStmt>(&b);
+      return x->op == y->op && equal(*x->lhs, *y->lhs) &&
+             equal(*x->rhs, *y->rhs) &&
+             equal_or_both_null(x->guard.get(), y->guard.get());
+    }
+    case StmtKind::ExprStmt: {
+      const auto* x = dyn_cast<ExprStmt>(&a);
+      const auto* y = dyn_cast<ExprStmt>(&b);
+      return equal(*x->expr, *y->expr) &&
+             equal_or_both_null(x->guard.get(), y->guard.get());
+    }
+    case StmtKind::Block:
+      return equal_all(dyn_cast<BlockStmt>(&a)->stmts,
+                       dyn_cast<BlockStmt>(&b)->stmts);
+    case StmtKind::Parallel:
+      return equal_all(dyn_cast<ParallelStmt>(&a)->stmts,
+                       dyn_cast<ParallelStmt>(&b)->stmts);
+    case StmtKind::If: {
+      const auto* x = dyn_cast<IfStmt>(&a);
+      const auto* y = dyn_cast<IfStmt>(&b);
+      return equal(*x->cond, *y->cond) &&
+             equal(*x->then_stmt, *y->then_stmt) &&
+             equal_or_both_null(x->else_stmt.get(), y->else_stmt.get());
+    }
+    case StmtKind::For: {
+      const auto* x = dyn_cast<ForStmt>(&a);
+      const auto* y = dyn_cast<ForStmt>(&b);
+      return equal_or_both_null(x->init.get(), y->init.get()) &&
+             equal_or_both_null(x->cond.get(), y->cond.get()) &&
+             equal_or_both_null(x->step.get(), y->step.get()) &&
+             equal(*x->body, *y->body);
+    }
+    case StmtKind::While: {
+      const auto* x = dyn_cast<WhileStmt>(&a);
+      const auto* y = dyn_cast<WhileStmt>(&b);
+      return equal(*x->cond, *y->cond) && equal(*x->body, *y->body);
+    }
+    case StmtKind::Break:
+      return true;
+  }
+  return false;
+}
+
+bool equal(const Program& a, const Program& b) {
+  return equal_all(a.stmts, b.stmts);
+}
+
+}  // namespace slc::ast

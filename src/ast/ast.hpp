@@ -1,0 +1,419 @@
+// AST for the mini-C loop dialect transformed by the source-level compiler.
+//
+// The dialect covers what the paper's loops need: int/float/double scalars,
+// 1-D and 2-D arrays, for/while loops, if/else, assignments (including
+// compound ops), calls to pure intrinsics, and `break`. Two constructs are
+// synthesized by the SLMS pass and never produced by the parser:
+//
+//  * guards on assignments/calls — source-level predication (paper §3.1);
+//  * ParallelStmt — the `||` grouping of multi-instructions that the paper
+//    prints between kernel rows. Semantically a ParallelStmt is executed
+//    sequentially (the emitted source must stay valid C); the grouping is
+//    a guarantee to the final compiler that its members are independent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace slc::ast {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+enum class ScalarType : std::uint8_t { Int, Float, Double, Bool };
+
+[[nodiscard]] const char* to_string(ScalarType t);
+
+/// True for Float/Double.
+[[nodiscard]] inline bool is_floating(ScalarType t) {
+  return t == ScalarType::Float || t == ScalarType::Double;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit,
+  FloatLit,
+  BoolLit,
+  VarRef,
+  ArrayRef,
+  Binary,
+  Unary,
+  Call,
+  Conditional,  // c ? a : b  (used by the while-loop SLMS extension, §10)
+};
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] virtual ExprPtr clone() const = 0;
+
+  SourceLoc loc;
+
+ protected:
+  explicit Expr(ExprKind kind, SourceLoc l) : loc(l), kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+/// Integer literal (also used for folded loop-variable substitutions).
+class IntLit final : public Expr {
+ public:
+  explicit IntLit(std::int64_t v, SourceLoc l = {})
+      : Expr(ExprKind::IntLit, l), value(v) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::int64_t value;
+};
+
+class FloatLit final : public Expr {
+ public:
+  explicit FloatLit(double v, SourceLoc l = {})
+      : Expr(ExprKind::FloatLit, l), value(v) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  double value;
+};
+
+class BoolLit final : public Expr {
+ public:
+  explicit BoolLit(bool v, SourceLoc l = {})
+      : Expr(ExprKind::BoolLit, l), value(v) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  bool value;
+};
+
+/// Reference to a scalar variable.
+class VarRef final : public Expr {
+ public:
+  explicit VarRef(std::string n, SourceLoc l = {})
+      : Expr(ExprKind::VarRef, l), name(std::move(n)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::string name;
+};
+
+/// A[e] or A[e1][e2]. Subscripts are ordered row-major as written.
+class ArrayRef final : public Expr {
+ public:
+  ArrayRef(std::string n, std::vector<ExprPtr> subs, SourceLoc l = {})
+      : Expr(ExprKind::ArrayRef, l), name(std::move(n)),
+        subscripts(std::move(subs)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::string name;
+  std::vector<ExprPtr> subscripts;
+};
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+};
+
+[[nodiscard]] const char* to_string(BinaryOp op);
+[[nodiscard]] bool is_comparison(BinaryOp op);
+[[nodiscard]] bool is_logical(BinaryOp op);
+[[nodiscard]] bool is_arithmetic(BinaryOp op);
+
+class Binary final : public Expr {
+ public:
+  Binary(BinaryOp o, ExprPtr l_, ExprPtr r_, SourceLoc loc_ = {})
+      : Expr(ExprKind::Binary, loc_), op(o), lhs(std::move(l_)),
+        rhs(std::move(r_)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+enum class UnaryOp : std::uint8_t { Neg, Not };
+
+[[nodiscard]] const char* to_string(UnaryOp op);
+
+class Unary final : public Expr {
+ public:
+  Unary(UnaryOp o, ExprPtr e, SourceLoc l = {})
+      : Expr(ExprKind::Unary, l), op(o), operand(std::move(e)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+/// Call to a pure intrinsic (fabs, sqrt, min, max, exp, ...). The SLMS pass
+/// treats unknown callees conservatively (opaque MI, dependence with
+/// everything); known intrinsics are pure and only read their arguments.
+class Call final : public Expr {
+ public:
+  Call(std::string c, std::vector<ExprPtr> as, SourceLoc l = {})
+      : Expr(ExprKind::Call, l), callee(std::move(c)), args(std::move(as)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+class Conditional final : public Expr {
+ public:
+  Conditional(ExprPtr c, ExprPtr t, ExprPtr f, SourceLoc l = {})
+      : Expr(ExprKind::Conditional, l), cond(std::move(c)),
+        then_expr(std::move(t)), else_expr(std::move(f)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Decl,
+  Assign,
+  ExprStmt,
+  If,
+  For,
+  While,
+  Block,
+  Parallel,
+  Break,
+};
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class Stmt {
+ public:
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] virtual StmtPtr clone() const = 0;
+
+  SourceLoc loc;
+
+ protected:
+  explicit Stmt(StmtKind kind, SourceLoc l) : loc(l), kind_(kind) {}
+
+ private:
+  StmtKind kind_;
+};
+
+/// `double A[100][100];` / `int i;` / `double s = 0.0;`
+class DeclStmt final : public Stmt {
+ public:
+  DeclStmt(ScalarType t, std::string n, std::vector<std::int64_t> ds,
+           ExprPtr init_ = nullptr, SourceLoc l = {})
+      : Stmt(StmtKind::Decl, l), type(t), name(std::move(n)),
+        dims(std::move(ds)), init(std::move(init_)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  [[nodiscard]] bool is_array() const { return !dims.empty(); }
+
+  ScalarType type;
+  std::string name;
+  std::vector<std::int64_t> dims;  // empty => scalar
+  ExprPtr init;                    // scalars only; may be null
+};
+
+enum class AssignOp : std::uint8_t { Set, Add, Sub, Mul, Div };
+
+[[nodiscard]] const char* to_string(AssignOp op);
+
+/// `lhs op= rhs;`, optionally guarded: `if (guard) lhs op= rhs;`
+/// (source-level predication, paper §3.1). lhs is a VarRef or ArrayRef.
+class AssignStmt final : public Stmt {
+ public:
+  AssignStmt(ExprPtr l_, AssignOp o, ExprPtr r_, SourceLoc loc_ = {})
+      : Stmt(StmtKind::Assign, loc_), lhs(std::move(l_)), op(o),
+        rhs(std::move(r_)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr lhs;
+  AssignOp op;
+  ExprPtr rhs;
+  ExprPtr guard;  // may be null
+};
+
+/// Expression evaluated for effect (a bare call), optionally guarded.
+class ExprStmt final : public Stmt {
+ public:
+  explicit ExprStmt(ExprPtr e, SourceLoc l = {})
+      : Stmt(StmtKind::ExprStmt, l), expr(std::move(e)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr expr;
+  ExprPtr guard;  // may be null
+};
+
+class BlockStmt final : public Stmt {
+ public:
+  explicit BlockStmt(std::vector<StmtPtr> ss = {}, SourceLoc l = {})
+      : Stmt(StmtKind::Block, l), stmts(std::move(ss)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::vector<StmtPtr> stmts;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(ExprPtr c, StmtPtr t, StmtPtr e = nullptr, SourceLoc l = {})
+      : Stmt(StmtKind::If, l), cond(std::move(c)), then_stmt(std::move(t)),
+        else_stmt(std::move(e)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr cond;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;  // may be null
+};
+
+/// `for (init; cond; step) body`. init/step are assignments (or null).
+class ForStmt final : public Stmt {
+ public:
+  ForStmt(StmtPtr i, ExprPtr c, StmtPtr s, StmtPtr b, SourceLoc l = {})
+      : Stmt(StmtKind::For, l), init(std::move(i)), cond(std::move(c)),
+        step(std::move(s)), body(std::move(b)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  StmtPtr init;  // AssignStmt or DeclStmt or null
+  ExprPtr cond;  // may be null (infinite)
+  StmtPtr step;  // AssignStmt or null
+  StmtPtr body;  // BlockStmt
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(ExprPtr c, StmtPtr b, SourceLoc l = {})
+      : Stmt(StmtKind::While, l), cond(std::move(c)), body(std::move(b)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+/// `s1 || s2 || ... ;` — a kernel row of MIs declared independent by SLMS.
+/// Executed sequentially; printed with the paper's `||` separators.
+class ParallelStmt final : public Stmt {
+ public:
+  explicit ParallelStmt(std::vector<StmtPtr> ss = {}, SourceLoc l = {})
+      : Stmt(StmtKind::Parallel, l), stmts(std::move(ss)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+
+  std::vector<StmtPtr> stmts;
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  explicit BreakStmt(SourceLoc l = {}) : Stmt(StmtKind::Break, l) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+/// A translation unit: declarations plus statements, executed top to
+/// bottom (the body of an implicit `main`).
+struct Program {
+  std::vector<StmtPtr> stmts;
+
+  [[nodiscard]] Program clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Casts
+// ---------------------------------------------------------------------------
+
+template <typename T>
+[[nodiscard]] T* dyn_cast(Expr* e) {
+  if (e == nullptr) return nullptr;
+  if constexpr (std::is_same_v<T, IntLit>) {
+    return e->kind() == ExprKind::IntLit ? static_cast<T*>(e) : nullptr;
+  } else if constexpr (std::is_same_v<T, FloatLit>) {
+    return e->kind() == ExprKind::FloatLit ? static_cast<T*>(e) : nullptr;
+  } else if constexpr (std::is_same_v<T, BoolLit>) {
+    return e->kind() == ExprKind::BoolLit ? static_cast<T*>(e) : nullptr;
+  } else if constexpr (std::is_same_v<T, VarRef>) {
+    return e->kind() == ExprKind::VarRef ? static_cast<T*>(e) : nullptr;
+  } else if constexpr (std::is_same_v<T, ArrayRef>) {
+    return e->kind() == ExprKind::ArrayRef ? static_cast<T*>(e) : nullptr;
+  } else if constexpr (std::is_same_v<T, Binary>) {
+    return e->kind() == ExprKind::Binary ? static_cast<T*>(e) : nullptr;
+  } else if constexpr (std::is_same_v<T, Unary>) {
+    return e->kind() == ExprKind::Unary ? static_cast<T*>(e) : nullptr;
+  } else if constexpr (std::is_same_v<T, Call>) {
+    return e->kind() == ExprKind::Call ? static_cast<T*>(e) : nullptr;
+  } else if constexpr (std::is_same_v<T, Conditional>) {
+    return e->kind() == ExprKind::Conditional ? static_cast<T*>(e) : nullptr;
+  } else {
+    static_assert(sizeof(T) == 0, "unknown expr type");
+  }
+}
+
+template <typename T>
+[[nodiscard]] const T* dyn_cast(const Expr* e) {
+  return dyn_cast<T>(const_cast<Expr*>(e));
+}
+
+template <typename T>
+[[nodiscard]] T* dyn_cast(Stmt* s) {
+  if (s == nullptr) return nullptr;
+  if constexpr (std::is_same_v<T, DeclStmt>) {
+    return s->kind() == StmtKind::Decl ? static_cast<T*>(s) : nullptr;
+  } else if constexpr (std::is_same_v<T, AssignStmt>) {
+    return s->kind() == StmtKind::Assign ? static_cast<T*>(s) : nullptr;
+  } else if constexpr (std::is_same_v<T, ExprStmt>) {
+    return s->kind() == StmtKind::ExprStmt ? static_cast<T*>(s) : nullptr;
+  } else if constexpr (std::is_same_v<T, BlockStmt>) {
+    return s->kind() == StmtKind::Block ? static_cast<T*>(s) : nullptr;
+  } else if constexpr (std::is_same_v<T, IfStmt>) {
+    return s->kind() == StmtKind::If ? static_cast<T*>(s) : nullptr;
+  } else if constexpr (std::is_same_v<T, ForStmt>) {
+    return s->kind() == StmtKind::For ? static_cast<T*>(s) : nullptr;
+  } else if constexpr (std::is_same_v<T, WhileStmt>) {
+    return s->kind() == StmtKind::While ? static_cast<T*>(s) : nullptr;
+  } else if constexpr (std::is_same_v<T, ParallelStmt>) {
+    return s->kind() == StmtKind::Parallel ? static_cast<T*>(s) : nullptr;
+  } else if constexpr (std::is_same_v<T, BreakStmt>) {
+    return s->kind() == StmtKind::Break ? static_cast<T*>(s) : nullptr;
+  } else {
+    static_assert(sizeof(T) == 0, "unknown stmt type");
+  }
+}
+
+template <typename T>
+[[nodiscard]] const T* dyn_cast(const Stmt* s) {
+  return dyn_cast<T>(const_cast<Stmt*>(s));
+}
+
+// ---------------------------------------------------------------------------
+// Structural equality (ignores source locations)
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool equal(const Expr& a, const Expr& b);
+[[nodiscard]] bool equal(const Stmt& a, const Stmt& b);
+[[nodiscard]] bool equal(const Program& a, const Program& b);
+
+}  // namespace slc::ast

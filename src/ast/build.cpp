@@ -1,0 +1,19 @@
+#include "ast/build.hpp"
+
+namespace slc::ast::build {
+
+StmtPtr for_loop(const std::string& iv, ExprPtr lo, ExprPtr hi,
+                 std::int64_t step, StmtPtr body) {
+  StmtPtr init = assign(var(iv), std::move(lo));
+  ExprPtr cond = lt(var(iv), std::move(hi));
+  StmtPtr stp = assign(var(iv), lit(step), AssignOp::Add);
+  if (body->kind() != StmtKind::Block) {
+    std::vector<StmtPtr> ss;
+    ss.push_back(std::move(body));
+    body = block(std::move(ss));
+  }
+  return std::make_unique<ForStmt>(std::move(init), std::move(cond),
+                                   std::move(stp), std::move(body));
+}
+
+}  // namespace slc::ast::build

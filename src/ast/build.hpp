@@ -1,0 +1,104 @@
+// Terse constructors for synthesized AST fragments. Used pervasively by
+// the transformation passes and by tests; keeps synthesized code readable:
+//
+//   build::assign(build::index("A", build::var("i")),
+//                 build::add(build::var("t"), build::lit(1)))
+#pragma once
+
+#include <utility>
+
+#include "ast/ast.hpp"
+
+namespace slc::ast::build {
+
+[[nodiscard]] inline ExprPtr lit(std::int64_t v) {
+  return std::make_unique<IntLit>(v);
+}
+[[nodiscard]] inline ExprPtr flit(double v) {
+  return std::make_unique<FloatLit>(v);
+}
+[[nodiscard]] inline ExprPtr blit(bool v) {
+  return std::make_unique<BoolLit>(v);
+}
+[[nodiscard]] inline ExprPtr var(std::string name) {
+  return std::make_unique<VarRef>(std::move(name));
+}
+
+[[nodiscard]] inline ExprPtr index(std::string array, ExprPtr sub) {
+  std::vector<ExprPtr> subs;
+  subs.push_back(std::move(sub));
+  return std::make_unique<ArrayRef>(std::move(array), std::move(subs));
+}
+[[nodiscard]] inline ExprPtr index2(std::string array, ExprPtr s0,
+                                    ExprPtr s1) {
+  std::vector<ExprPtr> subs;
+  subs.push_back(std::move(s0));
+  subs.push_back(std::move(s1));
+  return std::make_unique<ArrayRef>(std::move(array), std::move(subs));
+}
+
+[[nodiscard]] inline ExprPtr bin(BinaryOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<Binary>(op, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr add(ExprPtr l, ExprPtr r) {
+  return bin(BinaryOp::Add, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr sub(ExprPtr l, ExprPtr r) {
+  return bin(BinaryOp::Sub, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr mul(ExprPtr l, ExprPtr r) {
+  return bin(BinaryOp::Mul, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr div(ExprPtr l, ExprPtr r) {
+  return bin(BinaryOp::Div, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr lt(ExprPtr l, ExprPtr r) {
+  return bin(BinaryOp::Lt, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr le(ExprPtr l, ExprPtr r) {
+  return bin(BinaryOp::Le, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr neg(ExprPtr e) {
+  return std::make_unique<Unary>(UnaryOp::Neg, std::move(e));
+}
+[[nodiscard]] inline ExprPtr lnot(ExprPtr e) {
+  return std::make_unique<Unary>(UnaryOp::Not, std::move(e));
+}
+
+/// `var + delta`, folding `delta == 0` to just `var`.
+[[nodiscard]] inline ExprPtr var_plus(const std::string& name,
+                                      std::int64_t delta) {
+  if (delta == 0) return var(name);
+  if (delta < 0) return sub(var(name), lit(-delta));
+  return add(var(name), lit(delta));
+}
+
+[[nodiscard]] inline StmtPtr assign(ExprPtr lhs, ExprPtr rhs,
+                                    AssignOp op = AssignOp::Set) {
+  return std::make_unique<AssignStmt>(std::move(lhs), op, std::move(rhs));
+}
+
+[[nodiscard]] inline StmtPtr decl(ScalarType t, std::string name,
+                                  ExprPtr init = nullptr) {
+  return std::make_unique<DeclStmt>(t, std::move(name),
+                                    std::vector<std::int64_t>{},
+                                    std::move(init));
+}
+[[nodiscard]] inline StmtPtr decl_array(ScalarType t, std::string name,
+                                        std::vector<std::int64_t> dims) {
+  return std::make_unique<DeclStmt>(t, std::move(name), std::move(dims));
+}
+
+[[nodiscard]] inline StmtPtr block(std::vector<StmtPtr> stmts) {
+  return std::make_unique<BlockStmt>(std::move(stmts));
+}
+
+[[nodiscard]] inline StmtPtr parallel(std::vector<StmtPtr> stmts) {
+  return std::make_unique<ParallelStmt>(std::move(stmts));
+}
+
+/// Canonical `for (iv = lo; iv < hi; iv += step) body`.
+[[nodiscard]] StmtPtr for_loop(const std::string& iv, ExprPtr lo, ExprPtr hi,
+                               std::int64_t step, StmtPtr body);
+
+}  // namespace slc::ast::build

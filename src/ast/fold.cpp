@@ -1,0 +1,206 @@
+#include "ast/fold.hpp"
+
+#include "ast/build.hpp"
+#include "ast/walk.hpp"
+#include "support/int_math.hpp"
+
+namespace slc::ast {
+
+namespace {
+
+void fold_slot(ExprPtr& slot) {
+  if (auto* u = dyn_cast<Unary>(slot.get())) {
+    if (u->op == UnaryOp::Neg) {
+      if (const auto* i = dyn_cast<IntLit>(u->operand.get())) {
+        slot = build::lit(-i->value);
+        return;
+      }
+    }
+    if (u->op == UnaryOp::Not) {
+      if (const auto* b = dyn_cast<BoolLit>(u->operand.get())) {
+        slot = build::blit(!b->value);
+        return;
+      }
+      // !!e => e
+      if (auto* inner = dyn_cast<Unary>(u->operand.get());
+          inner != nullptr && inner->op == UnaryOp::Not) {
+        slot = std::move(inner->operand);
+        return;
+      }
+    }
+    return;
+  }
+
+  auto* b = dyn_cast<Binary>(slot.get());
+  if (b == nullptr) return;
+
+  const auto* li = dyn_cast<IntLit>(b->lhs.get());
+  const auto* ri = dyn_cast<IntLit>(b->rhs.get());
+
+  // Pure integer arithmetic / comparisons.
+  if (li != nullptr && ri != nullptr) {
+    std::int64_t l = li->value, r = ri->value;
+    switch (b->op) {
+      case BinaryOp::Add:
+        slot = build::lit(l + r);
+        return;
+      case BinaryOp::Sub:
+        slot = build::lit(l - r);
+        return;
+      case BinaryOp::Mul:
+        slot = build::lit(l * r);
+        return;
+      case BinaryOp::Div:
+        if (r != 0) slot = build::lit(l / r);
+        return;
+      case BinaryOp::Mod:
+        if (r != 0) slot = build::lit(l % r);
+        return;
+      case BinaryOp::Lt:
+        slot = build::blit(l < r);
+        return;
+      case BinaryOp::Le:
+        slot = build::blit(l <= r);
+        return;
+      case BinaryOp::Gt:
+        slot = build::blit(l > r);
+        return;
+      case BinaryOp::Ge:
+        slot = build::blit(l >= r);
+        return;
+      case BinaryOp::Eq:
+        slot = build::blit(l == r);
+        return;
+      case BinaryOp::Ne:
+        slot = build::blit(l != r);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // Identity simplifications that keep integer semantics exact.
+  auto is_int_zero = [](const Expr* e) {
+    const auto* i = dyn_cast<IntLit>(e);
+    return i != nullptr && i->value == 0;
+  };
+  switch (b->op) {
+    case BinaryOp::Add:
+      if (is_int_zero(b->lhs.get())) {
+        slot = std::move(b->rhs);
+        return;
+      }
+      if (is_int_zero(b->rhs.get())) {
+        slot = std::move(b->lhs);
+        return;
+      }
+      // (x + c1) + c2 => x + (c1+c2): canonicalizes iterated loop-var
+      // substitutions like (i + 1) + 2.
+      if (ri != nullptr) {
+        if (auto* lb = dyn_cast<Binary>(b->lhs.get());
+            lb != nullptr && lb->op == BinaryOp::Add) {
+          if (const auto* c1 = dyn_cast<IntLit>(lb->rhs.get())) {
+            std::int64_t sum = c1->value + ri->value;
+            ExprPtr base = std::move(lb->lhs);
+            if (sum == 0) {
+              slot = std::move(base);
+            } else {
+              slot = build::add(std::move(base), build::lit(sum));
+            }
+            return;
+          }
+        }
+        // (x - c1) + c2 => x + (c2-c1)
+        if (auto* lb = dyn_cast<Binary>(b->lhs.get());
+            lb != nullptr && lb->op == BinaryOp::Sub) {
+          if (const auto* c1 = dyn_cast<IntLit>(lb->rhs.get())) {
+            std::int64_t sum = ri->value - c1->value;
+            ExprPtr base = std::move(lb->lhs);
+            if (sum == 0) {
+              slot = std::move(base);
+            } else if (sum > 0) {
+              slot = build::add(std::move(base), build::lit(sum));
+            } else {
+              slot = build::sub(std::move(base), build::lit(-sum));
+            }
+            return;
+          }
+        }
+      }
+      break;
+    case BinaryOp::Sub:
+      if (is_int_zero(b->rhs.get())) {
+        slot = std::move(b->lhs);
+        return;
+      }
+      // (x + c1) - c2 => x + (c1-c2)
+      if (ri != nullptr) {
+        if (auto* lb = dyn_cast<Binary>(b->lhs.get());
+            lb != nullptr && lb->op == BinaryOp::Add) {
+          if (const auto* c1 = dyn_cast<IntLit>(lb->rhs.get())) {
+            std::int64_t diff = c1->value - ri->value;
+            ExprPtr base = std::move(lb->lhs);
+            if (diff == 0) {
+              slot = std::move(base);
+            } else if (diff > 0) {
+              slot = build::add(std::move(base), build::lit(diff));
+            } else {
+              slot = build::sub(std::move(base), build::lit(-diff));
+            }
+            return;
+          }
+        }
+      }
+      break;
+    case BinaryOp::Mul: {
+      const auto* one_l = dyn_cast<IntLit>(b->lhs.get());
+      const auto* one_r = dyn_cast<IntLit>(b->rhs.get());
+      if (one_l != nullptr && one_l->value == 1) {
+        slot = std::move(b->rhs);
+        return;
+      }
+      if (one_r != nullptr && one_r->value == 1) {
+        slot = std::move(b->lhs);
+        return;
+      }
+      break;
+    }
+    case BinaryOp::And: {
+      if (const auto* lb = dyn_cast<BoolLit>(b->lhs.get())) {
+        slot = lb->value ? std::move(b->rhs) : build::blit(false);
+        return;
+      }
+      if (const auto* rb = dyn_cast<BoolLit>(b->rhs.get())) {
+        if (rb->value) slot = std::move(b->lhs);
+        return;
+      }
+      break;
+    }
+    case BinaryOp::Or: {
+      if (const auto* lb = dyn_cast<BoolLit>(b->lhs.get())) {
+        slot = lb->value ? build::blit(true) : std::move(b->rhs);
+        return;
+      }
+      if (const auto* rb = dyn_cast<BoolLit>(b->rhs.get())) {
+        if (!rb->value) slot = std::move(b->lhs);
+        return;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void fold(ExprPtr& e) { rewrite_exprs(e, fold_slot); }
+
+void fold(Stmt& s) { rewrite_exprs(s, fold_slot); }
+
+std::optional<std::int64_t> const_int(const Expr& e) {
+  if (const auto* i = dyn_cast<IntLit>(&e)) return i->value;
+  return std::nullopt;
+}
+
+}  // namespace slc::ast

@@ -1,0 +1,22 @@
+// Constant folding and algebraic simplification. SLMS substitutes the
+// loop variable with `lo + k` in prologue/epilogue statements; folding
+// turns the resulting `0 + 2` into `2`, reproducing the paper's readable
+// output (`reg1 = A[2];` rather than `reg1 = A[0 + 2];`).
+#pragma once
+
+#include "ast/ast.hpp"
+
+namespace slc::ast {
+
+/// Folds the expression in place (bottom-up). Only exact integer and
+/// boolean arithmetic is folded; floating point is left untouched so the
+/// transformed program remains bit-identical to the original.
+void fold(ExprPtr& e);
+
+/// Folds every expression in the statement tree.
+void fold(Stmt& s);
+
+/// If `e` is a (possibly folded) integer constant, returns its value.
+[[nodiscard]] std::optional<std::int64_t> const_int(const Expr& e);
+
+}  // namespace slc::ast

@@ -1,0 +1,288 @@
+#include "ast/printer.hpp"
+
+#include <sstream>
+
+namespace slc::ast {
+
+namespace {
+
+/// C precedence levels, higher binds tighter.
+int precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      return 10;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return 9;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return 8;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      return 7;
+    case BinaryOp::And:
+      return 6;
+    case BinaryOp::Or:
+      return 5;
+  }
+  return 0;
+}
+
+class Printer {
+ public:
+  explicit Printer(PrintOptions opts) : opts_(opts) {}
+
+  void expr(const Expr& e, int parent_prec = 0) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        os_ << dyn_cast<IntLit>(&e)->value;
+        break;
+      case ExprKind::FloatLit: {
+        std::ostringstream tmp;
+        tmp << dyn_cast<FloatLit>(&e)->value;
+        std::string t = tmp.str();
+        os_ << t;
+        // Keep floats recognizable as floats when round.
+        if (t.find('.') == std::string::npos &&
+            t.find('e') == std::string::npos &&
+            t.find("inf") == std::string::npos &&
+            t.find("nan") == std::string::npos)
+          os_ << ".0";
+        break;
+      }
+      case ExprKind::BoolLit:
+        os_ << (dyn_cast<BoolLit>(&e)->value ? "true" : "false");
+        break;
+      case ExprKind::VarRef:
+        os_ << dyn_cast<VarRef>(&e)->name;
+        break;
+      case ExprKind::ArrayRef: {
+        const auto* a = dyn_cast<ArrayRef>(&e);
+        os_ << a->name;
+        for (const ExprPtr& s : a->subscripts) {
+          os_ << '[';
+          expr(*s);
+          os_ << ']';
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto* b = dyn_cast<Binary>(&e);
+        int prec = precedence(b->op);
+        bool parens = prec < parent_prec;
+        if (parens) os_ << '(';
+        expr(*b->lhs, prec);
+        os_ << ' ' << to_string(b->op) << ' ';
+        // +1: print right operand with parens when equal precedence, so
+        // a - (b - c) round-trips correctly.
+        expr(*b->rhs, prec + 1);
+        if (parens) os_ << ')';
+        break;
+      }
+      case ExprKind::Unary: {
+        const auto* u = dyn_cast<Unary>(&e);
+        os_ << to_string(u->op);
+        expr(*u->operand, 100);
+        break;
+      }
+      case ExprKind::Call: {
+        const auto* c = dyn_cast<Call>(&e);
+        os_ << c->callee << '(';
+        for (std::size_t i = 0; i < c->args.size(); ++i) {
+          if (i) os_ << ", ";
+          expr(*c->args[i]);
+        }
+        os_ << ')';
+        break;
+      }
+      case ExprKind::Conditional: {
+        const auto* c = dyn_cast<Conditional>(&e);
+        if (parent_prec > 0) os_ << '(';
+        expr(*c->cond, 1);
+        os_ << " ? ";
+        expr(*c->then_expr, 1);
+        os_ << " : ";
+        expr(*c->else_expr, 1);
+        if (parent_prec > 0) os_ << ')';
+        break;
+      }
+    }
+  }
+
+  /// Prints one statement inline (no indentation, no trailing newline).
+  /// Only simple statements (assign/expr/break/decl) can print inline.
+  void simple_stmt_inline(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const auto* a = dyn_cast<AssignStmt>(&s);
+        if (a->guard) {
+          os_ << "if (";
+          expr(*a->guard);
+          os_ << ") ";
+        }
+        expr(*a->lhs);
+        os_ << ' ' << to_string(a->op) << ' ';
+        expr(*a->rhs);
+        os_ << ';';
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto* x = dyn_cast<ExprStmt>(&s);
+        if (x->guard) {
+          os_ << "if (";
+          expr(*x->guard);
+          os_ << ") ";
+        }
+        expr(*x->expr);
+        os_ << ';';
+        break;
+      }
+      case StmtKind::Decl: {
+        const auto* d = dyn_cast<DeclStmt>(&s);
+        os_ << to_string(d->type) << ' ' << d->name;
+        for (std::int64_t dim : d->dims) os_ << '[' << dim << ']';
+        if (d->init) {
+          os_ << " = ";
+          expr(*d->init);
+        }
+        os_ << ';';
+        break;
+      }
+      case StmtKind::Break:
+        os_ << "break;";
+        break;
+      default:
+        // Compound statement inside a parallel row: print a brace group.
+        os_ << "{ ... }";
+        break;
+    }
+  }
+
+  void stmt(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Decl:
+      case StmtKind::Assign:
+      case StmtKind::ExprStmt:
+      case StmtKind::Break:
+        indent();
+        simple_stmt_inline(s);
+        os_ << '\n';
+        break;
+      case StmtKind::Block: {
+        indent();
+        os_ << "{\n";
+        ++depth_;
+        for (const StmtPtr& c : dyn_cast<BlockStmt>(&s)->stmts) stmt(*c);
+        --depth_;
+        indent();
+        os_ << "}\n";
+        break;
+      }
+      case StmtKind::Parallel: {
+        const auto* p = dyn_cast<ParallelStmt>(&s);
+        indent();
+        for (std::size_t i = 0; i < p->stmts.size(); ++i) {
+          if (i) os_ << (opts_.show_parallel_bars ? "  ||  " : "  ");
+          simple_stmt_inline(*p->stmts[i]);
+        }
+        os_ << '\n';
+        break;
+      }
+      case StmtKind::If: {
+        const auto* i = dyn_cast<IfStmt>(&s);
+        indent();
+        os_ << "if (";
+        expr(*i->cond);
+        os_ << ")\n";
+        child(*i->then_stmt);
+        if (i->else_stmt) {
+          indent();
+          os_ << "else\n";
+          child(*i->else_stmt);
+        }
+        break;
+      }
+      case StmtKind::For: {
+        const auto* f = dyn_cast<ForStmt>(&s);
+        indent();
+        os_ << "for (";
+        if (f->init) simple_stmt_inline(*f->init);
+        else os_ << ';';
+        os_ << ' ';
+        if (f->cond) expr(*f->cond);
+        os_ << "; ";
+        if (f->step) step_inline(*f->step);
+        os_ << ")\n";
+        child(*f->body);
+        break;
+      }
+      case StmtKind::While: {
+        const auto* w = dyn_cast<WhileStmt>(&s);
+        indent();
+        os_ << "while (";
+        expr(*w->cond);
+        os_ << ")\n";
+        child(*w->body);
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::string take() { return std::move(os_).str(); }
+
+ private:
+  /// Step expression of a for header, without the trailing ';'.
+  void step_inline(const Stmt& s) {
+    if (const auto* a = dyn_cast<AssignStmt>(&s)) {
+      expr(*a->lhs);
+      os_ << ' ' << to_string(a->op) << ' ';
+      expr(*a->rhs);
+    } else {
+      os_ << "/* ? */";
+    }
+  }
+
+  void child(const Stmt& s) {
+    if (s.kind() == StmtKind::Block) {
+      stmt(s);
+    } else {
+      ++depth_;
+      stmt(s);
+      --depth_;
+    }
+  }
+
+  void indent() {
+    for (int i = 0; i < depth_ * opts_.indent_width; ++i) os_ << ' ';
+  }
+
+  PrintOptions opts_;
+  std::ostringstream os_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string to_source(const Expr& e) {
+  Printer p({});
+  p.expr(e);
+  return p.take();
+}
+
+std::string to_source(const Stmt& s, PrintOptions opts) {
+  Printer p(opts);
+  p.stmt(s);
+  return p.take();
+}
+
+std::string to_source(const Program& prog, PrintOptions opts) {
+  Printer p(opts);
+  for (const StmtPtr& s : prog.stmts) p.stmt(*s);
+  return p.take();
+}
+
+}  // namespace slc::ast

@@ -1,0 +1,24 @@
+// Pretty-printer: regenerates mini-C source from an AST. SLMS output is
+// meant to be read by the programmer (paper §2), so the printer emits the
+// paper's notation: guarded statements as `if (c) stmt;` and parallel
+// kernel rows as `s1; || s2; || s3;` on one line.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace slc::ast {
+
+struct PrintOptions {
+  int indent_width = 2;
+  /// When false, ParallelStmt rows print as plain sequential statements
+  /// (useful for diffing against a reference compiler's input).
+  bool show_parallel_bars = true;
+};
+
+[[nodiscard]] std::string to_source(const Expr& e);
+[[nodiscard]] std::string to_source(const Stmt& s, PrintOptions opts = {});
+[[nodiscard]] std::string to_source(const Program& p, PrintOptions opts = {});
+
+}  // namespace slc::ast

@@ -1,0 +1,60 @@
+#include "ast/subst.hpp"
+
+#include "ast/build.hpp"
+#include "ast/fold.hpp"
+#include "ast/walk.hpp"
+
+namespace slc::ast {
+
+namespace {
+auto make_substituter(const std::string& name, const Expr& replacement) {
+  return [&name, &replacement](ExprPtr& slot) {
+    if (const auto* v = dyn_cast<VarRef>(slot.get());
+        v != nullptr && v->name == name) {
+      slot = replacement.clone();
+    }
+  };
+}
+}  // namespace
+
+void substitute_var(ExprPtr& e, const std::string& name,
+                    const Expr& replacement) {
+  rewrite_exprs(e, make_substituter(name, replacement));
+  fold(e);
+}
+
+void substitute_var(Stmt& s, const std::string& name,
+                    const Expr& replacement) {
+  rewrite_exprs(s, make_substituter(name, replacement));
+  fold(s);
+}
+
+void rename_var(Stmt& s, const std::string& from, const std::string& to) {
+  rewrite_exprs(s, [&](ExprPtr& slot) {
+    if (auto* v = dyn_cast<VarRef>(slot.get());
+        v != nullptr && v->name == from) {
+      v->name = to;
+    }
+  });
+}
+
+void rename_array(Stmt& s, const std::string& from, const std::string& to) {
+  rewrite_exprs(s, [&](ExprPtr& slot) {
+    if (auto* a = dyn_cast<ArrayRef>(slot.get());
+        a != nullptr && a->name == from) {
+      a->name = to;
+    }
+  });
+}
+
+StmtPtr shift_iteration(const Stmt& s, const std::string& iv,
+                        std::int64_t delta) {
+  StmtPtr out = s.clone();
+  if (delta != 0) {
+    ExprPtr repl = build::var_plus(iv, delta);
+    substitute_var(*out, iv, *repl);
+  }
+  return out;
+}
+
+}  // namespace slc::ast

@@ -1,0 +1,31 @@
+// Variable substitution and renaming — the mechanical core of SLMS code
+// generation: prologue/epilogue emission substitutes the loop variable
+// with `lo + k`; MVE renames a decomposition register round-robin across
+// unrolled kernel copies.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace slc::ast {
+
+/// Replaces every VarRef named `name` in `e`/`s` with a clone of
+/// `replacement`, then constant-folds. Does not touch array names.
+void substitute_var(ExprPtr& e, const std::string& name,
+                    const Expr& replacement);
+void substitute_var(Stmt& s, const std::string& name,
+                    const Expr& replacement);
+
+/// Renames scalar variable `from` to `to` (reads and writes).
+void rename_var(Stmt& s, const std::string& from, const std::string& to);
+
+/// Renames array `from` to `to` in every ArrayRef.
+void rename_array(Stmt& s, const std::string& from, const std::string& to);
+
+/// Clone of `s` with the loop variable `iv` shifted by `delta`
+/// (`iv -> iv + delta`), folded. Used to move an MI to a later iteration.
+[[nodiscard]] StmtPtr shift_iteration(const Stmt& s, const std::string& iv,
+                                      std::int64_t delta);
+
+}  // namespace slc::ast

@@ -1,0 +1,243 @@
+#include "ast/walk.hpp"
+
+#include <set>
+
+namespace slc::ast {
+
+void walk_exprs(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::BoolLit:
+    case ExprKind::VarRef:
+      break;
+    case ExprKind::ArrayRef:
+      for (const ExprPtr& s : dyn_cast<ArrayRef>(&e)->subscripts)
+        walk_exprs(*s, fn);
+      break;
+    case ExprKind::Binary: {
+      const auto* b = dyn_cast<Binary>(&e);
+      walk_exprs(*b->lhs, fn);
+      walk_exprs(*b->rhs, fn);
+      break;
+    }
+    case ExprKind::Unary:
+      walk_exprs(*dyn_cast<Unary>(&e)->operand, fn);
+      break;
+    case ExprKind::Call:
+      for (const ExprPtr& a : dyn_cast<Call>(&e)->args) walk_exprs(*a, fn);
+      break;
+    case ExprKind::Conditional: {
+      const auto* c = dyn_cast<Conditional>(&e);
+      walk_exprs(*c->cond, fn);
+      walk_exprs(*c->then_expr, fn);
+      walk_exprs(*c->else_expr, fn);
+      break;
+    }
+  }
+}
+
+void walk_exprs(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+  auto maybe = [&fn](const ExprPtr& e) {
+    if (e) walk_exprs(*e, fn);
+  };
+  switch (s.kind()) {
+    case StmtKind::Decl:
+      maybe(dyn_cast<DeclStmt>(&s)->init);
+      break;
+    case StmtKind::Assign: {
+      const auto* a = dyn_cast<AssignStmt>(&s);
+      maybe(a->guard);
+      walk_exprs(*a->lhs, fn);
+      walk_exprs(*a->rhs, fn);
+      break;
+    }
+    case StmtKind::ExprStmt: {
+      const auto* x = dyn_cast<ExprStmt>(&s);
+      maybe(x->guard);
+      walk_exprs(*x->expr, fn);
+      break;
+    }
+    case StmtKind::Block:
+      for (const StmtPtr& c : dyn_cast<BlockStmt>(&s)->stmts)
+        walk_exprs(*c, fn);
+      break;
+    case StmtKind::Parallel:
+      for (const StmtPtr& c : dyn_cast<ParallelStmt>(&s)->stmts)
+        walk_exprs(*c, fn);
+      break;
+    case StmtKind::If: {
+      const auto* i = dyn_cast<IfStmt>(&s);
+      walk_exprs(*i->cond, fn);
+      walk_exprs(*i->then_stmt, fn);
+      if (i->else_stmt) walk_exprs(*i->else_stmt, fn);
+      break;
+    }
+    case StmtKind::For: {
+      const auto* f = dyn_cast<ForStmt>(&s);
+      if (f->init) walk_exprs(*f->init, fn);
+      maybe(f->cond);
+      if (f->step) walk_exprs(*f->step, fn);
+      walk_exprs(*f->body, fn);
+      break;
+    }
+    case StmtKind::While: {
+      const auto* w = dyn_cast<WhileStmt>(&s);
+      walk_exprs(*w->cond, fn);
+      walk_exprs(*w->body, fn);
+      break;
+    }
+    case StmtKind::Break:
+      break;
+  }
+}
+
+namespace {
+template <typename StmtT, typename Fn>
+void walk_stmts_impl(StmtT& s, const Fn& fn) {
+  fn(s);
+  switch (s.kind()) {
+    case StmtKind::Block:
+      for (auto& c : dyn_cast<BlockStmt>(&s)->stmts) walk_stmts_impl(*c, fn);
+      break;
+    case StmtKind::Parallel:
+      for (auto& c : dyn_cast<ParallelStmt>(&s)->stmts)
+        walk_stmts_impl(*c, fn);
+      break;
+    case StmtKind::If: {
+      auto* i = dyn_cast<IfStmt>(&s);
+      walk_stmts_impl(*i->then_stmt, fn);
+      if (i->else_stmt) walk_stmts_impl(*i->else_stmt, fn);
+      break;
+    }
+    case StmtKind::For: {
+      auto* f = dyn_cast<ForStmt>(&s);
+      if (f->init) walk_stmts_impl(*f->init, fn);
+      if (f->step) walk_stmts_impl(*f->step, fn);
+      walk_stmts_impl(*f->body, fn);
+      break;
+    }
+    case StmtKind::While:
+      walk_stmts_impl(*dyn_cast<WhileStmt>(&s)->body, fn);
+      break;
+    default:
+      break;
+  }
+}
+}  // namespace
+
+void walk_stmts(const Stmt& s, const std::function<void(const Stmt&)>& fn) {
+  walk_stmts_impl(s, fn);
+}
+void walk_stmts(Stmt& s, const std::function<void(Stmt&)>& fn) {
+  walk_stmts_impl(s, fn);
+}
+
+void rewrite_exprs(ExprPtr& slot, const std::function<void(ExprPtr&)>& fn) {
+  switch (slot->kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::BoolLit:
+    case ExprKind::VarRef:
+      break;
+    case ExprKind::ArrayRef:
+      for (ExprPtr& s : dyn_cast<ArrayRef>(slot.get())->subscripts)
+        rewrite_exprs(s, fn);
+      break;
+    case ExprKind::Binary: {
+      auto* b = dyn_cast<Binary>(slot.get());
+      rewrite_exprs(b->lhs, fn);
+      rewrite_exprs(b->rhs, fn);
+      break;
+    }
+    case ExprKind::Unary:
+      rewrite_exprs(dyn_cast<Unary>(slot.get())->operand, fn);
+      break;
+    case ExprKind::Call:
+      for (ExprPtr& a : dyn_cast<Call>(slot.get())->args)
+        rewrite_exprs(a, fn);
+      break;
+    case ExprKind::Conditional: {
+      auto* c = dyn_cast<Conditional>(slot.get());
+      rewrite_exprs(c->cond, fn);
+      rewrite_exprs(c->then_expr, fn);
+      rewrite_exprs(c->else_expr, fn);
+      break;
+    }
+  }
+  fn(slot);
+}
+
+void rewrite_exprs(Stmt& s, const std::function<void(ExprPtr&)>& fn) {
+  auto maybe = [&fn](ExprPtr& e) {
+    if (e) rewrite_exprs(e, fn);
+  };
+  switch (s.kind()) {
+    case StmtKind::Decl:
+      maybe(dyn_cast<DeclStmt>(&s)->init);
+      break;
+    case StmtKind::Assign: {
+      auto* a = dyn_cast<AssignStmt>(&s);
+      maybe(a->guard);
+      rewrite_exprs(a->lhs, fn);
+      rewrite_exprs(a->rhs, fn);
+      break;
+    }
+    case StmtKind::ExprStmt: {
+      auto* x = dyn_cast<ExprStmt>(&s);
+      maybe(x->guard);
+      rewrite_exprs(x->expr, fn);
+      break;
+    }
+    case StmtKind::Block:
+      for (StmtPtr& c : dyn_cast<BlockStmt>(&s)->stmts)
+        rewrite_exprs(*c, fn);
+      break;
+    case StmtKind::Parallel:
+      for (StmtPtr& c : dyn_cast<ParallelStmt>(&s)->stmts)
+        rewrite_exprs(*c, fn);
+      break;
+    case StmtKind::If: {
+      auto* i = dyn_cast<IfStmt>(&s);
+      rewrite_exprs(i->cond, fn);
+      rewrite_exprs(*i->then_stmt, fn);
+      if (i->else_stmt) rewrite_exprs(*i->else_stmt, fn);
+      break;
+    }
+    case StmtKind::For: {
+      auto* f = dyn_cast<ForStmt>(&s);
+      if (f->init) rewrite_exprs(*f->init, fn);
+      maybe(f->cond);
+      if (f->step) rewrite_exprs(*f->step, fn);
+      rewrite_exprs(*f->body, fn);
+      break;
+    }
+    case StmtKind::While: {
+      auto* w = dyn_cast<WhileStmt>(&s);
+      rewrite_exprs(w->cond, fn);
+      rewrite_exprs(*w->body, fn);
+      break;
+    }
+    case StmtKind::Break:
+      break;
+  }
+}
+
+bool any_expr(const Stmt& s, const std::function<bool(const Expr&)>& pred) {
+  bool found = false;
+  walk_exprs(s, [&](const Expr& e) {
+    if (pred(e)) found = true;
+  });
+  return found;
+}
+
+std::vector<std::string> scalar_names_used(const Stmt& s) {
+  std::set<std::string> names;
+  walk_exprs(s, [&](const Expr& e) {
+    if (const auto* v = dyn_cast<VarRef>(&e)) names.insert(v->name);
+  });
+  return {names.begin(), names.end()};
+}
+
+}  // namespace slc::ast

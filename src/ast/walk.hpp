@@ -1,0 +1,47 @@
+// Generic AST traversal and rewriting.
+//
+// Two families:
+//  * walk_*   — read-only pre-order visits with a callback;
+//  * rewrite_exprs — bottom-up rewriting: the callback sees each expression
+//    slot (ExprPtr&) after its children were processed and may replace it.
+//
+// These are the workhorses of the transformation passes (loop-variable
+// substitution, register renaming for MVE, scalar expansion, folding).
+#pragma once
+
+#include <functional>
+
+#include "ast/ast.hpp"
+
+namespace slc::ast {
+
+/// Pre-order visit of `e` and all sub-expressions.
+void walk_exprs(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+/// Pre-order visit of every expression occurring in `s`, including guards,
+/// loop bounds, and expressions inside nested statements.
+void walk_exprs(const Stmt& s, const std::function<void(const Expr&)>& fn);
+
+/// Pre-order visit of `s` and all nested statements (blocks, loop bodies,
+/// if branches, parallel groups).
+void walk_stmts(const Stmt& s, const std::function<void(const Stmt&)>& fn);
+void walk_stmts(Stmt& s, const std::function<void(Stmt&)>& fn);
+
+/// Bottom-up rewrite of the expression tree rooted at `slot`. After the
+/// children of the current node were rewritten, `fn` is invoked with the
+/// slot; it may reset() or move a new expression into it.
+void rewrite_exprs(ExprPtr& slot, const std::function<void(ExprPtr&)>& fn);
+
+/// Applies rewrite_exprs to every expression slot in the statement tree
+/// (assignment lhs/rhs, guards, conditions, bounds, decl inits).
+void rewrite_exprs(Stmt& s, const std::function<void(ExprPtr&)>& fn);
+
+/// True if any expression in `s` satisfies `pred`.
+[[nodiscard]] bool any_expr(const Stmt& s,
+                            const std::function<bool(const Expr&)>& pred);
+
+/// Collects the names of all scalar variables read anywhere in `s`
+/// (VarRef occurrences, including subscripts and guards).
+[[nodiscard]] std::vector<std::string> scalar_names_used(const Stmt& s);
+
+}  // namespace slc::ast

@@ -1,0 +1,264 @@
+#include "driver/pipeline.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "machine/lower.hpp"
+
+namespace slc::driver {
+
+using machine::MachineModel;
+
+Backend weak_compiler_o0() {
+  return {machine::itanium2_model(), sim::CompilerPreset::Sequential,
+          "gcc-O0/ia64"};
+}
+Backend weak_compiler_o3() {
+  return {machine::itanium2_model(), sim::CompilerPreset::ListSched,
+          "gcc-O3/ia64"};
+}
+Backend weak_compiler_sms() {
+  return {machine::itanium2_model(), sim::CompilerPreset::ModuloSched,
+          "gcc-O3+swing/ia64", sim::MsAlgorithm::Swing};
+}
+Backend strong_compiler_icc() {
+  return {machine::itanium2_model(), sim::CompilerPreset::ModuloSched,
+          "icc/ia64"};
+}
+Backend strong_compiler_xlc() {
+  return {machine::power4_model(), sim::CompilerPreset::ModuloSched,
+          "xlc/power4"};
+}
+Backend superscalar_gcc() {
+  return {machine::pentium_model(), sim::CompilerPreset::ListSched,
+          "gcc-O3/pentium"};
+}
+Backend superscalar_gcc_o0() {
+  return {machine::pentium_model(), sim::CompilerPreset::Sequential,
+          "gcc-O0/pentium"};
+}
+Backend arm_gcc() {
+  return {machine::arm7_model(), sim::CompilerPreset::ListSched, "gcc/arm7"};
+}
+
+namespace {
+
+struct Compiled {
+  bool ok = false;
+  std::string error;
+  machine::MirProgram mir;
+};
+
+Compiled compile(const ast::Program& program) {
+  Compiled out;
+  DiagnosticEngine diags;
+  out.mir = machine::lower(program, diags);
+  if (diags.has_errors()) {
+    out.error = "lowering failed: " + diags.str();
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+ComparisonRow compare_kernel(const kernels::Kernel& kernel,
+                             const Backend& backend,
+                             const CompareOptions& options) {
+  ComparisonRow row;
+  row.kernel = kernel.name;
+  row.suite = kernel.suite;
+
+  DiagnosticEngine diags;
+  ast::Program original = frontend::parse_program(kernel.source, diags);
+  if (diags.has_errors()) {
+    row.error = "parse failed: " + diags.str();
+    return row;
+  }
+
+  Compiled base = compile(original);
+  if (!base.ok) {
+    row.error = base.error;
+    return row;
+  }
+  sim::SimOptions sopts;
+  sopts.preset = backend.preset;
+  sopts.ms_algorithm = backend.ms_algorithm;
+  sopts.seed = options.sim_seed;
+  sim::SimResult rb = sim::simulate(base.mir, backend.model, sopts);
+  if (!rb.ok) {
+    row.error = rb.error;
+    return row;
+  }
+
+  // SLMS variants (paper §9 remark 2: best of with/without MVE).
+  std::vector<slms::SlmsOptions> variants{options.slms};
+  if (options.best_of_mve &&
+      options.slms.renaming == slms::RenamingChoice::Mve) {
+    slms::SlmsOptions other = options.slms;
+    other.eager_mve = !options.slms.eager_mve;
+    variants.push_back(other);
+  }
+
+  bool have_best = false;
+  sim::SimResult best_sim;
+  for (const slms::SlmsOptions& variant : variants) {
+    ast::Program transformed = original.clone();
+    std::vector<slms::SlmsReport> reports =
+        slms::apply_slms(transformed, variant);
+    if (reports.empty()) continue;
+
+    if (options.verify_oracle && reports.front().applied) {
+      std::string diff = interp::check_equivalent(original, transformed,
+                                                  options.sim_seed);
+      if (!diff.empty()) {
+        row.error = "oracle mismatch: " + diff;
+        return row;
+      }
+    }
+    Compiled slmsed = compile(transformed);
+    if (!slmsed.ok) {
+      row.error = slmsed.error;
+      return row;
+    }
+    sim::SimResult rs = sim::simulate(slmsed.mir, backend.model, sopts);
+    if (!rs.ok) {
+      row.error = rs.error;
+      return row;
+    }
+    if (!have_best || rs.cycles < best_sim.cycles) {
+      have_best = true;
+      best_sim = std::move(rs);
+      row.report = reports.front();
+      row.slms_applied = reports.front().applied;
+      row.slms_skip_reason = reports.front().skip_reason;
+    }
+    if (!reports.front().applied) break;  // both variants would skip
+  }
+  if (!have_best) {
+    row.error = "no SLMS variant produced a measurable program";
+    return row;
+  }
+
+  row.ok = true;
+  row.cycles_base = rb.cycles;
+  row.cycles_slms = best_sim.cycles;
+  row.energy_base = rb.energy;
+  row.energy_slms = best_sim.energy;
+  row.misses_base = rb.mem_misses;
+  row.misses_slms = best_sim.mem_misses;
+  if (!rb.loops.empty()) row.loop_base = rb.loops.front();
+  if (!best_sim.loops.empty()) row.loop_slms = best_sim.loops.front();
+  return row;
+}
+
+std::vector<ComparisonRow> compare_suite(const std::string& suite_name,
+                                         const Backend& backend,
+                                         const CompareOptions& options) {
+  std::vector<ComparisonRow> rows;
+  for (const kernels::Kernel& k : kernels::suite(suite_name))
+    rows.push_back(compare_kernel(k, backend, options));
+  return rows;
+}
+
+Measurement measure_source(const std::string& source, const Backend& backend,
+                           std::uint64_t seed) {
+  Measurement m;
+  DiagnosticEngine diags;
+  ast::Program program = frontend::parse_program(source, diags);
+  if (diags.has_errors()) {
+    m.error = "parse failed: " + diags.str();
+    return m;
+  }
+  return measure_program(program, backend, seed);
+}
+
+Measurement measure_program(const ast::Program& program,
+                            const Backend& backend, std::uint64_t seed) {
+  Measurement m;
+  Compiled compiled = compile(program);
+  if (!compiled.ok) {
+    m.error = compiled.error;
+    return m;
+  }
+  sim::SimOptions sopts;
+  sopts.preset = backend.preset;
+  sopts.ms_algorithm = backend.ms_algorithm;
+  sopts.seed = seed;
+  sim::SimResult r = sim::simulate(compiled.mir, backend.model, sopts);
+  if (!r.ok) {
+    m.error = r.error;
+    return m;
+  }
+  m.ok = true;
+  m.cycles = r.cycles;
+  m.energy = r.energy;
+  m.mem_misses = r.mem_misses;
+  m.loops = r.loops;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// reporting
+// ---------------------------------------------------------------------------
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << "  " << std::left << std::setw(int(width[c]))
+         << (c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::vector<std::string> dashes;
+  for (std::size_t w : width) dashes.push_back(std::string(w, '-'));
+  line(dashes);
+  for (const auto& r : rows_) line(r);
+  return os.str();
+}
+
+std::string format_speedup_table(const std::string& title,
+                                 const std::vector<ComparisonRow>& rows) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  TablePrinter table({"kernel", "suite", "slms", "II", "unroll",
+                      "cycles(orig)", "cycles(slms)", "speedup", "note"});
+  for (const ComparisonRow& r : rows) {
+    std::ostringstream speedup;
+    speedup << std::fixed << std::setprecision(3) << r.speedup();
+    std::string note;
+    if (!r.ok) {
+      note = r.error;
+    } else if (!r.slms_applied) {
+      note = "skipped: " + r.slms_skip_reason;
+    }
+    table.row({r.kernel, r.suite, r.slms_applied ? "yes" : "no",
+               r.slms_applied ? std::to_string(r.report.ii) : "-",
+               r.slms_applied ? std::to_string(r.report.unroll) : "-",
+               std::to_string(r.cycles_base), std::to_string(r.cycles_slms),
+               r.ok ? speedup.str() : "-", note});
+  }
+  os << table.str();
+  return os.str();
+}
+
+}  // namespace slc::driver

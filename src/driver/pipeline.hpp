@@ -1,0 +1,122 @@
+// The experiment pipeline (paper Fig. 3/4): a kernel is compiled twice —
+// original and SLMS-transformed — through the same simulated "final
+// compiler" (machine model + compiler preset), and the cycle/energy
+// metrics are compared. Every comparison re-verifies semantic
+// equivalence with the interpreter oracle before any number is reported.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/executor.hpp"
+#include "slms/slms.hpp"
+
+namespace slc::driver {
+
+/// A "final compiler" configuration.
+struct Backend {
+  machine::MachineModel model;
+  sim::CompilerPreset preset = sim::CompilerPreset::ListSched;
+  std::string label;
+  sim::MsAlgorithm ms_algorithm = sim::MsAlgorithm::Rau;
+};
+
+[[nodiscard]] Backend weak_compiler_o0();      // GCC without -O3
+[[nodiscard]] Backend weak_compiler_o3();      // GCC -O3 (list sched, no MS)
+[[nodiscard]] Backend weak_compiler_sms();     // GCC -O3 with its Swing MS
+[[nodiscard]] Backend strong_compiler_icc();   // ICC-like (machine MS), IA64
+[[nodiscard]] Backend strong_compiler_xlc();   // XLC-like (machine MS), Power4
+[[nodiscard]] Backend superscalar_gcc();       // GCC -O3 on Pentium
+[[nodiscard]] Backend superscalar_gcc_o0();    // GCC -O0 on Pentium
+[[nodiscard]] Backend arm_gcc();               // GCC on ARM7
+
+/// One kernel measured on one backend, original vs SLMS.
+struct ComparisonRow {
+  std::string kernel;
+  std::string suite;
+
+  bool slms_applied = false;
+  std::string slms_skip_reason;
+  slms::SlmsReport report;
+
+  bool ok = false;           // oracle + both simulations succeeded
+  std::string error;
+
+  std::uint64_t cycles_base = 0;
+  std::uint64_t cycles_slms = 0;
+  double energy_base = 0.0;
+  double energy_slms = 0.0;
+  std::uint64_t misses_base = 0;
+  std::uint64_t misses_slms = 0;
+
+  sim::LoopStat loop_base;  // innermost-loop stats (first loop)
+  sim::LoopStat loop_slms;
+
+  [[nodiscard]] double speedup() const {
+    return cycles_slms == 0 ? 0.0
+                            : double(cycles_base) / double(cycles_slms);
+  }
+  [[nodiscard]] double energy_ratio() const {
+    return energy_slms == 0.0 ? 0.0 : energy_base / energy_slms;
+  }
+};
+
+struct CompareOptions {
+  slms::SlmsOptions slms;
+  std::uint64_t sim_seed = 0;
+  bool verify_oracle = true;
+  /// Paper §9 remark (2): "SLMS was tested with and without source level
+  /// MVE, the presented results show the best time obtained." When true,
+  /// the eager-MVE and minimal-MVE variants are both measured and the
+  /// faster one is reported.
+  bool best_of_mve = true;
+};
+
+[[nodiscard]] ComparisonRow compare_kernel(const kernels::Kernel& kernel,
+                                           const Backend& backend,
+                                           const CompareOptions& options = {});
+
+[[nodiscard]] std::vector<ComparisonRow> compare_suite(
+    const std::string& suite, const Backend& backend,
+    const CompareOptions& options = {});
+
+/// Measures one program variant (no SLMS) — used by the -O0-gap and
+/// ablation benches.
+struct Measurement {
+  bool ok = false;
+  std::string error;
+  std::uint64_t cycles = 0;
+  double energy = 0.0;
+  std::uint64_t mem_misses = 0;
+  std::vector<sim::LoopStat> loops;
+};
+
+[[nodiscard]] Measurement measure_source(const std::string& source,
+                                         const Backend& backend,
+                                         std::uint64_t seed = 0);
+
+/// Same, for an already-parsed (possibly transformed) program — use this
+/// for SLMS output, whose `||` rows do not round-trip through the parser.
+[[nodiscard]] Measurement measure_program(const ast::Program& program,
+                                          const Backend& backend,
+                                          std::uint64_t seed = 0);
+
+// ----- reporting helpers (the paper-style tables the benches print) -----
+
+struct TablePrinter {
+  explicit TablePrinter(std::vector<std::string> headers);
+  void row(const std::vector<std::string>& cells);
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+[[nodiscard]] std::string format_speedup_table(
+    const std::string& title, const std::vector<ComparisonRow>& rows);
+
+}  // namespace slc::driver

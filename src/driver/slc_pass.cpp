@@ -1,0 +1,218 @@
+#include "driver/slc_pass.hpp"
+
+#include "ast/build.hpp"
+#include "interp/interp.hpp"
+#include "xform/xform.hpp"
+
+namespace slc::driver {
+
+using namespace ast;
+
+namespace {
+
+/// Oracle probe: `candidate` must match `original` on a few seeds.
+bool equivalent_enough(const Program& original, const Program& candidate,
+                       const SlcOptions& options) {
+  if (!options.oracle_check_steps) return true;
+  for (int seed = 0; seed < options.oracle_seeds; ++seed) {
+    if (!interp::check_equivalent(original, candidate, std::uint64_t(seed))
+             .empty())
+      return false;
+  }
+  return true;
+}
+
+class SlcDriver {
+ public:
+  SlcDriver(Program& program, const SlcOptions& options)
+      : program_(program), options_(options),
+        original_(program.clone()) {}
+
+  SlcReport run() {
+    if (options_.try_fusion) fuse_list(program_.stmts);
+    if (options_.try_interchange) interchange_list(program_.stmts);
+
+    slms::SlmsOptions slms_opts = options_.slms;
+    std::vector<slms::SlmsReport> reports =
+        slms::apply_slms(program_, slms_opts);
+    for (const slms::SlmsReport& r : reports) {
+      SlcAction action;
+      if (r.applied) {
+        action.kind = "slms";
+        action.applied = true;
+        action.detail = "II=" + std::to_string(r.ii) + " stages=" +
+                        std::to_string(r.stages) + " unroll=" +
+                        std::to_string(r.unroll);
+        ++report_.loops_pipelined;
+      } else {
+        action.kind = "tip";
+        action.detail = r.skip_reason;
+      }
+      report_.actions.push_back(std::move(action));
+    }
+    return std::move(report_);
+  }
+
+ private:
+  // -- fusion sweep ---------------------------------------------------------
+
+  void fuse_list(std::vector<StmtPtr>& stmts) {
+    for (std::size_t i = 0; i + 1 < stmts.size();) {
+      auto* first = dyn_cast<ForStmt>(stmts[i].get());
+      auto* second = dyn_cast<ForStmt>(stmts[i + 1].get());
+      if (first == nullptr || second == nullptr) {
+        recurse_fuse(stmts[i]);
+        ++i;
+        continue;
+      }
+      xform::XformOutcome outcome = xform::fuse(*first, *second);
+      if (!outcome.applied()) {
+        SlcAction action;
+        action.kind = "fusion";
+        action.detail = "adjacent loops not fused: " + outcome.reason;
+        report_.actions.push_back(std::move(action));
+        ++i;
+        continue;
+      }
+      // Tentative commit with oracle probe.
+      StmtPtr saved_first = std::move(stmts[i]);
+      StmtPtr saved_second = std::move(stmts[i + 1]);
+      stmts[i] = std::move(outcome.replacement.front());
+      stmts.erase(stmts.begin() + std::ptrdiff_t(i) + 1);
+      if (equivalent_enough(original_, program_, options_)) {
+        SlcAction action;
+        action.kind = "fusion";
+        action.applied = true;
+        action.detail = "fused two adjacent conformable loops";
+        report_.actions.push_back(std::move(action));
+        ++report_.fusions;
+        // Stay at i: the fused loop may fuse again with its new neighbor.
+      } else {
+        stmts.insert(stmts.begin() + std::ptrdiff_t(i) + 1,
+                     std::move(saved_second));
+        stmts[i] = std::move(saved_first);
+        ++i;
+      }
+    }
+    if (!stmts.empty()) recurse_fuse(stmts.back());
+  }
+
+  void recurse_fuse(StmtPtr& slot) {
+    switch (slot->kind()) {
+      case StmtKind::Block:
+        fuse_list(dyn_cast<BlockStmt>(slot.get())->stmts);
+        break;
+      case StmtKind::For: {
+        auto* f = dyn_cast<ForStmt>(slot.get());
+        if (auto* b = dyn_cast<BlockStmt>(f->body.get()))
+          fuse_list(b->stmts);
+        break;
+      }
+      case StmtKind::If: {
+        auto* i = dyn_cast<IfStmt>(slot.get());
+        recurse_fuse(i->then_stmt);
+        if (i->else_stmt) recurse_fuse(i->else_stmt);
+        break;
+      }
+      case StmtKind::While:
+        recurse_fuse(dyn_cast<WhileStmt>(slot.get())->body);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // -- interchange sweep ------------------------------------------------
+
+  void interchange_list(std::vector<StmtPtr>& stmts) {
+    for (StmtPtr& slot : stmts) interchange_slot(slot);
+  }
+
+  void interchange_slot(StmtPtr& slot) {
+    switch (slot->kind()) {
+      case StmtKind::Block:
+        interchange_list(dyn_cast<BlockStmt>(slot.get())->stmts);
+        return;
+      case StmtKind::If: {
+        auto* i = dyn_cast<IfStmt>(slot.get());
+        interchange_slot(i->then_stmt);
+        if (i->else_stmt) interchange_slot(i->else_stmt);
+        return;
+      }
+      case StmtKind::While:
+        interchange_slot(dyn_cast<WhileStmt>(slot.get())->body);
+        return;
+      case StmtKind::For:
+        break;
+      default:
+        return;
+    }
+
+    auto* outer = dyn_cast<ForStmt>(slot.get());
+    auto* body = dyn_cast<BlockStmt>(outer->body.get());
+    if (body == nullptr || body->stmts.size() != 1 ||
+        body->stmts[0]->kind() != StmtKind::For) {
+      // Not a perfect 2-nest; descend.
+      if (body != nullptr) interchange_list(body->stmts);
+      return;
+    }
+    auto* inner = dyn_cast<ForStmt>(body->stmts[0].get());
+
+    // Interchange only pays when the inner loop rejects SLMS but the
+    // interchanged form accepts it (the paper's §6 first interaction).
+    slms::SlmsResult direct =
+        slms::transform_loop(*inner, program_, options_.slms);
+    if (direct.applied()) return;  // apply_slms will handle it later
+
+    xform::XformOutcome swapped = xform::interchange(*outer);
+    if (!swapped.applied()) {
+      SlcAction action;
+      action.kind = "interchange";
+      action.detail = "nest kept: " + swapped.reason;
+      report_.actions.push_back(std::move(action));
+      return;
+    }
+    // Does the swapped nest's inner loop pipeline?
+    auto* new_outer = dyn_cast<ForStmt>(swapped.replacement.front().get());
+    auto* new_body = dyn_cast<BlockStmt>(new_outer->body.get());
+    auto* new_inner = dyn_cast<ForStmt>(new_body->stmts[0].get());
+    slms::SlmsResult after =
+        slms::transform_loop(*new_inner, program_, options_.slms);
+    if (!after.applied()) {
+      SlcAction action;
+      action.kind = "interchange";
+      action.detail =
+          "interchange possible but SLMS still rejects the inner loop (" +
+          after.report.skip_reason + ")";
+      report_.actions.push_back(std::move(action));
+      return;
+    }
+
+    StmtPtr saved = std::move(slot);
+    slot = std::move(swapped.replacement.front());
+    if (equivalent_enough(original_, program_, options_)) {
+      SlcAction action;
+      action.kind = "interchange";
+      action.applied = true;
+      action.detail = "interchanged a 2-level nest to unlock SLMS";
+      report_.actions.push_back(std::move(action));
+      ++report_.interchanges;
+    } else {
+      slot = std::move(saved);
+    }
+  }
+
+  Program& program_;
+  const SlcOptions& options_;
+  Program original_;
+  SlcReport report_;
+};
+
+}  // namespace
+
+SlcReport apply_slc(Program& program, const SlcOptions& options) {
+  SlcDriver driver(program, options);
+  return driver.run();
+}
+
+}  // namespace slc::driver

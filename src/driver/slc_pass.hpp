@@ -1,0 +1,49 @@
+// The Source-Level Compiler pass (paper §2/§6): SLMS combined with the
+// classic loop transformations under one driver. For each loop (nest)
+// the pass tries, in order:
+//
+//   1. fusion of adjacent conformable loops (more MIs per body — §6);
+//   2. direct SLMS on innermost loops;
+//   3. when SLMS is rejected, loop interchange on perfect 2-nests
+//      followed by SLMS on the new inner loop (§6's first interaction);
+//
+// Every step is validated: a step is kept only if the interpreter oracle
+// confirms equivalence on probe seeds (belt-and-braces on top of the
+// per-transformation legality checks), mirroring how the paper's SLC
+// keeps the user in the loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "slms/slms.hpp"
+
+namespace slc::driver {
+
+struct SlcOptions {
+  slms::SlmsOptions slms;
+  bool try_fusion = true;
+  bool try_interchange = true;
+  /// Re-verify each accepted step against the interpreter oracle.
+  bool oracle_check_steps = true;
+  int oracle_seeds = 2;
+};
+
+struct SlcAction {
+  std::string kind;     // "fusion" | "interchange" | "slms" | "tip"
+  std::string detail;   // what happened / the tip for the user
+  bool applied = false;
+};
+
+struct SlcReport {
+  std::vector<SlcAction> actions;
+  int loops_pipelined = 0;
+  int fusions = 0;
+  int interchanges = 0;
+};
+
+/// Runs the combined pass in place.
+SlcReport apply_slc(ast::Program& program, const SlcOptions& options = {});
+
+}  // namespace slc::driver

@@ -1,0 +1,256 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace slc::frontend {
+
+const char* to_string(TokenKind k) {
+  switch (k) {
+    case TokenKind::End: return "<eof>";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwFloat: return "'float'";
+    case TokenKind::KwDouble: return "'double'";
+    case TokenKind::KwBool: return "'bool'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::PlusAssign: return "'+='";
+    case TokenKind::MinusAssign: return "'-='";
+    case TokenKind::StarAssign: return "'*='";
+    case TokenKind::SlashAssign: return "'/='";
+    case TokenKind::PlusPlus: return "'++'";
+    case TokenKind::MinusMinus: return "'--'";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::AndAnd: return "'&&'";
+    case TokenKind::OrOr: return "'||'";
+    case TokenKind::Not: return "'!'";
+    case TokenKind::Question: return "'?'";
+    case TokenKind::Colon: return "':'";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> kw = {
+      {"int", TokenKind::KwInt},       {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble}, {"bool", TokenKind::KwBool},
+      {"for", TokenKind::KwFor},       {"while", TokenKind::KwWhile},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"break", TokenKind::KwBreak},   {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  return kw;
+}
+}  // namespace
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine& diags)
+    : src_(source), diags_(diags) {}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token t = next();
+    bool end = t.kind == TokenKind::End;
+    tokens.push_back(std::move(t));
+    if (end) break;
+  }
+  return tokens;
+}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_trivia() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_.error(here(), "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  Token t;
+  t.loc = here();
+  if (pos_ >= src_.size()) {
+    t.kind = TokenKind::End;
+    return t;
+  }
+
+  char c = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string ident(1, c);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      ident.push_back(advance());
+    if (auto it = keywords().find(ident); it != keywords().end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = TokenKind::Identifier;
+      t.text = std::move(ident);
+    }
+    return t;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string num(1, c);
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      num.push_back(advance());
+    bool is_float = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      num.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        num.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      std::size_t save = pos_;
+      std::string exp(1, advance());
+      if (peek() == '+' || peek() == '-') exp.push_back(advance());
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        is_float = true;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          exp.push_back(advance());
+        num += exp;
+      } else {
+        pos_ = save;  // not an exponent after all
+      }
+    }
+    if (is_float) {
+      t.kind = TokenKind::FloatLiteral;
+      t.float_value = std::stod(num);
+    } else {
+      t.kind = TokenKind::IntLiteral;
+      std::from_chars(num.data(), num.data() + num.size(), t.int_value);
+    }
+    return t;
+  }
+
+  switch (c) {
+    case '(': t.kind = TokenKind::LParen; return t;
+    case ')': t.kind = TokenKind::RParen; return t;
+    case '{': t.kind = TokenKind::LBrace; return t;
+    case '}': t.kind = TokenKind::RBrace; return t;
+    case '[': t.kind = TokenKind::LBracket; return t;
+    case ']': t.kind = TokenKind::RBracket; return t;
+    case ';': t.kind = TokenKind::Semicolon; return t;
+    case ',': t.kind = TokenKind::Comma; return t;
+    case '?': t.kind = TokenKind::Question; return t;
+    case ':': t.kind = TokenKind::Colon; return t;
+    case '+':
+      t.kind = match('+') ? TokenKind::PlusPlus
+               : match('=') ? TokenKind::PlusAssign
+                            : TokenKind::Plus;
+      return t;
+    case '-':
+      t.kind = match('-') ? TokenKind::MinusMinus
+               : match('=') ? TokenKind::MinusAssign
+                            : TokenKind::Minus;
+      return t;
+    case '*':
+      t.kind = match('=') ? TokenKind::StarAssign : TokenKind::Star;
+      return t;
+    case '/':
+      t.kind = match('=') ? TokenKind::SlashAssign : TokenKind::Slash;
+      return t;
+    case '%': t.kind = TokenKind::Percent; return t;
+    case '=':
+      t.kind = match('=') ? TokenKind::EqEq : TokenKind::Assign;
+      return t;
+    case '<':
+      t.kind = match('=') ? TokenKind::Le : TokenKind::Lt;
+      return t;
+    case '>':
+      t.kind = match('=') ? TokenKind::Ge : TokenKind::Gt;
+      return t;
+    case '!':
+      t.kind = match('=') ? TokenKind::NotEq : TokenKind::Not;
+      return t;
+    case '&':
+      if (match('&')) {
+        t.kind = TokenKind::AndAnd;
+        return t;
+      }
+      diags_.error(t.loc, "expected '&&'");
+      t.kind = TokenKind::End;
+      return t;
+    case '|':
+      if (match('|')) {
+        t.kind = TokenKind::OrOr;
+        return t;
+      }
+      diags_.error(t.loc, "expected '||'");
+      t.kind = TokenKind::End;
+      return t;
+    default:
+      diags_.error(t.loc, std::string("unexpected character '") + c + "'");
+      t.kind = TokenKind::End;
+      return t;
+  }
+}
+
+}  // namespace slc::frontend

@@ -1,0 +1,35 @@
+// Hand-written lexer for the mini-C loop dialect. Supports `//` and
+// `/* */` comments.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::frontend {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Tokenizes the whole input. The last token is always TokenKind::End.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] Token next();
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool match(char expected);
+  void skip_trivia();
+  [[nodiscard]] SourceLoc here() const { return {line_, column_}; }
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace slc::frontend

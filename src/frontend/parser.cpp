@@ -1,0 +1,389 @@
+#include "frontend/parser.hpp"
+
+#include "ast/build.hpp"
+#include "frontend/lexer.hpp"
+
+namespace slc::frontend {
+
+using namespace ast;
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  if (tokens_.empty()) tokens_.push_back(Token{});  // guarantee End sentinel
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  std::size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(TokenKind k) {
+  if (!check(k)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind k, const char* context) {
+  if (check(k)) return advance();
+  diags_.error(peek().loc, std::string("expected ") + to_string(k) +
+                               " in " + context + ", found " +
+                               to_string(peek().kind));
+  return peek();
+}
+
+Program Parser::parse_program() {
+  Program p;
+  while (!at_end() && !diags_.has_errors()) {
+    StmtPtr s = statement();
+    if (!s) break;
+    p.stmts.push_back(std::move(s));
+  }
+  return p;
+}
+
+StmtPtr Parser::parse_single_statement() { return statement(); }
+
+namespace {
+bool is_type_keyword(TokenKind k) {
+  return k == TokenKind::KwInt || k == TokenKind::KwFloat ||
+         k == TokenKind::KwDouble || k == TokenKind::KwBool;
+}
+ScalarType to_scalar_type(TokenKind k) {
+  switch (k) {
+    case TokenKind::KwInt: return ScalarType::Int;
+    case TokenKind::KwFloat: return ScalarType::Float;
+    case TokenKind::KwDouble: return ScalarType::Double;
+    default: return ScalarType::Bool;
+  }
+}
+}  // namespace
+
+StmtPtr Parser::statement() {
+  if (diags_.has_errors()) return nullptr;
+  const Token& t = peek();
+  if (is_type_keyword(t.kind)) return declaration();
+  switch (t.kind) {
+    case TokenKind::LBrace:
+      return block();
+    case TokenKind::KwIf:
+      return if_statement();
+    case TokenKind::KwFor:
+      return for_statement();
+    case TokenKind::KwWhile:
+      return while_statement();
+    case TokenKind::KwBreak: {
+      SourceLoc loc = advance().loc;
+      expect(TokenKind::Semicolon, "break statement");
+      return std::make_unique<BreakStmt>(loc);
+    }
+    default: {
+      StmtPtr s = simple_statement();
+      expect(TokenKind::Semicolon, "statement");
+      return s;
+    }
+  }
+}
+
+StmtPtr Parser::declaration() {
+  const Token& type_tok = advance();
+  ScalarType type = to_scalar_type(type_tok.kind);
+  const Token& name = expect(TokenKind::Identifier, "declaration");
+  std::vector<std::int64_t> dims;
+  while (accept(TokenKind::LBracket)) {
+    const Token& dim = expect(TokenKind::IntLiteral, "array dimension");
+    dims.push_back(dim.int_value);
+    expect(TokenKind::RBracket, "array dimension");
+  }
+  ExprPtr init;
+  if (accept(TokenKind::Assign)) {
+    if (!dims.empty())
+      diags_.error(peek().loc, "array initializers are not supported");
+    init = expression();
+  }
+  expect(TokenKind::Semicolon, "declaration");
+  return std::make_unique<DeclStmt>(type, name.text, std::move(dims),
+                                    std::move(init), type_tok.loc);
+}
+
+StmtPtr Parser::block() {
+  SourceLoc loc = expect(TokenKind::LBrace, "block").loc;
+  std::vector<StmtPtr> stmts;
+  while (!check(TokenKind::RBrace) && !at_end() && !diags_.has_errors())
+    stmts.push_back(statement());
+  expect(TokenKind::RBrace, "block");
+  return std::make_unique<BlockStmt>(std::move(stmts), loc);
+}
+
+StmtPtr Parser::if_statement() {
+  SourceLoc loc = advance().loc;  // 'if'
+  expect(TokenKind::LParen, "if condition");
+  ExprPtr cond = expression();
+  expect(TokenKind::RParen, "if condition");
+  StmtPtr then_stmt = statement();
+  StmtPtr else_stmt;
+  if (accept(TokenKind::KwElse)) else_stmt = statement();
+  return std::make_unique<IfStmt>(std::move(cond), std::move(then_stmt),
+                                  std::move(else_stmt), loc);
+}
+
+StmtPtr Parser::for_statement() {
+  SourceLoc loc = advance().loc;  // 'for'
+  expect(TokenKind::LParen, "for header");
+  StmtPtr init;
+  if (!check(TokenKind::Semicolon)) {
+    if (is_type_keyword(peek().kind)) {
+      // `for (int i = 0; ...)` — declaration consumes its own ';'.
+      init = declaration();
+    } else {
+      init = simple_statement();
+      expect(TokenKind::Semicolon, "for header");
+    }
+  } else {
+    advance();
+  }
+  ExprPtr cond;
+  if (!check(TokenKind::Semicolon)) cond = expression();
+  expect(TokenKind::Semicolon, "for header");
+  StmtPtr step;
+  if (!check(TokenKind::RParen)) step = simple_statement();
+  expect(TokenKind::RParen, "for header");
+  StmtPtr body = statement();
+  if (body && body->kind() != StmtKind::Block) {
+    std::vector<StmtPtr> ss;
+    ss.push_back(std::move(body));
+    body = std::make_unique<BlockStmt>(std::move(ss));
+  }
+  return std::make_unique<ForStmt>(std::move(init), std::move(cond),
+                                   std::move(step), std::move(body), loc);
+}
+
+StmtPtr Parser::while_statement() {
+  SourceLoc loc = advance().loc;  // 'while'
+  expect(TokenKind::LParen, "while condition");
+  ExprPtr cond = expression();
+  expect(TokenKind::RParen, "while condition");
+  StmtPtr body = statement();
+  if (body && body->kind() != StmtKind::Block) {
+    std::vector<StmtPtr> ss;
+    ss.push_back(std::move(body));
+    body = std::make_unique<BlockStmt>(std::move(ss));
+  }
+  return std::make_unique<WhileStmt>(std::move(cond), std::move(body), loc);
+}
+
+StmtPtr Parser::simple_statement() {
+  ExprPtr e = expression();
+  SourceLoc loc = e ? e->loc : peek().loc;
+
+  auto is_lvalue = [](const Expr& x) {
+    return x.kind() == ExprKind::VarRef || x.kind() == ExprKind::ArrayRef;
+  };
+
+  const Token& t = peek();
+  AssignOp op;
+  switch (t.kind) {
+    case TokenKind::Assign: op = AssignOp::Set; break;
+    case TokenKind::PlusAssign: op = AssignOp::Add; break;
+    case TokenKind::MinusAssign: op = AssignOp::Sub; break;
+    case TokenKind::StarAssign: op = AssignOp::Mul; break;
+    case TokenKind::SlashAssign: op = AssignOp::Div; break;
+    case TokenKind::PlusPlus:
+    case TokenKind::MinusMinus: {
+      advance();
+      if (!is_lvalue(*e)) {
+        diags_.error(loc, "'++'/'--' requires a variable or array element");
+        return std::make_unique<ExprStmt>(std::move(e), loc);
+      }
+      AssignOp inc =
+          t.kind == TokenKind::PlusPlus ? AssignOp::Add : AssignOp::Sub;
+      return std::make_unique<AssignStmt>(std::move(e), inc, build::lit(1),
+                                          loc);
+    }
+    default:
+      return std::make_unique<ExprStmt>(std::move(e), loc);
+  }
+  advance();
+  if (!is_lvalue(*e))
+    diags_.error(loc, "assignment target must be a variable or array element");
+  ExprPtr rhs = expression();
+  return std::make_unique<AssignStmt>(std::move(e), op, std::move(rhs), loc);
+}
+
+ExprPtr Parser::expression() { return ternary(); }
+
+ExprPtr Parser::ternary() {
+  ExprPtr cond = logical_or();
+  if (!accept(TokenKind::Question)) return cond;
+  ExprPtr then_e = ternary();
+  expect(TokenKind::Colon, "conditional expression");
+  ExprPtr else_e = ternary();
+  SourceLoc loc = cond ? cond->loc : SourceLoc{};
+  return std::make_unique<Conditional>(std::move(cond), std::move(then_e),
+                                       std::move(else_e), loc);
+}
+
+ExprPtr Parser::logical_or() {
+  ExprPtr lhs = logical_and();
+  while (check(TokenKind::OrOr)) {
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = logical_and();
+    lhs = std::make_unique<Binary>(BinaryOp::Or, std::move(lhs),
+                                   std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::logical_and() {
+  ExprPtr lhs = equality();
+  while (check(TokenKind::AndAnd)) {
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = equality();
+    lhs = std::make_unique<Binary>(BinaryOp::And, std::move(lhs),
+                                   std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::equality() {
+  ExprPtr lhs = relational();
+  while (check(TokenKind::EqEq) || check(TokenKind::NotEq)) {
+    BinaryOp op =
+        peek().kind == TokenKind::EqEq ? BinaryOp::Eq : BinaryOp::Ne;
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = relational();
+    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::relational() {
+  ExprPtr lhs = additive();
+  for (;;) {
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::Lt: op = BinaryOp::Lt; break;
+      case TokenKind::Le: op = BinaryOp::Le; break;
+      case TokenKind::Gt: op = BinaryOp::Gt; break;
+      case TokenKind::Ge: op = BinaryOp::Ge; break;
+      default: return lhs;
+    }
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = additive();
+    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc);
+  }
+}
+
+ExprPtr Parser::additive() {
+  ExprPtr lhs = multiplicative();
+  for (;;) {
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::Plus: op = BinaryOp::Add; break;
+      case TokenKind::Minus: op = BinaryOp::Sub; break;
+      default: return lhs;
+    }
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = multiplicative();
+    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc);
+  }
+}
+
+ExprPtr Parser::multiplicative() {
+  ExprPtr lhs = unary();
+  for (;;) {
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::Star: op = BinaryOp::Mul; break;
+      case TokenKind::Slash: op = BinaryOp::Div; break;
+      case TokenKind::Percent: op = BinaryOp::Mod; break;
+      default: return lhs;
+    }
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = unary();
+    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc);
+  }
+}
+
+ExprPtr Parser::unary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc loc = advance().loc;
+    return std::make_unique<Unary>(UnaryOp::Neg, unary(), loc);
+  }
+  if (check(TokenKind::Not)) {
+    SourceLoc loc = advance().loc;
+    return std::make_unique<Unary>(UnaryOp::Not, unary(), loc);
+  }
+  return primary();
+}
+
+ExprPtr Parser::primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokenKind::IntLiteral:
+      advance();
+      return std::make_unique<IntLit>(t.int_value, t.loc);
+    case TokenKind::FloatLiteral:
+      advance();
+      return std::make_unique<FloatLit>(t.float_value, t.loc);
+    case TokenKind::KwTrue:
+      advance();
+      return std::make_unique<BoolLit>(true, t.loc);
+    case TokenKind::KwFalse:
+      advance();
+      return std::make_unique<BoolLit>(false, t.loc);
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr e = expression();
+      expect(TokenKind::RParen, "parenthesized expression");
+      return e;
+    }
+    case TokenKind::Identifier: {
+      advance();
+      if (check(TokenKind::LParen)) {
+        advance();
+        std::vector<ExprPtr> args;
+        if (!check(TokenKind::RParen)) {
+          args.push_back(expression());
+          while (accept(TokenKind::Comma)) args.push_back(expression());
+        }
+        expect(TokenKind::RParen, "call");
+        return std::make_unique<Call>(t.text, std::move(args), t.loc);
+      }
+      if (check(TokenKind::LBracket)) {
+        std::vector<ExprPtr> subs;
+        while (accept(TokenKind::LBracket)) {
+          subs.push_back(expression());
+          expect(TokenKind::RBracket, "array subscript");
+        }
+        return std::make_unique<ArrayRef>(t.text, std::move(subs), t.loc);
+      }
+      return std::make_unique<VarRef>(t.text, t.loc);
+    }
+    default:
+      diags_.error(t.loc, std::string("expected expression, found ") +
+                              to_string(t.kind));
+      advance();
+      return std::make_unique<IntLit>(0, t.loc);
+  }
+}
+
+Program parse_program(std::string_view source, DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.tokenize(), diags);
+  return parser.parse_program();
+}
+
+StmtPtr parse_statement(std::string_view source, DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.tokenize(), diags);
+  return parser.parse_single_statement();
+}
+
+}  // namespace slc::frontend

@@ -1,0 +1,76 @@
+// Recursive-descent parser producing the slc AST.
+//
+// Grammar (mini-C loop dialect):
+//   program  := stmt*
+//   stmt     := decl | block | if | for | while | 'break' ';' | simple ';'
+//   decl     := type ident ('[' INT ']')* ('=' expr)? ';'
+//   simple   := lvalue assign-op expr | lvalue '++' | lvalue '--' | expr
+//   for      := 'for' '(' simple? ';' expr? ';' simple? ')' stmt
+//   while    := 'while' '(' expr ')' stmt
+//   expr     := ternary with C precedence (no comma operator)
+//
+// `i++` / `i--` desugar to `i += 1` / `i -= 1`.
+#pragma once
+
+#include <string_view>
+
+#include "ast/ast.hpp"
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::frontend {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags);
+
+  /// Parses a whole program. On error, diagnostics are recorded and the
+  /// best-effort partial program is returned; callers must check
+  /// diags.has_errors().
+  [[nodiscard]] ast::Program parse_program();
+
+  /// Parses a single statement (convenience for tests).
+  [[nodiscard]] ast::StmtPtr parse_single_statement();
+
+ private:
+  // statements
+  ast::StmtPtr statement();
+  ast::StmtPtr declaration();
+  ast::StmtPtr block();
+  ast::StmtPtr if_statement();
+  ast::StmtPtr for_statement();
+  ast::StmtPtr while_statement();
+  ast::StmtPtr simple_statement();  // no trailing ';'
+
+  // expressions, by precedence
+  ast::ExprPtr expression();
+  ast::ExprPtr ternary();
+  ast::ExprPtr logical_or();
+  ast::ExprPtr logical_and();
+  ast::ExprPtr equality();
+  ast::ExprPtr relational();
+  ast::ExprPtr additive();
+  ast::ExprPtr multiplicative();
+  ast::ExprPtr unary();
+  ast::ExprPtr primary();
+
+  // helpers
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  [[nodiscard]] bool check(TokenKind k) const { return peek().kind == k; }
+  bool accept(TokenKind k);
+  const Token& expect(TokenKind k, const char* context);
+  const Token& advance();
+  [[nodiscard]] bool at_end() const { return check(TokenKind::End); }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+};
+
+/// One-call helpers: lex + parse.
+[[nodiscard]] ast::Program parse_program(std::string_view source,
+                                         DiagnosticEngine& diags);
+[[nodiscard]] ast::StmtPtr parse_statement(std::string_view source,
+                                           DiagnosticEngine& diags);
+
+}  // namespace slc::frontend

@@ -1,0 +1,72 @@
+// Token definitions for the mini-C loop dialect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace slc::frontend {
+
+enum class TokenKind : std::uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // keywords
+  KwInt,
+  KwFloat,
+  KwDouble,
+  KwBool,
+  KwFor,
+  KwWhile,
+  KwIf,
+  KwElse,
+  KwBreak,
+  KwTrue,
+  KwFalse,
+  // punctuation / operators
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Assign,       // =
+  PlusAssign,   // +=
+  MinusAssign,  // -=
+  StarAssign,   // *=
+  SlashAssign,  // /=
+  PlusPlus,     // ++
+  MinusMinus,   // --
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Not,
+  Question,
+  Colon,
+};
+
+[[nodiscard]] const char* to_string(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  SourceLoc loc;
+  std::string text;        // identifier spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+};
+
+}  // namespace slc::frontend

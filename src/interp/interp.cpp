@@ -1,0 +1,557 @@
+#include "interp/interp.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+
+#include "ast/walk.hpp"
+
+namespace slc::interp {
+
+using namespace ast;
+
+// ---------------------------------------------------------------------------
+// deterministic fill
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+double random_fill_double(std::uint64_t seed, const std::string& name,
+                          std::int64_t index) {
+  std::uint64_t h = mix(seed ^ mix(hash_name(name) + std::uint64_t(index)));
+  // Small magnitudes keep float programs away from overflow while staying
+  // bit-reproducible.
+  return double(h % 2048) / 64.0 - 16.0;
+}
+
+std::int64_t random_fill_int(std::uint64_t seed, const std::string& name,
+                             std::int64_t index) {
+  std::uint64_t h = mix(seed ^ mix(hash_name(name) + std::uint64_t(index)));
+  return std::int64_t(h % 201) - 100;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryImage
+// ---------------------------------------------------------------------------
+
+std::string MemoryImage::diff(const MemoryImage& other) const {
+  std::ostringstream os;
+  for (const auto& [name, v] : scalars) {
+    auto it = other.scalars.find(name);
+    if (it == other.scalars.end()) return "missing scalar " + name;
+    const Value& w = it->second;
+    bool same = v.is_floating() || w.is_floating()
+                    ? std::memcmp(&v.f, &w.f, sizeof(double)) == 0 &&
+                          v.is_floating() == w.is_floating()
+                    : v.i == w.i;
+    if (!same) {
+      os << "scalar " << name << ": " << (v.is_floating() ? v.f : double(v.i))
+         << " vs " << (w.is_floating() ? w.f : double(w.i));
+      return os.str();
+    }
+  }
+  for (const auto& [name, a] : arrays) {
+    auto it = other.arrays.find(name);
+    if (it == other.arrays.end()) return "missing array " + name;
+    const ArrayValue& b = it->second;
+    if (is_floating(a.type)) {
+      if (a.fdata.size() != b.fdata.size())
+        return "array " + name + " size differs";
+      for (std::size_t i = 0; i < a.fdata.size(); ++i) {
+        if (std::memcmp(&a.fdata[i], &b.fdata[i], sizeof(double)) != 0) {
+          os << "array " << name << "[" << i << "]: " << a.fdata[i] << " vs "
+             << b.fdata[i];
+          return os.str();
+        }
+      }
+    } else {
+      if (a.idata.size() != b.idata.size())
+        return "array " + name + " size differs";
+      for (std::size_t i = 0; i < a.idata.size(); ++i) {
+        if (a.idata[i] != b.idata[i]) {
+          os << "array " << name << "[" << i << "]: " << a.idata[i] << " vs "
+             << b.idata[i];
+          return os.str();
+        }
+      }
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// evaluation engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BreakException {};
+struct AbortException {
+  std::string message;
+};
+
+class Engine {
+ public:
+  Engine(const InterpOptions& options, std::uint64_t seed)
+      : options_(options), seed_(seed) {}
+
+  void run_program(const Program& program) {
+    for (const StmtPtr& s : program.stmts) exec(*s);
+  }
+
+  [[nodiscard]] MemoryImage take_memory() {
+    MemoryImage img;
+    img.scalars = std::move(scalars_);
+    img.arrays = std::move(arrays_);
+    return img;
+  }
+
+  std::uint64_t steps() const { return steps_; }
+
+ private:
+  void tick() {
+    if (++steps_ > options_.max_steps)
+      throw AbortException{"step limit exceeded (possible infinite loop)"};
+  }
+
+  // -- declarations ---------------------------------------------------------
+
+  void declare(const DeclStmt& d) {
+    if (d.is_array()) {
+      if (arrays_.contains(d.name)) return;  // re-entered decl in a loop
+      ArrayValue a;
+      a.type = d.type;
+      a.dims = d.dims;
+      std::int64_t n = 1;
+      for (std::int64_t dim : d.dims) n *= dim;
+      if (is_floating(d.type)) {
+        a.fdata.resize(std::size_t(n));
+        for (std::int64_t i = 0; i < n; ++i) {
+          double v = random_fill_double(seed_, d.name, i);
+          a.fdata[std::size_t(i)] =
+              d.type == ScalarType::Float ? double(float(v)) : v;
+        }
+      } else {
+        a.idata.resize(std::size_t(n));
+        for (std::int64_t i = 0; i < n; ++i)
+          a.idata[std::size_t(i)] = random_fill_int(seed_, d.name, i);
+      }
+      arrays_.emplace(d.name, std::move(a));
+      return;
+    }
+    Value v;
+    if (d.init != nullptr) {
+      v = coerce(eval(*d.init), d.type);
+    } else {
+      switch (d.type) {
+        case ScalarType::Int:
+          v = Value::of_int(random_fill_int(seed_, d.name, -1));
+          break;
+        case ScalarType::Bool:
+          v = Value::of_bool(random_fill_int(seed_, d.name, -1) % 2 != 0);
+          break;
+        case ScalarType::Float:
+          v = Value::of_float(random_fill_double(seed_, d.name, -1));
+          break;
+        case ScalarType::Double:
+          v = Value::of_double(random_fill_double(seed_, d.name, -1));
+          break;
+      }
+    }
+    scalars_[d.name] = v;
+  }
+
+  static Value coerce(Value v, ScalarType to) {
+    switch (to) {
+      case ScalarType::Int:
+        return Value::of_int(v.as_int());
+      case ScalarType::Bool:
+        return Value::of_bool(v.truthy());
+      case ScalarType::Float:
+        return Value::of_float(v.as_double());
+      case ScalarType::Double:
+        return Value::of_double(v.as_double());
+    }
+    return v;
+  }
+
+  // -- lvalue resolution ----------------------------------------------------
+
+  std::int64_t flat_index(const ArrayValue& a, const ArrayRef& ref) {
+    std::int64_t flat = 0;
+    for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+      std::int64_t idx = eval(*ref.subscripts[d]).as_int();
+      if (options_.check_bounds &&
+          (idx < 0 || (d < a.dims.size() && idx >= a.dims[d]))) {
+        throw AbortException{"array index out of bounds: " + ref.name + "[" +
+                             std::to_string(idx) + "] (dim " +
+                             std::to_string(d) + ")"};
+      }
+      flat = flat * (d < a.dims.size() ? a.dims[d] : 1) + idx;
+    }
+    if (options_.check_bounds &&
+        (flat < 0 || flat >= a.size()))
+      throw AbortException{"flattened index out of bounds in " + ref.name};
+    return flat;
+  }
+
+  Value load_array(const ArrayRef& ref) {
+    auto it = arrays_.find(ref.name);
+    if (it == arrays_.end())
+      throw AbortException{"undeclared array " + ref.name};
+    ArrayValue& a = it->second;
+    std::int64_t i = flat_index(a, ref);
+    if (is_floating(a.type)) {
+      double v = a.fdata[std::size_t(i)];
+      return a.type == ScalarType::Float ? Value::of_float(v)
+                                         : Value::of_double(v);
+    }
+    return a.type == ScalarType::Bool ? Value::of_bool(a.idata[std::size_t(i)] != 0)
+                                      : Value::of_int(a.idata[std::size_t(i)]);
+  }
+
+  void store_array(const ArrayRef& ref, Value v) {
+    auto it = arrays_.find(ref.name);
+    if (it == arrays_.end())
+      throw AbortException{"undeclared array " + ref.name};
+    ArrayValue& a = it->second;
+    std::int64_t i = flat_index(a, ref);
+    if (is_floating(a.type)) {
+      double d = v.as_double();
+      a.fdata[std::size_t(i)] =
+          a.type == ScalarType::Float ? double(float(d)) : d;
+    } else {
+      a.idata[std::size_t(i)] = a.type == ScalarType::Bool
+                                    ? (v.truthy() ? 1 : 0)
+                                    : v.as_int();
+    }
+  }
+
+  Value load_scalar(const std::string& name, SourceLoc loc) {
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+      throw AbortException{"use of undeclared scalar " + name + " at " +
+                           to_string(loc)};
+    return it->second;
+  }
+
+  void store_scalar(const std::string& name, Value v) {
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+      throw AbortException{"store to undeclared scalar " + name};
+    it->second = coerce(v, it->second.type);
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  Value eval(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        return Value::of_int(dyn_cast<IntLit>(&e)->value);
+      case ExprKind::FloatLit:
+        return Value::of_double(dyn_cast<FloatLit>(&e)->value);
+      case ExprKind::BoolLit:
+        return Value::of_bool(dyn_cast<BoolLit>(&e)->value);
+      case ExprKind::VarRef:
+        return load_scalar(dyn_cast<VarRef>(&e)->name, e.loc);
+      case ExprKind::ArrayRef:
+        return load_array(*dyn_cast<ArrayRef>(&e));
+      case ExprKind::Binary:
+        return eval_binary(*dyn_cast<Binary>(&e));
+      case ExprKind::Unary: {
+        const auto* u = dyn_cast<Unary>(&e);
+        Value v = eval(*u->operand);
+        if (u->op == UnaryOp::Not) return Value::of_bool(!v.truthy());
+        if (v.is_floating()) {
+          Value r = v;
+          r.f = -r.f;
+          return r;
+        }
+        return Value::of_int(-v.i);
+      }
+      case ExprKind::Call:
+        return eval_call(*dyn_cast<Call>(&e));
+      case ExprKind::Conditional: {
+        const auto* c = dyn_cast<Conditional>(&e);
+        // Short-circuit: only the selected arm is evaluated (the §10
+        // while-loop SLMS relies on this to guard pointer-like accesses).
+        return eval(*c->cond).truthy() ? eval(*c->then_expr)
+                                       : eval(*c->else_expr);
+      }
+    }
+    throw AbortException{"unreachable expression kind"};
+  }
+
+  Value eval_binary(const Binary& b) {
+    if (b.op == BinaryOp::And) {
+      Value l = eval(*b.lhs);
+      if (!l.truthy()) return Value::of_bool(false);
+      return Value::of_bool(eval(*b.rhs).truthy());
+    }
+    if (b.op == BinaryOp::Or) {
+      Value l = eval(*b.lhs);
+      if (l.truthy()) return Value::of_bool(true);
+      return Value::of_bool(eval(*b.rhs).truthy());
+    }
+
+    Value l = eval(*b.lhs);
+    Value r = eval(*b.rhs);
+    bool fp = l.is_floating() || r.is_floating();
+
+    if (is_comparison(b.op)) {
+      if (fp) {
+        double x = l.as_double(), y = r.as_double();
+        switch (b.op) {
+          case BinaryOp::Lt: return Value::of_bool(x < y);
+          case BinaryOp::Le: return Value::of_bool(x <= y);
+          case BinaryOp::Gt: return Value::of_bool(x > y);
+          case BinaryOp::Ge: return Value::of_bool(x >= y);
+          case BinaryOp::Eq: return Value::of_bool(x == y);
+          default: return Value::of_bool(x != y);
+        }
+      }
+      std::int64_t x = l.as_int(), y = r.as_int();
+      switch (b.op) {
+        case BinaryOp::Lt: return Value::of_bool(x < y);
+        case BinaryOp::Le: return Value::of_bool(x <= y);
+        case BinaryOp::Gt: return Value::of_bool(x > y);
+        case BinaryOp::Ge: return Value::of_bool(x >= y);
+        case BinaryOp::Eq: return Value::of_bool(x == y);
+        default: return Value::of_bool(x != y);
+      }
+    }
+
+    if (fp) {
+      double x = l.as_double(), y = r.as_double();
+      // Operations on two floats stay float-precision, like C.
+      bool both_float = l.type == ScalarType::Float &&
+                        r.type == ScalarType::Float;
+      double out;
+      switch (b.op) {
+        case BinaryOp::Add: out = x + y; break;
+        case BinaryOp::Sub: out = x - y; break;
+        case BinaryOp::Mul: out = x * y; break;
+        case BinaryOp::Div: out = x / y; break;
+        case BinaryOp::Mod:
+          out = std::fmod(x, y);
+          break;
+        default:
+          throw AbortException{"bad fp op"};
+      }
+      return both_float ? Value::of_float(out) : Value::of_double(out);
+    }
+
+    std::int64_t x = l.as_int(), y = r.as_int();
+    switch (b.op) {
+      case BinaryOp::Add: return Value::of_int(x + y);
+      case BinaryOp::Sub: return Value::of_int(x - y);
+      case BinaryOp::Mul: return Value::of_int(x * y);
+      case BinaryOp::Div:
+        if (y == 0) throw AbortException{"integer division by zero"};
+        return Value::of_int(x / y);
+      case BinaryOp::Mod:
+        if (y == 0) throw AbortException{"integer modulo by zero"};
+        return Value::of_int(x % y);
+      default:
+        throw AbortException{"bad int op"};
+    }
+  }
+
+  Value eval_call(const Call& c) {
+    auto arg = [&](std::size_t i) { return eval(*c.args[i]); };
+    auto need = [&](std::size_t n) {
+      if (c.args.size() != n)
+        throw AbortException{"intrinsic " + c.callee + " expects " +
+                             std::to_string(n) + " args"};
+    };
+    if (c.callee == "fabs") { need(1); return Value::of_double(std::fabs(arg(0).as_double())); }
+    if (c.callee == "sqrt") { need(1); return Value::of_double(std::sqrt(arg(0).as_double())); }
+    if (c.callee == "exp") { need(1); return Value::of_double(std::exp(arg(0).as_double())); }
+    if (c.callee == "log") { need(1); return Value::of_double(std::log(arg(0).as_double())); }
+    if (c.callee == "sin") { need(1); return Value::of_double(std::sin(arg(0).as_double())); }
+    if (c.callee == "cos") { need(1); return Value::of_double(std::cos(arg(0).as_double())); }
+    if (c.callee == "pow") { need(2); return Value::of_double(std::pow(arg(0).as_double(), arg(1).as_double())); }
+    if (c.callee == "floor") { need(1); return Value::of_double(std::floor(arg(0).as_double())); }
+    if (c.callee == "ceil") { need(1); return Value::of_double(std::ceil(arg(0).as_double())); }
+    if (c.callee == "abs") { need(1); return Value::of_int(std::llabs(arg(0).as_int())); }
+    if (c.callee == "min" || c.callee == "max") {
+      need(2);
+      Value a = arg(0), b = arg(1);
+      bool fp = a.is_floating() || b.is_floating();
+      bool pick_a = c.callee == "min"
+                        ? (fp ? a.as_double() <= b.as_double() : a.as_int() <= b.as_int())
+                        : (fp ? a.as_double() >= b.as_double() : a.as_int() >= b.as_int());
+      return pick_a ? a : b;
+    }
+    throw AbortException{"call to unknown function " + c.callee};
+  }
+
+  // -- statements -----------------------------------------------------------
+
+  void exec(const Stmt& s) {
+    tick();
+    switch (s.kind()) {
+      case StmtKind::Decl:
+        declare(*dyn_cast<DeclStmt>(&s));
+        break;
+      case StmtKind::Assign: {
+        const auto* a = dyn_cast<AssignStmt>(&s);
+        if (a->guard != nullptr && !eval(*a->guard).truthy()) break;
+        Value rhs = eval(*a->rhs);
+        if (a->op != AssignOp::Set) {
+          Value cur = a->lhs->kind() == ExprKind::VarRef
+                          ? load_scalar(dyn_cast<VarRef>(a->lhs.get())->name,
+                                        a->lhs->loc)
+                          : load_array(*dyn_cast<ArrayRef>(a->lhs.get()));
+          BinaryOp op = a->op == AssignOp::Add   ? BinaryOp::Add
+                        : a->op == AssignOp::Sub ? BinaryOp::Sub
+                        : a->op == AssignOp::Mul ? BinaryOp::Mul
+                                                 : BinaryOp::Div;
+          rhs = apply(op, cur, rhs);
+        }
+        if (const auto* v = dyn_cast<VarRef>(a->lhs.get())) {
+          store_scalar(v->name, rhs);
+        } else {
+          store_array(*dyn_cast<ArrayRef>(a->lhs.get()), rhs);
+        }
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto* x = dyn_cast<ExprStmt>(&s);
+        if (x->guard != nullptr && !eval(*x->guard).truthy()) break;
+        (void)eval(*x->expr);
+        break;
+      }
+      case StmtKind::Block:
+        for (const StmtPtr& c : dyn_cast<BlockStmt>(&s)->stmts) exec(*c);
+        break;
+      case StmtKind::Parallel:
+        // Sequential execution: see header comment.
+        for (const StmtPtr& c : dyn_cast<ParallelStmt>(&s)->stmts) exec(*c);
+        break;
+      case StmtKind::If: {
+        const auto* i = dyn_cast<IfStmt>(&s);
+        if (eval(*i->cond).truthy()) {
+          exec(*i->then_stmt);
+        } else if (i->else_stmt != nullptr) {
+          exec(*i->else_stmt);
+        }
+        break;
+      }
+      case StmtKind::For: {
+        const auto* f = dyn_cast<ForStmt>(&s);
+        if (f->init) exec(*f->init);
+        try {
+          while (f->cond == nullptr || eval(*f->cond).truthy()) {
+            tick();
+            exec(*f->body);
+            if (f->step) exec(*f->step);
+          }
+        } catch (const BreakException&) {
+        }
+        break;
+      }
+      case StmtKind::While: {
+        const auto* w = dyn_cast<WhileStmt>(&s);
+        try {
+          while (eval(*w->cond).truthy()) {
+            tick();
+            exec(*w->body);
+          }
+        } catch (const BreakException&) {
+        }
+        break;
+      }
+      case StmtKind::Break:
+        throw BreakException{};
+    }
+  }
+
+  Value apply(BinaryOp op, Value l, Value r) {
+    // Replicates eval_binary's arithmetic path for compound assignments.
+    bool fp = l.is_floating() || r.is_floating();
+    if (fp) {
+      double x = l.as_double(), y = r.as_double();
+      double out = 0.0;
+      switch (op) {
+        case BinaryOp::Add: out = x + y; break;
+        case BinaryOp::Sub: out = x - y; break;
+        case BinaryOp::Mul: out = x * y; break;
+        case BinaryOp::Div: out = x / y; break;
+        default: throw AbortException{"bad compound op"};
+      }
+      bool both_float =
+          l.type == ScalarType::Float && r.type == ScalarType::Float;
+      return both_float ? Value::of_float(out) : Value::of_double(out);
+    }
+    std::int64_t x = l.as_int(), y = r.as_int();
+    switch (op) {
+      case BinaryOp::Add: return Value::of_int(x + y);
+      case BinaryOp::Sub: return Value::of_int(x - y);
+      case BinaryOp::Mul: return Value::of_int(x * y);
+      case BinaryOp::Div:
+        if (y == 0) throw AbortException{"integer division by zero"};
+        return Value::of_int(x / y);
+      default:
+        throw AbortException{"bad compound op"};
+    }
+  }
+
+  const InterpOptions& options_;
+  std::uint64_t seed_;
+  std::uint64_t steps_ = 0;
+  std::map<std::string, Value> scalars_;
+  std::map<std::string, ArrayValue> arrays_;
+};
+
+}  // namespace
+
+RunResult Interpreter::run(const Program& program, std::uint64_t seed) {
+  Engine engine(options_, seed);
+  RunResult result;
+  try {
+    engine.run_program(program);
+    result.ok = true;
+  } catch (const AbortException& e) {
+    result.ok = false;
+    result.error = e.message;
+  } catch (const BreakException&) {
+    result.ok = false;
+    result.error = "break outside of loop";
+  }
+  result.steps = engine.steps();
+  result.memory = engine.take_memory();
+  return result;
+}
+
+std::string check_equivalent(const Program& a, const Program& b,
+                             std::uint64_t seed, InterpOptions options) {
+  Interpreter interp(options);
+  RunResult ra = interp.run(a, seed);
+  if (!ra.ok) return "original program failed: " + ra.error;
+  RunResult rb = interp.run(b, seed);
+  if (!rb.ok) return "transformed program failed: " + rb.error;
+  std::string d = ra.memory.diff(rb.memory);
+  if (!d.empty()) return "memory differs: " + d;
+  return "";
+}
+
+}  // namespace slc::interp

@@ -1,0 +1,128 @@
+// Tree-walking interpreter for the mini-C dialect — the *correctness
+// oracle* of the project. Every transformation (SLMS, MVE, scalar
+// expansion, if-conversion, interchange, fusion, ...) must produce a
+// program whose final memory image is identical to the original's on the
+// same inputs. ParallelStmt rows execute sequentially: SLMS output must
+// remain a valid sequential program (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "sema/symbol_table.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::interp {
+
+/// Runtime scalar value. Int/Bool are exact; Float is stored rounded to
+/// float precision so `float` programs behave like C.
+struct Value {
+  ast::ScalarType type = ast::ScalarType::Int;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  [[nodiscard]] static Value of_int(std::int64_t v) {
+    return {ast::ScalarType::Int, v, 0.0};
+  }
+  [[nodiscard]] static Value of_bool(bool v) {
+    return {ast::ScalarType::Bool, v ? 1 : 0, 0.0};
+  }
+  [[nodiscard]] static Value of_double(double v) {
+    return {ast::ScalarType::Double, 0, v};
+  }
+  [[nodiscard]] static Value of_float(double v) {
+    return {ast::ScalarType::Float, 0, static_cast<float>(v)};
+  }
+
+  [[nodiscard]] bool is_floating() const { return ast::is_floating(type); }
+  [[nodiscard]] double as_double() const { return is_floating() ? f : double(i); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return is_floating() ? static_cast<std::int64_t>(f) : i;
+  }
+  [[nodiscard]] bool truthy() const {
+    return is_floating() ? f != 0.0 : i != 0;
+  }
+};
+
+/// Array contents plus metadata. Multi-dimensional arrays are stored
+/// row-major.
+struct ArrayValue {
+  ast::ScalarType type = ast::ScalarType::Double;
+  std::vector<std::int64_t> dims;
+  std::vector<double> fdata;        // floating arrays
+  std::vector<std::int64_t> idata;  // int/bool arrays
+
+  [[nodiscard]] std::int64_t size() const {
+    return ast::is_floating(type) ? std::int64_t(fdata.size())
+                                  : std::int64_t(idata.size());
+  }
+};
+
+/// Final (or initial) program state: every declared variable and array.
+struct MemoryImage {
+  std::map<std::string, Value> scalars;
+  std::map<std::string, ArrayValue> arrays;
+
+  /// One-directional exact comparison (bit-level for floating data):
+  /// every variable of *this* image must exist in `other` with the same
+  /// value. Extra variables in `other` are ignored — transformations
+  /// legitimately introduce registers/predicates/expansion arrays, and
+  /// equivalence is judged on the original program's state. Returns a
+  /// human-readable description of the first difference, or empty string.
+  [[nodiscard]] std::string diff(const MemoryImage& other) const;
+  [[nodiscard]] bool operator==(const MemoryImage& other) const {
+    return diff(other).empty();
+  }
+};
+
+struct InterpOptions {
+  /// Abort after this many executed statements (runaway protection).
+  std::uint64_t max_steps = 50'000'000;
+  /// When true, array accesses out of declared bounds abort the run with
+  /// an error. SLMS-generated code must never go out of bounds.
+  bool check_bounds = true;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string error;           // set when !ok
+  std::uint64_t steps = 0;     // statements executed
+  MemoryImage memory;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(InterpOptions options = {}) : options_(options) {}
+
+  /// Runs the program from scratch. Declared arrays/scalars without
+  /// initializers are filled deterministically from `seed` (so that two
+  /// structurally different but equivalent programs see identical
+  /// inputs).
+  [[nodiscard]] RunResult run(const ast::Program& program,
+                              std::uint64_t seed = 0);
+
+ private:
+  InterpOptions options_;
+};
+
+/// Deterministic pseudo-random fill value for (seed, name, index) — shared
+/// with the test generators so expected inputs can be reconstructed.
+[[nodiscard]] double random_fill_double(std::uint64_t seed,
+                                        const std::string& name,
+                                        std::int64_t index);
+[[nodiscard]] std::int64_t random_fill_int(std::uint64_t seed,
+                                           const std::string& name,
+                                           std::int64_t index);
+
+/// Convenience: run both programs on the same seed and compare images.
+/// Returns empty string when equivalent, else a description.
+[[nodiscard]] std::string check_equivalent(const ast::Program& a,
+                                           const ast::Program& b,
+                                           std::uint64_t seed = 0,
+                                           InterpOptions options = {});
+
+}  // namespace slc::interp

@@ -1,0 +1,476 @@
+#include "kernels/kernels.hpp"
+
+namespace slc::kernels {
+
+namespace {
+
+std::vector<Kernel> make_kernels() {
+  std::vector<Kernel> ks;
+
+  // ------------------------------------------------------------------
+  // Livermore kernels (representative set; numbering follows McMahon).
+  // ------------------------------------------------------------------
+  ks.push_back({"kernel1", "livermore", "hydro fragment", R"(
+    double x[420]; double y[420]; double z[420];
+    double q = 0.5; double r = 0.25; double t = 0.125;
+    int k;
+    for (k = 0; k < 400; k++) {
+      x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+    }
+  )"});
+
+  ks.push_back({"kernel2", "livermore", "ICCG excerpt (recurrence)", R"(
+    double x[220]; double z[220];
+    int i;
+    for (i = 1; i < 200; i++) {
+      x[i] = x[i] - z[i] * x[i - 1];
+    }
+  )"});
+
+  ks.push_back({"kernel3", "livermore", "inner product", R"(
+    double x[420]; double z[420];
+    double q = 0.0;
+    int k;
+    for (k = 0; k < 400; k++) {
+      q = q + z[k] * x[k];
+    }
+  )"});
+
+  ks.push_back({"kernel5", "livermore", "tri-diagonal elimination", R"(
+    double x[220]; double y[220]; double z[220];
+    int i;
+    for (i = 1; i < 200; i++) {
+      x[i] = z[i] * (y[i] - x[i - 1]);
+    }
+  )"});
+
+  ks.push_back({"kernel7", "livermore", "equation of state fragment", R"(
+    double x[420]; double y[420]; double z[420]; double u[430];
+    double q = 0.5; double r = 0.25; double t = 0.125;
+    int k;
+    for (k = 0; k < 400; k++) {
+      x[k] = u[k] + r * (z[k] + r * y[k]) +
+             t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1]) +
+                  t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+    }
+  )"});
+
+  ks.push_back({"kernel8", "livermore", "ADI integration (paper §5)", R"(
+    double U1[220]; double U2[220]; double U3[220];
+    double DU1[120]; double DU2[120]; double DU3[120];
+    int ky;
+    for (ky = 1; ky < 100; ky++) {
+      DU1[ky] = U1[ky + 1] - U1[ky - 1];
+      DU2[ky] = U2[ky + 1] - U2[ky - 1];
+      DU3[ky] = U3[ky + 1] - U3[ky - 1];
+      U1[ky + 101] = U1[ky] + 2.0 * DU1[ky] + 2.0 * DU2[ky] + 2.0 * DU3[ky];
+      U2[ky + 101] = U2[ky] + 2.0 * DU1[ky] + 2.0 * DU2[ky] + 2.0 * DU3[ky];
+      U3[ky + 101] = U3[ky] + 2.0 * DU1[ky] + 2.0 * DU2[ky] + 2.0 * DU3[ky];
+    }
+  )"});
+
+  ks.push_back({"kernel4", "livermore", "banded linear equations (inner)",
+                R"(
+    double x[440]; double y[440];
+    double xz;
+    int k;
+    xz = 0.0;
+    for (k = 6; k < 400; k = k + 5) {
+      xz = xz + y[k] * x[k - 5] + y[k + 1] * x[k - 4];
+    }
+    x[5] = x[5] - xz;
+  )"});
+
+  ks.push_back({"kernel6", "livermore",
+                "general linear recurrence (inner band)", R"(
+    double w[420]; double b[420];
+    int i;
+    for (i = 1; i < 400; i++) {
+      w[i] = w[i] + b[i] * w[i - 1];
+    }
+  )"});
+
+  ks.push_back({"kernel9", "livermore", "integrate predictors", R"(
+    double px[440]; double dm[16];
+    int i;
+    for (i = 0; i < 400; i++) {
+      px[i] = dm[0] * px[i] + dm[1] * px[i + 2] + dm[2] * px[i + 4] +
+              dm[3] * px[i + 6] + dm[4] * px[i + 8];
+    }
+  )"});
+
+  ks.push_back({"kernel10", "livermore",
+                "difference predictors (many loop variants)", R"(
+    double cx[120]; double px[120]; double py[120]; double pz[120];
+    double pu[120]; double pv[120];
+    double ar; double br; double cr; double dr; double er;
+    int i;
+    for (i = 0; i < 100; i++) {
+      ar = cx[i];
+      br = ar - px[i];
+      px[i] = ar;
+      cr = br - py[i];
+      py[i] = br;
+      dr = cr - pz[i];
+      pz[i] = cr;
+      er = dr - pu[i];
+      pu[i] = dr;
+      pv[i] = pv[i] + er;
+    }
+  )"});
+
+  ks.push_back({"kernel11", "livermore", "first sum (prefix recurrence)", R"(
+    double x[420]; double y[420];
+    int k;
+    for (k = 1; k < 400; k++) {
+      x[k] = x[k - 1] + y[k];
+    }
+  )"});
+
+  ks.push_back({"kernel12", "livermore", "first difference", R"(
+    double x[420]; double y[421];
+    int k;
+    for (k = 0; k < 400; k++) {
+      x[k] = y[k + 1] - y[k];
+    }
+  )"});
+
+  ks.push_back({"kernel22", "livermore", "Planckian distribution", R"(
+    double x[420]; double y[420]; double u[420]; double v[420];
+    double w[420];
+    double expmax = 20.0;
+    int k;
+    for (k = 0; k < 400; k++) {
+      y[k] = min(fabs(y[k]), expmax) + 0.1;
+      x[k] = u[k] / v[k];
+      w[k] = x[k] / (exp(y[k]) - 1.0);
+    }
+  )"});
+
+  ks.push_back({"kernel24", "livermore", "location of first minimum", R"(
+    double x[420];
+    int m = 0;
+    int k;
+    for (k = 1; k < 400; k++) {
+      if (x[k] < x[m]) m = k;
+    }
+  )"});
+
+  // ------------------------------------------------------------------
+  // Linpack loops.
+  // ------------------------------------------------------------------
+  ks.push_back({"daxpy", "linpack", "y += a*x", R"(
+    double dx[420]; double dy[420];
+    double da = 0.75;
+    int i;
+    for (i = 0; i < 400; i++) {
+      dy[i] = dy[i] + da * dx[i];
+    }
+  )"});
+
+  ks.push_back({"ddot", "linpack", "dot product", R"(
+    double dx[420]; double dy[420];
+    double dtemp = 0.0;
+    int i;
+    for (i = 0; i < 400; i++) {
+      dtemp = dtemp + dx[i] * dy[i];
+    }
+  )"});
+
+  ks.push_back({"ddot2", "linpack", "dot product, unrolled-by-2 call site",
+                R"(
+    double dx[420]; double dy[420];
+    double dtemp = 0.0;
+    int i;
+    for (i = 0; i < 400; i = i + 2) {
+      dtemp = dtemp + dx[i] * dy[i] + dx[i + 1] * dy[i + 1];
+    }
+  )"});
+
+  ks.push_back({"dscal", "linpack", "x = a*x", R"(
+    double dx[420];
+    double da = 1.01;
+    int i;
+    for (i = 0; i < 400; i++) {
+      dx[i] = da * dx[i];
+    }
+  )"});
+
+  ks.push_back({"idamax", "linpack", "index of max |x|", R"(
+    double dx[420];
+    double dmax;
+    int itemp = 0;
+    int i;
+    dmax = fabs(dx[0]);
+    for (i = 1; i < 400; i++) {
+      if (fabs(dx[i]) > dmax) {
+        itemp = i;
+        dmax = fabs(dx[i]);
+      }
+    }
+  )"});
+
+  ks.push_back({"idamax2", "linpack", "index of max x (no abs)", R"(
+    double dx[420];
+    double dmax;
+    int itemp = 0;
+    int i;
+    dmax = dx[0];
+    for (i = 1; i < 400; i++) {
+      if (dx[i] > dmax) {
+        itemp = i;
+        dmax = dx[i];
+      }
+    }
+  )"});
+
+  ks.push_back({"dmxpy", "linpack", "matrix-vector column update", R"(
+    double y[220]; double M[2][220];
+    double x0 = 0.5; double x1 = 0.25;
+    int i;
+    for (i = 0; i < 200; i++) {
+      y[i] = y[i] + x0 * M[0][i] + x1 * M[1][i];
+    }
+  )"});
+
+  ks.push_back({"daxpy4", "linpack", "y += a*x, unrolled-by-4 call site",
+                R"(
+    double dx[420]; double dy[420];
+    double da = 0.75;
+    int i;
+    for (i = 0; i < 400; i = i + 4) {
+      dy[i] = dy[i] + da * dx[i];
+      dy[i + 1] = dy[i + 1] + da * dx[i + 1];
+      dy[i + 2] = dy[i + 2] + da * dx[i + 2];
+      dy[i + 3] = dy[i + 3] + da * dx[i + 3];
+    }
+  )"});
+
+  ks.push_back({"dswap", "linpack", "vector swap (memory-bound bad case)",
+                R"(
+    double dx[420]; double dy[420];
+    double dtemp;
+    int i;
+    for (i = 0; i < 400; i++) {
+      dtemp = dx[i];
+      dx[i] = dy[i];
+      dy[i] = dtemp;
+    }
+  )"});
+
+  // ------------------------------------------------------------------
+  // NAS kernel loops (inner loops of the seven NAS kernels, simplified
+  // to single canonical loops; see DESIGN.md).
+  // ------------------------------------------------------------------
+  ks.push_back({"nas_mxm", "nas", "matrix multiply inner loop", R"(
+    double A[8][260]; double B[8][260]; double C[8][260];
+    int j;
+    for (j = 0; j < 250; j++) {
+      C[2][j] = C[2][j] + A[2][5] * B[5][j] + A[2][6] * B[6][j];
+    }
+  )"});
+
+  ks.push_back({"nas_cholsky", "nas", "Cholesky column update", R"(
+    double a[320]; double b[320];
+    double fac = 0.3;
+    int i;
+    for (i = 0; i < 300; i++) {
+      a[i] = a[i] - b[i] * fac;
+    }
+  )"});
+
+  ks.push_back({"nas_btrix", "nas", "block tri-diagonal back-substitution",
+                R"(
+    double X[320]; double L1[320]; double L2[320];
+    int i;
+    for (i = 2; i < 300; i++) {
+      X[i] = X[i] - L1[i] * X[i - 1] - L2[i] * X[i - 2];
+    }
+  )"});
+
+  ks.push_back({"nas_gmtry", "nas", "Gaussian elimination fragment", R"(
+    double rmatrx[320]; double proj[320]; double wrk[320];
+    double diag = 2.0;
+    int i;
+    for (i = 0; i < 300; i++) {
+      rmatrx[i] = rmatrx[i] / diag;
+      proj[i] = proj[i] - rmatrx[i] * wrk[i];
+    }
+  )"});
+
+  ks.push_back({"nas_emit", "nas", "vortex emission (trapezoid rule)", R"(
+    double ps[320]; double vel[320];
+    double delta = 0.01;
+    int i;
+    for (i = 1; i < 300; i++) {
+      ps[i] = ps[i - 1] + delta * (vel[i] + vel[i - 1]);
+    }
+  )"});
+
+  ks.push_back({"nas_vpenta", "nas", "pentadiagonal inversion fragment", R"(
+    double f[320]; double x[320]; double y[320];
+    int i;
+    for (i = 2; i < 300; i++) {
+      f[i] = f[i] - x[i] * f[i - 1] - y[i] * f[i - 2];
+    }
+  )"});
+
+  ks.push_back({"nas_cfft2d", "nas", "FFT butterfly fragment", R"(
+    double ar[260]; double xr[130]; double xi[130];
+    int i;
+    for (i = 0; i < 128; i++) {
+      xr[i] = ar[i] + ar[i + 128];
+      xi[i] = ar[i] - ar[i + 128];
+    }
+  )"});
+
+  // ------------------------------------------------------------------
+  // "Stone" suite: synthetic loops with the dependence/operation mixes
+  // the paper's Stone results span (substitution documented in DESIGN.md).
+  // ------------------------------------------------------------------
+  ks.push_back({"stone1", "stone", "memory-bound swap (bad case, §4)", R"(
+    double X[320]; double Y[320];
+    double CT;
+    int k;
+    for (k = 0; k < 300; k++) {
+      CT = X[k];
+      X[k] = Y[k];
+      Y[k] = CT;
+    }
+  )"});
+
+  ks.push_back({"stone2", "stone", "compute-heavy polynomial (paper §9.2)",
+                R"(
+    double X[320];
+    int k;
+    for (k = 1; k < 300; k++) {
+      X[k] = X[k - 1] * X[k - 1] * X[k - 1] * X[k - 1] * X[k - 1] +
+             X[k + 1] * X[k + 1] * X[k + 1] * X[k + 1] * X[k + 1];
+    }
+  )"});
+
+  ks.push_back({"stone3", "stone", "three-point stencil", R"(
+    double a[320]; double b[320];
+    int i;
+    for (i = 1; i < 300; i++) {
+      a[i] = (b[i - 1] + b[i] + b[i + 1]) / 3.0;
+    }
+  )"});
+
+  ks.push_back({"stone4", "stone", "scalar chain through the body", R"(
+    double a[320]; double b[320]; double c[320];
+    double t; double u;
+    int i;
+    for (i = 1; i < 300; i++) {
+      t = a[i - 1] * 2.0;
+      u = t + b[i];
+      c[i] = u * u;
+      a[i] = t + 0.5;
+    }
+  )"});
+
+  ks.push_back({"stone5", "stone", "conditional stencil", R"(
+    double a[320]; double b[320];
+    int i;
+    for (i = 1; i < 300; i++) {
+      if (b[i] > 0.0) a[i] = a[i - 1] + b[i];
+      else a[i] = a[i - 1] - b[i];
+    }
+  )"});
+
+  ks.push_back({"stone6", "stone", "strided gather/scatter", R"(
+    double a[660]; double b[330]; double c[660];
+    int i;
+    for (i = 0; i < 300; i++) {
+      a[2 * i] = b[i] + c[2 * i];
+    }
+  )"});
+
+  return ks;
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<Kernel> make_nest_kernels() {
+  std::vector<Kernel> ks;
+  ks.push_back({"nest_copycol", "nest",
+                "column-carried copy (the §6 interchange example)", R"(
+    double a[48][49];
+    double t;
+    int i; int j;
+    for (i = 0; i < 44; i++) {
+      for (j = 0; j < 44; j++) {
+        t = a[i][j];
+        a[i][j + 1] = t;
+      }
+    }
+  )"});
+
+  ks.push_back({"nest_mxm", "nest", "matrix multiply (k innermost)", R"(
+    double A[24][24]; double B[24][24]; double C[24][24];
+    int i; int j; int k;
+    for (i = 0; i < 24; i++) {
+      for (j = 0; j < 24; j++) {
+        for (k = 0; k < 24; k++) {
+          C[i][j] = C[i][j] + A[i][k] * B[k][j];
+        }
+      }
+    }
+  )"});
+
+  // 96x96: the row stride (768 B) is co-prime enough with the ARM model's
+  // direct-mapped cache that tiles do not self-conflict (a 64x64 array's
+  // 512 B stride folds 8 rows onto 4 sets and defeats tiling — a real
+  // direct-mapped pathology worth remembering).
+  ks.push_back({"nest_transpose_sum", "nest",
+                "transposed access (tiling target)", R"(
+    double a[96][96]; double b[96][96];
+    int i; int j;
+    for (i = 0; i < 96; i++) {
+      for (j = 0; j < 96; j++) {
+        a[i][j] = a[i][j] + b[j][i];
+      }
+    }
+  )"});
+
+  ks.push_back({"nest_wavefront", "nest", "diagonal wavefront recurrence",
+                R"(
+    double w[48][48];
+    int i; int j;
+    for (i = 1; i < 44; i++) {
+      for (j = 1; j < 44; j++) {
+        w[i][j] = w[i - 1][j] + w[i][j - 1];
+      }
+    }
+  )"});
+  return ks;
+}
+
+}  // namespace
+
+const std::vector<Kernel>& all_kernels() {
+  static const std::vector<Kernel> kernels = make_kernels();
+  return kernels;
+}
+
+const std::vector<Kernel>& nest_kernels() {
+  static const std::vector<Kernel> kernels = make_nest_kernels();
+  return kernels;
+}
+
+std::vector<Kernel> suite(const std::string& name) {
+  std::vector<Kernel> out;
+  for (const Kernel& k : all_kernels())
+    if (k.suite == name) out.push_back(k);
+  return out;
+}
+
+const Kernel* find(const std::string& name) {
+  for (const Kernel& k : all_kernels())
+    if (k.name == name) return &k;
+  return nullptr;
+}
+
+}  // namespace slc::kernels

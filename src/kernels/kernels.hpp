@@ -1,0 +1,30 @@
+// The paper's benchmark loops (§9), written in the mini-C dialect:
+// Livermore kernels [11], Linpack loops [6], NAS kernel loops [5], and a
+// synthetic stand-in for the unavailable "STONE" suite (documented in
+// DESIGN.md). Array sizes are fixed constants — the shapes (dependence
+// structure, operation mix) follow the published kernel sources, which is
+// what drives SLMS behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace slc::kernels {
+
+struct Kernel {
+  std::string name;
+  std::string suite;        // "livermore" | "linpack" | "nas" | "stone"
+  std::string description;
+  std::string source;       // complete mini-C program
+};
+
+[[nodiscard]] const std::vector<Kernel>& all_kernels();
+[[nodiscard]] std::vector<Kernel> suite(const std::string& name);
+[[nodiscard]] const Kernel* find(const std::string& name);
+
+/// Perfect 2-level nests exercising the SLC pass (interchange/tiling +
+/// SLMS). Kept out of all_kernels(): the figure benches measure single
+/// loops, and these have two.
+[[nodiscard]] const std::vector<Kernel>& nest_kernels();
+
+}  // namespace slc::kernels

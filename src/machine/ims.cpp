@@ -1,0 +1,306 @@
+#include "machine/ims.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "support/int_math.hpp"
+
+namespace slc::machine {
+
+namespace {
+
+struct Dep {
+  int src, dst, latency, distance;
+};
+
+std::vector<Dep> all_deps(const std::vector<MInst>& block,
+                          const MachineModel& model, std::int64_t step) {
+  std::vector<Dep> out;
+  for (const MirDep& d : block_deps(block, model))
+    out.push_back({d.src, d.dst, d.latency, 0});
+  for (const MirDep& d : carried_deps(block, model, step))
+    out.push_back({d.src, d.dst, d.latency, d.distance});
+  return out;
+}
+
+int resource_mii(const std::vector<MInst>& block, const MachineModel& model) {
+  std::array<int, 3> uses{0, 0, 0};
+  for (const MInst& m : block) ++uses[std::size_t(unit_class(m.op, m.fp))];
+  int mii = 1;
+  for (int c = 0; c < 3; ++c) {
+    int units = model.units_of(UnitClass(c));
+    if (uses[std::size_t(c)] > 0)
+      mii = std::max(mii, int(ceil_div(uses[std::size_t(c)], units)));
+  }
+  mii = std::max(mii, int(ceil_div(std::int64_t(block.size()),
+                                   std::int64_t(model.issue_width))));
+  return mii;
+}
+
+/// Recurrence MII by feasibility search (Bellman-Ford positive-cycle
+/// test), like the source-level solver but with machine latencies.
+int recurrence_mii(int n, const std::vector<Dep>& deps) {
+  for (int ii = 1; ii <= 128; ++ii) {
+    std::vector<long> sigma(std::size_t(n), 0);
+    bool feasible = true;
+    for (int round = 0; round <= n; ++round) {
+      bool changed = false;
+      for (const Dep& d : deps) {
+        long w = d.latency - long(ii) * d.distance;
+        if (sigma[std::size_t(d.src)] + w > sigma[std::size_t(d.dst)]) {
+          sigma[std::size_t(d.dst)] = sigma[std::size_t(d.src)] + w;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+      if (round == n) feasible = false;
+    }
+    if (feasible) return ii;
+  }
+  return 128;
+}
+
+/// Modulo reservation table: per (row, unit-class) usage plus issue slots.
+class ReservationTable {
+ public:
+  ReservationTable(int ii, const MachineModel& model)
+      : ii_(ii), model_(model), unit_use_(std::size_t(ii), {0, 0, 0}),
+        issue_use_(std::size_t(ii), 0) {}
+
+  [[nodiscard]] bool fits(int slot, UnitClass cls) const {
+    int row = slot % ii_;
+    return unit_use_[std::size_t(row)][std::size_t(cls)] <
+               model_.units_of(cls) &&
+           issue_use_[std::size_t(row)] < model_.issue_width;
+  }
+  void place(int slot, UnitClass cls) {
+    int row = slot % ii_;
+    ++unit_use_[std::size_t(row)][std::size_t(cls)];
+    ++issue_use_[std::size_t(row)];
+  }
+  void remove(int slot, UnitClass cls) {
+    int row = slot % ii_;
+    --unit_use_[std::size_t(row)][std::size_t(cls)];
+    --issue_use_[std::size_t(row)];
+  }
+
+ private:
+  int ii_;
+  const MachineModel& model_;
+  std::vector<std::array<int, 3>> unit_use_;
+  std::vector<int> issue_use_;
+};
+
+struct Attempt {
+  bool ok = false;
+  std::vector<int> slot;
+};
+
+Attempt try_schedule(const std::vector<MInst>& block,
+                     const std::vector<Dep>& deps, const MachineModel& model,
+                     int ii, int budget) {
+  const int n = int(block.size());
+  Attempt attempt;
+
+  // Height priority: longest latency path (modulo-adjusted) to any sink.
+  std::vector<int> height(std::size_t(n), 0);
+  for (int pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (const Dep& d : deps) {
+      int h = d.latency - ii * d.distance + height[std::size_t(d.dst)];
+      if (h > height[std::size_t(d.src)]) {
+        height[std::size_t(d.src)] = h;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<int> slot(std::size_t(n), -1);
+  std::vector<int> never_scheduled(std::size_t(n), 1);
+  ReservationTable table(ii, model);
+
+  auto pick_next = [&]() {
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (slot[std::size_t(i)] >= 0) continue;
+      if (best < 0 || height[std::size_t(i)] > height[std::size_t(best)])
+        best = i;
+    }
+    return best;
+  };
+
+  int remaining = n;
+  while (remaining > 0 && budget > 0) {
+    --budget;
+    int op = pick_next();
+    const MInst& m = block[std::size_t(op)];
+    UnitClass cls = unit_class(m.op, m.fp);
+
+    // Earliest start from scheduled predecessors.
+    int e = 0;
+    for (const Dep& d : deps) {
+      if (d.dst != op || slot[std::size_t(d.src)] < 0) continue;
+      e = std::max(e, slot[std::size_t(d.src)] + d.latency -
+                          ii * d.distance);
+    }
+    int chosen = -1;
+    for (int t = e; t < e + ii; ++t) {
+      if (table.fits(t, cls)) {
+        chosen = t;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      // Force placement at the earliest slot, evicting the conflicting
+      // occupants of that row (Rau's unschedule step).
+      chosen = never_scheduled[std::size_t(op)] ? e : e + 1;
+      for (int i = 0; i < n; ++i) {
+        if (i == op || slot[std::size_t(i)] < 0) continue;
+        const MInst& other = block[std::size_t(i)];
+        if (slot[std::size_t(i)] % ii == chosen % ii &&
+            unit_class(other.op, other.fp) == cls) {
+          table.remove(slot[std::size_t(i)],
+                       unit_class(other.op, other.fp));
+          slot[std::size_t(i)] = -1;
+          ++remaining;
+        }
+      }
+      if (!table.fits(chosen, cls)) {
+        // Still full (issue width): evict any occupant of the row.
+        for (int i = 0; i < n && !table.fits(chosen, cls); ++i) {
+          if (i == op || slot[std::size_t(i)] < 0) continue;
+          if (slot[std::size_t(i)] % ii == chosen % ii) {
+            table.remove(slot[std::size_t(i)],
+                         unit_class(block[std::size_t(i)].op,
+                                    block[std::size_t(i)].fp));
+            slot[std::size_t(i)] = -1;
+            ++remaining;
+          }
+        }
+      }
+      if (!table.fits(chosen, cls)) continue;  // try again with budget
+    }
+    // Evict already-scheduled successors whose constraints break.
+    for (const Dep& d : deps) {
+      if (d.src != op || slot[std::size_t(d.dst)] < 0 || d.dst == op)
+        continue;
+      if (slot[std::size_t(d.dst)] + ii * d.distance <
+          chosen + d.latency) {
+        table.remove(slot[std::size_t(d.dst)],
+                     unit_class(block[std::size_t(d.dst)].op,
+                                block[std::size_t(d.dst)].fp));
+        slot[std::size_t(d.dst)] = -1;
+        ++remaining;
+      }
+    }
+    table.place(chosen, cls);
+    slot[std::size_t(op)] = chosen;
+    never_scheduled[std::size_t(op)] = 0;
+    --remaining;
+  }
+
+  if (remaining > 0) return attempt;
+  attempt.ok = true;
+  attempt.slot = std::move(slot);
+  return attempt;
+}
+
+}  // namespace
+
+ImsResult modulo_schedule(const std::vector<MInst>& block,
+                          const MachineModel& model, std::int64_t step,
+                          ImsOptions options) {
+  ImsResult result;
+  if (block.empty()) {
+    result.fail_reason = "empty block";
+    return result;
+  }
+  std::vector<Dep> deps = all_deps(block, model, step);
+  result.res_mii = resource_mii(block, model);
+  result.rec_mii = recurrence_mii(int(block.size()), deps);
+  int mii = std::max(result.res_mii, result.rec_mii);
+
+  for (int ii = mii; ii <= mii + options.max_ii_span; ++ii) {
+    Attempt attempt =
+        try_schedule(block, deps, model, ii,
+                     options.budget_per_op * int(block.size()));
+    if (!attempt.ok) continue;
+
+    result.ii = ii;
+    result.slot = std::move(attempt.slot);
+    // Normalize so the earliest slot is >= 0.
+    int min_slot = *std::min_element(result.slot.begin(), result.slot.end());
+    if (min_slot != 0)
+      for (int& s : result.slot) s -= min_slot;
+    int max_slot = *std::max_element(result.slot.begin(), result.slot.end());
+    result.stages = max_slot / ii + 1;
+
+    // Register pressure: copies needed per value = ceil(lifetime / II).
+    int live_fp = 0, live_int = 0;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (block[i].dst < 0) continue;
+      long last_use = -1;
+      for (const Dep& d : deps) {
+        // Value flow only (latency > 0 RAW approximated by src==i dst use).
+        if (d.src != int(i)) continue;
+        const MInst& consumer = block[std::size_t(d.dst)];
+        bool reads = false;
+        for (int s : consumer.sources())
+          if (s == block[i].dst) reads = true;
+        if (consumer.pred == block[i].dst) reads = true;
+        if (!reads) continue;
+        last_use = std::max(
+            last_use, long(result.slot[std::size_t(d.dst)]) + long(ii) *
+                                                                  d.distance);
+      }
+      if (last_use < 0) continue;
+      long lifetime = last_use - result.slot[i];
+      int copies = int(std::max<long>(1, ceil_div(lifetime, ii)));
+      if (block[i].fp) {
+        live_fp += copies;
+      } else {
+        live_int += copies;
+      }
+    }
+    result.max_live_fp = live_fp;
+    result.max_live_int = live_int;
+    if (options.enforce_register_limit &&
+        (live_fp > model.fp_regs || live_int > model.int_regs)) {
+      result.ok = false;
+      result.fail_reason = "register pressure exceeds the register file";
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+  result.fail_reason = "no feasible II within the search span";
+  return result;
+}
+
+std::optional<std::string> verify_modulo_schedule(
+    const std::vector<MInst>& block, const MachineModel& model,
+    std::int64_t step, const ImsResult& result) {
+  std::vector<Dep> deps = all_deps(block, model, step);
+  for (const Dep& d : deps) {
+    if (result.slot[std::size_t(d.dst)] + result.ii * d.distance <
+        result.slot[std::size_t(d.src)] + d.latency) {
+      return "modulo dependence " + std::to_string(d.src) + "->" +
+             std::to_string(d.dst) + " violated";
+    }
+  }
+  std::map<int, std::array<int, 3>> unit_use;
+  std::map<int, int> issue_use;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    int row = result.slot[i] % result.ii;
+    UnitClass cls = unit_class(block[i].op, block[i].fp);
+    if (++unit_use[row][std::size_t(cls)] > model.units_of(cls))
+      return "unit oversubscription in modulo row " + std::to_string(row);
+    if (++issue_use[row] > model.issue_width)
+      return "issue width exceeded in modulo row " + std::to_string(row);
+  }
+  return std::nullopt;
+}
+
+}  // namespace slc::machine

@@ -1,0 +1,59 @@
+// Iterative Modulo Scheduling (Rau [17,18]) — the machine-level MS that
+// the paper's "strong final compilers" (ICC, XLC) implement, built here
+// as the comparison baseline. Operates on one canonical loop body block:
+//
+//   * MII = max(ResMII, RecMII);
+//   * height-directed scheduling into a modulo reservation table with a
+//     budgeted eviction ("unschedule") loop;
+//   * register-pressure estimate: simultaneous live values across kernel
+//     stages (modulo variable expansion copies), the quantity behind the
+//     paper's Fig. 11 failure mode.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "machine/sched.hpp"
+
+namespace slc::machine {
+
+struct ImsOptions {
+  int max_ii_span = 16;  // tries II in [MII, MII + span]
+  int budget_per_op = 8;
+  /// If the pressure estimate exceeds the register file, IMS reports
+  /// failure (the compiler "prevents from using the code", paper §7).
+  bool enforce_register_limit = true;
+};
+
+struct ImsResult {
+  bool ok = false;
+  std::string fail_reason;
+  int ii = 0;
+  int res_mii = 0;
+  int rec_mii = 0;
+  std::vector<int> slot;  // absolute schedule time per instruction
+  int stages = 0;
+  int max_live_fp = 0;
+  int max_live_int = 0;
+
+  [[nodiscard]] int row(int inst) const { return slot[std::size_t(inst)] % ii; }
+  [[nodiscard]] int stage(int inst) const {
+    return slot[std::size_t(inst)] / ii;
+  }
+};
+
+/// Modulo-schedules one loop body block. `step` is the canonical loop's
+/// normalized step (for memory recurrences).
+[[nodiscard]] ImsResult modulo_schedule(const std::vector<MInst>& block,
+                                        const MachineModel& model,
+                                        std::int64_t step,
+                                        ImsOptions options = {});
+
+/// Checker used in tests: every dependence satisfied under modulo timing
+/// (slot[dst] + II*dist >= slot[src] + lat) and no modulo-row resource
+/// oversubscription.
+[[nodiscard]] std::optional<std::string> verify_modulo_schedule(
+    const std::vector<MInst>& block, const MachineModel& model,
+    std::int64_t step, const ImsResult& result);
+
+}  // namespace slc::machine

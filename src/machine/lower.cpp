@@ -1,0 +1,516 @@
+#include "machine/lower.hpp"
+
+#include <set>
+
+#include "analysis/linear_form.hpp"
+#include "ast/walk.hpp"
+#include "sema/loop_info.hpp"
+
+namespace slc::machine {
+
+using namespace ast;
+
+namespace {
+
+const std::set<std::string>& pure_intrinsics() {
+  static const std::set<std::string> fns = {
+      "fabs", "sqrt", "exp", "log", "sin", "cos", "min", "max", "abs",
+      "pow",  "floor", "ceil"};
+  return fns;
+}
+
+class Lowerer {
+ public:
+  Lowerer(DiagnosticEngine& diags, LowerOptions options)
+      : diags_(diags), options_(options) {}
+
+  MirProgram take(const Program& program) {
+    // Pre-pass: register every declaration (the dialect is flat-scoped).
+    std::int64_t next_addr = 64;  // leave a null guard page
+    for (const StmtPtr& s : program.stmts) {
+      walk_stmts(*s, [&](const Stmt& st) {
+        const auto* d = dyn_cast<DeclStmt>(&st);
+        if (d == nullptr) return;
+        if (d->is_array()) {
+          ArrayInfo info;
+          info.dims = d->dims;
+          info.size = 1;
+          for (std::int64_t dim : d->dims) info.size *= dim;
+          info.fp = is_floating(d->type);
+          info.base_addr = next_addr;
+          next_addr += info.size * options_.element_bytes;
+          program_.arrays.emplace(d->name, std::move(info));
+        } else {
+          int v = new_vreg(is_floating(d->type));
+          program_.scalar_vreg[d->name] = v;
+          program_.scalar_fp[d->name] = is_floating(d->type);
+        }
+      });
+    }
+
+    std::vector<Region> regions;
+    lower_stmt_list(program.stmts, regions);
+    program_.regions = std::move(regions);
+    program_.num_vregs = next_vreg_;
+    return std::move(program_);
+  }
+
+ private:
+  // -- registers --------------------------------------------------------
+
+  int new_vreg(bool fp) {
+    vreg_fp_.push_back(fp);
+    return next_vreg_++;
+  }
+  bool is_fp(int vreg) const { return vreg_fp_[std::size_t(vreg)]; }
+
+  MInst& emit(std::vector<MInst>& block, MInst inst) {
+    block.push_back(std::move(inst));
+    return block.back();
+  }
+
+  int emit_const_int(std::vector<MInst>& block, std::int64_t v) {
+    MInst m;
+    m.op = Op::Const;
+    m.dst = new_vreg(false);
+    m.imm = v;
+    emit(block, std::move(m));
+    return block.back().dst;
+  }
+
+  // -- expressions ------------------------------------------------------
+
+  int lower_expr(const Expr& e, std::vector<MInst>& block) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        return emit_const_int(block, dyn_cast<IntLit>(&e)->value);
+      case ExprKind::FloatLit: {
+        MInst m;
+        m.op = Op::Const;
+        m.dst = new_vreg(true);
+        m.fp = true;
+        m.fimm = dyn_cast<FloatLit>(&e)->value;
+        emit(block, std::move(m));
+        return block.back().dst;
+      }
+      case ExprKind::BoolLit:
+        return emit_const_int(block, dyn_cast<BoolLit>(&e)->value ? 1 : 0);
+      case ExprKind::VarRef: {
+        const auto& name = dyn_cast<VarRef>(&e)->name;
+        auto it = program_.scalar_vreg.find(name);
+        if (it == program_.scalar_vreg.end()) {
+          diags_.error(e.loc, "lowering: undeclared scalar " + name);
+          return emit_const_int(block, 0);
+        }
+        return it->second;
+      }
+      case ExprKind::ArrayRef: {
+        const auto* a = dyn_cast<ArrayRef>(&e);
+        int idx = lower_index(*a, block);
+        MInst m;
+        m.op = Op::Load;
+        auto arr = program_.arrays.find(a->name);
+        bool fp = arr != program_.arrays.end() && arr->second.fp;
+        m.dst = new_vreg(fp);
+        m.fp = fp;
+        m.src1 = idx;
+        m.array = a->name;
+        m.affine = affine_of(*a);
+        emit(block, std::move(m));
+        return block.back().dst;
+      }
+      case ExprKind::Binary:
+        return lower_binary(*dyn_cast<Binary>(&e), block);
+      case ExprKind::Unary: {
+        const auto* u = dyn_cast<Unary>(&e);
+        int src = lower_expr(*u->operand, block);
+        MInst m;
+        if (u->op == UnaryOp::Not) {
+          m.op = Op::Not;
+          m.dst = new_vreg(false);
+        } else {
+          m.op = is_fp(src) ? Op::FNeg : Op::Neg;
+          m.fp = is_fp(src);
+          m.dst = new_vreg(m.fp);
+        }
+        m.src1 = src;
+        emit(block, std::move(m));
+        return block.back().dst;
+      }
+      case ExprKind::Call: {
+        const auto* c = dyn_cast<Call>(&e);
+        if (!pure_intrinsics().contains(c->callee))
+          diags_.error(e.loc, "lowering: unknown callee " + c->callee);
+        MInst m;
+        m.op = Op::Call;
+        m.callee = c->callee;
+        if (!c->args.empty()) m.src1 = lower_expr(*c->args[0], block);
+        if (c->args.size() > 1) m.src2 = lower_expr(*c->args[1], block);
+        bool fp = c->callee != "abs";
+        m.fp = fp;
+        m.dst = new_vreg(fp);
+        emit(block, std::move(m));
+        return block.back().dst;
+      }
+      case ExprKind::Conditional: {
+        const auto* x = dyn_cast<Conditional>(&e);
+        int c = lower_expr(*x->cond, block);
+        int t = lower_expr(*x->then_expr, block);
+        int f = lower_expr(*x->else_expr, block);
+        MInst m;
+        m.op = Op::Select;
+        m.fp = is_fp(t) || is_fp(f);
+        m.dst = new_vreg(m.fp);
+        m.src1 = c;
+        m.src2 = t;
+        m.src3 = f;
+        emit(block, std::move(m));
+        return block.back().dst;
+      }
+    }
+    return emit_const_int(block, 0);
+  }
+
+  int lower_binary(const Binary& b, std::vector<MInst>& block) {
+    int l = lower_expr(*b.lhs, block);
+    int r = lower_expr(*b.rhs, block);
+    bool fp = is_fp(l) || is_fp(r);
+    MInst m;
+    m.fp = fp;
+    switch (b.op) {
+      case BinaryOp::Add: m.op = fp ? Op::FAdd : Op::Add; break;
+      case BinaryOp::Sub: m.op = fp ? Op::FSub : Op::Sub; break;
+      case BinaryOp::Mul: m.op = fp ? Op::FMul : Op::Mul; break;
+      case BinaryOp::Div: m.op = fp ? Op::FDiv : Op::Div; break;
+      case BinaryOp::Mod: m.op = Op::Mod; break;
+      case BinaryOp::Lt: m.op = Op::CmpLt; break;
+      case BinaryOp::Le: m.op = Op::CmpLe; break;
+      case BinaryOp::Gt: m.op = Op::CmpGt; break;
+      case BinaryOp::Ge: m.op = Op::CmpGe; break;
+      case BinaryOp::Eq: m.op = Op::CmpEq; break;
+      case BinaryOp::Ne: m.op = Op::CmpNe; break;
+      // Logical ops lower eagerly; expressions in the dialect are pure,
+      // so evaluating both sides is safe.
+      case BinaryOp::And: m.op = Op::And; break;
+      case BinaryOp::Or: m.op = Op::Or; break;
+    }
+    bool result_fp = fp && !is_comparison(b.op) && !is_logical(b.op);
+    m.dst = new_vreg(result_fp);
+    m.src1 = l;
+    m.src2 = r;
+    emit(block, std::move(m));
+    return block.back().dst;
+  }
+
+  /// Flattened element index of a (possibly multi-dimensional) reference.
+  int lower_index(const ArrayRef& a, std::vector<MInst>& block) {
+    auto arr = program_.arrays.find(a.name);
+    int idx = lower_expr(*a.subscripts[0], block);
+    if (a.subscripts.size() == 1) return idx;
+    for (std::size_t d = 1; d < a.subscripts.size(); ++d) {
+      std::int64_t dim =
+          arr != program_.arrays.end() && d < arr->second.dims.size()
+              ? arr->second.dims[d]
+              : 1;
+      int dim_reg = emit_const_int(block, dim);
+      MInst mul;
+      mul.op = Op::Mul;
+      mul.dst = new_vreg(false);
+      mul.src1 = idx;
+      mul.src2 = dim_reg;
+      emit(block, std::move(mul));
+      int scaled = block.back().dst;
+      int sub = lower_expr(*a.subscripts[d], block);
+      MInst add;
+      add.op = Op::Add;
+      add.dst = new_vreg(false);
+      add.src1 = scaled;
+      add.src2 = sub;
+      emit(block, std::move(add));
+      idx = block.back().dst;
+    }
+    return idx;
+  }
+
+  /// Affine (flattened) address form w.r.t. the innermost canonical loop.
+  std::optional<AffineAddr> affine_of(const ArrayRef& a) {
+    if (current_iv_.empty()) return std::nullopt;
+    auto arr = program_.arrays.find(a.name);
+    std::int64_t coef = 0, offset = 0, scale = 1;
+    // Row-major flattening, processed from the last dimension backwards.
+    for (std::size_t d = a.subscripts.size(); d-- > 0;) {
+      analysis::LinearForm f = analysis::linearize(*a.subscripts[d]);
+      if (!f.exact) return std::nullopt;
+      analysis::LinearForm residue = f.without(current_iv_);
+      if (!residue.coeffs.empty()) return std::nullopt;  // symbolic part
+      coef += scale * f.coeff_of(current_iv_);
+      offset += scale * f.constant;
+      if (arr != program_.arrays.end() && d < arr->second.dims.size())
+        scale *= arr->second.dims[d];
+    }
+    return AffineAddr{coef, offset};
+  }
+
+  // -- statements -------------------------------------------------------
+
+  /// Appends simple statements to `block`; compound statements flush the
+  /// block into `regions` and add Loop/Cond regions.
+  void lower_stmt_list(const std::vector<StmtPtr>& stmts,
+                       std::vector<Region>& regions) {
+    std::vector<MInst> block;
+    auto flush = [&] {
+      if (!block.empty()) regions.emplace_back(std::move(block));
+      block = {};
+    };
+    for (const StmtPtr& s : stmts) lower_stmt(*s, block, regions, flush);
+    flush();
+  }
+
+  void lower_stmt(const Stmt& s, std::vector<MInst>& block,
+                  std::vector<Region>& regions,
+                  const std::function<void()>& flush) {
+    switch (s.kind()) {
+      case StmtKind::Decl: {
+        const auto* d = dyn_cast<DeclStmt>(&s);
+        if (!d->is_array() && d->init != nullptr) {
+          int v = lower_expr(*d->init, block);
+          MInst m;
+          m.op = Op::Mov;
+          m.dst = program_.scalar_vreg.at(d->name);
+          m.fp = program_.scalar_fp.at(d->name);
+          m.src1 = v;
+          emit(block, std::move(m));
+        }
+        break;
+      }
+      case StmtKind::Assign:
+        lower_assign(*dyn_cast<AssignStmt>(&s), block);
+        break;
+      case StmtKind::ExprStmt: {
+        const auto* x = dyn_cast<ExprStmt>(&s);
+        int pred = -1;
+        if (x->guard != nullptr) pred = lower_expr(*x->guard, block);
+        std::vector<MInst> tmp;
+        (void)lower_expr(*x->expr, tmp);
+        for (MInst& m : tmp) {
+          if (pred >= 0 && m.pred < 0) m.pred = pred;
+          block.push_back(std::move(m));
+        }
+        break;
+      }
+      case StmtKind::Block:
+        for (const StmtPtr& c : dyn_cast<BlockStmt>(&s)->stmts)
+          lower_stmt(*c, block, regions, flush);
+        break;
+      case StmtKind::Parallel:
+        for (const StmtPtr& c : dyn_cast<ParallelStmt>(&s)->stmts)
+          lower_stmt(*c, block, regions, flush);
+        break;
+      case StmtKind::For:
+        flush();
+        regions.push_back(lower_for(*dyn_cast<ForStmt>(&s)));
+        break;
+      case StmtKind::While:
+        flush();
+        regions.push_back(lower_while(*dyn_cast<WhileStmt>(&s)));
+        break;
+      case StmtKind::If:
+        flush();
+        regions.push_back(lower_if(*dyn_cast<IfStmt>(&s)));
+        break;
+      case StmtKind::Break:
+        diags_.error(s.loc, "lowering: break is not supported");
+        break;
+    }
+  }
+
+  void lower_assign(const AssignStmt& a, std::vector<MInst>& block) {
+    int pred = -1;
+    if (a.guard != nullptr) pred = lower_expr(*a.guard, block);
+    // Everything emitted for a guarded statement is predicated — a false
+    // guard must suppress even the loads (they may be out of bounds).
+    std::size_t guarded_from = block.size();
+
+    // Value to store (applying compound ops against the current value).
+    auto compute_value = [&](int current) -> int {
+      int rhs = lower_expr(*a.rhs, block);
+      if (a.op == AssignOp::Set) return rhs;
+      bool fp = is_fp(current) || is_fp(rhs);
+      MInst m;
+      m.fp = fp;
+      switch (a.op) {
+        case AssignOp::Add: m.op = fp ? Op::FAdd : Op::Add; break;
+        case AssignOp::Sub: m.op = fp ? Op::FSub : Op::Sub; break;
+        case AssignOp::Mul: m.op = fp ? Op::FMul : Op::Mul; break;
+        default: m.op = fp ? Op::FDiv : Op::Div; break;
+      }
+      m.dst = new_vreg(fp);
+      m.src1 = current;
+      m.src2 = rhs;
+      emit(block, std::move(m));
+      return block.back().dst;
+    };
+
+    auto predicate_tail = [&] {
+      if (pred < 0) return;
+      for (std::size_t k = guarded_from; k < block.size(); ++k)
+        if (block[k].pred < 0) block[k].pred = pred;
+    };
+
+    if (const auto* v = dyn_cast<VarRef>(a.lhs.get())) {
+      int dst = program_.scalar_vreg.at(v->name);
+      int value = compute_value(dst);
+      MInst m;
+      m.op = Op::Mov;
+      m.dst = dst;
+      m.fp = program_.scalar_fp.at(v->name);
+      m.src1 = value;
+      emit(block, std::move(m));
+      predicate_tail();
+      return;
+    }
+
+    const auto* arr = dyn_cast<ArrayRef>(a.lhs.get());
+    int idx = lower_index(*arr, block);
+    int value;
+    if (a.op == AssignOp::Set) {
+      value = compute_value(-1);
+    } else {
+      MInst load;
+      load.op = Op::Load;
+      auto it = program_.arrays.find(arr->name);
+      bool fp = it != program_.arrays.end() && it->second.fp;
+      load.dst = new_vreg(fp);
+      load.fp = fp;
+      load.src1 = idx;
+      load.array = arr->name;
+      load.affine = affine_of(*arr);
+      emit(block, std::move(load));
+      value = compute_value(block.back().dst);
+    }
+    MInst st;
+    st.op = Op::Store;
+    st.src1 = idx;
+    st.src2 = value;
+    st.array = arr->name;
+    st.fp = program_.arrays.contains(arr->name) &&
+            program_.arrays.at(arr->name).fp;
+    st.affine = affine_of(*arr);
+    emit(block, std::move(st));
+    predicate_tail();
+  }
+
+  Region lower_for(const ForStmt& f) {
+    Region region;
+    region.kind = Region::Kind::Loop;
+    region.loop = std::make_unique<LoopRegion>();
+    LoopRegion& loop = *region.loop;
+
+    // Canonical-shape facts (for the modulo scheduler's memory deps).
+    {
+      std::string reason;
+      auto info = sema::analyze_loop(const_cast<ForStmt&>(f), &reason);
+      if (info.has_value()) {
+        loop.canonical = true;
+        loop.iv_name = info->iv;
+        loop.step_value = info->step;
+      }
+    }
+
+    std::string saved_iv = current_iv_;
+    current_iv_ = loop.iv_name;  // empty when not canonical
+
+    if (f.init != nullptr) {
+      std::vector<Region> dummy;
+      lower_stmt(*f.init, loop.init, dummy, [] {});
+    }
+    if (f.cond != nullptr) {
+      loop.cond_reg = lower_expr(*f.cond, loop.cond);
+    } else {
+      loop.cond_reg = emit_const_int(loop.cond, 1);
+    }
+    if (f.step != nullptr) {
+      std::vector<Region> dummy;
+      lower_stmt(*f.step, loop.step, dummy, [] {});
+    }
+    if (loop.canonical) {
+      auto it = program_.scalar_vreg.find(loop.iv_name);
+      if (it != program_.scalar_vreg.end()) loop.counter_reg = it->second;
+    }
+    if (const auto* b = dyn_cast<BlockStmt>(f.body.get())) {
+      lower_stmt_list(b->stmts, loop.body);
+    } else if (f.body != nullptr) {
+      std::vector<StmtPtr> one;
+      // Lower a non-block body via a temporary list view.
+      std::vector<Region> regions;
+      std::vector<MInst> block;
+      lower_stmt(*f.body, block, regions, [] {});
+      if (!block.empty()) regions.emplace_back(std::move(block));
+      loop.body = std::move(regions);
+    }
+    current_iv_ = std::move(saved_iv);
+    return region;
+  }
+
+  Region lower_while(const WhileStmt& w) {
+    Region region;
+    region.kind = Region::Kind::Loop;
+    region.loop = std::make_unique<LoopRegion>();
+    LoopRegion& loop = *region.loop;
+    std::string saved_iv = current_iv_;
+    current_iv_.clear();
+    loop.cond_reg = lower_expr(*w.cond, loop.cond);
+    if (const auto* b = dyn_cast<BlockStmt>(w.body.get()))
+      lower_stmt_list(b->stmts, loop.body);
+    current_iv_ = std::move(saved_iv);
+    return region;
+  }
+
+  Region lower_if(const IfStmt& i) {
+    Region region;
+    region.kind = Region::Kind::Cond;
+    region.cond = std::make_unique<CondRegion>();
+    CondRegion& cond = *region.cond;
+    cond.pred_reg = lower_expr(*i.cond, cond.pred);
+    {
+      std::vector<MInst> block;
+      std::vector<Region> regions;
+      auto flush = [&] {
+        if (!block.empty()) regions.emplace_back(std::move(block));
+        block = {};
+      };
+      lower_stmt(*i.then_stmt, block, regions, flush);
+      flush();
+      cond.then_regions = std::move(regions);
+    }
+    if (i.else_stmt != nullptr) {
+      std::vector<MInst> block;
+      std::vector<Region> regions;
+      auto flush = [&] {
+        if (!block.empty()) regions.emplace_back(std::move(block));
+        block = {};
+      };
+      lower_stmt(*i.else_stmt, block, regions, flush);
+      flush();
+      cond.else_regions = std::move(regions);
+    }
+    return region;
+  }
+
+  DiagnosticEngine& diags_;
+  LowerOptions options_;
+  MirProgram program_;
+  std::vector<bool> vreg_fp_;
+  int next_vreg_ = 0;
+  std::string current_iv_;
+};
+
+}  // namespace
+
+MirProgram lower(const Program& program, DiagnosticEngine& diags,
+                 LowerOptions options) {
+  Lowerer lowerer(diags, options);
+  return lowerer.take(program);
+}
+
+}  // namespace slc::machine

@@ -1,0 +1,29 @@
+// AST -> MIR lowering: the code-generation stage of the simulated "final
+// compiler" (paper Fig. 3: SLMS output is compiled by ordinary
+// code-generation + scheduling). Parallel rows lower to plain sequences —
+// the backend scheduler rediscovers the parallelism from its own DDG,
+// exactly as the paper assumes of the final compiler.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.hpp"
+#include "machine/mir.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::machine {
+
+struct LowerOptions {
+  /// Element size used to lay arrays out in the flat address space the
+  /// cache model sees.
+  int element_bytes = 8;
+};
+
+/// Lowers a whole program. Unsupported constructs (break, calls to
+/// unknown functions) produce diagnostics and a best-effort result;
+/// check diags.has_errors().
+[[nodiscard]] MirProgram lower(const ast::Program& program,
+                               DiagnosticEngine& diags,
+                               LowerOptions options = {});
+
+}  // namespace slc::machine

@@ -1,0 +1,125 @@
+#include "machine/machine_model.hpp"
+
+namespace slc::machine {
+
+int MachineModel::latency(const MInst& inst) const {
+  switch (inst.op) {
+    case Op::Load:
+      return lat_load;
+    case Op::Store:
+      return 1;
+    case Op::Mul:
+      return lat_mul;
+    case Op::Div:
+    case Op::Mod:
+    case Op::FDiv:
+      return lat_div;
+    case Op::FAdd:
+    case Op::FSub:
+    case Op::FMul:
+    case Op::FNeg:
+      return lat_fpu;
+    case Op::Call:
+      return lat_call;
+    case Op::CmpLt:
+    case Op::CmpLe:
+    case Op::CmpGt:
+    case Op::CmpGe:
+    case Op::CmpEq:
+    case Op::CmpNe:
+      return inst.fp ? lat_fpu : lat_alu;
+    default:
+      return lat_alu;
+  }
+}
+
+int MachineModel::units_of(UnitClass c) const {
+  switch (c) {
+    case UnitClass::Mem:
+      return mem_units;
+    case UnitClass::Alu:
+      return alu_units;
+    case UnitClass::Fpu:
+      return fpu_units;
+  }
+  return 1;
+}
+
+MachineModel itanium2_model() {
+  MachineModel m;
+  m.name = "itanium2";
+  m.style = IssueStyle::Vliw;
+  m.issue_width = 6;
+  m.mem_units = 2;
+  m.alu_units = 4;
+  m.fpu_units = 2;
+  m.int_regs = 128;
+  m.fp_regs = 128;
+  m.lat_load = 2;
+  m.lat_fpu = 4;
+  m.cache.num_lines = 512;
+  m.cache.miss_cycles = 12;
+  return m;
+}
+
+MachineModel power4_model() {
+  MachineModel m;
+  m.name = "power4";
+  m.style = IssueStyle::Vliw;
+  m.issue_width = 5;
+  m.mem_units = 2;
+  m.alu_units = 2;
+  m.fpu_units = 2;
+  m.int_regs = 80;
+  m.fp_regs = 72;
+  m.lat_load = 3;
+  m.lat_fpu = 6;
+  m.cache.num_lines = 1024;
+  m.cache.miss_cycles = 14;
+  return m;
+}
+
+MachineModel pentium_model() {
+  MachineModel m;
+  m.name = "pentium";
+  m.style = IssueStyle::Superscalar;
+  m.issue_width = 3;
+  m.superscalar_window = 4;
+  m.mem_units = 1;
+  m.alu_units = 2;
+  m.fpu_units = 1;
+  m.int_regs = 8;
+  m.fp_regs = 8;
+  m.lat_load = 3;
+  m.lat_fpu = 4;
+  m.cache.num_lines = 256;
+  m.cache.miss_cycles = 25;
+  return m;
+}
+
+MachineModel arm7_model() {
+  MachineModel m;
+  m.name = "arm7";
+  m.style = IssueStyle::Scalar;
+  m.issue_width = 1;
+  m.mem_units = 1;
+  m.alu_units = 1;
+  m.fpu_units = 1;   // soft-float: fp ops run on the ALU, slowly
+  m.int_regs = 16;
+  m.fp_regs = 16;
+  m.lat_load = 3;    // load-use interlock window
+  m.lat_mul = 4;
+  m.lat_fpu = 8;     // soft-float sequences
+  m.lat_div = 24;
+  m.cache.num_lines = 128;
+  m.cache.line_bytes = 16;
+  m.cache.miss_cycles = 30;
+  m.power.alu_energy = 1.0;
+  m.power.fpu_energy = 4.0;
+  m.power.mem_energy = 2.5;
+  m.power.miss_energy = 20.0;
+  m.power.leakage_per_cycle = 0.3;
+  return m;
+}
+
+}  // namespace slc::machine

@@ -1,0 +1,79 @@
+// Parametric CPU models standing in for the paper's testbed machines
+// (Itanium-II, Pentium, Power4, ARM7TDMI). Each preset fixes issue style,
+// functional units, latencies, register files, cache geometry, and the
+// activity-based power coefficients used by the ARM experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/mir.hpp"
+
+namespace slc::machine {
+
+enum class IssueStyle : std::uint8_t {
+  Vliw,         // static bundles filled by the scheduler (Itanium, Power4*)
+  Superscalar,  // dynamic in-order-fetch window (Pentium)
+  Scalar,       // single-issue in-order with load-use interlock (ARM7)
+};
+
+struct CacheConfig {
+  int line_bytes = 32;
+  int num_lines = 256;    // direct-mapped
+  int hit_cycles = 1;
+  int miss_cycles = 20;
+};
+
+/// Energy coefficients (arbitrary-but-consistent units, Panalyzer-style
+/// activity model): total = sum(per-inst) + cache + leakage * cycles.
+struct PowerParams {
+  double alu_energy = 1.0;
+  double fpu_energy = 2.5;
+  double mem_energy = 2.0;       // cache access
+  double miss_energy = 12.0;     // main-memory access on a miss
+  double leakage_per_cycle = 0.4;
+};
+
+struct MachineModel {
+  std::string name;
+  IssueStyle style = IssueStyle::Vliw;
+
+  int issue_width = 6;  // instructions per cycle / bundle-pair width
+  int mem_units = 2;
+  int alu_units = 2;
+  int fpu_units = 2;
+
+  int int_regs = 32;
+  int fp_regs = 32;
+
+  // Latencies (cycles until the result is usable).
+  int lat_alu = 1;
+  int lat_mul = 3;
+  int lat_div = 12;
+  int lat_fpu = 4;
+  int lat_load = 2;  // L1 hit; misses add CacheConfig::miss_cycles
+  int lat_call = 8;
+
+  int superscalar_window = 4;  // dynamic-issue lookahead (Superscalar)
+
+  CacheConfig cache;
+  PowerParams power;
+
+  [[nodiscard]] int latency(const MInst& inst) const;
+  [[nodiscard]] int units_of(UnitClass c) const;
+
+  /// Spill penalty bookkeeping: extra memory ops per excess live value.
+  [[nodiscard]] int regs_for(bool fp) const { return fp ? fp_regs : int_regs; }
+};
+
+/// Itanium-II-like: 2 bundles/cycle => width 6, 2+2+2 units, 128 regs.
+[[nodiscard]] MachineModel itanium2_model();
+/// Power4-like: width 5, strong FP, 80 regs.
+[[nodiscard]] MachineModel power4_model();
+/// Pentium-like superscalar: width 3, window 4, 8 architectural regs.
+[[nodiscard]] MachineModel pentium_model();
+/// ARM7TDMI-like scalar: width 1, load-use interlock, 16 regs, no FPU
+/// (fp ops modelled as multi-cycle ALU sequences).
+[[nodiscard]] MachineModel arm7_model();
+
+}  // namespace slc::machine

@@ -1,0 +1,157 @@
+#include "machine/mir.hpp"
+
+#include <sstream>
+
+namespace slc::machine {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Const: return "const";
+    case Op::Mov: return "mov";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::Mod: return "mod";
+    case Op::Neg: return "neg";
+    case Op::FAdd: return "fadd";
+    case Op::FSub: return "fsub";
+    case Op::FMul: return "fmul";
+    case Op::FDiv: return "fdiv";
+    case Op::FNeg: return "fneg";
+    case Op::CmpLt: return "cmplt";
+    case Op::CmpLe: return "cmple";
+    case Op::CmpGt: return "cmpgt";
+    case Op::CmpGe: return "cmpge";
+    case Op::CmpEq: return "cmpeq";
+    case Op::CmpNe: return "cmpne";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Not: return "not";
+    case Op::Select: return "select";
+    case Op::Load: return "load";
+    case Op::Store: return "store";
+    case Op::Call: return "call";
+  }
+  return "?";
+}
+
+UnitClass unit_class(Op op, bool fp) {
+  switch (op) {
+    case Op::Load:
+    case Op::Store:
+      return UnitClass::Mem;
+    case Op::FAdd:
+    case Op::FSub:
+    case Op::FMul:
+    case Op::FDiv:
+    case Op::FNeg:
+      return UnitClass::Fpu;
+    case Op::CmpLt:
+    case Op::CmpLe:
+    case Op::CmpGt:
+    case Op::CmpGe:
+    case Op::CmpEq:
+    case Op::CmpNe:
+      return fp ? UnitClass::Fpu : UnitClass::Alu;
+    case Op::Call:
+      return fp ? UnitClass::Fpu : UnitClass::Alu;
+    default:
+      return UnitClass::Alu;
+  }
+}
+
+std::vector<int> MInst::sources() const {
+  std::vector<int> out;
+  if (src1 >= 0) out.push_back(src1);
+  if (src2 >= 0) out.push_back(src2);
+  if (src3 >= 0) out.push_back(src3);
+  return out;
+}
+
+namespace {
+std::size_t count_region(const Region& r) {
+  switch (r.kind) {
+    case Region::Kind::Block:
+      return r.insts.size();
+    case Region::Kind::Loop: {
+      std::size_t n = r.loop->init.size() + r.loop->cond.size() +
+                      r.loop->step.size();
+      for (const Region& c : r.loop->body) n += count_region(c);
+      return n;
+    }
+    case Region::Kind::Cond: {
+      std::size_t n = r.cond->pred.size();
+      for (const Region& c : r.cond->then_regions) n += count_region(c);
+      for (const Region& c : r.cond->else_regions) n += count_region(c);
+      return n;
+    }
+  }
+  return 0;
+}
+
+void dump_insts(const std::vector<MInst>& insts, int depth,
+                std::ostringstream& os) {
+  for (const MInst& m : insts) {
+    for (int d = 0; d < depth; ++d) os << "  ";
+    if (m.pred >= 0) os << "(p" << m.pred << ") ";
+    os << to_string(m.op);
+    if (m.dst >= 0) os << " v" << m.dst;
+    if (m.op == Op::Const) {
+      os << (m.fp ? " $f" : " $") << (m.fp ? m.fimm : double(m.imm));
+    }
+    if (!m.array.empty()) os << " @" << m.array;
+    if (!m.callee.empty()) os << " " << m.callee;
+    for (int s : m.sources()) os << " v" << s;
+    os << '\n';
+  }
+}
+
+void dump_region(const Region& r, int depth, std::ostringstream& os) {
+  auto indent = [&] {
+    for (int d = 0; d < depth; ++d) os << "  ";
+  };
+  switch (r.kind) {
+    case Region::Kind::Block:
+      indent();
+      os << "block {\n";
+      dump_insts(r.insts, depth + 1, os);
+      indent();
+      os << "}\n";
+      break;
+    case Region::Kind::Loop:
+      indent();
+      os << "loop (cond v" << r.loop->cond_reg << ") {\n";
+      for (const Region& c : r.loop->body) dump_region(c, depth + 1, os);
+      indent();
+      os << "}\n";
+      break;
+    case Region::Kind::Cond:
+      indent();
+      os << "if (v" << r.cond->pred_reg << ") {\n";
+      for (const Region& c : r.cond->then_regions)
+        dump_region(c, depth + 1, os);
+      indent();
+      os << "} else {\n";
+      for (const Region& c : r.cond->else_regions)
+        dump_region(c, depth + 1, os);
+      indent();
+      os << "}\n";
+      break;
+  }
+}
+}  // namespace
+
+std::size_t MirProgram::static_inst_count() const {
+  std::size_t n = 0;
+  for (const Region& r : regions) n += count_region(r);
+  return n;
+}
+
+std::string dump(const MirProgram& program) {
+  std::ostringstream os;
+  for (const Region& r : program.regions) dump_region(r, 0, os);
+  return os.str();
+}
+
+}  // namespace slc::machine

@@ -1,0 +1,135 @@
+// Machine IR (MIR): the representation the "final compiler" backends work
+// on (paper Fig. 2/3). A structured, virtual-register, 3-address IR —
+// regions instead of a CFG, because the mini-C dialect is structured and
+// the schedulers operate on straight-line blocks:
+//
+//   Region::Block — straight-line instructions (a scheduling unit);
+//   Region::Loop  — canonical counted loop with init/cond/step blocks;
+//   Region::Cond  — structured if/else (the SLMS trip-count guard).
+//
+// Loads/stores carry an optional affine address form w.r.t. the enclosing
+// loop's counter so the machine-level modulo scheduler can compute exact
+// loop-carried memory dependences — mirroring what ICC/XLC recover from
+// their own IRs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slc::machine {
+
+enum class Op : std::uint8_t {
+  Const,   // dst = imm / fimm
+  Mov,     // dst = src1
+  // integer ALU
+  Add, Sub, Mul, Div, Mod, Neg,
+  // floating point
+  FAdd, FSub, FMul, FDiv, FNeg,
+  // comparisons (fp flag selects domain); result is 0/1
+  CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe,
+  // logic
+  And, Or, Not,
+  // select: dst = src1 ? src2 : src3 (used by lowered conditionals)
+  Select,
+  // memory
+  Load,    // dst = array[src1]
+  Store,   // array[src1] = src2
+  // pure intrinsic call
+  Call,    // dst = callee(src1 [, src2])
+};
+
+[[nodiscard]] const char* to_string(Op op);
+
+/// Functional-unit classes for resource modelling.
+enum class UnitClass : std::uint8_t { Mem, Alu, Fpu };
+
+[[nodiscard]] UnitClass unit_class(Op op, bool fp);
+
+/// Affine address w.r.t. the innermost enclosing loop counter:
+/// index = coef * iteration + offset (iteration numbering is normalized).
+struct AffineAddr {
+  std::int64_t coef = 0;
+  std::int64_t offset = 0;
+};
+
+struct MInst {
+  Op op = Op::Mov;
+  int dst = -1;
+  int src1 = -1;
+  int src2 = -1;
+  int src3 = -1;       // Select only
+  int pred = -1;       // guard vreg: execute only when != 0
+  bool fp = false;     // value domain for Cmp*/arith disambiguation
+  std::int64_t imm = 0;
+  double fimm = 0.0;
+  std::string array;   // Load/Store
+  std::string callee;  // Call
+  std::optional<AffineAddr> affine;  // Load/Store inside a loop
+
+  [[nodiscard]] bool is_mem() const {
+    return op == Op::Load || op == Op::Store;
+  }
+  /// Source registers in use (excluding pred).
+  [[nodiscard]] std::vector<int> sources() const;
+};
+
+struct Region;
+
+struct LoopRegion {
+  std::vector<MInst> init;   // executed once
+  std::vector<MInst> cond;   // evaluated before each iteration
+  int cond_reg = -1;         // loop continues while vreg != 0
+  std::vector<MInst> step;   // executed after each iteration
+  std::vector<Region> body;
+  int counter_reg = -1;      // the induction variable's vreg
+  /// Canonical-loop facts recovered during lowering; `affine` fields on
+  /// body memory ops are relative to this counter when canonical.
+  bool canonical = false;
+  std::string iv_name;
+  std::int64_t step_value = 0;
+};
+
+struct CondRegion {
+  std::vector<MInst> pred;   // computes pred_reg
+  int pred_reg = -1;
+  std::vector<Region> then_regions;
+  std::vector<Region> else_regions;
+};
+
+struct Region {
+  enum class Kind : std::uint8_t { Block, Loop, Cond };
+  Kind kind = Kind::Block;
+  std::vector<MInst> insts;           // Block
+  std::unique_ptr<LoopRegion> loop;   // Loop
+  std::unique_ptr<CondRegion> cond;   // Cond
+
+  Region() = default;
+  explicit Region(std::vector<MInst> block)
+      : kind(Kind::Block), insts(std::move(block)) {}
+};
+
+struct ArrayInfo {
+  std::int64_t size = 0;        // element count (flattened)
+  bool fp = true;               // element domain
+  std::int64_t base_addr = 0;   // byte address for the cache model
+  std::vector<std::int64_t> dims;
+};
+
+struct MirProgram {
+  std::vector<Region> regions;
+  int num_vregs = 0;
+  std::map<std::string, ArrayInfo> arrays;
+  std::map<std::string, int> scalar_vreg;  // scalar name -> vreg
+  std::map<std::string, bool> scalar_fp;   // scalar name -> fp domain
+
+  /// Total statically-emitted instructions (code-size metric).
+  [[nodiscard]] std::size_t static_inst_count() const;
+};
+
+[[nodiscard]] std::string dump(const MirProgram& program);
+
+}  // namespace slc::machine

@@ -1,0 +1,84 @@
+#include "machine/ms_common.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "support/int_math.hpp"
+
+namespace slc::machine::msched {
+
+std::vector<Dep> all_deps(const std::vector<MInst>& block,
+                          const MachineModel& model, std::int64_t step) {
+  std::vector<Dep> out;
+  for (const MirDep& d : block_deps(block, model))
+    out.push_back({d.src, d.dst, d.latency, 0});
+  for (const MirDep& d : carried_deps(block, model, step))
+    out.push_back({d.src, d.dst, d.latency, d.distance});
+  return out;
+}
+
+int resource_mii(const std::vector<MInst>& block, const MachineModel& model) {
+  std::array<int, 3> uses{0, 0, 0};
+  for (const MInst& m : block) ++uses[std::size_t(unit_class(m.op, m.fp))];
+  int mii = 1;
+  for (int c = 0; c < 3; ++c) {
+    int units = model.units_of(UnitClass(c));
+    if (uses[std::size_t(c)] > 0)
+      mii = std::max(mii, int(ceil_div(uses[std::size_t(c)], units)));
+  }
+  mii = std::max(mii, int(ceil_div(std::int64_t(block.size()),
+                                   std::int64_t(model.issue_width))));
+  return mii;
+}
+
+int recurrence_mii(int n, const std::vector<Dep>& deps) {
+  for (int ii = 1; ii <= 128; ++ii) {
+    std::vector<long> sigma(std::size_t(n), 0);
+    bool feasible = true;
+    for (int round = 0; round <= n; ++round) {
+      bool changed = false;
+      for (const Dep& d : deps) {
+        long w = d.latency - long(ii) * d.distance;
+        if (sigma[std::size_t(d.src)] + w > sigma[std::size_t(d.dst)]) {
+          sigma[std::size_t(d.dst)] = sigma[std::size_t(d.src)] + w;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+      if (round == n) feasible = false;
+    }
+    if (feasible) return ii;
+  }
+  return 128;
+}
+
+std::pair<int, int> kernel_pressure(const std::vector<MInst>& block,
+                                    const std::vector<Dep>& deps,
+                                    const std::vector<int>& slot, int ii) {
+  int live_fp = 0, live_int = 0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (block[i].dst < 0) continue;
+    long last_use = -1;
+    for (const Dep& d : deps) {
+      if (d.src != int(i)) continue;
+      const MInst& consumer = block[std::size_t(d.dst)];
+      bool reads = consumer.pred == block[i].dst;
+      for (int s : consumer.sources())
+        if (s == block[i].dst) reads = true;
+      if (!reads) continue;
+      last_use = std::max(
+          last_use, long(slot[std::size_t(d.dst)]) + long(ii) * d.distance);
+    }
+    if (last_use < 0) continue;
+    long lifetime = last_use - slot[i];
+    int copies = int(std::max<long>(1, ceil_div(lifetime, ii)));
+    if (block[i].fp) {
+      live_fp += copies;
+    } else {
+      live_int += copies;
+    }
+  }
+  return {live_fp, live_int};
+}
+
+}  // namespace slc::machine::msched

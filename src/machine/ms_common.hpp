@@ -1,0 +1,32 @@
+// Shared machinery of the machine-level modulo schedulers (Rau IMS and
+// Swing MS): combined dependence lists, the ResMII/RecMII bounds, and
+// the kernel register-pressure estimate.
+#pragma once
+
+#include <vector>
+
+#include "machine/sched.hpp"
+
+namespace slc::machine::msched {
+
+struct Dep {
+  int src, dst, latency, distance;
+};
+
+[[nodiscard]] std::vector<Dep> all_deps(const std::vector<MInst>& block,
+                                        const MachineModel& model,
+                                        std::int64_t step);
+
+[[nodiscard]] int resource_mii(const std::vector<MInst>& block,
+                               const MachineModel& model);
+
+/// Recurrence MII via Bellman-Ford positive-cycle feasibility.
+[[nodiscard]] int recurrence_mii(int n, const std::vector<Dep>& deps);
+
+/// Register-pressure estimate for a kernel schedule: copies per value =
+/// ceil(lifetime / II), summed per register class. Returns {fp, int}.
+[[nodiscard]] std::pair<int, int> kernel_pressure(
+    const std::vector<MInst>& block, const std::vector<Dep>& deps,
+    const std::vector<int>& slot, int ii);
+
+}  // namespace slc::machine::msched

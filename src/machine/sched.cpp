@@ -1,0 +1,241 @@
+#include "machine/sched.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+namespace slc::machine {
+
+namespace {
+
+/// Can two memory ops provably touch different addresses every iteration?
+bool provably_disjoint_same_iter(const MInst& a, const MInst& b) {
+  if (a.array != b.array) return true;
+  if (!a.affine || !b.affine) return false;
+  if (a.affine->coef != b.affine->coef) return false;
+  return a.affine->offset != b.affine->offset;
+}
+
+}  // namespace
+
+std::vector<MirDep> block_deps(const std::vector<MInst>& block,
+                               const MachineModel& model) {
+  std::vector<MirDep> deps;
+  const int n = int(block.size());
+
+  // Register dependences: scan backwards from each use/def.
+  std::map<int, int> last_def;   // vreg -> inst index
+  std::map<int, std::vector<int>> uses_since_def;
+
+  for (int j = 0; j < n; ++j) {
+    const MInst& m = block[std::size_t(j)];
+    std::vector<int> srcs = m.sources();
+    if (m.pred >= 0) srcs.push_back(m.pred);
+    for (int v : srcs) {
+      if (auto it = last_def.find(v); it != last_def.end()) {
+        deps.push_back({it->second, j,
+                        model.latency(block[std::size_t(it->second)]), 0});
+      }
+      uses_since_def[v].push_back(j);
+    }
+    if (m.dst >= 0) {
+      if (auto it = last_def.find(m.dst); it != last_def.end())
+        deps.push_back({it->second, j, 1, 0});  // WAW
+      for (int u : uses_since_def[m.dst]) {
+        if (u != j) deps.push_back({u, j, 0, 0});  // WAR
+      }
+      uses_since_def[m.dst].clear();
+      last_def[m.dst] = j;
+    }
+  }
+
+  // Memory order.
+  for (int i = 0; i < n; ++i) {
+    const MInst& a = block[std::size_t(i)];
+    if (!a.is_mem()) continue;
+    for (int j = i + 1; j < n; ++j) {
+      const MInst& b = block[std::size_t(j)];
+      if (!b.is_mem()) continue;
+      if (a.op == Op::Load && b.op == Op::Load) continue;
+      if (provably_disjoint_same_iter(a, b)) continue;
+      // store->load forwarding 1 cycle; load->store and store->store
+      // order with 0/1.
+      int lat = a.op == Op::Store ? 1 : 0;
+      deps.push_back({i, j, lat, 0});
+    }
+  }
+  return deps;
+}
+
+std::vector<MirDep> carried_deps(const std::vector<MInst>& block,
+                                 const MachineModel& model,
+                                 std::int64_t step) {
+  std::vector<MirDep> deps;
+  const int n = int(block.size());
+
+  // Value flow through vregs that are live across the back edge: a use
+  // whose reaching definition is the previous iteration's last def.
+  std::map<int, int> last_def;
+  for (int i = 0; i < n; ++i)
+    if (block[std::size_t(i)].dst >= 0)
+      last_def[block[std::size_t(i)].dst] = i;
+
+  std::map<int, int> first_def;
+  for (int i = n - 1; i >= 0; --i)
+    if (block[std::size_t(i)].dst >= 0)
+      first_def[block[std::size_t(i)].dst] = i;
+
+  for (int j = 0; j < n; ++j) {
+    const MInst& m = block[std::size_t(j)];
+    std::vector<int> srcs = m.sources();
+    if (m.pred >= 0) srcs.push_back(m.pred);
+    for (int v : srcs) {
+      auto fd = first_def.find(v);
+      auto ld = last_def.find(v);
+      if (ld == last_def.end()) continue;       // never defined in block
+      if (fd != first_def.end() && fd->second < j) continue;  // local def
+      deps.push_back({ld->second, j,
+                      model.latency(block[std::size_t(ld->second)]), 1});
+    }
+  }
+
+  // Affine memory recurrences.
+  for (int i = 0; i < n; ++i) {
+    const MInst& a = block[std::size_t(i)];
+    if (!a.is_mem()) continue;
+    for (int j = 0; j < n; ++j) {
+      const MInst& b = block[std::size_t(j)];
+      if (!b.is_mem()) continue;
+      if (a.op == Op::Load && b.op == Op::Load) continue;
+      if (a.array != b.array) continue;
+      if (!a.affine || !b.affine || a.affine->coef != b.affine->coef ||
+          a.affine->coef == 0) {
+        // Conservative: serialize the pair across iterations.
+        deps.push_back({i, j, 1, 1});
+        continue;
+      }
+      std::int64_t stride = a.affine->coef * step;
+      std::int64_t diff = a.affine->offset - b.affine->offset;
+      if (stride == 0 || diff % stride != 0) continue;
+      std::int64_t d = diff / stride;  // b happens d iterations after a
+      if (d > 0) {
+        int lat = a.op == Op::Store ? 1 : 0;
+        deps.push_back({i, j, lat, int(d)});
+      }
+    }
+  }
+  return deps;
+}
+
+BlockSchedule list_schedule(const std::vector<MInst>& block,
+                            const MachineModel& model) {
+  const int n = int(block.size());
+  BlockSchedule out;
+  out.cycle.assign(std::size_t(n), 0);
+  if (n == 0) return out;
+
+  std::vector<MirDep> deps = block_deps(block, model);
+
+  // Critical-path heights (latency-weighted longest path to a sink).
+  std::vector<int> height(std::size_t(n), 0);
+  for (int i = n - 1; i >= 0; --i) {
+    for (const MirDep& d : deps)
+      if (d.src == i)
+        height[std::size_t(i)] = std::max(
+            height[std::size_t(i)], d.latency + height[std::size_t(d.dst)]);
+  }
+
+  std::vector<int> indegree(std::size_t(n), 0);
+  for (const MirDep& d : deps) ++indegree[std::size_t(d.dst)];
+  std::vector<int> earliest(std::size_t(n), 0);
+  std::vector<bool> scheduled(std::size_t(n), false);
+
+  // cycle -> per-class usage + total issue slots.
+  std::map<int, std::array<int, 3>> unit_use;
+  std::map<int, int> issue_use;
+
+  int completed = 0;
+  while (completed < n) {
+    // Ready set: indegree 0, unscheduled; pick max height, then order.
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (scheduled[std::size_t(i)] || indegree[std::size_t(i)] != 0)
+        continue;
+      if (best < 0 ||
+          height[std::size_t(i)] > height[std::size_t(best)] ||
+          (height[std::size_t(i)] == height[std::size_t(best)] && i < best))
+        best = i;
+    }
+    const MInst& m = block[std::size_t(best)];
+    UnitClass cls = unit_class(m.op, m.fp);
+    int t = earliest[std::size_t(best)];
+    for (;; ++t) {
+      auto& use = unit_use[t];
+      if (issue_use[t] < model.issue_width &&
+          use[std::size_t(cls)] < model.units_of(cls))
+        break;
+    }
+    unit_use[t][std::size_t(cls)] += 1;
+    issue_use[t] += 1;
+    out.cycle[std::size_t(best)] = t;
+    scheduled[std::size_t(best)] = true;
+    ++completed;
+    out.length = std::max(out.length, t + 1);
+    for (const MirDep& d : deps) {
+      if (d.src != best) continue;
+      earliest[std::size_t(d.dst)] =
+          std::max(earliest[std::size_t(d.dst)], t + d.latency);
+      --indegree[std::size_t(d.dst)];
+    }
+  }
+  return out;
+}
+
+int steady_state_cycles(const std::vector<MInst>& block,
+                        const BlockSchedule& sched,
+                        const std::vector<MirDep>& carried) {
+  (void)block;
+  int len = std::max(sched.length, 1);
+  int stall = 0;
+  for (const MirDep& d : carried) {
+    if (d.distance <= 0) continue;
+    // Next iteration's consumer issues at d.distance*len + t_dst; the
+    // producer's result is ready at t_src + latency.
+    long need = long(sched.cycle[std::size_t(d.src)]) + d.latency -
+                long(d.distance) * len - sched.cycle[std::size_t(d.dst)];
+    stall = std::max(stall, int(need));
+  }
+  return len + std::max(stall, 0);
+}
+
+std::optional<std::string> verify_block_schedule(
+    const std::vector<MInst>& block, const BlockSchedule& sched,
+    const MachineModel& model) {
+  std::ostringstream os;
+  std::vector<MirDep> deps = block_deps(block, model);
+  for (const MirDep& d : deps) {
+    if (sched.cycle[std::size_t(d.dst)] <
+        sched.cycle[std::size_t(d.src)] + d.latency) {
+      os << "dependence " << d.src << "->" << d.dst << " violated";
+      return os.str();
+    }
+  }
+  std::map<int, std::array<int, 3>> unit_use;
+  std::map<int, int> issue_use;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    UnitClass cls = unit_class(block[i].op, block[i].fp);
+    int t = sched.cycle[i];
+    if (++unit_use[t][std::size_t(cls)] > model.units_of(cls)) {
+      os << "unit class oversubscribed at cycle " << t;
+      return os.str();
+    }
+    if (++issue_use[t] > model.issue_width) {
+      os << "issue width exceeded at cycle " << t;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace slc::machine

@@ -1,0 +1,65 @@
+// Backend scheduling over MIR blocks.
+//
+//  * block_deps:    intra-iteration dependences (RAW/WAR/WAW on vregs,
+//                   memory order with affine disambiguation);
+//  * carried_deps:  loop-carried dependences of a canonical loop body
+//                   (value flow through vregs live across the back edge,
+//                   affine memory recurrences);
+//  * list_schedule: resource-constrained basic-block list scheduling —
+//                   the "weak final compiler" (GCC-like) and the stage
+//                   that runs after machine-level MS (paper Fig. 3);
+//  * steady_state_cycles: per-iteration cost of a list-scheduled body
+//                   including cross-iteration latency stalls.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "machine/mir.hpp"
+
+namespace slc::machine {
+
+struct MirDep {
+  int src = 0;
+  int dst = 0;
+  int latency = 1;
+  int distance = 0;  // iterations (0 = same iteration)
+};
+
+[[nodiscard]] std::vector<MirDep> block_deps(const std::vector<MInst>& block,
+                                             const MachineModel& model);
+
+/// Loop-carried dependences for a canonical loop body with the given
+/// normalized step. Conservative for non-affine memory accesses.
+[[nodiscard]] std::vector<MirDep> carried_deps(
+    const std::vector<MInst>& block, const MachineModel& model,
+    std::int64_t step);
+
+struct BlockSchedule {
+  std::vector<int> cycle;  // issue cycle of each instruction
+  int length = 0;          // makespan in cycles (last issue + 1)
+};
+
+/// Greedy critical-path list scheduling under the model's issue width and
+/// per-class unit limits. Always succeeds.
+[[nodiscard]] BlockSchedule list_schedule(const std::vector<MInst>& block,
+                                          const MachineModel& model);
+
+/// Per-iteration steady-state cycles of a list-scheduled loop body: the
+/// schedule length plus any stall needed to satisfy loop-carried
+/// latencies between back-to-back iterations (a weak compiler does not
+/// overlap iterations, but consecutive bodies still pipeline through the
+/// functional units' latencies).
+[[nodiscard]] int steady_state_cycles(const std::vector<MInst>& block,
+                                      const BlockSchedule& sched,
+                                      const std::vector<MirDep>& carried);
+
+/// Schedule legality checker used by the tests: dependences respected and
+/// no cycle oversubscribes a unit class or the issue width.
+[[nodiscard]] std::optional<std::string> verify_block_schedule(
+    const std::vector<MInst>& block, const BlockSchedule& sched,
+    const MachineModel& model);
+
+}  // namespace slc::machine

@@ -1,0 +1,182 @@
+#include "machine/sms.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <array>
+
+#include "machine/ms_common.hpp"
+
+namespace slc::machine {
+
+namespace {
+
+using msched::Dep;
+
+/// ASAP/ALAP slots for a candidate II via longest-path relaxation.
+struct Slack {
+  std::vector<long> asap;
+  std::vector<long> alap;
+  bool feasible = false;
+};
+
+Slack compute_slack(int n, const std::vector<Dep>& deps, int ii) {
+  Slack s;
+  s.asap.assign(std::size_t(n), 0);
+  for (int round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const Dep& d : deps) {
+      long w = d.latency - long(ii) * d.distance;
+      if (s.asap[std::size_t(d.src)] + w > s.asap[std::size_t(d.dst)]) {
+        s.asap[std::size_t(d.dst)] = s.asap[std::size_t(d.src)] + w;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      s.feasible = true;
+      break;
+    }
+  }
+  if (!s.feasible) return s;
+
+  long horizon = 0;
+  for (long v : s.asap) horizon = std::max(horizon, v);
+  s.alap.assign(std::size_t(n), horizon);
+  for (int round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const Dep& d : deps) {
+      long w = d.latency - long(ii) * d.distance;
+      if (s.alap[std::size_t(d.dst)] - w < s.alap[std::size_t(d.src)]) {
+        s.alap[std::size_t(d.src)] = s.alap[std::size_t(d.dst)] - w;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return s;
+}
+
+class ModuloTable {
+ public:
+  ModuloTable(int ii, const MachineModel& model)
+      : ii_(ii), model_(model), unit_use_(std::size_t(ii), {0, 0, 0}),
+        issue_use_(std::size_t(ii), 0) {}
+
+  [[nodiscard]] bool fits(long slot, UnitClass cls) const {
+    std::size_t row = std::size_t(((slot % ii_) + ii_) % ii_);
+    return unit_use_[row][std::size_t(cls)] < model_.units_of(cls) &&
+           issue_use_[row] < model_.issue_width;
+  }
+  void place(long slot, UnitClass cls) {
+    std::size_t row = std::size_t(((slot % ii_) + ii_) % ii_);
+    ++unit_use_[row][std::size_t(cls)];
+    ++issue_use_[row];
+  }
+
+ private:
+  int ii_;
+  const MachineModel& model_;
+  std::vector<std::array<int, 3>> unit_use_;
+  std::vector<int> issue_use_;
+};
+
+}  // namespace
+
+ImsResult swing_modulo_schedule(const std::vector<MInst>& block,
+                                const MachineModel& model, std::int64_t step,
+                                SmsOptions options) {
+  ImsResult result;
+  const int n = int(block.size());
+  if (n == 0) {
+    result.fail_reason = "empty block";
+    return result;
+  }
+  std::vector<Dep> deps = msched::all_deps(block, model, step);
+  result.res_mii = msched::resource_mii(block, model);
+  result.rec_mii = msched::recurrence_mii(n, deps);
+  int mii = std::max(result.res_mii, result.rec_mii);
+
+  for (int ii = mii; ii <= mii + options.max_ii_span; ++ii) {
+    Slack slack = compute_slack(n, deps, ii);
+    if (!slack.feasible) continue;
+
+    // Swing ordering: lowest mobility first (critical nodes), ties by
+    // depth — the "swing" between predecessors and successors collapses
+    // to this for straight-line loop bodies.
+    std::vector<int> order{};
+    order.resize(std::size_t(n));
+    for (int i = 0; i < n; ++i) order[std::size_t(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      long ma = slack.alap[std::size_t(a)] - slack.asap[std::size_t(a)];
+      long mb = slack.alap[std::size_t(b)] - slack.asap[std::size_t(b)];
+      if (ma != mb) return ma < mb;
+      return slack.asap[std::size_t(a)] < slack.asap[std::size_t(b)];
+    });
+
+    ModuloTable table(ii, model);
+    std::vector<long> slot(std::size_t(n), LONG_MIN);
+    bool ok = true;
+
+    for (int op : order) {
+      // Window from already-scheduled neighbours; unscheduled neighbours
+      // contribute their ASAP/ALAP bounds.
+      long early = slack.asap[std::size_t(op)];
+      long late = slack.alap[std::size_t(op)] + ii;  // one II of freedom
+      for (const Dep& d : deps) {
+        if (d.dst == op && slot[std::size_t(d.src)] != LONG_MIN)
+          early = std::max(early, slot[std::size_t(d.src)] + d.latency -
+                                      long(ii) * d.distance);
+        if (d.src == op && slot[std::size_t(d.dst)] != LONG_MIN)
+          late = std::min(late, slot[std::size_t(d.dst)] -
+                                    d.latency + long(ii) * d.distance);
+      }
+      if (early > late) {
+        ok = false;
+        break;
+      }
+      UnitClass cls = unit_class(block[std::size_t(op)].op,
+                                 block[std::size_t(op)].fp);
+      long chosen = LONG_MIN;
+      for (long t = early; t <= late && t < early + ii; ++t) {
+        if (table.fits(t, cls)) {
+          chosen = t;
+          break;
+        }
+      }
+      if (chosen == LONG_MIN) {
+        ok = false;  // no backtracking in SMS: bump the II
+        break;
+      }
+      table.place(chosen, cls);
+      slot[std::size_t(op)] = chosen;
+    }
+    if (!ok) continue;
+
+    // Normalize to non-negative slots.
+    long min_slot = *std::min_element(slot.begin(), slot.end());
+    result.slot.assign(std::size_t(n), 0);
+    for (int i = 0; i < n; ++i)
+      result.slot[std::size_t(i)] = int(slot[std::size_t(i)] - min_slot);
+    result.ii = ii;
+    int max_slot =
+        *std::max_element(result.slot.begin(), result.slot.end());
+    result.stages = max_slot / ii + 1;
+
+    auto [fp, integer] = msched::kernel_pressure(block, deps, result.slot,
+                                                 ii);
+    result.max_live_fp = fp;
+    result.max_live_int = integer;
+    if (options.enforce_register_limit &&
+        (fp > model.fp_regs || integer > model.int_regs)) {
+      result.ok = false;
+      result.fail_reason = "register pressure exceeds the register file";
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+  result.fail_reason = "no feasible II within the search span (SMS does "
+                       "not backtrack)";
+  return result;
+}
+
+}  // namespace slc::machine

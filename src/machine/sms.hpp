@@ -1,0 +1,26 @@
+// Swing Modulo Scheduling (Llosa et al.) — the algorithm behind GCC's
+// software pipeliner, which the paper calls "a weak Swing MS" (§9). A
+// no-backtracking alternative to Rau's IMS: nodes are ordered by
+// mobility (ALAP − ASAP) and placed as close as possible to their
+// already-scheduled neighbours; a node that does not fit bumps the II.
+// Exposed so the backend presets can model a GCC-with-SMS final compiler
+// next to the ICC-with-IMS one.
+#pragma once
+
+#include "machine/ims.hpp"
+
+namespace slc::machine {
+
+struct SmsOptions {
+  int max_ii_span = 16;
+  bool enforce_register_limit = true;
+};
+
+/// Swing-schedules one canonical loop body block. Reuses ImsResult so the
+/// two machine-MS algorithms are interchangeable downstream.
+[[nodiscard]] ImsResult swing_modulo_schedule(const std::vector<MInst>& block,
+                                              const MachineModel& model,
+                                              std::int64_t step,
+                                              SmsOptions options = {});
+
+}  // namespace slc::machine

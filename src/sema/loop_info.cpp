@@ -1,0 +1,190 @@
+#include "sema/loop_info.hpp"
+
+#include "ast/fold.hpp"
+#include "ast/walk.hpp"
+#include "support/int_math.hpp"
+
+namespace slc::sema {
+
+using namespace ast;
+
+std::optional<std::int64_t> LoopInfo::const_trip_count() const {
+  if (lower == nullptr || upper == nullptr) return std::nullopt;
+  auto lo = const_int(*lower);
+  auto hi = const_int(*upper);
+  if (!lo || !hi || step == 0) return std::nullopt;
+  std::int64_t span;
+  switch (cmp) {
+    case BinaryOp::Lt:
+      span = *hi - *lo;
+      break;
+    case BinaryOp::Le:
+      span = *hi - *lo + 1;
+      break;
+    case BinaryOp::Gt:
+      span = *lo - *hi;
+      break;
+    case BinaryOp::Ge:
+      span = *lo - *hi + 1;
+      break;
+    default:
+      return std::nullopt;
+  }
+  std::int64_t s = step > 0 ? step : -step;
+  if (span <= 0) return 0;
+  return ceil_div(span, s);
+}
+
+namespace {
+
+/// Matches `iv = e` returning e, or nullptr.
+const Expr* match_init(const Stmt* init, std::string& iv) {
+  const auto* a = dyn_cast<AssignStmt>(init);
+  if (a != nullptr && a->op == AssignOp::Set) {
+    const auto* v = dyn_cast<VarRef>(a->lhs.get());
+    if (v == nullptr) return nullptr;
+    iv = v->name;
+    return a->rhs.get();
+  }
+  // `for (int i = 0; ...)`
+  if (const auto* d = dyn_cast<DeclStmt>(init);
+      d != nullptr && !d->is_array() && d->init != nullptr) {
+    iv = d->name;
+    return d->init.get();
+  }
+  return nullptr;
+}
+
+/// Matches `iv (+|-)= c` or c-step assignments; returns signed step.
+std::optional<std::int64_t> match_step(const Stmt* step,
+                                       const std::string& iv) {
+  const auto* a = dyn_cast<AssignStmt>(step);
+  if (a == nullptr) return std::nullopt;
+  const auto* v = dyn_cast<VarRef>(a->lhs.get());
+  if (v == nullptr || v->name != iv) return std::nullopt;
+  if (a->op == AssignOp::Add || a->op == AssignOp::Sub) {
+    auto c = const_int(*a->rhs);
+    if (!c) return std::nullopt;
+    return a->op == AssignOp::Add ? *c : -*c;
+  }
+  if (a->op == AssignOp::Set) {
+    // i = i + c / i = i - c
+    const auto* b = dyn_cast<Binary>(a->rhs.get());
+    if (b == nullptr) return std::nullopt;
+    const auto* lv = dyn_cast<VarRef>(b->lhs.get());
+    if (lv == nullptr || lv->name != iv) return std::nullopt;
+    auto c = const_int(*b->rhs);
+    if (!c) return std::nullopt;
+    if (b->op == BinaryOp::Add) return *c;
+    if (b->op == BinaryOp::Sub) return -*c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<LoopInfo> analyze_loop(ForStmt& loop, std::string* reason) {
+  auto fail = [&](const char* why) -> std::optional<LoopInfo> {
+    if (reason != nullptr) *reason = why;
+    return std::nullopt;
+  };
+
+  if (loop.init == nullptr || loop.cond == nullptr || loop.step == nullptr)
+    return fail("loop header is not fully specified");
+
+  LoopInfo info;
+  info.loop = &loop;
+
+  const Expr* lower = match_init(loop.init.get(), info.iv);
+  if (lower == nullptr) return fail("loop init is not 'iv = expr'");
+  info.lower = lower;
+
+  auto step = match_step(loop.step.get(), info.iv);
+  if (!step || *step == 0) return fail("loop step is not 'iv += const'");
+  info.step = *step;
+
+  const auto* cond = dyn_cast<Binary>(loop.cond.get());
+  if (cond == nullptr) return fail("loop condition is not a comparison");
+  const auto* cv = dyn_cast<VarRef>(cond->lhs.get());
+  if (cv == nullptr || cv->name != info.iv)
+    return fail("loop condition does not compare the induction variable");
+  switch (cond->op) {
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+      if (info.step < 0) return fail("up-counting condition with negative step");
+      break;
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if (info.step > 0) return fail("down-counting condition with positive step");
+      break;
+    default:
+      return fail("loop condition is not <, <=, > or >=");
+  }
+  info.cmp = cond->op;
+  info.upper = cond->rhs.get();
+
+  // Body restrictions for pipelining.
+  info.body_is_pipelineable = true;
+  walk_stmts(*loop.body, [&](const Stmt& s) {
+    if (!info.body_is_pipelineable) return;
+    switch (s.kind()) {
+      case StmtKind::Break:
+        info.body_is_pipelineable = false;
+        info.reject_reason = "body contains break";
+        break;
+      case StmtKind::While:
+        info.body_is_pipelineable = false;
+        info.reject_reason = "body contains a while loop";
+        break;
+      case StmtKind::For:
+        info.body_is_pipelineable = false;
+        info.reject_reason = "body contains a nested for loop";
+        break;
+      case StmtKind::Assign: {
+        const auto* a = dyn_cast<AssignStmt>(&s);
+        if (const auto* v = dyn_cast<VarRef>(a->lhs.get());
+            v != nullptr && v->name == info.iv) {
+          info.body_is_pipelineable = false;
+          info.reject_reason = "body writes the induction variable";
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  // The bound must not be written in the body either.
+  if (info.body_is_pipelineable) {
+    walk_stmts(*loop.body, [&](const Stmt& s) {
+      const auto* a = dyn_cast<AssignStmt>(&s);
+      if (a == nullptr) return;
+      const auto* v = dyn_cast<VarRef>(a->lhs.get());
+      if (v == nullptr) return;
+      bool bound_uses_var = false;
+      walk_exprs(*info.upper, [&](const Expr& e) {
+        if (const auto* u = dyn_cast<VarRef>(&e);
+            u != nullptr && u->name == v->name)
+          bound_uses_var = true;
+      });
+      if (bound_uses_var) {
+        info.body_is_pipelineable = false;
+        info.reject_reason = "body writes a variable used in the loop bound";
+      }
+    });
+  }
+
+  return info;
+}
+
+std::vector<Stmt*> body_statements(ForStmt& loop) {
+  std::vector<Stmt*> out;
+  if (auto* b = dyn_cast<BlockStmt>(loop.body.get())) {
+    out.reserve(b->stmts.size());
+    for (StmtPtr& s : b->stmts) out.push_back(s.get());
+  } else if (loop.body) {
+    out.push_back(loop.body.get());
+  }
+  return out;
+}
+
+}  // namespace slc::sema

@@ -1,0 +1,45 @@
+// Canonical-loop recognition. SLMS (and the classic loop transformations)
+// operate on counted for-loops of the shape
+//
+//   for (iv = lo; iv < hi; iv += step)   (also <=, and negative steps with
+//   for (iv = lo; iv > hi; iv -= step)    >, >=)
+//
+// LoopInfo captures that shape plus derived facts (trip count when the
+// bounds are constant). Loops outside the shape are reported unsupported
+// — the paper's SLC would "tip the user" to rewrite them (§2).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace slc::sema {
+
+struct LoopInfo {
+  ast::ForStmt* loop = nullptr;  // the analyzed loop (non-owning)
+  std::string iv;                // induction variable
+  const ast::Expr* lower = nullptr;   // initial value expression
+  const ast::Expr* upper = nullptr;   // bound expression from the condition
+  ast::BinaryOp cmp = ast::BinaryOp::Lt;  // Lt/Le/Gt/Ge as written
+  std::int64_t step = 1;         // signed; negative for down-counting
+
+  /// Trip count when lower/upper are integer constants.
+  [[nodiscard]] std::optional<std::int64_t> const_trip_count() const;
+
+  /// True when the body neither writes `iv` nor contains break/while/goto
+  /// -like control flow that would invalidate pipelining.
+  bool body_is_pipelineable = false;
+  std::string reject_reason;  // filled when not pipelineable
+};
+
+/// Recognizes the canonical shape; returns nullopt (with a reason in
+/// *reason when provided) otherwise.
+[[nodiscard]] std::optional<LoopInfo> analyze_loop(ast::ForStmt& loop,
+                                                   std::string* reason =
+                                                       nullptr);
+
+/// The loop body as a statement list (the body block's statements).
+[[nodiscard]] std::vector<ast::Stmt*> body_statements(ast::ForStmt& loop);
+
+}  // namespace slc::sema

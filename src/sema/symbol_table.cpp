@@ -1,0 +1,142 @@
+#include "sema/symbol_table.hpp"
+
+#include <set>
+
+#include "ast/walk.hpp"
+
+namespace slc::sema {
+
+using namespace ast;
+
+void SymbolTable::declare(const DeclStmt& decl, DiagnosticEngine& diags) {
+  if (index_.contains(decl.name)) {
+    diags.error(decl.loc, "redefinition of '" + decl.name + "'");
+    return;
+  }
+  index_[decl.name] = order_.size();
+  order_.push_back(Symbol{decl.name, decl.type, decl.dims});
+}
+
+bool SymbolTable::declare_synthesized(Symbol sym) {
+  if (index_.contains(sym.name)) return false;
+  index_[sym.name] = order_.size();
+  order_.push_back(std::move(sym));
+  return true;
+}
+
+const Symbol* SymbolTable::lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &order_[it->second];
+}
+
+bool SymbolTable::is_array(const std::string& name) const {
+  const Symbol* s = lookup(name);
+  return s != nullptr && s->is_array();
+}
+
+std::string SymbolTable::fresh_name(const std::string& hint) const {
+  if (!index_.contains(hint)) return hint;
+  for (int i = 1;; ++i) {
+    std::string candidate = hint + std::to_string(i);
+    if (!index_.contains(candidate)) return candidate;
+  }
+}
+
+namespace {
+
+/// Set of intrinsic callees the analyses understand as pure.
+const std::set<std::string>& pure_intrinsics() {
+  static const std::set<std::string> fns = {
+      "fabs", "sqrt", "exp", "log", "sin", "cos", "min", "max", "abs",
+      "pow",  "floor", "ceil"};
+  return fns;
+}
+
+void check_stmt(const Stmt& s, const SymbolTable& table,
+                DiagnosticEngine& diags);
+
+void check_expr(const Expr& e, const SymbolTable& table,
+                DiagnosticEngine& diags) {
+  walk_exprs(e, [&](const Expr& x) {
+    if (const auto* v = dyn_cast<VarRef>(&x)) {
+      const Symbol* sym = table.lookup(v->name);
+      if (sym == nullptr) {
+        diags.error(x.loc, "use of undeclared variable '" + v->name + "'");
+      } else if (sym->is_array()) {
+        diags.error(x.loc, "array '" + v->name + "' used without subscript");
+      }
+    } else if (const auto* a = dyn_cast<ArrayRef>(&x)) {
+      const Symbol* sym = table.lookup(a->name);
+      if (sym == nullptr) {
+        diags.error(x.loc, "use of undeclared array '" + a->name + "'");
+      } else if (!sym->is_array()) {
+        diags.error(x.loc, "scalar '" + a->name + "' used with subscript");
+      } else if (sym->dims.size() != a->subscripts.size()) {
+        diags.error(x.loc, "array '" + a->name + "' has rank " +
+                               std::to_string(sym->dims.size()) + ", used with " +
+                               std::to_string(a->subscripts.size()) +
+                               " subscripts");
+      }
+    } else if (const auto* c = dyn_cast<Call>(&x)) {
+      if (!pure_intrinsics().contains(c->callee)) {
+        diags.warning(x.loc, "call to unknown function '" + c->callee +
+                                 "' is treated as an opaque barrier");
+      }
+    }
+  });
+}
+
+void check_stmt(const Stmt& s, const SymbolTable& table,
+                DiagnosticEngine& diags) {
+  walk_exprs(s, [&](const Expr&) {});  // keep signature; real work below
+  walk_stmts(s, [&](const Stmt& st) {
+    switch (st.kind()) {
+      case StmtKind::Assign: {
+        const auto* a = dyn_cast<AssignStmt>(&st);
+        check_expr(*a->lhs, table, diags);
+        check_expr(*a->rhs, table, diags);
+        if (a->guard) check_expr(*a->guard, table, diags);
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto* x = dyn_cast<ExprStmt>(&st);
+        check_expr(*x->expr, table, diags);
+        if (x->guard) check_expr(*x->guard, table, diags);
+        break;
+      }
+      case StmtKind::If:
+        check_expr(*dyn_cast<IfStmt>(&st)->cond, table, diags);
+        break;
+      case StmtKind::While:
+        check_expr(*dyn_cast<WhileStmt>(&st)->cond, table, diags);
+        break;
+      case StmtKind::For: {
+        const auto* f = dyn_cast<ForStmt>(&st);
+        if (f->cond) check_expr(*f->cond, table, diags);
+        break;
+      }
+      case StmtKind::Decl: {
+        const auto* d = dyn_cast<DeclStmt>(&st);
+        if (d->init) check_expr(*d->init, table, diags);
+        break;
+      }
+      default:
+        break;
+    }
+  });
+}
+
+}  // namespace
+
+SymbolTable analyze(const Program& program, DiagnosticEngine& diags) {
+  SymbolTable table;
+  for (const StmtPtr& s : program.stmts) {
+    walk_stmts(*s, [&](const Stmt& st) {
+      if (const auto* d = dyn_cast<DeclStmt>(&st)) table.declare(*d, diags);
+    });
+  }
+  for (const StmtPtr& s : program.stmts) check_stmt(*s, table, diags);
+  return table;
+}
+
+}  // namespace slc::sema

@@ -1,0 +1,60 @@
+// Symbol information for a program: scalar and array declarations. The
+// dialect has one flat scope (declarations may appear anywhere at the top
+// level or inside blocks, but a name is declared once per program — the
+// same discipline the paper's Tiny loops follow).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::sema {
+
+struct Symbol {
+  std::string name;
+  ast::ScalarType type = ast::ScalarType::Int;
+  std::vector<std::int64_t> dims;  // empty => scalar
+
+  [[nodiscard]] bool is_array() const { return !dims.empty(); }
+  [[nodiscard]] std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (std::int64_t d : dims) n *= d;
+    return n;
+  }
+};
+
+class SymbolTable {
+ public:
+  /// Records a declaration; reports redefinition through `diags`.
+  void declare(const ast::DeclStmt& decl, DiagnosticEngine& diags);
+
+  /// Declares a synthesized symbol (SLMS-introduced registers/arrays).
+  /// Returns false if the name is taken.
+  bool declare_synthesized(Symbol sym);
+
+  [[nodiscard]] const Symbol* lookup(const std::string& name) const;
+  [[nodiscard]] bool is_array(const std::string& name) const;
+
+  /// A name not colliding with any declared symbol: `hint`, `hint1`, ...
+  [[nodiscard]] std::string fresh_name(const std::string& hint) const;
+
+  [[nodiscard]] const std::vector<Symbol>& symbols() const { return order_; }
+
+ private:
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<Symbol> order_;
+};
+
+/// Builds a symbol table from every DeclStmt in the program (at any
+/// nesting depth) and checks basic rules: no redefinition, uses after
+/// declaration, subscript counts matching declared rank, scalars not
+/// indexed. Returns the table; errors go to `diags`.
+[[nodiscard]] SymbolTable analyze(const ast::Program& program,
+                                  DiagnosticEngine& diags);
+
+}  // namespace slc::sema

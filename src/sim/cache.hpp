@@ -1,0 +1,37 @@
+// Direct-mapped L1 cache model feeding the cycle and power accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+
+namespace slc::sim {
+
+class DirectMappedCache {
+ public:
+  explicit DirectMappedCache(const machine::CacheConfig& config)
+      : config_(config), tags_(std::size_t(config.num_lines), -1) {}
+
+  /// Returns true on hit; updates the line on miss.
+  bool access(std::int64_t addr) {
+    ++accesses_;
+    std::int64_t line = addr / config_.line_bytes;
+    std::size_t index = std::size_t(line % config_.num_lines);
+    if (tags_[index] == line) return true;
+    tags_[index] = line;
+    ++misses_;
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  machine::CacheConfig config_;
+  std::vector<std::int64_t> tags_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace slc::sim

@@ -1,0 +1,723 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "machine/sched.hpp"
+#include "machine/sms.hpp"
+#include "sim/cache.hpp"
+
+namespace slc::sim {
+
+using machine::MachineModel;
+using machine::MInst;
+using machine::MirProgram;
+using machine::Op;
+using machine::Region;
+using machine::UnitClass;
+
+const char* to_string(CompilerPreset preset) {
+  switch (preset) {
+    case CompilerPreset::Sequential:
+      return "sequential";
+    case CompilerPreset::ListSched:
+      return "list-sched";
+    case CompilerPreset::ModuloSched:
+      return "modulo-sched";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kInfSlack = 1 << 28;
+
+struct MVal {
+  bool fp = false;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  [[nodiscard]] double d() const { return fp ? f : double(i); }
+  [[nodiscard]] std::int64_t n() const {
+    return fp ? std::int64_t(f) : i;
+  }
+  [[nodiscard]] bool truthy() const { return fp ? f != 0.0 : i != 0; }
+
+  static MVal of_int(std::int64_t v) { return {false, v, 0.0}; }
+  static MVal of_fp(double v) { return {true, 0, v}; }
+};
+
+struct SimError {
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// dynamic-issue timing models (Scalar / Superscalar styles)
+// ---------------------------------------------------------------------------
+
+class StreamTiming {
+ public:
+  virtual ~StreamTiming() = default;
+  /// `extra_latency` carries cache-miss penalties for memory ops.
+  virtual void feed(const MInst& inst, int extra_latency) = 0;
+  virtual std::uint64_t finish() = 0;
+};
+
+/// Single-issue in-order scoreboard with load-use interlock (ARM7).
+class ScalarTiming final : public StreamTiming {
+ public:
+  explicit ScalarTiming(const MachineModel& model) : model_(model) {}
+
+  void feed(const MInst& inst, int extra_latency) override {
+    std::uint64_t start = t_;
+    for (int s : inst.sources())
+      if (auto it = ready_.find(s); it != ready_.end())
+        start = std::max(start, it->second);
+    if (inst.pred >= 0)
+      if (auto it = ready_.find(inst.pred); it != ready_.end())
+        start = std::max(start, it->second);
+    t_ = start + 1;
+    if (inst.dst >= 0)
+      ready_[inst.dst] =
+          start + std::uint64_t(model_.latency(inst) + extra_latency);
+  }
+
+  std::uint64_t finish() override { return t_; }
+
+ private:
+  const MachineModel& model_;
+  std::uint64_t t_ = 0;
+  std::map<int, std::uint64_t> ready_;
+};
+
+/// Windowed dynamic issue: in-order fetch into a small window, up to
+/// issue_width ready instructions leave per cycle (Pentium).
+class SuperscalarTiming final : public StreamTiming {
+ public:
+  explicit SuperscalarTiming(const MachineModel& model) : model_(model) {}
+
+  void feed(const MInst& inst, int extra_latency) override {
+    Pending p;
+    p.srcs = inst.sources();
+    if (inst.pred >= 0) p.srcs.push_back(inst.pred);
+    p.dst = inst.dst;
+    p.latency = model_.latency(inst) + extra_latency;
+    p.cls = unit_class(inst.op, inst.fp);
+    window_.push_back(std::move(p));
+    while (int(window_.size()) > model_.superscalar_window) step();
+  }
+
+  std::uint64_t finish() override {
+    while (!window_.empty()) step();
+    return t_;
+  }
+
+ private:
+  struct Pending {
+    std::vector<int> srcs;
+    int dst = -1;
+    int latency = 1;
+    UnitClass cls = UnitClass::Alu;
+  };
+
+  void step() {
+    int issued = 0;
+    std::array<int, 3> unit_use{0, 0, 0};
+    for (std::size_t k = 0;
+         k < window_.size() &&
+         k < std::size_t(model_.superscalar_window) &&
+         issued < model_.issue_width;) {
+      Pending& p = window_[k];
+      bool ready = true;
+      for (int s : p.srcs)
+        if (auto it = ready_.find(s); it != ready_.end() && it->second > t_)
+          ready = false;
+      if (ready && unit_use[std::size_t(p.cls)] < model_.units_of(p.cls)) {
+        ++unit_use[std::size_t(p.cls)];
+        ++issued;
+        if (p.dst >= 0) ready_[p.dst] = t_ + std::uint64_t(p.latency);
+        window_.erase(window_.begin() + std::ptrdiff_t(k));
+        continue;  // same k now refers to the next instruction
+      }
+      ++k;
+    }
+    ++t_;
+  }
+
+  const MachineModel& model_;
+  std::uint64_t t_ = 0;
+  std::map<int, std::uint64_t> ready_;
+  std::deque<Pending> window_;
+};
+
+// ---------------------------------------------------------------------------
+// static block analyses (VLIW styles)
+// ---------------------------------------------------------------------------
+
+struct BlockInfo {
+  machine::BlockSchedule sched;
+  int seq_length = 0;            // width-1 in-order length
+  std::vector<int> slack;        // per-inst load->first-use distance
+  int steady_cycles = 0;         // list-sched + carried-dep stalls
+  int max_live = 0;              // register-pressure estimate
+};
+
+int sequential_length(const std::vector<MInst>& block,
+                      const MachineModel& model) {
+  std::map<int, long> ready;
+  long t = 0;
+  for (const MInst& m : block) {
+    long start = t;
+    for (int s : m.sources())
+      if (auto it = ready.find(s); it != ready.end())
+        start = std::max(start, it->second);
+    t = start + 1;
+    if (m.dst >= 0) ready[m.dst] = start + model.latency(m);
+  }
+  return int(t);
+}
+
+std::vector<int> load_slack(const std::vector<MInst>& block,
+                            const std::vector<int>& cycle) {
+  std::vector<int> slack(block.size(), kInfSlack);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (block[i].op != Op::Load || block[i].dst < 0) continue;
+    for (std::size_t j = i + 1; j < block.size(); ++j) {
+      bool reads = block[j].pred == block[i].dst;
+      for (int s : block[j].sources()) reads |= s == block[i].dst;
+      if (reads)
+        slack[i] = std::min(slack[i], cycle[j] - cycle[i]);
+    }
+  }
+  return slack;
+}
+
+int estimate_max_live(const std::vector<MInst>& block) {
+  // Live intervals over block positions; a simple sweep.
+  std::map<int, std::pair<int, int>> range;  // vreg -> [def, last use]
+  for (int k = 0; k < int(block.size()); ++k) {
+    const MInst& m = block[std::size_t(k)];
+    for (int s : m.sources()) {
+      auto it = range.find(s);
+      if (it != range.end()) it->second.second = k;
+    }
+    if (m.dst >= 0 && !range.contains(m.dst)) range[m.dst] = {k, k};
+  }
+  int best = 0;
+  for (int k = 0; k < int(block.size()); ++k) {
+    int live = 0;
+    for (const auto& [v, r] : range)
+      if (r.first <= k && k <= r.second && r.second > r.first) ++live;
+    best = std::max(best, live);
+  }
+  return best;
+}
+
+struct KernelInfo {
+  machine::ImsResult ims;
+  std::vector<int> slack;  // load->use modulo slack
+};
+
+// ---------------------------------------------------------------------------
+// executor
+// ---------------------------------------------------------------------------
+
+class Executor {
+ public:
+  Executor(const MirProgram& program, const MachineModel& model,
+           const SimOptions& options)
+      : program_(program), model_(model), options_(options),
+        cache_(model.cache), regs_(std::size_t(program.num_vregs)) {
+    if (model_.style == machine::IssueStyle::Scalar) {
+      stream_ = std::make_unique<ScalarTiming>(model_);
+    } else if (model_.style == machine::IssueStyle::Superscalar) {
+      stream_ = std::make_unique<SuperscalarTiming>(model_);
+    }
+  }
+
+  SimResult run() {
+    SimResult result;
+    try {
+      init_memory();
+      for (const Region& r : program_.regions) exec_region(r);
+      if (stream_ != nullptr) cycles_ += stream_->finish();
+      result.ok = true;
+    } catch (const SimError& e) {
+      result.ok = false;
+      result.error = e.message;
+    }
+    result.cycles = cycles_;
+    result.instructions = instructions_;
+    result.mem_accesses = cache_.accesses();
+    result.mem_misses = cache_.misses();
+    energy_ += model_.power.leakage_per_cycle * double(cycles_);
+    result.energy = energy_;
+    result.loops.assign(loop_stats_ordered_.begin(),
+                        loop_stats_ordered_.end());
+    result.memory = extract_memory();
+    return result;
+  }
+
+ private:
+  // -- memory image -----------------------------------------------------
+
+  void init_memory() {
+    for (const auto& [name, info] : program_.arrays) {
+      if (info.fp) {
+        auto& data = farrays_[name];
+        data.resize(std::size_t(info.size));
+        for (std::int64_t k = 0; k < info.size; ++k)
+          data[std::size_t(k)] =
+              interp::random_fill_double(options_.seed, name, k);
+      } else {
+        auto& data = iarrays_[name];
+        data.resize(std::size_t(info.size));
+        for (std::int64_t k = 0; k < info.size; ++k)
+          data[std::size_t(k)] =
+              interp::random_fill_int(options_.seed, name, k);
+      }
+    }
+    for (const auto& [name, vreg] : program_.scalar_vreg) {
+      bool fp = program_.scalar_fp.at(name);
+      regs_[std::size_t(vreg)] =
+          fp ? MVal::of_fp(interp::random_fill_double(options_.seed, name, -1))
+             : MVal::of_int(interp::random_fill_int(options_.seed, name, -1));
+    }
+  }
+
+  interp::MemoryImage extract_memory() {
+    interp::MemoryImage image;
+    for (const auto& [name, info] : program_.arrays) {
+      interp::ArrayValue a;
+      a.dims = info.dims;
+      if (info.fp) {
+        a.type = ast::ScalarType::Double;
+        a.fdata = farrays_.at(name);
+      } else {
+        a.type = ast::ScalarType::Int;
+        a.idata = iarrays_.at(name);
+      }
+      image.arrays.emplace(name, std::move(a));
+    }
+    for (const auto& [name, vreg] : program_.scalar_vreg) {
+      const MVal& v = regs_[std::size_t(vreg)];
+      image.scalars[name] = v.fp ? interp::Value::of_double(v.f)
+                                 : interp::Value::of_int(v.i);
+    }
+    return image;
+  }
+
+  // -- value execution ----------------------------------------------------
+
+  /// Executes one instruction's effect; returns the miss penalty of a
+  /// memory access (0 otherwise).
+  int exec_inst(const MInst& m) {
+    if (++instructions_ > options_.max_insts)
+      throw SimError{"instruction limit exceeded"};
+
+    // Energy by unit class.
+    switch (unit_class(m.op, m.fp)) {
+      case UnitClass::Mem:
+        energy_ += model_.power.mem_energy;
+        break;
+      case UnitClass::Fpu:
+        energy_ += model_.power.fpu_energy;
+        break;
+      case UnitClass::Alu:
+        energy_ += model_.power.alu_energy;
+        break;
+    }
+
+    if (m.pred >= 0 && !regs_[std::size_t(m.pred)].truthy()) return 0;
+
+    auto src = [&](int v) -> const MVal& { return regs_[std::size_t(v)]; };
+    auto set = [&](MVal v) {
+      if (m.dst >= 0) regs_[std::size_t(m.dst)] = v;
+    };
+
+    switch (m.op) {
+      case Op::Const:
+        set(m.fp ? MVal::of_fp(m.fimm) : MVal::of_int(m.imm));
+        return 0;
+      case Op::Mov: {
+        MVal v = src(m.src1);
+        // Respect the destination's declared domain (int scalar taking a
+        // float value truncates, like the interpreter's coercion).
+        if (m.fp && !v.fp) v = MVal::of_fp(v.d());
+        if (!m.fp && v.fp) v = MVal::of_int(v.n());
+        set(v);
+        return 0;
+      }
+      case Op::Add: set(MVal::of_int(src(m.src1).n() + src(m.src2).n())); return 0;
+      case Op::Sub: set(MVal::of_int(src(m.src1).n() - src(m.src2).n())); return 0;
+      case Op::Mul: set(MVal::of_int(src(m.src1).n() * src(m.src2).n())); return 0;
+      case Op::Div: {
+        std::int64_t d = src(m.src2).n();
+        if (d == 0) throw SimError{"integer division by zero"};
+        set(MVal::of_int(src(m.src1).n() / d));
+        return 0;
+      }
+      case Op::Mod: {
+        std::int64_t d = src(m.src2).n();
+        if (d == 0) throw SimError{"integer modulo by zero"};
+        set(MVal::of_int(src(m.src1).n() % d));
+        return 0;
+      }
+      case Op::Neg: set(MVal::of_int(-src(m.src1).n())); return 0;
+      case Op::FAdd: set(MVal::of_fp(src(m.src1).d() + src(m.src2).d())); return 0;
+      case Op::FSub: set(MVal::of_fp(src(m.src1).d() - src(m.src2).d())); return 0;
+      case Op::FMul: set(MVal::of_fp(src(m.src1).d() * src(m.src2).d())); return 0;
+      case Op::FDiv: set(MVal::of_fp(src(m.src1).d() / src(m.src2).d())); return 0;
+      case Op::FNeg: set(MVal::of_fp(-src(m.src1).d())); return 0;
+      case Op::CmpLt:
+      case Op::CmpLe:
+      case Op::CmpGt:
+      case Op::CmpGe:
+      case Op::CmpEq:
+      case Op::CmpNe: {
+        bool fp = src(m.src1).fp || src(m.src2).fp;
+        bool r;
+        if (fp) {
+          double a = src(m.src1).d(), b = src(m.src2).d();
+          r = m.op == Op::CmpLt   ? a < b
+              : m.op == Op::CmpLe ? a <= b
+              : m.op == Op::CmpGt ? a > b
+              : m.op == Op::CmpGe ? a >= b
+              : m.op == Op::CmpEq ? a == b
+                                  : a != b;
+        } else {
+          std::int64_t a = src(m.src1).n(), b = src(m.src2).n();
+          r = m.op == Op::CmpLt   ? a < b
+              : m.op == Op::CmpLe ? a <= b
+              : m.op == Op::CmpGt ? a > b
+              : m.op == Op::CmpGe ? a >= b
+              : m.op == Op::CmpEq ? a == b
+                                  : a != b;
+        }
+        set(MVal::of_int(r ? 1 : 0));
+        return 0;
+      }
+      case Op::And:
+        set(MVal::of_int(src(m.src1).truthy() && src(m.src2).truthy()));
+        return 0;
+      case Op::Or:
+        set(MVal::of_int(src(m.src1).truthy() || src(m.src2).truthy()));
+        return 0;
+      case Op::Not:
+        set(MVal::of_int(src(m.src1).truthy() ? 0 : 1));
+        return 0;
+      case Op::Select:
+        set(src(m.src1).truthy() ? src(m.src2) : src(m.src3));
+        return 0;
+      case Op::Call: {
+        double a = m.src1 >= 0 ? src(m.src1).d() : 0.0;
+        double b = m.src2 >= 0 ? src(m.src2).d() : 0.0;
+        if (m.callee == "fabs") { set(MVal::of_fp(std::fabs(a))); return 0; }
+        if (m.callee == "sqrt") { set(MVal::of_fp(std::sqrt(a))); return 0; }
+        if (m.callee == "exp") { set(MVal::of_fp(std::exp(a))); return 0; }
+        if (m.callee == "log") { set(MVal::of_fp(std::log(a))); return 0; }
+        if (m.callee == "sin") { set(MVal::of_fp(std::sin(a))); return 0; }
+        if (m.callee == "cos") { set(MVal::of_fp(std::cos(a))); return 0; }
+        if (m.callee == "pow") { set(MVal::of_fp(std::pow(a, b))); return 0; }
+        if (m.callee == "floor") { set(MVal::of_fp(std::floor(a))); return 0; }
+        if (m.callee == "ceil") { set(MVal::of_fp(std::ceil(a))); return 0; }
+        if (m.callee == "abs") {
+          set(MVal::of_int(std::llabs(src(m.src1).n())));
+          return 0;
+        }
+        if (m.callee == "min" || m.callee == "max") {
+          bool fp = src(m.src1).fp || src(m.src2).fp;
+          bool pick_a = m.callee == "min"
+                            ? (fp ? src(m.src1).d() <= src(m.src2).d()
+                                  : src(m.src1).n() <= src(m.src2).n())
+                            : (fp ? src(m.src1).d() >= src(m.src2).d()
+                                  : src(m.src1).n() >= src(m.src2).n());
+          set(pick_a ? src(m.src1) : src(m.src2));
+          return 0;
+        }
+        throw SimError{"unknown callee " + m.callee};
+      }
+      case Op::Load:
+      case Op::Store: {
+        auto arr = program_.arrays.find(m.array);
+        if (arr == program_.arrays.end())
+          throw SimError{"unknown array " + m.array};
+        std::int64_t idx = src(m.src1).n();
+        if (idx < 0 || idx >= arr->second.size)
+          throw SimError{"array index out of bounds: " + m.array + "[" +
+                         std::to_string(idx) + "]"};
+        std::int64_t addr = arr->second.base_addr + idx * 8;
+        bool hit = cache_.access(addr);
+        if (!hit) energy_ += model_.power.miss_energy;
+        if (m.op == Op::Load) {
+          if (arr->second.fp) {
+            set(MVal::of_fp(farrays_.at(m.array)[std::size_t(idx)]));
+          } else {
+            set(MVal::of_int(iarrays_.at(m.array)[std::size_t(idx)]));
+          }
+        } else {
+          if (arr->second.fp) {
+            farrays_.at(m.array)[std::size_t(idx)] = src(m.src2).d();
+          } else {
+            iarrays_.at(m.array)[std::size_t(idx)] = src(m.src2).n();
+          }
+        }
+        return hit ? 0 : model_.cache.miss_cycles;
+      }
+    }
+    return 0;
+  }
+
+  // -- block execution ------------------------------------------------------
+
+  [[nodiscard]] bool uses_stream_timing() const { return stream_ != nullptr; }
+
+  BlockInfo& info_for(const std::vector<MInst>& block, std::int64_t step,
+                      bool in_loop) {
+    auto [it, fresh] = block_info_.try_emplace(&block);
+    if (!fresh) return it->second;
+    BlockInfo& info = it->second;
+    info.sched = machine::list_schedule(block, model_);
+    info.seq_length = sequential_length(block, model_);
+    info.slack = load_slack(block, info.sched.cycle);
+    info.max_live = estimate_max_live(block);
+    if (in_loop) {
+      auto carried = machine::carried_deps(block, model_, step);
+      info.steady_cycles =
+          machine::steady_state_cycles(block, info.sched, carried);
+    } else {
+      info.steady_cycles = info.sched.length;
+    }
+    return info;
+  }
+
+  /// Executes a straight-line block; `step`/`in_loop` refine the static
+  /// timing for loop bodies.
+  void exec_block(const std::vector<MInst>& block, std::int64_t step = 1,
+                  bool in_loop = false) {
+    if (block.empty()) return;
+    if (uses_stream_timing()) {
+      // Optionally the compiler statically reorders the block first
+      // (the -O3 cases on Pentium/ARM).
+      if (options_.preset != CompilerPreset::Sequential) {
+        BlockInfo& info = info_for(block, step, in_loop);
+        std::vector<std::size_t> order(block.size());
+        for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return info.sched.cycle[a] < info.sched.cycle[b];
+                         });
+        // Value execution must stay in program order for correctness of
+        // WAR cases; the *timing* stream sees the reordered code. Since
+        // the static schedule respects all dependences, executing values
+        // in schedule order is also safe.
+        std::vector<int> penalty(block.size(), 0);
+        for (std::size_t k : order) penalty[k] = exec_inst(block[k]);
+        for (std::size_t k : order) stream_->feed(block[k], penalty[k]);
+        // Register-pressure spills on tiny register files.
+        int spill = info.max_live - model_.regs_for(false);
+        if (spill > 0) cycles_ += std::uint64_t(2 * spill);
+        return;
+      }
+      for (const MInst& m : block) {
+        int penalty = exec_inst(m);
+        stream_->feed(m, penalty);
+      }
+      return;
+    }
+
+    // VLIW static accounting.
+    BlockInfo& info = info_for(block, step, in_loop);
+    std::uint64_t stalls = 0;
+    for (std::size_t k = 0; k < block.size(); ++k) {
+      int penalty = exec_inst(block[k]);
+      if (penalty > 0) {
+        int hidden = options_.preset == CompilerPreset::Sequential
+                         ? 0
+                         : std::min(info.slack[k], penalty);
+        stalls += std::uint64_t(penalty - hidden);
+      }
+    }
+    std::uint64_t base =
+        options_.preset == CompilerPreset::Sequential
+            ? std::uint64_t(info.seq_length)
+            : std::uint64_t(in_loop ? info.steady_cycles : info.sched.length);
+    cycles_ += base + stalls;
+  }
+
+  // -- regions ---------------------------------------------------------------
+
+  void exec_region(const Region& region) {
+    switch (region.kind) {
+      case Region::Kind::Block:
+        exec_block(region.insts);
+        break;
+      case Region::Kind::Loop:
+        exec_loop(*region.loop, &region);
+        break;
+      case Region::Kind::Cond: {
+        exec_block(region.cond->pred);
+        cycles_ += 1;  // branch
+        bool taken = regs_[std::size_t(region.cond->pred_reg)].truthy();
+        const auto& side =
+            taken ? region.cond->then_regions : region.cond->else_regions;
+        for (const Region& r : side) exec_region(r);
+        break;
+      }
+    }
+  }
+
+  void exec_loop(const machine::LoopRegion& loop, const Region* key) {
+    auto [idx_it, fresh_stat] =
+        loop_stat_index_.try_emplace(key, loop_stats_ordered_.size());
+    if (fresh_stat) loop_stats_ordered_.emplace_back();
+    LoopStat& stat = loop_stats_ordered_[idx_it->second];
+
+    // Kernel mode: strong compiler + canonical innermost single-block body.
+    const std::vector<MInst>* body_block = nullptr;
+    if (loop.body.size() == 1 && loop.body[0].kind == Region::Kind::Block)
+      body_block = &loop.body[0].insts;
+
+    KernelInfo* kernel = nullptr;
+    if (options_.preset == CompilerPreset::ModuloSched && loop.canonical &&
+        body_block != nullptr && !body_block->empty() &&
+        stream_ == nullptr) {
+      auto [it, fresh] = kernel_info_.try_emplace(key);
+      if (fresh) {
+        it->second.ims =
+            options_.ms_algorithm == MsAlgorithm::Swing
+                ? machine::swing_modulo_schedule(*body_block, model_,
+                                                 loop.step_value)
+                : machine::modulo_schedule(*body_block, model_,
+                                           loop.step_value, options_.ims);
+        if (it->second.ims.ok) {
+          // Modulo slack: distance from a load to its first consumer in
+          // schedule slots.
+          const auto& ims = it->second.ims;
+          it->second.slack.assign(body_block->size(), kInfSlack);
+          auto deps_b = machine::block_deps(*body_block, model_);
+          auto deps_c =
+              machine::carried_deps(*body_block, model_, loop.step_value);
+          auto note = [&](const machine::MirDep& d) {
+            const MInst& producer = (*body_block)[std::size_t(d.src)];
+            if (producer.op != Op::Load) return;
+            long s = long(ims.slot[std::size_t(d.dst)]) +
+                     long(ims.ii) * d.distance -
+                     ims.slot[std::size_t(d.src)];
+            it->second.slack[std::size_t(d.src)] = int(std::min<long>(
+                it->second.slack[std::size_t(d.src)], s));
+          };
+          for (const auto& d : deps_b) note(d);
+          for (const auto& d : deps_c) note(d);
+        }
+      }
+      if (it->second.ims.ok) kernel = &it->second;
+      stat.res_mii = it->second.ims.res_mii;
+      stat.rec_mii = it->second.ims.rec_mii;
+      if (!it->second.ims.ok)
+        stat.ims_fail_reason = it->second.ims.fail_reason;
+    }
+
+    if (body_block != nullptr) stat.body_insts = int(body_block->size());
+
+    exec_block(loop.init);
+    bool first_kernel_iter = true;
+    for (;;) {
+      // Condition evaluation: values always run; timing cost below.
+      for (const MInst& m : loop.cond) (void)exec_inst(m);
+      if (!regs_[std::size_t(loop.cond_reg)].truthy()) break;
+      ++stat.iterations;
+
+      if (kernel != nullptr) {
+        if (first_kernel_iter) {
+          // Pipeline fill.
+          cycles_ += std::uint64_t((kernel->ims.stages - 1) * kernel->ims.ii);
+          first_kernel_iter = false;
+          stat.modulo_scheduled = true;
+          stat.ii = kernel->ims.ii;
+          stat.stages = kernel->ims.stages;
+          stat.bundles_per_iter = kernel->ims.ii;
+        }
+        std::uint64_t stalls = 0;
+        for (std::size_t k = 0; k < body_block->size(); ++k) {
+          int penalty = exec_inst((*body_block)[k]);
+          if (penalty > 0)
+            stalls += std::uint64_t(
+                penalty - std::min(kernel->slack[k], penalty));
+        }
+        cycles_ += std::uint64_t(kernel->ims.ii) + stalls;
+        for (const MInst& m : loop.step) (void)exec_inst(m);
+        continue;
+      }
+
+      for (const Region& r : loop.body) {
+        if (r.kind == Region::Kind::Block) {
+          exec_block(r.insts, loop.step_value == 0 ? 1 : loop.step_value,
+                     /*in_loop=*/true);
+        } else {
+          exec_region(r);
+        }
+      }
+      if (uses_stream_timing() ||
+          options_.preset == CompilerPreset::Sequential) {
+        exec_block_timing_only(loop.cond);
+        exec_block(loop.step);
+      } else {
+        // -O3 compilers fold counter update + branch: 1 cycle overhead.
+        for (const MInst& m : loop.step) (void)exec_inst(m);
+        cycles_ += 1;
+      }
+      if (body_block != nullptr && !stat.modulo_scheduled &&
+          stat.bundles_per_iter == 0) {
+        stat.bundles_per_iter =
+            info_for(*body_block,
+                     loop.step_value == 0 ? 1 : loop.step_value, true)
+                .sched.length;
+      }
+    }
+  }
+
+  /// Cond blocks already executed for values; account timing only.
+  void exec_block_timing_only(const std::vector<MInst>& block) {
+    if (block.empty()) return;
+    if (uses_stream_timing()) {
+      for (const MInst& m : block) stream_->feed(m, 0);
+      return;
+    }
+    cycles_ += std::uint64_t(sequential_length(block, model_));
+  }
+
+  const MirProgram& program_;
+  const MachineModel& model_;
+  SimOptions options_;
+  DirectMappedCache cache_;
+
+  std::vector<MVal> regs_;
+  std::map<std::string, std::vector<double>> farrays_;
+  std::map<std::string, std::vector<std::int64_t>> iarrays_;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  double energy_ = 0.0;
+
+  std::unique_ptr<StreamTiming> stream_;
+  std::map<const void*, BlockInfo> block_info_;
+  std::map<const void*, KernelInfo> kernel_info_;
+  std::map<const void*, std::size_t> loop_stat_index_;
+  // Deque: exec_loop holds a reference across nested-loop discovery, so
+  // growth must not invalidate references to existing elements.
+  std::deque<LoopStat> loop_stats_ordered_;
+};
+
+}  // namespace
+
+SimResult simulate(const MirProgram& program, const MachineModel& model,
+                   const SimOptions& options) {
+  Executor executor(program, model, options);
+  return executor.run();
+}
+
+}  // namespace slc::sim

@@ -1,0 +1,87 @@
+// MIR executor: functional execution (exact values, used for the
+// lowering cross-check against the AST interpreter) combined with a
+// pluggable timing model that reproduces the paper's measurement setups:
+//
+//   preset Sequential  — "-O0": in-order, width 1, blocking latencies;
+//   preset ListSched   — weak compiler "-O3": static basic-block list
+//                        scheduling, no software pipelining (GCC role);
+//   preset ModuloSched — strong compiler: Rau IMS on innermost loop
+//                        bodies, list scheduling elsewhere (ICC/XLC role).
+//
+// The machine model's issue style selects the micro-architecture:
+// VLIW presets use static schedule lengths with a miss-slack model
+// (arithmetic scheduled between a load and its use hides part of a miss);
+// Superscalar runs a windowed dynamic-issue scoreboard over the executed
+// instruction stream; Scalar runs a single-issue load-use-interlock
+// scoreboard (ARM7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/interp.hpp"
+#include "machine/ims.hpp"
+#include "machine/lower.hpp"
+#include "machine/machine_model.hpp"
+
+namespace slc::sim {
+
+enum class CompilerPreset : std::uint8_t {
+  Sequential,
+  ListSched,
+  ModuloSched,
+};
+
+[[nodiscard]] const char* to_string(CompilerPreset preset);
+
+/// Which machine-level software pipeliner the ModuloSched preset runs:
+/// Rau's iterative MS (ICC/XLC role) or Swing MS (GCC's pipeliner, which
+/// the paper calls "a weak Swing MS").
+enum class MsAlgorithm : std::uint8_t { Rau, Swing };
+
+struct SimOptions {
+  CompilerPreset preset = CompilerPreset::ListSched;
+  MsAlgorithm ms_algorithm = MsAlgorithm::Rau;
+  std::uint64_t seed = 0;        // memory-fill seed (same as interpreter)
+  std::uint64_t max_insts = 200'000'000;
+  machine::ImsOptions ims;
+};
+
+/// Per-innermost-loop statistics (the paper reports II and bundle counts
+/// per loop).
+struct LoopStat {
+  bool modulo_scheduled = false;  // IMS succeeded and was used
+  int ii = 0;                     // kernel II when modulo scheduled
+  int res_mii = 0;
+  int rec_mii = 0;
+  int stages = 0;
+  int bundles_per_iter = 0;  // kernel rows (MS) or schedule length (list)
+  int body_insts = 0;
+  std::uint64_t iterations = 0;
+  std::string ims_fail_reason;    // when ModuloSched fell back
+};
+
+struct SimResult {
+  bool ok = false;
+  std::string error;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t mem_accesses = 0;
+  std::uint64_t mem_misses = 0;
+  double energy = 0.0;  // activity-based power model (Panalyzer stand-in)
+
+  std::vector<LoopStat> loops;
+
+  /// Final architectural state for oracle cross-checks against the AST
+  /// interpreter (bit-exact for int/double programs).
+  interp::MemoryImage memory;
+};
+
+/// Executes `program` on `model` under `options`.
+[[nodiscard]] SimResult simulate(const machine::MirProgram& program,
+                                 const machine::MachineModel& model,
+                                 const SimOptions& options = {});
+
+}  // namespace slc::sim

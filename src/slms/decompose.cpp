@@ -1,0 +1,215 @@
+#include "slms/decompose.hpp"
+
+#include "analysis/access.hpp"
+#include "analysis/ddg.hpp"
+#include "ast/build.hpp"
+#include "ast/walk.hpp"
+
+namespace slc::slms {
+
+using namespace ast;
+using analysis::ArrayAccess;
+using analysis::DepTestResult;
+
+namespace {
+
+/// All stores in the MI list with their MI index.
+struct IndexedStore {
+  int mi = 0;
+  ArrayAccess access;
+};
+
+std::vector<IndexedStore> collect_stores(const std::vector<StmtPtr>& mis) {
+  std::vector<IndexedStore> stores;
+  for (int k = 0; k < int(mis.size()); ++k) {
+    analysis::AccessSet set = analysis::collect_accesses(*mis[std::size_t(k)]);
+    for (ArrayAccess& a : set.arrays)
+      if (a.is_write) stores.push_back({k, std::move(a)});
+  }
+  return stores;
+}
+
+/// True when some store feeds this load (flow dependence into the load),
+/// or when the tester cannot tell. Such loads must not be hoisted past
+/// the schedule's discretion.
+bool load_has_flow_source(const ArrayAccess& load, int load_mi,
+                          const std::vector<IndexedStore>& stores,
+                          const std::string& iv, std::int64_t step) {
+  for (const IndexedStore& s : stores) {
+    DepTestResult r = analysis::test_dependence(s.access, load, iv, step);
+    switch (r.kind) {
+      case DepTestResult::Kind::Independent:
+        continue;
+      case DepTestResult::Kind::Unknown:
+        return true;  // conservative
+      case DepTestResult::Kind::Distance:
+        // r.distance = iteration(load) - iteration(store) at collision.
+        if (r.distance > 0) return true;
+        if (r.distance == 0 && s.mi < load_mi) return true;
+        // distance 0 in the same MI: the store happens after the read.
+        continue;
+    }
+  }
+  return false;
+}
+
+/// True when some store touches the same cells in a *later* iteration
+/// (an anti dependence) — hoisting such loads is what breaks the
+/// paper's §3.2 self-dependence cycles, so they are preferred.
+bool load_has_anti_sink(const ArrayAccess& load, int load_mi,
+                        const std::vector<IndexedStore>& stores,
+                        const std::string& iv, std::int64_t step) {
+  for (const IndexedStore& s : stores) {
+    DepTestResult r = analysis::test_dependence(s.access, load, iv, step);
+    if (r.kind == DepTestResult::Kind::Distance &&
+        (r.distance < 0 || (r.distance == 0 && s.mi > load_mi)))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<DecomposeResult> decompose_once(
+    std::vector<StmtPtr>& mis, const std::string& iv, std::int64_t step,
+    NameAllocator& names,
+    const std::function<ScalarType(const std::string&)>& element_type) {
+  std::vector<IndexedStore> stores = collect_stores(mis);
+
+  const ArrayRef* best = nullptr;
+  int best_mi = -1;
+  bool best_has_anti = false;
+
+  for (int k = 0; k < int(mis.size()); ++k) {
+    auto* a = dyn_cast<AssignStmt>(mis[std::size_t(k)].get());
+    if (a == nullptr || a->guard != nullptr) continue;
+    // Nothing to gain from splitting `x = A[i]`-shaped MIs further.
+    if (a->rhs->kind() == ExprKind::ArrayRef ||
+        a->rhs->kind() == ExprKind::VarRef)
+      continue;
+
+    analysis::AccessSet set = analysis::collect_accesses(*a);
+    for (const analysis::ArrayAccess& load : set.arrays) {
+      if (load.is_write) continue;
+      if (load_has_flow_source(load, k, stores, iv, step)) continue;
+      bool anti = load_has_anti_sink(load, k, stores, iv, step);
+      if (best == nullptr || (anti && !best_has_anti)) {
+        best = load.ref;
+        best_mi = k;
+        best_has_anti = anti;
+      }
+    }
+    if (best != nullptr && best_has_anti) break;
+  }
+
+  if (best == nullptr) return std::nullopt;
+
+  DecomposeResult result;
+  result.array = best->name;
+  result.reg_type = element_type(best->name);
+  result.reg_name = names.fresh("reg");
+  result.inserted_at = best_mi;
+
+  // reg = <load>;  inserted directly before the consumer, then the load
+  // in the consumer is replaced by the register.
+  ExprPtr load_clone = best->clone();
+  auto* consumer = dyn_cast<AssignStmt>(mis[std::size_t(best_mi)].get());
+  rewrite_exprs(consumer->rhs, [&](ExprPtr& slot) {
+    if (slot.get() == best) slot = build::var(result.reg_name);
+  });
+  mis.insert(mis.begin() + best_mi,
+             build::assign(build::var(result.reg_name),
+                           std::move(load_clone)));
+  return result;
+}
+
+namespace {
+
+/// Arithmetic-operation count of an expression.
+int op_count(const Expr& e) {
+  int ops = 0;
+  walk_exprs(e, [&](const Expr& x) {
+    if (const auto* b = dyn_cast<Binary>(&x)) {
+      if (is_arithmetic(b->op)) ++ops;
+    } else if (x.kind() == ExprKind::Unary || x.kind() == ExprKind::Call) {
+      ++ops;
+    }
+  });
+  return ops;
+}
+
+/// Crude result-type inference for split temporaries: floating if any
+/// floating array element or float literal participates.
+ScalarType infer_type(
+    const Expr& e,
+    const std::function<ScalarType(const std::string&)>& element_type) {
+  bool floating = false;
+  walk_exprs(e, [&](const Expr& x) {
+    if (x.kind() == ExprKind::FloatLit) floating = true;
+    if (const auto* a = dyn_cast<ArrayRef>(&x))
+      if (is_floating(element_type(a->name))) floating = true;
+  });
+  return floating ? ScalarType::Double : ScalarType::Int;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shrinks `e` in place until its op count is <= max_ops by hoisting
+/// subtrees into temporaries (appended to `emitted`). Hoisting never
+/// re-associates: the value tree is unchanged, a subtree merely gets a
+/// name, so floating-point results are bit-identical. Returns the op
+/// count of the shrunken expression.
+int shrink_expr(ExprPtr& e, int max_ops, NameAllocator& names,
+                const std::function<ScalarType(const std::string&)>&
+                    element_type,
+                std::vector<StmtPtr>& emitted,
+                std::vector<StmtPtr>& new_decls, int& splits) {
+  int total = op_count(*e);
+  if (total <= max_ops) return total;
+  auto* b = dyn_cast<Binary>(e.get());
+  if (b == nullptr || !is_arithmetic(b->op)) return total;  // give up
+  int l = shrink_expr(b->lhs, max_ops, names, element_type, emitted,
+                      new_decls, splits);
+  int r = shrink_expr(b->rhs, max_ops, names, element_type, emitted,
+                      new_decls, splits);
+  if (l + r + 1 <= max_ops) return l + r + 1;
+  // Hoist the heavier side into a temporary MI.
+  ExprPtr& side = l >= r ? b->lhs : b->rhs;
+  int kept = l >= r ? r : l;
+  std::string tmp = names.fresh("t");
+  new_decls.push_back(build::decl(infer_type(*side, element_type), tmp));
+  emitted.push_back(build::assign(build::var(tmp), std::move(side)));
+  side = build::var(tmp);
+  ++splits;
+  return kept + 1;
+}
+
+}  // namespace
+
+int split_by_resources(
+    std::vector<StmtPtr>& mis, int max_ops, NameAllocator& names,
+    const std::function<ScalarType(const std::string&)>& element_type,
+    std::vector<StmtPtr>& new_decls) {
+  if (max_ops < 1) return 0;
+  int splits = 0;
+  for (std::size_t k = 0; k < mis.size(); ++k) {
+    auto* a = dyn_cast<AssignStmt>(mis[k].get());
+    if (a == nullptr || a->guard != nullptr || a->op != AssignOp::Set)
+      continue;
+    std::vector<StmtPtr> emitted;
+    shrink_expr(a->rhs, max_ops, names, element_type, emitted, new_decls,
+                splits);
+    if (!emitted.empty()) {
+      std::size_t count = emitted.size();
+      mis.insert(mis.begin() + std::ptrdiff_t(k),
+                 std::make_move_iterator(emitted.begin()),
+                 std::make_move_iterator(emitted.end()));
+      k += count;  // skip past the temporaries to the original MI
+    }
+  }
+  return splits;
+}
+
+}  // namespace slc::slms

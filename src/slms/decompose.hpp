@@ -1,0 +1,55 @@
+// MI decomposition (paper §3.2): splits a "large" MI by hoisting one
+// array load into a fresh register MI:
+//
+//   A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2];
+//     =>
+//   reg1 = A[i+2];
+//   A[i] = A[i-1] + A[i-2] + A[i+1] + reg1;
+//
+// Decomposition is needed when the loop has a single MI (a valid II must
+// be < #MIs) or when a loop-carried self dependence pins the MII too
+// high. Only loads with *no flow dependence from any store in the body*
+// are candidates — hoisting those lets the subsequent MVE/scalar
+// expansion remove the new register's anti dependence and free the
+// schedule. The split is textually in-place (the register MI is inserted
+// directly before its consumer), so semantics are trivially preserved.
+//
+// A second operation, resource splitting, halves MIs whose operation
+// count exceeds what one VLIW multi-instruction can hold; the MII ignores
+// resources (§3.6) but the final compiler's bundle packer benefits.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "slms/names.hpp"
+
+namespace slc::slms {
+
+struct DecomposeResult {
+  std::string reg_name;
+  std::string array;          // the array whose load was hoisted
+  ast::ScalarType reg_type;   // element type of that array
+  int inserted_at = 0;        // index of the new register MI in `mis`
+};
+
+/// Performs one load-hoisting decomposition on `mis` (in place). Returns
+/// nullopt when no MI has a hoistable load. `element_type` maps an array
+/// name to its element type.
+[[nodiscard]] std::optional<DecomposeResult> decompose_once(
+    std::vector<ast::StmtPtr>& mis, const std::string& iv, std::int64_t step,
+    NameAllocator& names,
+    const std::function<ast::ScalarType(const std::string&)>& element_type);
+
+/// Resource splitting: rewrites any assignment whose right-hand side has
+/// more than `max_ops` arithmetic operations into a chain of register
+/// temporaries, each stage within budget. Returns the number of splits.
+int split_by_resources(
+    std::vector<ast::StmtPtr>& mis, int max_ops, NameAllocator& names,
+    const std::function<ast::ScalarType(const std::string&)>& element_type,
+    std::vector<ast::StmtPtr>& new_decls);
+
+}  // namespace slc::slms

@@ -1,0 +1,38 @@
+#include "slms/filter.hpp"
+
+#include <sstream>
+
+#include "analysis/access.hpp"
+
+namespace slc::slms {
+
+FilterDecision evaluate_filter(const std::vector<const ast::Stmt*>& body,
+                               const FilterOptions& opts) {
+  FilterDecision d;
+  for (const ast::Stmt* s : body) {
+    analysis::AccessSet a = analysis::collect_accesses(*s);
+    d.load_stores += a.load_store_count;
+    d.arith_ops += a.arith_op_count;
+  }
+  int total = d.load_stores + d.arith_ops;
+  d.memory_ratio = total == 0 ? 0.0 : double(d.load_stores) / double(total);
+  d.arith_per_ref = d.load_stores == 0
+                        ? double(d.arith_ops)
+                        : double(d.arith_ops) / double(d.load_stores);
+
+  std::ostringstream why;
+  if (d.memory_ratio >= opts.memory_ratio_threshold) {
+    d.apply = false;
+    why << "memory-ref ratio " << d.memory_ratio << " >= threshold "
+        << opts.memory_ratio_threshold;
+  } else if (opts.min_arith_per_ref > 0.0 &&
+             d.arith_per_ref < opts.min_arith_per_ref) {
+    d.apply = false;
+    why << "arithmetic ops per array reference " << d.arith_per_ref
+        << " < required " << opts.min_arith_per_ref;
+  }
+  d.reason = why.str();
+  return d;
+}
+
+}  // namespace slc::slms

@@ -1,0 +1,36 @@
+// Bad-case filtering (paper §4): SLMS can *hurt* when overlapping
+// iterations piles up parallel memory operations. The paper's heuristic
+// skips loops whose memory-ref ratio LS/(LS+AO) is >= 0.85 and notes the
+// threshold is machine-specific; §11 adds that requiring >= 6 arithmetic
+// operations per array reference removes almost all remaining bad cases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+
+namespace slc::slms {
+
+struct FilterOptions {
+  /// Skip when LS/(LS+AO) >= this (paper's Itanium/GCC value: 0.85).
+  double memory_ratio_threshold = 0.85;
+  /// When > 0, additionally require AO/LS >= this to apply SLMS (the §11
+  /// "six arithmetic operations per array reference" heuristic uses 6).
+  double min_arith_per_ref = 0.0;
+};
+
+struct FilterDecision {
+  bool apply = true;
+  double memory_ratio = 0.0;
+  double arith_per_ref = 0.0;
+  int load_stores = 0;
+  int arith_ops = 0;
+  std::string reason;  // set when !apply
+};
+
+/// Evaluates the filter over a loop body's statements.
+[[nodiscard]] FilterDecision evaluate_filter(
+    const std::vector<const ast::Stmt*>& body, const FilterOptions& opts);
+
+}  // namespace slc::slms

@@ -1,0 +1,126 @@
+#include "slms/ifconvert.hpp"
+
+#include "ast/build.hpp"
+
+namespace slc::slms {
+
+using namespace ast;
+
+namespace {
+
+class Converter {
+ public:
+  Converter(NameAllocator& names, std::vector<StmtPtr>& decls)
+      : names_(names), decls_(decls) {}
+
+  bool convert_block(BlockStmt& block) {
+    std::vector<StmtPtr> out;
+    for (StmtPtr& s : block.stmts) {
+      if (!convert_stmt(std::move(s), /*guard=*/nullptr, out)) return false;
+    }
+    block.stmts = std::move(out);
+    return true;
+  }
+
+  IfConvertResult result;
+
+ private:
+  /// Appends the predicated expansion of `s` under `guard` (nullable).
+  bool convert_stmt(StmtPtr s, const Expr* guard, std::vector<StmtPtr>& out) {
+    switch (s->kind()) {
+      case StmtKind::Assign: {
+        auto* a = dyn_cast<AssignStmt>(s.get());
+        if (!apply_guard(a->guard, guard)) return false;
+        out.push_back(std::move(s));
+        return true;
+      }
+      case StmtKind::ExprStmt: {
+        auto* x = dyn_cast<ExprStmt>(s.get());
+        if (!apply_guard(x->guard, guard)) return false;
+        out.push_back(std::move(s));
+        return true;
+      }
+      case StmtKind::Decl:
+        if (guard != nullptr) {
+          result.reject_reason = "declaration inside a conditional";
+          return false;
+        }
+        out.push_back(std::move(s));
+        return true;
+      case StmtKind::Block: {
+        auto* b = dyn_cast<BlockStmt>(s.get());
+        for (StmtPtr& c : b->stmts)
+          if (!convert_stmt(std::move(c), guard, out)) return false;
+        return true;
+      }
+      case StmtKind::If:
+        return convert_if(*dyn_cast<IfStmt>(s.get()), guard, out);
+      default:
+        result.reject_reason =
+            "body contains a construct if-conversion cannot predicate";
+        return false;
+    }
+  }
+
+  bool convert_if(IfStmt& i, const Expr* guard, std::vector<StmtPtr>& out) {
+    result.changed = true;
+
+    // p = cond  (or p = guard && cond under an enclosing guard — && keeps
+    // the evaluation semantics of the nested branch).
+    std::string pred = names_.fresh("pred");
+    decls_.push_back(build::decl(ScalarType::Bool, pred));
+    ExprPtr pred_value = std::move(i.cond);
+    if (guard != nullptr)
+      pred_value = build::bin(BinaryOp::And, guard->clone(),
+                              std::move(pred_value));
+    out.push_back(build::assign(build::var(pred), std::move(pred_value)));
+
+    ExprPtr then_guard = build::var(pred);
+    if (!convert_stmt(std::move(i.then_stmt), then_guard.get(), out))
+      return false;
+
+    if (i.else_stmt != nullptr) {
+      // q = !p under the enclosing guard.
+      ExprPtr else_cond = build::lnot(build::var(pred));
+      if (guard != nullptr)
+        else_cond = build::bin(BinaryOp::And, guard->clone(),
+                               std::move(else_cond));
+      std::string npred = names_.fresh("pred");
+      decls_.push_back(build::decl(ScalarType::Bool, npred));
+      out.push_back(build::assign(build::var(npred), std::move(else_cond)));
+      ExprPtr else_guard = build::var(npred);
+      if (!convert_stmt(std::move(i.else_stmt), else_guard.get(), out))
+        return false;
+    }
+    return true;
+  }
+
+  /// Conjoins `guard` onto an existing (possibly null) statement guard.
+  bool apply_guard(ExprPtr& slot, const Expr* guard) {
+    if (guard == nullptr) return true;
+    if (slot == nullptr) {
+      slot = guard->clone();
+    } else {
+      slot = build::bin(BinaryOp::And, guard->clone(), std::move(slot));
+    }
+    return true;
+  }
+
+  NameAllocator& names_;
+  std::vector<StmtPtr>& decls_;
+};
+
+}  // namespace
+
+IfConvertResult if_convert_body(BlockStmt& body, NameAllocator& names,
+                                std::vector<StmtPtr>& new_decls) {
+  Converter conv(names, new_decls);
+  if (!conv.convert_block(body)) {
+    conv.result.ok = false;
+    if (conv.result.reject_reason.empty())
+      conv.result.reject_reason = "if-conversion failed";
+  }
+  return conv.result;
+}
+
+}  // namespace slc::slms

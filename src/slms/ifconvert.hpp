@@ -1,0 +1,37 @@
+// Source-level if-conversion (paper §3.1): if-statements inside a loop
+// body are replaced by predicated statements guarded with fresh boolean
+// variables, mirroring machine-level if-conversion:
+//
+//   if (x < y) { x = x + 1; A[i] += x; } else y = y + 1;
+//     =>
+//   c = x < y;
+//   if (c)  x = x + 1;
+//   if (c)  A[i] += x;
+//   if (!c) y = y + 1;
+//
+// Nested if-statements compose their guards conjunctively through
+// additional predicate variables. Predicates are declared before the
+// loop; declarations are appended to `new_decls`.
+#pragma once
+
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "slms/names.hpp"
+
+namespace slc::slms {
+
+struct IfConvertResult {
+  bool changed = false;         // body had at least one if-statement
+  bool ok = true;               // false => body not convertible
+  std::string reject_reason;
+};
+
+/// Converts every if-statement in `body` (a BlockStmt) into predicated
+/// simple statements. `new_decls` receives the predicate declarations the
+/// caller must place before the loop.
+[[nodiscard]] IfConvertResult if_convert_body(
+    ast::BlockStmt& body, NameAllocator& names,
+    std::vector<ast::StmtPtr>& new_decls);
+
+}  // namespace slc::slms

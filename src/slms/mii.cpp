@@ -1,0 +1,152 @@
+#include "slms/mii.hpp"
+
+#include <algorithm>
+
+#include "support/int_math.hpp"
+
+namespace slc::slms {
+
+using analysis::Ddg;
+using analysis::DepEdge;
+
+std::vector<std::int64_t> compute_delays(const Ddg& ddg) {
+  const int n = ddg.num_nodes;
+  // Longest forward-edge path between every pair, counted in edges.
+  // dist[i][j] = -1 when unreachable.
+  std::vector<std::vector<std::int64_t>> dist(
+      std::size_t(n), std::vector<std::int64_t>(std::size_t(n), -1));
+  for (int i = 0; i < n; ++i) dist[std::size_t(i)][std::size_t(i)] = 0;
+  // Forward edges only (src < dst); nodes are in source order, so a
+  // single sweep by increasing destination is a topological DP.
+  for (int j = 0; j < n; ++j) {
+    for (const DepEdge& e : ddg.edges) {
+      if (e.src >= e.dst || e.dst != j) continue;
+      for (int i = 0; i < n; ++i) {
+        std::int64_t via = dist[std::size_t(i)][std::size_t(e.src)];
+        if (via < 0) continue;
+        auto& d = dist[std::size_t(i)][std::size_t(j)];
+        d = std::max(d, via + 1);
+      }
+    }
+  }
+
+  std::vector<std::int64_t> delays;
+  delays.reserve(ddg.edges.size());
+  for (const DepEdge& e : ddg.edges) {
+    if (e.src == e.dst) {
+      delays.push_back(1);  // rule 1: self dependence
+    } else if (e.src < e.dst) {
+      // rules 2 & 3: longest forward path (adjacent MIs give 1).
+      std::int64_t d = dist[std::size_t(e.src)][std::size_t(e.dst)];
+      delays.push_back(std::max<std::int64_t>(1, d));
+    } else {
+      delays.push_back(1);  // rule 4: back edge
+    }
+  }
+  return delays;
+}
+
+std::int64_t ModuloSchedule::stage_count() const {
+  std::int64_t max_stage = 0;
+  for (int k = 0; k < num_mis(); ++k) max_stage = std::max(max_stage, stage(k));
+  return max_stage + 1;
+}
+
+MiiSolver::MiiSolver(const Ddg& ddg, std::vector<std::int64_t> delays)
+    : ddg_(ddg), delays_(std::move(delays)) {}
+
+std::optional<ModuloSchedule> MiiSolver::schedule_for(int ii) const {
+  const int n = ddg_.num_nodes;
+  if (n == 0 || ii <= 0) return std::nullopt;
+
+  // Longest-path relaxation with implicit source sigma >= 0. An edge's
+  // binding constraint uses its smallest distance (unknown => 0, the most
+  // conservative assumption).
+  std::vector<std::int64_t> sigma(std::size_t(n), 0);
+  for (int round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (std::size_t k = 0; k < ddg_.edges.size(); ++k) {
+      const DepEdge& e = ddg_.edges[k];
+      std::int64_t w = delays_[k] - std::int64_t(ii) * e.min_distance();
+      std::int64_t cand = sigma[std::size_t(e.src)] + w;
+      if (cand > sigma[std::size_t(e.dst)]) {
+        sigma[std::size_t(e.dst)] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      ModuloSchedule s;
+      s.ii = ii;
+      s.sigma = std::move(sigma);
+      return s;
+    }
+  }
+  return std::nullopt;  // positive cycle: II infeasible
+}
+
+std::optional<ModuloSchedule> MiiSolver::solve(MiiOptions opts) const {
+  const int n = ddg_.num_nodes;
+  if (n == 0) return std::nullopt;
+  // A valid SLMS II must beat the sequential schedule: II < #MIs (§5).
+  int bound = opts.max_ii.value_or(n - 1);
+  for (int ii = 1; ii <= bound; ++ii)
+    if (auto s = schedule_for(ii)) return s;
+  return std::nullopt;
+}
+
+std::int64_t MiiSolver::recurrence_bound_hint() const {
+  const int n = ddg_.num_nodes;
+  std::int64_t best = 1;
+  // DFS enumeration of simple cycles starting from their minimal node.
+  // Loop bodies are small (< ~50 MIs) and the enumeration is capped.
+  int budget = 200000;
+
+  for (int start = 0; start < n && budget > 0; ++start) {
+    std::vector<int> stack_nodes{start};
+    std::vector<std::int64_t> delay_sum{0};
+    std::vector<std::int64_t> dist_sum{0};
+    std::vector<bool> on_stack(std::size_t(n), false);
+    on_stack[std::size_t(start)] = true;
+
+    // Iterative DFS over edge indices.
+    std::vector<std::size_t> edge_iter{0};
+    while (!stack_nodes.empty() && budget > 0) {
+      int u = stack_nodes.back();
+      bool advanced = false;
+      for (std::size_t k = edge_iter.back(); k < ddg_.edges.size(); ++k) {
+        const DepEdge& e = ddg_.edges[k];
+        if (e.src != u) continue;
+        if (e.dst < start) continue;  // canonical: cycles via minimal node
+        --budget;
+        edge_iter.back() = k + 1;
+        std::int64_t d = delays_[k];
+        std::int64_t dd = e.min_distance();
+        if (e.dst == start) {
+          std::int64_t total_delay = delay_sum.back() + d;
+          std::int64_t total_dist = dist_sum.back() + dd;
+          if (total_dist > 0)
+            best = std::max(best, ceil_div(total_delay, total_dist));
+          continue;
+        }
+        if (on_stack[std::size_t(e.dst)]) continue;
+        stack_nodes.push_back(e.dst);
+        delay_sum.push_back(delay_sum.back() + d);
+        dist_sum.push_back(dist_sum.back() + dd);
+        on_stack[std::size_t(e.dst)] = true;
+        edge_iter.push_back(0);
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        on_stack[std::size_t(stack_nodes.back())] = false;
+        stack_nodes.pop_back();
+        delay_sum.pop_back();
+        dist_sum.pop_back();
+        edge_iter.pop_back();
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace slc::slms

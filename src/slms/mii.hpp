@@ -1,0 +1,83 @@
+// Source-level delay model (paper §3.5) and MII computation (paper §3.6).
+//
+// Delays are defined purely on the dependence-graph structure (pipeline
+// stalls have no meaning at source level):
+//   1. delay(MI_i, MI_i)   = 1   (loop-carried self dependence)
+//   2. delay(MI_i, MI_i+1) = 1
+//   3. delay(MI_i, MI_j)   = longest forward-edge path i -> j   (i < j)
+//   4. delay(MI_i, MI_j)   = 1   for back edges                 (i > j)
+// This guarantees the sum of delays along every dependence cycle is >=
+// the number of edges in the cycle, so a feasible kernel never violates
+// a dependency.
+//
+// The MII uses only the recurrence constraint (PMII): candidate II values
+// are tried in increasing order; II is feasible iff the constraint graph
+//   sigma(dst) - sigma(src) >= delay(e) - II * distance(e)
+// has no positive cycle (the "iterative shortest path" / difMin method of
+// Zaky and Allan et al. that the paper adopts). On success the solver also
+// returns the minimal schedule slots sigma — the kernel placement used by
+// the pipeliner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ddg.hpp"
+
+namespace slc::slms {
+
+/// Per-edge source-level delays for a DDG, indexed like ddg.edges.
+[[nodiscard]] std::vector<std::int64_t> compute_delays(
+    const analysis::Ddg& ddg);
+
+/// A feasible modulo schedule at initiation interval `ii`.
+struct ModuloSchedule {
+  int ii = 0;
+  std::vector<std::int64_t> sigma;  // schedule slot of each MI
+
+  [[nodiscard]] int num_mis() const { return int(sigma.size()); }
+  [[nodiscard]] std::int64_t stage(int mi) const {
+    return sigma[std::size_t(mi)] / ii;
+  }
+  [[nodiscard]] std::int64_t row(int mi) const {
+    return sigma[std::size_t(mi)] % ii;
+  }
+  /// Total pipeline stages S = max stage + 1.
+  [[nodiscard]] std::int64_t stage_count() const;
+  /// Iteration offset of MI in the kernel: S-1 - stage(mi).
+  [[nodiscard]] std::int64_t offset(int mi) const {
+    return stage_count() - 1 - stage(mi);
+  }
+};
+
+struct MiiOptions {
+  /// Largest II tried (inclusive). Default: #MIs - 1, because the paper
+  /// rejects II >= #MIs as "no better than the sequential schedule" (§5).
+  std::optional<int> max_ii;
+};
+
+class MiiSolver {
+ public:
+  MiiSolver(const analysis::Ddg& ddg, std::vector<std::int64_t> delays);
+
+  /// Feasibility test for one candidate II: Bellman-Ford longest path
+  /// over the constraint graph. Returns the minimal sigma assignment, or
+  /// nullopt when a positive cycle exists.
+  [[nodiscard]] std::optional<ModuloSchedule> schedule_for(int ii) const;
+
+  /// Smallest feasible II in [1, max_ii]; nullopt when none exists.
+  [[nodiscard]] std::optional<ModuloSchedule> solve(MiiOptions opts = {}) const;
+
+  /// Analytic lower bound max over explicit simple cycles of
+  /// ceil(sum delay / sum distance) — exposed for the Fig. 8 unit tests;
+  /// solve() does not need it.
+  [[nodiscard]] std::int64_t recurrence_bound_hint() const;
+
+ private:
+  const analysis::Ddg& ddg_;
+  std::vector<std::int64_t> delays_;
+};
+
+}  // namespace slc::slms

@@ -1,0 +1,47 @@
+#include "slms/names.hpp"
+
+#include "ast/walk.hpp"
+
+namespace slc::slms {
+
+using namespace ast;
+
+namespace {
+void seed_from(const Stmt& s, std::set<std::string>& used) {
+  walk_stmts(s, [&](const Stmt& st) {
+    if (const auto* d = dyn_cast<DeclStmt>(&st)) used.insert(d->name);
+  });
+  walk_exprs(s, [&](const Expr& e) {
+    if (const auto* v = dyn_cast<VarRef>(&e)) used.insert(v->name);
+    if (const auto* a = dyn_cast<ArrayRef>(&e)) used.insert(a->name);
+  });
+}
+}  // namespace
+
+NameAllocator NameAllocator::for_program(const Program& program) {
+  std::set<std::string> used;
+  for (const StmtPtr& s : program.stmts) seed_from(*s, used);
+  return NameAllocator(std::move(used));
+}
+
+NameAllocator NameAllocator::for_stmt(const Stmt& stmt) {
+  std::set<std::string> used;
+  seed_from(stmt, used);
+  return NameAllocator(std::move(used));
+}
+
+std::string NameAllocator::fresh(const std::string& hint) {
+  if (!used_.contains(hint)) {
+    used_.insert(hint);
+    return hint;
+  }
+  for (int i = 1;; ++i) {
+    std::string candidate = hint + std::to_string(i);
+    if (!used_.contains(candidate)) {
+      used_.insert(candidate);
+      return candidate;
+    }
+  }
+}
+
+}  // namespace slc::slms

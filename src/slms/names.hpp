@@ -1,0 +1,37 @@
+// Fresh-name allocation for SLMS-synthesized variables (decomposition
+// registers `reg1`, predicates `pred0`, expansion arrays `regArr`, ...).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace slc::slms {
+
+class NameAllocator {
+ public:
+  NameAllocator() = default;
+  explicit NameAllocator(std::set<std::string> used) : used_(std::move(used)) {}
+
+  /// Seeds the allocator with every identifier appearing in `program`
+  /// (variables, arrays, declarations).
+  [[nodiscard]] static NameAllocator for_program(const ast::Program& program);
+
+  /// Seeds from a single statement tree.
+  [[nodiscard]] static NameAllocator for_stmt(const ast::Stmt& stmt);
+
+  /// Returns `hint` if unused, else `hint<N>` for the first free N >= 1,
+  /// and registers the result.
+  [[nodiscard]] std::string fresh(const std::string& hint);
+
+  void reserve(const std::string& name) { used_.insert(name); }
+  [[nodiscard]] bool taken(const std::string& name) const {
+    return used_.contains(name);
+  }
+
+ private:
+  std::set<std::string> used_;
+};
+
+}  // namespace slc::slms

@@ -1,0 +1,317 @@
+#include "slms/pipeliner.hpp"
+
+#include <algorithm>
+
+#include "ast/build.hpp"
+#include "ast/fold.hpp"
+#include "ast/subst.hpp"
+#include "ast/walk.hpp"
+#include "support/int_math.hpp"
+
+namespace slc::slms {
+
+using namespace ast;
+
+std::int64_t PipelinePlan::trip_count() const {
+  std::int64_t lo = *const_lower;
+  std::int64_t hi = *const_upper;
+  std::int64_t span;
+  switch (cmp) {
+    case BinaryOp::Lt: span = hi - lo; break;
+    case BinaryOp::Le: span = hi - lo + 1; break;
+    case BinaryOp::Gt: span = lo - hi; break;
+    case BinaryOp::Ge: span = lo - hi + 1; break;
+    default: return 0;
+  }
+  if (span <= 0) return 0;
+  std::int64_t s = step > 0 ? step : -step;
+  return ceil_div(span, s);
+}
+
+namespace {
+
+/// One MI instance: source iteration t (normalized), MI index k.
+struct Instance {
+  std::int64_t g;  // global slot II*t + sigma(k)
+  std::int64_t t;
+  int k;
+};
+
+class Builder {
+ public:
+  explicit Builder(const PipelinePlan& plan)
+      : plan_(plan),
+        ii_(plan.sched.ii),
+        stages_(plan.sched.stage_count()),
+        unroll_(plan.unroll) {}
+
+  std::vector<StmtPtr> build() {
+    std::vector<StmtPtr> out;
+    const bool constant = plan_.bounds_are_constant();
+    if (!constant && (unroll_ > 1 || !plan_.renames.empty())) return out;
+
+    std::int64_t kernel_trips = 0;  // rounded-down kernel coverage (const)
+    std::int64_t n_iters = 0;
+    if (constant) {
+      n_iters = plan_.trip_count();
+      std::int64_t nk = n_iters - (stages_ - 1);
+      if (nk < unroll_) return out;  // not enough iterations to pipeline
+      kernel_trips = (nk / unroll_) * unroll_;
+    }
+
+    emit_prologue(out, constant);
+    emit_kernel(out, constant, kernel_trips);
+    emit_epilogue(out, constant, kernel_trips, n_iters);
+    emit_iv_fixup(out, constant, n_iters);
+    emit_fixups(out, constant, n_iters);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t offset(int k) const {
+    return plan_.sched.offset(k);
+  }
+  [[nodiscard]] std::int64_t sigma(int k) const {
+    return plan_.sched.sigma[std::size_t(k)];
+  }
+  [[nodiscard]] int num_mis() const { return int(plan_.mis.size()); }
+
+  /// Statement for MI k with the loop variable bound to `iv_expr` and
+  /// iteration parity `t_mod` (for MVE copy selection; pass -1 when the
+  /// parity is irrelevant because unroll == 1).
+  StmtPtr make_instance(int k, ExprPtr iv_expr, std::int64_t t_mod) {
+    StmtPtr s = plan_.mis[std::size_t(k)]->clone();
+    for (const RenamedScalar& r : plan_.renames) {
+      if (r.mode == RenameMode::MveCopies) {
+        if (unroll_ > 1 && t_mod >= 0)
+          rename_var(*s, r.name, r.copy_names[std::size_t(t_mod)]);
+      } else {
+        // Expansion: s -> sArr[iv]; the iv substitution below turns the
+        // placeholder subscript into this instance's index expression.
+        rewrite_exprs(*s, [&](ExprPtr& slot) {
+          if (const auto* v = dyn_cast<VarRef>(slot.get());
+              v != nullptr && v->name == r.name) {
+            slot = build::index(r.array_name, build::var(plan_.iv));
+          }
+        });
+      }
+    }
+    substitute_var(*s, plan_.iv, *iv_expr);
+    return s;
+  }
+
+  /// iv value of normalized iteration t as an expression.
+  ExprPtr iv_value(std::int64_t t, bool constant) {
+    if (constant)
+      return build::lit(*plan_.const_lower + t * plan_.step);
+    ExprPtr e = plan_.lower->clone();
+    if (t != 0) e = build::add(std::move(e), build::lit(t * plan_.step));
+    fold(e);
+    return e;
+  }
+
+  /// Emits `instances` (already collected) sorted by (g, t, k), grouping
+  /// equal-g instances into one parallel row.
+  void emit_instances(std::vector<Instance> instances,
+                      const std::function<ExprPtr(const Instance&)>& iv_of,
+                      std::vector<StmtPtr>& out) {
+    std::sort(instances.begin(), instances.end(),
+              [](const Instance& a, const Instance& b) {
+                return std::tie(a.g, a.t, a.k) < std::tie(b.g, b.t, b.k);
+              });
+    std::size_t i = 0;
+    while (i < instances.size()) {
+      std::size_t j = i;
+      while (j < instances.size() && instances[j].g == instances[i].g) ++j;
+      std::vector<StmtPtr> row;
+      for (std::size_t x = i; x < j; ++x) {
+        const Instance& inst = instances[x];
+        std::int64_t t_mod =
+            unroll_ > 1 ? ((inst.t % unroll_) + unroll_) % unroll_ : -1;
+        row.push_back(make_instance(inst.k, iv_of(inst), t_mod));
+      }
+      if (row.size() == 1) {
+        out.push_back(std::move(row.front()));
+      } else {
+        out.push_back(build::parallel(std::move(row)));
+      }
+      i = j;
+    }
+  }
+
+  void emit_prologue(std::vector<StmtPtr>& out, bool constant) {
+    std::vector<Instance> instances;
+    for (int k = 0; k < num_mis(); ++k)
+      for (std::int64_t t = 0; t < offset(k); ++t)
+        instances.push_back({ii_ * t + sigma(k), t, k});
+    emit_instances(
+        std::move(instances),
+        [&](const Instance& inst) { return iv_value(inst.t, constant); },
+        out);
+  }
+
+  void emit_kernel(std::vector<StmtPtr>& out, bool constant,
+                   std::int64_t kernel_trips) {
+    // Header: iv = lo; iv <cmp> kernel-bound; iv += unroll*step.
+    StmtPtr init = build::assign(build::var(plan_.iv), plan_.lower->clone());
+    ExprPtr cond;
+    if (constant) {
+      std::int64_t bound = *plan_.const_lower + kernel_trips * plan_.step;
+      cond = build::bin(plan_.step > 0 ? BinaryOp::Lt : BinaryOp::Gt,
+                        build::var(plan_.iv), build::lit(bound));
+    } else {
+      ExprPtr bound = build::sub(plan_.upper->clone(),
+                                 build::lit((stages_ - 1) * plan_.step));
+      fold(bound);
+      cond = build::bin(plan_.cmp, build::var(plan_.iv), std::move(bound));
+    }
+    std::int64_t stride = std::int64_t(unroll_) * plan_.step;
+    StmtPtr step_stmt =
+        stride >= 0
+            ? build::assign(build::var(plan_.iv), build::lit(stride),
+                            AssignOp::Add)
+            : build::assign(build::var(plan_.iv), build::lit(-stride),
+                            AssignOp::Sub);
+
+    // Body: unroll copies x II rows, each row in ascending-offset order.
+    std::vector<StmtPtr> body;
+    for (int j = 0; j < unroll_; ++j) {
+      for (std::int64_t r = 0; r < ii_; ++r) {
+        std::vector<int> members;
+        for (int k = 0; k < num_mis(); ++k)
+          if (plan_.sched.row(k) == r) members.push_back(k);
+        if (members.empty()) continue;
+        // Ascending offset == ascending source-iteration order, which is
+        // the sequentially-correct order inside a parallel row.
+        std::sort(members.begin(), members.end(), [&](int a, int b) {
+          return std::make_tuple(offset(a), a) <
+                 std::make_tuple(offset(b), b);
+        });
+        std::vector<StmtPtr> row;
+        for (int k : members) {
+          std::int64_t delta = (j + offset(k)) * plan_.step;
+          std::int64_t t_mod = (j + offset(k)) % unroll_;
+          row.push_back(make_instance(
+              k, build::var_plus(plan_.iv, delta), t_mod));
+        }
+        if (row.size() == 1) {
+          body.push_back(std::move(row.front()));
+        } else {
+          body.push_back(build::parallel(std::move(row)));
+        }
+      }
+    }
+
+    out.push_back(std::make_unique<ForStmt>(
+        std::move(init), std::move(cond), std::move(step_stmt),
+        build::block(std::move(body))));
+  }
+
+  void emit_epilogue(std::vector<StmtPtr>& out, bool constant,
+                     std::int64_t kernel_trips, std::int64_t n_iters) {
+    std::vector<Instance> instances;
+    if (constant) {
+      for (int k = 0; k < num_mis(); ++k)
+        for (std::int64_t t = kernel_trips + offset(k); t < n_iters; ++t)
+          instances.push_back({ii_ * t + sigma(k), t, k});
+      emit_instances(
+          std::move(instances),
+          [&](const Instance& inst) { return iv_value(inst.t, true); }, out);
+      return;
+    }
+    // Symbolic: t is relative to the kernel exit value of iv
+    // (t_rel = t - Nk, in [offset(k), S-1)).
+    for (int k = 0; k < num_mis(); ++k)
+      for (std::int64_t t_rel = offset(k); t_rel < stages_ - 1; ++t_rel)
+        instances.push_back({ii_ * t_rel + sigma(k), t_rel, k});
+    emit_instances(
+        std::move(instances),
+        [&](const Instance& inst) {
+          return build::var_plus(plan_.iv, inst.t * plan_.step);
+        },
+        out);
+  }
+
+  /// Restores the induction variable's original exit value — code after
+  /// the loop may read it, and the oracle compares final scalar states.
+  void emit_iv_fixup(std::vector<StmtPtr>& out, bool constant,
+                     std::int64_t n_iters) {
+    if (constant) {
+      out.push_back(build::assign(
+          build::var(plan_.iv),
+          build::lit(*plan_.const_lower + n_iters * plan_.step)));
+      return;
+    }
+    // Symbolic: the kernel exits (S-1) iterations early.
+    std::int64_t delta = (stages_ - 1) * plan_.step;
+    if (delta == 0) return;
+    out.push_back(
+        delta > 0
+            ? build::assign(build::var(plan_.iv), build::lit(delta),
+                            AssignOp::Add)
+            : build::assign(build::var(plan_.iv), build::lit(-delta),
+                            AssignOp::Sub));
+  }
+
+  void emit_fixups(std::vector<StmtPtr>& out, bool constant,
+                   std::int64_t n_iters) {
+    if (!constant || plan_.renames.empty() || n_iters == 0) return;
+    for (const RenamedScalar& r : plan_.renames) {
+      if (r.mode == RenameMode::MveCopies) {
+        if (unroll_ <= 1) continue;
+        std::size_t last = std::size_t((n_iters - 1) % unroll_);
+        out.push_back(build::assign(build::var(r.name),
+                                    build::var(r.copy_names[last])));
+      } else {
+        std::int64_t last_iv =
+            *plan_.const_lower + (n_iters - 1) * plan_.step;
+        out.push_back(build::assign(
+            build::var(r.name),
+            build::index(r.array_name, build::lit(last_iv))));
+      }
+    }
+  }
+
+  const PipelinePlan& plan_;
+  std::int64_t ii_;
+  std::int64_t stages_;
+  int unroll_;
+};
+
+}  // namespace
+
+std::vector<StmtPtr> build_pipeline(const PipelinePlan& plan) {
+  return Builder(plan).build();
+}
+
+ExprPtr trip_count_guard(const PipelinePlan& plan) {
+  std::int64_t abs_step = plan.step > 0 ? plan.step : -plan.step;
+  std::int64_t stages = plan.sched.stage_count();
+  ExprPtr span;
+  BinaryOp op;
+  switch (plan.cmp) {
+    case BinaryOp::Lt:
+      span = build::sub(plan.upper->clone(), plan.lower->clone());
+      op = BinaryOp::Gt;
+      break;
+    case BinaryOp::Le:
+      span = build::sub(plan.upper->clone(), plan.lower->clone());
+      op = BinaryOp::Ge;
+      break;
+    case BinaryOp::Gt:
+      span = build::sub(plan.lower->clone(), plan.upper->clone());
+      op = BinaryOp::Gt;
+      break;
+    default:  // Ge
+      span = build::sub(plan.lower->clone(), plan.upper->clone());
+      op = BinaryOp::Ge;
+      break;
+  }
+  fold(span);
+  ExprPtr guard = build::bin(op, std::move(span),
+                             build::lit((stages - 1) * abs_step));
+  fold(guard);
+  return guard;
+}
+
+}  // namespace slc::slms

@@ -1,0 +1,85 @@
+// Software-pipeline construction (the MS table of paper Fig. 1, §5 step 6).
+//
+// Given the modulo schedule sigma for the MIs of a canonical loop, every
+// MI instance (iteration t, MI k) has a global slot
+//     g(t, k) = II * t + sigma(k).
+// MI k executes in the kernel with iteration offset
+//     off(k) = (S - 1) - stage(k),        S = stage count,
+// so one kernel iteration at counter c executes MI k on source iteration
+// c + off(k). Instances not covered by the kernel are emitted as
+// straight-line prologue (t < off(k)) and epilogue (t >= Nk + off(k))
+// code, all in ascending (g, t) order — which is exactly the order that
+// makes the emitted sequential program respect every dependence the
+// schedule satisfied.
+//
+// Modulo variable expansion (paper §3.3) unrolls the kernel `unroll`
+// times and renames each planned scalar round-robin by iteration parity
+// (t mod unroll); scalar expansion (§3.4) rewrites a planned scalar into
+// a per-iteration array cell instead. Unrolling and expansion require
+// constant loop bounds; with symbolic bounds the pipeliner emits an
+// unrolled-by-1 pipeline and the caller wraps it in a trip-count guard.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "slms/mii.hpp"
+
+namespace slc::slms {
+
+/// How a planned scalar is de-falsified.
+enum class RenameMode { MveCopies, Expand };
+
+struct RenamedScalar {
+  std::string name;
+  RenameMode mode = RenameMode::MveCopies;
+  /// MVE: the `unroll` copy names, indexed by t mod unroll.
+  std::vector<std::string> copy_names;
+  /// Expansion: the temporary array, indexed by the instance's iv value.
+  std::string array_name;
+};
+
+struct PipelinePlan {
+  // Canonical loop parameters.
+  std::string iv;
+  const ast::Expr* lower = nullptr;  // non-owning; cloned on use
+  const ast::Expr* upper = nullptr;
+  ast::BinaryOp cmp = ast::BinaryOp::Lt;
+  std::int64_t step = 1;
+
+  // Constant bounds when known (enables MVE/expansion and exact
+  // prologue/epilogue constants).
+  std::optional<std::int64_t> const_lower;
+  std::optional<std::int64_t> const_upper;
+
+  // The MIs in source order (owned; already if-converted / decomposed).
+  std::vector<ast::StmtPtr> mis;
+
+  ModuloSchedule sched;
+  int unroll = 1;  // kernel unroll factor u (1 => no MVE copies)
+  std::vector<RenamedScalar> renames;
+
+  [[nodiscard]] bool bounds_are_constant() const {
+    return const_lower.has_value() && const_upper.has_value();
+  }
+  /// Trip count; requires constant bounds.
+  [[nodiscard]] std::int64_t trip_count() const;
+};
+
+/// Builds the replacement statements: prologue..., kernel for-loop,
+/// epilogue..., live-out fixups. Preconditions (checked):
+///  * unroll > 1 or any rename requires constant bounds;
+///  * constant bounds require trip_count() >= stage_count - 1 + unroll.
+/// Violations return an empty vector.
+[[nodiscard]] std::vector<ast::StmtPtr> build_pipeline(
+    const PipelinePlan& plan);
+
+/// The trip-count guard `span > (S-1)*step` (adjusted for the comparison
+/// operator) under which the pipelined form is valid; used by the driver
+/// to wrap symbolic-bound pipelines:  if (guard) pipelined else original.
+[[nodiscard]] ast::ExprPtr trip_count_guard(const PipelinePlan& plan);
+
+}  // namespace slc::slms

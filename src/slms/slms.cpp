@@ -1,0 +1,419 @@
+#include "slms/slms.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/access.hpp"
+#include "analysis/ddg.hpp"
+#include "ast/build.hpp"
+#include "ast/fold.hpp"
+#include "ast/walk.hpp"
+#include "sema/loop_info.hpp"
+#include "slms/decompose.hpp"
+#include "slms/ifconvert.hpp"
+#include "slms/pipeliner.hpp"
+#include "support/int_math.hpp"
+
+namespace slc::slms {
+
+using namespace ast;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// type lookup over program decls + SLMS-synthesized decls
+// ---------------------------------------------------------------------------
+
+class TypeContext {
+ public:
+  explicit TypeContext(const Program& program) {
+    for (const StmtPtr& s : program.stmts) {
+      walk_stmts(*s, [&](const Stmt& st) {
+        if (const auto* d = dyn_cast<DeclStmt>(&st))
+          types_[d->name] = d->type;
+      });
+    }
+  }
+
+  void add(const std::string& name, ScalarType t) { types_[name] = t; }
+
+  [[nodiscard]] ScalarType of(const std::string& name) const {
+    auto it = types_.find(name);
+    return it == types_.end() ? ScalarType::Double : it->second;
+  }
+
+  [[nodiscard]] std::function<ScalarType(const std::string&)> lookup_fn()
+      const {
+    return [this](const std::string& n) { return of(n); };
+  }
+
+ private:
+  std::map<std::string, ScalarType> types_;
+};
+
+// ---------------------------------------------------------------------------
+// scalar def-use over the MI list
+// ---------------------------------------------------------------------------
+
+struct ScalarDefUse {
+  std::vector<int> defs;
+  std::vector<int> uses;
+  bool renameable = false;  // single unguarded Set def preceding all uses
+};
+
+std::map<std::string, ScalarDefUse> analyze_scalars(
+    const std::vector<StmtPtr>& mis, const std::string& iv) {
+  std::map<std::string, ScalarDefUse> out;
+  for (int k = 0; k < int(mis.size()); ++k) {
+    analysis::AccessSet set =
+        analysis::collect_accesses(*mis[std::size_t(k)]);
+    for (const analysis::ScalarAccess& s : set.scalars) {
+      if (s.name == iv) continue;
+      ScalarDefUse& du = out[s.name];
+      auto& list = s.is_write ? du.defs : du.uses;
+      if (list.empty() || list.back() != k) list.push_back(k);
+    }
+  }
+  for (auto& [name, du] : out) {
+    if (du.defs.size() != 1) continue;
+    int def = du.defs.front();
+    const auto* a = dyn_cast<AssignStmt>(mis[std::size_t(def)].get());
+    if (a == nullptr || a->op != AssignOp::Set || a->guard != nullptr)
+      continue;
+    const auto* lhs = dyn_cast<VarRef>(a->lhs.get());
+    if (lhs == nullptr || lhs->name != name) continue;
+    bool ok = true;
+    for (int u : du.uses)
+      if (u <= def) ok = false;
+    du.renameable = ok;
+  }
+  return out;
+}
+
+/// Removes anti/output edges through the planned scalars — the false
+/// dependences MVE / scalar expansion will eliminate (paper §5 step 6c).
+void drop_false_scalar_edges(analysis::Ddg& ddg,
+                             const std::set<std::string>& planned) {
+  std::erase_if(ddg.edges, [&](const analysis::DepEdge& e) {
+    return e.kind != analysis::DepKind::Flow && planned.contains(e.var);
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// transform_loop
+// ---------------------------------------------------------------------------
+
+SlmsResult transform_loop(const ForStmt& loop, const Program& program,
+                          const SlmsOptions& options) {
+  SlmsResult res;
+  SlmsReport& rep = res.report;
+  auto note = [&](std::string msg) {
+    if (options.explain) rep.trace.push_back(std::move(msg));
+  };
+  auto skip = [&](std::string why) -> SlmsResult {
+    rep.applied = false;
+    note("skip: " + why);
+    rep.skip_reason = std::move(why);
+    res.replacement.clear();
+    return std::move(res);
+  };
+
+  // Work on a clone; normalize a decl-style init (`for (int i = e; ...)`)
+  // so the induction variable survives the loop for the epilogue.
+  StmtPtr cloned = loop.clone();
+  auto* work = dyn_cast<ForStmt>(cloned.get());
+  std::vector<StmtPtr> new_decls;
+  if (const auto* d = dyn_cast<DeclStmt>(work->init.get());
+      d != nullptr && !d->is_array() && d->init != nullptr) {
+    new_decls.push_back(build::decl(d->type, d->name));
+    work->init = build::assign(build::var(d->name), d->init->clone());
+  }
+
+  std::string reason;
+  auto info_opt = sema::analyze_loop(*work, &reason);
+  if (!info_opt) return skip("not a canonical loop: " + reason);
+  sema::LoopInfo info = *info_opt;
+  if (!info.body_is_pipelineable) return skip(info.reject_reason);
+
+  // Keep a pristine normalized copy for the symbolic-bound fallback arm.
+  StmtPtr fallback = work->clone();
+
+  // -- 1. bad-case filter ---------------------------------------------------
+  {
+    std::vector<const Stmt*> body_ptrs;
+    for (Stmt* s : sema::body_statements(*work)) body_ptrs.push_back(s);
+    FilterDecision fd = evaluate_filter(body_ptrs, options.filter);
+    rep.memory_ratio = fd.memory_ratio;
+    note("filter (§4): LS=" + std::to_string(fd.load_stores) +
+         " AO=" + std::to_string(fd.arith_ops) + " memory-ref ratio=" +
+         std::to_string(fd.memory_ratio) +
+         (fd.apply ? " -> apply" : " -> bad case"));
+    if (options.enable_filter && !fd.apply)
+      return skip("filtered: " + fd.reason);
+  }
+
+  NameAllocator names = NameAllocator::for_program(program);
+  TypeContext types(program);
+
+  // -- 2. if-conversion -----------------------------------------------------
+  auto* body_block = dyn_cast<BlockStmt>(work->body.get());
+  bool has_if = false;
+  for (const StmtPtr& s : body_block->stmts)
+    if (s->kind() == StmtKind::If) has_if = true;
+  if (has_if) {
+    if (!options.enable_if_conversion)
+      return skip("body contains if-statements (if-conversion disabled)");
+    std::vector<StmtPtr> pred_decls;
+    IfConvertResult icr = if_convert_body(*body_block, names, pred_decls);
+    if (!icr.ok) return skip("if-conversion failed: " + icr.reject_reason);
+    rep.if_converted = icr.changed;
+    note("if-conversion (§3.1): " + std::to_string(pred_decls.size()) +
+         " predicate(s) introduced");
+    for (StmtPtr& d : pred_decls) {
+      types.add(dyn_cast<DeclStmt>(d.get())->name, ScalarType::Bool);
+      new_decls.push_back(std::move(d));
+    }
+  }
+
+  // -- 3. MI partitioning ---------------------------------------------------
+  std::vector<StmtPtr> mis;
+  for (StmtPtr& s : body_block->stmts) {
+    if (s->kind() != StmtKind::Assign && s->kind() != StmtKind::ExprStmt)
+      return skip(
+          "unsupported statement in loop body (hint: declare temporaries "
+          "outside the loop)");
+    mis.push_back(std::move(s));
+  }
+  body_block->stmts.clear();
+  if (mis.empty()) return skip("empty loop body");
+
+  // -- 4. renaming feasibility ----------------------------------------------
+  auto const_lo = const_int(*info.lower);
+  auto const_hi = const_int(*info.upper);
+  bool constant = const_lo.has_value() && const_hi.has_value();
+  bool renaming_allowed =
+      options.renaming != RenamingChoice::None && constant &&
+      (options.renaming == RenamingChoice::Mve ||
+       (info.step > 0 && *const_lo >= 0));
+
+  // -- 5/6. schedule, decomposing on failure ---------------------------------
+  std::optional<ModuloSchedule> sched;
+  std::set<std::string> planned;
+  int decompositions = 0;
+  for (;;) {
+    planned.clear();
+    if (renaming_allowed)
+      for (const auto& [name, du] : analyze_scalars(mis, info.iv))
+        if (du.renameable) planned.insert(name);
+
+    std::vector<const Stmt*> mi_ptrs;
+    for (const StmtPtr& s : mis) mi_ptrs.push_back(s.get());
+    analysis::Ddg ddg = analysis::build_ddg(mi_ptrs, info.iv, info.step);
+    drop_false_scalar_edges(ddg, planned);
+    {
+      std::string names_list;
+      for (const std::string& n : planned)
+        names_list += (names_list.empty() ? "" : ", ") + n;
+      note("DDG: " + std::to_string(mis.size()) + " MIs, " +
+           std::to_string(ddg.edges.size()) + " edges" +
+           (planned.empty()
+                ? std::string()
+                : "; false deps dropped for renameable scalars {" +
+                      names_list + "}"));
+    }
+    MiiSolver solver(ddg, compute_delays(ddg));
+    sched = solver.solve({options.max_ii});
+    if (sched.has_value()) {
+      note("MII search (§3.6): feasible at II=" +
+           std::to_string(sched->ii) + ", " +
+           std::to_string(sched->stage_count()) + " stage(s)");
+      break;
+    }
+    note("MII search: no II < " + std::to_string(mis.size()) +
+         " is feasible");
+
+    if (decompositions >= options.max_decompositions)
+      return skip("no valid II within the decomposition budget");
+    auto dr = decompose_once(mis, info.iv, info.step, names,
+                             types.lookup_fn());
+    if (!dr.has_value())
+      return skip("no valid II and no decomposable MI (failure, §5 step 5a)");
+    note("decomposition (§3.2): hoisted a load of '" + dr->array +
+         "' into register '" + dr->reg_name + "'");
+    types.add(dr->reg_name, dr->reg_type);
+    new_decls.push_back(build::decl(dr->reg_type, dr->reg_name));
+    ++decompositions;
+  }
+
+  // -- 6a. register lifetimes => unroll factor & rename plan -----------------
+  const int ii = sched->ii;
+  std::vector<RenamedScalar> renames;
+  int unroll = 1;
+  {
+    bool eager =
+        options.eager_mve && options.renaming == RenamingChoice::Mve;
+    auto defuse = analyze_scalars(mis, info.iv);
+    for (const std::string& name : planned) {
+      const ScalarDefUse& du = defuse.at(name);
+      if (du.uses.empty()) continue;
+      std::int64_t sig_def = sched->sigma[std::size_t(du.defs.front())];
+      std::int64_t lifetime = 0;
+      for (int u : du.uses)
+        lifetime = std::max(lifetime, sched->sigma[std::size_t(u)] - sig_def);
+      if (lifetime <= ii && !eager) continue;  // safe without renaming
+      RenamedScalar r;
+      r.name = name;
+      if (options.renaming == RenamingChoice::Mve) {
+        r.mode = RenameMode::MveCopies;
+        unroll = std::max(unroll, int(ceil_div(lifetime, ii)));
+        if (eager) unroll = std::max(unroll, 2);
+      } else {
+        r.mode = RenameMode::Expand;
+        r.array_name = names.fresh(name + "Arr");
+      }
+      renames.push_back(std::move(r));
+    }
+    if (unroll > options.max_unroll)
+      return skip("MVE unroll factor " + std::to_string(unroll) +
+                  " exceeds the register-pressure cap");
+    if (!renames.empty())
+      note("renaming (§3.3/§3.4): " + std::to_string(renames.size()) +
+           " scalar(s), kernel unroll " + std::to_string(unroll));
+    for (RenamedScalar& r : renames) {
+      if (r.mode != RenameMode::MveCopies) continue;
+      for (int c = 0; c < unroll; ++c) {
+        std::string copy = names.fresh(r.name);
+        new_decls.push_back(build::decl(types.of(r.name), copy));
+        r.copy_names.push_back(std::move(copy));
+      }
+    }
+  }
+
+  // -- 6b. pipeline construction ---------------------------------------------
+  PipelinePlan plan;
+  plan.iv = info.iv;
+  plan.lower = info.lower;
+  plan.upper = info.upper;
+  plan.cmp = info.cmp;
+  plan.step = info.step;
+  plan.const_lower = const_lo;
+  plan.const_upper = const_hi;
+  plan.mis = std::move(mis);
+  plan.sched = *sched;
+  plan.unroll = unroll;
+  plan.renames = std::move(renames);
+
+  std::int64_t stages = plan.sched.stage_count();
+  if (constant) {
+    std::int64_t n = plan.trip_count();
+    if (n < stages - 1 + unroll)
+      return skip("trip count " + std::to_string(n) +
+                  " too short for " + std::to_string(stages) +
+                  " pipeline stages");
+    // Scalar-expansion arrays sized to the iv range they index.
+    for (const RenamedScalar& r : plan.renames) {
+      if (r.mode != RenameMode::Expand) continue;
+      std::int64_t size = *const_lo + (n - 1) * plan.step + 1;
+      new_decls.push_back(build::decl_array(
+          types.of(r.name), r.array_name, {size}));
+    }
+  }
+
+  std::vector<StmtPtr> pipelined = build_pipeline(plan);
+  if (pipelined.empty()) return skip("pipeline construction failed");
+
+  if (!constant) {
+    // Guarded emission: pipelined only when the trip count covers the
+    // pipeline depth, otherwise the original loop runs.
+    ExprPtr guard = trip_count_guard(plan);
+    StmtPtr guarded = std::make_unique<IfStmt>(
+        std::move(guard), build::block(std::move(pipelined)),
+        std::move(fallback));
+    pipelined.clear();
+    pipelined.push_back(std::move(guarded));
+    rep.used_trip_guard = true;
+    note("symbolic bounds: pipelined form wrapped in a trip-count guard");
+  }
+  note("pipelined: prologue + " + std::to_string(sched->ii) +
+       "-row kernel + epilogue emitted");
+
+  res.replacement = std::move(new_decls);
+  for (StmtPtr& s : pipelined) res.replacement.push_back(std::move(s));
+
+  rep.applied = true;
+  rep.num_mis = int(plan.mis.size());
+  rep.ii = ii;
+  rep.stages = stages;
+  rep.unroll = unroll;
+  rep.decompositions = decompositions;
+  rep.renamed_scalars = int(plan.renames.size());
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// program-level application
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void process_slot(StmtPtr& slot, Program& program, const SlmsOptions& options,
+                  std::vector<SlmsReport>& reports);
+
+void process_list(std::vector<StmtPtr>& list, Program& program,
+                  const SlmsOptions& options,
+                  std::vector<SlmsReport>& reports) {
+  for (StmtPtr& s : list) process_slot(s, program, options, reports);
+}
+
+void process_slot(StmtPtr& slot, Program& program, const SlmsOptions& options,
+                  std::vector<SlmsReport>& reports) {
+  switch (slot->kind()) {
+    case StmtKind::Block:
+      process_list(dyn_cast<BlockStmt>(slot.get())->stmts, program, options,
+                   reports);
+      return;
+    case StmtKind::Parallel:
+      process_list(dyn_cast<ParallelStmt>(slot.get())->stmts, program,
+                   options, reports);
+      return;
+    case StmtKind::If: {
+      auto* i = dyn_cast<IfStmt>(slot.get());
+      process_slot(i->then_stmt, program, options, reports);
+      if (i->else_stmt) process_slot(i->else_stmt, program, options, reports);
+      return;
+    }
+    case StmtKind::While:
+      process_slot(dyn_cast<WhileStmt>(slot.get())->body, program, options,
+                   reports);
+      return;
+    case StmtKind::For: {
+      auto* f = dyn_cast<ForStmt>(slot.get());
+      // Innermost-first: transform nested loops, then attempt this one
+      // (it will be rejected as non-canonical if children were pipelined
+      // into blocks — SLMS targets innermost loops).
+      process_slot(f->body, program, options, reports);
+      SlmsResult r = transform_loop(*f, program, options);
+      reports.push_back(r.report);
+      if (r.applied()) {
+        slot = build::block(std::move(r.replacement));
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<SlmsReport> apply_slms(Program& program,
+                                   const SlmsOptions& options) {
+  std::vector<SlmsReport> reports;
+  process_list(program.stmts, program, options, reports);
+  return reports;
+}
+
+}  // namespace slc::slms

@@ -1,0 +1,100 @@
+// The SLMS driver — the paper's §5 algorithm end to end:
+//
+//   1. filter bad cases (§4);
+//   2. source-level if-conversion (§3.1);
+//   3. partition the body into MIs;
+//   4. plan false-dependence elimination (MVE §3.3 / scalar expansion
+//      §3.4) for renameable scalars, dropping their anti/output edges;
+//   5. build the DDG, compute delays (§3.5) and the MII via iterative
+//      shortest path (§3.6);
+//   6. on failure, decompose an MI (§3.2) and retry, up to a budget;
+//   7. construct prologue / kernel / epilogue, apply MVE or scalar
+//      expansion, and splice the result back into the program.
+//
+// Loops with symbolic bounds are pipelined without renaming and guarded
+// by a trip-count test (`if (enough iterations) pipelined else original`),
+// so the transformation is unconditionally semantics-preserving — the
+// property the interpreter oracle checks for every kernel in the suite.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "slms/filter.hpp"
+#include "slms/mii.hpp"
+
+namespace slc::slms {
+
+enum class RenamingChoice {
+  None,             // keep anti/output deps (usually a larger II)
+  Mve,              // modulo variable expansion: unroll + rename
+  ScalarExpansion,  // per-iteration temporary arrays
+};
+
+struct SlmsOptions {
+  bool enable_filter = true;
+  FilterOptions filter;
+  bool enable_if_conversion = true;
+  int max_decompositions = 4;
+  RenamingChoice renaming = RenamingChoice::Mve;
+  /// Kernel unroll cap; MVE needing more copies is rejected (register
+  /// pressure guard — the paper's kernel-10 lesson).
+  int max_unroll = 8;
+  /// Eager MVE (paper behaviour, Fig. 7): rename every expandable loop
+  /// variant and unroll the kernel at least twice, so consecutive
+  /// iterations' work lands in one straight-line body — this is what lets
+  /// SLMS "compensate for the lack of MVE and unrolling" in a weak final
+  /// compiler (§9.1). When false, MVE only fires when a register lifetime
+  /// exceeds the II.
+  bool eager_mve = true;
+  /// Override the II search bound (inclusive). Default: #MIs - 1.
+  std::optional<int> max_ii;
+  /// Record a human-readable explanation of every decision into
+  /// SlmsReport::trace — the paper's interactive-SLC "tips" (Fig. 4/5).
+  bool explain = false;
+};
+
+struct SlmsReport {
+  bool applied = false;
+  std::string skip_reason;   // set when !applied
+  std::string loop_name;     // optional label set by the caller
+
+  int num_mis = 0;           // after if-conversion and decomposition
+  int ii = 0;
+  std::int64_t stages = 0;
+  int unroll = 1;
+  int decompositions = 0;
+  int renamed_scalars = 0;
+  bool if_converted = false;
+  bool used_trip_guard = false;  // symbolic-bound guarded emission
+  double memory_ratio = 0.0;
+
+  /// Step-by-step decision log (filled when SlmsOptions::explain).
+  std::vector<std::string> trace;
+};
+
+/// Result of transforming one loop: the statements that replace it
+/// (declarations first, then the pipelined code). Empty when skipped.
+struct SlmsResult {
+  std::vector<ast::StmtPtr> replacement;
+  SlmsReport report;
+
+  [[nodiscard]] bool applied() const { return report.applied; }
+};
+
+/// Transforms a single canonical for-loop. `program` provides symbol
+/// types and the used-name universe; the loop must belong to it (or at
+/// least declare against its symbols). The loop itself is not modified.
+[[nodiscard]] SlmsResult transform_loop(const ast::ForStmt& loop,
+                                        const ast::Program& program,
+                                        const SlmsOptions& options = {});
+
+/// Applies SLMS to every innermost canonical for-loop in the program,
+/// splicing replacements in place. Returns one report per loop visited
+/// (applied or skipped).
+std::vector<SlmsReport> apply_slms(ast::Program& program,
+                                   const SlmsOptions& options = {});
+
+}  // namespace slc::slms

@@ -1,0 +1,30 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace slc {
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << to_string(d.loc) << ": " << severity_name(d.severity) << ": "
+       << d.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace slc

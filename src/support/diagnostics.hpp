@@ -1,0 +1,55 @@
+// Diagnostic accumulation shared by the frontend, sema, and the
+// transformation passes. Passes report *why* they refused to transform a
+// loop through this channel so that the interactive driver (the paper's
+// SLC "tips to the user", Fig. 4/5) can surface the reason.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace slc {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics; cheap to pass by reference through every pass.
+class DiagnosticEngine {
+ public:
+  void note(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Note, loc, std::move(msg)});
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Warning, loc, std::move(msg)});
+  }
+  void error(SourceLoc loc, std::string msg) {
+    ++error_count_;
+    diags_.push_back({Severity::Error, loc, std::move(msg)});
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  void clear() {
+    diags_.clear();
+    error_count_ = 0;
+  }
+
+  /// All diagnostics joined into one human-readable block.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace slc

@@ -1,0 +1,36 @@
+// Small exact-integer helpers used by the dependence tests and the MII
+// solver. All routines are total (no UB on the argument ranges used by the
+// analyses, which stay far away from overflow).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+namespace slc {
+
+/// Greatest common divisor on 64-bit values; gcd(0,0) == 0.
+[[nodiscard]] constexpr std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  return std::gcd(a, b);
+}
+
+/// Floor division (rounds toward negative infinity), unlike C++ '/'.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t a,
+                                               std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division (rounds toward positive infinity).
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// True iff b divides a exactly (b != 0).
+[[nodiscard]] constexpr bool divides(std::int64_t b, std::int64_t a) {
+  return b != 0 && a % b == 0;
+}
+
+}  // namespace slc

@@ -1,0 +1,28 @@
+// Source locations for diagnostics emitted by the mini-C frontend and the
+// source-level transformation passes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace slc {
+
+/// A (line, column) position inside one translation unit of the mini-C
+/// dialect. Lines and columns are 1-based; a value of 0 means "unknown"
+/// (used for synthesized AST nodes created by transformations).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return line != 0; }
+
+  friend constexpr bool operator==(SourceLoc, SourceLoc) = default;
+};
+
+/// Renders "line:col" or "<synth>" for synthesized nodes.
+[[nodiscard]] inline std::string to_string(SourceLoc loc) {
+  if (!loc.valid()) return "<synth>";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace slc

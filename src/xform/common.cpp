@@ -1,0 +1,34 @@
+#include "xform/common.hpp"
+
+namespace slc::xform::detail {
+
+using namespace ast;
+
+std::optional<LoopShape> shape_of(const ForStmt& loop, std::string* reason) {
+  LoopShape shape;
+  shape.owned = loop.clone();
+  shape.loop = dyn_cast<ForStmt>(shape.owned.get());
+  auto info = sema::analyze_loop(*shape.loop, reason);
+  if (!info) return std::nullopt;
+  shape.info = *info;
+  return shape;
+}
+
+std::vector<const Stmt*> body_ptrs(const ForStmt& loop) {
+  std::vector<const Stmt*> out;
+  if (const auto* b = dyn_cast<BlockStmt>(loop.body.get())) {
+    for (const StmtPtr& s : b->stmts) out.push_back(s.get());
+  } else if (loop.body) {
+    out.push_back(loop.body.get());
+  }
+  return out;
+}
+
+bool body_is_simple(const ForStmt& loop) {
+  for (const Stmt* s : body_ptrs(loop))
+    if (s->kind() != StmtKind::Assign && s->kind() != StmtKind::ExprStmt)
+      return false;
+  return true;
+}
+
+}  // namespace slc::xform::detail

@@ -1,0 +1,32 @@
+// Internal helpers shared by the loop transformations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "sema/loop_info.hpp"
+
+namespace slc::xform::detail {
+
+/// A cloned loop together with its canonical-shape analysis; `info`
+/// points into `owned`.
+struct LoopShape {
+  ast::StmtPtr owned;
+  ast::ForStmt* loop = nullptr;
+  sema::LoopInfo info;
+};
+
+/// Clones and analyzes; nullopt (with reason) when not canonical.
+[[nodiscard]] std::optional<LoopShape> shape_of(const ast::ForStmt& loop,
+                                                std::string* reason);
+
+/// Body statements of a loop as raw pointers (block flattened one level).
+[[nodiscard]] std::vector<const ast::Stmt*> body_ptrs(
+    const ast::ForStmt& loop);
+
+/// True when every body statement is a simple MI (assign / expr stmt).
+[[nodiscard]] bool body_is_simple(const ast::ForStmt& loop);
+
+}  // namespace slc::xform::detail

@@ -1,0 +1,213 @@
+// Loop fusion (paper §6): two adjacent conformable loops merge into one.
+#include <map>
+#include <set>
+
+#include "analysis/access.hpp"
+#include "analysis/ddg.hpp"
+#include "ast/fold.hpp"
+#include "ast/subst.hpp"
+#include "ast/walk.hpp"
+#include "xform/common.hpp"
+#include "xform/xform.hpp"
+
+namespace slc::xform {
+
+using namespace ast;
+
+namespace {
+
+/// First def / first use body index per scalar (excluding the iv).
+struct DefUsePos {
+  int first_def = INT32_MAX;
+  int first_use = INT32_MAX;
+  [[nodiscard]] bool written() const { return first_def != INT32_MAX; }
+  [[nodiscard]] bool read() const { return first_use != INT32_MAX; }
+  [[nodiscard]] bool killed_before_use() const {
+    return !read() || (written() && first_def < first_use);
+  }
+};
+
+std::map<std::string, DefUsePos> scalar_positions(
+    const std::vector<const Stmt*>& body, const std::string& iv) {
+  std::map<std::string, DefUsePos> out;
+  for (int k = 0; k < int(body.size()); ++k) {
+    analysis::AccessSet set =
+        analysis::collect_accesses(*body[std::size_t(k)]);
+    for (const auto& s : set.scalars) {
+      if (s.name == iv) continue;
+      DefUsePos& p = out[s.name];
+      if (s.is_write) {
+        p.first_def = std::min(p.first_def, k);
+      } else {
+        p.first_use = std::min(p.first_use, k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+XformOutcome fuse(const ForStmt& first, const ForStmt& second) {
+  XformOutcome out;
+  std::string reason;
+  auto a = detail::shape_of(first, &reason);
+  if (!a) {
+    out.reason = "first loop not canonical: " + reason;
+    return out;
+  }
+  auto b = detail::shape_of(second, &reason);
+  if (!b) {
+    out.reason = "second loop not canonical: " + reason;
+    return out;
+  }
+  if (!detail::body_is_simple(*a->loop) || !detail::body_is_simple(*b->loop)) {
+    out.reason = "loop bodies must be simple statement lists";
+    return out;
+  }
+
+  // Conformability: identical bounds/step/cmp after unifying the iv name.
+  if (b->info.iv != a->info.iv) {
+    // The second loop's counter is rewritten to the first's; reject when
+    // that would capture an unrelated use of the name.
+    for (const std::string& n : scalar_names_used(*b->loop)) {
+      if (n == a->info.iv) {
+        out.reason = "second loop already uses '" + a->info.iv +
+                     "'; cannot unify induction variables";
+        return out;
+      }
+    }
+    rename_var(*b->loop, b->info.iv, a->info.iv);
+    auto reanalyzed = sema::analyze_loop(*b->loop, &reason);
+    if (!reanalyzed) {
+      out.reason = "iv unification failed: " + reason;
+      return out;
+    }
+    b->info = *reanalyzed;
+  }
+  if (a->info.step != b->info.step || a->info.cmp != b->info.cmp ||
+      !equal(*a->info.lower, *b->info.lower) ||
+      !equal(*a->info.upper, *b->info.upper)) {
+    out.reason = "iteration spaces differ";
+    return out;
+  }
+
+  std::vector<const Stmt*> body1 = detail::body_ptrs(*a->loop);
+  std::vector<const Stmt*> body2 = detail::body_ptrs(*b->loop);
+
+  // Scalar legality (see header): no value may flow through a scalar from
+  // one loop into the other across the fusion point.
+  {
+    auto pos1 = scalar_positions(body1, a->info.iv);
+    auto pos2 = scalar_positions(body2, a->info.iv);
+    for (const auto& [name, p2] : pos2) {
+      auto it = pos1.find(name);
+      if (it == pos1.end()) continue;
+      const DefUsePos& p1 = it->second;
+      if (p1.written() && p2.read() && !p2.killed_before_use()) {
+        out.reason = "scalar '" + name + "' flows from loop 1 into loop 2";
+        return out;
+      }
+      if (p2.written() && p1.read()) {
+        out.reason = "scalar '" + name + "' written in loop 2 is read in loop 1";
+        return out;
+      }
+    }
+  }
+
+  // Array legality: a dependence between the loops must not become
+  // backward-carried after fusion (delta = iter2 - iter1 must be >= 0).
+  for (const Stmt* s1 : body1) {
+    analysis::AccessSet set1 = analysis::collect_accesses(*s1);
+    for (const Stmt* s2 : body2) {
+      analysis::AccessSet set2 = analysis::collect_accesses(*s2);
+      for (const auto& r1 : set1.arrays) {
+        for (const auto& r2 : set2.arrays) {
+          if (!r1.is_write && !r2.is_write) continue;
+          auto res = analysis::test_dependence(r1, r2, a->info.iv,
+                                               a->info.step);
+          switch (res.kind) {
+            case analysis::DepTestResult::Kind::Independent:
+              break;
+            case analysis::DepTestResult::Kind::Unknown:
+              out.reason = "unanalyzable dependence through '" + r1.array +
+                           "' blocks fusion";
+              return out;
+            case analysis::DepTestResult::Kind::Distance:
+              if (res.distance < 0) {
+                out.reason = "fusion-preventing dependence through '" +
+                             r1.array + "' (distance " +
+                             std::to_string(res.distance) + ")";
+                return out;
+              }
+              break;
+          }
+        }
+      }
+    }
+  }
+
+  // Fuse: first loop's header, concatenated bodies.
+  auto* block1 = dyn_cast<BlockStmt>(a->loop->body.get());
+  auto* block2 = dyn_cast<BlockStmt>(b->loop->body.get());
+  for (StmtPtr& s : block2->stmts) block1->stmts.push_back(std::move(s));
+  out.replacement.push_back(std::move(a->owned));
+  return out;
+}
+
+XformOutcome distribute(const ForStmt& loop, int cut) {
+  XformOutcome out;
+  std::string reason;
+  auto shape = detail::shape_of(loop, &reason);
+  if (!shape) {
+    out.reason = "loop not canonical: " + reason;
+    return out;
+  }
+  if (!detail::body_is_simple(*shape->loop)) {
+    out.reason = "body must be a simple statement list";
+    return out;
+  }
+  std::vector<const Stmt*> body = detail::body_ptrs(*shape->loop);
+  if (cut <= 0 || cut >= int(body.size())) {
+    out.reason = "cut index out of range";
+    return out;
+  }
+
+  // Legality: no dependence (of any kind or distance) from the second
+  // group back into the first — after distribution every iteration of
+  // group 1 precedes all of group 2.
+  analysis::Ddg ddg =
+      analysis::build_ddg(body, shape->info.iv, shape->info.step);
+  for (const analysis::DepEdge& e : ddg.edges) {
+    if (e.src >= cut && e.dst < cut) {
+      out.reason = "dependence from statement " + std::to_string(e.src) +
+                   " back to statement " + std::to_string(e.dst) +
+                   " via '" + e.var + "' blocks distribution";
+      return out;
+    }
+    bool unknown = false;
+    for (const auto& d : e.distances)
+      if (!d.known) unknown = true;
+    if (unknown && ((e.src < cut) != (e.dst < cut))) {
+      out.reason = "unanalyzable cross-group dependence via '" + e.var + "'";
+      return out;
+    }
+  }
+
+  // Emit the two loops.
+  auto* block = dyn_cast<BlockStmt>(shape->loop->body.get());
+  std::vector<StmtPtr> group2;
+  for (int k = cut; k < int(block->stmts.size()); ++k)
+    group2.push_back(std::move(block->stmts[std::size_t(k)]));
+  block->stmts.resize(std::size_t(cut));
+
+  auto second = std::make_unique<ForStmt>(
+      shape->loop->init->clone(), shape->loop->cond->clone(),
+      shape->loop->step->clone(),
+      std::make_unique<BlockStmt>(std::move(group2)));
+  out.replacement.push_back(std::move(shape->owned));
+  out.replacement.push_back(std::move(second));
+  return out;
+}
+
+}  // namespace slc::xform

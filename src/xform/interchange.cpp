@@ -1,0 +1,59 @@
+// Loop interchange for perfect 2-level rectangular nests (paper §6 uses
+// it to legalize SLMS on the `a[i][j+1] = a[i][j]` loop).
+#include <map>
+
+#include "analysis/access.hpp"
+#include "analysis/direction.hpp"
+#include "ast/walk.hpp"
+#include "xform/common.hpp"
+#include "xform/nest.hpp"
+#include "xform/xform.hpp"
+
+namespace slc::xform {
+
+using namespace ast;
+using analysis::ArrayAccess;
+
+XformOutcome interchange(const ForStmt& outer_loop) {
+  XformOutcome out;
+
+  auto nest = detail::analyze_nest(outer_loop, &out.reason);
+  if (!nest) return out;
+
+  // Array dependences: reject direction (<, >).
+  {
+    std::vector<ArrayAccess> all = detail::nest_accesses(*nest);
+    for (std::size_t x = 0; x < all.size(); ++x) {
+      for (std::size_t y = x; y < all.size(); ++y) {
+        if (!all[x].is_write && !all[y].is_write) continue;
+        auto vec = analysis::direction_vector(
+            all[x], all[y], nest->outer_info.iv, nest->inner_info.iv,
+            nest->outer_info.step, nest->inner_info.step);
+        if (!vec) continue;  // independent
+        if (analysis::blocks_interchange(*vec)) {
+          out.reason = "dependence with direction (<,>) through array '" +
+                       all[x].array + "'";
+          return out;
+        }
+      }
+    }
+  }
+
+  // Swap the headers: the inner loop's header moves outside.
+  auto* outer = nest->outer;
+  auto* inner = nest->inner;
+  StmtPtr body = std::move(inner->body);
+  auto new_inner = std::make_unique<ForStmt>(
+      std::move(outer->init), std::move(outer->cond), std::move(outer->step),
+      std::move(body));
+  auto new_outer = std::make_unique<ForStmt>(
+      std::move(inner->init), std::move(inner->cond), std::move(inner->step),
+      nullptr);
+  std::vector<StmtPtr> outer_body;
+  outer_body.push_back(std::move(new_inner));
+  new_outer->body = std::make_unique<BlockStmt>(std::move(outer_body));
+  out.replacement.push_back(std::move(new_outer));
+  return out;
+}
+
+}  // namespace slc::xform

@@ -1,0 +1,166 @@
+// Source-level live-range compaction (paper Fig. 5): the SLC re-arranges
+// statements so scalar life-times shrink, improving the final compiler's
+// register allocation. Only intra-iteration (distance-0) dependences
+// constrain the order of statements within one iteration — loop-carried
+// dependences hold in any body order — so the pass greedily re-lists the
+// body, preferring statements that kill live scalars and delaying those
+// that create long-lived ones.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/access.hpp"
+#include "analysis/ddg.hpp"
+#include "sema/loop_info.hpp"
+#include "xform/common.hpp"
+#include "xform/xform.hpp"
+
+namespace slc::xform {
+
+using namespace ast;
+
+namespace {
+
+/// Scalar live intervals over a body order; returns the maximal number of
+/// simultaneously-live def-before-use temporaries.
+int max_live(const std::vector<const Stmt*>& body, const std::string& iv) {
+  struct Interval {
+    int def = INT32_MAX;
+    int last_use = -1;
+  };
+  std::map<std::string, Interval> intervals;
+  for (int k = 0; k < int(body.size()); ++k) {
+    analysis::AccessSet set =
+        analysis::collect_accesses(*body[std::size_t(k)]);
+    for (const auto& s : set.scalars) {
+      if (s.name == iv) continue;
+      Interval& iv_range = intervals[s.name];
+      if (s.is_write) {
+        iv_range.def = std::min(iv_range.def, k);
+      } else {
+        iv_range.last_use = std::max(iv_range.last_use, k);
+      }
+    }
+  }
+  int best = 0;
+  for (int k = 0; k < int(body.size()); ++k) {
+    int live = 0;
+    for (const auto& [name, r] : intervals)
+      if (r.def <= k && k < r.last_use) ++live;
+    best = std::max(best, live);
+  }
+  return best;
+}
+
+}  // namespace
+
+int scalar_max_live(const ast::ForStmt& loop) {
+  auto body = detail::body_ptrs(loop);
+  std::string iv;
+  if (auto info = sema::analyze_loop(const_cast<ast::ForStmt&>(loop), nullptr))
+    iv = info->iv;
+  return max_live(body, iv);
+}
+
+XformOutcome compact_lifetimes(const ForStmt& loop) {
+  XformOutcome out;
+  std::string reason;
+  auto shape = detail::shape_of(loop, &reason);
+  if (!shape) {
+    out.reason = "loop not canonical: " + reason;
+    return out;
+  }
+  if (!detail::body_is_simple(*shape->loop)) {
+    out.reason = "body must be a simple statement list";
+    return out;
+  }
+  auto* block = dyn_cast<BlockStmt>(shape->loop->body.get());
+  const int n = int(block->stmts.size());
+  if (n < 3) {
+    out.reason = "nothing to reorder";
+    return out;
+  }
+
+  std::vector<const Stmt*> body;
+  for (const StmtPtr& s : block->stmts) body.push_back(s.get());
+  const std::string& iv = shape->info.iv;
+  int before = max_live(body, iv);
+
+  // Intra-iteration ordering constraints: distance-0 DDG edges.
+  analysis::Ddg ddg = analysis::build_ddg(body, iv, shape->info.step);
+  std::vector<std::vector<int>> succs{std::size_t(n)};
+  std::vector<int> indegree(std::size_t(n), 0);
+  for (const analysis::DepEdge& e : ddg.edges) {
+    bool zero_dist = false;
+    for (const auto& d : e.distances)
+      if (d.known && d.distance == 0) zero_dist = true;
+    if (!zero_dist || e.src == e.dst) continue;
+    succs[std::size_t(e.src)].push_back(e.dst);
+    ++indegree[std::size_t(e.dst)];
+  }
+
+  // Per-statement scalar reads/writes (excluding the iv).
+  std::vector<std::set<std::string>> reads{std::size_t(n)};
+  std::vector<std::set<std::string>> writes{std::size_t(n)};
+  std::map<std::string, int> remaining_uses;
+  for (int k = 0; k < n; ++k) {
+    analysis::AccessSet set = analysis::collect_accesses(*body[std::size_t(k)]);
+    for (const auto& s : set.scalars) {
+      if (s.name == iv) continue;
+      if (s.is_write) {
+        writes[std::size_t(k)].insert(s.name);
+      } else {
+        reads[std::size_t(k)].insert(s.name);
+        ++remaining_uses[s.name];
+      }
+    }
+  }
+
+  // Greedy re-listing: prefer statements that retire live values and
+  // avoid opening new long-lived ones.
+  std::set<std::string> live;
+  std::vector<int> order;
+  std::vector<bool> done(std::size_t(n), false);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    int best_score = INT32_MIN;
+    for (int k = 0; k < n; ++k) {
+      if (done[std::size_t(k)] || indegree[std::size_t(k)] != 0) continue;
+      int kills = 0, births = 0;
+      for (const std::string& r : reads[std::size_t(k)])
+        if (live.contains(r) && remaining_uses[r] == 1) ++kills;
+      for (const std::string& w : writes[std::size_t(k)])
+        if (!live.contains(w) && remaining_uses[w] > 0) ++births;
+      int score = kills * 2 - births;
+      if (score > best_score) {
+        best_score = score;
+        best = k;
+      }
+    }
+    order.push_back(best);
+    done[std::size_t(best)] = true;
+    for (const std::string& r : reads[std::size_t(best)]) {
+      if (--remaining_uses[r] == 0) live.erase(r);
+    }
+    for (const std::string& w : writes[std::size_t(best)])
+      if (remaining_uses[w] > 0) live.insert(w);
+    for (int s : succs[std::size_t(best)]) --indegree[std::size_t(s)];
+  }
+
+  std::vector<const Stmt*> new_body;
+  for (int k : order) new_body.push_back(body[std::size_t(k)]);
+  int after = max_live(new_body, iv);
+  if (after >= before) {
+    out.reason = "no life-time improvement found (max live " +
+                 std::to_string(before) + ")";
+    return out;
+  }
+
+  std::vector<StmtPtr> reordered;
+  for (int k : order) reordered.push_back(std::move(block->stmts[std::size_t(k)]));
+  block->stmts = std::move(reordered);
+  out.replacement.push_back(std::move(shape->owned));
+  return out;
+}
+
+}  // namespace slc::xform

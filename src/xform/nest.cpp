@@ -1,0 +1,92 @@
+#include "xform/nest.hpp"
+
+#include <map>
+
+#include "ast/walk.hpp"
+#include "xform/common.hpp"
+
+namespace slc::xform::detail {
+
+using namespace ast;
+
+std::optional<Nest> analyze_nest(const ForStmt& outer_loop,
+                                 std::string* reason) {
+  auto fail = [&](std::string why) -> std::optional<Nest> {
+    if (reason != nullptr) *reason = std::move(why);
+    return std::nullopt;
+  };
+
+  Nest nest;
+  nest.owned = outer_loop.clone();
+  nest.outer = dyn_cast<ForStmt>(nest.owned.get());
+
+  std::string why;
+  auto outer_info = sema::analyze_loop(*nest.outer, &why);
+  if (!outer_info) return fail("outer loop not canonical: " + why);
+  nest.outer_info = *outer_info;
+
+  auto* outer_body = dyn_cast<BlockStmt>(nest.outer->body.get());
+  if (outer_body == nullptr || outer_body->stmts.size() != 1 ||
+      outer_body->stmts[0]->kind() != StmtKind::For)
+    return fail("not a perfect 2-level nest");
+  nest.inner = dyn_cast<ForStmt>(outer_body->stmts[0].get());
+
+  auto inner_info = sema::analyze_loop(*nest.inner, &why);
+  if (!inner_info) return fail("inner loop not canonical: " + why);
+  nest.inner_info = *inner_info;
+  if (!nest.inner_info.body_is_pipelineable ||
+      !body_is_simple(*nest.inner))
+    return fail("inner body is not a simple statement list");
+
+  // Rectangularity: inner bounds must not mention the outer iv.
+  for (const Expr* bound : {nest.inner_info.lower, nest.inner_info.upper}) {
+    bool uses_outer = false;
+    walk_exprs(*bound, [&](const Expr& e) {
+      if (const auto* v = dyn_cast<VarRef>(&e);
+          v != nullptr && v->name == nest.outer_info.iv)
+        uses_outer = true;
+    });
+    if (uses_outer)
+      return fail("inner bounds depend on the outer induction variable");
+  }
+
+  // Scalars written in the body must be def-before-use temporaries.
+  {
+    std::vector<const Stmt*> body = body_ptrs(*nest.inner);
+    std::map<std::string, std::pair<int, int>> first;  // def, use
+    for (int k = 0; k < int(body.size()); ++k) {
+      analysis::AccessSet set =
+          analysis::collect_accesses(*body[std::size_t(k)]);
+      for (const auto& s : set.scalars) {
+        if (s.name == nest.inner_info.iv || s.name == nest.outer_info.iv)
+          continue;
+        auto [it, fresh] = first.try_emplace(s.name, INT32_MAX, INT32_MAX);
+        (void)fresh;
+        if (s.is_write) {
+          it->second.first = std::min(it->second.first, k);
+        } else {
+          it->second.second = std::min(it->second.second, k);
+        }
+      }
+    }
+    for (const auto& [name, du] : first) {
+      bool written = du.first != INT32_MAX;
+      bool read = du.second != INT32_MAX;
+      if (written && read && du.second <= du.first)
+        return fail("scalar '" + name +
+                    "' carries a dependence across iterations");
+    }
+  }
+  return nest;
+}
+
+std::vector<analysis::ArrayAccess> nest_accesses(const Nest& nest) {
+  std::vector<analysis::ArrayAccess> all;
+  for (const Stmt* s : body_ptrs(*nest.inner)) {
+    analysis::AccessSet set = analysis::collect_accesses(*s);
+    for (analysis::ArrayAccess& a : set.arrays) all.push_back(std::move(a));
+  }
+  return all;
+}
+
+}  // namespace slc::xform::detail

@@ -1,0 +1,36 @@
+// Shared perfect-2-nest analysis for interchange and tiling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "ast/ast.hpp"
+#include "sema/loop_info.hpp"
+
+namespace slc::xform::detail {
+
+/// A cloned, validated perfect 2-level rectangular nest. `outer`/`inner`
+/// point into `owned`.
+struct Nest {
+  ast::StmtPtr owned;
+  ast::ForStmt* outer = nullptr;
+  ast::ForStmt* inner = nullptr;
+  sema::LoopInfo outer_info;
+  sema::LoopInfo inner_info;
+};
+
+/// Clones and validates: both levels canonical, inner body a simple
+/// statement list, inner bounds independent of the outer iv
+/// (rectangular), and every scalar written in the body is a
+/// def-before-use temporary (no scalar carried across iterations, which
+/// neither interchange nor tiling preserves in general).
+[[nodiscard]] std::optional<Nest> analyze_nest(const ast::ForStmt& outer,
+                                               std::string* reason);
+
+/// All array accesses of the nest's (inner) body.
+[[nodiscard]] std::vector<analysis::ArrayAccess> nest_accesses(
+    const Nest& nest);
+
+}  // namespace slc::xform::detail

@@ -1,0 +1,228 @@
+// Reduction parallelization — the semantics-aware step the paper performs
+// manually in the §5 max example ("the last line was added manually"):
+// the reduction variable is split into `lanes` interleaved accumulators
+// so SLMS/MVE can overlap the comparisons, and a combining tail restores
+// the scalar.
+#include "analysis/access.hpp"
+#include "ast/build.hpp"
+#include "ast/fold.hpp"
+#include "ast/subst.hpp"
+#include "ast/walk.hpp"
+#include "slms/names.hpp"
+#include "xform/common.hpp"
+#include "xform/xform.hpp"
+
+namespace slc::xform {
+
+using namespace ast;
+
+namespace {
+
+enum class ReductionKind { Max, Min, Sum };
+
+struct ReductionPattern {
+  ReductionKind kind;
+  std::string scalar;
+  const Expr* element = nullptr;  // the combined expression e(i)
+};
+
+/// Recognizes `if (s < e) s = e;` / `if (s > e) s = e;` / `s += e;` /
+/// `s = s + e;` bodies.
+std::optional<ReductionPattern> match_reduction(const ForStmt& loop,
+                                                const std::string& iv) {
+  std::vector<const Stmt*> body = detail::body_ptrs(loop);
+  if (body.size() != 1) return std::nullopt;
+
+  auto element_ok = [&iv](const Expr& e, const std::string& s) {
+    bool ok = true;
+    walk_exprs(e, [&](const Expr& x) {
+      if (const auto* v = dyn_cast<VarRef>(&x);
+          v != nullptr && v->name == s)
+        ok = false;  // element must not read the accumulator
+    });
+    (void)iv;
+    return ok;
+  };
+
+  if (const auto* i = dyn_cast<IfStmt>(body[0])) {
+    if (i->else_stmt != nullptr) return std::nullopt;
+    const auto* cond = dyn_cast<Binary>(i->cond.get());
+    if (cond == nullptr ||
+        (cond->op != BinaryOp::Lt && cond->op != BinaryOp::Gt))
+      return std::nullopt;
+    const auto* cv = dyn_cast<VarRef>(cond->lhs.get());
+    if (cv == nullptr) return std::nullopt;
+    const Stmt* then_stmt = i->then_stmt.get();
+    if (const auto* blk = dyn_cast<BlockStmt>(then_stmt)) {
+      if (blk->stmts.size() != 1) return std::nullopt;
+      then_stmt = blk->stmts[0].get();
+    }
+    const auto* assign = dyn_cast<AssignStmt>(then_stmt);
+    if (assign == nullptr || assign->op != AssignOp::Set) return std::nullopt;
+    const auto* lhs = dyn_cast<VarRef>(assign->lhs.get());
+    if (lhs == nullptr || lhs->name != cv->name) return std::nullopt;
+    if (!equal(*cond->rhs, *assign->rhs)) return std::nullopt;
+    if (!element_ok(*assign->rhs, lhs->name)) return std::nullopt;
+    return ReductionPattern{
+        cond->op == BinaryOp::Lt ? ReductionKind::Max : ReductionKind::Min,
+        lhs->name, assign->rhs.get()};
+  }
+
+  if (const auto* a = dyn_cast<AssignStmt>(body[0])) {
+    if (a->guard != nullptr) return std::nullopt;
+    const auto* lhs = dyn_cast<VarRef>(a->lhs.get());
+    if (lhs == nullptr) return std::nullopt;
+    if (a->op == AssignOp::Add) {
+      if (!element_ok(*a->rhs, lhs->name)) return std::nullopt;
+      return ReductionPattern{ReductionKind::Sum, lhs->name, a->rhs.get()};
+    }
+    if (a->op == AssignOp::Set) {
+      // s = s + e
+      const auto* b = dyn_cast<Binary>(a->rhs.get());
+      if (b == nullptr || b->op != BinaryOp::Add) return std::nullopt;
+      const auto* sv = dyn_cast<VarRef>(b->lhs.get());
+      if (sv == nullptr || sv->name != lhs->name) return std::nullopt;
+      if (!element_ok(*b->rhs, lhs->name)) return std::nullopt;
+      return ReductionPattern{ReductionKind::Sum, lhs->name, b->rhs.get()};
+    }
+  }
+  return std::nullopt;
+}
+
+/// One lane's update statement for iteration expression `iv_expr`.
+StmtPtr lane_update(const ReductionPattern& pat, const std::string& lane,
+                    const std::string& iv, const Expr& iv_expr) {
+  ExprPtr element = pat.element->clone();
+  StmtPtr stmt;
+  switch (pat.kind) {
+    case ReductionKind::Sum:
+      stmt = build::assign(build::var(lane), std::move(element),
+                           AssignOp::Add);
+      break;
+    case ReductionKind::Max:
+    case ReductionKind::Min: {
+      BinaryOp rel =
+          pat.kind == ReductionKind::Max ? BinaryOp::Lt : BinaryOp::Gt;
+      auto assign = std::make_unique<AssignStmt>(
+          build::var(lane), AssignOp::Set, element->clone());
+      assign->guard = build::bin(rel, build::var(lane), std::move(element));
+      stmt = std::move(assign);
+      break;
+    }
+  }
+  substitute_var(*stmt, iv, iv_expr);
+  return stmt;
+}
+
+}  // namespace
+
+XformOutcome parallelize_reduction(const ForStmt& loop, int lanes) {
+  XformOutcome out;
+  if (lanes < 2) {
+    out.reason = "need at least 2 lanes";
+    return out;
+  }
+  std::string reason;
+  auto shape = detail::shape_of(loop, &reason);
+  if (!shape) {
+    out.reason = "loop not canonical: " + reason;
+    return out;
+  }
+  const sema::LoopInfo& info = shape->info;
+  auto pattern = match_reduction(*shape->loop, info.iv);
+  if (!pattern) {
+    out.reason = "body is not a recognizable max/min/sum reduction";
+    return out;
+  }
+  auto trips = info.const_trip_count();
+  if (!trips) {
+    out.reason = "reduction splitting requires constant bounds";
+    return out;
+  }
+  auto lo = const_int(*info.lower);
+  if (*trips < lanes) {
+    out.reason = "trip count smaller than lane count";
+    return out;
+  }
+
+  slms::NameAllocator names = slms::NameAllocator::for_stmt(loop);
+  std::vector<std::string> lane_names;
+  for (int l = 0; l < lanes; ++l)
+    lane_names.push_back(names.fresh(pattern->scalar));
+
+  // Lane initialization. max/min lanes start at the current accumulator
+  // (idempotent); sum lanes start at zero except lane 0, which absorbs
+  // the incoming partial sum.
+  for (int l = 0; l < lanes; ++l) {
+    ExprPtr init;
+    if (pattern->kind == ReductionKind::Sum) {
+      init = l == 0 ? build::var(pattern->scalar) : ExprPtr(build::lit(0));
+    } else {
+      init = build::var(pattern->scalar);
+    }
+    // Lane declarations adopt double: exact for max/min of any numeric
+    // array and for integer-valued doubles; documented restriction.
+    out.replacement.push_back(
+        build::decl(ScalarType::Double, lane_names[std::size_t(l)],
+                    std::move(init)));
+  }
+
+  // Main interleaved loop over a lanes-multiple prefix.
+  std::int64_t main = (*trips / lanes) * lanes;
+  std::vector<StmtPtr> body;
+  for (int l = 0; l < lanes; ++l) {
+    ExprPtr iv_expr =
+        build::var_plus(info.iv, std::int64_t(l) * info.step);
+    body.push_back(lane_update(*pattern, lane_names[std::size_t(l)],
+                               info.iv, *iv_expr));
+  }
+  StmtPtr init = build::assign(build::var(info.iv), info.lower->clone());
+  ExprPtr cond = build::bin(info.step > 0 ? BinaryOp::Lt : BinaryOp::Gt,
+                            build::var(info.iv),
+                            build::lit(*lo + main * info.step));
+  std::int64_t stride = std::int64_t(lanes) * info.step;
+  StmtPtr step_stmt =
+      stride >= 0 ? build::assign(build::var(info.iv), build::lit(stride),
+                                  AssignOp::Add)
+                  : build::assign(build::var(info.iv), build::lit(-stride),
+                                  AssignOp::Sub);
+  out.replacement.push_back(std::make_unique<ForStmt>(
+      std::move(init), std::move(cond), std::move(step_stmt),
+      build::block(std::move(body))));
+
+  // Remainder iterations feed lane (t mod lanes).
+  for (std::int64_t t = main; t < *trips; ++t) {
+    ExprPtr iv_expr = build::lit(*lo + t * info.step);
+    out.replacement.push_back(lane_update(
+        *pattern, lane_names[std::size_t(t % lanes)], info.iv, *iv_expr));
+  }
+
+  // Combine ("the last line", added automatically here).
+  if (pattern->kind == ReductionKind::Sum) {
+    ExprPtr total = build::var(lane_names[0]);
+    for (int l = 1; l < lanes; ++l)
+      total = build::add(std::move(total), build::var(lane_names[size_t(l)]));
+    out.replacement.push_back(
+        build::assign(build::var(pattern->scalar), std::move(total)));
+  } else {
+    out.replacement.push_back(build::assign(build::var(pattern->scalar),
+                                            build::var(lane_names[0])));
+    BinaryOp rel =
+        pattern->kind == ReductionKind::Max ? BinaryOp::Lt : BinaryOp::Gt;
+    for (int l = 1; l < lanes; ++l) {
+      auto fix = std::make_unique<AssignStmt>(
+          build::var(pattern->scalar), AssignOp::Set,
+          build::var(lane_names[std::size_t(l)]));
+      fix->guard = build::bin(rel, build::var(pattern->scalar),
+                              build::var(lane_names[std::size_t(l)]));
+      out.replacement.push_back(std::move(fix));
+    }
+  }
+
+  // iv exit value.
+  out.replacement.push_back(build::assign(
+      build::var(info.iv), build::lit(*lo + *trips * info.step)));
+  return out;
+}
+
+}  // namespace slc::xform

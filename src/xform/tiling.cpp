@@ -1,0 +1,116 @@
+// Rectangular 2-level loop tiling (the paper's intro lists tiling among
+// the SLC's transformations, following Bacon et al. [4]):
+//
+//   for (i = lo1; i < hi1; i++)            for (iT = lo1; iT < hi1; iT += Ti)
+//     for (j = lo2; j < hi2; j++)    =>      for (jT = lo2; jT < hi2; jT += Tj)
+//       body                                   for (i = iT; i < min(iT+Ti, hi1); i++)
+//                                                for (j = jT; j < min(jT+Tj, hi2); j++)
+//                                                  body
+//
+// Legal exactly when the band is fully permutable — for two levels, the
+// same condition as interchange (no (+,-) dependence vector). Restricted
+// to unit-step '<' loops; bounds may be symbolic (min() handles the
+// partial edge tiles).
+#include "analysis/direction.hpp"
+#include "ast/build.hpp"
+#include "slms/names.hpp"
+#include "xform/nest.hpp"
+#include "xform/xform.hpp"
+
+namespace slc::xform {
+
+using namespace ast;
+
+XformOutcome tile(const ForStmt& outer_loop, int tile_outer,
+                  int tile_inner) {
+  XformOutcome out;
+  if (tile_outer < 1 || tile_inner < 1) {
+    out.reason = "tile sizes must be >= 1";
+    return out;
+  }
+  auto nest = detail::analyze_nest(outer_loop, &out.reason);
+  if (!nest) return out;
+  if (nest->outer_info.step != 1 || nest->inner_info.step != 1 ||
+      nest->outer_info.cmp != BinaryOp::Lt ||
+      nest->inner_info.cmp != BinaryOp::Lt) {
+    out.reason = "tiling supports unit-step '<' nests";
+    return out;
+  }
+
+  // Permutability (== interchange legality for a 2-level band).
+  auto accesses = detail::nest_accesses(*nest);
+  for (std::size_t x = 0; x < accesses.size(); ++x) {
+    for (std::size_t y = x; y < accesses.size(); ++y) {
+      if (!accesses[x].is_write && !accesses[y].is_write) continue;
+      auto vec = analysis::direction_vector(
+          accesses[x], accesses[y], nest->outer_info.iv,
+          nest->inner_info.iv, nest->outer_info.step,
+          nest->inner_info.step);
+      if (!vec) continue;
+      if (analysis::blocks_interchange(*vec)) {
+        out.reason = "dependence through '" + accesses[x].array +
+                     "' makes the nest non-permutable";
+        return out;
+      }
+    }
+  }
+
+  slms::NameAllocator names = slms::NameAllocator::for_stmt(outer_loop);
+  std::string it = names.fresh(nest->outer_info.iv + "T");
+  std::string jt = names.fresh(nest->inner_info.iv + "T");
+
+  auto min_call = [](ExprPtr a, ExprPtr b) {
+    std::vector<ExprPtr> args;
+    args.push_back(std::move(a));
+    args.push_back(std::move(b));
+    return std::make_unique<Call>("min", std::move(args));
+  };
+
+  // Innermost pair: original ivs sweep one tile.
+  ExprPtr i_hi = min_call(
+      build::add(build::var(it), build::lit(tile_outer)),
+      nest->outer_info.upper->clone());
+  ExprPtr j_hi = min_call(
+      build::add(build::var(jt), build::lit(tile_inner)),
+      nest->inner_info.upper->clone());
+
+  StmtPtr j_loop = std::make_unique<ForStmt>(
+      build::assign(build::var(nest->inner_info.iv), build::var(jt)),
+      build::lt(build::var(nest->inner_info.iv), std::move(j_hi)),
+      build::assign(build::var(nest->inner_info.iv), build::lit(1),
+                    AssignOp::Add),
+      std::move(nest->inner->body));
+
+  std::vector<StmtPtr> i_body;
+  i_body.push_back(std::move(j_loop));
+  StmtPtr i_loop = std::make_unique<ForStmt>(
+      build::assign(build::var(nest->outer_info.iv), build::var(it)),
+      build::lt(build::var(nest->outer_info.iv), std::move(i_hi)),
+      build::assign(build::var(nest->outer_info.iv), build::lit(1),
+                    AssignOp::Add),
+      build::block(std::move(i_body)));
+
+  // Tile loops.
+  std::vector<StmtPtr> jt_body;
+  jt_body.push_back(std::move(i_loop));
+  StmtPtr jt_loop = std::make_unique<ForStmt>(
+      build::assign(build::var(jt), nest->inner_info.lower->clone()),
+      build::lt(build::var(jt), nest->inner_info.upper->clone()),
+      build::assign(build::var(jt), build::lit(tile_inner), AssignOp::Add),
+      build::block(std::move(jt_body)));
+
+  std::vector<StmtPtr> it_body;
+  it_body.push_back(std::move(jt_loop));
+  StmtPtr it_loop = std::make_unique<ForStmt>(
+      build::assign(build::var(it), nest->outer_info.lower->clone()),
+      build::lt(build::var(it), nest->outer_info.upper->clone()),
+      build::assign(build::var(it), build::lit(tile_outer), AssignOp::Add),
+      build::block(std::move(it_body)));
+
+  out.replacement.push_back(build::decl(ScalarType::Int, it));
+  out.replacement.push_back(build::decl(ScalarType::Int, jt));
+  out.replacement.push_back(std::move(it_loop));
+  return out;
+}
+
+}  // namespace slc::xform

@@ -1,0 +1,259 @@
+// Unrolling, front-peeling, and reversal (paper §6: unrolling resolves
+// high-II cases and improves kernel resource utilization; peeling and
+// reversal are the "complex combination" Fig. 10 contrasts with SLMS).
+#include "analysis/ddg.hpp"
+#include "ast/build.hpp"
+#include "ast/fold.hpp"
+#include "ast/subst.hpp"
+#include "sema/loop_info.hpp"
+#include "support/int_math.hpp"
+#include "xform/common.hpp"
+#include "xform/xform.hpp"
+
+namespace slc::xform {
+
+using namespace ast;
+
+namespace {
+
+/// Trip count of a canonical loop with constant bounds.
+std::optional<std::int64_t> const_trips(const sema::LoopInfo& info) {
+  return info.const_trip_count();
+}
+
+/// One full source iteration of `body` with the iv bound to `iv_expr`.
+void emit_iteration(const BlockStmt& body, const std::string& iv,
+                    const Expr& iv_expr, std::vector<StmtPtr>& out) {
+  for (const StmtPtr& s : body.stmts) {
+    StmtPtr inst = s->clone();
+    substitute_var(*inst, iv, iv_expr);
+    out.push_back(std::move(inst));
+  }
+}
+
+}  // namespace
+
+XformOutcome unroll(const ForStmt& loop, int factor) {
+  XformOutcome out;
+  if (factor < 2) {
+    out.reason = "unroll factor must be >= 2";
+    return out;
+  }
+  std::string reason;
+  auto shape = detail::shape_of(loop, &reason);
+  if (!shape) {
+    out.reason = "loop not canonical: " + reason;
+    return out;
+  }
+  if (!shape->info.body_is_pipelineable) {
+    out.reason = shape->info.reject_reason;
+    return out;
+  }
+  const sema::LoopInfo& info = shape->info;
+  auto* body = dyn_cast<BlockStmt>(shape->loop->body.get());
+
+  // Unrolled body: factor copies at iv, iv+step, ...
+  std::vector<StmtPtr> unrolled;
+  for (int c = 0; c < factor; ++c) {
+    ExprPtr iv_expr = build::var_plus(info.iv, std::int64_t(c) * info.step);
+    emit_iteration(*body, info.iv, *iv_expr, unrolled);
+  }
+
+  StmtPtr init = build::assign(build::var(info.iv), info.lower->clone());
+  std::int64_t stride = std::int64_t(factor) * info.step;
+  StmtPtr step_stmt =
+      stride >= 0 ? build::assign(build::var(info.iv), build::lit(stride),
+                                  AssignOp::Add)
+                  : build::assign(build::var(info.iv), build::lit(-stride),
+                                  AssignOp::Sub);
+
+  auto trips = const_trips(info);
+  if (trips.has_value()) {
+    auto lo = const_int(*info.lower);
+    std::int64_t main = (*trips / factor) * factor;
+    ExprPtr cond = build::bin(info.step > 0 ? BinaryOp::Lt : BinaryOp::Gt,
+                              build::var(info.iv),
+                              build::lit(*lo + main * info.step));
+    out.replacement.push_back(std::make_unique<ForStmt>(
+        std::move(init), std::move(cond), std::move(step_stmt),
+        build::block(std::move(unrolled))));
+    // Remainder iterations as straight-line code.
+    for (std::int64_t t = main; t < *trips; ++t) {
+      ExprPtr iv_expr = build::lit(*lo + t * info.step);
+      emit_iteration(*body, info.iv, *iv_expr, out.replacement);
+    }
+    // Restore the iv's exit value.
+    out.replacement.push_back(build::assign(
+        build::var(info.iv), build::lit(*lo + *trips * info.step)));
+    return out;
+  }
+
+  // Symbolic bounds: main loop while `factor` more iterations fit, then a
+  // remainder loop continuing from the current iv.
+  ExprPtr bound = build::sub(info.upper->clone(),
+                             build::lit(std::int64_t(factor - 1) * info.step));
+  fold(bound);
+  ExprPtr cond = build::bin(info.cmp, build::var(info.iv), std::move(bound));
+  out.replacement.push_back(std::make_unique<ForStmt>(
+      std::move(init), std::move(cond), std::move(step_stmt),
+      build::block(std::move(unrolled))));
+
+  StmtPtr rem_step = info.step >= 0
+                         ? build::assign(build::var(info.iv),
+                                         build::lit(info.step), AssignOp::Add)
+                         : build::assign(build::var(info.iv),
+                                         build::lit(-info.step),
+                                         AssignOp::Sub);
+  out.replacement.push_back(std::make_unique<ForStmt>(
+      nullptr,
+      build::bin(info.cmp, build::var(info.iv), info.upper->clone()),
+      std::move(rem_step), shape->loop->body->clone()));
+  return out;
+}
+
+XformOutcome peel_front(const ForStmt& loop, int count) {
+  XformOutcome out;
+  if (count < 1) {
+    out.reason = "peel count must be >= 1";
+    return out;
+  }
+  std::string reason;
+  auto shape = detail::shape_of(loop, &reason);
+  if (!shape) {
+    out.reason = "loop not canonical: " + reason;
+    return out;
+  }
+  if (!shape->info.body_is_pipelineable) {
+    out.reason = shape->info.reject_reason;
+    return out;
+  }
+  const sema::LoopInfo& info = shape->info;
+  auto* body = dyn_cast<BlockStmt>(shape->loop->body.get());
+
+  auto trips = const_trips(info);
+  std::vector<StmtPtr> peeled;
+  for (int t = 0; t < count; ++t) {
+    ExprPtr iv_expr = info.lower->clone();
+    if (t != 0)
+      iv_expr = build::add(std::move(iv_expr),
+                           build::lit(std::int64_t(t) * info.step));
+    fold(iv_expr);
+    emit_iteration(*body, info.iv, *iv_expr, peeled);
+  }
+
+  // Residual loop starting `count` iterations in.
+  ExprPtr new_lower = build::add(info.lower->clone(),
+                                 build::lit(std::int64_t(count) * info.step));
+  fold(new_lower);
+  auto residual = std::make_unique<ForStmt>(
+      build::assign(build::var(info.iv), std::move(new_lower)),
+      shape->loop->cond->clone(), shape->loop->step->clone(),
+      shape->loop->body->clone());
+
+  if (trips.has_value()) {
+    if (*trips < count) {
+      out.reason = "trip count smaller than peel count";
+      return out;
+    }
+    out.replacement = std::move(peeled);
+    out.replacement.push_back(std::move(residual));
+    return out;
+  }
+
+  // Symbolic: guard — peeled form only when at least `count` iterations
+  // exist, otherwise the original loop.
+  std::int64_t abs_step = info.step > 0 ? info.step : -info.step;
+  ExprPtr span = info.cmp == BinaryOp::Lt || info.cmp == BinaryOp::Le
+                     ? build::sub(info.upper->clone(), info.lower->clone())
+                     : build::sub(info.lower->clone(), info.upper->clone());
+  BinaryOp op = (info.cmp == BinaryOp::Le || info.cmp == BinaryOp::Ge)
+                    ? BinaryOp::Gt
+                    : BinaryOp::Ge;
+  ExprPtr guard = build::bin(op, std::move(span),
+                             build::lit(std::int64_t(count) * abs_step));
+  fold(guard);
+  peeled.push_back(std::move(residual));
+  out.replacement.push_back(std::make_unique<IfStmt>(
+      std::move(guard), build::block(std::move(peeled)),
+      std::move(shape->owned)));
+  return out;
+}
+
+XformOutcome reverse(const ForStmt& loop) {
+  XformOutcome out;
+  std::string reason;
+  auto shape = detail::shape_of(loop, &reason);
+  if (!shape) {
+    out.reason = "loop not canonical: " + reason;
+    return out;
+  }
+  if (!detail::body_is_simple(*shape->loop)) {
+    out.reason = "body must be a simple statement list";
+    return out;
+  }
+  const sema::LoopInfo& info = shape->info;
+
+  // Legality: no loop-carried dependence (all distances exactly 0).
+  analysis::Ddg ddg =
+      analysis::build_ddg(detail::body_ptrs(*shape->loop), info.iv,
+                          info.step);
+  for (const analysis::DepEdge& e : ddg.edges) {
+    if (e.loop_carried()) {
+      out.reason = "loop-carried dependence via '" + e.var +
+                   "' blocks reversal";
+      return out;
+    }
+  }
+
+  auto trips = const_trips(info);
+  if (trips.has_value()) {
+    auto lo = const_int(*info.lower);
+    if (*trips == 0) {
+      out.replacement.push_back(std::move(shape->owned));
+      return out;
+    }
+    std::int64_t last = *lo + (*trips - 1) * info.step;
+    StmtPtr init = build::assign(build::var(info.iv), build::lit(last));
+    ExprPtr cond = build::bin(info.step > 0 ? BinaryOp::Ge : BinaryOp::Le,
+                              build::var(info.iv), build::lit(*lo));
+    StmtPtr step_stmt =
+        info.step > 0 ? build::assign(build::var(info.iv),
+                                      build::lit(info.step), AssignOp::Sub)
+                      : build::assign(build::var(info.iv),
+                                      build::lit(-info.step), AssignOp::Add);
+    out.replacement.push_back(std::make_unique<ForStmt>(
+        std::move(init), std::move(cond), std::move(step_stmt),
+        std::move(shape->loop->body)));
+    // iv exit value differs after reversal; restore the original's.
+    out.replacement.push_back(build::assign(
+        build::var(info.iv), build::lit(*lo + *trips * info.step)));
+    return out;
+  }
+
+  // Symbolic bounds: supported for unit steps with a '<' comparison.
+  if (info.step == 1 && info.cmp == BinaryOp::Lt) {
+    ExprPtr last = build::sub(info.upper->clone(), build::lit(1));
+    fold(last);
+    StmtPtr init = build::assign(build::var(info.iv), std::move(last));
+    ExprPtr cond =
+        build::bin(BinaryOp::Ge, build::var(info.iv), info.lower->clone());
+    StmtPtr step_stmt = build::assign(build::var(info.iv), build::lit(1),
+                                      AssignOp::Sub);
+    out.replacement.push_back(std::make_unique<ForStmt>(
+        std::move(init), std::move(cond), std::move(step_stmt),
+        std::move(shape->loop->body)));
+    // Exit value: original leaves iv at max(lower, upper); reversed
+    // leaves it at lower-1. Restore only the common case upper >= lower.
+    out.replacement.push_back(build::assign(
+        build::var(info.iv),
+        std::make_unique<Conditional>(
+            build::bin(BinaryOp::Gt, info.upper->clone(),
+                       info.lower->clone()),
+            info.upper->clone(), info.lower->clone())));
+    return out;
+  }
+  out.reason = "symbolic-bound reversal supported only for unit-step '<' loops";
+  return out;
+}
+
+}  // namespace slc::xform

@@ -1,0 +1,48 @@
+// Generalized while-loop unrolling (paper §10 / Huang-Leng [8]).
+#include "ast/build.hpp"
+#include "ast/walk.hpp"
+#include "xform/xform.hpp"
+
+namespace slc::xform {
+
+using namespace ast;
+
+XformOutcome unroll_while(const WhileStmt& loop, int factor) {
+  XformOutcome out;
+  if (factor < 2) {
+    out.reason = "unroll factor must be >= 2";
+    return out;
+  }
+  // `break` inside the body would escape from copy k and skip the
+  // remaining copies — which is exactly the original semantics, so it is
+  // allowed. Nested loops containing their own breaks are fine too; only
+  // `continue`-like constructs would be a problem and the dialect has
+  // none.
+  std::vector<StmtPtr> body;
+  {
+    const auto* block = dyn_cast<BlockStmt>(loop.body.get());
+    if (block == nullptr) {
+      out.reason = "loop body must be a block";
+      return out;
+    }
+    for (const StmtPtr& s : block->stmts) body.push_back(s->clone());
+  }
+
+  std::vector<StmtPtr> unrolled;
+  for (int c = 0; c < factor; ++c) {
+    if (c > 0) {
+      // if (!(cond)) break;
+      std::vector<StmtPtr> brk;
+      brk.push_back(std::make_unique<BreakStmt>());
+      unrolled.push_back(std::make_unique<IfStmt>(
+          build::lnot(loop.cond->clone()), build::block(std::move(brk))));
+    }
+    for (const StmtPtr& s : body) unrolled.push_back(s->clone());
+  }
+
+  out.replacement.push_back(std::make_unique<WhileStmt>(
+      loop.cond->clone(), build::block(std::move(unrolled))));
+  return out;
+}
+
+}  // namespace slc::xform

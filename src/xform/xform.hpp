@@ -1,0 +1,88 @@
+// Classic source-level loop transformations (paper §6, citing Bacon et
+// al. [4]). SLMS composes with these in both orders; each transformation
+// carries its own dependence-based legality test and is verified against
+// the interpreter oracle in the test suite.
+//
+// All functions are non-destructive: they take the loop(s) by const
+// reference and return the replacement statement(s), or an empty result
+// with a reason when the transformation is illegal or unsupported.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+
+namespace slc::xform {
+
+struct XformOutcome {
+  std::vector<ast::StmtPtr> replacement;
+  std::string reason;  // set when replacement is empty
+
+  [[nodiscard]] bool applied() const { return !replacement.empty(); }
+};
+
+/// Loop interchange on a perfect 2-level nest. Legal when no dependence
+/// has direction (<, >) across the two levels.
+[[nodiscard]] XformOutcome interchange(const ast::ForStmt& outer);
+
+/// Fuses two adjacent loops with identical iteration spaces. Legal when
+/// no dependence from the first loop's body to the second's would become
+/// backward-carried after fusion.
+[[nodiscard]] XformOutcome fuse(const ast::ForStmt& first,
+                                const ast::ForStmt& second);
+
+/// Distributes (fissions) a loop at body-statement index `cut`
+/// (statements [0, cut) stay in the first loop). Legal when no
+/// dependence flows from the second group back into the first.
+[[nodiscard]] XformOutcome distribute(const ast::ForStmt& loop, int cut);
+
+/// Unrolls by `factor`; always legal. Constant bounds peel the remainder
+/// as straight-line code; symbolic bounds keep a remainder loop.
+[[nodiscard]] XformOutcome unroll(const ast::ForStmt& loop, int factor);
+
+/// Peels the first `count` iterations. Symbolic bounds emit a trip-count
+/// guard like SLMS does.
+[[nodiscard]] XformOutcome peel_front(const ast::ForStmt& loop, int count);
+
+/// Reverses the iteration order. Legal when the body carries no
+/// loop-carried dependence.
+[[nodiscard]] XformOutcome reverse(const ast::ForStmt& loop);
+
+/// Source-level live-range compaction (paper Fig. 5): re-lists the loop
+/// body (respecting intra-iteration dependences) so scalar life-times
+/// shrink, improving the final compiler's register allocation. Applied
+/// only when the maximal number of simultaneously-live scalars drops.
+[[nodiscard]] XformOutcome compact_lifetimes(const ast::ForStmt& loop);
+
+/// Metric behind compact_lifetimes: max simultaneously-live scalar
+/// temporaries in the loop body, in source order.
+[[nodiscard]] int scalar_max_live(const ast::ForStmt& loop);
+
+/// Rectangular 2-level loop tiling (blocking). Legal when the nest is
+/// fully permutable — for two levels, the interchange condition. The
+/// partial edge tiles are bounded with min(), so symbolic bounds work.
+[[nodiscard]] XformOutcome tile(const ast::ForStmt& outer, int tile_outer,
+                                int tile_inner);
+
+/// Generalized while-loop unrolling (paper §10, citing Huang & Leng [8]):
+///   while (c) { B }
+///     =>
+///   while (c) { B; if (!(c)) break; B; ... }
+/// Always legal (the condition is re-tested between copies); this is the
+/// enabling step for while-loop SLMS, which overlaps the copies.
+[[nodiscard]] XformOutcome unroll_while(const ast::WhileStmt& loop,
+                                        int factor);
+
+/// Reduction parallelization for the paper's §5 max example: rewrites
+///   for (...) if (s REL arr[i]) s = arr[i];    (max/min via <, >)
+/// or
+///   for (...) s += <expr>;                      (sum)
+/// into `lanes` interleaved partial reductions combined after the loop —
+/// the manually-added "last line" of the paper's max example. Note: sum
+/// reassociates floating point; it is exact for max/min and integers.
+[[nodiscard]] XformOutcome parallelize_reduction(const ast::ForStmt& loop,
+                                                 int lanes);
+
+}  // namespace slc::xform

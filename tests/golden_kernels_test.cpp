@@ -1,0 +1,93 @@
+// Golden regression lock: the SLMS outcome (applied, II, stages, unroll,
+// MI count, decompositions) for every benchmark kernel under the default
+// options. Any change to the analyses or the scheduler that shifts these
+// must be reviewed deliberately — they anchor the paper-reproduction
+// claims in EXPERIMENTS.md (e.g. kernel8: II=1 with no decomposition;
+// kernel24/idamax: the II=2 conditional reductions; stone1: filtered).
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hpp"
+#include "slms/slms.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+struct Golden {
+  const char* kernel;
+  bool applied;
+  int ii;
+  std::int64_t stages;
+  int unroll;
+  int num_mis;
+  int decompositions;
+};
+
+constexpr Golden kGolden[] = {
+    {"kernel1", true, 1, 2, 2, 2, 1},
+    {"kernel2", true, 1, 2, 2, 2, 1},
+    {"kernel3", true, 1, 2, 2, 2, 1},
+    {"kernel5", true, 1, 2, 2, 2, 1},
+    {"kernel7", true, 1, 2, 2, 2, 1},
+    {"kernel8", true, 1, 2, 1, 6, 0},   // §5: MII=1, no decomposition
+    {"kernel4", true, 1, 2, 2, 2, 1},
+    {"kernel6", true, 1, 2, 2, 2, 1},
+    {"kernel9", true, 1, 2, 2, 2, 1},
+    {"kernel10", true, 1, 6, 2, 10, 0}, // deep pipeline of loop variants
+    {"kernel11", true, 1, 2, 2, 2, 1},
+    {"kernel12", true, 1, 2, 2, 2, 1},
+    {"kernel22", true, 1, 2, 1, 3, 0},  // Planckian: intrinsics, MII=1
+    {"kernel24", true, 2, 2, 2, 3, 1},  // conditional reduction: II=2
+    {"daxpy", true, 1, 2, 2, 2, 1},
+    {"ddot", true, 1, 2, 2, 2, 1},
+    {"ddot2", true, 1, 2, 2, 2, 1},
+    {"dscal", true, 1, 2, 2, 2, 1},
+    {"idamax", true, 2, 1, 2, 3, 0},    // if-converted, II=2
+    {"idamax2", true, 2, 1, 2, 3, 0},
+    {"dmxpy", true, 1, 2, 2, 2, 1},
+    {"daxpy4", true, 1, 1, 1, 4, 0},   // already unrolled: 4 parallel MIs
+    {"dswap", false, 0, 0, 1, 0, 0},   // §4 filter: a Linpack bad case
+    {"nas_mxm", true, 1, 2, 2, 2, 1},
+    {"nas_cholsky", true, 1, 2, 2, 2, 1},
+    {"nas_btrix", true, 1, 2, 2, 2, 1},
+    {"nas_gmtry", true, 1, 2, 1, 2, 0},
+    {"nas_emit", true, 1, 2, 2, 2, 1},
+    {"nas_vpenta", true, 1, 2, 2, 2, 1},
+    {"nas_cfft2d", true, 1, 1, 1, 2, 0},  // independent MIs: S=1
+    {"stone1", false, 0, 0, 1, 0, 0},     // §4 filter fires
+    {"stone2", true, 1, 2, 2, 2, 1},
+    {"stone3", true, 1, 2, 2, 2, 1},
+    {"stone4", true, 2, 2, 2, 4, 0},
+    {"stone5", true, 2, 2, 2, 4, 0},
+    {"stone6", true, 1, 2, 2, 2, 1},
+};
+
+class GoldenKernels : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenKernels, SlmsOutcomeIsStable) {
+  const Golden& g = GetParam();
+  const kernels::Kernel* k = kernels::find(g.kernel);
+  ASSERT_NE(k, nullptr);
+  ast::Program p = test::parse_or_die(k->source);
+  auto reports = slms::apply_slms(p, slms::SlmsOptions{});
+  ASSERT_EQ(reports.size(), 1u);
+  const slms::SlmsReport& r = reports[0];
+  EXPECT_EQ(r.applied, g.applied) << r.skip_reason;
+  EXPECT_EQ(r.ii, g.ii);
+  EXPECT_EQ(r.stages, g.stages);
+  EXPECT_EQ(r.unroll, g.unroll);
+  EXPECT_EQ(r.num_mis, g.num_mis);
+  EXPECT_EQ(r.decompositions, g.decompositions);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, GoldenKernels, ::testing::ValuesIn(kGolden),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(info.param.kernel);
+                         });
+
+TEST(GoldenKernels, CoversEveryRegisteredKernel) {
+  EXPECT_EQ(std::size(kGolden), kernels::all_kernels().size());
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,46 @@
+// Shared test utilities: parsing with hard failure on diagnostics and the
+// interpreter-oracle equivalence check run across several seeds.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ast/ast.hpp"
+#include "ast/printer.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::test {
+
+inline ast::Program parse_or_die(std::string_view source) {
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str() << "\nsource:\n" << source;
+  return p;
+}
+
+inline ast::StmtPtr parse_stmt_or_die(std::string_view source) {
+  DiagnosticEngine diags;
+  ast::StmtPtr s = frontend::parse_statement(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str() << "\nsource:\n" << source;
+  return s;
+}
+
+/// Asserts `transformed` computes the same memory image as `original` on
+/// several random input seeds. On mismatch the transformed source is
+/// printed for debugging.
+inline void expect_equivalent(const ast::Program& original,
+                              const ast::Program& transformed,
+                              int num_seeds = 3) {
+  for (int seed = 0; seed < num_seeds; ++seed) {
+    std::string diff = interp::check_equivalent(original, transformed,
+                                                std::uint64_t(seed));
+    EXPECT_EQ(diff, "") << "seed " << seed << "\n--- transformed ---\n"
+                        << ast::to_source(transformed);
+    if (!diff.empty()) return;
+  }
+}
+
+}  // namespace slc::test

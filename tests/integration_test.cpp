@@ -1,0 +1,80 @@
+// Full-pipeline integration sweep: a sample of kernels through every
+// backend preset, asserting the whole measurement machinery holds
+// together (oracle, lowering, scheduling, simulation).
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+struct SweepCase {
+  const char* kernel;
+  int backend;  // index into the preset list
+};
+
+driver::Backend backend_by_index(int index) {
+  switch (index) {
+    case 0: return driver::weak_compiler_o0();
+    case 1: return driver::weak_compiler_o3();
+    case 2: return driver::weak_compiler_sms();
+    case 3: return driver::strong_compiler_icc();
+    case 4: return driver::strong_compiler_xlc();
+    case 5: return driver::superscalar_gcc();
+    default: return driver::arm_gcc();
+  }
+}
+
+class BackendSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BackendSweep, CompareKernelSucceeds) {
+  const SweepCase& c = GetParam();
+  const kernels::Kernel* k = kernels::find(c.kernel);
+  ASSERT_NE(k, nullptr);
+  driver::Backend backend = backend_by_index(c.backend);
+  driver::ComparisonRow row = driver::compare_kernel(*k, backend);
+  ASSERT_TRUE(row.ok) << backend.label << ": " << row.error;
+  EXPECT_GT(row.cycles_base, 0u);
+  EXPECT_GT(row.cycles_slms, 0u);
+  // Sanity corridor: SLMS never changes cycle counts by more than 8x in
+  // either direction on these kernels/backends.
+  double s = row.speedup();
+  EXPECT_GT(s, 0.125) << backend.label;
+  EXPECT_LT(s, 8.0) << backend.label;
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const char* kernel :
+       {"kernel2", "kernel8", "kernel24", "daxpy", "ddot", "idamax",
+        "stone2", "nas_btrix"}) {
+    for (int b = 0; b < 7; ++b) cases.push_back({kernel, b});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BackendSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.kernel) + "_b" +
+             std::to_string(info.param.backend);
+    });
+
+TEST(Integration, SeedsChangeDataNotDecisions) {
+  // Different memory seeds must not change whether SLMS applies or the
+  // schedule shape — only data (and data-dependent cycles slightly).
+  const kernels::Kernel* k = kernels::find("kernel8");
+  driver::CompareOptions a, b;
+  a.sim_seed = 1;
+  b.sim_seed = 7;
+  auto ra = driver::compare_kernel(*k, driver::weak_compiler_o3(), a);
+  auto rb = driver::compare_kernel(*k, driver::weak_compiler_o3(), b);
+  ASSERT_TRUE(ra.ok && rb.ok);
+  EXPECT_EQ(ra.slms_applied, rb.slms_applied);
+  EXPECT_EQ(ra.report.ii, rb.report.ii);
+  EXPECT_EQ(ra.report.unroll, rb.report.unroll);
+}
+
+}  // namespace
+}  // namespace slc

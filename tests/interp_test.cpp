@@ -1,0 +1,166 @@
+// Interpreter (oracle) behaviour.
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using interp::Interpreter;
+using test::parse_or_die;
+
+TEST(Interp, ScalarArithmetic) {
+  Program p = parse_or_die(R"(
+    int x = 7;
+    int y = 3;
+    int q = x / y;
+    int r = x % y;
+    double d = 1.0 / 2.0;
+  )");
+  auto res = Interpreter().run(p);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.memory.scalars.at("q").i, 2);
+  EXPECT_EQ(res.memory.scalars.at("r").i, 1);
+  EXPECT_DOUBLE_EQ(res.memory.scalars.at("d").f, 0.5);
+}
+
+TEST(Interp, LoopSum) {
+  Program p = parse_or_die(R"(
+    int A[10];
+    int i;
+    for (i = 0; i < 10; i++) A[i] = i * i;
+    int s = 0;
+    for (i = 0; i < 10; i++) s += A[i];
+  )");
+  auto res = Interpreter().run(p);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.memory.scalars.at("s").i, 285);
+}
+
+TEST(Interp, GuardSkipsStatement) {
+  Program p = parse_or_die(R"(
+    bool c = false;
+    int x = 1;
+    if (c) x = 2;
+  )");
+  // Reparse trick: guards are synthesized; emulate with if-statement here
+  // and with a direct guard below.
+  auto res = Interpreter().run(p);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.memory.scalars.at("x").i, 1);
+}
+
+TEST(Interp, WhileWithBreak) {
+  Program p = parse_or_die(R"(
+    int i = 0;
+    int found = -1;
+    int A[20];
+    for (i = 0; i < 20; i++) A[i] = i * 3;
+    i = 0;
+    while (i < 20) {
+      if (A[i] == 12) { found = i; break; }
+      i++;
+    }
+  )");
+  auto res = Interpreter().run(p);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.memory.scalars.at("found").i, 4);
+}
+
+TEST(Interp, BoundsCheckFires) {
+  Program p = parse_or_die(R"(
+    double A[4];
+    int i;
+    for (i = 0; i <= 4; i++) A[i] = 0.0;
+  )");
+  auto res = Interpreter().run(p);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, StepLimitStopsInfiniteLoop) {
+  Program p = parse_or_die("int x = 0; while (x < 1) { x = 0; }");
+  interp::InterpOptions opts;
+  opts.max_steps = 1000;
+  auto res = Interpreter(opts).run(p);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Interp, DeterministicRandomFill) {
+  Program p = parse_or_die(R"(
+    double A[8];
+    double x = A[3];
+  )");
+  auto r1 = Interpreter().run(p, 42);
+  auto r2 = Interpreter().run(p, 42);
+  auto r3 = Interpreter().run(p, 43);
+  ASSERT_TRUE(r1.ok && r2.ok && r3.ok);
+  EXPECT_EQ(r1.memory.diff(r2.memory), "");
+  EXPECT_NE(r1.memory.diff(r3.memory), "");
+  EXPECT_DOUBLE_EQ(r1.memory.scalars.at("x").f,
+                   interp::random_fill_double(42, "A", 3));
+}
+
+TEST(Interp, TwoDimensionalArrays) {
+  Program p = parse_or_die(R"(
+    int M[3][4];
+    int i; int j;
+    for (i = 0; i < 3; i++)
+      for (j = 0; j < 4; j++)
+        M[i][j] = i * 10 + j;
+    int corner = M[2][3];
+  )");
+  auto res = Interpreter().run(p);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.memory.scalars.at("corner").i, 23);
+}
+
+TEST(Interp, FloatArraysRoundToFloat) {
+  Program p = parse_or_die(R"(
+    float F[2];
+    F[0] = 0.1;
+    double d = F[0];
+  )");
+  auto res = Interpreter().run(p);
+  ASSERT_TRUE(res.ok);
+  EXPECT_DOUBLE_EQ(res.memory.scalars.at("d").f, double(float(0.1)));
+}
+
+TEST(Interp, IntrinsicCalls) {
+  Program p = parse_or_die(R"(
+    double a = fabs(-2.5);
+    double b = sqrt(9.0);
+    double c = max(1.0, 4.0);
+    int m = min(7, 3);
+  )");
+  auto res = Interpreter().run(p);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_DOUBLE_EQ(res.memory.scalars.at("a").f, 2.5);
+  EXPECT_DOUBLE_EQ(res.memory.scalars.at("b").f, 3.0);
+  EXPECT_DOUBLE_EQ(res.memory.scalars.at("c").f, 4.0);
+  EXPECT_EQ(res.memory.scalars.at("m").i, 3);
+}
+
+TEST(Interp, CheckEquivalentDetectsDifference) {
+  Program a = parse_or_die("int x = 1; x = x + 1;");
+  Program b_same = parse_or_die("int x = 1; x += 1;");
+  Program c_diff = parse_or_die("int x = 1; x = x + 2;");
+  EXPECT_EQ(interp::check_equivalent(a, b_same), "");
+  EXPECT_NE(interp::check_equivalent(a, c_diff), "");
+}
+
+TEST(Interp, ConditionalExprShortCircuits) {
+  // Guarded arm must not evaluate: A[9] would be out of bounds via A[idx].
+  Program p = parse_or_die(R"(
+    int A[4];
+    int idx = 9;
+    int safe = idx < 4 ? A[idx] : 0;
+  )");
+  auto res = Interpreter().run(p);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.memory.scalars.at("safe").i, 0);
+}
+
+}  // namespace
+}  // namespace slc

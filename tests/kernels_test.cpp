@@ -1,0 +1,145 @@
+// Benchmark kernels: every kernel must parse, run in-bounds, survive
+// SLMS with oracle equivalence, and lower to MIR that executes to the
+// same memory image. This gates every number the benches print.
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/lower.hpp"
+#include "sema/symbol_table.hpp"
+#include "sim/executor.hpp"
+#include "slms/slms.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using kernels::Kernel;
+using test::parse_or_die;
+
+class KernelCheck : public ::testing::TestWithParam<Kernel> {};
+
+TEST_P(KernelCheck, ParsesAndPassesSema) {
+  const Kernel& k = GetParam();
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(k.source, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.str();
+  (void)sema::analyze(p, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+}
+
+TEST_P(KernelCheck, RunsInBounds) {
+  const Kernel& k = GetParam();
+  ast::Program p = parse_or_die(k.source);
+  for (std::uint64_t seed : {0, 1}) {
+    auto r = interp::Interpreter().run(p, seed);
+    EXPECT_TRUE(r.ok) << k.name << ": " << r.error;
+  }
+}
+
+TEST_P(KernelCheck, SlmsPreservesSemantics) {
+  const Kernel& k = GetParam();
+  ast::Program original = parse_or_die(k.source);
+  for (slms::RenamingChoice mode :
+       {slms::RenamingChoice::Mve, slms::RenamingChoice::ScalarExpansion,
+        slms::RenamingChoice::None}) {
+    ast::Program transformed = original.clone();
+    slms::SlmsOptions opts;
+    opts.renaming = mode;
+    opts.enable_filter = false;
+    (void)slms::apply_slms(transformed, opts);
+    test::expect_equivalent(original, transformed, 2);
+  }
+}
+
+TEST_P(KernelCheck, LoweringMatchesInterpreter) {
+  const Kernel& k = GetParam();
+  ast::Program p = parse_or_die(k.source);
+  auto ref = interp::Interpreter().run(p, 0);
+  ASSERT_TRUE(ref.ok) << ref.error;
+  DiagnosticEngine diags;
+  machine::MirProgram mir = machine::lower(p, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.str();
+  auto got = sim::simulate(mir, machine::itanium2_model(), {});
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_EQ(ref.memory.diff(got.memory), "") << k.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, KernelCheck, ::testing::ValuesIn(kernels::all_kernels()),
+    [](const ::testing::TestParamInfo<Kernel>& info) {
+      return info.param.name;
+    });
+
+TEST(KernelRegistry, SuitesArePopulated) {
+  EXPECT_GE(kernels::suite("livermore").size(), 8u);
+  EXPECT_GE(kernels::suite("linpack").size(), 6u);
+  EXPECT_GE(kernels::suite("nas").size(), 6u);
+  EXPECT_GE(kernels::suite("stone").size(), 5u);
+  EXPECT_NE(kernels::find("kernel8"), nullptr);
+  EXPECT_EQ(kernels::find("nonexistent"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// driver pipeline
+// ---------------------------------------------------------------------------
+
+TEST(Driver, CompareKernelProducesMetrics) {
+  const Kernel* k = kernels::find("kernel8");
+  ASSERT_NE(k, nullptr);
+  driver::ComparisonRow row =
+      driver::compare_kernel(*k, driver::weak_compiler_o3());
+  ASSERT_TRUE(row.ok) << row.error;
+  EXPECT_TRUE(row.slms_applied) << row.slms_skip_reason;
+  EXPECT_GT(row.cycles_base, 0u);
+  EXPECT_GT(row.cycles_slms, 0u);
+  // Kernel 8 is the paper's showcase win on the weak compiler.
+  EXPECT_GT(row.speedup(), 1.0);
+}
+
+TEST(Driver, FilterSkipsStone1) {
+  const Kernel* k = kernels::find("stone1");
+  ASSERT_NE(k, nullptr);
+  driver::ComparisonRow row =
+      driver::compare_kernel(*k, driver::weak_compiler_o3());
+  ASSERT_TRUE(row.ok) << row.error;
+  EXPECT_FALSE(row.slms_applied);
+  EXPECT_DOUBLE_EQ(row.speedup(), 1.0);  // untouched program
+}
+
+TEST(Driver, SuiteComparisonCoversAllKernels) {
+  auto rows = driver::compare_suite("linpack", driver::weak_compiler_o3());
+  EXPECT_EQ(rows.size(), kernels::suite("linpack").size());
+  for (const auto& r : rows) EXPECT_TRUE(r.ok) << r.kernel << ": " << r.error;
+}
+
+TEST(Driver, StrongCompilerUsesModuloScheduling) {
+  const Kernel* k = kernels::find("daxpy");
+  ASSERT_NE(k, nullptr);
+  driver::ComparisonRow row =
+      driver::compare_kernel(*k, driver::strong_compiler_icc());
+  ASSERT_TRUE(row.ok) << row.error;
+  EXPECT_TRUE(row.loop_base.modulo_scheduled)
+      << row.loop_base.ims_fail_reason;
+  EXPECT_GT(row.loop_base.ii, 0);
+}
+
+TEST(Driver, MeasureSourceWorks) {
+  auto m = driver::measure_source(kernels::find("daxpy")->source,
+                                  driver::weak_compiler_o0());
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_GT(m.cycles, 0u);
+  ASSERT_FALSE(m.loops.empty());
+  EXPECT_EQ(m.loops[0].iterations, 400u);
+}
+
+TEST(Driver, TablePrinterAligns) {
+  driver::TablePrinter t({"a", "bb"});
+  t.row({"xxx", "y"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("xxx"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,189 @@
+// Delay model and MII solver, including the paper's Fig. 8 example.
+#include <gtest/gtest.h>
+
+#include "analysis/ddg.hpp"
+#include "slms/mii.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using analysis::Ddg;
+using analysis::DepDist;
+using analysis::DepEdge;
+using analysis::DepKind;
+using slms::compute_delays;
+using slms::MiiSolver;
+
+DepEdge edge(int src, int dst, std::int64_t dist,
+             DepKind kind = DepKind::Flow) {
+  DepEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.kind = kind;
+  e.var = "A";
+  e.distances = {DepDist{dist, true}};
+  return e;
+}
+
+TEST(Delays, PaperRules) {
+  Ddg g;
+  g.num_nodes = 4;
+  g.edges.push_back(edge(0, 0, 1));  // self
+  g.edges.push_back(edge(0, 1, 0));  // adjacent
+  g.edges.push_back(edge(1, 2, 0));  // adjacent
+  g.edges.push_back(edge(0, 2, 0));  // forward; longest path 0->1->2 = 2
+  g.edges.push_back(edge(3, 0, 1));  // back edge
+  auto d = compute_delays(g);
+  EXPECT_EQ(d[0], 1);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 1);
+  EXPECT_EQ(d[3], 2);  // rule 3: max path delay
+  EXPECT_EQ(d[4], 1);  // rule 4
+}
+
+TEST(Delays, CycleDelaySumCoversCycleLength) {
+  // Whatever the forward structure, every cycle's delay sum must be >=
+  // its edge count (the §3.5 design property).
+  Ddg g;
+  g.num_nodes = 3;
+  g.edges.push_back(edge(0, 1, 0));
+  g.edges.push_back(edge(1, 2, 0));
+  g.edges.push_back(edge(0, 2, 0));
+  g.edges.push_back(edge(2, 0, 2, DepKind::Anti));  // back
+  auto d = compute_delays(g);
+  // Cycle 0->1->2->0: delays 1+1+1 = 3 >= 3 edges.
+  EXPECT_GE(d[0] + d[1] + d[3], 3);
+  // Cycle 0->2->0: delays 2+1 = 3 >= 2 edges.
+  EXPECT_GE(d[2] + d[3], 2);
+}
+
+TEST(Mii, Figure8TwoCycles) {
+  // Nodes a..f = 0..5. C1 = c->d->e->f->c with unit delays and distance
+  // sum 4 => MII 1; C2 = c->d->f->c where delay(d->f)=2 (via e) and
+  // distance sum 2 => MII 2. The paper: feasible at MII=2, not MII=1.
+  Ddg g;
+  g.num_nodes = 6;
+  g.edges.push_back(edge(2, 3, 1));                 // c->d
+  g.edges.push_back(edge(3, 4, 1));                 // d->e
+  g.edges.push_back(edge(4, 5, 1));                 // e->f
+  g.edges.push_back(edge(3, 5, 0));                 // d->f (delay 2 via e)
+  g.edges.push_back(edge(5, 2, 1, DepKind::Anti));  // f->c back edge
+
+  auto delays = compute_delays(g);
+  // delay(d->f) must be the longest path d->e->f = 2.
+  EXPECT_EQ(delays[3], 2);
+
+  MiiSolver solver(g, delays);
+  EXPECT_FALSE(solver.schedule_for(1).has_value());
+  auto s2 = solver.schedule_for(2);
+  ASSERT_TRUE(s2.has_value());
+
+  auto best = solver.solve();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->ii, 2);
+  EXPECT_GE(solver.recurrence_bound_hint(), 2);
+}
+
+TEST(Mii, IndependentMisScheduleAtIiOne) {
+  Ddg g;
+  g.num_nodes = 3;  // no edges at all
+  MiiSolver solver(g, compute_delays(g));
+  auto s = solver.solve();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ii, 1);
+  for (int k = 0; k < 3; ++k) EXPECT_EQ(s->sigma[std::size_t(k)], 0);
+  EXPECT_EQ(s->stage_count(), 1);
+}
+
+TEST(Mii, ChainGetsStagedSchedule) {
+  // 0 ->(d0) 1 ->(d0) 2: at II=1 the chain spreads across stages.
+  Ddg g;
+  g.num_nodes = 3;
+  g.edges.push_back(edge(0, 1, 0));
+  g.edges.push_back(edge(1, 2, 0));
+  MiiSolver solver(g, compute_delays(g));
+  auto s = solver.solve();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ii, 1);
+  EXPECT_EQ(s->sigma, (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_EQ(s->stage_count(), 3);
+  EXPECT_EQ(s->offset(0), 2);
+  EXPECT_EQ(s->offset(2), 0);
+}
+
+TEST(Mii, DecompositionRegisterPattern) {
+  // MI0: reg = A[i+2];  MI1: A[i] = ...reg...
+  // With the anti edge (planned MVE) dropped: II=1, reg def lands one
+  // stage after its use — the paper's `A[i]=..reg1 || reg1=A[i+3]` shape.
+  Ddg g;
+  g.num_nodes = 2;
+  g.edges.push_back(edge(0, 1, 0, DepKind::Flow));  // reg flow
+  g.edges.push_back(edge(1, 1, 1, DepKind::Flow));  // A self (A[i-1] etc.)
+  MiiSolver solver(g, compute_delays(g));
+  auto s = solver.solve();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ii, 1);
+  EXPECT_EQ(s->offset(0), 1);  // def runs one iteration ahead
+  EXPECT_EQ(s->offset(1), 0);
+}
+
+TEST(Mii, AntiEdgeCycleForcesIiTwo) {
+  // Same pattern *without* renaming: flow(0->1,d0) + anti(1->0,d1)
+  // => cycle delay 2 / distance 1 => II 2.
+  Ddg g;
+  g.num_nodes = 2;
+  g.edges.push_back(edge(0, 1, 0, DepKind::Flow));
+  g.edges.push_back(edge(1, 0, 1, DepKind::Anti));
+  MiiSolver solver(g, compute_delays(g));
+  auto s = solver.solve();
+  ASSERT_FALSE(s.has_value());  // II must be < #MIs = 2, and MII is 2
+  auto s2 = solver.schedule_for(2);
+  EXPECT_TRUE(s2.has_value());
+}
+
+TEST(Mii, UnknownDistanceBlocksPipelining) {
+  Ddg g;
+  g.num_nodes = 2;
+  DepEdge e1 = edge(0, 1, 0);
+  DepEdge e2 = edge(1, 0, 0, DepKind::Anti);
+  e2.distances = {DepDist{0, false}};  // star
+  g.edges.push_back(e1);
+  g.edges.push_back(e2);
+  MiiSolver solver(g, compute_delays(g));
+  // Cycle with distance sum 0 is infeasible at every II.
+  EXPECT_FALSE(solver.schedule_for(1).has_value());
+  EXPECT_FALSE(solver.schedule_for(8).has_value());
+}
+
+TEST(Mii, MaxIiOptionCapsSearch) {
+  Ddg g;
+  g.num_nodes = 4;
+  g.edges.push_back(edge(0, 1, 0));
+  g.edges.push_back(edge(1, 0, 1, DepKind::Anti));  // forces II >= 2
+  MiiSolver solver(g, compute_delays(g));
+  slms::MiiOptions opts;
+  opts.max_ii = 1;
+  EXPECT_FALSE(solver.solve(opts).has_value());
+  opts.max_ii = 3;
+  auto s = solver.solve(opts);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ii, 2);
+}
+
+TEST(Mii, MultipleDistancePairsUseTightest) {
+  // Edge with distances {1, 3}: the II constraint binds at distance 1.
+  Ddg g;
+  g.num_nodes = 2;
+  DepEdge e = edge(0, 1, 0);
+  e.distances = {DepDist{1, true}, DepDist{3, true}};
+  DepEdge back = edge(1, 0, 1, DepKind::Anti);
+  g.edges.push_back(e);
+  g.edges.push_back(back);
+  MiiSolver solver(g, compute_delays(g));
+  // Cycle delays 1+1=2, distances 1+1=2 (tightest) => II 1 feasible.
+  EXPECT_TRUE(solver.schedule_for(1).has_value());
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,229 @@
+// Pipeliner-focused tests: loop-shape sweeps (steps, comparison ops,
+// tiny trip counts), structural properties of the emitted code, and the
+// trip-count guard.
+#include <gtest/gtest.h>
+
+#include "ast/printer.hpp"
+#include "ast/walk.hpp"
+#include "slms/slms.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using test::expect_equivalent;
+using test::parse_or_die;
+
+struct ShapeCase {
+  const char* label;
+  int lo;
+  const char* cmp;
+  int hi;
+  int step;  // positive value used with +=/-= depending on direction
+  bool down;
+};
+
+class LoopShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(LoopShapes, PipelinesEquivalently) {
+  const ShapeCase& c = GetParam();
+  std::ostringstream src;
+  src << "double A[300]; double B[300]; double t;\nint i;\n"
+      << "for (i = " << c.lo << "; i " << c.cmp << " " << c.hi << "; i "
+      << (c.down ? "-=" : "+=") << " " << c.step << ") {\n"
+      << "  t = B[i] * 2.0;\n"
+      << "  A[i] = A[i " << (c.down ? "+" : "-") << " " << c.step
+      << "] + t;\n}\n";
+  Program original = parse_or_die(src.str());
+  Program transformed = original.clone();
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  auto reports = slms::apply_slms(transformed, opts);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].applied)
+      << c.label << ": " << reports[0].skip_reason;
+  expect_equivalent(original, transformed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoopShapes,
+    ::testing::Values(
+        ShapeCase{"up_lt_1", 4, "<", 290, 1, false},
+        ShapeCase{"up_le_1", 4, "<=", 289, 1, false},
+        ShapeCase{"up_lt_2", 4, "<", 290, 2, false},
+        ShapeCase{"up_lt_3", 6, "<", 290, 3, false},
+        ShapeCase{"up_le_5", 10, "<=", 280, 5, false},
+        ShapeCase{"down_gt_1", 290, ">", 4, 1, true},
+        ShapeCase{"down_ge_1", 290, ">=", 5, 1, true},
+        ShapeCase{"down_gt_2", 290, ">", 6, 2, true},
+        ShapeCase{"down_ge_3", 288, ">=", 9, 3, true}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(Pipeliner, TinyTripCountsAreLeftAloneOrCorrect) {
+  // Trip counts 0..5 with a 2-stage pipeline: either skipped (too short)
+  // or pipelined; both must be oracle-equivalent.
+  for (int n = 0; n <= 5; ++n) {
+    std::string src = "double A[64]; double B[64]; double t;\nint i;\n"
+                      "for (i = 0; i < " + std::to_string(n) +
+                      "; i++) {\n  t = B[i] + 1.0;\n  A[i] = t * 2.0;\n}\n";
+    Program original = parse_or_die(src);
+    Program transformed = original.clone();
+    slms::SlmsOptions opts;
+    opts.enable_filter = false;
+    (void)slms::apply_slms(transformed, opts);
+    expect_equivalent(original, transformed);
+  }
+}
+
+TEST(Pipeliner, KernelRowsHoldIndependentStatements) {
+  // Structural invariant: inside every emitted ParallelStmt, no two
+  // members may write the same array cell at the same iv expression.
+  Program p = parse_or_die(R"(
+    double A[300]; double B[300]; double C[300];
+    int i;
+    for (i = 1; i < 290; i++) {
+      A[i] = A[i - 1] * 0.5;
+      B[i] = A[i] + 1.0;
+      C[i] = B[i] * 2.0;
+    }
+  )");
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  (void)slms::apply_slms(p, opts);
+  int parallel_rows = 0;
+  for (const StmtPtr& s : p.stmts) {
+    walk_stmts(*s, [&](const Stmt& st) {
+      const auto* row = dyn_cast<ParallelStmt>(&st);
+      if (row == nullptr) return;
+      ++parallel_rows;
+      // Members must be simple statements.
+      for (const StmtPtr& m : row->stmts)
+        EXPECT_TRUE(m->kind() == StmtKind::Assign ||
+                    m->kind() == StmtKind::ExprStmt);
+    });
+  }
+  EXPECT_GT(parallel_rows, 0);
+}
+
+TEST(Pipeliner, EpilogueRestoresInductionVariable) {
+  // The iv's exit value must match the original's even for Le loops.
+  const char* src = R"(
+    double A[300];
+    int i;
+    for (i = 0; i <= 250; i++) {
+      A[i] = A[i] + 1.0;
+    }
+    int probe = i * 3;
+  )";
+  Program original = parse_or_die(src);
+  Program transformed = original.clone();
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  (void)slms::apply_slms(transformed, opts);
+  expect_equivalent(original, transformed);
+}
+
+TEST(Pipeliner, SymbolicGuardSweep) {
+  // Symbolic bound with every small n: guard selects original or
+  // pipelined; all equivalent. Two-MI body so S=2.
+  for (int n = 0; n <= 8; ++n) {
+    std::string src = "double A[64]; double B[64];\nint n = " +
+                      std::to_string(n) +
+                      ";\nint i;\nfor (i = 0; i < n; i++) {\n"
+                      "  A[i] = B[i] * 2.0;\n  B[i] = A[i] + 1.0;\n}\n";
+    Program original = parse_or_die(src);
+    Program transformed = original.clone();
+    slms::SlmsOptions opts;
+    opts.enable_filter = false;
+    auto reports = slms::apply_slms(transformed, opts);
+    if (!reports.empty() && reports[0].applied) {
+      EXPECT_TRUE(reports[0].used_trip_guard);
+    }
+    expect_equivalent(original, transformed);
+  }
+}
+
+TEST(Pipeliner, SymbolicDownCountingGuard) {
+  for (int n : {0, 3, 40}) {
+    std::string src = "double A[64]; double B[64];\nint n = " +
+                      std::to_string(n) +
+                      ";\nint i;\nfor (i = 50; i > n; i--) {\n"
+                      "  A[i] = B[i] * 2.0;\n  B[i] = A[i] + 1.0;\n}\n";
+    Program original = parse_or_die(src);
+    Program transformed = original.clone();
+    slms::SlmsOptions opts;
+    opts.enable_filter = false;
+    (void)slms::apply_slms(transformed, opts);
+    expect_equivalent(original, transformed);
+  }
+}
+
+TEST(Pipeliner, MaxIiOptionForcesSkip) {
+  // II would be 2 (anti cycle without renaming); max_ii=1 must skip.
+  Program p = parse_or_die(R"(
+    double A[64]; double B[64]; double t;
+    int i;
+    for (i = 1; i < 60; i++) {
+      t = B[i];
+      A[i] = A[i - 1] + t;
+      B[i] = t * 2.0;
+    }
+  )");
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  opts.renaming = slms::RenamingChoice::None;
+  opts.max_ii = 1;
+  auto reports = slms::apply_slms(p, opts);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].applied);
+}
+
+TEST(Pipeliner, UnrollCapRejectsRegisterPressure) {
+  // Long chain forces lifetime > II; with max_unroll 1 the MVE plan is
+  // rejected (paper's kernel-10 lesson as an option).
+  Program p = parse_or_die(R"(
+    double A[64]; double B[64]; double C[64];
+    double t; double u; double v;
+    int i;
+    for (i = 0; i < 40; i++) {
+      t = A[i + 2];
+      u = B[i] * 2.0;
+      v = u + 1.0;
+      C[i] = v + t + C[i] * 0.5;
+    }
+  )");
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  opts.max_unroll = 1;
+  auto reports = slms::apply_slms(p, opts);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].applied);
+  EXPECT_NE(reports[0].skip_reason.find("register-pressure"),
+            std::string::npos)
+      << reports[0].skip_reason;
+}
+
+TEST(Pipeliner, ExplainTraceIsPopulated) {
+  Program p = parse_or_die(R"(
+    double A[64]; double B[64]; double t;
+    int i;
+    for (i = 1; i < 60; i++) {
+      t = B[i] * 2.0;
+      A[i] = A[i - 1] + t;
+    }
+  )");
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  opts.explain = true;
+  auto reports = slms::apply_slms(p, opts);
+  ASSERT_TRUE(reports[0].applied);
+  ASSERT_GE(reports[0].trace.size(), 3u);
+  bool has_mii = false;
+  for (const std::string& line : reports[0].trace)
+    if (line.find("MII search") != std::string::npos) has_mii = true;
+  EXPECT_TRUE(has_mii);
+}
+
+}  // namespace
+}  // namespace slc

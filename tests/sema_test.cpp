@@ -1,0 +1,151 @@
+// Sema: symbol checking and canonical-loop recognition.
+#include <gtest/gtest.h>
+
+#include "sema/loop_info.hpp"
+#include "sema/symbol_table.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using test::parse_or_die;
+
+DiagnosticEngine check(const char* src) {
+  DiagnosticEngine diags;
+  Program p = frontend::parse_program(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  (void)sema::analyze(p, diags);
+  return diags;
+}
+
+TEST(Sema, AcceptsWellFormedProgram) {
+  auto diags = check(R"(
+    double A[10]; int i; double s = 0.0;
+    for (i = 0; i < 10; i++) s = s + A[i];
+  )");
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+}
+
+TEST(Sema, UndeclaredVariable) {
+  auto diags = check("int x; x = y + 1;");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Sema, Redefinition) {
+  auto diags = check("int x; double x;");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Sema, ArrayUsedAsScalar) {
+  auto diags = check("double A[4]; double x; x = A + 1.0;");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Sema, ScalarUsedAsArray) {
+  auto diags = check("double x; double y; y = x[2];");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Sema, RankMismatch) {
+  auto diags = check("double M[4][4]; double x; x = M[1];");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Sema, UnknownCallWarnsOnly) {
+  auto diags = check("double x; x = mystery(1.0);");
+  EXPECT_FALSE(diags.has_errors());
+  bool warned = false;
+  for (const auto& d : diags.diagnostics())
+    if (d.severity == Severity::Warning) warned = true;
+  EXPECT_TRUE(warned);
+}
+
+TEST(Sema, FreshNames) {
+  Program p = parse_or_die("int reg; int reg1;");
+  DiagnosticEngine diags;
+  sema::SymbolTable table = sema::analyze(p, diags);
+  EXPECT_EQ(table.fresh_name("reg"), "reg2");
+  EXPECT_EQ(table.fresh_name("other"), "other");
+  EXPECT_NE(table.lookup("reg"), nullptr);
+  EXPECT_EQ(table.lookup("nope"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// loop recognition
+// ---------------------------------------------------------------------------
+
+ForStmt* first_loop(Program& p) {
+  for (StmtPtr& s : p.stmts)
+    if (auto* f = dyn_cast<ForStmt>(s.get())) return f;
+  return nullptr;
+}
+
+TEST(LoopInfo, CanonicalShapes) {
+  struct Case {
+    const char* header;
+    std::int64_t step;
+    BinaryOp cmp;
+  };
+  Case cases[] = {
+      {"for (i = 0; i < 10; i++)", 1, BinaryOp::Lt},
+      {"for (i = 0; i <= 10; i += 2)", 2, BinaryOp::Le},
+      {"for (i = 10; i > 0; i--)", -1, BinaryOp::Gt},
+      {"for (i = 10; i >= 0; i -= 3)", -3, BinaryOp::Ge},
+      {"for (i = 0; i < 10; i = i + 4)", 4, BinaryOp::Lt},
+  };
+  for (const Case& c : cases) {
+    std::string src = std::string("double A[32]; int i;\n") + c.header +
+                      " A[0] = 1.0;";
+    Program p = parse_or_die(src);
+    auto info = sema::analyze_loop(*first_loop(p), nullptr);
+    ASSERT_TRUE(info.has_value()) << c.header;
+    EXPECT_EQ(info->iv, "i");
+    EXPECT_EQ(info->step, c.step) << c.header;
+    EXPECT_EQ(info->cmp, c.cmp) << c.header;
+  }
+}
+
+TEST(LoopInfo, TripCount) {
+  Program p = parse_or_die(
+      "double A[64]; int i; for (i = 3; i < 12; i += 2) A[i] = 0.0;");
+  auto info = sema::analyze_loop(*first_loop(p), nullptr);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->const_trip_count(), 5);  // 3,5,7,9,11
+}
+
+TEST(LoopInfo, RejectsNonCanonical) {
+  const char* bad[] = {
+      "double A[8]; int i; int j; for (i = 0; j < 8; i++) A[0] = 1.0;",
+      "double A[8]; int i; for (i = 0; i < 8; i *= 2) A[0] = 1.0;",
+      "double A[8]; int i; for (i = 0; i > 8; i++) A[0] = 1.0;",
+  };
+  for (const char* src : bad) {
+    Program p = parse_or_die(src);
+    std::string reason;
+    auto info = sema::analyze_loop(*first_loop(p), &reason);
+    EXPECT_FALSE(info.has_value()) << src;
+    EXPECT_FALSE(reason.empty());
+  }
+}
+
+TEST(LoopInfo, PipelineabilityFlags) {
+  Program with_break = parse_or_die(R"(
+    double A[8]; int i;
+    for (i = 0; i < 8; i++) { if (A[i] > 0.0) break; A[i] = 1.0; }
+  )");
+  auto info = sema::analyze_loop(*first_loop(with_break), nullptr);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->body_is_pipelineable);
+
+  Program writes_bound = parse_or_die(R"(
+    double A[64]; int i; int n = 8;
+    for (i = 0; i < n; i++) { A[i] = 1.0; n = n + 0; }
+  )");
+  info = sema::analyze_loop(*first_loop(writes_bound), nullptr);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->body_is_pipelineable);
+}
+
+}  // namespace
+}  // namespace slc

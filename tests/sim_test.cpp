@@ -1,0 +1,206 @@
+// Simulator components: cache behaviour, machine models, superscalar
+// window effects, power accounting, cross-model determinism.
+#include <gtest/gtest.h>
+
+#include "machine/lower.hpp"
+#include "sim/cache.hpp"
+#include "sim/executor.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace machine;
+using test::parse_or_die;
+
+TEST(Cache, DirectMappedBasics) {
+  CacheConfig config;
+  config.line_bytes = 32;
+  config.num_lines = 4;
+  sim::DirectMappedCache cache(config);
+  EXPECT_FALSE(cache.access(0));    // cold miss
+  EXPECT_TRUE(cache.access(8));     // same line
+  EXPECT_TRUE(cache.access(31));    // same line
+  EXPECT_FALSE(cache.access(32));   // next line
+  // Conflict: line 0 and line 4 map to the same set (4 lines).
+  EXPECT_FALSE(cache.access(4 * 32));
+  EXPECT_FALSE(cache.access(0));    // evicted
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.accesses(), 6u);
+}
+
+TEST(Models, PresetSanity) {
+  MachineModel ia64 = itanium2_model();
+  EXPECT_EQ(ia64.style, IssueStyle::Vliw);
+  EXPECT_GT(ia64.issue_width, 1);
+  MachineModel arm = arm7_model();
+  EXPECT_EQ(arm.style, IssueStyle::Scalar);
+  EXPECT_EQ(arm.issue_width, 1);
+  MachineModel pent = pentium_model();
+  EXPECT_EQ(pent.style, IssueStyle::Superscalar);
+  EXPECT_LE(pent.int_regs, 8);
+
+  MInst load;
+  load.op = Op::Load;
+  EXPECT_EQ(ia64.latency(load), ia64.lat_load);
+  MInst fmul;
+  fmul.op = Op::FMul;
+  fmul.fp = true;
+  EXPECT_EQ(unit_class(fmul.op, fmul.fp), UnitClass::Fpu);
+  EXPECT_EQ(ia64.latency(fmul), ia64.lat_fpu);
+}
+
+MirProgram lower_or_die(const ast::Program& p) {
+  DiagnosticEngine diags;
+  MirProgram mir = lower(p, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  return mir;
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  ast::Program p = parse_or_die(R"(
+    double A[128]; double B[128];
+    int i;
+    for (i = 1; i < 120; i++) A[i] = A[i - 1] + B[i];
+  )");
+  MirProgram mir = lower_or_die(p);
+  auto r1 = sim::simulate(mir, itanium2_model(), {});
+  auto r2 = sim::simulate(mir, itanium2_model(), {});
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.energy, r2.energy);
+  EXPECT_EQ(r1.memory.diff(r2.memory), "");
+}
+
+TEST(Sim, SuperscalarWindowExtractsParallelism) {
+  // Independent statements: the windowed Pentium model must beat the
+  // single-issue ARM timing on the same program.
+  ast::Program p = parse_or_die(R"(
+    double A[256]; double B[256]; double C[256]; double D[256];
+    int i;
+    for (i = 0; i < 250; i++) {
+      A[i] = A[i] + 1.0;
+      B[i] = B[i] + 2.0;
+      C[i] = C[i] + 3.0;
+      D[i] = D[i] + 4.0;
+    }
+  )");
+  MirProgram mir = lower_or_die(p);
+  sim::SimOptions opts;
+  opts.preset = sim::CompilerPreset::ListSched;
+  auto pent = sim::simulate(mir, pentium_model(), opts);
+  MachineModel narrow = pentium_model();
+  narrow.issue_width = 1;
+  narrow.superscalar_window = 1;
+  auto narrow_r = sim::simulate(mir, narrow, opts);
+  ASSERT_TRUE(pent.ok && narrow_r.ok);
+  EXPECT_LT(pent.cycles, narrow_r.cycles);
+}
+
+TEST(Sim, ValuesIdenticalAcrossAllModelsAndPresets) {
+  ast::Program p = parse_or_die(R"(
+    double A[64]; double B[64]; double s = 0.0;
+    int i;
+    for (i = 1; i < 60; i++) {
+      A[i] = A[i - 1] * 0.5 + B[i];
+      s = s + A[i];
+    }
+  )");
+  MirProgram mir = lower_or_die(p);
+  auto ref = sim::simulate(mir, itanium2_model(), {});
+  ASSERT_TRUE(ref.ok);
+  for (const MachineModel& model :
+       {power4_model(), pentium_model(), arm7_model()}) {
+    for (sim::CompilerPreset preset :
+         {sim::CompilerPreset::Sequential, sim::CompilerPreset::ListSched,
+          sim::CompilerPreset::ModuloSched}) {
+      sim::SimOptions opts;
+      opts.preset = preset;
+      auto r = sim::simulate(mir, model, opts);
+      ASSERT_TRUE(r.ok) << model.name << "/" << to_string(preset);
+      EXPECT_EQ(ref.memory.diff(r.memory), "")
+          << model.name << "/" << to_string(preset);
+    }
+  }
+}
+
+TEST(Sim, LoopStatsCountIterations) {
+  ast::Program p = parse_or_die(R"(
+    double A[64];
+    int i; int j;
+    for (i = 0; i < 10; i++)
+      for (j = 0; j < 5; j++)
+        A[i + j] = A[i + j] + 1.0;
+  )");
+  MirProgram mir = lower_or_die(p);
+  auto r = sim::simulate(mir, itanium2_model(), {});
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.loops.size(), 2u);
+  // Order of discovery: outer loop first, inner second.
+  EXPECT_EQ(r.loops[0].iterations, 10u);
+  EXPECT_EQ(r.loops[1].iterations, 50u);
+}
+
+TEST(Sim, PredicatedOffMemoryOpsDoNotTouchCache) {
+  ast::Program guarded = parse_or_die(R"(
+    double A[64]; double x = 0.0;
+    bool g = false;
+    int i;
+    for (i = 0; i < 60; i++) {
+      if (g) x = x + A[i];
+    }
+  )");
+  // The Cond-region lowering branches; build the predicated form through
+  // SLMS-style guards instead by comparing access counts of taken vs
+  // not-taken branches.
+  MirProgram mir = lower_or_die(guarded);
+  auto r = sim::simulate(mir, itanium2_model(), {});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.mem_accesses, 0u);  // branch never taken => A never read
+}
+
+TEST(Sim, EnergyComponentsRespond) {
+  ast::Program mem_heavy = parse_or_die(R"(
+    double A[512]; double B[512];
+    int i;
+    for (i = 0; i < 500; i++) A[i] = B[i];
+  )");
+  ast::Program alu_heavy = parse_or_die(R"(
+    double x = 1.0;
+    int i;
+    for (i = 0; i < 500; i++) x = x * 1.0001 + 0.5 - 0.25;
+  )");
+  auto rm = sim::simulate(lower_or_die(mem_heavy), arm7_model(), {});
+  auto ra = sim::simulate(lower_or_die(alu_heavy), arm7_model(), {});
+  ASSERT_TRUE(rm.ok && ra.ok);
+  EXPECT_GT(rm.mem_accesses, ra.mem_accesses);
+  EXPECT_GT(rm.energy, 0.0);
+  EXPECT_GT(ra.energy, 0.0);
+}
+
+TEST(Sim, InstructionLimitAborts) {
+  ast::Program p = parse_or_die(R"(
+    int i; int x = 0;
+    for (i = 0; i < 1000000; i++) x = x + 1;
+  )");
+  MirProgram mir = lower_or_die(p);
+  sim::SimOptions opts;
+  opts.max_insts = 1000;
+  auto r = sim::simulate(mir, itanium2_model(), opts);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Sim, OutOfBoundsIsAnError) {
+  ast::Program p = parse_or_die(R"(
+    double A[4];
+    int i;
+    for (i = 0; i < 8; i++) A[i] = 0.0;
+  )");
+  MirProgram mir = lower_or_die(p);
+  auto r = sim::simulate(mir, itanium2_model(), {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,181 @@
+// Direct unit tests for the SLMS building blocks: if-conversion shapes,
+// decomposition selection, resource splitting, and name allocation.
+#include <gtest/gtest.h>
+
+#include "ast/build.hpp"
+#include "ast/printer.hpp"
+#include "analysis/access.hpp"
+#include "slms/decompose.hpp"
+#include "slms/ifconvert.hpp"
+#include "slms/names.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using test::parse_or_die;
+using test::parse_stmt_or_die;
+
+// ---------------------------------------------------------------------------
+// NameAllocator
+// ---------------------------------------------------------------------------
+
+TEST(Names, FreshAvoidsCollisions) {
+  Program p = parse_or_die("int reg; double reg1; double pred;");
+  slms::NameAllocator names = slms::NameAllocator::for_program(p);
+  EXPECT_EQ(names.fresh("reg"), "reg2");
+  EXPECT_EQ(names.fresh("reg"), "reg3");  // registers its own results
+  EXPECT_EQ(names.fresh("pred"), "pred1");
+  EXPECT_EQ(names.fresh("tmp"), "tmp");
+  EXPECT_TRUE(names.taken("tmp"));
+}
+
+TEST(Names, SeedsFromArraysToo) {
+  Program p = parse_or_die("double A[4]; double x; x = A[0];");
+  slms::NameAllocator names = slms::NameAllocator::for_program(p);
+  EXPECT_EQ(names.fresh("A"), "A1");
+}
+
+// ---------------------------------------------------------------------------
+// if-conversion
+// ---------------------------------------------------------------------------
+
+BlockStmt* body_of(StmtPtr& loop) {
+  return dyn_cast<BlockStmt>(dyn_cast<ForStmt>(loop.get())->body.get());
+}
+
+TEST(IfConvert, SimpleThenElse) {
+  StmtPtr loop = parse_stmt_or_die(R"(
+    for (i = 0; i < 8; i++) {
+      if (x < y) { x = x + 1; A[i] += x; }
+      else y = y + 1;
+    }
+  )");
+  slms::NameAllocator names;
+  std::vector<StmtPtr> decls;
+  auto result = slms::if_convert_body(*body_of(loop), names, decls);
+  ASSERT_TRUE(result.ok) << result.reject_reason;
+  EXPECT_TRUE(result.changed);
+  ASSERT_EQ(decls.size(), 2u);  // pred + negated pred
+
+  const auto& stmts = body_of(loop)->stmts;
+  ASSERT_EQ(stmts.size(), 5u);  // p=; 2 guarded; q=; 1 guarded
+  // First statement computes the predicate.
+  EXPECT_EQ(stmts[0]->kind(), StmtKind::Assign);
+  const auto* then1 = dyn_cast<AssignStmt>(stmts[1].get());
+  ASSERT_NE(then1, nullptr);
+  EXPECT_NE(then1->guard, nullptr);
+  std::string printed = to_source(*loop);
+  EXPECT_NE(printed.find("if (pred)"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("if (pred1)"), std::string::npos) << printed;
+}
+
+TEST(IfConvert, NestedIfComposesGuards) {
+  StmtPtr loop = parse_stmt_or_die(R"(
+    for (i = 0; i < 8; i++) {
+      if (a > 0.0) {
+        if (b > 0.0) c = c + 1.0;
+      }
+    }
+  )");
+  slms::NameAllocator names;
+  std::vector<StmtPtr> decls;
+  auto result = slms::if_convert_body(*body_of(loop), names, decls);
+  ASSERT_TRUE(result.ok) << result.reject_reason;
+  // Inner predicate must conjoin the outer guard: pred1 = pred && (...).
+  std::string printed = to_source(*loop);
+  EXPECT_NE(printed.find("pred && "), std::string::npos) << printed;
+}
+
+TEST(IfConvert, RejectsDeclInBranch) {
+  StmtPtr loop = parse_stmt_or_die(R"(
+    for (i = 0; i < 8; i++) {
+      if (a > 0.0) { double t; t = 1.0; b = t; }
+    }
+  )");
+  slms::NameAllocator names;
+  std::vector<StmtPtr> decls;
+  auto result = slms::if_convert_body(*body_of(loop), names, decls);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(IfConvert, NoIfMeansNoChange) {
+  StmtPtr loop = parse_stmt_or_die(
+      "for (i = 0; i < 8; i++) { A[i] = A[i] + 1.0; }");
+  slms::NameAllocator names;
+  std::vector<StmtPtr> decls;
+  auto result = slms::if_convert_body(*body_of(loop), names, decls);
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.changed);
+  EXPECT_TRUE(decls.empty());
+}
+
+// ---------------------------------------------------------------------------
+// decomposition
+// ---------------------------------------------------------------------------
+
+std::vector<StmtPtr> body_stmts(const char* src) {
+  StmtPtr loop = parse_stmt_or_die(src);
+  auto* block = dyn_cast<BlockStmt>(dyn_cast<ForStmt>(loop.get())->body.get());
+  std::vector<StmtPtr> out;
+  for (StmtPtr& s : block->stmts) out.push_back(std::move(s));
+  return out;
+}
+
+TEST(Decompose, PrefersAntiDependentLoad) {
+  auto mis = body_stmts(
+      "for (i = 2; i < 30; i++) { A[i] = A[i - 1] + A[i + 2]; }");
+  slms::NameAllocator names;
+  auto result = slms::decompose_once(
+      mis, "i", 1, names, [](const std::string&) { return ScalarType::Double; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->array, "A");
+  ASSERT_EQ(mis.size(), 2u);
+  // The hoisted load is the anti-dependent A[i+2], not the flow A[i-1].
+  std::string head = to_source(*mis[0]);
+  EXPECT_NE(head.find("A[i + 2]"), std::string::npos) << head;
+}
+
+TEST(Decompose, RefusesFlowDependentLoads) {
+  // Every load is fed by the store: nothing is hoistable.
+  auto mis = body_stmts(
+      "for (i = 2; i < 30; i++) { A[i] = A[i - 1] * A[i - 2]; }");
+  slms::NameAllocator names;
+  auto result = slms::decompose_once(
+      mis, "i", 1, names, [](const std::string&) { return ScalarType::Double; });
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Decompose, SkipsGuardedStatements) {
+  auto mis = body_stmts(
+      "for (i = 0; i < 30; i++) { x = B[i] + 1.0; }");
+  dyn_cast<AssignStmt>(mis[0].get())->guard = build::var("g");
+  slms::NameAllocator names;
+  auto result = slms::decompose_once(
+      mis, "i", 1, names, [](const std::string&) { return ScalarType::Double; });
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Split, ResourceSplittingBoundsOpCount) {
+  auto mis = body_stmts(
+      "for (i = 0; i < 30; i++) "
+      "{ x = A[i] + B[i] + C[i] + D[i] + A[i + 1] + B[i + 1]; }");
+  slms::NameAllocator names;
+  std::vector<StmtPtr> decls;
+  int splits = slms::split_by_resources(
+      mis, 2, names, [](const std::string&) { return ScalarType::Double; },
+      decls);
+  EXPECT_GT(splits, 0);
+  EXPECT_GT(mis.size(), 1u);
+  EXPECT_EQ(decls.size(), std::size_t(splits));
+  // Left-association must be preserved: evaluating the split chain gives
+  // the same value tree; verified structurally by reprinting.
+  for (const StmtPtr& s : mis) {
+    analysis::AccessSet set = analysis::collect_accesses(*s);
+    EXPECT_LE(set.arith_op_count, 2) << to_source(*s);
+  }
+}
+
+}  // namespace
+}  // namespace slc

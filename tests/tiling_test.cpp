@@ -1,0 +1,223 @@
+// Loop tiling and the direction-vector analysis behind it.
+#include <gtest/gtest.h>
+
+#include "analysis/direction.hpp"
+#include "machine/lower.hpp"
+#include "sim/executor.hpp"
+#include "ast/build.hpp"
+#include "tests/helpers.hpp"
+#include "xform/xform.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using test::expect_equivalent;
+using test::parse_or_die;
+
+ForStmt* first_loop(Program& p) {
+  for (StmtPtr& s : p.stmts)
+    if (auto* f = dyn_cast<ForStmt>(s.get())) return f;
+  return nullptr;
+}
+
+void splice_first(Program& p, std::vector<StmtPtr> repl) {
+  for (StmtPtr& s : p.stmts)
+    if (s->kind() == StmtKind::For) {
+      s = build::block(std::move(repl));
+      return;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// direction vectors
+// ---------------------------------------------------------------------------
+
+analysis::ArrayAccess access_of(const char* stmt, std::size_t index = 0) {
+  static std::vector<StmtPtr> keep_alive;
+  keep_alive.push_back(test::parse_stmt_or_die(stmt));
+  auto set = analysis::collect_accesses(*keep_alive.back());
+  return set.arrays.at(index);
+}
+
+TEST(DirectionVector, ExactComponents) {
+  auto w = access_of("a[i][j] = 1.0;");
+  auto r = access_of("x = a[i - 1][j - 2];");
+  auto v = analysis::direction_vector(w, r, "i", "j", 1, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->first.kind, analysis::DirComponent::Kind::Exact);
+  EXPECT_EQ(v->first.value, 1);
+  EXPECT_EQ(v->second.value, 2);
+  EXPECT_FALSE(analysis::blocks_interchange(*v));
+}
+
+TEST(DirectionVector, PlusMinusBlocks) {
+  auto w = access_of("a[i + 1][j - 1] = 1.0;");
+  auto r = access_of("x = a[i][j];");
+  auto v = analysis::direction_vector(w, r, "i", "j", 1, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(analysis::blocks_interchange(*v));
+}
+
+TEST(DirectionVector, IndependentColumns) {
+  auto w = access_of("a[i][j] = 1.0;");
+  auto r = access_of("x = a[i][j + 1];");
+  // Same i, j vs j+1: distance (0, -1)/(0, 1) — a real dependence.
+  auto v = analysis::direction_vector(w, r, "i", "j", 1, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->first.exactly_zero());
+  EXPECT_FALSE(analysis::blocks_interchange(*v));
+
+  // Misaligned strides never meet.
+  auto w2 = access_of("a[i][2 * j] = 1.0;");
+  auto r2 = access_of("x = a[i][2 * j + 1];");
+  EXPECT_FALSE(
+      analysis::direction_vector(w2, r2, "i", "j", 1, 1).has_value());
+}
+
+TEST(DirectionVector, CoupledSubscriptIsUnknown) {
+  auto w = access_of("b[i + j] = 1.0;");
+  auto r = access_of("x = b[i + j - 1];");
+  auto v = analysis::direction_vector(w, r, "i", "j", 1, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->first.kind, analysis::DirComponent::Kind::Unknown);
+  EXPECT_TRUE(analysis::blocks_interchange(*v));
+}
+
+// ---------------------------------------------------------------------------
+// tiling
+// ---------------------------------------------------------------------------
+
+TEST(Tiling, BlocksAnElementwiseNest) {
+  const char* src = R"(
+    double a[40][40]; double b[40][40];
+    int i; int j;
+    for (i = 0; i < 37; i++) {
+      for (j = 0; j < 35; j++) {
+        a[i][j] = b[i][j] * 2.0 + 1.0;
+      }
+    }
+  )";
+  for (auto [to, ti] : {std::pair{4, 4}, {8, 3}, {5, 16}, {64, 64}}) {
+    Program original = parse_or_die(src);
+    Program work = original.clone();
+    auto outcome = xform::tile(*first_loop(work), to, ti);
+    ASSERT_TRUE(outcome.applied()) << outcome.reason;
+    splice_first(work, std::move(outcome.replacement));
+    expect_equivalent(original, work);
+  }
+}
+
+TEST(Tiling, ForwardDependencesAreFine) {
+  // (1,1) dependence: fully permutable.
+  const char* src = R"(
+    double a[40][40];
+    int i; int j;
+    for (i = 1; i < 38; i++) {
+      for (j = 1; j < 38; j++) {
+        a[i][j] = a[i - 1][j - 1] * 0.5;
+      }
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::tile(*first_loop(work), 7, 5);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice_first(work, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Tiling, RejectsNonPermutableNest) {
+  Program p = parse_or_die(R"(
+    double a[40][40];
+    int i; int j;
+    for (i = 0; i < 38; i++) {
+      for (j = 1; j < 38; j++) {
+        a[i + 1][j - 1] = a[i][j] + 1.0;
+      }
+    }
+  )");
+  auto outcome = xform::tile(*first_loop(p), 4, 4);
+  EXPECT_FALSE(outcome.applied());
+  EXPECT_NE(outcome.reason.find("non-permutable"), std::string::npos);
+}
+
+TEST(Tiling, SymbolicBounds) {
+  const char* src = R"(
+    double a[64][64];
+    int n = 50; int m = 41;
+    int i; int j;
+    for (i = 0; i < n; i++) {
+      for (j = 0; j < m; j++) {
+        a[i][j] = a[i][j] + 1.0;
+      }
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::tile(*first_loop(work), 8, 8);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice_first(work, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Tiling, TileLargerThanSpace) {
+  const char* src = R"(
+    double a[16][16];
+    int i; int j;
+    for (i = 0; i < 10; i++)
+      for (j = 0; j < 10; j++)
+        a[i][j] = a[i][j] * 2.0;
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::tile(*first_loop(work), 100, 100);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice_first(work, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Tiling, RejectsScalarRecurrence) {
+  Program p = parse_or_die(R"(
+    double a[16][16]; double s;
+    int i; int j;
+    s = 0.0;
+    for (i = 0; i < 10; i++)
+      for (j = 0; j < 10; j++)
+        s = s + a[i][j];
+  )");
+  auto outcome = xform::tile(*first_loop(p), 4, 4);
+  EXPECT_FALSE(outcome.applied());
+}
+
+TEST(Tiling, ImprovesCacheBehaviourOnTransposedAccess) {
+  // Column-major access of a row-major array thrashes a small cache;
+  // tiling restores locality. Measured with the ARM model's tiny L1.
+  const char* src = R"(
+    double a[96][96]; double b[96][96];
+    int i; int j;
+    for (i = 0; i < 96; i++) {
+      for (j = 0; j < 96; j++) {
+        a[i][j] = a[i][j] + b[j][i];
+      }
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::tile(*first_loop(work), 8, 8);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice_first(work, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+
+  DiagnosticEngine diags;
+  machine::MirProgram mir0 = machine::lower(original, diags);
+  machine::MirProgram mir1 = machine::lower(work, diags);
+  ASSERT_FALSE(diags.has_errors());
+  auto r0 = sim::simulate(mir0, machine::arm7_model(), {});
+  auto r1 = sim::simulate(mir1, machine::arm7_model(), {});
+  ASSERT_TRUE(r0.ok && r1.ok);
+  EXPECT_LT(r1.mem_misses, r0.mem_misses);
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,101 @@
+// Failure injection for the schedule verifiers: a verifier that never
+// fires is worthless, so corrupt legal schedules and check the checkers.
+#include <gtest/gtest.h>
+
+#include "machine/ims.hpp"
+#include "machine/lower.hpp"
+#include "machine/sms.hpp"
+#include "tests/helpers.hpp"
+
+namespace slc {
+namespace {
+
+using namespace machine;
+using test::parse_or_die;
+
+struct Fixture {
+  MirProgram mir;
+  const std::vector<MInst>* body = nullptr;
+  MachineModel model = itanium2_model();
+};
+
+Fixture make_fixture() {
+  Fixture f;
+  ast::Program p = parse_or_die(R"(
+    double A[128]; double B[128];
+    int i;
+    for (i = 1; i < 120; i++) {
+      A[i] = A[i - 1] * 0.5 + B[i];
+      B[i] = A[i] + 1.0;
+    }
+  )");
+  DiagnosticEngine diags;
+  f.mir = lower(p, diags);
+  EXPECT_FALSE(diags.has_errors());
+  for (const Region& r : f.mir.regions) {
+    if (r.kind == Region::Kind::Loop && r.loop->body.size() == 1 &&
+        r.loop->body[0].kind == Region::Kind::Block)
+      f.body = &r.loop->body[0].insts;
+  }
+  EXPECT_NE(f.body, nullptr);
+  return f;
+}
+
+TEST(Verifier, DetectsDependenceViolationInListSchedule) {
+  Fixture f = make_fixture();
+  BlockSchedule sched = list_schedule(*f.body, f.model);
+  ASSERT_EQ(verify_block_schedule(*f.body, sched, f.model), std::nullopt);
+  // Pull the last instruction to cycle 0: some producer is now violated.
+  sched.cycle.back() = 0;
+  EXPECT_NE(verify_block_schedule(*f.body, sched, f.model), std::nullopt);
+}
+
+TEST(Verifier, DetectsResourceOversubscription) {
+  Fixture f = make_fixture();
+  BlockSchedule sched = list_schedule(*f.body, f.model);
+  // Cram every instruction into one cycle: issue width must trip.
+  for (int& c : sched.cycle) c = 99;
+  EXPECT_NE(verify_block_schedule(*f.body, sched, f.model), std::nullopt);
+}
+
+TEST(Verifier, DetectsModuloRowOverflow) {
+  Fixture f = make_fixture();
+  ImsResult r = modulo_schedule(*f.body, f.model, 1);
+  ASSERT_TRUE(r.ok) << r.fail_reason;
+  ASSERT_EQ(verify_modulo_schedule(*f.body, f.model, 1, r), std::nullopt);
+  // Collapse all slots onto one modulo row.
+  ImsResult bad = r;
+  for (std::size_t k = 0; k < bad.slot.size(); ++k)
+    bad.slot[k] = int(k) * bad.ii;  // same row every time
+  EXPECT_NE(verify_modulo_schedule(*f.body, f.model, 1, bad), std::nullopt);
+}
+
+TEST(Verifier, DetectsModuloDependenceViolation) {
+  Fixture f = make_fixture();
+  ImsResult r = swing_modulo_schedule(*f.body, f.model, 1);
+  ASSERT_TRUE(r.ok) << r.fail_reason;
+  ImsResult bad = r;
+  // Reverse the slots: at least one latency constraint must break.
+  int max_slot = 0;
+  for (int s : bad.slot) max_slot = std::max(max_slot, s);
+  for (int& s : bad.slot) s = max_slot - s;
+  EXPECT_NE(verify_modulo_schedule(*f.body, f.model, 1, bad), std::nullopt);
+}
+
+TEST(Verifier, InterpreterCatchesBrokenTransformations) {
+  // The oracle itself: an off-by-one "pipeline" must be caught.
+  ast::Program original = parse_or_die(R"(
+    double A[64];
+    int i;
+    for (i = 1; i < 60; i++) A[i] = A[i - 1] + 1.0;
+  )");
+  ast::Program broken = parse_or_die(R"(
+    double A[64];
+    int i;
+    for (i = 1; i < 59; i++) A[i] = A[i - 1] + 1.0;
+  )");
+  EXPECT_NE(interp::check_equivalent(original, broken), "");
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,114 @@
+// While-loop unrolling (paper §10 enabling step).
+#include <gtest/gtest.h>
+
+#include "ast/build.hpp"
+#include "tests/helpers.hpp"
+#include "xform/xform.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using test::expect_equivalent;
+using test::parse_or_die;
+
+WhileStmt* first_while(Program& p) {
+  for (StmtPtr& s : p.stmts)
+    if (auto* w = dyn_cast<WhileStmt>(s.get())) return w;
+  return nullptr;
+}
+
+void splice_while(Program& p, std::vector<StmtPtr> repl) {
+  for (StmtPtr& s : p.stmts)
+    if (s->kind() == StmtKind::While) {
+      s = build::block(std::move(repl));
+      return;
+    }
+  FAIL() << "no while loop";
+}
+
+TEST(WhileUnroll, CountingLoop) {
+  const char* src = R"(
+    double A[128];
+    int i = 0;
+    while (i < 100) {
+      A[i] = A[i] + 1.0;
+      i++;
+    }
+  )";
+  for (int factor : {2, 3, 5}) {
+    Program original = parse_or_die(src);
+    Program work = original.clone();
+    auto outcome = xform::unroll_while(*first_while(work), factor);
+    ASSERT_TRUE(outcome.applied()) << outcome.reason;
+    splice_while(work, std::move(outcome.replacement));
+    expect_equivalent(original, work);
+  }
+}
+
+TEST(WhileUnroll, SentinelScan) {
+  // Data-dependent exit (the §10 shifted-copy shape): the re-tested
+  // condition between copies must preserve the exact stop position.
+  const char* src = R"(
+    int a[128];
+    int i;
+    int stop;
+    for (i = 0; i < 100; i++) a[i] = 1 + i % 7;
+    for (i = 100; i < 128; i++) a[i] = 0;
+    i = 0;
+    while (a[i + 2] != 0) {
+      a[i] = a[i + 2];
+      i++;
+    }
+    stop = i;
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::unroll_while(*first_while(work), 2);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice_while(work, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(WhileUnroll, BodyWithInnerBreakStillWorks) {
+  const char* src = R"(
+    int a[64];
+    int i = 0;
+    int found = -1;
+    while (i < 60) {
+      if (a[i] == 3) { found = i; break; }
+      i++;
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::unroll_while(*first_while(work), 4);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice_while(work, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(WhileUnroll, ZeroIterationLoop) {
+  const char* src = R"(
+    int i = 10;
+    int x = 0;
+    while (i < 10) { x = x + 1; i++; }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::unroll_while(*first_while(work), 2);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice_while(work, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(WhileUnroll, RejectsFactorOne) {
+  Program p = parse_or_die("int i = 0; while (i < 4) i++;");
+  // Body is a block after parsing? Single statement is not wrapped for
+  // while loops by the parser — it is; verify behaviour either way.
+  auto outcome = xform::unroll_while(*first_while(p), 1);
+  EXPECT_FALSE(outcome.applied());
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,116 @@
+// Property tests for the classic loop transformations: random loops
+// through unroll / peel / reverse / distribute, always oracle-checked.
+// Legality rejections are fine; applied transformations must preserve
+// semantics exactly.
+#include <gtest/gtest.h>
+
+#include "ast/build.hpp"
+#include "ast/printer.hpp"
+#include "slms/slms.hpp"
+#include "tests/helpers.hpp"
+#include "tests/loop_generator.hpp"
+#include "xform/xform.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using test::parse_or_die;
+
+ForStmt* first_loop(Program& p) {
+  for (StmtPtr& s : p.stmts)
+    if (auto* f = dyn_cast<ForStmt>(s.get())) return f;
+  return nullptr;
+}
+
+void splice_first(Program& p, std::vector<StmtPtr> repl) {
+  for (StmtPtr& s : p.stmts)
+    if (s->kind() == StmtKind::For) {
+      s = build::block(std::move(repl));
+      return;
+    }
+}
+
+using XformFn = xform::XformOutcome (*)(const ForStmt&);
+
+struct PropertyCase {
+  const char* label;
+  int kind;  // 0=unroll2 1=unroll3 2=peel2 3=reverse 4=distribute
+  bool symbolic;
+};
+
+class XformProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(XformProperty, RandomLoopsStayEquivalent) {
+  const PropertyCase& pc = GetParam();
+  int applied = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    test::LoopGenOptions gen_opts;
+    gen_opts.symbolic_bound = pc.symbolic;
+    gen_opts.allow_if = false;  // xforms require simple bodies
+    test::LoopGenerator gen(seed, gen_opts);
+    std::string source = gen.generate();
+    Program original = parse_or_die(source);
+    Program work = original.clone();
+    ForStmt* loop = first_loop(work);
+    ASSERT_NE(loop, nullptr);
+
+    xform::XformOutcome outcome;
+    switch (pc.kind) {
+      case 0: outcome = xform::unroll(*loop, 2); break;
+      case 1: outcome = xform::unroll(*loop, 3); break;
+      case 2: outcome = xform::peel_front(*loop, 2); break;
+      case 3: outcome = xform::reverse(*loop); break;
+      default: outcome = xform::distribute(*loop, 1); break;
+    }
+    if (!outcome.applied()) continue;
+    ++applied;
+    splice_first(work, std::move(outcome.replacement));
+    for (int input = 0; input < 2; ++input) {
+      std::string diff =
+          interp::check_equivalent(original, work, std::uint64_t(input));
+      ASSERT_EQ(diff, "") << pc.label << " seed " << seed << "\n--- source\n"
+                          << source << "--- transformed\n"
+                          << to_source(work);
+    }
+  }
+  // Unroll/peel always apply; reverse/distribute apply when legal.
+  if (pc.kind <= 2) {
+    EXPECT_GT(applied, 80) << pc.label;
+  } else {
+    EXPECT_GT(applied, 3) << pc.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, XformProperty,
+    ::testing::Values(PropertyCase{"unroll2", 0, false},
+                      PropertyCase{"unroll3", 1, false},
+                      PropertyCase{"unroll3_symbolic", 1, true},
+                      PropertyCase{"peel2", 2, false},
+                      PropertyCase{"peel2_symbolic", 2, true},
+                      PropertyCase{"reverse", 3, false},
+                      PropertyCase{"distribute", 4, false}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(XformProperty, ComposedUnrollThenSlms) {
+  // §6: unrolling before SLMS is legal and composes; oracle must hold.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    test::LoopGenOptions gen_opts;
+    gen_opts.allow_if = false;
+    test::LoopGenerator gen(seed, gen_opts);
+    Program original = parse_or_die(gen.generate());
+    Program work = original.clone();
+    ForStmt* loop = first_loop(work);
+    auto unrolled = xform::unroll(*loop, 2);
+    if (!unrolled.applied()) continue;
+    splice_first(work, std::move(unrolled.replacement));
+    slms::SlmsOptions sopts;
+    sopts.enable_filter = false;
+    (void)slms::apply_slms(work, sopts);
+    test::expect_equivalent(original, work, 2);
+  }
+}
+
+}  // namespace
+}  // namespace slc

@@ -1,0 +1,438 @@
+// Loop transformations: legality decisions and oracle equivalence,
+// including the paper's §6 interaction examples.
+#include <gtest/gtest.h>
+
+#include "ast/build.hpp"
+#include "ast/printer.hpp"
+#include "slms/slms.hpp"
+#include "tests/helpers.hpp"
+#include "xform/xform.hpp"
+
+namespace slc {
+namespace {
+
+using namespace ast;
+using test::expect_equivalent;
+using test::parse_or_die;
+
+/// Finds the n-th top-level for-loop of the program.
+ForStmt* nth_loop(Program& p, int n) {
+  int seen = 0;
+  for (StmtPtr& s : p.stmts) {
+    if (auto* f = dyn_cast<ForStmt>(s.get())) {
+      if (seen == n) return f;
+      ++seen;
+    }
+  }
+  return nullptr;
+}
+
+/// Replaces the n-th top-level loop with `replacement`.
+void splice(Program& p, int n, std::vector<StmtPtr> replacement) {
+  int seen = 0;
+  for (StmtPtr& s : p.stmts) {
+    if (s->kind() == StmtKind::For) {
+      if (seen == n) {
+        s = build::block(std::move(replacement));
+        return;
+      }
+      ++seen;
+    }
+  }
+  FAIL() << "loop not found";
+}
+
+// ---------------------------------------------------------------------------
+// interchange
+// ---------------------------------------------------------------------------
+
+TEST(Interchange, PaperSection6Example) {
+  // for(i) for(j) { t = a[i][j]; a[i][j+1] = t; }  — SLMS can't pipeline
+  // the j loop (t feeds a j-carried cycle); interchange makes i inner.
+  const char* src = R"(
+    double a[40][41];
+    double t;
+    int i; int j;
+    for (i = 0; i < 30; i++) {
+      for (j = 0; j < 30; j++) {
+        t = a[i][j];
+        a[i][j + 1] = t;
+      }
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::interchange(*nth_loop(work, 0));
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+
+  // The interchanged inner loop now pipelines at II=1 with MVE.
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  auto reports = slms::apply_slms(work, opts);
+  bool any_applied = false;
+  for (const auto& r : reports) any_applied |= r.applied;
+  EXPECT_TRUE(any_applied);
+  expect_equivalent(original, work);
+}
+
+TEST(Interchange, RejectsDirectionVectorConflict) {
+  // a[i+1][j-1] = a[i][j]: dependence (1, -1) blocks interchange.
+  Program p = parse_or_die(R"(
+    double a[40][40];
+    int i; int j;
+    for (i = 0; i < 30; i++) {
+      for (j = 1; j < 30; j++) {
+        a[i + 1][j - 1] = a[i][j] + 1.0;
+      }
+    }
+  )");
+  auto outcome = xform::interchange(*nth_loop(p, 0));
+  EXPECT_FALSE(outcome.applied());
+  EXPECT_NE(outcome.reason.find("(<,>)"), std::string::npos)
+      << outcome.reason;
+}
+
+TEST(Interchange, AllowsForwardOnlyDependences) {
+  // a[i][j] = a[i-1][j-1]: direction (1, 1) — interchange legal.
+  const char* src = R"(
+    double a[40][40];
+    int i; int j;
+    for (i = 1; i < 30; i++) {
+      for (j = 1; j < 30; j++) {
+        a[i][j] = a[i - 1][j - 1] * 0.5;
+      }
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::interchange(*nth_loop(work, 0));
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Interchange, RejectsNonRectangular) {
+  Program p = parse_or_die(R"(
+    double a[40][40];
+    int i; int j;
+    for (i = 0; i < 30; i++) {
+      for (j = 0; j < i; j++) {
+        a[i][j] = 1.0;
+      }
+    }
+  )");
+  auto outcome = xform::interchange(*nth_loop(p, 0));
+  EXPECT_FALSE(outcome.applied());
+}
+
+// ---------------------------------------------------------------------------
+// fusion
+// ---------------------------------------------------------------------------
+
+TEST(Fusion, PaperSection6FusedLoopsPipeline) {
+  // The two §6 loops that individually reject SLMS but fuse into an
+  // II=3-schedulable loop.
+  const char* src = R"(
+    double A[70]; double B[70]; double C[70];
+    double t; double q;
+    int i;
+    for (i = 1; i < 60; i++) {
+      t = A[i - 1];
+      B[i] = B[i] + t;
+      A[i] = t + B[i];
+    }
+    for (i = 1; i < 60; i++) {
+      q = C[i - 1];
+      B[i] = B[i] + q;
+      C[i] = q * B[i];
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::fuse(*nth_loop(work, 0), *nth_loop(work, 1));
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  // Replace both loops with the fused one.
+  splice(work, 1, {});
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Fusion, RejectsBackwardDependence) {
+  // Paper Fig. 10 shape: loop 2 reads a[i+1], written by loop 1 — the
+  // dependence would become backward after fusion.
+  Program p = parse_or_die(R"(
+    double a[70]; double b[70]; double c[70]; double d[70];
+    int i;
+    for (i = 1; i < 60; i++) {
+      a[i] = b[i] + c[i];
+    }
+    for (i = 1; i < 60; i++) {
+      d[i] = a[i + 1] * 2.0;
+    }
+  )");
+  auto outcome = xform::fuse(*nth_loop(p, 0), *nth_loop(p, 1));
+  EXPECT_FALSE(outcome.applied());
+  EXPECT_NE(outcome.reason.find("fusion-preventing"), std::string::npos)
+      << outcome.reason;
+}
+
+TEST(Fusion, ForwardDependenceIsFine) {
+  const char* src = R"(
+    double a[70]; double b[70]; double d[70];
+    int i;
+    for (i = 1; i < 60; i++) {
+      a[i] = b[i] * 2.0;
+    }
+    for (i = 1; i < 60; i++) {
+      d[i] = a[i - 1] + 1.0;
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::fuse(*nth_loop(work, 0), *nth_loop(work, 1));
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 1, {});
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Fusion, UnifiesDifferentIvNames) {
+  const char* src = R"(
+    double a[70]; double b[70];
+    int i; int j;
+    for (i = 0; i < 50; i++) a[i] = a[i] + 1.0;
+    for (j = 0; j < 50; j++) b[j] = b[j] * 2.0;
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::fuse(*nth_loop(work, 0), *nth_loop(work, 1));
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 1, {});
+  splice(work, 0, std::move(outcome.replacement));
+  // j keeps its pre-loop value in the fused program; compare arrays and i.
+  for (int seed = 0; seed < 3; ++seed) {
+    interp::Interpreter interp;
+    auto ra = interp.run(original, std::uint64_t(seed));
+    auto rb = interp.run(work, std::uint64_t(seed));
+    ASSERT_TRUE(ra.ok && rb.ok);
+    EXPECT_EQ(ra.memory.arrays.at("a").fdata, rb.memory.arrays.at("a").fdata);
+    EXPECT_EQ(ra.memory.arrays.at("b").fdata, rb.memory.arrays.at("b").fdata);
+  }
+}
+
+TEST(Fusion, RejectsScalarFlowBetweenLoops) {
+  Program p = parse_or_die(R"(
+    double a[70]; double b[70];
+    double t;
+    int i;
+    for (i = 0; i < 50; i++) t = a[i];
+    for (i = 0; i < 50; i++) b[i] = t + 1.0;
+  )");
+  auto outcome = xform::fuse(*nth_loop(p, 0), *nth_loop(p, 1));
+  EXPECT_FALSE(outcome.applied());
+}
+
+// ---------------------------------------------------------------------------
+// distribution
+// ---------------------------------------------------------------------------
+
+TEST(Distribution, SplitsIndependentGroups) {
+  const char* src = R"(
+    double a[70]; double b[70]; double c[70]; double d[70];
+    int i;
+    for (i = 1; i < 60; i++) {
+      a[i] = a[i - 1] * 0.5;
+      c[i] = d[i] + 1.0;
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::distribute(*nth_loop(work, 0), 1);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  EXPECT_EQ(outcome.replacement.size(), 2u);
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Distribution, RejectsBackwardCrossGroupDependence) {
+  // Second statement writes what the first reads next iteration: the
+  // dependence runs group2 -> group1.
+  Program p = parse_or_die(R"(
+    double a[70]; double b[70];
+    int i;
+    for (i = 1; i < 60; i++) {
+      b[i] = a[i - 1] + 1.0;
+      a[i] = b[i] * 2.0;
+    }
+  )");
+  auto outcome = xform::distribute(*nth_loop(p, 0), 1);
+  EXPECT_FALSE(outcome.applied());
+}
+
+// ---------------------------------------------------------------------------
+// unroll / peel / reverse
+// ---------------------------------------------------------------------------
+
+TEST(Unroll, ConstantBoundsWithRemainder) {
+  const char* src = R"(
+    double a[70];
+    int i;
+    for (i = 0; i < 50; i++) a[i] = a[i] + 1.0;
+  )";
+  for (int factor : {2, 3, 4, 7}) {
+    Program original = parse_or_die(src);
+    Program work = original.clone();
+    auto outcome = xform::unroll(*nth_loop(work, 0), factor);
+    ASSERT_TRUE(outcome.applied()) << outcome.reason;
+    splice(work, 0, std::move(outcome.replacement));
+    expect_equivalent(original, work);
+  }
+}
+
+TEST(Unroll, SymbolicBounds) {
+  for (int n : {0, 1, 5, 49}) {
+    std::string src = "double a[70];\nint n = " + std::to_string(n) +
+                      ";\nint i;\nfor (i = 0; i < n; i++) a[i] = a[i] * "
+                      "2.0;\n";
+    Program original = parse_or_die(src);
+    Program work = original.clone();
+    auto outcome = xform::unroll(*nth_loop(work, 0), 3);
+    ASSERT_TRUE(outcome.applied()) << outcome.reason;
+    splice(work, 0, std::move(outcome.replacement));
+    expect_equivalent(original, work);
+  }
+}
+
+TEST(Peel, FrontPeeling) {
+  const char* src = R"(
+    double a[70];
+    int i;
+    for (i = 2; i < 40; i++) a[i] = a[i - 1] + a[i - 2];
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::peel_front(*nth_loop(work, 0), 3);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Peel, SymbolicGuarded) {
+  for (int n : {0, 2, 3, 20}) {
+    std::string src = "double a[70];\nint n = " + std::to_string(n) +
+                      ";\nint i;\nfor (i = 0; i < n; i++) a[i] = a[i] + "
+                      "1.0;\n";
+    Program original = parse_or_die(src);
+    Program work = original.clone();
+    auto outcome = xform::peel_front(*nth_loop(work, 0), 3);
+    ASSERT_TRUE(outcome.applied()) << outcome.reason;
+    splice(work, 0, std::move(outcome.replacement));
+    expect_equivalent(original, work);
+  }
+}
+
+TEST(Reverse, LegalWithoutCarriedDeps) {
+  const char* src = R"(
+    double a[70]; double b[70];
+    int i;
+    for (i = 0; i < 50; i++) a[i] = b[i] * 2.0;
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::reverse(*nth_loop(work, 0));
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Reverse, RejectsCarriedDependence) {
+  Program p = parse_or_die(R"(
+    double a[70];
+    int i;
+    for (i = 1; i < 50; i++) a[i] = a[i - 1] + 1.0;
+  )");
+  auto outcome = xform::reverse(*nth_loop(p, 0));
+  EXPECT_FALSE(outcome.applied());
+}
+
+// ---------------------------------------------------------------------------
+// reduction parallelization (the §5 max example, automated)
+// ---------------------------------------------------------------------------
+
+TEST(Reduction, MaxSplitsIntoLanes) {
+  const char* src = R"(
+    double arr[128];
+    double max;
+    int i;
+    max = arr[0];
+    for (i = 1; i < 120; i++) {
+      if (max < arr[i]) max = arr[i];
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::parallelize_reduction(*nth_loop(work, 0), 2);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+
+  // After splitting, SLMS pipelines the lane loop (the paper's II=1 goal).
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  auto reports = slms::apply_slms(work, opts);
+  bool applied = false;
+  for (const auto& r : reports) applied |= r.applied;
+  EXPECT_TRUE(applied);
+  expect_equivalent(original, work);
+}
+
+TEST(Reduction, IntSumStaysExact) {
+  const char* src = R"(
+    int v[100];
+    double s;
+    int i;
+    s = 0;
+    for (i = 0; i < 97; i++) {
+      s += v[i];
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::parallelize_reduction(*nth_loop(work, 0), 4);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Reduction, MinViaGreaterThan) {
+  const char* src = R"(
+    double arr[64];
+    double lo;
+    int i;
+    lo = arr[0];
+    for (i = 1; i < 60; i++) {
+      if (lo > arr[i]) lo = arr[i];
+    }
+  )";
+  Program original = parse_or_die(src);
+  Program work = original.clone();
+  auto outcome = xform::parallelize_reduction(*nth_loop(work, 0), 3);
+  ASSERT_TRUE(outcome.applied()) << outcome.reason;
+  splice(work, 0, std::move(outcome.replacement));
+  expect_equivalent(original, work);
+}
+
+TEST(Reduction, RejectsNonReductions) {
+  Program p = parse_or_die(R"(
+    double a[64];
+    int i;
+    for (i = 1; i < 60; i++) a[i] = a[i - 1] * 2.0;
+  )");
+  auto outcome = xform::parallelize_reduction(*nth_loop(p, 0), 2);
+  EXPECT_FALSE(outcome.applied());
+}
+
+}  // namespace
+}  // namespace slc

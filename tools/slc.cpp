@@ -1,0 +1,280 @@
+// slc — the source-level compiler command line (the paper's SLC, Fig. 4).
+//
+// Reads a mini-C program, applies the requested source-level
+// transformations, and (optionally) verifies and measures the result on
+// a simulated backend.
+//
+//   slc [options] <file.c | ->
+//
+//   transformation:
+//     --slms                 apply SLMS to every innermost loop (default)
+//     --no-slms              parse/print only
+//     --renaming=M           mve | expand | none        (default mve)
+//     --no-filter            disable the §4 bad-case filter
+//     --filter-threshold=X   memory-ref ratio threshold (default 0.85)
+//     --min-arith-per-ref=X  §11 heuristic (default off)
+//     --max-unroll=N         MVE register-pressure cap  (default 8)
+//     --no-eager-mve         only rename when a lifetime exceeds the II
+//     --max-ii=N             II search bound
+//
+//   output:
+//     --emit-source          print the transformed program (default)
+//     --plain                print without the || parallel bars
+//     --emit-mir             print the lowered machine IR
+//     --explain              print the per-loop decision trace
+//     --report               print the per-loop SLMS report
+//
+//   verification / measurement:
+//     --verify               interpreter-oracle equivalence check
+//     --measure=BACKEND      gcc-o0 | gcc-o3 | icc | xlc | pentium | arm
+//     --seed=N               memory-image seed (default 0)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ast/printer.hpp"
+#include "driver/pipeline.hpp"
+#include "driver/slc_pass.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/lower.hpp"
+#include "slms/slms.hpp"
+
+namespace {
+
+using namespace slc;
+
+struct CliOptions {
+  bool run_slms = true;
+  bool run_slc = false;  // combined pass: fusion + interchange + SLMS
+  slms::SlmsOptions slms;
+  bool emit_source = true;
+  bool plain = false;
+  bool emit_mir = false;
+  bool explain = false;
+  bool report = false;
+  bool verify = false;
+  std::string measure;  // backend name or empty
+  std::uint64_t seed = 0;
+  std::string input;
+  std::string kernel;       // run a registry kernel instead of a file
+  bool list_kernels = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--slms|--no-slms|--slc] [--renaming=mve|expand|none]\n"
+            << "       [--no-filter] [--filter-threshold=X] "
+               "[--min-arith-per-ref=X]\n"
+            << "       [--max-unroll=N] [--no-eager-mve] [--max-ii=N]\n"
+            << "       [--emit-source] [--plain] [--emit-mir] [--explain] "
+               "[--report]\n"
+            << "       [--verify] [--measure=BACKEND] [--seed=N]\n"
+            << "       <file|-> | --kernel=NAME | --list-kernels\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--slms") {
+      opts.run_slms = true;
+    } else if (arg == "--slc") {
+      opts.run_slc = true;
+    } else if (arg == "--no-slms") {
+      opts.run_slms = false;
+    } else if (arg.starts_with("--renaming=")) {
+      std::string m = value_of("--renaming=");
+      if (m == "mve") {
+        opts.slms.renaming = slms::RenamingChoice::Mve;
+      } else if (m == "expand") {
+        opts.slms.renaming = slms::RenamingChoice::ScalarExpansion;
+      } else if (m == "none") {
+        opts.slms.renaming = slms::RenamingChoice::None;
+      } else {
+        return false;
+      }
+    } else if (arg == "--no-filter") {
+      opts.slms.enable_filter = false;
+    } else if (arg.starts_with("--filter-threshold=")) {
+      opts.slms.filter.memory_ratio_threshold =
+          std::stod(value_of("--filter-threshold="));
+    } else if (arg.starts_with("--min-arith-per-ref=")) {
+      opts.slms.filter.min_arith_per_ref =
+          std::stod(value_of("--min-arith-per-ref="));
+    } else if (arg.starts_with("--max-unroll=")) {
+      opts.slms.max_unroll = std::stoi(value_of("--max-unroll="));
+    } else if (arg == "--no-eager-mve") {
+      opts.slms.eager_mve = false;
+    } else if (arg.starts_with("--max-ii=")) {
+      opts.slms.max_ii = std::stoi(value_of("--max-ii="));
+    } else if (arg == "--emit-source") {
+      opts.emit_source = true;
+    } else if (arg == "--plain") {
+      opts.plain = true;
+    } else if (arg == "--emit-mir") {
+      opts.emit_mir = true;
+    } else if (arg == "--explain") {
+      opts.explain = true;
+      opts.slms.explain = true;
+    } else if (arg == "--report") {
+      opts.report = true;
+    } else if (arg == "--verify") {
+      opts.verify = true;
+    } else if (arg.starts_with("--measure=")) {
+      opts.measure = value_of("--measure=");
+    } else if (arg.starts_with("--seed=")) {
+      opts.seed = std::stoull(value_of("--seed="));
+    } else if (arg.starts_with("--kernel=")) {
+      opts.kernel = value_of("--kernel=");
+    } else if (arg == "--list-kernels") {
+      opts.list_kernels = true;
+    } else if (!arg.starts_with("--") && opts.input.empty()) {
+      opts.input = arg;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    }
+  }
+  return !opts.input.empty() || !opts.kernel.empty() || opts.list_kernels;
+}
+
+std::optional<driver::Backend> backend_by_name(const std::string& name) {
+  if (name == "gcc-o0") return driver::weak_compiler_o0();
+  if (name == "gcc-o3") return driver::weak_compiler_o3();
+  if (name == "icc") return driver::strong_compiler_icc();
+  if (name == "xlc") return driver::strong_compiler_xlc();
+  if (name == "pentium") return driver::superscalar_gcc();
+  if (name == "arm") return driver::arm_gcc();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) return usage(argv[0]);
+
+  if (opts.list_kernels) {
+    for (const kernels::Kernel& k : kernels::all_kernels())
+      std::cout << k.name << "  (" << k.suite << ")  " << k.description
+                << "\n";
+    return 0;
+  }
+
+  std::string source;
+  if (!opts.kernel.empty()) {
+    const kernels::Kernel* k = kernels::find(opts.kernel);
+    if (k == nullptr) {
+      std::cerr << "unknown kernel '" << opts.kernel
+                << "' (try --list-kernels)\n";
+      return 1;
+    }
+    source = k->source;
+  } else if (opts.input == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(opts.input);
+    if (!in) {
+      std::cerr << "cannot open " << opts.input << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  DiagnosticEngine diags;
+  ast::Program original = frontend::parse_program(source, diags);
+  if (diags.has_errors()) {
+    std::cerr << diags.str();
+    return 1;
+  }
+
+  ast::Program transformed = original.clone();
+  std::vector<slms::SlmsReport> reports;
+  if (opts.run_slc) {
+    driver::SlcOptions slc_opts;
+    slc_opts.slms = opts.slms;
+    driver::SlcReport slc_report = driver::apply_slc(transformed, slc_opts);
+    if (opts.report || opts.explain) {
+      for (const driver::SlcAction& a : slc_report.actions)
+        std::cerr << "-- [" << a.kind << (a.applied ? "" : " (not applied)")
+                  << "] " << a.detail << "\n";
+    }
+  } else if (opts.run_slms) {
+    reports = slms::apply_slms(transformed, opts.slms);
+  }
+
+  if (opts.report || opts.explain) {
+    int index = 0;
+    for (const slms::SlmsReport& r : reports) {
+      std::cerr << "-- loop " << index++ << ": ";
+      if (r.applied) {
+        std::cerr << "SLMS applied, II=" << r.ii << " stages=" << r.stages
+                  << " unroll=" << r.unroll << " MIs=" << r.num_mis
+                  << " decompositions=" << r.decompositions << "\n";
+      } else {
+        std::cerr << "skipped — " << r.skip_reason << "\n";
+      }
+      if (opts.explain)
+        for (const std::string& line : r.trace)
+          std::cerr << "     " << line << "\n";
+    }
+  }
+
+  if (opts.verify) {
+    std::string diff =
+        interp::check_equivalent(original, transformed, opts.seed);
+    if (!diff.empty()) {
+      std::cerr << "VERIFICATION FAILED: " << diff << "\n";
+      return 1;
+    }
+    std::cerr << "verified: transformed program is equivalent\n";
+  }
+
+  if (!opts.measure.empty()) {
+    auto backend = backend_by_name(opts.measure);
+    if (!backend) {
+      std::cerr << "unknown backend '" << opts.measure << "'\n";
+      return usage(argv[0]);
+    }
+    auto before = driver::measure_program(original, *backend, opts.seed);
+    auto after = driver::measure_program(transformed, *backend, opts.seed);
+    if (!before.ok || !after.ok) {
+      std::cerr << "measurement failed: "
+                << (before.ok ? after.error : before.error) << "\n";
+      return 1;
+    }
+    std::cerr << "cycles on " << backend->label << ": " << before.cycles
+              << " -> " << after.cycles << " (speedup "
+              << (after.cycles ? double(before.cycles) / double(after.cycles)
+                               : 0.0)
+              << ")\n";
+  }
+
+  if (opts.emit_mir) {
+    DiagnosticEngine d2;
+    machine::MirProgram mir = machine::lower(transformed, d2);
+    if (d2.has_errors()) {
+      std::cerr << d2.str();
+      return 1;
+    }
+    std::cout << machine::dump(mir);
+    return 0;
+  }
+  if (opts.emit_source) {
+    ast::PrintOptions popts;
+    popts.show_parallel_bars = !opts.plain;
+    std::cout << ast::to_source(transformed, popts);
+  }
+  return 0;
+}
