@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_machine_ms.dir/bench_fig02_machine_ms.cpp.o"
+  "CMakeFiles/bench_fig02_machine_ms.dir/bench_fig02_machine_ms.cpp.o.d"
+  "bench_fig02_machine_ms"
+  "bench_fig02_machine_ms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_machine_ms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

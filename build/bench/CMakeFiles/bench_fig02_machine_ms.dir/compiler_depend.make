@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig02_machine_ms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_lifetimes.dir/bench_fig05_lifetimes.cpp.o"
+  "CMakeFiles/bench_fig05_lifetimes.dir/bench_fig05_lifetimes.cpp.o.d"
+  "bench_fig05_lifetimes"
+  "bench_fig05_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

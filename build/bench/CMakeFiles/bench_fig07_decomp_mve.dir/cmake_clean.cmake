@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_decomp_mve.dir/bench_fig07_decomp_mve.cpp.o"
+  "CMakeFiles/bench_fig07_decomp_mve.dir/bench_fig07_decomp_mve.cpp.o.d"
+  "bench_fig07_decomp_mve"
+  "bench_fig07_decomp_mve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_decomp_mve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_delays_mii.dir/bench_fig08_delays_mii.cpp.o"
+  "CMakeFiles/bench_fig08_delays_mii.dir/bench_fig08_delays_mii.cpp.o.d"
+  "bench_fig08_delays_mii"
+  "bench_fig08_delays_mii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_delays_mii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

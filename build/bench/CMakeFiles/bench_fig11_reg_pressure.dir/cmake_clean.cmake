@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_reg_pressure.dir/bench_fig11_reg_pressure.cpp.o"
+  "CMakeFiles/bench_fig11_reg_pressure.dir/bench_fig11_reg_pressure.cpp.o.d"
+  "bench_fig11_reg_pressure"
+  "bench_fig11_reg_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_reg_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_reindex.dir/bench_fig12_reindex.cpp.o"
+  "CMakeFiles/bench_fig12_reindex.dir/bench_fig12_reindex.cpp.o.d"
+  "bench_fig12_reindex"
+  "bench_fig12_reindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_reindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

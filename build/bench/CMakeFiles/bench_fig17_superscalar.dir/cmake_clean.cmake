@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_superscalar.dir/bench_fig17_superscalar.cpp.o"
+  "CMakeFiles/bench_fig17_superscalar.dir/bench_fig17_superscalar.cpp.o.d"
+  "bench_fig17_superscalar"
+  "bench_fig17_superscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_superscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_strong_liv_lin.dir/bench_fig18_strong_liv_lin.cpp.o"
+  "CMakeFiles/bench_fig18_strong_liv_lin.dir/bench_fig18_strong_liv_lin.cpp.o.d"
+  "bench_fig18_strong_liv_lin"
+  "bench_fig18_strong_liv_lin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_strong_liv_lin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_strong_stone_nas.dir/bench_fig19_strong_stone_nas.cpp.o"
+  "CMakeFiles/bench_fig19_strong_stone_nas.dir/bench_fig19_strong_stone_nas.cpp.o.d"
+  "bench_fig19_strong_stone_nas"
+  "bench_fig19_strong_stone_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_strong_stone_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

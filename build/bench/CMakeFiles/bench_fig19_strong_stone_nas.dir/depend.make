@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig19_strong_stone_nas.
+# This may be replaced when dependencies are built.

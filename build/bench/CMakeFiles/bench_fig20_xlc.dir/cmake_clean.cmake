@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_xlc.dir/bench_fig20_xlc.cpp.o"
+  "CMakeFiles/bench_fig20_xlc.dir/bench_fig20_xlc.cpp.o.d"
+  "bench_fig20_xlc"
+  "bench_fig20_xlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_xlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

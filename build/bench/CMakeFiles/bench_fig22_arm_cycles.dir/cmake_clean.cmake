@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_arm_cycles.dir/bench_fig22_arm_cycles.cpp.o"
+  "CMakeFiles/bench_fig22_arm_cycles.dir/bench_fig22_arm_cycles.cpp.o.d"
+  "bench_fig22_arm_cycles"
+  "bench_fig22_arm_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_arm_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_slms.dir/bench_micro_slms.cpp.o"
+  "CMakeFiles/bench_micro_slms.dir/bench_micro_slms.cpp.o.d"
+  "bench_micro_slms"
+  "bench_micro_slms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_slms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nests.dir/bench_nests.cpp.o"
+  "CMakeFiles/bench_nests.dir/bench_nests.cpp.o.d"
+  "bench_nests"
+  "bench_nests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

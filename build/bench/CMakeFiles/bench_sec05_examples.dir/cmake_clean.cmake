@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec05_examples.dir/bench_sec05_examples.cpp.o"
+  "CMakeFiles/bench_sec05_examples.dir/bench_sec05_examples.cpp.o.d"
+  "bench_sec05_examples"
+  "bench_sec05_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec05_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec10_freqpath.dir/bench_sec10_freqpath.cpp.o"
+  "CMakeFiles/bench_sec10_freqpath.dir/bench_sec10_freqpath.cpp.o.d"
+  "bench_sec10_freqpath"
+  "bench_sec10_freqpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec10_freqpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

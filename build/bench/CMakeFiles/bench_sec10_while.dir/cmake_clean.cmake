@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec10_while.dir/bench_sec10_while.cpp.o"
+  "CMakeFiles/bench_sec10_while.dir/bench_sec10_while.cpp.o.d"
+  "bench_sec10_while"
+  "bench_sec10_while.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec10_while.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

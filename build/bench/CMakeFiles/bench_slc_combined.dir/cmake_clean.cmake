@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slc_combined.dir/bench_slc_combined.cpp.o"
+  "CMakeFiles/bench_slc_combined.dir/bench_slc_combined.cpp.o.d"
+  "bench_slc_combined"
+  "bench_slc_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slc_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_bundles.dir/bench_tab_bundles.cpp.o"
+  "CMakeFiles/bench_tab_bundles.dir/bench_tab_bundles.cpp.o.d"
+  "bench_tab_bundles"
+  "bench_tab_bundles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_bundles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_coexist.dir/bench_tab_coexist.cpp.o"
+  "CMakeFiles/bench_tab_coexist.dir/bench_tab_coexist.cpp.o.d"
+  "bench_tab_coexist"
+  "bench_tab_coexist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_coexist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

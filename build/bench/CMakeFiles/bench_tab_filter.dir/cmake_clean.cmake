@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_filter.dir/bench_tab_filter.cpp.o"
+  "CMakeFiles/bench_tab_filter.dir/bench_tab_filter.cpp.o.d"
+  "bench_tab_filter"
+  "bench_tab_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

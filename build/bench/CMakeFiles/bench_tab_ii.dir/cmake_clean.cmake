@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_ii.dir/bench_tab_ii.cpp.o"
+  "CMakeFiles/bench_tab_ii.dir/bench_tab_ii.cpp.o.d"
+  "bench_tab_ii"
+  "bench_tab_ii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_ii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_lab.dir/loop_lab.cpp.o"
+  "CMakeFiles/loop_lab.dir/loop_lab.cpp.o.d"
+  "loop_lab"
+  "loop_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

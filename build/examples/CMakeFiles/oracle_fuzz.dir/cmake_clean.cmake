@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_fuzz.dir/oracle_fuzz.cpp.o"
+  "CMakeFiles/oracle_fuzz.dir/oracle_fuzz.cpp.o.d"
+  "oracle_fuzz"
+  "oracle_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access.cpp" "src/analysis/CMakeFiles/slc_analysis.dir/access.cpp.o" "gcc" "src/analysis/CMakeFiles/slc_analysis.dir/access.cpp.o.d"
+  "/root/repo/src/analysis/ddg.cpp" "src/analysis/CMakeFiles/slc_analysis.dir/ddg.cpp.o" "gcc" "src/analysis/CMakeFiles/slc_analysis.dir/ddg.cpp.o.d"
+  "/root/repo/src/analysis/direction.cpp" "src/analysis/CMakeFiles/slc_analysis.dir/direction.cpp.o" "gcc" "src/analysis/CMakeFiles/slc_analysis.dir/direction.cpp.o.d"
+  "/root/repo/src/analysis/linear_form.cpp" "src/analysis/CMakeFiles/slc_analysis.dir/linear_form.cpp.o" "gcc" "src/analysis/CMakeFiles/slc_analysis.dir/linear_form.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/slc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_analysis.dir/access.cpp.o"
+  "CMakeFiles/slc_analysis.dir/access.cpp.o.d"
+  "CMakeFiles/slc_analysis.dir/ddg.cpp.o"
+  "CMakeFiles/slc_analysis.dir/ddg.cpp.o.d"
+  "CMakeFiles/slc_analysis.dir/direction.cpp.o"
+  "CMakeFiles/slc_analysis.dir/direction.cpp.o.d"
+  "CMakeFiles/slc_analysis.dir/linear_form.cpp.o"
+  "CMakeFiles/slc_analysis.dir/linear_form.cpp.o.d"
+  "libslc_analysis.a"
+  "libslc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_ast.dir/ast.cpp.o"
+  "CMakeFiles/slc_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/slc_ast.dir/build.cpp.o"
+  "CMakeFiles/slc_ast.dir/build.cpp.o.d"
+  "CMakeFiles/slc_ast.dir/fold.cpp.o"
+  "CMakeFiles/slc_ast.dir/fold.cpp.o.d"
+  "CMakeFiles/slc_ast.dir/printer.cpp.o"
+  "CMakeFiles/slc_ast.dir/printer.cpp.o.d"
+  "CMakeFiles/slc_ast.dir/subst.cpp.o"
+  "CMakeFiles/slc_ast.dir/subst.cpp.o.d"
+  "CMakeFiles/slc_ast.dir/walk.cpp.o"
+  "CMakeFiles/slc_ast.dir/walk.cpp.o.d"
+  "libslc_ast.a"
+  "libslc_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_driver.dir/pipeline.cpp.o"
+  "CMakeFiles/slc_driver.dir/pipeline.cpp.o.d"
+  "CMakeFiles/slc_driver.dir/slc_pass.cpp.o"
+  "CMakeFiles/slc_driver.dir/slc_pass.cpp.o.d"
+  "libslc_driver.a"
+  "libslc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

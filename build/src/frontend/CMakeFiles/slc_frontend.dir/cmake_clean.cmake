@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/slc_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/slc_frontend.dir/parser.cpp.o"
+  "CMakeFiles/slc_frontend.dir/parser.cpp.o.d"
+  "libslc_frontend.a"
+  "libslc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

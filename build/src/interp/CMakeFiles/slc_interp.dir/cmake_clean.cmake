@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_interp.dir/interp.cpp.o"
+  "CMakeFiles/slc_interp.dir/interp.cpp.o.d"
+  "libslc_interp.a"
+  "libslc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslc_interp.a"
+)

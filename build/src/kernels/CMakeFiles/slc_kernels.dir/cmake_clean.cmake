@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_kernels.dir/kernels.cpp.o"
+  "CMakeFiles/slc_kernels.dir/kernels.cpp.o.d"
+  "libslc_kernels.a"
+  "libslc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

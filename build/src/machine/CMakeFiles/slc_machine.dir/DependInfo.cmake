@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/ims.cpp" "src/machine/CMakeFiles/slc_machine.dir/ims.cpp.o" "gcc" "src/machine/CMakeFiles/slc_machine.dir/ims.cpp.o.d"
+  "/root/repo/src/machine/lower.cpp" "src/machine/CMakeFiles/slc_machine.dir/lower.cpp.o" "gcc" "src/machine/CMakeFiles/slc_machine.dir/lower.cpp.o.d"
+  "/root/repo/src/machine/machine_model.cpp" "src/machine/CMakeFiles/slc_machine.dir/machine_model.cpp.o" "gcc" "src/machine/CMakeFiles/slc_machine.dir/machine_model.cpp.o.d"
+  "/root/repo/src/machine/mir.cpp" "src/machine/CMakeFiles/slc_machine.dir/mir.cpp.o" "gcc" "src/machine/CMakeFiles/slc_machine.dir/mir.cpp.o.d"
+  "/root/repo/src/machine/ms_common.cpp" "src/machine/CMakeFiles/slc_machine.dir/ms_common.cpp.o" "gcc" "src/machine/CMakeFiles/slc_machine.dir/ms_common.cpp.o.d"
+  "/root/repo/src/machine/sched.cpp" "src/machine/CMakeFiles/slc_machine.dir/sched.cpp.o" "gcc" "src/machine/CMakeFiles/slc_machine.dir/sched.cpp.o.d"
+  "/root/repo/src/machine/sms.cpp" "src/machine/CMakeFiles/slc_machine.dir/sms.cpp.o" "gcc" "src/machine/CMakeFiles/slc_machine.dir/sms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/slc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/slc_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/slc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_machine.dir/ims.cpp.o"
+  "CMakeFiles/slc_machine.dir/ims.cpp.o.d"
+  "CMakeFiles/slc_machine.dir/lower.cpp.o"
+  "CMakeFiles/slc_machine.dir/lower.cpp.o.d"
+  "CMakeFiles/slc_machine.dir/machine_model.cpp.o"
+  "CMakeFiles/slc_machine.dir/machine_model.cpp.o.d"
+  "CMakeFiles/slc_machine.dir/mir.cpp.o"
+  "CMakeFiles/slc_machine.dir/mir.cpp.o.d"
+  "CMakeFiles/slc_machine.dir/ms_common.cpp.o"
+  "CMakeFiles/slc_machine.dir/ms_common.cpp.o.d"
+  "CMakeFiles/slc_machine.dir/sched.cpp.o"
+  "CMakeFiles/slc_machine.dir/sched.cpp.o.d"
+  "CMakeFiles/slc_machine.dir/sms.cpp.o"
+  "CMakeFiles/slc_machine.dir/sms.cpp.o.d"
+  "libslc_machine.a"
+  "libslc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_sema.dir/loop_info.cpp.o"
+  "CMakeFiles/slc_sema.dir/loop_info.cpp.o.d"
+  "CMakeFiles/slc_sema.dir/symbol_table.cpp.o"
+  "CMakeFiles/slc_sema.dir/symbol_table.cpp.o.d"
+  "libslc_sema.a"
+  "libslc_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_sim.dir/executor.cpp.o"
+  "CMakeFiles/slc_sim.dir/executor.cpp.o.d"
+  "libslc_sim.a"
+  "libslc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slms/decompose.cpp" "src/slms/CMakeFiles/slc_slms.dir/decompose.cpp.o" "gcc" "src/slms/CMakeFiles/slc_slms.dir/decompose.cpp.o.d"
+  "/root/repo/src/slms/filter.cpp" "src/slms/CMakeFiles/slc_slms.dir/filter.cpp.o" "gcc" "src/slms/CMakeFiles/slc_slms.dir/filter.cpp.o.d"
+  "/root/repo/src/slms/ifconvert.cpp" "src/slms/CMakeFiles/slc_slms.dir/ifconvert.cpp.o" "gcc" "src/slms/CMakeFiles/slc_slms.dir/ifconvert.cpp.o.d"
+  "/root/repo/src/slms/mii.cpp" "src/slms/CMakeFiles/slc_slms.dir/mii.cpp.o" "gcc" "src/slms/CMakeFiles/slc_slms.dir/mii.cpp.o.d"
+  "/root/repo/src/slms/names.cpp" "src/slms/CMakeFiles/slc_slms.dir/names.cpp.o" "gcc" "src/slms/CMakeFiles/slc_slms.dir/names.cpp.o.d"
+  "/root/repo/src/slms/pipeliner.cpp" "src/slms/CMakeFiles/slc_slms.dir/pipeliner.cpp.o" "gcc" "src/slms/CMakeFiles/slc_slms.dir/pipeliner.cpp.o.d"
+  "/root/repo/src/slms/slms.cpp" "src/slms/CMakeFiles/slc_slms.dir/slms.cpp.o" "gcc" "src/slms/CMakeFiles/slc_slms.dir/slms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/slc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/slc_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/slc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

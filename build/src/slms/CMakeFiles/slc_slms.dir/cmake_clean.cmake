@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_slms.dir/decompose.cpp.o"
+  "CMakeFiles/slc_slms.dir/decompose.cpp.o.d"
+  "CMakeFiles/slc_slms.dir/filter.cpp.o"
+  "CMakeFiles/slc_slms.dir/filter.cpp.o.d"
+  "CMakeFiles/slc_slms.dir/ifconvert.cpp.o"
+  "CMakeFiles/slc_slms.dir/ifconvert.cpp.o.d"
+  "CMakeFiles/slc_slms.dir/mii.cpp.o"
+  "CMakeFiles/slc_slms.dir/mii.cpp.o.d"
+  "CMakeFiles/slc_slms.dir/names.cpp.o"
+  "CMakeFiles/slc_slms.dir/names.cpp.o.d"
+  "CMakeFiles/slc_slms.dir/pipeliner.cpp.o"
+  "CMakeFiles/slc_slms.dir/pipeliner.cpp.o.d"
+  "CMakeFiles/slc_slms.dir/slms.cpp.o"
+  "CMakeFiles/slc_slms.dir/slms.cpp.o.d"
+  "libslc_slms.a"
+  "libslc_slms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_slms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

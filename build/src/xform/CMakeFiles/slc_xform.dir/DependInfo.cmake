@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/common.cpp" "src/xform/CMakeFiles/slc_xform.dir/common.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/common.cpp.o.d"
+  "/root/repo/src/xform/fusion.cpp" "src/xform/CMakeFiles/slc_xform.dir/fusion.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/fusion.cpp.o.d"
+  "/root/repo/src/xform/interchange.cpp" "src/xform/CMakeFiles/slc_xform.dir/interchange.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/interchange.cpp.o.d"
+  "/root/repo/src/xform/lifetimes.cpp" "src/xform/CMakeFiles/slc_xform.dir/lifetimes.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/lifetimes.cpp.o.d"
+  "/root/repo/src/xform/nest.cpp" "src/xform/CMakeFiles/slc_xform.dir/nest.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/nest.cpp.o.d"
+  "/root/repo/src/xform/reduction.cpp" "src/xform/CMakeFiles/slc_xform.dir/reduction.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/reduction.cpp.o.d"
+  "/root/repo/src/xform/tiling.cpp" "src/xform/CMakeFiles/slc_xform.dir/tiling.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/tiling.cpp.o.d"
+  "/root/repo/src/xform/unroll.cpp" "src/xform/CMakeFiles/slc_xform.dir/unroll.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/unroll.cpp.o.d"
+  "/root/repo/src/xform/while_unroll.cpp" "src/xform/CMakeFiles/slc_xform.dir/while_unroll.cpp.o" "gcc" "src/xform/CMakeFiles/slc_xform.dir/while_unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slms/CMakeFiles/slc_slms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/slc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/slc_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/slc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_xform.dir/common.cpp.o"
+  "CMakeFiles/slc_xform.dir/common.cpp.o.d"
+  "CMakeFiles/slc_xform.dir/fusion.cpp.o"
+  "CMakeFiles/slc_xform.dir/fusion.cpp.o.d"
+  "CMakeFiles/slc_xform.dir/interchange.cpp.o"
+  "CMakeFiles/slc_xform.dir/interchange.cpp.o.d"
+  "CMakeFiles/slc_xform.dir/lifetimes.cpp.o"
+  "CMakeFiles/slc_xform.dir/lifetimes.cpp.o.d"
+  "CMakeFiles/slc_xform.dir/nest.cpp.o"
+  "CMakeFiles/slc_xform.dir/nest.cpp.o.d"
+  "CMakeFiles/slc_xform.dir/reduction.cpp.o"
+  "CMakeFiles/slc_xform.dir/reduction.cpp.o.d"
+  "CMakeFiles/slc_xform.dir/tiling.cpp.o"
+  "CMakeFiles/slc_xform.dir/tiling.cpp.o.d"
+  "CMakeFiles/slc_xform.dir/unroll.cpp.o"
+  "CMakeFiles/slc_xform.dir/unroll.cpp.o.d"
+  "CMakeFiles/slc_xform.dir/while_unroll.cpp.o"
+  "CMakeFiles/slc_xform.dir/while_unroll.cpp.o.d"
+  "libslc_xform.a"
+  "libslc_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

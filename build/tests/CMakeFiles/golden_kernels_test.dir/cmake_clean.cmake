@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_kernels_test.dir/golden_kernels_test.cpp.o"
+  "CMakeFiles/golden_kernels_test.dir/golden_kernels_test.cpp.o.d"
+  "golden_kernels_test"
+  "golden_kernels_test.pdb"
+  "golden_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/slc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/slc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/slc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/slc_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/slms/CMakeFiles/slc_slms.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/slc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/slc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/slc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/slc_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/slc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mii_test.dir/mii_test.cpp.o"
+  "CMakeFiles/mii_test.dir/mii_test.cpp.o.d"
+  "mii_test"
+  "mii_test.pdb"
+  "mii_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

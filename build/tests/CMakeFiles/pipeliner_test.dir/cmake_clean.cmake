@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeliner_test.dir/pipeliner_test.cpp.o"
+  "CMakeFiles/pipeliner_test.dir/pipeliner_test.cpp.o.d"
+  "pipeliner_test"
+  "pipeliner_test.pdb"
+  "pipeliner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeliner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_pass_test.dir/slc_pass_test.cpp.o"
+  "CMakeFiles/slc_pass_test.dir/slc_pass_test.cpp.o.d"
+  "slc_pass_test"
+  "slc_pass_test.pdb"
+  "slc_pass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_pass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slms_core_test.dir/slms_core_test.cpp.o"
+  "CMakeFiles/slms_core_test.dir/slms_core_test.cpp.o.d"
+  "slms_core_test"
+  "slms_core_test.pdb"
+  "slms_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slms_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slms_property_test.dir/slms_property_test.cpp.o"
+  "CMakeFiles/slms_property_test.dir/slms_property_test.cpp.o.d"
+  "slms_property_test"
+  "slms_property_test.pdb"
+  "slms_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slms_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slms_units_test.dir/slms_units_test.cpp.o"
+  "CMakeFiles/slms_units_test.dir/slms_units_test.cpp.o.d"
+  "slms_units_test"
+  "slms_units_test.pdb"
+  "slms_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slms_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

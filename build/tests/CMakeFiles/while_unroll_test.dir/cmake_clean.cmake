@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/while_unroll_test.dir/while_unroll_test.cpp.o"
+  "CMakeFiles/while_unroll_test.dir/while_unroll_test.cpp.o.d"
+  "while_unroll_test"
+  "while_unroll_test.pdb"
+  "while_unroll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/while_unroll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xform_property_test.dir/xform_property_test.cpp.o"
+  "CMakeFiles/xform_property_test.dir/xform_property_test.cpp.o.d"
+  "xform_property_test"
+  "xform_property_test.pdb"
+  "xform_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xform_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/mii_test[1]_include.cmake")
+include("/root/repo/build/tests/slms_core_test[1]_include.cmake")
+include("/root/repo/build/tests/slms_property_test[1]_include.cmake")
+include("/root/repo/build/tests/xform_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeliner_test[1]_include.cmake")
+include("/root/repo/build/tests/sema_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/while_unroll_test[1]_include.cmake")
+include("/root/repo/build/tests/slc_pass_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/xform_property_test[1]_include.cmake")
+include("/root/repo/build/tests/tiling_test[1]_include.cmake")
+include("/root/repo/build/tests/lifetimes_test[1]_include.cmake")
+include("/root/repo/build/tests/sms_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/slms_units_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

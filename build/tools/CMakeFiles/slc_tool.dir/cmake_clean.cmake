@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slc_tool.dir/slc.cpp.o"
+  "CMakeFiles/slc_tool.dir/slc.cpp.o.d"
+  "slc"
+  "slc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(slc_tool_stencil "/root/repo/build/tools/slc" "--no-filter" "--verify" "--measure=gcc-o3" "/root/repo/examples/loops/stencil.c")
+set_tests_properties(slc_tool_stencil PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_selfdep "/root/repo/build/tools/slc" "--no-filter" "--verify" "--explain" "/root/repo/examples/loops/selfdep.c")
+set_tests_properties(slc_tool_selfdep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_maxloop "/root/repo/build/tools/slc" "--no-filter" "--verify" "--renaming=expand" "/root/repo/examples/loops/maxloop.c")
+set_tests_properties(slc_tool_maxloop PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_slc_pass "/root/repo/build/tools/slc" "--slc" "--no-filter" "--verify" "--measure=icc" "/root/repo/examples/loops/fusable.c")
+set_tests_properties(slc_tool_slc_pass PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_filter "/root/repo/build/tools/slc" "--verify" "--report" "/root/repo/examples/loops/swaploop.c")
+set_tests_properties(slc_tool_filter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_emit_mir "/root/repo/build/tools/slc" "--no-slms" "--emit-mir" "/root/repo/examples/loops/stencil.c")
+set_tests_properties(slc_tool_emit_mir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_kernel_mode "/root/repo/build/tools/slc" "--kernel=kernel8" "--no-filter" "--verify" "--measure=gcc-o3" "--report")
+set_tests_properties(slc_tool_kernel_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_list_kernels "/root/repo/build/tools/slc" "--list-kernels")
+set_tests_properties(slc_tool_list_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_bad_kernel "/root/repo/build/tools/slc" "--kernel=nope")
+set_tests_properties(slc_tool_bad_kernel PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slc_tool_parse_error "/root/repo/build/tools/slc" "--kernel=kernel8" "--renaming=bogus")
+set_tests_properties(slc_tool_parse_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
