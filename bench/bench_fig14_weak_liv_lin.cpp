@@ -2,18 +2,20 @@
 // final compiler (GCC on Itanium-II), with and without -O3.
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slc;
+  driver::CompareOptions options;
+  options.jobs = bench::parse_jobs(argc, argv);
   bench::print_speedup_figure(
       "Fig 14a: Livermore & Linpack over GCC -O3 (weak compiler, no MS)",
-      {"livermore", "linpack"}, driver::weak_compiler_o3());
+      {"livermore", "linpack"}, driver::weak_compiler_o3(), options);
   bench::print_speedup_figure(
       "Fig 14b: Livermore & Linpack over GCC -O0",
-      {"livermore", "linpack"}, driver::weak_compiler_o0());
+      {"livermore", "linpack"}, driver::weak_compiler_o0(), options);
   // Conclusions §11: "good speedups over the GCC (with and without the
   // Swing MS)" — the same suites over GCC with its Swing pipeliner on.
   bench::print_speedup_figure(
       "Fig 14c: Livermore & Linpack over GCC with Swing MS",
-      {"livermore", "linpack"}, driver::weak_compiler_sms());
+      {"livermore", "linpack"}, driver::weak_compiler_sms(), options);
   return 0;
 }

@@ -1,12 +1,14 @@
 // Figure 15: Stone & NAS speedups over the weak compiler (GCC/IA64).
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slc;
+  driver::CompareOptions options;
+  options.jobs = bench::parse_jobs(argc, argv);
   bench::print_speedup_figure(
       "Fig 15a: Stone & NAS over GCC -O3 (weak compiler, no MS)",
-      {"stone", "nas"}, driver::weak_compiler_o3());
+      {"stone", "nas"}, driver::weak_compiler_o3(), options);
   bench::print_speedup_figure("Fig 15b: Stone & NAS over GCC -O0",
-                              {"stone", "nas"}, driver::weak_compiler_o0());
+                              {"stone", "nas"}, driver::weak_compiler_o0(), options);
   return 0;
 }

@@ -4,10 +4,12 @@
 // that SLMS and machine-level MS can co-exist.
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slc;
+  driver::CompareOptions options;
+  options.jobs = bench::parse_jobs(argc, argv);
   bench::print_speedup_figure(
       "Fig 18: Livermore & Linpack over ICC (machine-level MS enabled)",
-      {"livermore", "linpack"}, driver::strong_compiler_icc());
+      {"livermore", "linpack"}, driver::strong_compiler_icc(), options);
   return 0;
 }

@@ -1,10 +1,12 @@
 // Figure 19: Stone & NAS over the strong (ICC-like) final compiler.
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slc;
+  driver::CompareOptions options;
+  options.jobs = bench::parse_jobs(argc, argv);
   bench::print_speedup_figure(
       "Fig 19: Stone & NAS over ICC (machine-level MS enabled)",
-      {"stone", "nas"}, driver::strong_compiler_icc());
+      {"stone", "nas"}, driver::strong_compiler_icc(), options);
   return 0;
 }

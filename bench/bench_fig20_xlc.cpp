@@ -2,10 +2,12 @@
 // on the Power4 model.
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slc;
+  driver::CompareOptions options;
+  options.jobs = bench::parse_jobs(argc, argv);
   bench::print_speedup_figure(
       "Fig 20: Livermore, Linpack & NAS over XLC/Power4 (machine MS)",
-      {"livermore", "linpack", "nas"}, driver::strong_compiler_xlc());
+      {"livermore", "linpack", "nas"}, driver::strong_compiler_xlc(), options);
   return 0;
 }

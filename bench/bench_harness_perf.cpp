@@ -1,0 +1,155 @@
+// Harness throughput micro-bench (not a paper figure): measures the two
+// hot paths of the evaluation harness introduced with the parallel
+// fan-out work —
+//
+//   1. interpreter-oracle throughput (interpretations/sec) with the
+//      legacy map-based variable store vs the slot-resolved store;
+//   2. compare_suite wall-clock over the Livermore suite on the weak
+//      -O3 backend at --jobs 1 vs --jobs N (cold transform cache each
+//      time), plus a warm-cache rerun;
+//
+// and asserts that jobs=1 and jobs=N produce identical comparison rows.
+// Emits one machine-readable line starting with `BENCH_harness.json `.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "driver/pipeline.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "kernels/kernels.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace slc;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point start) {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - start)
+                           .count());
+}
+
+/// Interpretations/sec over the parsed suite with the given store mode.
+double interp_rate(const std::vector<ast::Program>& programs,
+                   bool resolve_slots) {
+  interp::InterpOptions opts;
+  opts.resolve_slots = resolve_slots;
+  interp::Interpreter interp(opts);
+  // Warm-up (also annotates slots on the first resolve).
+  for (const ast::Program& p : programs) (void)interp.run(p, 0);
+
+  std::uint64_t runs = 0;
+  auto start = Clock::now();
+  std::uint64_t ns = 0;
+  while (ns < 1'000'000'000ULL && runs < 100'000) {
+    for (const ast::Program& p : programs) {
+      interp::RunResult r = interp.run(p, 0);
+      if (!r.ok) {
+        std::fprintf(stderr, "interp failed: %s\n", r.error.c_str());
+        std::exit(1);
+      }
+    }
+    runs += programs.size();
+    ns = elapsed_ns(start);
+  }
+  return double(runs) / (double(ns) / 1e9);
+}
+
+/// Every deterministic field of a row (wall_ns and transform_cached are
+/// timing/provenance, excluded by the determinism guarantee).
+std::string serialize_rows(const std::vector<driver::ComparisonRow>& rows) {
+  std::ostringstream os;
+  for (const driver::ComparisonRow& r : rows) {
+    os << r.kernel << '|' << r.suite << '|' << r.slms_applied << '|'
+       << r.slms_skip_reason << '|' << r.ok << '|' << r.error << '|'
+       << r.cycles_base << '|' << r.cycles_slms << '|' << r.energy_base
+       << '|' << r.energy_slms << '|' << r.misses_base << '|'
+       << r.misses_slms << '|' << r.report.ii << '|' << r.report.unroll
+       << '|' << r.report.stages << '|' << r.report.num_mis << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string suite = "livermore";
+  const driver::Backend backend = driver::weak_compiler_o3();
+  const int jobs_n = support::resolve_jobs(bench::parse_jobs(argc, argv));
+
+  // -- 1. oracle throughput: map store vs slot store ------------------------
+  std::vector<ast::Program> programs;
+  for (const kernels::Kernel& k : kernels::suite(suite)) {
+    DiagnosticEngine diags;
+    programs.push_back(frontend::parse_program(k.source, diags));
+    if (diags.has_errors()) {
+      std::fprintf(stderr, "parse failed for %s\n", k.name.c_str());
+      return 1;
+    }
+  }
+  double per_sec_map = interp_rate(programs, /*resolve_slots=*/false);
+  double per_sec_slot = interp_rate(programs, /*resolve_slots=*/true);
+  double slot_speedup = per_sec_map > 0 ? per_sec_slot / per_sec_map : 0.0;
+  std::printf("oracle: %.0f interp/s (map) vs %.0f interp/s (slots) — "
+              "%.2fx from slot resolution\n",
+              per_sec_map, per_sec_slot, slot_speedup);
+
+  // -- 2. compare_suite wall: jobs=1 vs jobs=N, cold cache ------------------
+  auto timed_suite = [&](int jobs, std::vector<driver::ComparisonRow>* out) {
+    driver::transform_cache_reset();
+    driver::CompareOptions opts;
+    opts.jobs = jobs;
+    auto start = Clock::now();
+    std::vector<driver::ComparisonRow> rows =
+        driver::compare_suite(suite, backend, opts);
+    std::uint64_t ns = elapsed_ns(start);
+    if (out != nullptr) *out = std::move(rows);
+    return ns;
+  };
+
+  std::vector<driver::ComparisonRow> rows1, rowsn;
+  (void)timed_suite(1, nullptr);  // warm-up (code + kernel registry)
+  std::uint64_t wall1 = timed_suite(1, &rows1);
+  std::uint64_t walln = timed_suite(jobs_n, &rowsn);
+  bool deterministic = serialize_rows(rows1) == serialize_rows(rowsn);
+
+  // Warm cache: same jobs=N run again without resetting.
+  driver::CompareOptions warm_opts;
+  warm_opts.jobs = jobs_n;
+  auto warm_start = Clock::now();
+  std::vector<driver::ComparisonRow> warm_rows =
+      driver::compare_suite(suite, backend, warm_opts);
+  std::uint64_t wall_warm = elapsed_ns(warm_start);
+  driver::TransformCacheStats cache = driver::transform_cache_stats();
+  bool warm_deterministic = serialize_rows(warm_rows) == serialize_rows(rows1);
+
+  double parallel_speedup = walln > 0 ? double(wall1) / double(walln) : 0.0;
+  double warm_speedup = wall_warm > 0 ? double(wall1) / double(wall_warm) : 0.0;
+  std::printf("compare_suite(%s, %s): %.1f ms at jobs=1, %.1f ms at jobs=%d "
+              "(%.2fx), %.1f ms warm cache (%.2fx), rows %s\n",
+              suite.c_str(), backend.label.c_str(), double(wall1) / 1e6,
+              double(walln) / 1e6, jobs_n, parallel_speedup,
+              double(wall_warm) / 1e6, warm_speedup,
+              deterministic && warm_deterministic ? "byte-identical"
+                                                  : "DIFFER (BUG)");
+
+  std::printf(
+      "BENCH_harness.json {\"suite\":\"%s\",\"backend\":\"%s\","
+      "\"rows\":%zu,\"interp_per_sec_map\":%.1f,\"interp_per_sec_slot\":%.1f,"
+      "\"slot_speedup\":%.3f,\"wall_ns_jobs1\":%llu,\"wall_ns_jobsN\":%llu,"
+      "\"jobs\":%d,\"parallel_speedup\":%.3f,\"wall_ns_warm\":%llu,"
+      "\"warm_speedup\":%.3f,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"deterministic\":%s}\n",
+      suite.c_str(), backend.label.c_str(), rows1.size(), per_sec_map,
+      per_sec_slot, slot_speedup, (unsigned long long)wall1,
+      (unsigned long long)walln, jobs_n, parallel_speedup,
+      (unsigned long long)wall_warm, warm_speedup,
+      (unsigned long long)cache.hits, (unsigned long long)cache.misses,
+      deterministic && warm_deterministic ? "true" : "false");
+  return deterministic && warm_deterministic ? 0 : 1;
+}

@@ -1,18 +1,48 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "driver/pipeline.hpp"
+#include "support/thread_pool.hpp"
 
 namespace slc::bench {
 
+/// ASCII speedup bar: one '#' per 0.05x of speedup, capped at
+/// kBarMaxChars characters (kBarMaxChars / kBarCharsPerUnit = 3.0x);
+/// a trailing '+' marks a clamped bar.
+inline constexpr int kBarCharsPerUnit = 20;  // '#' = 1/20 = 0.05x
+inline constexpr int kBarMaxChars = 60;      // cap at 3.0x
+
+inline std::string speedup_bar(double speedup) {
+  int len = int(speedup * double(kBarCharsPerUnit));
+  if (len < 0) len = 0;
+  if (len > kBarMaxChars) return std::string(std::size_t(kBarMaxChars), '#') + "+";
+  return std::string(std::size_t(len), '#');
+}
+
+/// Parses a trailing `--jobs N` / `--jobs=N` from a bench's argv (any
+/// position). Returns 0 ("auto": SLC_JOBS env, then hardware threads)
+/// when absent — pass the result to CompareOptions::jobs.
+inline int parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) return std::atoi(arg.c_str() + 7);
+    if (arg == "--jobs" && i + 1 < argc) return std::atoi(argv[i + 1]);
+  }
+  return 0;
+}
+
 /// Prints one suite's speedup series for a backend — the bar charts of
-/// the paper's Figures 14-20 as a table plus an ASCII bar per kernel.
+/// the paper's Figures 14-20 as a table plus an ASCII bar per kernel —
+/// followed by a harness throughput line (rows, wall time, jobs, and
+/// transform-cache hit rate).
 inline void print_speedup_figure(const std::string& title,
                                  const std::vector<std::string>& suites,
                                  const driver::Backend& backend,
@@ -23,9 +53,13 @@ inline void print_speedup_figure(const std::string& title,
                               "II", "unroll", "note"});
   double geo = 1.0;
   int counted = 0;
+  int rows = 0;
+  driver::TransformCacheStats before = driver::transform_cache_stats();
+  auto start = std::chrono::steady_clock::now();
   for (const std::string& suite : suites) {
     for (const driver::ComparisonRow& row :
          driver::compare_suite(suite, backend, options)) {
+      ++rows;
       std::string note;
       std::string bar;
       double s = row.speedup();
@@ -33,8 +67,7 @@ inline void print_speedup_figure(const std::string& title,
         note = row.error;
       } else {
         if (!row.slms_applied) note = "slms skipped: " + row.slms_skip_reason;
-        int len = int(s * 20.0);
-        bar = std::string(std::size_t(std::max(0, std::min(len, 60))), '#');
+        bar = speedup_bar(s);
         geo *= s;
         ++counted;
       }
@@ -46,14 +79,25 @@ inline void print_speedup_figure(const std::string& title,
                  note});
     }
   }
+  auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
   std::cout << table.str();
   if (counted > 0) {
     char gbuf[32];
     std::snprintf(gbuf, sizeof gbuf, "%.3f",
                   std::pow(geo, 1.0 / double(counted)));
     std::cout << "\ngeometric-mean speedup: " << gbuf << "  ( > 1.0 means "
-              << "SLMS wins; bar shows speedup, '#' = 0.05 )\n";
+              << "SLMS wins; bar: '#' = " << 1.0 / double(kBarCharsPerUnit)
+              << "x, capped at "
+              << double(kBarMaxChars) / double(kBarCharsPerUnit)
+              << "x shown as '+' )\n";
   }
+  driver::TransformCacheStats after = driver::transform_cache_stats();
+  std::cout << "harness: " << rows << " rows in " << wall_ms << " ms, jobs="
+            << support::resolve_jobs(options.jobs) << ", transform cache +"
+            << (after.hits - before.hits) << " hits / +"
+            << (after.misses - before.misses) << " misses\n";
   std::cout << "\n";
 }
 

@@ -108,6 +108,10 @@ class VarRef final : public Expr {
   [[nodiscard]] ExprPtr clone() const override;
 
   std::string name;
+  /// Dense storage slot assigned by interp's Resolver pass; -1 until
+  /// resolved. Interpreter-internal cache — ignored by equality,
+  /// printing, and cloning (clones start unresolved).
+  mutable std::int32_t slot = -1;
 };
 
 /// A[e] or A[e1][e2]. Subscripts are ordered row-major as written.
@@ -120,6 +124,9 @@ class ArrayRef final : public Expr {
 
   std::string name;
   std::vector<ExprPtr> subscripts;
+  /// Dense array slot assigned by interp's Resolver pass; -1 until
+  /// resolved (see VarRef::slot).
+  mutable std::int32_t slot = -1;
 };
 
 enum class BinaryOp : std::uint8_t {
@@ -236,6 +243,9 @@ class DeclStmt final : public Stmt {
   std::string name;
   std::vector<std::int64_t> dims;  // empty => scalar
   ExprPtr init;                    // scalars only; may be null
+  /// Dense slot (scalar or array namespace per is_array()) assigned by
+  /// interp's Resolver pass; -1 until resolved (see VarRef::slot).
+  mutable std::int32_t slot = -1;
 };
 
 enum class AssignOp : std::uint8_t { Set, Add, Sub, Mul, Div };

@@ -1,11 +1,18 @@
 #include "driver/pipeline.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <iomanip>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "frontend/parser.hpp"
 #include "interp/interp.hpp"
 #include "machine/lower.hpp"
+#include "support/thread_pool.hpp"
 
 namespace slc::driver {
 
@@ -63,36 +70,50 @@ Compiled compile(const ast::Program& program) {
   return out;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// transform memoization
+// ---------------------------------------------------------------------------
+//
+// Everything in a comparison that does not depend on the backend — parse,
+// SLMS (all measured variants), the interpreter-oracle equivalence check,
+// and lowering to MIR — is computed once per (kernel source, options) and
+// shared across the 8 backends and however many presets the benches sweep.
+// Entries are published through shared_futures so concurrent workers
+// asking for the same kernel block on the first builder instead of
+// duplicating the work.
 
-ComparisonRow compare_kernel(const kernels::Kernel& kernel,
-                             const Backend& backend,
-                             const CompareOptions& options) {
-  ComparisonRow row;
-  row.kernel = kernel.name;
-  row.suite = kernel.suite;
+/// One SLMS variant ready to simulate (§9 remark 2: best-of-MVE measures
+/// both the eager and the minimal variant on every backend).
+struct CachedVariant {
+  slms::SlmsReport report;
+  machine::MirProgram mir;
+};
+
+struct TransformEntry {
+  bool ok = false;
+  std::string error;                    // backend-independent failure
+  machine::MirProgram base_mir;         // compiled original program
+  std::vector<CachedVariant> variants;  // in measurement order
+};
+
+using EntryPtr = std::shared_ptr<const TransformEntry>;
+
+EntryPtr build_transform_entry(const kernels::Kernel& kernel,
+                               const CompareOptions& options) {
+  auto entry = std::make_shared<TransformEntry>();
 
   DiagnosticEngine diags;
   ast::Program original = frontend::parse_program(kernel.source, diags);
   if (diags.has_errors()) {
-    row.error = "parse failed: " + diags.str();
-    return row;
+    entry->error = "parse failed: " + diags.str();
+    return entry;
   }
-
   Compiled base = compile(original);
   if (!base.ok) {
-    row.error = base.error;
-    return row;
+    entry->error = base.error;
+    return entry;
   }
-  sim::SimOptions sopts;
-  sopts.preset = backend.preset;
-  sopts.ms_algorithm = backend.ms_algorithm;
-  sopts.seed = options.sim_seed;
-  sim::SimResult rb = sim::simulate(base.mir, backend.model, sopts);
-  if (!rb.ok) {
-    row.error = rb.error;
-    return row;
-  }
+  entry->base_mir = std::move(base.mir);
 
   // SLMS variants (paper §9 remark 2: best of with/without MVE).
   std::vector<slms::SlmsOptions> variants{options.slms};
@@ -103,8 +124,6 @@ ComparisonRow compare_kernel(const kernels::Kernel& kernel,
     variants.push_back(other);
   }
 
-  bool have_best = false;
-  sim::SimResult best_sim;
   for (const slms::SlmsOptions& variant : variants) {
     ast::Program transformed = original.clone();
     std::vector<slms::SlmsReport> reports =
@@ -115,32 +134,174 @@ ComparisonRow compare_kernel(const kernels::Kernel& kernel,
       std::string diff = interp::check_equivalent(original, transformed,
                                                   options.sim_seed);
       if (!diff.empty()) {
-        row.error = "oracle mismatch: " + diff;
-        return row;
+        entry->error = "oracle mismatch: " + diff;
+        return entry;
       }
     }
     Compiled slmsed = compile(transformed);
     if (!slmsed.ok) {
-      row.error = slmsed.error;
-      return row;
+      entry->error = slmsed.error;
+      return entry;
     }
-    sim::SimResult rs = sim::simulate(slmsed.mir, backend.model, sopts);
+    entry->variants.push_back(
+        CachedVariant{reports.front(), std::move(slmsed.mir)});
+    if (!reports.front().applied) break;  // both variants would skip
+  }
+  if (entry->variants.empty()) {
+    entry->error = "no SLMS variant produced a measurable program";
+    return entry;
+  }
+  entry->ok = true;
+  return entry;
+}
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 1469598103934665603ULL) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Cache key: every input that can change the entry. The source hash
+/// guards against distinct kernels sharing a registry name (tests build
+/// ad-hoc kernels).
+std::string transform_key(const kernels::Kernel& kernel,
+                          const CompareOptions& o) {
+  const slms::SlmsOptions& s = o.slms;
+  std::ostringstream os;
+  os << kernel.name << '\0' << fnv1a(kernel.source) << '\0'
+     << s.enable_filter << '|' << s.filter.memory_ratio_threshold << '|'
+     << s.filter.min_arith_per_ref << '|' << s.enable_if_conversion << '|'
+     << s.max_decompositions << '|' << int(s.renaming) << '|'
+     << s.max_unroll << '|' << s.eager_mve << '|'
+     << (s.max_ii ? *s.max_ii : -1) << '|' << s.explain << '|'
+     << o.sim_seed << '|' << o.verify_oracle << '|' << o.best_of_mve;
+  return os.str();
+}
+
+struct TransformCache {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_future<EntryPtr>> entries;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+TransformCache& transform_cache() {
+  static TransformCache cache;
+  return cache;
+}
+
+EntryPtr cached_transform(const kernels::Kernel& kernel,
+                          const CompareOptions& options, bool* was_hit) {
+  TransformCache& cache = transform_cache();
+  std::string key = transform_key(kernel, options);
+
+  std::promise<EntryPtr> promise;
+  std::shared_future<EntryPtr> future;
+  bool builder = false;
+  {
+    std::unique_lock<std::mutex> lock(cache.mu);
+    auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      future = it->second;
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit != nullptr) *was_hit = true;
+    } else {
+      future = promise.get_future().share();
+      cache.entries.emplace(std::move(key), future);
+      cache.misses.fetch_add(1, std::memory_order_relaxed);
+      builder = true;
+      if (was_hit != nullptr) *was_hit = false;
+    }
+  }
+  if (builder) {
+    // Build outside the lock; publish even on exception so waiters never
+    // deadlock.
+    EntryPtr entry;
+    try {
+      entry = build_transform_entry(kernel, options);
+    } catch (const std::exception& e) {
+      auto failed = std::make_shared<TransformEntry>();
+      failed->error = std::string("transform failed: ") + e.what();
+      entry = failed;
+    }
+    promise.set_value(std::move(entry));
+  }
+  return future.get();
+}
+
+}  // namespace
+
+TransformCacheStats transform_cache_stats() {
+  TransformCache& cache = transform_cache();
+  TransformCacheStats stats;
+  stats.hits = cache.hits.load(std::memory_order_relaxed);
+  stats.misses = cache.misses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void transform_cache_reset() {
+  TransformCache& cache = transform_cache();
+  std::unique_lock<std::mutex> lock(cache.mu);
+  cache.entries.clear();
+  cache.hits.store(0, std::memory_order_relaxed);
+  cache.misses.store(0, std::memory_order_relaxed);
+}
+
+ComparisonRow compare_kernel(const kernels::Kernel& kernel,
+                             const Backend& backend,
+                             const CompareOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  ComparisonRow row;
+  row.kernel = kernel.name;
+  row.suite = kernel.suite;
+  auto stamp = [&row, start] {
+    row.wall_ns = std::uint64_t(std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count());
+  };
+
+  EntryPtr entry;
+  if (options.use_transform_cache) {
+    entry = cached_transform(kernel, options, &row.transform_cached);
+  } else {
+    entry = build_transform_entry(kernel, options);
+  }
+  if (!entry->ok) {
+    row.error = entry->error;
+    stamp();
+    return row;
+  }
+
+  sim::SimOptions sopts;
+  sopts.preset = backend.preset;
+  sopts.ms_algorithm = backend.ms_algorithm;
+  sopts.seed = options.sim_seed;
+  sim::SimResult rb = sim::simulate(entry->base_mir, backend.model, sopts);
+  if (!rb.ok) {
+    row.error = rb.error;
+    stamp();
+    return row;
+  }
+
+  bool have_best = false;
+  sim::SimResult best_sim;
+  for (const CachedVariant& variant : entry->variants) {
+    sim::SimResult rs = sim::simulate(variant.mir, backend.model, sopts);
     if (!rs.ok) {
       row.error = rs.error;
+      stamp();
       return row;
     }
     if (!have_best || rs.cycles < best_sim.cycles) {
       have_best = true;
       best_sim = std::move(rs);
-      row.report = reports.front();
-      row.slms_applied = reports.front().applied;
-      row.slms_skip_reason = reports.front().skip_reason;
+      row.report = variant.report;
+      row.slms_applied = variant.report.applied;
+      row.slms_skip_reason = variant.report.skip_reason;
     }
-    if (!reports.front().applied) break;  // both variants would skip
-  }
-  if (!have_best) {
-    row.error = "no SLMS variant produced a measurable program";
-    return row;
   }
 
   row.ok = true;
@@ -152,15 +313,21 @@ ComparisonRow compare_kernel(const kernels::Kernel& kernel,
   row.misses_slms = best_sim.mem_misses;
   if (!rb.loops.empty()) row.loop_base = rb.loops.front();
   if (!best_sim.loops.empty()) row.loop_slms = best_sim.loops.front();
+  stamp();
   return row;
 }
 
 std::vector<ComparisonRow> compare_suite(const std::string& suite_name,
                                          const Backend& backend,
                                          const CompareOptions& options) {
-  std::vector<ComparisonRow> rows;
-  for (const kernels::Kernel& k : kernels::suite(suite_name))
-    rows.push_back(compare_kernel(k, backend, options));
+  std::vector<kernels::Kernel> suite = kernels::suite(suite_name);
+  std::vector<ComparisonRow> rows(suite.size());
+  // Dynamic fan-out, deterministic collection: workers race over the
+  // index sequence but each writes only rows[i], so the returned vector
+  // is byte-identical to the sequential run for every jobs setting.
+  support::parallel_for(
+      suite.size(), support::resolve_jobs(options.jobs),
+      [&](std::size_t i) { rows[i] = compare_kernel(suite[i], backend, options); });
   return rows;
 }
 

@@ -45,6 +45,13 @@ struct ComparisonRow {
   bool ok = false;           // oracle + both simulations succeeded
   std::string error;
 
+  /// Harness wall-clock for this row (parse/SLMS/oracle/lower amortized
+  /// by the transform cache, plus both simulations). Timing only — the
+  /// determinism guarantee covers every other field.
+  std::uint64_t wall_ns = 0;
+  /// True when parse/SLMS/oracle/lowering came from the transform cache.
+  bool transform_cached = false;
+
   std::uint64_t cycles_base = 0;
   std::uint64_t cycles_slms = 0;
   double energy_base = 0.0;
@@ -73,6 +80,14 @@ struct CompareOptions {
   /// the eager-MVE and minimal-MVE variants are both measured and the
   /// faster one is reported.
   bool best_of_mve = true;
+  /// Worker threads for compare_suite: > 0 = exactly that many; 0 = use
+  /// the SLC_JOBS environment variable, falling back to the hardware
+  /// thread count (support::resolve_jobs). Rows are always returned in
+  /// input order and are byte-identical across jobs settings.
+  int jobs = 0;
+  /// Reuse parse/SLMS/oracle/lowering results across backends via the
+  /// process-wide transform cache (keyed by kernel source + options).
+  bool use_transform_cache = true;
 };
 
 [[nodiscard]] ComparisonRow compare_kernel(const kernels::Kernel& kernel,
@@ -82,6 +97,21 @@ struct CompareOptions {
 [[nodiscard]] std::vector<ComparisonRow> compare_suite(
     const std::string& suite, const Backend& backend,
     const CompareOptions& options = {});
+
+/// Hit/miss counters of the process-wide transform cache (see
+/// CompareOptions::use_transform_cache). A "miss" builds the entry once;
+/// every other backend × preset touching the same (kernel, options) pair
+/// is a hit that skips parse, SLMS, the interpreter oracle, and lowering.
+struct TransformCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+[[nodiscard]] TransformCacheStats transform_cache_stats();
+
+/// Drops all cached transforms and zeroes the counters (benches use this
+/// to time cold vs warm harness runs).
+void transform_cache_reset();
 
 /// Measures one program variant (no SLMS) — used by the -O0-gap and
 /// ablation benches.

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "ast/walk.hpp"
+#include "interp/resolve.hpp"
 
 namespace slc::interp {
 
@@ -98,23 +99,41 @@ std::string MemoryImage::diff(const MemoryImage& other) const {
 }
 
 // ---------------------------------------------------------------------------
-// evaluation engine
+// variable stores
 // ---------------------------------------------------------------------------
+//
+// The evaluation engine is templated over a store policy so both
+// implementations share every line of evaluation logic:
+//
+//   MapStore  — the original std::map<name, value> store. Kept as the
+//               reference implementation (and for ASTs one does not want
+//               annotated).
+//   SlotStore — resolves names to dense slots up front (interp/resolve)
+//               and indexes flat vectors during execution. This is the
+//               default; it is what makes the oracle cheap enough to run
+//               on every comparison row of the evaluation harness.
 
 namespace {
 
-struct BreakException {};
-struct AbortException {
-  std::string message;
-};
-
-class Engine {
+class MapStore {
  public:
-  Engine(const InterpOptions& options, std::uint64_t seed)
-      : options_(options), seed_(seed) {}
+  explicit MapStore(const Program&) {}
 
-  void run_program(const Program& program) {
-    for (const StmtPtr& s : program.stmts) exec(*s);
+  [[nodiscard]] Value* find_scalar(const VarRef& ref) {
+    auto it = scalars_.find(ref.name);
+    return it == scalars_.end() ? nullptr : &it->second;
+  }
+  void define_scalar(const DeclStmt& d, Value v) { scalars_[d.name] = v; }
+
+  [[nodiscard]] ArrayValue* find_array(const ArrayRef& ref) {
+    auto it = arrays_.find(ref.name);
+    return it == arrays_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] bool has_array(const DeclStmt& d) const {
+    return arrays_.contains(d.name);
+  }
+  void define_array(const DeclStmt& d, ArrayValue a) {
+    arrays_.emplace(d.name, std::move(a));
   }
 
   [[nodiscard]] MemoryImage take_memory() {
@@ -122,6 +141,85 @@ class Engine {
     img.scalars = std::move(scalars_);
     img.arrays = std::move(arrays_);
     return img;
+  }
+
+ private:
+  std::map<std::string, Value> scalars_;
+  std::map<std::string, ArrayValue> arrays_;
+};
+
+class SlotStore {
+ public:
+  explicit SlotStore(const Program& program)
+      : table_(resolve_slots(program)),
+        scalars_(table_.num_scalars()),
+        scalar_live_(table_.num_scalars(), 0),
+        arrays_(table_.num_arrays()),
+        array_live_(table_.num_arrays(), 0) {}
+
+  [[nodiscard]] Value* find_scalar(const VarRef& ref) {
+    std::int32_t s = ref.slot;
+    if (s < 0 || std::size_t(s) >= scalars_.size() || !scalar_live_[s])
+      return nullptr;
+    return &scalars_[std::size_t(s)];
+  }
+  void define_scalar(const DeclStmt& d, Value v) {
+    std::size_t s = std::size_t(d.slot);
+    scalars_[s] = v;
+    scalar_live_[s] = 1;
+  }
+
+  [[nodiscard]] ArrayValue* find_array(const ArrayRef& ref) {
+    std::int32_t s = ref.slot;
+    if (s < 0 || std::size_t(s) >= arrays_.size() || !array_live_[s])
+      return nullptr;
+    return &arrays_[std::size_t(s)];
+  }
+  [[nodiscard]] bool has_array(const DeclStmt& d) const {
+    return d.slot >= 0 && array_live_[std::size_t(d.slot)] != 0;
+  }
+  void define_array(const DeclStmt& d, ArrayValue a) {
+    std::size_t s = std::size_t(d.slot);
+    arrays_[s] = std::move(a);
+    array_live_[s] = 1;
+  }
+
+  [[nodiscard]] MemoryImage take_memory() {
+    MemoryImage img;
+    for (std::size_t i = 0; i < scalars_.size(); ++i)
+      if (scalar_live_[i]) img.scalars.emplace(table_.scalar_names[i],
+                                               scalars_[i]);
+    for (std::size_t i = 0; i < arrays_.size(); ++i)
+      if (array_live_[i])
+        img.arrays.emplace(table_.array_names[i], std::move(arrays_[i]));
+    return img;
+  }
+
+ private:
+  SlotTable table_;
+  std::vector<Value> scalars_;
+  std::vector<char> scalar_live_;
+  std::vector<ArrayValue> arrays_;
+  std::vector<char> array_live_;
+};
+
+// ---------------------------------------------------------------------------
+// evaluation engine
+// ---------------------------------------------------------------------------
+
+struct BreakException {};
+struct AbortException {
+  std::string message;
+};
+
+template <class Store>
+class Engine {
+ public:
+  Engine(const InterpOptions& options, std::uint64_t seed, Store& store)
+      : options_(options), seed_(seed), store_(store) {}
+
+  void run_program(const Program& program) {
+    for (const StmtPtr& s : program.stmts) exec(*s);
   }
 
   std::uint64_t steps() const { return steps_; }
@@ -136,7 +234,7 @@ class Engine {
 
   void declare(const DeclStmt& d) {
     if (d.is_array()) {
-      if (arrays_.contains(d.name)) return;  // re-entered decl in a loop
+      if (store_.has_array(d)) return;  // re-entered decl in a loop
       ArrayValue a;
       a.type = d.type;
       a.dims = d.dims;
@@ -154,7 +252,7 @@ class Engine {
         for (std::int64_t i = 0; i < n; ++i)
           a.idata[std::size_t(i)] = random_fill_int(seed_, d.name, i);
       }
-      arrays_.emplace(d.name, std::move(a));
+      store_.define_array(d, std::move(a));
       return;
     }
     Value v;
@@ -176,7 +274,7 @@ class Engine {
           break;
       }
     }
-    scalars_[d.name] = v;
+    store_.define_scalar(d, v);
   }
 
   static Value coerce(Value v, ScalarType to) {
@@ -214,50 +312,47 @@ class Engine {
   }
 
   Value load_array(const ArrayRef& ref) {
-    auto it = arrays_.find(ref.name);
-    if (it == arrays_.end())
-      throw AbortException{"undeclared array " + ref.name};
-    ArrayValue& a = it->second;
-    std::int64_t i = flat_index(a, ref);
-    if (is_floating(a.type)) {
-      double v = a.fdata[std::size_t(i)];
-      return a.type == ScalarType::Float ? Value::of_float(v)
-                                         : Value::of_double(v);
+    ArrayValue* a = store_.find_array(ref);
+    if (a == nullptr) throw AbortException{"undeclared array " + ref.name};
+    std::int64_t i = flat_index(*a, ref);
+    if (is_floating(a->type)) {
+      double v = a->fdata[std::size_t(i)];
+      return a->type == ScalarType::Float ? Value::of_float(v)
+                                          : Value::of_double(v);
     }
-    return a.type == ScalarType::Bool ? Value::of_bool(a.idata[std::size_t(i)] != 0)
-                                      : Value::of_int(a.idata[std::size_t(i)]);
+    return a->type == ScalarType::Bool
+               ? Value::of_bool(a->idata[std::size_t(i)] != 0)
+               : Value::of_int(a->idata[std::size_t(i)]);
   }
 
   void store_array(const ArrayRef& ref, Value v) {
-    auto it = arrays_.find(ref.name);
-    if (it == arrays_.end())
-      throw AbortException{"undeclared array " + ref.name};
-    ArrayValue& a = it->second;
-    std::int64_t i = flat_index(a, ref);
-    if (is_floating(a.type)) {
+    ArrayValue* a = store_.find_array(ref);
+    if (a == nullptr) throw AbortException{"undeclared array " + ref.name};
+    std::int64_t i = flat_index(*a, ref);
+    if (is_floating(a->type)) {
       double d = v.as_double();
-      a.fdata[std::size_t(i)] =
-          a.type == ScalarType::Float ? double(float(d)) : d;
+      a->fdata[std::size_t(i)] =
+          a->type == ScalarType::Float ? double(float(d)) : d;
     } else {
-      a.idata[std::size_t(i)] = a.type == ScalarType::Bool
-                                    ? (v.truthy() ? 1 : 0)
-                                    : v.as_int();
+      a->idata[std::size_t(i)] = a->type == ScalarType::Bool
+                                     ? (v.truthy() ? 1 : 0)
+                                     : v.as_int();
     }
   }
 
-  Value load_scalar(const std::string& name, SourceLoc loc) {
-    auto it = scalars_.find(name);
-    if (it == scalars_.end())
-      throw AbortException{"use of undeclared scalar " + name + " at " +
-                           to_string(loc)};
-    return it->second;
+  Value load_scalar(const VarRef& ref) {
+    Value* v = store_.find_scalar(ref);
+    if (v == nullptr)
+      throw AbortException{"use of undeclared scalar " + ref.name + " at " +
+                           to_string(ref.loc)};
+    return *v;
   }
 
-  void store_scalar(const std::string& name, Value v) {
-    auto it = scalars_.find(name);
-    if (it == scalars_.end())
-      throw AbortException{"store to undeclared scalar " + name};
-    it->second = coerce(v, it->second.type);
+  void store_scalar(const VarRef& ref, Value v) {
+    Value* cur = store_.find_scalar(ref);
+    if (cur == nullptr)
+      throw AbortException{"store to undeclared scalar " + ref.name};
+    *cur = coerce(v, cur->type);
   }
 
   // -- expressions ----------------------------------------------------------
@@ -271,7 +366,7 @@ class Engine {
       case ExprKind::BoolLit:
         return Value::of_bool(dyn_cast<BoolLit>(&e)->value);
       case ExprKind::VarRef:
-        return load_scalar(dyn_cast<VarRef>(&e)->name, e.loc);
+        return load_scalar(*dyn_cast<VarRef>(&e));
       case ExprKind::ArrayRef:
         return load_array(*dyn_cast<ArrayRef>(&e));
       case ExprKind::Binary:
@@ -418,8 +513,7 @@ class Engine {
         Value rhs = eval(*a->rhs);
         if (a->op != AssignOp::Set) {
           Value cur = a->lhs->kind() == ExprKind::VarRef
-                          ? load_scalar(dyn_cast<VarRef>(a->lhs.get())->name,
-                                        a->lhs->loc)
+                          ? load_scalar(*dyn_cast<VarRef>(a->lhs.get()))
                           : load_array(*dyn_cast<ArrayRef>(a->lhs.get()));
           BinaryOp op = a->op == AssignOp::Add   ? BinaryOp::Add
                         : a->op == AssignOp::Sub ? BinaryOp::Sub
@@ -428,7 +522,7 @@ class Engine {
           rhs = apply(op, cur, rhs);
         }
         if (const auto* v = dyn_cast<VarRef>(a->lhs.get())) {
-          store_scalar(v->name, rhs);
+          store_scalar(*v, rhs);
         } else {
           store_array(*dyn_cast<ArrayRef>(a->lhs.get()), rhs);
         }
@@ -518,14 +612,14 @@ class Engine {
   const InterpOptions& options_;
   std::uint64_t seed_;
   std::uint64_t steps_ = 0;
-  std::map<std::string, Value> scalars_;
-  std::map<std::string, ArrayValue> arrays_;
+  Store& store_;
 };
 
-}  // namespace
-
-RunResult Interpreter::run(const Program& program, std::uint64_t seed) {
-  Engine engine(options_, seed);
+template <class Store>
+RunResult run_with_store(const InterpOptions& options, const Program& program,
+                         std::uint64_t seed) {
+  Store store(program);
+  Engine<Store> engine(options, seed, store);
   RunResult result;
   try {
     engine.run_program(program);
@@ -538,8 +632,16 @@ RunResult Interpreter::run(const Program& program, std::uint64_t seed) {
     result.error = "break outside of loop";
   }
   result.steps = engine.steps();
-  result.memory = engine.take_memory();
+  result.memory = store.take_memory();
   return result;
+}
+
+}  // namespace
+
+RunResult Interpreter::run(const Program& program, std::uint64_t seed) {
+  return options_.resolve_slots
+             ? run_with_store<SlotStore>(options_, program, seed)
+             : run_with_store<MapStore>(options_, program, seed);
 }
 
 std::string check_equivalent(const Program& a, const Program& b,

@@ -85,6 +85,12 @@ struct InterpOptions {
   /// When true, array accesses out of declared bounds abort the run with
   /// an error. SLMS-generated code must never go out of bounds.
   bool check_bounds = true;
+  /// When true (default) variable accesses are resolved to dense integer
+  /// slots before execution (see interp/resolve.hpp) so the hot loop
+  /// indexes vectors instead of std::map string lookups. When false, the
+  /// legacy map-based store runs — kept as the reference implementation;
+  /// both paths must produce identical MemoryImages.
+  bool resolve_slots = true;
 };
 
 struct RunResult {

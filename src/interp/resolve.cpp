@@ -1,0 +1,53 @@
+#include "interp/resolve.hpp"
+
+#include <unordered_map>
+
+#include "ast/walk.hpp"
+
+namespace slc::interp {
+
+namespace {
+
+struct Namespace {
+  std::unordered_map<std::string, std::int32_t> ids;
+  std::vector<std::string> names;
+
+  std::int32_t intern(const std::string& name) {
+    auto [it, inserted] = ids.emplace(name, std::int32_t(names.size()));
+    if (inserted) names.push_back(name);
+    return it->second;
+  }
+};
+
+}  // namespace
+
+SlotTable resolve_slots(const ast::Program& program) {
+  Namespace scalars;
+  Namespace arrays;
+
+  auto visit_expr = [&](const ast::Expr& e) {
+    if (const auto* v = ast::dyn_cast<ast::VarRef>(&e)) {
+      v->slot = scalars.intern(v->name);
+    } else if (const auto* a = ast::dyn_cast<ast::ArrayRef>(&e)) {
+      a->slot = arrays.intern(a->name);
+    }
+  };
+  auto visit_stmt = [&](const ast::Stmt& s) {
+    if (const auto* d = ast::dyn_cast<ast::DeclStmt>(&s)) {
+      d->slot = d->is_array() ? arrays.intern(d->name)
+                              : scalars.intern(d->name);
+    }
+  };
+
+  for (const ast::StmtPtr& s : program.stmts) {
+    ast::walk_stmts(*s, visit_stmt);
+    ast::walk_exprs(*s, visit_expr);
+  }
+
+  SlotTable table;
+  table.scalar_names = std::move(scalars.names);
+  table.array_names = std::move(arrays.names);
+  return table;
+}
+
+}  // namespace slc::interp

@@ -1,0 +1,47 @@
+// Slot resolution for the interpreter oracle.
+//
+// The tree-walking interpreter used to look every variable access up in
+// a std::map<std::string, ...> — a string compare per scalar read in the
+// innermost loop of every oracle run. The Resolver pass walks the AST
+// once before execution and assigns every distinct scalar name and every
+// distinct array name a dense integer slot (first-encounter order of a
+// pre-order walk), caching the id on each VarRef/ArrayRef/DeclStmt node.
+// Execution then indexes flat vectors instead of maps.
+//
+// The assignment is static (independent of runtime control flow), so a
+// program resolved once stays consistently annotated across repeated
+// runs and seeds. Re-resolving is cheap (one O(nodes) walk) and
+// unconditionally overwrites stale annotations, which makes it safe to
+// interpret a program, transform it (SLMS splices in new declarations),
+// and interpret it again.
+//
+// Thread-safety: the slot fields are written through `mutable`, so a
+// given Program must not be interpreted from two threads concurrently.
+// The harness parallelizes across kernels (each thread owns its parse),
+// never across runs of one AST.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+
+namespace slc::interp {
+
+/// Name tables produced by resolution: slot -> name, per namespace
+/// (scalars and arrays live in separate namespaces, as in the map-based
+/// interpreter).
+struct SlotTable {
+  std::vector<std::string> scalar_names;
+  std::vector<std::string> array_names;
+
+  [[nodiscard]] std::size_t num_scalars() const { return scalar_names.size(); }
+  [[nodiscard]] std::size_t num_arrays() const { return array_names.size(); }
+};
+
+/// Walks `program`, annotates every VarRef/ArrayRef/DeclStmt with its
+/// slot, and returns the name tables. Existing annotations are
+/// overwritten.
+SlotTable resolve_slots(const ast::Program& program);
+
+}  // namespace slc::interp

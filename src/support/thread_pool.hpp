@@ -1,0 +1,71 @@
+// A small fixed-size worker pool with a shared task queue — the fan-out
+// engine of the evaluation harness. The paper's experiment sweeps
+// (~30 kernels × 8 backends × several presets) are embarrassingly
+// parallel; the pool lets `driver::compare_suite` and the figure benches
+// evaluate comparison rows concurrently while results are still
+// collected in deterministic input order by the caller.
+//
+// Design notes:
+//  * plain mutex + condition-variable queue — task granularity here is a
+//    whole kernel comparison (milliseconds), so queue contention is
+//    negligible and work stealing would buy nothing;
+//  * tasks must not throw; `parallel_for` captures the first exception
+//    and rethrows it on the calling thread after the batch drains;
+//  * pool size 0/1 degenerates to inline execution (no threads spawned),
+//    so `--jobs 1` runs are plain sequential code under a debugger.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slc::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 or 1 means "inline": submit() runs the
+  /// task on the calling thread immediately.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (std::terminate otherwise in
+  /// worker context); wrap fallible work in try/catch.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+ private:
+  void worker();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Effective parallelism for a request: `requested` > 0 wins; otherwise
+/// the SLC_JOBS environment variable (if set to a positive integer);
+/// otherwise std::thread::hardware_concurrency(). Always >= 1.
+[[nodiscard]] int resolve_jobs(int requested = 0);
+
+/// Runs fn(0..n-1) on up to `jobs` workers and waits for all of them.
+/// Iteration-to-worker assignment is dynamic, so side effects must be
+/// index-local (e.g. writing results[i]); the first exception thrown by
+/// any iteration is rethrown here after the batch completes.
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace slc::support

@@ -1,0 +1,219 @@
+// Tests for the parallel evaluation harness: thread-pool fan-out
+// determinism, slot-resolved vs map-based interpreter identity, and
+// transform-cache behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "interp/resolve.hpp"
+#include "kernels/kernels.hpp"
+#include "slms/slms.hpp"
+#include "support/thread_pool.hpp"
+
+namespace slc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool / parallel_for
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    support::parallel_for(hits.size(), jobs,
+                          [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsWorkerException) {
+  EXPECT_THROW(
+      support::parallel_for(16, 4,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveJobsPrefersExplicitRequest) {
+  EXPECT_EQ(support::resolve_jobs(3), 3);
+  EXPECT_GE(support::resolve_jobs(0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// slot-resolved interpreter vs the map-based reference store
+// ---------------------------------------------------------------------------
+
+void expect_images_identical(const ast::Program& program,
+                             const std::string& label) {
+  for (std::uint64_t seed : {0ULL, 7ULL}) {
+    interp::InterpOptions slot_opts;
+    slot_opts.resolve_slots = true;
+    interp::InterpOptions map_opts;
+    map_opts.resolve_slots = false;
+
+    interp::RunResult rs = interp::Interpreter(slot_opts).run(program, seed);
+    interp::RunResult rm = interp::Interpreter(map_opts).run(program, seed);
+    ASSERT_EQ(rs.ok, rm.ok) << label << " seed " << seed << ": "
+                            << rs.error << " vs " << rm.error;
+    EXPECT_EQ(rs.steps, rm.steps) << label;
+    if (!rs.ok) {
+      EXPECT_EQ(rs.error, rm.error) << label;
+      continue;
+    }
+    EXPECT_EQ(rs.memory.diff(rm.memory), "") << label << " seed " << seed;
+    EXPECT_EQ(rm.memory.diff(rs.memory), "") << label << " seed " << seed;
+  }
+}
+
+TEST(SlotInterp, MatchesMapStoreOnEveryRegistryKernel) {
+  for (const kernels::Kernel& k : kernels::all_kernels()) {
+    DiagnosticEngine diags;
+    ast::Program program = frontend::parse_program(k.source, diags);
+    ASSERT_FALSE(diags.has_errors()) << k.name;
+    expect_images_identical(program, k.name);
+  }
+}
+
+TEST(SlotInterp, MatchesMapStoreOnSlmsTransformedKernels) {
+  int transformed_count = 0;
+  for (const kernels::Kernel& k : kernels::suite("livermore")) {
+    DiagnosticEngine diags;
+    ast::Program program = frontend::parse_program(k.source, diags);
+    ASSERT_FALSE(diags.has_errors()) << k.name;
+    std::vector<slms::SlmsReport> reports = slms::apply_slms(program);
+    if (reports.empty() || !reports.front().applied) continue;
+    ++transformed_count;
+    // SLMS splices new declarations/refs into the program; resolution
+    // must pick them up (stale-annotation regression check).
+    expect_images_identical(program, k.name + " (slms)");
+  }
+  EXPECT_GT(transformed_count, 0);
+}
+
+TEST(SlotInterp, ReresolutionSurvivesProgramGrowth) {
+  DiagnosticEngine diags;
+  ast::Program program = frontend::parse_program(
+      "int n = 8; double a[8]; double s = 0.0;\n"
+      "for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }\n",
+      diags);
+  ASSERT_FALSE(diags.has_errors());
+  // Run once (annotates slots), transform (adds names), run again.
+  interp::RunResult first = interp::Interpreter().run(program, 0);
+  ASSERT_TRUE(first.ok) << first.error;
+  (void)slms::apply_slms(program);
+  expect_images_identical(program, "post-slms reresolution");
+}
+
+TEST(SlotInterp, ResolverAssignsDenseStableSlots) {
+  DiagnosticEngine diags;
+  ast::Program program = frontend::parse_program(
+      "double a[4]; double b[4]; int i = 0; int j = 1;\n"
+      "for (i = 0; i < 4; i = i + 1) { a[i] = b[i] + j; }\n",
+      diags);
+  ASSERT_FALSE(diags.has_errors());
+  interp::SlotTable t1 = interp::resolve_slots(program);
+  interp::SlotTable t2 = interp::resolve_slots(program);
+  EXPECT_EQ(t1.scalar_names, t2.scalar_names);
+  EXPECT_EQ(t1.array_names, t2.array_names);
+  EXPECT_EQ(t1.num_scalars(), 2u);  // i, j
+  EXPECT_EQ(t1.num_arrays(), 2u);   // a, b
+}
+
+// ---------------------------------------------------------------------------
+// compare_suite determinism across jobs settings
+// ---------------------------------------------------------------------------
+
+std::string serialize_rows(const std::vector<driver::ComparisonRow>& rows) {
+  std::ostringstream os;
+  for (const driver::ComparisonRow& r : rows) {
+    os << r.kernel << '|' << r.suite << '|' << r.slms_applied << '|'
+       << r.slms_skip_reason << '|' << r.ok << '|' << r.error << '|'
+       << r.cycles_base << '|' << r.cycles_slms << '|' << r.energy_base
+       << '|' << r.energy_slms << '|' << r.misses_base << '|'
+       << r.misses_slms << '|' << r.report.ii << '|' << r.report.unroll
+       << '|' << r.report.stages << '|' << r.report.num_mis << '|'
+       << r.report.decompositions << '|' << r.report.renamed_scalars << '\n';
+  }
+  return os.str();
+}
+
+TEST(CompareSuite, ByteIdenticalRowsAtJobs1AndJobs8) {
+  driver::Backend backend = driver::weak_compiler_o3();
+
+  driver::transform_cache_reset();
+  driver::CompareOptions seq;
+  seq.jobs = 1;
+  std::vector<driver::ComparisonRow> rows1 =
+      driver::compare_suite("linpack", backend, seq);
+
+  driver::transform_cache_reset();  // force parallel recomputation
+  driver::CompareOptions par;
+  par.jobs = 8;
+  std::vector<driver::ComparisonRow> rows8 =
+      driver::compare_suite("linpack", backend, par);
+
+  ASSERT_FALSE(rows1.empty());
+  ASSERT_EQ(rows1.size(), rows8.size());
+  EXPECT_EQ(serialize_rows(rows1), serialize_rows(rows8));
+  for (const driver::ComparisonRow& r : rows1) EXPECT_GT(r.wall_ns, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// transform memoization
+// ---------------------------------------------------------------------------
+
+TEST(TransformCache, SecondBackendHitsCache) {
+  const kernels::Kernel* k = kernels::find("linpack_daxpy");
+  if (k == nullptr) k = &kernels::all_kernels().front();
+
+  driver::transform_cache_reset();
+  driver::CompareOptions options;
+  driver::ComparisonRow first =
+      driver::compare_kernel(*k, driver::weak_compiler_o3(), options);
+  driver::ComparisonRow second =
+      driver::compare_kernel(*k, driver::strong_compiler_icc(), options);
+
+  EXPECT_FALSE(first.transform_cached);
+  EXPECT_TRUE(second.transform_cached);
+  driver::TransformCacheStats stats = driver::transform_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  // Both rows still measured independently on their own backend.
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.kernel, second.kernel);
+}
+
+TEST(TransformCache, CachedRowsMatchUncachedRows) {
+  driver::Backend backend = driver::weak_compiler_o3();
+
+  driver::transform_cache_reset();
+  driver::CompareOptions cached;
+  cached.jobs = 1;
+  std::vector<driver::ComparisonRow> warm_a =
+      driver::compare_suite("linpack", backend, cached);
+  std::vector<driver::ComparisonRow> warm_b =
+      driver::compare_suite("linpack", backend, cached);  // all hits
+
+  driver::CompareOptions uncached;
+  uncached.jobs = 1;
+  uncached.use_transform_cache = false;
+  std::vector<driver::ComparisonRow> cold =
+      driver::compare_suite("linpack", backend, uncached);
+
+  EXPECT_EQ(serialize_rows(warm_a), serialize_rows(warm_b));
+  EXPECT_EQ(serialize_rows(warm_a), serialize_rows(cold));
+  for (const driver::ComparisonRow& r : warm_b)
+    EXPECT_TRUE(r.transform_cached) << r.kernel;
+}
+
+}  // namespace
+}  // namespace slc

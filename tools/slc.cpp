@@ -28,6 +28,15 @@
 //     --verify               interpreter-oracle equivalence check
 //     --measure=BACKEND      gcc-o0 | gcc-o3 | icc | xlc | pentium | arm
 //     --seed=N               memory-image seed (default 0)
+//
+//   suite evaluation (the paper's tables, driven from the CLI):
+//     --suite=NAME           compare a whole kernel suite original-vs-SLMS
+//                            on the --measure backend (default gcc-o3)
+//     --jobs=N               parallel comparison rows (0 = SLC_JOBS env,
+//                            then hardware threads); results are
+//                            byte-identical for every N
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,6 +51,7 @@
 #include "kernels/kernels.hpp"
 #include "machine/lower.hpp"
 #include "slms/slms.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -62,6 +72,8 @@ struct CliOptions {
   std::string input;
   std::string kernel;       // run a registry kernel instead of a file
   bool list_kernels = false;
+  std::string suite;        // compare a whole suite instead of a file
+  int jobs = 0;             // 0 = SLC_JOBS env, then hardware threads
 };
 
 int usage(const char* argv0) {
@@ -73,7 +85,9 @@ int usage(const char* argv0) {
             << "       [--emit-source] [--plain] [--emit-mir] [--explain] "
                "[--report]\n"
             << "       [--verify] [--measure=BACKEND] [--seed=N]\n"
-            << "       <file|-> | --kernel=NAME | --list-kernels\n";
+            << "       [--suite=NAME] [--jobs=N]\n"
+            << "       <file|-> | --kernel=NAME | --suite=NAME | "
+               "--list-kernels\n";
   return 2;
 }
 
@@ -133,6 +147,17 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.seed = std::stoull(value_of("--seed="));
     } else if (arg.starts_with("--kernel=")) {
       opts.kernel = value_of("--kernel=");
+    } else if (arg.starts_with("--suite=")) {
+      opts.suite = value_of("--suite=");
+    } else if (arg.starts_with("--jobs=")) {
+      std::string v = value_of("--jobs=");
+      char* end = nullptr;
+      long n = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0') {
+        std::cerr << "--jobs expects an integer, got '" << v << "'\n";
+        return false;
+      }
+      opts.jobs = static_cast<int>(n);
     } else if (arg == "--list-kernels") {
       opts.list_kernels = true;
     } else if (!arg.starts_with("--") && opts.input.empty()) {
@@ -142,7 +167,8 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       return false;
     }
   }
-  return !opts.input.empty() || !opts.kernel.empty() || opts.list_kernels;
+  return !opts.input.empty() || !opts.kernel.empty() || !opts.suite.empty() ||
+         opts.list_kernels;
 }
 
 std::optional<driver::Backend> backend_by_name(const std::string& name) {
@@ -166,6 +192,41 @@ int main(int argc, char** argv) {
       std::cout << k.name << "  (" << k.suite << ")  " << k.description
                 << "\n";
     return 0;
+  }
+
+  if (!opts.suite.empty()) {
+    auto backend = backend_by_name(opts.measure.empty() ? "gcc-o3"
+                                                        : opts.measure);
+    if (!backend) {
+      std::cerr << "unknown backend '" << opts.measure << "'\n";
+      return usage(argv[0]);
+    }
+    if (kernels::suite(opts.suite).empty()) {
+      std::cerr << "unknown or empty suite '" << opts.suite
+                << "' (try livermore, linpack, nas, stone)\n";
+      return 1;
+    }
+    driver::CompareOptions copts;
+    copts.slms = opts.slms;
+    copts.sim_seed = opts.seed;
+    copts.verify_oracle = true;
+    copts.jobs = opts.jobs;
+    auto start = std::chrono::steady_clock::now();
+    std::vector<driver::ComparisonRow> rows =
+        driver::compare_suite(opts.suite, *backend, copts);
+    auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    std::cout << driver::format_speedup_table(
+        "suite " + opts.suite + " on " + backend->label, rows);
+    driver::TransformCacheStats cache = driver::transform_cache_stats();
+    std::cerr << "harness: " << rows.size() << " rows in " << wall_ms
+              << " ms, jobs=" << support::resolve_jobs(opts.jobs)
+              << ", transform cache " << cache.hits << " hits / "
+              << cache.misses << " misses\n";
+    bool all_ok = true;
+    for (const driver::ComparisonRow& r : rows) all_ok = all_ok && r.ok;
+    return all_ok ? 0 : 1;
   }
 
   std::string source;
