@@ -1,0 +1,80 @@
+// Fail-safe pipeline micro-bench (not a paper figure): quantifies what
+// the robustness layer costs when nothing is wrong —
+//
+//   1. compare_suite wall-clock with fault injection disarmed (the
+//      common case: one relaxed atomic load per stage check);
+//   2. the same suite with a fault armed that matches no kernel (the
+//      worst armed case: every stage check takes the config mutex);
+//   3. the same suite fully degraded (slms:fail on every kernel) — the
+//      recovery path itself, which still simulates the base loop twice.
+//
+// Emits one machine-readable line starting with `BENCH_failsafe.json `.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "driver/pipeline.hpp"
+#include "support/fault.hpp"
+
+namespace {
+
+using namespace slc;
+using Clock = std::chrono::steady_clock;
+
+double suite_ms(const driver::CompareOptions& options, int* degraded_rows) {
+  driver::transform_cache_reset();  // cold each time: comparable runs
+  auto start = Clock::now();
+  std::vector<driver::ComparisonRow> rows =
+      driver::compare_suite("livermore", driver::weak_compiler_o3(), options);
+  double ms = double(std::chrono::duration_cast<std::chrono::microseconds>(
+                         Clock::now() - start)
+                         .count()) /
+              1000.0;
+  if (degraded_rows != nullptr) {
+    *degraded_rows = 0;
+    for (const driver::ComparisonRow& r : rows)
+      if (r.degraded) ++*degraded_rows;
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  driver::CompareOptions options;
+  options.jobs = bench::parse_jobs(argc, argv);
+
+  support::fault::clear();
+  int degraded = 0;
+  double disarmed_ms = suite_ms(options, nullptr);
+
+  // Armed but never matching: measures the per-check mutex cost alone.
+  support::fault::configure("slms:fail@no-such-kernel");
+  double armed_miss_ms = suite_ms(options, &degraded);
+  const int armed_degraded = degraded;
+
+  // Every row degrades: the full recovery path.
+  support::fault::configure("slms:fail");
+  double degraded_ms = suite_ms(options, &degraded);
+  support::fault::clear();
+
+  std::cout << "== fail-safe harness overhead (livermore, weak -O3) ==\n";
+  driver::TablePrinter table({"configuration", "wall(ms)", "degraded rows"});
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", disarmed_ms);
+  table.row({"faults disarmed", buf, "0"});
+  std::snprintf(buf, sizeof buf, "%.1f", armed_miss_ms);
+  table.row({"armed, no match", buf, std::to_string(armed_degraded)});
+  std::snprintf(buf, sizeof buf, "%.1f", degraded_ms);
+  table.row({"all rows degrade", buf, std::to_string(degraded)});
+  std::cout << table.str();
+
+  std::printf(
+      "BENCH_failsafe.json {\"disarmed_ms\": %.3f, \"armed_no_match_ms\": "
+      "%.3f, \"all_degraded_ms\": %.3f, \"degraded_rows\": %d}\n",
+      disarmed_ms, armed_miss_ms, degraded_ms, degraded);
+  return 0;
+}

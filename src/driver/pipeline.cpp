@@ -12,6 +12,7 @@
 #include "frontend/parser.hpp"
 #include "interp/interp.hpp"
 #include "machine/lower.hpp"
+#include "support/fault.hpp"
 #include "support/thread_pool.hpp"
 
 namespace slc::driver {
@@ -89,33 +90,109 @@ struct CachedVariant {
   machine::MirProgram mir;
 };
 
+/// Backend-independent build products for one (kernel, options) pair.
+/// The fail-safe contract: a base failure (the original program cannot be
+/// parsed, verified, or lowered) fails the row; a variant failure (the
+/// SLMS side broke) leaves `variants` short and records the cause in
+/// `variant_failure`, and the row degrades to the untransformed loop.
 struct TransformEntry {
-  bool ok = false;
-  std::string error;                    // backend-independent failure
+  bool base_ok = false;
+  std::optional<support::Failure> base_failure;
   machine::MirProgram base_mir;         // compiled original program
   std::vector<CachedVariant> variants;  // in measurement order
+  std::optional<support::Failure> variant_failure;  // first SLMS-side cause
 };
 
 using EntryPtr = std::shared_ptr<const TransformEntry>;
+using support::Failure;
+using support::FailureKind;
+using support::Stage;
+namespace fault = support::fault;
 
-EntryPtr build_transform_entry(const kernels::Kernel& kernel,
-                               const CompareOptions& options) {
+FailureKind kind_of_abort(interp::AbortKind kind) {
+  switch (kind) {
+    case interp::AbortKind::DivideByZero: return FailureKind::DivideByZero;
+    case interp::AbortKind::OutOfBounds: return FailureKind::OutOfBounds;
+    case interp::AbortKind::StepLimit: return FailureKind::StepLimit;
+    case interp::AbortKind::BadProgram: return FailureKind::SemaError;
+    case interp::AbortKind::None: break;
+  }
+  return FailureKind::Unknown;
+}
+
+/// The simulator reports string errors; classify the known shapes so the
+/// recorded Failure is machine-readable.
+FailureKind kind_of_sim_error(const std::string& error) {
+  if (error.find("injected fault") != std::string::npos)
+    return FailureKind::Injected;
+  if (error.find("instruction limit") != std::string::npos)
+    return FailureKind::StepLimit;
+  if (error.find("division by zero") != std::string::npos ||
+      error.find("modulo by zero") != std::string::npos)
+    return FailureKind::DivideByZero;
+  if (error.find("out of bounds") != std::string::npos)
+    return FailureKind::OutOfBounds;
+  return FailureKind::SimError;
+}
+
+Failure deadline_failure(Stage stage, const std::string& kernel) {
+  Failure f = support::make_failure(
+      stage, FailureKind::DeadlineExceeded,
+      "per-row deadline expired before stage " +
+          std::string(support::to_string(stage)));
+  f.kernel = kernel;
+  return f;
+}
+
+EntryPtr build_transform_entry_once(const kernels::Kernel& kernel,
+                                    const CompareOptions& options,
+                                    const support::Deadline& deadline) {
   auto entry = std::make_shared<TransformEntry>();
-
-  DiagnosticEngine diags;
-  ast::Program original = frontend::parse_program(kernel.source, diags);
-  if (diags.has_errors()) {
-    entry->error = "parse failed: " + diags.str();
+  auto fail_base = [&](Failure f) {
+    f.kernel = kernel.name;
+    entry->base_failure = std::move(f);
     return entry;
-  }
-  Compiled base = compile(original);
-  if (!base.ok) {
-    entry->error = base.error;
-    return entry;
-  }
-  entry->base_mir = std::move(base.mir);
+  };
 
-  // SLMS variants (paper §9 remark 2: best of with/without MVE).
+  ast::Program original;
+  try {
+    // -- parse (+ the sema checks the parser folds in) ---------------------
+    if (auto f = fault::trigger(Stage::Parse, kernel.name))
+      return fail_base(std::move(*f));
+    DiagnosticEngine diags;
+    original = frontend::parse_program(kernel.source, diags);
+    if (diags.has_errors())
+      return fail_base(support::make_failure(Stage::Parse,
+                                             FailureKind::ParseError,
+                                             "parse failed: " + diags.str()));
+    if (auto f = fault::trigger(Stage::Sema, kernel.name))
+      return fail_base(std::move(*f));
+
+    // -- lower the original program ----------------------------------------
+    if (deadline.expired())
+      return fail_base(deadline_failure(Stage::Lower, kernel.name));
+    if (auto f = fault::trigger(Stage::Lower, kernel.name))
+      return fail_base(std::move(*f));
+    Compiled base = compile(original);
+    if (!base.ok)
+      return fail_base(support::make_failure(
+          Stage::Lower, FailureKind::LowerError, base.error));
+    entry->base_mir = std::move(base.mir);
+    entry->base_ok = true;
+  } catch (const fault::FaultInjected& e) {
+    return fail_base(e.failure());
+  } catch (const std::exception& e) {
+    return fail_base(support::make_failure(Stage::Parse,
+                                           FailureKind::Exception, e.what()));
+  }
+
+  // -- SLMS variants (paper §9 remark 2: best of with/without MVE) ---------
+  // Failures from here on degrade the row instead of failing it.
+  auto fail_variant = [&](Failure f) {
+    f.kernel = kernel.name;
+    if (!entry->variant_failure) entry->variant_failure = std::move(f);
+  };
+
   std::vector<slms::SlmsOptions> variants{options.slms};
   if (options.best_of_mve &&
       options.slms.renaming == slms::RenamingChoice::Mve) {
@@ -125,33 +202,88 @@ EntryPtr build_transform_entry(const kernels::Kernel& kernel,
   }
 
   for (const slms::SlmsOptions& variant : variants) {
-    ast::Program transformed = original.clone();
-    std::vector<slms::SlmsReport> reports =
-        slms::apply_slms(transformed, variant);
-    if (reports.empty()) continue;
-
-    if (options.verify_oracle && reports.front().applied) {
-      std::string diff = interp::check_equivalent(original, transformed,
-                                                  options.sim_seed);
-      if (!diff.empty()) {
-        entry->error = "oracle mismatch: " + diff;
-        return entry;
+    if (deadline.expired()) {
+      fail_variant(deadline_failure(Stage::Slms, kernel.name));
+      break;
+    }
+    try {
+      if (auto f = fault::trigger(Stage::Analysis, kernel.name)) {
+        fail_variant(std::move(*f));
+        continue;
       }
+      if (auto f = fault::trigger(Stage::Slms, kernel.name)) {
+        fail_variant(std::move(*f));
+        continue;
+      }
+      ast::Program transformed = original.clone();
+      std::vector<slms::SlmsReport> reports =
+          slms::apply_slms(transformed, variant);
+      if (reports.empty()) continue;  // no loops to transform
+
+      if (options.verify_oracle && reports.front().applied) {
+        if (auto f = fault::trigger(Stage::Oracle, kernel.name)) {
+          fail_variant(std::move(*f));
+          continue;
+        }
+        interp::InterpOptions iopts;
+        if (options.max_interp_steps > 0)
+          iopts.max_steps = options.max_interp_steps;
+        interp::EquivalenceResult eq = interp::check_equivalence(
+            original, transformed, options.sim_seed, iopts);
+        if (eq.status == interp::EquivalenceResult::Status::OriginalFailed) {
+          // The reference itself aborted (divide-by-zero, out-of-bounds,
+          // step limit, ...): there is no trustworthy baseline, so this is
+          // a base failure, not a degradation.
+          entry->base_ok = false;
+          return fail_base(support::make_failure(
+              Stage::Oracle, kind_of_abort(eq.abort_kind), eq.detail));
+        }
+        if (!eq.ok()) {
+          FailureKind kind =
+              eq.status == interp::EquivalenceResult::Status::Mismatch
+                  ? FailureKind::OracleMismatch
+                  : kind_of_abort(eq.abort_kind);
+          fail_variant(support::make_failure(Stage::Oracle, kind, eq.detail));
+          continue;
+        }
+      }
+      Compiled slmsed = compile(transformed);
+      if (!slmsed.ok) {
+        fail_variant(support::make_failure(
+            Stage::Lower, FailureKind::LowerError, slmsed.error));
+        continue;
+      }
+      entry->variants.push_back(
+          CachedVariant{reports.front(), std::move(slmsed.mir)});
+      if (!reports.front().applied) break;  // both variants would skip
+    } catch (const fault::FaultInjected& e) {
+      fail_variant(e.failure());
+    } catch (const std::exception& e) {
+      fail_variant(support::make_failure(Stage::Slms,
+                                         FailureKind::Exception, e.what()));
     }
-    Compiled slmsed = compile(transformed);
-    if (!slmsed.ok) {
-      entry->error = slmsed.error;
-      return entry;
-    }
-    entry->variants.push_back(
-        CachedVariant{reports.front(), std::move(slmsed.mir)});
-    if (!reports.front().applied) break;  // both variants would skip
   }
-  if (entry->variants.empty()) {
-    entry->error = "no SLMS variant produced a measurable program";
-    return entry;
-  }
-  entry->ok = true;
+  if (entry->variants.empty() && !entry->variant_failure)
+    fail_variant(support::make_failure(
+        Stage::Slms, FailureKind::TransformError,
+        "no SLMS variant produced a measurable program"));
+  return entry;
+}
+
+/// Transient failures (fault injection's fail-once; anything marked
+/// transient) get `options.transform_retries` rebuild attempts before the
+/// failure is accepted.
+EntryPtr build_transform_entry(const kernels::Kernel& kernel,
+                               const CompareOptions& options,
+                               const support::Deadline& deadline) {
+  EntryPtr entry = build_transform_entry_once(kernel, options, deadline);
+  auto transient = [](const EntryPtr& e) {
+    return (e->base_failure && e->base_failure->transient) ||
+           (e->variant_failure && e->variant_failure->transient);
+  };
+  for (int retry = 0; retry < options.transform_retries && transient(entry);
+       ++retry)
+    entry = build_transform_entry_once(kernel, options, deadline);
   return entry;
 }
 
@@ -176,7 +308,8 @@ std::string transform_key(const kernels::Kernel& kernel,
      << s.max_decompositions << '|' << int(s.renaming) << '|'
      << s.max_unroll << '|' << s.eager_mve << '|'
      << (s.max_ii ? *s.max_ii : -1) << '|' << s.explain << '|'
-     << o.sim_seed << '|' << o.verify_oracle << '|' << o.best_of_mve;
+     << o.sim_seed << '|' << o.verify_oracle << '|' << o.best_of_mve << '|'
+     << o.max_interp_steps;
   return os.str();
 }
 
@@ -193,7 +326,8 @@ TransformCache& transform_cache() {
 }
 
 EntryPtr cached_transform(const kernels::Kernel& kernel,
-                          const CompareOptions& options, bool* was_hit) {
+                          const CompareOptions& options, bool* was_hit,
+                          const support::Deadline& deadline) {
   TransformCache& cache = transform_cache();
   std::string key = transform_key(kernel, options);
 
@@ -217,13 +351,18 @@ EntryPtr cached_transform(const kernels::Kernel& kernel,
   }
   if (builder) {
     // Build outside the lock; publish even on exception so waiters never
-    // deadlock.
+    // deadlock. build_transform_entry captures stage exceptions itself,
+    // so this is a last-resort backstop.
     EntryPtr entry;
     try {
-      entry = build_transform_entry(kernel, options);
+      entry = build_transform_entry(kernel, options, deadline);
     } catch (const std::exception& e) {
       auto failed = std::make_shared<TransformEntry>();
-      failed->error = std::string("transform failed: ") + e.what();
+      Failure f = support::make_failure(
+          Stage::Harness, FailureKind::Exception,
+          std::string("transform failed: ") + e.what());
+      f.kernel = kernel.name;
+      failed->base_failure = std::move(f);
       entry = failed;
     }
     promise.set_value(std::move(entry));
@@ -249,51 +388,112 @@ void transform_cache_reset() {
   cache.misses.store(0, std::memory_order_relaxed);
 }
 
-ComparisonRow compare_kernel(const kernels::Kernel& kernel,
-                             const Backend& backend,
-                             const CompareOptions& options) {
-  auto start = std::chrono::steady_clock::now();
-  ComparisonRow row;
-  row.kernel = kernel.name;
-  row.suite = kernel.suite;
-  auto stamp = [&row, start] {
-    row.wall_ns = std::uint64_t(std::chrono::duration_cast<
-                                    std::chrono::nanoseconds>(
-                                    std::chrono::steady_clock::now() - start)
-                                    .count());
-  };
+namespace {
 
+void record_row_failure(ComparisonRow& row, Failure failure) {
+  row.ok = false;
+  row.error = failure.str();
+  row.failure = std::move(failure);
+}
+
+/// Fills both metric columns from the base simulation — the degraded
+/// "fall back to the untransformed loop" shape.
+void degrade_to_base(ComparisonRow& row, const sim::SimResult& base,
+                     Failure cause) {
+  row.ok = true;
+  row.degraded = true;
+  row.failure = std::move(cause);
+  row.slms_applied = false;
+  row.cycles_slms = base.cycles;
+  row.energy_slms = base.energy;
+  row.misses_slms = base.mem_misses;
+  if (!base.loops.empty()) row.loop_slms = base.loops.front();
+}
+
+void compare_kernel_impl(ComparisonRow& row, const kernels::Kernel& kernel,
+                         const Backend& backend,
+                         const CompareOptions& options,
+                         const support::Deadline& deadline) {
   EntryPtr entry;
-  if (options.use_transform_cache) {
-    entry = cached_transform(kernel, options, &row.transform_cached);
+  // The cache key covers every *option* that shapes an entry but not the
+  // process-global fault configuration — bypass the cache while faults
+  // are armed so an injected failure is neither stored nor served stale.
+  if (options.use_transform_cache && !fault::enabled()) {
+    entry = cached_transform(kernel, options, &row.transform_cached,
+                             deadline);
   } else {
-    entry = build_transform_entry(kernel, options);
+    entry = build_transform_entry(kernel, options, deadline);
   }
-  if (!entry->ok) {
-    row.error = entry->error;
-    stamp();
-    return row;
+  if (!entry->base_ok) {
+    record_row_failure(row, entry->base_failure
+                                ? *entry->base_failure
+                                : support::make_failure(
+                                      Stage::Harness, FailureKind::Unknown,
+                                      "transform entry unavailable"));
+    return;
   }
 
   sim::SimOptions sopts;
   sopts.preset = backend.preset;
   sopts.ms_algorithm = backend.ms_algorithm;
   sopts.seed = options.sim_seed;
+  sopts.fault_label = kernel.name;
+
+  // Machine-level scheduling happens inside the simulator; this injection
+  // point makes the stage addressable from the driver, where the kernel
+  // name is known.
+  if (auto f = fault::trigger(Stage::Schedule, kernel.name)) {
+    f->kernel = kernel.name;
+    record_row_failure(row, std::move(*f));
+    return;
+  }
+  if (deadline.expired()) {
+    record_row_failure(row, deadline_failure(Stage::Simulate, kernel.name));
+    return;
+  }
   sim::SimResult rb = sim::simulate(entry->base_mir, backend.model, sopts);
   if (!rb.ok) {
-    row.error = rb.error;
-    stamp();
-    return row;
+    Failure f = support::make_failure(Stage::Simulate,
+                                      kind_of_sim_error(rb.error), rb.error);
+    f.kernel = kernel.name;
+    f.options = backend.label;
+    record_row_failure(row, std::move(f));
+    return;
+  }
+  row.cycles_base = rb.cycles;
+  row.energy_base = rb.energy;
+  row.misses_base = rb.mem_misses;
+  if (!rb.loops.empty()) row.loop_base = rb.loops.front();
+
+  if (entry->variants.empty()) {
+    degrade_to_base(row, rb,
+                    entry->variant_failure
+                        ? *entry->variant_failure
+                        : support::make_failure(
+                              Stage::Slms, FailureKind::TransformError,
+                              "no SLMS variant available"));
+    return;
   }
 
   bool have_best = false;
   sim::SimResult best_sim;
+  std::optional<Failure> variant_sim_failure;
   for (const CachedVariant& variant : entry->variants) {
+    if (deadline.expired()) {
+      if (!variant_sim_failure)
+        variant_sim_failure = deadline_failure(Stage::Simulate, kernel.name);
+      break;
+    }
     sim::SimResult rs = sim::simulate(variant.mir, backend.model, sopts);
     if (!rs.ok) {
-      row.error = rs.error;
-      stamp();
-      return row;
+      if (!variant_sim_failure) {
+        Failure f = support::make_failure(
+            Stage::Simulate, kind_of_sim_error(rs.error), rs.error);
+        f.kernel = kernel.name;
+        f.options = backend.label;
+        variant_sim_failure = std::move(f);
+      }
+      continue;  // other variants may still be measurable
     }
     if (!have_best || rs.cycles < best_sim.cycles) {
       have_best = true;
@@ -303,32 +503,81 @@ ComparisonRow compare_kernel(const kernels::Kernel& kernel,
       row.slms_skip_reason = variant.report.skip_reason;
     }
   }
+  if (!have_best) {
+    degrade_to_base(row, rb,
+                    variant_sim_failure
+                        ? *variant_sim_failure
+                        : support::make_failure(
+                              Stage::Simulate, FailureKind::SimError,
+                              "no SLMS variant simulated successfully"));
+    return;
+  }
 
   row.ok = true;
-  row.cycles_base = rb.cycles;
   row.cycles_slms = best_sim.cycles;
-  row.energy_base = rb.energy;
   row.energy_slms = best_sim.energy;
-  row.misses_base = rb.mem_misses;
   row.misses_slms = best_sim.mem_misses;
-  if (!rb.loops.empty()) row.loop_base = rb.loops.front();
   if (!best_sim.loops.empty()) row.loop_slms = best_sim.loops.front();
-  stamp();
+}
+
+}  // namespace
+
+ComparisonRow compare_kernel(const kernels::Kernel& kernel,
+                             const Backend& backend,
+                             const CompareOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  ComparisonRow row;
+  row.kernel = kernel.name;
+  row.suite = kernel.suite;
+  support::Deadline deadline =
+      support::Deadline::after_ms(options.row_deadline_ms);
+  // Per-row capture: nothing a single comparison does may take down the
+  // suite — exceptions become a recorded Failure on this row.
+  try {
+    compare_kernel_impl(row, kernel, backend, options, deadline);
+  } catch (const fault::FaultInjected& e) {
+    Failure f = e.failure();
+    f.kernel = kernel.name;
+    record_row_failure(row, std::move(f));
+  } catch (const std::exception& e) {
+    Failure f = support::make_failure(Stage::Harness,
+                                      FailureKind::Exception, e.what());
+    f.kernel = kernel.name;
+    record_row_failure(row, std::move(f));
+  } catch (...) {
+    Failure f = support::make_failure(Stage::Harness, FailureKind::Exception,
+                                      "unknown exception");
+    f.kernel = kernel.name;
+    record_row_failure(row, std::move(f));
+  }
+  row.wall_ns = std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   return row;
+}
+
+std::vector<ComparisonRow> compare_kernels(
+    const std::vector<kernels::Kernel>& kernels, const Backend& backend,
+    const CompareOptions& options) {
+  std::vector<ComparisonRow> rows(kernels.size());
+  // Dynamic fan-out, deterministic collection: workers race over the
+  // index sequence but each writes only rows[i], so the returned vector
+  // is byte-identical to the sequential run for every jobs setting.
+  // compare_kernel captures everything a row can throw, so a poisoned
+  // kernel yields a Failure row instead of killing the batch.
+  support::parallel_for(
+      kernels.size(), support::resolve_jobs(options.jobs),
+      [&](std::size_t i) {
+        rows[i] = compare_kernel(kernels[i], backend, options);
+      });
+  return rows;
 }
 
 std::vector<ComparisonRow> compare_suite(const std::string& suite_name,
                                          const Backend& backend,
                                          const CompareOptions& options) {
-  std::vector<kernels::Kernel> suite = kernels::suite(suite_name);
-  std::vector<ComparisonRow> rows(suite.size());
-  // Dynamic fan-out, deterministic collection: workers race over the
-  // index sequence but each writes only rows[i], so the returned vector
-  // is byte-identical to the sequential run for every jobs setting.
-  support::parallel_for(
-      suite.size(), support::resolve_jobs(options.jobs),
-      [&](std::size_t i) { rows[i] = compare_kernel(suite[i], backend, options); });
-  return rows;
+  return compare_kernels(kernels::suite(suite_name), backend, options);
 }
 
 Measurement measure_source(const std::string& source, const Backend& backend,
@@ -389,11 +638,16 @@ std::string TablePrinter::str() const {
 
   std::ostringstream os;
   auto line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream ls;
     for (std::size_t c = 0; c < width.size(); ++c) {
-      os << "  " << std::left << std::setw(int(width[c]))
+      ls << "  " << std::left << std::setw(int(width[c]))
          << (c < cells.size() ? cells[c] : "");
     }
-    os << '\n';
+    // Trim trailing padding so a wide cell in one row (e.g. a failure
+    // note) cannot perturb the bytes of every other row.
+    std::string text = ls.str();
+    while (!text.empty() && text.back() == ' ') text.pop_back();
+    os << text << '\n';
   };
   line(headers_);
   std::vector<std::string> dashes;
@@ -414,7 +668,10 @@ std::string format_speedup_table(const std::string& title,
     speedup << std::fixed << std::setprecision(3) << r.speedup();
     std::string note;
     if (!r.ok) {
-      note = r.error;
+      note = r.failure ? r.failure->brief() : r.error;
+    } else if (r.degraded) {
+      note = "degraded: " +
+             (r.failure ? r.failure->brief() : std::string("slms failed"));
     } else if (!r.slms_applied) {
       note = "skipped: " + r.slms_skip_reason;
     }

@@ -13,6 +13,7 @@
 #include "machine/machine_model.hpp"
 #include "sim/executor.hpp"
 #include "slms/slms.hpp"
+#include "support/failure.hpp"
 
 namespace slc::driver {
 
@@ -44,6 +45,17 @@ struct ComparisonRow {
 
   bool ok = false;           // oracle + both simulations succeeded
   std::string error;
+
+  /// Graceful degradation (fail-safe pipeline): when the SLMS side of the
+  /// comparison fails — transform crash, oracle mismatch, variant
+  /// simulation failure, injected fault — the row falls back to the
+  /// untransformed loop (both metric columns report the base run),
+  /// `degraded` is set, and the cause is recorded in `failure`. The row
+  /// is still `ok`: the suite keeps running and the base numbers are real.
+  bool degraded = false;
+  /// Structured cause when the row failed (`!ok`) or degraded. Rows that
+  /// went through cleanly leave it empty.
+  std::optional<support::Failure> failure;
 
   /// Harness wall-clock for this row (parse/SLMS/oracle/lower amortized
   /// by the transform cache, plus both simulations). Timing only — the
@@ -88,6 +100,18 @@ struct CompareOptions {
   /// Reuse parse/SLMS/oracle/lowering results across backends via the
   /// process-wide transform cache (keyed by kernel source + options).
   bool use_transform_cache = true;
+  /// Rebuild the transform entry this many extra times when it failed
+  /// with a transient failure (fault injection's fail-once, or any
+  /// Failure marked transient). 0 disables retry.
+  int transform_retries = 1;
+  /// Per-row wall-clock guard in milliseconds (0 = unlimited). Checked
+  /// between pipeline stages and between variant simulations; an expired
+  /// deadline records a DeadlineExceeded failure and the row degrades or
+  /// fails instead of stalling the suite.
+  std::uint64_t row_deadline_ms = 0;
+  /// Interpreter-oracle step budget per run (0 = the interpreter default).
+  /// Exhaustion records a StepLimit failure instead of hanging the row.
+  std::uint64_t max_interp_steps = 0;
 };
 
 [[nodiscard]] ComparisonRow compare_kernel(const kernels::Kernel& kernel,
@@ -96,6 +120,12 @@ struct CompareOptions {
 
 [[nodiscard]] std::vector<ComparisonRow> compare_suite(
     const std::string& suite, const Backend& backend,
+    const CompareOptions& options = {});
+
+/// Same fan-out as compare_suite for an ad-hoc kernel list (error-path
+/// tests and the fuzzer use this; compare_suite delegates here).
+[[nodiscard]] std::vector<ComparisonRow> compare_kernels(
+    const std::vector<kernels::Kernel>& kernels, const Backend& backend,
     const CompareOptions& options = {});
 
 /// Hit/miss counters of the process-wide transform cache (see

@@ -1,0 +1,187 @@
+#include "fuzz/differential.hpp"
+
+#include <sstream>
+
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "machine/lower.hpp"
+#include "sim/executor.hpp"
+
+namespace slc::fuzz {
+
+namespace {
+
+using support::Failure;
+using support::FailureKind;
+using support::Stage;
+
+FailureKind kind_of_abort(interp::AbortKind kind) {
+  switch (kind) {
+    case interp::AbortKind::DivideByZero: return FailureKind::DivideByZero;
+    case interp::AbortKind::OutOfBounds: return FailureKind::OutOfBounds;
+    case interp::AbortKind::StepLimit: return FailureKind::StepLimit;
+    case interp::AbortKind::BadProgram: return FailureKind::SemaError;
+    case interp::AbortKind::None: break;
+  }
+  return FailureKind::Unknown;
+}
+
+DiffVerdict fail(Stage stage, FailureKind kind, std::string message,
+                 std::string label) {
+  DiffVerdict v;
+  v.ok = false;
+  v.failure = support::make_failure(stage, kind, std::move(message));
+  v.failure.options = label;
+  v.variant_label = std::move(label);
+  return v;
+}
+
+std::string variant_label(const slms::SlmsOptions& options) {
+  switch (options.renaming) {
+    case slms::RenamingChoice::Mve:
+      return options.eager_mve ? "mve-eager" : "mve-minimal";
+    case slms::RenamingChoice::ScalarExpansion:
+      return "expand";
+    case slms::RenamingChoice::None:
+      return "none";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DiffVerdict::str() const {
+  if (ok) return "ok";
+  std::ostringstream os;
+  os << "[" << variant_label << "] " << failure.brief();
+  return os.str();
+}
+
+std::vector<slms::SlmsOptions> default_variants() {
+  std::vector<slms::SlmsOptions> variants;
+  for (slms::RenamingChoice renaming :
+       {slms::RenamingChoice::Mve, slms::RenamingChoice::ScalarExpansion,
+        slms::RenamingChoice::None}) {
+    slms::SlmsOptions o;
+    o.enable_filter = false;  // transform everything the fuzzer generates
+    o.renaming = renaming;
+    variants.push_back(o);
+    if (renaming == slms::RenamingChoice::Mve) {
+      o.eager_mve = false;
+      variants.push_back(o);
+    }
+  }
+  return variants;
+}
+
+std::vector<driver::Backend> default_backends() {
+  return {driver::weak_compiler_o3(), driver::strong_compiler_icc()};
+}
+
+DiffVerdict differential_check(const std::string& source,
+                               const DiffOptions& options) {
+  const std::vector<slms::SlmsOptions>& variants =
+      options.variants.empty() ? default_variants() : options.variants;
+  std::vector<driver::Backend> backends;
+  if (options.check_backends)
+    backends =
+        options.backends.empty() ? default_backends() : options.backends;
+
+  DiagnosticEngine diags;
+  ast::Program original = frontend::parse_program(source, diags);
+  if (diags.has_errors())
+    return fail(Stage::Parse, FailureKind::ParseError,
+                "parse failed: " + diags.str(), "original");
+
+  interp::InterpOptions iopts;
+  iopts.max_steps = options.max_interp_steps;
+
+  // Reference runs — the generated program itself must interpret cleanly.
+  std::uint64_t seeds = options.input_seeds == 0 ? 1 : options.input_seeds;
+  std::vector<interp::RunResult> reference(seeds);
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    reference[seed] = interp::Interpreter(iopts).run(original, seed);
+    if (!reference[seed].ok)
+      return fail(Stage::Oracle, kind_of_abort(reference[seed].abort_kind),
+                  "original program failed: " + reference[seed].error,
+                  "original");
+  }
+
+  // Simulator cross-check of the *untransformed* program: lowered base
+  // memory must match the interpreter image bit for bit.
+  if (!backends.empty()) {
+    DiagnosticEngine lower_diags;
+    machine::MirProgram base_mir = machine::lower(original, lower_diags);
+    if (lower_diags.has_errors())
+      return fail(Stage::Lower, FailureKind::LowerError,
+                  "lowering failed: " + lower_diags.str(), "original");
+    for (const driver::Backend& backend : backends) {
+      sim::SimOptions sopts;
+      sopts.preset = backend.preset;
+      sopts.ms_algorithm = backend.ms_algorithm;
+      sopts.seed = 0;
+      sim::SimResult r = sim::simulate(base_mir, backend.model, sopts);
+      if (!r.ok)
+        return fail(Stage::Simulate, FailureKind::SimError, r.error,
+                    "original/" + backend.label);
+      std::string diff = reference[0].memory.diff(r.memory);
+      if (!diff.empty())
+        return fail(Stage::Simulate, FailureKind::OracleMismatch,
+                    "simulated memory diverges from interpreter: " + diff,
+                    "original/" + backend.label);
+    }
+  }
+
+  for (const slms::SlmsOptions& variant : variants) {
+    std::string label = variant_label(variant);
+    ast::Program transformed = original.clone();
+    bool applied = false;
+    try {
+      std::vector<slms::SlmsReport> reports =
+          slms::apply_slms(transformed, variant);
+      applied = !reports.empty() && reports.front().applied;
+    } catch (const std::exception& e) {
+      return fail(Stage::Slms, FailureKind::Exception,
+                  std::string("apply_slms threw: ") + e.what(), label);
+    }
+
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      interp::EquivalenceResult eq =
+          interp::check_equivalence(original, transformed, seed, iopts);
+      if (eq.status == interp::EquivalenceResult::Status::Mismatch)
+        return fail(Stage::Oracle, FailureKind::OracleMismatch,
+                    eq.detail + " (input seed " + std::to_string(seed) + ")",
+                    label);
+      if (!eq.ok())
+        return fail(Stage::Oracle, kind_of_abort(eq.abort_kind), eq.detail,
+                    label);
+    }
+
+    if (!applied || backends.empty()) continue;
+    DiagnosticEngine lower_diags;
+    machine::MirProgram mir = machine::lower(transformed, lower_diags);
+    if (lower_diags.has_errors())
+      return fail(Stage::Lower, FailureKind::LowerError,
+                  "lowering failed: " + lower_diags.str(), label);
+    for (const driver::Backend& backend : backends) {
+      sim::SimOptions sopts;
+      sopts.preset = backend.preset;
+      sopts.ms_algorithm = backend.ms_algorithm;
+      sopts.seed = 0;
+      sim::SimResult r = sim::simulate(mir, backend.model, sopts);
+      if (!r.ok)
+        return fail(Stage::Simulate, FailureKind::SimError, r.error,
+                    label + "/" + backend.label);
+      // One-directional: every original variable must match; renaming
+      // temporaries the transform introduced are ignored.
+      std::string diff = reference[0].memory.diff(r.memory);
+      if (!diff.empty())
+        return fail(Stage::Simulate, FailureKind::OracleMismatch,
+                    "simulated memory diverges from interpreter: " + diff,
+                    label + "/" + backend.label);
+    }
+  }
+  return {};
+}
+
+}  // namespace slc::fuzz

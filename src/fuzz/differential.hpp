@@ -1,0 +1,56 @@
+// Differential checking for the fail-safe pipeline: one source program is
+// pushed through every SLMS renaming variant and compared against the
+// interpreter oracle, and (optionally) each lowered program's simulated
+// final memory is cross-checked against the interpreter's. Any mismatch,
+// crash, or budget exhaustion comes back as one structured Failure —
+// exactly what slc_fuzz shrinks and archives in tests/corpus/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "slms/slms.hpp"
+#include "support/failure.hpp"
+
+namespace slc::fuzz {
+
+struct DiffOptions {
+  /// SLMS configurations to differentially test. Empty = default_variants().
+  std::vector<slms::SlmsOptions> variants;
+  /// Backends whose simulated memory is cross-checked against the
+  /// interpreter (ignored when !check_backends).
+  std::vector<driver::Backend> backends;
+  bool check_backends = true;
+  /// Interpreter input seeds per program (distinct initial memory images).
+  std::uint64_t input_seeds = 2;
+  /// Interpreter step budget per run — generated loops are tiny, so a
+  /// modest budget converts a runaway into a StepLimit failure quickly.
+  std::uint64_t max_interp_steps = 2'000'000;
+};
+
+/// Verdict for one program. When !ok, `failure` names the stage/kind and
+/// `variant_label` says which SLMS variant or backend tripped it.
+struct DiffVerdict {
+  bool ok = true;
+  support::Failure failure;
+  std::string variant_label;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// The SLMS configurations slc_fuzz sweeps by default: MVE eager, MVE
+/// minimal, scalar expansion, and no renaming — all with the bad-case
+/// filter off so every generated loop is actually transformed.
+[[nodiscard]] std::vector<slms::SlmsOptions> default_variants();
+
+/// Backends used for the simulator cross-check by default (one weak list
+/// scheduler and one strong modulo scheduler).
+[[nodiscard]] std::vector<driver::Backend> default_backends();
+
+/// Runs the full differential check on one source program.
+[[nodiscard]] DiffVerdict differential_check(const std::string& source,
+                                             const DiffOptions& options = {});
+
+}  // namespace slc::fuzz

@@ -1,0 +1,151 @@
+// Random canonical-loop generator for property-based testing and the
+// slc_fuzz differential fuzzer: every generated program is well-formed,
+// in-bounds, and interpretable, so transformation passes can be fuzzed
+// against the interpreter oracle at scale.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace slc::fuzz {
+
+struct LoopGenOptions {
+  int max_body_stmts = 6;
+  int max_terms = 4;
+  bool allow_if = true;
+  bool allow_scalar_temps = true;
+  bool allow_compound_assign = true;
+  bool allow_2d = false;        // also generate M[i+c][k] style references
+  bool symbolic_bound = false;  // use `n` instead of a constant bound
+  int step = 1;
+};
+
+/// Generates a self-contained program: declarations, a data-init loop is
+/// unnecessary (the interpreter random-fills arrays), then one canonical
+/// for-loop with a random body over arrays A..D and scalars.
+class LoopGenerator {
+ public:
+  explicit LoopGenerator(std::uint64_t seed, LoopGenOptions opts = {})
+      : rng_(seed), opts_(opts) {}
+
+  [[nodiscard]] std::string generate() {
+    std::ostringstream os;
+    int num_arrays = pick(2, 4);
+    for (int a = 0; a < num_arrays; ++a)
+      os << "double " << array_name(a) << "[128];\n";
+    arrays_ = num_arrays;
+
+    if (opts_.allow_2d) {
+      matrices_ = pick(1, 2);
+      for (int m = 0; m < matrices_; ++m)
+        os << "double M" << m << "[128][8];\n";
+    }
+
+    int num_scalars = opts_.allow_scalar_temps ? pick(0, 3) : 0;
+    for (int s = 0; s < num_scalars; ++s)
+      os << "double " << scalar_name(s) << ";\n";
+    scalars_ = num_scalars;
+
+    os << "int i;\n";
+    if (opts_.symbolic_bound) os << "int n = " << pick(0, 90) << ";\n";
+
+    // Loop bounds keep every subscript i+c, c in [-3, 3], inside [0,128).
+    int lo = pick(4, 8);
+    os << "for (i = " << lo << "; i < "
+       << (opts_.symbolic_bound ? std::string("n")
+                                : std::to_string(pick(lo + 1, 120)))
+       << "; i += " << opts_.step << ") {\n";
+
+    int body = pick(1, opts_.max_body_stmts);
+    for (int k = 0; k < body; ++k) os << "  " << statement() << "\n";
+    os << "}\n";
+    return os.str();
+  }
+
+ private:
+  int pick(int lo, int hi) {  // inclusive
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+  bool chance(int percent) { return pick(1, 100) <= percent; }
+
+  static std::string array_name(int a) {
+    return std::string(1, char('A' + a));
+  }
+  static std::string scalar_name(int s) {
+    return "s" + std::to_string(s);
+  }
+
+  std::string subscript() {
+    int c = pick(-3, 3);
+    if (c == 0) return "i";
+    if (c > 0) return "i + " + std::to_string(c);
+    return "i - " + std::to_string(-c);
+  }
+
+  /// M[i+c][k] with a constant column — affine in iv on the row axis.
+  std::string matrix_ref() {
+    return "M" + std::to_string(pick(0, matrices_ - 1)) + "[" +
+           subscript() + "][" + std::to_string(pick(0, 7)) + "]";
+  }
+
+  std::string term() {
+    if (matrices_ > 0 && chance(20)) return matrix_ref();
+    switch (pick(0, 3)) {
+      case 0:
+        return array_name(pick(0, arrays_ - 1)) + "[" + subscript() + "]";
+      case 1:
+        if (scalars_ > 0) return scalar_name(pick(0, scalars_ - 1));
+        [[fallthrough]];
+      case 2: {
+        std::ostringstream os;
+        os << pick(1, 9) << ".5";
+        return os.str();
+      }
+      default:
+        return "i";
+    }
+  }
+
+  std::string expr() {
+    std::ostringstream os;
+    int terms = pick(1, opts_.max_terms);
+    os << term();
+    for (int t = 1; t < terms; ++t) {
+      const char* ops[] = {" + ", " - ", " * "};
+      os << ops[pick(0, 2)] << term();
+    }
+    return os.str();
+  }
+
+  std::string lvalue() {
+    if (scalars_ > 0 && chance(30))
+      return scalar_name(pick(0, scalars_ - 1));
+    if (matrices_ > 0 && chance(20)) return matrix_ref();
+    return array_name(pick(0, arrays_ - 1)) + "[" + subscript() + "]";
+  }
+
+  std::string statement() {
+    std::string lhs = lvalue();
+    const char* op = "=";
+    if (opts_.allow_compound_assign && chance(20)) {
+      const char* ops[] = {"+=", "-=", "*="};
+      op = ops[pick(0, 2)];
+    }
+    std::string core = lhs + " " + op + " " + expr() + ";";
+    if (opts_.allow_if && chance(15)) {
+      return "if (" + term() + " < " + term() + ") " + core;
+    }
+    return core;
+  }
+
+  std::mt19937_64 rng_;
+  LoopGenOptions opts_;
+  int arrays_ = 0;
+  int scalars_ = 0;
+  int matrices_ = 0;
+};
+
+}  // namespace slc::fuzz

@@ -1,0 +1,104 @@
+#include "fuzz/shrink.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace slc::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::istringstream is(source);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::ostringstream os;
+  for (const std::string& line : lines)
+    if (!line.empty()) os << line << '\n';
+  return os.str();
+}
+
+/// Removes the last top-level binary term of an assignment line:
+/// "A[i] = B[i] + C[i] * 2.5;" → "A[i] = B[i] + C[i];" → "A[i] = B[i];".
+/// Returns empty when there is nothing left to trim.
+std::string trim_last_term(const std::string& line) {
+  std::size_t eq = line.find('=');
+  std::size_t semi = line.rfind(';');
+  if (eq == std::string::npos || semi == std::string::npos || semi < eq)
+    return {};
+  // Find the last binary operator after '=' that is not inside brackets.
+  int depth = 0;
+  std::size_t cut = std::string::npos;
+  for (std::size_t i = eq + 1; i < semi; ++i) {
+    char c = line[i];
+    if (c == '[' || c == '(') ++depth;
+    if (c == ']' || c == ')') --depth;
+    if (depth != 0) continue;
+    if ((c == '+' || c == '-' || c == '*') && i > eq + 2 &&
+        line[i - 1] == ' ' && i + 1 < semi && line[i + 1] == ' ')
+      cut = i - 1;
+  }
+  if (cut == std::string::npos) return {};
+  return line.substr(0, cut) + line.substr(semi);
+}
+
+}  // namespace
+
+std::string shrink(const std::string& source,
+                   const ShrinkPredicate& still_fails,
+                   const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st = ShrinkStats{};
+
+  std::vector<std::string> lines = split_lines(source);
+  auto attempt = [&](const std::vector<std::string>& candidate) {
+    if (st.attempts >= options.max_attempts) return false;
+    ++st.attempts;
+    return still_fails(join_lines(candidate));
+  };
+
+  // Pass 1 (to fixpoint): greedy single-line deletion. Deleting a line
+  // the program needs (a declaration, the for header, a brace) makes the
+  // candidate unparseable, which the predicate rejects — no syntactic
+  // knowledge needed here.
+  bool progress = true;
+  while (progress && st.attempts < options.max_attempts) {
+    progress = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].empty()) continue;
+      std::vector<std::string> candidate = lines;
+      candidate[i].clear();
+      if (attempt(candidate)) {
+        lines = std::move(candidate);
+        ++st.removed_lines;
+        progress = true;
+      }
+    }
+  }
+
+  // Pass 2 (to fixpoint): trim trailing expression terms inside the
+  // surviving assignment lines.
+  progress = true;
+  while (progress && st.attempts < options.max_attempts) {
+    progress = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string trimmed = trim_last_term(lines[i]);
+      if (trimmed.empty() || trimmed == lines[i]) continue;
+      std::vector<std::string> candidate = lines;
+      candidate[i] = trimmed;
+      if (attempt(candidate)) {
+        lines = std::move(candidate);
+        ++st.trimmed_terms;
+        progress = true;
+      }
+    }
+  }
+  return join_lines(lines);
+}
+
+}  // namespace slc::fuzz

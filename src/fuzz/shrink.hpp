@@ -1,0 +1,36 @@
+// Test-case reduction for slc_fuzz repros. The loop generator emits one
+// declaration or statement per line, so shrinking works on the source
+// text: greedily delete lines, then trim trailing expression terms, while
+// a caller-supplied predicate confirms the failure still reproduces.
+// The result is the minimal repro archived in tests/corpus/.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace slc::fuzz {
+
+/// Returns true when `candidate` still exhibits the failure being
+/// shrunk. Predicates should match on failure kind (not exact message)
+/// so reduction does not drift onto an unrelated bug.
+using ShrinkPredicate = std::function<bool(const std::string& candidate)>;
+
+struct ShrinkOptions {
+  int max_attempts = 500;  // predicate-evaluation budget
+};
+
+struct ShrinkStats {
+  int attempts = 0;        // predicate evaluations spent
+  int removed_lines = 0;
+  int trimmed_terms = 0;
+};
+
+/// Shrinks `source` as far as the budget allows; every returned candidate
+/// satisfied the predicate. Returns `source` unchanged if nothing smaller
+/// reproduces.
+[[nodiscard]] std::string shrink(const std::string& source,
+                                 const ShrinkPredicate& still_fails,
+                                 const ShrinkOptions& options = {},
+                                 ShrinkStats* stats = nullptr);
+
+}  // namespace slc::fuzz

@@ -210,6 +210,7 @@ class SlotStore {
 struct BreakException {};
 struct AbortException {
   std::string message;
+  AbortKind kind = AbortKind::BadProgram;
 };
 
 template <class Store>
@@ -227,7 +228,8 @@ class Engine {
  private:
   void tick() {
     if (++steps_ > options_.max_steps)
-      throw AbortException{"step limit exceeded (possible infinite loop)"};
+      throw AbortException{"step limit exceeded (possible infinite loop)",
+                           AbortKind::StepLimit};
   }
 
   // -- declarations ---------------------------------------------------------
@@ -300,14 +302,16 @@ class Engine {
       if (options_.check_bounds &&
           (idx < 0 || (d < a.dims.size() && idx >= a.dims[d]))) {
         throw AbortException{"array index out of bounds: " + ref.name + "[" +
-                             std::to_string(idx) + "] (dim " +
-                             std::to_string(d) + ")"};
+                                 std::to_string(idx) + "] (dim " +
+                                 std::to_string(d) + ")",
+                             AbortKind::OutOfBounds};
       }
       flat = flat * (d < a.dims.size() ? a.dims[d] : 1) + idx;
     }
     if (options_.check_bounds &&
         (flat < 0 || flat >= a.size()))
-      throw AbortException{"flattened index out of bounds in " + ref.name};
+      throw AbortException{"flattened index out of bounds in " + ref.name,
+                           AbortKind::OutOfBounds};
     return flat;
   }
 
@@ -460,10 +464,14 @@ class Engine {
       case BinaryOp::Sub: return Value::of_int(x - y);
       case BinaryOp::Mul: return Value::of_int(x * y);
       case BinaryOp::Div:
-        if (y == 0) throw AbortException{"integer division by zero"};
+        if (y == 0)
+          throw AbortException{"integer division by zero",
+                               AbortKind::DivideByZero};
         return Value::of_int(x / y);
       case BinaryOp::Mod:
-        if (y == 0) throw AbortException{"integer modulo by zero"};
+        if (y == 0)
+          throw AbortException{"integer modulo by zero",
+                               AbortKind::DivideByZero};
         return Value::of_int(x % y);
       default:
         throw AbortException{"bad int op"};
@@ -602,7 +610,9 @@ class Engine {
       case BinaryOp::Sub: return Value::of_int(x - y);
       case BinaryOp::Mul: return Value::of_int(x * y);
       case BinaryOp::Div:
-        if (y == 0) throw AbortException{"integer division by zero"};
+        if (y == 0)
+          throw AbortException{"integer division by zero",
+                               AbortKind::DivideByZero};
         return Value::of_int(x / y);
       default:
         throw AbortException{"bad compound op"};
@@ -627,9 +637,11 @@ RunResult run_with_store(const InterpOptions& options, const Program& program,
   } catch (const AbortException& e) {
     result.ok = false;
     result.error = e.message;
+    result.abort_kind = e.kind;
   } catch (const BreakException&) {
     result.ok = false;
     result.error = "break outside of loop";
+    result.abort_kind = AbortKind::BadProgram;
   }
   result.steps = engine.steps();
   result.memory = store.take_memory();
@@ -644,16 +656,36 @@ RunResult Interpreter::run(const Program& program, std::uint64_t seed) {
              : run_with_store<MapStore>(options_, program, seed);
 }
 
-std::string check_equivalent(const Program& a, const Program& b,
-                             std::uint64_t seed, InterpOptions options) {
+EquivalenceResult check_equivalence(const Program& a, const Program& b,
+                                    std::uint64_t seed,
+                                    InterpOptions options) {
+  EquivalenceResult result;
   Interpreter interp(options);
   RunResult ra = interp.run(a, seed);
-  if (!ra.ok) return "original program failed: " + ra.error;
+  if (!ra.ok) {
+    result.status = EquivalenceResult::Status::OriginalFailed;
+    result.abort_kind = ra.abort_kind;
+    result.detail = "original program failed: " + ra.error;
+    return result;
+  }
   RunResult rb = interp.run(b, seed);
-  if (!rb.ok) return "transformed program failed: " + rb.error;
+  if (!rb.ok) {
+    result.status = EquivalenceResult::Status::TransformedFailed;
+    result.abort_kind = rb.abort_kind;
+    result.detail = "transformed program failed: " + rb.error;
+    return result;
+  }
   std::string d = ra.memory.diff(rb.memory);
-  if (!d.empty()) return "memory differs: " + d;
-  return "";
+  if (!d.empty()) {
+    result.status = EquivalenceResult::Status::Mismatch;
+    result.detail = "memory differs: " + d;
+  }
+  return result;
+}
+
+std::string check_equivalent(const Program& a, const Program& b,
+                             std::uint64_t seed, InterpOptions options) {
+  return check_equivalence(a, b, seed, options).detail;
 }
 
 }  // namespace slc::interp

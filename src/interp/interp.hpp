@@ -93,9 +93,21 @@ struct InterpOptions {
   bool resolve_slots = true;
 };
 
+/// Machine-readable classification of an interpreter abort, so the
+/// harness can record a structured Failure instead of parsing message
+/// strings. `None` when the run succeeded.
+enum class AbortKind : std::uint8_t {
+  None,
+  DivideByZero,
+  OutOfBounds,
+  StepLimit,
+  BadProgram,  // undeclared names, malformed nodes, break outside loop
+};
+
 struct RunResult {
   bool ok = false;
   std::string error;           // set when !ok
+  AbortKind abort_kind = AbortKind::None;  // classification when !ok
   std::uint64_t steps = 0;     // statements executed
   MemoryImage memory;
 };
@@ -124,8 +136,30 @@ class Interpreter {
                                            const std::string& name,
                                            std::int64_t index);
 
-/// Convenience: run both programs on the same seed and compare images.
-/// Returns empty string when equivalent, else a description.
+/// Structured equivalence verdict: which program (if any) failed and how,
+/// so the fail-safe harness can record a classified Failure.
+struct EquivalenceResult {
+  enum class Status : std::uint8_t {
+    Equivalent,
+    OriginalFailed,     // the reference program itself aborted
+    TransformedFailed,  // the transformed program aborted
+    Mismatch,           // both ran; final memory images differ
+  };
+  Status status = Status::Equivalent;
+  AbortKind abort_kind = AbortKind::None;  // set for *Failed statuses
+  std::string detail;                      // human-readable description
+
+  [[nodiscard]] bool ok() const { return status == Status::Equivalent; }
+};
+
+/// Runs both programs on the same seed and compares memory images.
+[[nodiscard]] EquivalenceResult check_equivalence(const ast::Program& a,
+                                                  const ast::Program& b,
+                                                  std::uint64_t seed = 0,
+                                                  InterpOptions options = {});
+
+/// Convenience wrapper around check_equivalence: returns empty string
+/// when equivalent, else a description.
 [[nodiscard]] std::string check_equivalent(const ast::Program& a,
                                            const ast::Program& b,
                                            std::uint64_t seed = 0,

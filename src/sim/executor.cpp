@@ -9,6 +9,7 @@
 #include "machine/sched.hpp"
 #include "machine/sms.hpp"
 #include "sim/cache.hpp"
+#include "support/fault.hpp"
 
 namespace slc::sim {
 
@@ -716,6 +717,16 @@ class Executor {
 
 SimResult simulate(const MirProgram& program, const MachineModel& model,
                    const SimOptions& options) {
+  // Fail-safe pipeline injection point: lets tests force a simulator
+  // failure without constructing an unsimulatable program.
+  if (support::fault::enabled()) {
+    if (auto f = support::fault::trigger(support::Stage::Simulate,
+                                         options.fault_label)) {
+      SimResult result;
+      result.error = f->str();
+      return result;
+    }
+  }
   Executor executor(program, model, options);
   return executor.run();
 }

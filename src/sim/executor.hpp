@@ -46,6 +46,9 @@ struct SimOptions {
   std::uint64_t seed = 0;        // memory-fill seed (same as interpreter)
   std::uint64_t max_insts = 200'000'000;
   machine::ImsOptions ims;
+  /// Kernel/program label matched against fault-injection @filters
+  /// (support/fault.hpp). Purely diagnostic; empty is fine.
+  std::string fault_label;
 };
 
 /// Per-innermost-loop statistics (the paper reports II and bundle counts

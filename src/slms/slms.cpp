@@ -13,6 +13,7 @@
 #include "slms/decompose.hpp"
 #include "slms/ifconvert.hpp"
 #include "slms/pipeliner.hpp"
+#include "support/fault.hpp"
 #include "support/int_math.hpp"
 
 namespace slc::slms {
@@ -257,6 +258,12 @@ SlmsResult transform_loop(const ForStmt& loop, const Program& program,
         options.eager_mve && options.renaming == RenamingChoice::Mve;
     auto defuse = analyze_scalars(mis, info.iv);
     for (const std::string& name : planned) {
+      // Deliberate miscompile used to validate the differential fuzzer
+      // (support/fault.hpp, `bug:mve-skip-rename`): the scalar's anti/
+      // output dependences were already dropped from the DDG on the
+      // promise of renaming, so skipping the rename lets overlapped
+      // lifetimes in the pipelined kernel read clobbered values.
+      if (support::fault::bug_planted("mve-skip-rename")) continue;
       const ScalarDefUse& du = defuse.at(name);
       if (du.uses.empty()) continue;
       std::int64_t sig_def = sched->sigma[std::size_t(du.defs.front())];

@@ -1,0 +1,75 @@
+#include "support/failure.hpp"
+
+#include <sstream>
+
+namespace slc::support {
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::Parse: return "parse";
+    case Stage::Sema: return "sema";
+    case Stage::Analysis: return "analysis";
+    case Stage::Slms: return "slms";
+    case Stage::Lower: return "lower";
+    case Stage::Schedule: return "schedule";
+    case Stage::Simulate: return "simulate";
+    case Stage::Oracle: return "oracle";
+    case Stage::Harness: return "harness";
+  }
+  return "?";
+}
+
+std::optional<Stage> parse_stage(std::string_view name) {
+  if (name == "parse") return Stage::Parse;
+  if (name == "sema") return Stage::Sema;
+  if (name == "analysis") return Stage::Analysis;
+  if (name == "slms") return Stage::Slms;
+  if (name == "lower") return Stage::Lower;
+  if (name == "schedule") return Stage::Schedule;
+  if (name == "simulate") return Stage::Simulate;
+  if (name == "oracle") return Stage::Oracle;
+  if (name == "harness") return Stage::Harness;
+  return std::nullopt;
+}
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::ParseError: return "parse-error";
+    case FailureKind::SemaError: return "sema-error";
+    case FailureKind::TransformError: return "transform-error";
+    case FailureKind::LowerError: return "lower-error";
+    case FailureKind::ScheduleError: return "schedule-error";
+    case FailureKind::SimError: return "sim-error";
+    case FailureKind::OracleMismatch: return "oracle-mismatch";
+    case FailureKind::DivideByZero: return "divide-by-zero";
+    case FailureKind::OutOfBounds: return "out-of-bounds";
+    case FailureKind::StepLimit: return "step-limit";
+    case FailureKind::DeadlineExceeded: return "deadline-exceeded";
+    case FailureKind::Exception: return "exception";
+    case FailureKind::Injected: return "injected";
+    case FailureKind::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string Failure::brief() const {
+  std::ostringstream os;
+  os << to_string(stage) << '/' << to_string(kind) << ": " << message;
+  return os.str();
+}
+
+std::string Failure::str() const {
+  std::ostringstream os;
+  os << brief();
+  if (!kernel.empty() || !options.empty()) {
+    os << " [";
+    if (!kernel.empty()) os << "kernel=" << kernel;
+    if (!kernel.empty() && !options.empty()) os << ", ";
+    if (!options.empty()) os << "options=" << options;
+    os << ']';
+  }
+  if (transient) os << " (transient)";
+  return os.str();
+}
+
+}  // namespace slc::support

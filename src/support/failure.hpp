@@ -1,0 +1,135 @@
+// Structured failure taxonomy for the fail-safe transformation pipeline.
+//
+// Every stage of the experiment pipeline (parse → sema → analysis → SLMS →
+// lower → schedule → simulate → oracle) reports errors through this channel
+// instead of leaking exceptions: a `Failure` names the stage that broke, a
+// machine-readable kind, and enough context (kernel, options) to reproduce
+// the row. `Result<T>` carries either a value or a Failure through the
+// pipeline; `Deadline` is the per-row wall-clock guard the harness uses to
+// bound a single comparison.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace slc::support {
+
+/// The pipeline stages a failure can be attributed to, in pipeline order.
+/// `Harness` covers infrastructure faults (worker exceptions, deadlines)
+/// that do not belong to a specific compiler stage.
+enum class Stage : std::uint8_t {
+  Parse,
+  Sema,
+  Analysis,
+  Slms,
+  Lower,
+  Schedule,
+  Simulate,
+  Oracle,
+  Harness,
+};
+
+[[nodiscard]] const char* to_string(Stage stage);
+[[nodiscard]] std::optional<Stage> parse_stage(std::string_view name);
+
+/// What went wrong, independent of where. `Injected` marks failures
+/// produced by the fault-injection facility (support/fault.hpp) so tests
+/// can tell deliberate faults from organic ones.
+enum class FailureKind : std::uint8_t {
+  ParseError,
+  SemaError,
+  TransformError,    // SLMS/xform refused or produced nothing measurable
+  LowerError,
+  ScheduleError,
+  SimError,
+  OracleMismatch,    // transformed program disagrees with the reference
+  DivideByZero,      // interpreter abort: integer division/modulo by zero
+  OutOfBounds,       // interpreter abort: array access out of bounds
+  StepLimit,         // interpreter/simulator step budget exhausted
+  DeadlineExceeded,  // per-row wall-clock guard fired
+  Exception,         // an exception escaped a stage and was captured
+  Injected,          // produced by the fault-injection facility
+  Unknown,
+};
+
+[[nodiscard]] const char* to_string(FailureKind kind);
+
+/// One structured pipeline failure. `transient` marks failures a retry may
+/// clear (the fault injector's fail-once kind sets it); the harness retries
+/// those once before degrading.
+struct Failure {
+  Stage stage = Stage::Harness;
+  FailureKind kind = FailureKind::Unknown;
+  std::string message;
+  std::string kernel;   // kernel / program name, empty when standalone
+  std::string options;  // backend label, variant, flags — repro context
+  bool transient = false;
+
+  /// "stage/kind: message [kernel=..., options=...]"
+  [[nodiscard]] std::string str() const;
+  /// "stage/kind: message" — the short form for table cells.
+  [[nodiscard]] std::string brief() const;
+};
+
+[[nodiscard]] inline Failure make_failure(Stage stage, FailureKind kind,
+                                          std::string message) {
+  Failure f;
+  f.stage = stage;
+  f.kind = kind;
+  f.message = std::move(message);
+  return f;
+}
+
+/// Value-or-Failure channel for pipeline stages. Deliberately minimal:
+/// construct from a T or a Failure, test with ok(), and take the payload.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                 // NOLINT
+  Result(Failure failure) : v_(std::move(failure)) {}       // NOLINT
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() { return std::get<T>(v_); }
+  [[nodiscard]] const T& value() const { return std::get<T>(v_); }
+  [[nodiscard]] T take() { return std::move(std::get<T>(v_)); }
+  [[nodiscard]] const Failure& failure() const {
+    return std::get<Failure>(v_);
+  }
+
+ private:
+  std::variant<T, Failure> v_;
+};
+
+/// Per-row wall-clock guard. `unlimited()` never expires; `after_ms(0)`
+/// is also unlimited so a plain integer option wires through directly.
+class Deadline {
+ public:
+  [[nodiscard]] static Deadline unlimited() { return Deadline{}; }
+  [[nodiscard]] static Deadline after_ms(std::uint64_t ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.active_ = true;
+      d.end_ = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(ms);
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] bool expired() const {
+    return active_ && std::chrono::steady_clock::now() >= end_;
+  }
+
+ private:
+  bool active_ = false;
+  std::chrono::steady_clock::time_point end_{};
+};
+
+}  // namespace slc::support

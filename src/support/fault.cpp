@@ -1,0 +1,199 @@
+#include "support/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slc::support::fault {
+
+namespace {
+
+enum class FaultKind { Throw, Fail, FailOnce, Delay };
+
+struct FaultSpec {
+  Stage stage = Stage::Harness;
+  FaultKind kind = FaultKind::Fail;
+  int delay_ms = 0;
+  std::string kernel_filter;        // substring match; empty = all
+  std::atomic<bool> spent{false};   // fail-once: already fired?
+};
+
+struct Config {
+  std::mutex mu;
+  std::deque<FaultSpec> specs;      // deque: FaultSpec holds an atomic
+  std::vector<std::string> bugs;
+};
+
+Config& config() {
+  static Config c;
+  return c;
+}
+
+// Fast-path flag: trigger() is called on every pipeline stage of every
+// row, so the disarmed case must not take the config mutex.
+std::atomic<bool> g_enabled{false};
+
+bool parse_one(std::string_view item, Config& c, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg + ": '" + std::string(item) + "'";
+    return false;
+  };
+
+  // bug:<name> — a planted miscompile, no stage/kind grammar.
+  constexpr std::string_view kBugPrefix = "bug:";
+  if (item.substr(0, kBugPrefix.size()) == kBugPrefix) {
+    std::string name(item.substr(kBugPrefix.size()));
+    if (name.empty()) return fail("empty bug name");
+    c.bugs.push_back(std::move(name));
+    return true;
+  }
+
+  std::size_t colon = item.find(':');
+  if (colon == std::string_view::npos)
+    return fail("expected stage:kind");
+  std::optional<Stage> stage = parse_stage(item.substr(0, colon));
+  if (!stage) return fail("unknown stage");
+
+  std::string_view rest = item.substr(colon + 1);
+  std::string kernel_filter;
+  if (std::size_t at = rest.find('@'); at != std::string_view::npos) {
+    kernel_filter = std::string(rest.substr(at + 1));
+    rest = rest.substr(0, at);
+  }
+
+  FaultSpec spec;
+  spec.stage = *stage;
+  spec.kernel_filter = std::move(kernel_filter);
+  constexpr std::string_view kDelayPrefix = "delay=";
+  if (rest == "throw") {
+    spec.kind = FaultKind::Throw;
+  } else if (rest == "fail") {
+    spec.kind = FaultKind::Fail;
+  } else if (rest == "fail-once") {
+    spec.kind = FaultKind::FailOnce;
+  } else if (rest.substr(0, kDelayPrefix.size()) == kDelayPrefix) {
+    spec.kind = FaultKind::Delay;
+    std::string ms(rest.substr(kDelayPrefix.size()));
+    char* end = nullptr;
+    long v = std::strtol(ms.c_str(), &end, 10);
+    if (ms.empty() || end == nullptr || *end != '\0' || v < 0)
+      return fail("bad delay milliseconds");
+    spec.delay_ms = int(v);
+  } else {
+    return fail("unknown fault kind (throw|fail|fail-once|delay=MS)");
+  }
+  c.specs.emplace_back();
+  FaultSpec& stored = c.specs.back();
+  stored.stage = spec.stage;
+  stored.kind = spec.kind;
+  stored.delay_ms = spec.delay_ms;
+  stored.kernel_filter = std::move(spec.kernel_filter);
+  return true;
+}
+
+Failure injected_failure(Stage stage, std::string_view kernel,
+                         bool transient) {
+  Failure f = make_failure(stage, FailureKind::Injected,
+                           std::string("injected fault at stage ") +
+                               to_string(stage));
+  f.kernel = std::string(kernel);
+  f.transient = transient;
+  return f;
+}
+
+}  // namespace
+
+bool configure(const std::string& spec, std::string* error) {
+  Config& c = config();
+  std::unique_lock<std::mutex> lock(c.mu);
+  c.specs.clear();
+  c.bugs.clear();
+  bool ok = true;
+  std::size_t pos = 0;
+  while (pos <= spec.size() && ok) {
+    std::size_t comma = spec.find(',', pos);
+    std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    std::string_view item(spec.data() + pos, end - pos);
+    if (!item.empty()) ok = parse_one(item, c, error);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (!ok) {
+    c.specs.clear();
+    c.bugs.clear();
+  }
+  g_enabled.store(!c.specs.empty() || !c.bugs.empty(),
+                  std::memory_order_release);
+  return ok;
+}
+
+void configure_from_env() {
+  const char* env = std::getenv("SLC_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  std::string error;
+  if (!configure(env, &error))
+    std::cerr << "SLC_FAULT ignored — " << error << "\n";
+}
+
+void clear() {
+  Config& c = config();
+  std::unique_lock<std::mutex> lock(c.mu);
+  c.specs.clear();
+  c.bugs.clear();
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_acquire); }
+
+std::optional<Failure> trigger(Stage stage, std::string_view kernel) {
+  if (!enabled()) return std::nullopt;
+  Config& c = config();
+  FaultKind kind{};
+  int delay_ms = 0;
+  bool matched = false;
+  {
+    std::unique_lock<std::mutex> lock(c.mu);
+    for (FaultSpec& spec : c.specs) {
+      if (spec.stage != stage) continue;
+      if (!spec.kernel_filter.empty() &&
+          kernel.find(spec.kernel_filter) == std::string_view::npos)
+        continue;
+      if (spec.kind == FaultKind::FailOnce &&
+          spec.spent.exchange(true, std::memory_order_acq_rel))
+        continue;  // already fired once
+      kind = spec.kind;
+      delay_ms = spec.delay_ms;
+      matched = true;
+      break;
+    }
+  }
+  if (!matched) return std::nullopt;
+  switch (kind) {
+    case FaultKind::Throw:
+      throw FaultInjected(injected_failure(stage, kernel, false));
+    case FaultKind::Fail:
+      return injected_failure(stage, kernel, false);
+    case FaultKind::FailOnce:
+      return injected_failure(stage, kernel, true);
+    case FaultKind::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool bug_planted(std::string_view name) {
+  if (!enabled()) return false;
+  Config& c = config();
+  std::unique_lock<std::mutex> lock(c.mu);
+  for (const std::string& bug : c.bugs)
+    if (bug == name) return true;
+  return false;
+}
+
+}  // namespace slc::support::fault

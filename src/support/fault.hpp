@@ -1,0 +1,78 @@
+// Compile-time-cheap fault injection for the fail-safe pipeline.
+//
+// The recovery paths in the harness (per-row exception capture, graceful
+// degradation, retry of transient failures, the per-row deadline guard)
+// are only trustworthy if they can be exercised on demand. This facility
+// lets tests and the CLI force a fault at any pipeline stage:
+//
+//   SLC_FAULT="slms:throw"              throw at the SLMS stage
+//   SLC_FAULT="oracle:fail"             report a Failure at the oracle stage
+//   SLC_FAULT="lower:fail-once"         fail the first hit only (transient;
+//                                       the harness retry must clear it)
+//   SLC_FAULT="simulate:delay=50"       sleep 50 ms (trips the deadline
+//                                       guard without failing outright)
+//   SLC_FAULT="slms:throw@kernel8"      only rows whose kernel name
+//                                       contains "kernel8"
+//   SLC_FAULT="bug:mve-skip-rename"     plant a named miscompile bug (used
+//                                       to validate the differential fuzzer
+//                                       end to end: it must catch this)
+//
+// Multiple specs are comma-separated. The same spec grammar is accepted by
+// `slc --fault=` and `slc_fuzz --fault=`. When no fault is armed the per-
+// stage check is one relaxed atomic load — cheap enough to leave in hot
+// harness paths unconditionally.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "support/failure.hpp"
+
+namespace slc::support::fault {
+
+/// Exception thrown by the `throw` fault kind. Carries the structured
+/// Failure so capture sites can record it without re-classifying.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(Failure failure)
+      : std::runtime_error(failure.str()), failure_(std::move(failure)) {}
+  [[nodiscard]] const Failure& failure() const { return failure_; }
+
+ private:
+  Failure failure_;
+};
+
+/// Arms faults from a spec string (see the grammar above). Replaces any
+/// previously armed faults. Returns false (and sets *error) on a malformed
+/// spec; the armed set is left empty in that case.
+bool configure(const std::string& spec, std::string* error = nullptr);
+
+/// Arms faults from the SLC_FAULT environment variable if it is set.
+/// Malformed env specs are reported on stderr and ignored.
+void configure_from_env();
+
+/// Disarms every fault and resets fail-once counters.
+void clear();
+
+/// True when any fault is armed (single relaxed atomic load).
+[[nodiscard]] bool enabled();
+
+/// The per-stage injection point. Returns nullopt in the common (disarmed
+/// or non-matching) case. For an armed matching spec:
+///   throw     — throws FaultInjected
+///   fail      — returns a Failure{stage, Injected}
+///   fail-once — returns a transient Failure on the first match only
+///   delay     — sleeps, then returns nullopt
+/// `kernel` is matched as a substring against the spec's @filter; an empty
+/// filter matches every kernel.
+[[nodiscard]] std::optional<Failure> trigger(Stage stage,
+                                             std::string_view kernel = {});
+
+/// True when `configure` armed the named miscompile bug (`bug:<name>`).
+/// Transformation passes consult this to deliberately emit wrong code so
+/// the differential fuzzer's detection path can be validated.
+[[nodiscard]] bool bug_planted(std::string_view name);
+
+}  // namespace slc::support::fault

@@ -5,6 +5,7 @@
 #include <exception>
 #include <memory>
 #include <string>
+#include <utility>
 
 namespace slc::support {
 
@@ -40,6 +41,11 @@ void ThreadPool::wait_idle() {
   if (threads_.empty()) return;
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker() {
@@ -53,9 +59,15 @@ void ThreadPool::worker() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }

@@ -9,8 +9,10 @@
 //  * plain mutex + condition-variable queue — task granularity here is a
 //    whole kernel comparison (milliseconds), so queue contention is
 //    negligible and work stealing would buy nothing;
-//  * tasks must not throw; `parallel_for` captures the first exception
-//    and rethrows it on the calling thread after the batch drains;
+//  * tasks may throw: a worker captures any exception escaping a task and
+//    `wait_idle()` rethrows the first one on the calling thread after the
+//    queue drains (remaining tasks still run). Exceptions pending at
+//    destruction are swallowed — call wait_idle() to observe them;
 //  * pool size 0/1 degenerates to inline execution (no threads spawned),
 //    so `--jobs 1` runs are plain sequential code under a debugger.
 #pragma once
@@ -18,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,11 +38,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw (std::terminate otherwise in
-  /// worker context); wrap fallible work in try/catch.
+  /// Enqueues a task. A task that throws does not terminate the process:
+  /// the worker captures the exception and wait_idle() rethrows it. In
+  /// inline mode (0/1 threads) the exception propagates directly here.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is executing.
+  /// Blocks until the queue is empty and no task is executing, then
+  /// rethrows the first exception any task threw since the last call
+  /// (clearing it). Subsequent calls return normally.
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const { return threads_.size(); }
@@ -54,6 +60,7 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // first task exception, for wait_idle
 };
 
 /// Effective parallelism for a request: `requested` > 0 wins; otherwise

@@ -1,0 +1,13 @@
+// Clean regression seed: guarded store with a scalar temp — exercises
+// if-conversion combined with scalar expansion.
+double A[128];
+double C[128];
+double s0;
+double s1;
+int i;
+for (i = 4; i < 100; i += 1) {
+  s0 = C[i] - 2.0;
+  if (C[i] < s0) A[i] = s0;
+  s1 = A[i] + C[i - 2];
+  C[i] = s1 * 0.25;
+}

@@ -1,0 +1,10 @@
+// slc_fuzz repro (shrunk): seed=75 variant=mve-eager
+// failure: oracle/oracle-mismatch: memory differs: array A[6]: 0 vs -1 (input seed 0)
+double A[128];
+double s0;
+int i;
+for (i = 8; i < 22; i += 1) {
+  if (A[i + 3] < i) A[i - 2] = 2.5;
+  s0 = i;
+  A[i - 2] = i - s0;
+}

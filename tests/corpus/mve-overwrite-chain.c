@@ -1,0 +1,12 @@
+// slc_fuzz repro (shrunk): seed=158 variant=mve-eager
+// failure: oracle/oracle-mismatch: memory differs: scalar s1: 8.40474e+07 vs 8.63382e+07 (input seed 0)
+double B[128];
+double s0;
+double s1;
+int i;
+for (i = 4; i < 72; i += 1) {
+  s0 = i;
+  s1 = 9.5;
+  B[i + 2] = s1;
+  B[i + 2] = B[i + 1] + s0;
+}

@@ -1,0 +1,12 @@
+// slc_fuzz repro (shrunk): seed=83 variant=mve-eager
+// failure: oracle/oracle-mismatch: memory differs: scalar s0: 5.08545e+166 vs 5.85472e+163 (input seed 0)
+double B[128];
+double C[128];
+double s0;
+double s1;
+int i;
+for (i = 8; i < 12; i += 1) {
+  s1 = C[i + 3];
+  C[i + 3] = i;
+  C[i - 1] = s1;
+}

@@ -1,0 +1,11 @@
+// Clean regression seed: loop-carried recurrence + accumulator, the shape
+// MVE renaming must get right (kept from an early fuzzing sweep).
+double A[128];
+double B[128];
+double s0;
+int i;
+for (i = 2; i < 96; i += 1) {
+  s0 = A[i - 1] * 0.5;
+  A[i] = s0 + B[i];
+  B[i] = B[i] + 1.0;
+}

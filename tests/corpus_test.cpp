@@ -1,0 +1,85 @@
+// Corpus replay: every program archived in tests/corpus/ runs through the
+// full differential check on every test run. The corpus holds shrunk
+// repros from past fuzzing finds plus hand-picked regression seeds — a
+// clean tree must pass all of them, and the planted-bug repros must fail
+// again when the bug is re-armed (proving the corpus actually replays the
+// original finds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "support/fault.hpp"
+
+#ifndef SLC_CORPUS_DIR
+#error "SLC_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace slc {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fault = support::fault;
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& e : fs::directory_iterator(SLC_CORPUS_DIR))
+    if (e.path().extension() == ".c") files.push_back(e.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Interpreter-only replay keeps the test fast; the simulator cross-check
+/// runs in CI's fixed-seed fuzz job.
+fuzz::DiffOptions replay_options() {
+  fuzz::DiffOptions o;
+  o.check_backends = false;
+  return o;
+}
+
+TEST(CorpusReplay, CorpusIsNotEmpty) {
+  EXPECT_GE(corpus_files().size(), 3u) << "corpus dir: " << SLC_CORPUS_DIR;
+}
+
+TEST(CorpusReplay, EveryProgramPassesClean) {
+  fault::clear();
+  for (const fs::path& path : corpus_files()) {
+    std::string source = read_file(path);
+    ASSERT_FALSE(source.empty()) << path;
+    fuzz::DiffVerdict v = fuzz::differential_check(source, replay_options());
+    EXPECT_TRUE(v.ok) << path.filename() << ": " << v.str();
+  }
+}
+
+TEST(CorpusReplay, PlantedBugReprosFailAgainWhenBugIsArmed) {
+  // The mve-*.c entries were shrunk from fuzzing finds under the planted
+  // mve-skip-rename bug; re-arming it must reproduce every one of them.
+  std::string error;
+  ASSERT_TRUE(fault::configure("bug:mve-skip-rename", &error)) << error;
+  int repros = 0;
+  for (const fs::path& path : corpus_files()) {
+    if (path.filename().string().rfind("mve-", 0) != 0) continue;
+    ++repros;
+    std::string source = read_file(path);
+    fuzz::DiffVerdict v = fuzz::differential_check(source, replay_options());
+    EXPECT_FALSE(v.ok) << path.filename()
+                       << " no longer reproduces the planted bug";
+  }
+  fault::clear();
+  EXPECT_GE(repros, 3);
+}
+
+}  // namespace
+}  // namespace slc

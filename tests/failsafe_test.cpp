@@ -1,0 +1,401 @@
+// Tests for the fail-safe transformation pipeline: the structured failure
+// taxonomy (support/failure.hpp), the fault-injection facility
+// (support/fault.hpp), graceful degradation and resource guards in the
+// driver, and the end-to-end error paths (divide-by-zero, out-of-bounds,
+// interpreter step budget) that must surface as recorded Failure rows
+// instead of crashes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "kernels/kernels.hpp"
+#include "support/failure.hpp"
+#include "support/fault.hpp"
+
+namespace slc {
+namespace {
+
+namespace fault = support::fault;
+using support::Failure;
+using support::FailureKind;
+using support::Stage;
+
+/// Arms a fault spec for the lifetime of one test scope. Fault state is
+/// process-global, so every test that arms one must disarm on exit.
+struct FaultScope {
+  explicit FaultScope(const std::string& spec) {
+    std::string error;
+    EXPECT_TRUE(fault::configure(spec, &error)) << error;
+  }
+  ~FaultScope() { fault::clear(); }
+};
+
+kernels::Kernel make_kernel(std::string name, std::string source) {
+  kernels::Kernel k;
+  k.name = std::move(name);
+  k.suite = "test";
+  k.source = std::move(source);
+  return k;
+}
+
+/// Every deterministic field of a row — everything except the wall-clock
+/// and cache-provenance fields, which legitimately vary run to run.
+std::string serialize_row(const driver::ComparisonRow& r) {
+  std::ostringstream os;
+  os << r.kernel << '|' << r.suite << '|' << r.ok << '|' << r.degraded
+     << '|' << r.slms_applied << '|' << r.slms_skip_reason << '|'
+     << r.report.ii << '|' << r.report.unroll << '|' << r.cycles_base << '|'
+     << r.cycles_slms << '|' << r.energy_base << '|' << r.energy_slms << '|'
+     << r.misses_base << '|' << r.misses_slms << '|'
+     << (r.failure ? r.failure->str() : std::string("-"));
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Failure / Result / Deadline
+// ---------------------------------------------------------------------------
+
+TEST(Failure, BriefAndFullFormat) {
+  Failure f = support::make_failure(Stage::Oracle,
+                                    FailureKind::OracleMismatch,
+                                    "memory differs");
+  EXPECT_EQ(f.brief(), "oracle/oracle-mismatch: memory differs");
+  EXPECT_EQ(f.str(), f.brief());
+
+  f.kernel = "kernel8";
+  f.options = "weak -O3";
+  f.transient = true;
+  EXPECT_EQ(f.str(),
+            "oracle/oracle-mismatch: memory differs "
+            "[kernel=kernel8, options=weak -O3] (transient)");
+}
+
+TEST(Failure, StageNamesRoundTrip) {
+  for (Stage s : {Stage::Parse, Stage::Sema, Stage::Analysis, Stage::Slms,
+                  Stage::Lower, Stage::Schedule, Stage::Simulate,
+                  Stage::Oracle, Stage::Harness}) {
+    std::optional<Stage> back = support::parse_stage(support::to_string(s));
+    ASSERT_TRUE(back.has_value()) << support::to_string(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(support::parse_stage("bogus").has_value());
+}
+
+TEST(Failure, ResultCarriesValueOrFailure) {
+  support::Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(good.take(), 42);
+
+  support::Result<int> bad(
+      support::make_failure(Stage::Slms, FailureKind::TransformError, "no"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.failure().kind, FailureKind::TransformError);
+}
+
+TEST(Deadline, UnlimitedAndZeroNeverExpire) {
+  EXPECT_FALSE(support::Deadline::unlimited().expired());
+  EXPECT_FALSE(support::Deadline::after_ms(0).active());
+  EXPECT_FALSE(support::Deadline::after_ms(0).expired());
+}
+
+TEST(Deadline, FarFutureNotExpiredYet) {
+  support::Deadline d = support::Deadline::after_ms(60'000);
+  EXPECT_TRUE(d.active());
+  EXPECT_FALSE(d.expired());
+}
+
+// ---------------------------------------------------------------------------
+// fault spec parsing + trigger semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultConfig, ParsesEveryKindAndFilter) {
+  FaultScope scope(
+      "parse:throw,slms:fail@kernel8,oracle:fail-once,simulate:delay=1,"
+      "bug:mve-skip-rename");
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_TRUE(fault::bug_planted("mve-skip-rename"));
+  EXPECT_FALSE(fault::bug_planted("other-bug"));
+}
+
+TEST(FaultConfig, RejectsMalformedSpecs) {
+  for (const char* bad : {"bogus:fail", "slms:what", "slms", "bug:",
+                          "simulate:delay=abc", "simulate:delay=-3"}) {
+    std::string error;
+    EXPECT_FALSE(fault::configure(bad, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_FALSE(fault::enabled()) << bad;  // bad spec leaves nothing armed
+  }
+  fault::clear();
+}
+
+TEST(FaultTrigger, DisarmedReturnsNothing) {
+  fault::clear();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::trigger(Stage::Slms, "kernel1").has_value());
+}
+
+TEST(FaultTrigger, FailReturnsInjectedFailureAtMatchingStageOnly) {
+  FaultScope scope("slms:fail");
+  EXPECT_FALSE(fault::trigger(Stage::Parse, "k").has_value());
+  std::optional<Failure> f = fault::trigger(Stage::Slms, "k");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->stage, Stage::Slms);
+  EXPECT_EQ(f->kind, FailureKind::Injected);
+  EXPECT_FALSE(f->transient);
+  // fail (unlike fail-once) keeps firing.
+  EXPECT_TRUE(fault::trigger(Stage::Slms, "k").has_value());
+}
+
+TEST(FaultTrigger, ThrowKindThrowsFaultInjected) {
+  FaultScope scope("oracle:throw");
+  EXPECT_THROW((void)fault::trigger(Stage::Oracle, "k"),
+               fault::FaultInjected);
+}
+
+TEST(FaultTrigger, FailOnceIsTransientAndFiresExactlyOnce) {
+  FaultScope scope("lower:fail-once");
+  std::optional<Failure> first = fault::trigger(Stage::Lower, "k");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->transient);
+  EXPECT_FALSE(fault::trigger(Stage::Lower, "k").has_value());
+}
+
+TEST(FaultTrigger, KernelFilterMatchesSubstring) {
+  FaultScope scope("slms:fail@ernel8");
+  EXPECT_FALSE(fault::trigger(Stage::Slms, "kernel1").has_value());
+  EXPECT_TRUE(fault::trigger(Stage::Slms, "kernel8").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// driver: per-stage injection → degrade or fail, never crash
+// ---------------------------------------------------------------------------
+
+const char* kSimpleLoop =
+    "double A[64]; double B[64]; int i;\n"
+    "for (i = 0; i < 60; i += 1) { A[i] = B[i] * 2.0 + 1.0; }\n";
+
+driver::CompareOptions fast_options() {
+  driver::CompareOptions o;
+  o.jobs = 1;
+  return o;
+}
+
+TEST(FailSafePipeline, CleanRowHasNoFailure) {
+  fault::clear();
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("clean", kSimpleLoop), driver::weak_compiler_o3(),
+      fast_options());
+  EXPECT_TRUE(row.ok);
+  EXPECT_FALSE(row.degraded);
+  EXPECT_FALSE(row.failure.has_value());
+  EXPECT_TRUE(row.slms_applied);
+}
+
+TEST(FailSafePipeline, ParseFaultFailsRowWithRecordedFailure) {
+  FaultScope scope("parse:fail");
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("pf", kSimpleLoop), driver::weak_compiler_o3(),
+      fast_options());
+  EXPECT_FALSE(row.ok);
+  ASSERT_TRUE(row.failure.has_value());
+  EXPECT_EQ(row.failure->stage, Stage::Parse);
+  EXPECT_EQ(row.failure->kind, FailureKind::Injected);
+}
+
+TEST(FailSafePipeline, SlmsFaultDegradesToBaseMetrics) {
+  FaultScope scope("slms:fail");
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("sf", kSimpleLoop), driver::weak_compiler_o3(),
+      fast_options());
+  EXPECT_TRUE(row.ok);  // suite keeps the row: base numbers are real
+  EXPECT_TRUE(row.degraded);
+  EXPECT_FALSE(row.slms_applied);
+  EXPECT_EQ(row.cycles_base, row.cycles_slms);
+  ASSERT_TRUE(row.failure.has_value());
+  EXPECT_EQ(row.failure->stage, Stage::Slms);
+  EXPECT_EQ(row.failure->kind, FailureKind::Injected);
+}
+
+TEST(FailSafePipeline, ThrowAtSlmsIsCapturedAndDegrades) {
+  FaultScope scope("slms:throw");
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("st", kSimpleLoop), driver::weak_compiler_o3(),
+      fast_options());
+  EXPECT_TRUE(row.ok);
+  EXPECT_TRUE(row.degraded);
+  ASSERT_TRUE(row.failure.has_value());
+  EXPECT_EQ(row.failure->kind, FailureKind::Injected);
+}
+
+TEST(FailSafePipeline, OracleFaultDegrades) {
+  FaultScope scope("oracle:fail");
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("of", kSimpleLoop), driver::weak_compiler_o3(),
+      fast_options());
+  EXPECT_TRUE(row.ok);
+  EXPECT_TRUE(row.degraded);
+  ASSERT_TRUE(row.failure.has_value());
+  EXPECT_EQ(row.failure->stage, Stage::Oracle);
+}
+
+TEST(FailSafePipeline, ScheduleFaultFailsRow) {
+  FaultScope scope("schedule:fail");
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("schf", kSimpleLoop), driver::weak_compiler_o3(),
+      fast_options());
+  EXPECT_FALSE(row.ok);
+  ASSERT_TRUE(row.failure.has_value());
+  EXPECT_EQ(row.failure->stage, Stage::Schedule);
+}
+
+TEST(FailSafePipeline, SimulateFaultFailsRowViaSimulator) {
+  FaultScope scope("simulate:fail");
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("simf", kSimpleLoop), driver::weak_compiler_o3(),
+      fast_options());
+  EXPECT_FALSE(row.ok);
+  ASSERT_TRUE(row.failure.has_value());
+  EXPECT_EQ(row.failure->stage, Stage::Simulate);
+  EXPECT_EQ(row.failure->kind, FailureKind::Injected);
+}
+
+TEST(FailSafePipeline, FailOnceIsClearedByRetry) {
+  FaultScope scope("parse:fail-once");
+  driver::CompareOptions opts = fast_options();
+  opts.transform_retries = 1;
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("retry", kSimpleLoop), driver::weak_compiler_o3(), opts);
+  EXPECT_TRUE(row.ok) << (row.failure ? row.failure->str() : row.error);
+  EXPECT_FALSE(row.degraded);
+}
+
+TEST(FailSafePipeline, FailOnceWithoutRetryFails) {
+  FaultScope scope("parse:fail-once");
+  driver::CompareOptions opts = fast_options();
+  opts.transform_retries = 0;
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("noretry", kSimpleLoop), driver::weak_compiler_o3(), opts);
+  EXPECT_FALSE(row.ok);
+  ASSERT_TRUE(row.failure.has_value());
+  EXPECT_TRUE(row.failure->transient);
+}
+
+TEST(FailSafePipeline, DelayFaultTripsRowDeadline) {
+  FaultScope scope("parse:delay=60");
+  driver::CompareOptions opts = fast_options();
+  opts.row_deadline_ms = 10;
+  driver::ComparisonRow row = driver::compare_kernel(
+      make_kernel("slow", kSimpleLoop), driver::weak_compiler_o3(), opts);
+  EXPECT_FALSE(row.ok);
+  ASSERT_TRUE(row.failure.has_value());
+  EXPECT_EQ(row.failure->kind, FailureKind::DeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// error paths end-to-end (ISSUE satellite): organic failures must surface
+// as recorded Failure rows through compare_kernels, not crashes
+// ---------------------------------------------------------------------------
+
+TEST(ErrorPaths, DivideByZeroIsRecorded) {
+  fault::clear();
+  kernels::Kernel k = make_kernel(
+      "div0",
+      "int A[64]; int i;\n"
+      "for (i = 0; i < 32; i += 1) { A[i] = 100 / (i - 10); }\n");
+  std::vector<driver::ComparisonRow> rows = driver::compare_kernels(
+      {k}, driver::weak_compiler_o3(), fast_options());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].ok);
+  ASSERT_TRUE(rows[0].failure.has_value());
+  EXPECT_EQ(rows[0].failure->kind, FailureKind::DivideByZero)
+      << rows[0].failure->str();
+}
+
+TEST(ErrorPaths, OutOfBoundsIsRecorded) {
+  fault::clear();
+  kernels::Kernel k = make_kernel(
+      "oob",
+      "double A[64]; double B[64]; int i;\n"
+      "for (i = 0; i < 60; i += 1) { A[i + 100] = B[i] + 1.0; }\n");
+  std::vector<driver::ComparisonRow> rows = driver::compare_kernels(
+      {k}, driver::weak_compiler_o3(), fast_options());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].ok);
+  ASSERT_TRUE(rows[0].failure.has_value());
+  EXPECT_EQ(rows[0].failure->kind, FailureKind::OutOfBounds)
+      << rows[0].failure->str();
+}
+
+TEST(ErrorPaths, InterpreterStepBudgetIsRecorded) {
+  fault::clear();
+  kernels::Kernel k = make_kernel(
+      "steps",
+      "double A[128]; double B[128]; int i;\n"
+      "for (i = 0; i < 120; i += 1) { A[i] = B[i] + 1.0; }\n");
+  driver::CompareOptions opts = fast_options();
+  opts.max_interp_steps = 50;  // far below what 120 iterations need
+  std::vector<driver::ComparisonRow> rows = driver::compare_kernels(
+      {k}, driver::weak_compiler_o3(), opts);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].ok);
+  ASSERT_TRUE(rows[0].failure.has_value());
+  EXPECT_EQ(rows[0].failure->kind, FailureKind::StepLimit)
+      << rows[0].failure->str();
+}
+
+// ---------------------------------------------------------------------------
+// suite-level guarantees under injection
+// ---------------------------------------------------------------------------
+
+TEST(FailSafePipeline, SuiteKeepsRunningAndOtherRowsAreByteIdentical) {
+  fault::clear();
+  driver::CompareOptions opts;
+  opts.jobs = 4;
+  std::vector<driver::ComparisonRow> clean = driver::compare_suite(
+      "livermore", driver::weak_compiler_o3(), opts);
+  ASSERT_FALSE(clean.empty());
+
+  std::vector<driver::ComparisonRow> faulted;
+  {
+    FaultScope scope("slms:fail@kernel8");
+    faulted = driver::compare_suite("livermore",
+                                    driver::weak_compiler_o3(), opts);
+  }
+  ASSERT_EQ(faulted.size(), clean.size());
+  int affected = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (clean[i].kernel == "kernel8") {
+      EXPECT_TRUE(faulted[i].degraded);
+      ASSERT_TRUE(faulted[i].failure.has_value());
+      EXPECT_EQ(faulted[i].failure->kind, FailureKind::Injected);
+      ++affected;
+    } else {
+      // Non-injected rows are byte-identical to the clean run.
+      EXPECT_EQ(serialize_row(clean[i]), serialize_row(faulted[i]))
+          << clean[i].kernel;
+    }
+  }
+  EXPECT_EQ(affected, 1);
+}
+
+TEST(FailSafePipeline, InjectedRowsDeterministicAcrossJobs) {
+  FaultScope scope("oracle:fail@kernel1,slms:throw@kernel7");
+  std::vector<std::string> serialized[2];
+  int idx = 0;
+  for (int jobs : {1, 4}) {
+    driver::CompareOptions opts;
+    opts.jobs = jobs;
+    for (const driver::ComparisonRow& r : driver::compare_suite(
+             "livermore", driver::weak_compiler_o3(), opts))
+      serialized[idx].push_back(serialize_row(r));
+    ++idx;
+  }
+  EXPECT_EQ(serialized[0], serialized[1]);
+}
+
+}  // namespace
+}  // namespace slc

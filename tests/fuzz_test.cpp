@@ -1,0 +1,170 @@
+// Tests for the differential fuzzing harness: generator determinism, the
+// differential checker on known-clean seeds, the shrinking passes, and the
+// end-to-end bug-detection path (a planted miscompile must be caught,
+// shrunk, and the shrunk repro must still fail).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/shrink.hpp"
+#include "support/failure.hpp"
+#include "support/fault.hpp"
+
+namespace slc {
+namespace {
+
+namespace fault = support::fault;
+using support::FailureKind;
+using support::Stage;
+
+struct FaultScope {
+  explicit FaultScope(const std::string& spec) {
+    std::string error;
+    EXPECT_TRUE(fault::configure(spec, &error)) << error;
+  }
+  ~FaultScope() { fault::clear(); }
+};
+
+/// Interpreter-only differential options: fast enough to sweep a seed
+/// range inside a unit test. The simulator cross-check is covered by
+/// slc_fuzz's own smoke test and CI's fixed-seed fuzz job.
+fuzz::DiffOptions interp_only() {
+  fuzz::DiffOptions o;
+  o.check_backends = false;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// generator
+// ---------------------------------------------------------------------------
+
+TEST(LoopGenerator, SameSeedSameProgram) {
+  fuzz::LoopGenerator a(42), b(42);
+  EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(LoopGenerator, DifferentSeedsDiverge) {
+  int distinct = 0;
+  std::string first = fuzz::LoopGenerator(0).generate();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    if (fuzz::LoopGenerator(seed).generate() != first) ++distinct;
+  EXPECT_GT(distinct, 4);
+}
+
+// ---------------------------------------------------------------------------
+// differential checker
+// ---------------------------------------------------------------------------
+
+TEST(Differential, CleanSeedsFindNothing) {
+  fault::clear();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    std::string program = fuzz::LoopGenerator(seed).generate();
+    fuzz::DiffVerdict v = fuzz::differential_check(program, interp_only());
+    EXPECT_TRUE(v.ok) << "seed " << seed << ": " << v.str() << "\n"
+                      << program;
+  }
+}
+
+TEST(Differential, BackendCrossCheckCleanOnAFewSeeds) {
+  fault::clear();
+  fuzz::DiffOptions opts;  // backends on (default)
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    std::string program = fuzz::LoopGenerator(seed).generate();
+    fuzz::DiffVerdict v = fuzz::differential_check(program, opts);
+    EXPECT_TRUE(v.ok) << "seed " << seed << ": " << v.str();
+  }
+}
+
+TEST(Differential, UnparseableProgramIsAParseFailure) {
+  fault::clear();
+  fuzz::DiffVerdict v =
+      fuzz::differential_check("for (i = 0; i <; ) {", interp_only());
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure.stage, Stage::Parse);
+}
+
+// ---------------------------------------------------------------------------
+// shrinking
+// ---------------------------------------------------------------------------
+
+TEST(Shrink, DeletesEveryLineThePredicateDoesNotNeed) {
+  std::string source = "aaa\nbbb\nkeep me\nccc\nddd\n";
+  fuzz::ShrinkStats stats;
+  std::string out = fuzz::shrink(
+      source,
+      [](const std::string& c) { return c.find("keep me") != std::string::npos; },
+      {}, &stats);
+  EXPECT_EQ(out, "keep me\n");
+  EXPECT_EQ(stats.removed_lines, 4);
+}
+
+TEST(Shrink, TrimsTrailingExpressionTerms) {
+  std::string source = "A[i] = B[i] + C[i] * 2.5;\n";
+  std::string out = fuzz::shrink(
+      source,
+      [](const std::string& c) { return c.find("B[i]") != std::string::npos; },
+      {});
+  EXPECT_EQ(out, "A[i] = B[i];\n");
+}
+
+TEST(Shrink, RespectsAttemptBudget) {
+  std::string source;
+  for (int i = 0; i < 50; ++i) source += "line" + std::to_string(i) + "\n";
+  fuzz::ShrinkOptions opts;
+  opts.max_attempts = 10;
+  fuzz::ShrinkStats stats;
+  (void)fuzz::shrink(
+      source, [](const std::string&) { return false; }, opts, &stats);
+  EXPECT_LE(stats.attempts, 10);
+}
+
+// ---------------------------------------------------------------------------
+// end to end: the planted miscompile must be caught and shrunk
+// ---------------------------------------------------------------------------
+
+TEST(Differential, PlantedMveBugIsCaughtAndShrunk) {
+  FaultScope scope("bug:mve-skip-rename");
+
+  // The bug fires on roughly 1% of generated loops; seed 75 is a known
+  // repro, and scanning a small window keeps the test robust if the
+  // generator's stream ever shifts slightly.
+  std::string failing_program;
+  fuzz::DiffVerdict verdict;
+  for (std::uint64_t seed = 70; seed < 130 && failing_program.empty();
+       ++seed) {
+    std::string program = fuzz::LoopGenerator(seed).generate();
+    fuzz::DiffVerdict v = fuzz::differential_check(program, interp_only());
+    if (!v.ok) {
+      failing_program = program;
+      verdict = v;
+    }
+  }
+  ASSERT_FALSE(failing_program.empty())
+      << "planted bug not caught in seed window";
+  EXPECT_EQ(verdict.failure.stage, Stage::Oracle);
+  EXPECT_EQ(verdict.failure.kind, FailureKind::OracleMismatch);
+
+  // Shrink while preserving the failure signature.
+  auto still_fails = [&](const std::string& candidate) {
+    fuzz::DiffVerdict v = fuzz::differential_check(candidate, interp_only());
+    return !v.ok && v.failure.stage == verdict.failure.stage &&
+           v.failure.kind == verdict.failure.kind;
+  };
+  fuzz::ShrinkStats stats;
+  std::string shrunk = fuzz::shrink(failing_program, still_fails, {}, &stats);
+  EXPECT_LT(shrunk.size(), failing_program.size());
+  EXPECT_TRUE(still_fails(shrunk)) << shrunk;
+
+  // The shrunk repro is only a miscompile *under the planted bug*: with
+  // the bug disarmed the same program must pass (that is what makes the
+  // corpus replayable in a clean tree).
+  fault::clear();
+  fuzz::DiffVerdict clean = fuzz::differential_check(shrunk, interp_only());
+  EXPECT_TRUE(clean.ok) << clean.str() << "\n" << shrunk;
+}
+
+}  // namespace
+}  // namespace slc

@@ -43,6 +43,25 @@ TEST(ThreadPool, ParallelForRethrowsWorkerException) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, WaitIdleRethrowsTaskException) {
+  // A throwing task must not terminate the process (the pre-fail-safe
+  // behaviour): the pool captures the first exception and rethrows it
+  // from wait_idle(), after every queued task has drained.
+  support::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&completed, i] {
+      if (i == 3) throw std::runtime_error("task boom");
+      completed.fetch_add(1);
+    });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 7);
+  // The error is consumed: the pool is reusable afterwards.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(completed.load(), 8);
+}
+
 TEST(ThreadPool, ResolveJobsPrefersExplicitRequest) {
   EXPECT_EQ(support::resolve_jobs(3), 3);
   EXPECT_GE(support::resolve_jobs(0), 1);

@@ -35,6 +35,12 @@
 //     --jobs=N               parallel comparison rows (0 = SLC_JOBS env,
 //                            then hardware threads); results are
 //                            byte-identical for every N
+//
+//   fail-safe harness (see DESIGN.md "Failure handling & fuzzing"):
+//     --deadline-ms=N        per-row wall-clock guard (0 = unlimited)
+//     --max-steps=N          interpreter-oracle step budget per run
+//     --fault=SPEC           arm fault injection (same grammar as the
+//                            SLC_FAULT env var, e.g. slms:throw@kernel8)
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -51,6 +57,7 @@
 #include "kernels/kernels.hpp"
 #include "machine/lower.hpp"
 #include "slms/slms.hpp"
+#include "support/fault.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -74,9 +81,37 @@ struct CliOptions {
   bool list_kernels = false;
   std::string suite;        // compare a whole suite instead of a file
   int jobs = 0;             // 0 = SLC_JOBS env, then hardware threads
+  std::uint64_t deadline_ms = 0;   // per-row wall-clock guard
+  std::uint64_t max_steps = 0;     // oracle step budget (0 = default)
 };
 
-int usage(const char* argv0) {
+/// Safe numeric parsing: std::stoi and friends throw on junk, which used
+/// to escape main() as an uncaught exception. These return false instead.
+bool parse_int_arg(const std::string& text, int* out) {
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_u64_arg(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double_arg(const std::string& text, double* out) {
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int usage(const char* argv0 = "slc") {
   std::cerr << "usage: " << argv0
             << " [--slms|--no-slms|--slc] [--renaming=mve|expand|none]\n"
             << "       [--no-filter] [--filter-threshold=X] "
@@ -85,7 +120,8 @@ int usage(const char* argv0) {
             << "       [--emit-source] [--plain] [--emit-mir] [--explain] "
                "[--report]\n"
             << "       [--verify] [--measure=BACKEND] [--seed=N]\n"
-            << "       [--suite=NAME] [--jobs=N]\n"
+            << "       [--suite=NAME] [--jobs=N] [--deadline-ms=N]\n"
+            << "       [--max-steps=N] [--fault=SPEC]\n"
             << "       <file|-> | --kernel=NAME | --suite=NAME | "
                "--list-kernels\n";
   return 2;
@@ -117,17 +153,31 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--no-filter") {
       opts.slms.enable_filter = false;
     } else if (arg.starts_with("--filter-threshold=")) {
-      opts.slms.filter.memory_ratio_threshold =
-          std::stod(value_of("--filter-threshold="));
+      if (!parse_double_arg(value_of("--filter-threshold="),
+                            &opts.slms.filter.memory_ratio_threshold)) {
+        std::cerr << "--filter-threshold expects a number\n";
+        return false;
+      }
     } else if (arg.starts_with("--min-arith-per-ref=")) {
-      opts.slms.filter.min_arith_per_ref =
-          std::stod(value_of("--min-arith-per-ref="));
+      if (!parse_double_arg(value_of("--min-arith-per-ref="),
+                            &opts.slms.filter.min_arith_per_ref)) {
+        std::cerr << "--min-arith-per-ref expects a number\n";
+        return false;
+      }
     } else if (arg.starts_with("--max-unroll=")) {
-      opts.slms.max_unroll = std::stoi(value_of("--max-unroll="));
+      if (!parse_int_arg(value_of("--max-unroll="), &opts.slms.max_unroll)) {
+        std::cerr << "--max-unroll expects an integer\n";
+        return false;
+      }
     } else if (arg == "--no-eager-mve") {
       opts.slms.eager_mve = false;
     } else if (arg.starts_with("--max-ii=")) {
-      opts.slms.max_ii = std::stoi(value_of("--max-ii="));
+      int max_ii = 0;
+      if (!parse_int_arg(value_of("--max-ii="), &max_ii)) {
+        std::cerr << "--max-ii expects an integer\n";
+        return false;
+      }
+      opts.slms.max_ii = max_ii;
     } else if (arg == "--emit-source") {
       opts.emit_source = true;
     } else if (arg == "--plain") {
@@ -144,7 +194,10 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg.starts_with("--measure=")) {
       opts.measure = value_of("--measure=");
     } else if (arg.starts_with("--seed=")) {
-      opts.seed = std::stoull(value_of("--seed="));
+      if (!parse_u64_arg(value_of("--seed="), &opts.seed)) {
+        std::cerr << "--seed expects an integer\n";
+        return false;
+      }
     } else if (arg.starts_with("--kernel=")) {
       opts.kernel = value_of("--kernel=");
     } else if (arg.starts_with("--suite=")) {
@@ -158,6 +211,22 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.jobs = static_cast<int>(n);
+    } else if (arg.starts_with("--deadline-ms=")) {
+      if (!parse_u64_arg(value_of("--deadline-ms="), &opts.deadline_ms)) {
+        std::cerr << "--deadline-ms expects an integer\n";
+        return false;
+      }
+    } else if (arg.starts_with("--max-steps=")) {
+      if (!parse_u64_arg(value_of("--max-steps="), &opts.max_steps)) {
+        std::cerr << "--max-steps expects an integer\n";
+        return false;
+      }
+    } else if (arg.starts_with("--fault=")) {
+      std::string error;
+      if (!support::fault::configure(value_of("--fault="), &error)) {
+        std::cerr << "bad --fault spec — " << error << "\n";
+        return false;
+      }
     } else if (arg == "--list-kernels") {
       opts.list_kernels = true;
     } else if (!arg.starts_with("--") && opts.input.empty()) {
@@ -181,11 +250,47 @@ std::optional<driver::Backend> backend_by_name(const std::string& name) {
   return std::nullopt;
 }
 
+/// One-line "file:line:col: error: message" for the first error, so a
+/// bad input is diagnosed like a compiler would instead of dumping the
+/// whole diagnostic block (which follows on the next lines if there is
+/// more than one error).
+int report_errors(const std::string& input_name,
+                  const DiagnosticEngine& diags) {
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.severity != Severity::Error) continue;
+    std::cerr << input_name << ":" << to_string(d.loc) << ": error: "
+              << d.message << "\n";
+    break;
+  }
+  if (diags.error_count() > 1)
+    std::cerr << diags.str();
+  return 1;
+}
+
+int run_cli(const CliOptions& opts);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  support::fault::configure_from_env();
   CliOptions opts;
   if (!parse_args(argc, argv, opts)) return usage(argv[0]);
+  // Fail-safe CLI contract: no input may escape as an uncaught exception;
+  // anything unexpected becomes a one-line diagnostic and exit code 3.
+  try {
+    return run_cli(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "slc: internal error: " << e.what() << "\n";
+    return 3;
+  } catch (...) {
+    std::cerr << "slc: internal error: unknown exception\n";
+    return 3;
+  }
+}
+
+namespace {
+
+int run_cli(const CliOptions& opts) {
 
   if (opts.list_kernels) {
     for (const kernels::Kernel& k : kernels::all_kernels())
@@ -199,7 +304,7 @@ int main(int argc, char** argv) {
                                                         : opts.measure);
     if (!backend) {
       std::cerr << "unknown backend '" << opts.measure << "'\n";
-      return usage(argv[0]);
+      return usage();
     }
     if (kernels::suite(opts.suite).empty()) {
       std::cerr << "unknown or empty suite '" << opts.suite
@@ -211,6 +316,8 @@ int main(int argc, char** argv) {
     copts.sim_seed = opts.seed;
     copts.verify_oracle = true;
     copts.jobs = opts.jobs;
+    copts.row_deadline_ms = opts.deadline_ms;
+    copts.max_interp_steps = opts.max_steps;
     auto start = std::chrono::steady_clock::now();
     std::vector<driver::ComparisonRow> rows =
         driver::compare_suite(opts.suite, *backend, copts);
@@ -225,7 +332,14 @@ int main(int argc, char** argv) {
               << ", transform cache " << cache.hits << " hits / "
               << cache.misses << " misses\n";
     bool all_ok = true;
-    for (const driver::ComparisonRow& r : rows) all_ok = all_ok && r.ok;
+    int degraded = 0;
+    for (const driver::ComparisonRow& r : rows) {
+      all_ok = all_ok && r.ok;
+      if (r.degraded) ++degraded;
+    }
+    if (degraded > 0)
+      std::cerr << "harness: " << degraded
+                << " row(s) degraded to the untransformed loop\n";
     return all_ok ? 0 : 1;
   }
 
@@ -253,12 +367,12 @@ int main(int argc, char** argv) {
     source = buffer.str();
   }
 
+  std::string input_name = !opts.kernel.empty()
+                               ? "<kernel:" + opts.kernel + ">"
+                               : (opts.input == "-" ? "<stdin>" : opts.input);
   DiagnosticEngine diags;
   ast::Program original = frontend::parse_program(source, diags);
-  if (diags.has_errors()) {
-    std::cerr << diags.str();
-    return 1;
-  }
+  if (diags.has_errors()) return report_errors(input_name, diags);
 
   ast::Program transformed = original.clone();
   std::vector<slms::SlmsReport> reports;
@@ -306,7 +420,7 @@ int main(int argc, char** argv) {
     auto backend = backend_by_name(opts.measure);
     if (!backend) {
       std::cerr << "unknown backend '" << opts.measure << "'\n";
-      return usage(argv[0]);
+      return usage();
     }
     auto before = driver::measure_program(original, *backend, opts.seed);
     auto after = driver::measure_program(transformed, *backend, opts.seed);
@@ -325,10 +439,7 @@ int main(int argc, char** argv) {
   if (opts.emit_mir) {
     DiagnosticEngine d2;
     machine::MirProgram mir = machine::lower(transformed, d2);
-    if (d2.has_errors()) {
-      std::cerr << d2.str();
-      return 1;
-    }
+    if (d2.has_errors()) return report_errors(input_name, d2);
     std::cout << machine::dump(mir);
     return 0;
   }
@@ -339,3 +450,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace

@@ -1,0 +1,202 @@
+// slc_fuzz — differential fuzzer for the fail-safe pipeline.
+//
+// Generates random canonical loops, pushes each through every SLMS
+// renaming variant, and differentially checks the results against the
+// interpreter oracle and the simulated backends. Any mismatch, crash, or
+// budget exhaustion is shrunk to a minimal repro and written to the
+// corpus directory, where the corpus replay test turns it into a
+// permanent regression.
+//
+//   slc_fuzz [options]
+//     --seed=N          first generator seed            (default 0)
+//     --count=M         number of programs              (default 200)
+//     --time-budget=S   stop after S seconds, 0 = none  (default 0)
+//     --corpus=DIR      write shrunk repros here        (default: none)
+//     --no-shrink       archive the unshrunk program
+//     --no-backends     skip the simulator cross-check (oracle only)
+//     --2d              also generate M[i+c][k] references
+//     --symbolic        use symbolic loop bounds
+//     --fault=SPEC      arm fault injection / planted bugs (SLC_FAULT
+//                       grammar; e.g. bug:mve-skip-rename)
+//     --quiet           only print the summary line
+//
+// Exit status: 0 when every program passed, 1 when any failed, 2 on
+// usage errors.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/shrink.hpp"
+#include "support/fault.hpp"
+
+namespace {
+
+using namespace slc;
+
+struct FuzzCli {
+  std::uint64_t seed = 0;
+  std::uint64_t count = 200;
+  std::uint64_t time_budget_s = 0;
+  std::string corpus_dir;
+  bool shrink = true;
+  bool backends = true;
+  bool gen_2d = false;
+  bool symbolic = false;
+  bool quiet = false;
+};
+
+int usage() {
+  std::cerr << "usage: slc_fuzz [--seed=N] [--count=M] [--time-budget=S]\n"
+            << "                [--corpus=DIR] [--no-shrink] [--no-backends]\n"
+            << "                [--2d] [--symbolic] [--fault=SPEC] [--quiet]\n";
+  return 2;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::string sanitize_one_line(std::string text) {
+  for (char& c : text)
+    if (c == '\n' || c == '\r') c = ' ';
+  if (text.size() > 300) text = text.substr(0, 300) + "...";
+  return text;
+}
+
+/// Writes a replayable repro: header comments (the mini-C lexer skips
+/// them) followed by the shrunk source.
+std::string write_repro(const std::string& dir, std::uint64_t seed,
+                        const fuzz::DiffVerdict& verdict,
+                        const std::string& source, bool shrunk) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ostringstream name;
+  name << "repro-" << support::to_string(verdict.failure.stage) << '-'
+       << support::to_string(verdict.failure.kind) << "-seed" << seed
+       << ".c";
+  std::filesystem::path path = std::filesystem::path(dir) / name.str();
+  std::ofstream out(path);
+  out << "// slc_fuzz repro" << (shrunk ? " (shrunk)" : "") << ": seed="
+      << seed << " variant=" << verdict.variant_label << "\n"
+      << "// failure: " << sanitize_one_line(verdict.failure.brief())
+      << "\n" << source;
+  return path.string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzCli cli;
+  support::fault::configure_from_env();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    bool ok = true;
+    if (arg.starts_with("--seed=")) {
+      ok = parse_u64(value_of("--seed="), &cli.seed);
+    } else if (arg.starts_with("--count=")) {
+      ok = parse_u64(value_of("--count="), &cli.count);
+    } else if (arg.starts_with("--time-budget=")) {
+      ok = parse_u64(value_of("--time-budget="), &cli.time_budget_s);
+    } else if (arg.starts_with("--corpus=")) {
+      cli.corpus_dir = value_of("--corpus=");
+    } else if (arg == "--no-shrink") {
+      cli.shrink = false;
+    } else if (arg == "--no-backends") {
+      cli.backends = false;
+    } else if (arg == "--2d") {
+      cli.gen_2d = true;
+    } else if (arg == "--symbolic") {
+      cli.symbolic = true;
+    } else if (arg.starts_with("--fault=")) {
+      std::string error;
+      if (!support::fault::configure(value_of("--fault="), &error)) {
+        std::cerr << "slc_fuzz: bad --fault spec — " << error << "\n";
+        return 2;
+      }
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else {
+      std::cerr << "slc_fuzz: unknown option '" << arg << "'\n";
+      return usage();
+    }
+    if (!ok) {
+      std::cerr << "slc_fuzz: '" << arg << "' expects an integer\n";
+      return usage();
+    }
+  }
+
+  fuzz::DiffOptions diff;
+  diff.check_backends = cli.backends;
+
+  fuzz::LoopGenOptions gen_opts;
+  gen_opts.allow_2d = cli.gen_2d;
+  gen_opts.symbolic_bound = cli.symbolic;
+
+  auto start = std::chrono::steady_clock::now();
+  auto out_of_time = [&] {
+    if (cli.time_budget_s == 0) return false;
+    return std::chrono::steady_clock::now() - start >=
+           std::chrono::seconds(cli.time_budget_s);
+  };
+
+  std::uint64_t tested = 0, failures = 0;
+  for (std::uint64_t seed = cli.seed; seed < cli.seed + cli.count; ++seed) {
+    if (out_of_time()) break;
+    fuzz::LoopGenerator gen{seed, gen_opts};
+    std::string source = gen.generate();
+    fuzz::DiffVerdict verdict = fuzz::differential_check(source, diff);
+    ++tested;
+    if (verdict.ok) continue;
+    ++failures;
+    if (!cli.quiet)
+      std::cerr << "FAIL seed=" << seed << ": " << verdict.str() << "\n";
+
+    std::string repro = source;
+    bool shrunk = false;
+    if (cli.shrink) {
+      support::Stage stage = verdict.failure.stage;
+      support::FailureKind kind = verdict.failure.kind;
+      fuzz::ShrinkStats stats;
+      repro = fuzz::shrink(
+          source,
+          [&](const std::string& candidate) {
+            fuzz::DiffVerdict v = fuzz::differential_check(candidate, diff);
+            return !v.ok && v.failure.stage == stage &&
+                   v.failure.kind == kind;
+          },
+          {}, &stats);
+      shrunk = repro.size() < source.size();
+      if (!cli.quiet)
+        std::cerr << "  shrunk " << source.size() << " -> " << repro.size()
+                  << " bytes (" << stats.attempts << " attempts)\n";
+    }
+    if (!cli.corpus_dir.empty()) {
+      std::string path =
+          write_repro(cli.corpus_dir, seed, verdict, repro, shrunk);
+      if (!cli.quiet) std::cerr << "  wrote " << path << "\n";
+    } else if (!cli.quiet) {
+      std::cerr << "--- repro ---\n" << repro << "-------------\n";
+    }
+  }
+
+  auto wall_s = std::chrono::duration_cast<std::chrono::seconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  std::cout << "slc_fuzz: " << tested << " programs, " << failures
+            << " failures, " << wall_s << " s (seed " << cli.seed << "..+"
+            << cli.count << ")\n";
+  return failures == 0 ? 0 : 1;
+}
