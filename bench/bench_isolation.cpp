@@ -1,0 +1,85 @@
+// Measures what `--isolate` costs: per-row subprocess overhead versus
+// the in-process `--jobs` harness, plus the raw fork/exec floor.
+//
+//   bench_isolation [path/to/slc]
+//
+// Without the slc path only the spawn floor and the in-process baseline
+// are reported (the supervisor rows need a binary to re-invoke). CI
+// passes the freshly built tool.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/isolate.hpp"
+#include "driver/pipeline.hpp"
+#include "kernels/kernels.hpp"
+#include "support/subprocess.hpp"
+
+namespace {
+using namespace slc;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void print_row(const char* label, double total_ms, std::size_t rows) {
+  std::printf("  %-34s %8.2f ms total  %8.3f ms/row\n", label, total_ms,
+              rows ? total_ms / double(rows) : 0.0);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "== Isolation overhead: subprocess children vs in-process "
+               "rows (linpack) ==\n\n";
+
+  // The floor: fork/exec/wait of a trivial child, amortized.
+  constexpr int kSpawns = 20;
+  auto start = Clock::now();
+  for (int i = 0; i < kSpawns; ++i) {
+    support::subprocess::RunOptions run;
+    run.argv = {"/bin/sh", "-c", "true"};
+    (void)support::subprocess::run(run);
+  }
+  print_row("fork/exec floor (sh -c true)", ms_since(start), kSpawns);
+
+  const std::vector<kernels::Kernel> suite = kernels::suite("linpack");
+
+  driver::CompareOptions copts;
+  copts.jobs = 1;
+  driver::transform_cache_reset();
+  start = Clock::now();
+  auto rows = driver::compare_kernels(suite, driver::weak_compiler_o3(),
+                                      copts);
+  print_row("in-process --jobs=1 (cold cache)", ms_since(start), rows.size());
+
+  if (argc < 2) {
+    std::cout << "\n(no slc path given — skipping the --isolate "
+                 "supervisor rows)\n";
+    return 0;
+  }
+
+  driver::isolate::Options iso;
+  iso.slc_exe = argv[1];
+  iso.child_args = {"--suite=linpack"};
+  iso.options_signature = "bench";
+  iso.jobs = 1;
+  for (int shard : {1, 3, int(suite.size())}) {
+    iso.shard_size = shard;
+    start = Clock::now();
+    driver::isolate::Outcome out = driver::isolate::run_suite(suite, iso);
+    char label[64];
+    std::snprintf(label, sizeof label, "--isolate=%d children (jobs=1)",
+                  shard);
+    print_row(label, ms_since(start), out.rows.size());
+    if (out.crashed_children != 0)
+      std::cout << "  (unexpected child crashes: " << out.crashed_children
+                << ")\n";
+  }
+  std::cout << "\nLarger shards amortize process startup; shard=1 "
+               "pinpoints a crash without re-running rows.\n";
+  return 0;
+}

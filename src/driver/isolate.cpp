@@ -1,0 +1,357 @@
+#include "driver/isolate.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "driver/journal.hpp"
+#include "fuzz/shrink.hpp"
+#include "support/json.hpp"
+#include "support/subprocess.hpp"
+#include "support/thread_pool.hpp"
+
+namespace slc::driver::isolate {
+
+namespace fs = std::filesystem;
+namespace json = support::json;
+namespace subprocess = support::subprocess;
+using support::Failure;
+using support::FailureKind;
+using support::Stage;
+
+namespace {
+
+struct Ctx {
+  const std::vector<kernels::Kernel>& kernels;
+  const Options& opts;
+  std::vector<std::string> keys;
+  journal::Journal jnl;
+  Outcome out;
+  std::mutex mu;  // notes, counters; rows/completed writes are index-local
+};
+
+void note(Ctx& ctx, std::string line) {
+  std::lock_guard<std::mutex> lock(ctx.mu);
+  ctx.out.notes.push_back(std::move(line));
+}
+
+std::string join_args(const std::vector<std::string>& args) {
+  std::string out;
+  for (const std::string& a : args) {
+    if (!out.empty()) out += ' ';
+    out += a;
+  }
+  return out;
+}
+
+subprocess::RunOptions child_run_options(const Ctx& ctx,
+                                         std::size_t first,
+                                         std::size_t last,
+                                         bool base_only) {
+  subprocess::RunOptions run;
+  run.argv.push_back(ctx.opts.slc_exe);
+  run.argv.insert(run.argv.end(), ctx.opts.child_args.begin(),
+                  ctx.opts.child_args.end());
+  std::string rows = "--child-rows=" + std::to_string(first);
+  if (last != first) rows += "-" + std::to_string(last);
+  run.argv.push_back(std::move(rows));
+  if (base_only) run.argv.push_back("--child-base-only");
+  run.timeout_ms = ctx.opts.child_timeout_ms;
+  run.max_rss_mb = ctx.opts.max_rss_mb;
+  return run;
+}
+
+/// Parses the child's JSON row lines into `got` (index -> row). Torn
+/// trailing lines (the child died mid-write) are ignored.
+void parse_child_rows(const std::string& out,
+                      std::unordered_map<std::size_t, ComparisonRow>* got) {
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::optional<json::Value> v = json::parse(line);
+    if (!v) continue;
+    const json::Value* index = v->find("index");
+    const json::Value* row = v->find("row");
+    if (index == nullptr || row == nullptr || !index->is_number()) continue;
+    std::optional<ComparisonRow> parsed = journal::row_from_json(*row);
+    if (!parsed) continue;
+    (*got)[std::size_t(index->as_u64())] = std::move(*parsed);
+  }
+}
+
+void finish_row(Ctx& ctx, std::size_t i, ComparisonRow row,
+                bool from_journal) {
+  if (!from_journal && ctx.jnl.active()) ctx.jnl.append(ctx.keys[i], row);
+  ctx.out.rows[i] = std::move(row);
+  ctx.out.completed[i] = 1;
+}
+
+/// Arguments for a standalone (single-file) reproduction attempt: the
+/// suite/child plumbing and fault specs are dropped — an organic crash
+/// must reproduce from the source alone, an injected one never will.
+std::vector<std::string> standalone_args(const Ctx& ctx,
+                                         const std::string& file) {
+  std::vector<std::string> args{ctx.opts.slc_exe};
+  for (const std::string& a : ctx.opts.child_args) {
+    if (a.rfind("--suite=", 0) == 0 || a.rfind("--kernel=", 0) == 0 ||
+        a.rfind("--fault=", 0) == 0 || a.rfind("--child-", 0) == 0)
+      continue;
+    args.push_back(a);
+  }
+  args.push_back("--verify");
+  args.push_back(file);
+  return args;
+}
+
+/// Shrinks a crashing kernel with the fuzzer's reducer, re-running the
+/// standalone repro per candidate. Returns the (possibly unshrunk)
+/// source and whether shrinking achieved anything.
+std::string shrink_crash_source(Ctx& ctx, const kernels::Kernel& kernel,
+                                const subprocess::RunResult& crash,
+                                bool* shrunk) {
+  *shrunk = false;
+  if (!ctx.opts.shrink_crashes ||
+      crash.cls != subprocess::ExitClass::Signal)
+    return kernel.source;
+
+  fs::path tmp = fs::path(ctx.opts.crash_dir) /
+                 (".shrink-tmp-" + std::to_string(::getpid()) + ".c");
+  auto reproduces = [&](const std::string& candidate) {
+    {
+      std::ofstream f(tmp);
+      if (!f) return false;
+      f << candidate;
+    }
+    subprocess::RunOptions run;
+    run.argv = standalone_args(ctx, tmp.string());
+    // Bound every probe: an unrelated hang must not stall the reducer.
+    run.timeout_ms = ctx.opts.child_timeout_ms > 0
+                         ? std::min<std::uint64_t>(ctx.opts.child_timeout_ms,
+                                                   10000)
+                         : 10000;
+    run.max_rss_mb = ctx.opts.max_rss_mb;
+    subprocess::RunResult r = subprocess::run(run);
+    return r.spawned && r.cls == crash.cls &&
+           r.term_signal == crash.term_signal;
+  };
+
+  std::string result = kernel.source;
+  if (reproduces(kernel.source)) {
+    fuzz::ShrinkOptions sopts;
+    sopts.max_attempts = ctx.opts.shrink_budget;
+    fuzz::ShrinkStats stats;
+    result = fuzz::shrink(kernel.source, reproduces, sopts, &stats);
+    *shrunk = stats.removed_lines > 0 || stats.trimmed_terms > 0;
+  }
+  std::error_code ec;
+  fs::remove(tmp, ec);
+  return result;
+}
+
+/// Writes `tests/crashes/<kernel>.c`: the kernel source (shrunk when the
+/// crash reproduces standalone) plus the exact child command line.
+void archive_repro(Ctx& ctx, const kernels::Kernel& kernel, std::size_t row,
+                   const subprocess::RunResult& crash) {
+  std::error_code ec;
+  fs::create_directories(ctx.opts.crash_dir, ec);
+
+  bool shrunk = false;
+  std::string source = shrink_crash_source(ctx, kernel, crash, &shrunk);
+
+  subprocess::RunOptions repro =
+      child_run_options(ctx, row, row, /*base_only=*/false);
+  fs::path file = fs::path(ctx.opts.crash_dir) / (kernel.name + ".c");
+  std::ofstream f(file);
+  if (!f) {
+    note(ctx, "isolate: cannot write crash repro " + file.string());
+    return;
+  }
+  f << "// slc crash repro — archived by the --isolate supervisor\n"
+    << "// kernel: " << kernel.name << " (" << kernel.suite << ")\n"
+    << "// classification: " << crash.describe() << "\n"
+    << "// command: " << join_args(repro.argv) << "\n";
+  if (shrunk)
+    f << "// source shrunk by the fuzz reducer (original: "
+      << kernel.source.size() << " bytes)\n";
+  f << source;
+  if (!source.empty() && source.back() != '\n') f << '\n';
+
+  std::lock_guard<std::mutex> lock(ctx.mu);
+  ++ctx.out.repros_archived;
+}
+
+/// A child died on row `i`: archive the repro, then re-measure the base
+/// program in a fresh child (the SLMS side is skipped there, so the
+/// crash cannot re-fire) and report a degraded row carrying the real
+/// isolation classification. If even the base side dies, the row fails.
+void handle_crashed_row(Ctx& ctx, std::size_t i,
+                        const subprocess::RunResult& crash) {
+  const kernels::Kernel& kernel = ctx.kernels[i];
+  Failure cause = subprocess::to_failure(crash);
+  cause.kernel = kernel.name;
+  cause.options = "isolated child";
+
+  archive_repro(ctx, kernel, i, crash);
+  note(ctx, "isolate: child for " + kernel.name + " died (" +
+                crash.describe() + "); repro archived, re-measuring base");
+
+  subprocess::RunResult base = subprocess::run(
+      child_run_options(ctx, i, i, /*base_only=*/true));
+  std::unordered_map<std::size_t, ComparisonRow> got;
+  if (base.clean()) parse_child_rows(base.out, &got);
+
+  auto it = got.find(i);
+  if (it != got.end()) {
+    ComparisonRow row = std::move(it->second);
+    row.degraded = true;
+    row.ok = true;
+    row.failure = std::move(cause);  // replace the base-only placeholder
+    finish_row(ctx, i, std::move(row), /*from_journal=*/false);
+    return;
+  }
+  // Base side is unmeasurable too — a failed (not degraded) row.
+  ComparisonRow row;
+  row.kernel = kernel.name;
+  row.suite = kernel.suite;
+  row.ok = false;
+  row.error = cause.str();
+  row.failure = std::move(cause);
+  finish_row(ctx, i, std::move(row), /*from_journal=*/false);
+}
+
+/// One child process for rows [first, last]; on a crash, salvages the
+/// rows the child already reported, degrades the culprit, and re-runs
+/// the rest in fresh single-row children.
+void run_shard(Ctx& ctx, std::size_t first, std::size_t last) {
+  if (ctx.opts.interrupted != nullptr && *ctx.opts.interrupted != 0) {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ctx.out.interrupted = true;
+    return;
+  }
+  subprocess::RunResult res =
+      subprocess::run(child_run_options(ctx, first, last, false));
+
+  std::unordered_map<std::size_t, ComparisonRow> got;
+  if (res.spawned) parse_child_rows(res.out, &got);
+
+  std::vector<std::size_t> missing;
+  for (std::size_t i = first; i <= last; ++i) {
+    auto it = got.find(i);
+    if (it != got.end())
+      finish_row(ctx, i, std::move(it->second), /*from_journal=*/false);
+    else
+      missing.push_back(i);
+  }
+  if (missing.empty()) return;
+
+  if (res.clean()) {
+    // Protocol violation: a clean child must report every row.
+    for (std::size_t i : missing) {
+      Failure f = support::make_failure(
+          Stage::Isolation, FailureKind::ChildExit,
+          "child exited cleanly without reporting the row");
+      f.kernel = ctx.kernels[i].name;
+      ComparisonRow row;
+      row.kernel = ctx.kernels[i].name;
+      row.suite = ctx.kernels[i].suite;
+      row.ok = false;
+      row.error = f.str();
+      row.failure = std::move(f);
+      finish_row(ctx, i, std::move(row), /*from_journal=*/false);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ++ctx.out.crashed_children;
+  }
+  if (!res.spawned) {
+    // fork/exec plumbing failure: nothing ran, fail all rows with the
+    // spawn error (retrying would likely fail the same way).
+    for (std::size_t i : missing) {
+      Failure f = subprocess::to_failure(res);
+      f.kernel = ctx.kernels[i].name;
+      ComparisonRow row;
+      row.kernel = ctx.kernels[i].name;
+      row.suite = ctx.kernels[i].suite;
+      row.ok = false;
+      row.error = f.str();
+      row.failure = std::move(f);
+      finish_row(ctx, i, std::move(row), /*from_journal=*/false);
+    }
+    return;
+  }
+
+  // Rows are computed in order, so the first missing row is the one the
+  // child died on; the rest never started and re-run in fresh children.
+  handle_crashed_row(ctx, missing.front(), res);
+  for (std::size_t k = 1; k < missing.size(); ++k)
+    run_shard(ctx, missing[k], missing[k]);
+}
+
+}  // namespace
+
+Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
+                  const Options& options) {
+  Ctx ctx{kernels, options};
+  std::size_t n = kernels.size();
+  ctx.out.rows.resize(n);
+  ctx.out.completed.assign(n, 0);
+  ctx.keys.reserve(n);
+  for (const kernels::Kernel& k : kernels)
+    ctx.keys.push_back(journal::row_key(k.source, options.options_signature));
+
+  // Resume: replay journaled rows before any child is spawned.
+  if (options.resume && !options.journal_path.empty()) {
+    journal::LoadResult loaded = journal::load(options.journal_path);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = loaded.rows.find(ctx.keys[i]);
+      if (it == loaded.rows.end()) continue;
+      ctx.out.rows[i] = it->second;
+      ctx.out.completed[i] = 1;
+      ++ctx.out.resumed;
+    }
+    if (loaded.skipped_lines > 0)
+      ctx.out.notes.push_back(
+          "isolate: journal had " + std::to_string(loaded.skipped_lines) +
+          " unreadable line(s) (torn tail after a kill?) — ignored");
+  }
+
+  if (!options.journal_path.empty()) {
+    std::string error;
+    if (!ctx.jnl.open(options.journal_path, !options.resume, &error))
+      ctx.out.notes.push_back("isolate: journaling disabled — " + error);
+  }
+
+  // Shard the rows still to compute into runs of consecutive indices.
+  std::size_t shard_size = std::size_t(std::max(1, options.shard_size));
+  std::vector<std::pair<std::size_t, std::size_t>> shards;
+  for (std::size_t i = 0; i < n;) {
+    if (ctx.out.completed[i] != 0) {
+      ++i;
+      continue;
+    }
+    std::size_t last = i;
+    while (last + 1 < n && ctx.out.completed[last + 1] == 0 &&
+           (last + 1 - i) < shard_size)
+      ++last;
+    shards.emplace_back(i, last);
+    i = last + 1;
+  }
+
+  support::parallel_for(
+      shards.size(), support::resolve_jobs(options.jobs),
+      [&](std::size_t s) { run_shard(ctx, shards[s].first, shards[s].second); });
+
+  ctx.jnl.flush();
+  if (options.interrupted != nullptr && *options.interrupted != 0)
+    ctx.out.interrupted = true;
+  return ctx.out;
+}
+
+}  // namespace slc::driver::isolate

@@ -1,0 +1,85 @@
+// The --isolate supervisor: runs every comparison row of a suite sweep
+// in a crash-isolated child slc process (support/subprocess.hpp) and
+// keeps the sweep alive through anything a row can do to a process —
+// SIGSEGV, OOM, an unkillable hang.
+//
+// Protocol: the parent re-invokes its own binary with the original
+// suite arguments plus `--child-rows=A[-B]`; the child computes those
+// rows sequentially and prints one JSON line per completed row on
+// stdout ({"index":N,"row":{...}}), flushed row by row. When a child
+// dies mid-shard, every row it already printed is kept; the first
+// missing row is the culprit (rows are processed in order). The culprit
+// gets a crash repro archived under tests/crashes/ (.c source + the
+// exact child command line), a base-only re-measurement in a fresh
+// child, and a degraded row carrying the Stage::Isolation
+// classification; the remaining rows of the shard are re-run in
+// fresh single-row children.
+//
+// Every completed row is appended to the journal (driver/journal.hpp),
+// so `--resume` replays a half-finished sweep to a byte-identical end.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "kernels/kernels.hpp"
+
+namespace slc::driver::isolate {
+
+struct Options {
+  /// Path to the slc binary to spawn (normally /proc/self/exe).
+  std::string slc_exe;
+  /// Pass-through arguments for children: the parent's argv minus the
+  /// supervisor-level flags (--isolate, --journal, --resume, --jobs,
+  /// --crash-dir, --child-timeout-ms, --max-rss-mb). --fault specs stay
+  /// in, so planted faults fire in the child, where they belong.
+  std::vector<std::string> child_args;
+  /// Rows per child process. 1 (the default) pinpoints a crash without
+  /// any re-running; larger shards amortize process startup.
+  int shard_size = 1;
+  /// Concurrent children; 0 resolves like the in-process harness
+  /// (SLC_JOBS, then hardware threads).
+  int jobs = 0;
+  /// Per-child wall-clock watchdog (SIGKILL on expiry). 0 = none.
+  std::uint64_t child_timeout_ms = 0;
+  /// Per-child address-space cap in MiB. 0 = none.
+  std::uint64_t max_rss_mb = 0;
+  /// Journal key context: everything option-shaped that can change row
+  /// bytes (the CLI passes the joined child_args).
+  std::string options_signature;
+  /// Journal path; empty disables journaling (and resume).
+  std::string journal_path;
+  /// Replay rows already in the journal instead of recomputing them.
+  bool resume = false;
+  /// Where crash repros are archived.
+  std::string crash_dir = "tests/crashes";
+  /// Shrink archived crash repros with the fuzzer's reducer when the
+  /// crash reproduces from the source alone (organic crashes do;
+  /// injected `--fault=...:crash` ones do not and are archived as-is).
+  bool shrink_crashes = true;
+  int shrink_budget = 48;  // child runs the reducer may spend per crash
+  /// Polled between child launches; when set (the CLI's SIGINT flag
+  /// points here) the supervisor stops scheduling, finishes in-flight
+  /// children, flushes the journal, and returns interrupted = true.
+  const volatile std::sig_atomic_t* interrupted = nullptr;
+};
+
+struct Outcome {
+  std::vector<ComparisonRow> rows;   // input order; only filled up to
+                                     // completion when interrupted
+  std::vector<std::uint8_t> completed;  // per row (not vector<bool>:
+                                        // workers write distinct indices)
+  std::size_t resumed = 0;           // rows replayed from the journal
+  std::size_t crashed_children = 0;  // signal / timeout / oom children
+  std::size_t repros_archived = 0;
+  bool interrupted = false;
+  std::vector<std::string> notes;    // supervisor log, one line each
+};
+
+[[nodiscard]] Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
+                                const Options& options);
+
+}  // namespace slc::driver::isolate

@@ -1,0 +1,271 @@
+#include "driver/journal.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+namespace slc::driver::journal {
+
+namespace json = support::json;
+using json::Value;
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s,
+                    std::uint64_t h = 1469598103934665603ULL) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[std::size_t(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+Value loop_stat_to_json(const sim::LoopStat& s) {
+  Value v = Value::object();
+  v.set("ms", Value::boolean(s.modulo_scheduled));
+  v.set("ii", Value::number(s.ii));
+  v.set("res_mii", Value::number(s.res_mii));
+  v.set("rec_mii", Value::number(s.rec_mii));
+  v.set("stages", Value::number(s.stages));
+  v.set("bundles", Value::number(s.bundles_per_iter));
+  v.set("body", Value::number(s.body_insts));
+  v.set("iters", Value::number(s.iterations));
+  v.set("ims_fail", Value::string(s.ims_fail_reason));
+  return v;
+}
+
+sim::LoopStat loop_stat_from_json(const Value& v) {
+  sim::LoopStat s;
+  if (const Value* f = v.find("ms")) s.modulo_scheduled = f->as_bool();
+  if (const Value* f = v.find("ii")) s.ii = int(f->as_i64());
+  if (const Value* f = v.find("res_mii")) s.res_mii = int(f->as_i64());
+  if (const Value* f = v.find("rec_mii")) s.rec_mii = int(f->as_i64());
+  if (const Value* f = v.find("stages")) s.stages = int(f->as_i64());
+  if (const Value* f = v.find("bundles"))
+    s.bundles_per_iter = int(f->as_i64());
+  if (const Value* f = v.find("body")) s.body_insts = int(f->as_i64());
+  if (const Value* f = v.find("iters")) s.iterations = f->as_u64();
+  if (const Value* f = v.find("ims_fail")) s.ims_fail_reason = f->as_string();
+  return s;
+}
+
+Value failure_to_json(const support::Failure& f) {
+  Value v = Value::object();
+  v.set("stage", Value::string(support::to_string(f.stage)));
+  v.set("kind", Value::string(support::to_string(f.kind)));
+  v.set("message", Value::string(f.message));
+  v.set("kernel", Value::string(f.kernel));
+  v.set("options", Value::string(f.options));
+  v.set("transient", Value::boolean(f.transient));
+  return v;
+}
+
+std::optional<support::Failure> failure_from_json(const Value& v) {
+  support::Failure f;
+  const Value* stage = v.find("stage");
+  const Value* kind = v.find("kind");
+  if (stage == nullptr || kind == nullptr) return std::nullopt;
+  auto s = support::parse_stage(stage->as_string());
+  auto k = support::parse_failure_kind(kind->as_string());
+  if (!s || !k) return std::nullopt;
+  f.stage = *s;
+  f.kind = *k;
+  if (const Value* x = v.find("message")) f.message = x->as_string();
+  if (const Value* x = v.find("kernel")) f.kernel = x->as_string();
+  if (const Value* x = v.find("options")) f.options = x->as_string();
+  if (const Value* x = v.find("transient")) f.transient = x->as_bool();
+  return f;
+}
+
+}  // namespace
+
+const std::string& binary_version() {
+  // Compile timestamp of this translation unit: any rebuild that could
+  // change row semantics re-keys the journal. A manual tag is prepended
+  // so a deliberate format break also re-keys deterministically.
+  static const std::string version =
+      std::string("slc-journal-1 ") + __DATE__ + " " + __TIME__;
+  return version;
+}
+
+std::string row_key(const std::string& kernel_source,
+                    const std::string& options_signature) {
+  std::uint64_t h = fnv1a(kernel_source);
+  h = fnv1a("\x1f", h);
+  h = fnv1a(options_signature, h);
+  h = fnv1a("\x1f", h);
+  h = fnv1a(binary_version(), h);
+  return hex64(h);
+}
+
+Value row_to_json(const ComparisonRow& row) {
+  Value v = Value::object();
+  v.set("kernel", Value::string(row.kernel));
+  v.set("suite", Value::string(row.suite));
+  v.set("slms_applied", Value::boolean(row.slms_applied));
+  v.set("skip", Value::string(row.slms_skip_reason));
+
+  Value rep = Value::object();
+  rep.set("applied", Value::boolean(row.report.applied));
+  rep.set("skip", Value::string(row.report.skip_reason));
+  rep.set("loop", Value::string(row.report.loop_name));
+  rep.set("num_mis", Value::number(row.report.num_mis));
+  rep.set("ii", Value::number(row.report.ii));
+  rep.set("stages", Value::number(std::int64_t(row.report.stages)));
+  rep.set("unroll", Value::number(row.report.unroll));
+  rep.set("decomp", Value::number(row.report.decompositions));
+  rep.set("renamed", Value::number(row.report.renamed_scalars));
+  rep.set("ifconv", Value::boolean(row.report.if_converted));
+  rep.set("trip_guard", Value::boolean(row.report.used_trip_guard));
+  rep.set("mem_ratio", Value::number(row.report.memory_ratio));
+  v.set("report", std::move(rep));
+
+  v.set("ok", Value::boolean(row.ok));
+  v.set("error", Value::string(row.error));
+  v.set("degraded", Value::boolean(row.degraded));
+  if (row.failure) v.set("failure", failure_to_json(*row.failure));
+  v.set("wall_ns", Value::number(row.wall_ns));
+  v.set("cached", Value::boolean(row.transform_cached));
+  v.set("cycles_base", Value::number(row.cycles_base));
+  v.set("cycles_slms", Value::number(row.cycles_slms));
+  v.set("energy_base", Value::number(row.energy_base));
+  v.set("energy_slms", Value::number(row.energy_slms));
+  v.set("misses_base", Value::number(row.misses_base));
+  v.set("misses_slms", Value::number(row.misses_slms));
+  v.set("loop_base", loop_stat_to_json(row.loop_base));
+  v.set("loop_slms", loop_stat_to_json(row.loop_slms));
+  return v;
+}
+
+std::optional<ComparisonRow> row_from_json(const Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  const Value* kernel = v.find("kernel");
+  if (kernel == nullptr || !kernel->is_string()) return std::nullopt;
+
+  ComparisonRow row;
+  row.kernel = kernel->as_string();
+  if (const Value* f = v.find("suite")) row.suite = f->as_string();
+  if (const Value* f = v.find("slms_applied"))
+    row.slms_applied = f->as_bool();
+  if (const Value* f = v.find("skip")) row.slms_skip_reason = f->as_string();
+
+  if (const Value* rep = v.find("report"); rep != nullptr && rep->is_object()) {
+    if (const Value* f = rep->find("applied"))
+      row.report.applied = f->as_bool();
+    if (const Value* f = rep->find("skip"))
+      row.report.skip_reason = f->as_string();
+    if (const Value* f = rep->find("loop"))
+      row.report.loop_name = f->as_string();
+    if (const Value* f = rep->find("num_mis"))
+      row.report.num_mis = int(f->as_i64());
+    if (const Value* f = rep->find("ii")) row.report.ii = int(f->as_i64());
+    if (const Value* f = rep->find("stages")) row.report.stages = f->as_i64();
+    if (const Value* f = rep->find("unroll"))
+      row.report.unroll = int(f->as_i64());
+    if (const Value* f = rep->find("decomp"))
+      row.report.decompositions = int(f->as_i64());
+    if (const Value* f = rep->find("renamed"))
+      row.report.renamed_scalars = int(f->as_i64());
+    if (const Value* f = rep->find("ifconv"))
+      row.report.if_converted = f->as_bool();
+    if (const Value* f = rep->find("trip_guard"))
+      row.report.used_trip_guard = f->as_bool();
+    if (const Value* f = rep->find("mem_ratio"))
+      row.report.memory_ratio = f->as_double();
+  }
+
+  if (const Value* f = v.find("ok")) row.ok = f->as_bool();
+  if (const Value* f = v.find("error")) row.error = f->as_string();
+  if (const Value* f = v.find("degraded")) row.degraded = f->as_bool();
+  if (const Value* f = v.find("failure")) row.failure = failure_from_json(*f);
+  if (const Value* f = v.find("wall_ns")) row.wall_ns = f->as_u64();
+  if (const Value* f = v.find("cached")) row.transform_cached = f->as_bool();
+  if (const Value* f = v.find("cycles_base")) row.cycles_base = f->as_u64();
+  if (const Value* f = v.find("cycles_slms")) row.cycles_slms = f->as_u64();
+  if (const Value* f = v.find("energy_base")) row.energy_base = f->as_double();
+  if (const Value* f = v.find("energy_slms")) row.energy_slms = f->as_double();
+  if (const Value* f = v.find("misses_base")) row.misses_base = f->as_u64();
+  if (const Value* f = v.find("misses_slms")) row.misses_slms = f->as_u64();
+  if (const Value* f = v.find("loop_base"))
+    row.loop_base = loop_stat_from_json(*f);
+  if (const Value* f = v.find("loop_slms"))
+    row.loop_slms = loop_stat_from_json(*f);
+  return row;
+}
+
+// ----- Journal -------------------------------------------------------------
+
+struct Journal::Impl {
+  std::mutex mu;
+  std::ofstream out;
+};
+
+bool Journal::open(const std::string& path, bool truncate,
+                   std::string* error) {
+  auto impl = std::make_shared<Impl>();
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  impl->out.open(path, truncate ? std::ios::trunc : std::ios::app);
+  if (!impl->out) {
+    if (error != nullptr) *error = "cannot open journal " + path;
+    return false;
+  }
+  impl_ = std::move(impl);
+  return true;
+}
+
+bool Journal::active() const { return impl_ != nullptr; }
+
+void Journal::append(const std::string& key, const ComparisonRow& row) {
+  if (!impl_) return;
+  Value line = Value::object();
+  line.set("key", Value::string(key));
+  line.set("kernel", Value::string(row.kernel));
+  line.set("row", row_to_json(row));
+  std::string text = line.dump();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->out << text << '\n';
+  impl_->out.flush();
+}
+
+void Journal::flush() {
+  if (!impl_) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->out.flush();
+}
+
+LoadResult load(const std::string& path) {
+  LoadResult result;
+  std::ifstream in(path);
+  if (!in) return result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::optional<Value> v = json::parse(line);
+    const Value* key = v ? v->find("key") : nullptr;
+    const Value* row = v ? v->find("row") : nullptr;
+    std::optional<ComparisonRow> parsed =
+        row != nullptr ? row_from_json(*row) : std::nullopt;
+    if (key == nullptr || !key->is_string() || !parsed) {
+      ++result.skipped_lines;  // torn tail after kill -9, or foreign line
+      continue;
+    }
+    result.rows[key->as_string()] = std::move(*parsed);
+  }
+  return result;
+}
+
+}  // namespace slc::driver::journal

@@ -1,0 +1,80 @@
+// The resumable run journal: every completed comparison row of a suite
+// sweep is appended to a results.jsonl file, keyed by a hash of (kernel
+// source, effective options, binary version). An interrupted sweep —
+// SIGINT, kill -9, power loss — resumes with `slc --suite ... --resume`:
+// journaled rows are replayed verbatim (the serialization is lossless
+// for every deterministic row field), unfinished rows are recomputed,
+// and the final table is byte-identical to an uninterrupted run.
+//
+// The same row serialization is the piped transport between the
+// --isolate supervisor and its child slc processes, so a row computed
+// out-of-process is indistinguishable from one computed in-process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "driver/pipeline.hpp"
+#include "support/json.hpp"
+
+namespace slc::driver::journal {
+
+/// Version tag mixed into every journal key. Bumping it (or rebuilding
+/// with changed row semantics) orphans old journal entries instead of
+/// replaying rows a different binary computed.
+[[nodiscard]] const std::string& binary_version();
+
+/// The journal key for one row: fnv1a over (kernel source, the
+/// caller-assembled options signature, binary_version()), hex-encoded.
+/// The options signature must cover everything that can change row
+/// bytes — the CLI uses the exact argument vector a child would see.
+[[nodiscard]] std::string row_key(const std::string& kernel_source,
+                                  const std::string& options_signature);
+
+/// Lossless (for all deterministic fields) row <-> JSON conversion.
+/// `report.trace` is dropped: suite sweeps never run with explain, and
+/// the journal is not an explain cache.
+[[nodiscard]] support::json::Value row_to_json(const ComparisonRow& row);
+[[nodiscard]] std::optional<ComparisonRow> row_from_json(
+    const support::json::Value& value);
+
+/// Append-only journal writer. Each append is one self-contained JSON
+/// line, flushed immediately, so a kill -9 can lose at most the row
+/// being written — and the loader skips a torn final line.
+class Journal {
+ public:
+  Journal() = default;
+
+  /// Opens (creating parent directories) for append; `truncate` starts a
+  /// fresh journal (a non-resume run must not mix entries with an older
+  /// sweep's). Returns false and leaves the journal inactive on I/O
+  /// failure.
+  bool open(const std::string& path, bool truncate,
+            std::string* error = nullptr);
+  [[nodiscard]] bool active() const;
+
+  /// Thread-safe: the pipeline's on_row callback appends from workers.
+  void append(const std::string& key, const ComparisonRow& row);
+
+  /// Flushes buffered lines (appends flush eagerly; this is for the
+  /// SIGINT path's peace of mind) .
+  void flush();
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Journaled rows keyed by row_key. Unparseable lines (torn tail after a
+/// kill, foreign versions) are counted, not fatal.
+struct LoadResult {
+  std::unordered_map<std::string, ComparisonRow> rows;
+  std::size_t skipped_lines = 0;
+};
+
+[[nodiscard]] LoadResult load(const std::string& path);
+
+}  // namespace slc::driver::journal

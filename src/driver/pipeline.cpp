@@ -186,6 +186,11 @@ EntryPtr build_transform_entry_once(const kernels::Kernel& kernel,
                                            FailureKind::Exception, e.what()));
   }
 
+  // Base-only mode (isolation re-measure): stop before any SLMS stage so
+  // whatever crashed the child cannot fire again. The empty variant list
+  // makes compare_kernel_impl degrade the row to the base run.
+  if (options.base_only) return entry;
+
   // -- SLMS variants (paper §9 remark 2: best of with/without MVE) ---------
   // Failures from here on degrade the row instead of failing it.
   auto fail_variant = [&](Failure f) {
@@ -309,7 +314,7 @@ std::string transform_key(const kernels::Kernel& kernel,
      << s.max_unroll << '|' << s.eager_mve << '|'
      << (s.max_ii ? *s.max_ii : -1) << '|' << s.explain << '|'
      << o.sim_seed << '|' << o.verify_oracle << '|' << o.best_of_mve << '|'
-     << o.max_interp_steps;
+     << o.max_interp_steps << '|' << o.base_only;
   return os.str();
 }
 
@@ -465,6 +470,16 @@ void compare_kernel_impl(ComparisonRow& row, const kernels::Kernel& kernel,
   row.misses_base = rb.mem_misses;
   if (!rb.loops.empty()) row.loop_base = rb.loops.front();
 
+  if (options.base_only) {
+    // Placeholder cause; the isolation supervisor overwrites it with the
+    // child's real exit classification before reporting the row.
+    degrade_to_base(row, rb,
+                    support::make_failure(
+                        Stage::Isolation, FailureKind::Unknown,
+                        "base-only re-measurement after child crash"));
+    return;
+  }
+
   if (entry->variants.empty()) {
     degrade_to_base(row, rb,
                     entry->variant_failure
@@ -570,6 +585,7 @@ std::vector<ComparisonRow> compare_kernels(
       kernels.size(), support::resolve_jobs(options.jobs),
       [&](std::size_t i) {
         rows[i] = compare_kernel(kernels[i], backend, options);
+        if (options.on_row) options.on_row(rows[i], i);
       });
   return rows;
 }

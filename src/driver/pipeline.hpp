@@ -5,6 +5,7 @@
 // equivalence with the interpreter oracle before any number is reported.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -112,6 +113,17 @@ struct CompareOptions {
   /// Interpreter-oracle step budget per run (0 = the interpreter default).
   /// Exhaustion records a StepLimit failure instead of hanging the row.
   std::uint64_t max_interp_steps = 0;
+  /// Measure only the untransformed program and report it as a degraded
+  /// row (both metric columns = base). The --isolate supervisor uses
+  /// this to re-measure a row whose SLMS side crashed the child: the
+  /// SLMS stages are skipped entirely, so the crash is not re-triggered,
+  /// and the parent substitutes the real isolation Failure afterwards.
+  bool base_only = false;
+  /// Invoked once per completed row, from whichever worker finished it
+  /// (concurrently under --jobs N — the callback must synchronize).
+  /// The journal uses this to persist rows as they land, so a killed
+  /// sweep can resume instead of rerunning.
+  std::function<void(const ComparisonRow&, std::size_t)> on_row;
 };
 
 [[nodiscard]] ComparisonRow compare_kernel(const kernels::Kernel& kernel,

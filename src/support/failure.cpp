@@ -15,6 +15,7 @@ const char* to_string(Stage stage) {
     case Stage::Simulate: return "simulate";
     case Stage::Oracle: return "oracle";
     case Stage::Harness: return "harness";
+    case Stage::Isolation: return "isolation";
   }
   return "?";
 }
@@ -29,6 +30,7 @@ std::optional<Stage> parse_stage(std::string_view name) {
   if (name == "simulate") return Stage::Simulate;
   if (name == "oracle") return Stage::Oracle;
   if (name == "harness") return Stage::Harness;
+  if (name == "isolation") return Stage::Isolation;
   return std::nullopt;
 }
 
@@ -47,9 +49,23 @@ const char* to_string(FailureKind kind) {
     case FailureKind::DeadlineExceeded: return "deadline-exceeded";
     case FailureKind::Exception: return "exception";
     case FailureKind::Injected: return "injected";
+    case FailureKind::ChildExit: return "child-exit";
+    case FailureKind::ChildSignal: return "child-signal";
+    case FailureKind::ChildTimeout: return "child-timeout";
+    case FailureKind::ChildOom: return "child-oom";
     case FailureKind::Unknown: return "unknown";
   }
   return "?";
+}
+
+std::optional<FailureKind> parse_failure_kind(std::string_view name) {
+  // Keep in sync with to_string(FailureKind); the journal stores kinds by
+  // name so resumed rows survive enum reordering across versions.
+  for (int i = 0; i <= int(FailureKind::Unknown); ++i) {
+    auto kind = FailureKind(i);
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
 }
 
 std::string Failure::brief() const {

@@ -21,7 +21,10 @@ namespace slc::support {
 
 /// The pipeline stages a failure can be attributed to, in pipeline order.
 /// `Harness` covers infrastructure faults (worker exceptions, deadlines)
-/// that do not belong to a specific compiler stage.
+/// that do not belong to a specific compiler stage; `Isolation` covers
+/// the process boundary of `--isolate` sweeps (a child slc process that
+/// exited nonzero, died on a signal, was killed by the wall-clock
+/// watchdog, or hit the RSS cap).
 enum class Stage : std::uint8_t {
   Parse,
   Sema,
@@ -32,6 +35,7 @@ enum class Stage : std::uint8_t {
   Simulate,
   Oracle,
   Harness,
+  Isolation,
 };
 
 [[nodiscard]] const char* to_string(Stage stage);
@@ -54,10 +58,16 @@ enum class FailureKind : std::uint8_t {
   DeadlineExceeded,  // per-row wall-clock guard fired
   Exception,         // an exception escaped a stage and was captured
   Injected,          // produced by the fault-injection facility
+  ChildExit,         // isolated child exited with a nonzero status
+  ChildSignal,       // isolated child died on a signal (e.g. SIGSEGV)
+  ChildTimeout,      // isolated child killed by the wall-clock watchdog
+  ChildOom,          // isolated child exceeded the RSS cap
   Unknown,
 };
 
 [[nodiscard]] const char* to_string(FailureKind kind);
+[[nodiscard]] std::optional<FailureKind> parse_failure_kind(
+    std::string_view name);
 
 /// One structured pipeline failure. `transient` marks failures a retry may
 /// clear (the fault injector's fail-once kind sets it); the harness retries

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <deque>
 #include <iostream>
@@ -13,7 +14,7 @@ namespace slc::support::fault {
 
 namespace {
 
-enum class FaultKind { Throw, Fail, FailOnce, Delay };
+enum class FaultKind { Throw, Fail, FailOnce, Delay, Crash, Hang };
 
 struct FaultSpec {
   Stage stage = Stage::Harness;
@@ -76,6 +77,10 @@ bool parse_one(std::string_view item, Config& c, std::string* error) {
     spec.kind = FaultKind::Fail;
   } else if (rest == "fail-once") {
     spec.kind = FaultKind::FailOnce;
+  } else if (rest == "crash") {
+    spec.kind = FaultKind::Crash;
+  } else if (rest == "hang") {
+    spec.kind = FaultKind::Hang;
   } else if (rest.substr(0, kDelayPrefix.size()) == kDelayPrefix) {
     spec.kind = FaultKind::Delay;
     std::string ms(rest.substr(kDelayPrefix.size()));
@@ -85,7 +90,8 @@ bool parse_one(std::string_view item, Config& c, std::string* error) {
       return fail("bad delay milliseconds");
     spec.delay_ms = int(v);
   } else {
-    return fail("unknown fault kind (throw|fail|fail-once|delay=MS)");
+    return fail(
+        "unknown fault kind (throw|fail|fail-once|delay=MS|crash|hang)");
   }
   c.specs.emplace_back();
   FaultSpec& stored = c.specs.back();
@@ -183,6 +189,20 @@ std::optional<Failure> trigger(Stage stage, std::string_view kernel) {
     case FaultKind::Delay:
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
       return std::nullopt;
+    case FaultKind::Crash:
+      // A genuine crash, not an exception: nothing in-process can recover
+      // from this. Restore the default disposition first so a test
+      // harness's SIGSEGV handler cannot turn it back into something
+      // catchable.
+      std::signal(SIGSEGV, SIG_DFL);
+      std::raise(SIGSEGV);
+      std::abort();  // not reached; raise cannot return here
+    case FaultKind::Hang:
+      // Sleep until killed. Deliberately immune to the in-process
+      // Deadline: this models the infinite loop only the --isolate
+      // watchdog's SIGKILL can end.
+      for (;;)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   return std::nullopt;
 }

@@ -11,6 +11,11 @@
 //                                       the harness retry must clear it)
 //   SLC_FAULT="simulate:delay=50"       sleep 50 ms (trips the deadline
 //                                       guard without failing outright)
+//   SLC_FAULT="slms:crash"              raise SIGSEGV — a genuine crash
+//                                       that only --isolate survives
+//   SLC_FAULT="simulate:hang"           spin-sleep forever; the in-process
+//                                       Deadline cannot interrupt it, only
+//                                       the --isolate wall-clock watchdog
 //   SLC_FAULT="slms:throw@kernel8"      only rows whose kernel name
 //                                       contains "kernel8"
 //   SLC_FAULT="bug:mve-skip-rename"     plant a named miscompile bug (used
@@ -65,6 +70,8 @@ void clear();
 ///   fail      — returns a Failure{stage, Injected}
 ///   fail-once — returns a transient Failure on the first match only
 ///   delay     — sleeps, then returns nullopt
+///   crash     — raises SIGSEGV (never returns; kills the process)
+///   hang      — sleeps forever (never returns; only SIGKILL ends it)
 /// `kernel` is matched as a substring against the spec's @filter; an empty
 /// filter matches every kernel.
 [[nodiscard]] std::optional<Failure> trigger(Stage stage,

@@ -1,0 +1,383 @@
+#include "support/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slc::support::json {
+
+// ----- builders ------------------------------------------------------------
+
+Value Value::null() { return Value{}; }
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(std::uint64_t n) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.scalar_ = std::to_string(n);
+  return v;
+}
+
+Value Value::number(std::int64_t n) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.scalar_ = std::to_string(n);
+  return v;
+}
+
+Value Value::number(double d) {
+  Value v;
+  v.kind_ = Kind::Number;
+  char buf[64];
+  // %.17g round-trips every finite double exactly.
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  v.scalar_ = buf;
+  // JSON has no inf/nan; the harness never produces them, but do not
+  // emit invalid documents if one sneaks through.
+  if (v.scalar_.find("inf") != std::string::npos ||
+      v.scalar_.find("nan") != std::string::npos)
+    v.scalar_ = "0";
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+// ----- inspectors ----------------------------------------------------------
+
+bool Value::as_bool(bool fallback) const {
+  return kind_ == Kind::Bool ? bool_ : fallback;
+}
+
+std::uint64_t Value::as_u64(std::uint64_t fallback) const {
+  if (kind_ != Kind::Number) return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return v;
+}
+
+std::int64_t Value::as_i64(std::int64_t fallback) const {
+  if (kind_ != Kind::Number) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return v;
+}
+
+double Value::as_double(double fallback) const {
+  if (kind_ != Kind::Number) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(scalar_.c_str(), &end);
+  if (end == nullptr || *end != '\0') return fallback;
+  return v;
+}
+
+const std::string& Value::as_string() const {
+  static const std::string empty;
+  return kind_ == Kind::String ? scalar_ : empty;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Value::set(std::string key, Value v) {
+  kind_ = Kind::Object;
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+void Value::push(Value v) {
+  kind_ = Kind::Array;
+  arr_.push_back(std::move(v));
+}
+
+// ----- serialization -------------------------------------------------------
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Value::dump() const {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Number: return scalar_;
+    case Kind::String: return quote(scalar_);
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += arr_[i].dump();
+      }
+      out += ']';
+      return out;
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += quote(obj_[i].first);
+        out += ':';
+        out += obj_[i].second.dump();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";
+}
+
+// ----- parsing -------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> value() {
+    if (++depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    char c = text[pos];
+    std::optional<Value> out;
+    if (c == '{') out = object();
+    else if (c == '[') out = array();
+    else if (c == '"') out = string_value();
+    else if (c == 't' || c == 'f') out = boolean();
+    else if (c == 'n') out = null_value();
+    else out = number();
+    --depth;
+    return out;
+  }
+
+  std::optional<Value> fail() { return std::nullopt; }
+
+  std::optional<Value> object() {
+    ++pos;  // '{'
+    Value v = Value::object();
+    skip_ws();
+    if (eat('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::optional<std::string> key = raw_string();
+      if (!key) return fail();
+      skip_ws();
+      if (!eat(':')) return fail();
+      std::optional<Value> field = value();
+      if (!field) return fail();
+      v.set(std::move(*key), std::move(*field));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      return fail();
+    }
+  }
+
+  std::optional<Value> array() {
+    ++pos;  // '['
+    Value v = Value::array();
+    skip_ws();
+    if (eat(']')) return v;
+    for (;;) {
+      std::optional<Value> item = value();
+      if (!item) return fail();
+      v.push(std::move(*item));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      return fail();
+    }
+  }
+
+  std::optional<std::string> raw_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return std::nullopt;
+      char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // Encode as UTF-8 (surrogate pairs are not produced by our
+          // writer; a lone surrogate decodes to its 3-byte form).
+          if (code < 0x80) {
+            out += char(code);
+          } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+          } else {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> string_value() {
+    std::optional<std::string> s = raw_string();
+    if (!s) return fail();
+    return Value::string(std::move(*s));
+  }
+
+  std::optional<Value> boolean() {
+    if (text.substr(pos, 4) == "true") {
+      pos += 4;
+      return Value::boolean(true);
+    }
+    if (text.substr(pos, 5) == "false") {
+      pos += 5;
+      return Value::boolean(false);
+    }
+    return fail();
+  }
+
+  std::optional<Value> null_value() {
+    if (text.substr(pos, 4) == "null") {
+      pos += 4;
+      return Value::null();
+    }
+    return fail();
+  }
+
+  std::optional<Value> number() {
+    std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' ||
+            text[pos] == '+')) {
+      if (text[pos] >= '0' && text[pos] <= '9') digits = true;
+      ++pos;
+    }
+    if (!digits) return fail();
+    // Validate the shape with strtod, but keep the exact source text so
+    // 64-bit integers survive untouched (a double would truncate them).
+    std::string raw(text.substr(start, pos - start));
+    char* end = nullptr;
+    (void)std::strtod(raw.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail();
+    bool integral = true;
+    for (std::size_t i = (raw[0] == '-' || raw[0] == '+') ? 1 : 0;
+         i < raw.size(); ++i)
+      if (raw[i] < '0' || raw[i] > '9') {
+        integral = false;
+        break;
+      }
+    if (integral) {
+      if (raw[0] == '-')
+        return Value::number(
+            std::int64_t(std::strtoll(raw.c_str(), nullptr, 10)));
+      return Value::number(
+          std::uint64_t(std::strtoull(raw.c_str(), nullptr, 10)));
+    }
+    return Value::number(std::strtod(raw.c_str(), nullptr));
+  }
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  Parser p{text};
+  std::optional<Value> v = p.value();
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace slc::support::json

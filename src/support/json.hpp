@@ -1,0 +1,80 @@
+// A deliberately small JSON reader/writer for the harness' piped result
+// transport and the resumable run journal (driver/journal.hpp).
+//
+// Scope: exactly what a machine-to-machine protocol between two builds
+// of this codebase needs — objects, arrays, strings, bools, null, and
+// *textually preserved* numbers. Numbers are kept as their source text
+// and converted on access (u64 / i64 / double), so a 64-bit cycle count
+// round-trips bit-exactly instead of being squeezed through a double.
+// No external dependencies; the container policy forbids new ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace slc::support::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  // ----- builders ---------------------------------------------------------
+  [[nodiscard]] static Value null();
+  [[nodiscard]] static Value boolean(bool b);
+  [[nodiscard]] static Value number(std::uint64_t v);
+  [[nodiscard]] static Value number(std::int64_t v);
+  [[nodiscard]] static Value number(int v) { return number(std::int64_t(v)); }
+  [[nodiscard]] static Value number(double v);
+  [[nodiscard]] static Value string(std::string s);
+  [[nodiscard]] static Value array();
+  [[nodiscard]] static Value object();
+
+  // ----- inspectors -------------------------------------------------------
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+
+  /// Conversions return the fallback when the kind does not match (or the
+  /// number text does not parse) — journal consumers treat malformed
+  /// entries as absent, never as errors.
+  [[nodiscard]] bool as_bool(bool fallback = false) const;
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  [[nodiscard]] std::int64_t as_i64(std::int64_t fallback = 0) const;
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] const std::string& as_string() const;  // "" when not String
+
+  /// Object field lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<Value>& items() const { return arr_; }
+
+  // ----- mutation ---------------------------------------------------------
+  void set(std::string key, Value v);       // object field (append)
+  void push(Value v);                       // array element
+
+  /// Compact single-line serialization (the journal is line-oriented).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::string scalar_;  // number text or string payload
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Strict parse of a complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). nullopt on any syntax error.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+/// JSON string escaping for ad-hoc writers ("..." quotes included).
+[[nodiscard]] std::string quote(std::string_view s);
+
+}  // namespace slc::support::json

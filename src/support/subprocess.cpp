@@ -1,0 +1,297 @@
+#include "support/subprocess.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace slc::support::subprocess {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The child half of the pipe plumbing, run between fork and exec.
+/// Only async-signal-safe calls are allowed here.
+[[noreturn]] void exec_child(const RunOptions& options, int in_fd,
+                             int out_fd, int err_fd) {
+  // Own process group so the watchdog can SIGKILL the whole tree.
+  setpgid(0, 0);
+
+  if (options.max_rss_mb > 0) {
+    rlimit lim{};
+    lim.rlim_cur = lim.rlim_max =
+        rlim_t(options.max_rss_mb) * 1024 * 1024;
+    setrlimit(RLIMIT_AS, &lim);  // best effort; exec proceeds regardless
+  }
+
+  dup2(in_fd, STDIN_FILENO);
+  dup2(out_fd, STDOUT_FILENO);
+  dup2(err_fd, STDERR_FILENO);
+  close(in_fd);
+  close(out_fd);
+  close(err_fd);
+
+  std::vector<char*> argv;
+  argv.reserve(options.argv.size() + 1);
+  for (const std::string& arg : options.argv)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  execvp(argv[0], argv.data());
+
+  // exec failed — report on the (piped) stderr and die with the shell's
+  // conventional "command not found" status.
+  const char* msg = "subprocess: exec failed: ";
+  ssize_t ignored = write(STDERR_FILENO, msg, strlen(msg));
+  ignored = write(STDERR_FILENO, options.argv[0].c_str(),
+                  options.argv[0].size());
+  ignored = write(STDERR_FILENO, "\n", 1);
+  (void)ignored;
+  _exit(127);
+}
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Appends up to the output cap; excess bytes are read and dropped so
+/// the child never blocks on a full pipe.
+bool drain(int fd, std::string* sink, std::size_t cap) {
+  char buf[4096];
+  for (;;) {
+    ssize_t n = read(fd, buf, sizeof buf);
+    if (n > 0) {
+      std::size_t room = sink->size() < cap ? cap - sink->size() : 0;
+      sink->append(buf, buf + std::min<std::size_t>(std::size_t(n), room));
+      continue;
+    }
+    if (n == 0) return false;                       // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;                                   // error: treat as EOF
+  }
+}
+
+}  // namespace
+
+const char* to_string(ExitClass cls) {
+  switch (cls) {
+    case ExitClass::Clean: return "clean";
+    case ExitClass::NonZero: return "nonzero";
+    case ExitClass::Signal: return "signal";
+    case ExitClass::Timeout: return "timeout";
+    case ExitClass::Oom: return "oom";
+  }
+  return "?";
+}
+
+std::string RunResult::describe() const {
+  if (!spawned) return "spawn-error: " + spawn_error;
+  switch (cls) {
+    case ExitClass::Clean: return "clean";
+    case ExitClass::NonZero: return "exit:" + std::to_string(exit_code);
+    case ExitClass::Signal: {
+      const char* name = strsignal(term_signal);
+      std::ostringstream os;
+      os << "signal:SIG";
+      switch (term_signal) {
+        case SIGSEGV: os.str(""); os << "signal:SIGSEGV"; break;
+        case SIGABRT: os.str(""); os << "signal:SIGABRT"; break;
+        case SIGBUS: os.str(""); os << "signal:SIGBUS"; break;
+        case SIGFPE: os.str(""); os << "signal:SIGFPE"; break;
+        case SIGILL: os.str(""); os << "signal:SIGILL"; break;
+        case SIGKILL: os.str(""); os << "signal:SIGKILL"; break;
+        default:
+          os.str("");
+          os << "signal:" << term_signal << " ("
+             << (name != nullptr ? name : "?") << ")";
+      }
+      return os.str();
+    }
+    case ExitClass::Timeout: return "timeout";
+    case ExitClass::Oom: return "oom";
+  }
+  return "?";
+}
+
+ExitClass classify_exit(bool timed_out, bool signaled, int sig_or_code,
+                        bool rss_capped, std::string_view stderr_text) {
+  if (timed_out) return ExitClass::Timeout;
+  if (signaled) {
+    // SIGKILL we did not send, under a memory cap: the kernel OOM path.
+    if (rss_capped && sig_or_code == SIGKILL) return ExitClass::Oom;
+    return ExitClass::Signal;
+  }
+  if (sig_or_code == 0) return ExitClass::Clean;
+  if (rss_capped &&
+      (stderr_text.find("bad_alloc") != std::string_view::npos ||
+       stderr_text.find("out of memory") != std::string_view::npos ||
+       stderr_text.find("Cannot allocate memory") !=
+           std::string_view::npos))
+    return ExitClass::Oom;
+  return ExitClass::NonZero;
+}
+
+Failure to_failure(const RunResult& result) {
+  FailureKind kind = FailureKind::ChildExit;
+  switch (result.cls) {
+    case ExitClass::Clean:
+    case ExitClass::NonZero: kind = FailureKind::ChildExit; break;
+    case ExitClass::Signal: kind = FailureKind::ChildSignal; break;
+    case ExitClass::Timeout: kind = FailureKind::ChildTimeout; break;
+    case ExitClass::Oom: kind = FailureKind::ChildOom; break;
+  }
+  std::string message = !result.spawned
+                            ? result.describe()
+                            : "child " + result.describe();
+  return make_failure(Stage::Isolation, kind, std::move(message));
+}
+
+RunResult run(const RunOptions& options) {
+  RunResult result;
+  result.rss_capped = options.max_rss_mb > 0;
+  if (options.argv.empty()) {
+    result.spawn_error = "empty argv";
+    return result;
+  }
+
+  int in_pipe[2], out_pipe[2], err_pipe[2];
+  if (pipe(in_pipe) != 0) {
+    result.spawn_error = std::string("pipe: ") + strerror(errno);
+    return result;
+  }
+  if (pipe(out_pipe) != 0) {
+    result.spawn_error = std::string("pipe: ") + strerror(errno);
+    close(in_pipe[0]); close(in_pipe[1]);
+    return result;
+  }
+  if (pipe(err_pipe) != 0) {
+    result.spawn_error = std::string("pipe: ") + strerror(errno);
+    close(in_pipe[0]); close(in_pipe[1]);
+    close(out_pipe[0]); close(out_pipe[1]);
+    return result;
+  }
+
+  auto start = Clock::now();
+  pid_t pid = fork();
+  if (pid < 0) {
+    result.spawn_error = std::string("fork: ") + strerror(errno);
+    close(in_pipe[0]); close(in_pipe[1]);
+    close(out_pipe[0]); close(out_pipe[1]);
+    close(err_pipe[0]); close(err_pipe[1]);
+    return result;
+  }
+  if (pid == 0) {
+    close(in_pipe[1]);
+    close(out_pipe[0]);
+    close(err_pipe[0]);
+    exec_child(options, in_pipe[0], out_pipe[1], err_pipe[1]);
+  }
+
+  // ----- parent ----------------------------------------------------------
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  close(err_pipe[1]);
+
+  // Feed stdin (bounded: a child that never reads cannot block us past
+  // the pipe buffer — suite children do not read stdin at all).
+  if (!options.stdin_text.empty()) {
+    std::size_t off = 0;
+    set_nonblocking(in_pipe[1]);
+    while (off < options.stdin_text.size()) {
+      ssize_t n = write(in_pipe[1], options.stdin_text.data() + off,
+                        options.stdin_text.size() - off);
+      if (n > 0) { off += std::size_t(n); continue; }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EAGAIN (child not reading) or broken pipe: give up
+    }
+  }
+  close(in_pipe[1]);
+
+  set_nonblocking(out_pipe[0]);
+  set_nonblocking(err_pipe[0]);
+
+  auto deadline = options.timeout_ms > 0
+                      ? start + std::chrono::milliseconds(options.timeout_ms)
+                      : Clock::time_point::max();
+  bool out_open = true, err_open = true;
+  while (out_open || err_open) {
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    if (out_open) fds[nfds++] = {out_pipe[0], POLLIN, 0};
+    if (err_open) fds[nfds++] = {err_pipe[0], POLLIN, 0};
+
+    int wait_ms = -1;
+    if (deadline != Clock::time_point::max()) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - Clock::now())
+                      .count();
+      wait_ms = left > 0 ? int(std::min<long long>(left, 1000)) : 0;
+    }
+    int ready = poll(fds, nfds, wait_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (fds[i].fd == out_pipe[0]) {
+        out_open = drain(out_pipe[0], &result.out, options.max_output_bytes);
+      } else {
+        err_open = drain(err_pipe[0], &result.err, options.max_output_bytes);
+      }
+    }
+    if (!result.timed_out && Clock::now() >= deadline) {
+      result.timed_out = true;
+      kill(-pid, SIGKILL);  // the whole process group
+      kill(pid, SIGKILL);   // in case setpgid lost the race
+    }
+  }
+  close(out_pipe[0]);
+  close(err_pipe[0]);
+
+  int status = 0;
+  for (;;) {
+    // The pipes are at EOF, so the child is exiting (or already a
+    // zombie); an un-timed-out child may still linger a moment between
+    // closing its fds and dying, which the blocking waitpid absorbs.
+    // A timed-out child was SIGKILLed and reaps immediately.
+    pid_t w = waitpid(pid, &status, 0);
+    if (w == pid) break;
+    if (w < 0 && errno == EINTR) continue;
+    result.spawn_error = std::string("waitpid: ") + strerror(errno);
+    return result;
+  }
+
+  result.spawned = true;
+  bool signaled = WIFSIGNALED(status);
+  if (signaled)
+    result.term_signal = WTERMSIG(status);
+  else if (WIFEXITED(status))
+    result.exit_code = WEXITSTATUS(status);
+  result.cls = classify_exit(result.timed_out, signaled,
+                             signaled ? result.term_signal : result.exit_code,
+                             result.rss_capped, result.err);
+  result.wall_ns = std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  return result;
+}
+
+std::string self_exe_path(const std::string& fallback) {
+  char buf[4096];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return fallback;
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace slc::support::subprocess

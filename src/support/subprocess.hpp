@@ -1,0 +1,102 @@
+// Crash-isolated child processes for the evaluation harness.
+//
+// The fail-safe pipeline (support/failure.hpp) survives anything that
+// surfaces as a C++ exception or a structured Failure, but a genuine
+// crash — SIGSEGV in a transform, an OOM, an infinite loop the
+// in-process Deadline cannot interrupt — still takes down the whole
+// process. This layer provides the hard boundary: fork/exec a child,
+// capture its stdout/stderr through pipes, kill it with SIGKILL when a
+// wall-clock watchdog expires, cap its address space with setrlimit,
+// and classify the way it ended (clean / nonzero exit / signal /
+// timeout / oom) into the Failure taxonomy as Stage::Isolation.
+//
+// The `--isolate` suite mode (driver/isolate.hpp) runs every comparison
+// row in a child slc process through this wrapper; heavyweight future
+// backends (SMT/SAT modulo schedulers) get the same treatment for free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/failure.hpp"
+
+namespace slc::support::subprocess {
+
+struct RunOptions {
+  /// argv[0] is the executable path (resolved via PATH by execvp).
+  std::vector<std::string> argv;
+  /// Wall-clock watchdog in milliseconds; on expiry the child's process
+  /// group receives SIGKILL. 0 = no watchdog.
+  std::uint64_t timeout_ms = 0;
+  /// Address-space cap in MiB (setrlimit(RLIMIT_AS) in the child before
+  /// exec). Allocation beyond the cap fails inside the child — typically
+  /// a std::bad_alloc that a well-behaved tool reports on stderr.
+  /// 0 = no cap.
+  std::uint64_t max_rss_mb = 0;
+  /// Cap on captured stdout/stderr (each); excess is discarded so a
+  /// runaway child cannot balloon the parent.
+  std::size_t max_output_bytes = std::size_t(8) << 20;
+  /// Text fed to the child's stdin (the pipe is closed after writing).
+  std::string stdin_text;
+};
+
+/// How the child ended, in classification priority order.
+enum class ExitClass : std::uint8_t {
+  Clean,     // exited 0
+  NonZero,   // exited with a nonzero status
+  Signal,    // terminated by a signal (SIGSEGV, SIGABRT, ...)
+  Timeout,   // the watchdog fired and SIGKILLed it
+  Oom,       // the RSS cap was hit (bad_alloc exit or kernel kill)
+};
+
+[[nodiscard]] const char* to_string(ExitClass cls);
+
+struct RunResult {
+  /// False when fork/exec plumbing itself failed (see spawn_error); the
+  /// child never ran and none of the fields below are meaningful.
+  bool spawned = false;
+  std::string spawn_error;
+
+  ExitClass cls = ExitClass::NonZero;
+  int exit_code = 0;     // valid when the child exited
+  int term_signal = 0;   // valid when the child was signaled
+  bool timed_out = false;
+  bool rss_capped = false;  // a cap was armed (context for Oom inference)
+
+  std::string out;  // captured child stdout (possibly truncated)
+  std::string err;  // captured child stderr (possibly truncated)
+  std::uint64_t wall_ns = 0;
+
+  [[nodiscard]] bool clean() const {
+    return spawned && cls == ExitClass::Clean;
+  }
+  /// "clean" | "exit:3" | "signal:SIGSEGV" | "timeout" | "oom"
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Runs the child to completion (or watchdog kill) and classifies the
+/// outcome. Never throws; plumbing failures come back with
+/// spawned = false.
+[[nodiscard]] RunResult run(const RunOptions& options);
+
+/// Pure classification used by run() and unit-testable without spawning:
+/// maps (watchdog fired, signal-vs-exit, signal number or exit code,
+/// cap armed, child stderr) to an ExitClass. A nonzero exit whose stderr
+/// reports an allocation failure while a cap was armed is Oom, as is an
+/// un-asked-for SIGKILL under a cap (the kernel OOM path).
+[[nodiscard]] ExitClass classify_exit(bool timed_out, bool signaled,
+                                      int sig_or_code, bool rss_capped,
+                                      std::string_view stderr_text);
+
+/// Maps a completed RunResult into the Failure taxonomy: Stage::Isolation
+/// with ChildExit / ChildSignal / ChildTimeout / ChildOom and a message
+/// naming the exact status (e.g. "signal:SIGSEGV"). Clean runs map to a
+/// ChildExit failure with exit code 0 — callers should not ask.
+[[nodiscard]] Failure to_failure(const RunResult& result);
+
+/// Absolute path of the currently running executable
+/// (/proc/self/exe on Linux), or `fallback` when unreadable.
+[[nodiscard]] std::string self_exe_path(const std::string& fallback);
+
+}  // namespace slc::support::subprocess

@@ -1,0 +1,508 @@
+// Tests for the crash-isolation layer (support/subprocess), the
+// resumable run journal (driver/journal), the crash/hang fault kinds,
+// and the end-to-end `slc --suite --isolate` supervisor contract:
+// a planted crash degrades exactly one row, archives a repro, and a
+// killed sweep resumes to byte-identical output.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "driver/journal.hpp"
+#include "support/fault.hpp"
+#include "support/failure.hpp"
+#include "support/subprocess.hpp"
+
+// raise(SIGSEGV) and RLIMIT_AS behave differently under sanitizer
+// runtimes (ASan reports and exits instead of dying on the signal, and
+// shadow memory collides with address-space caps), so the affected
+// assertions relax there. Signal tests that go through /bin/sh — an
+// uninstrumented binary — stay strict.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SLC_SANITIZED 1
+#endif
+#if !defined(SLC_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SLC_SANITIZED 1
+#endif
+#endif
+#ifndef SLC_SANITIZED
+#define SLC_SANITIZED 0
+#endif
+
+namespace {
+
+using namespace slc;
+namespace subprocess = support::subprocess;
+namespace journal = driver::journal;
+namespace fs = std::filesystem;
+using subprocess::ExitClass;
+
+subprocess::RunResult sh(const std::string& script,
+                         std::uint64_t timeout_ms = 0) {
+  subprocess::RunOptions run;
+  run.argv = {"/bin/sh", "-c", script};
+  run.timeout_ms = timeout_ms;
+  return subprocess::run(run);
+}
+
+// ----- subprocess: spawn + classification ---------------------------------
+
+TEST(Subprocess, CleanRunCapturesOutput) {
+  subprocess::RunResult r = sh("echo out-line; echo err-line >&2");
+  ASSERT_TRUE(r.spawned) << r.spawn_error;
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.cls, ExitClass::Clean);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out, "out-line\n");
+  EXPECT_EQ(r.err, "err-line\n");
+  EXPECT_EQ(r.describe(), "clean");
+  EXPECT_GT(r.wall_ns, 0u);
+}
+
+TEST(Subprocess, NonZeroExit) {
+  subprocess::RunResult r = sh("exit 3");
+  ASSERT_TRUE(r.spawned);
+  EXPECT_EQ(r.cls, ExitClass::NonZero);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_EQ(r.describe(), "exit:3");
+}
+
+TEST(Subprocess, SignalDeath) {
+  subprocess::RunResult r = sh("kill -SEGV $$");
+  ASSERT_TRUE(r.spawned);
+  EXPECT_EQ(r.cls, ExitClass::Signal);
+  EXPECT_EQ(r.term_signal, SIGSEGV);
+  EXPECT_EQ(r.describe(), "signal:SIGSEGV");
+}
+
+TEST(Subprocess, WatchdogKillsAndClassifiesTimeout) {
+  subprocess::RunResult r = sh("sleep 30", /*timeout_ms=*/300);
+  ASSERT_TRUE(r.spawned);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.cls, ExitClass::Timeout);
+  EXPECT_EQ(r.describe(), "timeout");
+  // The watchdog must fire near its deadline, not at the sleep's end.
+  EXPECT_LT(r.wall_ns, std::uint64_t(10) * 1000 * 1000 * 1000);
+}
+
+TEST(Subprocess, ExecFailureIsNonZero127) {
+  subprocess::RunOptions run;
+  run.argv = {"/nonexistent/slc-no-such-binary"};
+  subprocess::RunResult r = subprocess::run(run);
+  ASSERT_TRUE(r.spawned);  // fork worked; exec failed inside the child
+  EXPECT_EQ(r.cls, ExitClass::NonZero);
+  EXPECT_EQ(r.exit_code, 127);
+}
+
+TEST(Subprocess, StdinIsDelivered) {
+  subprocess::RunOptions run;
+  run.argv = {"/bin/sh", "-c", "cat"};
+  run.stdin_text = "piped through\n";
+  subprocess::RunResult r = subprocess::run(run);
+  ASSERT_TRUE(r.clean());
+  EXPECT_EQ(r.out, "piped through\n");
+}
+
+TEST(Subprocess, OutputCapTruncatesWithoutHanging) {
+  subprocess::RunOptions run;
+  run.argv = {"/bin/sh", "-c", "yes x | head -c 1000000"};
+  run.max_output_bytes = 4096;
+  subprocess::RunResult r = subprocess::run(run);
+  ASSERT_TRUE(r.spawned);
+  EXPECT_LE(r.out.size(), 4096u);
+}
+
+TEST(Subprocess, SelfExePathExists) {
+  std::string path = subprocess::self_exe_path("fallback");
+  EXPECT_NE(path, "fallback");
+  EXPECT_TRUE(fs::exists(path));
+}
+
+#if !SLC_SANITIZED
+TEST(Subprocess, AddressSpaceCapTurnsAllocationIntoOom) {
+  // The child tries to allocate ~256 MiB under a 64 MiB RLIMIT_AS cap.
+  // dd's failed allocation exits nonzero with an error on stderr; with
+  // the cap armed the classifier must call it Oom, not a plain failure.
+  subprocess::RunOptions run;
+  run.argv = {"/bin/sh", "-c", "dd if=/dev/zero of=/dev/null bs=256M count=1"};
+  run.max_rss_mb = 64;
+  subprocess::RunResult r = subprocess::run(run);
+  ASSERT_TRUE(r.spawned);
+  EXPECT_TRUE(r.rss_capped);
+  EXPECT_NE(r.cls, ExitClass::Clean);
+}
+#endif
+
+// ----- classification: pure, no spawning ----------------------------------
+
+TEST(ClassifyExit, PriorityAndOomInference) {
+  // Timeout beats everything, including the SIGKILL it caused.
+  EXPECT_EQ(subprocess::classify_exit(true, true, SIGKILL, false, ""),
+            ExitClass::Timeout);
+  EXPECT_EQ(subprocess::classify_exit(false, false, 0, false, ""),
+            ExitClass::Clean);
+  EXPECT_EQ(subprocess::classify_exit(false, false, 2, false, ""),
+            ExitClass::NonZero);
+  EXPECT_EQ(subprocess::classify_exit(false, true, SIGSEGV, false, ""),
+            ExitClass::Signal);
+  // Unrequested SIGKILL while a cap was armed: the kernel OOM path.
+  EXPECT_EQ(subprocess::classify_exit(false, true, SIGKILL, true, ""),
+            ExitClass::Oom);
+  // A capped child reporting an allocation failure on stderr is Oom.
+  EXPECT_EQ(subprocess::classify_exit(false, false, 1, true,
+                                      "terminate called after throwing an "
+                                      "instance of 'std::bad_alloc'"),
+            ExitClass::Oom);
+  // The same stderr without a cap armed stays a plain nonzero exit.
+  EXPECT_EQ(subprocess::classify_exit(false, false, 1, false,
+                                      "std::bad_alloc"),
+            ExitClass::NonZero);
+}
+
+TEST(ClassifyExit, MapsIntoFailureTaxonomy) {
+  subprocess::RunResult r;
+  r.spawned = true;
+  r.cls = ExitClass::Signal;
+  r.term_signal = SIGSEGV;
+  support::Failure f = subprocess::to_failure(r);
+  EXPECT_EQ(f.stage, support::Stage::Isolation);
+  EXPECT_EQ(f.kind, support::FailureKind::ChildSignal);
+  EXPECT_NE(f.message.find("signal:SIGSEGV"), std::string::npos);
+
+  r.cls = ExitClass::Timeout;
+  r.timed_out = true;
+  EXPECT_EQ(subprocess::to_failure(r).kind,
+            support::FailureKind::ChildTimeout);
+  r.cls = ExitClass::Oom;
+  EXPECT_EQ(subprocess::to_failure(r).kind, support::FailureKind::ChildOom);
+  r.cls = ExitClass::NonZero;
+  r.exit_code = 9;
+  EXPECT_EQ(subprocess::to_failure(r).kind, support::FailureKind::ChildExit);
+}
+
+TEST(FailureTaxonomy, IsolationNamesRoundTrip) {
+  EXPECT_STREQ(support::to_string(support::Stage::Isolation), "isolation");
+  EXPECT_EQ(support::parse_stage("isolation"), support::Stage::Isolation);
+  for (auto kind :
+       {support::FailureKind::ChildExit, support::FailureKind::ChildSignal,
+        support::FailureKind::ChildTimeout, support::FailureKind::ChildOom}) {
+    auto parsed = support::parse_failure_kind(support::to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(support::parse_failure_kind("no-such-kind").has_value());
+}
+
+// ----- fault kinds: crash / hang (parse only — never trigger these) -------
+
+TEST(FaultKinds, CrashAndHangSpecsParse) {
+  std::string error;
+  EXPECT_TRUE(support::fault::configure("slms:crash@ddot2", &error)) << error;
+  EXPECT_TRUE(support::fault::enabled());
+  EXPECT_TRUE(support::fault::configure("simulate:hang", &error)) << error;
+  EXPECT_TRUE(
+      support::fault::configure("slms:crash,oracle:hang@daxpy", &error))
+      << error;
+  // Triggering with a non-matching kernel must be a no-op, not a crash.
+  ASSERT_TRUE(support::fault::configure("slms:crash@only-this", &error))
+      << error;
+  EXPECT_FALSE(
+      support::fault::trigger(support::Stage::Slms, "other").has_value());
+  support::fault::clear();
+  EXPECT_FALSE(support::fault::enabled());
+}
+
+TEST(FaultKinds, MalformedCrashSpecsRejected) {
+  std::string error;
+  EXPECT_FALSE(support::fault::configure("slms:crash=5", &error));
+  EXPECT_FALSE(support::fault::configure("slms:hangs", &error));
+  support::fault::clear();
+}
+
+// ----- journal: keys, lossless rows, torn tails ---------------------------
+
+driver::ComparisonRow sample_row() {
+  driver::ComparisonRow row;
+  row.kernel = "ddot2";
+  row.suite = "linpack";
+  row.slms_applied = true;
+  row.report.applied = true;
+  row.report.loop_name = "loop0";
+  row.report.num_mis = 3;
+  row.report.ii = 2;
+  row.report.stages = 4;
+  row.report.unroll = 2;
+  row.report.memory_ratio = 0.625;
+  row.ok = true;
+  row.degraded = true;
+  row.failure = support::make_failure(support::Stage::Isolation,
+                                      support::FailureKind::ChildSignal,
+                                      "signal:SIGSEGV");
+  row.failure->kernel = "ddot2";
+  row.wall_ns = 123456789;
+  row.cycles_base = 0xFFFFFFFFFFFFFFFFull;  // u64 must survive bit-exactly
+  row.cycles_slms = 4242;
+  row.energy_base = 1.0 / 3.0;  // needs round-trip-exact double formatting
+  row.energy_slms = 0.125;
+  row.misses_base = 17;
+  row.loop_slms.modulo_scheduled = true;
+  row.loop_slms.ii = 2;
+  row.loop_slms.iterations = 420;
+  row.loop_slms.ims_fail_reason = "n/a";
+  return row;
+}
+
+TEST(Journal, RowKeyIsStableAndInputSensitive) {
+  std::string a = journal::row_key("for(;;){}", "--suite=x --seed=1");
+  EXPECT_EQ(a, journal::row_key("for(;;){}", "--suite=x --seed=1"));
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_NE(a, journal::row_key("for(;;){};", "--suite=x --seed=1"));
+  EXPECT_NE(a, journal::row_key("for(;;){}", "--suite=x --seed=2"));
+}
+
+TEST(Journal, RowRoundTripsLosslessly) {
+  driver::ComparisonRow row = sample_row();
+  std::string text = journal::row_to_json(row).dump();
+  std::optional<support::json::Value> parsed = support::json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  std::optional<driver::ComparisonRow> back = journal::row_from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+
+  EXPECT_EQ(back->kernel, row.kernel);
+  EXPECT_EQ(back->suite, row.suite);
+  EXPECT_EQ(back->slms_applied, row.slms_applied);
+  EXPECT_EQ(back->report.num_mis, row.report.num_mis);
+  EXPECT_EQ(back->report.ii, row.report.ii);
+  EXPECT_EQ(back->report.stages, row.report.stages);
+  EXPECT_EQ(back->report.memory_ratio, row.report.memory_ratio);
+  EXPECT_EQ(back->ok, row.ok);
+  EXPECT_EQ(back->degraded, row.degraded);
+  ASSERT_TRUE(back->failure.has_value());
+  EXPECT_EQ(back->failure->stage, support::Stage::Isolation);
+  EXPECT_EQ(back->failure->kind, support::FailureKind::ChildSignal);
+  EXPECT_EQ(back->failure->kernel, "ddot2");
+  EXPECT_EQ(back->wall_ns, row.wall_ns);
+  EXPECT_EQ(back->cycles_base, row.cycles_base);
+  EXPECT_EQ(back->cycles_slms, row.cycles_slms);
+  EXPECT_EQ(back->energy_base, row.energy_base);
+  EXPECT_EQ(back->energy_slms, row.energy_slms);
+  EXPECT_EQ(back->misses_base, row.misses_base);
+  EXPECT_EQ(back->loop_slms.modulo_scheduled, row.loop_slms.modulo_scheduled);
+  EXPECT_EQ(back->loop_slms.ii, row.loop_slms.ii);
+  EXPECT_EQ(back->loop_slms.iterations, row.loop_slms.iterations);
+  EXPECT_EQ(back->loop_slms.ims_fail_reason, row.loop_slms.ims_fail_reason);
+}
+
+TEST(Journal, LoaderSkipsTornTailAndForeignLines) {
+  fs::path path = fs::temp_directory_path() /
+                  ("slc-journal-test-" + std::to_string(::getpid()) +
+                   ".jsonl");
+  {
+    journal::Journal jnl;
+    ASSERT_TRUE(jnl.open(path.string(), /*truncate=*/true));
+    driver::ComparisonRow row = sample_row();
+    jnl.append("key-one", row);
+    row.kernel = "daxpy";
+    jnl.append("key-two", row);
+  }
+  {
+    // Simulate a kill -9 mid-append plus a stray non-journal line.
+    std::ofstream f(path, std::ios::app);
+    f << "not json at all\n";
+    f << "{\"key\":\"key-three\",\"row\":{\"kern";  // torn, no newline
+  }
+  journal::LoadResult loaded = journal::load(path.string());
+  EXPECT_EQ(loaded.rows.size(), 2u);
+  EXPECT_EQ(loaded.skipped_lines, 2u);
+  ASSERT_TRUE(loaded.rows.count("key-one"));
+  EXPECT_EQ(loaded.rows["key-two"].kernel, "daxpy");
+  fs::remove(path);
+}
+
+TEST(Journal, BinaryVersionIsInKeyDomain) {
+  // Not much to assert beyond non-emptiness and stability — but a key
+  // computed now must match one computed later in the same process.
+  EXPECT_FALSE(journal::binary_version().empty());
+  EXPECT_EQ(journal::binary_version(), journal::binary_version());
+}
+
+// ----- end-to-end: the slc --isolate supervisor ---------------------------
+
+#ifdef SLC_TOOL_BIN
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("slc-isolate-test-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+subprocess::RunResult run_slc(const std::vector<std::string>& args,
+                              std::uint64_t timeout_ms = 120000) {
+  subprocess::RunOptions run;
+  run.argv.push_back(SLC_TOOL_BIN);
+  run.argv.insert(run.argv.end(), args.begin(), args.end());
+  run.timeout_ms = timeout_ms;
+  return subprocess::run(run);
+}
+
+TEST(IsolateE2E, MatchesInProcessOutputByteForByte) {
+  subprocess::RunResult plain = run_slc({"--suite=linpack", "--jobs=2"});
+  ASSERT_TRUE(plain.clean()) << plain.describe() << "\n" << plain.err;
+  TempDir tmp;
+  subprocess::RunResult iso =
+      run_slc({"--suite=linpack", "--isolate", "--jobs=2",
+               "--journal=" + tmp.file("j.jsonl"),
+               "--crash-dir=" + tmp.file("crashes")});
+  ASSERT_TRUE(iso.clean()) << iso.describe() << "\n" << iso.err;
+  EXPECT_EQ(plain.out, iso.out);
+}
+
+TEST(IsolateE2E, PlantedCrashDegradesOneRowAndArchivesRepro) {
+  TempDir tmp;
+  subprocess::RunResult r =
+      run_slc({"--suite=linpack", "--isolate", "--jobs=2",
+               "--fault=slms:crash@ddot2", "--journal=" + tmp.file("j.jsonl"),
+               "--crash-dir=" + tmp.file("crashes")});
+  // The sweep must complete (degraded rows are still ok → exit 0).
+  ASSERT_TRUE(r.spawned) << r.spawn_error;
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.err.find("1 row(s) degraded"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("1 child crash(es)"), std::string::npos) << r.err;
+
+  // The repro must name the kernel and carry a replayable command line.
+  fs::path repro = fs::path(tmp.file("crashes")) / "ddot2.c";
+  ASSERT_TRUE(fs::exists(repro)) << r.err;
+  std::ifstream f(repro);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  std::string text = buf.str();
+  EXPECT_NE(text.find("// command: "), std::string::npos);
+  EXPECT_NE(text.find("--child-rows="), std::string::npos);
+  EXPECT_NE(text.find("double"), std::string::npos);  // the source itself
+#if !SLC_SANITIZED
+  // Outside sanitizer builds the planted raise(SIGSEGV) dies by signal.
+  EXPECT_NE(text.find("signal:SIGSEGV"), std::string::npos) << text;
+#endif
+}
+
+TEST(IsolateE2E, HangIsKilledByWatchdogAndDegrades) {
+  TempDir tmp;
+  subprocess::RunResult r =
+      run_slc({"--suite=linpack", "--isolate", "--fault=slms:hang@dscal",
+               "--child-timeout-ms=2000", "--jobs=2",
+               "--journal=" + tmp.file("j.jsonl"),
+               "--crash-dir=" + tmp.file("crashes")});
+  ASSERT_TRUE(r.spawned) << r.spawn_error;
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.err.find("timeout"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("1 row(s) degraded"), std::string::npos) << r.err;
+  EXPECT_TRUE(fs::exists(fs::path(tmp.file("crashes")) / "dscal.c"));
+}
+
+TEST(IsolateE2E, ResumeReplaysToByteIdenticalOutput) {
+  TempDir tmp;
+  subprocess::RunResult full =
+      run_slc({"--suite=linpack", "--isolate",
+               "--journal=" + tmp.file("full.jsonl"),
+               "--crash-dir=" + tmp.file("crashes")});
+  ASSERT_TRUE(full.clean()) << full.err;
+
+  // Keep only the first 4 journal lines — as if the sweep was killed.
+  {
+    std::ifstream in(tmp.file("full.jsonl"));
+    std::ofstream out(tmp.file("part.jsonl"));
+    std::string line;
+    for (int i = 0; i < 4 && std::getline(in, line); ++i) out << line << "\n";
+  }
+  subprocess::RunResult resumed =
+      run_slc({"--suite=linpack", "--isolate", "--resume",
+               "--journal=" + tmp.file("part.jsonl"),
+               "--crash-dir=" + tmp.file("crashes")});
+  ASSERT_TRUE(resumed.clean()) << resumed.err;
+  EXPECT_EQ(full.out, resumed.out);
+  EXPECT_NE(resumed.err.find("4 resumed from journal"), std::string::npos)
+      << resumed.err;
+
+  // The same journal also resumes in-process (no --isolate): the key
+  // covers row inputs, not the execution mode.
+  {
+    std::ifstream in(tmp.file("full.jsonl"));
+    std::ofstream out(tmp.file("part2.jsonl"));
+    std::string line;
+    for (int i = 0; i < 4 && std::getline(in, line); ++i) out << line << "\n";
+  }
+  subprocess::RunResult inproc =
+      run_slc({"--suite=linpack", "--resume",
+               "--journal=" + tmp.file("part2.jsonl")});
+  ASSERT_TRUE(inproc.clean()) << inproc.err;
+  EXPECT_EQ(full.out, inproc.out);
+}
+
+TEST(IsolateE2E, SigintFlushesJournalAndResumeCompletes) {
+  TempDir tmp;
+  // A per-row delay keeps the sweep alive long enough to interrupt it.
+  std::string cmd = std::string(SLC_TOOL_BIN) +
+                    " --suite=linpack --isolate --jobs=1"
+                    " --fault=simulate:delay=200 --journal=" +
+                    tmp.file("j.jsonl") + " --crash-dir=" +
+                    tmp.file("crashes");
+  subprocess::RunResult killed = sh(
+      "(" + cmd + " >" + tmp.file("out") + " 2>" + tmp.file("err") +
+          " & pid=$!; sleep 1; kill -INT $pid; wait $pid; echo RC=$?)",
+      /*timeout_ms=*/60000);
+  ASSERT_TRUE(killed.clean()) << killed.describe();
+  EXPECT_NE(killed.out.find("RC=130"), std::string::npos) << killed.out;
+  {
+    std::ifstream err(tmp.file("err"));
+    std::stringstream buf;
+    buf << err.rdbuf();
+    EXPECT_NE(buf.str().find("resume with --resume"), std::string::npos)
+        << buf.str();
+  }
+
+  subprocess::RunResult resumed =
+      run_slc({"--suite=linpack", "--isolate", "--jobs=1",
+               "--fault=simulate:delay=200", "--resume",
+               "--journal=" + tmp.file("j.jsonl"),
+               "--crash-dir=" + tmp.file("crashes")});
+  ASSERT_TRUE(resumed.clean()) << resumed.err;
+  // The delay fault does not change row bytes, so the resumed table must
+  // match an undisturbed run's.
+  subprocess::RunResult reference = run_slc({"--suite=linpack", "--jobs=2"});
+  ASSERT_TRUE(reference.clean());
+  EXPECT_EQ(resumed.out, reference.out);
+}
+
+TEST(IsolateE2E, ShardedRunSurvivesCrashInsideShard) {
+  TempDir tmp;
+  subprocess::RunResult r =
+      run_slc({"--suite=linpack", "--isolate=4", "--jobs=1",
+               "--fault=slms:crash@ddot2", "--no-shrink-crash",
+               "--journal=" + tmp.file("j.jsonl"),
+               "--crash-dir=" + tmp.file("crashes")});
+  ASSERT_TRUE(r.spawned) << r.spawn_error;
+  // Salvage + re-run must still complete every row with one degraded.
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.err.find("1 row(s) degraded"), std::string::npos) << r.err;
+  EXPECT_TRUE(fs::exists(fs::path(tmp.file("crashes")) / "ddot2.c"));
+}
+
+#endif  // SLC_TOOL_BIN
+
+}  // namespace

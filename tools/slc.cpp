@@ -41,7 +41,24 @@
 //     --max-steps=N          interpreter-oracle step budget per run
 //     --fault=SPEC           arm fault injection (same grammar as the
 //                            SLC_FAULT env var, e.g. slms:throw@kernel8)
+//
+//   crash isolation & resumable sweeps (DESIGN.md §9):
+//     --isolate[=N]          run each row (or shard of N rows) in a
+//                            crash-isolated child slc process; SIGSEGV,
+//                            OOM, and hangs degrade one row instead of
+//                            killing the sweep, with a repro archived
+//                            under --crash-dir
+//     --journal=PATH         row journal (default results.jsonl when
+//                            --isolate/--resume is given)
+//     --resume               replay journaled rows; the final table is
+//                            byte-identical to an uninterrupted run
+//     --child-timeout-ms=N   per-child wall-clock watchdog (SIGKILL);
+//                            defaults from --deadline-ms when set
+//     --max-rss-mb=N         per-child address-space cap
+//     --crash-dir=DIR        crash-repro archive (default tests/crashes)
+//     --no-shrink-crash      archive crash repros unshrunk
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -50,6 +67,8 @@
 #include <vector>
 
 #include "ast/printer.hpp"
+#include "driver/isolate.hpp"
+#include "driver/journal.hpp"
 #include "driver/pipeline.hpp"
 #include "driver/slc_pass.hpp"
 #include "frontend/parser.hpp"
@@ -58,6 +77,8 @@
 #include "machine/lower.hpp"
 #include "slms/slms.hpp"
 #include "support/fault.hpp"
+#include "support/json.hpp"
+#include "support/subprocess.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -83,7 +104,64 @@ struct CliOptions {
   int jobs = 0;             // 0 = SLC_JOBS env, then hardware threads
   std::uint64_t deadline_ms = 0;   // per-row wall-clock guard
   std::uint64_t max_steps = 0;     // oracle step budget (0 = default)
+
+  // Crash isolation & resumable sweeps.
+  bool isolate = false;
+  int shard_size = 1;              // rows per child (--isolate=N)
+  bool resume = false;
+  std::string journal;             // empty = default when isolate/resume
+  std::uint64_t child_timeout_ms = 0;
+  std::uint64_t max_rss_mb = 0;
+  std::string crash_dir = "tests/crashes";
+  bool shrink_crashes = true;
+
+  // Internal child protocol (set by the supervisor, not by users).
+  bool child_mode = false;
+  std::size_t child_first = 0, child_last = 0;
+  bool child_base_only = false;
 };
+
+/// Raw argv[1..] captured for the --isolate supervisor: children receive
+/// the original arguments minus the supervisor-level flags below.
+std::vector<std::string> g_raw_args;
+
+/// SIGINT flag for journaled suite sweeps: the handler only sets this;
+/// the supervisor / row callback notices, flushes the journal, prints a
+/// resume hint, and exits 130.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_sigint(int) { g_interrupted = 1; }
+
+/// True for flags that configure the supervisor, not the comparison
+/// itself: they are stripped from child command lines and from the
+/// journal's options signature (which must cover exactly the inputs
+/// that shape row bytes).
+bool is_supervisor_flag(const std::string& arg) {
+  return arg == "--isolate" || arg.rfind("--isolate=", 0) == 0 ||
+         arg == "--resume" || arg.rfind("--journal=", 0) == 0 ||
+         arg.rfind("--jobs=", 0) == 0 ||
+         arg.rfind("--crash-dir=", 0) == 0 ||
+         arg.rfind("--child-timeout-ms=", 0) == 0 ||
+         arg.rfind("--max-rss-mb=", 0) == 0 ||
+         arg == "--no-shrink-crash" ||
+         arg.rfind("--child-rows=", 0) == 0 || arg == "--child-base-only";
+}
+
+std::vector<std::string> child_pass_through_args() {
+  std::vector<std::string> out;
+  for (const std::string& arg : g_raw_args)
+    if (!is_supervisor_flag(arg)) out.push_back(arg);
+  return out;
+}
+
+std::string join_args(const std::vector<std::string>& args) {
+  std::string out;
+  for (const std::string& a : args) {
+    if (!out.empty()) out += ' ';
+    out += a;
+  }
+  return out;
+}
 
 /// Safe numeric parsing: std::stoi and friends throw on junk, which used
 /// to escape main() as an uncaught exception. These return false instead.
@@ -122,6 +200,9 @@ int usage(const char* argv0 = "slc") {
             << "       [--verify] [--measure=BACKEND] [--seed=N]\n"
             << "       [--suite=NAME] [--jobs=N] [--deadline-ms=N]\n"
             << "       [--max-steps=N] [--fault=SPEC]\n"
+            << "       [--isolate[=SHARD]] [--journal=PATH] [--resume]\n"
+            << "       [--child-timeout-ms=N] [--max-rss-mb=N]\n"
+            << "       [--crash-dir=DIR] [--no-shrink-crash]\n"
             << "       <file|-> | --kernel=NAME | --suite=NAME | "
                "--list-kernels\n";
   return 2;
@@ -221,6 +302,65 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
         std::cerr << "--max-steps expects an integer\n";
         return false;
       }
+    } else if (arg == "--isolate") {
+      opts.isolate = true;
+    } else if (arg.starts_with("--isolate=")) {
+      opts.isolate = true;
+      if (!parse_int_arg(value_of("--isolate="), &opts.shard_size) ||
+          opts.shard_size < 1) {
+        std::cerr << "--isolate expects a positive shard size\n";
+        return false;
+      }
+    } else if (arg == "--resume") {
+      opts.resume = true;
+    } else if (arg.starts_with("--journal=")) {
+      opts.journal = value_of("--journal=");
+      if (opts.journal.empty()) {
+        std::cerr << "--journal expects a path\n";
+        return false;
+      }
+    } else if (arg.starts_with("--child-timeout-ms=")) {
+      if (!parse_u64_arg(value_of("--child-timeout-ms="),
+                         &opts.child_timeout_ms)) {
+        std::cerr << "--child-timeout-ms expects an integer\n";
+        return false;
+      }
+    } else if (arg.starts_with("--max-rss-mb=")) {
+      if (!parse_u64_arg(value_of("--max-rss-mb="), &opts.max_rss_mb)) {
+        std::cerr << "--max-rss-mb expects an integer\n";
+        return false;
+      }
+    } else if (arg.starts_with("--crash-dir=")) {
+      opts.crash_dir = value_of("--crash-dir=");
+      if (opts.crash_dir.empty()) {
+        std::cerr << "--crash-dir expects a path\n";
+        return false;
+      }
+    } else if (arg == "--no-shrink-crash") {
+      opts.shrink_crashes = false;
+    } else if (arg.starts_with("--child-rows=")) {
+      // Internal: the supervisor's row-range assignment for this child.
+      std::string v = value_of("--child-rows=");
+      std::size_t dash = v.find('-');
+      std::uint64_t first = 0, last = 0;
+      if (dash == std::string::npos) {
+        if (!parse_u64_arg(v, &first)) {
+          std::cerr << "--child-rows expects N or A-B\n";
+          return false;
+        }
+        last = first;
+      } else {
+        if (!parse_u64_arg(v.substr(0, dash), &first) ||
+            !parse_u64_arg(v.substr(dash + 1), &last) || last < first) {
+          std::cerr << "--child-rows expects N or A-B\n";
+          return false;
+        }
+      }
+      opts.child_mode = true;
+      opts.child_first = std::size_t(first);
+      opts.child_last = std::size_t(last);
+    } else if (arg == "--child-base-only") {
+      opts.child_base_only = true;
     } else if (arg.starts_with("--fault=")) {
       std::string error;
       if (!support::fault::configure(value_of("--fault="), &error)) {
@@ -273,6 +413,7 @@ int run_cli(const CliOptions& opts);
 
 int main(int argc, char** argv) {
   support::fault::configure_from_env();
+  g_raw_args.assign(argv + 1, argv + argc);
   CliOptions opts;
   if (!parse_args(argc, argv, opts)) return usage(argv[0]);
   // Fail-safe CLI contract: no input may escape as an uncaught exception;
@@ -306,7 +447,8 @@ int run_cli(const CliOptions& opts) {
       std::cerr << "unknown backend '" << opts.measure << "'\n";
       return usage();
     }
-    if (kernels::suite(opts.suite).empty()) {
+    std::vector<kernels::Kernel> suite_kernels = kernels::suite(opts.suite);
+    if (suite_kernels.empty()) {
       std::cerr << "unknown or empty suite '" << opts.suite
                 << "' (try livermore, linpack, nas, stone)\n";
       return 1;
@@ -318,19 +460,177 @@ int run_cli(const CliOptions& opts) {
     copts.jobs = opts.jobs;
     copts.row_deadline_ms = opts.deadline_ms;
     copts.max_interp_steps = opts.max_steps;
+
+    // --- child mode: compute the supervisor's assigned rows, one flushed
+    // JSON line each, so the parent can salvage completed rows when this
+    // process dies mid-shard.
+    if (opts.child_mode) {
+      if (opts.child_last >= suite_kernels.size()) {
+        std::cerr << "--child-rows out of range for suite '" << opts.suite
+                  << "' (" << suite_kernels.size() << " rows)\n";
+        return 2;
+      }
+      copts.jobs = 1;  // rows must land in order for culprit attribution
+      copts.base_only = opts.child_base_only;
+      for (std::size_t i = opts.child_first; i <= opts.child_last; ++i) {
+        driver::ComparisonRow row =
+            driver::compare_kernel(suite_kernels[i], *backend, copts);
+        support::json::Value line = support::json::Value::object();
+        line.set("index",
+                 support::json::Value::number(std::uint64_t(i)));
+        line.set("row", driver::journal::row_to_json(row));
+        std::cout << line.dump() << "\n" << std::flush;
+      }
+      return 0;
+    }
+
+    // The journal key context and child command line: the original argv
+    // minus the supervisor-level flags — exactly the inputs that shape
+    // row bytes, for --isolate and in-process runs alike (a journal
+    // written by one resumes under the other).
+    std::vector<std::string> row_args = child_pass_through_args();
+    std::string signature = join_args(row_args);
+    bool journaling = opts.isolate || opts.resume || !opts.journal.empty();
+    std::string journal_path =
+        opts.journal.empty() ? "results.jsonl" : opts.journal;
+
+    // --- supervisor mode: every shard of rows runs in a crash-isolated
+    // child slc process; see driver/isolate.hpp.
+    if (opts.isolate) {
+      driver::isolate::Options iso;
+      iso.slc_exe = support::subprocess::self_exe_path("slc");
+      iso.child_args = row_args;
+      iso.shard_size = opts.shard_size;
+      iso.jobs = opts.jobs;
+      iso.child_timeout_ms = opts.child_timeout_ms;
+      if (iso.child_timeout_ms == 0 && opts.deadline_ms != 0) {
+        // Default watchdog from the per-row deadline: a shard gets each
+        // row's budget plus process-startup slack. The in-process guard
+        // only polls between stages; the watchdog backs it with SIGKILL.
+        iso.child_timeout_ms =
+            opts.deadline_ms * std::uint64_t(opts.shard_size) + 2000;
+      }
+      iso.max_rss_mb = opts.max_rss_mb;
+      iso.options_signature = signature;
+      iso.journal_path = journal_path;
+      iso.resume = opts.resume;
+      iso.crash_dir = opts.crash_dir;
+      iso.shrink_crashes = opts.shrink_crashes;
+      iso.interrupted = &g_interrupted;
+      std::signal(SIGINT, handle_sigint);
+
+      auto start = std::chrono::steady_clock::now();
+      driver::isolate::Outcome out =
+          driver::isolate::run_suite(suite_kernels, iso);
+      auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      for (const std::string& n : out.notes) std::cerr << n << "\n";
+      if (out.interrupted) {
+        std::size_t done = 0;
+        for (std::uint8_t c : out.completed) done += c;
+        std::cerr << "harness: interrupted — " << done << "/"
+                  << out.rows.size() << " row(s) journaled in "
+                  << journal_path << "; resume with --resume\n";
+        return 130;
+      }
+      std::cout << driver::format_speedup_table(
+          "suite " + opts.suite + " on " + backend->label, out.rows);
+      std::cerr << "harness: " << out.rows.size() << " rows in " << wall_ms
+                << " ms, isolated children (shard="
+                << opts.shard_size << ", jobs="
+                << support::resolve_jobs(opts.jobs) << ")";
+      if (out.resumed > 0)
+        std::cerr << ", " << out.resumed << " resumed from journal";
+      if (out.crashed_children > 0)
+        std::cerr << ", " << out.crashed_children << " child crash(es), "
+                  << out.repros_archived << " repro(s) archived";
+      std::cerr << "\n";
+      bool all_ok = true;
+      int degraded = 0;
+      for (const driver::ComparisonRow& r : out.rows) {
+        all_ok = all_ok && r.ok;
+        if (r.degraded) ++degraded;
+      }
+      if (degraded > 0)
+        std::cerr << "harness: " << degraded
+                  << " row(s) degraded to the untransformed loop\n";
+      return all_ok ? 0 : 1;
+    }
+
+    // --- in-process mode, optionally journaled/resumed.
+    std::size_t n = suite_kernels.size();
+    std::vector<std::string> keys;
+    std::vector<driver::ComparisonRow> rows(n);
+    std::vector<std::uint8_t> have(n, 0);
+    std::size_t resumed = 0;
+    driver::journal::Journal jnl;
+    if (journaling) {
+      keys.reserve(n);
+      for (const kernels::Kernel& k : suite_kernels)
+        keys.push_back(driver::journal::row_key(k.source, signature));
+      if (opts.resume) {
+        driver::journal::LoadResult loaded =
+            driver::journal::load(journal_path);
+        for (std::size_t i = 0; i < n; ++i) {
+          auto it = loaded.rows.find(keys[i]);
+          if (it == loaded.rows.end()) continue;
+          rows[i] = it->second;
+          have[i] = 1;
+          ++resumed;
+        }
+        if (loaded.skipped_lines > 0)
+          std::cerr << "harness: journal had " << loaded.skipped_lines
+                    << " unreadable line(s) (torn tail after a kill?) — "
+                       "ignored\n";
+      }
+      std::string error;
+      if (!jnl.open(journal_path, /*truncate=*/!opts.resume, &error)) {
+        std::cerr << "harness: " << error << "\n";
+        return 1;
+      }
+      std::signal(SIGINT, handle_sigint);
+    }
+
+    std::vector<kernels::Kernel> pending;
+    std::vector<std::size_t> pending_index;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (have[i] != 0) continue;
+      pending.push_back(suite_kernels[i]);
+      pending_index.push_back(i);
+    }
+    if (journaling) {
+      copts.on_row = [&](const driver::ComparisonRow& row, std::size_t pi) {
+        jnl.append(keys[pending_index[pi]], row);
+        if (g_interrupted != 0) {
+          // Flush-and-exit from whichever worker noticed: every completed
+          // row is already journaled, so a resume loses nothing.
+          jnl.flush();
+          std::cerr << "\nharness: interrupted — completed rows journaled "
+                       "in " << journal_path
+                    << "; resume with --resume\n";
+          std::_Exit(130);
+        }
+      };
+    }
+
     auto start = std::chrono::steady_clock::now();
-    std::vector<driver::ComparisonRow> rows =
-        driver::compare_suite(opts.suite, *backend, copts);
+    std::vector<driver::ComparisonRow> fresh =
+        driver::compare_kernels(pending, *backend, copts);
     auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+    for (std::size_t pi = 0; pi < fresh.size(); ++pi)
+      rows[pending_index[pi]] = std::move(fresh[pi]);
     std::cout << driver::format_speedup_table(
         "suite " + opts.suite + " on " + backend->label, rows);
     driver::TransformCacheStats cache = driver::transform_cache_stats();
     std::cerr << "harness: " << rows.size() << " rows in " << wall_ms
               << " ms, jobs=" << support::resolve_jobs(opts.jobs)
               << ", transform cache " << cache.hits << " hits / "
-              << cache.misses << " misses\n";
+              << cache.misses << " misses";
+    if (resumed > 0) std::cerr << ", " << resumed << " resumed from journal";
+    std::cerr << "\n";
     bool all_ok = true;
     int degraded = 0;
     for (const driver::ComparisonRow& r : rows) {
