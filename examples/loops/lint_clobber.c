@@ -1,0 +1,13 @@
+// Carried chain through B with a scalar whose lifetime exceeds the II:
+// SLMS must rename `s` (MVE, unroll 2) to pipeline at II=1. Exercises
+// every rename-sensitive path of the static verifier.
+double A[64];
+double B[64];
+double C[64];
+double s;
+int i;
+for (i = 2; i < 60; i++) {
+  s = A[i] * 0.5;
+  B[i] = B[i - 1] + s;
+  C[i] = B[i] * s;
+}

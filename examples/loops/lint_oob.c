@@ -1,0 +1,12 @@
+// First prologue instance reads B[i-1] at i = 1: an off-by-one in the
+// emitted prologue iv (the prologue-early-iv planted bug) turns it into
+// a provable B[-1] that the static bounds check must flag.
+double A[64];
+double B[64];
+double s;
+int i;
+for (i = 1; i < 60; i++) {
+  s = B[i - 1] * 0.5;
+  B[i] = B[i - 1] + 1.0;
+  A[i] = s + A[i];
+}

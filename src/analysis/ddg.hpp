@@ -43,8 +43,21 @@ struct DepEdge {
       if (!d.known || d.distance > 0) return true;
     return false;
   }
-  /// Minimal known distance (used where one number is wanted); unknown
-  /// distances report 0 (the most constraining assumption).
+  /// Minimal distance collapsed to one number; unknown ("*") distances
+  /// report 0 — the most constraining assumption.
+  ///
+  /// Contract (the MII solver and the static verifier both rely on it):
+  /// an unknown distance means the dependence tester could not bound how
+  /// many iterations the dependence spans, so the only safe schedule is
+  /// one that would also be legal at distance 0 (same iteration). The
+  /// solver's edge weight `delay - II*min_distance()` therefore treats a
+  /// star edge as an intra-iteration constraint. Because build_ddg emits
+  /// star edges in *both* directions between the involved MIs (and a
+  /// self star edge when they coincide), an unknown array distance always
+  /// induces a positive cycle in the constraint graph and pipelining is
+  /// refused for every II — callers may assume a produced schedule never
+  /// rests on an unknown distance. The verifier's `slms-dep-unknown`
+  /// diagnostic asserts exactly this invariant on SLMS output.
   [[nodiscard]] std::int64_t min_distance() const;
 };
 

@@ -14,6 +14,7 @@
 #include "machine/lower.hpp"
 #include "support/fault.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/verify.hpp"
 
 namespace slc::driver {
 
@@ -221,9 +222,31 @@ EntryPtr build_transform_entry_once(const kernels::Kernel& kernel,
         continue;
       }
       ast::Program transformed = original.clone();
+      std::vector<slms::SlmsApplication> applications;
       std::vector<slms::SlmsReport> reports =
-          slms::apply_slms(transformed, variant);
+          slms::apply_slms(transformed, variant, &applications);
       if (reports.empty()) continue;  // no loops to transform
+
+      // Static legality check: cheaper than the oracle and catches
+      // miscompiles on inputs the interpreter never exercises. Runs on
+      // every variant so a bad schedule can never reach measurement.
+      {
+        DiagnosticEngine vdiags;
+        verify::VerifyOptions vopts;
+        vopts.check_bounds = false;  // whole-program pass; done by --lint
+        if (!verify::verify_transformed(transformed, applications, vdiags,
+                                        vopts)) {
+          // One line: the note lands in a table column.
+          std::string summary = vdiags.str(Severity::Error);
+          while (!summary.empty() && summary.back() == '\n')
+            summary.pop_back();
+          for (char& c : summary)
+            if (c == '\n') c = ';';
+          fail_variant(support::make_failure(
+              Stage::Verify, FailureKind::VerifyFailed, summary));
+          continue;
+        }
+      }
 
       if (options.verify_oracle && reports.front().applied) {
         if (auto f = fault::trigger(Stage::Oracle, kernel.name)) {

@@ -119,7 +119,7 @@ void Lexer::skip_trivia() {
       advance();
       while (!(peek() == '*' && peek(1) == '/')) {
         if (peek() == '\0') {
-          diags_.error(here(), "unterminated block comment");
+          diags_.error("parse-syntax", here(), "unterminated block comment");
           return;
         }
         advance();
@@ -235,7 +235,7 @@ Token Lexer::next() {
         t.kind = TokenKind::AndAnd;
         return t;
       }
-      diags_.error(t.loc, "expected '&&'");
+      diags_.error("parse-syntax", t.loc, "expected '&&'");
       t.kind = TokenKind::End;
       return t;
     case '|':
@@ -243,11 +243,11 @@ Token Lexer::next() {
         t.kind = TokenKind::OrOr;
         return t;
       }
-      diags_.error(t.loc, "expected '||'");
+      diags_.error("parse-syntax", t.loc, "expected '||'");
       t.kind = TokenKind::End;
       return t;
     default:
-      diags_.error(t.loc, std::string("unexpected character '") + c + "'");
+      diags_.error("parse-syntax", t.loc, std::string("unexpected character '") + c + "'");
       t.kind = TokenKind::End;
       return t;
   }

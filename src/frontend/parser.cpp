@@ -32,7 +32,7 @@ bool Parser::accept(TokenKind k) {
 
 const Token& Parser::expect(TokenKind k, const char* context) {
   if (check(k)) return advance();
-  diags_.error(peek().loc, std::string("expected ") + to_string(k) +
+  diags_.error("parse-syntax", peek().loc, std::string("expected ") + to_string(k) +
                                " in " + context + ", found " +
                                to_string(peek().kind));
   return peek();
@@ -104,7 +104,7 @@ StmtPtr Parser::declaration() {
   ExprPtr init;
   if (accept(TokenKind::Assign)) {
     if (!dims.empty())
-      diags_.error(peek().loc, "array initializers are not supported");
+      diags_.error("parse-syntax", peek().loc, "array initializers are not supported");
     init = expression();
   }
   expect(TokenKind::Semicolon, "declaration");
@@ -198,7 +198,7 @@ StmtPtr Parser::simple_statement() {
     case TokenKind::MinusMinus: {
       advance();
       if (!is_lvalue(*e)) {
-        diags_.error(loc, "'++'/'--' requires a variable or array element");
+        diags_.error("parse-syntax", loc, "'++'/'--' requires a variable or array element");
         return std::make_unique<ExprStmt>(std::move(e), loc);
       }
       AssignOp inc =
@@ -211,7 +211,7 @@ StmtPtr Parser::simple_statement() {
   }
   advance();
   if (!is_lvalue(*e))
-    diags_.error(loc, "assignment target must be a variable or array element");
+    diags_.error("parse-syntax", loc, "assignment target must be a variable or array element");
   ExprPtr rhs = expression();
   return std::make_unique<AssignStmt>(std::move(e), op, std::move(rhs), loc);
 }
@@ -367,7 +367,7 @@ ExprPtr Parser::primary() {
       return std::make_unique<VarRef>(t.text, t.loc);
     }
     default:
-      diags_.error(t.loc, std::string("expected expression, found ") +
+      diags_.error("parse-syntax", t.loc, std::string("expected expression, found ") +
                               to_string(t.kind));
       advance();
       return std::make_unique<IntLit>(0, t.loc);

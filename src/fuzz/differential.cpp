@@ -6,6 +6,7 @@
 #include "interp/interp.hpp"
 #include "machine/lower.hpp"
 #include "sim/executor.hpp"
+#include "verify/verify.hpp"
 
 namespace slc::fuzz {
 
@@ -135,26 +136,67 @@ DiffVerdict differential_check(const std::string& source,
   for (const slms::SlmsOptions& variant : variants) {
     std::string label = variant_label(variant);
     ast::Program transformed = original.clone();
+    std::vector<slms::SlmsApplication> applications;
     bool applied = false;
     try {
       std::vector<slms::SlmsReport> reports =
-          slms::apply_slms(transformed, variant);
+          slms::apply_slms(transformed, variant, &applications);
       applied = !reports.empty() && reports.front().applied;
     } catch (const std::exception& e) {
       return fail(Stage::Slms, FailureKind::Exception,
                   std::string("apply_slms threw: ") + e.what(), label);
     }
 
+    // Static verdict first: the cross-check compares it against the
+    // oracle's verdict below. Verifier warnings are informational — only
+    // errors count as a rejection.
+    bool static_ok = true;
+    std::string static_json;
+    if (options.check_static) {
+      DiagnosticEngine vdiags;
+      static_ok = verify::verify_transformed(transformed, applications, vdiags);
+      if (!static_ok) static_json = vdiags.to_json(Severity::Error).dump();
+    }
+
     for (std::uint64_t seed = 0; seed < seeds; ++seed) {
       interp::EquivalenceResult eq =
           interp::check_equivalence(original, transformed, seed, iopts);
-      if (eq.status == interp::EquivalenceResult::Status::Mismatch)
-        return fail(Stage::Oracle, FailureKind::OracleMismatch,
-                    eq.detail + " (input seed " + std::to_string(seed) + ")",
+      // A miscompile the verifier blessed is a static/runtime
+      // disagreement. Wrong answers and transform-introduced OOB count
+      // as miscompiles; step limits and divide-by-zero do not implicate
+      // the schedule (the original would have hit them too).
+      bool miscompile =
+          eq.status == interp::EquivalenceResult::Status::Mismatch ||
+          (!eq.ok() && eq.abort_kind == interp::AbortKind::OutOfBounds);
+      if (options.check_static && static_ok && miscompile)
+        return fail(Stage::Verify, FailureKind::VerifyFailed,
+                    "static/runtime disagreement: the oracle rejects this "
+                    "program (" + eq.detail +
+                        ") but the static verifier found nothing",
                     label);
-      if (!eq.ok())
-        return fail(Stage::Oracle, kind_of_abort(eq.abort_kind), eq.detail,
-                    label);
+      if (eq.status == interp::EquivalenceResult::Status::Mismatch) {
+        DiffVerdict v =
+            fail(Stage::Oracle, FailureKind::OracleMismatch,
+                 eq.detail + " (input seed " + std::to_string(seed) + ")",
+                 label);
+        v.static_diags = static_json;
+        return v;
+      }
+      if (!eq.ok()) {
+        DiffVerdict v = fail(Stage::Oracle, kind_of_abort(eq.abort_kind),
+                             eq.detail, label);
+        v.static_diags = static_json;
+        return v;
+      }
+    }
+    if (options.check_static && !static_ok) {
+      DiffVerdict v =
+          fail(Stage::Verify, FailureKind::VerifyFailed,
+               "static/runtime disagreement: the static verifier rejects a "
+               "program the oracle accepts",
+               label);
+      v.static_diags = static_json;
+      return v;
     }
 
     if (!applied || backends.empty()) continue;

@@ -28,6 +28,10 @@ struct DiffOptions {
   /// Interpreter step budget per run — generated loops are tiny, so a
   /// modest budget converts a runaway into a StepLimit failure quickly.
   std::uint64_t max_interp_steps = 2'000'000;
+  /// Cross-check the static legality verifier against the oracle: a
+  /// miscompile the verifier misses, or a verifier rejection of a program
+  /// the oracle accepts, becomes a Stage::Verify disagreement failure.
+  bool check_static = false;
 };
 
 /// Verdict for one program. When !ok, `failure` names the stage/kind and
@@ -36,6 +40,10 @@ struct DiffVerdict {
   bool ok = true;
   support::Failure failure;
   std::string variant_label;
+  /// JSON array of the static verifier's diagnostics for the failing
+  /// variant (check_static only; empty when the verifier was clean).
+  /// Archived beside the repro so a disagreement is diagnosable offline.
+  std::string static_diags;
 
   [[nodiscard]] std::string str() const;
 };

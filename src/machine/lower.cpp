@@ -99,7 +99,7 @@ class Lowerer {
         const auto& name = dyn_cast<VarRef>(&e)->name;
         auto it = program_.scalar_vreg.find(name);
         if (it == program_.scalar_vreg.end()) {
-          diags_.error(e.loc, "lowering: undeclared scalar " + name);
+          diags_.error("lower-unsupported", e.loc, "lowering: undeclared scalar " + name);
           return emit_const_int(block, 0);
         }
         return it->second;
@@ -140,7 +140,7 @@ class Lowerer {
       case ExprKind::Call: {
         const auto* c = dyn_cast<Call>(&e);
         if (!pure_intrinsics().contains(c->callee))
-          diags_.error(e.loc, "lowering: unknown callee " + c->callee);
+          diags_.error("lower-unsupported", e.loc, "lowering: unknown callee " + c->callee);
         MInst m;
         m.op = Op::Call;
         m.callee = c->callee;
@@ -319,7 +319,7 @@ class Lowerer {
         regions.push_back(lower_if(*dyn_cast<IfStmt>(&s)));
         break;
       case StmtKind::Break:
-        diags_.error(s.loc, "lowering: break is not supported");
+        diags_.error("lower-unsupported", s.loc, "lowering: break is not supported");
         break;
     }
   }

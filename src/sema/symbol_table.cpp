@@ -10,7 +10,7 @@ using namespace ast;
 
 void SymbolTable::declare(const DeclStmt& decl, DiagnosticEngine& diags) {
   if (index_.contains(decl.name)) {
-    diags.error(decl.loc, "redefinition of '" + decl.name + "'");
+    diags.error("sema-symbol", decl.loc, "redefinition of '" + decl.name + "'");
     return;
   }
   index_[decl.name] = order_.size();
@@ -61,18 +61,18 @@ void check_expr(const Expr& e, const SymbolTable& table,
     if (const auto* v = dyn_cast<VarRef>(&x)) {
       const Symbol* sym = table.lookup(v->name);
       if (sym == nullptr) {
-        diags.error(x.loc, "use of undeclared variable '" + v->name + "'");
+        diags.error("sema-symbol", x.loc, "use of undeclared variable '" + v->name + "'");
       } else if (sym->is_array()) {
-        diags.error(x.loc, "array '" + v->name + "' used without subscript");
+        diags.error("sema-symbol", x.loc, "array '" + v->name + "' used without subscript");
       }
     } else if (const auto* a = dyn_cast<ArrayRef>(&x)) {
       const Symbol* sym = table.lookup(a->name);
       if (sym == nullptr) {
-        diags.error(x.loc, "use of undeclared array '" + a->name + "'");
+        diags.error("sema-symbol", x.loc, "use of undeclared array '" + a->name + "'");
       } else if (!sym->is_array()) {
-        diags.error(x.loc, "scalar '" + a->name + "' used with subscript");
+        diags.error("sema-symbol", x.loc, "scalar '" + a->name + "' used with subscript");
       } else if (sym->dims.size() != a->subscripts.size()) {
-        diags.error(x.loc, "array '" + a->name + "' has rank " +
+        diags.error("sema-symbol", x.loc, "array '" + a->name + "' has rank " +
                                std::to_string(sym->dims.size()) + ", used with " +
                                std::to_string(a->subscripts.size()) +
                                " subscripts");

@@ -6,6 +6,7 @@
 #include "ast/fold.hpp"
 #include "ast/subst.hpp"
 #include "ast/walk.hpp"
+#include "support/fault.hpp"
 #include "support/int_math.hpp"
 
 namespace slc::slms {
@@ -144,9 +145,29 @@ class Builder {
     for (int k = 0; k < num_mis(); ++k)
       for (std::int64_t t = 0; t < offset(k); ++t)
         instances.push_back({ii_ * t + sigma(k), t, k});
+    // Deliberate miscompile (bug:prologue-drop): silently lose the
+    // earliest prologue instance — iteration 0 of the deepest-offset MI
+    // never runs. The verifier's coverage check must flag the hole
+    // (slms-iter-coverage); no-op on single-stage pipelines, which have
+    // no prologue.
+    if (support::fault::bug_planted("prologue-drop") && !instances.empty())
+      instances.erase(std::min_element(
+          instances.begin(), instances.end(),
+          [](const Instance& a, const Instance& b) {
+            return std::tie(a.g, a.t, a.k) < std::tie(b.g, b.t, b.k);
+          }));
     emit_instances(
         std::move(instances),
-        [&](const Instance& inst) { return iv_value(inst.t, constant); },
+        [&](const Instance& inst) {
+          std::int64_t t = inst.t;
+          // Deliberate miscompile (bug:prologue-early-iv): bind every
+          // prologue instance to the previous iteration's iv value. The
+          // shifted A[i-k] references walk off the front of their arrays
+          // — the classic prologue hazard the static bounds check
+          // (slms-oob) exists for.
+          if (support::fault::bug_planted("prologue-early-iv")) --t;
+          return iv_value(t, constant);
+        },
         out);
   }
 
@@ -157,6 +178,12 @@ class Builder {
     ExprPtr cond;
     if (constant) {
       std::int64_t bound = *plan_.const_lower + kernel_trips * plan_.step;
+      // Deliberate miscompile (bug:kernel-run-over): stretch the kernel
+      // bound by one unrolled round, re-executing iterations the epilogue
+      // also covers. The verifier's iteration-space accounting must catch
+      // the duplication (slms-iter-coverage).
+      if (support::fault::bug_planted("kernel-run-over"))
+        bound += std::int64_t(unroll_) * plan_.step;
       cond = build::bin(plan_.step > 0 ? BinaryOp::Lt : BinaryOp::Gt,
                         build::var(plan_.iv), build::lit(bound));
     } else {
@@ -260,6 +287,12 @@ class Builder {
       if (r.mode == RenameMode::MveCopies) {
         if (unroll_ <= 1) continue;
         std::size_t last = std::size_t((n_iters - 1) % unroll_);
+        // Deliberate miscompile (bug:fixup-stale-copy): restore the
+        // live-out scalar from copy 0 regardless of which MVE copy the
+        // final iteration wrote. The verifier's rename-soundness check
+        // must flag the wrong copy (slms-rename-undef); no-op when
+        // (n-1) mod unroll happens to be 0.
+        if (support::fault::bug_planted("fixup-stale-copy")) last = 0;
         out.push_back(build::assign(build::var(r.name),
                                     build::var(r.copy_names[last])));
       } else {

@@ -1,0 +1,88 @@
+// Placement metadata exported by the SLMS driver for every applied loop.
+//
+// The static legality verifier (src/verify) must not reverse-engineer the
+// schedule out of the emitted AST — a pipeliner bug would then corrupt
+// both the claim and the evidence. Instead transform_loop records, next
+// to the replacement statements, exactly what it *intended*: the
+// canonical loop parameters, the final MI list (after if-conversion and
+// decomposition), the modulo schedule sigma, the MVE/expansion rename
+// tables, and which scalars had their anti/output edges dropped from the
+// DDG on the promise of renaming. The verifier independently rederives
+// what a correct pipeline for this intent must look like and checks the
+// emitted AST against it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "slms/pipeliner.hpp"
+#include "support/int_math.hpp"
+
+namespace slc::slms {
+
+struct LoopPlacement {
+  // Canonical loop parameters (bound expressions cloned — owned here).
+  std::string iv;
+  ast::ExprPtr lower;
+  ast::ExprPtr upper;
+  ast::BinaryOp cmp = ast::BinaryOp::Lt;
+  std::int64_t step = 1;
+  std::optional<std::int64_t> const_lower;
+  std::optional<std::int64_t> const_upper;
+
+  // The modulo schedule the pipeline was built from.
+  int ii = 1;
+  std::int64_t stages = 1;
+  int unroll = 1;
+  std::vector<std::int64_t> sigma;  // slot per MI, sigma[k]
+
+  // Final MIs in source order (cloned; post if-conversion/decomposition).
+  std::vector<ast::StmtPtr> mis;
+
+  // Renaming: the applied rename tables, plus every scalar whose false
+  // (anti/output) edges were dropped from the DDG before solving. The
+  // `planned` set is a superset of `renames` — a planned scalar whose
+  // lifetime fits inside the II may legally stay unrenamed, but its
+  // dropped edges still have to be re-justified by the verifier.
+  std::vector<RenamedScalar> renames;
+  std::vector<std::string> planned;
+
+  // Symbolic-bound emission: the pipeline sits in the then-arm of a
+  // trip-count guard and `guarded_fallback` is the clone of the original
+  // loop in the else-arm.
+  bool used_trip_guard = false;
+  ast::StmtPtr guarded_fallback;
+
+  [[nodiscard]] bool bounds_are_constant() const {
+    return const_lower.has_value() && const_upper.has_value();
+  }
+  [[nodiscard]] std::int64_t stage(int k) const {
+    return sigma[std::size_t(k)] / ii;
+  }
+  [[nodiscard]] std::int64_t row(int k) const {
+    return sigma[std::size_t(k)] % ii;
+  }
+  [[nodiscard]] std::int64_t offset(int k) const {
+    return stages - 1 - stage(k);
+  }
+  /// Trip count; requires constant bounds.
+  [[nodiscard]] std::int64_t trip_count() const {
+    std::int64_t lo = *const_lower;
+    std::int64_t hi = *const_upper;
+    std::int64_t span;
+    switch (cmp) {
+      case ast::BinaryOp::Lt: span = hi - lo; break;
+      case ast::BinaryOp::Le: span = hi - lo + 1; break;
+      case ast::BinaryOp::Gt: span = lo - hi; break;
+      case ast::BinaryOp::Ge: span = lo - hi + 1; break;
+      default: return 0;
+    }
+    if (span <= 0) return 0;
+    return ceil_div(span, step > 0 ? step : -step);
+  }
+};
+
+}  // namespace slc::slms

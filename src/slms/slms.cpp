@@ -249,6 +249,18 @@ SlmsResult transform_loop(const ForStmt& loop, const Program& program,
     ++decompositions;
   }
 
+  // Deliberate miscompile (support/fault.hpp, `bug:sched-sigma-skew`):
+  // pull the last MI one slot earlier than the solver placed it. The
+  // minimal Bellman-Ford solution makes some incoming constraint tight on
+  // every node with sigma > 0, so the skewed schedule violates the modulo
+  // inequality on at least one dependence edge — the static verifier must
+  // flag it (slms-dep-violation) without running anything. Everything
+  // downstream (unroll, emission, exported metadata) consistently uses
+  // the skewed schedule, exactly as a real scheduler bug would.
+  if (support::fault::bug_planted("sched-sigma-skew") &&
+      sched->sigma.back() > 0)
+    --sched->sigma.back();
+
   // -- 6a. register lifetimes => unroll factor & rename plan -----------------
   const int ii = sched->ii;
   std::vector<RenamedScalar> renames;
@@ -332,6 +344,31 @@ SlmsResult transform_loop(const ForStmt& loop, const Program& program,
   std::vector<StmtPtr> pipelined = build_pipeline(plan);
   if (pipelined.empty()) return skip("pipeline construction failed");
 
+  // Export the placement metadata the static verifier checks the emitted
+  // pipeline against (bounds cloned — `work` dies with this call).
+  {
+    LoopPlacement pl;
+    pl.iv = plan.iv;
+    pl.lower = info.lower->clone();
+    pl.upper = info.upper->clone();
+    pl.cmp = plan.cmp;
+    pl.step = plan.step;
+    pl.const_lower = const_lo;
+    pl.const_upper = const_hi;
+    pl.ii = ii;
+    pl.stages = stages;
+    pl.unroll = unroll;
+    pl.sigma = plan.sched.sigma;
+    for (const StmtPtr& s : plan.mis) pl.mis.push_back(s->clone());
+    pl.renames = plan.renames;
+    pl.planned.assign(planned.begin(), planned.end());
+    if (!constant) {
+      pl.used_trip_guard = true;
+      pl.guarded_fallback = fallback->clone();
+    }
+    res.placement = std::move(pl);
+  }
+
   if (!constant) {
     // Guarded emission: pipelined only when the trip count covers the
     // pipeline depth, otherwise the original loop runs.
@@ -367,46 +404,55 @@ SlmsResult transform_loop(const ForStmt& loop, const Program& program,
 namespace {
 
 void process_slot(StmtPtr& slot, Program& program, const SlmsOptions& options,
-                  std::vector<SlmsReport>& reports);
+                  std::vector<SlmsReport>& reports,
+                  std::vector<SlmsApplication>* applications);
 
 void process_list(std::vector<StmtPtr>& list, Program& program,
                   const SlmsOptions& options,
-                  std::vector<SlmsReport>& reports) {
-  for (StmtPtr& s : list) process_slot(s, program, options, reports);
+                  std::vector<SlmsReport>& reports,
+                  std::vector<SlmsApplication>* applications) {
+  for (StmtPtr& s : list)
+    process_slot(s, program, options, reports, applications);
 }
 
 void process_slot(StmtPtr& slot, Program& program, const SlmsOptions& options,
-                  std::vector<SlmsReport>& reports) {
+                  std::vector<SlmsReport>& reports,
+                  std::vector<SlmsApplication>* applications) {
   switch (slot->kind()) {
     case StmtKind::Block:
       process_list(dyn_cast<BlockStmt>(slot.get())->stmts, program, options,
-                   reports);
+                   reports, applications);
       return;
     case StmtKind::Parallel:
       process_list(dyn_cast<ParallelStmt>(slot.get())->stmts, program,
-                   options, reports);
+                   options, reports, applications);
       return;
     case StmtKind::If: {
       auto* i = dyn_cast<IfStmt>(slot.get());
-      process_slot(i->then_stmt, program, options, reports);
-      if (i->else_stmt) process_slot(i->else_stmt, program, options, reports);
+      process_slot(i->then_stmt, program, options, reports, applications);
+      if (i->else_stmt)
+        process_slot(i->else_stmt, program, options, reports, applications);
       return;
     }
     case StmtKind::While:
       process_slot(dyn_cast<WhileStmt>(slot.get())->body, program, options,
-                   reports);
+                   reports, applications);
       return;
     case StmtKind::For: {
       auto* f = dyn_cast<ForStmt>(slot.get());
       // Innermost-first: transform nested loops, then attempt this one
       // (it will be rejected as non-canonical if children were pipelined
       // into blocks — SLMS targets innermost loops).
-      process_slot(f->body, program, options, reports);
+      process_slot(f->body, program, options, reports, applications);
       SlmsResult r = transform_loop(*f, program, options);
       reports.push_back(r.report);
+      SlmsApplication app;
       if (r.applied()) {
         slot = build::block(std::move(r.replacement));
+        app.placement = std::move(r.placement);
+        app.replacement = dyn_cast<BlockStmt>(slot.get());
       }
+      if (applications != nullptr) applications->push_back(std::move(app));
       return;
     }
     default:
@@ -417,9 +463,10 @@ void process_slot(StmtPtr& slot, Program& program, const SlmsOptions& options,
 }  // namespace
 
 std::vector<SlmsReport> apply_slms(Program& program,
-                                   const SlmsOptions& options) {
+                                   const SlmsOptions& options,
+                                   std::vector<SlmsApplication>* applications) {
   std::vector<SlmsReport> reports;
-  process_list(program.stmts, program, options, reports);
+  process_list(program.stmts, program, options, reports, applications);
   return reports;
 }
 

@@ -24,6 +24,7 @@
 #include "ast/ast.hpp"
 #include "slms/filter.hpp"
 #include "slms/mii.hpp"
+#include "slms/placement.hpp"
 
 namespace slc::slms {
 
@@ -80,6 +81,8 @@ struct SlmsReport {
 struct SlmsResult {
   std::vector<ast::StmtPtr> replacement;
   SlmsReport report;
+  /// Placement metadata for the static verifier; engaged iff applied.
+  std::optional<LoopPlacement> placement;
 
   [[nodiscard]] bool applied() const { return report.applied; }
 };
@@ -91,10 +94,25 @@ struct SlmsResult {
                                         const ast::Program& program,
                                         const SlmsOptions& options = {});
 
+/// One applied (or skipped) loop recorded by apply_slms, parallel to the
+/// returned report list. For an applied loop, `placement` holds the
+/// schedule metadata and `replacement` points at the block spliced into
+/// the program (non-owning — valid while the program is alive and
+/// untouched). Skipped loops leave both empty.
+struct SlmsApplication {
+  std::optional<LoopPlacement> placement;
+  const ast::BlockStmt* replacement = nullptr;
+
+  [[nodiscard]] bool applied() const { return placement.has_value(); }
+};
+
 /// Applies SLMS to every innermost canonical for-loop in the program,
 /// splicing replacements in place. Returns one report per loop visited
-/// (applied or skipped).
+/// (applied or skipped). When `applications` is non-null it receives one
+/// SlmsApplication per report (same order) for the static verifier.
 std::vector<SlmsReport> apply_slms(ast::Program& program,
-                                   const SlmsOptions& options = {});
+                                   const SlmsOptions& options = {},
+                                   std::vector<SlmsApplication>* applications =
+                                       nullptr);
 
 }  // namespace slc::slms

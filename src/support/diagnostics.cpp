@@ -4,8 +4,7 @@
 
 namespace slc {
 
-namespace {
-const char* severity_name(Severity s) {
+const char* to_string(Severity s) {
   switch (s) {
     case Severity::Note:
       return "note";
@@ -16,15 +15,45 @@ const char* severity_name(Severity s) {
   }
   return "?";
 }
-}  // namespace
 
-std::string DiagnosticEngine::str() const {
+std::size_t DiagnosticEngine::count(Severity min_severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_)
+    if (d.severity >= min_severity) ++n;
+  return n;
+}
+
+bool DiagnosticEngine::has_code(std::string_view code) const {
+  for (const Diagnostic& d : diags_)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::string DiagnosticEngine::str(Severity min_severity) const {
   std::ostringstream os;
   for (const Diagnostic& d : diags_) {
-    os << to_string(d.loc) << ": " << severity_name(d.severity) << ": "
-       << d.message << '\n';
+    if (d.severity < min_severity) continue;
+    os << to_string(d.loc) << ": " << to_string(d.severity) << ": ";
+    if (!d.code.empty()) os << '[' << d.code << "] ";
+    os << d.message << '\n';
   }
   return os.str();
+}
+
+support::json::Value DiagnosticEngine::to_json(Severity min_severity) const {
+  using support::json::Value;
+  Value out = Value::array();
+  for (const Diagnostic& d : diags_) {
+    if (d.severity < min_severity) continue;
+    Value o = Value::object();
+    o.set("code", Value::string(d.code));
+    o.set("severity", Value::string(to_string(d.severity)));
+    o.set("line", Value::number(std::int64_t(d.loc.line)));
+    o.set("column", Value::number(std::int64_t(d.loc.column)));
+    o.set("message", Value::string(d.message));
+    out.push(std::move(o));
+  }
+  return out;
 }
 
 }  // namespace slc

@@ -1,20 +1,34 @@
-// Diagnostic accumulation shared by the frontend, sema, and the
-// transformation passes. Passes report *why* they refused to transform a
-// loop through this channel so that the interactive driver (the paper's
-// SLC "tips to the user", Fig. 4/5) can surface the reason.
+// Diagnostic accumulation shared by the frontend, sema, the
+// transformation passes, and the static verifier. Passes report *why*
+// they refused to transform a loop through this channel so that the
+// interactive driver (the paper's SLC "tips to the user", Fig. 4/5) can
+// surface the reason.
+//
+// Every diagnostic carries a stable machine-readable `code` (kebab-case,
+// e.g. "parse-syntax", "slms-dep-violation") in addition to the human
+// message. Codes are the contract consumed by `slc --lint`, the
+// `--diag-json` emission, and the CI lint gates — changing one is a
+// breaking change; adding one is not.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "support/json.hpp"
 #include "support/source_location.hpp"
 
 namespace slc {
 
 enum class Severity { Note, Warning, Error };
 
+[[nodiscard]] const char* to_string(Severity s);
+
 struct Diagnostic {
   Severity severity = Severity::Error;
+  /// Stable machine-readable identifier; empty for legacy call sites that
+  /// have not been assigned a code yet.
+  std::string code;
   SourceLoc loc;
   std::string message;
 };
@@ -22,15 +36,30 @@ struct Diagnostic {
 /// Collects diagnostics; cheap to pass by reference through every pass.
 class DiagnosticEngine {
  public:
+  void report(Severity severity, std::string code, SourceLoc loc,
+              std::string msg) {
+    if (severity == Severity::Error) ++error_count_;
+    diags_.push_back({severity, std::move(code), loc, std::move(msg)});
+  }
+
   void note(SourceLoc loc, std::string msg) {
-    diags_.push_back({Severity::Note, loc, std::move(msg)});
+    report(Severity::Note, {}, loc, std::move(msg));
   }
   void warning(SourceLoc loc, std::string msg) {
-    diags_.push_back({Severity::Warning, loc, std::move(msg)});
+    report(Severity::Warning, {}, loc, std::move(msg));
   }
   void error(SourceLoc loc, std::string msg) {
-    ++error_count_;
-    diags_.push_back({Severity::Error, loc, std::move(msg)});
+    report(Severity::Error, {}, loc, std::move(msg));
+  }
+
+  void note(std::string code, SourceLoc loc, std::string msg) {
+    report(Severity::Note, std::move(code), loc, std::move(msg));
+  }
+  void warning(std::string code, SourceLoc loc, std::string msg) {
+    report(Severity::Warning, std::move(code), loc, std::move(msg));
+  }
+  void error(std::string code, SourceLoc loc, std::string msg) {
+    report(Severity::Error, std::move(code), loc, std::move(msg));
   }
 
   [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
@@ -39,13 +68,26 @@ class DiagnosticEngine {
     return diags_;
   }
 
+  /// Number of diagnostics at `min_severity` or above.
+  [[nodiscard]] std::size_t count(Severity min_severity) const;
+
+  /// True when any diagnostic carries the given code.
+  [[nodiscard]] bool has_code(std::string_view code) const;
+
   void clear() {
     diags_.clear();
     error_count_ = 0;
   }
 
-  /// All diagnostics joined into one human-readable block.
-  [[nodiscard]] std::string str() const;
+  /// Diagnostics at `min_severity` or above joined into one
+  /// human-readable block ("line:col: severity: [code] message").
+  [[nodiscard]] std::string str(Severity min_severity = Severity::Note) const;
+
+  /// Machine-readable form: a JSON array of
+  ///   {"code", "severity", "line", "column", "message"}
+  /// objects in emission order — the payload behind `slc --diag-json`.
+  [[nodiscard]] support::json::Value to_json(
+      Severity min_severity = Severity::Note) const;
 
  private:
   std::vector<Diagnostic> diags_;

@@ -10,6 +10,7 @@ const char* to_string(Stage stage) {
     case Stage::Sema: return "sema";
     case Stage::Analysis: return "analysis";
     case Stage::Slms: return "slms";
+    case Stage::Verify: return "verify";
     case Stage::Lower: return "lower";
     case Stage::Schedule: return "schedule";
     case Stage::Simulate: return "simulate";
@@ -25,6 +26,7 @@ std::optional<Stage> parse_stage(std::string_view name) {
   if (name == "sema") return Stage::Sema;
   if (name == "analysis") return Stage::Analysis;
   if (name == "slms") return Stage::Slms;
+  if (name == "verify") return Stage::Verify;
   if (name == "lower") return Stage::Lower;
   if (name == "schedule") return Stage::Schedule;
   if (name == "simulate") return Stage::Simulate;
@@ -43,6 +45,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::ScheduleError: return "schedule-error";
     case FailureKind::SimError: return "sim-error";
     case FailureKind::OracleMismatch: return "oracle-mismatch";
+    case FailureKind::VerifyFailed: return "verify-failed";
     case FailureKind::DivideByZero: return "divide-by-zero";
     case FailureKind::OutOfBounds: return "out-of-bounds";
     case FailureKind::StepLimit: return "step-limit";

@@ -30,6 +30,7 @@ enum class Stage : std::uint8_t {
   Sema,
   Analysis,
   Slms,
+  Verify,  // static legality verifier (src/verify) on SLMS output
   Lower,
   Schedule,
   Simulate,
@@ -52,6 +53,7 @@ enum class FailureKind : std::uint8_t {
   ScheduleError,
   SimError,
   OracleMismatch,    // transformed program disagrees with the reference
+  VerifyFailed,      // static verifier proved the transform illegal
   DivideByZero,      // interpreter abort: integer division/modulo by zero
   OutOfBounds,       // interpreter abort: array access out of bounds
   StepLimit,         // interpreter/simulator step budget exhausted

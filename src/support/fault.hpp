@@ -20,7 +20,17 @@
 //                                       contains "kernel8"
 //   SLC_FAULT="bug:mve-skip-rename"     plant a named miscompile bug (used
 //                                       to validate the differential fuzzer
-//                                       end to end: it must catch this)
+//                                       and the static verifier end to end:
+//                                       they must catch it)
+//
+// Planted miscompile bugs (each must be caught *statically* by the
+// src/verify legality checker — the CI lint gate enforces it):
+//   bug:mve-skip-rename   drop the MVE rename of one planned scalar
+//   bug:sched-sigma-skew  shift the last MI off its scheduled slot
+//   bug:kernel-run-over   kernel bound runs one unrolled round long
+//   bug:prologue-drop     lose the earliest prologue instance
+//   bug:prologue-early-iv prologue instances bind the previous iv value
+//   bug:fixup-stale-copy  live-out fixup reads MVE copy 0 unconditionally
 //
 // Multiple specs are comma-separated. The same spec grammar is accepted by
 // `slc --fault=` and `slc_fuzz --fault=`. When no fault is armed the per-

@@ -1,0 +1,370 @@
+// Whole-program static array-bounds check (slms-oob).
+//
+// Intentionally a *prover*, not a heuristic: a subscript is flagged only
+// when its value range, computed by interval arithmetic over constant
+// subscript terms and constant-bound canonical loop counters, provably
+// escapes the array's declared extent. Anything symbolic, non-linear, or
+// depending on a variable whose range is unknown is silently accepted —
+// zero false positives on legal code is part of the contract (the golden
+// suite and the fuzzer's static/runtime agreement gate both rely on it).
+//
+// The classic catch: a pipelined prologue instance of `A[i-k]` whose
+// substituted constant folds to a negative subscript.
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/linear_form.hpp"
+#include "ast/ast.hpp"
+#include "verify/verify.hpp"
+
+namespace slc::verify {
+
+using namespace ast;
+using analysis::LinearForm;
+
+namespace {
+
+struct Range {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // inclusive
+};
+
+struct Extent {
+  std::vector<std::int64_t> dims;
+};
+
+class BoundsChecker {
+ public:
+  explicit BoundsChecker(DiagnosticEngine& diags) : diags_(diags) {}
+
+  void run(const Program& program) {
+    for (const StmtPtr& s : program.stmts) visit(*s, /*guarded=*/false);
+  }
+
+ private:
+  /// Canonical constant-bound counter loop whose body never rewrites the
+  /// counter: gives the counter a provable range. Returns the iv name.
+  std::optional<std::pair<std::string, Range>> loop_range(const ForStmt& f) {
+    std::string iv;
+    std::int64_t lo = 0;
+    if (const auto* a = dyn_cast<AssignStmt>(f.init.get())) {
+      const auto* v = dyn_cast<VarRef>(a->lhs.get());
+      const auto* l = dyn_cast<IntLit>(a->rhs.get());
+      if (v == nullptr || l == nullptr || a->op != AssignOp::Set ||
+          a->guard != nullptr)
+        return std::nullopt;
+      iv = v->name;
+      lo = l->value;
+    } else if (const auto* d = dyn_cast<DeclStmt>(f.init.get())) {
+      const auto* l =
+          d->init != nullptr ? dyn_cast<IntLit>(d->init.get()) : nullptr;
+      if (l == nullptr || d->is_array()) return std::nullopt;
+      iv = d->name;
+      lo = l->value;
+    } else {
+      return std::nullopt;
+    }
+
+    const auto* c = dyn_cast<Binary>(f.cond.get());
+    const auto* cv = c != nullptr ? dyn_cast<VarRef>(c->lhs.get()) : nullptr;
+    const auto* cl = c != nullptr ? dyn_cast<IntLit>(c->rhs.get()) : nullptr;
+    if (cv == nullptr || cl == nullptr || cv->name != iv) return std::nullopt;
+
+    const auto* st = dyn_cast<AssignStmt>(f.step.get());
+    const auto* sv = st != nullptr ? dyn_cast<VarRef>(st->lhs.get()) : nullptr;
+    const auto* sl = st != nullptr ? dyn_cast<IntLit>(st->rhs.get()) : nullptr;
+    if (sv == nullptr || sl == nullptr || sv->name != iv ||
+        st->guard != nullptr)
+      return std::nullopt;
+    std::int64_t step = 0;
+    if (st->op == AssignOp::Add)
+      step = sl->value;
+    else if (st->op == AssignOp::Sub)
+      step = -sl->value;
+    if (step == 0) return std::nullopt;
+
+    std::int64_t bound = cl->value;
+    std::int64_t first = lo;
+    std::int64_t count = 0;  // trip count
+    switch (c->op) {
+      case BinaryOp::Lt:
+        if (step <= 0) return std::nullopt;
+        count = bound - first;
+        break;
+      case BinaryOp::Le:
+        if (step <= 0) return std::nullopt;
+        count = bound - first + 1;
+        break;
+      case BinaryOp::Gt:
+        if (step >= 0) return std::nullopt;
+        count = first - bound;
+        break;
+      case BinaryOp::Ge:
+        if (step >= 0) return std::nullopt;
+        count = first - bound + 1;
+        break;
+      default:
+        return std::nullopt;
+    }
+    if (count <= 0) return std::nullopt;  // zero-trip: body never runs
+    std::int64_t abs_step = step > 0 ? step : -step;
+    std::int64_t trips = (count + abs_step - 1) / abs_step;
+    std::int64_t last = first + (trips - 1) * step;
+
+    // The range is only valid if the body never rewrites the counter and
+    // cannot leave the loop mid-range via break (the counter still stays
+    // within [first, last] — break only shrinks the set of iterations, so
+    // subscript ranges remain valid; a rewrite of iv does not).
+    if (writes_var(*f.body, iv)) return std::nullopt;
+    Range r{std::min(first, last), std::max(first, last)};
+    return std::make_pair(iv, r);
+  }
+
+  /// True when `s` contains a break that exits *this* loop level (does
+  /// not descend into nested loops, whose breaks are theirs).
+  static bool has_toplevel_break(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Break:
+        return true;
+      case StmtKind::Block:
+        for (const StmtPtr& c : static_cast<const BlockStmt&>(s).stmts)
+          if (has_toplevel_break(*c)) return true;
+        return false;
+      case StmtKind::Parallel:
+        for (const StmtPtr& c : static_cast<const ParallelStmt&>(s).stmts)
+          if (has_toplevel_break(*c)) return true;
+        return false;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        if (has_toplevel_break(*i.then_stmt)) return true;
+        return i.else_stmt != nullptr && has_toplevel_break(*i.else_stmt);
+      }
+      default:
+        return false;  // For/While own their breaks
+    }
+  }
+
+  static bool writes_var(const Stmt& s, const std::string& name) {
+    bool writes = false;
+    std::function<void(const Stmt&)> go = [&](const Stmt& st) {
+      switch (st.kind()) {
+        case StmtKind::Assign: {
+          const auto& a = static_cast<const AssignStmt&>(st);
+          if (const auto* v = dyn_cast<VarRef>(a.lhs.get());
+              v != nullptr && v->name == name)
+            writes = true;
+          break;
+        }
+        case StmtKind::Decl: {
+          const auto& d = static_cast<const DeclStmt&>(st);
+          if (d.name == name) writes = true;
+          break;
+        }
+        case StmtKind::Block:
+          for (const StmtPtr& c : static_cast<const BlockStmt&>(st).stmts)
+            go(*c);
+          break;
+        case StmtKind::Parallel:
+          for (const StmtPtr& c : static_cast<const ParallelStmt&>(st).stmts)
+            go(*c);
+          break;
+        case StmtKind::If: {
+          const auto& i = static_cast<const IfStmt&>(st);
+          go(*i.then_stmt);
+          if (i.else_stmt != nullptr) go(*i.else_stmt);
+          break;
+        }
+        case StmtKind::For: {
+          const auto& f = static_cast<const ForStmt&>(st);
+          if (f.init != nullptr) go(*f.init);
+          if (f.step != nullptr) go(*f.step);
+          go(*f.body);
+          break;
+        }
+        case StmtKind::While:
+          go(*static_cast<const WhileStmt&>(st).body);
+          break;
+        default:
+          break;
+      }
+    };
+    go(s);
+    return writes;
+  }
+
+  void visit(const Stmt& s, bool guarded) {
+    switch (s.kind()) {
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.is_array()) extents_[d.name] = Extent{d.dims};
+        if (d.init != nullptr) check_expr(*d.init, guarded);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        bool g = guarded || a.guard != nullptr;
+        if (a.guard != nullptr) check_expr(*a.guard, guarded);
+        check_expr(*a.lhs, g);
+        check_expr(*a.rhs, g);
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto& e = static_cast<const ExprStmt&>(s);
+        bool g = guarded || e.guard != nullptr;
+        if (e.guard != nullptr) check_expr(*e.guard, guarded);
+        check_expr(*e.expr, g);
+        break;
+      }
+      case StmtKind::Block:
+        for (const StmtPtr& c : static_cast<const BlockStmt&>(s).stmts)
+          visit(*c, guarded);
+        break;
+      case StmtKind::Parallel:
+        for (const StmtPtr& c : static_cast<const ParallelStmt&>(s).stmts)
+          visit(*c, guarded);
+        break;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        check_expr(*i.cond, guarded);
+        visit(*i.then_stmt, /*guarded=*/true);
+        if (i.else_stmt != nullptr) visit(*i.else_stmt, /*guarded=*/true);
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        check_expr(*w.cond, guarded);
+        visit(*w.body, /*guarded=*/true);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.init != nullptr) visit(*f.init, guarded);
+        if (f.cond != nullptr) check_expr(*f.cond, guarded);
+        auto rng = loop_range(f);
+        // A provable counter range makes body subscripts checkable at
+        // the loop's own guardedness; otherwise the body might never run
+        // (symbolic/zero-trip bound), so violations inside only warn. A
+        // break can end the loop before a violating iteration, so it
+        // demotes too — the counter range itself stays valid.
+        bool body_guarded =
+            guarded || !rng.has_value() || has_toplevel_break(*f.body);
+        std::optional<Range> saved;
+        bool had = false;
+        if (rng) {
+          auto it = ranges_.find(rng->first);
+          if (it != ranges_.end()) {
+            saved = it->second;
+            had = true;
+          }
+          ranges_[rng->first] = rng->second;
+        }
+        visit(*f.body, body_guarded);
+        if (rng) {
+          if (had)
+            ranges_[rng->first] = *saved;
+          else
+            ranges_.erase(rng->first);
+        }
+        if (f.step != nullptr) visit(*f.step, body_guarded);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void check_expr(const Expr& e, bool guarded) {
+    switch (e.kind()) {
+      case ExprKind::ArrayRef: {
+        const auto& a = static_cast<const ArrayRef&>(e);
+        check_array_ref(a, guarded);
+        for (const ExprPtr& sub : a.subscripts) check_expr(*sub, guarded);
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const Binary&>(e);
+        check_expr(*b.lhs, guarded);
+        check_expr(*b.rhs, guarded);
+        break;
+      }
+      case ExprKind::Unary:
+        check_expr(*static_cast<const Unary&>(e).operand, guarded);
+        break;
+      case ExprKind::Call:
+        for (const ExprPtr& arg : static_cast<const Call&>(e).args)
+          check_expr(*arg, guarded);
+        break;
+      case ExprKind::Conditional: {
+        const auto& c = static_cast<const Conditional&>(e);
+        check_expr(*c.cond, guarded);
+        check_expr(*c.then_expr, /*guarded=*/true);
+        check_expr(*c.else_expr, /*guarded=*/true);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void check_array_ref(const ArrayRef& a, bool guarded) {
+    auto it = extents_.find(a.name);
+    if (it == extents_.end()) return;  // extern/unknown array
+    const Extent& ext = it->second;
+    if (ext.dims.size() != a.subscripts.size()) return;  // sema's problem
+    for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+      LinearForm f = analysis::linearize(*a.subscripts[d]);
+      if (!f.exact) continue;
+      std::int64_t lo = f.constant;
+      std::int64_t hi = f.constant;
+      bool provable = true;
+      for (const auto& [var, coeff] : f.coeffs) {
+        if (coeff == 0) continue;
+        auto r = ranges_.find(var);
+        if (r == ranges_.end()) {
+          provable = false;
+          break;
+        }
+        if (coeff > 0) {
+          lo += coeff * r->second.lo;
+          hi += coeff * r->second.hi;
+        } else {
+          lo += coeff * r->second.hi;
+          hi += coeff * r->second.lo;
+        }
+      }
+      if (!provable) continue;
+      if (lo >= 0 && hi < ext.dims[d]) continue;
+      std::ostringstream msg;
+      msg << "subscript " << d + 1 << " of '" << a.name << "' provably ";
+      if (lo < 0 && hi == lo)
+        msg << "evaluates to " << lo;
+      else if (lo == hi)
+        msg << "evaluates to " << lo;
+      else
+        msg << "spans [" << lo << ", " << hi << "]";
+      msg << ", outside the declared extent [0, " << ext.dims[d] << ")";
+      if (guarded) {
+        diags_.warning(kOob, a.loc,
+                       msg.str() + " (in conditionally-executed code)");
+      } else {
+        diags_.error(kOob, a.loc, msg.str());
+      }
+    }
+  }
+
+  DiagnosticEngine& diags_;
+  std::map<std::string, Extent> extents_;
+  std::map<std::string, Range> ranges_;
+};
+
+}  // namespace
+
+void check_bounds(const Program& program, DiagnosticEngine& diags) {
+  BoundsChecker(diags).run(program);
+}
+
+}  // namespace slc::verify

@@ -1,0 +1,655 @@
+// Structure, iteration-space coverage, renaming of emitted instances,
+// and emission order.
+//
+// Strategy: rather than decoding the emitted AST back into a schedule,
+// we enumerate the *slots* a correct pipeline must fill — prologue
+// {(k, t) : t < offset(k)}, kernel {(k, d) : d in [offset(k),
+// offset(k)+unroll)} per round, epilogue {(k, t) : kernel end <= t < n}
+// — build the reference statement for each slot from the metadata
+// (InstanceBuilder), and let every emitted statement claim the slot it
+// equals. A dropped slot, a double claim, a claim outside the section's
+// range, a statement matching no slot, or claims in non-schedule order
+// each map to a stable diagnostic. Statements that are identical for
+// every iteration (no loop-variable use, same MVE parity) are
+// interchangeable, so greedy earliest-slot claiming is exact.
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ast/build.hpp"
+#include "ast/fold.hpp"
+#include "support/int_math.hpp"
+#include "verify/internal.hpp"
+#include "verify/verify.hpp"
+
+namespace slc::verify {
+
+using namespace ast;
+using slms::LoopPlacement;
+using slms::RenamedScalar;
+using slms::RenameMode;
+
+namespace {
+
+std::string mi_name(int k) { return "MI " + std::to_string(k + 1); }
+
+/// Statements of a region in execution order, parallel rows flattened
+/// (a ParallelStmt executes its members sequentially).
+std::vector<const Stmt*> flatten(const std::vector<StmtPtr>& stmts,
+                                 std::size_t begin, std::size_t end) {
+  std::vector<const Stmt*> out;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (const auto* par = dyn_cast<ParallelStmt>(stmts[i].get())) {
+      for (const StmtPtr& m : par->stmts) out.push_back(m.get());
+    } else {
+      out.push_back(stmts[i].get());
+    }
+  }
+  return out;
+}
+
+/// Slot-claiming matcher for one section (prologue, kernel body, or
+/// epilogue). `expected(k, t)` is the reference statement of slot
+/// (k, t); t is an absolute iteration for straight-line sections and a
+/// round-relative offset inside the kernel. Matching is attempted over
+/// the window [win_lo, win_hi) so off-by-one bugs are *recognized* (and
+/// reported as out-of-range claims) instead of degrading into an
+/// unhelpful "unrecognized statement".
+class SectionMatcher {
+ public:
+  using ExpectedFn = std::function<const Stmt*(int, std::int64_t)>;
+
+  SectionMatcher(const LoopPlacement& pl, DiagnosticEngine& diags,
+                 std::string section, ExpectedFn expected,
+                 std::int64_t win_lo, std::int64_t win_hi)
+      : pl_(pl),
+        diags_(diags),
+        section_(std::move(section)),
+        expected_(std::move(expected)),
+        win_lo_(win_lo),
+        win_hi_(win_hi),
+        lo_(pl.mis.size(), 0),
+        hi_(pl.mis.size(), 0) {}
+
+  void set_interval(int k, std::int64_t lo, std::int64_t hi) {
+    hi = std::max(lo, hi);
+    // Guard against a corrupt kernel bound claiming the epilogue must
+    // re-run most of the loop: report the hole without enumerating it.
+    if (hi - lo > 4096) {
+      std::ostringstream msg;
+      msg << section_ << " would have to execute " << (hi - lo)
+          << " iterations of " << mi_name(k)
+          << " — the kernel bound cannot be right";
+      diags_.error(kIterCoverage, pl_.mis[std::size_t(k)]->loc, msg.str());
+      hi = lo;
+    }
+    lo_[std::size_t(k)] = lo;
+    hi_[std::size_t(k)] = hi;
+  }
+
+  /// Tries to recognize `s` as a pipeline instance; false when it
+  /// matches no slot in the window (the caller tries other
+  /// interpretations — fixups, wrong-parity instances — before
+  /// reporting it unrecognized).
+  bool match(const Stmt& s) {
+    std::vector<std::pair<int, std::int64_t>> cands;
+    for (int k = 0; k < int(pl_.mis.size()); ++k)
+      for (std::int64_t t = win_lo_; t < win_hi_; ++t) {
+        const Stmt* e = expected_(k, t);
+        if (e != nullptr && equal(s, *e)) cands.emplace_back(k, t);
+      }
+    if (cands.empty()) return false;
+
+    const std::pair<int, std::int64_t>* best = nullptr;
+    std::tuple<std::int64_t, std::int64_t, int> best_key{};
+    for (const auto& c : cands) {
+      if (!in_interval(c) || claimed_.count(c) != 0) continue;
+      auto key = std::make_tuple(g_of(c), c.second, c.first);
+      if (best == nullptr || key < best_key) {
+        best = &c;
+        best_key = key;
+      }
+    }
+    if (best != nullptr) {
+      claimed_.insert(*best);
+      order_.emplace_back(g_of(*best), best->second, best->first);
+      return true;
+    }
+
+    // Recognized, but every matching slot is taken or out of range.
+    const auto& c = *std::min_element(
+        cands.begin(), cands.end(), [&](const auto& a, const auto& b) {
+          return std::make_tuple(g_of(a), a.second, a.first) <
+                 std::make_tuple(g_of(b), b.second, b.first);
+        });
+    std::ostringstream msg;
+    if (in_interval(c)) {
+      msg << section_ << " executes " << mi_name(c.first) << " for "
+          << unit_ << " " << c.second << " more than once";
+    } else {
+      msg << section_ << " executes " << mi_name(c.first) << " for "
+          << unit_ << " " << c.second << ", outside its range ["
+          << lo_[std::size_t(c.first)] << ", " << hi_[std::size_t(c.first)]
+          << ")";
+    }
+    diags_.error(kIterCoverage, s.loc, msg.str());
+    return true;
+  }
+
+  /// Missing-slot accounting and the emission-order check.
+  void finish() {
+    for (int k = 0; k < int(pl_.mis.size()); ++k) {
+      std::vector<std::int64_t> missing;
+      for (std::int64_t t = lo_[std::size_t(k)]; t < hi_[std::size_t(k)]; ++t)
+        if (claimed_.count({k, t}) == 0) missing.push_back(t);
+      if (missing.empty()) continue;
+      std::ostringstream msg;
+      msg << section_ << " never executes " << mi_name(k) << " for "
+          << unit_;
+      if (missing.size() == 1) {
+        msg << " " << missing.front();
+      } else {
+        msg << "s ";
+        for (std::size_t i = 0; i < missing.size() && i < 3; ++i)
+          msg << (i != 0 ? ", " : "") << missing[i];
+        if (missing.size() > 3)
+          msg << ", ... (" << missing.size() << " total)";
+      }
+      diags_.error(kIterCoverage, pl_.mis[std::size_t(k)]->loc, msg.str());
+    }
+    for (std::size_t i = 1; i < order_.size(); ++i) {
+      if (order_[i] >= order_[i - 1]) continue;
+      std::ostringstream msg;
+      msg << section_ << " emits " << mi_name(std::get<2>(order_[i]))
+          << " for " << unit_ << " " << std::get<1>(order_[i])
+          << " after later-scheduled work; rows must appear in schedule "
+             "order and, within a row, in iteration order";
+      diags_.error(kEmitOrder,
+                   pl_.mis[std::size_t(std::get<2>(order_[i]))]->loc,
+                   msg.str());
+      break;
+    }
+  }
+
+  void set_unit(std::string unit) { unit_ = std::move(unit); }
+  void set_window(std::int64_t lo, std::int64_t hi) {
+    win_lo_ = lo;
+    win_hi_ = hi;
+  }
+
+ private:
+  [[nodiscard]] bool in_interval(const std::pair<int, std::int64_t>& c) const {
+    return c.second >= lo_[std::size_t(c.first)] &&
+           c.second < hi_[std::size_t(c.first)];
+  }
+  [[nodiscard]] std::int64_t g_of(const std::pair<int, std::int64_t>& c) const {
+    return pl_.ii * c.second + pl_.sigma[std::size_t(c.first)];
+  }
+
+  const LoopPlacement& pl_;
+  DiagnosticEngine& diags_;
+  std::string section_;
+  std::string unit_ = "iteration";
+  ExpectedFn expected_;
+  std::int64_t win_lo_, win_hi_;
+  std::vector<std::int64_t> lo_, hi_;
+  std::set<std::pair<int, std::int64_t>> claimed_;
+  // (g, t, k) of each claim in emitted order; the schedule requires this
+  // to be non-decreasing (ParallelStmt rows run sequentially, so the
+  // tie-break order is what the margin-0 dependence argument rests on).
+  std::vector<std::tuple<std::int64_t, std::int64_t, int>> order_;
+};
+
+/// Wrong-MVE-copy diagnosis: once normal matching failed, retry with
+/// every other parity (and with the rename skipped, parity -1). A hit
+/// pinpoints an instance reading/writing the wrong round-robin copy.
+bool diagnose_parity(
+    const LoopPlacement& pl, InstanceBuilder& inst, const Stmt& s,
+    DiagnosticEngine& diags,
+    const std::function<const Stmt*(int, std::int64_t, std::int64_t)>&
+        expected_parity,
+    std::int64_t win_lo, std::int64_t win_hi) {
+  if (pl.unroll <= 1 || pl.renames.empty()) return false;
+  for (int k = 0; k < int(pl.mis.size()); ++k)
+    for (std::int64_t t = win_lo; t < win_hi; ++t)
+      for (std::int64_t p = -1; p < std::int64_t(pl.unroll); ++p) {
+        if (p == inst.parity_of(t)) continue;
+        const Stmt* e = expected_parity(k, t, p);
+        if (e == nullptr || !equal(s, *e)) continue;
+        std::ostringstream msg;
+        msg << "instance of " << mi_name(k) << " for iteration " << t;
+        if (p < 0)
+          msg << " skips the MVE rename entirely";
+        else
+          msg << " uses MVE copy " << p << " where copy "
+              << inst.parity_of(t) << " is live";
+        msg << " — it reads or clobbers the wrong round-robin copy";
+        diags.error(kRenameUndef, s.loc, msg.str());
+        return true;
+      }
+  return false;
+}
+
+/// Replica of the emitter's trip-count guard condition, built only from
+/// the metadata (pipeliner.cpp trip_count_guard — keep in sync).
+ExprPtr expected_guard(const LoopPlacement& pl) {
+  std::int64_t abs_step = pl.step > 0 ? pl.step : -pl.step;
+  ExprPtr span;
+  BinaryOp op;
+  switch (pl.cmp) {
+    case BinaryOp::Lt:
+      span = build::sub(pl.upper->clone(), pl.lower->clone());
+      op = BinaryOp::Gt;
+      break;
+    case BinaryOp::Le:
+      span = build::sub(pl.upper->clone(), pl.lower->clone());
+      op = BinaryOp::Ge;
+      break;
+    case BinaryOp::Gt:
+      span = build::sub(pl.lower->clone(), pl.upper->clone());
+      op = BinaryOp::Gt;
+      break;
+    default:  // Ge
+      span = build::sub(pl.lower->clone(), pl.upper->clone());
+      op = BinaryOp::Ge;
+      break;
+  }
+  fold(span);
+  ExprPtr guard =
+      build::bin(op, std::move(span), build::lit((pl.stages - 1) * abs_step));
+  fold(guard);
+  return guard;
+}
+
+/// The live-out fixups a constant-bound pipeline must end with, in
+/// claimable form.
+struct FixupSet {
+  struct Entry {
+    StmtPtr want;
+    std::string what;      // for the missing-fixup message
+    const char* code;      // diagnostic when missing
+    bool claimed = false;
+  };
+  std::vector<Entry> entries;
+
+  bool claim(const Stmt& s) {
+    for (Entry& e : entries) {
+      if (e.claimed || !equal(s, *e.want)) continue;
+      e.claimed = true;
+      return true;
+    }
+    return false;
+  }
+};
+
+FixupSet expected_fixups(const LoopPlacement& pl, std::int64_t n) {
+  FixupSet fx;
+  if (pl.bounds_are_constant()) {
+    fx.entries.push_back(
+        {build::assign(build::var(pl.iv),
+                       build::lit(*pl.const_lower + n * pl.step)),
+         "exit value of '" + pl.iv + "'", kIterCoverage});
+    if (n > 0) {
+      for (const RenamedScalar& r : pl.renames) {
+        if (r.mode == RenameMode::MveCopies) {
+          if (pl.unroll <= 1 ||
+              r.copy_names.size() != std::size_t(pl.unroll))
+            continue;  // malformed table; reported by check_metadata
+          std::size_t last = std::size_t((n - 1) % pl.unroll);
+          fx.entries.push_back(
+              {build::assign(build::var(r.name),
+                             build::var(r.copy_names[last])),
+               "live-out value of '" + r.name + "'", kRenameUndef});
+        } else {
+          std::int64_t last_iv = *pl.const_lower + (n - 1) * pl.step;
+          fx.entries.push_back(
+              {build::assign(build::var(r.name),
+                             build::index(r.array_name,
+                                          build::lit(last_iv))),
+               "live-out value of '" + r.name + "'", kRenameUndef});
+        }
+      }
+    }
+  } else {
+    std::int64_t delta = (pl.stages - 1) * pl.step;
+    if (delta != 0) {
+      fx.entries.push_back(
+          {delta > 0 ? build::assign(build::var(pl.iv), build::lit(delta),
+                                     AssignOp::Add)
+                     : build::assign(build::var(pl.iv), build::lit(-delta),
+                                     AssignOp::Sub),
+           "exit value of '" + pl.iv + "'", kIterCoverage});
+    }
+  }
+  return fx;
+}
+
+/// A tail statement that assigns a renamed scalar from the *wrong* MVE
+/// copy or expansion slot — the fixup-specific rename diagnosis.
+bool diagnose_wrong_fixup(const LoopPlacement& pl, const Stmt& s,
+                          std::int64_t n, FixupSet& fx,
+                          DiagnosticEngine& diags) {
+  const auto* a = dyn_cast<AssignStmt>(&s);
+  if (a == nullptr || a->op != AssignOp::Set || a->guard != nullptr)
+    return false;
+  const auto* lhs = dyn_cast<VarRef>(a->lhs.get());
+  if (lhs == nullptr) return false;
+  for (const RenamedScalar& r : pl.renames) {
+    if (lhs->name != r.name) continue;
+    std::ostringstream msg;
+    if (r.mode == RenameMode::MveCopies) {
+      const auto* rhs = dyn_cast<VarRef>(a->rhs.get());
+      if (rhs == nullptr) continue;
+      auto it =
+          std::find(r.copy_names.begin(), r.copy_names.end(), rhs->name);
+      if (it == r.copy_names.end()) continue;
+      std::size_t last = pl.unroll > 1 ? std::size_t((n - 1) % pl.unroll) : 0;
+      msg << "live-out fixup restores '" << r.name << "' from copy '"
+          << rhs->name << "', but the final iteration wrote copy '"
+          << (last < r.copy_names.size() ? r.copy_names[last] : "?") << "'";
+    } else {
+      const auto* rhs = dyn_cast<ArrayRef>(a->rhs.get());
+      if (rhs == nullptr || rhs->name != r.array_name) continue;
+      msg << "live-out fixup restores '" << r.name
+          << "' from the wrong element of '" << r.array_name << "'";
+    }
+    diags.error(kRenameUndef, s.loc, msg.str());
+    // Consume the expected fixup so a second (missing-fixup) report is
+    // not stacked on top of the same bug.
+    for (FixupSet::Entry& e : fx.entries)
+      if (!e.claimed && e.what.find("'" + r.name + "'") != std::string::npos) {
+        e.claimed = true;
+        break;
+      }
+    return true;
+  }
+  return false;
+}
+
+struct KernelHeader {
+  const ForStmt* loop = nullptr;
+  std::int64_t rounds = 0;  // constant bounds: rounds the emitted bound runs
+  bool ok = false;
+};
+
+KernelHeader check_kernel_header(const LoopPlacement& pl, const ForStmt& f,
+                                 DiagnosticEngine& diags) {
+  KernelHeader h;
+  h.loop = &f;
+
+  const auto* init = dyn_cast<AssignStmt>(f.init.get());
+  const auto* init_lhs =
+      init != nullptr ? dyn_cast<VarRef>(init->lhs.get()) : nullptr;
+  if (init == nullptr || init_lhs == nullptr || init_lhs->name != pl.iv ||
+      init->op != AssignOp::Set || init->guard != nullptr ||
+      init->rhs == nullptr || !equal(*init->rhs, *pl.lower)) {
+    diags.error(kStructure, f.loc,
+                "kernel loop does not start '" + pl.iv +
+                    "' at the loop lower bound");
+    return h;
+  }
+
+  std::int64_t stride = 0;
+  const auto* st = dyn_cast<AssignStmt>(f.step.get());
+  const auto* st_lhs = st != nullptr ? dyn_cast<VarRef>(st->lhs.get()) : nullptr;
+  const auto* st_rhs = st != nullptr ? dyn_cast<IntLit>(st->rhs.get()) : nullptr;
+  if (st != nullptr && st_lhs != nullptr && st_lhs->name == pl.iv &&
+      st_rhs != nullptr && st->guard == nullptr &&
+      (st->op == AssignOp::Add || st->op == AssignOp::Sub)) {
+    stride = st->op == AssignOp::Add ? st_rhs->value : -st_rhs->value;
+  } else {
+    diags.error(kStructure, f.loc,
+                "kernel loop step is not a constant advance of '" + pl.iv +
+                    "'");
+    return h;
+  }
+  if (stride != std::int64_t(pl.unroll) * pl.step) {
+    std::ostringstream msg;
+    msg << "kernel advances '" << pl.iv << "' by " << stride
+        << " per round, but " << pl.unroll << " unrolled iteration(s) of step "
+        << pl.step << " require " << std::int64_t(pl.unroll) * pl.step;
+    diags.error(kStructure, f.loc, msg.str());
+    return h;
+  }
+
+  if (pl.bounds_are_constant()) {
+    const auto* c = dyn_cast<Binary>(f.cond.get());
+    const auto* c_lhs = c != nullptr ? dyn_cast<VarRef>(c->lhs.get()) : nullptr;
+    const auto* c_rhs = c != nullptr ? dyn_cast<IntLit>(c->rhs.get()) : nullptr;
+    const BinaryOp want = pl.step > 0 ? BinaryOp::Lt : BinaryOp::Gt;
+    if (c == nullptr || c->op != want || c_lhs == nullptr ||
+        c_lhs->name != pl.iv || c_rhs == nullptr) {
+      diags.error(kStructure, f.loc,
+                  "kernel bound is not a constant comparison of '" + pl.iv +
+                      "'");
+      return h;
+    }
+    std::int64_t span = pl.step > 0 ? c_rhs->value - *pl.const_lower
+                                    : *pl.const_lower - c_rhs->value;
+    std::int64_t abs_stride = stride > 0 ? stride : -stride;
+    h.rounds = span <= 0 ? 0 : ceil_div(span, abs_stride);
+  } else {
+    ExprPtr bound = build::sub(pl.upper->clone(),
+                               build::lit((pl.stages - 1) * pl.step));
+    fold(bound);
+    ExprPtr want = build::bin(pl.cmp, build::var(pl.iv), std::move(bound));
+    if (f.cond == nullptr || !equal(*f.cond, *want)) {
+      diags.error(kIterCoverage, f.loc,
+                  "kernel bound does not stop (stages-1) iterations before "
+                  "the loop bound — the epilogue would re-run or miss "
+                  "iterations");
+      // Structure is otherwise intact; keep checking with the intended
+      // shape so the epilogue diagnostics stay meaningful.
+    }
+  }
+  h.ok = true;
+  return h;
+}
+
+}  // namespace
+
+void check_coverage(const LoopPlacement& pl, const BlockStmt& replacement,
+                    DiagnosticEngine& diags) {
+  const SourceLoc loc0 =
+      pl.mis.empty() ? SourceLoc{} : pl.mis.front()->loc;
+
+  // --- Locate the pipeline region: leading decls, then (symbolic) a
+  // single trip-count guard whose then-arm holds the pipeline.
+  std::size_t i = 0;
+  while (i < replacement.stmts.size() &&
+         replacement.stmts[i]->kind() == StmtKind::Decl)
+    ++i;
+  const std::vector<StmtPtr>* pipe = nullptr;
+  if (pl.used_trip_guard) {
+    const IfStmt* guard = i < replacement.stmts.size()
+                              ? dyn_cast<IfStmt>(replacement.stmts[i].get())
+                              : nullptr;
+    if (guard == nullptr || i + 1 != replacement.stmts.size()) {
+      diags.error(kStructure, loc0,
+                  "symbolic-bound pipeline is not wrapped in a single "
+                  "trip-count guard");
+      return;
+    }
+    ExprPtr want = expected_guard(pl);
+    if (guard->cond == nullptr || !equal(*guard->cond, *want))
+      diags.error(kIterCoverage, guard->loc,
+                  "trip-count guard does not test for at least (stages-1) "
+                  "iterations — short loops would enter the pipeline");
+    if (guard->else_stmt == nullptr || pl.guarded_fallback == nullptr ||
+        !equal(*guard->else_stmt, *pl.guarded_fallback))
+      diags.error(kStructure, guard->loc,
+                  "trip-count guard fallback is not the original loop");
+    const auto* then_block = dyn_cast<BlockStmt>(guard->then_stmt.get());
+    if (then_block == nullptr) {
+      diags.error(kStructure, guard->loc,
+                  "trip-count guard then-arm is not a block");
+      return;
+    }
+    pipe = &then_block->stmts;
+    i = 0;
+  } else {
+    pipe = &replacement.stmts;
+  }
+
+  // --- The unique kernel loop.
+  std::size_t kernel_idx = pipe->size();
+  for (std::size_t j = i; j < pipe->size(); ++j) {
+    if ((*pipe)[j]->kind() != StmtKind::For) continue;
+    if (kernel_idx != pipe->size()) {
+      diags.error(kStructure, (*pipe)[j]->loc,
+                  "pipelined replacement contains more than one loop");
+      return;
+    }
+    kernel_idx = j;
+  }
+  if (kernel_idx == pipe->size()) {
+    diags.error(kStructure, loc0,
+                "pipelined replacement contains no kernel loop");
+    return;
+  }
+  const auto* kernel = dyn_cast<ForStmt>((*pipe)[kernel_idx].get());
+  KernelHeader header = check_kernel_header(pl, *kernel, diags);
+  if (!header.ok) return;
+
+  InstanceBuilder inst(pl);
+  const std::int64_t window_pad = pl.stages + pl.unroll + 2;
+
+  // --- Kernel body: slots are round-relative iteration offsets d in
+  // [offset(k), offset(k)+unroll); order within the round is row-major
+  // by schedule slot g = II*d + sigma (== j-major over the unroll).
+  {
+    SectionMatcher km(
+        pl, diags, "kernel",
+        [&](int k, std::int64_t d) { return inst.kernel_delta(k, d); },
+        -2, window_pad);
+    km.set_unit("iteration offset");
+    for (int k = 0; k < int(pl.mis.size()); ++k)
+      km.set_interval(k, pl.offset(k), pl.offset(k) + pl.unroll);
+    const auto* body = dyn_cast<BlockStmt>(kernel->body.get());
+    if (body == nullptr) {
+      diags.error(kStructure, kernel->loc, "kernel body is not a block");
+      return;
+    }
+    for (const Stmt* s : flatten(body->stmts, 0, body->stmts.size())) {
+      if (km.match(*s)) continue;
+      if (diagnose_parity(
+              pl, inst, *s, diags,
+              [&](int k, std::int64_t d, std::int64_t p) {
+                return inst.kernel_delta_parity(k, d, p);
+              },
+              -2, window_pad))
+        continue;
+      diags.error(kIterCoverage, s->loc,
+                  "unrecognized statement in the kernel body — it is no "
+                  "instance of any scheduled MI");
+    }
+    km.finish();
+  }
+
+  const bool constant = pl.bounds_are_constant();
+  const std::int64_t n = constant ? pl.trip_count() : 0;
+
+  // --- Prologue: absolute iterations t in [0, offset(k)).
+  {
+    SectionMatcher pm(
+        pl, diags, "prologue",
+        [&](int k, std::int64_t t) { return inst.at_iteration(k, t); },
+        -window_pad, window_pad);
+    for (int k = 0; k < int(pl.mis.size()); ++k)
+      pm.set_interval(k, 0, pl.offset(k));
+    for (const Stmt* s : flatten(*pipe, i, kernel_idx)) {
+      if (pm.match(*s)) continue;
+      if (diagnose_parity(
+              pl, inst, *s, diags,
+              [&](int k, std::int64_t t, std::int64_t p) {
+                return inst.at_iteration_parity(k, t, p);
+              },
+              -window_pad, window_pad))
+        continue;
+      diags.error(kIterCoverage, s->loc,
+                  "unrecognized statement before the kernel — it is no "
+                  "prologue instance of any scheduled MI");
+    }
+    pm.finish();
+  }
+
+  // --- Epilogue + fixups after the kernel.
+  FixupSet fx = expected_fixups(pl, n);
+  std::int64_t win_lo = 0;
+  std::int64_t win_hi = 0;
+  SectionMatcher em(
+      pl, diags, "epilogue",
+      constant
+          ? SectionMatcher::ExpectedFn(
+                [&](int k, std::int64_t t) { return inst.at_iteration(k, t); })
+          : SectionMatcher::ExpectedFn([&](int k, std::int64_t t) {
+              return inst.epilogue_rel(k, t);
+            }),
+      0, 0);
+  if (constant) {
+    std::int64_t min_lo = n;
+    for (int k = 0; k < int(pl.mis.size()); ++k) {
+      std::int64_t end = pl.offset(k) + pl.unroll * header.rounds;
+      if (end > n) {
+        std::ostringstream msg;
+        msg << "kernel runs " << mi_name(k) << " through iteration "
+            << end - 1 << ", past the last loop iteration " << n - 1;
+        diags.error(kIterCoverage, pl.mis[std::size_t(k)]->loc, msg.str());
+        end = n;
+      }
+      em.set_interval(k, end, n);
+      min_lo = std::min(min_lo, end);
+    }
+    win_hi = n + window_pad;
+    win_lo = std::max(min_lo - window_pad, win_hi - 4096);
+  } else {
+    // Relative slots t_rel in [offset(k), stages-1) against the kernel
+    // exit value of the induction variable.
+    for (int k = 0; k < int(pl.mis.size()); ++k)
+      em.set_interval(k, pl.offset(k), pl.stages - 1);
+    win_lo = -2;
+    win_hi = window_pad;
+  }
+  em.set_window(win_lo, win_hi);
+
+  bool seen_fixup = false;
+  for (const Stmt* s : flatten(*pipe, kernel_idx + 1, pipe->size())) {
+    if (em.match(*s)) {
+      if (seen_fixup)
+        diags.error(kEmitOrder, s->loc,
+                    "pipeline instance emitted after the live-out fixups");
+      continue;
+    }
+    if (fx.claim(*s)) {
+      seen_fixup = true;
+      continue;
+    }
+    if (diagnose_wrong_fixup(pl, *s, n, fx, diags)) {
+      seen_fixup = true;
+      continue;
+    }
+    if (diagnose_parity(
+            pl, inst, *s, diags,
+            [&](int k, std::int64_t t, std::int64_t p) {
+              return inst.at_iteration_parity(k, t, p);
+            },
+            win_lo, win_hi))
+      continue;
+    diags.error(kIterCoverage, s->loc,
+                "unrecognized statement after the kernel — neither an "
+                "epilogue instance nor a live-out fixup");
+  }
+  em.finish();
+  for (const FixupSet::Entry& e : fx.entries) {
+    if (e.claimed) continue;
+    diags.error(e.code, loc0,
+                "pipeline never restores the " + e.what +
+                    " after the loop");
+  }
+}
+
+}  // namespace slc::verify

@@ -1,0 +1,285 @@
+// Metadata sanity and dependence preservation.
+//
+// The DDG is rebuilt from the recorded MIs — the exact statements the
+// schedule was computed for — and every edge is replayed against the
+// recorded sigma. Edges the driver dropped before solving (anti/output
+// edges of scalars planned for renaming) are not trusted: each one is
+// re-justified from the rename tables, or flagged.
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/access.hpp"
+#include "analysis/ddg.hpp"
+#include "slms/mii.hpp"
+#include "verify/internal.hpp"
+#include "verify/verify.hpp"
+
+namespace slc::verify {
+
+using analysis::DepEdge;
+using analysis::DepKind;
+using slms::LoopPlacement;
+using slms::RenamedScalar;
+using slms::RenameMode;
+
+namespace {
+
+std::string mi_name(int k) { return "MI " + std::to_string(k + 1); }
+
+/// Re-derives the renameability analyze_scalars() promised: exactly one
+/// defining MI, shaped `name = expr` (plain, unguarded), that neither
+/// reads the previous value nor follows any use. MVE and scalar
+/// expansion are only sound for such scalars — every read sees the value
+/// written earlier in the same iteration, so all cross-iteration edges
+/// through the scalar are false dependences.
+bool scalar_renameable(const LoopPlacement& pl, const std::string& name,
+                       std::string* why) {
+  int def = -1;
+  for (int k = 0; k < int(pl.mis.size()); ++k) {
+    analysis::AccessSet acc = analysis::collect_accesses(*pl.mis[std::size_t(k)]);
+    bool writes = acc.writes_scalar(name);
+    bool reads = acc.reads_scalar(name);
+    if (writes) {
+      if (def != -1) {
+        *why = "it is defined more than once per iteration";
+        return false;
+      }
+      def = k;
+      const auto* a = ast::dyn_cast<ast::AssignStmt>(pl.mis[std::size_t(k)].get());
+      const auto* lhs = a != nullptr ? ast::dyn_cast<ast::VarRef>(a->lhs.get())
+                                     : nullptr;
+      if (a == nullptr || lhs == nullptr || lhs->name != name ||
+          a->op != ast::AssignOp::Set || a->guard != nullptr) {
+        *why = "its definition is not a plain unguarded assignment";
+        return false;
+      }
+      if (reads) {
+        *why = "its definition reads the previous iteration's value";
+        return false;
+      }
+    } else if (reads && def == -1) {
+      *why = "it is read before it is defined in the iteration";
+      return false;
+    }
+  }
+  if (def == -1) {
+    *why = "it is never defined in the loop body";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool check_metadata(const LoopPlacement& pl, DiagnosticEngine& diags) {
+  const std::size_t errs0 = diags.error_count();
+  const SourceLoc loc =
+      pl.mis.empty() ? SourceLoc{} : pl.mis.front()->loc;
+  auto fail = [&](const char* code, const std::string& msg) {
+    diags.error(code, loc, "placement metadata: " + msg);
+  };
+
+  if (pl.mis.empty() || pl.sigma.size() != pl.mis.size()) {
+    fail(kStructure, "schedule and MI list sizes disagree");
+    return false;
+  }
+  if (pl.ii < 1 || pl.unroll < 1 || pl.stages < 1 || pl.step == 0) {
+    fail(kStructure, "II, unroll, stage count, and step must be positive");
+    return false;
+  }
+  if (pl.lower == nullptr || pl.upper == nullptr) {
+    fail(kStructure, "loop bounds are missing");
+    return false;
+  }
+  if (pl.cmp != ast::BinaryOp::Lt && pl.cmp != ast::BinaryOp::Le &&
+      pl.cmp != ast::BinaryOp::Gt && pl.cmp != ast::BinaryOp::Ge) {
+    fail(kStructure, "loop comparison is not a canonical inequality");
+    return false;
+  }
+  std::int64_t max_stage = 0;
+  for (std::size_t k = 0; k < pl.sigma.size(); ++k) {
+    if (pl.sigma[k] < 0) {
+      fail(kStructure, "negative schedule slot for " + mi_name(int(k)));
+      return false;
+    }
+    max_stage = std::max(max_stage, pl.sigma[k] / pl.ii);
+  }
+  if (max_stage + 1 != pl.stages) {
+    fail(kStructure, "recorded stage count disagrees with the schedule");
+    return false;
+  }
+
+  if (pl.used_trip_guard) {
+    if (pl.bounds_are_constant() || pl.unroll != 1 || !pl.renames.empty() ||
+        pl.guarded_fallback == nullptr) {
+      fail(kStructure,
+           "guarded symbolic emission requires symbolic bounds, no "
+           "unrolling, no renaming, and a recorded fallback loop");
+      return false;
+    }
+  } else {
+    if (!pl.bounds_are_constant()) {
+      fail(kStructure, "unguarded emission requires constant bounds");
+      return false;
+    }
+    if (pl.trip_count() - (pl.stages - 1) < pl.unroll) {
+      fail(kIterCoverage,
+           "trip count is too short for the recorded stage count and "
+           "unroll factor — the pipeline should have been rejected");
+      return false;
+    }
+  }
+
+  std::set<std::string> rename_names;
+  for (const RenamedScalar& r : pl.renames) {
+    if (!rename_names.insert(r.name).second)
+      fail(kRenameUndef, "scalar '" + r.name + "' is renamed twice");
+    if (r.mode == RenameMode::MveCopies) {
+      if (pl.unroll < 2) {
+        fail(kRenameUndef, "MVE rename of '" + r.name +
+                               "' without kernel unrolling never applies");
+        continue;
+      }
+      if (r.copy_names.size() != std::size_t(pl.unroll)) {
+        fail(kRenameUndef,
+             "MVE rename of '" + r.name + "' records " +
+                 std::to_string(r.copy_names.size()) + " copies for " +
+                 std::to_string(pl.unroll) + " unrolled iterations");
+        continue;
+      }
+      std::set<std::string> copies;
+      for (const std::string& c : r.copy_names)
+        if (c == r.name || !copies.insert(c).second)
+          fail(kRenameUndef, "MVE copies of '" + r.name +
+                                 "' are not pairwise-distinct fresh names");
+    } else if (r.array_name.empty()) {
+      fail(kRenameUndef,
+           "scalar expansion of '" + r.name + "' records no array");
+    }
+  }
+
+  std::set<std::string> to_check(pl.planned.begin(), pl.planned.end());
+  to_check.insert(rename_names.begin(), rename_names.end());
+  for (const std::string& name : to_check) {
+    std::string why;
+    if (!scalar_renameable(pl, name, &why))
+      fail(kRenameUndef, "false dependences of scalar '" + name +
+                             "' were dropped, but " + why);
+  }
+
+  return diags.error_count() == errs0;
+}
+
+void check_dependences(const LoopPlacement& pl, DiagnosticEngine& diags) {
+  std::vector<const ast::Stmt*> mis;
+  mis.reserve(pl.mis.size());
+  for (const ast::StmtPtr& m : pl.mis) mis.push_back(m.get());
+  analysis::Ddg full = analysis::build_ddg(mis, pl.iv, pl.step);
+
+  const std::set<std::string> planned(pl.planned.begin(), pl.planned.end());
+  std::map<std::string, const RenamedScalar*> renamed;
+  for (const RenamedScalar& r : pl.renames) renamed.emplace(r.name, &r);
+
+  // Unknown ("*") distances: per the DepEdge::min_distance() contract the
+  // solver refuses every II when one is present, so a produced schedule
+  // resting on one is a driver bug — there is nothing to verify against.
+  for (const DepEdge& e : full.edges) {
+    for (const analysis::DepDist& d : e.distances) {
+      if (d.known) continue;
+      std::ostringstream msg;
+      msg << to_string(e.kind) << " dependence on '" << e.var << "' ("
+          << mi_name(e.src) << " -> " << mi_name(e.dst)
+          << ") has unknown distance '*'; pipelining this loop cannot be "
+             "justified and should have been refused";
+      diags.error(kDepUnknown, pl.mis[std::size_t(e.src)]->loc, msg.str());
+    }
+  }
+
+  // Split the graph the way the driver did before solving: anti/output
+  // edges through planned scalars were dropped on the promise of
+  // renaming. Delays are recomputed on the kept (spec) graph — the
+  // forward-delay rule depends on the graph shape, so using the full
+  // graph would check against constraints the solver never saw.
+  analysis::Ddg spec;
+  spec.num_nodes = full.num_nodes;
+  std::vector<const DepEdge*> dropped;
+  for (const DepEdge& e : full.edges) {
+    if (e.kind != DepKind::Flow && planned.count(e.var) != 0)
+      dropped.push_back(&e);
+    else
+      spec.edges.push_back(e);
+  }
+
+  const std::vector<std::int64_t> delays = slms::compute_delays(spec);
+  for (std::size_t i = 0; i < spec.edges.size(); ++i) {
+    const DepEdge& e = spec.edges[i];
+    auto sig = [&](int k) { return pl.sigma[std::size_t(k)]; };
+    for (const analysis::DepDist& d : e.distances) {
+      if (!d.known) continue;
+      std::int64_t lhs = sig(e.dst) - sig(e.src) + pl.ii * d.distance;
+      if (lhs >= delays[i]) continue;
+      std::ostringstream msg;
+      msg << "schedule violates the " << to_string(e.kind)
+          << " dependence on '" << e.var << "' (" << mi_name(e.src) << " -> "
+          << mi_name(e.dst) << ", distance " << d.distance << "): sigma("
+          << mi_name(e.dst) << ") - sigma(" << mi_name(e.src) << ") + II*"
+          << d.distance << " = " << lhs << " < delay " << delays[i];
+      diags.error(kDepViolation, pl.mis[std::size_t(e.src)]->loc, msg.str());
+    }
+  }
+
+  // Dropped edges: justified only by the rename that was promised.
+  for (const DepEdge* e : dropped) {
+    auto it = renamed.find(e->var);
+    const RenamedScalar* r = it == renamed.end() ? nullptr : it->second;
+    if (r != nullptr && r->mode == RenameMode::Expand) continue;  // per-
+    // iteration array slots: the false dependence is gone entirely.
+    if (r != nullptr && (pl.unroll < 2 ||
+                         r->copy_names.size() != std::size_t(pl.unroll)))
+      continue;  // malformed rename table — already reported by
+                 // check_metadata; the margin math below would be noise.
+    for (const analysis::DepDist& d : e->distances) {
+      if (!d.known || d.distance < 0) continue;
+      // Effective distance after renaming: with u round-robin MVE copies
+      // the def clobbers a given copy every u iterations, so a carried
+      // false dependence moves out to distance u; a same-iteration one
+      // stays. An unrenamed planned scalar keeps its original distance.
+      std::int64_t eff = r == nullptr ? d.distance
+                         : d.distance == 0 ? 0
+                                           : std::int64_t(pl.unroll);
+      std::int64_t margin =
+          pl.ii * eff + pl.sigma[std::size_t(e->dst)] -
+          pl.sigma[std::size_t(e->src)];
+      // margin > 0: the clobber lands in a strictly later slot. margin ==
+      // 0 with eff > 0: same slot, later iteration — the emitter orders
+      // equal-slot rows by ascending iteration (check_coverage enforces
+      // slms-emit-order), so the read still wins. margin == 0 with eff ==
+      // 0 is same slot, same iteration: safe only in source order.
+      bool safe = margin > 0 || (margin == 0 && (eff > 0 || e->src < e->dst));
+      if (safe) continue;
+      std::ostringstream msg;
+      if (r == nullptr) {
+        msg << "dropped " << to_string(e->kind) << " dependence on scalar '"
+            << e->var << "' (" << mi_name(e->src) << " -> " << mi_name(e->dst)
+            << ", distance " << d.distance
+            << ") is not neutralized: the scalar was planned for renaming "
+               "but left unrenamed, and the schedule reorders the accesses";
+        diags.error(kDepViolation, pl.mis[std::size_t(e->src)]->loc,
+                    msg.str());
+      } else {
+        msg << "MVE copies of '" << e->var << "' are clobbered too early ("
+            << mi_name(e->src) << " -> " << mi_name(e->dst)
+            << "): the write " << pl.unroll
+            << " iterations later lands " << -margin
+            << " slot(s) before the last read of the copy — more copies "
+               "(a larger unroll) are needed for this schedule";
+        diags.error(kRenameClobber, pl.mis[std::size_t(e->src)]->loc,
+                    msg.str());
+      }
+    }
+  }
+}
+
+}  // namespace slc::verify

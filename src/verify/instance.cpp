@@ -1,0 +1,90 @@
+#include "ast/build.hpp"
+#include "ast/fold.hpp"
+#include "ast/subst.hpp"
+#include "ast/walk.hpp"
+#include "verify/internal.hpp"
+
+namespace slc::verify {
+
+using namespace ast;
+using slms::RenamedScalar;
+using slms::RenameMode;
+
+const Stmt* InstanceBuilder::at_iteration(int k, std::int64_t t) {
+  return at_iteration_parity(k, t, parity_of(t));
+}
+
+const Stmt* InstanceBuilder::at_iteration_parity(int k, std::int64_t t,
+                                                 std::int64_t parity) {
+  return get(Kind::Iteration, k, t, parity);
+}
+
+const Stmt* InstanceBuilder::kernel_delta(int k, std::int64_t d) {
+  return kernel_delta_parity(k, d, parity_of(d));
+}
+
+const Stmt* InstanceBuilder::kernel_delta_parity(int k, std::int64_t d,
+                                                 std::int64_t parity) {
+  return get(Kind::Kernel, k, d, parity);
+}
+
+const Stmt* InstanceBuilder::epilogue_rel(int k, std::int64_t t_rel) {
+  return get(Kind::EpilogueRel, k, t_rel, -1);
+}
+
+const Stmt* InstanceBuilder::get(Kind kind, int k, std::int64_t pos,
+                                 std::int64_t parity) {
+  if (k < 0 || std::size_t(k) >= pl_.mis.size()) return nullptr;
+  auto key = std::make_tuple(int(kind), k, pos, parity);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second.get();
+
+  ExprPtr iv;
+  switch (kind) {
+    case Kind::Iteration:
+      iv = iteration_iv(pos);
+      break;
+    case Kind::Kernel:
+      iv = build::var_plus(pl_.iv, pos * pl_.step);
+      break;
+    case Kind::EpilogueRel:
+      iv = build::var_plus(pl_.iv, pos * pl_.step);
+      break;
+  }
+  StmtPtr s = build(k, std::move(iv), parity);
+  const Stmt* raw = s.get();
+  cache_.emplace(key, std::move(s));
+  return raw;
+}
+
+StmtPtr InstanceBuilder::build(int k, ExprPtr iv_expr,
+                               std::int64_t parity) const {
+  StmtPtr s = pl_.mis[std::size_t(k)]->clone();
+  for (const RenamedScalar& r : pl_.renames) {
+    if (r.mode == RenameMode::MveCopies) {
+      if (pl_.unroll > 1 && parity >= 0 &&
+          std::size_t(parity) < r.copy_names.size())
+        rename_var(*s, r.name, r.copy_names[std::size_t(parity)]);
+    } else {
+      rewrite_exprs(*s, [&](ExprPtr& slot) {
+        if (const auto* v = dyn_cast<VarRef>(slot.get());
+            v != nullptr && v->name == r.name) {
+          slot = build::index(r.array_name, build::var(pl_.iv));
+        }
+      });
+    }
+  }
+  substitute_var(*s, pl_.iv, *iv_expr);
+  return s;
+}
+
+ExprPtr InstanceBuilder::iteration_iv(std::int64_t t) const {
+  if (pl_.bounds_are_constant())
+    return build::lit(*pl_.const_lower + t * pl_.step);
+  ExprPtr e = pl_.lower->clone();
+  if (t != 0) e = build::add(std::move(e), build::lit(t * pl_.step));
+  fold(e);
+  return e;
+}
+
+}  // namespace slc::verify

@@ -1,0 +1,87 @@
+// Internals shared by the verifier's translation units. Not installed;
+// include only from src/verify/*.cpp and the unit tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "ast/ast.hpp"
+#include "slms/placement.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::verify {
+
+/// Rebuilds, from placement metadata alone, the statement a *correct*
+/// pipeline must contain for MI `k` at a given iteration — mirroring the
+/// emitter's substitution rules (MVE copy by iteration parity, scalar
+/// expansion to `arr[iv]`, then loop-variable substitution with
+/// constant folding) without ever calling the emitter. The coverage
+/// checker compares emitted statements against these references, so a
+/// pipeliner bug cannot corrupt both sides of the comparison.
+class InstanceBuilder {
+ public:
+  explicit InstanceBuilder(const slms::LoopPlacement& pl) : pl_(pl) {}
+
+  /// Straight-line instance for absolute iteration t (prologue and the
+  /// constant-bound epilogue): iv is the literal lo + t*step, or the
+  /// folded `lower + t*step` for symbolic bounds. MVE parity is
+  /// t mod unroll (euclidean).
+  const ast::Stmt* at_iteration(int k, std::int64_t t);
+  /// Same, with a forced MVE parity (wrong-copy diagnosis); parity -1
+  /// means "no MVE rename applied".
+  const ast::Stmt* at_iteration_parity(int k, std::int64_t t,
+                                       std::int64_t parity);
+
+  /// Kernel-relative instance at iteration offset d from the round's
+  /// base: iv + d*step, parity d mod unroll.
+  const ast::Stmt* kernel_delta(int k, std::int64_t d);
+  const ast::Stmt* kernel_delta_parity(int k, std::int64_t d,
+                                       std::int64_t parity);
+
+  /// Symbolic-bound epilogue instance, relative to the kernel's exit iv:
+  /// iv + t_rel*step (symbolic emission implies unroll == 1, so parity
+  /// never applies).
+  const ast::Stmt* epilogue_rel(int k, std::int64_t t_rel);
+
+  [[nodiscard]] std::int64_t parity_of(std::int64_t t) const {
+    std::int64_t u = pl_.unroll;
+    return u > 1 ? ((t % u) + u) % u : -1;
+  }
+
+ private:
+  enum class Kind : int { Iteration, Kernel, EpilogueRel };
+
+  const ast::Stmt* get(Kind kind, int k, std::int64_t pos,
+                       std::int64_t parity);
+  [[nodiscard]] ast::StmtPtr build(int k, ast::ExprPtr iv_expr,
+                                   std::int64_t parity) const;
+  [[nodiscard]] ast::ExprPtr iteration_iv(std::int64_t t) const;
+
+  const slms::LoopPlacement& pl_;
+  std::map<std::tuple<int, int, std::int64_t, std::int64_t>, ast::StmtPtr>
+      cache_;
+};
+
+/// Placement metadata sanity: internally consistent sizes, a schedule
+/// whose stage count matches, rename tables shaped like the emitter
+/// requires, and renamed/planned scalars that really are renameable.
+/// Returns false when the metadata is too broken for the other checks
+/// to be meaningful.
+bool check_metadata(const slms::LoopPlacement& pl,
+                    DiagnosticEngine& diags);
+
+/// Dependence preservation: rebuild the DDG over the recorded MIs and
+/// check every edge — kept edges against the modulo-scheduling
+/// inequality, dropped (planned-scalar anti/output) edges against the
+/// rename tables that were supposed to neutralize them.
+void check_dependences(const slms::LoopPlacement& pl,
+                       DiagnosticEngine& diags);
+
+/// Structure, iteration-space coverage, renaming of emitted instances,
+/// live-out fixups, and emission order of the replacement block.
+void check_coverage(const slms::LoopPlacement& pl,
+                    const ast::BlockStmt& replacement,
+                    DiagnosticEngine& diags);
+
+}  // namespace slc::verify

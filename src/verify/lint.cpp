@@ -1,0 +1,37 @@
+#include "verify/lint.hpp"
+
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "verify/verify.hpp"
+
+namespace slc::verify {
+
+LintResult run_lint(const std::string& source, const LintOptions& options) {
+  LintResult res;
+  ast::Program program = frontend::parse_program(source, res.diags);
+  if (res.diags.has_errors()) {
+    res.parse_failed = true;
+    return res;
+  }
+
+  std::vector<slms::SlmsApplication> applications;
+  std::vector<slms::SlmsReport> reports =
+      slms::apply_slms(program, options.slms, &applications);
+  for (const slms::SlmsReport& r : reports) {
+    if (r.applied) {
+      ++res.loops_applied;
+    } else {
+      ++res.loops_skipped;
+      res.diags.note("slms-skip", {},
+                     "loop not pipelined — " + r.skip_reason);
+    }
+  }
+
+  VerifyOptions vopts;
+  vopts.check_bounds = options.check_bounds;
+  verify_transformed(program, applications, res.diags, vopts);
+  return res;
+}
+
+}  // namespace slc::verify

@@ -1,0 +1,34 @@
+// `slc --lint` — run SLMS on a source under the given options and
+// statically verify every applied loop, without executing anything.
+#pragma once
+
+#include <string>
+
+#include "slms/slms.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::verify {
+
+struct LintOptions {
+  /// Transform configuration to lint under (same knobs as `slc`).
+  slms::SlmsOptions slms;
+  /// Also run the whole-program static bounds check on the result.
+  bool check_bounds = true;
+};
+
+struct LintResult {
+  /// Everything reported: parse errors, per-loop skip notes
+  /// ("slms-skip"), and the verifier's findings.
+  DiagnosticEngine diags;
+  int loops_applied = 0;
+  int loops_skipped = 0;
+  bool parse_failed = false;
+
+  [[nodiscard]] bool clean() const { return !diags.has_errors(); }
+};
+
+/// Parses `source`, applies SLMS, and verifies the result statically.
+[[nodiscard]] LintResult run_lint(const std::string& source,
+                                  const LintOptions& options = {});
+
+}  // namespace slc::verify

@@ -1,0 +1,36 @@
+#include "verify/verify.hpp"
+
+#include "verify/internal.hpp"
+
+namespace slc::verify {
+
+bool verify_loop(const slms::LoopPlacement& placement,
+                 const ast::BlockStmt& replacement,
+                 DiagnosticEngine& diags) {
+  const std::size_t errs0 = diags.error_count();
+  if (check_metadata(placement, diags)) {
+    check_dependences(placement, diags);
+    check_coverage(placement, replacement, diags);
+  }
+  return diags.error_count() == errs0;
+}
+
+bool verify_transformed(const ast::Program& transformed,
+                        const std::vector<slms::SlmsApplication>& applications,
+                        DiagnosticEngine& diags,
+                        const VerifyOptions& options) {
+  const std::size_t errs0 = diags.error_count();
+  for (const slms::SlmsApplication& app : applications) {
+    if (!app.applied()) continue;
+    if (app.replacement == nullptr) {
+      diags.error(kStructure, {},
+                  "applied loop recorded no replacement block to verify");
+      continue;
+    }
+    verify_loop(*app.placement, *app.replacement, diags);
+  }
+  if (options.check_bounds) check_bounds(transformed, diags);
+  return diags.error_count() == errs0;
+}
+
+}  // namespace slc::verify

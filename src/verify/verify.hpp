@@ -1,0 +1,75 @@
+// Static SLMS legality verifier.
+//
+// Given the placement metadata a transform_loop run exported (the loop
+// parameters, MI list, modulo schedule, and rename tables — see
+// slms/placement.hpp) and the replacement AST it spliced in, this module
+// proves, without executing anything, that the pipelined code is a legal
+// reordering of the original loop:
+//
+//   1. Dependence preservation — the DDG of the original body is rebuilt
+//      and every flow/anti/output edge is checked against the modulo-
+//      scheduling inequality sigma(dst) - sigma(src) + II*d >= delay.
+//      Edges the driver dropped on the promise of renaming are
+//      re-justified from the rename tables instead of trusted.
+//   2. Iteration-space coverage — prologue instances, kernel rounds, and
+//      epilogue instances must execute every MI exactly once per source
+//      iteration in [lo, hi), in an order consistent with the schedule.
+//   3. Renaming soundness — MVE copy selection must follow iteration
+//      parity, live-out fixups must restore the copy the last iteration
+//      wrote, and renamed scalars must actually be renameable.
+//   4. Static bounds — subscripts whose value is provable (shifted
+//      prologue constants, constant-bound loop ranges) must stay inside
+//      the declared array extents.
+//
+// Violations are reported through the DiagnosticEngine with the stable
+// codes below; `slc --lint` and the driver's verify stage surface them.
+#pragma once
+
+#include "ast/ast.hpp"
+#include "slms/slms.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slc::verify {
+
+// Stable diagnostic codes (documented in DESIGN.md §10; CI greps them).
+inline constexpr const char* kDepViolation = "slms-dep-violation";
+inline constexpr const char* kDepUnknown = "slms-dep-unknown";
+inline constexpr const char* kIterCoverage = "slms-iter-coverage";
+inline constexpr const char* kRenameUndef = "slms-rename-undef";
+inline constexpr const char* kRenameClobber = "slms-rename-clobber";
+inline constexpr const char* kEmitOrder = "slms-emit-order";
+inline constexpr const char* kStructure = "slms-structure";
+inline constexpr const char* kOob = "slms-oob";
+
+struct VerifyOptions {
+  /// Also run the whole-program static bounds check (slms-oob).
+  bool check_bounds = true;
+};
+
+/// Checks one applied loop: placement metadata sanity, dependence
+/// preservation, iteration-space coverage, renaming soundness, and
+/// emission order. Appends diagnostics; returns true when no *error*
+/// was added (notes/warnings do not fail verification).
+bool verify_loop(const slms::LoopPlacement& placement,
+                 const ast::BlockStmt& replacement,
+                 DiagnosticEngine& diags);
+
+/// Verifies every applied loop recorded by apply_slms against the
+/// transformed program, then (optionally) bounds-checks the whole
+/// program. Returns true when no error was added.
+bool verify_transformed(const ast::Program& transformed,
+                        const std::vector<slms::SlmsApplication>& applications,
+                        DiagnosticEngine& diags,
+                        const VerifyOptions& options = {});
+
+/// Whole-program static array-bounds check. Flags subscripts that
+/// *provably* leave their array's declared extent (slms-oob): constant
+/// subscripts, and affine subscripts of constant-bound canonical loop
+/// counters, evaluated by interval arithmetic. Provable violations in
+/// conditionally-executed contexts are reported as warnings (the guard
+/// may never let them run); unconditional ones are errors. Never flags
+/// anything it cannot prove, so clean code stays clean.
+void check_bounds(const ast::Program& program,
+                  DiagnosticEngine& diags);
+
+}  // namespace slc::verify

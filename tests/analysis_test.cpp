@@ -4,6 +4,7 @@
 
 #include "analysis/access.hpp"
 #include "analysis/ddg.hpp"
+#include "analysis/direction.hpp"
 #include "analysis/linear_form.hpp"
 #include "ast/build.hpp"
 #include "tests/helpers.hpp"
@@ -242,6 +243,106 @@ TEST(Ddg, GuardReadsArePartOfTheGraph) {
     if (e.var == "c" && e.kind == DepKind::Flow && e.src == 0 && e.dst == 1)
       pred_flow = true;
   EXPECT_TRUE(pred_flow) << g.dump();
+}
+
+// ---------------------------------------------------------------------------
+// edge cases: negative strides, non-unit coefficients, symbolic bounds
+// ---------------------------------------------------------------------------
+
+ArrayAccess access_at(const char* stmt, std::size_t index = 0) {
+  static std::vector<StmtPtr> keep_alive;
+  keep_alive.push_back(parse_stmt_or_die(stmt));
+  auto set = collect_accesses(*keep_alive.back());
+  return set.arrays.at(index);
+}
+
+TEST(LinearForm, NonUnitCoefficientsDistribute) {
+  auto f = linearize(*parse_expr("3 * (2 * i - j) + 2 * i"));
+  EXPECT_TRUE(f.exact);
+  EXPECT_EQ(f.coeff_of("i"), 8);
+  EXPECT_EQ(f.coeff_of("j"), -3);
+  EXPECT_EQ(f.constant, 0);
+
+  f = linearize(*parse_expr("(i + 2) * 4 - 1"));
+  EXPECT_TRUE(f.exact);
+  EXPECT_EQ(f.coeff_of("i"), 4);
+  EXPECT_EQ(f.constant, 7);
+}
+
+TEST(LinearForm, SymbolicResidueComparison) {
+  // Symbolic bound terms like `n` must cancel only when identical.
+  auto a = linearize(*parse_expr("i + n - 1"));
+  auto b = linearize(*parse_expr("i + n"));
+  auto c = linearize(*parse_expr("i + m"));
+  EXPECT_TRUE(a.exact);
+  EXPECT_TRUE(a.same_residue(b, "i"));
+  EXPECT_FALSE(a.same_residue(c, "i"));
+  EXPECT_EQ(a.coeff_of("n"), 1);
+  EXPECT_EQ(a.constant, -1);
+}
+
+TEST(DepTest, NegativeStrideCarriedDistance) {
+  // Down-counting loop: iv visits lo, lo-1, ... so the cell A[i-1] is
+  // one the loop has NOT written yet — the write A[i] reaches it one
+  // iteration later. The flow direction of the up-counting stencil turns
+  // into a read-before-write (distance -1 from the write's viewpoint).
+  auto w = access_at("A[i] = 1.0;");
+  auto r = access_at("x = A[i - 1];");
+  DepTestResult res = test_dependence(w, r, "i", -1);
+  ASSERT_EQ(res.kind, DepTestResult::Kind::Distance);
+  EXPECT_EQ(res.distance, -1);
+
+  // From the read's viewpoint the write lands one iteration later.
+  res = test_dependence(r, w, "i", -1);
+  ASSERT_EQ(res.kind, DepTestResult::Kind::Distance);
+  EXPECT_EQ(res.distance, 1);
+}
+
+TEST(DepTest, NonUnitCoefficientWithWideStep) {
+  // Subscript advances coef*step = 4 per iteration; a lag of 4 elements
+  // is exactly one iteration.
+  auto w = access_at("A[2 * i] = 1.0;");
+  auto r = access_at("x = A[2 * i - 4];");
+  DepTestResult res = test_dependence(w, r, "i", 2);
+  ASSERT_EQ(res.kind, DepTestResult::Kind::Distance);
+  EXPECT_EQ(res.distance, 1);
+
+  // A lag that is not a multiple of coef*step can never collide.
+  auto r2 = access_at("x = A[2 * i - 3];");
+  EXPECT_EQ(test_dependence(w, r2, "i", 2).kind,
+            DepTestResult::Kind::Independent);
+}
+
+TEST(DepTest, SymbolicBoundResidueBlocksExactAnswer) {
+  // A[i] vs A[i + n]: the symbolic offset is loop-invariant but unknown,
+  // so the tester must refuse to produce an exact distance.
+  auto w = access_at("A[i] = 1.0;");
+  auto r = access_at("x = A[i + n];");
+  EXPECT_EQ(test_dependence(w, r, "i", 1).kind,
+            DepTestResult::Kind::Unknown);
+}
+
+TEST(DirectionVector, NegativeOuterStride) {
+  // Down-counting outer loop: the row a[i-1] is visited one outer
+  // iteration earlier, so the raw (unflipped) outer component is -1.
+  auto w = access_at("a[i][j] = 1.0;");
+  auto r = access_at("x = a[i - 1][j];");
+  auto v = direction_vector(w, r, "i", "j", -1, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->first.kind, DirComponent::Kind::Exact);
+  EXPECT_EQ(v->first.value, -1);
+  EXPECT_TRUE(v->second.exactly_zero());
+}
+
+TEST(DirectionVector, BothStridesNegativeFlipsBack) {
+  // (i+1, j-1) lag under (-1, -1) strides: outer -1, inner +1 in
+  // iteration space — lexicographically negative, so the flipped vector
+  // (+1, -1) blocks interchange exactly as in the positive-stride case.
+  auto w = access_at("a[i + 1][j - 1] = 1.0;");
+  auto r = access_at("x = a[i][j];");
+  auto v = direction_vector(w, r, "i", "j", -1, -1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(blocks_interchange(*v));
 }
 
 }  // namespace

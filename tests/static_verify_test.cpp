@@ -1,0 +1,330 @@
+// Static legality verifier (src/verify) tests.
+//
+// Four contracts are pinned down here:
+//   1. Zero false positives: every golden program — examples, the kernel
+//      registry, the fuzz corpus — lints clean under every renaming mode.
+//   2. Completeness on planted bugs: each `bug:<name>` miscompile is
+//      caught statically, with the expected stable diagnostic code.
+//   3. Tampered metadata is rejected: the verifier trusts nothing the
+//      placement record says without checking it.
+//   4. Static/runtime agreement: over a sweep of generated loops the
+//      static verdict and the interpreter oracle never disagree.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/generator.hpp"
+#include "kernels/kernels.hpp"
+#include "slms/slms.hpp"
+#include "support/fault.hpp"
+#include "verify/lint.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace slc;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+verify::LintOptions lint_options(slms::RenamingChoice renaming,
+                                 bool filter = false) {
+  verify::LintOptions o;
+  o.slms.renaming = renaming;
+  o.slms.enable_filter = filter;
+  return o;
+}
+
+const std::vector<slms::RenamingChoice> kAllRenamings = {
+    slms::RenamingChoice::Mve, slms::RenamingChoice::ScalarExpansion,
+    slms::RenamingChoice::None};
+
+/// Arms one planted bug for the duration of a test body.
+class PlantedBug {
+ public:
+  explicit PlantedBug(const std::string& name) {
+    std::string error;
+    EXPECT_TRUE(support::fault::configure("bug:" + name, &error)) << error;
+  }
+  ~PlantedBug() { support::fault::clear(); }
+};
+
+// --- 1. zero false positives on golden programs --------------------------
+
+TEST(StaticVerify, KernelRegistryLintsClean) {
+  for (const kernels::Kernel& k : kernels::all_kernels()) {
+    for (slms::RenamingChoice renaming : kAllRenamings) {
+      verify::LintResult res = verify::run_lint(k.source, lint_options(renaming));
+      EXPECT_TRUE(res.clean())
+          << k.name << ": " << res.diags.str(Severity::Error);
+    }
+  }
+}
+
+TEST(StaticVerify, ExamplesAndCorpusLintClean) {
+  for (const char* dir : {SLC_EXAMPLES_DIR, SLC_CORPUS_DIR}) {
+    int seen = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() != ".c") continue;
+      ++seen;
+      std::string source = read_file(entry.path());
+      for (slms::RenamingChoice renaming : kAllRenamings) {
+        verify::LintResult res =
+            verify::run_lint(source, lint_options(renaming));
+        EXPECT_TRUE(res.clean()) << entry.path().filename() << ": "
+                                 << res.diags.str(Severity::Error);
+      }
+    }
+    EXPECT_GT(seen, 0) << "no .c files under " << dir;
+  }
+}
+
+// --- 2. every planted miscompile is caught, with its stable code ---------
+
+std::string clobber_source() {
+  return read_file(std::filesystem::path(SLC_EXAMPLES_DIR) /
+                   "lint_clobber.c");
+}
+std::string oob_source() {
+  return read_file(std::filesystem::path(SLC_EXAMPLES_DIR) / "lint_oob.c");
+}
+
+void expect_caught(const std::string& bug, const std::string& source,
+                   const char* code) {
+  PlantedBug armed(bug);
+  verify::LintResult res =
+      verify::run_lint(source, lint_options(slms::RenamingChoice::Mve));
+  EXPECT_GT(res.loops_applied, 0) << bug;
+  EXPECT_FALSE(res.clean()) << bug << ": miscompile not caught statically";
+  EXPECT_TRUE(res.diags.has_code(code))
+      << bug << ": expected " << code << ", got\n"
+      << res.diags.str(Severity::Error);
+}
+
+TEST(StaticVerify, CatchesMveSkipRename) {
+  expect_caught("mve-skip-rename", clobber_source(),
+                verify::kDepViolation);
+}
+TEST(StaticVerify, CatchesSchedSigmaSkew) {
+  expect_caught("sched-sigma-skew", clobber_source(),
+                verify::kDepViolation);
+}
+TEST(StaticVerify, CatchesKernelRunOver) {
+  expect_caught("kernel-run-over", clobber_source(), verify::kIterCoverage);
+}
+TEST(StaticVerify, CatchesPrologueDrop) {
+  expect_caught("prologue-drop", clobber_source(), verify::kIterCoverage);
+}
+TEST(StaticVerify, CatchesFixupStaleCopy) {
+  expect_caught("fixup-stale-copy", clobber_source(), verify::kRenameUndef);
+}
+TEST(StaticVerify, CatchesPrologueEarlyIv) {
+  expect_caught("prologue-early-iv", oob_source(), verify::kIterCoverage);
+  {
+    // The shifted prologue also reads B[-1]; the bounds checker must
+    // prove it without running anything.
+    PlantedBug armed("prologue-early-iv");
+    verify::LintResult res = verify::run_lint(
+        oob_source(), lint_options(slms::RenamingChoice::Mve));
+    EXPECT_TRUE(res.diags.has_code(verify::kOob))
+        << res.diags.str(Severity::Error);
+  }
+}
+
+// --- 3. tampered placement metadata ---------------------------------------
+
+struct AppliedLoop {
+  ast::Program program;
+  std::vector<slms::SlmsApplication> applications;
+};
+
+AppliedLoop transform_clobber() {
+  AppliedLoop out;
+  DiagnosticEngine diags;
+  out.program = frontend::parse_program(clobber_source(), diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  slms::SlmsOptions opts;
+  opts.enable_filter = false;
+  slms::apply_slms(out.program, opts, &out.applications);
+  EXPECT_EQ(out.applications.size(), 1u);
+  EXPECT_TRUE(out.applications.front().applied());
+  return out;
+}
+
+bool verify_app(const AppliedLoop& loop, DiagnosticEngine& diags) {
+  const slms::SlmsApplication& app = loop.applications.front();
+  return verify::verify_loop(*app.placement, *app.replacement, diags);
+}
+
+TEST(StaticVerify, UntamperedPlacementVerifies) {
+  AppliedLoop loop = transform_clobber();
+  DiagnosticEngine diags;
+  EXPECT_TRUE(verify_app(loop, diags)) << diags.str(Severity::Error);
+}
+
+TEST(StaticVerify, TamperedIiIsRejected) {
+  AppliedLoop loop = transform_clobber();
+  loop.applications.front().placement->ii = 0;
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_app(loop, diags));
+  EXPECT_TRUE(diags.has_code(verify::kStructure)) << diags.str();
+}
+
+TEST(StaticVerify, TamperedStageCountIsRejected) {
+  AppliedLoop loop = transform_clobber();
+  loop.applications.front().placement->stages += 1;
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_app(loop, diags));
+  EXPECT_TRUE(diags.has_code(verify::kStructure)) << diags.str();
+}
+
+TEST(StaticVerify, TamperedSigmaIsRejected) {
+  AppliedLoop loop = transform_clobber();
+  // Swap two MIs' slots: the recorded schedule no longer matches the
+  // emitted pipeline, so dependences and/or coverage must complain.
+  auto& sigma = loop.applications.front().placement->sigma;
+  ASSERT_GE(sigma.size(), 2u);
+  std::swap(sigma.front(), sigma.back());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_app(loop, diags));
+}
+
+TEST(StaticVerify, DroppedRenameTableIsRejected) {
+  AppliedLoop loop = transform_clobber();
+  // Claim no renames happened while `planned` still lists the scalar:
+  // the emitted copies no longer match the expected instances.
+  loop.applications.front().placement->renames.clear();
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_app(loop, diags));
+}
+
+TEST(StaticVerify, MissingReplacementIsRejected) {
+  AppliedLoop loop = transform_clobber();
+  loop.applications.front().replacement = nullptr;
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify::verify_transformed(loop.program, loop.applications,
+                                          diags));
+  EXPECT_TRUE(diags.has_code(verify::kStructure)) << diags.str();
+}
+
+// --- 4. static bounds checker ---------------------------------------------
+
+int bounds_errors(const std::string& source, int* warnings = nullptr) {
+  DiagnosticEngine diags;
+  ast::Program program = frontend::parse_program(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  verify::check_bounds(program, diags);
+  if (warnings != nullptr)
+    *warnings = int(diags.count(Severity::Warning)) -
+                int(diags.error_count());
+  return int(diags.error_count());
+}
+
+TEST(StaticBounds, FlagsProvableOverrun) {
+  EXPECT_GE(bounds_errors("double A[10];\n"
+                          "int i;\n"
+                          "for (i = 0; i < 20; i++) { A[i] = 1.0; }\n"),
+            1);
+}
+
+TEST(StaticBounds, FlagsNegativeConstantIndex) {
+  EXPECT_GE(bounds_errors("double A[10];\nA[0 - 1] = 1.0;\n"), 1);
+}
+
+TEST(StaticBounds, FlagsShiftedSubscriptUnderrun) {
+  EXPECT_GE(bounds_errors("double A[10];\n"
+                          "int i;\n"
+                          "for (i = 0; i < 5; i++) { A[i - 2] = 1.0; }\n"),
+            1);
+}
+
+TEST(StaticBounds, CleanLoopIsSilent) {
+  int warnings = 0;
+  EXPECT_EQ(bounds_errors("double A[10];\n"
+                          "int i;\n"
+                          "for (i = 2; i < 10; i++) { A[i - 2] = 1.0; }\n",
+                          &warnings),
+            0);
+  EXPECT_EQ(warnings, 0);
+}
+
+TEST(StaticBounds, GuardedAccessOnlyWarns) {
+  int warnings = 0;
+  EXPECT_EQ(bounds_errors("double A[10];\n"
+                          "int i;\n"
+                          "for (i = 0; i < 20; i++) {\n"
+                          "  if (i < 10) { A[i] = 1.0; }\n"
+                          "}\n",
+                          &warnings),
+            0);
+  EXPECT_GE(warnings, 1);
+}
+
+TEST(StaticBounds, LoopWithBreakOnlyWarns) {
+  int warnings = 0;
+  EXPECT_EQ(bounds_errors("double A[10];\n"
+                          "int i;\n"
+                          "for (i = 0; i < 20; i++) {\n"
+                          "  A[i] = 1.0;\n"
+                          "  if (i > 3) { break; }\n"
+                          "}\n",
+                          &warnings),
+            0);
+  EXPECT_GE(warnings, 1);
+}
+
+TEST(StaticBounds, SymbolicSubscriptIsSkipped) {
+  // n is unbounded — nothing provable, so nothing reported.
+  int warnings = 0;
+  EXPECT_EQ(bounds_errors("double A[10];\nint n;\nA[n] = 1.0;\n", &warnings),
+            0);
+  EXPECT_EQ(warnings, 0);
+}
+
+// --- 5. static/runtime agreement ------------------------------------------
+
+TEST(StaticVerify, AgreesWithOracleOnGeneratedLoops) {
+  fuzz::DiffOptions diff;
+  diff.check_backends = false;
+  diff.check_static = true;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    fuzz::LoopGenerator gen{seed, {}};
+    fuzz::DiffVerdict verdict = fuzz::differential_check(gen.generate(), diff);
+    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.str();
+  }
+}
+
+// --- 6. lint surface -------------------------------------------------------
+
+TEST(Lint, ParseFailureIsReported) {
+  verify::LintResult res = verify::run_lint("for (;;", {});
+  EXPECT_TRUE(res.parse_failed);
+  EXPECT_FALSE(res.clean());
+}
+
+TEST(Lint, SkippedLoopsAreNoted) {
+  // A loop the canonicalizer refuses (non-unit guard structure) still
+  // lints clean, with a skip note instead of silence.
+  verify::LintOptions opts;
+  opts.slms.enable_filter = true;
+  verify::LintResult res = verify::run_lint(
+      "double A[64];\ndouble B[64];\nint i;\n"
+      "for (i = 0; i < 60; i++) { A[i] = B[i]; }\n",
+      opts);
+  EXPECT_TRUE(res.clean()) << res.diags.str(Severity::Error);
+  EXPECT_EQ(res.loops_applied + res.loops_skipped, 1);
+  if (res.loops_skipped == 1)
+    EXPECT_TRUE(res.diags.has_code("slms-skip"));
+}
+
+}  // namespace

@@ -25,6 +25,10 @@
 //     --report               print the per-loop SLMS report
 //
 //   verification / measurement:
+//     --lint                 static legality check: re-run SLMS, verify
+//                            dependence preservation, iteration coverage,
+//                            renaming, and provable bounds — no execution
+//     --diag-json            emit diagnostics as a JSON array on stdout
 //     --verify               interpreter-oracle equivalence check
 //     --measure=BACKEND      gcc-o0 | gcc-o3 | icc | xlc | pentium | arm
 //     --seed=N               memory-image seed (default 0)
@@ -80,6 +84,7 @@
 #include "support/json.hpp"
 #include "support/subprocess.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/lint.hpp"
 
 namespace {
 
@@ -95,6 +100,8 @@ struct CliOptions {
   bool explain = false;
   bool report = false;
   bool verify = false;
+  bool lint = false;       // static legality check instead of emission
+  bool diag_json = false;  // machine-readable diagnostics on stdout
   std::string measure;  // backend name or empty
   std::uint64_t seed = 0;
   std::string input;
@@ -197,7 +204,8 @@ int usage(const char* argv0 = "slc") {
             << "       [--max-unroll=N] [--no-eager-mve] [--max-ii=N]\n"
             << "       [--emit-source] [--plain] [--emit-mir] [--explain] "
                "[--report]\n"
-            << "       [--verify] [--measure=BACKEND] [--seed=N]\n"
+            << "       [--lint] [--diag-json] [--verify] "
+               "[--measure=BACKEND] [--seed=N]\n"
             << "       [--suite=NAME] [--jobs=N] [--deadline-ms=N]\n"
             << "       [--max-steps=N] [--fault=SPEC]\n"
             << "       [--isolate[=SHARD]] [--journal=PATH] [--resume]\n"
@@ -272,6 +280,10 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.report = true;
     } else if (arg == "--verify") {
       opts.verify = true;
+    } else if (arg == "--lint") {
+      opts.lint = true;
+    } else if (arg == "--diag-json") {
+      opts.diag_json = true;
     } else if (arg.starts_with("--measure=")) {
       opts.measure = value_of("--measure=");
     } else if (arg.starts_with("--seed=")) {
@@ -670,6 +682,24 @@ int run_cli(const CliOptions& opts) {
   std::string input_name = !opts.kernel.empty()
                                ? "<kernel:" + opts.kernel + ">"
                                : (opts.input == "-" ? "<stdin>" : opts.input);
+
+  if (opts.lint) {
+    verify::LintOptions lopts;
+    lopts.slms = opts.slms;
+    verify::LintResult res = verify::run_lint(source, lopts);
+    if (opts.diag_json) {
+      std::cout << res.diags.to_json().dump() << "\n";
+      return res.clean() ? 0 : 1;
+    }
+    if (res.parse_failed) return report_errors(input_name, res.diags);
+    std::string block = res.diags.str(Severity::Warning);
+    if (!block.empty()) std::cerr << block;
+    std::cerr << "lint: " << input_name << ": " << res.loops_applied
+              << " loop(s) pipelined, " << res.loops_skipped
+              << " skipped, " << res.diags.error_count() << " error(s)\n";
+    return res.clean() ? 0 : 1;
+  }
+
   DiagnosticEngine diags;
   ast::Program original = frontend::parse_program(source, diags);
   if (diags.has_errors()) return report_errors(input_name, diags);

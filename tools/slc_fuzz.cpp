@@ -14,6 +14,12 @@
 //     --corpus=DIR      write shrunk repros here        (default: none)
 //     --no-shrink       archive the unshrunk program
 //     --no-backends     skip the simulator cross-check (oracle only)
+//     --check-static    cross-check the static legality verifier against
+//                       the oracle: any disagreement (a miscompile the
+//                       verifier misses, or a verifier rejection of a
+//                       program the oracle accepts) fails the run, and
+//                       the verifier's JSON diagnostics are archived in
+//                       a .diag.json sidecar beside the repro
 //     --2d              also generate M[i+c][k] references
 //     --symbolic        use symbolic loop bounds
 //     --fault=SPEC      arm fault injection / planted bugs (SLC_FAULT
@@ -46,6 +52,7 @@ struct FuzzCli {
   std::string corpus_dir;
   bool shrink = true;
   bool backends = true;
+  bool check_static = false;
   bool gen_2d = false;
   bool symbolic = false;
   bool quiet = false;
@@ -54,7 +61,8 @@ struct FuzzCli {
 int usage() {
   std::cerr << "usage: slc_fuzz [--seed=N] [--count=M] [--time-budget=S]\n"
             << "                [--corpus=DIR] [--no-shrink] [--no-backends]\n"
-            << "                [--2d] [--symbolic] [--fault=SPEC] [--quiet]\n";
+            << "                [--check-static] [--2d] [--symbolic]\n"
+            << "                [--fault=SPEC] [--quiet]\n";
   return 2;
 }
 
@@ -90,6 +98,12 @@ std::string write_repro(const std::string& dir, std::uint64_t seed,
       << seed << " variant=" << verdict.variant_label << "\n"
       << "// failure: " << sanitize_one_line(verdict.failure.brief())
       << "\n" << source;
+  if (!verdict.static_diags.empty()) {
+    std::filesystem::path sidecar = path;
+    sidecar.replace_extension(".diag.json");
+    std::ofstream side(sidecar);
+    side << verdict.static_diags << "\n";
+  }
   return path.string();
 }
 
@@ -116,6 +130,8 @@ int main(int argc, char** argv) {
       cli.shrink = false;
     } else if (arg == "--no-backends") {
       cli.backends = false;
+    } else if (arg == "--check-static") {
+      cli.check_static = true;
     } else if (arg == "--2d") {
       cli.gen_2d = true;
     } else if (arg == "--symbolic") {
@@ -140,6 +156,7 @@ int main(int argc, char** argv) {
 
   fuzz::DiffOptions diff;
   diff.check_backends = cli.backends;
+  diff.check_static = cli.check_static;
 
   fuzz::LoopGenOptions gen_opts;
   gen_opts.allow_2d = cli.gen_2d;
