@@ -7,9 +7,14 @@
 //   2. compare_suite wall-clock over the Livermore suite on the weak
 //      -O3 backend at --jobs 1 vs --jobs N (cold transform cache each
 //      time), plus a warm-cache rerun;
+//   3. native-oracle throughput (kernels/sec, interp vs dlopen'd native
+//      code on a warm codegen cache) plus the cache's cold-vs-warm wall
+//      clock and hit rate — asserting warm < cold when a host compiler
+//      exists;
 //
 // and asserts that jobs=1 and jobs=N produce identical comparison rows.
-// Emits one machine-readable line starting with `BENCH_harness.json `.
+// Emits machine-readable lines starting with `BENCH_harness.json ` and
+// `BENCH_native_oracle.json `.
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -21,6 +26,8 @@
 #include "frontend/parser.hpp"
 #include "interp/interp.hpp"
 #include "kernels/kernels.hpp"
+#include "native/cache.hpp"
+#include "native/oracle.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -151,5 +158,80 @@ int main(int argc, char** argv) {
       (unsigned long long)wall_warm, warm_speedup,
       (unsigned long long)cache.hits, (unsigned long long)cache.misses,
       deterministic && warm_deterministic ? "true" : "false");
-  return deterministic && warm_deterministic ? 0 : 1;
+
+  // -- 3. native oracle: kernels/sec interp vs dlopen'd code ----------------
+  // Cold sweep compiles every kernel through the codegen cache; the warm
+  // sweep must be strictly faster (compilation amortized away), and the
+  // throughput ratio is measured against the slot-store interpreter on
+  // the exact subset of kernels the native backend accepts.
+  bool native_avail = native::native_available();
+  bool cache_ok = true;
+  double per_sec_native = 0.0, native_speedup = 0.0, hit_rate = 0.0;
+  std::uint64_t cold_ns = 0, warm_sweep_ns = 0;
+  std::size_t native_kernels = 0;
+  if (native_avail) {
+    interp::InterpOptions iopts;
+    native::CodegenCache::instance().reset_stats();
+    std::vector<const ast::Program*> native_programs;
+    auto cold_start = Clock::now();
+    for (const ast::Program& p : programs) {
+      native::NativeRun r = native::run_native(p, 0, iopts);
+      if (r.attempted && r.result.ok) native_programs.push_back(&p);
+    }
+    cold_ns = elapsed_ns(cold_start);
+    native_kernels = native_programs.size();
+
+    auto warm_start = Clock::now();
+    for (const ast::Program* p : native_programs)
+      (void)native::run_native(*p, 0, iopts);
+    warm_sweep_ns = elapsed_ns(warm_start);
+
+    // Steady-state throughput: codegen + compile + fills amortized via
+    // NativeExecutable, each run() still restoring fresh inputs and
+    // producing a full memory image (the oracle's actual contract).
+    std::vector<std::unique_ptr<native::NativeExecutable>> prepared;
+    for (const ast::Program* p : native_programs) {
+      auto exe = native::NativeExecutable::prepare(*p, 0, iopts);
+      if (exe != nullptr) prepared.push_back(std::move(exe));
+    }
+    std::uint64_t native_runs = 0, ns = 0;
+    auto rate_start = Clock::now();
+    while (ns < 1'000'000'000ULL && native_runs < 10'000'000) {
+      for (auto& exe : prepared)
+        if (!exe->run().ok) {
+          std::fprintf(stderr, "native run failed\n");
+          return 1;
+        }
+      native_runs += prepared.size();
+      ns = elapsed_ns(rate_start);
+    }
+    per_sec_native = ns > 0 ? double(native_runs) / (double(ns) / 1e9) : 0.0;
+
+    std::vector<ast::Program> subset;
+    for (const ast::Program* p : native_programs) subset.push_back(p->clone());
+    double per_sec_interp = interp_rate(subset, /*resolve_slots=*/true);
+    native_speedup =
+        per_sec_interp > 0 ? per_sec_native / per_sec_interp : 0.0;
+    hit_rate = native::CodegenCache::instance().stats().hit_rate();
+    cache_ok = warm_sweep_ns < cold_ns;
+    std::printf("native oracle: %.0f kernels/s interp vs %.0f kernels/s "
+                "native (%.1fx) over %zu/%zu kernels; codegen cache cold "
+                "%.1f ms vs warm %.2f ms, hit rate %.0f%%%s\n",
+                per_sec_interp, per_sec_native, native_speedup,
+                native_kernels, programs.size(), double(cold_ns) / 1e6,
+                double(warm_sweep_ns) / 1e6, hit_rate * 100.0,
+                cache_ok ? "" : " — WARM SLOWER THAN COLD (BUG)");
+  } else {
+    std::printf("native oracle: skipped — no host C compiler detected\n");
+  }
+  std::printf(
+      "BENCH_native_oracle.json {\"available\":%s,"
+      "\"oracle_interp\":{\"kernels_per_sec\":%.1f,\"cache_hit_rate\":null},"
+      "\"oracle_native\":{\"kernels_per_sec\":%.1f,\"cache_hit_rate\":%.3f},"
+      "\"native_speedup\":%.3f,\"native_kernels\":%zu,"
+      "\"cold_sweep_ns\":%llu,\"warm_sweep_ns\":%llu}\n",
+      native_avail ? "true" : "false", per_sec_slot, per_sec_native,
+      hit_rate, native_speedup, native_kernels,
+      (unsigned long long)cold_ns, (unsigned long long)warm_sweep_ns);
+  return deterministic && warm_deterministic && cache_ok ? 0 : 1;
 }

@@ -1,0 +1,320 @@
+#include "driver/calibrate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "driver/pipeline.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/lower.hpp"
+#include "native/cache.hpp"
+#include "native/oracle.hpp"
+#include "sim/executor.hpp"
+#include "slms/slms.hpp"
+
+namespace slc::driver {
+
+namespace {
+
+enum Class { kMem, kAlu, kFpu, kDiv, kCall, kNumClasses };
+
+Class class_of(const machine::MInst& inst) {
+  using machine::Op;
+  switch (inst.op) {
+    case Op::Load:
+    case Op::Store:
+      return kMem;
+    case Op::Div:
+    case Op::Mod:
+    case Op::FDiv:
+      return kDiv;
+    case Op::FAdd:
+    case Op::FSub:
+    case Op::FMul:
+    case Op::FNeg:
+      return kFpu;
+    case Op::Call:
+      return kCall;
+    default:
+      return kAlu;
+  }
+}
+
+void count_block(const std::vector<machine::MInst>& insts,
+                 std::array<std::uint64_t, kNumClasses>& counts,
+                 std::uint64_t weight) {
+  for (const machine::MInst& inst : insts)
+    counts[class_of(inst)] += weight;
+}
+
+bool has_inner_loop(const std::vector<machine::Region>& regions) {
+  for (const machine::Region& r : regions) {
+    if (r.kind == machine::Region::Kind::Loop) return true;
+    if (r.kind == machine::Region::Kind::Cond &&
+        (has_inner_loop(r.cond->then_regions) ||
+         has_inner_loop(r.cond->else_regions)))
+      return true;
+  }
+  return false;
+}
+
+/// Dynamic opcode-class estimate: innermost loop bodies weighted by the
+/// simulator's measured trip counts (LoopStat order matches innermost
+/// pre-order), everything else counted once.
+void count_regions(const std::vector<machine::Region>& regions,
+                   const std::vector<sim::LoopStat>& loops,
+                   std::size_t& loop_idx,
+                   std::array<std::uint64_t, kNumClasses>& counts) {
+  for (const machine::Region& r : regions) {
+    switch (r.kind) {
+      case machine::Region::Kind::Block:
+        count_block(r.insts, counts, 1);
+        break;
+      case machine::Region::Kind::Cond:
+        count_block(r.cond->pred, counts, 1);
+        count_regions(r.cond->then_regions, loops, loop_idx, counts);
+        count_regions(r.cond->else_regions, loops, loop_idx, counts);
+        break;
+      case machine::Region::Kind::Loop: {
+        count_block(r.loop->init, counts, 1);
+        if (has_inner_loop(r.loop->body)) {
+          count_regions(r.loop->body, loops, loop_idx, counts);
+          break;
+        }
+        std::uint64_t iters = 1;
+        if (loop_idx < loops.size()) iters = loops[loop_idx].iterations;
+        ++loop_idx;
+        count_block(r.loop->cond, counts, iters);
+        count_block(r.loop->step, counts, iters);
+        for (const machine::Region& b : r.loop->body)
+          if (b.kind == machine::Region::Kind::Block)
+            count_block(b.insts, counts, iters);
+        break;
+      }
+    }
+  }
+}
+
+/// Projected-gradient NNLS: min ||A w - t||^2, w >= 0. Fixed iteration
+/// count and step size derived from the data — deterministic.
+std::array<double, kNumClasses> fit_nnls(
+    const std::vector<std::array<double, kNumClasses>>& a,
+    const std::vector<double>& t) {
+  std::array<double, kNumClasses> w{};
+  w.fill(0.0);
+  if (a.empty()) return w;
+  double scale = 0.0;
+  for (const auto& row : a)
+    for (double v : row) scale = std::max(scale, v);
+  if (scale <= 0.0) return w;
+  double lipschitz = 0.0;
+  for (const auto& row : a) {
+    double norm = 0.0;
+    for (double v : row) norm += (v / scale) * (v / scale);
+    lipschitz += norm;
+  }
+  if (lipschitz <= 0.0) return w;
+  double step = 1.0 / (2.0 * lipschitz);
+  for (int it = 0; it < 5000; ++it) {
+    std::array<double, kNumClasses> grad{};
+    grad.fill(0.0);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      double pred = 0.0;
+      for (int c = 0; c < kNumClasses; ++c) pred += (a[k][c] / scale) * w[c];
+      double resid = pred - t[k];
+      for (int c = 0; c < kNumClasses; ++c)
+        grad[c] += 2.0 * resid * (a[k][c] / scale);
+    }
+    for (int c = 0; c < kNumClasses; ++c)
+      w[c] = std::max(0.0, w[c] - step * grad[c]);
+  }
+  // Undo the column scaling: fitted weights are per *scaled* count.
+  for (double& v : w) v /= scale;
+  return w;
+}
+
+}  // namespace
+
+CalibrationReport calibrate(const CalibrateOptions& options) {
+  CalibrationReport report;
+  report.native_available = native::native_available();
+  report.compiler_signature =
+      native::CodegenCache::instance().compiler_signature();
+
+  std::vector<kernels::Kernel> kernel_list =
+      options.suite == "all" ? kernels::all_kernels()
+                             : kernels::suite(options.suite);
+
+  struct PerKernel {
+    ast::Program original;
+    ast::Program transformed;
+    bool applied = false;
+  };
+  std::vector<PerKernel> programs;
+  programs.reserve(kernel_list.size());
+
+  for (const kernels::Kernel& k : kernel_list) {
+    DiagnosticEngine diags;
+    ast::Program original = frontend::parse_program(k.source, diags);
+    if (diags.has_errors()) continue;
+
+    PerKernel pk;
+    pk.transformed = original.clone();
+    std::vector<slms::SlmsReport> reports =
+        slms::apply_slms(pk.transformed, slms::SlmsOptions{});
+    for (const slms::SlmsReport& r : reports) pk.applied |= r.applied;
+    pk.original = std::move(original);
+
+    CalibrationRow row;
+    row.kernel = k.name;
+    row.slms_applied = pk.applied;
+    if (report.native_available) {
+      interp::InterpOptions iopts;
+      row.native_base_ns = native::time_native_ns(pk.original, options.seed,
+                                                  iopts, options.repeats);
+      if (pk.applied)
+        row.native_slms_ns = native::time_native_ns(
+            pk.transformed, options.seed, iopts, options.repeats);
+    }
+
+    // Dynamic opcode-class histogram of the original program.
+    DiagnosticEngine lower_diags;
+    machine::MirProgram mir =
+        machine::lower(pk.original, lower_diags, machine::LowerOptions{});
+    if (!lower_diags.has_errors()) {
+      sim::SimOptions so;
+      so.preset = sim::CompilerPreset::Sequential;
+      so.seed = options.seed;
+      sim::SimResult sr =
+          sim::simulate(mir, machine::itanium2_model(), so);
+      if (sr.ok) {
+        std::array<std::uint64_t, kNumClasses> counts{};
+        counts.fill(0);
+        std::size_t loop_idx = 0;
+        count_regions(mir.regions, sr.loops, loop_idx, counts);
+        row.n_mem = counts[kMem];
+        row.n_alu = counts[kAlu];
+        row.n_fpu = counts[kFpu];
+        row.n_div = counts[kDiv];
+        row.n_call = counts[kCall];
+      }
+    }
+    report.rows.push_back(std::move(row));
+    programs.push_back(std::move(pk));
+  }
+
+  // ---- per-opcode-class latency fit (native rows only) ----
+  std::vector<std::array<double, kNumClasses>> a;
+  std::vector<double> t;
+  for (const CalibrationRow& row : report.rows) {
+    if (row.native_base_ns == 0) continue;
+    a.push_back({double(row.n_mem), double(row.n_alu), double(row.n_fpu),
+                 double(row.n_div), double(row.n_call)});
+    t.push_back(double(row.native_base_ns));
+  }
+  if (!a.empty()) {
+    std::array<double, kNumClasses> w = fit_nnls(a, t);
+    report.fit.mem_ns = w[kMem];
+    report.fit.alu_ns = w[kAlu];
+    report.fit.fpu_ns = w[kFpu];
+    report.fit.div_ns = w[kDiv];
+    report.fit.call_ns = w[kCall];
+    double err = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      double pred = 0.0;
+      for (int c = 0; c < kNumClasses; ++c) pred += a[k][c] * w[c];
+      if (t[k] > 0.0) err += std::fabs(pred - t[k]) / t[k];
+    }
+    report.fit.mean_abs_rel_error = err / double(a.size());
+  }
+
+  // ---- per-preset divergence: simulated vs native SLMS speedups ----
+  std::vector<Backend> presets = {weak_compiler_o3(), strong_compiler_icc(),
+                                  superscalar_gcc(), arm_gcc()};
+  for (const Backend& backend : presets) {
+    PresetDivergence d;
+    d.backend = backend.label;
+    double sim_sum = 0.0, nat_sum = 0.0, div_sum = 0.0;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      const PerKernel& pk = programs[i];
+      const CalibrationRow& row = report.rows[i];
+      if (!pk.applied || row.native_base_ns == 0 || row.native_slms_ns == 0)
+        continue;
+      Measurement base =
+          measure_program(pk.original, backend, options.seed);
+      Measurement slms =
+          measure_program(pk.transformed, backend, options.seed);
+      if (!base.ok || !slms.ok || slms.cycles == 0) continue;
+      double sim_speedup = double(base.cycles) / double(slms.cycles);
+      double nat_speedup =
+          double(row.native_base_ns) / double(row.native_slms_ns);
+      if (nat_speedup <= 0.0) continue;
+      sim_sum += sim_speedup;
+      nat_sum += nat_speedup;
+      div_sum += std::fabs(sim_speedup / nat_speedup - 1.0);
+      ++d.rows;
+    }
+    if (d.rows > 0) {
+      d.mean_sim_speedup = sim_sum / d.rows;
+      d.mean_native_speedup = nat_sum / d.rows;
+      d.mean_abs_divergence = div_sum / d.rows;
+    }
+    report.presets.push_back(d);
+  }
+
+  // ---- human-readable report ----
+  std::ostringstream os;
+  os << "== cost-model calibration (suite: " << options.suite << ") ==\n";
+  if (!report.native_available) {
+    os << "native backend unavailable (no host C compiler) — native "
+          "columns are empty\n";
+  } else {
+    os << "host compiler: " << report.compiler_signature << "\n";
+  }
+  {
+    TablePrinter tp({"kernel", "slms", "native base (us)", "native slms (us)",
+                     "mem", "alu", "fpu", "div"});
+    for (const CalibrationRow& row : report.rows) {
+      std::ostringstream b, s;
+      b.precision(1);
+      s.precision(1);
+      b << std::fixed << double(row.native_base_ns) / 1000.0;
+      s << std::fixed << double(row.native_slms_ns) / 1000.0;
+      tp.row({row.kernel, row.slms_applied ? "yes" : "no", b.str(), s.str(),
+              std::to_string(row.n_mem), std::to_string(row.n_alu),
+              std::to_string(row.n_fpu), std::to_string(row.n_div)});
+    }
+    os << tp.str();
+  }
+  {
+    std::ostringstream fit;
+    fit.precision(3);
+    fit << std::fixed << "fitted ns/op: mem=" << report.fit.mem_ns
+        << " alu=" << report.fit.alu_ns << " fpu=" << report.fit.fpu_ns
+        << " div=" << report.fit.div_ns << " call=" << report.fit.call_ns
+        << " (mean |rel err| " << report.fit.mean_abs_rel_error << ")\n";
+    os << fit.str();
+  }
+  {
+    TablePrinter tp({"preset", "rows", "mean sim speedup",
+                     "mean native speedup", "mean |divergence|"});
+    for (const PresetDivergence& d : report.presets) {
+      std::ostringstream a1, a2, a3;
+      a1.precision(2);
+      a2.precision(2);
+      a3.precision(2);
+      a1 << std::fixed << d.mean_sim_speedup;
+      a2 << std::fixed << d.mean_native_speedup;
+      a3 << std::fixed << d.mean_abs_divergence;
+      tp.row({d.backend, std::to_string(d.rows), a1.str(), a2.str(),
+              a3.str()});
+    }
+    os << tp.str();
+  }
+  report.table = os.str();
+  return report;
+}
+
+}  // namespace slc::driver

@@ -1,0 +1,72 @@
+// Cost-model calibration (`slc --calibrate`): run each kernel *natively*
+// through the src/native backend — original and SLMS-pipelined — time it
+// with clock_gettime, fit per-opcode-class nanosecond costs to the
+// measurements, and report how far each simulated machine preset's
+// speedup predictions diverge from measured native speedups.
+//
+// The point (after Arslan et al.'s comparative study, PAPERS.md) is to
+// ground the VliwMachine/superscalar latency tables in measured numbers:
+// the divergence column quantifies how much of the simulated SLMS win
+// survives a real out-of-order host compiled at -O2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slc::driver {
+
+struct CalibrateOptions {
+  std::string suite = "livermore";  // "all" = every registered kernel
+  int repeats = 9;                  // native timing repetitions (median)
+  std::uint64_t seed = 0;
+};
+
+/// One kernel's measurements. Opcode-class counts are dynamic estimates:
+/// static innermost-loop-body mix weighted by simulated trip counts.
+struct CalibrationRow {
+  std::string kernel;
+  bool slms_applied = false;
+  std::uint64_t native_base_ns = 0;  // median native run, original
+  std::uint64_t native_slms_ns = 0;  // median native run, pipelined (0 = n/a)
+  std::uint64_t n_mem = 0;
+  std::uint64_t n_alu = 0;
+  std::uint64_t n_fpu = 0;
+  std::uint64_t n_div = 0;
+  std::uint64_t n_call = 0;
+};
+
+/// Non-negative least-squares fit of native_base_ns against the
+/// opcode-class counts (projected-gradient, fixed iteration count —
+/// deterministic given identical measurements).
+struct FittedLatencies {
+  double mem_ns = 0.0;
+  double alu_ns = 0.0;
+  double fpu_ns = 0.0;
+  double div_ns = 0.0;
+  double call_ns = 0.0;
+  double mean_abs_rel_error = 0.0;  // fit quality over the rows
+};
+
+/// How a simulated preset's SLMS speedups compare with native ones.
+struct PresetDivergence {
+  std::string backend;
+  double mean_sim_speedup = 0.0;
+  double mean_native_speedup = 0.0;
+  /// mean |sim_speedup/native_speedup - 1| over rows where both exist.
+  double mean_abs_divergence = 0.0;
+  int rows = 0;
+};
+
+struct CalibrationReport {
+  bool native_available = false;
+  std::string compiler_signature;
+  std::vector<CalibrationRow> rows;
+  FittedLatencies fit;
+  std::vector<PresetDivergence> presets;
+  std::string table;  // ready-to-print report
+};
+
+[[nodiscard]] CalibrationReport calibrate(const CalibrateOptions& options = {});
+
+}  // namespace slc::driver

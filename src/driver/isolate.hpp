@@ -50,6 +50,10 @@ struct Options {
   /// Journal key context: everything option-shaped that can change row
   /// bytes (the CLI passes the joined child_args).
   std::string options_signature;
+  /// Oracle backend identity (native::oracle_identity) mixed into the
+  /// journal key so --resume never replays rows measured under a
+  /// different oracle (or a different host compiler) into this sweep.
+  std::string oracle_identity = "interp";
   /// Journal path; empty disables journaling (and resume).
   std::string journal_path;
   /// Replay rows already in the journal instead of recomputing them.

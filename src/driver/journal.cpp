@@ -99,11 +99,18 @@ const std::string& binary_version() {
 }
 
 std::string row_key(const std::string& kernel_source,
-                    const std::string& options_signature) {
+                    const std::string& options_signature,
+                    const std::string& oracle_identity) {
   std::uint64_t h = fnv1a(kernel_source);
   h = fnv1a("\x1f", h);
   h = fnv1a(options_signature, h);
   h = fnv1a("\x1f", h);
+  // "interp" preserves pre-native keys byte-for-byte: only sweeps that
+  // actually select the native/both oracle are re-keyed.
+  if (oracle_identity != "interp") {
+    h = fnv1a(oracle_identity, h);
+    h = fnv1a("\x1f", h);
+  }
   h = fnv1a(binary_version(), h);
   return hex64(h);
 }

@@ -28,11 +28,17 @@ namespace slc::driver::journal {
 [[nodiscard]] const std::string& binary_version();
 
 /// The journal key for one row: fnv1a over (kernel source, the
-/// caller-assembled options signature, binary_version()), hex-encoded.
-/// The options signature must cover everything that can change row
-/// bytes — the CLI uses the exact argument vector a child would see.
+/// caller-assembled options signature, the oracle backend identity,
+/// binary_version()), hex-encoded. The options signature must cover
+/// everything that can change row bytes — the CLI uses the exact
+/// argument vector a child would see. `oracle_identity` (see
+/// native::oracle_identity) keeps interpreter-measured rows from being
+/// replayed by --resume into a native-oracle sweep and vice versa; the
+/// default matches every row written before the native backend existed.
 [[nodiscard]] std::string row_key(const std::string& kernel_source,
-                                  const std::string& options_signature);
+                                  const std::string& options_signature,
+                                  const std::string& oracle_identity =
+                                      "interp");
 
 /// Lossless (for all deterministic fields) row <-> JSON conversion.
 /// `report.trace` is dropped: suite sweeps never run with explain, and

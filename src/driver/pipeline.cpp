@@ -256,8 +256,10 @@ EntryPtr build_transform_entry_once(const kernels::Kernel& kernel,
         interp::InterpOptions iopts;
         if (options.max_interp_steps > 0)
           iopts.max_steps = options.max_interp_steps;
-        interp::EquivalenceResult eq = interp::check_equivalence(
-            original, transformed, options.sim_seed, iopts);
+        native::OracleOutcome outcome = native::oracle_check_equivalence(
+            original, transformed, options.sim_seed, iopts,
+            options.oracle_mode);
+        const interp::EquivalenceResult& eq = outcome.eq;
         if (eq.status == interp::EquivalenceResult::Status::OriginalFailed) {
           // The reference itself aborted (divide-by-zero, out-of-bounds,
           // step limit, ...): there is no trustworthy baseline, so this is
@@ -272,6 +274,18 @@ EntryPtr build_transform_entry_once(const kernels::Kernel& kernel,
                   ? FailureKind::OracleMismatch
                   : kind_of_abort(eq.abort_kind);
           fail_variant(support::make_failure(Stage::Oracle, kind, eq.detail));
+          continue;
+        }
+        // `both` mode: the transform is equivalent, but the native
+        // backend disagreed with the interpreter — a codegen/cache bug.
+        // Degrade the row so the divergence is visible in the table; a
+        // native *fallback* (no compiler, refusal) is deliberately
+        // silent per-row (satellite: degrade, don't abort) and shows up
+        // only in the oracle stats summary.
+        if (outcome.cross_check_failed) {
+          fail_variant(support::make_failure(Stage::Native,
+                                             FailureKind::OracleMismatch,
+                                             outcome.cross_check_detail));
           continue;
         }
       }
@@ -337,7 +351,8 @@ std::string transform_key(const kernels::Kernel& kernel,
      << s.max_unroll << '|' << s.eager_mve << '|'
      << (s.max_ii ? *s.max_ii : -1) << '|' << s.explain << '|'
      << o.sim_seed << '|' << o.verify_oracle << '|' << o.best_of_mve << '|'
-     << o.max_interp_steps << '|' << o.base_only;
+     << o.max_interp_steps << '|' << o.base_only << '|'
+     << int(o.oracle_mode);
   return os.str();
 }
 

@@ -12,6 +12,7 @@
 
 #include "kernels/kernels.hpp"
 #include "machine/machine_model.hpp"
+#include "native/oracle.hpp"
 #include "sim/executor.hpp"
 #include "slms/slms.hpp"
 #include "support/failure.hpp"
@@ -113,6 +114,12 @@ struct CompareOptions {
   /// Interpreter-oracle step budget per run (0 = the interpreter default).
   /// Exhaustion records a StepLimit failure instead of hanging the row.
   std::uint64_t max_interp_steps = 0;
+  /// Which execution oracle verifies equivalence (`--oracle=`):
+  /// the interpreter (default), the native backend (per-row interp
+  /// fallback on any native shortfall, counted under Stage::Native), or
+  /// both side by side with a cross-check — interp/native divergence
+  /// degrades the row with Stage::Native/OracleMismatch.
+  native::OracleMode oracle_mode = native::OracleMode::Interp;
   /// Measure only the untransformed program and report it as a degraded
   /// row (both metric columns = base). The --isolate supervisor uses
   /// this to re-measure a row whose SLMS side crashed the child: the

@@ -5,6 +5,7 @@
 #include "frontend/parser.hpp"
 #include "interp/interp.hpp"
 #include "machine/lower.hpp"
+#include "native/oracle.hpp"
 #include "sim/executor.hpp"
 #include "verify/verify.hpp"
 
@@ -159,8 +160,15 @@ DiffVerdict differential_check(const std::string& source,
     }
 
     for (std::uint64_t seed = 0; seed < seeds; ++seed) {
-      interp::EquivalenceResult eq =
-          interp::check_equivalence(original, transformed, seed, iopts);
+      // Interp mode is the classic two-way check. Native swaps the
+      // reference execution to the compiled kernel (interp fallback when
+      // codegen refuses). Both completes the three-way: the interpreter
+      // stays authoritative for `eq` while the native legs are
+      // cross-checked bit for bit — combined with the simulator check
+      // below, that is AST interp vs MIR executor vs native.
+      native::OracleOutcome outcome = native::oracle_check_equivalence(
+          original, transformed, seed, iopts, options.oracle_mode);
+      const interp::EquivalenceResult& eq = outcome.eq;
       // A miscompile the verifier blessed is a static/runtime
       // disagreement. Wrong answers and transform-introduced OOB count
       // as miscompiles; step limits and divide-by-zero do not implicate
@@ -185,6 +193,17 @@ DiffVerdict differential_check(const std::string& source,
       if (!eq.ok()) {
         DiffVerdict v = fail(Stage::Oracle, kind_of_abort(eq.abort_kind),
                              eq.detail, label);
+        v.static_diags = static_json;
+        return v;
+      }
+      if (outcome.cross_check_failed) {
+        // The interpreter accepted the row but the native execution
+        // diverged from it — a codegen/oracle bug, not an SLMS bug.
+        DiffVerdict v = fail(
+            Stage::Native, FailureKind::OracleMismatch,
+            outcome.cross_check_detail + " (input seed " +
+                std::to_string(seed) + ")",
+            label);
         v.static_diags = static_json;
         return v;
       }

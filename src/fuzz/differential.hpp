@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "driver/pipeline.hpp"
+#include "native/oracle.hpp"
 #include "slms/slms.hpp"
 #include "support/failure.hpp"
 
@@ -32,6 +33,13 @@ struct DiffOptions {
   /// miscompile the verifier misses, or a verifier rejection of a program
   /// the oracle accepts, becomes a Stage::Verify disagreement failure.
   bool check_static = false;
+  /// Which execution oracle decides equivalence. Native runs the
+  /// dlopen'd compiled kernel (falling back per-program to the
+  /// interpreter when codegen refuses or no host compiler exists); Both
+  /// keeps the interpreter authoritative and adds a third leg — AST
+  /// interpreter vs MIR executor vs native — where any native
+  /// divergence is a Stage::Native failure.
+  native::OracleMode oracle_mode = native::OracleMode::Interp;
 };
 
 /// Verdict for one program. When !ok, `failure` names the stage/kind and

@@ -1,0 +1,355 @@
+#include "native/cache.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "native/codegen.hpp"
+#include "support/subprocess.hpp"
+
+namespace slc::native {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::string_view text, std::uint64_t h = kFnvOffset) {
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t h) {
+  std::ostringstream os;
+  os << std::hex << h;
+  return os.str();
+}
+
+/// Compile flags are part of the contract with codegen.cpp: no FMA
+/// contraction, no builtin constant folding through MPFR, wrapping
+/// signed arithmetic — see DESIGN.md §11.
+const std::vector<std::string>& compile_flags() {
+  static const std::vector<std::string> flags = {
+      "-O2", "-fPIC", "-shared", "-fwrapv", "-ffp-contract=off",
+      "-fno-builtin"};
+  return flags;
+}
+
+std::string first_line(const std::string& text) {
+  auto nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace
+
+struct CodegenCache::Impl {
+  std::mutex mu;
+  // Compiler detection (lazy, once per override).
+  bool detected = false;
+  std::string cc;         // empty after detection => unavailable
+  std::string signature;  // first line of `cc --version`
+  std::string cc_override;
+  // Disk store.
+  std::string dir_override;
+  std::string dir;
+  bool dir_ready = false;
+  // In-memory layer + in-flight compiles.
+  std::map<std::string, std::shared_future<std::shared_ptr<const Compiled>>>
+      entries;
+  CacheStats stats;
+
+  void detect_locked() {
+    if (detected) return;
+    detected = true;
+    cc.clear();
+    signature.clear();
+    std::vector<std::string> candidates;
+    if (!cc_override.empty()) {
+      candidates.push_back(cc_override);
+    } else if (const char* env = std::getenv("SLC_NATIVE_CC");
+               env != nullptr && *env != '\0') {
+      candidates.push_back(env);
+    } else {
+      candidates = {"cc", "gcc", "clang"};
+    }
+    for (const std::string& cand : candidates) {
+      support::subprocess::RunOptions ro;
+      ro.argv = {cand, "--version"};
+      ro.timeout_ms = 10'000;
+      auto r = support::subprocess::run(ro);
+      if (r.clean() && !r.out.empty()) {
+        cc = cand;
+        signature = first_line(r.out);
+        break;
+      }
+    }
+  }
+
+  std::string dir_locked() {
+    if (dir_ready) return dir;
+    if (!dir_override.empty()) {
+      dir = dir_override;
+    } else if (const char* env = std::getenv("SLC_NATIVE_CACHE_DIR");
+               env != nullptr && *env != '\0') {
+      dir = env;
+    } else {
+      dir = (fs::temp_directory_path() /
+             ("slc-native-cache-" + std::to_string(::getuid())))
+                .string();
+    }
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    dir_ready = true;
+    return dir;
+  }
+
+  /// mtime-LRU trim of the .so store down to the configured cap.
+  /// Deleting a shared object that another process has already mapped
+  /// is safe on POSIX (the mapping survives the unlink).
+  void evict_locked(const std::string& store) {
+    std::uint64_t cap = env_u64("SLC_NATIVE_CACHE_MAX", 512);
+    if (cap == 0) cap = 1;
+    std::vector<std::pair<fs::file_time_type, fs::path>> objects;
+    std::error_code ec;
+    for (const auto& e : fs::directory_iterator(store, ec)) {
+      if (e.path().extension() != ".so") continue;
+      auto t = fs::last_write_time(e.path(), ec);
+      if (!ec) objects.emplace_back(t, e.path());
+    }
+    if (objects.size() <= cap) return;
+    std::sort(objects.begin(), objects.end());
+    std::size_t excess = objects.size() - cap;
+    for (std::size_t i = 0; i < excess; ++i) {
+      fs::remove(objects[i].second, ec);
+      fs::path c = objects[i].second;
+      c.replace_extension(".c");
+      fs::remove(c, ec);
+      if (!ec) ++stats.evictions;
+    }
+  }
+
+  std::shared_ptr<const Compiled> load_so(const std::string& key,
+                                          const fs::path& so) {
+    auto entry = std::make_shared<Compiled>();
+    entry->key = key;
+    void* handle = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+      const char* e = ::dlerror();
+      entry->error = "dlopen failed: " + std::string(e ? e : "?");
+      return entry;
+    }
+    // Intentionally never dlclose'd: other threads may still be
+    // executing inside the object, and one handle per distinct kernel
+    // per process is bounded by the sweep size anyway.
+    void* sym = ::dlsym(handle, "slcnat_run");
+    if (sym == nullptr) {
+      entry->error = "dlsym(slcnat_run) failed";
+      return entry;
+    }
+    entry->entry = reinterpret_cast<EntryFn>(sym);
+    entry->ok = true;
+    return entry;
+  }
+
+  std::shared_ptr<const Compiled> compile(const std::string& key,
+                                          const std::string& c_source,
+                                          const std::string& compiler,
+                                          const std::string& store) {
+    fs::path base = fs::path(store) / ("slcnat-" + key);
+    fs::path c_path = base;
+    c_path += ".c";
+    fs::path so_path = base;
+    so_path += ".so";
+
+    std::error_code ec;
+    if (fs::exists(so_path, ec)) {
+      auto entry = load_so(key, so_path);
+      if (entry->ok) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats.disk_hits;
+        return entry;
+      }
+      // A stale/corrupt object: fall through and recompile over it.
+      fs::remove(so_path, ec);
+    }
+
+    auto fail = [&](std::string why) {
+      auto entry = std::make_shared<Compiled>();
+      entry->key = key;
+      entry->error = std::move(why);
+      std::lock_guard<std::mutex> lock(mu);
+      ++stats.failures;
+      return entry;
+    };
+
+    {
+      std::ofstream out(c_path);
+      out << c_source;
+      if (!out.good()) return fail("cannot write " + c_path.string());
+    }
+
+    // Compile to a private temp name, then atomically publish: a
+    // concurrent process never dlopens a half-written object.
+    fs::path tmp = so_path;
+    tmp += ".tmp." + std::to_string(::getpid());
+    support::subprocess::RunOptions ro;
+    ro.argv.push_back(compiler);
+    for (const std::string& f : compile_flags()) ro.argv.push_back(f);
+    ro.argv.push_back("-o");
+    ro.argv.push_back(tmp.string());
+    ro.argv.push_back(c_path.string());
+    ro.argv.push_back("-lm");
+    ro.timeout_ms = 60'000;
+    auto r = support::subprocess::run(ro);
+    if (!r.clean()) {
+      fs::remove(tmp, ec);
+      return fail("host compiler " + r.describe() + ": " +
+                  first_line(r.err.empty() ? r.out : r.err));
+    }
+    fs::rename(tmp, so_path, ec);
+    if (ec) {
+      fs::remove(tmp, ec);
+      return fail("cannot publish " + so_path.string());
+    }
+
+    auto entry = load_so(key, so_path);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (entry->ok) {
+        ++stats.compiles;
+      } else {
+        ++stats.failures;
+      }
+      evict_locked(store);
+    }
+    return entry;
+  }
+};
+
+CodegenCache& CodegenCache::instance() {
+  static CodegenCache cache;
+  return cache;
+}
+
+CodegenCache::Impl& CodegenCache::impl() {
+  static Impl impl;
+  return impl;
+}
+
+bool CodegenCache::available() { return !compiler_signature().empty(); }
+
+std::string CodegenCache::compiler_signature() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.detect_locked();
+  return im.signature;
+}
+
+std::shared_ptr<const Compiled> CodegenCache::get_or_compile(
+    const std::string& c_source) {
+  Impl& im = impl();
+  std::unique_lock<std::mutex> lock(im.mu);
+  im.detect_locked();
+  if (im.cc.empty()) {
+    ++im.stats.failures;
+    auto entry = std::make_shared<Compiled>();
+    entry->error = "no host C compiler available";
+    return entry;
+  }
+  std::string compiler = im.cc;
+  std::string store = im.dir_locked();
+
+  std::uint64_t h = fnv1a(c_source);
+  h = fnv1a("\x1f", h);
+  h = fnv1a(im.signature, h);
+  for (const std::string& f : compile_flags()) h = fnv1a(f, fnv1a(" ", h));
+  h = fnv1a("\x1f""abi", h);
+  h = fnv1a(std::to_string(kNativeAbiVersion), h);
+  std::string key = hex64(h);
+
+  auto it = im.entries.find(key);
+  if (it != im.entries.end()) {
+    // Published or in flight; either way the host compiler is skipped.
+    auto fut = it->second;
+    ++im.stats.mem_hits;
+    lock.unlock();
+    return fut.get();
+  }
+  std::promise<std::shared_ptr<const Compiled>> promise;
+  im.entries.emplace(key, promise.get_future().share());
+  lock.unlock();
+
+  // Compile outside the lock; publish whatever happened so waiters and
+  // future lookups see the same entry.
+  std::shared_ptr<const Compiled> entry;
+  try {
+    entry = im.compile(key, c_source, compiler, store);
+  } catch (const std::exception& e) {
+    auto failed = std::make_shared<Compiled>();
+    failed->key = key;
+    failed->error = std::string("native cache exception: ") + e.what();
+    std::lock_guard<std::mutex> relock(im.mu);
+    ++im.stats.failures;
+    entry = failed;
+  }
+  promise.set_value(entry);
+  return entry;
+}
+
+CacheStats CodegenCache::stats() const {
+  Impl& im = const_cast<CodegenCache*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.stats;
+}
+
+void CodegenCache::reset_stats() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.stats = CacheStats{};
+}
+
+void CodegenCache::set_host_cc(const std::string& cc) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.cc_override = cc;
+  im.detected = false;
+  im.entries.clear();  // entries were keyed under the old signature
+}
+
+void CodegenCache::set_cache_dir(const std::string& dir) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.dir_override = dir;
+  im.dir_ready = false;
+  im.entries.clear();
+}
+
+std::string CodegenCache::cache_dir() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.dir_locked();
+}
+
+}  // namespace slc::native

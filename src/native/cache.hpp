@@ -1,0 +1,100 @@
+// Content-addressed codegen cache for the native-execution oracle.
+//
+// Key = fnv1a(generated C source ‖ host-compiler signature ‖ compile
+// flags ‖ ABI version). The journal's kernel identity hashes the mini-C
+// source; this cache hashes the *generated C* instead, which subsumes it
+// (codegen is deterministic) and additionally invalidates on compiler
+// upgrades and flag changes — a stale shared object can never be loaded
+// for the wrong compiler or ABI.
+//
+// Two layers:
+//   * in-memory: key -> dlopen'd entry point. Handles are deliberately
+//     never dlclose'd (other threads may still be executing inside the
+//     object); a process compiles each distinct kernel at most once.
+//   * on-disk (SLC_NATIVE_CACHE_DIR, default /tmp/slc-native-cache-<uid>):
+//     slcnat-<key>.{c,so}. Survives process restarts, so a re-run sweep
+//     pays zero compiler invocations. mtime-LRU eviction keeps at most
+//     SLC_NATIVE_CACHE_MAX (default 512) shared objects.
+//
+// Concurrent get_or_compile calls for the same key coalesce onto one
+// compile via the promise/shared_future publish idiom (same shape as the
+// driver's transform cache).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace slc::native {
+
+/// Signature of the generated `slcnat_run` entry point. The first
+/// argument points at the host-side slcnat_ctx (see runner.cpp for the
+/// mirrored struct layout).
+using EntryFn = long long (*)(void* ctx, double* fsc, long long* isc,
+                              const double* fsc_fill,
+                              const long long* isc_fill,
+                              unsigned char* sc_live, void* const* arr,
+                              unsigned char* arr_live);
+
+/// A compiled-and-loaded kernel. Immutable after publication; shared
+/// by every row that runs the same generated source.
+struct Compiled {
+  bool ok = false;
+  std::string error;  // compile/link/dlopen diagnostics when !ok
+  std::string key;    // content hash (hex)
+  EntryFn entry = nullptr;
+};
+
+struct CacheStats {
+  std::uint64_t mem_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t compiles = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const {
+    return mem_hits + disk_hits + compiles + failures;
+  }
+  /// Fraction of lookups that skipped the host compiler entirely.
+  [[nodiscard]] double hit_rate() const {
+    std::uint64_t n = lookups();
+    return n == 0 ? 0.0 : double(mem_hits + disk_hits) / double(n);
+  }
+};
+
+class CodegenCache {
+ public:
+  /// Process-wide instance (the disk store and compiler detection are
+  /// genuinely global resources).
+  [[nodiscard]] static CodegenCache& instance();
+
+  /// True when a host C compiler was detected and shared objects can be
+  /// loaded. When false every get_or_compile returns a !ok entry and
+  /// the oracle layer falls back to the interpreter.
+  [[nodiscard]] bool available();
+
+  /// First line of `<cc> --version` — part of the cache key and of the
+  /// journal's oracle identity. Empty when no compiler is available.
+  [[nodiscard]] std::string compiler_signature();
+
+  /// Returns the loaded entry for this generated source, compiling at
+  /// most once per key per disk store. Never returns null.
+  [[nodiscard]] std::shared_ptr<const Compiled> get_or_compile(
+      const std::string& c_source);
+
+  [[nodiscard]] CacheStats stats() const;
+  void reset_stats();
+
+  // Test hooks. set_host_cc("") re-runs autodetection; pointing it at a
+  // nonexistent binary simulates a runner without a compiler.
+  void set_host_cc(const std::string& cc);
+  void set_cache_dir(const std::string& dir);
+  [[nodiscard]] std::string cache_dir();
+
+ private:
+  CodegenCache() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl();
+};
+
+}  // namespace slc::native

@@ -1,0 +1,985 @@
+#include "native/codegen.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace slc::native {
+
+namespace {
+
+using namespace ast;
+
+/// Internal control flow for "this program cannot be lowered soundly";
+/// converted to CodegenResult.ok = false at the boundary.
+struct Refusal : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void refuse(const std::string& why) { throw Refusal(why); }
+
+const char* ctype(ScalarType t) {
+  return is_floating(t) ? "double" : "long long";
+}
+
+std::string int_lit(std::int64_t v) {
+  // INT64_MIN has no negative C literal; spell it as an expression.
+  if (v == std::numeric_limits<std::int64_t>::min())
+    return "(-9223372036854775807LL - 1)";
+  if (v < 0) return "(" + std::to_string(v) + "LL)";
+  return std::to_string(v) + "LL";
+}
+
+std::string double_lit(double v) {
+  if (!std::isfinite(v)) refuse("non-finite float literal");
+  // Hexfloat round-trips the exact bit pattern through the C compiler.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  std::string s(buf);
+  if (v < 0 || (v == 0.0 && std::signbit(v))) s = "(" + s + ")";
+  return s;
+}
+
+/// A flattened expression result: `text` is always a temp name, a
+/// scalar local, or a parenthesized literal — safe to repeat.
+struct Val {
+  std::string text;
+  ScalarType type = ScalarType::Int;
+
+  [[nodiscard]] bool floating() const { return is_floating(type); }
+};
+
+class Emitter {
+ public:
+  explicit Emitter(const Program& program) : program_(program) {}
+
+  CodegenResult run() {
+    CodegenResult result;
+    try {
+      collect();
+      std::ostringstream body;
+      for (const StmtPtr& s : program_.stmts) emit_stmt(*s, body, "  ");
+      result.c_source = assemble(body.str());
+      result.manifest = std::move(manifest_);
+      result.ok = true;
+    } catch (const Refusal& r) {
+      result.ok = false;
+      result.reason = r.what();
+    }
+    return result;
+  }
+
+ private:
+  // -- collection: slots, type consistency, fast/checked mode --------------
+
+  void collect() {
+    for (const StmtPtr& s : program_.stmts) collect_stmt(*s, /*top=*/true);
+    for (const std::string& name : scalar_used_)
+      if (!scalar_slot_.contains(name))
+        refuse("scalar '" + name + "' is never declared");
+    for (const std::string& name : array_used_)
+      if (!array_slot_.contains(name))
+        refuse("array '" + name + "' is never declared");
+    decide_checked_mode();
+  }
+
+  void collect_stmt(const Stmt& s, bool top) {
+    switch (s.kind()) {
+      case StmtKind::Decl: {
+        const auto* d = dyn_cast<DeclStmt>(&s);
+        if (!top) has_nested_decl_ = true;
+        if (d->is_array()) {
+          std::int64_t n = 1;
+          for (std::int64_t dim : d->dims) {
+            if (dim <= 0) refuse("non-positive array dimension");
+            if (n > (std::int64_t(1) << 24) / dim)
+              refuse("array too large for the native oracle");
+            n *= dim;
+          }
+          auto it = array_slot_.find(d->name);
+          if (it == array_slot_.end()) {
+            array_slot_.emplace(d->name, manifest_.arrays.size());
+            manifest_.arrays.push_back({d->name, d->type, d->dims, n});
+          } else {
+            const ArraySlot& prev = manifest_.arrays[it->second];
+            if (prev.type != d->type || prev.dims != d->dims)
+              refuse("array '" + d->name + "' redeclared with a different "
+                     "type or shape");
+          }
+        } else {
+          auto it = scalar_slot_.find(d->name);
+          if (it == scalar_slot_.end()) {
+            scalar_slot_.emplace(d->name, manifest_.scalars.size());
+            manifest_.scalars.push_back({d->name, d->type});
+          } else if (manifest_.scalars[it->second].type != d->type) {
+            refuse("scalar '" + d->name + "' redeclared with a different "
+                   "type");
+          }
+          if (d->init) collect_expr(*d->init);
+        }
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto* a = dyn_cast<AssignStmt>(&s);
+        if (a->guard) collect_expr(*a->guard);
+        collect_expr(*a->rhs);
+        collect_expr(*a->lhs);
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto* x = dyn_cast<ExprStmt>(&s);
+        if (x->guard) collect_expr(*x->guard);
+        collect_expr(*x->expr);
+        break;
+      }
+      case StmtKind::Block:
+        for (const StmtPtr& c : dyn_cast<BlockStmt>(&s)->stmts)
+          collect_stmt(*c, false);
+        break;
+      case StmtKind::Parallel:
+        for (const StmtPtr& c : dyn_cast<ParallelStmt>(&s)->stmts)
+          collect_stmt(*c, false);
+        break;
+      case StmtKind::If: {
+        const auto* i = dyn_cast<IfStmt>(&s);
+        collect_expr(*i->cond);
+        collect_stmt(*i->then_stmt, false);
+        if (i->else_stmt) collect_stmt(*i->else_stmt, false);
+        break;
+      }
+      case StmtKind::For: {
+        const auto* f = dyn_cast<ForStmt>(&s);
+        if (f->init) collect_stmt(*f->init, false);
+        if (f->cond) collect_expr(*f->cond);
+        if (f->step) collect_stmt(*f->step, false);
+        collect_stmt(*f->body, false);
+        break;
+      }
+      case StmtKind::While: {
+        const auto* w = dyn_cast<WhileStmt>(&s);
+        collect_expr(*w->cond);
+        collect_stmt(*w->body, false);
+        break;
+      }
+      case StmtKind::Break:
+        break;
+    }
+  }
+
+  void collect_expr(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::BoolLit:
+        break;
+      case ExprKind::VarRef:
+        scalar_used_.insert(dyn_cast<VarRef>(&e)->name);
+        break;
+      case ExprKind::ArrayRef: {
+        const auto* a = dyn_cast<ArrayRef>(&e);
+        array_used_.insert(a->name);
+        for (const ExprPtr& sub : a->subscripts) collect_expr(*sub);
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto* b = dyn_cast<Binary>(&e);
+        collect_expr(*b->lhs);
+        collect_expr(*b->rhs);
+        break;
+      }
+      case ExprKind::Unary:
+        collect_expr(*dyn_cast<Unary>(&e)->operand);
+        break;
+      case ExprKind::Call:
+        for (const ExprPtr& a : dyn_cast<Call>(&e)->args) collect_expr(*a);
+        break;
+      case ExprKind::Conditional: {
+        const auto* c = dyn_cast<Conditional>(&e);
+        collect_expr(*c->cond);
+        collect_expr(*c->then_expr);
+        collect_expr(*c->else_expr);
+        break;
+      }
+    }
+  }
+
+  /// Fast mode (no per-access liveness checks) is sound when every
+  /// declaration is a direct child of the program — top-level statements
+  /// execute in textual order, so a pre-order ref-after-decl check
+  /// proves no access can ever observe an undeclared variable. Anything
+  /// subtler (decls inside loops/ifs, decl-as-for-init) runs in checked
+  /// mode, which replicates interp's "use of undeclared" BadProgram
+  /// abort at run time.
+  void decide_checked_mode() {
+    checked_ = has_nested_decl_;
+    if (checked_) return;
+    std::set<std::string> live_s, live_a;
+    bool ordered = true;
+    auto check_refs = [&](const Stmt& s) {
+      walk_refs(s, [&](const std::string& n, bool arr) {
+        if (arr ? !live_a.contains(n) : !live_s.contains(n)) ordered = false;
+      });
+    };
+    for (const StmtPtr& s : program_.stmts) {
+      if (const auto* d = dyn_cast<DeclStmt>(s.get())) {
+        if (d->init)
+          walk_expr_refs(*d->init, [&](const std::string& n, bool arr) {
+            if (arr ? !live_a.contains(n) : !live_s.contains(n))
+              ordered = false;
+          });
+        (d->is_array() ? live_a : live_s).insert(d->name);
+      } else {
+        check_refs(*s);
+      }
+      if (!ordered) break;
+    }
+    checked_ = !ordered;
+  }
+
+  template <class Fn>
+  void walk_expr_refs(const Expr& e, const Fn& fn) {
+    switch (e.kind()) {
+      case ExprKind::VarRef: fn(dyn_cast<VarRef>(&e)->name, false); break;
+      case ExprKind::ArrayRef: {
+        const auto* a = dyn_cast<ArrayRef>(&e);
+        fn(a->name, true);
+        for (const ExprPtr& s : a->subscripts) walk_expr_refs(*s, fn);
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto* b = dyn_cast<Binary>(&e);
+        walk_expr_refs(*b->lhs, fn);
+        walk_expr_refs(*b->rhs, fn);
+        break;
+      }
+      case ExprKind::Unary:
+        walk_expr_refs(*dyn_cast<Unary>(&e)->operand, fn);
+        break;
+      case ExprKind::Call:
+        for (const ExprPtr& a : dyn_cast<Call>(&e)->args)
+          walk_expr_refs(*a, fn);
+        break;
+      case ExprKind::Conditional: {
+        const auto* c = dyn_cast<Conditional>(&e);
+        walk_expr_refs(*c->cond, fn);
+        walk_expr_refs(*c->then_expr, fn);
+        walk_expr_refs(*c->else_expr, fn);
+        break;
+      }
+      default: break;
+    }
+  }
+
+  template <class Fn>
+  void walk_refs(const Stmt& s, const Fn& fn) {
+    switch (s.kind()) {
+      case StmtKind::Decl:
+        if (const auto* d = dyn_cast<DeclStmt>(&s); d->init)
+          walk_expr_refs(*d->init, fn);
+        break;
+      case StmtKind::Assign: {
+        const auto* a = dyn_cast<AssignStmt>(&s);
+        if (a->guard) walk_expr_refs(*a->guard, fn);
+        walk_expr_refs(*a->rhs, fn);
+        walk_expr_refs(*a->lhs, fn);
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto* x = dyn_cast<ExprStmt>(&s);
+        if (x->guard) walk_expr_refs(*x->guard, fn);
+        walk_expr_refs(*x->expr, fn);
+        break;
+      }
+      case StmtKind::Block:
+        for (const StmtPtr& c : dyn_cast<BlockStmt>(&s)->stmts)
+          walk_refs(*c, fn);
+        break;
+      case StmtKind::Parallel:
+        for (const StmtPtr& c : dyn_cast<ParallelStmt>(&s)->stmts)
+          walk_refs(*c, fn);
+        break;
+      case StmtKind::If: {
+        const auto* i = dyn_cast<IfStmt>(&s);
+        walk_expr_refs(*i->cond, fn);
+        walk_refs(*i->then_stmt, fn);
+        if (i->else_stmt) walk_refs(*i->else_stmt, fn);
+        break;
+      }
+      case StmtKind::For: {
+        const auto* f = dyn_cast<ForStmt>(&s);
+        if (f->init) walk_refs(*f->init, fn);
+        if (f->cond) walk_expr_refs(*f->cond, fn);
+        if (f->step) walk_refs(*f->step, fn);
+        walk_refs(*f->body, fn);
+        break;
+      }
+      case StmtKind::While: {
+        const auto* w = dyn_cast<WhileStmt>(&s);
+        walk_expr_refs(*w->cond, fn);
+        walk_refs(*w->body, fn);
+        break;
+      }
+      case StmtKind::Break:
+        break;
+    }
+  }
+
+  // -- small emission helpers ----------------------------------------------
+
+  std::string new_temp() { return "t" + std::to_string(temp_++); }
+
+  static std::string as_double(const Val& v) {
+    return v.floating() ? v.text : "(double)" + v.text;
+  }
+  static std::string as_int(const Val& v) {
+    return v.floating() ? "(long long)" + v.text : v.text;
+  }
+  static std::string truthy(const Val& v) {
+    return v.floating() ? "(" + v.text + " != 0.0)"
+                        : "(" + v.text + " != 0)";
+  }
+
+  std::size_t scalar_of(const std::string& name) {
+    auto it = scalar_slot_.find(name);
+    if (it == scalar_slot_.end()) refuse("scalar '" + name + "' unknown");
+    return it->second;
+  }
+  std::size_t array_of(const std::string& name) {
+    auto it = array_slot_.find(name);
+    if (it == array_slot_.end()) refuse("array '" + name + "' unknown");
+    return it->second;
+  }
+
+  void live_check_scalar(std::size_t slot, std::ostream& os,
+                         const std::string& ind) {
+    if (checked_)
+      os << ind << "if (!sc_live[" << slot << "]) slcnat_fail(ctx, 4);\n";
+  }
+  void live_check_array(std::size_t slot, std::ostream& os,
+                        const std::string& ind) {
+    if (checked_)
+      os << ind << "if (!arr_live[" << slot << "]) slcnat_fail(ctx, 4);\n";
+  }
+
+  /// interp::Engine::coerce() — the value written into a scalar of
+  /// declared type `to`.
+  std::string coerced(const Val& v, ScalarType to) {
+    switch (to) {
+      case ScalarType::Int: return as_int(v);
+      case ScalarType::Bool: return "(" + truthy(v) + " ? 1 : 0)";
+      case ScalarType::Float: return "(double)(float)" + as_double(v);
+      case ScalarType::Double: return as_double(v);
+    }
+    refuse("bad coercion target");
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  Val emit_expr(const Expr& e, std::ostream& os, const std::string& ind) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        return {int_lit(dyn_cast<IntLit>(&e)->value), ScalarType::Int};
+      case ExprKind::FloatLit:
+        return {double_lit(dyn_cast<FloatLit>(&e)->value),
+                ScalarType::Double};
+      case ExprKind::BoolLit:
+        return {dyn_cast<BoolLit>(&e)->value ? "1LL" : "0LL",
+                ScalarType::Bool};
+      case ExprKind::VarRef: {
+        const auto* v = dyn_cast<VarRef>(&e);
+        std::size_t slot = scalar_of(v->name);
+        live_check_scalar(slot, os, ind);
+        return {"s" + std::to_string(slot), manifest_.scalars[slot].type};
+      }
+      case ExprKind::ArrayRef:
+        return emit_array_load(*dyn_cast<ArrayRef>(&e), os, ind);
+      case ExprKind::Binary:
+        return emit_binary(*dyn_cast<Binary>(&e), os, ind);
+      case ExprKind::Unary: {
+        const auto* u = dyn_cast<Unary>(&e);
+        Val v = emit_expr(*u->operand, os, ind);
+        std::string t = new_temp();
+        if (u->op == UnaryOp::Not) {
+          os << ind << "const long long " << t << " = " << truthy(v)
+             << " ? 0 : 1;\n";
+          return {t, ScalarType::Bool};
+        }
+        if (v.floating()) {
+          os << ind << "const double " << t << " = -(" << v.text << ");\n";
+          return {t, v.type};
+        }
+        os << ind << "const long long " << t << " = -(" << v.text << ");\n";
+        return {t, ScalarType::Int};
+      }
+      case ExprKind::Call:
+        return emit_call(*dyn_cast<Call>(&e), os, ind);
+      case ExprKind::Conditional: {
+        const auto* c = dyn_cast<Conditional>(&e);
+        std::string t = new_temp();
+        std::ostringstream pre;
+        Val cond = emit_expr(*c->cond, pre, ind + "  ");
+        std::ostringstream thn, els;
+        Val tv = emit_expr(*c->then_expr, thn, ind + "    ");
+        Val ev = emit_expr(*c->else_expr, els, ind + "    ");
+        ScalarType type = join_type(tv.type, ev.type,
+                                    "conditional expression arms");
+        os << ind << ctype(type) << " " << t << " = 0;\n"
+           << ind << "{\n" << pre.str()
+           << ind << "  if " << truthy(cond) << " {\n" << thn.str()
+           << ind << "    " << t << " = " << tv.text << ";\n"
+           << ind << "  } else {\n" << els.str()
+           << ind << "    " << t << " = " << ev.text << ";\n"
+           << ind << "  }\n" << ind << "}\n";
+        return {t, type};
+      }
+    }
+    refuse("unsupported expression kind");
+  }
+
+  /// Runtime type of conditional/min/max results depends on which
+  /// operand is picked; lowering is only sound when the static join is
+  /// exact. Int/Bool join to Int (identical arithmetic semantics);
+  /// anything else mismatched is refused.
+  ScalarType join_type(ScalarType a, ScalarType b, const char* what) {
+    if (a == b) return a;
+    if (!is_floating(a) && !is_floating(b)) return ScalarType::Int;
+    refuse(std::string(what) + " mix " + to_string(a) + " and " +
+           to_string(b) + " — runtime-dependent value type");
+  }
+
+  Val emit_binary(const Binary& b, std::ostream& os, const std::string& ind) {
+    // Short-circuit forms replicate interp's lazy right operand:
+    // And skips the rhs when the lhs is false (result 0), Or when the
+    // lhs is true (result 1).
+    if (b.op == BinaryOp::And || b.op == BinaryOp::Or) {
+      std::string t = new_temp();
+      std::ostringstream pre, rhs;
+      Val l = emit_expr(*b.lhs, pre, ind + "  ");
+      Val r = emit_expr(*b.rhs, rhs, ind + "    ");
+      bool is_and = b.op == BinaryOp::And;
+      os << ind << "long long " << t << " = 0;\n"
+         << ind << "{\n" << pre.str()
+         << ind << "  if (" << (is_and ? "!" : "") << truthy(l) << ") {\n"
+         << ind << "    " << t << " = " << (is_and ? 0 : 1) << ";\n"
+         << ind << "  } else {\n"
+         << rhs.str()
+         << ind << "    " << t << " = " << truthy(r) << " ? 1 : 0;\n"
+         << ind << "  }\n" << ind << "}\n";
+      return {t, ScalarType::Bool};
+    }
+
+    Val l = emit_expr(*b.lhs, os, ind);
+    Val r = emit_expr(*b.rhs, os, ind);
+    bool fp = l.floating() || r.floating();
+    std::string t = new_temp();
+
+    if (is_comparison(b.op)) {
+      const char* op = b.op == BinaryOp::Lt   ? "<"
+                       : b.op == BinaryOp::Le ? "<="
+                       : b.op == BinaryOp::Gt ? ">"
+                       : b.op == BinaryOp::Ge ? ">="
+                       : b.op == BinaryOp::Eq ? "=="
+                                              : "!=";
+      std::string x = fp ? as_double(l) : as_int(l);
+      std::string y = fp ? as_double(r) : as_int(r);
+      os << ind << "const long long " << t << " = (" << x << " " << op
+         << " " << y << ") ? 1 : 0;\n";
+      return {t, ScalarType::Bool};
+    }
+
+    if (fp) {
+      bool both_float =
+          l.type == ScalarType::Float && r.type == ScalarType::Float;
+      std::string x = as_double(l), y = as_double(r);
+      std::string raw;
+      switch (b.op) {
+        case BinaryOp::Add: raw = x + " + " + y; break;
+        case BinaryOp::Sub: raw = x + " - " + y; break;
+        case BinaryOp::Mul: raw = x + " * " + y; break;
+        case BinaryOp::Div: raw = x + " / " + y; break;
+        case BinaryOp::Mod: raw = "fmod(" + x + ", " + y + ")"; break;
+        default: refuse("bad fp op");
+      }
+      if (both_float) raw = "(double)(float)(" + raw + ")";
+      os << ind << "const double " << t << " = " << raw << ";\n";
+      return {t, both_float ? ScalarType::Float : ScalarType::Double};
+    }
+
+    std::string x = as_int(l), y = as_int(r);
+    switch (b.op) {
+      case BinaryOp::Add:
+        os << ind << "const long long " << t << " = " << x << " + " << y
+           << ";\n";
+        break;
+      case BinaryOp::Sub:
+        os << ind << "const long long " << t << " = " << x << " - " << y
+           << ";\n";
+        break;
+      case BinaryOp::Mul:
+        os << ind << "const long long " << t << " = " << x << " * " << y
+           << ";\n";
+        break;
+      case BinaryOp::Div:
+        os << ind << "const long long " << t << " = slcnat_idiv(ctx, " << x
+           << ", " << y << ");\n";
+        break;
+      case BinaryOp::Mod:
+        os << ind << "const long long " << t << " = slcnat_imod(ctx, " << x
+           << ", " << y << ");\n";
+        break;
+      default: refuse("bad int op");
+    }
+    return {t, ScalarType::Int};
+  }
+
+  Val emit_call(const Call& c, std::ostream& os, const std::string& ind) {
+    auto need = [&](std::size_t n) {
+      if (c.args.size() != n)
+        refuse("intrinsic " + c.callee + " called with " +
+               std::to_string(c.args.size()) + " args (wants " +
+               std::to_string(n) + ")");
+    };
+    auto unary_libm = [&](const char* fn) {
+      need(1);
+      Val a = emit_expr(*c.args[0], os, ind);
+      std::string t = new_temp();
+      os << ind << "const double " << t << " = " << fn << "("
+         << as_double(a) << ");\n";
+      return Val{t, ScalarType::Double};
+    };
+    if (c.callee == "fabs") return unary_libm("fabs");
+    if (c.callee == "sqrt") return unary_libm("sqrt");
+    if (c.callee == "exp") return unary_libm("exp");
+    if (c.callee == "log") return unary_libm("log");
+    if (c.callee == "sin") return unary_libm("sin");
+    if (c.callee == "cos") return unary_libm("cos");
+    if (c.callee == "floor") return unary_libm("floor");
+    if (c.callee == "ceil") return unary_libm("ceil");
+    if (c.callee == "pow") {
+      need(2);
+      Val a = emit_expr(*c.args[0], os, ind);
+      Val b = emit_expr(*c.args[1], os, ind);
+      std::string t = new_temp();
+      os << ind << "const double " << t << " = pow(" << as_double(a) << ", "
+         << as_double(b) << ");\n";
+      return {t, ScalarType::Double};
+    }
+    if (c.callee == "abs") {
+      need(1);
+      Val a = emit_expr(*c.args[0], os, ind);
+      std::string v = new_temp(), t = new_temp();
+      os << ind << "const long long " << v << " = " << as_int(a) << ";\n"
+         << ind << "const long long " << t << " = (" << v << " < 0) ? -"
+         << v << " : " << v << ";\n";
+      return {t, ScalarType::Int};
+    }
+    if (c.callee == "min" || c.callee == "max") {
+      need(2);
+      Val a = emit_expr(*c.args[0], os, ind);
+      Val b = emit_expr(*c.args[1], os, ind);
+      ScalarType type = join_type(a.type, b.type, "min/max operands");
+      const char* cmp = c.callee == "min" ? "<=" : ">=";
+      std::string t = new_temp();
+      if (is_floating(type)) {
+        os << ind << "const double " << t << " = (" << a.text << " " << cmp
+           << " " << b.text << ") ? " << a.text << " : " << b.text << ";\n";
+      } else {
+        os << ind << "const long long " << t << " = (" << as_int(a) << " "
+           << cmp << " " << as_int(b) << ") ? " << as_int(a) << " : "
+           << as_int(b) << ";\n";
+      }
+      return {t, type};
+    }
+    refuse("call to unknown function " + c.callee);
+  }
+
+  /// Subscript evaluation + bounds checks + row-major flattening,
+  /// replicating interp's flat_index() (including its per-dim check
+  /// shape and final flattened-range check). Returns the flat index
+  /// temp.
+  std::string emit_index(const ArrayRef& ref, const ArraySlot& slot,
+                         std::ostream& os, const std::string& ind) {
+    std::string flat = "0LL";
+    for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+      Val idx = emit_expr(*ref.subscripts[d], os, ind);
+      std::string ti = new_temp();
+      os << ind << "const long long " << ti << " = " << as_int(idx)
+         << ";\n";
+      bool in_dims = d < slot.dims.size();
+      os << ind << "if (ctx->check_bounds && (" << ti << " < 0";
+      if (in_dims) os << " || " << ti << " >= " << int_lit(slot.dims[d]);
+      os << ")) slcnat_fail(ctx, 2);\n";
+      std::int64_t mult = in_dims ? slot.dims[d] : 1;
+      flat = "(" + flat + " * " + int_lit(mult) + " + " + ti + ")";
+    }
+    std::string tf = new_temp();
+    os << ind << "const long long " << tf << " = " << flat << ";\n"
+       << ind << "if (ctx->check_bounds && (" << tf << " < 0 || " << tf
+       << " >= " << int_lit(slot.size) << ")) slcnat_fail(ctx, 2);\n";
+    return tf;
+  }
+
+  Val emit_array_load(const ArrayRef& ref, std::ostream& os,
+                      const std::string& ind) {
+    std::size_t s = array_of(ref.name);
+    const ArraySlot& slot = manifest_.arrays[s];
+    live_check_array(s, os, ind);
+    std::string tf = emit_index(ref, slot, os, ind);
+    std::string t = new_temp();
+    std::string a = "a" + std::to_string(s);
+    if (is_floating(slot.type)) {
+      os << ind << "const double " << t << " = " << a << "[" << tf
+         << "];\n";
+      return {t, slot.type};
+    }
+    if (slot.type == ScalarType::Bool) {
+      os << ind << "const long long " << t << " = (" << a << "[" << tf
+         << "] != 0) ? 1 : 0;\n";
+      return {t, ScalarType::Bool};
+    }
+    os << ind << "const long long " << t << " = " << a << "[" << tf
+       << "];\n";
+    return {t, ScalarType::Int};
+  }
+
+  void emit_array_store(const ArraySlot& slot, std::size_t s,
+                        const std::string& tf, const Val& v,
+                        std::ostream& os, const std::string& ind) {
+    std::string a = "a" + std::to_string(s);
+    switch (slot.type) {
+      case ScalarType::Float:
+        os << ind << a << "[" << tf << "] = (double)(float)" << as_double(v)
+           << ";\n";
+        break;
+      case ScalarType::Double:
+        os << ind << a << "[" << tf << "] = " << as_double(v) << ";\n";
+        break;
+      case ScalarType::Bool:
+        os << ind << a << "[" << tf << "] = " << truthy(v) << " ? 1 : 0;\n";
+        break;
+      case ScalarType::Int:
+        os << ind << a << "[" << tf << "] = " << as_int(v) << ";\n";
+        break;
+    }
+  }
+
+  /// interp::Engine::apply() — compound-assignment arithmetic (no Mod).
+  Val emit_apply(AssignOp op, const Val& cur, const Val& rhs,
+                 std::ostream& os, const std::string& ind) {
+    bool fp = cur.floating() || rhs.floating();
+    std::string t = new_temp();
+    if (fp) {
+      bool both_float = cur.type == ScalarType::Float &&
+                        rhs.type == ScalarType::Float;
+      std::string x = as_double(cur), y = as_double(rhs);
+      std::string raw;
+      switch (op) {
+        case AssignOp::Add: raw = x + " + " + y; break;
+        case AssignOp::Sub: raw = x + " - " + y; break;
+        case AssignOp::Mul: raw = x + " * " + y; break;
+        case AssignOp::Div: raw = x + " / " + y; break;
+        default: refuse("bad compound op");
+      }
+      if (both_float) raw = "(double)(float)(" + raw + ")";
+      os << ind << "const double " << t << " = " << raw << ";\n";
+      return {t, both_float ? ScalarType::Float : ScalarType::Double};
+    }
+    std::string x = as_int(cur), y = as_int(rhs);
+    switch (op) {
+      case AssignOp::Add:
+        os << ind << "const long long " << t << " = " << x << " + " << y
+           << ";\n";
+        break;
+      case AssignOp::Sub:
+        os << ind << "const long long " << t << " = " << x << " - " << y
+           << ";\n";
+        break;
+      case AssignOp::Mul:
+        os << ind << "const long long " << t << " = " << x << " * " << y
+           << ";\n";
+        break;
+      case AssignOp::Div:
+        os << ind << "const long long " << t << " = slcnat_idiv(ctx, " << x
+           << ", " << y << ");\n";
+        break;
+      default: refuse("bad compound op");
+    }
+    return {t, ScalarType::Int};
+  }
+
+  // -- statements -----------------------------------------------------------
+
+  void emit_stmt(const Stmt& s, std::ostream& os, const std::string& ind) {
+    os << ind << "{\n";
+    std::string in = ind + "  ";
+    os << in << "SLCNAT_STEP();\n";
+    switch (s.kind()) {
+      case StmtKind::Decl:
+        emit_decl(*dyn_cast<DeclStmt>(&s), os, in);
+        break;
+      case StmtKind::Assign:
+        emit_assign(*dyn_cast<AssignStmt>(&s), os, in);
+        break;
+      case StmtKind::ExprStmt: {
+        const auto* x = dyn_cast<ExprStmt>(&s);
+        if (x->guard) {
+          Val g = emit_expr(*x->guard, os, in);
+          os << in << "if " << truthy(g) << " {\n";
+          (void)emit_expr(*x->expr, os, in + "  ");
+          os << in << "}\n";
+        } else {
+          (void)emit_expr(*x->expr, os, in);
+        }
+        break;
+      }
+      case StmtKind::Block:
+        for (const StmtPtr& c : dyn_cast<BlockStmt>(&s)->stmts)
+          emit_stmt(*c, os, in);
+        break;
+      case StmtKind::Parallel:
+        // Sequential, exactly like the interpreter (paper §3: `||` rows
+        // must stay valid sequential C).
+        for (const StmtPtr& c : dyn_cast<ParallelStmt>(&s)->stmts)
+          emit_stmt(*c, os, in);
+        break;
+      case StmtKind::If: {
+        const auto* i = dyn_cast<IfStmt>(&s);
+        Val c = emit_expr(*i->cond, os, in);
+        os << in << "if " << truthy(c) << " {\n";
+        emit_stmt(*i->then_stmt, os, in + "  ");
+        os << in << "}";
+        if (i->else_stmt) {
+          os << " else {\n";
+          emit_stmt(*i->else_stmt, os, in + "  ");
+          os << in << "}";
+        }
+        os << "\n";
+        break;
+      }
+      case StmtKind::For: {
+        const auto* f = dyn_cast<ForStmt>(&s);
+        if (f->init) emit_stmt(*f->init, os, in);
+        os << in << "for (;;) {\n";
+        std::string li = in + "  ";
+        if (f->cond) {
+          Val c = emit_expr(*f->cond, os, li);
+          os << li << "if (!" << truthy(c) << ") break;\n";
+        }
+        os << li << "SLCNAT_STEP();\n";
+        ++loop_depth_;
+        emit_stmt(*f->body, os, li);
+        if (f->step) emit_stmt(*f->step, os, li);
+        --loop_depth_;
+        os << in << "}\n";
+        break;
+      }
+      case StmtKind::While: {
+        const auto* w = dyn_cast<WhileStmt>(&s);
+        os << in << "for (;;) {\n";
+        std::string li = in + "  ";
+        Val c = emit_expr(*w->cond, os, li);
+        os << li << "if (!" << truthy(c) << ") break;\n";
+        os << li << "SLCNAT_STEP();\n";
+        ++loop_depth_;
+        emit_stmt(*w->body, os, li);
+        --loop_depth_;
+        os << in << "}\n";
+        break;
+      }
+      case StmtKind::Break:
+        if (loop_depth_ == 0) refuse("break outside of loop");
+        os << in << "break;\n";
+        break;
+    }
+    os << ind << "}\n";
+  }
+
+  void emit_decl(const DeclStmt& d, std::ostream& os, const std::string& in) {
+    if (d.is_array()) {
+      std::size_t s = array_of(d.name);
+      // Host buffers are prefilled; a (re-)executed decl only marks the
+      // array live (interp skips refilling a re-entered decl).
+      if (checked_) os << in << "arr_live[" << s << "] = 1;\n";
+      return;
+    }
+    std::size_t s = scalar_of(d.name);
+    std::string var = "s" + std::to_string(s);
+    if (d.init) {
+      Val v = emit_expr(*d.init, os, in);
+      os << in << var << " = " << coerced(v, d.type) << ";\n";
+    } else {
+      std::string idx = std::to_string(s);
+      switch (d.type) {
+        case ScalarType::Int:
+          os << in << var << " = isc_fill[" << idx << "];\n";
+          break;
+        case ScalarType::Bool:
+          os << in << var << " = ((isc_fill[" << idx
+             << "] % 2) != 0) ? 1 : 0;\n";
+          break;
+        case ScalarType::Float:
+          os << in << var << " = (double)(float)fsc_fill[" << idx << "];\n";
+          break;
+        case ScalarType::Double:
+          os << in << var << " = fsc_fill[" << idx << "];\n";
+          break;
+      }
+    }
+    if (checked_) os << in << "sc_live[" << s << "] = 1;\n";
+  }
+
+  void emit_assign(const AssignStmt& a, std::ostream& o,
+                   const std::string& in) {
+    std::string body_ind = in;
+    if (a.guard) {
+      Val g = emit_expr(*a.guard, o, in);
+      o << in << "if " << truthy(g) << " {\n";
+      body_ind = in + "  ";
+    }
+
+    Val rhs = emit_expr(*a.rhs, o, body_ind);
+    if (const auto* v = dyn_cast<VarRef>(a.lhs.get())) {
+      std::size_t s = scalar_of(v->name);
+      ScalarType type = manifest_.scalars[s].type;
+      std::string var = "s" + std::to_string(s);
+      live_check_scalar(s, o, body_ind);
+      Val value = rhs;
+      if (a.op != AssignOp::Set)
+        value = emit_apply(a.op, Val{var, type}, rhs, o, body_ind);
+      o << body_ind << var << " = " << coerced(value, type) << ";\n";
+    } else if (const auto* ar = dyn_cast<ArrayRef>(a.lhs.get())) {
+      std::size_t s = array_of(ar->name);
+      const ArraySlot& slot = manifest_.arrays[s];
+      live_check_array(s, o, body_ind);
+      std::string tf = emit_index(*ar, slot, o, body_ind);
+      Val value = rhs;
+      if (a.op != AssignOp::Set) {
+        // Element load for the compound op (subscripts are evaluated
+        // once; interp evaluates them twice with identical results and
+        // identical abort behavior — subscript evaluation never ticks).
+        std::string cur = new_temp();
+        std::string arr = "a" + std::to_string(s);
+        Val cur_v;
+        if (is_floating(slot.type)) {
+          o << body_ind << "const double " << cur << " = " << arr << "["
+            << tf << "];\n";
+          cur_v = {cur, slot.type};
+        } else if (slot.type == ScalarType::Bool) {
+          o << body_ind << "const long long " << cur << " = (" << arr << "["
+            << tf << "] != 0) ? 1 : 0;\n";
+          cur_v = {cur, ScalarType::Bool};
+        } else {
+          o << body_ind << "const long long " << cur << " = " << arr << "["
+            << tf << "];\n";
+          cur_v = {cur, ScalarType::Int};
+        }
+        value = emit_apply(a.op, cur_v, rhs, o, body_ind);
+      }
+      emit_array_store(slot, s, tf, value, o, body_ind);
+    } else {
+      refuse("assignment target is neither scalar nor array");
+    }
+    if (a.guard) o << in << "}\n";
+  }
+
+  // -- assembly -------------------------------------------------------------
+
+  std::string assemble(const std::string& body) {
+    std::ostringstream os;
+    os << "/* Generated by the slc native oracle (ABI v" << kNativeAbiVersion
+       << "). Do not edit. */\n"
+          "#include <math.h>\n"
+          "#include <setjmp.h>\n"
+          "\n"
+          "typedef struct {\n"
+          "  unsigned long long steps;\n"
+          "  unsigned long long max_steps;\n"
+          "  long long check_bounds;\n"
+          "  long long abort_kind;\n"
+          "  jmp_buf jb;\n"
+          "} slcnat_ctx;\n"
+          "\n"
+          "static void slcnat_fail(slcnat_ctx* c, long long kind) {\n"
+          "  c->abort_kind = kind;\n"
+          "  longjmp(c->jb, 1);\n"
+          "}\n"
+          "\n"
+          "static long long slcnat_idiv(slcnat_ctx* c, long long x, "
+          "long long y) {\n"
+          "  if (y == 0) slcnat_fail(c, 1);\n"
+          "  return x / y;\n"
+          "}\n"
+          "\n"
+          "static long long slcnat_imod(slcnat_ctx* c, long long x, "
+          "long long y) {\n"
+          "  if (y == 0) slcnat_fail(c, 1);\n"
+          "  return x % y;\n"
+          "}\n";
+    std::string text = os.str();
+
+    std::ostringstream fn;
+    fn << "\n#define SLCNAT_STEP() do { if (++ctx->steps > ctx->max_steps) "
+          "slcnat_fail(ctx, 3); } while (0)\n"
+          "\n"
+          "long long slcnat_run(slcnat_ctx* ctx,\n"
+          "                     double* fsc, long long* isc,\n"
+          "                     const double* fsc_fill, "
+          "const long long* isc_fill,\n"
+          "                     unsigned char* sc_live,\n"
+          "                     void* const* arr, unsigned char* arr_live) "
+          "{\n"
+          "  if (setjmp(ctx->jb) != 0) return ctx->abort_kind;\n"
+          "  (void)fsc; (void)isc; (void)fsc_fill; (void)isc_fill;\n"
+          "  (void)sc_live; (void)arr; (void)arr_live;\n";
+    for (std::size_t i = 0; i < manifest_.arrays.size(); ++i) {
+      const ArraySlot& a = manifest_.arrays[i];
+      fn << "  " << ctype(a.type) << "* const a" << i << " = ("
+         << ctype(a.type) << "*)arr[" << i << "]; /* " << a.name << " */\n"
+         << "  (void)a" << i << ";\n";
+    }
+    for (std::size_t i = 0; i < manifest_.scalars.size(); ++i) {
+      const ScalarSlot& s = manifest_.scalars[i];
+      fn << "  " << ctype(s.type) << " s" << i << " = 0; /* " << s.name
+         << " */\n";
+    }
+    fn << "\n" << body << "\n";
+    // Copy-out: final scalar values plus liveness. In fast mode every
+    // declaration is top-level and has executed by the time control
+    // reaches here, so everything is live.
+    for (std::size_t i = 0; i < manifest_.scalars.size(); ++i) {
+      const ScalarSlot& s = manifest_.scalars[i];
+      fn << "  " << (is_floating(s.type) ? "fsc" : "isc") << "[" << i
+         << "] = s" << i << ";\n";
+      if (!checked_) fn << "  sc_live[" << i << "] = 1;\n";
+    }
+    if (!checked_)
+      for (std::size_t i = 0; i < manifest_.arrays.size(); ++i)
+        fn << "  arr_live[" << i << "] = 1;\n";
+    fn << "  return 0;\n"
+          "}\n";
+    return text + fn.str();
+  }
+
+  const Program& program_;
+  Manifest manifest_;
+  std::map<std::string, std::size_t> scalar_slot_;
+  std::map<std::string, std::size_t> array_slot_;
+  std::set<std::string> scalar_used_;
+  std::set<std::string> array_used_;
+  bool has_nested_decl_ = false;
+  bool checked_ = false;
+  int temp_ = 0;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+CodegenResult generate_c(const ast::Program& program) {
+  return Emitter(program).run();
+}
+
+}  // namespace slc::native

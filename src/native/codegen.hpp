@@ -1,0 +1,72 @@
+// Mini-C -> freestanding C lowering for the native-execution oracle.
+//
+// The generated translation unit replicates the tree-walking
+// interpreter's observable semantics *bit for bit*: the same
+// float-rounding discipline (Float values live as float-rounded
+// doubles), the same left-to-right evaluation and abort ordering
+// (expressions are flattened into three-address temporaries so C's
+// unsequenced evaluation cannot reorder an out-of-bounds abort past a
+// divide-by-zero), the same statement step counting (one tick per
+// executed statement plus one per loop iteration), and the same abort
+// classification (longjmp back to the entry trampoline with the
+// AbortKind number).
+//
+// Constructs whose runtime behavior cannot be pinned down statically —
+// unknown callees, wrong intrinsic arity, `break` outside a loop,
+// conditional/min/max operands whose scalar type would only be known at
+// run time, a name redeclared with a different type — are *refused*
+// (CodegenResult.ok = false) instead of approximated; the oracle layer
+// falls back to the interpreter for those programs. Refusal is always
+// sound: it can cost speed, never correctness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+
+namespace slc::native {
+
+/// Bumping this orphans every cached shared object (the ABI version is
+/// part of the content hash in cache.hpp).
+inline constexpr int kNativeAbiVersion = 1;
+
+/// One scalar variable of the generated program, in slot order. The
+/// host passes deterministic fill values per slot and reads final
+/// values back from per-slot out arrays.
+struct ScalarSlot {
+  std::string name;
+  ast::ScalarType type = ast::ScalarType::Int;
+};
+
+/// One array of the generated program, in slot order. The host owns the
+/// buffer (double or int64 elements, row-major) and prefills it exactly
+/// like interp's declare().
+struct ArraySlot {
+  std::string name;
+  ast::ScalarType type = ast::ScalarType::Double;
+  std::vector<std::int64_t> dims;
+  std::int64_t size = 0;  // product of dims
+};
+
+/// The memory-image contract between host and generated code.
+struct Manifest {
+  std::vector<ScalarSlot> scalars;
+  std::vector<ArraySlot> arrays;
+};
+
+struct CodegenResult {
+  bool ok = false;
+  std::string reason;  // refusal reason when !ok
+  std::string c_source;
+  Manifest manifest;
+};
+
+/// Lowers `program` to a freestanding C translation unit exporting
+/// `slcnat_run` (see the ABI comment at the top of the emitted source).
+/// Deterministic: identical programs produce byte-identical C, which is
+/// what makes the content-addressed codegen cache effective.
+[[nodiscard]] CodegenResult generate_c(const ast::Program& program);
+
+}  // namespace slc::native

@@ -1,0 +1,482 @@
+#include "native/oracle.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <csetjmp>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "native/cache.hpp"
+#include "native/codegen.hpp"
+
+namespace slc::native {
+
+namespace {
+
+using interp::AbortKind;
+using interp::RunResult;
+
+/// Host mirror of the generated slcnat_ctx. Layout-compatible by
+/// construction: same leading members in the same order, and the
+/// trailing jmp_buf is only touched by code *inside* the shared object
+/// (both setjmp and longjmp live there), so the host just has to
+/// reserve enough space — same libc, same jmp_buf.
+struct NativeCtx {
+  unsigned long long steps = 0;
+  unsigned long long max_steps = 0;
+  long long check_bounds = 1;
+  long long abort_kind = 0;
+  std::jmp_buf jb;
+};
+
+AbortKind abort_kind_of(long long rc) {
+  switch (rc) {
+    case 1: return AbortKind::DivideByZero;
+    case 2: return AbortKind::OutOfBounds;
+    case 3: return AbortKind::StepLimit;
+    case 4: return AbortKind::BadProgram;
+    default: return AbortKind::None;
+  }
+}
+
+const char* abort_text(AbortKind kind) {
+  switch (kind) {
+    case AbortKind::DivideByZero: return "integer division by zero";
+    case AbortKind::OutOfBounds: return "array index out of bounds";
+    case AbortKind::StepLimit: return "step limit exceeded";
+    case AbortKind::BadProgram: return "use of undeclared variable";
+    case AbortKind::None: break;
+  }
+  return "ok";
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::mutex stats_mu;
+OracleStats g_stats;
+
+void bump(std::uint64_t OracleStats::* field) {
+  std::lock_guard<std::mutex> lock(stats_mu);
+  ++(g_stats.*field);
+}
+
+/// Prepared input/output state for one native execution, mirroring
+/// interp::Engine::declare()'s deterministic fills exactly.
+struct HostState {
+  std::vector<double> fsc, fsc_fill;
+  std::vector<long long> isc, isc_fill;
+  std::vector<unsigned char> sc_live, arr_live;
+  std::vector<std::vector<double>> fbuf;
+  std::vector<std::vector<std::int64_t>> ibuf;
+  std::vector<void*> arr;
+
+  void build(const Manifest& m, std::uint64_t seed) {
+    std::size_t ns = m.scalars.size();
+    std::size_t na = m.arrays.size();
+    fsc.assign(ns, 0.0);
+    fsc_fill.assign(ns, 0.0);
+    isc.assign(ns, 0);
+    isc_fill.assign(ns, 0);
+    sc_live.assign(ns, 0);
+    arr_live.assign(na, 0);
+    fbuf.assign(na, {});
+    ibuf.assign(na, {});
+    arr.assign(na, nullptr);
+    for (std::size_t i = 0; i < ns; ++i) {
+      fsc_fill[i] = interp::random_fill_double(seed, m.scalars[i].name, -1);
+      isc_fill[i] = interp::random_fill_int(seed, m.scalars[i].name, -1);
+    }
+    for (std::size_t k = 0; k < na; ++k) {
+      const ArraySlot& a = m.arrays[k];
+      if (ast::is_floating(a.type)) {
+        fbuf[k].resize(std::size_t(a.size));
+        for (std::int64_t i = 0; i < a.size; ++i) {
+          double v = interp::random_fill_double(seed, a.name, i);
+          fbuf[k][std::size_t(i)] =
+              a.type == ast::ScalarType::Float ? double(float(v)) : v;
+        }
+        arr[k] = fbuf[k].data();
+      } else {
+        ibuf[k].resize(std::size_t(a.size));
+        for (std::int64_t i = 0; i < a.size; ++i)
+          ibuf[k][std::size_t(i)] = interp::random_fill_int(seed, a.name, i);
+        arr[k] = ibuf[k].data();
+      }
+    }
+  }
+
+  long long invoke(EntryFn entry, NativeCtx& ctx) {
+    return entry(&ctx, fsc.data(), isc.data(), fsc_fill.data(),
+                 isc_fill.data(), sc_live.data(), arr.data(),
+                 arr_live.data());
+  }
+
+  interp::MemoryImage take_memory(const Manifest& m) {
+    interp::MemoryImage image;
+    for (std::size_t i = 0; i < m.scalars.size(); ++i) {
+      if (sc_live[i] == 0) continue;
+      const ScalarSlot& s = m.scalars[i];
+      interp::Value v;
+      switch (s.type) {
+        case ast::ScalarType::Int:
+          v = interp::Value::of_int(isc[i]);
+          break;
+        case ast::ScalarType::Bool:
+          v = interp::Value::of_bool(isc[i] != 0);
+          break;
+        case ast::ScalarType::Float:
+          // fsc[i] is already float-rounded by the generated stores;
+          // of_float's re-round is exact on such values.
+          v = interp::Value::of_float(fsc[i]);
+          break;
+        case ast::ScalarType::Double:
+          v = interp::Value::of_double(fsc[i]);
+          break;
+      }
+      image.scalars.emplace(s.name, v);
+    }
+    for (std::size_t k = 0; k < m.arrays.size(); ++k) {
+      if (arr_live[k] == 0) continue;
+      const ArraySlot& a = m.arrays[k];
+      interp::ArrayValue av;
+      av.type = a.type;
+      av.dims = a.dims;
+      if (ast::is_floating(a.type)) {
+        av.fdata = std::move(fbuf[k]);
+      } else {
+        av.idata = std::move(ibuf[k]);
+      }
+      image.arrays.emplace(a.name, std::move(av));
+    }
+    return image;
+  }
+};
+
+/// interp vs native divergence description for one leg; empty = agree.
+/// Memory is compared both directions (diff() is one-directional) and
+/// the step counter doubles as a codegen-drift canary.
+std::string cross_check_legs(const char* which, const RunResult& it,
+                             const RunResult& nat) {
+  std::ostringstream os;
+  os << which << ": ";
+  if (it.ok != nat.ok) {
+    os << "interp " << (it.ok ? "succeeded" : ("aborted (" + it.error + ")"))
+       << " but native " << (nat.ok ? "succeeded" : "aborted");
+    return os.str();
+  }
+  if (!it.ok) {
+    if (it.abort_kind != nat.abort_kind) {
+      os << "abort kind diverges: interp=" << int(it.abort_kind)
+         << " native=" << int(nat.abort_kind);
+      return os.str();
+    }
+    if (it.steps != nat.steps) {
+      os << "steps diverge on abort: interp=" << it.steps
+         << " native=" << nat.steps;
+      return os.str();
+    }
+    return "";
+  }
+  if (it.steps != nat.steps) {
+    os << "steps diverge: interp=" << it.steps << " native=" << nat.steps;
+    return os.str();
+  }
+  std::string d = it.memory.diff(nat.memory);
+  if (d.empty()) d = nat.memory.diff(it.memory);
+  if (!d.empty()) {
+    os << d;
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* to_string(OracleMode mode) {
+  switch (mode) {
+    case OracleMode::Interp: return "interp";
+    case OracleMode::Native: return "native";
+    case OracleMode::Both: return "both";
+  }
+  return "?";
+}
+
+std::optional<OracleMode> parse_oracle_mode(std::string_view name) {
+  if (name == "interp") return OracleMode::Interp;
+  if (name == "native") return OracleMode::Native;
+  if (name == "both") return OracleMode::Both;
+  return std::nullopt;
+}
+
+bool native_available() { return CodegenCache::instance().available(); }
+
+std::string oracle_identity(OracleMode mode) {
+  if (mode == OracleMode::Interp) return "interp";
+  std::string sig = CodegenCache::instance().compiler_signature();
+  std::string tag;
+  if (sig.empty()) {
+    tag = "none";
+  } else {
+    std::ostringstream os;
+    os << std::hex << fnv1a(sig);
+    tag = os.str().substr(0, 8);
+  }
+  return std::string(to_string(mode)) + ":" + tag;
+}
+
+NativeRun run_native(const ast::Program& program, std::uint64_t seed,
+                     const interp::InterpOptions& options) {
+  NativeRun nr;
+  CodegenResult cg = generate_c(program);
+  if (!cg.ok) {
+    nr.reason = "codegen refused: " + cg.reason;
+    return nr;
+  }
+  auto compiled = CodegenCache::instance().get_or_compile(cg.c_source);
+  if (!compiled->ok) {
+    nr.reason = compiled->error;
+    return nr;
+  }
+
+  HostState state;
+  state.build(cg.manifest, seed);
+  NativeCtx ctx;
+  ctx.max_steps = options.max_steps;
+  ctx.check_bounds = options.check_bounds ? 1 : 0;
+  long long rc = state.invoke(compiled->entry, ctx);
+
+  nr.attempted = true;
+  bump(&OracleStats::native_runs);
+  nr.result.steps = ctx.steps;
+  if (rc != 0) {
+    nr.result.ok = false;
+    nr.result.abort_kind = abort_kind_of(rc);
+    nr.result.error =
+        std::string("native abort: ") + abort_text(nr.result.abort_kind);
+    // Unlike the interpreter, no partial memory image on abort — no
+    // caller consumes one (equivalence only compares successful runs).
+    return nr;
+  }
+  nr.result.ok = true;
+  nr.result.memory = state.take_memory(cg.manifest);
+  return nr;
+}
+
+OracleOutcome oracle_check_equivalence(const ast::Program& original,
+                                       const ast::Program& transformed,
+                                       std::uint64_t seed,
+                                       const interp::InterpOptions& options,
+                                       OracleMode mode) {
+  OracleOutcome out;
+  if (mode == OracleMode::Interp) {
+    out.eq = interp::check_equivalence(original, transformed, seed, options);
+    return out;
+  }
+
+  if (mode == OracleMode::Native) {
+    NativeRun a = run_native(original, seed, options);
+    NativeRun b;
+    bool b_ran = false;
+    if (a.attempted && a.result.ok) {
+      b = run_native(transformed, seed, options);
+      b_ran = true;
+    }
+    if (!a.attempted || (b_ran && !b.attempted)) {
+      out.fell_back = true;
+      out.fallback_reason = !a.attempted ? a.reason : b.reason;
+      bump(&OracleStats::fallbacks);
+      out.eq = interp::check_equivalence(original, transformed, seed,
+                                         options);
+      return out;
+    }
+    out.used_native = true;
+    // Same short-circuit shape as interp::check_equivalence.
+    if (!a.result.ok) {
+      out.eq.status = interp::EquivalenceResult::Status::OriginalFailed;
+      out.eq.abort_kind = a.result.abort_kind;
+      out.eq.detail = "original program failed: " + a.result.error;
+      return out;
+    }
+    if (!b.result.ok) {
+      out.eq.status = interp::EquivalenceResult::Status::TransformedFailed;
+      out.eq.abort_kind = b.result.abort_kind;
+      out.eq.detail = "transformed program failed: " + b.result.error;
+      return out;
+    }
+    std::string d = a.result.memory.diff(b.result.memory);
+    if (!d.empty()) {
+      out.eq.status = interp::EquivalenceResult::Status::Mismatch;
+      out.eq.detail = "memory differs: " + d;
+    }
+    return out;
+  }
+
+  // Both: the interpreter's verdict is authoritative; the native legs
+  // are cross-checked against it and divergence is reported separately
+  // (it indicates a codegen/cache bug, not a transform bug).
+  interp::Interpreter interp_engine(options);
+  RunResult ia = interp_engine.run(original, seed);
+  NativeRun na = run_native(original, seed, options);
+  if (na.attempted) {
+    bump(&OracleStats::cross_checks);
+    std::string d = cross_check_legs("original", ia, na.result);
+    if (!d.empty()) {
+      out.cross_check_failed = true;
+      out.cross_check_detail = d;
+      bump(&OracleStats::cross_check_failures);
+    }
+    out.used_native = true;
+  } else {
+    out.fell_back = true;
+    out.fallback_reason = na.reason;
+    bump(&OracleStats::fallbacks);
+  }
+  if (!ia.ok) {
+    out.eq.status = interp::EquivalenceResult::Status::OriginalFailed;
+    out.eq.abort_kind = ia.abort_kind;
+    out.eq.detail = "original program failed: " + ia.error;
+    return out;
+  }
+  RunResult ib = interp_engine.run(transformed, seed);
+  NativeRun nb = run_native(transformed, seed, options);
+  if (nb.attempted) {
+    bump(&OracleStats::cross_checks);
+    std::string d = cross_check_legs("transformed", ib, nb.result);
+    if (!d.empty() && !out.cross_check_failed) {
+      out.cross_check_failed = true;
+      out.cross_check_detail = d;
+      bump(&OracleStats::cross_check_failures);
+    }
+    out.used_native = true;
+  } else if (!out.fell_back) {
+    out.fell_back = true;
+    out.fallback_reason = nb.reason;
+    bump(&OracleStats::fallbacks);
+  }
+  if (!ib.ok) {
+    out.eq.status = interp::EquivalenceResult::Status::TransformedFailed;
+    out.eq.abort_kind = ib.abort_kind;
+    out.eq.detail = "transformed program failed: " + ib.error;
+    return out;
+  }
+  std::string d = ia.memory.diff(ib.memory);
+  if (!d.empty()) {
+    out.eq.status = interp::EquivalenceResult::Status::Mismatch;
+    out.eq.detail = "memory differs: " + d;
+  }
+  return out;
+}
+
+struct NativeExecutable::Impl {
+  Manifest manifest;
+  EntryFn entry = nullptr;
+  interp::InterpOptions options;
+  HostState pristine;
+  HostState scratch;
+};
+
+NativeExecutable::NativeExecutable() : impl_(new Impl) {}
+NativeExecutable::~NativeExecutable() = default;
+
+std::unique_ptr<NativeExecutable> NativeExecutable::prepare(
+    const ast::Program& program, std::uint64_t seed,
+    const interp::InterpOptions& options) {
+  CodegenResult cg = generate_c(program);
+  if (!cg.ok) return nullptr;
+  auto compiled = CodegenCache::instance().get_or_compile(cg.c_source);
+  if (!compiled->ok) return nullptr;
+  std::unique_ptr<NativeExecutable> exe(new NativeExecutable());
+  exe->impl_->manifest = std::move(cg.manifest);
+  exe->impl_->entry = compiled->entry;
+  exe->impl_->options = options;
+  exe->impl_->pristine.build(exe->impl_->manifest, seed);
+  return exe;
+}
+
+interp::RunResult NativeExecutable::run() {
+  Impl& im = *impl_;
+  HostState& s = im.scratch;
+  // vector operator= reuses capacity after the first run, so restoring
+  // the pristine inputs is flat copies, not per-run re-hashing of the
+  // deterministic fills.
+  s = im.pristine;
+  for (std::size_t k = 0; k < s.arr.size(); ++k)
+    s.arr[k] = ast::is_floating(im.manifest.arrays[k].type)
+                   ? static_cast<void*>(s.fbuf[k].data())
+                   : static_cast<void*>(s.ibuf[k].data());
+  NativeCtx ctx;
+  ctx.max_steps = im.options.max_steps;
+  ctx.check_bounds = im.options.check_bounds ? 1 : 0;
+  long long rc = s.invoke(im.entry, ctx);
+  bump(&OracleStats::native_runs);
+  interp::RunResult result;
+  result.steps = ctx.steps;
+  if (rc != 0) {
+    result.ok = false;
+    result.abort_kind = abort_kind_of(rc);
+    result.error =
+        std::string("native abort: ") + abort_text(result.abort_kind);
+    return result;
+  }
+  result.ok = true;
+  result.memory = s.take_memory(im.manifest);
+  return result;
+}
+
+std::uint64_t time_native_ns(const ast::Program& program, std::uint64_t seed,
+                             const interp::InterpOptions& options,
+                             int repeats) {
+  CodegenResult cg = generate_c(program);
+  if (!cg.ok) return 0;
+  auto compiled = CodegenCache::instance().get_or_compile(cg.c_source);
+  if (!compiled->ok) return 0;
+
+  HostState pristine;
+  pristine.build(cg.manifest, seed);
+  std::vector<std::uint64_t> samples;
+  samples.reserve(std::size_t(std::max(repeats, 1)));
+  for (int rep = 0; rep < std::max(repeats, 1); ++rep) {
+    HostState state = pristine;  // reset inputs outside the timed region
+    for (std::size_t k = 0; k < state.arr.size(); ++k)
+      state.arr[k] = ast::is_floating(cg.manifest.arrays[k].type)
+                         ? static_cast<void*>(state.fbuf[k].data())
+                         : static_cast<void*>(state.ibuf[k].data());
+    NativeCtx ctx;
+    ctx.max_steps = options.max_steps;
+    ctx.check_bounds = options.check_bounds ? 1 : 0;
+    struct timespec t0, t1;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    long long rc = state.invoke(compiled->entry, ctx);
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+    if (rc != 0) return 0;
+    std::int64_t ns = std::int64_t(t1.tv_sec - t0.tv_sec) * 1'000'000'000 +
+                      (std::int64_t(t1.tv_nsec) - std::int64_t(t0.tv_nsec));
+    samples.push_back(ns > 0 ? std::uint64_t(ns) : 0);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+OracleStats oracle_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu);
+  return g_stats;
+}
+
+void reset_oracle_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu);
+  g_stats = OracleStats{};
+}
+
+}  // namespace slc::native

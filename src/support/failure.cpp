@@ -15,6 +15,7 @@ const char* to_string(Stage stage) {
     case Stage::Schedule: return "schedule";
     case Stage::Simulate: return "simulate";
     case Stage::Oracle: return "oracle";
+    case Stage::Native: return "native";
     case Stage::Harness: return "harness";
     case Stage::Isolation: return "isolation";
   }
@@ -31,6 +32,7 @@ std::optional<Stage> parse_stage(std::string_view name) {
   if (name == "schedule") return Stage::Schedule;
   if (name == "simulate") return Stage::Simulate;
   if (name == "oracle") return Stage::Oracle;
+  if (name == "native") return Stage::Native;
   if (name == "harness") return Stage::Harness;
   if (name == "isolation") return Stage::Isolation;
   return std::nullopt;
@@ -56,6 +58,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::ChildSignal: return "child-signal";
     case FailureKind::ChildTimeout: return "child-timeout";
     case FailureKind::ChildOom: return "child-oom";
+    case FailureKind::NativeError: return "native-error";
     case FailureKind::Unknown: return "unknown";
   }
   return "?";

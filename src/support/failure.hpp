@@ -35,6 +35,8 @@ enum class Stage : std::uint8_t {
   Schedule,
   Simulate,
   Oracle,
+  Native,  // native-execution oracle backend (src/native): codegen,
+           // host-compiler invocation, dlopen, or interp/native divergence
   Harness,
   Isolation,
 };
@@ -64,6 +66,8 @@ enum class FailureKind : std::uint8_t {
   ChildSignal,       // isolated child died on a signal (e.g. SIGSEGV)
   ChildTimeout,      // isolated child killed by the wall-clock watchdog
   ChildOom,          // isolated child exceeded the RSS cap
+  NativeError,       // native oracle: codegen refusal, host compiler or
+                     // dlopen failure — the row falls back to the interp
   Unknown,
 };
 

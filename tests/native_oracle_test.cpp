@@ -1,0 +1,386 @@
+// Native-execution oracle (src/native) tests.
+//
+// The contract under test: a mini-C program lowered to C, compiled with
+// the host compiler, and executed through the trampoline produces a
+// memory image that is BYTE-IDENTICAL to the tree-walking interpreter's
+// on the same seed — over the example programs, the kernel registry,
+// and a 200-seed corpus of generated loops. On top of that:
+//   * every planted `bug:<name>` miscompile is caught by the native
+//     oracle alone (no interpreter in the loop);
+//   * a missing host compiler degrades gracefully to the interpreter
+//     (fell_back, never an error);
+//   * codegen refuses what it cannot compile exactly, deterministically;
+//   * the codegen cache serves memory and disk hits and reaches a
+//     >90% hit rate on a warm second sweep.
+//
+// Everything that needs a host compiler is skipped (GTEST_SKIP) when
+// none is detected, mirroring the CI job's explicit skip.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/generator.hpp"
+#include "interp/interp.hpp"
+#include "kernels/kernels.hpp"
+#include "native/cache.hpp"
+#include "native/codegen.hpp"
+#include "native/oracle.hpp"
+#include "slms/slms.hpp"
+#include "support/failure.hpp"
+#include "support/fault.hpp"
+
+namespace {
+
+using namespace slc;
+
+#define NATIVE_OR_SKIP()                                   \
+  do {                                                     \
+    if (!native::native_available())                       \
+      GTEST_SKIP() << "no host C compiler detected";       \
+  } while (0)
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+ast::Program parse(const std::string& source) {
+  DiagnosticEngine diags;
+  ast::Program p = frontend::parse_program(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  return p;
+}
+
+/// Bit-exact agreement of one native execution with the interpreter:
+/// same verdict, same abort kind, same step count, identical memory in
+/// both diff directions.
+void expect_byte_identical(const ast::Program& program, std::uint64_t seed,
+                           const std::string& what) {
+  interp::InterpOptions iopts;
+  interp::RunResult it = interp::Interpreter(iopts).run(program, seed);
+  native::NativeRun nat = native::run_native(program, seed, iopts);
+  ASSERT_TRUE(nat.attempted) << what << ": " << nat.reason;
+  EXPECT_EQ(it.ok, nat.result.ok) << what << ": interp=" << it.error
+                                  << " native=" << nat.result.error;
+  if (!it.ok || !nat.result.ok) {
+    EXPECT_EQ(int(it.abort_kind), int(nat.result.abort_kind)) << what;
+    EXPECT_EQ(it.steps, nat.result.steps) << what;
+    return;
+  }
+  EXPECT_EQ(it.steps, nat.result.steps) << what;
+  EXPECT_EQ(it.memory.diff(nat.result.memory), "") << what;
+  EXPECT_EQ(nat.result.memory.diff(it.memory), "") << what;
+}
+
+/// Arms one planted bug for the duration of a test body.
+class PlantedBug {
+ public:
+  explicit PlantedBug(const std::string& name) {
+    std::string error;
+    EXPECT_TRUE(support::fault::configure("bug:" + name, &error)) << error;
+  }
+  ~PlantedBug() { support::fault::clear(); }
+};
+
+/// Restores the cache's compiler/dir overrides even if a test fails.
+class CacheOverrideGuard {
+ public:
+  ~CacheOverrideGuard() {
+    native::CodegenCache::instance().set_host_cc("");
+    native::CodegenCache::instance().set_cache_dir("");
+  }
+};
+
+// --- 1. byte identity: registry, examples, generated corpus ---------------
+
+TEST(NativeOracle, KernelRegistryByteIdentical) {
+  NATIVE_OR_SKIP();
+  int attempted = 0;
+  for (const kernels::Kernel& k : kernels::all_kernels()) {
+    ast::Program p = parse(k.source);
+    interp::InterpOptions iopts;
+    native::NativeRun nat = native::run_native(p, 0, iopts);
+    if (!nat.attempted) continue;  // codegen refusal => interp fallback
+    ++attempted;
+    for (std::uint64_t seed : {0ULL, 1ULL})
+      expect_byte_identical(p, seed, k.name);
+  }
+  // The registry is the native backend's bread and butter: refusing a
+  // majority of it would gut the throughput win.
+  EXPECT_GT(attempted, int(kernels::all_kernels().size() / 2));
+}
+
+TEST(NativeOracle, ExamplesBothModeAgree) {
+  NATIVE_OR_SKIP();
+  int seen = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SLC_EXAMPLES_DIR)) {
+    if (entry.path().extension() != ".c") continue;
+    ++seen;
+    std::string name = entry.path().filename().string();
+    ast::Program original = parse(read_file(entry.path()));
+    ast::Program transformed = original.clone();
+    slms::SlmsOptions sopts;
+    sopts.enable_filter = false;
+    slms::apply_slms(transformed, sopts);
+
+    interp::InterpOptions iopts;
+    native::OracleOutcome out = native::oracle_check_equivalence(
+        original, transformed, 0, iopts, native::OracleMode::Both);
+    EXPECT_TRUE(out.eq.ok()) << name << ": " << out.eq.detail;
+    EXPECT_FALSE(out.cross_check_failed)
+        << name << ": " << out.cross_check_detail;
+  }
+  EXPECT_GT(seen, 0) << "no .c files under " << SLC_EXAMPLES_DIR;
+}
+
+TEST(NativeOracle, Fuzz200SeedCorpusByteIdentical) {
+  NATIVE_OR_SKIP();
+  int refused = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    fuzz::LoopGenerator gen{seed, {}};
+    ast::Program p = parse(gen.generate());
+    interp::InterpOptions iopts;
+    native::NativeRun nat = native::run_native(p, 0, iopts);
+    if (!nat.attempted) {
+      ++refused;
+      continue;
+    }
+    expect_byte_identical(p, 0, "gen seed " + std::to_string(seed));
+  }
+  // Generated canonical loops are squarely inside the supported subset.
+  EXPECT_LT(refused, 10);
+}
+
+TEST(NativeOracle, DifferentialThreeWaySweep) {
+  NATIVE_OR_SKIP();
+  // AST interpreter vs MIR executor vs native code, per seed: the
+  // differential harness's `both` mode plus the simulator cross-check.
+  fuzz::DiffOptions diff;
+  diff.oracle_mode = native::OracleMode::Both;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    fuzz::LoopGenerator gen{seed, {}};
+    fuzz::DiffVerdict verdict = fuzz::differential_check(gen.generate(), diff);
+    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.str();
+  }
+}
+
+// --- 2. planted miscompiles are caught natively ----------------------------
+
+void expect_caught_natively(const std::string& bug,
+                            const std::string& source) {
+  PlantedBug armed(bug);
+  ast::Program original = parse(source);
+  ast::Program transformed = original.clone();
+  slms::SlmsOptions sopts;
+  sopts.enable_filter = false;
+  slms::apply_slms(transformed, sopts);
+
+  interp::InterpOptions iopts;
+  native::OracleOutcome out = native::oracle_check_equivalence(
+      original, transformed, 0, iopts, native::OracleMode::Native);
+  EXPECT_TRUE(out.used_native) << bug;
+  EXPECT_FALSE(out.fell_back) << bug << ": " << out.fallback_reason;
+  EXPECT_FALSE(out.eq.ok())
+      << bug << ": miscompile not caught by the native oracle";
+}
+
+std::string clobber_source() {
+  return read_file(std::filesystem::path(SLC_EXAMPLES_DIR) /
+                   "lint_clobber.c");
+}
+
+TEST(NativeOracle, CatchesMveSkipRename) {
+  NATIVE_OR_SKIP();
+  expect_caught_natively("mve-skip-rename", clobber_source());
+}
+TEST(NativeOracle, CatchesSchedSigmaSkew) {
+  NATIVE_OR_SKIP();
+  // sigma-skew corrupts the *exported* schedule metadata, not the
+  // emitted source (see slms.cpp: "the static verifier must flag it...
+  // without running anything") — no execution oracle can see it, and the
+  // native oracle must NOT hallucinate a divergence. With the native
+  // oracle in the differential harness, the bug is still caught: the
+  // static verifier rejects a program the (native) oracle accepts.
+  PlantedBug armed("sched-sigma-skew");
+  ast::Program original = parse(clobber_source());
+  ast::Program transformed = original.clone();
+  slms::SlmsOptions sopts;
+  sopts.enable_filter = false;
+  slms::apply_slms(transformed, sopts);
+  interp::InterpOptions iopts;
+  native::OracleOutcome out = native::oracle_check_equivalence(
+      original, transformed, 0, iopts, native::OracleMode::Both);
+  EXPECT_TRUE(out.used_native);
+  EXPECT_TRUE(out.eq.ok()) << out.eq.detail;
+  EXPECT_FALSE(out.cross_check_failed) << out.cross_check_detail;
+
+  fuzz::DiffOptions diff;
+  diff.check_backends = false;
+  diff.check_static = true;
+  diff.oracle_mode = native::OracleMode::Native;
+  fuzz::DiffVerdict verdict =
+      fuzz::differential_check(clobber_source(), diff);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_EQ(int(verdict.failure.stage), int(support::Stage::Verify))
+      << verdict.str();
+}
+TEST(NativeOracle, CatchesKernelRunOver) {
+  NATIVE_OR_SKIP();
+  expect_caught_natively("kernel-run-over", clobber_source());
+}
+TEST(NativeOracle, CatchesPrologueDrop) {
+  NATIVE_OR_SKIP();
+  expect_caught_natively("prologue-drop", clobber_source());
+}
+TEST(NativeOracle, CatchesPrologueEarlyIv) {
+  NATIVE_OR_SKIP();
+  expect_caught_natively("prologue-early-iv",
+                         read_file(std::filesystem::path(SLC_EXAMPLES_DIR) /
+                                   "lint_oob.c"));
+}
+TEST(NativeOracle, CatchesFixupStaleCopy) {
+  NATIVE_OR_SKIP();
+  expect_caught_natively("fixup-stale-copy", clobber_source());
+}
+
+// --- 3. graceful degradation -----------------------------------------------
+
+TEST(NativeOracle, MissingCompilerFallsBackToInterp) {
+  CacheOverrideGuard restore;
+  native::CodegenCache::instance().set_host_cc(
+      "/nonexistent/slc-no-such-cc");
+  EXPECT_FALSE(native::native_available());
+  EXPECT_EQ(native::oracle_identity(native::OracleMode::Native),
+            "native:none");
+
+  ast::Program original =
+      parse("double A[32];\nint i;\nfor (i = 0; i < 32; i++) "
+            "{ A[i] = 2.0; }\n");
+  ast::Program transformed = original.clone();
+  interp::InterpOptions iopts;
+  native::OracleOutcome out = native::oracle_check_equivalence(
+      original, transformed, 0, iopts, native::OracleMode::Native);
+  EXPECT_TRUE(out.fell_back);
+  EXPECT_FALSE(out.used_native);
+  EXPECT_FALSE(out.fallback_reason.empty());
+  EXPECT_TRUE(out.eq.ok()) << out.eq.detail;  // interp still decides
+}
+
+TEST(NativeOracle, FailureTaxonomyHasNativeStage) {
+  // The Stage::Native / FailureKind::NativeError classifications must
+  // round-trip through the journal's string form.
+  EXPECT_EQ(std::string(support::to_string(support::Stage::Native)),
+            "native");
+  EXPECT_EQ(std::string(support::to_string(support::FailureKind::NativeError)),
+            "native-error");
+  auto stage = support::parse_stage("native");
+  ASSERT_TRUE(stage.has_value());
+  EXPECT_EQ(int(*stage), int(support::Stage::Native));
+  auto kind = support::parse_failure_kind("native-error");
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(int(*kind), int(support::FailureKind::NativeError));
+}
+
+// --- 4. codegen: exactness via refusal, determinism ------------------------
+
+TEST(NativeCodegen, RefusesOversizedArrays) {
+  ast::Program p = parse("double A[99999999];\nA[0] = 1.0;\n");
+  native::CodegenResult cg = native::generate_c(p);
+  EXPECT_FALSE(cg.ok);
+  EXPECT_FALSE(cg.reason.empty());
+}
+
+TEST(NativeCodegen, IsDeterministic) {
+  ast::Program p = parse(kernels::find("kernel1")->source);
+  native::CodegenResult a = native::generate_c(p);
+  native::CodegenResult b = native::generate_c(p);
+  ASSERT_TRUE(a.ok) << a.reason;
+  EXPECT_EQ(a.c_source, b.c_source);  // the cache key depends on this
+}
+
+TEST(NativeCodegen, EmitsManifestForAllDecls) {
+  ast::Program p = parse(
+      "double A[8];\nint n;\ndouble s;\nint i;\n"
+      "for (i = 0; i < 8; i++) { s = s + A[i]; }\n");
+  native::CodegenResult cg = native::generate_c(p);
+  ASSERT_TRUE(cg.ok) << cg.reason;
+  EXPECT_EQ(cg.manifest.arrays.size(), 1u);
+  EXPECT_EQ(cg.manifest.scalars.size(), 3u);
+  EXPECT_NE(cg.c_source.find("slcnat_run"), std::string::npos);
+}
+
+// --- 5. the content-addressed codegen cache --------------------------------
+
+TEST(NativeCache, MemDiskHitsAndWarmSweepRate) {
+  NATIVE_OR_SKIP();
+  CacheOverrideGuard restore;
+  native::CodegenCache& cache = native::CodegenCache::instance();
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("slc-native-test-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  cache.set_cache_dir(dir.string());
+  cache.reset_stats();
+
+  ast::Program p = parse(kernels::find("kernel1")->source);
+  native::CodegenResult cg = native::generate_c(p);
+  ASSERT_TRUE(cg.ok) << cg.reason;
+
+  // Cold: one real compiler invocation.
+  auto first = cache.get_or_compile(cg.c_source);
+  ASSERT_TRUE(first->ok) << first->error;
+  EXPECT_EQ(cache.stats().compiles, 1u);
+
+  // Warm, same process: memory hit.
+  auto second = cache.get_or_compile(cg.c_source);
+  EXPECT_TRUE(second->ok);
+  EXPECT_EQ(second->entry, first->entry);
+  EXPECT_EQ(cache.stats().mem_hits, 1u);
+
+  // Simulated process restart (memory layer dropped): disk hit.
+  cache.set_cache_dir(dir.string());
+  auto third = cache.get_or_compile(cg.c_source);
+  EXPECT_TRUE(third->ok) << third->error;
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+
+  // Warm second sweep over the whole registry: >90% hit rate (the
+  // acceptance criterion the harness summary line reports).
+  interp::InterpOptions iopts;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    if (sweep == 1) cache.reset_stats();
+    for (const kernels::Kernel& k : kernels::all_kernels())
+      (void)native::run_native(parse(k.source), 0, iopts);
+  }
+  EXPECT_GT(cache.stats().hit_rate(), 0.9)
+      << "mem=" << cache.stats().mem_hits
+      << " disk=" << cache.stats().disk_hits
+      << " compiles=" << cache.stats().compiles;
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NativeCache, KeyedByCompilerSignature) {
+  NATIVE_OR_SKIP();
+  // Same mini-C source, two oracle identities: the journal key must not
+  // collide across oracle backends (the --resume satellite).
+  std::string id_interp =
+      native::oracle_identity(native::OracleMode::Interp);
+  std::string id_native =
+      native::oracle_identity(native::OracleMode::Native);
+  std::string id_both = native::oracle_identity(native::OracleMode::Both);
+  EXPECT_EQ(id_interp, "interp");
+  EXPECT_NE(id_native, id_interp);
+  EXPECT_NE(id_both, id_native);
+  EXPECT_EQ(id_native.rfind("native:", 0), 0u) << id_native;
+}
+
+}  // namespace

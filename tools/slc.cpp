@@ -30,8 +30,18 @@
 //                            renaming, and provable bounds — no execution
 //     --diag-json            emit diagnostics as a JSON array on stdout
 //     --verify               interpreter-oracle equivalence check
+//     --oracle=MODE          interp | native | both — which execution
+//                            oracle decides equivalence (native compiles
+//                            each kernel to a shared object via the host
+//                            C compiler; both cross-checks the two and
+//                            fails the row on any divergence)
 //     --measure=BACKEND      gcc-o0 | gcc-o3 | icc | xlc | pentium | arm
 //     --seed=N               memory-image seed (default 0)
+//     --calibrate            time kernels natively (original vs SLMS),
+//                            fit per-opcode-class latencies, and report
+//                            each simulated preset's divergence from the
+//                            measured speedups (use --suite to pick the
+//                            kernel set; default livermore)
 //
 //   suite evaluation (the paper's tables, driven from the CLI):
 //     --suite=NAME           compare a whole kernel suite original-vs-SLMS
@@ -71,6 +81,7 @@
 #include <vector>
 
 #include "ast/printer.hpp"
+#include "driver/calibrate.hpp"
 #include "driver/isolate.hpp"
 #include "driver/journal.hpp"
 #include "driver/pipeline.hpp"
@@ -79,6 +90,8 @@
 #include "interp/interp.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/lower.hpp"
+#include "native/cache.hpp"
+#include "native/oracle.hpp"
 #include "slms/slms.hpp"
 #include "support/fault.hpp"
 #include "support/json.hpp"
@@ -102,6 +115,8 @@ struct CliOptions {
   bool verify = false;
   bool lint = false;       // static legality check instead of emission
   bool diag_json = false;  // machine-readable diagnostics on stdout
+  bool calibrate = false;  // native timing + cost-model fit, then exit
+  native::OracleMode oracle_mode = native::OracleMode::Interp;
   std::string measure;  // backend name or empty
   std::uint64_t seed = 0;
   std::string input;
@@ -205,7 +220,8 @@ int usage(const char* argv0 = "slc") {
             << "       [--emit-source] [--plain] [--emit-mir] [--explain] "
                "[--report]\n"
             << "       [--lint] [--diag-json] [--verify] "
-               "[--measure=BACKEND] [--seed=N]\n"
+               "[--oracle=interp|native|both]\n"
+            << "       [--calibrate] [--measure=BACKEND] [--seed=N]\n"
             << "       [--suite=NAME] [--jobs=N] [--deadline-ms=N]\n"
             << "       [--max-steps=N] [--fault=SPEC]\n"
             << "       [--isolate[=SHARD]] [--journal=PATH] [--resume]\n"
@@ -284,6 +300,18 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.lint = true;
     } else if (arg == "--diag-json") {
       opts.diag_json = true;
+    } else if (arg == "--calibrate") {
+      opts.calibrate = true;
+    } else if (arg.starts_with("--oracle=")) {
+      // Deliberately NOT a supervisor flag: --oracle shapes row bytes, so
+      // it must reach --isolate children and the journal signature.
+      std::optional<native::OracleMode> mode =
+          native::parse_oracle_mode(value_of("--oracle="));
+      if (!mode) {
+        std::cerr << "--oracle expects interp, native, or both\n";
+        return false;
+      }
+      opts.oracle_mode = *mode;
     } else if (arg.starts_with("--measure=")) {
       opts.measure = value_of("--measure=");
     } else if (arg.starts_with("--seed=")) {
@@ -389,7 +417,7 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     }
   }
   return !opts.input.empty() || !opts.kernel.empty() || !opts.suite.empty() ||
-         opts.list_kernels;
+         opts.list_kernels || opts.calibrate;
 }
 
 std::optional<driver::Backend> backend_by_name(const std::string& name) {
@@ -452,6 +480,20 @@ int run_cli(const CliOptions& opts) {
     return 0;
   }
 
+  if (opts.calibrate) {
+    driver::CalibrateOptions cal;
+    if (!opts.suite.empty()) cal.suite = opts.suite;
+    cal.seed = opts.seed;
+    driver::CalibrationReport report = driver::calibrate(cal);
+    std::cout << report.table;
+    if (!report.native_available) {
+      std::cerr << "calibrate: native backend unavailable (no host C "
+                   "compiler) — nothing measured\n";
+      return 1;
+    }
+    return 0;
+  }
+
   if (!opts.suite.empty()) {
     auto backend = backend_by_name(opts.measure.empty() ? "gcc-o3"
                                                         : opts.measure);
@@ -472,6 +514,7 @@ int run_cli(const CliOptions& opts) {
     copts.jobs = opts.jobs;
     copts.row_deadline_ms = opts.deadline_ms;
     copts.max_interp_steps = opts.max_steps;
+    copts.oracle_mode = opts.oracle_mode;
 
     // --- child mode: compute the supervisor's assigned rows, one flushed
     // JSON line each, so the parent can salvage completed rows when this
@@ -524,6 +567,7 @@ int run_cli(const CliOptions& opts) {
       }
       iso.max_rss_mb = opts.max_rss_mb;
       iso.options_signature = signature;
+      iso.oracle_identity = native::oracle_identity(opts.oracle_mode);
       iso.journal_path = journal_path;
       iso.resume = opts.resume;
       iso.crash_dir = opts.crash_dir;
@@ -579,8 +623,10 @@ int run_cli(const CliOptions& opts) {
     driver::journal::Journal jnl;
     if (journaling) {
       keys.reserve(n);
+      std::string oracle_id = native::oracle_identity(opts.oracle_mode);
       for (const kernels::Kernel& k : suite_kernels)
-        keys.push_back(driver::journal::row_key(k.source, signature));
+        keys.push_back(
+            driver::journal::row_key(k.source, signature, oracle_id));
       if (opts.resume) {
         driver::journal::LoadResult loaded =
             driver::journal::load(journal_path);
@@ -643,6 +689,18 @@ int run_cli(const CliOptions& opts) {
               << cache.misses << " misses";
     if (resumed > 0) std::cerr << ", " << resumed << " resumed from journal";
     std::cerr << "\n";
+    if (opts.oracle_mode != native::OracleMode::Interp) {
+      native::OracleStats ostats = native::oracle_stats();
+      native::CacheStats cstats = native::CodegenCache::instance().stats();
+      std::cerr << "harness: native oracle (" << native::to_string(
+                       opts.oracle_mode) << "): " << ostats.native_runs
+                << " native runs, " << ostats.fallbacks << " fallbacks, "
+                << ostats.cross_checks << " cross-checks ("
+                << ostats.cross_check_failures << " failed); codegen cache "
+                << cstats.mem_hits << " mem hits / " << cstats.disk_hits
+                << " disk hits / " << cstats.compiles << " compiles, hit rate "
+                << int(cstats.hit_rate() * 100.0 + 0.5) << "%\n";
+    }
     bool all_ok = true;
     int degraded = 0;
     for (const driver::ComparisonRow& r : rows) {
@@ -737,13 +795,26 @@ int run_cli(const CliOptions& opts) {
   }
 
   if (opts.verify) {
-    std::string diff =
-        interp::check_equivalent(original, transformed, opts.seed);
-    if (!diff.empty()) {
-      std::cerr << "VERIFICATION FAILED: " << diff << "\n";
+    interp::InterpOptions iopts;
+    if (opts.max_steps != 0) iopts.max_steps = opts.max_steps;
+    native::OracleOutcome outcome = native::oracle_check_equivalence(
+        original, transformed, opts.seed, iopts, opts.oracle_mode);
+    if (!outcome.eq.ok()) {
+      std::cerr << "VERIFICATION FAILED: " << outcome.eq.detail << "\n";
       return 1;
     }
-    std::cerr << "verified: transformed program is equivalent\n";
+    if (outcome.cross_check_failed) {
+      std::cerr << "VERIFICATION FAILED: interp/native divergence: "
+                << outcome.cross_check_detail << "\n";
+      return 1;
+    }
+    std::cerr << "verified: transformed program is equivalent";
+    if (outcome.used_native)
+      std::cerr << " (" << native::to_string(opts.oracle_mode)
+                << " oracle)";
+    else if (outcome.fell_back)
+      std::cerr << " (interp fallback: " << outcome.fallback_reason << ")";
+    std::cerr << "\n";
   }
 
   if (!opts.measure.empty()) {

@@ -14,6 +14,9 @@
 //     --corpus=DIR      write shrunk repros here        (default: none)
 //     --no-shrink       archive the unshrunk program
 //     --no-backends     skip the simulator cross-check (oracle only)
+//     --oracle=MODE     interp | native | both — execution oracle; both
+//                       makes every seed a three-way cross-check (AST
+//                       interpreter vs MIR executor vs native code)
 //     --check-static    cross-check the static legality verifier against
 //                       the oracle: any disagreement (a miscompile the
 //                       verifier misses, or a verifier rejection of a
@@ -33,12 +36,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "fuzz/differential.hpp"
 #include "fuzz/generator.hpp"
 #include "fuzz/shrink.hpp"
+#include "native/oracle.hpp"
 #include "support/fault.hpp"
 
 namespace {
@@ -53,6 +58,7 @@ struct FuzzCli {
   bool shrink = true;
   bool backends = true;
   bool check_static = false;
+  native::OracleMode oracle_mode = native::OracleMode::Interp;
   bool gen_2d = false;
   bool symbolic = false;
   bool quiet = false;
@@ -61,8 +67,10 @@ struct FuzzCli {
 int usage() {
   std::cerr << "usage: slc_fuzz [--seed=N] [--count=M] [--time-budget=S]\n"
             << "                [--corpus=DIR] [--no-shrink] [--no-backends]\n"
-            << "                [--check-static] [--2d] [--symbolic]\n"
-            << "                [--fault=SPEC] [--quiet]\n";
+            << "                [--check-static] [--oracle=interp|native|"
+               "both]\n"
+            << "                [--2d] [--symbolic] [--fault=SPEC] "
+               "[--quiet]\n";
   return 2;
 }
 
@@ -132,6 +140,14 @@ int main(int argc, char** argv) {
       cli.backends = false;
     } else if (arg == "--check-static") {
       cli.check_static = true;
+    } else if (arg.starts_with("--oracle=")) {
+      std::optional<native::OracleMode> mode =
+          native::parse_oracle_mode(value_of("--oracle="));
+      if (!mode) {
+        std::cerr << "slc_fuzz: --oracle expects interp, native, or both\n";
+        return 2;
+      }
+      cli.oracle_mode = *mode;
     } else if (arg == "--2d") {
       cli.gen_2d = true;
     } else if (arg == "--symbolic") {
@@ -157,6 +173,7 @@ int main(int argc, char** argv) {
   fuzz::DiffOptions diff;
   diff.check_backends = cli.backends;
   diff.check_static = cli.check_static;
+  diff.oracle_mode = cli.oracle_mode;
 
   fuzz::LoopGenOptions gen_opts;
   gen_opts.allow_2d = cli.gen_2d;
@@ -215,5 +232,13 @@ int main(int argc, char** argv) {
   std::cout << "slc_fuzz: " << tested << " programs, " << failures
             << " failures, " << wall_s << " s (seed " << cli.seed << "..+"
             << cli.count << ")\n";
+  if (cli.oracle_mode != native::OracleMode::Interp) {
+    native::OracleStats ostats = native::oracle_stats();
+    std::cout << "slc_fuzz: oracle=" << native::to_string(cli.oracle_mode)
+              << ": " << ostats.native_runs << " native runs, "
+              << ostats.fallbacks << " fallbacks, " << ostats.cross_checks
+              << " cross-checks (" << ostats.cross_check_failures
+              << " failed)\n";
+  }
   return failures == 0 ? 0 : 1;
 }
