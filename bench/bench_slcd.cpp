@@ -1,0 +1,248 @@
+// Compile-service latency bench (not a paper figure): quantifies what
+// the slcd daemon buys over cold `slc` process startup —
+//
+//   1. cold   — spawn a fresh `slc --kernel=... --report` child per
+//               request (the pre-daemon workflow), median wall clock;
+//   2. warm   — the same request against a running slcd with a primed
+//               result cache, median socket round-trip. The acceptance
+//               bar is a >= 10x improvement, and the daemon's answer
+//               must be byte-identical to the cold child's stdout;
+//   3. pipelined throughput — a batch of requests pipelined on one
+//               connection, every id answered exactly once;
+//   4. graceful drain — SIGTERM must end the daemon with exit 0.
+//
+// Emits `BENCH_slcd.json` (stdout line + file) and exits nonzero when
+// any of the assertions above fails, so CI can gate on it.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+#include "support/subprocess.hpp"
+
+namespace {
+
+using namespace slc;
+using service::Request;
+using service::Response;
+using service::Status;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point start) {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - start)
+                           .count());
+}
+
+std::uint64_t median(std::vector<std::uint64_t> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Forks and execs the daemon; -1 on failure.
+pid_t start_daemon(const std::string& socket_path) {
+  std::vector<std::string> argv = {SLCD_BIN, "--socket=" + socket_path,
+                                   "--slc=" SLC_TOOL_BIN, "--workers=2"};
+  pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    std::vector<char*> cargv;
+    for (std::string& a : argv) cargv.push_back(a.data());
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+int connect_with_retry(const std::string& socket_path) {
+  std::string error;
+  for (int i = 0; i < 150; ++i) {
+    int fd = service::socket::connect_unix(socket_path, &error);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+  return -1;
+}
+
+Request compile_request(std::vector<std::string> args, std::uint64_t id) {
+  Request req;
+  req.id = id;
+  req.args = std::move(args);
+  return req;
+}
+
+/// One synchronous request/response round trip; exits on transport loss.
+Response round_trip(int fd, service::socket::LineReader& reader,
+                    const Request& req) {
+  if (!service::socket::write_all(fd, service::to_json(req).dump() + "\n")) {
+    std::fprintf(stderr, "daemon write failed\n");
+    std::exit(1);
+  }
+  std::string line;
+  if (!reader.next_line(&line)) {
+    std::fprintf(stderr, "daemon hung up mid-request\n");
+    std::exit(1);
+  }
+  std::optional<Response> resp = service::parse_response_line(line);
+  if (!resp) {
+    std::fprintf(stderr, "unparseable response: %s\n", line.c_str());
+    std::exit(1);
+  }
+  return *resp;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> kArgs = {"--kernel=kernel1", "--report"};
+
+  // -- 1. cold: a fresh slc process per request -----------------------------
+  constexpr int kColdRuns = 7;
+  std::vector<std::uint64_t> cold_ns;
+  std::string cold_out;
+  for (int i = 0; i < kColdRuns; ++i) {
+    support::subprocess::RunOptions opts;
+    opts.argv = {SLC_TOOL_BIN};
+    opts.argv.insert(opts.argv.end(), kArgs.begin(), kArgs.end());
+    support::subprocess::RunResult r = support::subprocess::run(opts);
+    if (!r.clean()) {
+      std::fprintf(stderr, "cold slc failed: %s\n%s", r.describe().c_str(),
+                   r.err.c_str());
+      return 1;
+    }
+    cold_ns.push_back(r.wall_ns);
+    cold_out = r.out;
+  }
+  std::uint64_t cold_median = median(cold_ns);
+
+  // -- 2. warm: primed daemon cache -----------------------------------------
+  std::string socket_path =
+      "/tmp/bench-slcd-" + std::to_string(::getpid()) + ".sock";
+  pid_t daemon = start_daemon(socket_path);
+  if (daemon < 0) {
+    std::fprintf(stderr, "failed to start slcd\n");
+    return 1;
+  }
+  int fd = connect_with_retry(socket_path);
+  if (fd < 0) return 1;
+  service::socket::LineReader reader(fd);
+
+  std::uint64_t next_id = 0;
+  // First request primes the cache (a miss that spawns the one child).
+  Response primed = round_trip(fd, reader, compile_request(kArgs, ++next_id));
+  bool byte_identical =
+      primed.status == Status::Ok && primed.out == cold_out;
+
+  constexpr int kWarmRuns = 50;
+  std::vector<std::uint64_t> warm_ns;
+  bool all_cached = true;
+  for (int i = 0; i < kWarmRuns; ++i) {
+    auto start = Clock::now();
+    Response r = round_trip(fd, reader, compile_request(kArgs, ++next_id));
+    warm_ns.push_back(elapsed_ns(start));
+    all_cached = all_cached && r.cached && r.status == Status::Ok;
+    byte_identical = byte_identical && r.out == cold_out;
+  }
+  std::uint64_t warm_median = median(warm_ns);
+  double warm_speedup =
+      warm_median > 0 ? double(cold_median) / double(warm_median) : 0.0;
+
+  // -- 3. pipelined throughput: many requests in flight on one socket -------
+  constexpr int kBatch = 64;
+  const std::vector<std::string> kKernels = {"kernel1", "kernel2", "kernel3",
+                                             "kernel4"};
+  std::map<std::uint64_t, int> answered;
+  auto batch_start = Clock::now();
+  for (int i = 0; i < kBatch; ++i) {
+    Request req = compile_request(
+        {"--kernel=" + kKernels[std::size_t(i) % kKernels.size()], "--report"},
+        ++next_id);
+    answered[req.id] = 0;
+    if (!service::socket::write_all(fd,
+                                    service::to_json(req).dump() + "\n")) {
+      std::fprintf(stderr, "pipelined write failed\n");
+      return 1;
+    }
+  }
+  for (int i = 0; i < kBatch; ++i) {
+    std::string line;
+    if (!reader.next_line(&line)) {
+      std::fprintf(stderr, "daemon hung up mid-batch\n");
+      return 1;
+    }
+    std::optional<Response> resp = service::parse_response_line(line);
+    if (!resp) {
+      std::fprintf(stderr, "unparseable batch response\n");
+      return 1;
+    }
+    answered[resp->id]++;
+  }
+  std::uint64_t batch_ns = elapsed_ns(batch_start);
+  bool every_id_once = true;
+  for (const auto& [id, count] : answered)
+    every_id_once = every_id_once && count == 1;
+  double throughput =
+      batch_ns > 0 ? double(kBatch) / (double(batch_ns) / 1e9) : 0.0;
+
+  // Daemon-side counters, embedded verbatim (stats `out` is JSON).
+  Request stats_req;
+  stats_req.id = ++next_id;
+  stats_req.method = "stats";
+  std::string daemon_stats = round_trip(fd, reader, stats_req).out;
+  ::close(fd);
+
+  // -- 4. graceful drain ----------------------------------------------------
+  ::kill(daemon, SIGTERM);
+  int status = 0;
+  ::waitpid(daemon, &status, 0);
+  bool drained = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  ::unlink(socket_path.c_str());
+
+  std::printf("slcd: cold spawn %.2f ms vs warm cache hit %.3f ms "
+              "(%.0fx), %d pipelined requests at %.0f req/s, answers %s, "
+              "drain %s\n",
+              double(cold_median) / 1e6, double(warm_median) / 1e6,
+              warm_speedup, kBatch, throughput,
+              byte_identical ? "byte-identical" : "DIFFER (BUG)",
+              drained ? "clean" : "DIRTY (BUG)");
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof json,
+      "{\"cold_spawn_ns_median\":%llu,\"warm_hit_ns_median\":%llu,"
+      "\"warm_speedup\":%.2f,\"warm_runs\":%d,\"all_cached\":%s,"
+      "\"byte_identical\":%s,\"pipelined_requests\":%d,"
+      "\"pipelined_wall_ns\":%llu,\"throughput_per_sec\":%.1f,"
+      "\"every_id_answered_once\":%s,\"drain_exit_zero\":%s,"
+      "\"daemon_stats\":%s}",
+      (unsigned long long)cold_median, (unsigned long long)warm_median,
+      warm_speedup, kWarmRuns, all_cached ? "true" : "false",
+      byte_identical ? "true" : "false", kBatch,
+      (unsigned long long)batch_ns, throughput,
+      every_id_once ? "true" : "false", drained ? "true" : "false",
+      daemon_stats.empty() ? "{}" : daemon_stats.c_str());
+  bench::emit_bench_json("BENCH_slcd.json", json);
+
+  bool ok = warm_speedup >= 10.0 && all_cached && byte_identical &&
+            every_id_once && drained;
+  if (!ok)
+    std::fprintf(stderr,
+                 "FAIL: speedup=%.1f (need >=10) cached=%d identical=%d "
+                 "answered=%d drained=%d\n",
+                 warm_speedup, all_cached, byte_identical, every_id_once,
+                 drained);
+  return ok ? 0 : 1;
+}

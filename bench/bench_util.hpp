@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +26,17 @@ inline std::string speedup_bar(double speedup) {
   if (len < 0) len = 0;
   if (len > kBarMaxChars) return std::string(std::size_t(kBarMaxChars), '#') + "+";
   return std::string(std::size_t(len), '#');
+}
+
+/// Emits one machine-readable bench payload both ways consumers expect
+/// it: a `<name> <json>` line on stdout (greppable from CI logs) and a
+/// `<name>` file in the working directory (collectable as an artifact).
+/// The file write is best-effort — a read-only CWD must not fail a bench.
+inline void emit_bench_json(const std::string& name,
+                            const std::string& json) {
+  std::printf("%s %s\n", name.c_str(), json.c_str());
+  std::ofstream out(name);
+  if (out) out << json << "\n";
 }
 
 /// Parses a trailing `--jobs N` / `--jobs=N` from a bench's argv (any

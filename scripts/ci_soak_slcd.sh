@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# CI soak gate for the slcd compile service (DESIGN.md §12).
+#
+# Drives a live daemon through a fault-heavy workload and asserts the
+# robustness contract end to end:
+#   - the daemon survives child crashes, hangs, and a concurrent burst
+#     far beyond its admission limit (no daemon death, ever);
+#   - every request is answered exactly once — each client exits with a
+#     deterministic code (0 ok/degraded, 70 error, 75 shed, 76 tripped),
+#     never a transport failure (74) or a client hang;
+#   - non-degraded answers are byte-identical to a cold `slc` run;
+#   - forced overload sheds (shed > 0) and repeated crashes trip a
+#     kernel's circuit breaker (breaker_trips > 0) — the counters must
+#     prove both paths actually fired;
+#   - SIGTERM drains gracefully: in-flight work finishes, exit code 0.
+#
+# Usage: ci_soak_slcd.sh <slcd-binary> <slc-binary>
+set -u
+
+SLCD=${1:?usage: ci_soak_slcd.sh <slcd> <slc>}
+SLC=${2:?usage: ci_soak_slcd.sh <slcd> <slc>}
+WORK=$(mktemp -d /tmp/slcd-soak.XXXXXX)
+SOCK="$WORK/slcd.sock"
+DPID=""
+
+fail() {
+  echo "SOAK FAIL: $*" >&2
+  [ -f "$WORK/daemon.log" ] && sed 's/^/  daemon: /' "$WORK/daemon.log" >&2
+  [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null
+  exit 1
+}
+
+# Tight limits on purpose: a 2+2 admission window makes the 80-client
+# burst shed, a 700 ms watchdog turns injected hangs into fast errors,
+# and a 60 s breaker cooldown keeps tripped circuits open for the whole
+# soak (no half-open flapping mid-assertion).
+"$SLCD" --socket="$SOCK" --slc="$SLC" --workers=2 --queue-max=2 \
+        --child-timeout-ms=700 --max-attempts=2 --retry-base-delay-ms=5 \
+        --breaker-threshold=2 --breaker-cooldown-ms=60000 \
+        2> "$WORK/daemon.log" &
+DPID=$!
+
+for _ in $(seq 1 100); do
+  "$SLCD" --ping --socket="$SOCK" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$SLCD" --ping --socket="$SOCK" >/dev/null 2>&1 || fail "daemon never came up"
+
+# Cold-slc reference outputs: the byte-identity oracle.
+"$SLC" --kernel=kernel1 --report > "$WORK/ref-kernel1" 2>/dev/null \
+  || fail "cold slc --kernel=kernel1 failed"
+"$SLC" --kernel=ddot --report > "$WORK/ref-ddot" 2>/dev/null \
+  || fail "cold slc --kernel=ddot failed"
+
+# Phase 1 — trip a breaker deterministically: sequential crashing
+# requests against one kernel (threshold 2, so three is plenty). The
+# injected fault fires in the child's simulator stage (SIGSEGV); exit 70
+# (infrastructure error after retries) is the expected answer here.
+for i in 1 2 3; do
+  timeout 30 "$SLC" --client="$SOCK" --kernel=kernel8 --report \
+      --measure=gcc-o3 --fault=simulate:crash > /dev/null 2>&1
+  code=$?
+  [ "$code" -eq 70 ] || [ "$code" -eq 76 ] \
+    || fail "crash request $i: expected 70/76, got $code"
+done
+
+# Phase 2 — concurrent fault-heavy burst: 80 clients at once against an
+# admission window of 4. 16/80 (20%) carry injected faults — 8 crashes
+# (SIGSEGV in the child's simulator stage) and 8 hangs (watchdog kill).
+GOOD_KERNELS=(kernel1 kernel2 kernel3 kernel5 ddot daxpy dscal dswap)
+TOTAL=80
+for i in $(seq 1 "$TOTAL"); do
+  case $((i % 10)) in
+    8) args=(--kernel=kernel8 --report --measure=gcc-o3
+             --fault=simulate:crash) ;;
+    9) args=(--kernel=kernel22 --report --measure=gcc-o3
+             --fault=simulate:hang) ;;
+    *) args=(--kernel="${GOOD_KERNELS[$((i % 8))]}" --report) ;;
+  esac
+  ( timeout 60 "$SLC" --client="$SOCK" "${args[@]}" \
+      > "$WORK/out.$i" 2> "$WORK/err.$i"
+    echo $? > "$WORK/exit.$i" ) &
+done
+wait $(jobs -p | grep -v "^$DPID\$") 2>/dev/null
+
+kill -0 "$DPID" 2>/dev/null || fail "daemon died during the soak"
+
+answered=0
+for i in $(seq 1 "$TOTAL"); do
+  [ -f "$WORK/exit.$i" ] || fail "client $i never finished"
+  code=$(cat "$WORK/exit.$i")
+  case "$code" in
+    0|70|75|76) answered=$((answered + 1)) ;;
+    74)  fail "client $i hit a transport failure (exit 74)" ;;
+    124) fail "client $i hung (timeout)" ;;
+    *)   fail "client $i: unexpected exit $code: $(cat "$WORK/err.$i")" ;;
+  esac
+done
+[ "$answered" -eq "$TOTAL" ] || fail "only $answered/$TOTAL answered"
+echo "soak: all $TOTAL concurrent requests answered (daemon alive)"
+
+# Byte-identity: unfaulted kernels must round-trip through the (now
+# idle) daemon byte-for-byte, cache hit or not.
+timeout 30 "$SLC" --client="$SOCK" --kernel=kernel1 --report \
+    > "$WORK/warm-kernel1" 2>/dev/null || fail "post-soak kernel1 request failed"
+diff "$WORK/ref-kernel1" "$WORK/warm-kernel1" \
+  || fail "daemon answer for kernel1 differs from cold slc"
+timeout 30 "$SLC" --client="$SOCK" --kernel=ddot --report --no-cache \
+    > "$WORK/warm-ddot" 2>/dev/null || fail "post-soak ddot request failed"
+diff "$WORK/ref-ddot" "$WORK/warm-ddot" \
+  || fail "daemon --no-cache answer for ddot differs from cold slc"
+echo "soak: daemon answers byte-identical to cold slc"
+
+# The counters must prove both degradation paths actually fired.
+"$SLCD" --stats --socket="$SOCK" > "$WORK/stats.json" \
+  || fail "stats request failed"
+shed=$(grep -o '"shed":[0-9]*' "$WORK/stats.json" | cut -d: -f2)
+trips=$(grep -o '"breaker_trips":[0-9]*' "$WORK/stats.json" | cut -d: -f2)
+[ -n "$shed" ] && [ "$shed" -gt 0 ] \
+  || fail "expected shed > 0 under forced overload, got '${shed:-}'"
+[ -n "$trips" ] && [ "$trips" -gt 0 ] \
+  || fail "expected breaker_trips > 0 after crash storm, got '${trips:-}'"
+echo "soak: counters prove the paths fired (shed=$shed trips=$trips)"
+
+# Graceful drain: SIGTERM, daemon finishes and exits 0.
+kill -TERM "$DPID"
+wait "$DPID"
+status=$?
+[ "$status" -eq 0 ] || fail "daemon exited $status on SIGTERM (want 0)"
+echo "soak: graceful drain, exit 0"
+
+rm -rf "$WORK"
+echo "soak: PASS"

@@ -321,6 +321,10 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
       ctx.out.notes.push_back(
           "isolate: journal had " + std::to_string(loaded.skipped_lines) +
           " unreadable line(s) (torn tail after a kill?) — ignored");
+    if (loaded.duplicate_keys > 0)
+      ctx.out.notes.push_back(
+          "isolate: journal had " + std::to_string(loaded.duplicate_keys) +
+          " duplicate key(s) (crashed-then-resumed run?) — last write wins");
   }
 
   if (!options.journal_path.empty()) {

@@ -270,7 +270,10 @@ LoadResult load(const std::string& path) {
       ++result.skipped_lines;  // torn tail after kill -9, or foreign line
       continue;
     }
-    result.rows[key->as_string()] = std::move(*parsed);
+    auto [it, inserted] =
+        result.rows.insert_or_assign(key->as_string(), std::move(*parsed));
+    (void)it;
+    if (!inserted) ++result.duplicate_keys;  // last write wins
   }
   return result;
 }

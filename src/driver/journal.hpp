@@ -75,10 +75,14 @@ class Journal {
 };
 
 /// Journaled rows keyed by row_key. Unparseable lines (torn tail after a
-/// kill, foreign versions) are counted, not fatal.
+/// kill, foreign versions) are counted, not fatal. Duplicate keys are
+/// counted and resolved last-write-wins: a crashed-then-resumed sweep (or
+/// a restarted slcd appending to the same journal) legitimately rewrites
+/// rows, and the latest append is the authoritative one.
 struct LoadResult {
   std::unordered_map<std::string, ComparisonRow> rows;
   std::size_t skipped_lines = 0;
+  std::size_t duplicate_keys = 0;
 };
 
 [[nodiscard]] LoadResult load(const std::string& path);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "native/codegen.hpp"
+#include "support/retry.hpp"
 #include "support/subprocess.hpp"
 
 namespace slc::native {
@@ -222,7 +223,44 @@ struct CodegenCache::Impl {
     ro.argv.push_back(c_path.string());
     ro.argv.push_back("-lm");
     ro.timeout_ms = 60'000;
-    auto r = support::subprocess::run(ro);
+    // A lost compiler process (OOM blip, signal, spawn hiccup) is worth a
+    // couple of jittered retries; a nonzero exit is a real diagnostic and
+    // is returned as-is. Same policy the compile service uses for its
+    // sandboxed children.
+    support::retry::Policy policy;
+    policy.max_attempts = 3;
+    policy.base_delay_ms = 50;
+    support::retry::Stats rstats;
+    support::Result<support::subprocess::RunResult> retried =
+        support::retry::with_retry<support::subprocess::RunResult>(
+            policy, support::Deadline::unlimited(),
+            [&]() -> support::Result<support::subprocess::RunResult> {
+              auto run = support::subprocess::run(ro);
+              if (run.clean() ||
+                  (run.spawned &&
+                   run.cls == support::subprocess::ExitClass::NonZero))
+                return run;
+              support::Failure f =
+                  run.spawned ? support::subprocess::to_failure(run)
+                              : support::make_failure(
+                                    support::Stage::Native,
+                                    support::FailureKind::NativeError,
+                                    "spawn failed: " + run.spawn_error);
+              f.transient = true;
+              return f;
+            },
+            support::retry::retry_if_transient, &rstats);
+    if (rstats.attempts > 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      stats.retries += std::uint64_t(rstats.attempts - 1);
+    }
+    if (!retried.ok()) {
+      fs::remove(tmp, ec);
+      return fail("host compiler failed after " +
+                  std::to_string(rstats.attempts) + " attempt(s): " +
+                  retried.failure().brief());
+    }
+    auto r = retried.value();
     if (!r.clean()) {
       fs::remove(tmp, ec);
       return fail("host compiler " + r.describe() + ": " +

@@ -51,6 +51,10 @@ struct CacheStats {
   std::uint64_t compiles = 0;
   std::uint64_t failures = 0;
   std::uint64_t evictions = 0;
+  /// Host-compiler invocations retried after a transient (spawn/signal/
+  /// timeout) failure — see support/retry.hpp. A nonzero compiler exit
+  /// is a deterministic diagnosis and is never retried.
+  std::uint64_t retries = 0;
 
   [[nodiscard]] std::uint64_t lookups() const {
     return mem_hits + disk_hits + compiles + failures;

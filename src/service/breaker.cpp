@@ -1,0 +1,100 @@
+#include "service/breaker.hpp"
+
+#include <chrono>
+
+namespace slc::service {
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+}  // namespace
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+BreakerRegistry::BreakerRegistry(Options options, ClockFn clock)
+    : options_(options),
+      clock_(clock ? std::move(clock) : ClockFn(steady_now_ms)) {
+  if (options_.threshold < 1) options_.threshold = 1;
+}
+
+BreakerState BreakerRegistry::admit(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  switch (e.state) {
+    case BreakerState::Closed:
+      return BreakerState::Closed;
+    case BreakerState::HalfOpen:
+      // A probe is already in flight; everyone else stays on the
+      // degraded path until it reports.
+      return BreakerState::Open;
+    case BreakerState::Open: {
+      if (clock_() - e.opened_at_ms >= options_.cooldown_ms &&
+          !e.probe_in_flight) {
+        e.state = BreakerState::HalfOpen;
+        e.probe_in_flight = true;
+        return BreakerState::HalfOpen;
+      }
+      return BreakerState::Open;
+    }
+  }
+  return BreakerState::Closed;
+}
+
+void BreakerRegistry::record(const std::string& key, bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  if (e.state == BreakerState::HalfOpen) {
+    e.probe_in_flight = false;
+    if (success) {
+      e.state = BreakerState::Closed;
+      e.consecutive_failures = 0;
+    } else {
+      e.state = BreakerState::Open;
+      e.opened_at_ms = clock_();
+    }
+    return;
+  }
+  if (success) {
+    e.consecutive_failures = 0;
+    return;
+  }
+  if (++e.consecutive_failures >= options_.threshold &&
+      e.state == BreakerState::Closed) {
+    e.state = BreakerState::Open;
+    e.opened_at_ms = clock_();
+    ++trips_;
+  }
+}
+
+BreakerState BreakerRegistry::state(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? BreakerState::Closed : it->second.state;
+}
+
+std::uint64_t BreakerRegistry::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+std::uint64_t BreakerRegistry::open_circuits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [key, e] : entries_)
+    if (e.state != BreakerState::Closed) ++n;
+  return n;
+}
+
+}  // namespace slc::service

@@ -1,0 +1,79 @@
+// Per-kernel circuit breakers for the compile service.
+//
+// A kernel that keeps crashing or hanging its sandboxed child would, at
+// service scale, burn a worker slot (and the full watchdog budget) on
+// every request that names it. The breaker caps that cost with the
+// classic three-state machine, keyed by kernel identity:
+//
+//   Closed    normal service; consecutive infrastructure failures are
+//             counted, a success resets the count. `threshold` failures
+//             in a row trip the circuit.
+//   Open      requests for this kernel skip the failing path entirely
+//             and are served the degraded base-only result instead —
+//             bounded cost, honest answer. After `cooldown_ms` the next
+//             request is allowed through as a probe (Half-open).
+//   Half-open exactly one in-flight probe; success closes the circuit,
+//             failure re-opens it and restarts the cooldown.
+//
+// Only infrastructure failures (crash / timeout / OOM / spawn) feed the
+// breaker; a deterministic nonzero exit is an *answer*, not a fault.
+// The clock is injectable so the state machine is unit-testable without
+// sleeping through cooldowns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace slc::service {
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+[[nodiscard]] const char* to_string(BreakerState state);
+
+class BreakerRegistry {
+ public:
+  struct Options {
+    /// Consecutive infrastructure failures that trip the circuit.
+    int threshold = 3;
+    /// How long an open circuit rejects before allowing a probe.
+    std::uint64_t cooldown_ms = 5000;
+  };
+
+  using ClockFn = std::function<std::uint64_t()>;  // monotonic ms
+
+  explicit BreakerRegistry(Options options, ClockFn clock = {});
+
+  /// Admission decision for one request on `key`:
+  ///   Closed   — run the full path; report the outcome via record().
+  ///   HalfOpen — run the full path as the one probe; MUST record().
+  ///   Open     — do not run the full path; serve degraded. No record().
+  [[nodiscard]] BreakerState admit(const std::string& key);
+
+  /// Reports the outcome of an admitted (Closed or Half-open) attempt.
+  void record(const std::string& key, bool success);
+
+  [[nodiscard]] BreakerState state(const std::string& key) const;
+  /// Total Closed->Open transitions since construction.
+  [[nodiscard]] std::uint64_t trips() const;
+  /// Circuits currently open (or half-open).
+  [[nodiscard]] std::uint64_t open_circuits() const;
+
+ private:
+  struct Entry {
+    BreakerState state = BreakerState::Closed;
+    int consecutive_failures = 0;
+    std::uint64_t opened_at_ms = 0;
+    bool probe_in_flight = false;
+  };
+
+  Options options_;
+  ClockFn clock_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace slc::service

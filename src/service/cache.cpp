@@ -1,0 +1,126 @@
+#include "service/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace slc::service {
+
+namespace json = support::json;
+using json::Value;
+
+struct ResultCache::JournalFile {
+  std::ofstream out;
+};
+
+ResultCache::ResultCache(std::size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::optional<Response> ResultCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  Response r = it->second->second;
+  r.cached = true;
+  r.id = 0;
+  return r;
+}
+
+void ResultCache::put_locked(const std::string& key,
+                             const Response& response) {
+  Response stored = response;
+  stored.id = 0;
+  stored.cached = false;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(stored);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.emplace_front(key, std::move(stored));
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
+    while (lru_.size() > max_entries_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  stats_.entries = lru_.size();
+}
+
+void ResultCache::put(const std::string& key, const Response& response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  put_locked(key, response);
+  if (journal_ != nullptr && journal_->out.good()) {
+    Value line = Value::object();
+    line.set("key", Value::string(key));
+    Response stored = response;
+    stored.id = 0;
+    stored.cached = false;
+    line.set("response", to_json(stored));
+    journal_->out << line.dump() << '\n';
+    journal_->out.flush();  // each append survives a kill -9 on its own
+  }
+}
+
+bool ResultCache::open_journal(const std::string& path, std::string* error) {
+  // Replay phase: existing lines warm the cache. Duplicate keys are the
+  // normal trace of a crashed-then-restarted daemon — last write wins.
+  {
+    std::ifstream in(path);
+    std::string line;
+    std::lock_guard<std::mutex> lock(mu_);
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::optional<Value> v = json::parse(line);
+      const Value* key = v ? v->find("key") : nullptr;
+      const Value* resp = v ? v->find("response") : nullptr;
+      std::optional<Response> parsed =
+          resp != nullptr ? response_from_json(*resp) : std::nullopt;
+      if (key == nullptr || !key->is_string() || !parsed) {
+        ++stats_.journal_skipped;
+        continue;
+      }
+      if (index_.find(key->as_string()) != index_.end())
+        ++stats_.journal_duplicates;
+      else
+        ++stats_.journal_loaded;
+      put_locked(key->as_string(), *parsed);
+      // put_locked counts an insertion per fresh key; loading is not an
+      // insertion in the serving sense, so rewind the counter.
+    }
+    stats_.insertions = 0;
+    stats_.evictions = 0;
+  }
+
+  auto jf = std::make_shared<JournalFile>();
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  jf->out.open(path, std::ios::app);
+  if (!jf->out) {
+    if (error != nullptr) *error = "cannot open cache journal " + path;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = std::move(jf);
+  return true;
+}
+
+void ResultCache::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ != nullptr) journal_->out.flush();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace slc::service

@@ -1,0 +1,87 @@
+// Shared content-addressed result cache for the compile service.
+//
+// Key = driver::journal::row_key(source-or-kernel-identity, argv
+// signature): the same fnv1a(kernel, argv, version) identity the
+// resumable journal already uses, promoted to a request-level cache. A
+// request whose key was answered before is served the stored bytes with
+// no child process — the "warm daemon" path that amortizes process
+// startup, parsing, and analysis across millions of identical requests.
+//
+// Only deterministic answers are cached (clean runs and nonzero child
+// exits — both are THE answer for that input). Crashes, timeouts, sheds,
+// and degraded fallbacks are never cached: they describe the moment, not
+// the input.
+//
+// Bounded by max_entries with LRU eviction; optionally persisted to an
+// append-only JSONL journal so a restarted daemon comes back warm. The
+// loader is torn-line tolerant and resolves duplicate keys last-write-
+// wins (a restarted daemon re-appends keys it re-computed).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "service/protocol.hpp"
+
+namespace slc::service {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;          // current size
+  std::uint64_t journal_loaded = 0;   // entries restored at startup
+  std::uint64_t journal_duplicates = 0;
+  std::uint64_t journal_skipped = 0;  // unreadable lines (torn tail)
+
+  [[nodiscard]] double hit_rate() const {
+    std::uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : double(hits) / double(n);
+  }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t max_entries);
+
+  /// Thread-safe lookup; refreshes LRU position and counts hit/miss.
+  /// The returned response has cached=true and id=0 (the caller stamps
+  /// the request id).
+  [[nodiscard]] std::optional<Response> get(const std::string& key);
+
+  /// Thread-safe insert (last write wins); evicts the LRU tail beyond
+  /// max_entries. Appends to the persistence journal when open.
+  void put(const std::string& key, const Response& response);
+
+  /// Opens the persistence journal: replays existing entries into the
+  /// cache (counting duplicates and torn lines), then appends every
+  /// future put. Returns false (cache stays memory-only) on I/O failure.
+  bool open_journal(const std::string& path, std::string* error = nullptr);
+  void flush();
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  void put_locked(const std::string& key, const Response& response);
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  /// Front = most recently used.
+  std::list<std::pair<std::string, Response>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, Response>>::iterator>
+      index_;
+  CacheStats stats_;
+
+  struct JournalFile;
+  std::shared_ptr<JournalFile> journal_;
+};
+
+}  // namespace slc::service

@@ -1,0 +1,117 @@
+#include "service/protocol.hpp"
+
+namespace slc::service {
+
+namespace json = support::json;
+using json::Value;
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::Ok: return "ok";
+    case Status::Degraded: return "degraded";
+    case Status::Tripped: return "tripped";
+    case Status::Overloaded: return "overloaded";
+    case Status::Error: return "error";
+    case Status::Shutdown: return "shutdown";
+    case Status::BadRequest: return "bad-request";
+  }
+  return "?";
+}
+
+std::optional<Status> parse_status(std::string_view name) {
+  if (name == "ok") return Status::Ok;
+  if (name == "degraded") return Status::Degraded;
+  if (name == "tripped") return Status::Tripped;
+  if (name == "overloaded") return Status::Overloaded;
+  if (name == "error") return Status::Error;
+  if (name == "shutdown") return Status::Shutdown;
+  if (name == "bad-request") return Status::BadRequest;
+  return std::nullopt;
+}
+
+Value to_json(const Request& request) {
+  Value v = Value::object();
+  v.set("id", Value::number(request.id));
+  v.set("method", Value::string(request.method));
+  if (!request.source.empty())
+    v.set("source", Value::string(request.source));
+  Value args = Value::array();
+  for (const std::string& a : request.args) args.push(Value::string(a));
+  v.set("args", std::move(args));
+  if (request.deadline_ms != 0)
+    v.set("deadline_ms", Value::number(request.deadline_ms));
+  if (request.no_cache) v.set("no_cache", Value::boolean(true));
+  return v;
+}
+
+std::optional<Request> request_from_json(const Value& value) {
+  if (!value.is_object()) return std::nullopt;
+  Request r;
+  const Value* id = value.find("id");
+  if (id == nullptr || !id->is_number()) return std::nullopt;
+  r.id = id->as_u64();
+  if (const Value* m = value.find("method")) {
+    if (!m->is_string()) return std::nullopt;
+    r.method = m->as_string();
+  }
+  if (const Value* s = value.find("source")) r.source = s->as_string();
+  if (const Value* a = value.find("args")) {
+    if (!a->is_array()) return std::nullopt;
+    for (const Value& item : a->items()) {
+      if (!item.is_string()) return std::nullopt;
+      r.args.push_back(item.as_string());
+    }
+  }
+  if (const Value* d = value.find("deadline_ms")) r.deadline_ms = d->as_u64();
+  if (const Value* n = value.find("no_cache")) r.no_cache = n->as_bool();
+  return r;
+}
+
+Value to_json(const Response& response) {
+  Value v = Value::object();
+  v.set("id", Value::number(response.id));
+  v.set("status", Value::string(to_string(response.status)));
+  v.set("exit", Value::number(std::int64_t(response.exit_code)));
+  v.set("out", Value::string(response.out));
+  v.set("err", Value::string(response.err));
+  v.set("cached", Value::boolean(response.cached));
+  v.set("attempts", Value::number(std::int64_t(response.attempts)));
+  v.set("wall_ns", Value::number(response.wall_ns));
+  if (!response.detail.empty())
+    v.set("detail", Value::string(response.detail));
+  return v;
+}
+
+std::optional<Response> response_from_json(const Value& value) {
+  if (!value.is_object()) return std::nullopt;
+  Response r;
+  const Value* id = value.find("id");
+  const Value* status = value.find("status");
+  if (id == nullptr || status == nullptr) return std::nullopt;
+  std::optional<Status> parsed = parse_status(status->as_string());
+  if (!parsed) return std::nullopt;
+  r.id = id->as_u64();
+  r.status = *parsed;
+  if (const Value* f = value.find("exit")) r.exit_code = int(f->as_i64());
+  if (const Value* f = value.find("out")) r.out = f->as_string();
+  if (const Value* f = value.find("err")) r.err = f->as_string();
+  if (const Value* f = value.find("cached")) r.cached = f->as_bool();
+  if (const Value* f = value.find("attempts")) r.attempts = int(f->as_i64());
+  if (const Value* f = value.find("wall_ns")) r.wall_ns = f->as_u64();
+  if (const Value* f = value.find("detail")) r.detail = f->as_string();
+  return r;
+}
+
+std::optional<Request> parse_request_line(std::string_view line) {
+  std::optional<Value> v = json::parse(line);
+  if (!v) return std::nullopt;
+  return request_from_json(*v);
+}
+
+std::optional<Response> parse_response_line(std::string_view line) {
+  std::optional<Value> v = json::parse(line);
+  if (!v) return std::nullopt;
+  return response_from_json(*v);
+}
+
+}  // namespace slc::service

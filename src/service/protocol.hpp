@@ -1,0 +1,106 @@
+// The slcd wire protocol: newline-delimited JSON over a Unix socket.
+//
+// One request per line, one response per line, matched by `id` (responses
+// may arrive out of order when a connection pipelines requests — the
+// daemon answers as workers finish). The payload model is deliberately
+// "slc argv + program text": a request is exactly the command line a cold
+// `slc` process would have been started with, so the daemon can sandbox
+// it into a child `slc` and the answer is byte-identical to the cold run.
+//
+//   {"id":1,"method":"compile","args":["--no-filter","--emit-source"],
+//    "source":"void f(...) {...}"}
+//   {"id":1,"status":"ok","exit":0,"out":"...","err":"","cached":false,
+//    "attempts":1,"wall_ns":1234567}
+//
+// Methods:
+//   compile   run slc with `args` (+ `source` on stdin when nonempty)
+//   ping      liveness probe; responds ok/"pong"
+//   stats     service counters as a JSON object in `out`
+//   shutdown  begin graceful drain (finish in-flight, then exit)
+//
+// Statuses (the explicit-robustness contract: every admitted request is
+// answered with exactly one of these — there is no silent drop):
+//   ok          the child ran to completion (exit code in `exit`; a
+//               nonzero exit is still `ok` transport-wise — it is the
+//               deterministic answer for that input)
+//   degraded    the kernel's circuit is open; `out` holds the base-only
+//               (untransformed) result instead of the SLMS one
+//   tripped     circuit open and even the degraded fallback failed
+//   overloaded  load shed at admission: the bounded queue was full
+//   error       infrastructure failure after retries (child crash,
+//               watchdog timeout, OOM, spawn failure) — see `detail`
+//   shutdown    refused: the daemon is draining
+//   bad-request malformed request line / unknown method
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace slc::service {
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string method = "compile";
+  /// Program text fed to the child's stdin ("-" is appended to args).
+  /// Empty for registry-driven requests (--kernel=, --suite=).
+  std::string source;
+  /// The slc argument vector, excluding the binary and any input path.
+  std::vector<std::string> args;
+  /// Per-request wall-clock budget in ms (0 = the server default). Bounds
+  /// the whole request: sandbox watchdog, retries, and backoff sleeps.
+  std::uint64_t deadline_ms = 0;
+  /// Bypass the result cache (always re-execute; the result is still
+  /// stored). Fuzz oracles use this to re-measure suspicious rows.
+  bool no_cache = false;
+};
+
+enum class Status : std::uint8_t {
+  Ok,
+  Degraded,
+  Tripped,
+  Overloaded,
+  Error,
+  Shutdown,
+  BadRequest,
+};
+
+[[nodiscard]] const char* to_string(Status status);
+[[nodiscard]] std::optional<Status> parse_status(std::string_view name);
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::Error;
+  int exit_code = 0;
+  std::string out;     // child stdout (byte-exact)
+  std::string err;     // child stderr (byte-exact)
+  bool cached = false; // served from the result cache, no child spawned
+  int attempts = 0;    // sandbox spawns consumed (0 for cache hits/sheds)
+  std::uint64_t wall_ns = 0;
+  std::string detail;  // failure classification / degradation reason
+
+  /// Transport-level success: the request produced its deterministic
+  /// answer (possibly a nonzero child exit).
+  [[nodiscard]] bool answered() const {
+    return status == Status::Ok || status == Status::Degraded;
+  }
+};
+
+[[nodiscard]] support::json::Value to_json(const Request& request);
+[[nodiscard]] support::json::Value to_json(const Response& response);
+[[nodiscard]] std::optional<Request> request_from_json(
+    const support::json::Value& value);
+[[nodiscard]] std::optional<Response> response_from_json(
+    const support::json::Value& value);
+
+/// Convenience: parse one NDJSON line into a Request. nullopt on any
+/// syntax or schema error (the daemon answers `bad-request`).
+[[nodiscard]] std::optional<Request> parse_request_line(
+    std::string_view line);
+[[nodiscard]] std::optional<Response> parse_response_line(
+    std::string_view line);
+
+}  // namespace slc::service

@@ -1,0 +1,352 @@
+#include "service/server.hpp"
+
+#include <chrono>
+
+#include "driver/journal.hpp"
+#include "support/retry.hpp"
+#include "support/subprocess.hpp"
+
+namespace slc::service {
+
+namespace json = support::json;
+using json::Value;
+using support::Deadline;
+using support::Failure;
+using support::FailureKind;
+using support::Result;
+
+namespace {
+
+std::uint64_t now_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+std::string join_args(const std::vector<std::string>& args) {
+  std::string out;
+  for (const std::string& a : args) {
+    if (!out.empty()) out.push_back(' ');
+    out += a;
+  }
+  return out;
+}
+
+/// Infrastructure failures retry and feed the breaker; anything else
+/// (notably a deterministic nonzero exit, which never even becomes a
+/// Failure here) does not.
+bool infrastructure_failure(const Failure& f) {
+  return f.transient || f.kind == FailureKind::ChildSignal ||
+         f.kind == FailureKind::ChildTimeout ||
+         f.kind == FailureKind::ChildOom;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(options),
+      slc_exe_(options.slc_exe.empty()
+                   ? support::subprocess::self_exe_path("slc")
+                   : options.slc_exe),
+      cache_(options.cache_max),
+      breakers_(BreakerRegistry::Options{options.breaker_threshold,
+                                         options.breaker_cooldown_ms}),
+      pool_(std::make_unique<support::ThreadPool>(
+          std::size_t(support::resolve_jobs(options.workers)))) {
+  if (!options_.cache_journal.empty()) {
+    std::string error;
+    if (!cache_.open_journal(options_.cache_journal, &error)) {
+      // Memory-only degradation, not a startup failure: the daemon's job
+      // is to stay up. The miss counters will tell the story.
+    }
+  }
+}
+
+Service::~Service() { drain(); }
+
+std::string Service::cache_key(const Request& request) {
+  // Reuse the journal's fnv1a(kernel, argv, version) identity. For
+  // source-on-stdin requests the program text *is* the kernel; for
+  // registry-driven requests the argv (--kernel=..., --suite) pins it.
+  return driver::journal::row_key(request.source, join_args(request.args),
+                                  "slcd");
+}
+
+std::string Service::breaker_key(const Request& request) {
+  for (const std::string& a : request.args) {
+    if (a.rfind("--kernel=", 0) == 0) return a.substr(9);
+    if (a.rfind("--suite", 0) == 0) return "suite:" + a;
+  }
+  if (!request.source.empty())
+    return "src:" + driver::journal::row_key(request.source, "", "slcd");
+  return "argv:" + join_args(request.args);
+}
+
+bool Service::submit(Request request, std::function<void(Response)> done) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.received;
+  }
+  if (draining_.load(std::memory_order_relaxed)) {
+    Response r;
+    r.id = request.id;
+    r.status = Status::Shutdown;
+    r.detail = "daemon is draining";
+    done(std::move(r));
+    return false;
+  }
+  std::size_t workers = std::size_t(support::resolve_jobs(options_.workers));
+  std::size_t limit = workers + options_.queue_max;
+  std::size_t in_flight =
+      in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (in_flight > limit) {
+    // Explicit load shed: answer `overloaded` now rather than queueing
+    // unboundedly and timing everyone out later.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed;
+      ++stats_.completed;
+    }
+    Response r;
+    r.id = request.id;
+    r.status = Status::Overloaded;
+    r.detail = "queue full (" + std::to_string(limit) + " in flight)";
+    done(std::move(r));
+    return false;
+  }
+  auto req = std::make_shared<Request>(std::move(request));
+  auto cb = std::make_shared<std::function<void(Response)>>(std::move(done));
+  pool_->submit([this, req, cb]() {
+    // Workers must never throw: ThreadPool::wait_idle rethrows the first
+    // task exception, which for a daemon means death. Fence everything.
+    Response r;
+    try {
+      r = execute(*req);
+    } catch (const std::exception& e) {
+      r.id = req->id;
+      r.status = Status::Error;
+      r.detail = std::string("internal: ") + e.what();
+    } catch (...) {
+      r.id = req->id;
+      r.status = Status::Error;
+      r.detail = "internal: unknown exception";
+    }
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    try {
+      (*cb)(std::move(r));
+    } catch (...) {
+    }
+  });
+  return true;
+}
+
+Response Service::execute(const Request& request) {
+  std::uint64_t start = now_ns();
+  Response r;
+  if (request.method == "ping") {
+    r.id = request.id;
+    r.status = Status::Ok;
+    r.out = "pong";
+  } else if (request.method == "stats") {
+    r.id = request.id;
+    r.status = Status::Ok;
+    r.out = stats_json().dump();
+  } else if (request.method == "compile") {
+    r = run_compile(request);
+  } else {
+    r.id = request.id;
+    r.status = Status::BadRequest;
+    r.detail = "unknown method: " + request.method;
+  }
+  r.wall_ns = now_ns() - start;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.completed;
+  switch (r.status) {
+    case Status::Ok: ++stats_.ok; break;
+    case Status::Degraded: ++stats_.degraded; break;
+    case Status::Tripped: ++stats_.tripped; break;
+    case Status::Overloaded: ++stats_.shed; break;
+    case Status::Error: ++stats_.errors; break;
+    case Status::Shutdown: break;
+    case Status::BadRequest: ++stats_.bad_requests; break;
+  }
+  return r;
+}
+
+Response Service::run_child_once(const Request& request,
+                                 const std::vector<std::string>& extra_args,
+                                 std::uint64_t deadline_left_ms,
+                                 Result<Response>* as_result) {
+  support::subprocess::RunOptions ro;
+  ro.argv.push_back(slc_exe_);
+  for (const std::string& a : request.args) ro.argv.push_back(a);
+  for (const std::string& a : extra_args) ro.argv.push_back(a);
+  if (!request.source.empty()) {
+    ro.argv.push_back("-");
+    ro.stdin_text = request.source;
+  }
+  ro.timeout_ms = options_.child_timeout_ms;
+  if (deadline_left_ms > 0 && deadline_left_ms < ro.timeout_ms)
+    ro.timeout_ms = deadline_left_ms;
+  ro.max_rss_mb = options_.max_rss_mb;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.child_spawns;
+  }
+  support::subprocess::RunResult run = support::subprocess::run(ro);
+
+  Response r;
+  r.id = request.id;
+  if (run.spawned && (run.cls == support::subprocess::ExitClass::Clean ||
+                      run.cls == support::subprocess::ExitClass::NonZero)) {
+    // The child finished deliberately: nonzero or not, this is the
+    // deterministic answer for this input.
+    r.status = Status::Ok;
+    r.exit_code = run.exit_code;
+    r.out = run.out;
+    r.err = run.err;
+    if (as_result != nullptr) *as_result = r;
+    return r;
+  }
+  Failure f = run.spawned
+                  ? support::subprocess::to_failure(run)
+                  : support::make_failure(
+                        support::Stage::Isolation, FailureKind::Unknown,
+                        "spawn failed: " + run.spawn_error);
+  if (!run.spawned) f.transient = true;  // fork/pipe blips are retryable
+  if (as_result != nullptr) *as_result = f;
+  r.status = Status::Error;
+  r.detail = f.brief();
+  r.err = run.err;
+  return r;
+}
+
+Response Service::run_degraded(const Request& request, BreakerState state) {
+  // Circuit open: skip the known-crashing full pipeline and serve the
+  // base-only (untransformed) result — bounded cost, honest answer.
+  Result<Response> outcome = support::make_failure(
+      support::Stage::Isolation, FailureKind::Unknown, "not run");
+  Response r = run_child_once(request, {"--no-slms"}, 0, &outcome);
+  if (outcome.ok()) {
+    r.status = Status::Degraded;
+    r.detail = std::string("circuit ") + to_string(state) +
+               "; served base-only result";
+  } else {
+    r.status = Status::Tripped;
+    r.detail = std::string("circuit ") + to_string(state) +
+               " and degraded fallback failed: " + r.detail;
+  }
+  return r;
+}
+
+Response Service::run_compile(const Request& request) {
+  std::string key = cache_key(request);
+  if (!request.no_cache) {
+    if (std::optional<Response> hit = cache_.get(key)) {
+      hit->id = request.id;
+      return *hit;
+    }
+  } else {
+    // Count the deliberate bypass as a miss so hit_rate stays honest.
+    (void)cache_.get(key);
+  }
+
+  std::string bkey = breaker_key(request);
+  BreakerState admitted = breakers_.admit(bkey);
+  if (admitted == BreakerState::Open) return run_degraded(request, admitted);
+
+  Deadline deadline = Deadline::after_ms(request.deadline_ms);
+
+  support::retry::Policy policy;
+  policy.max_attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  policy.base_delay_ms = options_.retry_base_delay_ms;
+  policy.seed = options_.retry_seed;
+
+  support::retry::Stats rstats;
+  Result<Response> result = support::retry::with_retry<Response>(
+      policy, deadline,
+      [&]() -> Result<Response> {
+        Result<Response> outcome = support::make_failure(
+            support::Stage::Isolation, FailureKind::Unknown, "not run");
+        std::uint64_t left = deadline.active() ? deadline.remaining_ms() : 0;
+        (void)run_child_once(request, {}, left, &outcome);
+        return outcome;
+      },
+      infrastructure_failure, &rstats);
+  if (rstats.attempts > 1) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.retries += std::uint64_t(rstats.attempts - 1);
+  }
+
+  Response r;
+  r.id = request.id;
+  r.attempts = rstats.attempts;
+  if (result.ok()) {
+    r = result.value();
+    r.id = request.id;
+    r.attempts = rstats.attempts;
+    breakers_.record(bkey, true);
+    cache_.put(key, r);
+    return r;
+  }
+  breakers_.record(bkey, false);
+  r.status = Status::Error;
+  r.detail = result.failure().brief();
+  if (rstats.gave_up_on_deadline) r.detail += " (deadline exhausted)";
+  return r;
+}
+
+void Service::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  try {
+    pool_->wait_idle();
+  } catch (...) {
+    // Task exceptions are already converted to error responses in
+    // submit(); anything left here must not take down the drain path.
+  }
+  cache_.flush();
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  s.cache = cache_.stats();
+  s.breaker_trips = breakers_.trips();
+  s.open_circuits = breakers_.open_circuits();
+  return s;
+}
+
+Value Service::stats_json() const {
+  ServiceStats s = stats();
+  Value v = Value::object();
+  v.set("received", Value::number(s.received));
+  v.set("completed", Value::number(s.completed));
+  v.set("ok", Value::number(s.ok));
+  v.set("degraded", Value::number(s.degraded));
+  v.set("tripped", Value::number(s.tripped));
+  v.set("shed", Value::number(s.shed));
+  v.set("errors", Value::number(s.errors));
+  v.set("bad_requests", Value::number(s.bad_requests));
+  v.set("child_spawns", Value::number(s.child_spawns));
+  v.set("retries", Value::number(s.retries));
+  v.set("breaker_trips", Value::number(s.breaker_trips));
+  v.set("open_circuits", Value::number(s.open_circuits));
+  Value cache = Value::object();
+  cache.set("hits", Value::number(s.cache.hits));
+  cache.set("misses", Value::number(s.cache.misses));
+  cache.set("insertions", Value::number(s.cache.insertions));
+  cache.set("evictions", Value::number(s.cache.evictions));
+  cache.set("entries", Value::number(s.cache.entries));
+  cache.set("journal_loaded", Value::number(s.cache.journal_loaded));
+  cache.set("journal_duplicates", Value::number(s.cache.journal_duplicates));
+  cache.set("journal_skipped", Value::number(s.cache.journal_skipped));
+  v.set("cache", std::move(cache));
+  return v;
+}
+
+}  // namespace slc::service

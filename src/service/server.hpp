@@ -1,0 +1,140 @@
+// The slcd service core: admission control, sandboxed execution with
+// retries, per-kernel circuit breaking, and a shared result cache — all
+// transport-agnostic, so it is unit-testable without a socket and
+// reusable by any front end (tools/slcd.cpp wires it to a Unix socket).
+//
+// Request lifecycle:
+//
+//   submit ── queue full? ──────────────► overloaded  (explicit shed)
+//      │        draining? ─────────────► shutdown
+//      ▼
+//   worker ── cache hit? ──────────────► ok (cached)
+//      │
+//      ├─ breaker Open? ── degraded child run ─► degraded | tripped
+//      │
+//      └─ full child run under retry policy
+//             │ Clean/NonZero ─────────► ok   (cached, breaker success)
+//             │ Signal/Timeout/Oom/spawn, retries exhausted
+//             └───────────────────────► error (breaker failure)
+//
+// Every admitted request is answered exactly once; nothing is silently
+// dropped. Execution happens in a sandboxed child `slc` process
+// (support/subprocess: watchdog SIGKILL, RLIMIT_AS cap, crash
+// classification), so a crashing kernel costs the daemon one worker slot
+// for one watchdog budget — never the daemon itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "service/breaker.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "support/failure.hpp"
+#include "support/json.hpp"
+#include "support/thread_pool.hpp"
+
+namespace slc::service {
+
+struct ServiceOptions {
+  /// The slc binary to sandbox requests into. Empty = /proc/self/exe
+  /// (correct when the daemon is slcd living next to slc — see slcd's
+  /// --slc flag).
+  std::string slc_exe;
+  /// Worker threads (0 = hardware concurrency).
+  int workers = 0;
+  /// Bounded queue: requests admitted beyond busy workers. Admission
+  /// fails fast with `overloaded` once workers + queue_max requests are
+  /// in flight.
+  std::size_t queue_max = 64;
+  /// Per-attempt sandbox watchdog (ms) when the request has no deadline.
+  std::uint64_t child_timeout_ms = 10'000;
+  /// Address-space cap for sandboxed children (MiB, 0 = none).
+  std::uint64_t max_rss_mb = 0;
+  /// Retry policy for infrastructure failures (crash/timeout/oom/spawn).
+  int max_attempts = 2;
+  std::uint64_t retry_base_delay_ms = 20;
+  std::uint64_t retry_seed = 0;
+  /// Circuit breaker per kernel identity.
+  int breaker_threshold = 3;
+  std::uint64_t breaker_cooldown_ms = 3000;
+  /// Result cache entries (LRU beyond this).
+  std::size_t cache_max = 1024;
+  /// Optional persistence journal for the result cache ("" = memory-only).
+  std::string cache_journal;
+};
+
+struct ServiceStats {
+  std::uint64_t received = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t tripped = 0;
+  std::uint64_t shed = 0;       // overloaded responses
+  std::uint64_t errors = 0;     // infrastructure failures after retries
+  std::uint64_t bad_requests = 0;
+  std::uint64_t child_spawns = 0;
+  std::uint64_t retries = 0;    // extra attempts beyond the first
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t open_circuits = 0;
+  CacheStats cache;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Asynchronous entry point: admission-checks `request` and either
+  /// (a) schedules it on the worker pool — `done` fires exactly once,
+  /// from a worker thread, with the final response — or (b) sheds it,
+  /// calling `done` synchronously with overloaded/shutdown. Returns
+  /// false when shed. `done` must not throw.
+  bool submit(Request request, std::function<void(Response)> done);
+
+  /// Synchronous execution of one request (the worker body; exposed for
+  /// unit tests and the one-shot client paths). Does not consume queue
+  /// admission.
+  [[nodiscard]] Response execute(const Request& request);
+
+  /// Graceful drain: stop admitting, finish everything in flight, flush
+  /// the cache journal. Idempotent.
+  void drain();
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] support::json::Value stats_json() const;
+
+  /// The cache/breaker identity of a request (exposed for tests).
+  [[nodiscard]] static std::string cache_key(const Request& request);
+  [[nodiscard]] static std::string breaker_key(const Request& request);
+
+ private:
+  Response run_compile(const Request& request);
+  Response run_degraded(const Request& request, BreakerState state);
+  Response run_child_once(const Request& request,
+                          const std::vector<std::string>& extra_args,
+                          std::uint64_t deadline_left_ms,
+                          support::Result<Response>* as_result);
+
+  ServiceOptions options_;
+  std::string slc_exe_;
+  ResultCache cache_;
+  BreakerRegistry breakers_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> in_flight_{0};
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace slc::service

@@ -1,0 +1,125 @@
+#include "service/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace slc::service::socket {
+
+namespace {
+
+int fill_addr(const std::string& path, sockaddr_un* addr,
+              std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr)
+      *error = "socket path too long (" + std::to_string(path.size()) +
+               " bytes): " + path;
+    return -1;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return 0;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (fill_addr(path, &addr, error) != 0) return -1;
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr)
+      *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr)
+      *error = "bind " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) != 0) {
+    if (error != nullptr)
+      *error = "listen " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (fill_addr(path, &addr, error) != 0) return -1;
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr)
+      *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr)
+      *error = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, std::string_view text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    ssize_t n = ::send(fd, text.data() + off, text.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += std::size_t(n);
+  }
+  return true;
+}
+
+bool LineReader::next_line(std::string* line) {
+  for (;;) {
+    std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      // Unterminated tail: surface it once, then report EOF.
+      line->swap(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, std::size_t(n));
+  }
+}
+
+std::string default_socket_path() {
+  if (const char* env = std::getenv("SLCD_SOCKET");
+      env != nullptr && *env != '\0')
+    return env;
+  return "/tmp/slcd-" + std::to_string(::getuid()) + ".sock";
+}
+
+}  // namespace slc::service::socket

@@ -1,0 +1,48 @@
+// Minimal Unix-domain socket plumbing for slcd and `slc --client`.
+//
+// Everything here is blocking and line-oriented (the protocol is NDJSON);
+// the daemon gets its concurrency from one reader thread per connection
+// plus the worker pool, not from nonblocking I/O. All descriptors are
+// created close-on-exec so sandboxed compile children never inherit a
+// client connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace slc::service::socket {
+
+/// Binds and listens on a Unix socket path, unlinking any stale socket
+/// file first. Returns the listening fd, or -1 with *error set.
+[[nodiscard]] int listen_unix(const std::string& path, std::string* error);
+
+/// Connects to a listening Unix socket. Returns the fd, or -1 with
+/// *error set.
+[[nodiscard]] int connect_unix(const std::string& path, std::string* error);
+
+/// Writes the whole buffer, retrying on EINTR/short writes. False on a
+/// broken connection. SIGPIPE is suppressed (MSG_NOSIGNAL).
+[[nodiscard]] bool write_all(int fd, std::string_view text);
+
+/// Buffered newline-delimited reader over a blocking fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Fills *line with the next line (without the '\n'). False on EOF or
+  /// a read error; a final unterminated fragment is returned as a line
+  /// first (torn-tail tolerance, same as the journal loader).
+  [[nodiscard]] bool next_line(std::string* line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Default rendezvous path shared by slcd and `slc --client`:
+/// $SLCD_SOCKET if set, else /tmp/slcd-<uid>.sock.
+[[nodiscard]] std::string default_socket_path();
+
+}  // namespace slc::service::socket

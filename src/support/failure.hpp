@@ -142,6 +142,15 @@ class Deadline {
   [[nodiscard]] bool expired() const {
     return active_ && std::chrono::steady_clock::now() >= end_;
   }
+  /// Milliseconds until expiry: UINT64_MAX when unlimited, 0 when already
+  /// expired. Retry backoff (support/retry.hpp) truncates its sleeps to
+  /// this so a bounded request never oversleeps its own deadline.
+  [[nodiscard]] std::uint64_t remaining_ms() const {
+    if (!active_) return ~std::uint64_t(0);
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        end_ - std::chrono::steady_clock::now());
+    return left.count() <= 0 ? 0 : std::uint64_t(left.count());
+  }
 
  private:
   bool active_ = false;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <deque>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -14,12 +15,13 @@ namespace slc::support::fault {
 
 namespace {
 
-enum class FaultKind { Throw, Fail, FailOnce, Delay, Crash, Hang };
+enum class FaultKind { Throw, Fail, FailOnce, Delay, Crash, Hang, Alloc };
 
 struct FaultSpec {
   Stage stage = Stage::Harness;
   FaultKind kind = FaultKind::Fail;
   int delay_ms = 0;
+  int alloc_mb = 0;
   std::string kernel_filter;        // substring match; empty = all
   std::atomic<bool> spent{false};   // fail-once: already fired?
 };
@@ -89,15 +91,26 @@ bool parse_one(std::string_view item, Config& c, std::string* error) {
     if (ms.empty() || end == nullptr || *end != '\0' || v < 0)
       return fail("bad delay milliseconds");
     spec.delay_ms = int(v);
+  } else if (constexpr std::string_view kAllocPrefix = "alloc=";
+             rest.substr(0, kAllocPrefix.size()) == kAllocPrefix) {
+    spec.kind = FaultKind::Alloc;
+    std::string mb(rest.substr(kAllocPrefix.size()));
+    char* end = nullptr;
+    long v = std::strtol(mb.c_str(), &end, 10);
+    if (mb.empty() || end == nullptr || *end != '\0' || v <= 0)
+      return fail("bad alloc megabytes");
+    spec.alloc_mb = int(v);
   } else {
     return fail(
-        "unknown fault kind (throw|fail|fail-once|delay=MS|crash|hang)");
+        "unknown fault kind "
+        "(throw|fail|fail-once|delay=MS|alloc=MB|crash|hang)");
   }
   c.specs.emplace_back();
   FaultSpec& stored = c.specs.back();
   stored.stage = spec.stage;
   stored.kind = spec.kind;
   stored.delay_ms = spec.delay_ms;
+  stored.alloc_mb = spec.alloc_mb;
   stored.kernel_filter = std::move(spec.kernel_filter);
   return true;
 }
@@ -161,6 +174,7 @@ std::optional<Failure> trigger(Stage stage, std::string_view kernel) {
   Config& c = config();
   FaultKind kind{};
   int delay_ms = 0;
+  int alloc_mb = 0;
   bool matched = false;
   {
     std::unique_lock<std::mutex> lock(c.mu);
@@ -174,6 +188,7 @@ std::optional<Failure> trigger(Stage stage, std::string_view kernel) {
         continue;  // already fired once
       kind = spec.kind;
       delay_ms = spec.delay_ms;
+      alloc_mb = spec.alloc_mb;
       matched = true;
       break;
     }
@@ -203,6 +218,21 @@ std::optional<Failure> trigger(Stage stage, std::string_view kernel) {
       // watchdog's SIGKILL can end.
       for (;;)
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    case FaultKind::Alloc: {
+      // A runaway allocation: touch alloc_mb MiB page by page. Under a
+      // subprocess RLIMIT_AS cap this ends in bad_alloc (or a kernel
+      // OOM kill), exercising the ChildOom classification; without a cap
+      // it simply allocates and frees. Volatile writes keep the pages
+      // resident so the limit genuinely fires.
+      std::vector<std::unique_ptr<char[]>> hoard;
+      const std::size_t chunk = 1u << 20;
+      for (int mb = 0; mb < alloc_mb; ++mb) {
+        hoard.push_back(std::make_unique<char[]>(chunk));
+        volatile char* page = hoard.back().get();
+        for (std::size_t off = 0; off < chunk; off += 4096) page[off] = 1;
+      }
+      return std::nullopt;
+    }
   }
   return std::nullopt;
 }

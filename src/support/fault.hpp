@@ -16,6 +16,9 @@
 //   SLC_FAULT="simulate:hang"           spin-sleep forever; the in-process
 //                                       Deadline cannot interrupt it, only
 //                                       the --isolate wall-clock watchdog
+//   SLC_FAULT="slms:alloc=512"          touch 512 MiB — under a child
+//                                       RSS cap this is the OOM path
+//                                       (bad_alloc or kernel OOM kill)
 //   SLC_FAULT="slms:throw@kernel8"      only rows whose kernel name
 //                                       contains "kernel8"
 //   SLC_FAULT="bug:mve-skip-rename"     plant a named miscompile bug (used
@@ -80,6 +83,8 @@ void clear();
 ///   fail      — returns a Failure{stage, Injected}
 ///   fail-once — returns a transient Failure on the first match only
 ///   delay     — sleeps, then returns nullopt
+///   alloc     — touches the configured MiB, then returns nullopt (under
+///               an RLIMIT_AS cap: bad_alloc / kernel OOM kill instead)
 ///   crash     — raises SIGSEGV (never returns; kills the process)
 ///   hang      — sleeps forever (never returns; only SIGKILL ends it)
 /// `kernel` is matched as a substring against the spec's @filter; an empty

@@ -1,0 +1,152 @@
+// Generic retry with jittered exponential backoff.
+//
+// The long-running compile service (src/service, tools/slcd.cpp) and the
+// native codegen cache's host-compiler path both talk to things that can
+// fail transiently — a sandboxed child killed by the kernel, a compiler
+// process lost to an OOM blip, a fault-injected fail-once. This is the
+// one shared policy for "try again, but not forever":
+//
+//   * exponential backoff: delay(k) = base * multiplier^(k-1), capped at
+//     max_delay_ms, before the k-th retry;
+//   * deterministic jitter: each delay is scaled by (1 - jitter * u) with
+//     u drawn from a splitmix64 stream seeded by Policy::seed, so two
+//     schedules with the same seed are bit-identical (testable) while
+//     different seeds decorrelate retry storms;
+//   * deadline awareness: sleeps are truncated to the caller's Deadline
+//     and no attempt starts after it expires — a bounded request can
+//     never oversleep its own budget;
+//   * failure-kind selectivity: only failures the caller's predicate
+//     accepts are retried (default: Failure::transient).
+//
+// Sleeping is pluggable so tests can assert the schedule without waiting
+// for it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "support/failure.hpp"
+
+namespace slc::support::retry {
+
+struct Policy {
+  /// Total attempts including the first one. 1 = no retries.
+  int max_attempts = 3;
+  /// Delay before the first retry, in milliseconds.
+  std::uint64_t base_delay_ms = 10;
+  /// Growth factor per retry.
+  double multiplier = 2.0;
+  /// Upper bound on any single (pre-jitter) delay.
+  std::uint64_t max_delay_ms = 2000;
+  /// Fraction of each delay randomly shaved off: the jittered delay is
+  /// uniform in [delay * (1 - jitter), delay]. 0 = no jitter.
+  double jitter = 0.5;
+  /// Seed of the deterministic jitter stream.
+  std::uint64_t seed = 0;
+};
+
+/// The delay schedule of one retried operation. Deterministic: two
+/// Backoffs built from the same Policy produce the same sequence.
+class Backoff {
+ public:
+  explicit Backoff(const Policy& policy)
+      : policy_(policy), state_(policy.seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Delay (ms) to sleep before the next retry; advances the schedule.
+  /// First call = delay before retry 1, and so on.
+  [[nodiscard]] std::uint64_t next_delay_ms() {
+    double delay = double(policy_.base_delay_ms);
+    for (int i = 0; i < retries_; ++i) delay *= policy_.multiplier;
+    if (delay > double(policy_.max_delay_ms))
+      delay = double(policy_.max_delay_ms);
+    ++retries_;
+    if (policy_.jitter > 0.0) {
+      // splitmix64 -> uniform double in [0, 1).
+      std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      double u = double(z >> 11) * (1.0 / 9007199254740992.0);
+      delay *= 1.0 - policy_.jitter * u;
+    }
+    return std::uint64_t(delay);
+  }
+
+  [[nodiscard]] int retries_scheduled() const { return retries_; }
+
+ private:
+  Policy policy_;
+  std::uint64_t state_;
+  int retries_ = 0;
+};
+
+/// Observability for one with_retry call.
+struct Stats {
+  int attempts = 0;          // attempts actually made (>= 1 unless expired)
+  std::uint64_t slept_ms = 0;
+  bool truncated = false;    // a backoff sleep was cut short by the deadline
+  bool gave_up_on_deadline = false;  // stopped retrying: no budget left
+};
+
+using Sleeper = std::function<void(std::uint64_t /*ms*/)>;
+
+inline void sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Default retry predicate: retry only failures marked transient (the
+/// fault injector's fail-once sets this, as do spawn-level hiccups).
+[[nodiscard]] inline bool retry_if_transient(const Failure& failure) {
+  return failure.transient;
+}
+
+/// Runs `attempt` until it succeeds, the policy's attempts are spent, the
+/// predicate declines the failure, or the deadline runs out. Returns the
+/// successful value or the last Failure observed. An already-expired
+/// deadline yields a DeadlineExceeded failure without attempting.
+template <typename T>
+[[nodiscard]] Result<T> with_retry(
+    const Policy& policy, const Deadline& deadline,
+    const std::function<Result<T>()>& attempt,
+    const std::function<bool(const Failure&)>& should_retry =
+        retry_if_transient,
+    Stats* stats = nullptr, const Sleeper& sleeper = sleep_ms) {
+  Stats local;
+  Stats& s = stats != nullptr ? *stats : local;
+  s = Stats{};
+  Backoff backoff(policy);
+  int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Failure last = make_failure(Stage::Harness, FailureKind::DeadlineExceeded,
+                              "deadline expired before the first attempt");
+  for (int k = 1; k <= max_attempts; ++k) {
+    if (deadline.expired()) {
+      s.gave_up_on_deadline = true;
+      return last;
+    }
+    ++s.attempts;
+    Result<T> r = attempt();
+    if (r.ok()) return r;
+    last = r.failure();
+    if (k == max_attempts || !should_retry(last)) return last;
+    std::uint64_t delay = backoff.next_delay_ms();
+    std::uint64_t budget = deadline.remaining_ms();
+    if (budget == 0) {
+      s.gave_up_on_deadline = true;
+      return last;
+    }
+    if (delay > budget) {
+      // Truncate the sleep to the deadline: one final attempt may still
+      // fit, but we will not sleep past the caller's budget.
+      delay = budget;
+      s.truncated = true;
+    }
+    if (delay > 0) {
+      sleeper(delay);
+      s.slept_ms += delay;
+    }
+  }
+  return last;
+}
+
+}  // namespace slc::support::retry

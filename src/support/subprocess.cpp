@@ -19,6 +19,22 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Installs `fd` as standard descriptor `target` in the child. Every
+/// pipe end is created O_CLOEXEC (so a concurrently forked sibling can
+/// never inherit it — see run()); dup2 onto a *different* fd yields a
+/// non-cloexec duplicate, but when fd already equals its target dup2 is
+/// a no-op and the close-on-exec flag must be cleared by hand or exec
+/// would close the child's own stdio.
+void install_std_fd(int fd, int target) {
+  if (fd == target) {
+    int flags = fcntl(fd, F_GETFD, 0);
+    if (flags >= 0) fcntl(fd, F_SETFD, flags & ~FD_CLOEXEC);
+    return;
+  }
+  dup2(fd, target);
+  close(fd);
+}
+
 /// The child half of the pipe plumbing, run between fork and exec.
 /// Only async-signal-safe calls are allowed here.
 [[noreturn]] void exec_child(const RunOptions& options, int in_fd,
@@ -33,12 +49,9 @@ using Clock = std::chrono::steady_clock;
     setrlimit(RLIMIT_AS, &lim);  // best effort; exec proceeds regardless
   }
 
-  dup2(in_fd, STDIN_FILENO);
-  dup2(out_fd, STDOUT_FILENO);
-  dup2(err_fd, STDERR_FILENO);
-  close(in_fd);
-  close(out_fd);
-  close(err_fd);
+  install_std_fd(in_fd, STDIN_FILENO);
+  install_std_fd(out_fd, STDOUT_FILENO);
+  install_std_fd(err_fd, STDERR_FILENO);
 
   std::vector<char*> argv;
   argv.reserve(options.argv.size() + 1);
@@ -164,20 +177,25 @@ RunResult run(const RunOptions& options) {
     return result;
   }
 
-  int in_pipe[2], out_pipe[2], err_pipe[2];
-  if (pipe(in_pipe) != 0) {
+  // All six pipe ends are O_CLOEXEC from birth. This is not optional
+  // hygiene: run() is called concurrently (the --isolate supervisor, the
+  // slcd service workers), and a child forked by thread B between thread
+  // A's pipe() and exec would otherwise inherit A's pipe write ends —
+  // keeping them open for as long as B's child lives, so A never sees
+  // EOF and a long-lived sibling stalls an unrelated request. The
+  // child's own stdio is re-armed in exec_child via install_std_fd.
+  int in_pipe[2] = {-1, -1}, out_pipe[2] = {-1, -1}, err_pipe[2] = {-1, -1};
+  auto close_all_pipes = [&]() {
+    for (int* p : {in_pipe, out_pipe, err_pipe}) {
+      if (p[0] >= 0) close(p[0]);
+      if (p[1] >= 0) close(p[1]);
+      p[0] = p[1] = -1;
+    }
+  };
+  if (pipe2(in_pipe, O_CLOEXEC) != 0 || pipe2(out_pipe, O_CLOEXEC) != 0 ||
+      pipe2(err_pipe, O_CLOEXEC) != 0) {
     result.spawn_error = std::string("pipe: ") + strerror(errno);
-    return result;
-  }
-  if (pipe(out_pipe) != 0) {
-    result.spawn_error = std::string("pipe: ") + strerror(errno);
-    close(in_pipe[0]); close(in_pipe[1]);
-    return result;
-  }
-  if (pipe(err_pipe) != 0) {
-    result.spawn_error = std::string("pipe: ") + strerror(errno);
-    close(in_pipe[0]); close(in_pipe[1]);
-    close(out_pipe[0]); close(out_pipe[1]);
+    close_all_pipes();
     return result;
   }
 
@@ -185,9 +203,7 @@ RunResult run(const RunOptions& options) {
   pid_t pid = fork();
   if (pid < 0) {
     result.spawn_error = std::string("fork: ") + strerror(errno);
-    close(in_pipe[0]); close(in_pipe[1]);
-    close(out_pipe[0]); close(out_pipe[1]);
-    close(err_pipe[0]); close(err_pipe[1]);
+    close_all_pipes();
     return result;
   }
   if (pid == 0) {

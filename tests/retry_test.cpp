@@ -1,0 +1,256 @@
+// Tests for support/retry.hpp: the backoff schedule's bounds, the
+// determinism of the seeded jitter stream, deadline-aware truncation of
+// sleeps, predicate selectivity, and the interaction with the fault
+// injector's fail-once transient failures.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/fault.hpp"
+#include "support/failure.hpp"
+#include "support/retry.hpp"
+
+namespace {
+
+using namespace slc;
+namespace retry = support::retry;
+using support::Deadline;
+using support::Failure;
+using support::FailureKind;
+using support::Result;
+using support::Stage;
+
+retry::Policy no_jitter(int attempts = 5) {
+  retry::Policy p;
+  p.max_attempts = attempts;
+  p.base_delay_ms = 10;
+  p.multiplier = 2.0;
+  p.max_delay_ms = 50;
+  p.jitter = 0.0;
+  return p;
+}
+
+Failure transient_failure() {
+  Failure f = support::make_failure(Stage::Isolation,
+                                    FailureKind::ChildSignal, "boom");
+  f.transient = true;
+  return f;
+}
+
+// ----- Backoff schedule ---------------------------------------------------
+
+TEST(Backoff, ExponentialGrowthCappedAtMax) {
+  retry::Backoff b(no_jitter());
+  EXPECT_EQ(b.next_delay_ms(), 10u);
+  EXPECT_EQ(b.next_delay_ms(), 20u);
+  EXPECT_EQ(b.next_delay_ms(), 40u);
+  EXPECT_EQ(b.next_delay_ms(), 50u);  // 80 capped to max_delay_ms
+  EXPECT_EQ(b.next_delay_ms(), 50u);
+  EXPECT_EQ(b.retries_scheduled(), 5);
+}
+
+TEST(Backoff, JitterStaysWithinConfiguredBand) {
+  retry::Policy p = no_jitter();
+  p.jitter = 0.5;
+  p.seed = 42;
+  retry::Backoff b(p);
+  std::uint64_t expected[] = {10, 20, 40, 50, 50};
+  for (std::uint64_t full : expected) {
+    std::uint64_t d = b.next_delay_ms();
+    EXPECT_LE(d, full);
+    // jitter=0.5 shaves off at most half the delay.
+    EXPECT_GE(d, full - full / 2 - 1);
+  }
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  retry::Policy p = no_jitter(8);
+  p.jitter = 0.9;
+  p.seed = 1234;
+  retry::Backoff a(p), b(p);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.next_delay_ms(), b.next_delay_ms());
+}
+
+TEST(Backoff, DifferentSeedsDecorrelate) {
+  retry::Policy p = no_jitter(8);
+  p.jitter = 0.9;
+  p.seed = 1;
+  retry::Backoff a(p);
+  p.seed = 2;
+  retry::Backoff b(p);
+  bool any_different = false;
+  for (int i = 0; i < 8; ++i)
+    if (a.next_delay_ms() != b.next_delay_ms()) any_different = true;
+  EXPECT_TRUE(any_different);
+}
+
+// ----- with_retry ---------------------------------------------------------
+
+TEST(WithRetry, FirstAttemptSuccessMakesNoRetries) {
+  retry::Stats stats;
+  std::vector<std::uint64_t> sleeps;
+  Result<int> r = retry::with_retry<int>(
+      no_jitter(), Deadline::unlimited(), []() -> Result<int> { return 7; },
+      retry::retry_if_transient, &stats,
+      [&](std::uint64_t ms) { sleeps.push_back(ms); });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_EQ(stats.slept_ms, 0u);
+}
+
+TEST(WithRetry, TransientFailuresRetryUntilSuccess) {
+  retry::Stats stats;
+  std::vector<std::uint64_t> sleeps;
+  int calls = 0;
+  Result<int> r = retry::with_retry<int>(
+      no_jitter(), Deadline::unlimited(),
+      [&]() -> Result<int> {
+        if (++calls < 3) return transient_failure();
+        return 42;
+      },
+      retry::retry_if_transient, &stats,
+      [&](std::uint64_t ms) { sleeps.push_back(ms); });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(stats.attempts, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 10u);  // the deterministic no-jitter schedule
+  EXPECT_EQ(sleeps[1], 20u);
+  EXPECT_EQ(stats.slept_ms, 30u);
+}
+
+TEST(WithRetry, NonRetryableFailureReturnsImmediately) {
+  retry::Stats stats;
+  int calls = 0;
+  Result<int> r = retry::with_retry<int>(
+      no_jitter(), Deadline::unlimited(),
+      [&]() -> Result<int> {
+        ++calls;
+        return support::make_failure(Stage::Isolation, FailureKind::ChildExit,
+                                     "exit:3");  // deterministic answer
+      },
+      retry::retry_if_transient, &stats, [](std::uint64_t) {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.attempts, 1);
+}
+
+TEST(WithRetry, AttemptsAreBoundedByPolicy) {
+  retry::Stats stats;
+  int calls = 0;
+  Result<int> r = retry::with_retry<int>(
+      no_jitter(3), Deadline::unlimited(),
+      [&]() -> Result<int> {
+        ++calls;
+        return transient_failure();
+      },
+      retry::retry_if_transient, &stats, [](std::uint64_t) {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure().kind, FailureKind::ChildSignal);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+}
+
+TEST(WithRetry, SleepTruncatedToDeadline) {
+  retry::Policy p = no_jitter();
+  p.base_delay_ms = 10'000;  // far beyond the deadline's budget
+  p.max_delay_ms = 10'000;
+  retry::Stats stats;
+  std::vector<std::uint64_t> sleeps;
+  int calls = 0;
+  Result<int> r = retry::with_retry<int>(
+      p, Deadline::after_ms(200),
+      [&]() -> Result<int> {
+        if (++calls == 1) return transient_failure();
+        return 1;
+      },
+      retry::retry_if_transient, &stats,
+      [&](std::uint64_t ms) { sleeps.push_back(ms); });
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(stats.truncated);
+  ASSERT_EQ(sleeps.size(), 1u);
+  EXPECT_LE(sleeps[0], 200u);  // never oversleeps the caller's budget
+}
+
+TEST(WithRetry, ExpiredDeadlineFailsWithoutAttempting) {
+  retry::Stats stats;
+  int calls = 0;
+  Deadline d = Deadline::after_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Result<int> r = retry::with_retry<int>(
+      no_jitter(), d,
+      [&]() -> Result<int> {
+        ++calls;
+        return 1;
+      },
+      retry::retry_if_transient, &stats, [](std::uint64_t) {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure().kind, FailureKind::DeadlineExceeded);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(stats.attempts, 0);
+  EXPECT_TRUE(stats.gave_up_on_deadline);
+}
+
+TEST(WithRetry, GivesUpWhenBudgetExhaustedMidRetry) {
+  retry::Stats stats;
+  int calls = 0;
+  // Each failing attempt burns most of the budget; once remaining_ms hits
+  // zero the loop must stop scheduling sleeps and return the last failure.
+  Result<int> r = retry::with_retry<int>(
+      no_jitter(10), Deadline::after_ms(30),
+      [&]() -> Result<int> {
+        ++calls;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        return transient_failure();
+      },
+      retry::retry_if_transient, &stats, retry::sleep_ms);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure().kind, FailureKind::ChildSignal);
+  EXPECT_TRUE(stats.gave_up_on_deadline || stats.truncated);
+  EXPECT_LT(calls, 10);
+}
+
+// ----- Interaction with SLC_FAULT fail-once -------------------------------
+
+TEST(WithRetry, FailOnceFaultIsRetriedOnceThenSucceeds) {
+  ASSERT_TRUE(support::fault::configure("slms:fail-once"));
+  retry::Stats stats;
+  Result<int> r = retry::with_retry<int>(
+      no_jitter(), Deadline::unlimited(),
+      [&]() -> Result<int> {
+        if (std::optional<Failure> f =
+                support::fault::trigger(Stage::Slms, "kernel8"))
+          return *f;
+        return 99;
+      },
+      retry::retry_if_transient, &stats, [](std::uint64_t) {});
+  support::fault::clear();
+  ASSERT_TRUE(r.ok()) << r.failure().brief();
+  EXPECT_EQ(r.value(), 99);
+  // Exactly one injected transient failure, one retry, then the answer.
+  EXPECT_EQ(stats.attempts, 2);
+}
+
+TEST(WithRetry, PersistentInjectedFaultIsNotRetried) {
+  ASSERT_TRUE(support::fault::configure("slms:fail"));
+  retry::Stats stats;
+  Result<int> r = retry::with_retry<int>(
+      no_jitter(), Deadline::unlimited(),
+      [&]() -> Result<int> {
+        if (std::optional<Failure> f =
+                support::fault::trigger(Stage::Slms, "kernel8"))
+          return *f;
+        return 99;
+      },
+      retry::retry_if_transient, &stats, [](std::uint64_t) {});
+  support::fault::clear();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure().kind, FailureKind::Injected);
+  // `fail` (unlike fail-once) is not transient: no retry is owed.
+  EXPECT_EQ(stats.attempts, 1);
+}
+
+}  // namespace

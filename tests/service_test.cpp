@@ -1,0 +1,726 @@
+// Tests for the compile service (src/service): protocol round-trips,
+// the LRU result cache and its persistence journal, the per-kernel
+// circuit breaker state machine (injectable clock), the Service core's
+// retry/degrade/shed behavior against a scriptable fake slc, subprocess
+// fd hygiene (the pipes must be close-on-exec and survive fd-limit
+// pressure), duplicate-key tolerance in the run journal, and an
+// end-to-end slcd daemon conversation over a real Unix socket.
+#include <gtest/gtest.h>
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "driver/journal.hpp"
+#include "service/breaker.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "support/subprocess.hpp"
+
+namespace {
+
+using namespace slc;
+using namespace slc::service;
+namespace fs = std::filesystem;
+namespace subprocess = support::subprocess;
+
+fs::path unique_tmp(const std::string& stem) {
+  static std::atomic<int> counter{0};
+  return fs::temp_directory_path() /
+         (stem + "-" + std::to_string(::getpid()) + "-" +
+          std::to_string(counter.fetch_add(1)));
+}
+
+// ----- protocol -----------------------------------------------------------
+
+TEST(Protocol, RequestRoundTrips) {
+  Request req;
+  req.id = 42;
+  req.method = "compile";
+  req.source = "void f() {}\n";
+  req.args = {"--no-filter", "--emit-source"};
+  req.deadline_ms = 1500;
+  req.no_cache = true;
+  std::optional<Request> back = parse_request_line(to_json(req).dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, 42u);
+  EXPECT_EQ(back->method, "compile");
+  EXPECT_EQ(back->source, req.source);
+  EXPECT_EQ(back->args, req.args);
+  EXPECT_EQ(back->deadline_ms, 1500u);
+  EXPECT_TRUE(back->no_cache);
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  Response r;
+  r.id = 7;
+  r.status = Status::Degraded;
+  r.exit_code = 3;
+  r.out = "line1\nline2\n";
+  r.err = "warn\n";
+  r.cached = true;
+  r.attempts = 2;
+  r.wall_ns = 123456789;
+  r.detail = "circuit open";
+  std::optional<Response> back = parse_response_line(to_json(r).dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, 7u);
+  EXPECT_EQ(back->status, Status::Degraded);
+  EXPECT_EQ(back->exit_code, 3);
+  EXPECT_EQ(back->out, r.out);
+  EXPECT_EQ(back->err, r.err);
+  EXPECT_TRUE(back->cached);
+  EXPECT_EQ(back->attempts, 2);
+  EXPECT_EQ(back->wall_ns, 123456789u);
+  EXPECT_EQ(back->detail, "circuit open");
+  EXPECT_TRUE(back->answered());
+}
+
+TEST(Protocol, MalformedLinesAreRejected) {
+  EXPECT_FALSE(parse_request_line("not json").has_value());
+  EXPECT_FALSE(parse_request_line("{}").has_value());  // no id
+  EXPECT_FALSE(
+      parse_request_line("{\"id\":1,\"args\":\"not-an-array\"}").has_value());
+  EXPECT_FALSE(parse_response_line("{\"id\":1}").has_value());  // no status
+  EXPECT_FALSE(
+      parse_response_line("{\"id\":1,\"status\":\"nonsense\"}").has_value());
+}
+
+// ----- result cache -------------------------------------------------------
+
+Response ok_response(const std::string& out) {
+  Response r;
+  r.status = Status::Ok;
+  r.out = out;
+  return r;
+}
+
+TEST(ResultCacheTest, HitMissAndLruEviction) {
+  ResultCache cache(2);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", ok_response("A"));
+  cache.put("b", ok_response("B"));
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  ASSERT_TRUE(cache.get("a").has_value());
+  cache.put("c", ok_response("C"));
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_GT(s.hit_rate(), 0.0);
+}
+
+TEST(ResultCacheTest, HitsComeBackMarkedCached) {
+  ResultCache cache(4);
+  Response r = ok_response("X");
+  r.cached = false;
+  r.id = 99;
+  cache.put("k", r);
+  std::optional<Response> hit = cache.get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->cached);
+  EXPECT_EQ(hit->id, 0u);  // the caller stamps the request id
+  EXPECT_EQ(hit->out, "X");
+}
+
+TEST(ResultCacheTest, JournalPersistsAndResolvesDuplicatesLastWriteWins) {
+  fs::path path = unique_tmp("slc-cache-journal");
+  {
+    ResultCache cache(8);
+    ASSERT_TRUE(cache.open_journal(path.string()));
+    cache.put("k1", ok_response("first"));
+    cache.put("k1", ok_response("second"));  // same key appended twice
+    cache.put("k2", ok_response("other"));
+    cache.flush();
+  }
+  {
+    // Simulate a kill -9 mid-append: a torn trailing line.
+    std::ofstream f(path, std::ios::app);
+    f << "{\"key\":\"torn\",\"response\":{\"sta";
+  }
+  ResultCache warm(8);
+  ASSERT_TRUE(warm.open_journal(path.string()));
+  CacheStats s = warm.stats();
+  EXPECT_EQ(s.journal_loaded, 2u);      // k1, k2
+  EXPECT_EQ(s.journal_duplicates, 1u);  // k1's second append
+  EXPECT_EQ(s.journal_skipped, 1u);     // the torn tail
+  std::optional<Response> hit = warm.get("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->out, "second");  // last write wins
+  fs::remove(path);
+}
+
+// ----- circuit breaker ----------------------------------------------------
+
+TEST(Breaker, TripsAfterThresholdAndServesOpen) {
+  std::uint64_t now = 0;
+  BreakerRegistry reg({/*threshold=*/3, /*cooldown_ms=*/1000},
+                      [&now] { return now; });
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(reg.admit("k"), BreakerState::Closed);
+    reg.record("k", false);
+  }
+  EXPECT_EQ(reg.trips(), 0u);
+  EXPECT_EQ(reg.admit("k"), BreakerState::Closed);
+  reg.record("k", false);  // third consecutive failure trips it
+  EXPECT_EQ(reg.trips(), 1u);
+  EXPECT_EQ(reg.state("k"), BreakerState::Open);
+  EXPECT_EQ(reg.admit("k"), BreakerState::Open);
+  EXPECT_EQ(reg.open_circuits(), 1u);
+  // Other keys are unaffected.
+  EXPECT_EQ(reg.admit("other"), BreakerState::Closed);
+}
+
+TEST(Breaker, SuccessResetsTheFailureStreak) {
+  std::uint64_t now = 0;
+  BreakerRegistry reg({3, 1000}, [&now] { return now; });
+  reg.record("k", false);
+  reg.record("k", false);
+  reg.record("k", true);  // streak broken
+  reg.record("k", false);
+  reg.record("k", false);
+  EXPECT_EQ(reg.state("k"), BreakerState::Closed);
+  EXPECT_EQ(reg.trips(), 0u);
+}
+
+TEST(Breaker, HalfOpenProbeClosesOnSuccess) {
+  std::uint64_t now = 0;
+  BreakerRegistry reg({1, 500}, [&now] { return now; });
+  reg.admit("k");
+  reg.record("k", false);  // threshold 1: trips immediately
+  EXPECT_EQ(reg.state("k"), BreakerState::Open);
+  EXPECT_EQ(reg.admit("k"), BreakerState::Open);  // cooldown not elapsed
+  now = 500;
+  EXPECT_EQ(reg.admit("k"), BreakerState::HalfOpen);  // the one probe
+  EXPECT_EQ(reg.admit("k"), BreakerState::Open);      // everyone else waits
+  reg.record("k", true);
+  EXPECT_EQ(reg.state("k"), BreakerState::Closed);
+  EXPECT_EQ(reg.admit("k"), BreakerState::Closed);
+  EXPECT_EQ(reg.open_circuits(), 0u);
+}
+
+TEST(Breaker, HalfOpenProbeReopensOnFailureAndRestartsCooldown) {
+  std::uint64_t now = 0;
+  BreakerRegistry reg({1, 500}, [&now] { return now; });
+  reg.admit("k");
+  reg.record("k", false);
+  now = 500;
+  EXPECT_EQ(reg.admit("k"), BreakerState::HalfOpen);
+  reg.record("k", false);  // probe failed
+  EXPECT_EQ(reg.state("k"), BreakerState::Open);
+  now = 900;  // cooldown restarted at t=500, not elapsed yet
+  EXPECT_EQ(reg.admit("k"), BreakerState::Open);
+  now = 1000;
+  EXPECT_EQ(reg.admit("k"), BreakerState::HalfOpen);
+  // A second trip is only counted on Closed->Open transitions.
+  EXPECT_EQ(reg.trips(), 1u);
+}
+
+// ----- subprocess fd hygiene (regression for the error paths) -------------
+
+std::vector<int> open_fds() {
+  std::vector<int> fds;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return fds;
+  while (dirent* e = ::readdir(dir)) {
+    if (e->d_name[0] == '.') continue;
+    int fd = std::atoi(e->d_name);
+    if (fd != ::dirfd(dir)) fds.push_back(fd);
+  }
+  ::closedir(dir);
+  return fds;
+}
+
+/// Fds above stderr that would leak into an exec'd child (no FD_CLOEXEC).
+int inheritable_extra_fds() {
+  int n = 0;
+  for (int fd : open_fds()) {
+    if (fd <= 2) continue;
+    int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0 && (flags & FD_CLOEXEC) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(FdHygiene, RepeatedRunsLeakNoParentFds) {
+  subprocess::RunOptions ro;
+  ro.argv = {"/bin/sh", "-c", "cat; echo done"};
+  ro.stdin_text = "hello";
+  (void)subprocess::run(ro);  // warm any lazy one-time allocations
+  std::size_t before = open_fds().size();
+  for (int i = 0; i < 32; ++i) {
+    subprocess::RunResult r = subprocess::run(ro);
+    ASSERT_TRUE(r.spawned) << r.spawn_error;
+    ASSERT_TRUE(r.clean());
+  }
+  EXPECT_EQ(open_fds().size(), before);
+}
+
+TEST(FdHygiene, ChildInheritsOnlyTheStandardStreams) {
+  // The pipes backing stdin/stdout/stderr are created O_CLOEXEC, so the
+  // exec'd child must see exactly fds 0-3 (3 is ls's own directory fd)
+  // plus whatever this test process genuinely leaves inheritable.
+  int extra = inheritable_extra_fds();
+  subprocess::RunOptions ro;
+  ro.argv = {"/bin/sh", "-c", "ls -1 /proc/self/fd | wc -l"};
+  subprocess::RunResult r = subprocess::run(ro);
+  ASSERT_TRUE(r.spawned) << r.spawn_error;
+  ASSERT_TRUE(r.clean()) << r.describe() << "\n" << r.err;
+  EXPECT_EQ(std::atoi(r.out.c_str()), 4 + extra) << r.out;
+}
+
+TEST(FdHygiene, SurvivesFdLimitPressureIncludingExecFailures) {
+  // With ~16 spare fds, 48 sequential spawns (a third of which fail at
+  // exec) only pass if every path — success, exec failure, watchdog —
+  // releases all six pipe ends. A 3-fd-per-run leak exhausts the limit
+  // by the sixth iteration and turns into spawn failures here.
+  rlimit old{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old), 0);
+  rlimit tight = old;
+  tight.rlim_cur = rlim_t(open_fds().size()) + 16;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  for (int i = 0; i < 48; ++i) {
+    subprocess::RunOptions ro;
+    if (i % 3 == 2) {
+      ro.argv = {"/nonexistent/binary/for/slc/tests"};
+    } else {
+      ro.argv = {"/bin/sh", "-c", "cat"};
+      ro.stdin_text = "x";
+    }
+    subprocess::RunResult r = subprocess::run(ro);
+    if (!(i % 3 == 2)) {
+      ASSERT_TRUE(r.spawned && r.clean())
+          << "iteration " << i << ": " << r.describe() << " "
+          << r.spawn_error;
+    }
+  }
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old), 0);
+}
+
+// ----- run journal: duplicate keys ----------------------------------------
+
+TEST(JournalDuplicates, LastWriteWinsAndIsCounted) {
+  fs::path path = unique_tmp("slc-journal-dup");
+  namespace journal = driver::journal;
+  {
+    journal::Journal jnl;
+    ASSERT_TRUE(jnl.open(path.string(), /*truncate=*/true));
+    driver::ComparisonRow row;
+    row.kernel = "stale";
+    row.ok = true;
+    jnl.append("key-a", row);
+    row.kernel = "fresh";  // crashed-then-resumed runs rewrite rows
+    jnl.append("key-a", row);
+    row.kernel = "other";
+    jnl.append("key-b", row);
+  }
+  journal::LoadResult loaded = journal::load(path.string());
+  EXPECT_EQ(loaded.rows.size(), 2u);
+  EXPECT_EQ(loaded.duplicate_keys, 1u);
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+  ASSERT_TRUE(loaded.rows.count("key-a"));
+  EXPECT_EQ(loaded.rows["key-a"].kernel, "fresh");
+  fs::remove(path);
+}
+
+// ----- the Service core against a scriptable fake slc ---------------------
+
+/// A /bin/sh stand-in for slc whose behavior is selected by fake flags:
+///   --boom   crash with SIGSEGV — unless $FAKE_MARKER exists, then
+///            succeed (lets tests script a recovery for the breaker)
+///   --spin   hang until the watchdog kills it
+///   --slow   sleep briefly, then succeed (occupies a worker)
+///   --fail   exit 3 with a diagnostic (a deterministic answer)
+///   --no-slms  print the base-only marker and exit 0 (degraded path)
+/// Everything else echoes its argv (and stdin, when piped) so outputs
+/// are distinguishable and cacheable.
+std::string write_fake_slc() {
+  fs::path path = unique_tmp("fake-slc");
+  std::ofstream out(path);
+  out << "#!/bin/sh\n"
+         "for a in \"$@\"; do\n"
+         "  case \"$a\" in\n"
+         "    --no-slms) echo \"base-only:$*\"; exit 0;;\n"
+         "  esac\n"
+         "done\n"
+         "for a in \"$@\"; do\n"
+         "  case \"$a\" in\n"
+         "    --boom)\n"
+         "      if [ -n \"$FAKE_MARKER\" ] && [ -e \"$FAKE_MARKER\" ]; then\n"
+         "        echo \"recovered:$*\"; exit 0\n"
+         "      fi\n"
+         "      kill -SEGV $$;;\n"
+         "    --spin) sleep 600;;\n"
+         "    --slow) sleep 0.4;;\n"
+         "    --fail) echo \"diagnosed\" >&2; exit 3;;\n"
+         "  esac\n"
+         "done\n"
+         "if [ \"$#\" -gt 0 ]; then\n"
+         "  for last in \"$@\"; do :; done\n"
+         "  if [ \"$last\" = \"-\" ]; then cat; fi\n"
+         "fi\n"
+         "echo \"ran:$*\"\n";
+  out.close();
+  ::chmod(path.c_str(), 0755);
+  return path.string();
+}
+
+ServiceOptions fast_options(const std::string& fake_slc) {
+  ServiceOptions o;
+  o.slc_exe = fake_slc;
+  o.workers = 2;
+  o.queue_max = 4;
+  o.child_timeout_ms = 1000;
+  o.max_attempts = 2;
+  o.retry_base_delay_ms = 1;
+  o.breaker_threshold = 2;
+  o.breaker_cooldown_ms = 100;
+  return o;
+}
+
+Request compile_request(std::vector<std::string> args,
+                        std::uint64_t id = 1) {
+  Request req;
+  req.id = id;
+  req.args = std::move(args);
+  return req;
+}
+
+TEST(ServiceCore, AnswersAndCachesDeterministicRuns) {
+  std::string fake = write_fake_slc();
+  Service svc(fast_options(fake));
+  Request req = compile_request({"--kernel=k1", "--report"});
+  Response first = svc.execute(req);
+  EXPECT_EQ(first.status, Status::Ok);
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.out, "ran:--kernel=k1 --report\n");
+  EXPECT_FALSE(first.cached);
+  EXPECT_EQ(first.attempts, 1);
+  Response second = svc.execute(req);
+  EXPECT_EQ(second.status, Status::Ok);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.out, first.out);
+  EXPECT_EQ(svc.stats().cache.hits, 1u);
+  fs::remove(fake);
+}
+
+TEST(ServiceCore, SourceOnStdinReachesTheChild) {
+  std::string fake = write_fake_slc();
+  Service svc(fast_options(fake));
+  Request req = compile_request({"--emit-source"});
+  req.source = "int v[10];\n";
+  Response r = svc.execute(req);
+  EXPECT_EQ(r.status, Status::Ok);
+  EXPECT_EQ(r.out, "int v[10];\nran:--emit-source -\n");
+  fs::remove(fake);
+}
+
+TEST(ServiceCore, NonZeroExitIsTheAnswerNotAFailure) {
+  std::string fake = write_fake_slc();
+  Service svc(fast_options(fake));
+  Response r = svc.execute(compile_request({"--kernel=k2", "--fail"}));
+  EXPECT_EQ(r.status, Status::Ok);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_EQ(r.err, "diagnosed\n");
+  EXPECT_EQ(r.attempts, 1);  // deterministic: no retry
+  // And it is cacheable: the second ask spawns nothing.
+  Response again = svc.execute(compile_request({"--kernel=k2", "--fail"}));
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.exit_code, 3);
+  EXPECT_EQ(svc.stats().breaker_trips, 0u);
+  fs::remove(fake);
+}
+
+TEST(ServiceCore, CrashesRetryThenTripTheBreakerThenDegrade) {
+  std::string fake = write_fake_slc();
+  ServiceOptions options = fast_options(fake);
+  Service svc(options);
+  Request req = compile_request({"--kernel=boom", "--boom"});
+  req.no_cache = true;
+
+  // Two crashing requests (threshold) — each retried max_attempts times.
+  Response r1 = svc.execute(req);
+  EXPECT_EQ(r1.status, Status::Error);
+  EXPECT_EQ(r1.attempts, options.max_attempts);
+  Response r2 = svc.execute(req);
+  EXPECT_EQ(r2.status, Status::Error);
+  ServiceStats s = svc.stats();
+  EXPECT_EQ(s.breaker_trips, 1u);
+  EXPECT_EQ(s.retries, std::uint64_t(2 * (options.max_attempts - 1)));
+
+  // Circuit open: the same kernel is served the degraded base-only run.
+  Response r3 = svc.execute(req);
+  EXPECT_EQ(r3.status, Status::Degraded);
+  EXPECT_EQ(r3.out, "base-only:--kernel=boom --boom --no-slms\n");
+  EXPECT_NE(r3.detail.find("circuit"), std::string::npos);
+
+  // Other kernels are unaffected by boom's circuit.
+  Response other = svc.execute(compile_request({"--kernel=fine"}));
+  EXPECT_EQ(other.status, Status::Ok);
+  fs::remove(fake);
+}
+
+TEST(ServiceCore, HalfOpenProbeRecoversAfterCooldown) {
+  std::string fake = write_fake_slc();
+  fs::path marker = unique_tmp("fake-slc-marker");
+  ::setenv("FAKE_MARKER", marker.c_str(), 1);
+  ServiceOptions options = fast_options(fake);
+  options.breaker_threshold = 1;
+  options.max_attempts = 1;
+  options.breaker_cooldown_ms = 50;
+  Service svc(options);
+  Request req = compile_request({"--kernel=flappy", "--boom"});
+  req.no_cache = true;
+
+  EXPECT_EQ(svc.execute(req).status, Status::Error);  // trips (threshold 1)
+  EXPECT_EQ(svc.execute(req).status, Status::Degraded);
+
+  // The kernel "recovers"; after the cooldown the half-open probe runs
+  // the full path again and closes the circuit.
+  { std::ofstream m(marker); m << "ok\n"; }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  Response probe = svc.execute(req);
+  EXPECT_EQ(probe.status, Status::Ok);
+  EXPECT_EQ(probe.out, "recovered:--kernel=flappy --boom\n");
+  EXPECT_EQ(svc.execute(req).status, Status::Ok);
+  EXPECT_EQ(svc.stats().open_circuits, 0u);
+
+  ::unsetenv("FAKE_MARKER");
+  fs::remove(marker);
+  fs::remove(fake);
+}
+
+TEST(ServiceCore, HangsAreKilledByTheWatchdog) {
+  std::string fake = write_fake_slc();
+  ServiceOptions options = fast_options(fake);
+  options.child_timeout_ms = 200;
+  options.max_attempts = 1;
+  Service svc(options);
+  Response r = svc.execute(compile_request({"--kernel=hang", "--spin"}));
+  EXPECT_EQ(r.status, Status::Error);
+  EXPECT_NE(r.detail.find("timeout"), std::string::npos) << r.detail;
+  fs::remove(fake);
+}
+
+TEST(ServiceCore, OverloadShedsExplicitlyAndDrainRefusesNewWork) {
+  std::string fake = write_fake_slc();
+  ServiceOptions options = fast_options(fake);
+  options.workers = 2;
+  options.queue_max = 0;  // admission cap = the two busy workers
+  Service svc(options);
+
+  std::mutex mu;
+  std::map<std::uint64_t, Status> done;
+  auto on_done = [&](Response r) {
+    std::lock_guard<std::mutex> lock(mu);
+    done[r.id] = r.status;
+  };
+  // Two slow requests occupy both workers; the rest must shed NOW.
+  std::uint64_t id = 0;
+  svc.submit(compile_request({"--kernel=s1", "--slow"}, ++id), on_done);
+  svc.submit(compile_request({"--kernel=s2", "--slow"}, ++id), on_done);
+  int shed = 0;
+  for (int i = 0; i < 4; ++i)
+    if (!svc.submit(compile_request({"--kernel=q", "--slow"}, ++id),
+                    on_done))
+      ++shed;
+  EXPECT_EQ(shed, 4);
+  svc.drain();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(done.size(), 6u);  // every request answered exactly once
+    EXPECT_EQ(done[1], Status::Ok);
+    EXPECT_EQ(done[2], Status::Ok);
+    for (std::uint64_t i = 3; i <= 6; ++i)
+      EXPECT_EQ(done[i], Status::Overloaded);
+  }
+  EXPECT_EQ(svc.stats().shed, 4u);
+
+  // Draining: new work is refused with `shutdown`.
+  Status refused = Status::Ok;
+  svc.submit(compile_request({"--kernel=late"}, 99),
+             [&](Response r) { refused = r.status; });
+  EXPECT_EQ(refused, Status::Shutdown);
+  fs::remove(fake);
+}
+
+TEST(ServiceCore, StatsJsonCarriesTheCounters) {
+  std::string fake = write_fake_slc();
+  Service svc(fast_options(fake));
+  (void)svc.execute(compile_request({"--kernel=k"}));
+  (void)svc.execute(compile_request({"--kernel=k"}));
+  std::optional<support::json::Value> v =
+      support::json::parse(svc.stats_json().dump());
+  ASSERT_TRUE(v.has_value());
+  const support::json::Value* cache = v->find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->find("hits")->as_u64(), 1u);
+  EXPECT_EQ(v->find("completed")->as_u64(), 2u);
+  fs::remove(fake);
+}
+
+// ----- slcd end-to-end over a real socket ---------------------------------
+
+#ifdef SLCD_BIN
+
+struct Daemon {
+  pid_t pid = -1;
+  std::string socket_path;
+
+  static Daemon start(const std::string& fake_slc,
+                      std::vector<std::string> extra = {}) {
+    Daemon d;
+    d.socket_path = unique_tmp("slcd-sock").string();
+    std::vector<std::string> args = {SLCD_BIN,
+                                     "--socket=" + d.socket_path,
+                                     "--slc=" + fake_slc,
+                                     "--workers=2",
+                                     "--retry-base-delay-ms=1",
+                                     "--child-timeout-ms=2000"};
+    for (std::string& a : extra) args.push_back(std::move(a));
+    d.pid = ::fork();
+    if (d.pid == 0) {
+      std::vector<char*> argv;
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(SLCD_BIN, argv.data());
+      _exit(127);
+    }
+    return d;
+  }
+
+  int connect_with_retry() {
+    std::string error;
+    for (int i = 0; i < 100; ++i) {
+      int fd = socket::connect_unix(socket_path, &error);
+      if (fd >= 0) return fd;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "cannot connect to slcd: " << error;
+    return -1;
+  }
+
+  int terminate_and_wait() {
+    if (pid <= 0) return -1;
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+    ::unlink(socket_path.c_str());
+    return status;
+  }
+
+  ~Daemon() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+};
+
+TEST(SlcdE2E, PipelinedRequestsAllAnsweredAndDrainExitsZero) {
+  std::string fake = write_fake_slc();
+  Daemon daemon = Daemon::start(fake);
+  int fd = daemon.connect_with_retry();
+  ASSERT_GE(fd, 0);
+
+  // Pipeline a mixed batch on one connection: responses may arrive out
+  // of order but every id must be answered exactly once.
+  std::string batch;
+  auto add = [&batch](const Request& r) {
+    batch += to_json(r).dump();
+    batch.push_back('\n');
+  };
+  add(compile_request({"--kernel=a"}, 1));
+  add(compile_request({"--kernel=boom", "--boom"}, 2));
+  add(compile_request({"--kernel=a"}, 3));  // cache hit of id 1
+  Request ping;
+  ping.id = 4;
+  ping.method = "ping";
+  add(ping);
+  batch += "this is not json\n";
+  ASSERT_TRUE(socket::write_all(fd, batch));
+
+  socket::LineReader reader(fd);
+  std::map<std::uint64_t, Response> got;
+  std::string line;
+  int bad_request_replies = 0;
+  while ((got.size() + bad_request_replies) < 5 &&
+         reader.next_line(&line)) {
+    std::optional<Response> r = parse_response_line(line);
+    ASSERT_TRUE(r.has_value()) << line;
+    if (r->status == Status::BadRequest && r->id == 0) {
+      ++bad_request_replies;
+      continue;
+    }
+    EXPECT_EQ(got.count(r->id), 0u) << "duplicate response id " << r->id;
+    got[r->id] = *r;
+  }
+  ::close(fd);
+
+  EXPECT_EQ(bad_request_replies, 1);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[1].status, Status::Ok);
+  EXPECT_EQ(got[1].out, "ran:--kernel=a\n");
+  EXPECT_FALSE(got[1].cached);
+  EXPECT_EQ(got[2].status, Status::Error);  // crash after retries
+  EXPECT_EQ(got[3].status, Status::Ok);
+  EXPECT_EQ(got[3].out, got[1].out);        // byte-identical warm answer
+  EXPECT_TRUE(got[3].cached || !got[1].cached);
+  EXPECT_EQ(got[4].out, "pong");
+
+  int status = daemon.terminate_and_wait();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);  // graceful drain
+  fs::remove(fake);
+}
+
+TEST(SlcdE2E, ShutdownRequestDrainsTheDaemon) {
+  std::string fake = write_fake_slc();
+  Daemon daemon = Daemon::start(fake);
+  int fd = daemon.connect_with_retry();
+  ASSERT_GE(fd, 0);
+  Request req;
+  req.id = 1;
+  req.method = "shutdown";
+  std::string line = to_json(req).dump();
+  line.push_back('\n');
+  ASSERT_TRUE(socket::write_all(fd, line));
+  socket::LineReader reader(fd);
+  std::string reply;
+  ASSERT_TRUE(reader.next_line(&reply));
+  std::optional<Response> r = parse_response_line(reply);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Status::Ok);
+  EXPECT_EQ(r->out, "draining");
+  ::close(fd);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon.pid, &status, 0), daemon.pid);
+  daemon.pid = -1;
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  fs::remove(fake);
+}
+
+#endif  // SLCD_BIN
+
+}  // namespace

@@ -71,6 +71,14 @@
 //     --max-rss-mb=N         per-child address-space cap
 //     --crash-dir=DIR        crash-repro archive (default tests/crashes)
 //     --no-shrink-crash      archive crash repros unshrunk
+//
+//   compile service (tools/slcd.cpp, DESIGN.md §12):
+//     --client[=SOCKET]      send this command line to a running slcd
+//                            daemon instead of compiling in-process; the
+//                            answer is byte-identical to a cold run
+//     --no-cache             (client) bypass the daemon's result cache
+#include <unistd.h>
+
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -87,6 +95,8 @@
 #include "driver/pipeline.hpp"
 #include "driver/slc_pass.hpp"
 #include "frontend/parser.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
 #include "interp/interp.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/lower.hpp"
@@ -227,6 +237,7 @@ int usage(const char* argv0 = "slc") {
             << "       [--isolate[=SHARD]] [--journal=PATH] [--resume]\n"
             << "       [--child-timeout-ms=N] [--max-rss-mb=N]\n"
             << "       [--crash-dir=DIR] [--no-shrink-crash]\n"
+            << "       [--client[=SOCKET]] [--no-cache]\n"
             << "       <file|-> | --kernel=NAME | --suite=NAME | "
                "--list-kernels\n";
   return 2;
@@ -449,11 +460,121 @@ int report_errors(const std::string& input_name,
 
 int run_cli(const CliOptions& opts);
 
+/// Thin client for the slcd daemon (`slc --client[=SOCKET] ...`): sends
+/// the rest of the command line — with any input file read locally and
+/// shipped as program text — as one compile request, prints the daemon's
+/// byte-identical answer, and maps the transport status to an exit code:
+///   ok / degraded  the child's exit code (degraded warns on stderr)
+///   overloaded     75 (EX_TEMPFAIL: retry later, the queue was full)
+///   tripped        76 (EX_PROTOCOL: circuit open, fallback failed too)
+///   error          70 (EX_SOFTWARE: infrastructure failure after retries)
+///   no daemon      74 (EX_IOERR: could not connect)
+int run_client(const std::vector<std::string>& raw_args) {
+  std::string socket_path = service::socket::default_socket_path();
+  service::Request req;
+  req.id = 1;
+  for (const std::string& arg : raw_args) {
+    if (arg == "--client") continue;
+    if (arg.rfind("--client=", 0) == 0) {
+      socket_path = arg.substr(9);
+      continue;
+    }
+    if (arg == "--no-cache") {
+      req.no_cache = true;
+      continue;
+    }
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      // Doubles as the request deadline so retries and the sandbox
+      // watchdog are bounded by the same budget; still forwarded.
+      (void)parse_u64_arg(arg.substr(14), &req.deadline_ms);
+    }
+    if (!arg.starts_with("--") && req.source.empty()) {
+      // Read the input locally and ship the text: the daemon must not
+      // depend on sharing this process's working directory.
+      if (arg == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        req.source = ss.str();
+      } else {
+        std::ifstream in(arg);
+        if (!in) {
+          std::cerr << "slc: cannot open " << arg << "\n";
+          return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        req.source = ss.str();
+      }
+      if (req.source.empty()) req.source = "\n";  // still "a file was given"
+      continue;
+    }
+    req.args.push_back(arg);
+  }
+
+  std::string error;
+  int fd = service::socket::connect_unix(socket_path, &error);
+  if (fd < 0) {
+    std::cerr << "slc: --client: " << error
+              << " (is slcd running? start it with: slcd --socket="
+              << socket_path << ")\n";
+    return 74;
+  }
+  std::string line = service::to_json(req).dump();
+  line.push_back('\n');
+  if (!service::socket::write_all(fd, line)) {
+    std::cerr << "slc: --client: write failed\n";
+    ::close(fd);
+    return 74;
+  }
+  service::socket::LineReader reader(fd);
+  std::string reply;
+  bool got = reader.next_line(&reply);
+  ::close(fd);
+  if (!got) {
+    std::cerr << "slc: --client: daemon closed the connection\n";
+    return 74;
+  }
+  std::optional<service::Response> r = service::parse_response_line(reply);
+  if (!r) {
+    std::cerr << "slc: --client: unparseable reply: " << reply << "\n";
+    return 74;
+  }
+  std::cout << r->out;
+  std::cerr << r->err;
+  switch (r->status) {
+    case service::Status::Ok:
+      return r->exit_code;
+    case service::Status::Degraded:
+      std::cerr << "slc: --client: degraded result (" << r->detail << ")\n";
+      return r->exit_code;
+    case service::Status::Overloaded:
+      std::cerr << "slc: --client: daemon overloaded (" << r->detail
+                << ")\n";
+      return 75;
+    case service::Status::Tripped:
+      std::cerr << "slc: --client: " << r->detail << "\n";
+      return 76;
+    case service::Status::Shutdown:
+      std::cerr << "slc: --client: daemon is draining\n";
+      return 75;
+    case service::Status::BadRequest:
+      std::cerr << "slc: --client: " << r->detail << "\n";
+      return 2;
+    case service::Status::Error:
+      std::cerr << "slc: --client: " << r->detail << "\n";
+      return 70;
+  }
+  return 70;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   support::fault::configure_from_env();
   g_raw_args.assign(argv + 1, argv + argc);
+  for (const std::string& arg : g_raw_args)
+    if (arg == "--client" || arg.rfind("--client=", 0) == 0)
+      return run_client(g_raw_args);
   CliOptions opts;
   if (!parse_args(argc, argv, opts)) return usage(argv[0]);
   // Fail-safe CLI contract: no input may escape as an uncaught exception;
@@ -641,6 +762,10 @@ int run_cli(const CliOptions& opts) {
           std::cerr << "harness: journal had " << loaded.skipped_lines
                     << " unreadable line(s) (torn tail after a kill?) — "
                        "ignored\n";
+        if (loaded.duplicate_keys > 0)
+          std::cerr << "harness: journal had " << loaded.duplicate_keys
+                    << " duplicate key(s) (crashed-then-resumed run?) — "
+                       "last write wins\n";
       }
       std::string error;
       if (!jnl.open(journal_path, /*truncate=*/!opts.resume, &error)) {

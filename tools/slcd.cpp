@@ -1,0 +1,279 @@
+// slcd — the long-running slc compile service.
+//
+//   slcd [--socket=PATH] [--workers=N] [--queue-max=N]
+//        [--child-timeout-ms=N] [--max-rss-mb=N] [--max-attempts=N]
+//        [--retry-base-delay-ms=N] [--retry-seed=N]
+//        [--breaker-threshold=N] [--breaker-cooldown-ms=N]
+//        [--cache-max=N] [--cache-journal=PATH] [--slc=PATH]
+//   slcd --ping | --stats | --shutdown   (one-shot client modes)
+//
+// A persistent daemon on a Unix socket speaking the NDJSON protocol of
+// src/service/protocol.hpp. Each connection gets a reader thread;
+// requests dispatch onto the shared worker pool (src/service/server.hpp)
+// and responses are written back as they finish — out of order, matched
+// by id. Every compile runs in a sandboxed child `slc`, so kernel
+// crashes, hangs, and OOMs cost one request, never the daemon.
+//
+// Robustness contract (see DESIGN.md §12):
+//   * bounded queue — excess load is answered `overloaded` immediately;
+//   * retries — infrastructure failures re-run under jittered backoff;
+//   * circuit breaking — a kernel that keeps killing its sandbox is
+//     served the degraded base-only result until a probe succeeds;
+//   * graceful drain — SIGTERM/SIGINT (or a `shutdown` request) stops
+//     admission, finishes in-flight work, flushes the cache journal,
+//     and exits 0.
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "support/subprocess.hpp"
+
+namespace {
+
+using namespace slc;
+using namespace slc::service;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+bool parse_u64_arg(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int usage() {
+  std::cerr
+      << "usage: slcd [--socket=PATH] [--workers=N] [--queue-max=N]\n"
+         "            [--child-timeout-ms=N] [--max-rss-mb=N]\n"
+         "            [--max-attempts=N] [--retry-base-delay-ms=N]\n"
+         "            [--retry-seed=N] [--breaker-threshold=N]\n"
+         "            [--breaker-cooldown-ms=N] [--cache-max=N]\n"
+         "            [--cache-journal=PATH] [--slc=PATH]\n"
+         "       slcd --ping | --stats | --shutdown  [--socket=PATH]\n";
+  return 2;
+}
+
+/// Sibling `slc` binary: slcd and slc are built into the same directory,
+/// so the default is <dir-of-slcd>/slc.
+std::string sibling_slc() {
+  std::string self = support::subprocess::self_exe_path("");
+  std::size_t slash = self.rfind('/');
+  if (self.empty() || slash == std::string::npos) return "slc";
+  return self.substr(0, slash + 1) + "slc";
+}
+
+/// One live client connection. The fd closes when the last reference
+/// drops — the reader thread holds one, every pending response callback
+/// holds one, so the connection outlives its slowest in-flight request.
+struct Conn {
+  int fd;
+  std::mutex write_mu;
+
+  explicit Conn(int fd_in) : fd(fd_in) {}
+  ~Conn() { ::close(fd); }
+
+  void send(const Response& response) {
+    std::string line = to_json(response).dump();
+    line.push_back('\n');
+    std::lock_guard<std::mutex> lock(write_mu);
+    // A client that hung up mid-flight makes this fail; the response is
+    // dropped on the floor deliberately — the daemon must not care.
+    (void)socket::write_all(fd, line);
+  }
+};
+
+/// One-shot client modes: connect, send one request, print the answer.
+int run_oneshot(const std::string& socket_path, const std::string& method) {
+  std::string error;
+  int fd = socket::connect_unix(socket_path, &error);
+  if (fd < 0) {
+    std::cerr << "slcd: " << error << "\n";
+    return 74;  // EX_IOERR: no daemon to talk to
+  }
+  Request req;
+  req.id = 1;
+  req.method = method;
+  std::string line = to_json(req).dump();
+  line.push_back('\n');
+  if (!socket::write_all(fd, line)) {
+    std::cerr << "slcd: write failed\n";
+    ::close(fd);
+    return 74;
+  }
+  socket::LineReader reader(fd);
+  std::string reply;
+  if (!reader.next_line(&reply)) {
+    std::cerr << "slcd: daemon closed the connection\n";
+    ::close(fd);
+    return 74;
+  }
+  ::close(fd);
+  std::optional<Response> r = parse_response_line(reply);
+  if (!r) {
+    std::cerr << "slcd: unparseable reply: " << reply << "\n";
+    return 74;
+  }
+  std::cout << (r->out.empty() ? std::string(to_string(r->status)) : r->out)
+            << "\n";
+  return r->status == Status::Ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = socket::default_socket_path();
+  std::string oneshot;
+  ServiceOptions options;
+  options.slc_exe = sibling_slc();
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    std::uint64_t v = 0;
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = value_of("--socket=");
+    } else if (arg == "--ping" || arg == "--stats" || arg == "--shutdown") {
+      oneshot = arg.substr(2);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--workers="), &v)) return usage();
+      options.workers = int(v);
+    } else if (arg.rfind("--queue-max=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--queue-max="), &v)) return usage();
+      options.queue_max = std::size_t(v);
+    } else if (arg.rfind("--child-timeout-ms=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--child-timeout-ms="), &v)) return usage();
+      options.child_timeout_ms = v;
+    } else if (arg.rfind("--max-rss-mb=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--max-rss-mb="), &v)) return usage();
+      options.max_rss_mb = v;
+    } else if (arg.rfind("--max-attempts=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--max-attempts="), &v)) return usage();
+      options.max_attempts = int(v);
+    } else if (arg.rfind("--retry-base-delay-ms=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--retry-base-delay-ms="), &v))
+        return usage();
+      options.retry_base_delay_ms = v;
+    } else if (arg.rfind("--retry-seed=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--retry-seed="), &v)) return usage();
+      options.retry_seed = v;
+    } else if (arg.rfind("--breaker-threshold=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--breaker-threshold="), &v))
+        return usage();
+      options.breaker_threshold = int(v);
+    } else if (arg.rfind("--breaker-cooldown-ms=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--breaker-cooldown-ms="), &v))
+        return usage();
+      options.breaker_cooldown_ms = v;
+    } else if (arg.rfind("--cache-max=", 0) == 0) {
+      if (!parse_u64_arg(value_of("--cache-max="), &v)) return usage();
+      options.cache_max = std::size_t(v);
+    } else if (arg.rfind("--cache-journal=", 0) == 0) {
+      options.cache_journal = value_of("--cache-journal=");
+    } else if (arg.rfind("--slc=", 0) == 0) {
+      options.slc_exe = value_of("--slc=");
+    } else {
+      std::cerr << "slcd: unknown option: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  if (!oneshot.empty()) return run_oneshot(socket_path, oneshot);
+
+  std::string error;
+  int listen_fd = socket::listen_unix(socket_path, &error);
+  if (listen_fd < 0) {
+    std::cerr << "slcd: " << error << "\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Service service(options);
+  std::cerr << "slcd: listening on " << socket_path << " (slc="
+            << options.slc_exe << ")\n";
+
+  // Live connection fds, so drain can shutdown(SHUT_RD) them and wake
+  // every reader thread with EOF instead of waiting for clients to
+  // hang up on their own.
+  std::mutex conns_mu;
+  std::vector<std::weak_ptr<Conn>> conns;
+  std::vector<std::thread> readers;
+
+  while (g_stop == 0) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check g_stop
+    int client = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) continue;
+    auto conn = std::make_shared<Conn>(client);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(conn);
+    }
+    readers.emplace_back([&service, conn]() {
+      socket::LineReader reader(conn->fd);
+      std::string line;
+      while (reader.next_line(&line)) {
+        if (line.empty()) continue;
+        std::optional<Request> req = parse_request_line(line);
+        if (!req) {
+          Response bad;
+          bad.status = Status::BadRequest;
+          bad.detail = "unparseable request line";
+          conn->send(bad);
+          continue;
+        }
+        if (req->method == "shutdown") {
+          Response r;
+          r.id = req->id;
+          r.status = Status::Ok;
+          r.out = "draining";
+          conn->send(r);
+          g_stop = 1;
+          continue;
+        }
+        // The callback owns a conn reference: the socket stays open
+        // until the last in-flight response for it has been written.
+        (void)service.submit(*req,
+                             [conn](Response r) { conn->send(r); });
+      }
+    });
+  }
+
+  // Graceful drain: stop admitting, wake all readers, finish in-flight
+  // work, flush the cache journal, exit 0.
+  std::cerr << "slcd: draining\n";
+  ::close(listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (std::weak_ptr<Conn>& weak : conns)
+      if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (std::thread& t : readers) t.join();
+  service.drain();
+  ::unlink(socket_path.c_str());
+  std::cerr << "slcd: drained\n";
+  return 0;
+}
