@@ -1,0 +1,110 @@
+// Distributed sweep throughput: rows/sec of a serial in-process sweep
+// vs the `--workers=8` coordinator pool over the same generated corpus
+// (BENCH_dist_sweep.json). The pool must be byte-identical to serial —
+// always asserted — and >= 3x faster at 8 workers, asserted only when
+// the machine actually has 8 cores to give (single-core CI logs a SKIP:
+// eight workers time-slicing one core measure the scheduler's overhead,
+// not its scaling).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/subprocess.hpp"
+
+#ifndef SLC_TOOL_BIN
+#error "SLC_TOOL_BIN must point at the slc tool binary"
+#endif
+
+namespace {
+
+using namespace slc;
+namespace subprocess = support::subprocess;
+
+constexpr int kRows = 96;
+constexpr int kWorkers = 8;
+
+subprocess::RunResult run_slc(const std::vector<std::string>& args) {
+  subprocess::RunOptions run;
+  run.argv.push_back(SLC_TOOL_BIN);
+  run.argv.insert(run.argv.end(), args.begin(), args.end());
+  run.timeout_ms = 600000;
+  return subprocess::run(run);
+}
+
+}  // namespace
+
+int main() {
+  const std::string corpus = "--corpus-size=" + std::to_string(kRows);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  auto serial_start = std::chrono::steady_clock::now();
+  subprocess::RunResult serial =
+      run_slc({"--suite=generated", corpus, "--jobs=1"});
+  double serial_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - serial_start)
+          .count();
+  if (!serial.clean()) {
+    std::fprintf(stderr, "serial sweep failed: %s\n%s\n",
+                 serial.describe().c_str(), serial.err.c_str());
+    return 1;
+  }
+
+  auto dist_start = std::chrono::steady_clock::now();
+  subprocess::RunResult dist = run_slc(
+      {"--suite=generated", corpus,
+       "--workers=" + std::to_string(kWorkers), "--worker-rows=4",
+       "--journal=bench_dist_sweep.jsonl"});
+  double dist_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - dist_start)
+          .count();
+  std::remove("bench_dist_sweep.jsonl");
+  if (!dist.clean()) {
+    std::fprintf(stderr, "distributed sweep failed: %s\n%s\n",
+                 dist.describe().c_str(), dist.err.c_str());
+    return 1;
+  }
+
+  bool byte_identical = serial.out == dist.out;
+  double serial_rps = serial_ms > 0 ? kRows / (serial_ms / 1e3) : 0.0;
+  double dist_rps = dist_ms > 0 ? kRows / (dist_ms / 1e3) : 0.0;
+  double speedup = serial_ms > 0 && dist_ms > 0 ? serial_ms / dist_ms : 0.0;
+  bool gate = cores >= unsigned(kWorkers);
+
+  std::printf("dist sweep: %d rows — serial %.0f ms (%.1f rows/s) vs "
+              "%d workers %.0f ms (%.1f rows/s), %.2fx, %s\n",
+              kRows, serial_ms, serial_rps, kWorkers, dist_ms, dist_rps,
+              speedup,
+              byte_identical ? "byte-identical" : "DIFFER (BUG)");
+
+  char json[512];
+  std::snprintf(json, sizeof json,
+                "{\"rows\":%d,\"workers\":%d,\"cores\":%u,"
+                "\"serial_ms\":%.1f,\"dist_ms\":%.1f,"
+                "\"serial_rows_per_sec\":%.1f,\"dist_rows_per_sec\":%.1f,"
+                "\"speedup\":%.2f,\"byte_identical\":%s,"
+                "\"speedup_gate_active\":%s}",
+                kRows, kWorkers, cores, serial_ms, dist_ms, serial_rps,
+                dist_rps, speedup, byte_identical ? "true" : "false",
+                gate ? "true" : "false");
+  slc::bench::emit_bench_json("BENCH_dist_sweep.json", json);
+
+  if (!byte_identical) {
+    std::fprintf(stderr, "FAIL: distributed output differs from serial\n");
+    return 1;
+  }
+  if (!gate) {
+    std::printf("SKIP: %u core(s) < %d workers — the >=3x scaling gate "
+                "needs real parallel hardware\n", cores, kWorkers);
+    return 0;
+  }
+  if (speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx < 3.0x at %d workers on %u "
+                 "cores\n", speedup, kWorkers, cores);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# CI chaos gate for the distributed sweep coordinator (DESIGN.md §13).
+#
+# Runs an 8-worker sweep with faults injected into 3 of the first 8
+# workers (>= 20% of the fleet): two die on their first row, one hangs
+# past the heartbeat deadline. Asserts the coordinator's robustness
+# contract end to end:
+#   - the sweep completes with exit 0 despite the chaos;
+#   - the speedup table is byte-identical to an undisturbed serial run
+#     (zero lost rows, zero degraded rows — every row was re-measured
+#     for real somewhere);
+#   - the reclaim path actually fired (reclaims > 0 in the stats line);
+#   - the checkpointed journal holds exactly one line per row (steal and
+#     reclaim duplicates collapsed);
+#   - a --diff-since re-run over a grown corpus replays every old row
+#     and recomputes only the new ones, byte-identical to serial.
+#
+# Usage: ci_chaos_sweep.sh <slc-binary>
+set -u
+
+SLC=${1:?usage: ci_chaos_sweep.sh <slc>}
+WORK=$(mktemp -d /tmp/slc-chaos.XXXXXX)
+ROWS=96
+GROWN=120
+
+fail() {
+  echo "CHAOS FAIL: $*" >&2
+  [ -f "$WORK/chaos.err" ] && sed 's/^/  dist: /' "$WORK/chaos.err" >&2
+  exit 1
+}
+
+stat_of() {  # stat_of <key> <file> — from the "dist: ... key=N ..." line
+  sed -n "s/.* $1=\([0-9]*\).*/\1/p" "$2" | tail -1
+}
+
+echo "== chaos sweep: $ROWS rows, 8 workers, 3 faulted (>=20%) =="
+
+# -- 1. the undisturbed serial reference ------------------------------------
+"$SLC" --suite=generated --corpus-size=$ROWS --jobs=1 \
+    > "$WORK/serial.out" 2> "$WORK/serial.err" \
+    || fail "serial reference run failed"
+
+# -- 2. the chaos run -------------------------------------------------------
+# w0/w1 crash on their first row, w2 hangs on its first row. Respawned
+# replacements get fresh ids (w8, w9, ...), so each fault fires exactly
+# once and the re-runs are clean — the output must not show a scar. The
+# steal threshold sits above the heartbeat deadline so the hang is
+# reclaimed as a dead worker (the steal path has its own test in
+# tests/dist_test.cpp); all three faulted workers must be declared lost.
+"$SLC" --suite=generated --corpus-size=$ROWS --workers=8 \
+    --fault=worker:crash@w0:,worker:crash@w1:,worker:hang@w2: \
+    --heartbeat-timeout-ms=1200 --steal-after-ms=3000 \
+    --journal="$WORK/chaos.jsonl" \
+    > "$WORK/chaos.out" 2> "$WORK/chaos.err" \
+    || fail "chaos sweep exited nonzero"
+
+cmp -s "$WORK/serial.out" "$WORK/chaos.out" \
+    || fail "chaos output differs from serial (rows were lost or degraded)"
+
+LOST=$(stat_of lost "$WORK/chaos.err")
+RECLAIMS=$(stat_of reclaims "$WORK/chaos.err")
+DEGRADED=$(stat_of degraded "$WORK/chaos.err")
+[ -n "$LOST" ] && [ "$LOST" -ge 3 ] \
+    || fail "expected >= 3 lost workers, got '${LOST:-none}'"
+[ -n "$RECLAIMS" ] && [ "$RECLAIMS" -ge 1 ] \
+    || fail "expected reclaims > 0, got '${RECLAIMS:-none}'"
+[ "${DEGRADED:-1}" -eq 0 ] \
+    || fail "expected 0 degraded rows, got '${DEGRADED:-none}'"
+
+JOURNAL_ROWS=$(wc -l < "$WORK/chaos.jsonl")
+[ "$JOURNAL_ROWS" -eq $ROWS ] \
+    || fail "checkpointed journal has $JOURNAL_ROWS rows, want $ROWS"
+
+echo "  chaos: lost=$LOST reclaims=$RECLAIMS degraded=$DEGRADED" \
+     "journal=$JOURNAL_ROWS rows, byte-identical to serial"
+
+# -- 3. differential re-run over a grown corpus -----------------------------
+# Seed from a clean distributed journal: the chaos journal's keys carry
+# the --fault= spec in their options signature (a planted fault may
+# change row bytes, so it must be part of the key), which makes them —
+# correctly — unreusable by a fault-free sweep.
+"$SLC" --suite=generated --corpus-size=$ROWS --workers=4 \
+    --journal="$WORK/clean.jsonl" > /dev/null 2> /dev/null \
+    || fail "clean seed sweep failed"
+"$SLC" --suite=generated --corpus-size=$GROWN --jobs=1 \
+    > "$WORK/serial2.out" 2> /dev/null \
+    || fail "grown serial reference failed"
+"$SLC" --suite=generated --corpus-size=$GROWN --workers=4 \
+    --diff-since="$WORK/clean.jsonl" --journal="$WORK/diff.jsonl" \
+    > "$WORK/diff.out" 2> "$WORK/diff.err" \
+    || fail "diff-since sweep exited nonzero"
+
+NEW=$((GROWN - ROWS))
+grep -q "$ROWS reused (diff-since), $NEW recomputed" "$WORK/diff.err" \
+    || fail "diff-since did not reuse exactly $ROWS rows: $(cat "$WORK/diff.err")"
+cmp -s "$WORK/serial2.out" "$WORK/diff.out" \
+    || fail "diff-since output differs from the grown serial run"
+
+echo "  diff-since: $ROWS reused, $NEW recomputed, byte-identical to serial"
+echo "CHAOS PASS"
+rm -rf "$WORK"
+exit 0

@@ -1,0 +1,645 @@
+#include "dist/coordinator.hpp"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "driver/journal.hpp"
+#include "service/socket.hpp"
+#include "support/failure.hpp"
+#include "support/json.hpp"
+#include "support/subprocess.hpp"
+
+namespace slc::dist {
+
+namespace json = support::json;
+namespace subprocess = support::subprocess;
+using driver::ComparisonRow;
+using support::Failure;
+using support::FailureKind;
+using support::Stage;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+enum class SlotState : std::uint8_t { Starting, Idle, Busy, Dead };
+
+/// One worker endpoint. Slots are never reused: a replacement worker
+/// gets a fresh slot (and thus a fresh id), so fault filters pinned to
+/// "w0:" never follow a respawn and late events stay attributable.
+struct Slot {
+  std::string id;
+  subprocess::Child child;
+  std::thread reader;
+  SlotState state = SlotState::Starting;
+  std::uint64_t lease = 0;  // active lease id, 0 = none
+  Clock::time_point last_seen;
+};
+
+/// An in-flight lease: the loaned rows not yet committed or reported.
+struct LeaseInfo {
+  std::uint64_t id = 0;
+  std::size_t slot = 0;
+  std::vector<std::size_t> outstanding;  // sorted
+  Clock::time_point granted;
+  bool stolen = false;  // this lease has already been cloned once
+};
+
+/// A line (or EOF) from a worker's stdout, forwarded by its reader
+/// thread to the scheduler.
+struct Incoming {
+  std::size_t slot = 0;
+  bool eof = false;
+  protocol::Event event;
+};
+
+struct Ctx {
+  Ctx(const std::vector<kernels::Kernel>& k, const Options& o)
+      : kernels(k), opts(o) {}
+
+  const std::vector<kernels::Kernel>& kernels;
+  const Options& opts;
+  std::vector<std::string> keys;
+  driver::journal::Journal jnl;
+  Outcome out;
+
+  std::vector<Slot> slots;
+  std::unordered_map<std::uint64_t, LeaseInfo> leases;
+  std::uint64_t next_lease = 1;
+
+  std::deque<std::size_t> pending;     // rows awaiting a lease
+  std::vector<std::size_t> exhausted;  // rows past max_row_attempts
+  std::vector<int> attempts;
+  std::vector<int> last_slot;          // last slot a row was leased to
+  std::vector<std::optional<Failure>> last_failure;
+  std::size_t committed = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Incoming> inbox;
+};
+
+void note(Ctx& ctx, std::string line) {
+  ctx.out.notes.push_back(std::move(line));
+}
+
+std::uint64_t ms_since(Clock::time_point t) {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           Clock::now() - t)
+                           .count());
+}
+
+void reader_main(Ctx* ctx, std::size_t slot_idx, int fd) {
+  service::socket::LineReader reader(fd);
+  std::string line;
+  while (reader.next_line(&line)) {
+    Incoming in;
+    in.slot = slot_idx;
+    in.event = protocol::parse_event(line);
+    {
+      std::lock_guard<std::mutex> lock(ctx->mu);
+      ctx->inbox.push_back(std::move(in));
+    }
+    ctx->cv.notify_one();
+  }
+  Incoming eof;
+  eof.slot = slot_idx;
+  eof.eof = true;
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->inbox.push_back(std::move(eof));
+  }
+  ctx->cv.notify_one();
+}
+
+bool spawn_worker(Ctx& ctx) {
+  std::size_t idx = ctx.slots.size();
+  ctx.slots.emplace_back();
+  Slot& slot = ctx.slots.back();
+  slot.id = "w" + std::to_string(idx);
+  slot.last_seen = Clock::now();
+
+  subprocess::Child::SpawnOptions spawn;
+  spawn.argv.push_back(ctx.opts.slc_exe);
+  spawn.argv.insert(spawn.argv.end(), ctx.opts.child_args.begin(),
+                    ctx.opts.child_args.end());
+  spawn.argv.push_back("--dist-worker=" + slot.id);
+  spawn.max_rss_mb = ctx.opts.max_rss_mb;
+
+  std::string error;
+  if (!slot.child.spawn(spawn, &error)) {
+    slot.state = SlotState::Dead;
+    note(ctx, "dist: spawn of " + slot.id + " failed — " + error);
+    return false;
+  }
+  slot.state = SlotState::Starting;
+  ++ctx.out.stats.workers_spawned;
+  slot.reader = std::thread(reader_main, &ctx, idx, slot.child.stdout_fd());
+  return true;
+}
+
+std::size_t live_workers(const Ctx& ctx) {
+  std::size_t n = 0;
+  for (const Slot& s : ctx.slots)
+    if (s.state != SlotState::Dead) ++n;
+  return n;
+}
+
+/// Commits a row at most once; later arrivals (steal duplicates, a
+/// straggler finishing after its lease was reclaimed) are counted and
+/// dropped. Every first commit is a flushed journal append.
+void commit_row(Ctx& ctx, std::size_t i, ComparisonRow row) {
+  if (ctx.out.completed[i] != 0) {
+    ++ctx.out.stats.duplicate_rows;
+    return;
+  }
+  if (ctx.jnl.active()) ctx.jnl.append(ctx.keys[i], row);
+  ctx.out.rows[i] = std::move(row);
+  ctx.out.completed[i] = 1;
+  ++ctx.committed;
+  for (auto& [id, lease] : ctx.leases) {
+    auto it = std::find(lease.outstanding.begin(), lease.outstanding.end(), i);
+    if (it != lease.outstanding.end()) lease.outstanding.erase(it);
+  }
+}
+
+/// Re-queues a row lost with its worker (or dropped by a finished
+/// lease). Attempts are bounded: past the budget the row goes to the
+/// serial fallback instead of bouncing between dying workers forever.
+void requeue_row(Ctx& ctx, std::size_t i, Failure cause) {
+  if (ctx.out.completed[i] != 0) return;
+  ctx.last_failure[i] = std::move(cause);
+  if (++ctx.attempts[i] >= ctx.opts.max_row_attempts) {
+    ctx.exhausted.push_back(i);
+    note(ctx, "dist: row " + std::to_string(i) + " (" +
+                  ctx.kernels[i].name + ") exhausted " +
+                  std::to_string(ctx.attempts[i]) +
+                  " attempts — deferred to serial fallback");
+    return;
+  }
+  ctx.pending.push_back(i);
+}
+
+/// A worker is gone (pipe EOF or heartbeat deadline): reclaim every
+/// outstanding row of its lease and retire the slot.
+void lose_worker(Ctx& ctx, std::size_t slot_idx, const Failure& cause) {
+  Slot& slot = ctx.slots[slot_idx];
+  if (slot.state == SlotState::Dead) return;
+  slot.child.kill_group();
+  slot.state = SlotState::Dead;
+  ++ctx.out.stats.workers_lost;
+
+  if (slot.lease != 0) {
+    auto it = ctx.leases.find(slot.lease);
+    if (it != ctx.leases.end()) {
+      std::vector<std::size_t> lost = it->second.outstanding;
+      ctx.leases.erase(it);
+      for (std::size_t i : lost) {
+        ++ctx.out.stats.reclaims;
+        Failure f = cause;
+        f.kernel = ctx.kernels[i].name;
+        requeue_row(ctx, i, std::move(f));
+      }
+      if (!lost.empty())
+        note(ctx, "dist: reclaimed " + std::to_string(lost.size()) +
+                      " row(s) from " + slot.id);
+    }
+    slot.lease = 0;
+  }
+}
+
+/// Takes the next contiguous run of pending rows, starting from a row
+/// whose previous worker is not `slot_idx` — a row dropped or lost by
+/// one worker must land on a different one. When every pending row was
+/// last leased to this very slot and another worker is alive, returns
+/// empty: re-granting would just burn the rows' attempt budgets against
+/// the same fault (the other worker takes them when it goes idle).
+std::vector<std::size_t> take_run(Ctx& ctx, std::size_t slot_idx) {
+  if (ctx.pending.empty()) return {};
+  std::size_t pick = ctx.pending.size();
+  for (std::size_t p = 0; p < ctx.pending.size(); ++p) {
+    int prev = ctx.last_slot[ctx.pending[p]];
+    if (prev < 0 || std::size_t(prev) != slot_idx) {
+      pick = p;
+      break;
+    }
+  }
+  if (pick == ctx.pending.size()) {
+    for (std::size_t s = 0; s < ctx.slots.size(); ++s)
+      if (s != slot_idx && ctx.slots[s].state != SlotState::Dead) return {};
+    pick = 0;  // this is the only worker left — no better option
+  }
+  std::vector<std::size_t> run;
+  run.push_back(ctx.pending[pick]);
+  ctx.pending.erase(ctx.pending.begin() + long(pick));
+  // Extend with consecutive indices sitting at the same queue position
+  // (the common case: the initial 0..n-1 fill).
+  std::size_t limit = std::size_t(std::max(1, ctx.opts.lease_rows));
+  while (run.size() < limit && pick < ctx.pending.size() &&
+         ctx.pending[pick] == run.back() + 1) {
+    run.push_back(ctx.pending[pick]);
+    ctx.pending.erase(ctx.pending.begin() + long(pick));
+  }
+  return run;
+}
+
+void grant_lease(Ctx& ctx, std::size_t slot_idx,
+                 std::vector<std::size_t> rows, bool is_steal) {
+  Slot& slot = ctx.slots[slot_idx];
+  protocol::Lease lease;
+  lease.id = ctx.next_lease++;
+  lease.first = rows.front();
+  lease.last = rows.back();
+
+  if (!slot.child.write_line(protocol::lease_command(lease))) {
+    // The worker died before we could talk to it; put the rows back
+    // without burning an attempt (they were never tried there) and let
+    // the EOF path retire the slot.
+    for (auto it = rows.rbegin(); it != rows.rend(); ++it)
+      ctx.pending.push_front(*it);
+    return;
+  }
+
+  LeaseInfo info;
+  info.id = lease.id;
+  info.slot = slot_idx;
+  info.outstanding = rows;
+  info.granted = Clock::now();
+  ctx.leases[lease.id] = std::move(info);
+  for (std::size_t i : rows) ctx.last_slot[i] = int(slot_idx);
+  slot.state = SlotState::Busy;
+  slot.lease = lease.id;
+  // A worker may have sat idle longer than the heartbeat budget; its
+  // silence clock starts at the grant, not at its last event.
+  slot.last_seen = Clock::now();
+  ++ctx.out.stats.leases_granted;
+  if (is_steal) {
+    ++ctx.out.stats.steals;
+    ctx.out.stats.stolen_rows += rows.size();
+  }
+}
+
+void handle_event(Ctx& ctx, Incoming in) {
+  if (in.slot >= ctx.slots.size()) return;
+  Slot& slot = ctx.slots[in.slot];
+
+  if (in.eof) {
+    if (slot.state == SlotState::Dead) return;
+    Failure cause;
+    int status = 0;
+    if (slot.child.try_wait(&status) && WIFSIGNALED(status)) {
+      cause = support::make_failure(
+          Stage::Worker, FailureKind::ChildSignal,
+          "worker " + slot.id + " died on signal " +
+              std::to_string(WTERMSIG(status)));
+    } else {
+      cause = support::make_failure(Stage::Worker, FailureKind::ChildExit,
+                                    "worker " + slot.id + " exited");
+    }
+    note(ctx, "dist: lost " + slot.id + " (" + cause.message + ")");
+    lose_worker(ctx, in.slot, cause);
+    return;
+  }
+
+  slot.last_seen = Clock::now();
+  switch (in.event.kind) {
+    case protocol::Event::Kind::Hello:
+      if (slot.state == SlotState::Starting) slot.state = SlotState::Idle;
+      break;
+    case protocol::Event::Kind::Heartbeat:
+      break;
+    case protocol::Event::Kind::Row:
+      commit_row(ctx, in.event.index, std::move(in.event.row));
+      break;
+    case protocol::Event::Kind::Done: {
+      auto it = ctx.leases.find(in.event.lease);
+      if (it != ctx.leases.end()) {
+        // Rows the lease finished without reporting were dropped on the
+        // wire (or swallowed by a drop fault): re-queue them elsewhere.
+        std::vector<std::size_t> dropped = it->second.outstanding;
+        ctx.leases.erase(it);
+        for (std::size_t i : dropped) {
+          ++ctx.out.stats.requeued_rows;
+          Failure f = support::make_failure(
+              Stage::Worker, FailureKind::Unknown,
+              "worker " + slot.id +
+                  " finished its lease without reporting the row");
+          f.kernel = ctx.kernels[i].name;
+          requeue_row(ctx, i, std::move(f));
+        }
+        if (!dropped.empty())
+          note(ctx, "dist: " + slot.id + " dropped " +
+                        std::to_string(dropped.size()) +
+                        " row(s) — re-queued");
+      }
+      if (slot.state == SlotState::Busy && slot.lease == in.event.lease) {
+        slot.lease = 0;
+        slot.state = SlotState::Idle;
+      }
+      break;
+    }
+    case protocol::Event::Kind::Invalid:
+      break;  // torn line from a dying worker; the EOF will follow
+  }
+}
+
+void scan_liveness(Ctx& ctx) {
+  if (ctx.opts.heartbeat_timeout_ms == 0) return;
+  for (std::size_t s = 0; s < ctx.slots.size(); ++s) {
+    Slot& slot = ctx.slots[s];
+    if (slot.state != SlotState::Busy && slot.state != SlotState::Starting)
+      continue;
+    if (ms_since(slot.last_seen) <= ctx.opts.heartbeat_timeout_ms) continue;
+    Failure cause = support::make_failure(
+        Stage::Worker, FailureKind::ChildTimeout,
+        "worker " + slot.id + " missed the heartbeat deadline (" +
+            std::to_string(ctx.opts.heartbeat_timeout_ms) + " ms)");
+    note(ctx, "dist: " + slot.id + " silent past the heartbeat deadline — "
+                                   "killed");
+    lose_worker(ctx, s, cause);
+  }
+}
+
+void scan_steal(Ctx& ctx) {
+  if (!ctx.pending.empty() || ctx.opts.steal_after_ms == 0) return;
+  for (std::size_t s = 0; s < ctx.slots.size(); ++s) {
+    if (ctx.slots[s].state != SlotState::Idle) continue;
+    // Oldest un-stolen lease with work left, not owned by this slot.
+    LeaseInfo* victim = nullptr;
+    for (auto& [id, lease] : ctx.leases) {
+      if (lease.stolen || lease.outstanding.empty()) continue;
+      if (lease.slot == s) continue;
+      if (ms_since(lease.granted) <= ctx.opts.steal_after_ms) continue;
+      if (victim == nullptr || lease.granted < victim->granted)
+        victim = &lease;
+    }
+    if (victim == nullptr) return;
+    // Clone the victim's first contiguous run; the victim keeps its
+    // copy — first commit wins, the loser is a counted duplicate.
+    std::vector<std::size_t> run;
+    run.push_back(victim->outstanding.front());
+    for (std::size_t k = 1; k < victim->outstanding.size(); ++k) {
+      if (victim->outstanding[k] != run.back() + 1) break;
+      run.push_back(victim->outstanding[k]);
+    }
+    victim->stolen = true;
+    note(ctx, "dist: stealing " + std::to_string(run.size()) +
+                  " row(s) from straggler " + ctx.slots[victim->slot].id +
+                  " for " + ctx.slots[s].id);
+    grant_lease(ctx, s, std::move(run), /*is_steal=*/true);
+  }
+}
+
+/// One isolate-style one-shot child for row `i`.
+subprocess::RunResult run_fallback_child(Ctx& ctx, std::size_t i,
+                                         bool base_only) {
+  subprocess::RunOptions run;
+  run.argv.push_back(ctx.opts.slc_exe);
+  run.argv.insert(run.argv.end(), ctx.opts.child_args.begin(),
+                  ctx.opts.child_args.end());
+  run.argv.push_back("--child-rows=" + std::to_string(i));
+  if (base_only) run.argv.push_back("--child-base-only");
+  run.timeout_ms = ctx.opts.heartbeat_timeout_ms;
+  run.max_rss_mb = ctx.opts.max_rss_mb;
+  return subprocess::run(run);
+}
+
+std::optional<ComparisonRow> parse_child_row(const std::string& out,
+                                             std::size_t want) {
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::optional<json::Value> v = json::parse(line);
+    if (!v) continue;
+    const json::Value* index = v->find("index");
+    const json::Value* row = v->find("row");
+    if (index == nullptr || row == nullptr) continue;
+    if (std::size_t(index->as_u64()) != want) continue;
+    if (auto parsed = driver::journal::row_from_json(*row)) return parsed;
+  }
+  return std::nullopt;
+}
+
+/// Terminal safety net: measures a row in a fresh one-shot child (full
+/// attempt, then base-only), exactly like the --isolate crash path.
+/// Worker-stage faults do not re-fire here — the child runs the
+/// --child-rows protocol, not the worker loop — so a row that only ever
+/// died *with its workers* still gets real numbers.
+void fallback_row(Ctx& ctx, std::size_t i) {
+  Failure cause = ctx.last_failure[i].value_or(support::make_failure(
+      Stage::Worker, FailureKind::Unknown, "no worker reported the row"));
+  cause.kernel = ctx.kernels[i].name;
+  cause.options = "dist worker";
+  ++ctx.out.stats.fallback_rows;
+
+  subprocess::RunResult full = run_fallback_child(ctx, i, false);
+  if (full.clean()) {
+    if (auto row = parse_child_row(full.out, i)) {
+      commit_row(ctx, i, std::move(*row));
+      return;
+    }
+  }
+
+  subprocess::RunResult base = run_fallback_child(ctx, i, true);
+  if (base.clean()) {
+    if (auto row = parse_child_row(base.out, i)) {
+      row->degraded = true;
+      row->ok = true;
+      row->failure = std::move(cause);
+      ++ctx.out.stats.degraded_rows;
+      commit_row(ctx, i, std::move(*row));
+      return;
+    }
+  }
+
+  // Even the base side is unmeasurable — a failed (not degraded) row.
+  ComparisonRow row;
+  row.kernel = ctx.kernels[i].name;
+  row.suite = ctx.kernels[i].suite;
+  row.ok = false;
+  row.error = cause.str();
+  row.failure = std::move(cause);
+  ++ctx.out.stats.degraded_rows;
+  commit_row(ctx, i, std::move(row));
+}
+
+void shutdown_pool(Ctx& ctx) {
+  for (Slot& slot : ctx.slots) {
+    if (slot.state != SlotState::Dead) {
+      (void)slot.child.write_line(protocol::quit_command());
+      slot.child.close_stdin();
+    }
+    slot.child.kill_group();
+    (void)slot.child.wait();
+  }
+  for (Slot& slot : ctx.slots)
+    if (slot.reader.joinable()) slot.reader.join();
+}
+
+}  // namespace
+
+Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
+                  const Options& options) {
+  // A worker can die between our liveness check and a lease write;
+  // EPIPE (not SIGPIPE) must be the failure mode.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Ctx ctx{kernels, options};
+  std::size_t n = kernels.size();
+  ctx.out.rows.resize(n);
+  ctx.out.completed.assign(n, 0);
+  ctx.attempts.assign(n, 0);
+  ctx.last_slot.assign(n, -1);
+  ctx.last_failure.assign(n, std::nullopt);
+  ctx.keys.reserve(n);
+  for (const kernels::Kernel& k : kernels)
+    ctx.keys.push_back(driver::journal::row_key(
+        k.source, options.options_signature, options.oracle_identity));
+
+  // Resume: replay this sweep's own journal; nothing is re-appended.
+  if (options.resume && !options.journal_path.empty()) {
+    driver::journal::LoadResult loaded =
+        driver::journal::load(options.journal_path);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = loaded.rows.find(ctx.keys[i]);
+      if (it == loaded.rows.end()) continue;
+      ctx.out.rows[i] = it->second;
+      ctx.out.completed[i] = 1;
+      ++ctx.committed;
+      ++ctx.out.resumed;
+    }
+  }
+
+  if (!options.journal_path.empty()) {
+    std::string error;
+    if (!ctx.jnl.open(options.journal_path, !options.resume, &error))
+      note(ctx, "dist: journaling disabled — " + error);
+  }
+
+  // Differential re-run: replay matching keys from the previous sweep's
+  // journal *through* commit_row, so they land in the fresh journal and
+  // the replayed output is byte-identical to the old sweep's.
+  if (!options.resume && !options.seed_journal.empty()) {
+    driver::journal::LoadResult seed =
+        driver::journal::load(options.seed_journal);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = seed.rows.find(ctx.keys[i]);
+      if (it == seed.rows.end()) continue;
+      commit_row(ctx, i, it->second);
+      ++ctx.out.diff_reused;
+    }
+    note(ctx, "dist: diff-since reused " +
+                  std::to_string(ctx.out.diff_reused) + " of " +
+                  std::to_string(n) + " row(s) from " + options.seed_journal);
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    if (ctx.out.completed[i] == 0) ctx.pending.push_back(i);
+
+  int respawn_budget = std::max(0, options.max_respawns);
+  if (!ctx.pending.empty()) {
+    for (int w = 0; w < std::max(1, options.workers); ++w)
+      (void)spawn_worker(ctx);
+  }
+
+  bool aborted = false;
+  while (ctx.committed < n) {
+    if (options.interrupted != nullptr && *options.interrupted != 0) {
+      aborted = true;
+      break;
+    }
+    // No schedulable work left in the pool model — the rest belongs to
+    // the serial fallback (attempt-exhausted rows, or a dead fleet).
+    if (ctx.pending.empty() && ctx.leases.empty()) break;
+    if (live_workers(ctx) == 0) {
+      if (respawn_budget <= 0) break;
+      --respawn_budget;
+      if (!spawn_worker(ctx)) break;
+    }
+
+    for (std::size_t s = 0; s < ctx.slots.size() && !ctx.pending.empty();
+         ++s) {
+      if (ctx.slots[s].state != SlotState::Idle) continue;
+      std::vector<std::size_t> run = take_run(ctx, s);
+      if (run.empty()) continue;  // deferred: these rows need another worker
+      grant_lease(ctx, s, std::move(run), /*is_steal=*/false);
+    }
+
+    std::deque<Incoming> batch;
+    {
+      std::unique_lock<std::mutex> lock(ctx.mu);
+      ctx.cv.wait_for(lock, std::chrono::milliseconds(100),
+                      [&] { return !ctx.inbox.empty(); });
+      batch.swap(ctx.inbox);
+    }
+    for (Incoming& in : batch) handle_event(ctx, std::move(in));
+
+    scan_liveness(ctx);
+
+    // Replace losses while there is queued work and budget left.
+    while (!ctx.pending.empty() &&
+           live_workers(ctx) < std::size_t(std::max(1, options.workers)) &&
+           respawn_budget > 0) {
+      --respawn_budget;
+      if (!spawn_worker(ctx)) break;
+    }
+
+    scan_steal(ctx);
+  }
+
+  shutdown_pool(ctx);
+
+  if (!aborted) {
+    // Serial safety net: every row still uncommitted — exhausted,
+    // stranded pending, or mid-lease when the fleet died — is measured
+    // in one-shot children. Zero lost rows, whatever the chaos did.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (options.interrupted != nullptr && *options.interrupted != 0) {
+        aborted = true;
+        break;
+      }
+      if (ctx.out.completed[i] == 0) fallback_row(ctx, i);
+    }
+  }
+
+  ctx.jnl.flush();
+  if (aborted) {
+    ctx.out.interrupted = true;
+  } else if (ctx.jnl.active() && ctx.committed == n) {
+    // Compact the finished journal in place: duplicates from steals and
+    // crashed-then-resumed runs collapse, and the tmp+rename+dir-fsync
+    // discipline makes the result power-cut safe.
+    driver::journal::CheckpointResult cp =
+        driver::journal::checkpoint(options.journal_path);
+    if (cp.ok && (cp.duplicates_dropped > 0 || cp.torn_lines_dropped > 0))
+      note(ctx, "dist: journal checkpoint dropped " +
+                    std::to_string(cp.duplicates_dropped) +
+                    " duplicate(s), " +
+                    std::to_string(cp.torn_lines_dropped) + " torn line(s)");
+  }
+
+  const Stats& st = ctx.out.stats;
+  std::ostringstream sum;
+  sum << "dist: workers=" << st.workers_spawned << " lost=" << st.workers_lost
+      << " leases=" << st.leases_granted << " reclaims=" << st.reclaims
+      << " steals=" << st.steals << " duplicates=" << st.duplicate_rows
+      << " requeued=" << st.requeued_rows << " fallbacks=" << st.fallback_rows
+      << " degraded=" << st.degraded_rows;
+  note(ctx, sum.str());
+  return ctx.out;
+}
+
+}  // namespace slc::dist

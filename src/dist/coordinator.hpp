@@ -1,0 +1,122 @@
+// The fault-tolerant distributed sweep coordinator (`slc --suite ...
+// --workers=N`): generalizes the --isolate supervisor from one-shot
+// shard children to a pool of persistent worker processes speaking the
+// dist protocol (dist/protocol.hpp), with the fault-tolerance loop the
+// one-shot model cannot express:
+//
+//   lease    — rows are handed out in contiguous leases; a lease is a
+//              loan, not a transfer: the coordinator remembers every
+//              outstanding row and can re-issue it.
+//   heartbeat— workers emit a line before every row; liveness is the
+//              time since a worker's last line, so crashes (pipe EOF)
+//              and hangs (silence past the deadline) are both detected
+//              without any side channel.
+//   reclaim  — rows leased to a dead or hung worker are re-queued
+//              (bounded by max_row_attempts) and the worker is
+//              replaced, up to a respawn budget.
+//   steal    — when the queue drains, an idle worker clones the
+//              remaining rows of the slowest in-flight lease
+//              (straggler mitigation); the first result to arrive
+//              wins, late duplicates are counted and dropped.
+//   commit   — at-most-once per row through the journal: a row is
+//              committed exactly once no matter how many workers
+//              eventually report it, and every commit is a flushed
+//              journal append, so kill -9 of the *coordinator* is
+//              resumable too.
+//
+// Rows that exhaust their attempt budget — and every row left over if
+// the whole pool dies — fall back to one-shot isolate-style children
+// (full, then base-only) so a sweep always terminates with n rows:
+// zero lost rows is an invariant, not a best case.
+//
+// Differential re-runs (`--diff-since=old.jsonl`): rows whose journal
+// key (kernel source ⊕ options ⊕ oracle ⊕ binary version) matches an
+// entry of a previous sweep's journal are replayed byte-identically
+// into the new journal; only changed/new keys are re-measured.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "kernels/kernels.hpp"
+
+namespace slc::dist {
+
+struct Options {
+  /// Path to the slc binary to spawn (normally /proc/self/exe).
+  std::string slc_exe;
+  /// Pass-through arguments for workers: the parent's argv minus the
+  /// coordinator-level flags, plus everything (--suite, --corpus-size,
+  /// --fault) a worker needs to rebuild the identical kernel vector.
+  std::vector<std::string> child_args;
+  /// Worker pool size.
+  int workers = 2;
+  /// Rows per lease. Small leases re-execute less after a loss; large
+  /// leases amortize protocol chatter.
+  int lease_rows = 4;
+  /// A worker silent for longer than this is declared dead: SIGKILLed,
+  /// its lease reclaimed, a replacement spawned.
+  std::uint64_t heartbeat_timeout_ms = 10000;
+  /// Once the queue is empty, an in-flight lease older than this has
+  /// its remaining rows cloned to an idle worker (one steal per lease).
+  std::uint64_t steal_after_ms = 2000;
+  /// Re-queue budget per row before it is handed to the serial
+  /// fallback path.
+  int max_row_attempts = 3;
+  /// Total replacement workers the sweep may spawn beyond the initial
+  /// pool (a crash-looping fleet must not fork-bomb).
+  int max_respawns = 16;
+  /// Per-worker address-space cap in MiB. 0 = none.
+  std::uint64_t max_rss_mb = 0;
+  /// Journal key context (the CLI passes the joined signature args).
+  std::string options_signature;
+  /// Oracle backend identity mixed into the journal key.
+  std::string oracle_identity = "interp";
+  /// Journal path; empty disables journaling (and resume/diff).
+  std::string journal_path;
+  /// Replay rows already in journal_path instead of recomputing.
+  bool resume = false;
+  /// Differential re-run: a previous sweep's journal whose
+  /// matching-key rows are replayed (and re-appended to the fresh
+  /// journal); only changed keys are measured. Mutually exclusive
+  /// with resume.
+  std::string seed_journal;
+  /// Polled in the scheduling loop; when set the coordinator stops
+  /// granting, kills the pool, flushes the journal, and returns
+  /// interrupted = true.
+  const volatile std::sig_atomic_t* interrupted = nullptr;
+};
+
+/// Scheduler counters, printed by the CLI and asserted by the chaos CI
+/// job (reclaims>0, steals>0) and the dist tests.
+struct Stats {
+  std::size_t workers_spawned = 0;   // initial pool + respawns
+  std::size_t workers_lost = 0;      // EOF'd or heartbeat-killed
+  std::size_t leases_granted = 0;    // includes steal leases
+  std::size_t reclaims = 0;          // rows reclaimed from lost workers
+  std::size_t steals = 0;            // leases cloned off stragglers
+  std::size_t stolen_rows = 0;
+  std::size_t duplicate_rows = 0;    // results for already-committed rows
+  std::size_t requeued_rows = 0;     // rows a finished lease never
+                                     // reported (drop fault / lost line)
+  std::size_t fallback_rows = 0;     // rows measured by the serial path
+  std::size_t degraded_rows = 0;     // fallback rows degraded to base
+};
+
+struct Outcome {
+  std::vector<driver::ComparisonRow> rows;  // input order
+  std::vector<std::uint8_t> completed;      // per row
+  std::size_t resumed = 0;       // --resume journal replays
+  std::size_t diff_reused = 0;   // --diff-since seed replays
+  Stats stats;
+  bool interrupted = false;
+  std::vector<std::string> notes;  // coordinator log, one line each
+};
+
+[[nodiscard]] Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
+                                const Options& options);
+
+}  // namespace slc::dist

@@ -1,0 +1,127 @@
+#include "dist/protocol.hpp"
+
+#include "driver/journal.hpp"
+#include "support/json.hpp"
+
+namespace slc::dist::protocol {
+
+namespace json = support::json;
+
+std::string lease_command(const Lease& lease) {
+  json::Value v = json::Value::object();
+  v.set("cmd", json::Value::string("lease"));
+  v.set("lease", json::Value::number(lease.id));
+  v.set("first", json::Value::number(std::uint64_t(lease.first)));
+  v.set("last", json::Value::number(std::uint64_t(lease.last)));
+  return v.dump();
+}
+
+std::string quit_command() { return "{\"cmd\":\"quit\"}"; }
+
+Command parse_command(std::string_view line) {
+  Command cmd;
+  auto parsed = json::parse(line);
+  if (!parsed || !parsed->is_object()) return cmd;
+  const json::Value* what = parsed->find("cmd");
+  if (what == nullptr) return cmd;
+  if (what->as_string() == "quit") {
+    cmd.kind = Command::Kind::Quit;
+    return cmd;
+  }
+  if (what->as_string() != "lease") return cmd;
+  const json::Value* id = parsed->find("lease");
+  const json::Value* first = parsed->find("first");
+  const json::Value* last = parsed->find("last");
+  if (id == nullptr || first == nullptr || last == nullptr) return cmd;
+  cmd.lease.id = id->as_u64();
+  cmd.lease.first = std::size_t(first->as_u64());
+  cmd.lease.last = std::size_t(last->as_u64());
+  if (cmd.lease.last < cmd.lease.first) return cmd;
+  cmd.kind = Command::Kind::Lease;
+  return cmd;
+}
+
+std::string hello_line(const std::string& worker_id, int pid) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("hello"));
+  v.set("worker", json::Value::string(worker_id));
+  v.set("pid", json::Value::number(std::int64_t(pid)));
+  return v.dump();
+}
+
+std::string heartbeat_line(const std::string& worker_id) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("hb"));
+  v.set("worker", json::Value::string(worker_id));
+  return v.dump();
+}
+
+std::string row_line(std::uint64_t lease, std::size_t index,
+                     const driver::ComparisonRow& row) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("row"));
+  v.set("lease", json::Value::number(lease));
+  v.set("index", json::Value::number(std::uint64_t(index)));
+  v.set("row", driver::journal::row_to_json(row));
+  return v.dump();
+}
+
+std::string done_line(std::uint64_t lease, std::size_t computed) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("done"));
+  v.set("lease", json::Value::number(lease));
+  v.set("computed", json::Value::number(std::uint64_t(computed)));
+  return v.dump();
+}
+
+Event parse_event(std::string_view line) {
+  Event ev;
+  auto parsed = json::parse(line);
+  if (!parsed || !parsed->is_object()) return ev;
+  const json::Value* type = parsed->find("type");
+  if (type == nullptr) return ev;
+  const std::string& t = type->as_string();
+  if (t == "hello") {
+    const json::Value* worker = parsed->find("worker");
+    if (worker == nullptr || !worker->is_string()) return ev;
+    ev.worker = worker->as_string();
+    if (const json::Value* pid = parsed->find("pid")) {
+      ev.pid = int(pid->as_i64());
+    }
+    ev.kind = Event::Kind::Hello;
+    return ev;
+  }
+  if (t == "hb") {
+    if (const json::Value* worker = parsed->find("worker")) {
+      ev.worker = worker->as_string();
+    }
+    ev.kind = Event::Kind::Heartbeat;
+    return ev;
+  }
+  if (t == "row") {
+    const json::Value* lease = parsed->find("lease");
+    const json::Value* index = parsed->find("index");
+    const json::Value* row = parsed->find("row");
+    if (lease == nullptr || index == nullptr || row == nullptr) return ev;
+    auto parsed_row = driver::journal::row_from_json(*row);
+    if (!parsed_row) return ev;
+    ev.lease = lease->as_u64();
+    ev.index = std::size_t(index->as_u64());
+    ev.row = std::move(*parsed_row);
+    ev.kind = Event::Kind::Row;
+    return ev;
+  }
+  if (t == "done") {
+    const json::Value* lease = parsed->find("lease");
+    if (lease == nullptr) return ev;
+    ev.lease = lease->as_u64();
+    if (const json::Value* computed = parsed->find("computed")) {
+      ev.computed = std::size_t(computed->as_u64());
+    }
+    ev.kind = Event::Kind::Done;
+    return ev;
+  }
+  return ev;
+}
+
+}  // namespace slc::dist::protocol

@@ -1,0 +1,74 @@
+// The distributed-sweep wire protocol: NDJSON between the coordinator
+// (src/dist/coordinator.hpp) and its worker endpoints (slc processes
+// started with --dist-worker=ID).
+//
+// This generalizes the --isolate `--child-rows` transport from a
+// one-shot argv assignment to a long-lived conversation, so one worker
+// process amortizes startup across many leases:
+//
+//   coordinator -> worker (stdin):
+//     {"cmd":"lease","lease":7,"first":12,"last":15}
+//     {"cmd":"quit"}
+//   worker -> coordinator (stdout, one flushed line each):
+//     {"type":"hello","worker":"w3","pid":4242}
+//     {"type":"hb","worker":"w3"}                  before every row
+//     {"type":"row","lease":7,"index":12,"row":{...}}
+//     {"type":"done","lease":7,"computed":4}
+//
+// The row payload is the journal's lossless ComparisonRow serialization
+// (driver/journal.hpp), so a row computed by a remote worker is
+// indistinguishable from one computed in-process — the same property the
+// --isolate children already have. Any line the coordinator cannot
+// parse is counted and dropped (torn-tail tolerance: a worker killed
+// mid-write must not poison the sweep); liveness is inferred from line
+// arrival times, so a worker hung inside a row goes silent and trips
+// the heartbeat deadline without any side channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "driver/pipeline.hpp"
+
+namespace slc::dist::protocol {
+
+/// One shard assignment: rows [first, last] of the suite, identified by
+/// a coordinator-unique lease id (steals clone the remaining rows of a
+/// lease under a fresh id, so late duplicates are attributable).
+struct Lease {
+  std::uint64_t id = 0;
+  std::size_t first = 0;
+  std::size_t last = 0;
+};
+
+struct Command {
+  enum class Kind : std::uint8_t { Lease, Quit, Invalid };
+  Kind kind = Kind::Invalid;
+  Lease lease;
+};
+
+[[nodiscard]] std::string lease_command(const Lease& lease);
+[[nodiscard]] std::string quit_command();
+[[nodiscard]] Command parse_command(std::string_view line);
+
+struct Event {
+  enum class Kind : std::uint8_t { Hello, Heartbeat, Row, Done, Invalid };
+  Kind kind = Kind::Invalid;
+  std::string worker;               // hello / heartbeat
+  int pid = 0;                      // hello
+  std::uint64_t lease = 0;          // row / done
+  std::size_t index = 0;            // row
+  driver::ComparisonRow row;        // row
+  std::size_t computed = 0;         // done: rows this lease reported
+};
+
+[[nodiscard]] std::string hello_line(const std::string& worker_id, int pid);
+[[nodiscard]] std::string heartbeat_line(const std::string& worker_id);
+[[nodiscard]] std::string row_line(std::uint64_t lease, std::size_t index,
+                                   const driver::ComparisonRow& row);
+[[nodiscard]] std::string done_line(std::uint64_t lease,
+                                    std::size_t computed);
+[[nodiscard]] Event parse_event(std::string_view line);
+
+}  // namespace slc::dist::protocol

@@ -1,0 +1,89 @@
+#include "dist/worker.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "dist/protocol.hpp"
+#include "service/socket.hpp"
+#include "support/failure.hpp"
+#include "support/fault.hpp"
+
+namespace slc::dist {
+
+namespace {
+
+// One flushed line to the coordinator. stdout is a pipe; a flush per
+// line is what makes crash salvage and heartbeat liveness work — the
+// coordinator must never wait on a stdio buffer.
+void emit(const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) {
+  driver::CompareOptions copts = options.compare;
+  copts.jobs = 1;
+  copts.on_row = nullptr;
+
+  emit(protocol::hello_line(options.worker_id, int(::getpid())));
+
+  service::socket::LineReader reader(STDIN_FILENO);
+  std::string line;
+  while (reader.next_line(&line)) {
+    protocol::Command cmd = protocol::parse_command(line);
+    if (cmd.kind == protocol::Command::Kind::Quit) break;
+    if (cmd.kind != protocol::Command::Kind::Lease) continue;
+    if (cmd.lease.last >= options.kernels.size()) return 65;
+
+    std::size_t computed = 0;
+    for (std::size_t i = cmd.lease.first; i <= cmd.lease.last; ++i) {
+      const kernels::Kernel& kernel = options.kernels[i];
+      // Heartbeat before the row: if the row then hangs, the
+      // coordinator's last-seen clock starts here and the deadline
+      // measures true row silence.
+      emit(protocol::heartbeat_line(options.worker_id));
+
+      const std::string subject = options.worker_id + ":" + kernel.name;
+      driver::ComparisonRow row;
+      bool report = true;
+      try {
+        if (auto injected =
+                support::fault::trigger(support::Stage::Worker, subject)) {
+          if (support::fault::is_drop(*injected)) {
+            // Lost result message: compute nothing, say nothing. The
+            // coordinator sees this lease's done event arrive short and
+            // re-queues the row elsewhere.
+            report = false;
+          } else {
+            row.kernel = kernel.name;
+            row.suite = kernel.suite;
+            row.ok = false;
+            row.error = injected->str();
+            row.failure = *injected;
+          }
+        } else {
+          row = driver::compare_kernel(kernel, options.backend, copts);
+        }
+      } catch (const support::fault::FaultInjected& ex) {
+        row.kernel = kernel.name;
+        row.suite = kernel.suite;
+        row.ok = false;
+        row.error = ex.failure().str();
+        row.failure = ex.failure();
+      }
+      if (report) {
+        emit(protocol::row_line(cmd.lease.id, i, row));
+        ++computed;
+      }
+    }
+    emit(protocol::done_line(cmd.lease.id, computed));
+  }
+  return 0;
+}
+
+}  // namespace slc::dist

@@ -1,0 +1,37 @@
+// The worker end of the distributed sweep: a loop over stdin lease
+// commands that measures the leased rows one at a time and streams each
+// result back as a flushed protocol row line. `slc --suite ...
+// --dist-worker=ID` lands here after the CLI resolves the suite and
+// backend exactly the way an --isolate child does, so a worker-computed
+// row is byte-identical to an in-process one.
+//
+// Worker-level fault injection hooks in per row with subject
+// "<worker-id>:<kernel>" at Stage::Worker (see support/fault.hpp):
+// crash/hang faults take the process down mid-lease (the coordinator's
+// heartbeat deadline reclaims the lease), delay models a straggler
+// (the coordinator steals from it), and drop swallows the row's result
+// line entirely (the coordinator re-queues it when the lease's done
+// event arrives short).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "kernels/kernels.hpp"
+
+namespace slc::dist {
+
+struct WorkerOptions {
+  std::string worker_id;
+  std::vector<kernels::Kernel> kernels;
+  driver::Backend backend;
+  driver::CompareOptions compare;  // jobs forced to 1; on_row ignored
+};
+
+/// Runs the stdin/stdout lease loop until a quit command or EOF.
+/// Returns a process exit code (0 on a clean quit/EOF, sysexits-style
+/// 65 on a malformed lease range).
+int run_worker(const WorkerOptions& options);
+
+}  // namespace slc::dist

@@ -25,6 +25,9 @@ using support::Stage;
 namespace {
 
 struct Ctx {
+  Ctx(const std::vector<kernels::Kernel>& k, const Options& o)
+      : kernels(k), opts(o) {}
+
   const std::vector<kernels::Kernel>& kernels;
   const Options& opts;
   std::vector<std::string> keys;
@@ -331,6 +334,23 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
     std::string error;
     if (!ctx.jnl.open(options.journal_path, !options.resume, &error))
       ctx.out.notes.push_back("isolate: journaling disabled — " + error);
+  }
+
+  // Differential re-run: replay matching keys from a previous sweep's
+  // journal through finish_row, so they are re-appended to the fresh
+  // journal and the final table is byte-identical for unchanged rows.
+  if (!options.resume && !options.seed_journal.empty()) {
+    journal::LoadResult seed = journal::load(options.seed_journal);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ctx.out.completed[i] != 0) continue;
+      auto it = seed.rows.find(ctx.keys[i]);
+      if (it == seed.rows.end()) continue;
+      finish_row(ctx, i, it->second, /*from_journal=*/false);
+      ++ctx.out.diff_reused;
+    }
+    ctx.out.notes.push_back(
+        "isolate: diff-since reused " + std::to_string(ctx.out.diff_reused) +
+        " of " + std::to_string(n) + " row(s) from " + options.seed_journal);
   }
 
   // Shard the rows still to compute into runs of consecutive indices.

@@ -58,6 +58,11 @@ struct Options {
   std::string journal_path;
   /// Replay rows already in the journal instead of recomputing them.
   bool resume = false;
+  /// Differential re-run (--diff-since): a previous sweep's journal.
+  /// Rows whose key matches are replayed into the fresh journal instead
+  /// of recomputed; only changed/new keys spawn children. Ignored when
+  /// resume is set (resume continues this sweep's own journal).
+  std::string seed_journal;
   /// Where crash repros are archived.
   std::string crash_dir = "tests/crashes";
   /// Shrink archived crash repros with the fuzzer's reducer when the
@@ -77,6 +82,7 @@ struct Outcome {
   std::vector<std::uint8_t> completed;  // per row (not vector<bool>:
                                         // workers write distinct indices)
   std::size_t resumed = 0;           // rows replayed from the journal
+  std::size_t diff_reused = 0;       // rows replayed from seed_journal
   std::size_t crashed_children = 0;  // signal / timeout / oom children
   std::size_t repros_archived = 0;
   bool interrupted = false;

@@ -1,5 +1,11 @@
 #include "driver/journal.hpp"
 
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -275,6 +281,85 @@ LoadResult load(const std::string& path) {
     (void)it;
     if (!inserted) ++result.duplicate_keys;  // last write wins
   }
+  return result;
+}
+
+CheckpointResult checkpoint(const std::string& path) {
+  CheckpointResult result;
+  LoadResult loaded = load(path);
+  if (loaded.rows.empty() && loaded.skipped_lines == 0 &&
+      loaded.duplicate_keys == 0) {
+    // Nothing to compact (missing or empty journal): succeed vacuously
+    // rather than replacing the file with an empty one.
+    result.ok = true;
+    return result;
+  }
+  result.duplicates_dropped = loaded.duplicate_keys;
+  result.torn_lines_dropped = loaded.skipped_lines;
+
+  // Deterministic output order: sorted by key. The journal is a map, not
+  // a log, after compaction — replay semantics are unchanged.
+  std::vector<const std::string*> keys;
+  keys.reserve(loaded.rows.size());
+  for (const auto& [key, row] : loaded.rows) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
+  std::string tmp_path = path + ".tmp";
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    result.error = "checkpoint: open " + tmp_path + ": " + strerror(errno);
+    return result;
+  }
+  std::string text;
+  for (const std::string* key : keys) {
+    const ComparisonRow& row = loaded.rows.at(*key);
+    Value line = Value::object();
+    line.set("key", Value::string(*key));
+    line.set("kernel", Value::string(row.kernel));
+    line.set("row", row_to_json(row));
+    text += line.dump();
+    text += '\n';
+  }
+  std::size_t off = 0;
+  while (off < text.size()) {
+    ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n > 0) {
+      off += std::size_t(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    result.error = "checkpoint: write " + tmp_path + ": " + strerror(errno);
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return result;
+  }
+  // Durability order matters: (1) the tmp file's bytes, (2) the rename,
+  // (3) the directory entry. Skipping (3) can leave the rename itself
+  // unjournaled after a crash — the classic "tmp+rename is not enough"
+  // hole this function exists to close.
+  if (::fsync(fd) != 0) {
+    result.error = "checkpoint: fsync " + tmp_path + ": " + strerror(errno);
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return result;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    result.error = "checkpoint: rename: " + std::string(strerror(errno));
+    ::unlink(tmp_path.c_str());
+    return result;
+  }
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  std::string dir_path = dir.empty() ? "." : dir.string();
+  int dfd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);  // best effort: some filesystems refuse dir fsync
+    ::close(dfd);
+  }
+  result.ok = true;
+  result.rows = loaded.rows.size();
   return result;
 }
 

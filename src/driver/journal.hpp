@@ -87,4 +87,23 @@ struct LoadResult {
 
 [[nodiscard]] LoadResult load(const std::string& path);
 
+/// Crash-consistent journal compaction: loads `path` (last-write-wins),
+/// rewrites one line per surviving key into `path + ".tmp"`, fsyncs the
+/// tmp file, atomically renames it over `path`, and then fsyncs the
+/// containing directory so the rename itself is durable — a power cut at
+/// any instant leaves either the complete old journal or the complete
+/// new one, never a mix, and never a row with a stale key shadowing a
+/// newer append. A leftover .tmp from a checkpoint killed before its
+/// rename is invisible to load() (different path) and simply overwritten
+/// by the next checkpoint.
+struct CheckpointResult {
+  bool ok = false;
+  std::string error;
+  std::size_t rows = 0;             // surviving (deduplicated) rows
+  std::size_t duplicates_dropped = 0;
+  std::size_t torn_lines_dropped = 0;
+};
+
+[[nodiscard]] CheckpointResult checkpoint(const std::string& path);
+
 }  // namespace slc::driver::journal

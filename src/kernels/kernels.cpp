@@ -1,5 +1,7 @@
 #include "kernels/kernels.hpp"
 
+#include <cstdio>
+
 namespace slc::kernels {
 
 namespace {
@@ -448,7 +450,154 @@ std::vector<Kernel> make_nest_kernels() {
   return ks;
 }
 
+// ----- generated corpus ----------------------------------------------------
+
+/// splitmix64 (Steele/Lea/Flood): tiny, stdlib-independent, and good
+/// enough to diversify loop shapes. Determinism is the point here, not
+/// statistical quality — modulo bias in pick() is fine.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Inclusive range.
+  int pick(int lo, int hi) {
+    return lo + int(next() % std::uint64_t(hi - lo + 1));
+  }
+  bool chance(int percent) { return pick(1, 100) <= percent; }
+};
+
+/// Mirrors the invariants of fuzz::LoopGenerator (subscripts i+c with
+/// c in [-3, 3] stay inside [0, 128) for the generated bounds) with a
+/// fixed four-array/two-scalar prelude so every program parses the same
+/// declarations.
+class GeneratedProgram {
+ public:
+  explicit GeneratedProgram(SplitMix64 rng) : rng_(rng) {}
+
+  std::string build() {
+    std::string out =
+        "double A[128]; double B[128]; double C[128]; double D[128];\n"
+        "double s0; double s1;\n"
+        "int i;\n";
+    int lo = rng_.pick(4, 8);
+    int hi = rng_.pick(lo + 8, 120);
+    out += "for (i = " + std::to_string(lo) + "; i < " + std::to_string(hi) +
+           "; i++) {\n";
+    int body = rng_.pick(1, 4);
+    for (int k = 0; k < body; ++k) out += "  " + statement() + "\n";
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  std::string array_ref() {
+    std::string name(1, char('A' + rng_.pick(0, 3)));
+    int c = rng_.pick(-3, 3);
+    if (c == 0) return name + "[i]";
+    if (c > 0) return name + "[i + " + std::to_string(c) + "]";
+    return name + "[i - " + std::to_string(-c) + "]";
+  }
+
+  std::string scalar() { return "s" + std::to_string(rng_.pick(0, 1)); }
+
+  std::string term() {
+    switch (rng_.pick(0, 4)) {
+      case 0:
+      case 1: return array_ref();
+      case 2: return scalar();
+      case 3: return std::to_string(rng_.pick(1, 9)) + ".5";
+      default: return "i";
+    }
+  }
+
+  std::string expr() {
+    std::string out = term();
+    int terms = rng_.pick(0, 2);
+    for (int t = 0; t < terms; ++t) {
+      const char* ops[] = {" + ", " - ", " * "};
+      out += ops[rng_.pick(0, 2)] + term();
+    }
+    return out;
+  }
+
+  std::string statement() {
+    switch (rng_.pick(0, 5)) {
+      case 0: return array_ref() + " = " + expr() + ";";
+      case 1: {
+        const char* ops[] = {"+=", "-=", "*="};
+        return array_ref() + " " + ops[rng_.pick(0, 2)] + " " + expr() + ";";
+      }
+      case 2: return scalar() + " = " + expr() + ";";
+      case 3: {
+        // Reduction: a loop-carried scalar dependence.
+        std::string s = scalar();
+        return s + " = " + s + " + " + array_ref() + " * " + array_ref() +
+               ";";
+      }
+      case 4:
+        return "if (" + term() + " < " + term() + ") " + array_ref() +
+               " = " + expr() + ";";
+      default: {
+        // Array recurrence: X[i] = f(X[i - k], ...) — a true distance-k
+        // loop-carried dependence, the shape SLMS exists for.
+        std::string name(1, char('A' + rng_.pick(0, 3)));
+        int k = rng_.pick(1, 3);
+        return name + "[i] = " + name + "[i - " + std::to_string(k) +
+               "] + " + expr() + ";";
+      }
+    }
+  }
+
+  SplitMix64 rng_;
+};
+
 }  // namespace
+
+Kernel generated_kernel(std::size_t index, std::uint64_t seed) {
+  // Decorrelate (index, seed) into one splitmix stream; the constant is
+  // arbitrary but frozen — changing it re-keys the whole corpus and the
+  // committed manifest with it.
+  SplitMix64 rng{(std::uint64_t(index) * 0x9e3779b97f4a7c15ULL) ^
+                 (seed + 0x6a09e667f3bcc908ULL)};
+  rng.next();  // warm up: low-entropy seeds otherwise correlate shape 0
+
+  Kernel k;
+  char name[16];
+  std::snprintf(name, sizeof name, "gen%06zu", index);
+  k.name = name;
+  k.suite = "generated";
+  k.description = "generated loop (corpus seed " + std::to_string(seed) + ")";
+  k.source = GeneratedProgram(rng).build();
+  return k;
+}
+
+std::vector<Kernel> generated_suite(std::size_t count, std::uint64_t seed) {
+  std::vector<Kernel> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(generated_kernel(i, seed));
+  return out;
+}
+
+std::string source_hash(const std::string& source) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : source) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[std::size_t(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
 
 const std::vector<Kernel>& all_kernels() {
   static const std::vector<Kernel> kernels = make_kernels();

@@ -6,6 +6,8 @@
 // what drives SLMS behaviour.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,5 +28,30 @@ struct Kernel {
 /// SLMS). Kept out of all_kernels(): the figure benches measure single
 /// loops, and these have two.
 [[nodiscard]] const std::vector<Kernel>& nest_kernels();
+
+// ----- generated corpus ----------------------------------------------------
+//
+// Deterministic synthetic loops for scale testing (`--suite=generated`,
+// `--corpus-size=N`, the distributed sweep coordinator). Unlike the
+// fuzzer's LoopGenerator — which rides std::mt19937_64 through
+// std::uniform_int_distribution and is therefore only reproducible on
+// one stdlib — these are driven by a self-contained splitmix64 stream,
+// so (index, seed) pins the exact kernel text on every platform. The
+// committed manifest (tests/corpus/generated.manifest) locks 10k of
+// them by content hash; a drifting generator fails the corpus test.
+
+/// The kernel at `index` of the generated corpus: name "gen<000000>",
+/// suite "generated". Pure function of (index, seed); every program is
+/// well-formed, in-bounds, and interpretable.
+[[nodiscard]] Kernel generated_kernel(std::size_t index,
+                                      std::uint64_t seed = 0);
+
+/// The first `count` generated kernels.
+[[nodiscard]] std::vector<Kernel> generated_suite(std::size_t count,
+                                                  std::uint64_t seed = 0);
+
+/// fnv1a-64 over a kernel source, hex-encoded — the content hash the
+/// generated-corpus manifest records per line.
+[[nodiscard]] std::string source_hash(const std::string& source);
 
 }  // namespace slc::kernels

@@ -14,6 +14,10 @@
 //
 // Methods:
 //   compile   run slc with `args` (+ `source` on stdin when nonempty)
+//   lint      static legality check on `source`, in-process (no sandbox
+//             child): diagnostics as a JSON array in `out`, `exit` 0
+//             clean / 1 findings / 65 parse failure — the low-latency
+//             editor path
 //   ping      liveness probe; responds ok/"pong"
 //   stats     service counters as a JSON object in `out`
 //   shutdown  begin graceful drain (finish in-flight, then exit)

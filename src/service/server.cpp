@@ -5,6 +5,7 @@
 #include "driver/journal.hpp"
 #include "support/retry.hpp"
 #include "support/subprocess.hpp"
+#include "verify/lint.hpp"
 
 namespace slc::service {
 
@@ -152,6 +153,8 @@ Response Service::execute(const Request& request) {
     r.id = request.id;
     r.status = Status::Ok;
     r.out = stats_json().dump();
+  } else if (request.method == "lint") {
+    r = run_lint_request(request);
   } else if (request.method == "compile") {
     r = run_compile(request);
   } else {
@@ -170,6 +173,45 @@ Response Service::execute(const Request& request) {
     case Status::Error: ++stats_.errors; break;
     case Status::Shutdown: break;
     case Status::BadRequest: ++stats_.bad_requests; break;
+  }
+  return r;
+}
+
+Response Service::run_lint_request(const Request& request) {
+  // Static lint is pure analysis on the program text: no execution, no
+  // sandbox child, no cache entry (it is already faster than a cache
+  // round trip through the journal key hash). This is the daemon's
+  // low-latency path — editors poll it on every save.
+  Response r;
+  r.id = request.id;
+  if (request.source.empty()) {
+    r.status = Status::BadRequest;
+    r.detail = "lint needs program text in \"source\"";
+    return r;
+  }
+  verify::LintOptions lopts;
+  for (const std::string& a : request.args) {
+    // Only the transform knobs that change what lint sees matter here;
+    // compile-only args (e.g. --measure) are ignored so clients can send
+    // one arg vector for both methods.
+    if (a == "--no-filter") lopts.slms.enable_filter = false;
+  }
+  verify::LintResult res = verify::run_lint(request.source, lopts);
+  r.status = Status::Ok;  // transport ok; the verdict lives in exit_code
+  r.out = res.diags.to_json().dump() + "\n";
+  r.err = "lint: " + std::to_string(res.loops_applied) +
+          " loop(s) pipelined, " + std::to_string(res.loops_skipped) +
+          " skipped, " + std::to_string(res.diags.error_count()) +
+          " error(s)\n";
+  // Mirror the CLI's sysexits convention so `slc --client --lint` and a
+  // local `slc --lint` are drop-in interchangeable for scripts.
+  if (res.parse_failed)
+    r.exit_code = 65;  // EX_DATAERR: input was not a parsable program
+  else
+    r.exit_code = res.clean() ? 0 : 1;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.lints;
   }
   return r;
 }
@@ -333,6 +375,7 @@ Value Service::stats_json() const {
   v.set("errors", Value::number(s.errors));
   v.set("bad_requests", Value::number(s.bad_requests));
   v.set("child_spawns", Value::number(s.child_spawns));
+  v.set("lints", Value::number(s.lints));
   v.set("retries", Value::number(s.retries));
   v.set("breaker_trips", Value::number(s.breaker_trips));
   v.set("open_circuits", Value::number(s.open_circuits));

@@ -17,6 +17,13 @@
 //             │ Signal/Timeout/Oom/spawn, retries exhausted
 //             └───────────────────────► error (breaker failure)
 //
+// `lint` requests bypass the whole sandbox pipeline: static analysis
+// never executes the program, so verify::run_lint runs in-process on
+// the worker thread — no child spawn, no cache, no breaker — and the
+// response carries the CLI's lint exit convention (0 clean, 1 findings,
+// 65/EX_DATAERR parse failure) in exit_code with the diagnostics as a
+// JSON array in `out`.
+//
 // Every admitted request is answered exactly once; nothing is silently
 // dropped. Execution happens in a sandboxed child `slc` process
 // (support/subprocess: watchdog SIGKILL, RLIMIT_AS cap, crash
@@ -77,6 +84,7 @@ struct ServiceStats {
   std::uint64_t errors = 0;     // infrastructure failures after retries
   std::uint64_t bad_requests = 0;
   std::uint64_t child_spawns = 0;
+  std::uint64_t lints = 0;      // in-process lint requests served
   std::uint64_t retries = 0;    // extra attempts beyond the first
   std::uint64_t breaker_trips = 0;
   std::uint64_t open_circuits = 0;
@@ -119,6 +127,7 @@ class Service {
 
  private:
   Response run_compile(const Request& request);
+  Response run_lint_request(const Request& request);
   Response run_degraded(const Request& request, BreakerState state);
   Response run_child_once(const Request& request,
                           const std::vector<std::string>& extra_args,

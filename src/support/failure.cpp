@@ -18,6 +18,7 @@ const char* to_string(Stage stage) {
     case Stage::Native: return "native";
     case Stage::Harness: return "harness";
     case Stage::Isolation: return "isolation";
+    case Stage::Worker: return "worker";
   }
   return "?";
 }
@@ -35,6 +36,7 @@ std::optional<Stage> parse_stage(std::string_view name) {
   if (name == "native") return Stage::Native;
   if (name == "harness") return Stage::Harness;
   if (name == "isolation") return Stage::Isolation;
+  if (name == "worker") return Stage::Worker;
   return std::nullopt;
 }
 

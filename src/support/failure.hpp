@@ -39,6 +39,9 @@ enum class Stage : std::uint8_t {
            // host-compiler invocation, dlopen, or interp/native divergence
   Harness,
   Isolation,
+  Worker,  // a distributed-sweep worker endpoint (src/dist): lost to a
+           // crash, declared dead by the heartbeat deadline, or its lease
+           // reclaimed after too many re-execution attempts
 };
 
 [[nodiscard]] const char* to_string(Stage stage);

@@ -15,7 +15,11 @@ namespace slc::support::fault {
 
 namespace {
 
-enum class FaultKind { Throw, Fail, FailOnce, Delay, Crash, Hang, Alloc };
+enum class FaultKind { Throw, Fail, FailOnce, Delay, Crash, Hang, Alloc, Drop };
+
+/// Message sentinel for the drop kind; is_drop() keys on it so injection
+/// points can tell "swallow this row" apart from ordinary injected fails.
+constexpr std::string_view kDropMessage = "injected row drop";
 
 struct FaultSpec {
   Stage stage = Stage::Harness;
@@ -83,6 +87,8 @@ bool parse_one(std::string_view item, Config& c, std::string* error) {
     spec.kind = FaultKind::Crash;
   } else if (rest == "hang") {
     spec.kind = FaultKind::Hang;
+  } else if (rest == "drop") {
+    spec.kind = FaultKind::Drop;
   } else if (rest.substr(0, kDelayPrefix.size()) == kDelayPrefix) {
     spec.kind = FaultKind::Delay;
     std::string ms(rest.substr(kDelayPrefix.size()));
@@ -103,7 +109,7 @@ bool parse_one(std::string_view item, Config& c, std::string* error) {
   } else {
     return fail(
         "unknown fault kind "
-        "(throw|fail|fail-once|delay=MS|alloc=MB|crash|hang)");
+        "(throw|fail|fail-once|delay=MS|alloc=MB|crash|hang|drop)");
   }
   c.specs.emplace_back();
   FaultSpec& stored = c.specs.back();
@@ -218,6 +224,11 @@ std::optional<Failure> trigger(Stage stage, std::string_view kernel) {
       // watchdog's SIGKILL can end.
       for (;;)
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    case FaultKind::Drop: {
+      Failure f = injected_failure(stage, kernel, false);
+      f.message = std::string(kDropMessage);
+      return f;
+    }
     case FaultKind::Alloc: {
       // A runaway allocation: touch alloc_mb MiB page by page. Under a
       // subprocess RLIMIT_AS cap this ends in bad_alloc (or a kernel
@@ -235,6 +246,11 @@ std::optional<Failure> trigger(Stage stage, std::string_view kernel) {
     }
   }
   return std::nullopt;
+}
+
+bool is_drop(const Failure& failure) {
+  return failure.kind == FailureKind::Injected &&
+         failure.message == kDropMessage;
 }
 
 bool bug_planted(std::string_view name) {

@@ -21,6 +21,11 @@
 //                                       (bad_alloc or kernel OOM kill)
 //   SLC_FAULT="slms:throw@kernel8"      only rows whose kernel name
 //                                       contains "kernel8"
+//   SLC_FAULT="worker:drop@w0:"         a dist-sweep worker silently
+//                                       drops the row instead of
+//                                       reporting it (models a lost
+//                                       result message; the coordinator
+//                                       must re-queue the lease)
 //   SLC_FAULT="bug:mve-skip-rename"     plant a named miscompile bug (used
 //                                       to validate the differential fuzzer
 //                                       and the static verifier end to end:
@@ -87,10 +92,18 @@ void clear();
 ///               an RLIMIT_AS cap: bad_alloc / kernel OOM kill instead)
 ///   crash     — raises SIGSEGV (never returns; kills the process)
 ///   hang      — sleeps forever (never returns; only SIGKILL ends it)
+///   drop      — returns a Failure that is_drop() recognizes; the dist
+///               worker loop skips reporting the row entirely
 /// `kernel` is matched as a substring against the spec's @filter; an empty
-/// filter matches every kernel.
+/// filter matches every kernel. Distributed workers (src/dist) pass
+/// "<worker-id>:<kernel>" as the subject, so "@w0:" targets one worker
+/// and "@:ddot" one kernel on any worker.
 [[nodiscard]] std::optional<Failure> trigger(Stage stage,
                                              std::string_view kernel = {});
+
+/// True when `failure` came from a `drop` fault spec — the injection
+/// point must swallow the unit of work instead of reporting it failed.
+[[nodiscard]] bool is_drop(const Failure& failure);
 
 /// True when `configure` armed the named miscompile bug (`bug:<name>`).
 /// Transformation passes consult this to deliberately emit wrong code so

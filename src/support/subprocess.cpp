@@ -302,6 +302,171 @@ RunResult run(const RunOptions& options) {
   return result;
 }
 
+// ----- Child ---------------------------------------------------------------
+
+Child::~Child() {
+  if (pid_ > 0 && !reaped_) {
+    kill_group();
+    (void)wait();
+  }
+  reset();
+}
+
+Child::Child(Child&& other) noexcept
+    : pid_(other.pid_),
+      stdin_fd_(other.stdin_fd_),
+      stdout_fd_(other.stdout_fd_),
+      reaped_(other.reaped_),
+      status_(other.status_) {
+  other.pid_ = -1;
+  other.stdin_fd_ = other.stdout_fd_ = -1;
+  other.reaped_ = false;
+}
+
+Child& Child::operator=(Child&& other) noexcept {
+  if (this == &other) return *this;
+  if (pid_ > 0 && !reaped_) {
+    kill_group();
+    (void)wait();
+  }
+  reset();
+  pid_ = other.pid_;
+  stdin_fd_ = other.stdin_fd_;
+  stdout_fd_ = other.stdout_fd_;
+  reaped_ = other.reaped_;
+  status_ = other.status_;
+  other.pid_ = -1;
+  other.stdin_fd_ = other.stdout_fd_ = -1;
+  other.reaped_ = false;
+  return *this;
+}
+
+void Child::reset() {
+  if (stdin_fd_ >= 0) close(stdin_fd_);
+  if (stdout_fd_ >= 0) close(stdout_fd_);
+  stdin_fd_ = stdout_fd_ = -1;
+  pid_ = -1;
+  reaped_ = false;
+  status_ = -1;
+}
+
+bool Child::spawn(const SpawnOptions& options, std::string* error) {
+  if (pid_ > 0) {
+    if (error != nullptr) *error = "child already spawned";
+    return false;
+  }
+  if (options.argv.empty()) {
+    if (error != nullptr) *error = "empty argv";
+    return false;
+  }
+  // Same O_CLOEXEC discipline as run(): a concurrently forked sibling
+  // must never inherit this child's pipe ends.
+  int in_pipe[2] = {-1, -1}, out_pipe[2] = {-1, -1};
+  if (pipe2(in_pipe, O_CLOEXEC) != 0 || pipe2(out_pipe, O_CLOEXEC) != 0) {
+    if (error != nullptr) *error = std::string("pipe: ") + strerror(errno);
+    for (int* p : {in_pipe, out_pipe}) {
+      if (p[0] >= 0) close(p[0]);
+      if (p[1] >= 0) close(p[1]);
+    }
+    return false;
+  }
+  // Built before fork: exec_child allocates (argv marshalling), which is
+  // safest done from data prepared while the parent was single-minded.
+  RunOptions ro;
+  ro.argv = options.argv;
+  ro.max_rss_mb = options.max_rss_mb;
+  pid_t pid = fork();
+  if (pid < 0) {
+    if (error != nullptr) *error = std::string("fork: ") + strerror(errno);
+    close(in_pipe[0]); close(in_pipe[1]);
+    close(out_pipe[0]); close(out_pipe[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(in_pipe[1]);
+    close(out_pipe[0]);
+    if (!options.inherit_stderr) {
+      int devnull = open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        dup2(devnull, STDERR_FILENO);
+        close(devnull);
+      }
+    }
+    exec_child(ro, in_pipe[0], out_pipe[1], STDERR_FILENO);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  pid_ = pid;
+  stdin_fd_ = in_pipe[1];
+  stdout_fd_ = out_pipe[0];
+  reaped_ = false;
+  return true;
+}
+
+bool Child::write_line(std::string_view line) {
+  if (stdin_fd_ < 0) return false;
+  std::string buf(line);
+  buf.push_back('\n');
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    // MSG_NOSIGNAL is socket-only; block SIGPIPE per write via send-like
+    // semantics is unavailable on pipes, so rely on the process-wide
+    // SIG_IGN the coordinator installs (see dist::Coordinator) and treat
+    // EPIPE as "child died".
+    ssize_t n = write(stdin_fd_, buf.data() + off, buf.size() - off);
+    if (n > 0) {
+      off += std::size_t(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Child::close_stdin() {
+  if (stdin_fd_ >= 0) {
+    close(stdin_fd_);
+    stdin_fd_ = -1;
+  }
+}
+
+void Child::kill_group() {
+  if (pid_ <= 0 || reaped_) return;
+  kill(-pid_, SIGKILL);
+  kill(pid_, SIGKILL);  // in case setpgid lost the race
+}
+
+int Child::wait() {
+  if (pid_ <= 0) return -1;
+  if (reaped_) return status_;
+  int status = 0;
+  for (;;) {
+    pid_t w = waitpid(pid_, &status, 0);
+    if (w == pid_) break;
+    if (w < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  reaped_ = true;
+  status_ = status;
+  return status;
+}
+
+bool Child::try_wait(int* status) {
+  if (pid_ <= 0) return false;
+  if (reaped_) {
+    if (status != nullptr) *status = status_;
+    return true;
+  }
+  int st = 0;
+  pid_t w = waitpid(pid_, &st, WNOHANG);
+  if (w != pid_) return false;
+  reaped_ = true;
+  status_ = st;
+  if (status != nullptr) *status = st;
+  return true;
+}
+
 std::string self_exe_path(const std::string& fallback) {
   char buf[4096];
   ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);

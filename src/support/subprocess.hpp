@@ -99,4 +99,74 @@ struct RunResult {
 /// (/proc/self/exe on Linux), or `fallback` when unreadable.
 [[nodiscard]] std::string self_exe_path(const std::string& fallback);
 
+// ----- persistent children -------------------------------------------------
+
+/// A long-lived child process with piped stdin/stdout — the worker
+/// endpoint of the distributed sweep coordinator (src/dist). Unlike
+/// run(), which blocks to completion, a Child stays up across many
+/// commands: the owner writes NDJSON lines to its stdin and reads its
+/// stdout (typically from a dedicated reader thread via stdout_fd()).
+///
+/// The child is placed in its own process group at spawn, so
+/// kill_group() reliably ends a hung worker and everything it forked.
+/// Destruction kills and reaps any still-running child — a Child never
+/// leaks a process or a zombie.
+class Child {
+ public:
+  struct SpawnOptions {
+    std::vector<std::string> argv;
+    /// Address-space cap in MiB (setrlimit in the child). 0 = none.
+    std::uint64_t max_rss_mb = 0;
+    /// When false, the child's stderr is redirected to /dev/null;
+    /// when true (default) it shares the parent's stderr.
+    bool inherit_stderr = true;
+  };
+
+  Child() = default;
+  ~Child();
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+  Child(Child&& other) noexcept;
+  Child& operator=(Child&& other) noexcept;
+
+  /// Fork/execs the child with piped stdin/stdout (both O_CLOEXEC on the
+  /// parent side). False with *error set on plumbing failure.
+  bool spawn(const SpawnOptions& options, std::string* error);
+
+  [[nodiscard]] bool running() const { return pid_ > 0; }
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  /// Parent-side read end of the child's stdout; -1 when not running.
+  /// EOFs when the child exits or is killed.
+  [[nodiscard]] int stdout_fd() const { return stdout_fd_; }
+
+  /// Writes `line` plus '\n' to the child's stdin. False on a broken
+  /// pipe (the child died) — never raises SIGPIPE.
+  bool write_line(std::string_view line);
+
+  /// Closes the stdin pipe: a protocol-following child drains its queue
+  /// and exits.
+  void close_stdin();
+
+  /// SIGKILLs the child's process group (and the child directly, in case
+  /// setpgid lost the race). Safe to call repeatedly / after exit.
+  void kill_group();
+
+  /// Reaps the child (blocking). Returns the raw waitpid status, or -1
+  /// if there is nothing to reap. Idempotent.
+  int wait();
+
+  /// Non-blocking reap attempt; true when the child has been reaped
+  /// (now or earlier). *status receives the raw status when reaped now.
+  bool try_wait(int* status);
+
+ private:
+  void reset();
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  int status_ = -1;
+};
+
 }  // namespace slc::support::subprocess

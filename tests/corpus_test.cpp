@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fuzz/differential.hpp"
+#include "kernels/kernels.hpp"
 #include "support/fault.hpp"
 
 #ifndef SLC_CORPUS_DIR
@@ -79,6 +80,43 @@ TEST(CorpusReplay, PlantedBugReprosFailAgainWhenBugIsArmed) {
   }
   fault::clear();
   EXPECT_GE(repros, 3);
+}
+
+// ----- generated-corpus manifest lock -------------------------------------
+// tests/corpus/generated.manifest commits the content hash of the first
+// 10k generated kernels (`slc --corpus-manifest=10000`). The generator
+// is a pure function of (index, seed); any drift — a tweaked splitmix
+// constant, a changed template, a stdlib-dependent code path — renames
+// or rehashes a line and fails here. This is what makes `--diff-since`
+// across machines trustworthy: same index, same kernel text, same key.
+
+TEST(GeneratedCorpus, MatchesCommittedManifest) {
+  fs::path manifest = fs::path(SLC_CORPUS_DIR) / "generated.manifest";
+  std::ifstream in(manifest);
+  ASSERT_TRUE(in.is_open()) << manifest;
+  std::size_t index = 0;
+  std::string name, hash;
+  while (in >> name >> hash) {
+    kernels::Kernel k = kernels::generated_kernel(index);
+    ASSERT_EQ(k.name, name) << "index " << index;
+    ASSERT_EQ(kernels::source_hash(k.source), hash)
+        << "generator drift at index " << index << " (" << name << ")";
+    ++index;
+  }
+  EXPECT_EQ(index, 10000u) << "manifest truncated";
+}
+
+TEST(GeneratedCorpus, SuiteAndSingleKernelAgree) {
+  // generated_suite(count) must be exactly the first `count` kernels —
+  // the property the distributed workers rely on to rebuild the
+  // coordinator's kernel vector from --corpus-size alone.
+  std::vector<kernels::Kernel> suite = kernels::generated_suite(16);
+  ASSERT_EQ(suite.size(), 16u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    kernels::Kernel k = kernels::generated_kernel(i);
+    EXPECT_EQ(suite[i].name, k.name);
+    EXPECT_EQ(suite[i].source, k.source);
+  }
 }
 
 }  // namespace

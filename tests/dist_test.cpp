@@ -1,0 +1,290 @@
+// Tests for the distributed sweep coordinator (src/dist): wire-protocol
+// round-trips and torn-line tolerance, and the end-to-end
+// `slc --suite --workers=N` contract — byte-identical output to a
+// serial run through worker crashes, hangs, silent row drops, and
+// straggler steals, plus journal-driven differential re-runs
+// (`--diff-since`).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "driver/pipeline.hpp"
+#include "support/failure.hpp"
+#include "support/subprocess.hpp"
+
+namespace {
+
+using namespace slc;
+namespace protocol = dist::protocol;
+namespace subprocess = support::subprocess;
+namespace fs = std::filesystem;
+
+// ----- wire protocol ------------------------------------------------------
+
+TEST(DistProtocol, CommandsRoundTrip) {
+  protocol::Lease lease;
+  lease.id = 7;
+  lease.first = 12;
+  lease.last = 15;
+  protocol::Command cmd = protocol::parse_command(
+      protocol::lease_command(lease));
+  ASSERT_EQ(cmd.kind, protocol::Command::Kind::Lease);
+  EXPECT_EQ(cmd.lease.id, 7u);
+  EXPECT_EQ(cmd.lease.first, 12u);
+  EXPECT_EQ(cmd.lease.last, 15u);
+
+  protocol::Command quit = protocol::parse_command(protocol::quit_command());
+  EXPECT_EQ(quit.kind, protocol::Command::Kind::Quit);
+}
+
+TEST(DistProtocol, EventsRoundTrip) {
+  protocol::Event hello =
+      protocol::parse_event(protocol::hello_line("w3", 4242));
+  ASSERT_EQ(hello.kind, protocol::Event::Kind::Hello);
+  EXPECT_EQ(hello.worker, "w3");
+  EXPECT_EQ(hello.pid, 4242);
+
+  protocol::Event hb = protocol::parse_event(protocol::heartbeat_line("w3"));
+  ASSERT_EQ(hb.kind, protocol::Event::Kind::Heartbeat);
+  EXPECT_EQ(hb.worker, "w3");
+
+  driver::ComparisonRow row;
+  row.kernel = "gen7";
+  row.suite = "generated";
+  row.slms_applied = true;
+  row.ok = true;
+  row.cycles_base = 960;
+  row.cycles_slms = 240;
+  row.energy_base = 3.5;
+  row.energy_slms = 1.25;
+  row.failure = support::make_failure(support::Stage::Worker,
+                                      support::FailureKind::ChildSignal,
+                                      "signal:SIGSEGV");
+  protocol::Event back =
+      protocol::parse_event(protocol::row_line(7, 12, row));
+  ASSERT_EQ(back.kind, protocol::Event::Kind::Row);
+  EXPECT_EQ(back.lease, 7u);
+  EXPECT_EQ(back.index, 12u);
+  EXPECT_EQ(back.row.kernel, "gen7");
+  EXPECT_EQ(back.row.cycles_base, 960u);
+  EXPECT_EQ(back.row.cycles_slms, 240u);
+  EXPECT_DOUBLE_EQ(back.row.energy_base, 3.5);
+  ASSERT_TRUE(back.row.failure.has_value());
+  EXPECT_EQ(back.row.failure->kind, support::FailureKind::ChildSignal);
+
+  protocol::Event done = protocol::parse_event(protocol::done_line(7, 4));
+  ASSERT_EQ(done.kind, protocol::Event::Kind::Done);
+  EXPECT_EQ(done.lease, 7u);
+  EXPECT_EQ(done.computed, 4u);
+}
+
+TEST(DistProtocol, TornAndForeignLinesParseAsInvalid) {
+  // A worker killed mid-write leaves a torn tail; the coordinator must
+  // classify it Invalid and drop it, never throw or mis-dispatch.
+  const char* torn[] = {
+      "",
+      "{",
+      "{\"type\":\"row\",\"lease\":7,\"ind",
+      "{\"type\":\"warp\"}",
+      "not json at all",
+      "{\"cmd\":\"lease\"}",  // a command is not an event
+  };
+  for (const char* line : torn)
+    EXPECT_EQ(protocol::parse_event(line).kind,
+              protocol::Event::Kind::Invalid)
+        << line;
+  EXPECT_EQ(protocol::parse_command("{\"cmd\":\"evict\"}").kind,
+            protocol::Command::Kind::Invalid);
+  // last < first is a malformed lease, not a 0-row one.
+  EXPECT_EQ(
+      protocol::parse_command(
+          "{\"cmd\":\"lease\",\"lease\":1,\"first\":9,\"last\":2}")
+          .kind,
+      protocol::Command::Kind::Invalid);
+}
+
+// ----- end-to-end: slc --suite --workers=N --------------------------------
+
+#ifdef SLC_TOOL_BIN
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("slc-dist-test-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+subprocess::RunResult run_slc(const std::vector<std::string>& args,
+                              std::uint64_t timeout_ms = 120000) {
+  subprocess::RunOptions run;
+  run.argv.push_back(SLC_TOOL_BIN);
+  run.argv.insert(run.argv.end(), args.begin(), args.end());
+  run.timeout_ms = timeout_ms;
+  return subprocess::run(run);
+}
+
+/// Pulls `key=<N>` out of the coordinator's stderr summary line
+/// ("dist: workers=3 ... reclaims=4 ..."). -1 when absent.
+long stat_of(const std::string& err, const std::string& key) {
+  std::size_t at = err.find(" " + key + "=");
+  if (at == std::string::npos) return -1;
+  return std::strtol(err.c_str() + at + key.size() + 2, nullptr, 10);
+}
+
+// The small deterministic corpus keeps each E2E run in the hundreds of
+// milliseconds; every assertion below compares against this serial run.
+const std::vector<std::string> kSuite = {"--suite=generated",
+                                         "--corpus-size=12"};
+
+std::vector<std::string> with(std::vector<std::string> args,
+                              std::vector<std::string> extra) {
+  args.insert(args.end(), extra.begin(), extra.end());
+  return args;
+}
+
+TEST(DistE2E, MatchesSerialOutputByteForByte) {
+  subprocess::RunResult serial = run_slc(with(kSuite, {"--jobs=1"}));
+  ASSERT_TRUE(serial.clean()) << serial.describe() << "\n" << serial.err;
+  TempDir tmp;
+  subprocess::RunResult pool = run_slc(
+      with(kSuite, {"--workers=2", "--journal=" + tmp.file("j.jsonl")}));
+  ASSERT_TRUE(pool.clean()) << pool.describe() << "\n" << pool.err;
+  EXPECT_EQ(serial.out, pool.out);
+  EXPECT_NE(pool.err.find("2 distributed worker(s)"), std::string::npos)
+      << pool.err;
+  EXPECT_EQ(stat_of(pool.err, "requeued"), 0) << pool.err;
+  EXPECT_TRUE(fs::exists(tmp.file("j.jsonl")));
+}
+
+TEST(DistE2E, WorkerCrashReclaimsLeasesAndLosesNoRows) {
+  subprocess::RunResult serial = run_slc(with(kSuite, {"--jobs=1"}));
+  ASSERT_TRUE(serial.clean()) << serial.err;
+  TempDir tmp;
+  // w0 dies on its first row; its leased rows must be reclaimed and the
+  // pool must respawn a replacement. Output stays byte-identical: the
+  // fault keys on the worker id, so re-runs on other workers are clean.
+  subprocess::RunResult pool = run_slc(
+      with(kSuite, {"--workers=2", "--fault=worker:crash@w0:",
+                    "--journal=" + tmp.file("j.jsonl")}));
+  ASSERT_TRUE(pool.spawned) << pool.spawn_error;
+  EXPECT_EQ(pool.exit_code, 0) << pool.err;
+  EXPECT_EQ(serial.out, pool.out);
+  EXPECT_GE(stat_of(pool.err, "lost"), 1) << pool.err;
+  EXPECT_GE(stat_of(pool.err, "reclaims"), 1) << pool.err;
+  EXPECT_EQ(stat_of(pool.err, "degraded"), 0) << pool.err;
+}
+
+TEST(DistE2E, HungWorkerTripsHeartbeatDeadline) {
+  subprocess::RunResult serial = run_slc(with(kSuite, {"--jobs=1"}));
+  ASSERT_TRUE(serial.clean()) << serial.err;
+  TempDir tmp;
+  subprocess::RunResult pool = run_slc(
+      with(kSuite, {"--workers=2", "--fault=worker:hang@w1:",
+                    "--heartbeat-timeout-ms=1500",
+                    "--journal=" + tmp.file("j.jsonl")}));
+  ASSERT_TRUE(pool.spawned) << pool.spawn_error;
+  EXPECT_EQ(pool.exit_code, 0) << pool.err;
+  EXPECT_EQ(serial.out, pool.out);
+  EXPECT_NE(pool.err.find("silent past the heartbeat deadline"),
+            std::string::npos)
+      << pool.err;
+  EXPECT_GE(stat_of(pool.err, "reclaims"), 1) << pool.err;
+}
+
+TEST(DistE2E, DroppedRowsAreRequeuedToOtherWorkers) {
+  subprocess::RunResult serial = run_slc(with(kSuite, {"--jobs=1"}));
+  ASSERT_TRUE(serial.clean()) << serial.err;
+  TempDir tmp;
+  // w0 acknowledges leases but silently skips every row. The coordinator
+  // must detect the short `done`, requeue the rows away from w0 (bounded
+  // attempts), and finish without the serial fallback.
+  subprocess::RunResult pool = run_slc(
+      with(kSuite, {"--workers=2", "--fault=worker:drop@w0:",
+                    "--journal=" + tmp.file("j.jsonl")}));
+  ASSERT_TRUE(pool.spawned) << pool.spawn_error;
+  EXPECT_EQ(pool.exit_code, 0) << pool.err;
+  EXPECT_EQ(serial.out, pool.out);
+  EXPECT_GE(stat_of(pool.err, "requeued"), 1) << pool.err;
+  EXPECT_EQ(stat_of(pool.err, "fallbacks"), 0) << pool.err;
+}
+
+TEST(DistE2E, StragglerLeaseIsStolenByIdleWorker) {
+  subprocess::RunResult serial = run_slc(with(kSuite, {"--jobs=1"}));
+  ASSERT_TRUE(serial.clean()) << serial.err;
+  TempDir tmp;
+  auto start = std::chrono::steady_clock::now();
+  // w0 delays 500 ms per row (6 rows leased to it => ~3 s alone); with
+  // stealing after 400 ms the idle w1 must take over most of them. The
+  // deadline assertion is the point of the test: a straggler must not
+  // gate the sweep on its own pace.
+  subprocess::RunResult pool = run_slc(
+      with(kSuite,
+           {"--workers=2", "--worker-rows=6", "--fault=worker:delay=500@w0:",
+            "--steal-after-ms=400", "--heartbeat-timeout-ms=60000",
+            "--journal=" + tmp.file("j.jsonl")}),
+      /*timeout_ms=*/60000);
+  auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_TRUE(pool.clean()) << pool.describe() << "\n" << pool.err;
+  EXPECT_EQ(serial.out, pool.out);
+  EXPECT_GE(stat_of(pool.err, "steals"), 1) << pool.err;
+  EXPECT_NE(pool.err.find("straggler"), std::string::npos) << pool.err;
+  // 12 rows x 500 ms is the straggler-gated floor (6 s). With stealing
+  // the sweep must finish well under it; 5 s leaves slack for load.
+  EXPECT_LT(wall_ms, 5000) << pool.err;
+}
+
+TEST(DistE2E, DiffSinceRecomputesOnlyChangedRows) {
+  TempDir tmp;
+  subprocess::RunResult first = run_slc(
+      with(kSuite, {"--workers=2", "--journal=" + tmp.file("old.jsonl")}));
+  ASSERT_TRUE(first.clean()) << first.err;
+
+  // Grow the corpus 12 -> 16: the 12 old keys must replay from the old
+  // journal, only the 4 new rows may be recomputed. --corpus-size is a
+  // row-set flag, deliberately excluded from the journal key signature.
+  subprocess::RunResult diff = run_slc(
+      {"--suite=generated", "--corpus-size=16", "--workers=2",
+       "--diff-since=" + tmp.file("old.jsonl"),
+       "--journal=" + tmp.file("new.jsonl")});
+  ASSERT_TRUE(diff.clean()) << diff.err;
+  EXPECT_NE(diff.err.find("12 reused (diff-since), 4 recomputed"),
+            std::string::npos)
+      << diff.err;
+
+  subprocess::RunResult serial =
+      run_slc({"--suite=generated", "--corpus-size=16", "--jobs=1"});
+  ASSERT_TRUE(serial.clean()) << serial.err;
+  EXPECT_EQ(serial.out, diff.out);
+}
+
+TEST(DistE2E, ResumeAndDiffSinceAreMutuallyExclusive) {
+  subprocess::RunResult r = run_slc(
+      with(kSuite, {"--workers=2", "--resume", "--diff-since=x.jsonl",
+                    "--journal=y.jsonl"}));
+  ASSERT_TRUE(r.spawned) << r.spawn_error;
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.err.find("mutually exclusive"), std::string::npos) << r.err;
+}
+
+#endif  // SLC_TOOL_BIN
+
+}  // namespace

@@ -331,6 +331,101 @@ TEST(Journal, BinaryVersionIsInKeyDomain) {
   EXPECT_EQ(journal::binary_version(), journal::binary_version());
 }
 
+// ----- journal checkpointing (tmp + fsync + rename + dir fsync) -----------
+
+struct JournalFile {
+  fs::path path;
+  explicit JournalFile(const std::string& stem) {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           (stem + "-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++) + ".jsonl");
+    fs::remove(path);
+    fs::remove(fs::path(path.string() + ".tmp"));
+  }
+  ~JournalFile() {
+    std::error_code ec;
+    fs::remove(path, ec);
+    fs::remove(fs::path(path.string() + ".tmp"), ec);
+  }
+};
+
+TEST(Checkpoint, CollapsesDuplicatesAndTornTailLastWriteWins) {
+  JournalFile f("slc-checkpoint");
+  {
+    journal::Journal jnl;
+    ASSERT_TRUE(jnl.open(f.path.string(), /*truncate=*/true));
+    driver::ComparisonRow row = sample_row();
+    jnl.append("key-one", row);
+    row.kernel = "daxpy";
+    jnl.append("key-two", row);
+    row.kernel = "dswap";  // duplicate key: a resumed/stolen re-append
+    jnl.append("key-one", row);
+  }
+  {
+    std::ofstream app(f.path, std::ios::app);
+    app << "{\"key\":\"key-three\",\"row\":{\"to";  // kill -9 torn tail
+  }
+  journal::CheckpointResult cp = journal::checkpoint(f.path.string());
+  ASSERT_TRUE(cp.ok) << cp.error;
+  EXPECT_EQ(cp.rows, 2u);
+  EXPECT_EQ(cp.duplicates_dropped, 1u);
+  EXPECT_EQ(cp.torn_lines_dropped, 1u);
+  // The compacted journal is clean: no skipped lines, no duplicates,
+  // and the duplicate key resolved to the LAST append.
+  journal::LoadResult loaded = journal::load(f.path.string());
+  EXPECT_EQ(loaded.rows.size(), 2u);
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+  EXPECT_EQ(loaded.duplicate_keys, 0u);
+  EXPECT_EQ(loaded.rows["key-one"].kernel, "dswap");
+  // The tmp staging file must not survive a completed checkpoint.
+  EXPECT_FALSE(fs::exists(f.path.string() + ".tmp"));
+}
+
+TEST(Checkpoint, KillBetweenAppendAndRenameNeverServesAStaleKey) {
+  // The race the tmp+rename+dir-fsync discipline must survive: a
+  // checkpoint snapshots key-one at v1, a concurrent append updates it
+  // to v2, and the process is SIGKILLed before the checkpoint's rename.
+  // On restart the journal must serve v2 — the stale .tmp snapshot is a
+  // different path, invisible to load(), and must never shadow the
+  // newer append.
+  JournalFile f("slc-checkpoint-race");
+  driver::ComparisonRow v1 = sample_row();
+  v1.cycles_slms = 100;
+  driver::ComparisonRow v2 = sample_row();
+  v2.cycles_slms = 42;
+  {
+    journal::Journal jnl;
+    ASSERT_TRUE(jnl.open(f.path.string(), /*truncate=*/true));
+    jnl.append("key-one", v1);
+  }
+  {
+    // The checkpoint-in-progress, frozen just before rename: a fully
+    // written tmp holding the stale v1 snapshot.
+    std::ofstream tmp(f.path.string() + ".tmp", std::ios::trunc);
+    support::json::Value line = support::json::Value::object();
+    line.set("key", support::json::Value::string("key-one"));
+    line.set("row", journal::row_to_json(v1));
+    tmp << line.dump() << "\n";
+  }
+  {
+    journal::Journal jnl;
+    ASSERT_TRUE(jnl.open(f.path.string(), /*truncate=*/false));
+    jnl.append("key-one", v2);  // the append the kill must not undo
+  }
+  // -- SIGKILL here: the rename never happens. Restart: --
+  journal::LoadResult loaded = journal::load(f.path.string());
+  ASSERT_EQ(loaded.rows.count("key-one"), 1u);
+  EXPECT_EQ(loaded.rows["key-one"].cycles_slms, 42u) << "stale key served";
+  // The next checkpoint overwrites the leftover tmp and converges.
+  journal::CheckpointResult cp = journal::checkpoint(f.path.string());
+  ASSERT_TRUE(cp.ok) << cp.error;
+  journal::LoadResult after = journal::load(f.path.string());
+  ASSERT_EQ(after.rows.count("key-one"), 1u);
+  EXPECT_EQ(after.rows["key-one"].cycles_slms, 42u);
+  EXPECT_FALSE(fs::exists(f.path.string() + ".tmp"));
+}
+
 // ----- end-to-end: the slc --isolate supervisor ---------------------------
 
 #ifdef SLC_TOOL_BIN

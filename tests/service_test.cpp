@@ -30,6 +30,7 @@
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "service/socket.hpp"
+#include "support/fault.hpp"
 #include "support/subprocess.hpp"
 
 namespace {
@@ -431,6 +432,88 @@ TEST(ServiceCore, SourceOnStdinReachesTheChild) {
   Response r = svc.execute(req);
   EXPECT_EQ(r.status, Status::Ok);
   EXPECT_EQ(r.out, "int v[10];\nran:--emit-source -\n");
+  fs::remove(fake);
+}
+
+// ----- the in-process lint method ----------------------------------------
+// `lint` must never spawn a sandbox child (it is the low-latency editor
+// path) and must carry the CLI lint exit convention in exit_code:
+// 0 clean, 1 findings, 65/EX_DATAERR parse failure.
+
+TEST(ServiceLint, CleanSourceAnswersZeroWithoutAChild) {
+  std::string fake = write_fake_slc();
+  Service svc(fast_options(fake));
+  Request req;
+  req.id = 7;
+  req.method = "lint";
+  req.source =
+      "double A[64];\n"
+      "double B[64];\n"
+      "int i;\n"
+      "for (i = 1; i < 60; i++) {\n"
+      "  B[i] = B[i - 1] + A[i] * 0.5;\n"
+      "}\n";
+  req.args = {"--no-filter"};
+  Response r = svc.execute(req);
+  EXPECT_EQ(r.status, Status::Ok);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out.substr(0, 1), "[");  // diagnostics JSON array
+  EXPECT_NE(r.err.find("loop(s) pipelined"), std::string::npos);
+  EXPECT_EQ(svc.stats().child_spawns, 0u);  // in-process, no sandbox
+  EXPECT_EQ(svc.stats().lints, 1u);
+  fs::remove(fake);
+}
+
+TEST(ServiceLint, PlantedMiscompileAnswersOneWithFindings) {
+  std::string error;
+  ASSERT_TRUE(support::fault::configure("bug:prologue-drop", &error))
+      << error;
+  std::string fake = write_fake_slc();
+  Service svc(fast_options(fake));
+  Request req;
+  req.id = 8;
+  req.method = "lint";
+  req.source =
+      "double A[64];\n"
+      "double B[64];\n"
+      "double C[64];\n"
+      "double s;\n"
+      "int i;\n"
+      "for (i = 2; i < 60; i++) {\n"
+      "  s = A[i] * 0.5;\n"
+      "  B[i] = B[i - 1] + s;\n"
+      "  C[i] = B[i] * s;\n"
+      "}\n";
+  req.args = {"--no-filter"};
+  Response r = svc.execute(req);
+  support::fault::clear();
+  EXPECT_EQ(r.status, Status::Ok);  // transport ok; verdict is the exit
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("\"severity\""), std::string::npos);
+  fs::remove(fake);
+}
+
+TEST(ServiceLint, ParseFailureAnswersSysexitsDataErr) {
+  std::string fake = write_fake_slc();
+  Service svc(fast_options(fake));
+  Request req;
+  req.id = 9;
+  req.method = "lint";
+  req.source = "for (i = 0; i <\n";  // truncated: cannot parse
+  Response r = svc.execute(req);
+  EXPECT_EQ(r.status, Status::Ok);
+  EXPECT_EQ(r.exit_code, 65);  // EX_DATAERR
+  fs::remove(fake);
+}
+
+TEST(ServiceLint, MissingSourceIsABadRequest) {
+  std::string fake = write_fake_slc();
+  Service svc(fast_options(fake));
+  Request req;
+  req.id = 10;
+  req.method = "lint";  // no source at all
+  Response r = svc.execute(req);
+  EXPECT_EQ(r.status, Status::BadRequest);
   fs::remove(fake);
 }
 

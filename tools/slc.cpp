@@ -72,10 +72,32 @@
 //     --crash-dir=DIR        crash-repro archive (default tests/crashes)
 //     --no-shrink-crash      archive crash repros unshrunk
 //
+//   distributed sweeps (DESIGN.md §13):
+//     --workers=N            run the suite sweep on N persistent worker
+//                            processes with heartbeats, lease reclaim,
+//                            and work stealing; zero lost rows even when
+//                            workers crash or hang mid-sweep
+//     --worker-rows=N        rows per lease (default 4)
+//     --heartbeat-timeout-ms=N  silence budget before a worker is
+//                            declared dead (default 10000)
+//     --steal-after-ms=N     straggler age before an idle worker steals
+//                            its remaining rows (default 2000)
+//     --max-row-attempts=N   re-queue budget per row before the serial
+//                            fallback path (default 3)
+//     --diff-since=PATH      differential re-run: replay rows whose
+//                            journal key matches PATH (a previous
+//                            sweep's journal), re-measure only the rest
+//     --corpus-size=N        size of the generated corpus when
+//                            --suite=generated (default 96)
+//     --corpus-manifest=N    print N generated-corpus manifest lines
+//                            (name + source hash) and exit
+//
 //   compile service (tools/slcd.cpp, DESIGN.md §12):
 //     --client[=SOCKET]      send this command line to a running slcd
 //                            daemon instead of compiling in-process; the
 //                            answer is byte-identical to a cold run
+//                            (--lint routes to the daemon's low-latency
+//                            lint method, no sandbox child)
 //     --no-cache             (client) bypass the daemon's result cache
 #include <unistd.h>
 
@@ -89,6 +111,8 @@
 #include <vector>
 
 #include "ast/printer.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "driver/calibrate.hpp"
 #include "driver/isolate.hpp"
 #include "driver/journal.hpp"
@@ -151,6 +175,17 @@ struct CliOptions {
   bool child_mode = false;
   std::size_t child_first = 0, child_last = 0;
   bool child_base_only = false;
+
+  // Distributed sweeps (src/dist).
+  int dist_workers = 0;            // --workers=N; > 0 enables dist mode
+  int worker_rows = 4;             // rows per lease
+  std::uint64_t heartbeat_timeout_ms = 10000;
+  std::uint64_t steal_after_ms = 2000;
+  int max_row_attempts = 3;
+  std::string diff_since;          // previous journal for differential runs
+  std::string dist_worker_id;      // internal: this process is a worker
+  std::uint64_t corpus_size = 96;  // --suite=generated row count
+  std::uint64_t corpus_manifest = 0;  // print N manifest lines and exit
 };
 
 /// Raw argv[1..] captured for the --isolate supervisor: children receive
@@ -176,7 +211,24 @@ bool is_supervisor_flag(const std::string& arg) {
          arg.rfind("--child-timeout-ms=", 0) == 0 ||
          arg.rfind("--max-rss-mb=", 0) == 0 ||
          arg == "--no-shrink-crash" ||
-         arg.rfind("--child-rows=", 0) == 0 || arg == "--child-base-only";
+         arg.rfind("--child-rows=", 0) == 0 || arg == "--child-base-only" ||
+         arg.rfind("--workers=", 0) == 0 ||
+         arg.rfind("--worker-rows=", 0) == 0 ||
+         arg.rfind("--heartbeat-timeout-ms=", 0) == 0 ||
+         arg.rfind("--steal-after-ms=", 0) == 0 ||
+         arg.rfind("--max-row-attempts=", 0) == 0 ||
+         arg.rfind("--diff-since=", 0) == 0 ||
+         arg.rfind("--dist-worker=", 0) == 0;
+}
+
+/// Flags that must reach children/workers (they rebuild the identical
+/// kernel vector from them) but are excluded from the journal's options
+/// signature: they shape the *row set*, not row bytes. This is what
+/// makes --diff-since useful — growing --corpus-size from 96 to 128
+/// keeps the first 96 keys identical, so only the 32 new rows are
+/// re-measured.
+bool is_row_set_flag(const std::string& arg) {
+  return arg.rfind("--corpus-size=", 0) == 0;
 }
 
 std::vector<std::string> child_pass_through_args() {
@@ -237,6 +289,10 @@ int usage(const char* argv0 = "slc") {
             << "       [--isolate[=SHARD]] [--journal=PATH] [--resume]\n"
             << "       [--child-timeout-ms=N] [--max-rss-mb=N]\n"
             << "       [--crash-dir=DIR] [--no-shrink-crash]\n"
+            << "       [--workers=N] [--worker-rows=N]\n"
+            << "       [--heartbeat-timeout-ms=N] [--steal-after-ms=N]\n"
+            << "       [--max-row-attempts=N] [--diff-since=PATH]\n"
+            << "       [--corpus-size=N] [--corpus-manifest=N]\n"
             << "       [--client[=SOCKET]] [--no-cache]\n"
             << "       <file|-> | --kernel=NAME | --suite=NAME | "
                "--list-kernels\n";
@@ -412,6 +468,63 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.child_last = std::size_t(last);
     } else if (arg == "--child-base-only") {
       opts.child_base_only = true;
+    } else if (arg.starts_with("--workers=")) {
+      if (!parse_int_arg(value_of("--workers="), &opts.dist_workers) ||
+          opts.dist_workers < 1) {
+        std::cerr << "--workers expects a positive worker count\n";
+        return false;
+      }
+    } else if (arg.starts_with("--worker-rows=")) {
+      if (!parse_int_arg(value_of("--worker-rows="), &opts.worker_rows) ||
+          opts.worker_rows < 1) {
+        std::cerr << "--worker-rows expects a positive lease size\n";
+        return false;
+      }
+    } else if (arg.starts_with("--heartbeat-timeout-ms=")) {
+      if (!parse_u64_arg(value_of("--heartbeat-timeout-ms="),
+                         &opts.heartbeat_timeout_ms)) {
+        std::cerr << "--heartbeat-timeout-ms expects an integer\n";
+        return false;
+      }
+    } else if (arg.starts_with("--steal-after-ms=")) {
+      if (!parse_u64_arg(value_of("--steal-after-ms="),
+                         &opts.steal_after_ms)) {
+        std::cerr << "--steal-after-ms expects an integer\n";
+        return false;
+      }
+    } else if (arg.starts_with("--max-row-attempts=")) {
+      if (!parse_int_arg(value_of("--max-row-attempts="),
+                         &opts.max_row_attempts) ||
+          opts.max_row_attempts < 1) {
+        std::cerr << "--max-row-attempts expects a positive integer\n";
+        return false;
+      }
+    } else if (arg.starts_with("--diff-since=")) {
+      opts.diff_since = value_of("--diff-since=");
+      if (opts.diff_since.empty()) {
+        std::cerr << "--diff-since expects a journal path\n";
+        return false;
+      }
+    } else if (arg.starts_with("--dist-worker=")) {
+      // Internal: the coordinator's worker-id assignment.
+      opts.dist_worker_id = value_of("--dist-worker=");
+      if (opts.dist_worker_id.empty()) {
+        std::cerr << "--dist-worker expects an id\n";
+        return false;
+      }
+    } else if (arg.starts_with("--corpus-size=")) {
+      if (!parse_u64_arg(value_of("--corpus-size="), &opts.corpus_size) ||
+          opts.corpus_size == 0) {
+        std::cerr << "--corpus-size expects a positive integer\n";
+        return false;
+      }
+    } else if (arg.starts_with("--corpus-manifest=")) {
+      if (!parse_u64_arg(value_of("--corpus-manifest="),
+                         &opts.corpus_manifest) ||
+          opts.corpus_manifest == 0) {
+        std::cerr << "--corpus-manifest expects a positive integer\n";
+        return false;
+      }
     } else if (arg.starts_with("--fault=")) {
       std::string error;
       if (!support::fault::configure(value_of("--fault="), &error)) {
@@ -427,8 +540,18 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       return false;
     }
   }
+  if (opts.resume && !opts.diff_since.empty()) {
+    std::cerr << "--resume and --diff-since are mutually exclusive "
+                 "(resume continues this sweep; diff-since seeds a fresh "
+                 "one from an older journal)\n";
+    return false;
+  }
+  if (opts.isolate && opts.dist_workers > 0) {
+    std::cerr << "choose --isolate or --workers, not both\n";
+    return false;
+  }
   return !opts.input.empty() || !opts.kernel.empty() || !opts.suite.empty() ||
-         opts.list_kernels || opts.calibrate;
+         opts.list_kernels || opts.calibrate || opts.corpus_manifest > 0;
 }
 
 std::optional<driver::Backend> backend_by_name(const std::string& name) {
@@ -469,6 +592,9 @@ int run_cli(const CliOptions& opts);
 ///   tripped        76 (EX_PROTOCOL: circuit open, fallback failed too)
 ///   error          70 (EX_SOFTWARE: infrastructure failure after retries)
 ///   no daemon      74 (EX_IOERR: could not connect)
+/// `--lint` switches the request to the daemon's in-process lint method;
+/// the reply's exit code keeps the CLI lint convention (0 clean,
+/// 1 findings, 65/EX_DATAERR parse failure).
 int run_client(const std::vector<std::string>& raw_args) {
   std::string socket_path = service::socket::default_socket_path();
   service::Request req;
@@ -481,6 +607,13 @@ int run_client(const std::vector<std::string>& raw_args) {
     }
     if (arg == "--no-cache") {
       req.no_cache = true;
+      continue;
+    }
+    if (arg == "--lint") {
+      // Routed to the daemon's in-process lint method: no sandbox child,
+      // diagnostics JSON on stdout, and the CLI's lint exit convention
+      // (0 clean / 1 findings / 65 parse failure) in the reply.
+      req.method = "lint";
       continue;
     }
     if (arg.rfind("--deadline-ms=", 0) == 0) {
@@ -601,6 +734,17 @@ int run_cli(const CliOptions& opts) {
     return 0;
   }
 
+  if (opts.corpus_manifest > 0) {
+    // One "name hash" line per generated kernel — the committed manifest
+    // (tests/corpus/generated.manifest) is exactly this output, and the
+    // corpus test fails if the generator ever drifts from it.
+    for (std::uint64_t i = 0; i < opts.corpus_manifest; ++i) {
+      kernels::Kernel k = kernels::generated_kernel(std::size_t(i));
+      std::cout << k.name << " " << kernels::source_hash(k.source) << "\n";
+    }
+    return 0;
+  }
+
   if (opts.calibrate) {
     driver::CalibrateOptions cal;
     if (!opts.suite.empty()) cal.suite = opts.suite;
@@ -622,10 +766,13 @@ int run_cli(const CliOptions& opts) {
       std::cerr << "unknown backend '" << opts.measure << "'\n";
       return usage();
     }
-    std::vector<kernels::Kernel> suite_kernels = kernels::suite(opts.suite);
+    std::vector<kernels::Kernel> suite_kernels =
+        opts.suite == "generated"
+            ? kernels::generated_suite(std::size_t(opts.corpus_size))
+            : kernels::suite(opts.suite);
     if (suite_kernels.empty()) {
       std::cerr << "unknown or empty suite '" << opts.suite
-                << "' (try livermore, linpack, nas, stone)\n";
+                << "' (try livermore, linpack, nas, stone, generated)\n";
       return 1;
     }
     driver::CompareOptions copts;
@@ -636,6 +783,20 @@ int run_cli(const CliOptions& opts) {
     copts.row_deadline_ms = opts.deadline_ms;
     copts.max_interp_steps = opts.max_steps;
     copts.oracle_mode = opts.oracle_mode;
+
+    // --- dist worker mode: the coordinator spawned this process with
+    // --dist-worker=ID; loop on stdin leases until quit/EOF. The kernel
+    // vector and compare options are rebuilt from the same pass-through
+    // args the coordinator kept, so rows are byte-identical to an
+    // in-process run.
+    if (!opts.dist_worker_id.empty()) {
+      dist::WorkerOptions w;
+      w.worker_id = opts.dist_worker_id;
+      w.kernels = suite_kernels;
+      w.backend = *backend;
+      w.compare = copts;
+      return dist::run_worker(w);
+    }
 
     // --- child mode: compute the supervisor's assigned rows, one flushed
     // JSON line each, so the parent can salvage completed rows when this
@@ -665,10 +826,75 @@ int run_cli(const CliOptions& opts) {
     // row bytes, for --isolate and in-process runs alike (a journal
     // written by one resumes under the other).
     std::vector<std::string> row_args = child_pass_through_args();
-    std::string signature = join_args(row_args);
-    bool journaling = opts.isolate || opts.resume || !opts.journal.empty();
+    // The signature additionally drops row-set flags (--corpus-size):
+    // they select *which* rows exist, not what any row's bytes are, and
+    // differential re-runs depend on keys surviving corpus growth.
+    std::vector<std::string> signature_args;
+    for (const std::string& a : row_args)
+      if (!is_row_set_flag(a)) signature_args.push_back(a);
+    std::string signature = join_args(signature_args);
+    bool journaling = opts.isolate || opts.resume || !opts.journal.empty() ||
+                      opts.dist_workers > 0 || !opts.diff_since.empty();
     std::string journal_path =
         opts.journal.empty() ? "results.jsonl" : opts.journal;
+
+    // --- distributed sweep mode: a pool of persistent worker processes
+    // with heartbeats, lease reclaim, and work stealing; see
+    // dist/coordinator.hpp.
+    if (opts.dist_workers > 0) {
+      dist::Options dopts;
+      dopts.slc_exe = support::subprocess::self_exe_path("slc");
+      dopts.child_args = row_args;
+      dopts.workers = opts.dist_workers;
+      dopts.lease_rows = opts.worker_rows;
+      dopts.heartbeat_timeout_ms = opts.heartbeat_timeout_ms;
+      dopts.steal_after_ms = opts.steal_after_ms;
+      dopts.max_row_attempts = opts.max_row_attempts;
+      dopts.max_rss_mb = opts.max_rss_mb;
+      dopts.options_signature = signature;
+      dopts.oracle_identity = native::oracle_identity(opts.oracle_mode);
+      dopts.journal_path = journal_path;
+      dopts.resume = opts.resume;
+      dopts.seed_journal = opts.diff_since;
+      dopts.interrupted = &g_interrupted;
+      std::signal(SIGINT, handle_sigint);
+
+      auto start = std::chrono::steady_clock::now();
+      dist::Outcome out = dist::run_suite(suite_kernels, dopts);
+      auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      for (const std::string& n : out.notes) std::cerr << n << "\n";
+      if (out.interrupted) {
+        std::size_t done = 0;
+        for (std::uint8_t c : out.completed) done += c;
+        std::cerr << "harness: interrupted — " << done << "/"
+                  << out.rows.size() << " row(s) journaled in "
+                  << journal_path << "; resume with --resume\n";
+        return 130;
+      }
+      std::cout << driver::format_speedup_table(
+          "suite " + opts.suite + " on " + backend->label, out.rows);
+      std::cerr << "harness: " << out.rows.size() << " rows in " << wall_ms
+                << " ms, " << opts.dist_workers << " distributed worker(s)";
+      if (out.resumed > 0)
+        std::cerr << ", " << out.resumed << " resumed from journal";
+      if (out.diff_reused > 0)
+        std::cerr << ", " << out.diff_reused
+                  << " reused (diff-since), "
+                  << (out.rows.size() - out.diff_reused) << " recomputed";
+      std::cerr << "\n";
+      bool all_ok = true;
+      int degraded = 0;
+      for (const driver::ComparisonRow& r : out.rows) {
+        all_ok = all_ok && r.ok;
+        if (r.degraded) ++degraded;
+      }
+      if (degraded > 0)
+        std::cerr << "harness: " << degraded
+                  << " row(s) degraded to the untransformed loop\n";
+      return all_ok ? 0 : 1;
+    }
 
     // --- supervisor mode: every shard of rows runs in a crash-isolated
     // child slc process; see driver/isolate.hpp.
@@ -691,6 +917,7 @@ int run_cli(const CliOptions& opts) {
       iso.oracle_identity = native::oracle_identity(opts.oracle_mode);
       iso.journal_path = journal_path;
       iso.resume = opts.resume;
+      iso.seed_journal = opts.diff_since;
       iso.crash_dir = opts.crash_dir;
       iso.shrink_crashes = opts.shrink_crashes;
       iso.interrupted = &g_interrupted;
@@ -719,6 +946,9 @@ int run_cli(const CliOptions& opts) {
                 << support::resolve_jobs(opts.jobs) << ")";
       if (out.resumed > 0)
         std::cerr << ", " << out.resumed << " resumed from journal";
+      if (out.diff_reused > 0)
+        std::cerr << ", " << out.diff_reused << " reused (diff-since), "
+                  << (out.rows.size() - out.diff_reused) << " recomputed";
       if (out.crashed_children > 0)
         std::cerr << ", " << out.crashed_children << " child crash(es), "
                   << out.repros_archived << " repro(s) archived";
@@ -741,6 +971,7 @@ int run_cli(const CliOptions& opts) {
     std::vector<driver::ComparisonRow> rows(n);
     std::vector<std::uint8_t> have(n, 0);
     std::size_t resumed = 0;
+    std::size_t diff_reused = 0;
     driver::journal::Journal jnl;
     if (journaling) {
       keys.reserve(n);
@@ -771,6 +1002,21 @@ int run_cli(const CliOptions& opts) {
       if (!jnl.open(journal_path, /*truncate=*/!opts.resume, &error)) {
         std::cerr << "harness: " << error << "\n";
         return 1;
+      }
+      // Differential re-run: replay matching keys from the previous
+      // sweep's journal and re-append them, so the fresh journal is
+      // complete and unchanged rows are byte-identical.
+      if (!opts.resume && !opts.diff_since.empty()) {
+        driver::journal::LoadResult seed =
+            driver::journal::load(opts.diff_since);
+        for (std::size_t i = 0; i < n; ++i) {
+          auto it = seed.rows.find(keys[i]);
+          if (it == seed.rows.end()) continue;
+          rows[i] = it->second;
+          have[i] = 1;
+          jnl.append(keys[i], it->second);
+          ++diff_reused;
+        }
       }
       std::signal(SIGINT, handle_sigint);
     }
@@ -813,6 +1059,9 @@ int run_cli(const CliOptions& opts) {
               << ", transform cache " << cache.hits << " hits / "
               << cache.misses << " misses";
     if (resumed > 0) std::cerr << ", " << resumed << " resumed from journal";
+    if (diff_reused > 0)
+      std::cerr << ", " << diff_reused << " reused (diff-since), "
+                << (rows.size() - diff_reused) << " recomputed";
     std::cerr << "\n";
     if (opts.oracle_mode != native::OracleMode::Interp) {
       native::OracleStats ostats = native::oracle_stats();
