@@ -1,0 +1,171 @@
+// Solve-time distribution for the exact modulo scheduler (src/exact):
+// every registry kernel plus a generated corpus is pushed through the
+// real SLMS pipeline, and each applied placement is re-solved to proven
+// optimality. Reports the per-loop solve-time distribution (min / p50 /
+// p90 / p99 / max), status counts, and the gap invariant (resource-free
+// SLMS must be proven optimal on every loop — a nonzero gap fails the
+// bench), then exercises the budget path: the same instances under a
+// zero wall-clock budget must all degrade to Timeout, each returning
+// well inside a loose per-solve cap (the budget is polled, not exact).
+//
+// Emits `BENCH_exact.json {...}` on stdout and writes the file beside
+// the CWD for the CI artifact upload.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exact/solver.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/kernels.hpp"
+#include "slms/slms.hpp"
+
+namespace {
+
+using namespace slc;
+
+constexpr int kCorpus = 400;          // generated loops on top of the registry
+constexpr double kTimeoutCapMs = 250; // loose per-solve cap on the zero-budget
+                                      // path (poll granularity, not precision)
+
+struct Sample {
+  double solve_ms = 0;
+  std::int64_t steps = 0;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = std::size_t(p * double(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  // -- gather every applied placement: registry + generated corpus ----------
+  std::vector<std::string> sources;
+  for (const kernels::Kernel& k : kernels::all_kernels())
+    sources.push_back(k.source);
+  for (const kernels::Kernel& k :
+       kernels::generated_suite(std::size_t(kCorpus)))
+    sources.push_back(k.source);
+
+  // LoopPlacement is move-only (it owns AST rewrites), so each applied
+  // placement is solved in place: once unbounded for the distribution,
+  // once under a zero wall-clock budget for the degradation path.
+  std::vector<Sample> samples;
+  int optimal = 0, infeasible = 0, timeouts = 0, nonzero_gaps = 0;
+  std::int64_t steps_total = 0;
+  int budget_runs = 0, budget_timeouts = 0;
+  double budget_max_ms = 0;
+  std::size_t loops = 0;
+  for (const std::string& source : sources) {
+    DiagnosticEngine diags;
+    ast::Program program = frontend::parse_program(source, diags);
+    if (diags.has_errors()) continue;
+    slms::SlmsOptions opts;
+    opts.enable_filter = false;
+    std::vector<slms::SlmsApplication> applications;
+    try {
+      slms::apply_slms(program, opts, &applications);
+    } catch (const std::exception&) {
+      continue;  // the fuzzer owns pipeline crashes; this bench times solves
+    }
+    for (const slms::SlmsApplication& app : applications) {
+      if (!app.applied()) continue;
+      ++loops;
+      const slms::LoopPlacement& pl = *app.placement;
+      exact::Instance inst = exact::from_placement(pl);
+
+      exact::ExactOptions eopts;
+      eopts.budget_ms = -1;
+      exact::ExactResult res = exact::solve(inst, eopts);
+      Sample s;
+      s.solve_ms = double(res.stats.solve_ns) / 1e6;
+      s.steps = res.stats.steps;
+      samples.push_back(s);
+      steps_total += res.stats.steps;
+      switch (res.status) {
+        case exact::ExactStatus::Optimal:
+          ++optimal;
+          if (res.ii != pl.ii) ++nonzero_gaps;
+          break;
+        case exact::ExactStatus::Infeasible: ++infeasible; break;
+        case exact::ExactStatus::Timeout: ++timeouts; break;
+      }
+
+      exact::ExactOptions zopts;
+      zopts.budget_ms = 0;
+      auto start = std::chrono::steady_clock::now();
+      exact::ExactResult zres = exact::solve(inst, zopts);
+      double wall_ms = std::chrono::duration_cast<
+                           std::chrono::duration<double, std::milli>>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      ++budget_runs;
+      // Tiny instances may legitimately finish before the first clock
+      // poll; what the budget forbids is *running on* past the deadline.
+      if (zres.status == exact::ExactStatus::Timeout) ++budget_timeouts;
+      budget_max_ms = std::max(budget_max_ms, wall_ms);
+    }
+  }
+
+  std::vector<double> times;
+  for (const Sample& s : samples) times.push_back(s.solve_ms);
+  double total_ms = 0;
+  for (double t : times) total_ms += t;
+  bool budget_ok = budget_max_ms <= kTimeoutCapMs;
+
+  std::printf("exact solve: %zu loops (%zu sources) — %d optimal, "
+              "%d infeasible, %d timeouts, %d nonzero gaps\n",
+              loops, sources.size(), optimal, infeasible,
+              timeouts, nonzero_gaps);
+  std::printf("solve time: min %.3f ms, p50 %.3f, p90 %.3f, p99 %.3f, "
+              "max %.3f, total %.1f ms, %lld steps\n",
+              percentile(times, 0.0), percentile(times, 0.5),
+              percentile(times, 0.9), percentile(times, 0.99),
+              percentile(times, 1.0), total_ms,
+              static_cast<long long>(steps_total));
+  std::printf("budget path: %d zero-budget solves, %d timed out, "
+              "max wall %.1f ms (cap %.0f ms) — %s\n",
+              budget_runs, budget_timeouts, budget_max_ms, kTimeoutCapMs,
+              budget_ok ? "ok" : "OVERRUN");
+
+  char json[640];
+  std::snprintf(
+      json, sizeof json,
+      "{\"loops\":%zu,\"optimal\":%d,\"infeasible\":%d,\"timeouts\":%d,"
+      "\"nonzero_gaps\":%d,"
+      "\"solve_ms\":{\"min\":%.3f,\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,"
+      "\"max\":%.3f,\"total\":%.1f},\"steps_total\":%lld,"
+      "\"budget\":{\"runs\":%d,\"timeouts\":%d,\"max_wall_ms\":%.1f,"
+      "\"cap_ms\":%.0f,\"ok\":%s}}",
+      loops, optimal, infeasible, timeouts, nonzero_gaps,
+      percentile(times, 0.0), percentile(times, 0.5), percentile(times, 0.9),
+      percentile(times, 0.99), percentile(times, 1.0), total_ms,
+      static_cast<long long>(steps_total), budget_runs, budget_timeouts,
+      budget_max_ms, kTimeoutCapMs, budget_ok ? "true" : "false");
+  slc::bench::emit_bench_json("BENCH_exact.json", json);
+
+  if (nonzero_gaps > 0) {
+    std::fprintf(stderr, "FAIL: %d loop(s) with a proven nonzero gap — "
+                         "the heuristic II search regressed\n",
+                 nonzero_gaps);
+    return 1;
+  }
+  if (timeouts > 0) {
+    std::fprintf(stderr, "FAIL: %d unbounded solve(s) timed out\n", timeouts);
+    return 1;
+  }
+  if (!budget_ok) {
+    std::fprintf(stderr, "FAIL: zero-budget solve ran %.1f ms past a %.0f ms "
+                         "cap — the deadline poll is broken\n",
+                 budget_max_ms, kTimeoutCapMs);
+    return 1;
+  }
+  return 0;
+}

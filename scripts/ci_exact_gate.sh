@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# CI gate for the exact modulo-scheduling oracle (DESIGN.md §14).
+#
+# Three assertions, end to end:
+#
+#   1. Clean sweep — over the full kernel registry and a generated
+#      corpus, every exact solve must terminate with a certificate
+#      ("0 unknown"), every certified schedule must be re-accepted by
+#      the static verifier ("0 unverified"), and the heuristic must be
+#      *proven* II-optimal everywhere ("0 nonzero"): resource-free SLMS
+#      iterates II upward with a complete feasibility check, so a
+#      nonzero proven gap is a scheduler regression, not tolerance.
+#      (slc itself exits nonzero on the impossible cases: a negative
+#      gap or a certificate the verifier rejects.)
+#
+#   2. Planted-bug check — `bug:sched-ii-inflate` schedules every loop
+#      one II above the proven minimum. The code is still *correct*:
+#      the static verifier must stay silent (the bug is invisible to
+#      legality checking) while the exact oracle must flag every row
+#      with a nonzero proven gap. This is the one planted fault only
+#      this gate can catch.
+#
+#   3. Budget path — an absurdly small --exact-budget-ms must degrade
+#      to gap=unknown rows (never a wrong verdict, never a crash) and
+#      still exit 0.
+#
+# Usage: ci_exact_gate.sh <slc-binary>
+set -u
+
+SLC=${1:?usage: ci_exact_gate.sh <slc>}
+WORK=$(mktemp -d /tmp/slc-exact.XXXXXX)
+CORPUS=200
+
+fail() {
+  echo "EXACT-GATE FAIL: $*" >&2
+  [ -f "$WORK/run.out" ] && sed 's/^/  out: /' "$WORK/run.out" >&2
+  [ -f "$WORK/run.err" ] && sed 's/^/  err: /' "$WORK/run.err" >&2
+  exit 1
+}
+
+gap_line() {  # the "gaps: N proven (M nonzero), K unknown" summary line
+  grep "^gaps:" "$WORK/run.out" | tail -1
+}
+
+# -- 1. clean sweep: registry + corpus, all gaps proven zero ----------------
+for suite in livermore linpack nas stone; do
+  "$SLC" --suite="$suite" --no-filter --exact \
+      > "$WORK/run.out" 2> "$WORK/run.err" \
+      || fail "$suite: exact sweep exited nonzero"
+  LINE=$(gap_line)
+  echo "$LINE" | grep -q "(0 nonzero), 0 unknown" \
+      || fail "$suite: heuristic not proven optimal: $LINE"
+  grep -q " 0 unverified schedule(s)" "$WORK/run.err" \
+      || fail "$suite: a certified schedule failed re-verification"
+  echo "  $suite: $LINE"
+done
+
+"$SLC" --suite=generated --corpus-size=$CORPUS --exact \
+    > "$WORK/run.out" 2> "$WORK/run.err" \
+    || fail "generated corpus: exact sweep exited nonzero"
+LINE=$(gap_line)
+echo "$LINE" | grep -q "(0 nonzero), 0 unknown" \
+    || fail "generated corpus: heuristic not proven optimal: $LINE"
+grep -q " 0 unverified schedule(s)" "$WORK/run.err" \
+    || fail "generated corpus: a certified schedule failed re-verification"
+echo "  generated($CORPUS): $LINE"
+
+# -- 2. the planted II inflation: invisible to the verifier, caught here ----
+"$SLC" --lint --no-filter --fault=bug:sched-ii-inflate \
+    examples/loops/lint_clobber.c > /dev/null 2>&1 \
+    || fail "verifier flagged sched-ii-inflate — the planted bug must be" \
+            "legality-invisible (a correct-but-slow schedule)"
+"$SLC" --suite=livermore --no-filter --exact --fault=bug:sched-ii-inflate \
+    > "$WORK/run.out" 2> "$WORK/run.err" \
+    || fail "planted sweep exited nonzero (inflated schedules are correct)"
+LINE=$(gap_line)
+echo "$LINE" | grep -q "(0 nonzero)" \
+    && fail "exact oracle did NOT catch bug:sched-ii-inflate: $LINE"
+echo "$LINE" | grep -q " 0 unknown" \
+    || fail "planted sweep left unknown gaps: $LINE"
+PROVEN=$(echo "$LINE" | sed -n 's/gaps: \([0-9]*\) proven.*/\1/p')
+NONZERO=$(echo "$LINE" | sed -n 's/.*(\([0-9]*\) nonzero).*/\1/p')
+[ -n "$PROVEN" ] && [ "$PROVEN" = "$NONZERO" ] \
+    || fail "inflation must show on every row ($NONZERO of $PROVEN): $LINE"
+echo "  planted bug:sched-ii-inflate: caught on $NONZERO/$PROVEN rows"
+
+# -- 3. budget exhaustion degrades to unknown, never to a verdict -----------
+"$SLC" --suite=livermore --no-filter --exact --exact-budget-ms=0 \
+    > "$WORK/run.out" 2> "$WORK/run.err" \
+    || fail "zero-budget sweep exited nonzero"
+LINE=$(gap_line)
+echo "$LINE" | grep -q ", 0 unknown" \
+    && echo "  note: zero-budget sweep still proved every gap (solver" \
+            "beat the clock); timeout path covered by exact_test" \
+    || echo "  budget path: $LINE"
+
+echo "EXACT-GATE PASS"
+rm -rf "$WORK"
+exit 0

@@ -507,7 +507,8 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
   ctx.keys.reserve(n);
   for (const kernels::Kernel& k : kernels)
     ctx.keys.push_back(driver::journal::row_key(
-        k.source, options.options_signature, options.oracle_identity));
+        k.source, options.options_signature, options.oracle_identity,
+        options.exact_identity));
 
   // Resume: replay this sweep's own journal; nothing is re-appended.
   if (options.resume && !options.journal_path.empty()) {

@@ -75,6 +75,8 @@ struct Options {
   std::string options_signature;
   /// Oracle backend identity mixed into the journal key.
   std::string oracle_identity = "interp";
+  /// Exact-oracle identity (exact::exact_identity); "" = exact off.
+  std::string exact_identity;
   /// Journal path; empty disables journaling (and resume/diff).
   std::string journal_path;
   /// Replay rows already in journal_path instead of recomputing.

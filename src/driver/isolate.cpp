@@ -308,7 +308,8 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
   ctx.keys.reserve(n);
   for (const kernels::Kernel& k : kernels)
     ctx.keys.push_back(journal::row_key(k.source, options.options_signature,
-                                        options.oracle_identity));
+                                        options.oracle_identity,
+                                        options.exact_identity));
 
   // Resume: replay journaled rows before any child is spawned.
   if (options.resume && !options.journal_path.empty()) {

@@ -54,6 +54,9 @@ struct Options {
   /// journal key so --resume never replays rows measured under a
   /// different oracle (or a different host compiler) into this sweep.
   std::string oracle_identity = "interp";
+  /// Exact-oracle identity (exact::exact_identity) mixed into the key
+  /// when the sweep carries proven gaps; "" matches pre-exact rows.
+  std::string exact_identity;
   /// Journal path; empty disables journaling (and resume).
   std::string journal_path;
   /// Replay rows already in the journal instead of recomputing them.

@@ -106,7 +106,8 @@ const std::string& binary_version() {
 
 std::string row_key(const std::string& kernel_source,
                     const std::string& options_signature,
-                    const std::string& oracle_identity) {
+                    const std::string& oracle_identity,
+                    const std::string& exact_identity) {
   std::uint64_t h = fnv1a(kernel_source);
   h = fnv1a("\x1f", h);
   h = fnv1a(options_signature, h);
@@ -115,6 +116,12 @@ std::string row_key(const std::string& kernel_source,
   // actually select the native/both oracle are re-keyed.
   if (oracle_identity != "interp") {
     h = fnv1a(oracle_identity, h);
+    h = fnv1a("\x1f", h);
+  }
+  // Likewise "" preserves pre-exact keys: only --exact sweeps mix the
+  // solver/budget/resource identity in.
+  if (!exact_identity.empty()) {
+    h = fnv1a(exact_identity, h);
     h = fnv1a("\x1f", h);
   }
   h = fnv1a(binary_version(), h);
@@ -157,6 +164,21 @@ Value row_to_json(const ComparisonRow& row) {
   v.set("misses_slms", Value::number(row.misses_slms));
   v.set("loop_base", loop_stat_to_json(row.loop_base));
   v.set("loop_slms", loop_stat_to_json(row.loop_slms));
+
+  // Emitted only when the exact oracle actually ran: non-exact sweeps
+  // keep their historical row bytes.
+  if (row.exact.ran) {
+    Value ex = Value::object();
+    ex.set("status", Value::string(row.exact.status));
+    ex.set("ii", Value::number(row.exact.ii));
+    ex.set("lower_bound", Value::number(row.exact.lower_bound));
+    ex.set("heuristic_ii", Value::number(row.exact.heuristic_ii));
+    ex.set("verified", Value::boolean(row.exact.verified));
+    ex.set("resources", Value::boolean(row.exact.with_resources));
+    ex.set("solve_ns", Value::number(row.exact.solve_ns));
+    ex.set("steps", Value::number(row.exact.steps));
+    v.set("exact", std::move(ex));
+  }
   return v;
 }
 
@@ -213,6 +235,23 @@ std::optional<ComparisonRow> row_from_json(const Value& v) {
     row.loop_base = loop_stat_from_json(*f);
   if (const Value* f = v.find("loop_slms"))
     row.loop_slms = loop_stat_from_json(*f);
+  if (const Value* ex = v.find("exact"); ex != nullptr && ex->is_object()) {
+    row.exact.ran = true;
+    if (const Value* f = ex->find("status"))
+      row.exact.status = f->as_string();
+    if (const Value* f = ex->find("ii")) row.exact.ii = int(f->as_i64());
+    if (const Value* f = ex->find("lower_bound"))
+      row.exact.lower_bound = int(f->as_i64());
+    if (const Value* f = ex->find("heuristic_ii"))
+      row.exact.heuristic_ii = int(f->as_i64());
+    if (const Value* f = ex->find("verified"))
+      row.exact.verified = f->as_bool();
+    if (const Value* f = ex->find("resources"))
+      row.exact.with_resources = f->as_bool();
+    if (const Value* f = ex->find("solve_ns"))
+      row.exact.solve_ns = f->as_i64();
+    if (const Value* f = ex->find("steps")) row.exact.steps = f->as_i64();
+  }
   return row;
 }
 

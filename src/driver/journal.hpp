@@ -35,10 +35,16 @@ namespace slc::driver::journal {
 /// native::oracle_identity) keeps interpreter-measured rows from being
 /// replayed by --resume into a native-oracle sweep and vice versa; the
 /// default matches every row written before the native backend existed.
+/// `exact_identity` (see exact::exact_identity) does the same for the
+/// exact-oracle configuration — solver version, budget, resource mode —
+/// so rows carrying proven gaps are never replayed into a sweep solved
+/// under different exact settings; the empty default matches every row
+/// written before the exact backend existed.
 [[nodiscard]] std::string row_key(const std::string& kernel_source,
                                   const std::string& options_signature,
                                   const std::string& oracle_identity =
-                                      "interp");
+                                      "interp",
+                                  const std::string& exact_identity = "");
 
 /// Lossless (for all deterministic fields) row <-> JSON conversion.
 /// `report.trace` is dropped: suite sweeps never run with explain, and

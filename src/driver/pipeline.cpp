@@ -9,6 +9,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "exact/solver.hpp"
 #include "frontend/parser.hpp"
 #include "interp/interp.hpp"
 #include "machine/lower.hpp"
@@ -89,6 +90,7 @@ Compiled compile(const ast::Program& program) {
 struct CachedVariant {
   slms::SlmsReport report;
   machine::MirProgram mir;
+  ExactSummary exact;  // engaged when CompareOptions::exact
 };
 
 /// Backend-independent build products for one (kernel, options) pair.
@@ -134,6 +136,50 @@ FailureKind kind_of_sim_error(const std::string& error) {
   if (error.find("out of bounds") != std::string::npos)
     return FailureKind::OutOfBounds;
   return FailureKind::SimError;
+}
+
+/// Runs the exact scheduler on the first applied loop of one SLMS
+/// variant: build the Instance the relaxation theorem requires (same
+/// MIs, same dropped edges as the heuristic solve), prove the minimal
+/// II, then validate the certificates and re-verify the witness through
+/// src/verify before believing any of it. Timeouts leave status
+/// "timeout" and the gap disengaged.
+ExactSummary run_exact(const std::vector<slms::SlmsApplication>& apps,
+                       const CompareOptions& options) {
+  ExactSummary sum;
+  for (const slms::SlmsApplication& app : apps) {
+    if (!app.applied()) continue;
+    const slms::LoopPlacement& pl = *app.placement;
+    sum.ran = true;
+    sum.heuristic_ii = pl.ii;
+    sum.with_resources = options.exact_resources;
+
+    slms::ResourceModel model;
+    if (options.exact_resources)
+      model = exact::derive_resources(pl, /*mem_units=*/1, /*issue_width=*/2);
+    exact::Instance inst = exact::from_placement(pl, std::move(model));
+
+    exact::ExactOptions eopts;
+    eopts.budget_ms = options.exact_budget_ms;
+    eopts.max_steps = options.exact_max_steps;
+    exact::ExactResult res = exact::solve(inst, eopts);
+    sum.status = exact::to_string(res.status);
+    sum.lower_bound = res.lower_bound;
+    sum.solve_ns = res.stats.solve_ns;
+    sum.steps = res.stats.steps;
+    if (res.status == exact::ExactStatus::Optimal) {
+      sum.ii = res.ii;
+      std::string why;
+      bool certs = exact::check_schedule(inst, res.schedule, &why);
+      if (certs && res.lower_proof.has_value())
+        certs = exact::check_infeasibility(inst, *res.lower_proof, &why);
+      DiagnosticEngine vdiags;
+      sum.verified = certs && verify::verify_schedule(
+                                  pl, res.ii, res.schedule.sigma, vdiags);
+    }
+    break;  // the first applied loop defines the row's gap
+  }
+  return sum;
 }
 
 Failure deadline_failure(Stage stage, const std::string& kernel) {
@@ -295,8 +341,11 @@ EntryPtr build_transform_entry_once(const kernels::Kernel& kernel,
             Stage::Lower, FailureKind::LowerError, slmsed.error));
         continue;
       }
-      entry->variants.push_back(
-          CachedVariant{reports.front(), std::move(slmsed.mir)});
+      CachedVariant cached;
+      cached.report = reports.front();
+      cached.mir = std::move(slmsed.mir);
+      if (options.exact) cached.exact = run_exact(applications, options);
+      entry->variants.push_back(std::move(cached));
       if (!reports.front().applied) break;  // both variants would skip
     } catch (const fault::FaultInjected& e) {
       fail_variant(e.failure());
@@ -352,7 +401,9 @@ std::string transform_key(const kernels::Kernel& kernel,
      << (s.max_ii ? *s.max_ii : -1) << '|' << s.explain << '|'
      << o.sim_seed << '|' << o.verify_oracle << '|' << o.best_of_mve << '|'
      << o.max_interp_steps << '|' << o.base_only << '|'
-     << int(o.oracle_mode);
+     << int(o.oracle_mode) << '|' << o.exact << '|' << o.exact_budget_ms
+     << '|' << o.exact_max_steps << '|' << o.exact_resources << '|'
+     << exact::kSolverVersion;
   return os.str();
 }
 
@@ -554,6 +605,7 @@ void compare_kernel_impl(ComparisonRow& row, const kernels::Kernel& kernel,
       row.report = variant.report;
       row.slms_applied = variant.report.applied;
       row.slms_skip_reason = variant.report.skip_reason;
+      row.exact = variant.exact;
     }
   }
   if (!have_best) {
@@ -736,6 +788,40 @@ std::string format_speedup_table(const std::string& title,
                r.ok ? speedup.str() : "-", note});
   }
   os << table.str();
+  return os.str();
+}
+
+std::string format_gap_table(const std::string& title,
+                             const std::vector<ComparisonRow>& rows) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  TablePrinter table({"kernel", "suite", "II(slms)", "II(exact)", "gap",
+                      "status", "verified", "solve_ms"});
+  int known = 0;
+  int unknown = 0;
+  int nonzero = 0;
+  for (const ComparisonRow& r : rows) {
+    if (!r.exact.ran) continue;
+    std::optional<int> gap = r.exact.gap();
+    if (gap.has_value()) {
+      ++known;
+      if (*gap != 0) ++nonzero;
+    } else {
+      ++unknown;
+    }
+    std::ostringstream ms;
+    ms << std::fixed << std::setprecision(2)
+       << double(r.exact.solve_ns) / 1e6;
+    table.row({r.kernel, r.suite,
+               r.exact.heuristic_ii > 0 ? std::to_string(r.exact.heuristic_ii)
+                                        : "-",
+               r.exact.status == "optimal" ? std::to_string(r.exact.ii) : "-",
+               gap.has_value() ? std::to_string(*gap) : "unknown",
+               r.exact.status, r.exact.verified ? "yes" : "no", ms.str()});
+  }
+  os << table.str();
+  os << "gaps: " << known << " proven (" << nonzero << " nonzero), "
+     << unknown << " unknown\n";
   return os.str();
 }
 

@@ -36,6 +36,35 @@ struct Backend {
 [[nodiscard]] Backend superscalar_gcc_o0();    // GCC -O0 on Pentium
 [[nodiscard]] Backend arm_gcc();               // GCC on ARM7
 
+/// Result of the exact modulo-scheduling oracle (`--exact`) for one row:
+/// the provably minimal II over the same relaxed dependence graph the
+/// heuristic solved (src/exact), certificate-checked both ways and
+/// re-verified by src/verify. Computed for the first applied loop of the
+/// measured variant, so `heuristic_ii` is that loop's II, not the
+/// whole-row report when a kernel holds several loops.
+struct ExactSummary {
+  bool ran = false;       // --exact was on and an applied loop was examined
+  std::string status;     // "optimal" | "infeasible" | "timeout"
+  int ii = 0;             // proven optimum (status == "optimal")
+  int lower_bound = 1;    // greatest refuted II, plus one
+  int heuristic_ii = 0;   // the same loop's heuristic II
+  bool verified = false;  // certificates + static verifier accepted
+  bool with_resources = false;  // --exact-resources model constrained it
+  std::int64_t solve_ns = 0;
+  std::int64_t steps = 0;
+
+  /// II-optimality gap `heuristic - exact`; disengaged while unknown
+  /// (exact off, loop skipped, or the solver timed out). In the default
+  /// resource-free mode the gap is provably >= 0; under
+  /// --exact-resources the exact side solves a *harder* problem and the
+  /// sign carries no invariant.
+  [[nodiscard]] std::optional<int> gap() const {
+    if (!ran || status != "optimal" || heuristic_ii <= 0)
+      return std::nullopt;
+    return heuristic_ii - ii;
+  }
+};
+
 /// One kernel measured on one backend, original vs SLMS.
 struct ComparisonRow {
   std::string kernel;
@@ -75,6 +104,9 @@ struct ComparisonRow {
 
   sim::LoopStat loop_base;  // innermost-loop stats (first loop)
   sim::LoopStat loop_slms;
+
+  /// Exact-oracle verdict for the measured variant (`--exact`).
+  ExactSummary exact;
 
   [[nodiscard]] double speedup() const {
     return cycles_slms == 0 ? 0.0
@@ -120,6 +152,24 @@ struct CompareOptions {
   /// both side by side with a cross-check — interp/native divergence
   /// degrades the row with Stage::Native/OracleMismatch.
   native::OracleMode oracle_mode = native::OracleMode::Interp;
+  /// Exact scheduling oracle (`--exact`, the third backend preset next
+  /// to the heuristic and the machine schedulers): decide the provably
+  /// minimal II of each row's first applied loop with src/exact and
+  /// record the optimality gap on the row. Runs inside the transform
+  /// entry (backend-independent, cached, per measured variant).
+  bool exact = false;
+  /// Wall-clock budget per exact solve in milliseconds (< 0: no clock).
+  /// Exhaustion degrades that row's gap to unknown — never a row error.
+  std::int64_t exact_budget_ms = 2000;
+  /// Deterministic step cap forwarded to the exact solver (< 0:
+  /// unlimited). Tests use it to hit the timeout path reproducibly.
+  std::int64_t exact_max_steps = -1;
+  /// Constrain the exact solve with the machine-style resource classes
+  /// of exact::derive_resources (memory ports + issue width). The
+  /// resource-constrained optimum solves a harder problem than the
+  /// heuristic did, so these rows are excluded from the gap >= 0
+  /// invariant.
+  bool exact_resources = false;
   /// Measure only the untransformed program and report it as a degraded
   /// row (both metric columns = base). The --isolate supervisor uses
   /// this to re-measure a row whose SLMS side crashed the child: the
@@ -196,6 +246,11 @@ struct TablePrinter {
 };
 
 [[nodiscard]] std::string format_speedup_table(
+    const std::string& title, const std::vector<ComparisonRow>& rows);
+
+/// Per-loop II-optimality table for an --exact run: heuristic vs proven
+/// II, the gap, solver status, and certificate/verifier acceptance.
+[[nodiscard]] std::string format_gap_table(
     const std::string& title, const std::vector<ComparisonRow>& rows);
 
 }  // namespace slc::driver

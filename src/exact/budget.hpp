@@ -1,0 +1,51 @@
+// Shared solve budget for the exact backend: a deterministic step cap
+// (every relaxation/propagation/decision charges one step) plus an
+// optional wall-clock deadline. The step cap exists so tests can force
+// the timeout path deterministically; the deadline is what --exact-
+// budget-ms surfaces. Both degrade a row to gap=unknown, never to an
+// error.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace slc::exact {
+
+class Budget {
+ public:
+  Budget() = default;
+  Budget(std::int64_t max_steps, std::int64_t budget_ms)
+      : max_steps_(max_steps) {
+    if (budget_ms >= 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(budget_ms);
+      has_deadline_ = true;
+    }
+  }
+
+  /// Records `k` units of work. Returns true while within budget.
+  bool charge(std::int64_t k) {
+    steps_ += k;
+    if (max_steps_ >= 0 && steps_ > max_steps_) exhausted_ = true;
+    // The clock is polled once per ~1k steps: cheap enough to never
+    // matter, frequent enough that a budget overrun stays small.
+    if (has_deadline_ && !exhausted_ && steps_ >= next_clock_check_) {
+      next_clock_check_ = steps_ + 1024;
+      if (std::chrono::steady_clock::now() > deadline_) exhausted_ = true;
+    }
+    return !exhausted_;
+  }
+
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+
+ private:
+  std::int64_t max_steps_ = -1;  // < 0: unlimited
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool exhausted_ = false;
+  std::int64_t steps_ = 0;
+  std::int64_t next_clock_check_ = 0;
+};
+
+}  // namespace slc::exact

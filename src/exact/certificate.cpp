@@ -1,0 +1,271 @@
+#include "exact/certificate.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/int_math.hpp"
+
+namespace slc::exact {
+
+namespace {
+
+bool fail(std::string* why, const std::string& msg) {
+  if (why != nullptr) *why = msg;
+  return false;
+}
+
+/// The implicit problem clauses of the clausal encoding at `ii`: one-hot
+/// row selection per MI (at-least-one + pairwise at-most-one).
+std::vector<std::vector<int>> problem_clauses(int num_mis, int ii) {
+  std::vector<std::vector<int>> db;
+  for (int mi = 0; mi < num_mis; ++mi) {
+    std::vector<int> alo;
+    alo.reserve(std::size_t(ii));
+    for (int r = 0; r < ii; ++r) alo.push_back(row_var(mi, r, ii));
+    db.push_back(std::move(alo));
+    for (int r = 0; r < ii; ++r)
+      for (int r2 = r + 1; r2 < ii; ++r2)
+        db.push_back({-row_var(mi, r, ii), -row_var(mi, r2, ii)});
+  }
+  return db;
+}
+
+/// Naive unit propagation to fixpoint; returns true when a conflict is
+/// derived. Small and obviously-correct beats fast here — this is the
+/// trusted base of the proof checker.
+bool rup_conflict(const std::vector<std::vector<int>>& db, int num_vars,
+                  const std::vector<int>& assumed_false) {
+  std::vector<std::int8_t> val(std::size_t(num_vars) + 1, 0);
+  auto lit_val = [&](int lit) -> int {
+    int v = val[std::size_t(std::abs(lit))];
+    return lit > 0 ? v : -v;
+  };
+  for (int lit : assumed_false) {
+    if (lit_val(lit) == 1) return false;  // clause already satisfied
+    val[std::size_t(std::abs(lit))] = std::int8_t(lit > 0 ? -1 : 1);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::vector<int>& clause : db) {
+      int unassigned = 0;
+      int unit = 0;
+      bool satisfied = false;
+      for (int lit : clause) {
+        const int v = lit_val(lit);
+        if (v == 1) {
+          satisfied = true;
+          break;
+        }
+        if (v == 0) {
+          ++unassigned;
+          unit = lit;
+          if (unassigned > 1) break;
+        }
+      }
+      if (satisfied || unassigned > 1) continue;
+      if (unassigned == 0) return true;  // conflict
+      val[std::size_t(std::abs(unit))] = std::int8_t(unit > 0 ? 1 : -1);
+      changed = true;
+    }
+  }
+  return false;
+}
+
+/// Decodes all-negative row literals into an mi -> row map.
+bool decode_rows(const std::vector<int>& lits, int num_mis, int ii,
+                 std::map<int, int>* rows, std::string* why) {
+  for (int lit : lits) {
+    if (lit >= 0) return fail(why, "row literal is not negative");
+    const int var = -lit;
+    if (var < 1 || var > num_mis * ii)
+      return fail(why, "row literal out of range");
+    const int mi = var_mi(var, ii);
+    const int row = var_row(var, ii);
+    auto [it, inserted] = rows->emplace(mi, row);
+    if (!inserted && it->second != row)
+      return fail(why, "two different rows claimed for one MI");
+  }
+  return true;
+}
+
+/// Checks that `dep_indices` is an ordered closed cycle in `inst` and
+/// returns its total (delay, distance) via out-params.
+bool closed_cycle(const Instance& inst, const std::vector<int>& dep_indices,
+                  std::string* why) {
+  if (dep_indices.empty()) return fail(why, "empty dependence cycle");
+  for (std::size_t k = 0; k < dep_indices.size(); ++k) {
+    const int d = dep_indices[k];
+    if (d < 0 || d >= int(inst.deps.size()))
+      return fail(why, "dependence index out of range");
+    const int next = dep_indices[(k + 1) % dep_indices.size()];
+    if (inst.deps[std::size_t(d)].dst != inst.deps[std::size_t(next)].src)
+      return fail(why, "dependence edges do not form a closed cycle");
+  }
+  return true;
+}
+
+bool check_cycle_lemma(const Instance& inst, int ii, const ProofClause& pc,
+                       std::string* why) {
+  std::map<int, int> rows;
+  if (!decode_rows(pc.lits, inst.num_mis, ii, &rows, why)) return false;
+  if (!closed_cycle(inst, pc.dep_indices, why)) return false;
+  // Under the rows the clause negates, the stage-difference constraints
+  // around the cycle must be unsatisfiable: their weights sum positive.
+  std::int64_t total = 0;
+  for (int d : pc.dep_indices) {
+    const DepConstraint& dep = inst.deps[std::size_t(d)];
+    auto src_it = rows.find(dep.src);
+    auto dst_it = rows.find(dep.dst);
+    if (src_it == rows.end() || dst_it == rows.end())
+      return fail(why, "cycle endpoint row is not fixed by the clause");
+    total += ceil_div(dep.delay - dst_it->second + src_it->second, ii) -
+             dep.distance;
+  }
+  if (total <= 0)
+    return fail(why, "claimed stage cycle is not positive");
+  return true;
+}
+
+bool check_overflow_lemma(const Instance& inst, int ii,
+                          const ProofClause& pc, std::string* why) {
+  if (pc.class_index < 0 ||
+      pc.class_index >= int(inst.resources.classes.size()))
+    return fail(why, "resource class index out of range");
+  const slms::ResourceClass& cls =
+      inst.resources.classes[std::size_t(pc.class_index)];
+  if (pc.row < 0 || pc.row >= ii)
+    return fail(why, "overflow row out of range");
+  const std::set<int> members(cls.members.begin(), cls.members.end());
+  std::set<int> seen;
+  for (int lit : pc.lits) {
+    if (lit >= 0) return fail(why, "overflow literal is not negative");
+    const int var = -lit;
+    if (var < 1 || var > inst.num_mis * ii)
+      return fail(why, "overflow literal out of range");
+    if (var_row(var, ii) != pc.row)
+      return fail(why, "overflow literal names a different row");
+    const int mi = var_mi(var, ii);
+    if (members.count(mi) == 0)
+      return fail(why, "overflow literal names an MI outside the class");
+    if (!seen.insert(mi).second)
+      return fail(why, "duplicate MI in overflow clause");
+  }
+  if (int(seen.size()) <= cls.units)
+    return fail(why, "overflow clause does not exceed the unit count");
+  return true;
+}
+
+}  // namespace
+
+bool check_schedule(const Instance& inst, const ScheduleCert& cert,
+                    std::string* why) {
+  if (cert.ii < 1) return fail(why, "II must be positive");
+  if (int(cert.sigma.size()) != inst.num_mis)
+    return fail(why, "sigma size disagrees with the MI count");
+  for (std::size_t k = 0; k < cert.sigma.size(); ++k)
+    if (cert.sigma[k] < 0)
+      return fail(why, "negative slot for MI " + std::to_string(k + 1));
+  for (std::size_t k = 0; k < inst.deps.size(); ++k) {
+    const DepConstraint& d = inst.deps[k];
+    const std::int64_t lhs =
+        cert.sigma[std::size_t(d.dst)] - cert.sigma[std::size_t(d.src)];
+    if (lhs >= d.weight(cert.ii)) continue;
+    std::ostringstream msg;
+    msg << "dependence " << k << " violated: sigma(" << d.dst
+        << ") - sigma(" << d.src << ") = " << lhs << " < " << d.delay
+        << " - " << cert.ii << "*" << d.distance;
+    return fail(why, msg.str());
+  }
+  for (std::size_t c = 0; c < inst.resources.classes.size(); ++c) {
+    const slms::ResourceClass& cls = inst.resources.classes[c];
+    std::vector<int> per_row(std::size_t(cert.ii), 0);
+    for (int mi : cls.members) {
+      if (mi < 0 || mi >= inst.num_mis)
+        return fail(why, "resource class member out of range");
+      const std::int64_t row = cert.sigma[std::size_t(mi)] % cert.ii;
+      if (++per_row[std::size_t(row)] > cls.units)
+        return fail(why, "resource class '" + cls.name + "' overcommits row " +
+                             std::to_string(row));
+    }
+  }
+  return true;
+}
+
+bool check_infeasibility(const Instance& inst, const InfeasibilityCert& cert,
+                         std::string* why) {
+  if (cert.ii < 1) return fail(why, "II must be positive");
+
+  switch (cert.kind) {
+    case InfeasibilityCert::Kind::PositiveCycle: {
+      if (!closed_cycle(inst, cert.dep_indices, why)) return false;
+      std::int64_t delay = 0;
+      std::int64_t dist = 0;
+      for (int d : cert.dep_indices) {
+        delay += inst.deps[std::size_t(d)].delay;
+        dist += inst.deps[std::size_t(d)].distance;
+      }
+      if (delay - std::int64_t(cert.ii) * dist <= 0)
+        return fail(why, "claimed cycle is not positive at this II");
+      if (cert.distance_free && dist != 0)
+        return fail(why, "cycle claimed distance-free carries distance");
+      return true;
+    }
+
+    case InfeasibilityCert::Kind::ResourceCount: {
+      if (cert.class_index < 0 ||
+          cert.class_index >= int(inst.resources.classes.size()))
+        return fail(why, "resource class index out of range");
+      const slms::ResourceClass& cls =
+          inst.resources.classes[std::size_t(cert.class_index)];
+      if (cls.units <= 0)
+        return !cls.members.empty() ||
+               fail(why, "empty class with no units proves nothing");
+      if (std::int64_t(cls.members.size()) <=
+          std::int64_t(cls.units) * cert.ii)
+        return fail(why, "class members fit into units * II rows");
+      return true;
+    }
+
+    case InfeasibilityCert::Kind::Clausal: {
+      if (cert.clauses.empty())
+        return fail(why, "clausal proof is empty");
+      const int num_vars = inst.num_mis * cert.ii;
+      std::vector<std::vector<int>> db =
+          problem_clauses(inst.num_mis, cert.ii);
+      for (std::size_t i = 0; i < cert.clauses.size(); ++i) {
+        const ProofClause& pc = cert.clauses[i];
+        for (int lit : pc.lits)
+          if (lit == 0 || std::abs(lit) > num_vars)
+            return fail(why, "proof clause " + std::to_string(i) +
+                                 " invalid: literal out of range");
+        bool ok = false;
+        std::string sub;
+        switch (pc.kind) {
+          case ProofClause::Kind::Cycle:
+            ok = check_cycle_lemma(inst, cert.ii, pc, &sub);
+            break;
+          case ProofClause::Kind::Overflow:
+            ok = check_overflow_lemma(inst, cert.ii, pc, &sub);
+            break;
+          case ProofClause::Kind::Learned:
+            ok = rup_conflict(db, num_vars, pc.lits);
+            if (!ok) sub = "clause is not RUP over the prior database";
+            break;
+        }
+        if (!ok)
+          return fail(why, "proof clause " + std::to_string(i) +
+                               " invalid: " + sub);
+        db.push_back(pc.lits);
+      }
+      if (!cert.clauses.back().lits.empty())
+        return fail(why, "proof does not end with the empty clause");
+      return true;
+    }
+  }
+  return fail(why, "unknown certificate kind");
+}
+
+}  // namespace slc::exact

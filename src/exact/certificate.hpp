@@ -1,0 +1,76 @@
+// Certificates of the exact scheduler's answers, and their checkers.
+//
+// The solver (solver.hpp) never asks to be trusted: every SAT answer
+// carries a concrete schedule and every UNSAT answer carries a proof
+// object, and both are validated by the small, solver-independent
+// routines here (the driver additionally replays SAT schedules through
+// src/verify's dependence machinery). Three proof shapes cover all
+// UNSAT answers:
+//
+//   * PositiveCycle — a dependence cycle whose total delay exceeds
+//     II * total distance: no sigma can satisfy it. A cycle with zero
+//     total distance is infeasible at *every* II (distance_free).
+//   * ResourceCount — pigeonhole: a resource class with more members
+//     than units * II cannot place one member instance per row.
+//   * Clausal — a resource-constrained refutation: an ordered lemma
+//     list over the row booleans x(mi,row). Theory lemmas (Cycle /
+//     Overflow) are verified arithmetically from their own
+//     justification; Learned clauses are verified by reverse unit
+//     propagation (RUP) over the implicit one-hot problem clauses plus
+//     every earlier clause; the list ends with the empty clause.
+//
+// Variable numbering for the clausal form: x(mi,row) = mi*II + row + 1,
+// literals DIMACS-style (+v true / -v false).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exact/encoding.hpp"
+
+namespace slc::exact {
+
+[[nodiscard]] inline int row_var(int mi, int row, int ii) {
+  return mi * ii + row + 1;
+}
+[[nodiscard]] inline int var_mi(int var, int ii) { return (var - 1) / ii; }
+[[nodiscard]] inline int var_row(int var, int ii) { return (var - 1) % ii; }
+
+/// A concrete schedule claimed optimal at `ii`.
+struct ScheduleCert {
+  int ii = 0;
+  std::vector<std::int64_t> sigma;
+};
+
+struct ProofClause {
+  enum class Kind { Cycle, Overflow, Learned };
+  Kind kind = Kind::Learned;
+  std::vector<int> lits;         // all-false row literals (Cycle/Overflow)
+  std::vector<int> dep_indices;  // Cycle: deps on the positive stage cycle
+  int class_index = -1;          // Overflow: overfull resource class
+  int row = -1;                  // Overflow: the overfull row
+};
+
+struct InfeasibilityCert {
+  enum class Kind { PositiveCycle, ResourceCount, Clausal };
+  int ii = 0;
+  Kind kind = Kind::PositiveCycle;
+  std::vector<int> dep_indices;      // PositiveCycle: ordered closed cycle
+  bool distance_free = false;        // cycle distance sums to 0: no II works
+  int class_index = -1;              // ResourceCount
+  std::vector<ProofClause> clauses;  // Clausal: ends with the empty clause
+};
+
+/// Re-checks a schedule against every dependence constraint and resource
+/// row count of `inst`. Independent of the solver's data structures.
+[[nodiscard]] bool check_schedule(const Instance& inst,
+                                  const ScheduleCert& cert,
+                                  std::string* why = nullptr);
+
+/// Validates an infeasibility proof for `inst` at `cert.ii`.
+[[nodiscard]] bool check_infeasibility(const Instance& inst,
+                                       const InfeasibilityCert& cert,
+                                       std::string* why = nullptr);
+
+}  // namespace slc::exact

@@ -1,0 +1,117 @@
+#include "exact/dl.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace slc::exact {
+
+DiffEngine::DiffEngine(int num_nodes)
+    : n_(num_nodes),
+      out_(std::size_t(num_nodes)),
+      pot_(std::size_t(num_nodes), 0),
+      parent_(std::size_t(num_nodes), -1) {}
+
+void DiffEngine::push() { frames_.push_back({edges_.size(), trail_.size()}); }
+
+void DiffEngine::pop() {
+  const Frame f = frames_.back();
+  frames_.pop_back();
+  undo_trail(f.trail);
+  while (edges_.size() > f.edges) {
+    out_[std::size_t(edges_.back().src)].pop_back();
+    edges_.pop_back();
+  }
+}
+
+void DiffEngine::undo_trail(std::size_t mark) {
+  while (trail_.size() > mark) {
+    const Saved& s = trail_.back();
+    pot_[std::size_t(s.node)] = s.pot;
+    parent_[std::size_t(s.node)] = s.parent;
+    trail_.pop_back();
+  }
+}
+
+bool DiffEngine::add(int src, int dst, std::int64_t w, int tag) {
+  ++steps_;
+  if (pot_[std::size_t(dst)] >= pot_[std::size_t(src)] + w) {
+    edges_.push_back({src, dst, w, tag});
+    out_[std::size_t(src)].push_back(int(edges_.size()) - 1);
+    return true;
+  }
+  if (src == dst) {  // violated self constraint: w > 0 on its own cycle
+    conflict_.assign(1, tag);
+    return false;
+  }
+
+  const int id = int(edges_.size());
+  edges_.push_back({src, dst, w, tag});
+  out_[std::size_t(src)].push_back(id);
+  const std::size_t mark = trail_.size();
+
+  auto relax = [&](int node, std::int64_t val, int via) {
+    trail_.push_back(
+        {node, pot_[std::size_t(node)], parent_[std::size_t(node)]});
+    pot_[std::size_t(node)] = val;
+    parent_[std::size_t(node)] = via;
+    ++steps_;
+  };
+
+  std::deque<int> queue;
+  relax(dst, pot_[std::size_t(src)] + w, id);
+  queue.push_back(dst);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (int eid : out_[std::size_t(u)]) {
+      const Edge& e = edges_[std::size_t(eid)];
+      const std::int64_t cand = pot_[std::size_t(u)] + e.w;
+      if (cand <= pot_[std::size_t(e.dst)]) continue;
+      if (e.dst != src) {
+        relax(e.dst, cand, eid);
+        queue.push_back(e.dst);
+        continue;
+      }
+      // Relaxing the new edge's source closes a positive cycle: the
+      // engine was at a fixpoint before this add(), so no cycle avoids
+      // the new edge, and the strict increase of pot(src) makes the
+      // cycle weight > 0. Walk the parent chain from u back toward the
+      // seed. Parent and potential are always written together, so any
+      // *revisit* on the walk is itself a positive parent cycle (the
+      // timestamps around it cannot all decrease) — extract whichever
+      // closes first.
+      conflict_.clear();
+      std::vector<int> pos(std::size_t(n_), -1);
+      std::vector<int> tags;  // tags[j]: parent edge of j-th walked node
+      int x = u;
+      bool closed = false;
+      while (!closed) {
+        if (pos[std::size_t(x)] != -1) {
+          // Parent cycle: the edges since the first visit of x.
+          conflict_.assign(tags.begin() + pos[std::size_t(x)], tags.end());
+          std::reverse(conflict_.begin(), conflict_.end());
+          closed = true;
+          break;
+        }
+        pos[std::size_t(x)] = int(tags.size());
+        const int peid = parent_[std::size_t(x)];
+        tags.push_back(edges_[std::size_t(peid)].tag);
+        if (peid == id) {
+          // Reached the seed: new edge, chain down to u, then u -> src.
+          conflict_.assign(tags.rbegin(), tags.rend());
+          conflict_.push_back(e.tag);
+          closed = true;
+          break;
+        }
+        x = edges_[std::size_t(peid)].src;
+      }
+      undo_trail(mark);
+      out_[std::size_t(src)].pop_back();
+      edges_.pop_back();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace slc::exact

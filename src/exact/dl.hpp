@@ -1,0 +1,81 @@
+// Incremental difference-logic core of the exact modulo scheduler.
+//
+// Maintains a potential function over longest-path constraints
+//
+//   pot(dst) - pot(src) >= w        (one "edge" src -> dst, weight w)
+//
+// with potentials implicitly floored at 0 (pot starts at 0 and only ever
+// rises, which encodes sigma >= 0). add() repairs the potentials by
+// label-correcting propagation seeded at the new constraint — the
+// Cotton/Maler incremental scheme transposed to longest paths. Because
+// the engine is at a fixpoint before every add(), a positive cycle can
+// only close through the new edge, so detection is exact and local: the
+// moment propagation relaxes the new edge's *source*, the parent chain
+// from that source back to the seed, plus the new edge, is a positive
+// cycle. The tags of its constraints are reported for certificates and
+// CDCL conflict clauses.
+//
+// push()/pop() checkpoints restore both the constraint set and the
+// potentials, which is what lets the CDCL layer (sat.hpp) use one engine
+// across its whole search tree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slc::exact {
+
+class DiffEngine {
+ public:
+  explicit DiffEngine(int num_nodes);
+
+  /// Adds one constraint. Returns false when it closes a positive
+  /// cycle; conflict() then lists the tags of the constraints on that
+  /// cycle (the new one included) and the engine state is exactly what
+  /// it was before the call — the constraint is not retained.
+  bool add(int src, int dst, std::int64_t w, int tag);
+
+  /// LIFO checkpoints: pop() drops every constraint added since the
+  /// matching push() and restores the potentials bit-for-bit.
+  void push();
+  void pop();
+
+  [[nodiscard]] const std::vector<std::int64_t>& potentials() const {
+    return pot_;
+  }
+  [[nodiscard]] const std::vector<int>& conflict() const { return conflict_; }
+  /// Relaxations performed so far — the unit the solve budget charges.
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+
+ private:
+  struct Edge {
+    int src = 0;
+    int dst = 0;
+    std::int64_t w = 0;
+    int tag = 0;
+  };
+  struct Saved {
+    int node = 0;
+    std::int64_t pot = 0;
+    int parent = -1;
+  };
+  struct Frame {
+    std::size_t edges = 0;
+    std::size_t trail = 0;
+  };
+
+  void undo_trail(std::size_t mark);
+
+  int n_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_;  // edge ids by source node
+  std::vector<std::int64_t> pot_;
+  std::vector<int> parent_;  // edge id that last relaxed the node, or -1
+  std::vector<Saved> trail_;
+  std::vector<Frame> frames_;
+  std::vector<int> conflict_;
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace slc::exact

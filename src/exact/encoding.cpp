@@ -1,0 +1,76 @@
+#include "exact/encoding.hpp"
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "analysis/access.hpp"
+
+namespace slc::exact {
+
+using analysis::DepEdge;
+using analysis::DepKind;
+
+Instance from_ddg(const analysis::Ddg& ddg,
+                  const std::vector<std::int64_t>& delays,
+                  slms::ResourceModel resources) {
+  Instance inst;
+  inst.num_mis = ddg.num_nodes;
+  inst.resources = std::move(resources);
+  inst.deps.reserve(ddg.edges.size());
+  for (std::size_t k = 0; k < ddg.edges.size(); ++k) {
+    const DepEdge& e = ddg.edges[k];
+    inst.deps.push_back({e.src, e.dst, delays[k], e.min_distance()});
+  }
+  return inst;
+}
+
+Instance from_placement(const slms::LoopPlacement& placement,
+                        slms::ResourceModel resources) {
+  std::vector<const ast::Stmt*> mis;
+  mis.reserve(placement.mis.size());
+  for (const ast::StmtPtr& m : placement.mis) mis.push_back(m.get());
+  analysis::Ddg full =
+      analysis::build_ddg(mis, placement.iv, placement.step);
+
+  // Split exactly like the driver (and the verifier's replay): anti and
+  // output edges through scalars planned for renaming were dropped
+  // before solving, and delays are recomputed on the kept graph because
+  // the forward-delay rule depends on the graph shape.
+  const std::set<std::string> planned(placement.planned.begin(),
+                                      placement.planned.end());
+  analysis::Ddg spec;
+  spec.num_nodes = full.num_nodes;
+  for (DepEdge& e : full.edges)
+    if (e.kind == DepKind::Flow || planned.count(e.var) == 0)
+      spec.edges.push_back(std::move(e));
+
+  return from_ddg(spec, slms::compute_delays(spec), std::move(resources));
+}
+
+slms::ResourceModel derive_resources(const slms::LoopPlacement& placement,
+                                     int mem_units, int issue_width) {
+  slms::ResourceModel model;
+  if (mem_units > 0) {
+    slms::ResourceClass mem;
+    mem.name = "mem";
+    mem.units = mem_units;
+    for (int k = 0; k < int(placement.mis.size()); ++k) {
+      analysis::AccessSet acc =
+          analysis::collect_accesses(*placement.mis[std::size_t(k)]);
+      if (!acc.arrays.empty()) mem.members.push_back(k);
+    }
+    if (!mem.members.empty()) model.classes.push_back(std::move(mem));
+  }
+  if (issue_width > 0) {
+    slms::ResourceClass issue;
+    issue.name = "issue";
+    issue.units = issue_width;
+    for (int k = 0; k < int(placement.mis.size()); ++k)
+      issue.members.push_back(k);
+    if (!issue.members.empty()) model.classes.push_back(std::move(issue));
+  }
+  return model;
+}
+
+}  // namespace slc::exact

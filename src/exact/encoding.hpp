@@ -1,0 +1,71 @@
+// Constraint encoding of source-level modulo scheduling (DESIGN.md §14).
+//
+// A scheduling instance is the paper's constraint system made explicit:
+// one difference constraint per dependence edge,
+//
+//   sigma(dst) - sigma(src) >= delay(e) - II * distance(e),
+//
+// over the per-edge delays of slms::compute_delays, plus an optional
+// resource model bounding how many MIs of a class may share a schedule
+// row (sigma mod II). Two builders are provided:
+//
+//   * from_ddg — encode a DDG the caller already built (unit tests, the
+//     fuzzer's synthetic graphs).
+//   * from_placement — encode exactly what the SLMS driver solved: the
+//     DDG is rebuilt from the placement's final MIs and split the same
+//     way src/verify/dependence.cpp splits it (anti/output edges of
+//     scalars planned for renaming are dropped, delays recomputed on the
+//     kept graph). This is what makes `ii_exact <= ii_slms` a theorem
+//     rather than an observation: the exact solver decides the same
+//     relaxation the heuristic searched.
+//
+// An edge's binding constraint uses its smallest distance (unknown "*"
+// distances collapse to 0 per the DepEdge::min_distance contract, which
+// makes the instance infeasible at every II — matching the driver's
+// refusal to pipeline across unknown distances).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/ddg.hpp"
+#include "slms/mii.hpp"
+#include "slms/placement.hpp"
+
+namespace slc::exact {
+
+/// One dependence constraint sigma(dst) - sigma(src) >= delay - II*distance.
+struct DepConstraint {
+  int src = 0;
+  int dst = 0;
+  std::int64_t delay = 1;
+  std::int64_t distance = 0;
+
+  [[nodiscard]] std::int64_t weight(std::int64_t ii) const {
+    return delay - ii * distance;
+  }
+};
+
+struct Instance {
+  int num_mis = 0;
+  std::vector<DepConstraint> deps;
+  slms::ResourceModel resources;  // empty => unbounded (the default mode)
+};
+
+[[nodiscard]] Instance from_ddg(const analysis::Ddg& ddg,
+                                const std::vector<std::int64_t>& delays,
+                                slms::ResourceModel resources = {});
+
+[[nodiscard]] Instance from_placement(const slms::LoopPlacement& placement,
+                                      slms::ResourceModel resources = {});
+
+/// Machine-style resource classes for a placement's MIs: a memory class
+/// (MIs that read or write any array) with `mem_units` slots per row and
+/// an issue-width class over every MI. Non-positive unit counts drop the
+/// class. This is the opt-in `--exact-resources` model — SLMS itself
+/// schedules without resources, so resource-constrained optima are
+/// reported for study, not held to the gap >= 0 invariant.
+[[nodiscard]] slms::ResourceModel derive_resources(
+    const slms::LoopPlacement& placement, int mem_units, int issue_width);
+
+}  // namespace slc::exact

@@ -1,0 +1,210 @@
+#include "exact/sat.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace slc::exact {
+
+CdclSolver::CdclSolver(int num_vars, Theory* theory)
+    : nvars_(num_vars),
+      theory_(theory),
+      watches_(2 * std::size_t(num_vars) + 2),
+      val_(std::size_t(num_vars) + 1, 0),
+      level_(std::size_t(num_vars) + 1, 0),
+      reason_(std::size_t(num_vars) + 1, -1),
+      seen_(std::size_t(num_vars) + 1, 0) {}
+
+void CdclSolver::enqueue(Lit l, int reason) {
+  const std::size_t v = std::size_t(std::abs(l));
+  val_[v] = std::int8_t(l > 0 ? 1 : -1);
+  level_[v] = current_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+  if (budget_ != nullptr) budget_->charge(1);
+}
+
+void CdclSolver::attach_clause(int cid) {
+  std::vector<Lit>& c = clauses_[std::size_t(cid)];
+  if (c.size() < 2) return;  // unit clauses live on the level-0 trail
+  // Watch the two literals assigned last (unassigned counts as "last"):
+  // after any backtrack that could make the clause relevant again, both
+  // watches are unassigned, which is the two-watch invariant.
+  auto rank = [&](Lit l) {
+    return lit_value(l) == 0 ? int(1u << 30) : level_[std::size_t(std::abs(l))];
+  };
+  for (std::size_t k = 1; k < c.size(); ++k)
+    if (rank(c[k]) > rank(c[0])) std::swap(c[0], c[k]);
+  for (std::size_t k = 2; k < c.size(); ++k)
+    if (rank(c[k]) > rank(c[1])) std::swap(c[1], c[k]);
+  watches_[widx(c[0])].push_back(cid);
+  watches_[widx(c[1])].push_back(cid);
+}
+
+void CdclSolver::add_clause(const std::vector<Lit>& lits) {
+  if (lits.empty()) {
+    unsat0_ = true;
+    return;
+  }
+  const int cid = int(clauses_.size());
+  clauses_.push_back(lits);
+  if (lits.size() == 1) {
+    const int v = lit_value(lits[0]);
+    if (v == -1)
+      unsat0_ = true;
+    else if (v == 0)
+      enqueue(lits[0], cid);
+    return;
+  }
+  attach_clause(cid);
+}
+
+void CdclSolver::backtrack(int level) {
+  while (trail_.size() > trail_lim_[std::size_t(level)]) {
+    const std::size_t v = std::size_t(std::abs(trail_.back()));
+    val_[v] = 0;
+    reason_[v] = -1;
+    trail_.pop_back();
+  }
+  trail_lim_.resize(std::size_t(level));
+  if (theory_ != nullptr && theory_head_ > trail_.size())
+    theory_->on_backtrack(trail_.size());
+  theory_head_ = std::min(theory_head_, trail_.size());
+  qhead_ = std::min(qhead_, trail_.size());
+}
+
+int CdclSolver::propagate(std::vector<ProofClause>* proof, SatStats* stats) {
+  while (true) {
+    if (qhead_ < trail_.size()) {
+      const Lit p = trail_[qhead_++];
+      ++stats->propagations;
+      std::vector<int>& ws = watches_[widx(-p)];
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < ws.size()) {
+        const int cid = ws[i++];
+        std::vector<Lit>& c = clauses_[std::size_t(cid)];
+        if (c[0] == -p) std::swap(c[0], c[1]);
+        if (lit_value(c[0]) == 1) {  // satisfied: keep watching
+          ws[j++] = cid;
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < c.size(); ++k) {
+          if (lit_value(c[k]) != -1) {
+            std::swap(c[1], c[k]);
+            watches_[widx(c[1])].push_back(cid);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        ws[j++] = cid;  // clause stays watched on -p
+        if (lit_value(c[0]) == -1) {  // every literal false: conflict
+          while (i < ws.size()) ws[j++] = ws[i++];
+          ws.resize(j);
+          return cid;
+        }
+        enqueue(c[0], cid);  // unit
+      }
+      ws.resize(j);
+    } else if (theory_ != nullptr && theory_head_ < trail_.size()) {
+      const Lit p = trail_[theory_head_++];
+      ProofClause lemma;
+      if (!theory_->on_assign(p, &lemma)) {
+        if (proof != nullptr) proof->push_back(lemma);
+        const int cid = int(clauses_.size());
+        clauses_.push_back(lemma.lits);
+        attach_clause(cid);
+        return cid;
+      }
+    } else {
+      return -1;
+    }
+  }
+}
+
+std::vector<Lit> CdclSolver::analyze(int confl, int* out_btlevel) {
+  std::vector<Lit> learned{0};  // slot 0: the asserting (first-UIP) literal
+  int counter = 0;
+  Lit asserted = 0;  // trail literal whose reason clause is resolved next
+  std::size_t idx = trail_.size();
+  int cid = confl;
+  do {
+    const std::vector<Lit>& c = clauses_[std::size_t(cid)];
+    for (const Lit q : c) {
+      if (q == asserted) continue;  // the literal this reason asserted
+      const std::size_t v = std::size_t(std::abs(q));
+      if (seen_[v] != 0 || level_[v] == 0) continue;
+      seen_[v] = 1;
+      if (level_[v] == current_level())
+        ++counter;
+      else
+        learned.push_back(q);
+    }
+    do {
+      --idx;
+    } while (seen_[std::size_t(std::abs(trail_[idx]))] == 0);
+    asserted = trail_[idx];
+    seen_[std::size_t(std::abs(asserted))] = 0;
+    cid = reason_[std::size_t(std::abs(asserted))];
+    --counter;
+  } while (counter > 0);
+  learned[0] = -asserted;
+
+  int bt = 0;
+  for (std::size_t k = 1; k < learned.size(); ++k) {
+    const std::size_t v = std::size_t(std::abs(learned[k]));
+    seen_[v] = 0;
+    bt = std::max(bt, level_[v]);
+  }
+  *out_btlevel = bt;
+  return learned;
+}
+
+SatStatus CdclSolver::solve(Budget& budget, std::vector<ProofClause>* proof,
+                            SatStats* stats) {
+  budget_ = &budget;
+  auto log_learned = [&](std::vector<Lit> lits) {
+    if (proof == nullptr) return;
+    ProofClause pc;
+    pc.kind = ProofClause::Kind::Learned;
+    pc.lits = std::move(lits);
+    proof->push_back(std::move(pc));
+  };
+  auto unsat = [&]() {
+    log_learned({});
+    return SatStatus::Unsat;
+  };
+  if (unsat0_) return unsat();
+
+  while (true) {
+    const int confl = propagate(proof, stats);
+    if (confl >= 0) {
+      ++stats->conflicts;
+      if (current_level() == 0) return unsat();
+      int bt = 0;
+      std::vector<Lit> learned = analyze(confl, &bt);
+      log_learned(learned);
+      const int cid = int(clauses_.size());
+      clauses_.push_back(std::move(learned));
+      backtrack(bt);
+      attach_clause(cid);
+      enqueue(clauses_[std::size_t(cid)][0], cid);
+      continue;
+    }
+    if (budget.exhausted()) return SatStatus::Budget;
+    int decision = 0;
+    for (int v = 1; v <= nvars_; ++v) {
+      if (val_[std::size_t(v)] == 0) {
+        decision = v;
+        break;
+      }
+    }
+    if (decision == 0) return SatStatus::Sat;
+    ++stats->decisions;
+    trail_lim_.push_back(trail_.size());
+    enqueue(decision, -1);
+  }
+}
+
+}  // namespace slc::exact

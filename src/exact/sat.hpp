@@ -1,0 +1,104 @@
+// CDCL layer of the exact modulo scheduler (DPLL(T) over row booleans).
+//
+// A deliberately small conflict-driven solver: two-watched-literal
+// propagation, first-UIP conflict analysis, non-chronological
+// backjumping, and a static decision order (lowest unassigned variable,
+// tried true first — variables are laid out MI-major/row-minor, so this
+// walks MIs in source order through the rows). No restarts and no
+// activity heuristics: instances are a loop body's MIs times its II.
+//
+// The theory hook is how the difference-logic core participates: the
+// solver reports every trail extension to the Theory in order; the
+// theory may veto an assignment with a conflict clause (a ProofClause
+// whose literals are all currently false), which the solver adds to the
+// database, logs to the proof, and resolves like any other conflict.
+// Every learned clause is logged too, so an UNSAT run leaves behind a
+// checkable clausal refutation ending in the empty clause
+// (certificate.hpp validates it by RUP).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "exact/budget.hpp"
+#include "exact/certificate.hpp"
+
+namespace slc::exact {
+
+using Lit = int;  // +v / -v over variables v in [1, num_vars]
+
+class Theory {
+ public:
+  virtual ~Theory() = default;
+
+  /// Notified once per literal appended to the trail, in trail order.
+  /// Must record exactly one undo entry per call (even when vetoing).
+  /// Returns false on a theory conflict, filling *out with a lemma
+  /// clause whose literals are all false under the current assignment.
+  virtual bool on_assign(Lit lit, ProofClause* out) = 0;
+
+  /// The trail shrank to `new_size` literals: pop undo entries past it.
+  virtual void on_backtrack(std::size_t new_size) = 0;
+};
+
+enum class SatStatus { Sat, Unsat, Budget };
+
+struct SatStats {
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+};
+
+class CdclSolver {
+ public:
+  /// `theory` may be null (pure boolean solving); not owned.
+  CdclSolver(int num_vars, Theory* theory);
+
+  /// Adds a problem clause (before solve; literals must be distinct and
+  /// non-tautological, which the row encoding guarantees).
+  void add_clause(const std::vector<Lit>& lits);
+
+  /// Solves under `budget`; appends lemma + learned clauses to *proof
+  /// (ending with the empty clause when Unsat). `proof` may be null.
+  SatStatus solve(Budget& budget, std::vector<ProofClause>* proof,
+                  SatStats* stats);
+
+  /// Model value of a variable after Sat.
+  [[nodiscard]] bool value(int var) const {
+    return val_[std::size_t(var)] == 1;
+  }
+
+ private:
+  [[nodiscard]] int lit_value(Lit l) const {  // 1 true, -1 false, 0 unset
+    const int v = val_[std::size_t(std::abs(l))];
+    return l > 0 ? v : -v;
+  }
+  [[nodiscard]] std::size_t widx(Lit l) const {
+    return 2 * std::size_t(std::abs(l)) + (l < 0 ? 1 : 0);
+  }
+  [[nodiscard]] int current_level() const { return int(trail_lim_.size()); }
+
+  void enqueue(Lit l, int reason);
+  void attach_clause(int cid);
+  int propagate(std::vector<ProofClause>* proof, SatStats* stats);
+  std::vector<Lit> analyze(int confl, int* out_btlevel);
+  void backtrack(int level);
+
+  int nvars_;
+  Theory* theory_;
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<std::vector<int>> watches_;  // clause ids by watched literal
+  std::vector<std::int8_t> val_;
+  std::vector<int> level_;
+  std::vector<int> reason_;  // clause id, or -1 (decision / unset)
+  std::vector<char> seen_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::size_t theory_head_ = 0;
+  Budget* budget_ = nullptr;
+  bool unsat0_ = false;
+};
+
+}  // namespace slc::exact

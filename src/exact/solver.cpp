@@ -1,0 +1,294 @@
+#include "exact/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "exact/budget.hpp"
+#include "exact/dl.hpp"
+#include "exact/sat.hpp"
+#include "support/int_math.hpp"
+
+namespace slc::exact {
+
+namespace {
+
+/// DPLL(T) theory: fixed rows turn dependences into stage-difference
+/// constraints fed to the incremental difference engine; resource rows
+/// are counted eagerly. Conflicts come back as Cycle/Overflow lemmas
+/// over the row literals that caused them.
+class RowTheory final : public Theory {
+ public:
+  RowTheory(const Instance& inst, int ii, Budget& budget)
+      : inst_(inst),
+        ii_(ii),
+        budget_(budget),
+        dl_(inst.num_mis),
+        row_of_(std::size_t(inst.num_mis), -1),
+        deps_of_(std::size_t(inst.num_mis)),
+        classes_of_(std::size_t(inst.num_mis)) {
+    for (int d = 0; d < int(inst_.deps.size()); ++d) {
+      const DepConstraint& dep = inst_.deps[std::size_t(d)];
+      deps_of_[std::size_t(dep.src)].push_back(d);
+      if (dep.dst != dep.src) deps_of_[std::size_t(dep.dst)].push_back(d);
+    }
+    counts_.resize(inst_.resources.classes.size());
+    for (int c = 0; c < int(inst_.resources.classes.size()); ++c) {
+      counts_[std::size_t(c)].assign(std::size_t(ii), 0);
+      for (int m : inst_.resources.classes[std::size_t(c)].members)
+        classes_of_[std::size_t(m)].push_back(c);
+    }
+  }
+
+  bool on_assign(Lit lit, ProofClause* out) override {
+    Record rec;
+    bool ok = true;
+    if (lit > 0) {
+      const int mi = var_mi(lit, ii_);
+      const int row = var_row(lit, ii_);
+      rec.mi = mi;
+      rec.row = row;
+      dl_.push();
+      row_of_[std::size_t(mi)] = row;
+      for (int c : classes_of_[std::size_t(mi)]) {
+        const slms::ResourceClass& cls =
+            inst_.resources.classes[std::size_t(c)];
+        const int cnt = ++counts_[std::size_t(c)][std::size_t(row)];
+        if (ok && cnt > cls.units) {
+          ok = false;
+          out->kind = ProofClause::Kind::Overflow;
+          out->class_index = c;
+          out->row = row;
+          for (int m : cls.members)
+            if (row_of_[std::size_t(m)] == row)
+              out->lits.push_back(-row_var(m, row, ii_));
+        }
+      }
+      if (ok) {
+        for (int d : deps_of_[std::size_t(mi)]) {
+          const DepConstraint& dep = inst_.deps[std::size_t(d)];
+          const int ra = row_of_[std::size_t(dep.src)];
+          const int rb = row_of_[std::size_t(dep.dst)];
+          if (ra < 0 || rb < 0) continue;
+          const std::int64_t w =
+              ceil_div(dep.delay - rb + ra, ii_) - dep.distance;
+          const std::int64_t s0 = dl_.steps();
+          const bool added = dl_.add(dep.src, dep.dst, w, d);
+          budget_.charge(dl_.steps() - s0);
+          if (!added) {
+            ok = false;
+            out->kind = ProofClause::Kind::Cycle;
+            out->dep_indices = dl_.conflict();
+            std::set<int> mis;
+            for (int cd : out->dep_indices) {
+              mis.insert(inst_.deps[std::size_t(cd)].src);
+              mis.insert(inst_.deps[std::size_t(cd)].dst);
+            }
+            for (int m : mis)
+              out->lits.push_back(
+                  -row_var(m, row_of_[std::size_t(m)], ii_));
+            break;
+          }
+        }
+      }
+    }
+    records_.push_back(rec);
+    return ok;
+  }
+
+  void on_backtrack(std::size_t new_size) override {
+    while (records_.size() > new_size) {
+      const Record& r = records_.back();
+      if (r.mi >= 0) {
+        for (int c : classes_of_[std::size_t(r.mi)])
+          --counts_[std::size_t(c)][std::size_t(r.row)];
+        row_of_[std::size_t(r.mi)] = -1;
+        dl_.pop();
+      }
+      records_.pop_back();
+    }
+  }
+
+  [[nodiscard]] const DiffEngine& dl() const { return dl_; }
+  [[nodiscard]] int row_of(int mi) const {
+    return row_of_[std::size_t(mi)];
+  }
+
+ private:
+  struct Record {
+    int mi = -1;  // < 0: literal did not fix a row
+    int row = -1;
+  };
+
+  const Instance& inst_;
+  int ii_;
+  Budget& budget_;
+  DiffEngine dl_;
+  std::vector<int> row_of_;
+  std::vector<std::vector<int>> deps_of_;
+  std::vector<std::vector<int>> classes_of_;
+  std::vector<std::vector<int>> counts_;  // per class, per row
+  std::vector<Record> records_;
+};
+
+/// Decide one candidate II exactly. Fills exactly one of *schedule /
+/// *proof on a definite answer; returns Budget when the budget died.
+enum class Candidate { Sat, Unsat, Budget };
+
+Candidate try_ii(const Instance& inst, int ii, Budget& budget,
+                 ExactStats* stats, ScheduleCert* schedule,
+                 InfeasibilityCert* proof) {
+  proof->ii = ii;
+
+  // 1. Pigeonhole on every resource class.
+  for (int c = 0; c < int(inst.resources.classes.size()); ++c) {
+    const slms::ResourceClass& cls = inst.resources.classes[std::size_t(c)];
+    const bool starved = cls.units <= 0 && !cls.members.empty();
+    if (starved || std::int64_t(cls.members.size()) >
+                       std::int64_t(std::max(cls.units, 0)) * ii) {
+      proof->kind = InfeasibilityCert::Kind::ResourceCount;
+      proof->class_index = c;
+      return Candidate::Unsat;
+    }
+  }
+
+  // 2. Difference core over sigma.
+  DiffEngine core(inst.num_mis);
+  for (int d = 0; d < int(inst.deps.size()); ++d) {
+    const DepConstraint& dep = inst.deps[std::size_t(d)];
+    const std::int64_t s0 = core.steps();
+    const bool added = core.add(dep.src, dep.dst, dep.weight(ii), d);
+    const bool alive = budget.charge(core.steps() - s0);
+    if (!added) {
+      proof->kind = InfeasibilityCert::Kind::PositiveCycle;
+      proof->dep_indices = core.conflict();
+      std::int64_t dist = 0;
+      for (int cd : proof->dep_indices)
+        dist += inst.deps[std::size_t(cd)].distance;
+      proof->distance_free = dist == 0;
+      return Candidate::Unsat;
+    }
+    if (!alive) return Candidate::Budget;
+  }
+  if (inst.resources.empty()) {
+    schedule->ii = ii;
+    schedule->sigma = core.potentials();
+    return Candidate::Sat;
+  }
+
+  // 3. CDCL over the row booleans, difference engine as the theory.
+  RowTheory theory(inst, ii, budget);
+  CdclSolver sat(inst.num_mis * ii, &theory);
+  for (int mi = 0; mi < inst.num_mis; ++mi) {
+    std::vector<Lit> alo;
+    alo.reserve(std::size_t(ii));
+    for (int r = 0; r < ii; ++r) alo.push_back(row_var(mi, r, ii));
+    sat.add_clause(alo);
+    for (int r = 0; r < ii; ++r)
+      for (int r2 = r + 1; r2 < ii; ++r2)
+        sat.add_clause({-row_var(mi, r, ii), -row_var(mi, r2, ii)});
+  }
+  SatStats sstats;
+  proof->kind = InfeasibilityCert::Kind::Clausal;
+  proof->clauses.clear();
+  const SatStatus st = sat.solve(budget, &proof->clauses, &sstats);
+  stats->decisions += sstats.decisions;
+  stats->propagations += sstats.propagations;
+  stats->conflicts += sstats.conflicts;
+  switch (st) {
+    case SatStatus::Budget:
+      return Candidate::Budget;
+    case SatStatus::Unsat:
+      return Candidate::Unsat;
+    case SatStatus::Sat:
+      break;
+  }
+  schedule->ii = ii;
+  schedule->sigma.assign(std::size_t(inst.num_mis), 0);
+  const std::vector<std::int64_t>& stage = theory.dl().potentials();
+  for (int mi = 0; mi < inst.num_mis; ++mi)
+    schedule->sigma[std::size_t(mi)] =
+        std::int64_t(ii) * stage[std::size_t(mi)] + theory.row_of(mi);
+  return Candidate::Sat;
+}
+
+}  // namespace
+
+const char* to_string(ExactStatus s) {
+  switch (s) {
+    case ExactStatus::Optimal: return "optimal";
+    case ExactStatus::Infeasible: return "infeasible";
+    case ExactStatus::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+ExactResult solve(const Instance& inst, const ExactOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ExactResult res;
+  Budget budget(opts.max_steps, opts.budget_ms);
+
+  auto finish = [&](ExactStatus status) {
+    res.status = status;
+    res.stats.steps = budget.steps();
+    res.stats.solve_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    return res;
+  };
+
+  if (inst.num_mis == 0) {
+    res.ii = 1;
+    res.schedule.ii = 1;
+    return finish(ExactStatus::Optimal);
+  }
+
+  // Past this II a schedule always exists (rows can be made distinct and
+  // stages absorb every delay), so the scan terminates without a cap.
+  std::int64_t max_delay = 1;
+  for (const DepConstraint& d : inst.deps)
+    max_delay = std::max(max_delay, d.delay);
+  const int cap = opts.max_ii.value_or(
+      int(std::int64_t(inst.num_mis) * max_delay + 1));
+
+  for (int ii = 1; ii <= cap; ++ii) {
+    ++res.stats.candidates;
+    ScheduleCert schedule;
+    InfeasibilityCert proof;
+    switch (try_ii(inst, ii, budget, &res.stats, &schedule, &proof)) {
+      case Candidate::Budget:
+        return finish(ExactStatus::Timeout);
+      case Candidate::Sat:
+        res.ii = ii;
+        res.schedule = std::move(schedule);
+        res.lower_bound = ii;
+        return finish(ExactStatus::Optimal);
+      case Candidate::Unsat: {
+        res.lower_bound = ii + 1;
+        const bool forever =
+            (proof.kind == InfeasibilityCert::Kind::PositiveCycle &&
+             proof.distance_free) ||
+            (proof.kind == InfeasibilityCert::Kind::ResourceCount &&
+             inst.resources.classes[std::size_t(proof.class_index)].units <=
+                 0);
+        res.lower_proof = std::move(proof);
+        if (forever) return finish(ExactStatus::Infeasible);
+        break;
+      }
+    }
+    if (budget.exhausted()) return finish(ExactStatus::Timeout);
+  }
+  res.capped = opts.max_ii.has_value();
+  return finish(ExactStatus::Infeasible);
+}
+
+std::string exact_identity(const ExactOptions& opts, bool with_resources) {
+  std::string id = kSolverVersion;
+  id += " budget_ms=" + std::to_string(opts.budget_ms);
+  id += " max_steps=" + std::to_string(opts.max_steps);
+  id += " resources=" + std::string(with_resources ? "1" : "0");
+  return id;
+}
+
+}  // namespace slc::exact

@@ -1,0 +1,89 @@
+// Exact modulo scheduler: provably minimal II with certificates.
+//
+// solve() searches II upward from 1. Every candidate is decided exactly:
+//
+//   1. Pigeonhole resource count (|members| > units*II => ResourceCount
+//      certificate).
+//   2. The pure difference core — the dependence constraints over sigma
+//      with edge weights delay - II*distance, run through the
+//      incremental engine (dl.hpp). A positive cycle is a PositiveCycle
+//      certificate; with an empty resource model, feasibility here IS
+//      optimality (this upward scan is exactly the difMin method the
+//      heuristic MiiSolver uses, so RecMII falls out of it for free) and
+//      the minimal potentials are the schedule witness.
+//   3. With resources, CDCL over row booleans (sat.hpp) with the
+//      difference engine as its theory: sigma splits into
+//      II*stage + row, fixed rows turn each dependence into a stage
+//      difference constraint, and theory conflicts become Cycle/Overflow
+//      lemmas. UNSAT yields a Clausal certificate.
+//
+// The first feasible II is optimal because every smaller one carries an
+// infeasibility certificate; the result keeps the certificate of II*-1
+// as the no-improvement proof. A positive cycle with zero total distance
+// (or a class with no units) is infeasible at every II -> Infeasible.
+// Exhausting the budget mid-candidate degrades to Timeout — the caller
+// reports gap=unknown, never an error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "exact/certificate.hpp"
+#include "exact/encoding.hpp"
+
+namespace slc::exact {
+
+/// Solver version tag: part of every journal options signature via
+/// exact_identity(); bump on any change that can alter answers.
+inline constexpr const char* kSolverVersion = "dl-cdcl-1";
+
+enum class ExactStatus { Optimal, Infeasible, Timeout };
+[[nodiscard]] const char* to_string(ExactStatus s);
+
+struct ExactOptions {
+  /// Wall-clock budget; < 0 disables the clock.
+  std::int64_t budget_ms = 2000;
+  /// Deterministic step cap (< 0: unlimited). Tests use this to force
+  /// the timeout path reproducibly.
+  std::int64_t max_steps = -1;
+  /// Search cap (inclusive). Defaults to a termination bound past which
+  /// a schedule always exists; when set and exhausted, the result is
+  /// Infeasible with `capped` set.
+  std::optional<int> max_ii;
+};
+
+struct ExactStats {
+  std::int64_t solve_ns = 0;
+  std::int64_t steps = 0;
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+  int candidates = 0;  // IIs examined
+};
+
+struct ExactResult {
+  ExactStatus status = ExactStatus::Timeout;
+  int ii = 0;                // the proven-minimal II (status Optimal)
+  ScheduleCert schedule;     // witness at ii (status Optimal)
+  /// Infeasibility certificate at ii-1 (Optimal, absent when ii == 1),
+  /// or at the last II refuted (Infeasible/Timeout, absent when none).
+  std::optional<InfeasibilityCert> lower_proof;
+  /// Greatest II proven infeasible, plus one; equals max(RecMII, ResMII)
+  /// once the scan passes both bounds. On Optimal this equals ii.
+  int lower_bound = 1;
+  bool capped = false;  // Infeasible only because max_ii cut the search
+  ExactStats stats;
+};
+
+[[nodiscard]] ExactResult solve(const Instance& inst,
+                                const ExactOptions& opts = {});
+
+/// Identity of the exact configuration for journal row keys: solver
+/// version, budget, step cap, and whether a resource model constrains
+/// the schedule. Rows solved under different exact settings must never
+/// be replayed into each other by --resume/--diff-since.
+[[nodiscard]] std::string exact_identity(const ExactOptions& opts,
+                                         bool with_resources);
+
+}  // namespace slc::exact

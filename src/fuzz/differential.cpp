@@ -1,7 +1,9 @@
 #include "fuzz/differential.hpp"
 
+#include <optional>
 #include <sstream>
 
+#include "exact/solver.hpp"
 #include "frontend/parser.hpp"
 #include "interp/interp.hpp"
 #include "machine/lower.hpp"
@@ -48,6 +50,65 @@ std::string variant_label(const slms::SlmsOptions& options) {
       return "none";
   }
   return "?";
+}
+
+// The exact-oracle cross-check (DESIGN.md §14): re-solve each applied
+// loop's final DDG to proven optimality and hold the heuristic to it.
+// Everything here is a static disagreement — no execution involved —
+// so it composes with --no-backends for fast CI sweeps.
+std::optional<DiffVerdict> exact_disagreement(
+    const std::vector<slms::SlmsApplication>& applications,
+    const std::string& label, const DiffOptions& options) {
+  for (const slms::SlmsApplication& app : applications) {
+    if (!app.applied()) continue;
+    const slms::LoopPlacement& pl = *app.placement;
+    auto bad = [&](const std::string& msg) {
+      return fail(Stage::Schedule, FailureKind::VerifyFailed, msg,
+                  "exact/" + label);
+    };
+    exact::Instance inst = exact::from_placement(pl, {});
+    exact::ExactOptions eopts;
+    eopts.budget_ms = options.exact_budget_ms;
+    exact::ExactResult res = exact::solve(inst, eopts);
+    switch (res.status) {
+      case exact::ExactStatus::Timeout:
+        continue;  // unknown is honest; a timeout is never a verdict
+      case exact::ExactStatus::Infeasible:
+        return bad("exact solver proved every II infeasible, but the "
+                   "heuristic scheduled at II=" + std::to_string(pl.ii));
+      case exact::ExactStatus::Optimal:
+        break;
+    }
+    std::string why;
+    if (!exact::check_schedule(inst, res.schedule, &why))
+      return bad("exact schedule certificate rejected: " + why);
+    if (res.lower_proof.has_value() &&
+        !exact::check_infeasibility(inst, *res.lower_proof, &why))
+      return bad("exact infeasibility certificate rejected: " + why);
+    DiagnosticEngine vdiags;
+    if (!verify::verify_schedule(pl, res.ii, res.schedule.sigma, vdiags))
+      return bad("src/verify rejects the certified exact schedule: " +
+                 vdiags.str());
+    if (res.ii > pl.ii)
+      return bad("relaxation violated: exact minimum II=" +
+                 std::to_string(res.ii) +
+                 " exceeds heuristic II=" + std::to_string(pl.ii));
+    // Resource-free SLMS iterates II upward with a complete feasibility
+    // check, so its II *is* the minimum — any proven gap means the
+    // heuristic search regressed (this is what catches the planted
+    // bug:sched-ii-inflate).
+    if (res.ii < pl.ii)
+      return bad("heuristic II=" + std::to_string(pl.ii) +
+                 " is suboptimal: exact proves II=" +
+                 std::to_string(res.ii));
+    exact::ScheduleCert heuristic;
+    heuristic.ii = pl.ii;
+    heuristic.sigma = pl.sigma;
+    if (!exact::check_schedule(inst, heuristic, &why))
+      return bad("heuristic schedule violates its own constraint system: " +
+                 why);
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -157,6 +218,12 @@ DiffVerdict differential_check(const std::string& source,
       DiagnosticEngine vdiags;
       static_ok = verify::verify_transformed(transformed, applications, vdiags);
       if (!static_ok) static_json = vdiags.to_json(Severity::Error).dump();
+    }
+
+    if (options.check_exact && applied) {
+      if (std::optional<DiffVerdict> v =
+              exact_disagreement(applications, label, options))
+        return *v;
     }
 
     for (std::uint64_t seed = 0; seed < seeds; ++seed) {

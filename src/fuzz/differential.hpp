@@ -33,6 +33,18 @@ struct DiffOptions {
   /// miscompile the verifier misses, or a verifier rejection of a program
   /// the oracle accepts, becomes a Stage::Verify disagreement failure.
   bool check_static = false;
+  /// Cross-check the exact modulo scheduler (src/exact) against the
+  /// heuristic on every applied loop: the heuristic II must *equal* the
+  /// proven minimum (resource-free SLMS is a complete search, so either
+  /// direction of a gap is a bug — above violates the relaxation
+  /// theorem, below means the II search regressed), both certificate
+  /// directions must validate, the certified schedule must re-verify
+  /// through src/verify, and the heuristic's own sigma must be exactly
+  /// feasible. Any violation is a Stage::Schedule disagreement failure;
+  /// solver timeouts are skipped, never misreported.
+  bool check_exact = false;
+  /// Per-loop exact-solve budget for check_exact (ms; < 0 = unlimited).
+  std::int64_t exact_budget_ms = 2000;
   /// Which execution oracle decides equivalence. Native runs the
   /// dlopen'd compiled kernel (falling back per-program to the
   /// interpreter when codegen refuses or no host compiler exists); Both

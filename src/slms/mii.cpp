@@ -84,14 +84,63 @@ std::optional<ModuloSchedule> MiiSolver::schedule_for(int ii) const {
   return std::nullopt;  // positive cycle: II infeasible
 }
 
+namespace {
+
+/// True when `sched` packs more members of some class into one row mod
+/// II than the class has units — the witness the historical solver never
+/// looked at (it silently assumed unbounded resources).
+bool schedule_overcommits(const ModuloSchedule& sched,
+                          const ResourceModel& resources) {
+  for (const ResourceClass& cls : resources.classes) {
+    if (cls.units <= 0) return true;  // a class nothing may occupy
+    std::vector<int> per_row(std::size_t(sched.ii), 0);
+    for (int mi : cls.members) {
+      if (mi < 0 || mi >= sched.num_mis()) continue;
+      if (++per_row[std::size_t(sched.row(mi))] > cls.units) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int res_mii(const ResourceModel& resources) {
+  std::int64_t bound = 1;
+  for (const ResourceClass& cls : resources.classes) {
+    if (cls.members.empty()) continue;
+    std::int64_t units = std::max(1, cls.units);
+    bound = std::max(bound,
+                     ceil_div(std::int64_t(cls.members.size()), units));
+  }
+  return int(bound);
+}
+
 std::optional<ModuloSchedule> MiiSolver::solve(MiiOptions opts) const {
   const int n = ddg_.num_nodes;
   if (n == 0) return std::nullopt;
   // A valid SLMS II must beat the sequential schedule: II < #MIs (§5).
   int bound = opts.max_ii.value_or(n - 1);
-  for (int ii = 1; ii <= bound; ++ii)
-    if (auto s = schedule_for(ii)) return s;
+  const bool bounded =
+      opts.resources != nullptr && !opts.resources->empty();
+  // Resource floor: no II below ResMII can hold every class member once
+  // per iteration, so candidates below it are skipped outright.
+  int floor_ii = bounded ? res_mii(*opts.resources) : 1;
+  for (int ii = std::max(1, floor_ii); ii <= bound; ++ii) {
+    auto s = schedule_for(ii);
+    if (!s) continue;
+    if (bounded && schedule_overcommits(*s, *opts.resources))
+      continue;  // minimal witness overcommits a class row (see
+                 // MiiOptions::resources: conservative, not complete)
+    return s;
+  }
   return std::nullopt;
+}
+
+std::int64_t MiiSolver::lower_bound(const ResourceModel* resources) const {
+  std::int64_t bound = recurrence_bound_hint();
+  if (resources != nullptr && !resources->empty())
+    bound = std::max(bound, std::int64_t(res_mii(*resources)));
+  return bound;
 }
 
 std::int64_t MiiSolver::recurrence_bound_hint() const {

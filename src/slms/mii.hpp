@@ -52,10 +52,44 @@ struct ModuloSchedule {
   }
 };
 
+/// One resource class of the (optional) resource model: `units` slots
+/// per cycle shared by the MIs in `members`. An MI occupies one unit of
+/// its class in its schedule row, so at most `units` members may share a
+/// row mod II. Membership is by MI index; an MI may appear in several
+/// classes (e.g. a memory class and an all-MIs issue-width class).
+struct ResourceClass {
+  std::string name;
+  int units = 1;
+  std::vector<int> members;
+};
+
+struct ResourceModel {
+  std::vector<ResourceClass> classes;
+
+  [[nodiscard]] bool empty() const { return classes.empty(); }
+};
+
+/// Resource-constrained lower bound ResMII = max over classes of
+/// ceil(uses(r) / units(r)): with uses(r) MIs competing for units(r)
+/// slots per row, fewer than that many rows cannot hold one instance of
+/// every member per iteration. Empty model (unbounded resources) => 1.
+[[nodiscard]] int res_mii(const ResourceModel& resources);
+
 struct MiiOptions {
   /// Largest II tried (inclusive). Default: #MIs - 1, because the paper
   /// rejects II >= #MIs as "no better than the sequential schedule" (§5).
   std::optional<int> max_ii;
+  /// Resource model constraining how many MIs of a class may share a
+  /// schedule row mod II. Null/empty keeps the historical behaviour
+  /// (unbounded resources) — but now by explicit contract instead of a
+  /// silent assumption. When present, solve() floors its II search at
+  /// res_mii() and rejects any candidate whose minimal (Bellman-Ford)
+  /// schedule overcommits a class row. This keeps the solver sound and
+  /// conservative: it never claims an II the resources cannot carry, but
+  /// it may overshoot the true resource-constrained optimum because it
+  /// only examines the minimal-sigma witness per II — the exact backend
+  /// (src/exact) is the complete decision procedure.
+  const ResourceModel* resources = nullptr;
 };
 
 class MiiSolver {
@@ -74,6 +108,13 @@ class MiiSolver {
   /// ceil(sum delay / sum distance) — exposed for the Fig. 8 unit tests;
   /// solve() does not need it.
   [[nodiscard]] std::int64_t recurrence_bound_hint() const;
+
+  /// Combined MII lower bound max(RecMII, ResMII) — the floor every
+  /// schedule (heuristic or exact) must respect. RecMII is the
+  /// recurrence bound above; ResMII comes from `resources` (1 when null
+  /// or empty).
+  [[nodiscard]] std::int64_t lower_bound(
+      const ResourceModel* resources = nullptr) const;
 
  private:
   const analysis::Ddg& ddg_;

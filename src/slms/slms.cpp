@@ -228,6 +228,17 @@ SlmsResult transform_loop(const ForStmt& loop, const Program& program,
     MiiSolver solver(ddg, compute_delays(ddg));
     sched = solver.solve({options.max_ii});
     if (sched.has_value()) {
+      // Deliberate pessimization (support/fault.hpp, `bug:sched-ii-inflate`):
+      // re-solve one II above the minimum the search just proved feasible.
+      // Raising II only relaxes the modulo inequality, so the inflated
+      // schedule is still correct — the static verifier and the execution
+      // oracle both accept it, and only the exact oracle exposes the bug
+      // as a nonzero II-optimality gap. This is the planted fault the CI
+      // exact-gate job must catch.
+      if (support::fault::bug_planted("sched-ii-inflate")) {
+        if (auto inflated = solver.schedule_for(sched->ii + 1))
+          sched = std::move(inflated);
+      }
       note("MII search (§3.6): feasible at II=" +
            std::to_string(sched->ii) + ", " +
            std::to_string(sched->stage_count()) + " stage(s)");

@@ -35,6 +35,11 @@
 // src/verify legality checker — the CI lint gate enforces it):
 //   bug:mve-skip-rename   drop the MVE rename of one planned scalar
 //   bug:sched-sigma-skew  shift the last MI off its scheduled slot
+//   bug:sched-ii-inflate  schedule at II+1 instead of the minimum — the
+//                         one planted bug that is *correct* code: verifier
+//                         and oracle accept it; only the exact oracle's
+//                         nonzero II-optimality gap (the CI exact-gate
+//                         job) can catch it
 //   bug:kernel-run-over   kernel bound runs one unrolled round long
 //   bug:prologue-drop     lose the earliest prologue instance
 //   bug:prologue-early-iv prologue instances bind the previous iv value

@@ -282,4 +282,66 @@ void check_dependences(const LoopPlacement& pl, DiagnosticEngine& diags) {
   }
 }
 
+bool verify_schedule(const LoopPlacement& pl, int ii,
+                     const std::vector<std::int64_t>& sigma,
+                     DiagnosticEngine& diags) {
+  const std::size_t errs0 = diags.error_count();
+  const SourceLoc loc = pl.mis.empty() ? SourceLoc{} : pl.mis.front()->loc;
+  if (ii < 1 || sigma.size() != pl.mis.size()) {
+    diags.error(kStructure, loc,
+                "schedule to verify does not match the placement (II " +
+                    std::to_string(ii) + ", " +
+                    std::to_string(sigma.size()) + " slots for " +
+                    std::to_string(pl.mis.size()) + " MIs)");
+    return false;
+  }
+  for (std::size_t k = 0; k < sigma.size(); ++k) {
+    if (sigma[k] >= 0) continue;
+    diags.error(kStructure, loc,
+                "negative schedule slot for " + mi_name(int(k)));
+    return false;
+  }
+
+  std::vector<const ast::Stmt*> mis;
+  mis.reserve(pl.mis.size());
+  for (const ast::StmtPtr& m : pl.mis) mis.push_back(m.get());
+  analysis::Ddg full = analysis::build_ddg(mis, pl.iv, pl.step);
+
+  // Same split as check_dependences: the schedule under test was solved
+  // against the relaxed graph, and it is never emitted, so the dropped
+  // edges' rename-margin obligations do not apply to it.
+  const std::set<std::string> planned(pl.planned.begin(), pl.planned.end());
+  analysis::Ddg spec;
+  spec.num_nodes = full.num_nodes;
+  for (const DepEdge& e : full.edges) {
+    if (e.kind != DepKind::Flow && planned.count(e.var) != 0) continue;
+    spec.edges.push_back(e);
+  }
+
+  const std::vector<std::int64_t> delays = slms::compute_delays(spec);
+  for (std::size_t i = 0; i < spec.edges.size(); ++i) {
+    const DepEdge& e = spec.edges[i];
+    for (const analysis::DepDist& d : e.distances) {
+      if (!d.known) {
+        diags.error(kDepUnknown, pl.mis[std::size_t(e.src)]->loc,
+                    "dependence on '" + e.var +
+                        "' has unknown distance '*'; no schedule over this "
+                        "graph can be justified");
+        continue;
+      }
+      std::int64_t lhs = sigma[std::size_t(e.dst)] -
+                         sigma[std::size_t(e.src)] + ii * d.distance;
+      if (lhs >= delays[i]) continue;
+      std::ostringstream msg;
+      msg << "schedule violates the " << to_string(e.kind)
+          << " dependence on '" << e.var << "' (" << mi_name(e.src) << " -> "
+          << mi_name(e.dst) << ", distance " << d.distance << "): sigma("
+          << mi_name(e.dst) << ") - sigma(" << mi_name(e.src) << ") + II*"
+          << d.distance << " = " << lhs << " < delay " << delays[i];
+      diags.error(kDepViolation, pl.mis[std::size_t(e.src)]->loc, msg.str());
+    }
+  }
+  return diags.error_count() == errs0;
+}
+
 }  // namespace slc::verify

@@ -62,6 +62,17 @@ bool verify_transformed(const ast::Program& transformed,
                         DiagnosticEngine& diags,
                         const VerifyOptions& options = {});
 
+/// Re-checks an arbitrary modulo schedule (`ii`, `sigma`) against the
+/// placement's dependence graph, split exactly as the driver split it
+/// before solving (anti/output edges of planned scalars dropped, delays
+/// recomputed on the kept graph). This is how the exact scheduler's
+/// certificates are validated independently of src/exact: the schedule
+/// is never emitted, so only the relaxation constraints apply. Returns
+/// true when no error was added.
+bool verify_schedule(const slms::LoopPlacement& placement, int ii,
+                     const std::vector<std::int64_t>& sigma,
+                     DiagnosticEngine& diags);
+
 /// Whole-program static array-bounds check. Flags subscripts that
 /// *provably* leave their array's declared extent (slms-oob): constant
 /// subscripts, and affine subscripts of constant-bound canonical loop

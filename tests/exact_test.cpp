@@ -1,0 +1,455 @@
+// Exact modulo scheduler (src/exact): hand-computed optima, a brute-force
+// cross-check on small instances, certificate tampering, the deterministic
+// timeout path, and a 200-seed corpus sweep asserting the heuristic
+// pipeline never beats the proven optimum.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "analysis/ddg.hpp"
+#include "exact/certificate.hpp"
+#include "exact/encoding.hpp"
+#include "exact/solver.hpp"
+#include "slms/mii.hpp"
+#include "slms/slms.hpp"
+#include "support/int_math.hpp"
+#include "tests/helpers.hpp"
+#include "tests/loop_generator.hpp"
+#include "verify/verify.hpp"
+
+namespace slc {
+namespace {
+
+using analysis::Ddg;
+using analysis::DepDist;
+using analysis::DepEdge;
+using analysis::DepKind;
+using exact::DepConstraint;
+using exact::ExactOptions;
+using exact::ExactResult;
+using exact::ExactStatus;
+using exact::Instance;
+using exact::InfeasibilityCert;
+using slms::ResourceClass;
+using slms::ResourceModel;
+using test::LoopGenerator;
+using test::LoopGenOptions;
+using test::parse_or_die;
+
+DepEdge edge(int src, int dst, std::int64_t dist,
+             DepKind kind = DepKind::Flow) {
+  DepEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.kind = kind;
+  e.var = "A";
+  e.distances = {DepDist{dist, true}};
+  return e;
+}
+
+DepConstraint dep(int src, int dst, std::int64_t delay,
+                  std::int64_t distance) {
+  DepConstraint d;
+  d.src = src;
+  d.dst = dst;
+  d.delay = delay;
+  d.distance = distance;
+  return d;
+}
+
+ResourceModel one_class(std::string name, int units, std::vector<int> members) {
+  ResourceClass cls;
+  cls.name = std::move(name);
+  cls.units = units;
+  cls.members = std::move(members);
+  ResourceModel model;
+  model.classes.push_back(std::move(cls));
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// Independent reference implementation for the cross-check: feasibility of
+// a difference system by plain Bellman-Ford relaxation (longest path), and
+// resource-constrained feasibility by exhaustive row enumeration. Shares
+// nothing with src/exact but the Instance struct.
+
+bool bf_feasible(int n, const std::vector<DepConstraint>& deps,
+                 const std::vector<std::int64_t>& weights) {
+  std::vector<std::int64_t> p(std::size_t(n), 0);
+  for (int pass = 0; pass <= n; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+      const DepConstraint& d = deps[i];
+      if (p[std::size_t(d.dst)] < p[std::size_t(d.src)] + weights[i]) {
+        p[std::size_t(d.dst)] = p[std::size_t(d.src)] + weights[i];
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;  // still relaxing after n passes: positive cycle
+}
+
+bool rows_fit(const Instance& inst, const std::vector<int>& rows, int ii) {
+  for (const ResourceClass& cls : inst.resources.classes) {
+    std::vector<int> count(std::size_t(ii), 0);
+    for (int m : cls.members)
+      if (++count[std::size_t(rows[std::size_t(m)])] > cls.units)
+        return false;
+  }
+  return true;
+}
+
+bool brute_feasible_at(const Instance& inst, int ii) {
+  if (inst.resources.empty()) {
+    std::vector<std::int64_t> w(inst.deps.size());
+    for (std::size_t i = 0; i < inst.deps.size(); ++i)
+      w[i] = inst.deps[i].weight(ii);
+    return bf_feasible(inst.num_mis, inst.deps, w);
+  }
+  // Enumerate every row assignment (ii^n of them) and decide the induced
+  // stage system per assignment.
+  std::vector<int> rows(std::size_t(inst.num_mis), 0);
+  while (true) {
+    if (rows_fit(inst, rows, ii)) {
+      std::vector<std::int64_t> w(inst.deps.size());
+      for (std::size_t i = 0; i < inst.deps.size(); ++i) {
+        const DepConstraint& d = inst.deps[i];
+        w[i] = ceil_div(d.delay - rows[std::size_t(d.dst)] +
+                            rows[std::size_t(d.src)],
+                        ii) -
+               d.distance;
+      }
+      if (bf_feasible(inst.num_mis, inst.deps, w)) return true;
+    }
+    int k = 0;
+    while (k < inst.num_mis && ++rows[std::size_t(k)] == ii)
+      rows[std::size_t(k++)] = 0;
+    if (k == inst.num_mis) return false;
+  }
+}
+
+std::optional<int> brute_min_ii(const Instance& inst, int max_ii) {
+  for (int ii = 1; ii <= max_ii; ++ii)
+    if (brute_feasible_at(inst, ii)) return ii;
+  return std::nullopt;
+}
+
+/// Solves and validates both certificate directions before returning.
+ExactResult solve_checked(const Instance& inst, ExactOptions opts = {}) {
+  ExactResult res = exact::solve(inst, opts);
+  std::string why;
+  if (res.status == ExactStatus::Optimal) {
+    EXPECT_TRUE(exact::check_schedule(inst, res.schedule, &why)) << why;
+    EXPECT_EQ(res.schedule.ii, res.ii);
+  }
+  if (res.lower_proof.has_value()) {
+    EXPECT_TRUE(exact::check_infeasibility(inst, *res.lower_proof, &why))
+        << why;
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Exact, IndependentMisScheduleAtIiOne) {
+  Instance inst;
+  inst.num_mis = 3;
+  ExactResult res = solve_checked(inst);
+  EXPECT_EQ(res.status, ExactStatus::Optimal);
+  EXPECT_EQ(res.ii, 1);
+  EXPECT_FALSE(res.lower_proof.has_value());  // nothing below II=1 to refute
+}
+
+TEST(Exact, Figure8OptimumIsTwoWithLowerProof) {
+  // The paper's Fig. 8 recurrence: C2 = c->d->f->c has delay sum 4 over
+  // distance sum 2, so the optimum is II = 2 and II = 1 is refutable.
+  Ddg g;
+  g.num_nodes = 6;
+  g.edges.push_back(edge(2, 3, 1));
+  g.edges.push_back(edge(3, 4, 1));
+  g.edges.push_back(edge(4, 5, 1));
+  g.edges.push_back(edge(3, 5, 0));
+  g.edges.push_back(edge(5, 2, 1, DepKind::Anti));
+  Instance inst = exact::from_ddg(g, slms::compute_delays(g));
+
+  ExactResult res = solve_checked(inst);
+  EXPECT_EQ(res.status, ExactStatus::Optimal);
+  EXPECT_EQ(res.ii, 2);
+  ASSERT_TRUE(res.lower_proof.has_value());
+  EXPECT_EQ(res.lower_proof->ii, 1);
+  EXPECT_EQ(res.lower_proof->kind, InfeasibilityCert::Kind::PositiveCycle);
+  EXPECT_FALSE(res.lower_proof->distance_free);
+}
+
+TEST(Exact, DistanceFreeCycleIsForeverInfeasible) {
+  // sigma(1) - sigma(0) >= 1 and sigma(0) - sigma(1) >= 1: no II helps.
+  Instance inst;
+  inst.num_mis = 2;
+  inst.deps = {dep(0, 1, 1, 0), dep(1, 0, 1, 0)};
+  ExactResult res = solve_checked(inst);
+  EXPECT_EQ(res.status, ExactStatus::Infeasible);
+  EXPECT_FALSE(res.capped);
+  ASSERT_TRUE(res.lower_proof.has_value());
+  EXPECT_TRUE(res.lower_proof->distance_free);
+}
+
+TEST(Exact, PigeonholeResourceBound) {
+  // Three independent memory MIs sharing one unit: II* = ResMII = 3.
+  Instance inst;
+  inst.num_mis = 3;
+  inst.resources = one_class("mem", 1, {0, 1, 2});
+  ExactResult res = solve_checked(inst);
+  EXPECT_EQ(res.status, ExactStatus::Optimal);
+  EXPECT_EQ(res.ii, 3);
+  ASSERT_TRUE(res.lower_proof.has_value());
+  EXPECT_EQ(res.lower_proof->kind, InfeasibilityCert::Kind::ResourceCount);
+}
+
+TEST(Exact, StarvedResourceClassInfeasible) {
+  Instance inst;
+  inst.num_mis = 1;
+  inst.resources = one_class("mem", 0, {0});
+  ExactResult res = solve_checked(inst);
+  EXPECT_EQ(res.status, ExactStatus::Infeasible);
+  EXPECT_FALSE(res.capped);
+}
+
+TEST(Exact, ResourceDependenceInteractionNeedsCdcl) {
+  // Two MIs forced into the same row by a tight two-cycle (delay 2 each
+  // way over distance 1: |sigma(1) - sigma(0)| <= II - 2 at II = 2 means
+  // equality mod 2), but the class only admits one per row. Pigeonhole
+  // passes at II = 2 (2 members, 2 rows), so only the CDCL layer can
+  // refute it — with a Clausal certificate. II = 3 leaves slack.
+  Instance inst;
+  inst.num_mis = 2;
+  inst.deps = {dep(0, 1, 2, 1), dep(1, 0, 2, 1)};
+  inst.resources = one_class("mem", 1, {0, 1});
+  ExactResult res = solve_checked(inst);
+  EXPECT_EQ(res.status, ExactStatus::Optimal);
+  EXPECT_EQ(res.ii, 3);
+  ASSERT_TRUE(res.lower_proof.has_value());
+  EXPECT_EQ(res.lower_proof->ii, 2);
+  EXPECT_EQ(res.lower_proof->kind, InfeasibilityCert::Kind::Clausal);
+  ASSERT_FALSE(res.lower_proof->clauses.empty());
+  EXPECT_TRUE(res.lower_proof->clauses.back().lits.empty());
+}
+
+TEST(Exact, MaxIiCapExhaustionReportsCapped) {
+  Instance inst;
+  inst.num_mis = 2;
+  inst.deps = {dep(0, 1, 1, 0), dep(1, 0, 1, 1)};  // forces II >= 2
+  ExactOptions opts;
+  opts.max_ii = 1;
+  ExactResult res = solve_checked(inst, opts);
+  EXPECT_EQ(res.status, ExactStatus::Infeasible);
+  EXPECT_TRUE(res.capped);
+  EXPECT_EQ(res.lower_bound, 2);
+}
+
+TEST(Exact, StepBudgetTimesOutGracefully) {
+  Instance inst;
+  inst.num_mis = 4;
+  inst.deps = {dep(0, 1, 1, 0), dep(1, 2, 1, 0), dep(2, 3, 1, 0),
+               dep(3, 0, 1, 1)};
+  inst.resources = one_class("issue", 1, {0, 1, 2, 3});
+  ExactOptions opts;
+  opts.budget_ms = -1;  // clock off: the step cap alone must stop it
+  opts.max_steps = 2;
+  ExactResult res = exact::solve(inst, opts);
+  EXPECT_EQ(res.status, ExactStatus::Timeout);
+  // A timeout is an answer ("gap unknown"), never a crash or a claim.
+  EXPECT_EQ(res.ii, 0);
+}
+
+TEST(Exact, TamperedScheduleRejected) {
+  Ddg g;
+  g.num_nodes = 3;
+  g.edges.push_back(edge(0, 1, 0));
+  g.edges.push_back(edge(1, 2, 0));
+  Instance inst = exact::from_ddg(g, slms::compute_delays(g));
+  ExactResult res = solve_checked(inst);
+  ASSERT_EQ(res.status, ExactStatus::Optimal);
+
+  exact::ScheduleCert bad = res.schedule;
+  bad.sigma[2] = bad.sigma[0];  // violates the 1 -> 2 dependence
+  std::string why;
+  EXPECT_FALSE(exact::check_schedule(inst, bad, &why));
+  EXPECT_NE(why, "");
+
+  bad = res.schedule;
+  bad.sigma.pop_back();
+  EXPECT_FALSE(exact::check_schedule(inst, bad, nullptr));
+
+  // Resource tampering: two members of a 1-unit class in one row.
+  Instance rinst;
+  rinst.num_mis = 2;
+  rinst.resources = one_class("mem", 1, {0, 1});
+  ExactResult rres = solve_checked(rinst);
+  ASSERT_EQ(rres.status, ExactStatus::Optimal);
+  exact::ScheduleCert rbad = rres.schedule;
+  rbad.sigma[1] = rbad.sigma[0];
+  EXPECT_FALSE(exact::check_schedule(rinst, rbad, nullptr));
+}
+
+TEST(Exact, TamperedProofRejected) {
+  // Positive-cycle proof: reordering the cycle or dropping an edge breaks
+  // the closed-cycle check.
+  Instance inst;
+  inst.num_mis = 2;
+  inst.deps = {dep(0, 1, 1, 0), dep(1, 0, 1, 1)};
+  ExactResult res = solve_checked(inst);
+  ASSERT_EQ(res.status, ExactStatus::Optimal);
+  ASSERT_TRUE(res.lower_proof.has_value());
+  ASSERT_EQ(res.lower_proof->kind, InfeasibilityCert::Kind::PositiveCycle);
+
+  InfeasibilityCert bad = *res.lower_proof;
+  bad.dep_indices.pop_back();
+  EXPECT_FALSE(exact::check_infeasibility(inst, bad, nullptr));
+
+  bad = *res.lower_proof;
+  bad.ii += 1;  // the cycle is not positive at the optimum itself
+  EXPECT_FALSE(exact::check_infeasibility(inst, bad, nullptr));
+
+  // Clausal proof: truncating the derivation (losing the empty clause)
+  // or corrupting a lemma must be caught.
+  Instance cinst;
+  cinst.num_mis = 2;
+  cinst.deps = {dep(0, 1, 2, 1), dep(1, 0, 2, 1)};
+  cinst.resources = one_class("mem", 1, {0, 1});
+  ExactResult cres = solve_checked(cinst);
+  ASSERT_TRUE(cres.lower_proof.has_value());
+  ASSERT_EQ(cres.lower_proof->kind, InfeasibilityCert::Kind::Clausal);
+
+  InfeasibilityCert cbad = *cres.lower_proof;
+  cbad.clauses.pop_back();
+  EXPECT_FALSE(exact::check_infeasibility(cinst, cbad, nullptr));
+
+  cbad = *cres.lower_proof;
+  ASSERT_FALSE(cbad.clauses.empty());
+  cbad.clauses[0].lits.clear();  // a fake early empty clause
+  cbad.clauses[0].kind = exact::ProofClause::Kind::Learned;
+  cbad.clauses[0].dep_indices.clear();
+  EXPECT_FALSE(exact::check_infeasibility(cinst, cbad, nullptr));
+
+  // A resource-count proof for a class that is not actually overfull.
+  Instance pinst;
+  pinst.num_mis = 3;
+  pinst.resources = one_class("mem", 1, {0, 1, 2});
+  InfeasibilityCert fake;
+  fake.kind = InfeasibilityCert::Kind::ResourceCount;
+  fake.ii = 3;  // 3 members fit 3 rows — the pigeonhole claim is false
+  fake.class_index = 0;
+  EXPECT_FALSE(exact::check_infeasibility(pinst, fake, nullptr));
+}
+
+TEST(Exact, BruteForceCrossCheck) {
+  // Random instances small enough to decide exhaustively: the solver's
+  // optimum (and its certificates) must match independent enumeration.
+  std::mt19937 rng(20260808);
+  auto pick = [&](int lo, int hi) {
+    return lo + int(rng() % std::uint32_t(hi - lo + 1));
+  };
+  int optimal = 0;
+  int infeasible = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    Instance inst;
+    inst.num_mis = pick(2, 5);
+    for (int s = 0; s < inst.num_mis; ++s)
+      for (int t = 0; t < inst.num_mis; ++t) {
+        if (pick(0, 3) != 0) continue;
+        std::int64_t delay = pick(1, 3);
+        // Forward edges get a chance of distance 0; cycles need carried
+        // distance somewhere or the instance is (legitimately) infeasible.
+        std::int64_t distance = pick(0, 2);
+        inst.deps.push_back(dep(s, t, delay, distance));
+      }
+    if (pick(0, 1) == 1) {
+      std::vector<int> members;
+      for (int m = 0; m < inst.num_mis; ++m)
+        if (pick(0, 1) == 1) members.push_back(m);
+      if (!members.empty())
+        inst.resources = one_class("mem", pick(1, 2), std::move(members));
+    }
+
+    std::int64_t max_delay = 1;
+    for (const DepConstraint& d : inst.deps)
+      max_delay = std::max(max_delay, d.delay);
+    const int cap = int(std::int64_t(inst.num_mis) * max_delay + 1);
+
+    ExactResult res = solve_checked(inst);
+    std::optional<int> want = brute_min_ii(inst, cap);
+    if (want.has_value()) {
+      ASSERT_EQ(res.status, ExactStatus::Optimal) << "trial " << trial;
+      EXPECT_EQ(res.ii, *want) << "trial " << trial;
+      ++optimal;
+    } else {
+      EXPECT_EQ(res.status, ExactStatus::Infeasible) << "trial " << trial;
+      ++infeasible;
+    }
+  }
+  // The generator must exercise both outcomes, not degenerate to one.
+  EXPECT_GT(optimal, 50);
+  EXPECT_GT(infeasible, 50);
+}
+
+TEST(ExactCorpus, HeuristicNeverBeatsExactAndSchedulesVerify) {
+  // 200 generated loops through the real SLMS pipeline: for every applied
+  // placement the exact optimum on the same relaxed DDG must be <= the
+  // heuristic II, the witness must pass the independent certificate
+  // check, and src/verify must accept it as a legal schedule.
+  int applied = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    LoopGenOptions gen_opts;
+    LoopGenerator gen(seed, gen_opts);
+    std::string source = gen.generate();
+    ast::Program program = parse_or_die(source);
+
+    slms::SlmsOptions opts;
+    opts.enable_filter = false;
+    std::vector<slms::SlmsApplication> applications;
+    auto reports = slms::apply_slms(program, opts, &applications);
+
+    for (const slms::SlmsApplication& app : applications) {
+      if (!app.applied()) continue;
+      ++applied;
+      const slms::LoopPlacement& pl = *app.placement;
+      Instance inst = exact::from_placement(pl);
+
+      ExactOptions eopts;
+      eopts.budget_ms = -1;  // deterministic: no wall-clock in tests
+      ExactResult res = exact::solve(inst, eopts);
+      ASSERT_EQ(res.status, ExactStatus::Optimal)
+          << "seed " << seed << "\n" << source;
+      EXPECT_LE(res.ii, pl.ii) << "seed " << seed << "\n" << source;
+
+      std::string why;
+      EXPECT_TRUE(exact::check_schedule(inst, res.schedule, &why))
+          << "seed " << seed << ": " << why;
+      if (res.lower_proof.has_value()) {
+        EXPECT_TRUE(exact::check_infeasibility(inst, *res.lower_proof, &why))
+            << "seed " << seed << ": " << why;
+      }
+
+      DiagnosticEngine diags;
+      EXPECT_TRUE(verify::verify_schedule(pl, res.ii, res.schedule.sigma,
+                                          diags))
+          << "seed " << seed << "\n" << diags.str();
+
+      // And the heuristic's own schedule is exact-feasible at its II —
+      // the two solvers agree on the feasible region, not just the bound.
+      exact::ScheduleCert heuristic;
+      heuristic.ii = pl.ii;
+      heuristic.sigma = pl.sigma;
+      EXPECT_TRUE(exact::check_schedule(inst, heuristic, &why))
+          << "seed " << seed << ": " << why;
+    }
+  }
+  EXPECT_GT(applied, 40);
+}
+
+}  // namespace
+}  // namespace slc

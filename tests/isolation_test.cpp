@@ -254,6 +254,14 @@ driver::ComparisonRow sample_row() {
   row.loop_slms.ii = 2;
   row.loop_slms.iterations = 420;
   row.loop_slms.ims_fail_reason = "n/a";
+  row.exact.ran = true;
+  row.exact.status = "optimal";
+  row.exact.ii = 2;
+  row.exact.lower_bound = 1;
+  row.exact.heuristic_ii = 2;
+  row.exact.verified = true;
+  row.exact.solve_ns = 12345;
+  row.exact.steps = 678;
   return row;
 }
 
@@ -263,6 +271,30 @@ TEST(Journal, RowKeyIsStableAndInputSensitive) {
   EXPECT_EQ(a.size(), 16u);
   EXPECT_NE(a, journal::row_key("for(;;){};", "--suite=x --seed=1"));
   EXPECT_NE(a, journal::row_key("for(;;){}", "--suite=x --seed=2"));
+}
+
+TEST(Journal, RowKeyIncludesBackendIdentities) {
+  // The sentinel values ("interp" oracle, exact off) must reproduce the
+  // historical two-argument keys byte for byte — old journals stay
+  // resumable — while any non-default backend identity must re-key the
+  // row so --resume / --diff-since never replay a measurement taken
+  // under a different oracle or solver configuration.
+  std::string a = journal::row_key("for(;;){}", "--suite=x --seed=1");
+  EXPECT_EQ(a, journal::row_key("for(;;){}", "--suite=x --seed=1", "interp"));
+  EXPECT_EQ(a,
+            journal::row_key("for(;;){}", "--suite=x --seed=1", "interp", ""));
+  EXPECT_NE(a, journal::row_key("for(;;){}", "--suite=x --seed=1",
+                                "native:cc 12.0"));
+
+  const std::string exact_id = "dl-cdcl-1 budget_ms=2000 max_steps=-1";
+  std::string with_exact = journal::row_key("for(;;){}", "--suite=x --seed=1",
+                                            "interp", exact_id);
+  EXPECT_NE(a, with_exact);
+  // Distinct solver configurations key distinct rows (a budget change can
+  // flip a row between a proven gap and unknown).
+  EXPECT_NE(with_exact,
+            journal::row_key("for(;;){}", "--suite=x --seed=1", "interp",
+                             exact_id + " resources=1"));
 }
 
 TEST(Journal, RowRoundTripsLosslessly) {
@@ -296,6 +328,16 @@ TEST(Journal, RowRoundTripsLosslessly) {
   EXPECT_EQ(back->loop_slms.ii, row.loop_slms.ii);
   EXPECT_EQ(back->loop_slms.iterations, row.loop_slms.iterations);
   EXPECT_EQ(back->loop_slms.ims_fail_reason, row.loop_slms.ims_fail_reason);
+  EXPECT_EQ(back->exact.ran, row.exact.ran);
+  EXPECT_EQ(back->exact.status, row.exact.status);
+  EXPECT_EQ(back->exact.ii, row.exact.ii);
+  EXPECT_EQ(back->exact.lower_bound, row.exact.lower_bound);
+  EXPECT_EQ(back->exact.heuristic_ii, row.exact.heuristic_ii);
+  EXPECT_EQ(back->exact.verified, row.exact.verified);
+  EXPECT_EQ(back->exact.solve_ns, row.exact.solve_ns);
+  EXPECT_EQ(back->exact.steps, row.exact.steps);
+  ASSERT_TRUE(back->exact.gap().has_value());
+  EXPECT_EQ(*back->exact.gap(), 0);
 }
 
 TEST(Journal, LoaderSkipsTornTailAndForeignLines) {

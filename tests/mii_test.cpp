@@ -1,6 +1,8 @@
 // Delay model and MII solver, including the paper's Fig. 8 example.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "analysis/ddg.hpp"
 #include "slms/mii.hpp"
 #include "tests/helpers.hpp"
@@ -169,6 +171,99 @@ TEST(Mii, MaxIiOptionCapsSearch) {
   auto s = solver.solve(opts);
   ASSERT_TRUE(s.has_value());
   EXPECT_EQ(s->ii, 2);
+}
+
+slms::ResourceModel one_class(const char* name, int units,
+                              std::vector<int> members) {
+  slms::ResourceClass cls;
+  cls.name = name;
+  cls.units = units;
+  cls.members = std::move(members);
+  slms::ResourceModel model;
+  model.classes.push_back(std::move(cls));
+  return model;
+}
+
+TEST(ResMii, PigeonholeBound) {
+  EXPECT_EQ(slms::res_mii({}), 1);  // unbounded resources
+  EXPECT_EQ(slms::res_mii(one_class("mem", 1, {0, 1, 2})), 3);
+  EXPECT_EQ(slms::res_mii(one_class("mem", 2, {0, 1, 2})), 2);
+  EXPECT_EQ(slms::res_mii(one_class("mem", 4, {0, 1, 2})), 1);
+  EXPECT_EQ(slms::res_mii(one_class("mem", 1, {})), 1);
+
+  // Several classes: the bound is the max over classes.
+  slms::ResourceModel model = one_class("mem", 1, {0, 1, 2});
+  slms::ResourceClass issue;
+  issue.name = "issue";
+  issue.units = 2;
+  issue.members = {0, 1, 2, 3, 4, 5, 6, 7};
+  model.classes.push_back(issue);
+  EXPECT_EQ(slms::res_mii(model), 4);  // ceil(8/2) beats ceil(3/1)
+}
+
+TEST(ResMii, SolverFloorsAtResourceBound) {
+  // A chain 0->1->2 schedules at II=1 unbounded, but a 1-unit class over
+  // all three floors the search at ResMII=3, where the minimal schedule
+  // (slots 0,1,2) lands each MI in its own row.
+  Ddg g;
+  g.num_nodes = 3;
+  g.edges.push_back(edge(0, 1, 0));
+  g.edges.push_back(edge(1, 2, 0));
+  MiiSolver solver(g, compute_delays(g));
+  EXPECT_EQ(solver.lower_bound(), 1);
+
+  slms::ResourceModel model = one_class("mem", 1, {0, 1, 2});
+  EXPECT_EQ(solver.lower_bound(&model), 3);
+
+  slms::MiiOptions opts;
+  opts.resources = &model;
+  // The floor exceeds the paper's default II < #MIs bound, so the search
+  // needs an explicit cap to have any candidates at all.
+  EXPECT_FALSE(solver.solve(opts).has_value());
+  opts.max_ii = 8;
+  auto s = solver.solve(opts);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ii, 3);
+  std::set<std::int64_t> rows;
+  for (int k = 0; k < 3; ++k) rows.insert(s->row(k));
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(ResMii, RecurrenceBoundStillWinsWhenLarger) {
+  // Fig. 8 cycle forces II=2; a wide resource class must not lower it.
+  Ddg g;
+  g.num_nodes = 2;
+  g.edges.push_back(edge(0, 1, 0, DepKind::Flow));
+  g.edges.push_back(edge(1, 0, 1, DepKind::Anti));
+  MiiSolver solver(g, compute_delays(g));
+  slms::ResourceModel model = one_class("mem", 8, {0, 1});
+  EXPECT_EQ(solver.lower_bound(&model), 2);
+
+  slms::MiiOptions opts;
+  opts.resources = &model;
+  opts.max_ii = 8;
+  auto s = solver.solve(opts);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ii, 2);
+}
+
+TEST(ResMii, OvercommittedMinimalScheduleRejected) {
+  // A chain 0->1->2 with a 1-unit class over {0, 2}: the minimal sigma at
+  // II=2 puts MI0 and MI2 in the same row (slots 0 and 2), so the
+  // conservative solver must move past II=2 even though ResMII is 1.
+  Ddg g;
+  g.num_nodes = 3;
+  g.edges.push_back(edge(0, 1, 0));
+  g.edges.push_back(edge(1, 2, 0));
+  MiiSolver solver(g, compute_delays(g));
+  slms::ResourceModel model = one_class("mem", 1, {0, 2});
+  slms::MiiOptions opts;
+  opts.resources = &model;
+  opts.max_ii = 8;
+  auto s = solver.solve(opts);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(s->ii, 1);
+  EXPECT_NE(s->row(0), s->row(2));
 }
 
 TEST(Mii, MultipleDistancePairsUseTightest) {

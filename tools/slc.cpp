@@ -114,6 +114,7 @@
 #include "dist/coordinator.hpp"
 #include "dist/worker.hpp"
 #include "driver/calibrate.hpp"
+#include "exact/solver.hpp"
 #include "driver/isolate.hpp"
 #include "driver/journal.hpp"
 #include "driver/pipeline.hpp"
@@ -151,6 +152,9 @@ struct CliOptions {
   bool diag_json = false;  // machine-readable diagnostics on stdout
   bool calibrate = false;  // native timing + cost-model fit, then exit
   native::OracleMode oracle_mode = native::OracleMode::Interp;
+  bool exact = false;                   // exact II oracle (--exact)
+  std::int64_t exact_budget_ms = 2000;  // --exact-budget-ms
+  bool exact_resources = false;         // --exact-resources
   std::string measure;  // backend name or empty
   std::uint64_t seed = 0;
   std::string input;
@@ -247,6 +251,47 @@ std::string join_args(const std::vector<std::string>& args) {
   return out;
 }
 
+/// Gap table + one-line summary for an --exact sweep. Returns false when
+/// the sweep violated the exact oracle's contract: an optimal schedule
+/// its certificates or the static verifier rejected, or (in the default
+/// resource-free mode, where `ii_exact <= ii_slms` is a theorem) a
+/// heuristic II below the proven optimum. Timeouts are fine — their gap
+/// is reported as unknown.
+bool print_exact_results(const std::vector<driver::ComparisonRow>& rows,
+                         bool with_resources) {
+  std::cout << driver::format_gap_table("II-optimality gap (exact oracle)",
+                                        rows);
+  int ran = 0;
+  int timeouts = 0;
+  int unverified = 0;
+  int negative = 0;
+  std::int64_t total_ns = 0;
+  for (const driver::ComparisonRow& r : rows) {
+    if (!r.exact.ran) continue;
+    ++ran;
+    total_ns += r.exact.solve_ns;
+    if (r.exact.status == "timeout") ++timeouts;
+    if (r.exact.status == "optimal" && !r.exact.verified) ++unverified;
+    std::optional<int> gap = r.exact.gap();
+    if (gap.has_value() && *gap < 0) ++negative;
+  }
+  std::cerr << "harness: exact oracle: " << ran << " loop(s) examined, "
+            << timeouts << " timeout(s), " << unverified
+            << " unverified schedule(s), total solve "
+            << total_ns / 1000000 << " ms\n";
+  if (unverified > 0) {
+    std::cerr << "harness: exact oracle produced schedules the verifier "
+                 "rejected — solver or verifier bug\n";
+    return false;
+  }
+  if (!with_resources && negative > 0) {
+    std::cerr << "harness: optimality violation: " << negative
+              << " row(s) claim a heuristic II below the proven optimum\n";
+    return false;
+  }
+  return true;
+}
+
 /// Safe numeric parsing: std::stoi and friends throw on junk, which used
 /// to escape main() as an uncaught exception. These return false instead.
 bool parse_int_arg(const std::string& text, int* out) {
@@ -283,6 +328,7 @@ int usage(const char* argv0 = "slc") {
                "[--report]\n"
             << "       [--lint] [--diag-json] [--verify] "
                "[--oracle=interp|native|both]\n"
+            << "       [--exact] [--exact-budget-ms=N] [--exact-resources]\n"
             << "       [--calibrate] [--measure=BACKEND] [--seed=N]\n"
             << "       [--suite=NAME] [--jobs=N] [--deadline-ms=N]\n"
             << "       [--max-steps=N] [--fault=SPEC]\n"
@@ -379,6 +425,20 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.oracle_mode = *mode;
+    } else if (arg == "--exact") {
+      // Like --oracle, deliberately NOT a supervisor flag: --exact shapes
+      // row bytes (the gap columns), so it must reach --isolate children
+      // and the journal signature.
+      opts.exact = true;
+    } else if (arg.starts_with("--exact-budget-ms=")) {
+      std::uint64_t ms = 0;
+      if (!parse_u64_arg(value_of("--exact-budget-ms="), &ms)) {
+        std::cerr << "--exact-budget-ms expects an integer\n";
+        return false;
+      }
+      opts.exact_budget_ms = std::int64_t(ms);
+    } else if (arg == "--exact-resources") {
+      opts.exact_resources = true;
     } else if (arg.starts_with("--measure=")) {
       opts.measure = value_of("--measure=");
     } else if (arg.starts_with("--seed=")) {
@@ -783,6 +843,17 @@ int run_cli(const CliOptions& opts) {
     copts.row_deadline_ms = opts.deadline_ms;
     copts.max_interp_steps = opts.max_steps;
     copts.oracle_mode = opts.oracle_mode;
+    copts.exact = opts.exact;
+    copts.exact_budget_ms = opts.exact_budget_ms;
+    copts.exact_resources = opts.exact_resources;
+    // The exact configuration's journal identity (empty when --exact is
+    // off, preserving pre-exact row keys byte-for-byte).
+    std::string exact_id;
+    if (opts.exact) {
+      exact::ExactOptions eid;
+      eid.budget_ms = opts.exact_budget_ms;
+      exact_id = exact::exact_identity(eid, opts.exact_resources);
+    }
 
     // --- dist worker mode: the coordinator spawned this process with
     // --dist-worker=ID; loop on stdin leases until quit/EOF. The kernel
@@ -853,6 +924,7 @@ int run_cli(const CliOptions& opts) {
       dopts.max_rss_mb = opts.max_rss_mb;
       dopts.options_signature = signature;
       dopts.oracle_identity = native::oracle_identity(opts.oracle_mode);
+      dopts.exact_identity = exact_id;
       dopts.journal_path = journal_path;
       dopts.resume = opts.resume;
       dopts.seed_journal = opts.diff_since;
@@ -875,6 +947,8 @@ int run_cli(const CliOptions& opts) {
       }
       std::cout << driver::format_speedup_table(
           "suite " + opts.suite + " on " + backend->label, out.rows);
+      bool exact_ok =
+          !opts.exact || print_exact_results(out.rows, opts.exact_resources);
       std::cerr << "harness: " << out.rows.size() << " rows in " << wall_ms
                 << " ms, " << opts.dist_workers << " distributed worker(s)";
       if (out.resumed > 0)
@@ -893,7 +967,7 @@ int run_cli(const CliOptions& opts) {
       if (degraded > 0)
         std::cerr << "harness: " << degraded
                   << " row(s) degraded to the untransformed loop\n";
-      return all_ok ? 0 : 1;
+      return all_ok && exact_ok ? 0 : 1;
     }
 
     // --- supervisor mode: every shard of rows runs in a crash-isolated
@@ -915,6 +989,7 @@ int run_cli(const CliOptions& opts) {
       iso.max_rss_mb = opts.max_rss_mb;
       iso.options_signature = signature;
       iso.oracle_identity = native::oracle_identity(opts.oracle_mode);
+      iso.exact_identity = exact_id;
       iso.journal_path = journal_path;
       iso.resume = opts.resume;
       iso.seed_journal = opts.diff_since;
@@ -940,6 +1015,8 @@ int run_cli(const CliOptions& opts) {
       }
       std::cout << driver::format_speedup_table(
           "suite " + opts.suite + " on " + backend->label, out.rows);
+      bool exact_ok =
+          !opts.exact || print_exact_results(out.rows, opts.exact_resources);
       std::cerr << "harness: " << out.rows.size() << " rows in " << wall_ms
                 << " ms, isolated children (shard="
                 << opts.shard_size << ", jobs="
@@ -962,7 +1039,7 @@ int run_cli(const CliOptions& opts) {
       if (degraded > 0)
         std::cerr << "harness: " << degraded
                   << " row(s) degraded to the untransformed loop\n";
-      return all_ok ? 0 : 1;
+      return all_ok && exact_ok ? 0 : 1;
     }
 
     // --- in-process mode, optionally journaled/resumed.
@@ -977,8 +1054,8 @@ int run_cli(const CliOptions& opts) {
       keys.reserve(n);
       std::string oracle_id = native::oracle_identity(opts.oracle_mode);
       for (const kernels::Kernel& k : suite_kernels)
-        keys.push_back(
-            driver::journal::row_key(k.source, signature, oracle_id));
+        keys.push_back(driver::journal::row_key(k.source, signature,
+                                                oracle_id, exact_id));
       if (opts.resume) {
         driver::journal::LoadResult loaded =
             driver::journal::load(journal_path);
@@ -1053,6 +1130,8 @@ int run_cli(const CliOptions& opts) {
       rows[pending_index[pi]] = std::move(fresh[pi]);
     std::cout << driver::format_speedup_table(
         "suite " + opts.suite + " on " + backend->label, rows);
+    bool exact_ok =
+        !opts.exact || print_exact_results(rows, opts.exact_resources);
     driver::TransformCacheStats cache = driver::transform_cache_stats();
     std::cerr << "harness: " << rows.size() << " rows in " << wall_ms
               << " ms, jobs=" << support::resolve_jobs(opts.jobs)
@@ -1084,7 +1163,7 @@ int run_cli(const CliOptions& opts) {
     if (degraded > 0)
       std::cerr << "harness: " << degraded
                 << " row(s) degraded to the untransformed loop\n";
-    return all_ok ? 0 : 1;
+    return all_ok && exact_ok ? 0 : 1;
   }
 
   std::string source;

@@ -23,6 +23,12 @@
 //                       program the oracle accepts) fails the run, and
 //                       the verifier's JSON diagnostics are archived in
 //                       a .diag.json sidecar beside the repro
+//     --check-exact     cross-check the exact modulo scheduler (src/exact)
+//                       against the heuristic on every applied loop: the
+//                       proven minimum II must never exceed the heuristic
+//                       II, certificates must validate, and the certified
+//                       schedule must re-verify through src/verify
+//     --exact-budget-ms=N  per-loop exact-solve budget (default 2000)
 //     --2d              also generate M[i+c][k] references
 //     --symbolic        use symbolic loop bounds
 //     --fault=SPEC      arm fault injection / planted bugs (SLC_FAULT
@@ -58,6 +64,8 @@ struct FuzzCli {
   bool shrink = true;
   bool backends = true;
   bool check_static = false;
+  bool check_exact = false;
+  std::int64_t exact_budget_ms = 2000;
   native::OracleMode oracle_mode = native::OracleMode::Interp;
   bool gen_2d = false;
   bool symbolic = false;
@@ -67,8 +75,9 @@ struct FuzzCli {
 int usage() {
   std::cerr << "usage: slc_fuzz [--seed=N] [--count=M] [--time-budget=S]\n"
             << "                [--corpus=DIR] [--no-shrink] [--no-backends]\n"
-            << "                [--check-static] [--oracle=interp|native|"
-               "both]\n"
+            << "                [--check-static] [--check-exact]\n"
+            << "                [--exact-budget-ms=N] "
+               "[--oracle=interp|native|both]\n"
             << "                [--2d] [--symbolic] [--fault=SPEC] "
                "[--quiet]\n";
   return 2;
@@ -140,6 +149,12 @@ int main(int argc, char** argv) {
       cli.backends = false;
     } else if (arg == "--check-static") {
       cli.check_static = true;
+    } else if (arg == "--check-exact") {
+      cli.check_exact = true;
+    } else if (arg.starts_with("--exact-budget-ms=")) {
+      std::uint64_t ms = 0;
+      ok = parse_u64(value_of("--exact-budget-ms="), &ms);
+      cli.exact_budget_ms = std::int64_t(ms);
     } else if (arg.starts_with("--oracle=")) {
       std::optional<native::OracleMode> mode =
           native::parse_oracle_mode(value_of("--oracle="));
@@ -173,6 +188,8 @@ int main(int argc, char** argv) {
   fuzz::DiffOptions diff;
   diff.check_backends = cli.backends;
   diff.check_static = cli.check_static;
+  diff.check_exact = cli.check_exact;
+  diff.exact_budget_ms = cli.exact_budget_ms;
   diff.oracle_mode = cli.oracle_mode;
 
   fuzz::LoopGenOptions gen_opts;
