@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# CI durability torture gate for the durable-IO layer (DESIGN.md §15).
+#
+# Simulates a power cut at EVERY journal IO operation of a sweep — the
+# Kth open/write/fsync on the journal file, for K = 1, 2, 3, ... until
+# the sweep outruns the fault — and asserts the recovery contract end
+# to end for each crash point:
+#   - the crashed process died with the planted exit code (67), not an
+#     organic failure;
+#   - `slc --fsck=repair` brings the journal back to clean (exit 0) —
+#     at worst one torn record is trimmed and quarantined;
+#   - `slc --resume` completes the sweep with a results table that is
+#     BYTE-IDENTICAL to the uninterrupted reference run (cmp, zero
+#     tolerance), and the journal's key set matches the reference
+#     exactly — zero lost rows, zero spurious ones;
+#   - a final `slc --fsck` verify pass reports clean.
+#
+# Then a mid-file bit flip is planted in a healthy journal and must be:
+#   - DETECTED by the CRC frame (`slc --fsck` exits dirty, names the
+#     corruption — not misclassified as a torn tail);
+#   - QUARANTINED by repair (the raw line lands in .quarantine — the
+#     evidence is preserved, never silently dropped);
+#   - REPAIRED by re-running only the affected row (`--resume` reports
+#     exactly rows-1 resumed, recomputes one).
+#
+# Usage: ci_torture_io.sh <slc-binary>
+set -u
+
+SLC=${1:?usage: ci_torture_io.sh <slc>}
+SLC=$(cd "$(dirname "$SLC")" && pwd)/$(basename "$SLC")
+WORK=$(mktemp -d /tmp/slc-torture-io.XXXXXX)
+SUITE=stone
+MAX_K=96
+CRASH_EXIT=67  # fault::kIoCrashExitCode
+
+# Hermetic native cache: the fsck pass must not depend on (or take time
+# digesting) whatever the host's shared cache dir has accumulated.
+export SLC_NATIVE_CACHE_DIR="$WORK/natcache"
+cd "$WORK"
+
+fail() {
+  echo "TORTURE FAIL: $*" >&2
+  for f in fsck.out resume.err crash.err; do
+    [ -f "$WORK/$f" ] && sed "s/^/  $f: /" "$WORK/$f" | head -20 >&2
+  done
+  exit 1
+}
+
+keys_of() {  # sorted journal key set
+  sed -n 's/^{"key":"\([^"]*\)".*/\1/p' "$1" | sort
+}
+
+echo "== io torture: --suite=$SUITE, crash at every journal IO op =="
+
+# -- 1. the uninterrupted reference run -------------------------------------
+"$SLC" --suite=$SUITE --journal="$WORK/ref.jsonl" \
+    > "$WORK/ref.out" 2> "$WORK/ref.err" \
+    || fail "reference run failed"
+ROWS=$(keys_of "$WORK/ref.jsonl" | wc -l)
+[ "$ROWS" -ge 2 ] || fail "reference journal has $ROWS rows — too few to torture"
+keys_of "$WORK/ref.jsonl" > "$WORK/ref.keys"
+echo "   reference: $ROWS rows"
+
+# -- 2. crash-at-every-K sweep ----------------------------------------------
+COVERED=0
+for K in $(seq 1 $MAX_K); do
+  rm -f "$WORK/t.jsonl" "$WORK/t.jsonl.quarantine"
+  # The fault is armed via the environment, not --fault=: the CLI flag
+  # is part of the journal's options signature (a fault can change row
+  # bytes), and the torture contract is that the crashed and resumed
+  # runs are the SAME experiment.
+  SLC_FAULT="io:crash-after=$K@t.jsonl" \
+      "$SLC" --suite=$SUITE --journal="$WORK/t.jsonl" \
+      > /dev/null 2> "$WORK/crash.err"
+  STATUS=$?
+  if [ "$STATUS" -eq 0 ]; then
+    # The sweep finished before the Kth journal op: every crash point
+    # is covered. The uninterrupted-with-fault-armed journal must still
+    # be byte-equal in key set to the reference.
+    COVERED=$K
+    break
+  fi
+  [ "$STATUS" -eq "$CRASH_EXIT" ] \
+      || fail "K=$K: expected planted crash (exit $CRASH_EXIT), got $STATUS"
+
+  "$SLC" --fsck=repair --journal="$WORK/t.jsonl" \
+      > "$WORK/fsck.out" 2>&1 \
+      || fail "K=$K: fsck=repair left the journal dirty"
+
+  "$SLC" --suite=$SUITE --journal="$WORK/t.jsonl" --resume \
+      > "$WORK/t.out" 2> "$WORK/resume.err" \
+      || fail "K=$K: resume run failed"
+
+  cmp -s "$WORK/ref.out" "$WORK/t.out" \
+      || fail "K=$K: resumed results table differs from reference"
+  keys_of "$WORK/t.jsonl" > "$WORK/t.keys"
+  cmp -s "$WORK/ref.keys" "$WORK/t.keys" \
+      || fail "K=$K: journal key set differs from reference (lost rows)"
+
+  "$SLC" --fsck --journal="$WORK/t.jsonl" > "$WORK/fsck.out" 2>&1 \
+      || fail "K=$K: post-recovery fsck verify is not clean"
+done
+[ "$COVERED" -gt 0 ] \
+    || fail "crash still firing at K=$MAX_K — raise MAX_K to cover the sweep"
+echo "   crash sweep: every K in 1..$((COVERED - 1)) recovered, table byte-identical"
+
+# -- 3. planted mid-file bit flip -------------------------------------------
+cp "$WORK/ref.jsonl" "$WORK/bf.jsonl"
+# Corrupt line 2 in place (same length): the CRC frame must catch it.
+sed -i '2s/"row"/"r0w"/' "$WORK/bf.jsonl"
+cmp -s "$WORK/ref.jsonl" "$WORK/bf.jsonl" \
+    && fail "bit-flip sed did not modify the journal"
+
+"$SLC" --fsck --journal="$WORK/bf.jsonl" > "$WORK/fsck.out" 2>&1
+[ $? -eq 1 ] || fail "fsck did not flag the planted bit flip"
+grep -qi "corrupt" "$WORK/fsck.out" \
+    || fail "fsck output does not name the corruption"
+
+"$SLC" --fsck=repair --journal="$WORK/bf.jsonl" > "$WORK/fsck.out" 2>&1 \
+    || fail "fsck=repair failed on the bit-flipped journal"
+[ -s "$WORK/bf.jsonl.quarantine" ] \
+    || fail "corrupt record was dropped without quarantine"
+
+# Recovery must re-run ONLY the affected row: rows-1 resumed, 1 recomputed.
+"$SLC" --suite=$SUITE --journal="$WORK/bf.jsonl" --resume \
+    > "$WORK/bf.out" 2> "$WORK/resume.err" \
+    || fail "resume after bit-flip repair failed"
+RESUMED=$(sed -n 's/.*[^0-9]\([0-9]*\) resumed from journal.*/\1/p' \
+    "$WORK/resume.err" | tail -1)
+[ "$RESUMED" = "$((ROWS - 1))" ] \
+    || fail "expected $((ROWS - 1)) rows resumed (one recomputed), got '$RESUMED'"
+cmp -s "$WORK/ref.out" "$WORK/bf.out" \
+    || fail "post-repair results table differs from reference"
+keys_of "$WORK/bf.jsonl" > "$WORK/bf.keys"
+cmp -s "$WORK/ref.keys" "$WORK/bf.keys" \
+    || fail "post-repair journal key set differs from reference"
+
+echo "== io torture PASS: $((COVERED - 1)) crash points recovered," \
+     "bit flip detected + quarantined + single-row repair =="
+rm -rf "$WORK"

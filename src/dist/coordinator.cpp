@@ -522,6 +522,19 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
       ++ctx.committed;
       ++ctx.out.resumed;
     }
+    if (loaded.corrupt_lines > 0)
+      note(ctx, "dist: WARNING — journal had " +
+                    std::to_string(loaded.corrupt_lines) +
+                    " corrupt mid-file line(s)" +
+                    (loaded.crc_mismatches > 0
+                         ? " (" + std::to_string(loaded.crc_mismatches) +
+                               " CRC mismatch(es))"
+                         : std::string()) +
+                    "; affected rows will be recomputed — run "
+                    "`slc --fsck=repair` to quarantine and compact");
+    if (loaded.torn_tail > 0)
+      note(ctx, "dist: journal had a torn final line (crash mid-append) — "
+                "trimmed on re-open, row will be recomputed");
   }
 
   if (!options.journal_path.empty()) {
@@ -617,6 +630,12 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
   }
 
   ctx.jnl.flush();
+  if (ctx.jnl.append_failures() > 0)
+    note(ctx, "dist: WARNING — " +
+                  std::to_string(ctx.jnl.append_failures()) +
+                  " journal append(s) failed (" + ctx.jnl.last_error() +
+                  "); those rows are NOT durable and --resume will "
+                  "recompute them");
   if (aborted) {
     ctx.out.interrupted = true;
   } else if (ctx.jnl.active() && ctx.committed == n) {
@@ -625,11 +644,19 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
     // discipline makes the result power-cut safe.
     driver::journal::CheckpointResult cp =
         driver::journal::checkpoint(options.journal_path);
-    if (cp.ok && (cp.duplicates_dropped > 0 || cp.torn_lines_dropped > 0))
+    if (cp.ok && (cp.duplicates_dropped > 0 || cp.torn_lines_dropped > 0 ||
+                  cp.corrupt_lines_dropped > 0))
       note(ctx, "dist: journal checkpoint dropped " +
                     std::to_string(cp.duplicates_dropped) +
                     " duplicate(s), " +
-                    std::to_string(cp.torn_lines_dropped) + " torn line(s)");
+                    std::to_string(cp.torn_lines_dropped) +
+                    " torn line(s), " +
+                    std::to_string(cp.corrupt_lines_dropped) +
+                    " corrupt line(s)" +
+                    (cp.quarantined > 0
+                         ? " (" + std::to_string(cp.quarantined) +
+                               " quarantined)"
+                         : std::string()));
   }
 
   const Stats& st = ctx.out.stats;

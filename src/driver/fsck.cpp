@@ -1,0 +1,392 @@
+#include "driver/fsck.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "driver/journal.hpp"
+#include "kernels/kernels.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+
+namespace slc::driver::fsck {
+
+namespace fs = std::filesystem;
+namespace io = support::io;
+namespace json = support::json;
+
+namespace {
+
+void say(Report& rep, std::string line) {
+  rep.lines.push_back(std::move(line));
+}
+
+void problem(Report& rep, std::string line) {
+  ++rep.problems;
+  say(rep, "  PROBLEM: " + std::move(line));
+}
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+// ----- run journal ---------------------------------------------------------
+
+void check_journal(Report& rep, const Options& opts) {
+  const std::string& path = opts.journal_path;
+  say(rep, "journal: " + path);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    say(rep, "  absent — nothing to verify");
+    return;
+  }
+  journal::LoadResult loaded = journal::load(path);
+  say(rep, "  " + std::to_string(loaded.rows.size()) + " row(s), " +
+               std::to_string(loaded.legacy_lines) + " legacy unframed, " +
+               std::to_string(loaded.duplicate_keys) + " duplicate key(s)");
+  if (loaded.corrupt_lines > 0)
+    problem(rep, std::to_string(loaded.corrupt_lines) +
+                     " corrupt mid-file line(s) (" +
+                     std::to_string(loaded.crc_mismatches) +
+                     " CRC mismatch(es)) — affected rows will be recomputed "
+                     "on the next --resume");
+  if (loaded.torn_tail > 0)
+    problem(rep, "torn final line (crash mid-append)");
+  if (!opts.repair) {
+    if (loaded.corrupt_lines > 0 || loaded.torn_tail > 0 ||
+        loaded.duplicate_keys > 0 || loaded.legacy_lines > 0)
+      say(rep, "  run --fsck=repair to quarantine, compact, and CRC-frame");
+    return;
+  }
+  // Repair = checkpoint: quarantines corrupt lines, drops the torn tail,
+  // dedups, sorts, and rewrites every surviving row CRC-framed through
+  // the atomic-replace path.
+  journal::CheckpointResult cp = journal::checkpoint(path);
+  if (!cp.ok) {
+    rep.ok = false;
+    say(rep, "  REPAIR FAILED: " + cp.error);
+    return;
+  }
+  rep.quarantined += cp.quarantined;
+  rep.repaired += cp.corrupt_lines_dropped + cp.torn_lines_dropped;
+  say(rep, "  repaired: " + std::to_string(cp.rows) + " row(s) kept, " +
+               std::to_string(cp.corrupt_lines_dropped) +
+               " corrupt dropped (" + std::to_string(cp.quarantined) +
+               " quarantined), " + std::to_string(cp.torn_lines_dropped) +
+               " torn dropped, " + std::to_string(cp.duplicates_dropped) +
+               " duplicate(s) collapsed");
+  // Post-repair verification: the compacted journal must be pristine.
+  journal::LoadResult after = journal::load(path);
+  if (after.corrupt_lines == 0 && after.torn_tail == 0 &&
+      after.legacy_lines == 0 && after.duplicate_keys == 0) {
+    say(rep, "  verified clean after repair");
+  } else {
+    rep.ok = false;
+    say(rep, "  STILL DIRTY after repair — investigate " +
+                 io::quarantine_path(path));
+  }
+}
+
+// ----- generic framed-JSONL store (the slcd result cache) ------------------
+
+void check_cache_journal(Report& rep, const Options& opts) {
+  const std::string& path = opts.cache_journal;
+  say(rep, "cache journal: " + path);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    say(rep, "  absent — nothing to verify");
+    return;
+  }
+  io::ScanResult scan = io::scan_jsonl(path);
+  std::vector<std::string> good;
+  std::vector<std::string> corrupt;
+  std::size_t torn = 0;
+  std::size_t legacy = 0;
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    const io::ScanRecord& rec = scan.records[i];
+    bool last = i + 1 == scan.records.size();
+    bool tail_candidate = last && scan.ends_mid_line;
+    bool readable = rec.frame != io::FrameStatus::FramedCorrupt;
+    if (readable) {
+      std::optional<json::Value> v = json::parse(rec.payload);
+      const json::Value* key = v ? v->find("key") : nullptr;
+      readable = key != nullptr && key->is_string();
+    }
+    if (!readable) {
+      if (tail_candidate && rec.frame != io::FrameStatus::FramedCorrupt)
+        ++torn;
+      else
+        corrupt.push_back(rec.raw);
+      continue;
+    }
+    if (rec.frame == io::FrameStatus::Legacy) ++legacy;
+    good.push_back(rec.payload);
+  }
+  say(rep, "  " + std::to_string(good.size()) + " record(s), " +
+               std::to_string(legacy) + " legacy unframed");
+  if (!corrupt.empty())
+    problem(rep, std::to_string(corrupt.size()) +
+                     " corrupt mid-file line(s)");
+  if (torn > 0) problem(rep, "torn final line (daemon killed mid-append)");
+  if (!opts.repair) {
+    if (!corrupt.empty() || torn > 0 || legacy > 0)
+      say(rep, "  run --fsck=repair to quarantine and rewrite framed");
+    return;
+  }
+  if (corrupt.empty() && torn == 0 && legacy == 0) return;
+  std::string qerror;
+  if (!corrupt.empty()) {
+    std::size_t landed = io::quarantine(path, corrupt, &qerror);
+    rep.quarantined += landed;
+    if (landed != corrupt.size()) {
+      rep.ok = false;
+      say(rep, "  QUARANTINE FAILED: " + qerror);
+      return;  // never rewrite until the evidence is safe
+    }
+  }
+  std::string text;
+  for (const std::string& payload : good) {
+    text += io::frame_record(payload);
+    text += '\n';
+  }
+  std::string werror;
+  if (!io::atomic_write_file(path, text, &werror)) {
+    rep.ok = false;
+    say(rep, "  REPAIR FAILED: " + werror);
+    return;
+  }
+  rep.repaired += corrupt.size() + torn;
+  say(rep, "  repaired: " + std::to_string(good.size()) +
+               " record(s) kept (all CRC-framed), " +
+               std::to_string(corrupt.size()) + " corrupt quarantined, " +
+               std::to_string(torn) + " torn dropped");
+}
+
+// ----- native codegen cache ------------------------------------------------
+
+void check_native_cache(Report& rep, const Options& opts) {
+  const std::string& dir = opts.native_cache_dir;
+  say(rep, "native cache: " + dir);
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    say(rep, "  absent — nothing to verify");
+    return;
+  }
+  std::size_t objects = 0, verified = 0, sumless = 0;
+  std::size_t corrupt_fixed = 0, orphans_fixed = 0;
+  bool found_problem = false;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    std::string name = e.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      found_problem = true;
+      problem(rep, "orphaned tmp file " + name +
+                       " (publisher died mid-rename)");
+      if (opts.repair) {
+        std::error_code rec_ec;
+        if (fs::remove(e.path(), rec_ec) && !rec_ec) {
+          ++orphans_fixed;
+          ++rep.repaired;
+        } else {
+          rep.ok = false;
+        }
+      }
+      continue;
+    }
+    if (e.path().extension() != ".so") continue;
+    ++objects;
+    fs::path sum_path = e.path();
+    sum_path.replace_extension(".sum");
+    std::string sum_text;
+    if (!read_file(sum_path, &sum_text)) {
+      ++sumless;  // pre-digest object: loads on dlopen's say-so, as ever
+      continue;
+    }
+    while (!sum_text.empty() &&
+           (sum_text.back() == '\n' || sum_text.back() == '\r'))
+      sum_text.pop_back();
+    std::string so_bytes;
+    bool match = read_file(e.path(), &so_bytes) &&
+                 io::hex32(io::crc32c(so_bytes)) == sum_text;
+    if (match) {
+      ++verified;
+      continue;
+    }
+    found_problem = true;
+    problem(rep, "digest mismatch on " + name +
+                     " — corrupt shared object (will NOT be dlopened)");
+    if (opts.repair) {
+      std::error_code rec_ec;
+      fs::remove(e.path(), rec_ec);
+      fs::remove(sum_path, rec_ec);
+      ++corrupt_fixed;
+      ++rep.repaired;
+    }
+  }
+  say(rep, "  " + std::to_string(objects) + " object(s): " +
+               std::to_string(verified) + " digest-verified, " +
+               std::to_string(sumless) + " pre-digest (no .sum)");
+  if (opts.repair && (corrupt_fixed > 0 || orphans_fixed > 0)) {
+    say(rep, "  repaired: " + std::to_string(corrupt_fixed) +
+                 " corrupt object(s) deleted (recompile on next use), " +
+                 std::to_string(orphans_fixed) + " orphan(s) swept");
+  } else if (found_problem && !opts.repair) {
+    say(rep, "  run --fsck=repair to delete corrupt objects and sweep "
+             "orphans");
+  }
+}
+
+// ----- crash-repro archive -------------------------------------------------
+
+void check_crash_dir(Report& rep, const Options& opts) {
+  const std::string& dir = opts.crash_dir;
+  say(rep, "crash archive: " + dir);
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    say(rep, "  absent — nothing to verify");
+    return;
+  }
+  std::size_t repros = 0, empty_fixed = 0;
+  bool found_problem = false;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file(ec)) continue;
+    ++repros;
+    std::error_code sec;
+    if (fs::file_size(e.path(), sec) != 0 || sec) continue;
+    found_problem = true;
+    problem(rep, "zero-byte repro " + e.path().filename().string() +
+                     " (writer died before publishing)");
+    if (opts.repair) {
+      std::error_code rec_ec;
+      if (fs::remove(e.path(), rec_ec) && !rec_ec) {
+        ++empty_fixed;
+        ++rep.repaired;
+      } else {
+        rep.ok = false;
+      }
+    }
+  }
+  say(rep, "  " + std::to_string(repros) + " file(s)");
+  if (opts.repair && empty_fixed > 0) {
+    say(rep, "  repaired: " + std::to_string(empty_fixed) +
+                 " empty file(s) removed");
+  } else if (found_problem && !opts.repair) {
+    say(rep, "  run --fsck=repair to remove empty files");
+  }
+}
+
+// ----- generated-corpus manifest -------------------------------------------
+
+/// Parses "genNNNNNN" -> N; the generated corpus is deterministic, so
+/// every line is recomputable from its own name.
+bool gen_index(const std::string& name, std::size_t* index) {
+  if (name.size() != 9 || name.rfind("gen", 0) != 0) return false;
+  std::size_t v = 0;
+  for (std::size_t i = 3; i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + std::size_t(c - '0');
+  }
+  *index = v;
+  return true;
+}
+
+void check_manifest(Report& rep, const Options& opts) {
+  const std::string& path = opts.manifest_path;
+  say(rep, "corpus manifest: " + path);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    say(rep, "  absent — nothing to verify");
+    return;
+  }
+  std::string text;
+  if (!read_file(path, &text)) {
+    rep.ok = false;
+    say(rep, "  UNREADABLE");
+    return;
+  }
+  std::size_t line_no = 0, verified = 0;
+  std::size_t bad = 0;
+  std::size_t expect_index = 0;
+  bool regenerable = true;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    std::size_t end = nl == std::string::npos ? text.size() : nl;
+    std::string line = text.substr(pos, end - pos);
+    pos = nl == std::string::npos ? text.size() : nl + 1;
+    if (line.empty()) continue;
+    ++line_no;
+    std::size_t sp = line.find(' ');
+    std::string name = sp == std::string::npos ? line : line.substr(0, sp);
+    std::string hash = sp == std::string::npos ? "" : line.substr(sp + 1);
+    std::size_t index = 0;
+    if (!gen_index(name, &index) || index != expect_index) {
+      ++bad;
+      regenerable = regenerable && gen_index(name, &index);
+      problem(rep, "line " + std::to_string(line_no) +
+                       ": malformed or out-of-order entry '" +
+                       name.substr(0, 24) + "'");
+      ++expect_index;
+      continue;
+    }
+    kernels::Kernel k = kernels::generated_kernel(index);
+    if (kernels::source_hash(k.source) != hash) {
+      ++bad;
+      problem(rep, "line " + std::to_string(line_no) + ": " + name +
+                       " hash mismatch (bit rot, or generator drift)");
+    } else {
+      ++verified;
+    }
+    ++expect_index;
+  }
+  say(rep, "  " + std::to_string(line_no) + " line(s), " +
+               std::to_string(verified) + " verified");
+  if (bad == 0) return;
+  if (!opts.repair) {
+    say(rep, "  run --fsck=repair to regenerate the manifest");
+    return;
+  }
+  if (!regenerable) {
+    // A name that is not genNNNNNN came from somewhere else; refusing to
+    // regenerate beats silently discarding an entry fsck cannot explain.
+    rep.ok = false;
+    say(rep, "  REPAIR REFUSED: manifest contains non-generated entries");
+    return;
+  }
+  std::string fresh;
+  for (std::size_t i = 0; i < line_no; ++i) {
+    kernels::Kernel k = kernels::generated_kernel(i);
+    fresh += k.name + " " + kernels::source_hash(k.source) + "\n";
+  }
+  std::string werror;
+  if (!io::atomic_write_file(path, fresh, &werror)) {
+    rep.ok = false;
+    say(rep, "  REPAIR FAILED: " + werror);
+    return;
+  }
+  rep.repaired += bad;
+  say(rep, "  repaired: regenerated " + std::to_string(line_no) +
+               " line(s) from the deterministic generator");
+}
+
+}  // namespace
+
+Report run(const Options& options) {
+  Report rep;
+  if (!options.journal_path.empty()) check_journal(rep, options);
+  if (!options.cache_journal.empty()) check_cache_journal(rep, options);
+  if (!options.native_cache_dir.empty()) check_native_cache(rep, options);
+  if (!options.crash_dir.empty()) check_crash_dir(rep, options);
+  if (!options.manifest_path.empty()) check_manifest(rep, options);
+  // Clean = nothing found, or everything found was fixed. Every repair
+  // path that can leave a store dirty clears rep.ok, so repair mode is
+  // clean exactly when fsck itself succeeded end to end.
+  rep.clean = rep.ok && (rep.problems == 0 || options.repair);
+  return rep;
+}
+
+}  // namespace slc::driver::fsck

@@ -1,0 +1,70 @@
+// `slc --fsck[=repair]` — offline verification (and repair) of every
+// artifact the harness persists through the durable-IO layer
+// (support/io.hpp):
+//
+//   * the run journal (results.jsonl): CRC frames verified line by line,
+//     torn tail distinguished from mid-file corruption. Repair
+//     quarantines corrupt lines to the .quarantine sidecar and compacts
+//     the journal through journal::checkpoint (which also upgrades
+//     legacy unframed lines to CRC frames).
+//   * the slcd result-cache journal: same framed-JSONL discipline,
+//     verified generically (a record must frame-check and parse as a
+//     JSON object with a string "key"). Repair quarantines and rewrites
+//     the surviving records atomically.
+//   * the native codegen cache dir: every slcnat-<key>.so is digested
+//     and compared against its .sum sidecar; orphaned *.tmp.<pid> files
+//     are flagged. Repair deletes corrupt objects (they recompile on
+//     next use — a corrupt .so is executable code, the one artifact
+//     that must never be given the benefit of the doubt) and sweeps
+//     orphans.
+//   * the crash-repro archive: zero-byte repro files (a writer that died
+//     before its rename on a pre-durability build) are flagged; repair
+//     removes them.
+//   * the generated-corpus manifest: every `genNNNNNN hash` line is
+//     recomputed from the deterministic generator and compared. Repair
+//     regenerates the manifest atomically.
+//
+// fsck never modifies anything unless `repair` is set, and even then it
+// never deletes evidence silently: corrupt records land in .quarantine
+// sidecars, and every action is a line in the report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slc::driver::fsck {
+
+struct Options {
+  /// Run journal; "" skips the check. Missing file = clean (nothing to
+  /// verify), matching the sweep's own semantics.
+  std::string journal_path;
+  /// slcd result-cache journal; "" skips.
+  std::string cache_journal;
+  /// Native codegen cache directory; "" skips.
+  std::string native_cache_dir;
+  /// Crash-repro archive directory; "" skips.
+  std::string crash_dir;
+  /// Generated-corpus manifest; "" skips.
+  std::string manifest_path;
+  /// Fix what can be fixed (quarantine + compact + delete-corrupt);
+  /// without it fsck only reports.
+  bool repair = false;
+};
+
+struct Report {
+  /// No problems found (after repair, when repair ran: a repaired store
+  /// re-verifies clean, so `clean` reflects the post-repair state).
+  bool clean = true;
+  /// fsck itself completed without I/O errors (an unrepairable store or
+  /// a failed rewrite clears this).
+  bool ok = true;
+  std::size_t problems = 0;     // findings, pre-repair
+  std::size_t repaired = 0;     // findings fixed (repair mode)
+  std::size_t quarantined = 0;  // corrupt records preserved in sidecars
+  std::vector<std::string> lines;  // human-readable findings, one each
+};
+
+[[nodiscard]] Report run(const Options& options);
+
+}  // namespace slc::driver::fsck

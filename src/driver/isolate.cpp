@@ -9,6 +9,7 @@
 
 #include "driver/journal.hpp"
 #include "fuzz/shrink.hpp"
+#include "support/io.hpp"
 #include "support/json.hpp"
 #include "support/subprocess.hpp"
 #include "support/thread_pool.hpp"
@@ -156,11 +157,16 @@ std::string shrink_crash_source(Ctx& ctx, const kernels::Kernel& kernel,
 }
 
 /// Writes `tests/crashes/<kernel>.c`: the kernel source (shrunk when the
-/// crash reproduces standalone) plus the exact child command line.
+/// crash reproduces standalone) plus the exact child command line. The
+/// archive is the only artifact of a crash the sweep survives, so it is
+/// written atomically (tmp + fsync + rename) and a failed write is
+/// surfaced as a note and a repro_failures count — an archive that
+/// half-landed (or never landed) used to be indistinguishable from one
+/// that did.
 void archive_repro(Ctx& ctx, const kernels::Kernel& kernel, std::size_t row,
                    const subprocess::RunResult& crash) {
   std::error_code ec;
-  fs::create_directories(ctx.opts.crash_dir, ec);
+  fs::create_directories(ctx.opts.crash_dir, ec);  // shrink probes need it
 
   bool shrunk = false;
   std::string source = shrink_crash_source(ctx, kernel, crash, &shrunk);
@@ -168,20 +174,25 @@ void archive_repro(Ctx& ctx, const kernels::Kernel& kernel, std::size_t row,
   subprocess::RunOptions repro =
       child_run_options(ctx, row, row, /*base_only=*/false);
   fs::path file = fs::path(ctx.opts.crash_dir) / (kernel.name + ".c");
-  std::ofstream f(file);
-  if (!f) {
-    note(ctx, "isolate: cannot write crash repro " + file.string());
+  std::ostringstream body;
+  body << "// slc crash repro — archived by the --isolate supervisor\n"
+       << "// kernel: " << kernel.name << " (" << kernel.suite << ")\n"
+       << "// classification: " << crash.describe() << "\n"
+       << "// command: " << join_args(repro.argv) << "\n";
+  if (shrunk)
+    body << "// source shrunk by the fuzz reducer (original: "
+         << kernel.source.size() << " bytes)\n";
+  body << source;
+  if (!source.empty() && source.back() != '\n') body << '\n';
+
+  std::string error;
+  if (!support::io::atomic_write_file(file.string(), body.str(), &error)) {
+    note(ctx, "isolate: FAILED to archive crash repro " + file.string() +
+                  " — " + error);
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ++ctx.out.repro_failures;
     return;
   }
-  f << "// slc crash repro — archived by the --isolate supervisor\n"
-    << "// kernel: " << kernel.name << " (" << kernel.suite << ")\n"
-    << "// classification: " << crash.describe() << "\n"
-    << "// command: " << join_args(repro.argv) << "\n";
-  if (shrunk)
-    f << "// source shrunk by the fuzz reducer (original: "
-      << kernel.source.size() << " bytes)\n";
-  f << source;
-  if (!source.empty() && source.back() != '\n') f << '\n';
 
   std::lock_guard<std::mutex> lock(ctx.mu);
   ++ctx.out.repros_archived;
@@ -321,10 +332,21 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
       ctx.out.completed[i] = 1;
       ++ctx.out.resumed;
     }
-    if (loaded.skipped_lines > 0)
+    if (loaded.corrupt_lines > 0)
       ctx.out.notes.push_back(
-          "isolate: journal had " + std::to_string(loaded.skipped_lines) +
-          " unreadable line(s) (torn tail after a kill?) — ignored");
+          "isolate: WARNING — journal had " +
+          std::to_string(loaded.corrupt_lines) +
+          " corrupt mid-file line(s)" +
+          (loaded.crc_mismatches > 0
+               ? " (" + std::to_string(loaded.crc_mismatches) +
+                     " CRC mismatch(es))"
+               : std::string()) +
+          "; affected rows will be recomputed — run `slc --fsck=repair` to "
+          "quarantine and compact");
+    if (loaded.torn_tail > 0)
+      ctx.out.notes.push_back(
+          "isolate: journal had a torn final line (crash mid-append) — "
+          "trimmed on re-open, row will be recomputed");
     if (loaded.duplicate_keys > 0)
       ctx.out.notes.push_back(
           "isolate: journal had " + std::to_string(loaded.duplicate_keys) +
@@ -375,6 +397,13 @@ Outcome run_suite(const std::vector<kernels::Kernel>& kernels,
       [&](std::size_t s) { run_shard(ctx, shards[s].first, shards[s].second); });
 
   ctx.jnl.flush();
+  ctx.out.journal_append_failures = ctx.jnl.append_failures();
+  if (ctx.out.journal_append_failures > 0)
+    ctx.out.notes.push_back(
+        "isolate: WARNING — " +
+        std::to_string(ctx.out.journal_append_failures) +
+        " journal append(s) failed (" + ctx.jnl.last_error() +
+        "); those rows are NOT durable and --resume will recompute them");
   if (options.interrupted != nullptr && *options.interrupted != 0)
     ctx.out.interrupted = true;
   return ctx.out;

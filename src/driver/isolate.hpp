@@ -88,6 +88,8 @@ struct Outcome {
   std::size_t diff_reused = 0;       // rows replayed from seed_journal
   std::size_t crashed_children = 0;  // signal / timeout / oom children
   std::size_t repros_archived = 0;
+  std::size_t repro_failures = 0;    // repro archives that failed to land
+  std::size_t journal_append_failures = 0;  // rows not durably journaled
   bool interrupted = false;
   std::vector<std::string> notes;    // supervisor log, one line each
 };

@@ -1,16 +1,14 @@
 #include "driver/journal.hpp"
 
-#include <fcntl.h>
-#include <string.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <filesystem>
-#include <fstream>
 #include <mutex>
 
+#include "support/io.hpp"
+
 namespace slc::driver::journal {
+
+namespace io = support::io;
 
 namespace json = support::json;
 using json::Value;
@@ -259,82 +257,140 @@ std::optional<ComparisonRow> row_from_json(const Value& v) {
 
 struct Journal::Impl {
   std::mutex mu;
-  std::ofstream out;
+  io::AppendFile out;
+  std::size_t append_failures = 0;
+  std::string last_error;
 };
 
 bool Journal::open(const std::string& path, bool truncate,
                    std::string* error) {
   auto impl = std::make_shared<Impl>();
-  std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
+  if (!truncate) {
+    // A torn final record from a crashed predecessor must be trimmed
+    // (and preserved in the quarantine sidecar) before this process
+    // appends: O_APPEND after a tear glues the next record onto the
+    // fragment, losing both.
+    std::string trim_error;
+    if (!io::trim_torn_tail(path, &trim_error)) {
+      if (error != nullptr) *error = "journal tail repair: " + trim_error;
+      return false;
+    }
   }
-  impl->out.open(path, truncate ? std::ios::trunc : std::ios::app);
-  if (!impl->out) {
-    if (error != nullptr) *error = "cannot open journal " + path;
-    return false;
-  }
+  if (!impl->out.open(path, truncate, error)) return false;
   impl_ = std::move(impl);
   return true;
 }
 
 bool Journal::active() const { return impl_ != nullptr; }
 
-void Journal::append(const std::string& key, const ComparisonRow& row) {
-  if (!impl_) return;
+bool Journal::append(const std::string& key, const ComparisonRow& row) {
+  if (!impl_) return true;  // journaling disabled: vacuous success
   Value line = Value::object();
   line.set("key", Value::string(key));
   line.set("kernel", Value::string(row.kernel));
   line.set("row", row_to_json(row));
-  std::string text = line.dump();
+  std::string text = io::frame_record(line.dump());
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->out << text << '\n';
-  impl_->out.flush();
+  std::string err;
+  if (!impl_->out.append_line(text, &err)) {
+    ++impl_->append_failures;
+    impl_->last_error = err;
+    return false;
+  }
+  return true;
 }
 
 void Journal::flush() {
   if (!impl_) return;
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->out.flush();
+  std::string err;
+  if (!impl_->out.sync(&err)) {
+    ++impl_->append_failures;
+    impl_->last_error = err;
+  }
 }
 
-LoadResult load(const std::string& path) {
+std::size_t Journal::append_failures() const {
+  if (!impl_) return 0;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->append_failures;
+}
+
+std::string Journal::last_error() const {
+  if (!impl_) return {};
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->last_error;
+}
+
+LoadResult load(const std::string& path, const LoadOptions& options) {
   LoadResult result;
-  std::ifstream in(path);
-  if (!in) return result;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::optional<Value> v = json::parse(line);
-    const Value* key = v ? v->find("key") : nullptr;
-    const Value* row = v ? v->find("row") : nullptr;
-    std::optional<ComparisonRow> parsed =
-        row != nullptr ? row_from_json(*row) : std::nullopt;
-    if (key == nullptr || !key->is_string() || !parsed) {
-      ++result.skipped_lines;  // torn tail after kill -9, or foreign line
+  io::ScanResult scan = io::scan_jsonl(path);
+  if (!scan.opened) return result;
+  std::vector<std::string> corrupt_raw;
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    const io::ScanRecord& rec = scan.records[i];
+    bool last = i + 1 == scan.records.size();
+    // The torn-tail signature: the FINAL line, unterminated by '\n' — a
+    // crash mid-append. Anything else that fails to read is mid-file
+    // corruption and gets counted (and quarantined) as such.
+    bool tail_candidate = last && scan.ends_mid_line;
+
+    bool readable = rec.frame != io::FrameStatus::FramedCorrupt;
+    std::optional<Value> v;
+    const Value* key = nullptr;
+    const Value* row = nullptr;
+    std::optional<ComparisonRow> parsed;
+    if (readable) {
+      v = json::parse(rec.payload);
+      key = v ? v->find("key") : nullptr;
+      row = v ? v->find("row") : nullptr;
+      parsed = row != nullptr ? row_from_json(*row) : std::nullopt;
+      readable = key != nullptr && key->is_string() && parsed.has_value();
+    }
+    if (!readable) {
+      ++result.skipped_lines;
+      if (rec.frame == io::FrameStatus::FramedCorrupt)
+        ++result.crc_mismatches;
+      if (tail_candidate && rec.frame != io::FrameStatus::FramedCorrupt) {
+        // An unterminated, unframed final fragment: the normal residue
+        // of a kill -9. A *framed* line whose CRC fails is corruption
+        // even at the tail — frames are written atomically enough that
+        // a tear cannot produce a complete-but-wrong checksum.
+        ++result.torn_tail;
+      } else {
+        ++result.corrupt_lines;
+        corrupt_raw.push_back(rec.raw);
+      }
       continue;
     }
+    if (rec.frame == io::FrameStatus::Legacy) ++result.legacy_lines;
     auto [it, inserted] =
         result.rows.insert_or_assign(key->as_string(), std::move(*parsed));
     (void)it;
     if (!inserted) ++result.duplicate_keys;  // last write wins
   }
+  if (options.quarantine && !corrupt_raw.empty())
+    result.quarantined = io::quarantine(path, corrupt_raw);
   return result;
 }
 
 CheckpointResult checkpoint(const std::string& path) {
   CheckpointResult result;
-  LoadResult loaded = load(path);
+  LoadOptions lopts;
+  lopts.quarantine = true;  // the checkpoint drops corrupt lines: preserve
+                            // the evidence in the sidecar first
+  LoadResult loaded = load(path, lopts);
   if (loaded.rows.empty() && loaded.skipped_lines == 0 &&
-      loaded.duplicate_keys == 0) {
+      loaded.duplicate_keys == 0 && loaded.legacy_lines == 0) {
     // Nothing to compact (missing or empty journal): succeed vacuously
     // rather than replacing the file with an empty one.
     result.ok = true;
     return result;
   }
   result.duplicates_dropped = loaded.duplicate_keys;
-  result.torn_lines_dropped = loaded.skipped_lines;
+  result.torn_lines_dropped = loaded.torn_tail;
+  result.corrupt_lines_dropped = loaded.corrupt_lines;
+  result.quarantined = loaded.quarantined;
 
   // Deterministic output order: sorted by key. The journal is a map, not
   // a log, after compaction — replay semantics are unchanged.
@@ -344,13 +400,6 @@ CheckpointResult checkpoint(const std::string& path) {
   std::sort(keys.begin(), keys.end(),
             [](const std::string* a, const std::string* b) { return *a < *b; });
 
-  std::string tmp_path = path + ".tmp";
-  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                  0644);
-  if (fd < 0) {
-    result.error = "checkpoint: open " + tmp_path + ": " + strerror(errno);
-    return result;
-  }
   std::string text;
   for (const std::string* key : keys) {
     const ComparisonRow& row = loaded.rows.at(*key);
@@ -358,47 +407,26 @@ CheckpointResult checkpoint(const std::string& path) {
     line.set("key", Value::string(*key));
     line.set("kernel", Value::string(row.kernel));
     line.set("row", row_to_json(row));
-    text += line.dump();
+    text += io::frame_record(line.dump());
     text += '\n';
   }
-  std::size_t off = 0;
-  while (off < text.size()) {
-    ssize_t n = ::write(fd, text.data() + off, text.size() - off);
-    if (n > 0) {
-      off += std::size_t(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    result.error = "checkpoint: write " + tmp_path + ": " + strerror(errno);
-    ::close(fd);
-    ::unlink(tmp_path.c_str());
+  // The tmp + fsync + rename + dir-fsync discipline (durability order:
+  // the bytes, then the rename, then the directory entry) lives in the
+  // io layer now; a power cut at any instant leaves the complete old
+  // journal or the complete new one.
+  std::string error;
+  if (!io::atomic_write_file(path, text, &error)) {
+    result.error = "checkpoint: " + error;
     return result;
-  }
-  // Durability order matters: (1) the tmp file's bytes, (2) the rename,
-  // (3) the directory entry. Skipping (3) can leave the rename itself
-  // unjournaled after a crash — the classic "tmp+rename is not enough"
-  // hole this function exists to close.
-  if (::fsync(fd) != 0) {
-    result.error = "checkpoint: fsync " + tmp_path + ": " + strerror(errno);
-    ::close(fd);
-    ::unlink(tmp_path.c_str());
-    return result;
-  }
-  ::close(fd);
-  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    result.error = "checkpoint: rename: " + std::string(strerror(errno));
-    ::unlink(tmp_path.c_str());
-    return result;
-  }
-  std::filesystem::path dir = std::filesystem::path(path).parent_path();
-  std::string dir_path = dir.empty() ? "." : dir.string();
-  int dfd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd >= 0) {
-    (void)::fsync(dfd);  // best effort: some filesystems refuse dir fsync
-    ::close(dfd);
   }
   result.ok = true;
   result.rows = loaded.rows.size();
+  // Earlier checkpoints staged at `<path>.tmp` (the io layer stages at
+  // `<path>.tmp.<pid>` and unlinks on every exit path); sweep a stale
+  // snapshot a pre-durability build left behind so it cannot linger
+  // forever beside the journal.
+  std::error_code ec;
+  std::filesystem::remove(path + ".tmp", ec);
   return result;
 }
 

@@ -53,45 +53,79 @@ namespace slc::driver::journal {
 [[nodiscard]] std::optional<ComparisonRow> row_from_json(
     const support::json::Value& value);
 
-/// Append-only journal writer. Each append is one self-contained JSON
-/// line, flushed immediately, so a kill -9 can lose at most the row
-/// being written — and the loader skips a torn final line.
+/// Append-only journal writer on the durable-IO layer (support/io.hpp):
+/// each append is one self-contained, CRC32C-framed JSON line written
+/// with a single write() + fdatasync, so a kill -9 or power cut can tear
+/// at most the record being written — and every acknowledged append is
+/// actually on disk, not just in the page cache.
 class Journal {
  public:
   Journal() = default;
 
   /// Opens (creating parent directories) for append; `truncate` starts a
   /// fresh journal (a non-resume run must not mix entries with an older
-  /// sweep's). Returns false and leaves the journal inactive on I/O
-  /// failure.
+  /// sweep's). When appending to an existing journal whose final record
+  /// is torn (crash mid-append), the fragment is quarantined and trimmed
+  /// first — appending after a torn tail would glue the next record onto
+  /// the fragment and silently lose it. Returns false and leaves the
+  /// journal inactive on I/O failure.
   bool open(const std::string& path, bool truncate,
             std::string* error = nullptr);
   [[nodiscard]] bool active() const;
 
   /// Thread-safe: the pipeline's on_row callback appends from workers.
-  void append(const std::string& key, const ComparisonRow& row);
+  /// Returns false on a durability failure (ENOSPC, EIO, short write,
+  /// fsync failure) — the row is then NOT durably journaled and a resume
+  /// will recompute it; callers surface the failure loudly.
+  bool append(const std::string& key, const ComparisonRow& row);
 
-  /// Flushes buffered lines (appends flush eagerly; this is for the
-  /// SIGINT path's peace of mind) .
+  /// fdatasync (appends already sync eagerly; this is for the SIGINT
+  /// path's peace of mind).
   void flush();
+
+  /// Appends that returned false since open(), and the latest error.
+  [[nodiscard]] std::size_t append_failures() const;
+  [[nodiscard]] std::string last_error() const;
 
  private:
   struct Impl;
   std::shared_ptr<Impl> impl_;
 };
 
-/// Journaled rows keyed by row_key. Unparseable lines (torn tail after a
-/// kill, foreign versions) are counted, not fatal. Duplicate keys are
-/// counted and resolved last-write-wins: a crashed-then-resumed sweep (or
-/// a restarted slcd appending to the same journal) legitimately rewrites
-/// rows, and the latest append is the authoritative one.
+/// Journaled rows keyed by row_key. Unreadable lines are counted, not
+/// fatal — and they are *classified*: a genuine torn tail (the final
+/// line, unterminated or unparseable, the normal residue of a kill -9
+/// mid-append) is distinguished from mid-file corruption (a CRC-framed
+/// line whose checksum fails, or an interior line that does not parse —
+/// a flipped bit, a filesystem hole, an overwritten block). Mid-file
+/// corruption used to be silently misclassified as a torn tail; now it
+/// gets its own count, a loud warning at every load site, and (when the
+/// caller asks) a copy in the `.quarantine` sidecar. Duplicate keys are
+/// counted and resolved last-write-wins: a crashed-then-resumed sweep
+/// (or a restarted slcd appending to the same journal) legitimately
+/// rewrites rows, and the latest append is the authoritative one.
+/// Lines written before CRC framing existed load as `legacy_lines`.
 struct LoadResult {
   std::unordered_map<std::string, ComparisonRow> rows;
-  std::size_t skipped_lines = 0;
+  std::size_t skipped_lines = 0;    // total unreadable = corrupt + torn
+  std::size_t corrupt_lines = 0;    // mid-file: CRC mismatch / unparseable
+  std::size_t torn_tail = 0;        // 0 or 1: the final line was torn
+  std::size_t crc_mismatches = 0;   // subset of corrupt_lines caught by CRC
+  std::size_t legacy_lines = 0;     // loaded fine, but unframed (pre-CRC)
   std::size_t duplicate_keys = 0;
+  std::size_t quarantined = 0;      // corrupt lines copied to .quarantine
 };
 
-[[nodiscard]] LoadResult load(const std::string& path);
+struct LoadOptions {
+  /// Copy corrupt (mid-file) records to `path + ".quarantine"` so the
+  /// evidence survives the checkpoint that will drop them. The torn tail
+  /// is not quarantined here — Journal::open trims and quarantines it at
+  /// the moment the file is re-opened for append.
+  bool quarantine = false;
+};
+
+[[nodiscard]] LoadResult load(const std::string& path,
+                              const LoadOptions& options = {});
 
 /// Crash-consistent journal compaction: loads `path` (last-write-wins),
 /// rewrites one line per surviving key into `path + ".tmp"`, fsyncs the
@@ -107,9 +141,15 @@ struct CheckpointResult {
   std::string error;
   std::size_t rows = 0;             // surviving (deduplicated) rows
   std::size_t duplicates_dropped = 0;
-  std::size_t torn_lines_dropped = 0;
+  std::size_t torn_lines_dropped = 0;    // the torn final line, if any
+  std::size_t corrupt_lines_dropped = 0; // mid-file corruption, quarantined
+  std::size_t quarantined = 0;           // corrupt lines saved to sidecar
 };
 
+/// The checkpoint output is written through io::atomic_write_file and
+/// every surviving line is CRC32C-framed — checkpointing a legacy
+/// (unframed) journal upgrades it in place. Corrupt mid-file lines are
+/// quarantined before they are dropped.
 [[nodiscard]] CheckpointResult checkpoint(const std::string& path);
 
 }  // namespace slc::driver::journal

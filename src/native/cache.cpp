@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -14,12 +15,14 @@
 #include <vector>
 
 #include "native/codegen.hpp"
+#include "support/io.hpp"
 #include "support/retry.hpp"
 #include "support/subprocess.hpp"
 
 namespace slc::native {
 
 namespace fs = std::filesystem;
+namespace io = slc::support::io;
 
 namespace {
 
@@ -61,6 +64,14 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   char* end = nullptr;
   unsigned long long parsed = std::strtoull(v, &end, 10);
   return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
 }
 
 }  // namespace
@@ -122,6 +133,19 @@ struct CodegenCache::Impl {
     }
     std::error_code ec;
     fs::create_directories(dir, ec);
+    // Sweep orphaned *.tmp.<pid> files: a compiler (or the process
+    // driving it) killed between emitting the temp object and the
+    // rename leaves one behind forever. Only old ones go — a live
+    // concurrent publish uses a fresh tmp for at most seconds.
+    auto cutoff = fs::file_time_type::clock::now() - std::chrono::minutes(10);
+    for (const auto& e : fs::directory_iterator(dir, ec)) {
+      if (e.path().filename().string().find(".tmp.") == std::string::npos)
+        continue;
+      std::error_code tec;
+      auto t = fs::last_write_time(e.path(), tec);
+      if (tec || t > cutoff) continue;
+      if (fs::remove(e.path(), tec) && !tec) ++stats.orphans_removed;
+    }
     dir_ready = true;
     return dir;
   }
@@ -147,6 +171,10 @@ struct CodegenCache::Impl {
       fs::path c = objects[i].second;
       c.replace_extension(".c");
       fs::remove(c, ec);
+      fs::path sum = objects[i].second;
+      sum.replace_extension(".sum");
+      std::error_code sec;
+      fs::remove(sum, sec);
       if (!ec) ++stats.evictions;
     }
   }
@@ -183,17 +211,40 @@ struct CodegenCache::Impl {
     c_path += ".c";
     fs::path so_path = base;
     so_path += ".so";
+    fs::path sum_path = base;
+    sum_path += ".sum";
 
     std::error_code ec;
     if (fs::exists(so_path, ec)) {
-      auto entry = load_so(key, so_path);
-      if (entry->ok) {
-        std::lock_guard<std::mutex> lock(mu);
-        ++stats.disk_hits;
-        return entry;
+      // Verify the .sum digest before handing the bytes to dlopen: a
+      // corrupt shared object is executable code, and "dlopen succeeded"
+      // is a much weaker check than "the bytes are the ones we
+      // published". Objects from before .sum existed have no sidecar and
+      // load on dlopen's say-so alone, as they always did.
+      bool digest_ok = true;
+      std::string so_bytes, sum_text;
+      if (read_file(sum_path, &sum_text)) {
+        while (!sum_text.empty() &&
+               (sum_text.back() == '\n' || sum_text.back() == '\r'))
+          sum_text.pop_back();
+        digest_ok = read_file(so_path, &so_bytes) &&
+                    io::hex32(io::crc32c(so_bytes)) == sum_text;
       }
-      // A stale/corrupt object: fall through and recompile over it.
+      if (digest_ok) {
+        auto entry = load_so(key, so_path);
+        if (entry->ok) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++stats.disk_hits;
+          return entry;
+        }
+      }
+      // Corrupt (digest mismatch) or undlopenable: delete the bad object
+      // and its sidecar, count it, and recompile from source.
       fs::remove(so_path, ec);
+      std::error_code sec;
+      fs::remove(sum_path, sec);
+      std::lock_guard<std::mutex> lock(mu);
+      ++stats.corrupt_dropped;
     }
 
     auto fail = [&](std::string why) {
@@ -206,9 +257,11 @@ struct CodegenCache::Impl {
     };
 
     {
-      std::ofstream out(c_path);
-      out << c_source;
-      if (!out.good()) return fail("cannot write " + c_path.string());
+      // Atomic + fsynced: the archived source always matches the object
+      // compiled from it, even across a power cut.
+      std::string werror;
+      if (!io::atomic_write_file(c_path.string(), c_source, &werror))
+        return fail("cannot write " + c_path.string() + ": " + werror);
     }
 
     // Compile to a private temp name, then atomically publish: a
@@ -266,10 +319,29 @@ struct CodegenCache::Impl {
       return fail("host compiler " + r.describe() + ": " +
                   first_line(r.err.empty() ? r.out : r.err));
     }
-    fs::rename(tmp, so_path, ec);
-    if (ec) {
+    // Publish through the durable-IO layer: re-writing the compiler's
+    // output via atomic_write_file gets the fsync-before-rename ordering
+    // (the old bare rename could publish an empty object after a power
+    // cut) and yields the exact byte stream the .sum digest covers.
+    std::string so_bytes;
+    if (!read_file(tmp, &so_bytes)) {
       fs::remove(tmp, ec);
-      return fail("cannot publish " + so_path.string());
+      return fail("cannot read compiler output " + tmp.string());
+    }
+    std::string perror;
+    if (!io::atomic_write_file(so_path.string(), so_bytes, &perror)) {
+      fs::remove(tmp, ec);
+      return fail("cannot publish " + so_path.string() + ": " + perror);
+    }
+    fs::remove(tmp, ec);
+    // The digest sidecar lands after the object; a crash between the two
+    // leaves a sum-less object, which loads legacy-style (dlopen-only)
+    // and gets its sidecar rewritten on the next compile of the key.
+    if (!io::atomic_write_file(sum_path.string(),
+                               io::hex32(io::crc32c(so_bytes)) + "\n",
+                               &perror)) {
+      std::error_code sec;
+      fs::remove(sum_path, sec);  // no sidecar beats a wrong one
     }
 
     auto entry = load_so(key, so_path);

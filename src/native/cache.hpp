@@ -12,9 +12,16 @@
 //     never dlclose'd (other threads may still be executing inside the
 //     object); a process compiles each distinct kernel at most once.
 //   * on-disk (SLC_NATIVE_CACHE_DIR, default /tmp/slc-native-cache-<uid>):
-//     slcnat-<key>.{c,so}. Survives process restarts, so a re-run sweep
-//     pays zero compiler invocations. mtime-LRU eviction keeps at most
-//     SLC_NATIVE_CACHE_MAX (default 512) shared objects.
+//     slcnat-<key>.{c,so,sum}. Survives process restarts, so a re-run
+//     sweep pays zero compiler invocations. mtime-LRU eviction keeps at
+//     most SLC_NATIVE_CACHE_MAX (default 512) shared objects. The .sum
+//     sidecar carries the CRC32C digest of the published .so; a disk hit
+//     verifies it before dlopen, and a mismatch (bit rot, torn publish on
+//     a pre-durability build) deletes the object and recompiles instead
+//     of loading corrupt executable code. Objects published before .sum
+//     existed load as before (dlopen is the only check). Orphaned
+//     *.tmp.<pid> files from compilers killed mid-publish are swept out
+//     when the store is opened.
 //
 // Concurrent get_or_compile calls for the same key coalesce onto one
 // compile via the promise/shared_future publish idiom (same shape as the
@@ -55,6 +62,13 @@ struct CacheStats {
   /// timeout) failure — see support/retry.hpp. A nonzero compiler exit
   /// is a deterministic diagnosis and is never retried.
   std::uint64_t retries = 0;
+  /// On-disk objects that failed their `.sum` CRC32C digest (or failed
+  /// to dlopen) and were deleted before recompiling — a corrupt cache
+  /// entry costs one compile, never a wrong (or crashing) dlopen.
+  std::uint64_t corrupt_dropped = 0;
+  /// Stale `*.tmp.<pid>` files (a compiler killed mid-publish) removed
+  /// when the disk store was opened.
+  std::uint64_t orphans_removed = 0;
 
   [[nodiscard]] std::uint64_t lookups() const {
     return mem_hits + disk_hits + compiles + failures;

@@ -1,15 +1,17 @@
 #include "service/cache.hpp"
 
-#include <filesystem>
-#include <fstream>
+#include <vector>
+
+#include "support/io.hpp"
 
 namespace slc::service {
 
+namespace io = support::io;
 namespace json = support::json;
 using json::Value;
 
 struct ResultCache::JournalFile {
-  std::ofstream out;
+  io::AppendFile out;
 };
 
 ResultCache::ResultCache(std::size_t max_entries)
@@ -55,34 +57,61 @@ void ResultCache::put_locked(const std::string& key,
 void ResultCache::put(const std::string& key, const Response& response) {
   std::lock_guard<std::mutex> lock(mu_);
   put_locked(key, response);
-  if (journal_ != nullptr && journal_->out.good()) {
+  if (journal_ != nullptr && journal_->out.active()) {
     Value line = Value::object();
     line.set("key", Value::string(key));
     Response stored = response;
     stored.id = 0;
     stored.cached = false;
     line.set("response", to_json(stored));
-    journal_->out << line.dump() << '\n';
-    journal_->out.flush();  // each append survives a kill -9 on its own
+    // One framed record, one write(), one fdatasync: an acknowledged put
+    // is on disk, and a kill -9 tears at most this record.
+    std::string err;
+    if (!journal_->out.append_line(io::frame_record(line.dump()), &err)) {
+      ++stats_.append_failures;
+      journal_error_ = err;
+    }
   }
 }
 
 bool ResultCache::open_journal(const std::string& path, std::string* error) {
   // Replay phase: existing lines warm the cache. Duplicate keys are the
   // normal trace of a crashed-then-restarted daemon — last write wins.
+  // Unreadable lines are classified: the torn final line of a crash
+  // mid-append is expected residue; anything else (a framed line whose
+  // CRC fails, an interior line that does not parse) is mid-file
+  // corruption, counted separately and quarantined so the evidence
+  // survives the replay that skips it.
   {
-    std::ifstream in(path);
-    std::string line;
+    io::ScanResult scan = io::scan_jsonl(path);
+    std::vector<std::string> corrupt_raw;
     std::lock_guard<std::mutex> lock(mu_);
-    while (in && std::getline(in, line)) {
-      if (line.empty()) continue;
-      std::optional<Value> v = json::parse(line);
-      const Value* key = v ? v->find("key") : nullptr;
-      const Value* resp = v ? v->find("response") : nullptr;
-      std::optional<Response> parsed =
-          resp != nullptr ? response_from_json(*resp) : std::nullopt;
-      if (key == nullptr || !key->is_string() || !parsed) {
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+      const io::ScanRecord& rec = scan.records[i];
+      bool last = i + 1 == scan.records.size();
+      bool tail_candidate = last && scan.ends_mid_line;
+
+      bool readable = rec.frame != io::FrameStatus::FramedCorrupt;
+      std::optional<Response> parsed;
+      const Value* key = nullptr;
+      std::optional<Value> v;
+      if (readable) {
+        v = json::parse(rec.payload);
+        key = v ? v->find("key") : nullptr;
+        const Value* resp = v ? v->find("response") : nullptr;
+        parsed = resp != nullptr ? response_from_json(*resp) : std::nullopt;
+        readable = key != nullptr && key->is_string() && parsed.has_value();
+      }
+      if (!readable) {
         ++stats_.journal_skipped;
+        if (rec.frame == io::FrameStatus::FramedCorrupt)
+          ++stats_.journal_crc_mismatches;
+        if (tail_candidate && rec.frame != io::FrameStatus::FramedCorrupt) {
+          ++stats_.journal_torn;
+        } else {
+          ++stats_.journal_corrupt;
+          corrupt_raw.push_back(rec.raw);
+        }
         continue;
       }
       if (index_.find(key->as_string()) != index_.end())
@@ -95,19 +124,20 @@ bool ResultCache::open_journal(const std::string& path, std::string* error) {
     }
     stats_.insertions = 0;
     stats_.evictions = 0;
+    if (!corrupt_raw.empty())
+      stats_.journal_quarantined = io::quarantine(path, corrupt_raw);
+  }
+
+  // Trim a torn final record before appending: O_APPEND after a tear
+  // glues the next put onto the fragment, losing both.
+  std::string trim_error;
+  if (!io::trim_torn_tail(path, &trim_error)) {
+    if (error != nullptr) *error = "cache journal tail repair: " + trim_error;
+    return false;
   }
 
   auto jf = std::make_shared<JournalFile>();
-  std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  jf->out.open(path, std::ios::app);
-  if (!jf->out) {
-    if (error != nullptr) *error = "cannot open cache journal " + path;
-    return false;
-  }
+  if (!jf->out.open(path, /*truncate=*/false, error)) return false;
   std::lock_guard<std::mutex> lock(mu_);
   journal_ = std::move(jf);
   return true;
@@ -115,7 +145,18 @@ bool ResultCache::open_journal(const std::string& path, std::string* error) {
 
 void ResultCache::flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (journal_ != nullptr) journal_->out.flush();
+  if (journal_ != nullptr && journal_->out.active()) {
+    std::string err;
+    if (!journal_->out.sync(&err)) {
+      ++stats_.append_failures;
+      journal_error_ = err;
+    }
+  }
+}
+
+std::string ResultCache::last_journal_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_error_;
 }
 
 CacheStats ResultCache::stats() const {

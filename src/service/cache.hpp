@@ -39,7 +39,12 @@ struct CacheStats {
   std::uint64_t entries = 0;          // current size
   std::uint64_t journal_loaded = 0;   // entries restored at startup
   std::uint64_t journal_duplicates = 0;
-  std::uint64_t journal_skipped = 0;  // unreadable lines (torn tail)
+  std::uint64_t journal_skipped = 0;  // total unreadable = corrupt + torn
+  std::uint64_t journal_corrupt = 0;  // mid-file: CRC mismatch/unparseable
+  std::uint64_t journal_torn = 0;     // 0 or 1: torn final line
+  std::uint64_t journal_crc_mismatches = 0;  // subset of corrupt, CRC-caught
+  std::uint64_t journal_quarantined = 0;     // corrupt lines -> .quarantine
+  std::uint64_t append_failures = 0;  // puts that failed to persist
 
   [[nodiscard]] double hit_rate() const {
     std::uint64_t n = hits + misses;
@@ -61,10 +66,17 @@ class ResultCache {
   void put(const std::string& key, const Response& response);
 
   /// Opens the persistence journal: replays existing entries into the
-  /// cache (counting duplicates and torn lines), then appends every
-  /// future put. Returns false (cache stays memory-only) on I/O failure.
+  /// cache — classifying unreadable lines as torn tail vs mid-file
+  /// corruption, quarantining the latter to `path + ".quarantine"` — then
+  /// trims any torn final record and appends every future put through the
+  /// durable-IO layer (CRC32C-framed, write+fdatasync per record).
+  /// Returns false (cache stays memory-only) on I/O failure. Journals
+  /// written before framing existed replay fine (legacy lines).
   bool open_journal(const std::string& path, std::string* error = nullptr);
   void flush();
+
+  /// Most recent persistence error (see CacheStats::append_failures).
+  [[nodiscard]] std::string last_journal_error() const;
 
   [[nodiscard]] CacheStats stats() const;
 
@@ -79,6 +91,7 @@ class ResultCache {
                      std::list<std::pair<std::string, Response>>::iterator>
       index_;
   CacheStats stats_;
+  std::string journal_error_;
 
   struct JournalFile;
   std::shared_ptr<JournalFile> journal_;

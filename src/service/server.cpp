@@ -388,6 +388,13 @@ Value Service::stats_json() const {
   cache.set("journal_loaded", Value::number(s.cache.journal_loaded));
   cache.set("journal_duplicates", Value::number(s.cache.journal_duplicates));
   cache.set("journal_skipped", Value::number(s.cache.journal_skipped));
+  cache.set("journal_corrupt", Value::number(s.cache.journal_corrupt));
+  cache.set("journal_torn", Value::number(s.cache.journal_torn));
+  cache.set("journal_crc_mismatches",
+            Value::number(s.cache.journal_crc_mismatches));
+  cache.set("journal_quarantined",
+            Value::number(s.cache.journal_quarantined));
+  cache.set("append_failures", Value::number(s.cache.append_failures));
   v.set("cache", std::move(cache));
   return v;
 }

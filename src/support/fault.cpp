@@ -1,5 +1,7 @@
 #include "support/fault.hpp"
 
+#include <cerrno>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -17,6 +19,17 @@ namespace {
 
 enum class FaultKind { Throw, Fail, FailOnce, Delay, Crash, Hang, Alloc, Drop };
 
+/// A disk-fault spec (`io:<kind>[@path-substr]`). Unlike pipeline faults
+/// these key on the IoOp and the file path, not on a Stage.
+enum class IoSpecKind { ShortWrite, Eio, Enospc, FsyncFail, CrashAfter };
+
+struct IoSpec {
+  IoSpecKind kind = IoSpecKind::Eio;
+  std::uint64_t crash_after = 0;    // crash-after=K: ops until the kill
+  std::string path_filter;          // substring match; empty = all paths
+  std::atomic<std::uint64_t> ops{0};  // crash-after: ops seen so far
+};
+
 /// Message sentinel for the drop kind; is_drop() keys on it so injection
 /// points can tell "swallow this row" apart from ordinary injected fails.
 constexpr std::string_view kDropMessage = "injected row drop";
@@ -33,6 +46,7 @@ struct FaultSpec {
 struct Config {
   std::mutex mu;
   std::deque<FaultSpec> specs;      // deque: FaultSpec holds an atomic
+  std::deque<IoSpec> io_specs;      // deque: IoSpec holds an atomic
   std::vector<std::string> bugs;
 };
 
@@ -57,6 +71,47 @@ bool parse_one(std::string_view item, Config& c, std::string* error) {
     std::string name(item.substr(kBugPrefix.size()));
     if (name.empty()) return fail("empty bug name");
     c.bugs.push_back(std::move(name));
+    return true;
+  }
+
+  // io:<kind>[@path-substr] — a disk fault for the durable-IO layer.
+  constexpr std::string_view kIoPrefix = "io:";
+  if (item.substr(0, kIoPrefix.size()) == kIoPrefix) {
+    std::string_view rest = item.substr(kIoPrefix.size());
+    std::string path_filter;
+    if (std::size_t at = rest.find('@'); at != std::string_view::npos) {
+      path_filter = std::string(rest.substr(at + 1));
+      rest = rest.substr(0, at);
+    }
+    IoSpec spec;
+    spec.path_filter = std::move(path_filter);
+    constexpr std::string_view kCrashPrefix = "crash-after=";
+    if (rest == "short-write") {
+      spec.kind = IoSpecKind::ShortWrite;
+    } else if (rest == "eio") {
+      spec.kind = IoSpecKind::Eio;
+    } else if (rest == "enospc") {
+      spec.kind = IoSpecKind::Enospc;
+    } else if (rest == "fsync-fail") {
+      spec.kind = IoSpecKind::FsyncFail;
+    } else if (rest.substr(0, kCrashPrefix.size()) == kCrashPrefix) {
+      spec.kind = IoSpecKind::CrashAfter;
+      std::string k(rest.substr(kCrashPrefix.size()));
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(k.c_str(), &end, 10);
+      if (k.empty() || end == nullptr || *end != '\0' || v == 0)
+        return fail("bad crash-after op count");
+      spec.crash_after = v;
+    } else {
+      return fail(
+          "unknown io fault kind "
+          "(short-write|eio|enospc|fsync-fail|crash-after=K)");
+    }
+    c.io_specs.emplace_back();
+    IoSpec& stored = c.io_specs.back();
+    stored.kind = spec.kind;
+    stored.crash_after = spec.crash_after;
+    stored.path_filter = std::move(spec.path_filter);
     return true;
   }
 
@@ -137,6 +192,7 @@ bool configure(const std::string& spec, std::string* error) {
   Config& c = config();
   std::unique_lock<std::mutex> lock(c.mu);
   c.specs.clear();
+  c.io_specs.clear();
   c.bugs.clear();
   bool ok = true;
   std::size_t pos = 0;
@@ -150,9 +206,10 @@ bool configure(const std::string& spec, std::string* error) {
   }
   if (!ok) {
     c.specs.clear();
+    c.io_specs.clear();
     c.bugs.clear();
   }
-  g_enabled.store(!c.specs.empty() || !c.bugs.empty(),
+  g_enabled.store(!c.specs.empty() || !c.io_specs.empty() || !c.bugs.empty(),
                   std::memory_order_release);
   return ok;
 }
@@ -169,6 +226,7 @@ void clear() {
   Config& c = config();
   std::unique_lock<std::mutex> lock(c.mu);
   c.specs.clear();
+  c.io_specs.clear();
   c.bugs.clear();
   g_enabled.store(false, std::memory_order_release);
 }
@@ -251,6 +309,41 @@ std::optional<Failure> trigger(Stage stage, std::string_view kernel) {
 bool is_drop(const Failure& failure) {
   return failure.kind == FailureKind::Injected &&
          failure.message == kDropMessage;
+}
+
+std::optional<IoFault> io_trigger(IoOp op, std::string_view path) {
+  if (!enabled()) return std::nullopt;
+  Config& c = config();
+  std::unique_lock<std::mutex> lock(c.mu);
+  for (IoSpec& spec : c.io_specs) {
+    if (!spec.path_filter.empty() &&
+        path.find(spec.path_filter) == std::string_view::npos)
+      continue;
+    switch (spec.kind) {
+      case IoSpecKind::ShortWrite:
+        if (op != IoOp::Write) continue;
+        return IoFault{IoFaultKind::ShortWrite, ENOSPC};
+      case IoSpecKind::Eio:
+        if (op != IoOp::Write) continue;
+        return IoFault{IoFaultKind::Fail, EIO};
+      case IoSpecKind::Enospc:
+        if (op != IoOp::Write) continue;
+        return IoFault{IoFaultKind::Fail, ENOSPC};
+      case IoSpecKind::FsyncFail:
+        if (op != IoOp::Fsync) continue;
+        return IoFault{IoFaultKind::Fail, EIO};
+      case IoSpecKind::CrashAfter: {
+        // Every durable-IO op (matching the filter) advances the clock;
+        // the Kth one is where the "power cut" lands.
+        std::uint64_t seen =
+            spec.ops.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (seen >= spec.crash_after)
+          return IoFault{IoFaultKind::Crash, 0};
+        continue;
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 bool bug_planted(std::string_view name) {

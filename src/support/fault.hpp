@@ -31,6 +31,24 @@
 //                                       and the static verifier end to end:
 //                                       they must catch it)
 //
+// Disk faults (consumed by the durable-IO layer, support/io.hpp; the
+// @filter is matched against the *path* of the file being written, so a
+// fault can target one artifact — the journal, a cache — by site):
+//   SLC_FAULT="io:enospc@results"       every write to a path containing
+//                                       "results" fails with ENOSPC
+//   SLC_FAULT="io:eio"                  every durable-IO write fails EIO
+//   SLC_FAULT="io:short-write@cache"    write half the bytes, then ENOSPC
+//                                       (models a disk filling mid-record)
+//   SLC_FAULT="io:fsync-fail"           fsync/fdatasync report EIO — the
+//                                       "fsyncgate" failure mode where the
+//                                       page cache lied about durability
+//   SLC_FAULT="io:crash-after=K"        hard-kill the process (_Exit) on
+//                                       the Kth durable-IO operation; when
+//                                       that op is a write, half the bytes
+//                                       land first — a genuine torn record,
+//                                       the closest a test gets to a power
+//                                       cut at an arbitrary instant
+//
 // Planted miscompile bugs (each must be caught *statically* by the
 // src/verify legality checker — the CI lint gate enforces it):
 //   bug:mve-skip-rename   drop the MVE rename of one planned scalar
@@ -114,5 +132,37 @@ void clear();
 /// Transformation passes consult this to deliberately emit wrong code so
 /// the differential fuzzer's detection path can be validated.
 [[nodiscard]] bool bug_planted(std::string_view name);
+
+// ----- disk faults (support/io.hpp injection points) -----------------------
+
+/// The durable-IO operations a disk fault can fire on. Every syscall the
+/// io layer issues is classified as one of these before it runs.
+enum class IoOp : std::uint8_t { Open, Write, Fsync, Rename };
+
+/// What io_trigger tells the io layer to do instead of the real syscall.
+enum class IoFaultKind : std::uint8_t {
+  ShortWrite,  // write roughly half the bytes, then fail with `err`
+  Fail,        // fail immediately with `err` (EIO / ENOSPC)
+  Crash,       // half-write if mid-write, then _Exit the process
+};
+
+struct IoFault {
+  IoFaultKind kind = IoFaultKind::Fail;
+  int err = 0;  // errno to report for ShortWrite / Fail
+};
+
+/// The disk-fault injection point, called by support/io.cpp before every
+/// durable-IO syscall. Returns nullopt in the common (disarmed or
+/// non-matching) case — a single relaxed atomic load. `path` is matched
+/// as a substring against the spec's @filter. The crash-after counter
+/// counts every IoOp that reaches an armed crash-after spec, regardless
+/// of path filter matches on other specs.
+[[nodiscard]] std::optional<IoFault> io_trigger(IoOp op,
+                                                std::string_view path);
+
+/// Process exit code used by the `io:crash-after=K` hard kill; torture
+/// harnesses assert on it to distinguish the planted crash from an
+/// organic one.
+inline constexpr int kIoCrashExitCode = 67;
 
 }  // namespace slc::support::fault

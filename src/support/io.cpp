@@ -1,0 +1,381 @@
+#include "support/io.hpp"
+
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "support/fault.hpp"
+
+namespace slc::support::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ----- CRC32C table --------------------------------------------------------
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  // Reflected Castagnoli polynomial.
+  constexpr std::uint32_t kPoly = 0x82F63B78u;
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  return table;
+}
+
+// ----- fault-aware syscall wrappers ----------------------------------------
+//
+// Each wrapper consults the disk-fault injection point first. The Crash
+// action models a power cut: when it lands on a write, roughly half the
+// bytes hit the file before the process dies — a genuine torn record
+// for recovery to chew on. _Exit skips atexit/stream flushing, which is
+// exactly the point.
+
+[[noreturn]] void crash_now() { ::_Exit(fault::kIoCrashExitCode); }
+
+bool raw_write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w > 0) {
+      off += std::size_t(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w >= 0) errno = EIO;  // zero-byte write on a regular file
+    return false;
+  }
+  return true;
+}
+
+bool checked_write(int fd, std::string_view data, const std::string& path,
+                   std::string* error) {
+  if (fault::enabled()) {
+    if (auto f = fault::io_trigger(fault::IoOp::Write, path)) {
+      std::size_t half = data.size() / 2;
+      switch (f->kind) {
+        case fault::IoFaultKind::Crash:
+          (void)raw_write_all(fd, data.data(), half);
+          crash_now();
+        case fault::IoFaultKind::ShortWrite:
+          (void)raw_write_all(fd, data.data(), half);
+          errno = f->err;
+          if (error != nullptr)
+            *error = "write " + path + ": short write: " + strerror(f->err);
+          return false;
+        case fault::IoFaultKind::Fail:
+          errno = f->err;
+          if (error != nullptr)
+            *error = "write " + path + ": " + strerror(f->err);
+          return false;
+      }
+    }
+  }
+  if (!raw_write_all(fd, data.data(), data.size())) {
+    if (error != nullptr)
+      *error = "write " + path + ": " + strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool checked_fsync(int fd, const std::string& path, std::string* error,
+                   bool data_only) {
+  if (fault::enabled()) {
+    if (auto f = fault::io_trigger(fault::IoOp::Fsync, path)) {
+      if (f->kind == fault::IoFaultKind::Crash) crash_now();
+      errno = f->err;
+      if (error != nullptr)
+        *error = "fsync " + path + ": " + strerror(f->err);
+      return false;
+    }
+  }
+  int rc = data_only ? ::fdatasync(fd) : ::fsync(fd);
+  if (rc != 0) {
+    if (error != nullptr)
+      *error = "fsync " + path + ": " + strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool checked_rename(const std::string& from, const std::string& to,
+                    std::string* error) {
+  if (fault::enabled()) {
+    if (auto f = fault::io_trigger(fault::IoOp::Rename, to)) {
+      if (f->kind == fault::IoFaultKind::Crash) crash_now();
+    }
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    if (error != nullptr)
+      *error = "rename " + from + " -> " + to + ": " + strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+int checked_open(const std::string& path, int flags, mode_t mode,
+                 std::string* error) {
+  if (fault::enabled()) {
+    if (auto f = fault::io_trigger(fault::IoOp::Open, path)) {
+      if (f->kind == fault::IoFaultKind::Crash) crash_now();
+    }
+  }
+  int fd = ::open(path.c_str(), flags, mode);
+  if (fd < 0 && error != nullptr)
+    *error = "open " + path + ": " + strerror(errno);
+  return fd;
+}
+
+void create_parents(const std::string& path) {
+  fs::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(p.parent_path(), ec);
+  }
+}
+
+/// Best-effort directory fsync after a rename: some filesystems refuse
+/// it (and the rename is still ordered on the ones that matter).
+void dir_fsync(const std::string& path) {
+  fs::path dir = fs::path(path).parent_path();
+  std::string dir_path = dir.empty() ? "." : dir.string();
+  int dfd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data) {
+  const auto& table = crc32c_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char c : data)
+    crc = (crc >> 8) ^ table[(crc ^ c) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string hex32(std::uint32_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[std::size_t(i)] = digits[v & 0xFu];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string frame_record(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + kFrameMarker.size() + 8);
+  out.append(payload);
+  out.append(kFrameMarker);
+  out.append(hex32(crc32c(payload)));
+  return out;
+}
+
+FrameStatus parse_frame(std::string_view line, std::string_view* payload) {
+  // The frame is a fixed-width suffix: marker + 8 hex digits at the very
+  // end of the line. Anything else is legacy.
+  constexpr std::size_t kDigits = 8;
+  std::size_t frame_len = kFrameMarker.size() + kDigits;
+  if (line.size() >= frame_len &&
+      line.substr(line.size() - frame_len, kFrameMarker.size()) ==
+          kFrameMarker) {
+    std::string_view body = line.substr(0, line.size() - frame_len);
+    std::string_view hex = line.substr(line.size() - kDigits);
+    *payload = body;
+    std::uint32_t want = 0;
+    for (char c : hex) {
+      want <<= 4;
+      if (c >= '0' && c <= '9') {
+        want |= std::uint32_t(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        want |= std::uint32_t(c - 'a' + 10);
+      } else {
+        // Junk in the checksum field: the frame itself is corrupt.
+        return FrameStatus::FramedCorrupt;
+      }
+    }
+    return crc32c(body) == want ? FrameStatus::FramedOk
+                                : FrameStatus::FramedCorrupt;
+  }
+  *payload = line;
+  return FrameStatus::Legacy;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::string* error) {
+  create_parents(path);
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = checked_open(tmp, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644,
+                        error);
+  if (fd < 0) return false;
+  if (!checked_write(fd, bytes, tmp, error) ||
+      !checked_fsync(fd, tmp, error, /*data_only=*/false)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (!checked_rename(tmp, path, error)) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  dir_fsync(path);
+  return true;
+}
+
+AppendFile::~AppendFile() { close(); }
+
+bool AppendFile::open(const std::string& path, bool truncate,
+                      std::string* error) {
+  close();
+  create_parents(path);
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  int fd = checked_open(path, flags, 0644, error);
+  if (fd < 0) return false;
+  fd_ = fd;
+  path_ = path;
+  return true;
+}
+
+bool AppendFile::append_line(std::string_view line, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "append: file not open";
+    return false;
+  }
+  std::string record;
+  record.reserve(line.size() + 1);
+  record.append(line);
+  record.push_back('\n');
+  if (!checked_write(fd_, record, path_, error)) return false;
+  if (durable_ && !checked_fsync(fd_, path_, error, /*data_only=*/true))
+    return false;
+  return true;
+}
+
+bool AppendFile::sync(std::string* error) {
+  if (fd_ < 0) return true;
+  return checked_fsync(fd_, path_, error, /*data_only=*/true);
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+ScanResult scan_jsonl(const std::string& path) {
+  ScanResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;
+  result.opened = true;
+
+  // Read the whole file and split on '\n' manually: std::getline hides
+  // whether the final line was newline-terminated, and that missing
+  // terminator is precisely the torn-tail signature.
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    bool terminated = nl != std::string::npos;
+    std::size_t end = terminated ? nl : text.size();
+    ++line_no;
+    std::string_view raw(text.data() + pos, end - pos);
+    if (!terminated) result.ends_mid_line = true;
+    if (!raw.empty()) {
+      ScanRecord rec;
+      rec.raw = std::string(raw);
+      rec.line_no = line_no;
+      std::string_view payload;
+      rec.frame = parse_frame(raw, &payload);
+      rec.payload = std::string(payload);
+      switch (rec.frame) {
+        case FrameStatus::FramedOk:
+          ++result.framed_ok;
+          break;
+        case FrameStatus::FramedCorrupt:
+          ++result.crc_mismatches;
+          break;
+        case FrameStatus::Legacy:
+          ++result.legacy;
+          break;
+      }
+      result.records.push_back(std::move(rec));
+    }
+    if (!terminated) break;
+    pos = nl + 1;
+  }
+  return result;
+}
+
+bool trim_torn_tail(const std::string& path, std::string* error,
+                    bool* trimmed) {
+  if (trimmed != nullptr) *trimmed = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return true;  // nothing to trim
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  if (text.empty() || text.back() == '\n') return true;
+  std::size_t last_nl = text.rfind('\n');
+  std::size_t keep = last_nl == std::string::npos ? 0 : last_nl + 1;
+  std::string fragment = text.substr(keep);
+  // Evidence first, then the cut.
+  std::string qerror;
+  if (quarantine(path, {fragment}, &qerror) == 0 && !qerror.empty()) {
+    if (error != nullptr) *error = "quarantine of torn tail: " + qerror;
+    return false;
+  }
+  if (::truncate(path.c_str(), off_t(keep)) != 0) {
+    if (error != nullptr)
+      *error = "truncate " + path + ": " + strerror(errno);
+    return false;
+  }
+  if (trimmed != nullptr) *trimmed = true;
+  return true;
+}
+
+std::string quarantine_path(const std::string& path) {
+  return path + ".quarantine";
+}
+
+std::size_t quarantine(const std::string& path,
+                       const std::vector<std::string>& raw_lines,
+                       std::string* error) {
+  if (raw_lines.empty()) return 0;
+  AppendFile sidecar;
+  if (!sidecar.open(quarantine_path(path), /*truncate=*/false, error))
+    return 0;
+  std::size_t landed = 0;
+  for (const std::string& line : raw_lines) {
+    if (!sidecar.append_line(line, error)) break;
+    ++landed;
+  }
+  return landed;
+}
+
+}  // namespace slc::support::io

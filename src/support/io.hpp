@@ -1,0 +1,184 @@
+// The durable-IO layer: every artifact the harness persists — the run
+// journal and its checkpoint, the slcd result cache, the native codegen
+// cache, the crash-repro archive, the corpus manifest — goes through the
+// primitives in this file instead of bare std::ofstream.
+//
+// Three disciplines, one place:
+//
+//   * atomic whole-file replace: write to `<path>.tmp.<pid>`, fsync the
+//     bytes, rename() over the target, fsync the directory. A power cut
+//     at any instant leaves either the complete old file or the complete
+//     new one — never a truncated mix, never a rename the directory
+//     forgot (see journal::checkpoint, which pioneered the discipline
+//     this layer now owns).
+//
+//   * durable appends: each record is one write() syscall followed by
+//     fdatasync, so a kill -9 or power cut can tear at most the record
+//     being written, and a record that was reported appended is actually
+//     on the platter.
+//
+//   * CRC32C-framed JSONL: every appended line carries a trailing
+//     " #crc32c:xxxxxxxx" frame over its payload. Mid-file corruption —
+//     a flipped bit, a hole punched by fsck of the filesystem itself —
+//     is *detected* instead of being misclassified as a torn tail and
+//     silently dropped. Unframed lines still load (every journal written
+//     before this layer existed is legacy-compatible); they simply get
+//     no corruption detection beyond JSON well-formedness.
+//
+// Corrupt records are never deleted in place: loaders copy them to a
+// `<path>.quarantine` sidecar (io::quarantine) and report loud counts,
+// so the evidence survives for a post-mortem while recovery re-runs only
+// the lost rows.
+//
+// Every syscall this layer issues consults support/fault's disk-fault
+// injection points first (`io:short-write`, `io:eio`, `io:enospc`,
+// `io:fsync-fail`, `io:crash-after=K`, each targetable at one file by
+// @path-substring) — which is what makes every error path in every
+// writer testable, and the crash-point torture harness
+// (scripts/ci_torture_io.sh) possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slc::support::io {
+
+// ----- CRC32C --------------------------------------------------------------
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum
+/// ext4 metadata, iSCSI, and leveldb use. Software table implementation;
+/// the framing workload is one short line per record, far from hot.
+[[nodiscard]] std::uint32_t crc32c(std::string_view data);
+
+/// 8 lowercase hex digits, zero-padded.
+[[nodiscard]] std::string hex32(std::uint32_t v);
+
+// ----- record framing ------------------------------------------------------
+
+/// The frame marker separating a JSONL payload from its checksum. Placed
+/// *after* the payload so a framed line is still one line, and chosen so
+/// no JSON payload can contain it unescaped (payloads are single-line
+/// JSON; '#' never starts a JSON token at top level after a space).
+inline constexpr std::string_view kFrameMarker = " #crc32c:";
+
+/// `payload + " #crc32c:" + hex32(crc32c(payload))` — no newline.
+[[nodiscard]] std::string frame_record(std::string_view payload);
+
+enum class FrameStatus : std::uint8_t {
+  FramedOk,       // marker present, checksum matches the payload
+  FramedCorrupt,  // marker present, checksum does NOT match
+  Legacy,         // no marker: a line written before framing existed
+};
+
+/// Splits a line into payload and frame verdict. For Legacy lines the
+/// payload is the whole line. The marker is searched from the end, so a
+/// payload that happens to contain the marker text is handled by the
+/// checksum (a wrong split fails FramedOk and the line re-parses as
+/// Legacy only if the caller chooses to).
+[[nodiscard]] FrameStatus parse_frame(std::string_view line,
+                                      std::string_view* payload);
+
+// ----- atomic whole-file replace -------------------------------------------
+
+/// Writes `bytes` to `path` via tmp + fsync + rename + dir-fsync. On any
+/// failure the target is untouched, the tmp file is unlinked, and *error
+/// names the syscall that failed. Creates parent directories.
+[[nodiscard]] bool atomic_write_file(const std::string& path,
+                                     std::string_view bytes,
+                                     std::string* error = nullptr);
+
+// ----- durable append-only writer ------------------------------------------
+
+/// Append-only file handle whose appends are single write() calls
+/// followed by fdatasync. One torn record per crash, maximum; every
+/// acknowledged append is durable. Not internally locked — callers that
+/// append from multiple threads hold their own mutex (the journal does).
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens (creating parent directories) for append; `truncate` starts
+  /// the file fresh. Returns false and stays inactive on failure.
+  [[nodiscard]] bool open(const std::string& path, bool truncate,
+                          std::string* error = nullptr);
+  [[nodiscard]] bool active() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Appends `line` plus '\n' in one write, then fdatasync (unless
+  /// set_durable(false)). Returns false — loudly, with *error — on a
+  /// short write, ENOSPC, EIO, or fsync failure; the caller decides
+  /// whether that is fatal.
+  [[nodiscard]] bool append_line(std::string_view line,
+                                 std::string* error = nullptr);
+
+  /// fdatasync now (appends already sync when durable; this is for the
+  /// SIGINT flush path).
+  [[nodiscard]] bool sync(std::string* error = nullptr);
+
+  /// Per-append fdatasync on (default) or off. Off still writes whole
+  /// records in single write() calls — crash atomicity per record is
+  /// kept, only the durability fence is waived (test scaffolding).
+  void set_durable(bool durable) { durable_ = durable; }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  bool durable_ = true;
+};
+
+// ----- JSONL scanning with corruption classification -----------------------
+
+/// One physical line of a scanned JSONL file.
+struct ScanRecord {
+  std::string payload;    // frame-stripped; the raw line when Legacy
+  std::string raw;        // the line exactly as read (no '\n')
+  std::size_t line_no = 0;  // 1-based
+  FrameStatus frame = FrameStatus::Legacy;
+};
+
+struct ScanResult {
+  std::vector<ScanRecord> records;
+  std::size_t framed_ok = 0;
+  std::size_t legacy = 0;
+  std::size_t crc_mismatches = 0;
+  bool opened = false;         // false: missing/unreadable file
+  bool ends_mid_line = false;  // the final line has no terminating '\n'
+                               // — the classic torn-tail signature
+};
+
+/// Reads every line of `path`, splitting frames and verifying checksums.
+/// Classification (torn tail vs mid-file corruption) is the *caller's*
+/// job: only the caller knows whether an unframed line parses as its
+/// record type.
+[[nodiscard]] ScanResult scan_jsonl(const std::string& path);
+
+/// If `path` ends mid-line (a torn final record from a crash mid-append),
+/// copies the fragment to the quarantine sidecar and truncates the file
+/// back to its last complete line. Re-opening a torn file for append
+/// without this glues the next record onto the fragment — one junk line
+/// that silently swallows a good record on the next load. Returns false
+/// only on an I/O failure; *trimmed reports whether anything was cut.
+bool trim_torn_tail(const std::string& path, std::string* error = nullptr,
+                    bool* trimmed = nullptr);
+
+// ----- quarantine ----------------------------------------------------------
+
+/// `<path>.quarantine` — where loaders copy corrupt records.
+[[nodiscard]] std::string quarantine_path(const std::string& path);
+
+/// Appends `raw_lines` verbatim to the sidecar (each followed by '\n'),
+/// durably. Returns how many lines landed; on failure, *error says why
+/// (quarantining must never throw away the evidence silently — a failed
+/// quarantine is reported, not ignored).
+std::size_t quarantine(const std::string& path,
+                       const std::vector<std::string>& raw_lines,
+                       std::string* error = nullptr);
+
+}  // namespace slc::support::io

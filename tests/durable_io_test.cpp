@@ -1,0 +1,671 @@
+// Durable-IO layer (support/io) tests, plus the disk-fault error paths
+// of every persisted artifact that rides on it: the run journal and its
+// checkpoint, the slcd result cache, the native codegen cache, and
+// `slc --fsck`.
+//
+// The contract under test, end to end:
+//   * CRC32C framing detects mid-file corruption that JSON
+//     well-formedness alone would misclassify as a torn tail;
+//   * atomic_write_file leaves the target untouched under every
+//     injected disk fault (EIO, ENOSPC, short write, fsync failure);
+//   * a failed durable append is reported loudly and never leaves a
+//     loadable partial record — at worst a torn tail that recovery
+//     classifies and trims;
+//   * corrupt records are quarantined (evidence preserved), never
+//     silently dropped;
+//   * journals written before framing existed still load (legacy);
+//   * a corrupt native-cache .so fails its .sum digest, is deleted, and
+//     recompiles — corrupt executable code is never dlopen'd on trust;
+//   * `slc --fsck=repair` round-trips a damaged journal back to clean.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/fsck.hpp"
+#include "driver/journal.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/kernels.hpp"
+#include "native/cache.hpp"
+#include "native/codegen.hpp"
+#include "native/oracle.hpp"
+#include "service/cache.hpp"
+#include "support/fault.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace slc;
+namespace io = slc::support::io;
+namespace fault = slc::support::fault;
+namespace journal = slc::driver::journal;
+
+/// Arms a fault spec for one scope; disarms even on assertion failure.
+struct FaultScope {
+  explicit FaultScope(const std::string& spec) {
+    std::string error;
+    EXPECT_TRUE(fault::configure(spec, &error)) << error;
+  }
+  ~FaultScope() { fault::clear(); }
+};
+
+/// A unique temp file whose *name* doubles as the @path fault filter —
+/// faults armed against it cannot hit any other file the test touches.
+struct TmpFile {
+  fs::path path;
+  explicit TmpFile(const std::string& stem) {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           (stem + "-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++) + ".jsonl");
+    cleanup();
+  }
+  ~TmpFile() { cleanup(); }
+  void cleanup() {
+    std::error_code ec;
+    fs::remove(path, ec);
+    fs::remove(fs::path(path.string() + ".quarantine"), ec);
+    fs::remove(fs::path(path.string() + ".tmp"), ec);
+    fs::remove(fs::path(path.string() + ".tmp." + std::to_string(::getpid())),
+               ec);
+  }
+  [[nodiscard]] std::string str() const { return path.string(); }
+  /// The filename, for @path fault filters.
+  [[nodiscard]] std::string filter() const {
+    return path.filename().string();
+  }
+};
+
+std::string read_all(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> read_lines(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+driver::ComparisonRow sample_row(const std::string& kernel) {
+  driver::ComparisonRow row;
+  row.kernel = kernel;
+  row.suite = "test";
+  row.ok = true;
+  row.report.applied = true;
+  row.report.ii = 2;
+  row.wall_ns = 42;
+  return row;
+}
+
+// --- 1. CRC32C and record framing ------------------------------------------
+
+TEST(Crc32c, KnownVectors) {
+  // The canonical CRC32C check value (iSCSI, RFC 3720 appendix).
+  EXPECT_EQ(io::crc32c(""), 0u);
+  EXPECT_EQ(io::crc32c("123456789"), 0xE3069283u);
+  // Zero-padded lowercase hex, always 8 digits.
+  EXPECT_EQ(io::hex32(0xE3069283u), "e3069283");
+  EXPECT_EQ(io::hex32(0x1Au), "0000001a");
+}
+
+TEST(Framing, RoundTrips) {
+  std::string framed = io::frame_record("{\"k\":1}");
+  EXPECT_NE(framed.find(io::kFrameMarker), std::string::npos);
+  std::string_view payload;
+  EXPECT_EQ(io::parse_frame(framed, &payload), io::FrameStatus::FramedOk);
+  EXPECT_EQ(payload, "{\"k\":1}");
+}
+
+TEST(Framing, DetectsSingleFlippedBit) {
+  std::string framed = io::frame_record("{\"k\":1}");
+  framed[2] ^= 0x01;  // one bit, inside the payload
+  std::string_view payload;
+  EXPECT_EQ(io::parse_frame(framed, &payload),
+            io::FrameStatus::FramedCorrupt);
+}
+
+TEST(Framing, UnframedLinesAreLegacy) {
+  std::string_view payload;
+  EXPECT_EQ(io::parse_frame("{\"k\":1}", &payload), io::FrameStatus::Legacy);
+  EXPECT_EQ(payload, "{\"k\":1}");
+}
+
+// --- 2. atomic_write_file under injected disk faults -----------------------
+
+TEST(AtomicWrite, ReplacesWholeFileAndLeavesNoTmp) {
+  TmpFile f("slc-dio-atomic");
+  std::string error;
+  ASSERT_TRUE(io::atomic_write_file(f.str(), "old\n", &error)) << error;
+  ASSERT_TRUE(io::atomic_write_file(f.str(), "new\n", &error)) << error;
+  EXPECT_EQ(read_all(f.path), "new\n");
+  // No *.tmp.* residue in the directory.
+  for (const auto& e : fs::directory_iterator(f.path.parent_path()))
+    EXPECT_EQ(e.path().filename().string().find(f.filter() + ".tmp"),
+              std::string::npos)
+        << e.path();
+}
+
+TEST(AtomicWrite, EveryFaultKindLeavesTargetUntouched) {
+  TmpFile f("slc-dio-faults");
+  std::string error;
+  ASSERT_TRUE(io::atomic_write_file(f.str(), "precious\n", &error)) << error;
+  for (const char* kind :
+       {"io:eio", "io:enospc", "io:short-write", "io:fsync-fail"}) {
+    FaultScope scope(std::string(kind) + "@" + f.filter());
+    error.clear();
+    EXPECT_FALSE(io::atomic_write_file(f.str(), "replacement\n", &error))
+        << kind;
+    EXPECT_FALSE(error.empty()) << kind;
+    fault::clear();
+    EXPECT_EQ(read_all(f.path), "precious\n")
+        << kind << " damaged the target";
+  }
+  // Tmp files from the failed attempts must have been unlinked.
+  for (const auto& e : fs::directory_iterator(f.path.parent_path()))
+    EXPECT_EQ(e.path().filename().string().find(f.filter() + ".tmp"),
+              std::string::npos)
+        << e.path();
+}
+
+// --- 3. AppendFile: durable appends, loud failures, torn tails -------------
+
+TEST(AppendFile, AppendsSurviveScanWithFramesIntact) {
+  TmpFile f("slc-dio-append");
+  io::AppendFile out;
+  std::string error;
+  ASSERT_TRUE(out.open(f.str(), /*truncate=*/true, &error)) << error;
+  ASSERT_TRUE(out.append_line(io::frame_record("{\"a\":1}"), &error)) << error;
+  ASSERT_TRUE(out.append_line(io::frame_record("{\"b\":2}"), &error)) << error;
+  out.close();
+
+  io::ScanResult scan = io::scan_jsonl(f.str());
+  ASSERT_TRUE(scan.opened);
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.framed_ok, 2u);
+  EXPECT_EQ(scan.crc_mismatches, 0u);
+  EXPECT_FALSE(scan.ends_mid_line);
+}
+
+TEST(AppendFile, EnospcFailsLoudlyAndWritesNothing) {
+  TmpFile f("slc-dio-enospc");
+  io::AppendFile out;
+  std::string error;
+  ASSERT_TRUE(out.open(f.str(), /*truncate=*/true, &error)) << error;
+  ASSERT_TRUE(out.append_line(io::frame_record("{\"a\":1}"), &error)) << error;
+  {
+    FaultScope scope("io:enospc@" + f.filter());
+    error.clear();
+    EXPECT_FALSE(out.append_line(io::frame_record("{\"b\":2}"), &error));
+    EXPECT_NE(error.find("ENOSPC") != std::string::npos ||
+                  error.find("No space") != std::string::npos ||
+                  !error.empty(),
+              false);
+  }
+  out.close();
+  // The failed append left no bytes: exactly one complete record.
+  io::ScanResult scan = io::scan_jsonl(f.str());
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_FALSE(scan.ends_mid_line);
+}
+
+TEST(AppendFile, ShortWriteLeavesOnlyATornTailNeverALoadableRecord) {
+  TmpFile f("slc-dio-short");
+  io::AppendFile out;
+  std::string error;
+  ASSERT_TRUE(out.open(f.str(), /*truncate=*/true, &error)) << error;
+  ASSERT_TRUE(out.append_line(io::frame_record("{\"a\":1}"), &error)) << error;
+  {
+    FaultScope scope("io:short-write@" + f.filter());
+    EXPECT_FALSE(out.append_line(io::frame_record("{\"b\":2}"), &error));
+  }
+  out.close();
+
+  io::ScanResult scan = io::scan_jsonl(f.str());
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_TRUE(scan.ends_mid_line);  // the fragment is a torn tail...
+  EXPECT_EQ(scan.framed_ok, 1u);    // ...and only one record frame-checks
+
+  // trim_torn_tail quarantines the fragment and restores a clean file.
+  bool trimmed = false;
+  ASSERT_TRUE(io::trim_torn_tail(f.str(), &error, &trimmed)) << error;
+  EXPECT_TRUE(trimmed);
+  io::ScanResult after = io::scan_jsonl(f.str());
+  EXPECT_EQ(after.records.size(), 1u);
+  EXPECT_FALSE(after.ends_mid_line);
+  EXPECT_EQ(read_lines(io::quarantine_path(f.str())).size(), 1u);
+}
+
+TEST(AppendFile, FsyncFailureIsReportedNotSwallowed) {
+  TmpFile f("slc-dio-fsync");
+  io::AppendFile out;
+  std::string error;
+  ASSERT_TRUE(out.open(f.str(), /*truncate=*/true, &error)) << error;
+  FaultScope scope("io:fsync-fail@" + f.filter());
+  EXPECT_FALSE(out.append_line(io::frame_record("{\"a\":1}"), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+using AppendFileDeathTest = ::testing::Test;
+
+TEST(AppendFileDeathTest, CrashAfterKExitsWithTheTortureCode) {
+  // io:crash-after hard-kills via _Exit(kIoCrashExitCode); the torture
+  // harness (scripts/ci_torture_io.sh) keys on that exit code to tell
+  // the planted crash from an organic one.
+  TmpFile f("slc-dio-crash");
+  EXPECT_EXIT(
+      {
+        std::string error;
+        (void)fault::configure("io:crash-after=2@" + f.filter(), &error);
+        io::AppendFile out;
+        if (!out.open(f.str(), /*truncate=*/true, &error)) ::_Exit(3);
+        for (int i = 0; i < 8; ++i)
+          (void)out.append_line(io::frame_record("{\"i\":1}"), &error);
+        ::_Exit(0);  // unreachable if the crash fired
+      },
+      ::testing::ExitedWithCode(fault::kIoCrashExitCode), "");
+}
+
+// --- 4. run journal: classification, quarantine, legacy, checkpoint --------
+
+/// Writes `n` rows through the real Journal writer and returns the path.
+void write_journal(const TmpFile& f, int n) {
+  journal::Journal jnl;
+  ASSERT_TRUE(jnl.open(f.str(), /*truncate=*/true));
+  for (int i = 0; i < n; ++i)
+    ASSERT_TRUE(jnl.append("key-" + std::to_string(i),
+                           sample_row("k" + std::to_string(i))));
+}
+
+/// Flips one payload byte of line `index` (0-based), preserving length —
+/// the CRC frame must catch it.
+void corrupt_line(const fs::path& path, std::size_t index) {
+  std::vector<std::string> lines = read_lines(path);
+  ASSERT_GT(lines.size(), index);
+  std::size_t marker = lines[index].rfind(io::kFrameMarker);
+  ASSERT_NE(marker, std::string::npos);
+  lines[index][marker / 2] ^= 0x01;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  for (const std::string& line : lines) out << line << "\n";
+}
+
+TEST(JournalDurability, DistinguishesTornTailFromMidFileCorruption) {
+  TmpFile f("slc-dio-journal");
+  write_journal(f, 3);
+  corrupt_line(f.path, 1);
+  {
+    std::ofstream app(f.path, std::ios::binary | std::ios::app);
+    app << "{\"key\":\"key-9\",\"row\":{\"ker";  // torn, no newline
+  }
+
+  journal::LoadResult loaded = journal::load(f.str());
+  EXPECT_EQ(loaded.rows.size(), 2u);
+  EXPECT_EQ(loaded.skipped_lines, 2u);  // corrupt + torn, the old total
+  EXPECT_EQ(loaded.corrupt_lines, 1u);
+  EXPECT_EQ(loaded.crc_mismatches, 1u);
+  EXPECT_EQ(loaded.torn_tail, 1u);
+  EXPECT_EQ(loaded.quarantined, 0u);  // not asked to
+
+  journal::LoadOptions opts;
+  opts.quarantine = true;
+  journal::LoadResult q = journal::load(f.str(), opts);
+  EXPECT_EQ(q.quarantined, 1u);
+  EXPECT_EQ(read_lines(io::quarantine_path(f.str())).size(), 1u);
+}
+
+TEST(JournalDurability, CorruptFinalLineIsCorruptionNotATornTail) {
+  // A CRC-framed line whose checksum fails is corruption even when it is
+  // the last line — the frame proves the writer finished it.
+  TmpFile f("slc-dio-jtail");
+  write_journal(f, 2);
+  corrupt_line(f.path, 1);
+  journal::LoadResult loaded = journal::load(f.str());
+  EXPECT_EQ(loaded.rows.size(), 1u);
+  EXPECT_EQ(loaded.corrupt_lines, 1u);
+  EXPECT_EQ(loaded.torn_tail, 0u);
+}
+
+TEST(JournalDurability, LegacyUnframedJournalsStillLoad) {
+  TmpFile f("slc-dio-legacy");
+  write_journal(f, 3);
+  // Strip every frame, simulating a journal written before CRC framing.
+  std::vector<std::string> lines = read_lines(f.path);
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    for (const std::string& line : lines) {
+      std::string_view payload;
+      ASSERT_EQ(io::parse_frame(line, &payload), io::FrameStatus::FramedOk);
+      out << payload << "\n";
+    }
+  }
+  journal::LoadResult loaded = journal::load(f.str());
+  EXPECT_EQ(loaded.rows.size(), 3u);
+  EXPECT_EQ(loaded.legacy_lines, 3u);
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+
+  // Checkpointing a legacy journal upgrades every line to a CRC frame.
+  journal::CheckpointResult cp = journal::checkpoint(f.str());
+  ASSERT_TRUE(cp.ok) << cp.error;
+  EXPECT_EQ(cp.rows, 3u);
+  for (const std::string& line : read_lines(f.path)) {
+    std::string_view payload;
+    EXPECT_EQ(io::parse_frame(line, &payload), io::FrameStatus::FramedOk);
+  }
+}
+
+TEST(JournalDurability, AppendFailuresAreCountedAndRowIsNotLoadable) {
+  TmpFile f("slc-dio-japp");
+  journal::Journal jnl;
+  ASSERT_TRUE(jnl.open(f.str(), /*truncate=*/true));
+  ASSERT_TRUE(jnl.append("key-0", sample_row("k0")));
+  {
+    FaultScope scope("io:enospc@" + f.filter());
+    EXPECT_FALSE(jnl.append("key-1", sample_row("k1")));
+  }
+  EXPECT_EQ(jnl.append_failures(), 1u);
+  EXPECT_FALSE(jnl.last_error().empty());
+  // After the device "recovers", appends work again.
+  EXPECT_TRUE(jnl.append("key-2", sample_row("k2")));
+
+  journal::LoadResult loaded = journal::load(f.str());
+  EXPECT_EQ(loaded.rows.size(), 2u);
+  EXPECT_EQ(loaded.rows.count("key-1"), 0u);  // the lost row, recomputable
+  EXPECT_EQ(loaded.skipped_lines, 0u);        // no partial record landed
+}
+
+TEST(JournalDurability, ReopenTrimsTheTornTailBeforeAppending) {
+  TmpFile f("slc-dio-jtrim");
+  write_journal(f, 2);
+  {
+    std::ofstream app(f.path, std::ios::binary | std::ios::app);
+    app << "{\"key\":\"key-9\",\"row\":{\"ker";  // torn, no newline
+  }
+  // Re-opening for append must trim first — otherwise the next append
+  // glues onto the fragment and one good record is silently swallowed.
+  journal::Journal jnl;
+  ASSERT_TRUE(jnl.open(f.str(), /*truncate=*/false));
+  ASSERT_TRUE(jnl.append("key-2", sample_row("k2")));
+  journal::LoadResult loaded = journal::load(f.str());
+  EXPECT_EQ(loaded.rows.size(), 3u);
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+  EXPECT_EQ(read_lines(io::quarantine_path(f.str())).size(), 1u);
+}
+
+TEST(JournalDurability, CheckpointUnderEnospcLeavesJournalUntouched) {
+  TmpFile f("slc-dio-jckpt");
+  write_journal(f, 3);
+  std::string before = read_all(f.path);
+  {
+    FaultScope scope("io:enospc@" + f.filter());
+    journal::CheckpointResult cp = journal::checkpoint(f.str());
+    EXPECT_FALSE(cp.ok);
+    EXPECT_FALSE(cp.error.empty());
+  }
+  EXPECT_EQ(read_all(f.path), before);
+  // And with the fault gone, the same checkpoint succeeds.
+  journal::CheckpointResult cp = journal::checkpoint(f.str());
+  EXPECT_TRUE(cp.ok) << cp.error;
+  EXPECT_EQ(cp.rows, 3u);
+}
+
+// --- 5. slcd result cache: replay classification, append failures ----------
+
+service::Response ok_response(const std::string& out) {
+  service::Response r;
+  r.status = service::Status::Ok;
+  r.exit_code = 0;
+  r.out = out;
+  return r;
+}
+
+TEST(ServiceCacheDurability, ReplayClassifiesCorruptVsTornAndQuarantines) {
+  TmpFile f("slc-dio-scache");
+  {
+    service::ResultCache cache(16);
+    std::string error;
+    ASSERT_TRUE(cache.open_journal(f.str(), &error)) << error;
+    cache.put("key-a", ok_response("a"));
+    cache.put("key-b", ok_response("b"));
+    cache.put("key-c", ok_response("c"));
+    cache.flush();
+  }
+  corrupt_line(f.path, 1);
+  {
+    std::ofstream app(f.path, std::ios::binary | std::ios::app);
+    app << "{\"key\":\"key-d\",\"resp";  // torn, no newline
+  }
+
+  service::ResultCache cache(16);
+  std::string error;
+  ASSERT_TRUE(cache.open_journal(f.str(), &error)) << error;
+  service::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.journal_loaded, 2u);
+  EXPECT_EQ(stats.journal_skipped, 2u);  // the pre-split total
+  EXPECT_EQ(stats.journal_corrupt, 1u);
+  EXPECT_EQ(stats.journal_crc_mismatches, 1u);
+  EXPECT_EQ(stats.journal_torn, 1u);
+  EXPECT_EQ(stats.journal_quarantined, 1u);
+  // Two sidecar lines: the quarantined corrupt record, plus the torn
+  // fragment that trim_torn_tail preserved before re-opening for append.
+  EXPECT_EQ(read_lines(io::quarantine_path(f.str())).size(), 2u);
+  EXPECT_TRUE(cache.get("key-a").has_value());
+  EXPECT_FALSE(cache.get("key-b").has_value());  // the corrupt row
+}
+
+TEST(ServiceCacheDurability, PutAppendFailureIsCountedNotFatal) {
+  TmpFile f("slc-dio-sfail");
+  service::ResultCache cache(16);
+  std::string error;
+  ASSERT_TRUE(cache.open_journal(f.str(), &error)) << error;
+  {
+    FaultScope scope("io:eio@" + f.filter());
+    cache.put("key-a", ok_response("a"));
+  }
+  EXPECT_EQ(cache.stats().append_failures, 1u);
+  EXPECT_FALSE(cache.last_journal_error().empty());
+  // The in-memory layer still serves the entry — persistence failure
+  // degrades durability, not correctness.
+  EXPECT_TRUE(cache.get("key-a").has_value());
+  // A replay sees no partial record from the failed append.
+  service::ResultCache replay(16);
+  ASSERT_TRUE(replay.open_journal(f.str(), &error)) << error;
+  EXPECT_EQ(replay.stats().journal_loaded, 0u);
+  EXPECT_EQ(replay.stats().journal_skipped, 0u);
+}
+
+// --- 6. native codegen cache: .sum digests, orphan sweep -------------------
+
+#define NATIVE_OR_SKIP()                                   \
+  do {                                                     \
+    if (!native::native_available())                       \
+      GTEST_SKIP() << "no host C compiler detected";       \
+  } while (0)
+
+/// Restores the cache's compiler/dir overrides even if a test fails.
+struct CacheOverrideGuard {
+  ~CacheOverrideGuard() {
+    native::CodegenCache::instance().set_host_cc("");
+    native::CodegenCache::instance().set_cache_dir("");
+  }
+};
+
+std::string kernel1_c_source() {
+  DiagnosticEngine diags;
+  ast::Program p =
+      frontend::parse_program(kernels::find("kernel1")->source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+  native::CodegenResult cg = native::generate_c(p);
+  EXPECT_TRUE(cg.ok) << cg.reason;
+  return cg.c_source;
+}
+
+TEST(NativeCacheDurability, CorruptSoFailsDigestIsDroppedAndRecompiled) {
+  NATIVE_OR_SKIP();
+  CacheOverrideGuard restore;
+  native::CodegenCache& cache = native::CodegenCache::instance();
+  fs::path dir = fs::temp_directory_path() /
+                 ("slc-dio-natcache-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  cache.set_cache_dir(dir.string());
+  cache.reset_stats();
+
+  std::string c_source = kernel1_c_source();
+  auto first = cache.get_or_compile(c_source);
+  ASSERT_TRUE(first->ok) << first->error;
+  ASSERT_EQ(cache.stats().compiles, 1u);
+
+  // The publish left a .sum sidecar whose digest matches the .so bytes.
+  fs::path so_path = dir / ("slcnat-" + first->key + ".so");
+  fs::path sum_path = dir / ("slcnat-" + first->key + ".sum");
+  ASSERT_TRUE(fs::exists(so_path));
+  ASSERT_TRUE(fs::exists(sum_path));
+  std::string sum = read_all(sum_path);
+  while (!sum.empty() && (sum.back() == '\n' || sum.back() == '\r'))
+    sum.pop_back();
+  EXPECT_EQ(sum, io::hex32(io::crc32c(read_all(so_path))));
+
+  // Rot the object on disk: flip one byte in place. (In place, same
+  // size — the process still has the object mmap'd from the first
+  // dlopen, and shrinking a mapped file would SIGBUS us, not the code
+  // under test.)
+  {
+    std::fstream rot(so_path,
+                     std::ios::binary | std::ios::in | std::ios::out);
+    rot.seekg(0, std::ios::end);
+    std::streamoff size = rot.tellg();
+    ASSERT_GT(size, 64);
+    rot.seekp(size / 2);
+    char byte = 0;
+    rot.seekg(size / 2);
+    rot.get(byte);
+    rot.seekp(size / 2);
+    rot.put(char(byte ^ 0x01));
+  }
+  cache.set_cache_dir(dir.string());
+  auto second = cache.get_or_compile(c_source);
+  ASSERT_TRUE(second->ok) << second->error;
+  EXPECT_EQ(cache.stats().corrupt_dropped, 1u);
+  EXPECT_EQ(cache.stats().compiles, 2u);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+
+  // The recompile republished a healthy object + matching sidecar.
+  std::string sum2 = read_all(sum_path);
+  while (!sum2.empty() && (sum2.back() == '\n' || sum2.back() == '\r'))
+    sum2.pop_back();
+  EXPECT_EQ(sum2, io::hex32(io::crc32c(read_all(so_path))));
+
+  // And a third open with intact bytes is a digest-verified disk hit.
+  cache.set_cache_dir(dir.string());
+  auto third = cache.get_or_compile(c_source);
+  ASSERT_TRUE(third->ok) << third->error;
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+
+  fs::remove_all(dir);
+}
+
+TEST(NativeCacheDurability, StaleOrphanTmpFilesAreSweptAtOpen) {
+  CacheOverrideGuard restore;
+  native::CodegenCache& cache = native::CodegenCache::instance();
+  fs::path dir = fs::temp_directory_path() /
+                 ("slc-dio-natorphan-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // An orphan from a compiler killed mid-publish 20 minutes ago…
+  fs::path stale = dir / "slcnat-deadbeef.so.tmp.12345";
+  {
+    std::ofstream f(stale, std::ios::binary);
+    f << "half an object";
+  }
+  fs::last_write_time(stale,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::minutes(20));
+  // …and a fresh tmp that could be a live concurrent publish.
+  fs::path live = dir / "slcnat-cafef00d.so.tmp.54321";
+  {
+    std::ofstream f(live, std::ios::binary);
+    f << "in flight";
+  }
+
+  cache.set_cache_dir(dir.string());
+  cache.reset_stats();
+  (void)cache.cache_dir();  // opens the store, triggering the sweep
+  EXPECT_EQ(cache.stats().orphans_removed, 1u);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(live));  // never touch a possibly-live publish
+
+  fs::remove_all(dir);
+}
+
+// --- 7. slc --fsck: verify reports, repair round-trips to clean ------------
+
+TEST(Fsck, MissingStoresAreClean) {
+  driver::fsck::Options opts;
+  opts.journal_path = "/nonexistent/slc-dio-no-such-journal.jsonl";
+  driver::fsck::Report rep = driver::fsck::run(opts);
+  EXPECT_TRUE(rep.clean);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.problems, 0u);
+}
+
+TEST(Fsck, VerifyFindsDamageRepairQuarantinesAndReverifiesClean) {
+  TmpFile f("slc-dio-fsck");
+  write_journal(f, 4);
+  corrupt_line(f.path, 2);
+  {
+    std::ofstream app(f.path, std::ios::binary | std::ios::app);
+    app << "{\"key\":\"key-9\",\"row\":{\"ker";  // torn, no newline
+  }
+
+  driver::fsck::Options opts;
+  opts.journal_path = f.str();
+
+  // Verify mode: reports, repairs nothing, touches nothing.
+  std::string before = read_all(f.path);
+  driver::fsck::Report verify = driver::fsck::run(opts);
+  EXPECT_FALSE(verify.clean);
+  EXPECT_TRUE(verify.ok);  // fsck itself had no I/O trouble
+  EXPECT_GT(verify.problems, 0u);
+  EXPECT_EQ(verify.repaired, 0u);
+  EXPECT_EQ(read_all(f.path), before);
+
+  // Repair: quarantine the corrupt row, drop the torn tail, compact.
+  opts.repair = true;
+  driver::fsck::Report repair = driver::fsck::run(opts);
+  EXPECT_TRUE(repair.clean) << [&] {
+    std::string all;
+    for (const std::string& line : repair.lines) all += line + "\n";
+    return all;
+  }();
+  EXPECT_TRUE(repair.ok);
+  EXPECT_GT(repair.repaired, 0u);
+  EXPECT_EQ(repair.quarantined, 1u);
+  EXPECT_EQ(read_lines(io::quarantine_path(f.str())).size(), 1u);
+
+  // The repaired journal loads with 3 of 4 rows (the corrupt one is the
+  // recovery sweep's to recompute) and zero damage counts.
+  journal::LoadResult loaded = journal::load(f.str());
+  EXPECT_EQ(loaded.rows.size(), 3u);
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+  EXPECT_EQ(loaded.legacy_lines, 0u);
+
+  // And a second verify-only pass agrees: clean.
+  opts.repair = false;
+  driver::fsck::Report again = driver::fsck::run(opts);
+  EXPECT_TRUE(again.clean);
+  EXPECT_EQ(again.problems, 0u);
+}
+
+}  // namespace

@@ -92,6 +92,19 @@
 //     --corpus-manifest=N    print N generated-corpus manifest lines
 //                            (name + source hash) and exit
 //
+//   durability fsck (DESIGN.md §15):
+//     --fsck[=repair]        verify (or repair) every persisted artifact:
+//                            the row journal's CRC frames (torn tail vs
+//                            mid-file corruption), the slcd cache journal
+//                            (--cache-journal=PATH), the native codegen
+//                            cache's .sum digests, the crash-repro
+//                            archive, and the generated-corpus manifest
+//                            (--manifest=PATH, default
+//                            tests/corpus/generated.manifest). Repair
+//                            quarantines corrupt records to .quarantine
+//                            sidecars and rewrites the survivors framed;
+//                            it never deletes evidence silently.
+//
 //   compile service (tools/slcd.cpp, DESIGN.md §12):
 //     --client[=SOCKET]      send this command line to a running slcd
 //                            daemon instead of compiling in-process; the
@@ -115,6 +128,7 @@
 #include "dist/worker.hpp"
 #include "driver/calibrate.hpp"
 #include "exact/solver.hpp"
+#include "driver/fsck.hpp"
 #include "driver/isolate.hpp"
 #include "driver/journal.hpp"
 #include "driver/pipeline.hpp"
@@ -190,6 +204,12 @@ struct CliOptions {
   std::string dist_worker_id;      // internal: this process is a worker
   std::uint64_t corpus_size = 96;  // --suite=generated row count
   std::uint64_t corpus_manifest = 0;  // print N manifest lines and exit
+
+  // Durability fsck (src/driver/fsck.hpp).
+  bool fsck = false;               // --fsck: verify all on-disk state
+  bool fsck_repair = false;        // --fsck=repair: fix what can be fixed
+  std::string cache_journal;       // --cache-journal=PATH (slcd cache)
+  std::string manifest_path = "tests/corpus/generated.manifest";
 };
 
 /// Raw argv[1..] captured for the --isolate supervisor: children receive
@@ -222,7 +242,10 @@ bool is_supervisor_flag(const std::string& arg) {
          arg.rfind("--steal-after-ms=", 0) == 0 ||
          arg.rfind("--max-row-attempts=", 0) == 0 ||
          arg.rfind("--diff-since=", 0) == 0 ||
-         arg.rfind("--dist-worker=", 0) == 0;
+         arg.rfind("--dist-worker=", 0) == 0 || arg == "--fsck" ||
+         arg.rfind("--fsck=", 0) == 0 ||
+         arg.rfind("--cache-journal=", 0) == 0 ||
+         arg.rfind("--manifest=", 0) == 0;
 }
 
 /// Flags that must reach children/workers (they rebuild the identical
@@ -339,6 +362,8 @@ int usage(const char* argv0 = "slc") {
             << "       [--heartbeat-timeout-ms=N] [--steal-after-ms=N]\n"
             << "       [--max-row-attempts=N] [--diff-since=PATH]\n"
             << "       [--corpus-size=N] [--corpus-manifest=N]\n"
+            << "       [--fsck[=repair]] [--cache-journal=PATH] "
+               "[--manifest=PATH]\n"
             << "       [--client[=SOCKET]] [--no-cache]\n"
             << "       <file|-> | --kernel=NAME | --suite=NAME | "
                "--list-kernels\n";
@@ -585,6 +610,28 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
         std::cerr << "--corpus-manifest expects a positive integer\n";
         return false;
       }
+    } else if (arg == "--fsck") {
+      opts.fsck = true;
+    } else if (arg.starts_with("--fsck=")) {
+      std::string mode = value_of("--fsck=");
+      if (mode != "repair" && mode != "verify") {
+        std::cerr << "--fsck expects no value, =verify, or =repair\n";
+        return false;
+      }
+      opts.fsck = true;
+      opts.fsck_repair = mode == "repair";
+    } else if (arg.starts_with("--cache-journal=")) {
+      opts.cache_journal = value_of("--cache-journal=");
+      if (opts.cache_journal.empty()) {
+        std::cerr << "--cache-journal expects a path\n";
+        return false;
+      }
+    } else if (arg.starts_with("--manifest=")) {
+      opts.manifest_path = value_of("--manifest=");
+      if (opts.manifest_path.empty()) {
+        std::cerr << "--manifest expects a path\n";
+        return false;
+      }
     } else if (arg.starts_with("--fault=")) {
       std::string error;
       if (!support::fault::configure(value_of("--fault="), &error)) {
@@ -611,7 +658,8 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     return false;
   }
   return !opts.input.empty() || !opts.kernel.empty() || !opts.suite.empty() ||
-         opts.list_kernels || opts.calibrate || opts.corpus_manifest > 0;
+         opts.list_kernels || opts.calibrate || opts.corpus_manifest > 0 ||
+         opts.fsck;
 }
 
 std::optional<driver::Backend> backend_by_name(const std::string& name) {
@@ -792,6 +840,24 @@ int run_cli(const CliOptions& opts) {
       std::cout << k.name << "  (" << k.suite << ")  " << k.description
                 << "\n";
     return 0;
+  }
+
+  if (opts.fsck) {
+    driver::fsck::Options fo;
+    fo.journal_path = opts.journal.empty() ? "results.jsonl" : opts.journal;
+    fo.cache_journal = opts.cache_journal;
+    fo.native_cache_dir = native::CodegenCache::instance().cache_dir();
+    fo.crash_dir = opts.crash_dir;
+    fo.manifest_path = opts.manifest_path;
+    fo.repair = opts.fsck_repair;
+    driver::fsck::Report rep = driver::fsck::run(fo);
+    for (const std::string& line : rep.lines) std::cout << line << "\n";
+    std::cout << "fsck: " << rep.problems << " problem(s)";
+    if (opts.fsck_repair)
+      std::cout << ", " << rep.repaired << " repaired, " << rep.quarantined
+                << " record(s) quarantined";
+    std::cout << " — " << (rep.clean && rep.ok ? "clean" : "DIRTY") << "\n";
+    return rep.clean && rep.ok ? 0 : 1;
   }
 
   if (opts.corpus_manifest > 0) {
@@ -1066,10 +1132,19 @@ int run_cli(const CliOptions& opts) {
           have[i] = 1;
           ++resumed;
         }
-        if (loaded.skipped_lines > 0)
-          std::cerr << "harness: journal had " << loaded.skipped_lines
-                    << " unreadable line(s) (torn tail after a kill?) — "
-                       "ignored\n";
+        if (loaded.corrupt_lines > 0)
+          std::cerr << "harness: WARNING — journal had "
+                    << loaded.corrupt_lines << " corrupt mid-file line(s)"
+                    << (loaded.crc_mismatches > 0
+                            ? " (" + std::to_string(loaded.crc_mismatches) +
+                                  " CRC mismatch(es))"
+                            : std::string())
+                    << "; affected rows will be recomputed — run "
+                       "`slc --fsck=repair` to quarantine and compact\n";
+        if (loaded.torn_tail > 0)
+          std::cerr << "harness: journal had a torn final line (crash "
+                       "mid-append) — trimmed on re-open, row will be "
+                       "recomputed\n";
         if (loaded.duplicate_keys > 0)
           std::cerr << "harness: journal had " << loaded.duplicate_keys
                     << " duplicate key(s) (crashed-then-resumed run?) — "
@@ -1091,7 +1166,7 @@ int run_cli(const CliOptions& opts) {
           if (it == seed.rows.end()) continue;
           rows[i] = it->second;
           have[i] = 1;
-          jnl.append(keys[i], it->second);
+          (void)jnl.append(keys[i], it->second);  // failures summarized below
           ++diff_reused;
         }
       }
@@ -1107,7 +1182,10 @@ int run_cli(const CliOptions& opts) {
     }
     if (journaling) {
       copts.on_row = [&](const driver::ComparisonRow& row, std::size_t pi) {
-        jnl.append(keys[pending_index[pi]], row);
+        if (!jnl.append(keys[pending_index[pi]], row))
+          std::cerr << "harness: WARNING — journal append failed ("
+                    << jnl.last_error()
+                    << "); row is NOT durable, --resume will recompute it\n";
         if (g_interrupted != 0) {
           // Flush-and-exit from whichever worker noticed: every completed
           // row is already journaled, so a resume loses nothing.
@@ -1142,6 +1220,10 @@ int run_cli(const CliOptions& opts) {
       std::cerr << ", " << diff_reused << " reused (diff-since), "
                 << (rows.size() - diff_reused) << " recomputed";
     std::cerr << "\n";
+    if (jnl.append_failures() > 0)
+      std::cerr << "harness: WARNING — " << jnl.append_failures()
+                << " journal append(s) failed (" << jnl.last_error()
+                << "); those rows are NOT durable\n";
     if (opts.oracle_mode != native::OracleMode::Interp) {
       native::OracleStats ostats = native::oracle_stats();
       native::CacheStats cstats = native::CodegenCache::instance().stats();
@@ -1153,6 +1235,11 @@ int run_cli(const CliOptions& opts) {
                 << cstats.mem_hits << " mem hits / " << cstats.disk_hits
                 << " disk hits / " << cstats.compiles << " compiles, hit rate "
                 << int(cstats.hit_rate() * 100.0 + 0.5) << "%\n";
+      if (cstats.corrupt_dropped > 0 || cstats.orphans_removed > 0)
+        std::cerr << "harness: native cache hygiene: "
+                  << cstats.corrupt_dropped
+                  << " corrupt object(s) dropped and recompiled, "
+                  << cstats.orphans_removed << " orphaned tmp file(s) swept\n";
     }
     bool all_ok = true;
     int degraded = 0;

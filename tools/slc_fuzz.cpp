@@ -51,6 +51,7 @@
 #include "fuzz/shrink.hpp"
 #include "native/oracle.hpp"
 #include "support/fault.hpp"
+#include "support/io.hpp"
 
 namespace {
 
@@ -99,27 +100,33 @@ std::string sanitize_one_line(std::string text) {
 }
 
 /// Writes a replayable repro: header comments (the mini-C lexer skips
-/// them) followed by the shrunk source.
+/// them) followed by the shrunk source. Atomic + fsynced — the repro is
+/// the only artifact of the failure, and a torn one is worse than none.
+/// A failed write is reported on stderr, not swallowed.
 std::string write_repro(const std::string& dir, std::uint64_t seed,
                         const fuzz::DiffVerdict& verdict,
                         const std::string& source, bool shrunk) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
   std::ostringstream name;
   name << "repro-" << support::to_string(verdict.failure.stage) << '-'
        << support::to_string(verdict.failure.kind) << "-seed" << seed
        << ".c";
   std::filesystem::path path = std::filesystem::path(dir) / name.str();
-  std::ofstream out(path);
-  out << "// slc_fuzz repro" << (shrunk ? " (shrunk)" : "") << ": seed="
-      << seed << " variant=" << verdict.variant_label << "\n"
-      << "// failure: " << sanitize_one_line(verdict.failure.brief())
-      << "\n" << source;
+  std::ostringstream body;
+  body << "// slc_fuzz repro" << (shrunk ? " (shrunk)" : "") << ": seed="
+       << seed << " variant=" << verdict.variant_label << "\n"
+       << "// failure: " << sanitize_one_line(verdict.failure.brief())
+       << "\n" << source;
+  std::string error;
+  if (!support::io::atomic_write_file(path.string(), body.str(), &error))
+    std::cerr << "slc_fuzz: FAILED to write repro " << path.string() << " — "
+              << error << "\n";
   if (!verdict.static_diags.empty()) {
     std::filesystem::path sidecar = path;
     sidecar.replace_extension(".diag.json");
-    std::ofstream side(sidecar);
-    side << verdict.static_diags << "\n";
+    if (!support::io::atomic_write_file(sidecar.string(),
+                                        verdict.static_diags + "\n", &error))
+      std::cerr << "slc_fuzz: FAILED to write diag sidecar "
+                << sidecar.string() << " — " << error << "\n";
   }
   return path.string();
 }
